@@ -1,0 +1,73 @@
+#pragma once
+// Shared console-rendering helpers for the experiment harness binaries.
+// Every bench prints (a) what the paper reports, (b) what this
+// reproduction measures, so the two can be compared at a glance.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mel::bench {
+
+inline void print_rule(char fill = '=') {
+  for (int i = 0; i < 78; ++i) std::putchar(fill);
+  std::putchar('\n');
+}
+
+inline void print_title(const std::string& title) {
+  print_rule('=');
+  std::printf("%s\n", title.c_str());
+  print_rule('=');
+}
+
+inline void print_section(const std::string& title) {
+  std::printf("\n");
+  std::printf("--- %s ", title.c_str());
+  for (std::size_t i = title.size() + 5; i < 78; ++i) std::putchar('-');
+  std::printf("\n");
+}
+
+/// Crude ASCII profile of a PMF-like series: one row per x with a bar.
+inline void print_pmf_bar(std::int64_t x, double value, double scale,
+                          const char* annotation = "") {
+  std::printf("%5lld  %7.4f  ", static_cast<long long>(x), value);
+  const int bars = static_cast<int>(value / scale * 60.0);
+  for (int i = 0; i < bars && i < 60; ++i) std::putchar('#');
+  if (annotation[0] != '\0') std::printf("  %s", annotation);
+  std::putchar('\n');
+}
+
+struct SeriesPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Minimal scatter plot on a character grid (for the iso-error curve).
+inline void print_xy_plot(const std::vector<SeriesPoint>& points, int width,
+                          int height, const char* x_label,
+                          const char* y_label) {
+  if (points.empty()) return;
+  double x_min = points[0].x, x_max = points[0].x;
+  double y_min = points[0].y, y_max = points[0].y;
+  for (const auto& point : points) {
+    x_min = std::min(x_min, point.x);
+    x_max = std::max(x_max, point.x);
+    y_min = std::min(y_min, point.y);
+    y_max = std::max(y_max, point.y);
+  }
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (const auto& point : points) {
+    const int col = static_cast<int>((point.x - x_min) / (x_max - x_min + 1e-12) *
+                                     (width - 1));
+    const int row = static_cast<int>((point.y - y_min) / (y_max - y_min + 1e-12) *
+                                     (height - 1));
+    grid[height - 1 - row][col] = '*';
+  }
+  std::printf("%s (%.3g .. %.3g)\n", y_label, y_min, y_max);
+  for (const auto& line : grid) std::printf("  |%s\n", line.c_str());
+  std::printf("  +");
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::printf("\n   %s (%.3g .. %.3g)\n", x_label, x_min, x_max);
+}
+
+}  // namespace mel::bench

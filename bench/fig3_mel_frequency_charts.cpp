@@ -1,0 +1,77 @@
+// Experiment E5 — Figure 3 of the paper.
+//
+// MEL frequency charts for benign vs malicious text traffic: 100 benign
+// cases of ~4K chars and >100 generated text worms, full-MEL measurement
+// (no early exit). Paper: benign averages near 20 with max 40 (= tau);
+// malicious is always above 120 — a clear gap.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mel/core/detector.hpp"
+#include "mel/stats/histogram.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/english_model.hpp"
+
+int main() {
+  mel::bench::print_title(
+      "Figure 3 — MEL frequency charts, benign vs malicious text");
+
+  const auto benign = mel::traffic::make_benign_dataset({});
+  const auto worms = mel::textcode::text_worm_corpus(108, 2008);
+
+  mel::core::DetectorConfig config;
+  config.early_exit = false;
+  config.preset_frequencies = mel::traffic::measure_distribution(benign);
+  const mel::core::MelDetector detector(config);
+
+  mel::stats::IntHistogram benign_hist;
+  mel::stats::IntHistogram worm_hist;
+  double tau = 0.0;
+  for (const auto& payload : benign) {
+    const auto verdict = detector.scan(payload);
+    benign_hist.add(verdict.mel);
+    tau = verdict.threshold;
+  }
+  for (const auto& worm : worms) {
+    worm_hist.add(detector.scan(worm.bytes).mel);
+  }
+
+  mel::bench::print_section("Benign MEL frequencies (100 cases)");
+  for (const auto& [mel_value, count] : benign_hist.items()) {
+    std::printf("%5lld  %4llu  ", static_cast<long long>(mel_value),
+                static_cast<unsigned long long>(count));
+    for (std::uint64_t i = 0; i < count; ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+  std::printf("\n  benign: mean=%.1f min=%lld max=%lld   "
+              "(paper: average near 20, max 40)\n",
+              benign_hist.mean(),
+              static_cast<long long>(benign_hist.min()),
+              static_cast<long long>(benign_hist.max()));
+  std::printf("  derived tau = %.2f (alpha = 1%%)\n", tau);
+
+  mel::bench::print_section("Malicious MEL frequencies (108 text worms)");
+  // Bucket by 20 to keep the chart compact.
+  mel::stats::IntHistogram bucketed;
+  for (const auto& [mel_value, count] : worm_hist.items()) {
+    bucketed.add(mel_value / 20 * 20, count);
+  }
+  for (const auto& [bucket, count] : bucketed.items()) {
+    std::printf("%5lld+ %4llu  ", static_cast<long long>(bucket),
+                static_cast<unsigned long long>(count));
+    for (std::uint64_t i = 0; i < count; ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+  std::printf("\n  malicious: mean=%.1f min=%lld max=%lld   "
+              "(paper: always above 120)\n",
+              worm_hist.mean(), static_cast<long long>(worm_hist.min()),
+              static_cast<long long>(worm_hist.max()));
+  std::printf("\n  Gap between benign max (%lld) and malicious min (%lld): "
+              "%lld instructions — the clear differentiator.\n",
+              static_cast<long long>(benign_hist.max()),
+              static_cast<long long>(worm_hist.min()),
+              static_cast<long long>(worm_hist.min() - benign_hist.max()));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Experiment E8 — Figure 4 of the paper.
+//
+// Exhaustively enumerates XOR over the 95-character text domain, bucketed
+// by the paper's three-part partition (0x20-0x3F, 0x40-0x5F, 0x60-0x7E).
+// Paper: XOR of two bytes from the same part lands in the non-text range
+// 0x00-0x1F, so no single text key can decrypt text to text — the
+// "Russian doll" one-to-one encryption shortcut does not exist.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mel/textcode/text_domain.hpp"
+
+int main() {
+  mel::bench::print_title("Figure 4 — XOR closure of the text domain");
+
+  const auto table = mel::textcode::xor_closure_table();
+  const char* names[3] = {"0x20-0x3F", "0x40-0x5F", "0x60-0x7E"};
+
+  std::printf("\nFraction of XOR results that stay text, per part pair:\n\n");
+  std::printf("%12s", "");
+  for (const auto* name : names) std::printf(" %12s", name);
+  std::printf("\n");
+  for (int a = 0; a < 3; ++a) {
+    std::printf("%12s", names[a]);
+    for (int b = 0; b < 3; ++b) {
+      std::printf(" %11.1f%%", 100.0 * table[a][b].text_fraction());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFraction landing in the non-text control range "
+              "0x00-0x1F:\n\n");
+  std::printf("%12s", "");
+  for (const auto* name : names) std::printf(" %12s", name);
+  std::printf("\n");
+  for (int a = 0; a < 3; ++a) {
+    std::printf("%12s", names[a]);
+    for (int b = 0; b < 3; ++b) {
+      std::printf(" %11.1f%%",
+                  100.0 * static_cast<double>(table[a][b].low_results) /
+                      static_cast<double>(table[a][b].pairs));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(paper: same-part XOR always ends in 0x00-0x1F — the "
+              "diagonal is 100%%)\n");
+
+  mel::bench::print_section("Single-key search");
+  std::printf("  A nontrivial key mapping every text byte to text exists: "
+              "%s (paper: none)\n",
+              mel::textcode::single_xor_key_exists() ? "YES (!)" : "NO");
+  std::printf("\n  Best keys by coverage (text bytes kept text, of 95):\n");
+  std::vector<std::pair<int, int>> ranked;  // (coverage, key)
+  for (int key = 1; key <= 0xFF; ++key) {
+    ranked.emplace_back(
+        mel::textcode::xor_key_coverage(static_cast<std::uint8_t>(key)),
+        key);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (int slot = 0; slot < 5; ++slot) {
+    std::printf("    key 0x%02X -> %d/95\n", ranked[slot].second,
+                ranked[slot].first);
+  }
+  std::printf("  (key 0x00 is the identity: 95/95 but encrypts nothing)\n");
+  return 0;
+}

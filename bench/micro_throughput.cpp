@@ -1,0 +1,180 @@
+// Experiment E11 — google-benchmark microbenchmarks: decoder, engines,
+// estimator and detector throughput. The paper's detector must keep up
+// with a network tap; these numbers put the "fast, reliable" claim on a
+// concrete footing for this implementation.
+
+#include <benchmark/benchmark.h>
+
+#include "mel/baselines/signature_scanner.hpp"
+#include "mel/core/detector.hpp"
+#include "mel/core/stream_detector.hpp"
+#include "mel/exec/concrete_machine.hpp"
+#include "mel/core/mel_model.hpp"
+#include "mel/disasm/decoder.hpp"
+#include "mel/exec/mel.hpp"
+#include "mel/stats/longest_run.hpp"
+#include "mel/stats/monte_carlo.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/english_model.hpp"
+
+namespace {
+
+const mel::util::ByteBuffer& benign_4k() {
+  static const auto payload =
+      mel::traffic::make_benign_dataset({.cases = 1}).front();
+  return payload;
+}
+
+const mel::util::ByteBuffer& worm_bytes() {
+  static const auto worm = mel::textcode::text_worm_corpus(1, 3).front().bytes;
+  return worm;
+}
+
+void BM_DecodeLinearSweep(benchmark::State& state) {
+  const auto& payload = benign_4k();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mel::disasm::linear_sweep(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_DecodeLinearSweep);
+
+void BM_MelLinearSweep(benchmark::State& state) {
+  const auto& payload = benign_4k();
+  mel::exec::MelOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mel::exec::compute_mel(payload, options));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_MelLinearSweep);
+
+void BM_MelAllPathsDag(benchmark::State& state) {
+  const auto& payload = benign_4k();
+  mel::exec::MelOptions options;
+  options.engine = mel::exec::MelEngine::kAllPathsDag;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mel::exec::compute_mel(payload, options));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_MelAllPathsDag);
+
+void BM_MelStrictExplorer(benchmark::State& state) {
+  const auto& payload = benign_4k();
+  mel::exec::MelOptions options;
+  options.rules = mel::exec::ValidityRules::dawn(/*strict=*/true);
+  options.step_budget = 5'000'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mel::exec::compute_mel(payload, options));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_MelStrictExplorer);
+
+void BM_ParameterEstimation(benchmark::State& state) {
+  const auto& dist = mel::traffic::web_text_distribution();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mel::core::estimate_parameters(dist, 4000));
+  }
+}
+BENCHMARK(BM_ParameterEstimation);
+
+void BM_ThresholdDerivation(benchmark::State& state) {
+  const mel::core::MelModel model(1540, 0.227);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.threshold_for_alpha(0.01));
+  }
+}
+BENCHMARK(BM_ThresholdDerivation);
+
+void BM_DetectorScanBenign(benchmark::State& state) {
+  const mel::core::MelDetector detector;
+  const auto& payload = benign_4k();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.scan(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_DetectorScanBenign);
+
+void BM_DetectorScanWorm(benchmark::State& state) {
+  const mel::core::MelDetector detector;
+  const auto& payload = worm_bytes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.scan(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_DetectorScanWorm);
+
+void BM_MonteCarloRound(benchmark::State& state) {
+  mel::util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mel::stats::simulate_mel_round(1540, 0.227, rng));
+  }
+}
+BENCHMARK(BM_MonteCarloRound);
+
+void BM_ExactLongestRunCdf(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mel::stats::longest_run_cdf_exact(1540, 0.227, 40));
+  }
+}
+BENCHMARK(BM_ExactLongestRunCdf);
+
+void BM_StreamDetectorFeed(benchmark::State& state) {
+  mel::core::StreamDetector stream;
+  const auto& payload = benign_4k();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.feed(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_StreamDetectorFeed);
+
+void BM_ConcreteMachineWorm(benchmark::State& state) {
+  const auto& payload = worm_bytes();
+  for (auto _ : state) {
+    mel::exec::ConcreteMachine machine(payload);
+    benchmark::DoNotOptimize(machine.run());
+  }
+}
+BENCHMARK(BM_ConcreteMachineWorm);
+
+void BM_SignatureScan(benchmark::State& state) {
+  mel::baselines::SignatureScanner scanner;
+  scanner.add_signatures_from(mel::textcode::binary_shellcode_corpus());
+  const auto& payload = benign_4k();
+  (void)scanner.scan(payload);  // Build the automaton outside the loop.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scanner.scan(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_SignatureScan);
+
+void BM_EncodeTextWorm(benchmark::State& state) {
+  mel::util::Xoshiro256 rng(2);
+  const auto& binary = mel::textcode::binary_shellcode_corpus().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mel::textcode::encode_text_worm(binary.bytes, {}, rng));
+  }
+}
+BENCHMARK(BM_EncodeTextWorm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// Experiment E12 — ablations of the design choices DESIGN.md calls out.
+//
+//  (a) Validity rules one by one: each rule's contribution to p and to the
+//      benign/malicious separation (the paper's "finding more ways to
+//      invalidate instructions is important", Section 3.3).
+//  (b) MEL measurement engines: the model-faithful linear sweep vs the
+//      every-entry DAG vs the strict path explorer — quantifying how much
+//      max-over-entries/forks inflates benign MELs, and what the
+//      uninitialized-register rule buys back.
+//  (c) Model variants: the paper's closed form vs the exact longest-run
+//      law (the one-bin convention shift) and the tau impact.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mel/core/mel_model.hpp"
+#include "mel/exec/mel.hpp"
+#include "mel/exec/sweep.hpp"
+#include "mel/stats/descriptive.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+
+namespace {
+
+using mel::exec::ValidityRules;
+
+struct RuleToggle {
+  const char* name;
+  bool ValidityRules::*member;
+};
+
+constexpr RuleToggle kToggles[] = {
+    {"io_instructions", &ValidityRules::io_instructions},
+    {"wrong_segment_memory", &ValidityRules::wrong_segment_memory},
+    {"cs_write", &ValidityRules::cs_write},
+    {"segment_register_load", &ValidityRules::segment_register_load},
+    {"interrupts", &ValidityRules::interrupts},
+    {"privileged", &ValidityRules::privileged},
+    {"far_control_transfer", &ValidityRules::far_control_transfer},
+    {"aam_zero", &ValidityRules::aam_zero},
+};
+
+}  // namespace
+
+int main() {
+  mel::bench::print_title("Ablations — validity rules, engines, model");
+
+  const auto benign = mel::traffic::make_benign_dataset({.cases = 40});
+  const auto worms = mel::textcode::text_worm_corpus(24, 9);
+
+  mel::bench::print_section(
+      "(a) Rule knock-out: empirical p and benign/worm mean MEL (sweep)");
+  std::printf("  %-28s %10s %12s %12s\n", "configuration", "emp. p",
+              "benign MEL", "worm MEL");
+  const auto measure = [&](const ValidityRules& rules) {
+    double p_sum = 0.0;
+    double benign_mel = 0.0;
+    double worm_mel = 0.0;
+    mel::exec::MelOptions options;
+    options.rules = rules;
+    for (const auto& payload : benign) {
+      p_sum += mel::exec::analyze_sweep(payload, rules).invalid_fraction;
+      benign_mel += static_cast<double>(
+          mel::exec::compute_mel(payload, options).mel);
+    }
+    for (const auto& worm : worms) {
+      worm_mel += static_cast<double>(
+          mel::exec::compute_mel(worm.bytes, options).mel);
+    }
+    std::printf("%10.4f %12.1f %12.1f\n", p_sum / benign.size(),
+                benign_mel / benign.size(), worm_mel / worms.size());
+  };
+  std::printf("  %-28s ", "full DAWN rules");
+  measure(ValidityRules::dawn());
+  for (const RuleToggle& toggle : kToggles) {
+    ValidityRules rules = ValidityRules::dawn();
+    rules.*(toggle.member) = false;
+    std::printf("  - %-26s ", toggle.name);
+    measure(rules);
+  }
+  {
+    ValidityRules rules = ValidityRules::dawn();
+    rules.absolute_memory = true;
+    std::printf("  + %-26s ", "absolute_memory (non-paper)");
+    measure(rules);
+  }
+  std::printf("  %-28s ", "APE rules");
+  measure(ValidityRules::ape());
+  std::printf("\n  (dropping io_instructions guts p — exactly the paper's "
+              "point about the letters l,m,n,o)\n");
+
+  mel::bench::print_section(
+      "(b) Engines on benign 4K cases: sweep vs DAG vs strict explorer");
+  {
+    mel::stats::RunningStats sweep_stats;
+    mel::stats::RunningStats dag_stats;
+    mel::stats::RunningStats strict_stats;
+    for (const auto& payload : benign) {
+      mel::exec::MelOptions options;
+      options.engine = mel::exec::MelEngine::kLinearSweep;
+      sweep_stats.add(static_cast<double>(
+          mel::exec::compute_mel(payload, options).mel));
+      options.engine = mel::exec::MelEngine::kAllPathsDag;
+      dag_stats.add(static_cast<double>(
+          mel::exec::compute_mel(payload, options).mel));
+      mel::exec::MelOptions strict;
+      strict.rules = ValidityRules::dawn(/*strict=*/true);
+      strict.step_budget = 5'000'000;
+      strict_stats.add(static_cast<double>(
+          mel::exec::compute_mel(payload, strict).mel));
+    }
+    std::printf("  %-34s mean=%6.1f max-ish=%6.1f\n",
+                "linear sweep (model-faithful)", sweep_stats.mean(),
+                sweep_stats.mean() + 3 * sweep_stats.stddev());
+    std::printf("  %-34s mean=%6.1f\n",
+                "DAG: every entry + branch forks", dag_stats.mean());
+    std::printf("  %-34s mean=%6.1f\n",
+                "explorer: DAG + uninit-reg rule", strict_stats.mean());
+    std::printf("\n  Max-over-entries with forking inflates benign MEL "
+                "well above the single-stream law;\n"
+                "  the strict uninitialized-register rule claws some back "
+                "— DAWN's pruning rationale.\n");
+  }
+
+  mel::bench::print_section(
+      "(c) Model vs exact longest-run law (convention shift)");
+  {
+    const mel::core::MelModel model(1540, 0.227);
+    double tv_raw = 0.0;
+    double tv_shift = 0.0;
+    for (std::int64_t x = 0; x <= 200; ++x) {
+      tv_raw += std::abs(model.pmf(x) - model.pmf_exact_dp(x));
+      tv_shift += std::abs(model.pmf(x + 1) - model.pmf_exact_dp(x));
+    }
+    std::printf("  total-variation(model, exact law)        : %.4f\n",
+                tv_raw / 2.0);
+    std::printf("  total-variation(model shifted -1, exact) : %.4f\n",
+                tv_shift / 2.0);
+    std::printf("  -> the paper's run convention counts k valid "
+                "instructions as k+1 (inter-head distance);\n"
+                "     after the shift the independence approximation error "
+                "is negligible.\n");
+    // Threshold impact of using the exact law instead.
+    double exact_tau = 0.0;
+    for (std::int64_t x = 0; x <= 1540; ++x) {
+      if (1.0 - model.cdf_exact_dp(x) <= 0.01) {
+        exact_tau = static_cast<double>(x);
+        break;
+      }
+    }
+    std::printf("  tau(alpha=1%%): paper formula %.2f vs exact law %.0f "
+                "(conservative by ~1 instruction)\n",
+                model.threshold_for_alpha(0.01), exact_tau);
+  }
+  return 0;
+}

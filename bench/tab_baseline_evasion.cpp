@@ -1,0 +1,147 @@
+// Experiment E10 — the motivating comparisons of Sections 1 and 4.2:
+//  * a signature scanner (the paper's McAfee experiment) catches binary
+//    shellcode but raises no alarm for the text re-encodings;
+//  * PAYL-style 1-gram anomaly detection is evaded by Kolesnikov-Lee
+//    blending, while the MEL signal is untouched;
+//  * a SigFree-like useful-instruction counter also separates text worms
+//    (it works, at higher analysis cost — which is why SigFree ships with
+//    text scanning off).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mel/baselines/payl.hpp"
+#include "mel/baselines/sigfree.hpp"
+#include "mel/baselines/signature_scanner.hpp"
+#include "mel/core/detector.hpp"
+#include "mel/textcode/blend.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/english_model.hpp"
+
+int main() {
+  mel::bench::print_title(
+      "Sections 1 & 4.2 — why existing detectors miss text malware");
+
+  mel::util::Xoshiro256 rng(77);
+  const auto& binaries = mel::textcode::binary_shellcode_corpus();
+  const auto benign = mel::traffic::make_benign_dataset({});
+
+  mel::bench::print_section(
+      "Signature scanner (the McAfee experiment of Section 5.1)");
+  mel::baselines::SignatureScanner scanner;
+  scanner.add_signatures_from(binaries);
+  std::printf("  %zu signatures extracted from known binary payloads\n",
+              scanner.signature_count());
+  std::printf("  %-18s %12s %12s\n", "payload", "binary worm",
+              "text worm");
+  int binary_caught = 0;
+  int text_caught = 0;
+  for (const auto& payload : binaries) {
+    const auto binary_worm =
+        mel::textcode::make_sled_worm(payload, 100, 8, rng);
+    const auto text_worm =
+        mel::textcode::encode_text_worm(payload.bytes, {}, rng);
+    const bool caught_binary = scanner.scan(binary_worm).detected;
+    const bool caught_text = scanner.scan(text_worm).detected;
+    binary_caught += caught_binary;
+    text_caught += caught_text;
+    std::printf("  %-18s %12s %12s\n", payload.name.c_str(),
+                caught_binary ? "DETECTED" : "missed",
+                caught_text ? "DETECTED" : "missed");
+  }
+  std::printf("  summary: binary %d/%zu, text %d/%zu   "
+              "(paper: alarms for binary only)\n",
+              binary_caught, binaries.size(), text_caught, binaries.size());
+
+  mel::bench::print_section("PAYL vs blended text malware (Kolesnikov-Lee)");
+  mel::baselines::PaylDetector payl;
+  payl.train(benign);
+  const auto target = mel::traffic::measure_distribution(benign);
+  mel::core::DetectorConfig mel_config;
+  mel_config.preset_frequencies = target;
+  const mel::core::MelDetector mel_detector(mel_config);
+
+  std::printf("  %-18s %10s %10s | %10s %10s | %8s %8s\n", "payload",
+              "payl-raw", "payl-blnd", "L1-raw", "L1-blnd", "mel-raw",
+              "mel-blnd");
+  int payl_raw_alarms = 0;
+  int payl_blend_alarms = 0;
+  int mel_blend_alarms = 0;
+  for (const auto& payload : binaries) {
+    auto worm = mel::textcode::encode_text_worm(payload.bytes, {}, rng);
+    const double l1_raw =
+        mel::textcode::distribution_distance(worm, target);
+    mel::util::ByteBuffer padded = worm;
+    padded.resize(4000, '!');
+    const bool payl_raw = payl.scan(padded).alarm;
+
+    mel::textcode::BlendOptions blend_options;
+    blend_options.total_size = 4000;
+    const auto blended = mel::textcode::blend_to_distribution(
+        worm, target, blend_options, rng);
+    const double l1_blend =
+        mel::textcode::distribution_distance(blended, target);
+    const bool payl_blend = payl.scan(blended).alarm;
+    const bool mel_raw = mel_detector.scan(worm).malicious;
+    const bool mel_blend = mel_detector.scan(blended).malicious;
+    payl_raw_alarms += payl_raw;
+    payl_blend_alarms += payl_blend;
+    mel_blend_alarms += mel_blend;
+    std::printf("  %-18s %10s %10s | %10.3f %10.3f | %8s %8s\n",
+                payload.name.c_str(), payl_raw ? "ALARM" : "quiet",
+                payl_blend ? "ALARM" : "quiet", l1_raw, l1_blend,
+                mel_raw ? "ALARM" : "quiet", mel_blend ? "ALARM" : "quiet");
+  }
+  std::printf("  summary: PAYL raw %d/%zu, PAYL blended %d/%zu, "
+              "MEL blended %d/%zu\n",
+              payl_raw_alarms, binaries.size(), payl_blend_alarms,
+              binaries.size(), mel_blend_alarms, binaries.size());
+  std::printf("  (paper: blending evades payload statistics; the MEL of "
+              "the executable prefix is untouched)\n");
+
+  mel::bench::print_section("The n-gram arms race: 2-gram PAYL scores");
+  {
+    mel::baselines::PaylConfig two_gram;
+    two_gram.ngram = 2;
+    mel::baselines::PaylDetector payl2(two_gram);
+    payl2.train(benign);
+    // Median benign 2-gram score for scale.
+    std::vector<double> scores;
+    for (const auto& payload : benign) scores.push_back(payl2.score(payload));
+    std::sort(scores.begin(), scores.end());
+    const double median = scores[scores.size() / 2];
+    const auto& payload = binaries.front();
+    auto worm = mel::textcode::encode_text_worm(payload.bytes, {}, rng);
+    mel::textcode::BlendOptions blend_options;
+    blend_options.total_size = 4000;
+    const auto blended = mel::textcode::blend_to_distribution(
+        worm, mel::traffic::measure_distribution(benign), blend_options,
+        rng);
+    std::printf("  benign median 2-gram score : %8.1f\n", median);
+    std::printf("  1-gram-blended worm score  : %8.1f  (%.1fx benign — the "
+                "bigram structure betrays the naive blend)\n",
+                payl2.score(blended), payl2.score(blended) / median);
+    std::printf("  (full polymorphic blending defeats 2-grams too; MEL "
+                "sidesteps the whole race)\n");
+  }
+
+  mel::bench::print_section("SigFree-like useful-instruction counting");
+  const mel::baselines::SigFreeDetector sigfree;
+  int sigfree_fp = 0;
+  for (const auto& payload : benign) {
+    if (sigfree.scan(payload).alarm) ++sigfree_fp;
+  }
+  int sigfree_fn = 0;
+  const auto worms = mel::textcode::text_worm_corpus(54, 4);
+  for (const auto& worm : worms) {
+    if (!sigfree.scan(worm.bytes).alarm) ++sigfree_fn;
+  }
+  std::printf("  FP %d/100 benign, FN %d/%zu text worms\n", sigfree_fp,
+              sigfree_fn, worms.size());
+  std::printf("  (works when enabled — but SigFree usually bypasses text "
+              "for performance; Section 2)\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Experiment E7 — Section 5.3's headline result.
+//
+// Runs the full detector over 100 benign cases and >100 text worms with
+// the automatically derived threshold. Paper: "the MEL threshold of 40
+// catches all the malicious cases and not a single benign case gets
+// misclassified" — zero false positives and zero false negatives.
+// Reported here for both calibration modes and across alpha settings
+// (the paper's user-configurable sensitivity).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mel/core/detector.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/email_gen.hpp"
+#include "mel/traffic/english_model.hpp"
+
+namespace {
+
+struct Rates {
+  int false_positives = 0;
+  int false_negatives = 0;
+  double tau = 0.0;
+};
+
+Rates evaluate(const mel::core::MelDetector& detector,
+               const std::vector<mel::util::ByteBuffer>& benign,
+               const std::vector<mel::textcode::Shellcode>& worms) {
+  Rates rates;
+  for (const auto& payload : benign) {
+    const auto verdict = detector.scan(payload);
+    if (verdict.malicious) ++rates.false_positives;
+    rates.tau = verdict.threshold;
+  }
+  for (const auto& worm : worms) {
+    if (!detector.scan(worm.bytes).malicious) ++rates.false_negatives;
+  }
+  return rates;
+}
+
+}  // namespace
+
+int main() {
+  mel::bench::print_title(
+      "Section 5.3 — detection results with the derived threshold");
+
+  const auto benign = mel::traffic::make_benign_dataset({});
+  const auto worms = mel::textcode::text_worm_corpus(108, 2008);
+  const auto corpus_table = mel::traffic::measure_distribution(benign);
+
+  std::printf("\nTest data: %zu benign cases (~4K text chars each), "
+              "%zu text worms.\n",
+              benign.size(), worms.size());
+  std::printf("Paper: tau=40 -> zero FP, zero FN.\n");
+
+  mel::bench::print_section(
+      "Calibration mode x alpha sweep (FP / 100 benign, FN / 108 worms)");
+  std::printf("%-34s %8s %10s %6s %6s\n", "mode", "alpha", "tau", "FP",
+              "FN");
+  for (double alpha : {0.02, 0.01, 0.005, 0.001}) {
+    {
+      mel::core::DetectorConfig config;
+      config.alpha = alpha;
+      config.preset_frequencies = corpus_table;
+      const Rates rates =
+          evaluate(mel::core::MelDetector(config), benign, worms);
+      std::printf("%-34s %8.3f %10.2f %6d %6d\n",
+                  "preset (corpus-calibrated)", alpha, rates.tau,
+                  rates.false_positives, rates.false_negatives);
+    }
+    {
+      mel::core::DetectorConfig config;
+      config.alpha = alpha;
+      const Rates rates =
+          evaluate(mel::core::MelDetector(config), benign, worms);
+      std::printf("%-34s %8.3f %10.2f %6d %6d\n",
+                  "preset (built-in web profile)", alpha, rates.tau,
+                  rates.false_positives, rates.false_negatives);
+    }
+  }
+
+  mel::bench::print_section("Transfer to the e-mail channel (Section 1)");
+  {
+    const mel::traffic::EmailGenerator email;
+    const auto mail = email.make_mail_corpus(50, 4000, 13);
+    const mel::core::MelDetector detector;  // Built-in profile, no retuning.
+    int fp = 0;
+    for (const auto& payload : mail) {
+      if (detector.scan(payload).malicious) ++fp;
+    }
+    int fn = 0;
+    for (const auto& worm : worms) {
+      if (!detector.scan(worm.bytes).malicious) ++fn;
+    }
+    std::printf("  mail corpus (50 x 4KB bodies): FP=%d FN=%d — the model\n"
+                "  only needs the channel's character profile, so it\n"
+                "  transfers across text protocols without retuning.\n",
+                fp, fn);
+  }
+
+  mel::bench::print_section("Adaptive mode (estimates from each payload)");
+  std::printf(
+      "Safe on benign traffic, but a worm controls its own byte mix and\n"
+      "thereby its own threshold — the self-calibration hazard:\n");
+  mel::core::DetectorConfig adaptive;
+  adaptive.measure_input = true;
+  const Rates rates =
+      evaluate(mel::core::MelDetector(adaptive), benign, worms);
+  std::printf("  adaptive: FP=%d FN=%d  "
+              "(FN inflated by adversarial self-calibration;\n"
+              "   use a benign-calibrated preset in deployment)\n",
+              rates.false_positives, rates.false_negatives);
+
+  mel::bench::print_section("Verdict detail for one worm and one benign case");
+  const mel::core::MelDetector detector;
+  const auto worm_verdict = detector.scan(worms.front().bytes);
+  std::printf("  %-28s mel=%5lld tau=%6.2f -> %s\n",
+              worms.front().name.c_str(),
+              static_cast<long long>(worm_verdict.mel),
+              worm_verdict.threshold,
+              worm_verdict.malicious ? "MALICIOUS" : "benign");
+  const auto benign_verdict = detector.scan(benign.front());
+  std::printf("  %-28s mel=%5lld tau=%6.2f -> %s\n", "benign-case-0",
+              static_cast<long long>(benign_verdict.mel),
+              benign_verdict.threshold,
+              benign_verdict.malicious ? "MALICIOUS" : "benign");
+  return 0;
+}

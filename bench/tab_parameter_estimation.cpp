@@ -1,0 +1,110 @@
+// Experiment E6 — Section 5.2's parameter determination.
+//
+// Reproduces the full decoder-free estimation pipeline: z -> E[prefix
+// chain] -> E[actual instruction] -> E[instruction length] -> n, and
+// p_io + p_wrong_segment -> p -> tau. Paper values: z=0.16, E[prefix]=0.19,
+// E[actual]=2.4, E[len]=2.6, n=1540 (C=4000), p=0.185+0.042=0.227, tau=40.
+// Also compares the predicted instruction length with the measured sweep
+// (paper: 2.6 predicted vs 2.65 measured).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mel/core/mel_model.hpp"
+#include "mel/core/parameter_estimation.hpp"
+#include "mel/exec/sweep.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/english_model.hpp"
+
+namespace {
+
+void print_pipeline(const char* label,
+                    const mel::core::CharFrequencyTable& table) {
+  const auto params = mel::core::estimate_parameters(table, 4000);
+  std::printf("\n%s:\n", label);
+  std::printf("  z (prefix char probability)      : %7.4f  (paper: 0.16)\n",
+              params.z);
+  std::printf("  E[prefix chain] = z/(1-z)        : %7.4f  (paper: 0.19)\n",
+              params.expected_prefix_chain);
+  std::printf("  E[actual instruction]            : %7.4f  (paper: 2.4)\n",
+              params.expected_actual_length);
+  std::printf("  E[instruction length]            : %7.4f  (paper: 2.6)\n",
+              params.expected_instruction_length);
+  std::printf("  n = C / E[len], C = 4000         : %7.1f  (paper: 1540)\n",
+              params.n);
+  std::printf("  P[opcode takes ModR/M]           : %7.4f\n",
+              params.modrm_probability);
+  std::printf("  p_io  (insb/insd/outsb/outsd)    : %7.4f  (paper: 0.185)\n",
+              params.p_io);
+  std::printf("  p_seg (wrong-segment memory)     : %7.4f  (paper: 0.042)\n",
+              params.p_wrong_segment);
+  std::printf("  p = p_io + p_seg                 : %7.4f  (paper: 0.227)\n",
+              params.p);
+  const mel::core::MelModel model(
+      static_cast<std::int64_t>(params.n), params.p);
+  std::printf("  tau(alpha=1%%)                    : %7.2f  (paper: 40)\n",
+              model.threshold_for_alpha(0.01));
+}
+
+}  // namespace
+
+int main() {
+  mel::bench::print_title("Section 5.2 — determining n, p and tau");
+
+  print_pipeline("Preset web-text distribution ('from experience')",
+                 mel::traffic::web_text_distribution());
+
+  const auto corpus = mel::traffic::make_benign_dataset({});
+  print_pipeline("Measured benign corpus distribution ('linear sweep')",
+                 mel::traffic::measure_distribution(corpus));
+
+  mel::bench::print_section(
+      "Prediction vs measurement (Section 5.3's 2.6 vs 2.65 check)");
+  double total_length = 0.0;
+  double total_count = 0.0;
+  double total_invalid = 0.0;
+  for (const auto& payload : corpus) {
+    const auto sweep = mel::exec::analyze_sweep(
+        payload, mel::exec::ValidityRules::dawn());
+    total_length += sweep.average_instruction_length *
+                    static_cast<double>(sweep.instruction_count);
+    total_count += static_cast<double>(sweep.instruction_count);
+    total_invalid += static_cast<double>(sweep.invalid_count);
+  }
+  const auto params = mel::core::estimate_parameters(
+      mel::traffic::measure_distribution(corpus), 4000);
+  std::printf("  predicted E[instruction length] : %.3f\n",
+              params.expected_instruction_length);
+  std::printf("  measured  avg instruction len   : %.3f   "
+              "(paper: 2.6 vs 2.65)\n",
+              total_length / total_count);
+  std::printf("  estimated p (decoder-free)      : %.3f\n", params.p);
+  std::printf("  measured  invalid fraction      : %.3f   "
+              "(estimate is deliberately conservative)\n",
+              total_invalid / total_count);
+
+  mel::bench::print_section("Per-rule invalidity census on the corpus");
+  std::vector<std::size_t> census;
+  std::size_t instructions = 0;
+  for (const auto& payload : corpus) {
+    const auto sweep = mel::exec::analyze_sweep(
+        payload, mel::exec::ValidityRules::dawn());
+    const auto case_census = mel::exec::invalidity_census(sweep);
+    if (census.empty()) census.resize(case_census.size(), 0);
+    for (std::size_t i = 0; i < case_census.size(); ++i) {
+      census[i] += case_census[i];
+    }
+    instructions += sweep.instruction_count;
+  }
+  for (std::size_t i = 0; i < census.size(); ++i) {
+    if (census[i] == 0) continue;
+    std::printf("  %-24s %8zu  (%.3f of instructions)\n",
+                std::string(mel::exec::invalid_reason_name(
+                                static_cast<mel::exec::InvalidReason>(i)))
+                    .c_str(),
+                census[i],
+                static_cast<double>(census[i]) /
+                    static_cast<double>(instructions));
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Experiment E2 — Section 3.2's approximation check.
+//
+// The paper derives tau from alpha = 1 - [1 - p(1-p)^tau]^n, dropping the
+// (1 - (1-p)^tau) factor, and reports that at alpha=1%, n=1540, p=0.227
+// the approximate and exact inversions give 40.61 vs 40.62 (0.02% apart).
+// This bench reproduces that number and sweeps a parameter grid to show
+// the approximation error stays negligible.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mel/core/mel_model.hpp"
+
+int main() {
+  mel::bench::print_title(
+      "Section 3.2 — threshold with vs without the approximation");
+
+  {
+    const mel::core::MelModel model(1540, 0.227);
+    const double approx = model.threshold_for_alpha(0.01);
+    const double exact = model.threshold_for_alpha_exact(0.01);
+    std::printf("\nPaper operating point (alpha=1%%, n=1540, p=0.227):\n");
+    std::printf("  tau with approximation    : %.4f   (paper: 40.61)\n",
+                approx);
+    std::printf("  tau without approximation : %.4f   (paper: 40.62)\n",
+                exact);
+    std::printf("  relative difference       : %.4f%%  (paper: 0.02%%)\n",
+                100.0 * (exact - approx) / exact);
+  }
+
+  mel::bench::print_section("Grid sweep, alpha = 1%");
+  std::printf("%8s %8s %12s %12s %12s\n", "n", "p", "tau_approx",
+              "tau_exact", "rel_diff_%");
+  for (std::int64_t n : {200, 500, 1000, 1540, 3000, 5000, 10000, 50000}) {
+    for (double p : {0.05, 0.125, 0.175, 0.227, 0.300, 0.450}) {
+      const mel::core::MelModel model(n, p);
+      const double approx = model.threshold_for_alpha(0.01);
+      const double exact = model.threshold_for_alpha_exact(0.01);
+      std::printf("%8lld %8.3f %12.4f %12.4f %12.5f\n",
+                  static_cast<long long>(n), p, approx, exact,
+                  100.0 * std::fabs(exact - approx) / exact);
+    }
+  }
+
+  mel::bench::print_section("Alpha sensitivity at n=1540, p=0.227");
+  std::printf("%10s %12s %12s\n", "alpha", "tau_approx", "tau_exact");
+  for (double alpha : {0.05, 0.02, 0.01, 0.005, 0.001, 0.0001}) {
+    const mel::core::MelModel model(1540, 0.227);
+    std::printf("%10.4f %12.4f %12.4f\n", alpha,
+                model.threshold_for_alpha(alpha),
+                model.threshold_for_alpha_exact(alpha));
+  }
+  return 0;
+}

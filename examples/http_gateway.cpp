@@ -1,0 +1,93 @@
+// Scenario: a text-only application gateway.
+//
+// Many services put an ASCII filter in front of text-based protocols and
+// call it a day. This example simulates such a gateway: a stream of
+// legitimate HTTP requests with one text-worm attack mixed in. The ASCII
+// filter passes everything (the attack is pure text); the MEL detector
+// flags exactly the attack.
+//
+//   $ ./http_gateway [requests=40] [seed=7]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mel/core/detector.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/traffic/http_gen.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/logging.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t request_count =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 40;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 7;
+
+  mel::util::Xoshiro256 rng(seed);
+  mel::traffic::HttpGenerator http;
+  // Gateway payloads are short (a few hundred bytes), where the MEL
+  // distribution is wider; a production gateway budgets fewer false
+  // alarms than the evaluation default, so dial alpha down to 0.5%.
+  mel::core::DetectorConfig config;
+  config.alpha = 0.005;
+  const mel::core::MelDetector detector(config);
+
+  // The attack: a text-encoded bind shell smuggled in as a POST body.
+  mel::textcode::TextWormOptions worm_options;
+  worm_options.jump_hops = true;
+  const auto worm = mel::textcode::encode_text_worm(
+      mel::textcode::binary_shellcode_corpus().back().bytes, worm_options,
+      rng);
+  const std::size_t attack_at = request_count / 2;
+
+  std::printf("gateway: %zu requests, attack hidden at #%zu\n\n",
+              request_count, attack_at);
+  std::printf("%5s %7s %7s %7s %9s  %s\n", "#", "bytes", "MEL", "tau",
+              "verdict", "first bytes");
+
+  std::size_t alarms = 0;
+  std::size_t misses = 0;
+  for (std::size_t i = 0; i < request_count; ++i) {
+    std::string payload;
+    if (i == attack_at) {
+      payload = "POST /guestbook.php HTTP/1.1\r\nHost: www.example.com\r\n"
+                "Content-Type: text/plain\r\n\r\n";
+      payload.append(worm.begin(), worm.end());
+    } else {
+      payload = http.make_request(rng).raw;
+    }
+    // The gateway's ASCII filter: maps the message into 0x20..0x7E.
+    // A text worm passes through UNCHANGED.
+    const std::string filtered = mel::traffic::ascii_filter(payload);
+    const auto body =
+        mel::util::to_bytes(mel::traffic::strip_headers(payload).empty()
+                                ? filtered
+                                : mel::traffic::ascii_filter(
+                                      mel::traffic::strip_headers(payload)));
+
+    const auto verdict = detector.scan(body);
+    const bool is_attack = i == attack_at;
+    if (verdict.malicious) ++alarms;
+    if (is_attack && !verdict.malicious) ++misses;
+    if (verdict.malicious || is_attack || i < 5) {
+      std::printf("%5zu %7zu %7lld %7.1f %9s  %.40s\n", i, body.size(),
+                  static_cast<long long>(verdict.mel), verdict.threshold,
+                  verdict.malicious ? "ALARM" : "ok",
+                  mel::util::to_printable(body).c_str());
+    }
+  }
+
+  std::printf("\nresult: %zu alarm(s), %zu false; attack %s\n", alarms,
+              alarms - (misses == 0 ? 1 : 0),
+              misses == 0 ? "DETECTED" : "MISSED");
+  std::printf(
+      "The ASCII filter passed every request, including the worm; the MEL\n"
+      "threshold separated them with no signatures and no tuning. Short\n"
+      "requests carry little statistical evidence (the paper evaluates 4K\n"
+      "chunks), so a gateway on tiny payloads trades alpha against the\n"
+      "occasional false alarm — see threshold_explorer for the math.\n");
+  return misses == 0 ? 0 : 1;
+}

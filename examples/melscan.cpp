@@ -1,0 +1,206 @@
+// melscan — command-line MEL text-malware scanner.
+//
+//   melscan [options] [file ...]        scan files (or stdin when none)
+//
+//   --alpha <a>        false-positive budget (default 0.01)
+//   --calibrate        treat the inputs as TRUSTED BENIGN traffic and
+//                      print a calibration report instead of scanning
+//   --save-config <f>  with --calibrate: write the calibrated config
+//   --config <f>       scan with a previously saved config
+//   --window <bytes>   streaming window size (default 4096)
+//   --adaptive         estimate n,p from each window's own characters
+//                      (UNSAFE on adversarial channels; see README)
+//   --explain          print the evidence report for flagged windows
+//   --quiet            only the final summary line
+//
+// Exit status: 0 = clean, 1 = at least one alert, 2 = usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "mel/core/calibrator.hpp"
+#include "mel/core/config_io.hpp"
+#include "mel/core/explain.hpp"
+#include "mel/core/stream_detector.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace {
+
+struct Options {
+  double alpha = 0.01;
+  bool calibrate = false;
+  std::string save_config_path;
+  std::string config_path;
+  std::size_t window = 4096;
+  bool adaptive = false;
+  bool explain = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--alpha a] [--window n] [--adaptive] "
+               "[--explain] [--quiet]\n"
+               "       [--config f] [--calibrate [--save-config f]] "
+               "[file ...]\n",
+               argv0);
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--alpha" && i + 1 < argc) {
+      options.alpha = std::atof(argv[++i]);
+      if (options.alpha <= 0.0 || options.alpha >= 1.0) return false;
+    } else if (arg == "--window" && i + 1 < argc) {
+      options.window = static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (options.window < 64) return false;
+    } else if (arg == "--calibrate") {
+      options.calibrate = true;
+    } else if (arg == "--save-config" && i + 1 < argc) {
+      options.save_config_path = argv[++i];
+    } else if (arg == "--config" && i + 1 < argc) {
+      options.config_path = argv[++i];
+    } else if (arg == "--adaptive") {
+      options.adaptive = true;
+    } else if (arg == "--explain") {
+      options.explain = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  return true;
+}
+
+std::size_t scan_stream(std::istream& in, const std::string& name,
+                        const Options& options) {
+  mel::core::StreamConfig config;
+  if (!options.config_path.empty()) {
+    auto loaded = mel::core::load_config(options.config_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "melscan: %s\n", loaded.error().c_str());
+      std::exit(2);
+    }
+    config.detector = std::move(loaded).take();
+  }
+  config.detector.alpha = options.alpha;
+  config.detector.measure_input = options.adaptive;
+  config.window_size = options.window;
+  config.overlap = std::min<std::size_t>(options.window / 4, 1024);
+  config.keep_window_bytes = options.explain;
+  mel::core::StreamDetector stream(config);
+  const mel::core::MelDetector explain_detector(config.detector);
+
+  std::size_t alerts = 0;
+  std::vector<char> chunk(64 * 1024);
+  const auto report = [&](const std::vector<mel::core::StreamAlert>& batch) {
+    for (const auto& alert : batch) {
+      ++alerts;
+      if (options.quiet) continue;
+      // With early exit the engine stops just past tau, so the measured
+      // MEL is a lower bound (the explain report shows the full run).
+      std::printf("%s: ALERT at stream offset %llu: MEL %s%lld > tau %.1f\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(alert.stream_offset),
+                  alert.verdict.mel_detail.early_exit ? ">= " : "",
+                  static_cast<long long>(alert.verdict.mel),
+                  alert.verdict.threshold);
+      if (options.explain && !alert.window.empty()) {
+        const auto explanation =
+            mel::core::explain(explain_detector, alert.window);
+        std::printf("%s",
+                    mel::core::format_explanation(explanation).c_str());
+      }
+    }
+  };
+
+  while (in.read(chunk.data(), static_cast<std::streamsize>(chunk.size())) ||
+         in.gcount() > 0) {
+    const auto got = static_cast<std::size_t>(in.gcount());
+    const mel::util::ByteView view(
+        reinterpret_cast<const std::uint8_t*>(chunk.data()), got);
+    report(stream.feed(view));
+    if (got < chunk.size() && !in) break;
+  }
+  report(stream.finish());
+
+  if (!options.quiet) {
+    std::printf("%s: %llu bytes, %llu windows, %zu alert(s)\n", name.c_str(),
+                static_cast<unsigned long long>(stream.bytes_consumed()),
+                static_cast<unsigned long long>(stream.windows_scanned()),
+                alerts);
+  }
+  return alerts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse(argc, argv, options)) return usage(argv[0]);
+
+  if (options.calibrate) {
+    // Read every input whole and calibrate a detector from it.
+    std::vector<mel::util::ByteBuffer> samples;
+    for (const std::string& path : options.files) {
+      std::ifstream file(path, std::ios::binary);
+      if (!file) {
+        std::fprintf(stderr, "melscan: cannot open %s\n", path.c_str());
+        return 2;
+      }
+      mel::util::ByteBuffer bytes(
+          (std::istreambuf_iterator<char>(file)),
+          std::istreambuf_iterator<char>());
+      if (!bytes.empty()) samples.push_back(std::move(bytes));
+    }
+    if (samples.empty()) {
+      std::fprintf(stderr, "melscan: --calibrate needs benign files\n");
+      return 2;
+    }
+    mel::core::CalibratorOptions calibrator_options;
+    calibrator_options.alpha = options.alpha;
+    const auto report =
+        mel::core::calibrate_from_benign(samples, calibrator_options);
+    std::printf("%s", mel::core::format_calibration_report(report).c_str());
+    if (!options.save_config_path.empty()) {
+      if (!mel::core::save_config(report.config,
+                                  options.save_config_path)) {
+        std::fprintf(stderr, "melscan: cannot write %s\n",
+                     options.save_config_path.c_str());
+        return 2;
+      }
+      std::printf("config saved to %s\n",
+                  options.save_config_path.c_str());
+    }
+    return report.healthy ? 0 : 1;
+  }
+
+  std::size_t total_alerts = 0;
+  if (options.files.empty()) {
+    total_alerts += scan_stream(std::cin, "<stdin>", options);
+  } else {
+    for (const std::string& path : options.files) {
+      std::ifstream file(path, std::ios::binary);
+      if (!file) {
+        std::fprintf(stderr, "melscan: cannot open %s\n", path.c_str());
+        return 2;
+      }
+      total_alerts += scan_stream(file, path, options);
+    }
+  }
+  if (options.quiet) {
+    std::printf("%zu alert(s)\n", total_alerts);
+  }
+  return total_alerts > 0 ? 1 : 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: the five-line path from bytes to a verdict.
+//
+//   $ ./quickstart
+//
+// Scans an ordinary English payload and a freshly generated text worm with
+// the default detector (alpha = 1%, DAWN rules, built-in web-text
+// profile), and prints both verdicts with the derived threshold.
+
+#include <cstdio>
+
+#include "mel/core/detector.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/util/bytes.hpp"
+
+int main() {
+  // 1. A detector with default configuration. The only knob that matters
+  //    is alpha, the false-positive budget; the threshold is derived.
+  const mel::core::MelDetector detector;
+
+  // 2. Something benign.
+  const auto benign = mel::util::to_bytes(
+      "GET /research/projects.html?q=distributed+systems HTTP/1.1 looks "
+      "like a perfectly ordinary keyboard-enterable request payload, and "
+      "the occasional letters l, m, n and o keep breaking any accidental "
+      "instruction chain long before it matters.");
+
+  // 3. Something malicious: execve("/bin/sh") re-encoded as pure text.
+  mel::util::Xoshiro256 rng(1);
+  const auto worm = mel::textcode::encode_text_worm(
+      mel::textcode::binary_shellcode_corpus().front().bytes, {}, rng);
+
+  for (const auto& [name, payload] :
+       {std::pair<const char*, const mel::util::ByteBuffer&>{"benign",
+                                                             benign},
+        {"text worm", worm}}) {
+    const mel::core::Verdict verdict = detector.scan(payload);
+    std::printf(
+        "%-10s : %4zu bytes, text=%s, MEL=%lld, tau=%.1f  ->  %s\n", name,
+        payload.size(), verdict.is_text ? "yes" : "no",
+        static_cast<long long>(verdict.mel), verdict.threshold,
+        verdict.malicious ? "MALICIOUS" : "benign");
+  }
+
+  std::printf(
+      "\nBoth payloads are 100%% keyboard-enterable; an ASCII filter\n"
+      "cannot tell them apart. The MEL threshold can.\n");
+  return 0;
+}

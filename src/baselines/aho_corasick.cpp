@@ -1,0 +1,100 @@
+#include "mel/baselines/aho_corasick.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace mel::baselines {
+
+std::size_t AhoCorasick::add_pattern(util::ByteView pattern) {
+  assert(!built_);
+  assert(!pattern.empty());
+  std::int32_t node = 0;
+  for (std::uint8_t byte : pattern) {
+    std::int32_t child = nodes_[node].children[byte];
+    if (child < 0) {
+      child = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();  // May reallocate: write via fresh indexing.
+      nodes_[node].children[byte] = child;
+    }
+    node = child;
+  }
+  const auto id = pattern_lengths_.size();
+  nodes_[node].ids.push_back(static_cast<std::int32_t>(id));
+  pattern_lengths_.push_back(pattern.size());
+  return id;
+}
+
+void AhoCorasick::build() {
+  assert(!built_);
+  std::deque<std::int32_t> queue;
+  // Depth-1 nodes fail to the root; missing root children loop to root.
+  for (int byte = 0; byte < 256; ++byte) {
+    std::int32_t& child = nodes_[0].children[byte];
+    if (child < 0) {
+      child = 0;
+    } else {
+      nodes_[child].fail = 0;
+      queue.push_back(child);
+    }
+  }
+  // BFS: children inherit failure transitions (goto-function automaton:
+  // missing edges are filled with the failure target's edge, giving O(1)
+  // per input byte with no failure-chasing at match time).
+  while (!queue.empty()) {
+    const std::int32_t node = queue.front();
+    queue.pop_front();
+    const std::int32_t fail = nodes_[node].fail;
+    nodes_[node].output_link =
+        !nodes_[fail].ids.empty() ? fail : nodes_[fail].output_link;
+    for (int byte = 0; byte < 256; ++byte) {
+      const std::int32_t child = nodes_[node].children[byte];
+      const std::int32_t fail_child = nodes_[fail].children[byte];
+      if (child < 0) {
+        nodes_[node].children[byte] = fail_child;
+      } else {
+        nodes_[child].fail = fail_child;
+        queue.push_back(child);
+      }
+    }
+  }
+  built_ = true;
+}
+
+std::vector<AhoCorasick::Match> AhoCorasick::find_all(
+    util::ByteView text) const {
+  assert(built_);
+  std::vector<Match> matches;
+  std::int32_t node = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    node = nodes_[node].children[text[i]];
+    for (std::int32_t hit = node; hit >= 0;
+         hit = nodes_[hit].output_link) {
+      for (const std::int32_t id : nodes_[hit].ids) {
+        matches.push_back(Match{
+            static_cast<std::size_t>(id),
+            i + 1 - pattern_lengths_[static_cast<std::size_t>(id)]});
+      }
+    }
+  }
+  return matches;
+}
+
+AhoCorasick::FirstMatch AhoCorasick::find_first(util::ByteView text) const {
+  assert(built_);
+  FirstMatch result;
+  std::int32_t node = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    node = nodes_[node].children[text[i]];
+    std::int32_t hit = node;
+    if (nodes_[hit].ids.empty()) hit = nodes_[hit].output_link;
+    if (hit >= 0 && !nodes_[hit].ids.empty()) {
+      const auto id = static_cast<std::size_t>(nodes_[hit].ids.front());
+      result.found = true;
+      result.match = Match{id, i + 1 - pattern_lengths_[id]};
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace mel::baselines

@@ -1,0 +1,31 @@
+#include "mel/baselines/ape.hpp"
+
+#include <algorithm>
+
+namespace mel::baselines {
+
+ApeDetector::ApeDetector(ApeConfig config) : config_(config) {}
+
+ApeResult ApeDetector::scan(util::ByteView payload) const {
+  ApeResult result;
+  if (payload.empty()) return result;
+
+  // Per-offset executable lengths under APE's rules, then sample.
+  const std::vector<std::int32_t> lengths =
+      exec::compute_execable_lengths(payload, config_.rules);
+
+  util::Xoshiro256 rng(config_.seed);
+  const std::size_t samples =
+      std::min(config_.sample_count, payload.size());
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::size_t position = rng.next_below(payload.size());
+    result.max_executable_length =
+        std::max<std::int64_t>(result.max_executable_length,
+                               lengths[position]);
+  }
+  result.positions_sampled = samples;
+  result.alarm = result.max_executable_length > config_.threshold;
+  return result;
+}
+
+}  // namespace mel::baselines

@@ -1,0 +1,59 @@
+#pragma once
+// Aho-Corasick multi-pattern matcher: the industry-standard automaton
+// behind real signature scanners. One pass over the payload matches the
+// whole signature database simultaneously, instead of one std::search per
+// signature.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mel/util/bytes.hpp"
+
+namespace mel::baselines {
+
+class AhoCorasick {
+ public:
+  /// Adds a pattern before build(); returns its id (insertion order).
+  /// Precondition: pattern non-empty, not yet built.
+  std::size_t add_pattern(util::ByteView pattern);
+
+  /// Freezes the trie and computes failure/output links (BFS).
+  void build();
+  [[nodiscard]] bool built() const noexcept { return built_; }
+  [[nodiscard]] std::size_t pattern_count() const noexcept {
+    return pattern_lengths_.size();
+  }
+
+  struct Match {
+    std::size_t pattern_id = 0;
+    std::size_t offset = 0;  ///< Start offset of the match in the text.
+  };
+
+  /// All matches (including overlapping ones), in text order.
+  /// Precondition: built().
+  [[nodiscard]] std::vector<Match> find_all(util::ByteView text) const;
+
+  /// First match only, or nullopt-like {false, ...}. Precondition: built().
+  struct FirstMatch {
+    bool found = false;
+    Match match;
+  };
+  [[nodiscard]] FirstMatch find_first(util::ByteView text) const;
+
+ private:
+  struct Node {
+    std::int32_t children[256];
+    std::int32_t fail = 0;
+    std::int32_t output_link = -1;  ///< Nearest suffix node ending a pattern.
+    std::vector<std::int32_t> ids;  ///< Patterns ending exactly here
+                                    ///< (several when duplicates are added).
+    Node() { for (auto& child : children) child = -1; }
+  };
+
+  std::vector<Node> nodes_{Node{}};
+  std::vector<std::size_t> pattern_lengths_;
+  bool built_ = false;
+};
+
+}  // namespace mel::baselines

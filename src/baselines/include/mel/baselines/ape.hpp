@@ -1,0 +1,48 @@
+#pragma once
+// APE baseline (Toth & Kruegel, RAID 2002): Abstract Payload Execution.
+//
+// APE samples random positions in the payload, measures the executable
+// length from each sampled position, and raises an alarm when the maximum
+// exceeds an experimentally tuned threshold. Its invalidity definition is
+// narrow — broken encodings and illegal absolute memory addresses only —
+// with none of the text-specific rules (Section 6 of the paper), which is
+// exactly why it fails on text malware: benign text already "executes"
+// for long stretches under those rules.
+
+#include <cstdint>
+
+#include "mel/exec/mel.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::baselines {
+
+struct ApeConfig {
+  /// Random entry positions sampled per payload (APE's efficiency trick;
+  /// our paper's detector examines the full content instead).
+  std::size_t sample_count = 64;
+  /// Experimentally tuned MEL threshold (APE's published operating point
+  /// is around 35 for sled detection).
+  std::int64_t threshold = 35;
+  /// APE's narrow validity definition.
+  exec::ValidityRules rules = exec::ValidityRules::ape();
+  std::uint64_t seed = 1;
+};
+
+struct ApeResult {
+  bool alarm = false;
+  std::int64_t max_executable_length = 0;
+  std::size_t positions_sampled = 0;
+};
+
+class ApeDetector {
+ public:
+  explicit ApeDetector(ApeConfig config = {});
+
+  [[nodiscard]] ApeResult scan(util::ByteView payload) const;
+
+ private:
+  ApeConfig config_;
+};
+
+}  // namespace mel::baselines

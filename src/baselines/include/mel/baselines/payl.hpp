@@ -1,0 +1,71 @@
+#pragma once
+// PAYL baseline (Wang & Stolfo, RAID 2004): anomalous payload detection
+// from n-gram byte statistics.
+//
+// Training computes the mean and standard deviation of each n-gram's
+// relative frequency over benign payloads (binned by payload length).
+// Scoring uses the simplified Mahalanobis distance
+//   d(x) = sum_i |x_i - mean_i| / (stddev_i + smoothing).
+// The paper cites Kolesnikov & Lee's blended worms as evidence that such
+// detectors are evadable by text malware that mimics normal traffic —
+// reproduced in the tab_baseline_evasion bench with textcode::blend.
+// The 2-gram model resists the naive 1-gram blend (the bigram structure
+// of padding does not match prose), at 256x the model size — the
+// arms-race step Kolesnikov & Lee then counter with full polymorphic
+// blending.
+
+#include <cstdint>
+#include <vector>
+
+#include "mel/util/bytes.hpp"
+
+namespace mel::baselines {
+
+struct PaylConfig {
+  /// n-gram order: 1 (PAYL's default byte model) or 2 (bigram model).
+  int ngram = 1;
+  /// Smoothing added to each stddev (PAYL's alpha factor).
+  double smoothing = 0.001;
+  /// Alarm threshold: mean + threshold_sigmas * stddev of the training
+  /// scores (robust to single training outliers, unlike a max-based cut).
+  double threshold_sigmas = 5.0;
+};
+
+struct PaylResult {
+  bool alarm = false;
+  double score = 0.0;
+  double threshold = 0.0;
+};
+
+class PaylDetector {
+ public:
+  explicit PaylDetector(PaylConfig config = {});
+
+  /// Trains the per-length-bin models on benign payloads and calibrates
+  /// the alarm threshold on the training scores.
+  void train(const std::vector<util::ByteBuffer>& benign);
+
+  [[nodiscard]] bool trained() const noexcept { return !bins_.empty(); }
+  [[nodiscard]] PaylResult scan(util::ByteView payload) const;
+  /// Raw simplified-Mahalanobis score (exposed for the evasion bench).
+  [[nodiscard]] double score(util::ByteView payload) const;
+
+ private:
+  struct Bin {
+    std::vector<double> mean;    ///< Size 256^ngram when populated.
+    std::vector<double> stddev;
+    double score_mean = 0.0;    ///< Mean of training scores.
+    double score_stddev = 0.0;  ///< Stddev of training scores.
+    std::size_t samples = 0;
+  };
+  [[nodiscard]] std::size_t dimensions() const noexcept;
+  [[nodiscard]] std::vector<double> features(util::ByteView payload) const;
+  /// Length bin: floor(log2(size)), clamped.
+  [[nodiscard]] static std::size_t bin_index(std::size_t size) noexcept;
+  [[nodiscard]] const Bin* bin_for(std::size_t size) const noexcept;
+
+  PaylConfig config_;
+  std::vector<Bin> bins_;
+};
+
+}  // namespace mel::baselines

@@ -1,0 +1,45 @@
+#pragma once
+// SigFree-style baseline (Wang, Pan, Liu, Zhu — USENIX Security 2006):
+// counts *useful* instructions rather than merely valid ones.
+//
+// An instruction is useful when the value it defines is consumed by a
+// later instruction in the same valid run (a crude def-use dataflow).
+// Random text decodes into many valid instructions whose results nobody
+// reads; real code chains its definitions. The paper notes SigFree
+// usually keeps text scanning disabled for performance — the bench
+// measures both its sensitivity and its cost on text.
+
+#include <cstdint>
+
+#include "mel/exec/validity.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::baselines {
+
+struct SigFreeConfig {
+  /// Alarm threshold on the useful-instruction count of the best run.
+  /// Benign 4KB text payloads land at 10-30 useful instructions; text
+  /// decrypters at 100+.
+  std::int64_t useful_threshold = 40;
+  /// Validity rules for run segmentation (SigFree's own pruning is close
+  /// to the broad definition).
+  exec::ValidityRules rules = exec::ValidityRules::dawn();
+};
+
+struct SigFreeResult {
+  bool alarm = false;
+  std::int64_t max_useful_count = 0;  ///< Best run's useful instructions.
+  std::int64_t max_run_length = 0;    ///< Best run's raw length (== MEL).
+};
+
+class SigFreeDetector {
+ public:
+  explicit SigFreeDetector(SigFreeConfig config = {});
+
+  [[nodiscard]] SigFreeResult scan(util::ByteView payload) const;
+
+ private:
+  SigFreeConfig config_;
+};
+
+}  // namespace mel::baselines

@@ -1,0 +1,57 @@
+#pragma once
+// Signature scanner — the "commercial AV" analog of the paper's McAfee
+// experiment (Section 5.1): a database of byte-pattern signatures
+// extracted from known binary shellcodes. It catches every binary worm it
+// has a signature for and, by construction, misses their text
+// re-encodings, because the rix/Eller transformation shares no byte
+// substring with the original payload.
+
+#include <string>
+#include <vector>
+
+#include "mel/baselines/aho_corasick.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::baselines {
+
+struct Signature {
+  std::string name;
+  util::ByteBuffer pattern;
+};
+
+struct ScanMatch {
+  bool detected = false;
+  std::string signature_name;  ///< First matching signature.
+  std::size_t offset = 0;      ///< Match offset in the payload.
+};
+
+class SignatureScanner {
+ public:
+  /// Builds a database from known shellcodes: one `slice_length`-byte
+  /// signature per payload, taken from its distinctive middle section.
+  void add_signatures_from(const std::vector<textcode::Shellcode>& corpus,
+                           std::size_t slice_length = 12);
+
+  void add_signature(Signature signature);
+
+  [[nodiscard]] std::size_t signature_count() const noexcept {
+    return signatures_.size();
+  }
+
+  /// Scans the payload for any known signature. One Aho-Corasick pass
+  /// matches the whole database simultaneously, as production scanners do.
+  [[nodiscard]] ScanMatch scan(util::ByteView payload) const;
+
+  /// All database hits in the payload (forensics; includes overlaps).
+  [[nodiscard]] std::vector<ScanMatch> scan_all(util::ByteView payload) const;
+
+ private:
+  void ensure_built() const;
+
+  std::vector<Signature> signatures_;
+  mutable AhoCorasick automaton_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace mel::baselines

@@ -1,0 +1,45 @@
+#pragma once
+// Stride baseline (Akritidis et al., IFIP SEC 2005): polymorphic sled
+// detection through instruction sequence analysis.
+//
+// A sled must be executable from *every* byte offset within it (the worm
+// cannot control where the corrupted pointer lands). Stride therefore
+// scans for windows of n bytes in which execution started at any offset
+// survives to the window's end. Modern register-spring worms carry no
+// sled, which is why this detector — like APE — no longer catches them
+// (paper Section 4.1).
+
+#include <cstdint>
+
+#include "mel/exec/mel.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::baselines {
+
+struct StrideConfig {
+  /// Sled window length in bytes (the published default region).
+  std::size_t window = 30;
+  /// Validity rules for "survives". Stride's instruction analysis rejects
+  /// privileged/trapping instructions inside a sled (a sled byte that
+  /// faults kills the worm), so it gets the broad binary-oriented rules —
+  /// though still none of the text-specific knowledge.
+  exec::ValidityRules rules = exec::ValidityRules::dawn();
+};
+
+struct StrideResult {
+  bool alarm = false;
+  std::size_t sled_offset = 0;  ///< Start of the first detected sled.
+  std::size_t sled_length = 0;  ///< Longest fully-surviving window run.
+};
+
+class StrideDetector {
+ public:
+  explicit StrideDetector(StrideConfig config = {});
+
+  [[nodiscard]] StrideResult scan(util::ByteView payload) const;
+
+ private:
+  StrideConfig config_;
+};
+
+}  // namespace mel::baselines

@@ -1,0 +1,144 @@
+#include "mel/baselines/payl.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mel::baselines {
+
+PaylDetector::PaylDetector(PaylConfig config) : config_(config) {
+  assert(config_.ngram == 1 || config_.ngram == 2);
+}
+
+std::size_t PaylDetector::dimensions() const noexcept {
+  return config_.ngram == 1 ? 256u : 256u * 256u;
+}
+
+std::vector<double> PaylDetector::features(util::ByteView payload) const {
+  std::vector<double> freq(dimensions(), 0.0);
+  if (config_.ngram == 1) {
+    if (payload.empty()) return freq;
+    for (std::uint8_t b : payload) freq[b] += 1.0;
+    for (double& f : freq) f /= static_cast<double>(payload.size());
+  } else {
+    if (payload.size() < 2) return freq;
+    for (std::size_t i = 0; i + 1 < payload.size(); ++i) {
+      freq[static_cast<std::size_t>(payload[i]) * 256 + payload[i + 1]] +=
+          1.0;
+    }
+    const auto grams = static_cast<double>(payload.size() - 1);
+    for (double& f : freq) f /= grams;
+  }
+  return freq;
+}
+
+std::size_t PaylDetector::bin_index(std::size_t size) noexcept {
+  std::size_t bin = 0;
+  while (size > 1 && bin < 31) {
+    size >>= 1;
+    ++bin;
+  }
+  return bin;
+}
+
+const PaylDetector::Bin* PaylDetector::bin_for(std::size_t size) const noexcept {
+  const std::size_t index = bin_index(size);
+  // Fall back to the nearest populated bin.
+  for (std::size_t delta = 0; delta < bins_.size(); ++delta) {
+    if (index >= delta && index - delta < bins_.size() &&
+        bins_[index - delta].samples > 0) {
+      return &bins_[index - delta];
+    }
+    if (index + delta < bins_.size() && bins_[index + delta].samples > 0) {
+      return &bins_[index + delta];
+    }
+  }
+  return nullptr;
+}
+
+void PaylDetector::train(const std::vector<util::ByteBuffer>& benign) {
+  assert(!benign.empty());
+  bins_.assign(32, Bin{});
+  const std::size_t dim = dimensions();
+
+  // First pass: means.
+  std::vector<std::vector<double>> per_sample;
+  per_sample.reserve(benign.size());
+  for (const util::ByteBuffer& payload : benign) {
+    per_sample.push_back(features(payload));
+    Bin& bin = bins_[bin_index(payload.size())];
+    if (bin.mean.empty()) {
+      bin.mean.assign(dim, 0.0);
+      bin.stddev.assign(dim, 0.0);
+    }
+    ++bin.samples;
+    for (std::size_t i = 0; i < dim; ++i) {
+      bin.mean[i] += per_sample.back()[i];
+    }
+  }
+  for (Bin& bin : bins_) {
+    if (bin.samples == 0) continue;
+    for (double& m : bin.mean) m /= static_cast<double>(bin.samples);
+  }
+  // Second pass: standard deviations.
+  for (std::size_t s = 0; s < benign.size(); ++s) {
+    Bin& bin = bins_[bin_index(benign[s].size())];
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double diff = per_sample[s][i] - bin.mean[i];
+      bin.stddev[i] += diff * diff;
+    }
+  }
+  for (Bin& bin : bins_) {
+    if (bin.samples == 0) continue;
+    for (double& sd : bin.stddev) {
+      sd = std::sqrt(sd / static_cast<double>(bin.samples));
+    }
+  }
+  // Calibration pass: mean and stddev of the benign training scores.
+  std::vector<double> sums(bins_.size(), 0.0);
+  std::vector<double> squares(bins_.size(), 0.0);
+  for (std::size_t s = 0; s < benign.size(); ++s) {
+    const std::size_t index = bin_index(benign[s].size());
+    Bin& bin = bins_[index];
+    double sample_score = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      sample_score += std::fabs(per_sample[s][i] - bin.mean[i]) /
+                      (bin.stddev[i] + config_.smoothing);
+    }
+    sums[index] += sample_score;
+    squares[index] += sample_score * sample_score;
+  }
+  for (std::size_t index = 0; index < bins_.size(); ++index) {
+    Bin& bin = bins_[index];
+    if (bin.samples == 0) continue;
+    const auto count = static_cast<double>(bin.samples);
+    bin.score_mean = sums[index] / count;
+    bin.score_stddev = std::sqrt(
+        std::max(0.0, squares[index] / count -
+                          bin.score_mean * bin.score_mean));
+  }
+}
+
+double PaylDetector::score(util::ByteView payload) const {
+  const Bin* bin = bin_for(payload.size());
+  if (bin == nullptr || bin->mean.empty()) return 0.0;
+  const std::vector<double> freq = features(payload);
+  double total = 0.0;
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    total += std::fabs(freq[i] - bin->mean[i]) /
+             (bin->stddev[i] + config_.smoothing);
+  }
+  return total;
+}
+
+PaylResult PaylDetector::scan(util::ByteView payload) const {
+  PaylResult result;
+  const Bin* bin = bin_for(payload.size());
+  if (bin == nullptr) return result;
+  result.score = score(payload);
+  result.threshold =
+      bin->score_mean + config_.threshold_sigmas * bin->score_stddev;
+  result.alarm = result.score > result.threshold;
+  return result;
+}
+
+}  // namespace mel::baselines

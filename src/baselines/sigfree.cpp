@@ -1,0 +1,109 @@
+#include "mel/baselines/sigfree.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "mel/disasm/decoder.hpp"
+
+namespace mel::baselines {
+
+namespace {
+
+using disasm::Gpr;
+using disasm::Instruction;
+using disasm::OperandKind;
+
+/// Registers read by an instruction's operands (explicit only; good
+/// enough for the def-use heuristic).
+std::uint8_t read_mask(const Instruction& insn) {
+  std::uint8_t mask = 0;
+  for (std::size_t i = 0; i < insn.operand_count; ++i) {
+    const auto& op = insn.operands[i];
+    if (op.kind == OperandKind::kRegister && op.reg != Gpr::kNone) {
+      // The first operand is read only if the opcode reads its dst; we do
+      // not track that precisely here — reading is the common case and
+      // overcounting uses only strengthens benign chains, which is the
+      // conservative direction for this baseline.
+      mask |= static_cast<std::uint8_t>(1u << static_cast<int>(op.reg));
+    }
+    if (op.kind == OperandKind::kMemory) {
+      if (op.base != Gpr::kNone) {
+        mask |= static_cast<std::uint8_t>(1u << static_cast<int>(op.base));
+      }
+      if (op.index != Gpr::kNone) {
+        mask |= static_cast<std::uint8_t>(1u << static_cast<int>(op.index));
+      }
+    }
+  }
+  return mask;
+}
+
+/// Register defined by the instruction (first register operand when the
+/// opcode writes it), or 0xFF.
+std::uint8_t defined_register(const Instruction& insn) {
+  if (insn.operand_count == 0) return 0xFF;
+  const auto& dst = insn.operands[0];
+  if (dst.kind != OperandKind::kRegister || dst.reg == Gpr::kNone) {
+    return 0xFF;
+  }
+  // Heuristic: mov/pop/lea/alu/inc/dec write their first register operand.
+  switch (insn.mnemonic) {
+    case disasm::Mnemonic::kCmp:
+    case disasm::Mnemonic::kTest:
+    case disasm::Mnemonic::kPush:
+      return 0xFF;
+    default:
+      return static_cast<std::uint8_t>(dst.reg);
+  }
+}
+
+}  // namespace
+
+SigFreeDetector::SigFreeDetector(SigFreeConfig config) : config_(config) {}
+
+SigFreeResult SigFreeDetector::scan(util::ByteView payload) const {
+  SigFreeResult result;
+  const std::vector<Instruction> instructions = disasm::linear_sweep(payload);
+
+  // Segment into valid runs; within each run, an instruction is useful if
+  // it defines a register that a later instruction reads before it is
+  // redefined, or if it writes memory/stack (its effect escapes).
+  std::size_t run_start = 0;
+  const auto flush_run = [&](std::size_t run_end) {
+    if (run_end <= run_start) return;
+    const auto length = static_cast<std::int64_t>(run_end - run_start);
+    // Backward pass: which registers are read after each position.
+    std::uint8_t live = 0;
+    std::int64_t useful = 0;
+    for (std::size_t i = run_end; i-- > run_start;) {
+      const Instruction& insn = instructions[i];
+      const std::uint8_t def = defined_register(insn);
+      const bool writes_out = insn.has_flag(disasm::kFlagMemWrite) ||
+                              insn.has_flag(disasm::kFlagStackWrite) ||
+                              insn.is_branch();
+      const bool def_used =
+          def != 0xFF && (live & static_cast<std::uint8_t>(1u << def)) != 0;
+      if (writes_out || def_used) ++useful;
+      if (def != 0xFF) {
+        live = static_cast<std::uint8_t>(
+            live & ~static_cast<std::uint8_t>(1u << def));
+      }
+      live |= read_mask(insn);
+    }
+    if (useful > result.max_useful_count) result.max_useful_count = useful;
+    result.max_run_length = std::max(result.max_run_length, length);
+  };
+
+  for (std::size_t i = 0; i < instructions.size(); ++i) {
+    if (!exec::is_valid_instruction(instructions[i], config_.rules)) {
+      flush_run(i);
+      run_start = i + 1;
+    }
+  }
+  flush_run(instructions.size());
+
+  result.alarm = result.max_useful_count > config_.useful_threshold;
+  return result;
+}
+
+}  // namespace mel::baselines

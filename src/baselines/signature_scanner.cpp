@@ -1,0 +1,73 @@
+#include "mel/baselines/signature_scanner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mel::baselines {
+
+void SignatureScanner::ensure_built() const {
+  if (!dirty_) return;
+  automaton_ = AhoCorasick{};
+  for (const Signature& signature : signatures_) {
+    automaton_.add_pattern(signature.pattern);
+  }
+  automaton_.build();
+  dirty_ = false;
+}
+
+void SignatureScanner::add_signatures_from(
+    const std::vector<textcode::Shellcode>& corpus,
+    std::size_t slice_length) {
+  assert(slice_length >= 4);
+  for (const textcode::Shellcode& shellcode : corpus) {
+    if (shellcode.bytes.size() < 4) continue;
+    // The middle of the payload is the most distinctive part (prologues
+    // like xor eax,eax / push eax are shared across payloads). Payloads
+    // shorter than a slice become whole-payload signatures.
+    const std::size_t length =
+        std::min(slice_length, shellcode.bytes.size());
+    const std::size_t start = (shellcode.bytes.size() - length) / 2;
+    Signature signature;
+    signature.name = shellcode.name;
+    signature.pattern.assign(shellcode.bytes.begin() + start,
+                             shellcode.bytes.begin() + start + length);
+    signatures_.push_back(std::move(signature));
+  }
+  dirty_ = true;
+}
+
+void SignatureScanner::add_signature(Signature signature) {
+  assert(!signature.pattern.empty());
+  signatures_.push_back(std::move(signature));
+  dirty_ = true;
+}
+
+ScanMatch SignatureScanner::scan(util::ByteView payload) const {
+  ScanMatch match;
+  if (signatures_.empty()) return match;
+  ensure_built();
+  const auto first = automaton_.find_first(payload);
+  if (first.found) {
+    match.detected = true;
+    match.signature_name = signatures_[first.match.pattern_id].name;
+    match.offset = first.match.offset;
+  }
+  return match;
+}
+
+std::vector<ScanMatch> SignatureScanner::scan_all(
+    util::ByteView payload) const {
+  std::vector<ScanMatch> matches;
+  if (signatures_.empty()) return matches;
+  ensure_built();
+  for (const AhoCorasick::Match& hit : automaton_.find_all(payload)) {
+    ScanMatch match;
+    match.detected = true;
+    match.signature_name = signatures_[hit.pattern_id].name;
+    match.offset = hit.offset;
+    matches.push_back(std::move(match));
+  }
+  return matches;
+}
+
+}  // namespace mel::baselines

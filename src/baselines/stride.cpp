@@ -1,0 +1,36 @@
+#include "mel/baselines/stride.hpp"
+
+#include <algorithm>
+
+namespace mel::baselines {
+
+StrideDetector::StrideDetector(StrideConfig config) : config_(config) {}
+
+StrideResult StrideDetector::scan(util::ByteView payload) const {
+  StrideResult result;
+  if (payload.size() < config_.window) return result;
+
+  const std::vector<std::size_t> reach =
+      exec::compute_reach(payload, config_.rules);
+
+  // surviving[j] = execution starting at j clears at least `window` bytes.
+  // A sled is a run of `window` consecutive surviving offsets. Track the
+  // longest such run.
+  std::size_t run = 0;
+  for (std::size_t j = 0; j < payload.size(); ++j) {
+    const std::size_t target = std::min(j + config_.window, payload.size());
+    if (reach[j] >= target) {
+      ++run;
+      if (run >= config_.window && run > result.sled_length) {
+        result.sled_length = run;
+        result.sled_offset = j + 1 - run;
+      }
+    } else {
+      run = 0;
+    }
+  }
+  result.alarm = result.sled_length >= config_.window;
+  return result;
+}
+
+}  // namespace mel::baselines

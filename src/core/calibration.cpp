@@ -1,0 +1,55 @@
+#include "mel/core/calibration.hpp"
+
+#include <cassert>
+
+#include "mel/core/mel_model.hpp"
+
+namespace mel::core {
+
+double iso_error_tau(double p, std::int64_t n, double alpha) {
+  return MelModel(n, p).threshold_for_alpha(alpha);
+}
+
+double iso_error_p(double tau, std::int64_t n, double alpha) {
+  assert(tau > 0.0);
+  // iso_error_tau is strictly decreasing in p on (0, 1); bisect.
+  double lo = 1e-9;
+  double hi = 1.0 - 1e-9;
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (iso_error_tau(mid, n, alpha) > tau) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<IsoErrorPoint> iso_error_curve(std::int64_t n, double alpha,
+                                           double p_min, double p_max,
+                                           std::size_t points) {
+  assert(points >= 2);
+  assert(p_min > 0.0 && p_max < 1.0 && p_min < p_max);
+  std::vector<IsoErrorPoint> curve;
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        p_min + (p_max - p_min) * static_cast<double>(i) /
+                    static_cast<double>(points - 1);
+    curve.push_back(IsoErrorPoint{p, iso_error_tau(p, n, alpha)});
+  }
+  return curve;
+}
+
+SensitivityGap sensitivity_gap(double benign_p, double malware_min_mel,
+                               std::int64_t n, double alpha) {
+  SensitivityGap gap;
+  gap.benign_p = benign_p;
+  gap.benign_tau = iso_error_tau(benign_p, n, alpha);
+  gap.malware_mel = malware_min_mel;
+  gap.malware_p = iso_error_p(malware_min_mel, n, alpha);
+  return gap;
+}
+
+}  // namespace mel::core

@@ -1,0 +1,119 @@
+#include "mel/core/calibrator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "mel/core/mel_model.hpp"
+#include "mel/exec/mel.hpp"
+
+namespace mel::core {
+
+namespace {
+
+CharFrequencyTable measure_corpus(const std::vector<util::ByteBuffer>& samples) {
+  CharFrequencyTable table{};
+  std::size_t total = 0;
+  for (const auto& sample : samples) {
+    for (std::uint8_t b : sample) table[b] += 1.0;
+    total += sample.size();
+  }
+  assert(total > 0);
+  for (double& value : table) value /= static_cast<double>(total);
+  return table;
+}
+
+}  // namespace
+
+CalibrationReport calibrate_from_benign(
+    const std::vector<util::ByteBuffer>& samples,
+    const CalibratorOptions& options) {
+  assert(!samples.empty());
+  CalibrationReport report;
+
+  // Median sample size anchors the model's n.
+  std::vector<std::size_t> sizes;
+  sizes.reserve(samples.size());
+  for (const auto& sample : samples) sizes.push_back(sample.size());
+  std::nth_element(sizes.begin(), sizes.begin() + sizes.size() / 2,
+                   sizes.end());
+  const std::size_t median_size = sizes[sizes.size() / 2];
+
+  const CharFrequencyTable table = measure_corpus(samples);
+  report.params = estimate_parameters(table, median_size);
+
+  report.config.alpha = options.alpha;
+  report.config.rules = options.rules;
+  report.config.preset_frequencies = table;
+
+  const auto n = static_cast<std::int64_t>(std::llround(report.params.n));
+  if (n >= 1 && report.params.p > 0.0 && report.params.p < 1.0) {
+    report.tau = MelModel(n, report.params.p)
+                     .threshold_for_alpha(options.alpha);
+    report.gap = sensitivity_gap(report.params.p, options.worm_floor_mel, n,
+                                 options.alpha);
+  } else {
+    report.warnings.push_back(
+        "degenerate parameter estimate; channel not text-like enough");
+  }
+
+  // Empirical cross-check: benign MELs under the chosen rules.
+  exec::MelOptions mel_options;
+  mel_options.rules = options.rules;
+  for (const auto& sample : samples) {
+    report.benign_mels.add(exec::compute_mel(sample, mel_options).mel);
+  }
+  for (const auto& [mel_value, count] : report.benign_mels.items()) {
+    if (static_cast<double>(mel_value) > report.tau) {
+      report.benign_over_threshold += count;
+    }
+  }
+  report.empirical_fp_rate =
+      static_cast<double>(report.benign_over_threshold) /
+      static_cast<double>(samples.size());
+
+  if (samples.size() < 30) {
+    report.warnings.push_back(
+        "fewer than 30 benign samples; estimates will be noisy");
+  }
+  if (report.empirical_fp_rate > 3.0 * options.alpha) {
+    report.warnings.push_back(
+        "empirical FP rate far above alpha; the channel's text may be "
+        "unusually executable (many immune bytes?) — collect more data or "
+        "lower alpha");
+  }
+  if (report.gap.p_gap() <= 0.0) {
+    report.warnings.push_back(
+        "no sensitivity margin: estimated p is below the worm boundary");
+  }
+  report.healthy = report.warnings.empty();
+  return report;
+}
+
+std::string format_calibration_report(const CalibrationReport& report) {
+  std::ostringstream out;
+  out << "calibration: " << (report.healthy ? "HEALTHY" : "NEEDS ATTENTION")
+      << '\n';
+  out << "  samples=" << report.benign_mels.total()
+      << " n=" << report.params.n << " p=" << report.params.p
+      << " (p_io=" << report.params.p_io
+      << ", p_seg=" << report.params.p_wrong_segment << ")\n";
+  out << "  tau=" << report.tau << " at alpha=" << report.config.alpha
+      << '\n';
+  if (!report.benign_mels.empty()) {
+    out << "  benign MEL: mean=" << report.benign_mels.mean()
+        << " p95=" << report.benign_mels.quantile(0.95)
+        << " max=" << report.benign_mels.max() << '\n';
+  }
+  out << "  empirical FP rate at tau: " << report.empirical_fp_rate << '\n';
+  out << "  sensitivity gap: benign p=" << report.gap.benign_p
+      << " vs worm-floor p=" << report.gap.malware_p << " (margin "
+      << report.gap.p_gap() << ")\n";
+  for (const auto& warning : report.warnings) {
+    out << "  WARNING: " << warning << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mel::core

@@ -1,0 +1,132 @@
+#include "mel/core/config_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mel::core {
+
+namespace {
+
+constexpr std::string_view kMagic = "melcfg 1";
+
+std::string_view engine_name(exec::MelEngine engine) {
+  switch (engine) {
+    case exec::MelEngine::kLinearSweep:
+      return "sweep";
+    case exec::MelEngine::kAllPathsDag:
+      return "dag";
+    case exec::MelEngine::kPathExplorer:
+      return "explorer";
+  }
+  return "sweep";
+}
+
+}  // namespace
+
+std::string serialize_config(const DetectorConfig& config) {
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "alpha " << config.alpha << '\n';
+  out << "engine " << engine_name(config.engine) << '\n';
+  out << "measure_input " << (config.measure_input ? 1 : 0) << '\n';
+  out << "early_exit " << (config.early_exit ? 1 : 0) << '\n';
+  if (config.preset_frequencies) {
+    for (int b = 0; b < 256; ++b) {
+      const double probability = (*config.preset_frequencies)[b];
+      if (probability > 0.0) {
+        char line[64];
+        std::snprintf(line, sizeof(line), "freq %d %.12g\n", b, probability);
+        out << line;
+      }
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+util::Result<DetectorConfig> parse_config(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return util::Err("not a melcfg file (bad magic)");
+  }
+  DetectorConfig config;
+  CharFrequencyTable table{};
+  bool has_frequencies = false;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    } else if (key == "alpha") {
+      fields >> config.alpha;
+      if (!fields || config.alpha <= 0.0 || config.alpha >= 1.0) {
+        return util::Err("bad alpha");
+      }
+    } else if (key == "engine") {
+      std::string name;
+      fields >> name;
+      if (name == "sweep") {
+        config.engine = exec::MelEngine::kLinearSweep;
+      } else if (name == "dag") {
+        config.engine = exec::MelEngine::kAllPathsDag;
+      } else if (name == "explorer") {
+        config.engine = exec::MelEngine::kPathExplorer;
+      } else {
+        return util::Err("bad engine: " + name);
+      }
+    } else if (key == "measure_input") {
+      int flag = 0;
+      fields >> flag;
+      config.measure_input = flag != 0;
+    } else if (key == "early_exit") {
+      int flag = 1;
+      fields >> flag;
+      config.early_exit = flag != 0;
+    } else if (key == "freq") {
+      int byte = -1;
+      double probability = -1.0;
+      fields >> byte >> probability;
+      if (!fields || byte < 0 || byte > 255 || probability < 0.0 ||
+          probability > 1.0) {
+        return util::Err("bad freq line: " + line);
+      }
+      table[byte] = probability;
+      has_frequencies = true;
+    } else {
+      return util::Err("unknown key: " + key);
+    }
+  }
+  if (!saw_end) return util::Err("truncated config (no 'end')");
+  if (has_frequencies) {
+    double total = 0.0;
+    for (double probability : table) total += probability;
+    if (total < 0.99 || total > 1.01) {
+      return util::Err("frequency table does not sum to 1");
+    }
+    config.preset_frequencies = table;
+  }
+  return config;
+}
+
+bool save_config(const DetectorConfig& config, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize_config(config);
+  return static_cast<bool>(out);
+}
+
+util::Result<DetectorConfig> load_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Err("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_config(buffer.str());
+}
+
+}  // namespace mel::core

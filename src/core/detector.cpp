@@ -1,0 +1,78 @@
+#include "mel/core/detector.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "mel/traffic/english_model.hpp"
+
+namespace mel::core {
+
+namespace {
+
+CharFrequencyTable measure_frequencies(util::ByteView payload) {
+  CharFrequencyTable table{};
+  if (payload.empty()) return table;
+  for (std::uint8_t b : payload) table[b] += 1.0;
+  for (double& value : table) value /= static_cast<double>(payload.size());
+  return table;
+}
+
+}  // namespace
+
+MelDetector::MelDetector(DetectorConfig config) : config_(std::move(config)) {
+  assert(config_.alpha > 0.0 && config_.alpha < 1.0);
+  if (!config_.preset_frequencies && !config_.measure_input) {
+    // Secure default: the built-in benign web-text profile. Deriving the
+    // threshold from the scanned payload itself would hand the attacker
+    // control over the threshold (see DetectorConfig::measure_input).
+    config_.preset_frequencies = traffic::web_text_distribution();
+  }
+}
+
+double MelDetector::derive_threshold(const CharFrequencyTable& frequencies,
+                                     std::size_t input_chars) const {
+  if (config_.fixed_threshold) return *config_.fixed_threshold;
+  const EstimatedParameters params =
+      estimate_parameters(frequencies, input_chars, config_.estimation);
+  const auto n = static_cast<std::int64_t>(std::llround(params.n));
+  if (n < 1 || params.p <= 0.0 || params.p >= 1.0) {
+    // Degenerate input (empty, or a frequency table with no invalidating
+    // mass): no statistical basis for a threshold; be conservative.
+    return static_cast<double>(input_chars);
+  }
+  return MelModel(n, params.p).threshold_for_alpha(config_.alpha);
+}
+
+Verdict MelDetector::scan(util::ByteView payload) const {
+  Verdict verdict;
+  verdict.alpha = config_.alpha;
+  verdict.is_text = util::is_text_buffer(payload);
+  if (payload.empty()) return verdict;
+
+  const CharFrequencyTable frequencies =
+      config_.measure_input || !config_.preset_frequencies
+          ? measure_frequencies(payload)
+          : *config_.preset_frequencies;
+  verdict.params =
+      estimate_parameters(frequencies, payload.size(), config_.estimation);
+  verdict.threshold = derive_threshold(frequencies, payload.size());
+
+  exec::MelOptions options;
+  options.rules = config_.rules;
+  options.engine = config_.engine;
+  if (config_.early_exit) {
+    options.early_exit_threshold =
+        static_cast<std::int64_t>(std::floor(verdict.threshold));
+  }
+  verdict.mel_detail = exec::compute_mel(payload, options);
+  verdict.mel = verdict.mel_detail.mel;
+  verdict.loop_detected = verdict.mel_detail.loop_detected;
+
+  // Decision rule: MEL beyond tau, or an executable loop (which makes the
+  // error-free execution length unbounded).
+  verdict.malicious = static_cast<double>(verdict.mel) > verdict.threshold ||
+                      verdict.loop_detected;
+  return verdict;
+}
+
+}  // namespace mel::core

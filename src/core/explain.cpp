@@ -1,0 +1,107 @@
+#include "mel/core/explain.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mel/disasm/decoder.hpp"
+#include "mel/disasm/formatter.hpp"
+#include "mel/exec/sweep.hpp"
+
+namespace mel::core {
+
+Explanation explain(const MelDetector& detector, util::ByteView payload,
+                    std::size_t max_listing) {
+  Explanation explanation;
+
+  // Re-scan with early exit off: the report needs the full run.
+  DetectorConfig config = detector.config();
+  config.early_exit = false;
+  const MelDetector full(config);
+  explanation.verdict = full.scan(payload);
+
+  // Walk the run forward from its start offset, mirroring the engine.
+  const std::size_t start = explanation.verdict.mel_detail.best_entry_offset;
+  explanation.run_start = start;
+  std::size_t offset = start;
+  std::int64_t executed = 0;
+  while (offset < payload.size() &&
+         executed < explanation.verdict.mel) {
+    const disasm::Instruction insn =
+        disasm::decode_instruction(payload, offset);
+    if (!exec::is_valid_instruction(insn, config.rules)) break;
+    ++executed;
+    if (explanation.listing.size() < max_listing) {
+      explanation.listing.push_back(
+          disasm::format_listing_line(insn, payload));
+    } else {
+      ++explanation.listing_truncated;
+    }
+    offset += insn.length;
+  }
+  explanation.run_end = offset;
+
+  // Whole-payload invalidity census under the same rules.
+  const exec::SweepAnalysis sweep =
+      exec::analyze_sweep(payload, config.rules);
+  const std::vector<std::size_t> census = exec::invalidity_census(sweep);
+  for (std::size_t i = 0; i < census.size(); ++i) {
+    const auto reason = static_cast<exec::InvalidReason>(i);
+    if (reason == exec::InvalidReason::kValidInstruction) continue;
+    if (census[i] == 0) continue;
+    explanation.invalidity_census.emplace_back(
+        std::string(exec::invalid_reason_name(reason)), census[i]);
+  }
+  std::sort(explanation.invalidity_census.begin(),
+            explanation.invalidity_census.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  std::ostringstream summary;
+  if (explanation.verdict.malicious) {
+    summary << "MALICIOUS: a chain of " << explanation.verdict.mel
+            << " error-free instructions";
+    if (explanation.verdict.loop_detected) {
+      summary << " (with an executable loop)";
+    }
+    summary << " starts at offset " << explanation.run_start
+            << " and spans " << (explanation.run_end - explanation.run_start)
+            << " bytes; the benign model allows at most "
+            << explanation.verdict.threshold << " (alpha="
+            << explanation.verdict.alpha << ").";
+  } else {
+    summary << "benign: longest error-free chain is "
+            << explanation.verdict.mel << " instructions, below the "
+            << explanation.verdict.threshold << " threshold (alpha="
+            << explanation.verdict.alpha << ").";
+  }
+  explanation.summary = summary.str();
+  return explanation;
+}
+
+std::string format_explanation(const Explanation& explanation) {
+  std::ostringstream out;
+  out << explanation.summary << '\n';
+  const auto& params = explanation.verdict.params;
+  out << "  estimation: n=" << params.n << " p=" << params.p
+      << " (p_io=" << params.p_io << ", p_seg=" << params.p_wrong_segment
+      << "), E[instr len]=" << params.expected_instruction_length << '\n';
+  if (!explanation.listing.empty()) {
+    out << "  longest run (offsets " << explanation.run_start << ".."
+        << explanation.run_end << "):\n";
+    for (const std::string& line : explanation.listing) {
+      out << "    " << line << '\n';
+    }
+    if (explanation.listing_truncated > 0) {
+      out << "    ... " << explanation.listing_truncated
+          << " more instructions in this run\n";
+    }
+  }
+  if (!explanation.invalidity_census.empty()) {
+    out << "  invalidity census (whole payload):\n";
+    for (const auto& [reason, count] : explanation.invalidity_census) {
+      out << "    " << reason << ": " << count << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mel::core

@@ -1,0 +1,45 @@
+#pragma once
+// Sensitivity calibration tooling (paper Figure 2): the iso-error line of
+// (p, tau) combinations sharing one false-positive rate alpha, and its
+// inversion. The gap along this line between the benign operating point
+// and the smallest p that would still flag the malware corpus is the
+// detector's safety margin.
+
+#include <cstdint>
+#include <vector>
+
+namespace mel::core {
+
+struct IsoErrorPoint {
+  double p = 0.0;
+  double tau = 0.0;
+};
+
+/// tau on the alpha iso-error line at invalid-instruction probability p.
+[[nodiscard]] double iso_error_tau(double p, std::int64_t n, double alpha);
+
+/// Inverse: the p whose alpha-threshold equals tau (bisection; tau(p) is
+/// strictly decreasing). Preconditions: tau > 0, 0 < alpha < 1.
+[[nodiscard]] double iso_error_p(double tau, std::int64_t n, double alpha);
+
+/// Samples the iso-error line over [p_min, p_max] with `points` samples.
+[[nodiscard]] std::vector<IsoErrorPoint> iso_error_curve(
+    std::int64_t n, double alpha, double p_min = 0.02, double p_max = 0.6,
+    std::size_t points = 100);
+
+/// Safety-margin summary for Figure 2's annotations.
+struct SensitivityGap {
+  double benign_p = 0.0;    ///< Estimated p of benign traffic.
+  double benign_tau = 0.0;  ///< Threshold at benign_p (max tau for zero FP).
+  double malware_mel = 0.0; ///< Smallest MEL observed across malware.
+  double malware_p = 0.0;   ///< p whose threshold equals malware_mel
+                            ///< (min p for zero FN).
+  /// Margin in p-space: how far the estimate may drift before errors.
+  [[nodiscard]] double p_gap() const { return benign_p - malware_p; }
+};
+
+[[nodiscard]] SensitivityGap sensitivity_gap(double benign_p,
+                                             double malware_min_mel,
+                                             std::int64_t n, double alpha);
+
+}  // namespace mel::core

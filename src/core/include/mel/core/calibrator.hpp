@@ -1,0 +1,67 @@
+#pragma once
+// Deployment calibration: turn a sample of trusted benign traffic into a
+// ready-to-run DetectorConfig plus a report of the margins involved.
+//
+// This packages the paper's Section 5.2 workflow — measure the channel's
+// character frequency table, derive n and p, pick tau from the
+// false-positive budget — and adds the empirical cross-checks an operator
+// wants before switching enforcement on: the observed benign MEL
+// distribution, the implied empirical FP rate at the chosen threshold,
+// and the Figure 2 sensitivity gap against a worm-floor MEL.
+
+#include <string>
+#include <vector>
+
+#include "mel/core/calibration.hpp"
+#include "mel/core/detector.hpp"
+#include "mel/stats/histogram.hpp"
+
+namespace mel::core {
+
+struct CalibratorOptions {
+  /// Target false-positive budget for the calibrated detector.
+  double alpha = 0.01;
+  /// Validity rules the deployed detector will use.
+  exec::ValidityRules rules = exec::ValidityRules::dawn();
+  /// Assumed worm-floor MEL for the sensitivity-gap report (the paper's
+  /// empirical floor is 120; the smallest structurally possible decrypter
+  /// for a useful payload lands well above 100).
+  double worm_floor_mel = 120.0;
+};
+
+struct CalibrationReport {
+  /// Ready-to-use configuration (preset frequencies installed).
+  DetectorConfig config;
+
+  /// The estimation pipeline on the measured distribution, evaluated at
+  /// the median sample size.
+  EstimatedParameters params;
+  double tau = 0.0;
+
+  /// Observed benign MEL statistics under the chosen rules.
+  stats::IntHistogram benign_mels;
+  /// Samples whose MEL already exceeds tau (would-be false positives).
+  std::size_t benign_over_threshold = 0;
+  /// benign_over_threshold / samples.
+  double empirical_fp_rate = 0.0;
+
+  /// Figure 2 margin analysis.
+  SensitivityGap gap;
+
+  /// True when the calibration is trustworthy: enough samples, a sane
+  /// empirical FP rate (<= 3x alpha), and a positive sensitivity gap.
+  bool healthy = false;
+  std::vector<std::string> warnings;
+};
+
+/// Calibrates from benign samples (each one payload as the detector will
+/// see it). Precondition: samples non-empty; all samples non-empty.
+[[nodiscard]] CalibrationReport calibrate_from_benign(
+    const std::vector<util::ByteBuffer>& samples,
+    const CalibratorOptions& options = {});
+
+/// Renders the report for logs/terminals.
+[[nodiscard]] std::string format_calibration_report(
+    const CalibrationReport& report);
+
+}  // namespace mel::core

@@ -1,0 +1,30 @@
+#pragma once
+// Persistence for detector configurations: a small line-based text format
+// ("melcfg 1") carrying the statistical knobs — alpha, engine, calibrated
+// character frequencies — so a calibration run can be saved and shipped
+// to the scanners. Validity-rule toggles are not serialized (deployments
+// should keep the DAWN defaults; ablations are a bench concern).
+
+#include <string>
+#include <string_view>
+
+#include "mel/core/detector.hpp"
+#include "mel/util/result.hpp"
+
+namespace mel::core {
+
+/// Renders the config's statistical state. Stable, diff-friendly.
+[[nodiscard]] std::string serialize_config(const DetectorConfig& config);
+
+/// Parses serialize_config output. Unknown keys are rejected (typo
+/// safety); missing sections fall back to defaults.
+[[nodiscard]] util::Result<DetectorConfig> parse_config(
+    std::string_view text);
+
+/// Convenience file wrappers.
+[[nodiscard]] bool save_config(const DetectorConfig& config,
+                               const std::string& path);
+[[nodiscard]] util::Result<DetectorConfig> load_config(
+    const std::string& path);
+
+}  // namespace mel::core

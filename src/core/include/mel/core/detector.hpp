@@ -1,0 +1,84 @@
+#pragma once
+// The deployable MEL text-malware detector (DAWN-style, Sections 4.2/5).
+//
+// Pipeline per payload:
+//   1. estimate n and p from the input size and character frequencies
+//      (preset table, or a linear sweep of this input — no disassembly),
+//   2. derive the threshold tau for the configured false-positive budget
+//      alpha (no parameter tuning: Section 6),
+//   3. pseudo-execute every entry point and compare the MEL against tau.
+
+#include <optional>
+
+#include "mel/core/mel_model.hpp"
+#include "mel/core/parameter_estimation.hpp"
+#include "mel/exec/mel.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::core {
+
+struct DetectorConfig {
+  /// User-set false-positive budget (the only knob; Section 3.2).
+  double alpha = 0.01;
+  /// Validity rule set used by pseudo-execution.
+  exec::ValidityRules rules = exec::ValidityRules::dawn();
+  /// MEL measurement engine. The default linear sweep is what the
+  /// Section 3 model describes (see mel/exec/mel.hpp for the trade-offs).
+  exec::MelEngine engine = exec::MelEngine::kLinearSweep;
+  /// Preset character frequency table ("from experience", Section 5.2).
+  /// When absent and measure_input is false, the detector installs the
+  /// built-in web-text profile at construction. Calibrate with your own
+  /// benign traffic for best margins.
+  std::optional<CharFrequencyTable> preset_frequencies;
+  /// Estimate n and p from each scanned payload's own characters instead
+  /// of a preset. This is the paper's no-preset test condition and adapts
+  /// nicely to benign traffic — but it is UNSAFE against adversarial
+  /// input: a worm's own byte mix yields a tiny p and therefore a huge
+  /// threshold, letting it self-calibrate past the detector (see the
+  /// tab_ablation bench). Off by default.
+  bool measure_input = false;
+  /// Fixed threshold override (used to emulate threshold-tuned detectors
+  /// like APE; normal operation leaves this empty).
+  std::optional<double> fixed_threshold;
+  /// Stop pseudo-execution as soon as the MEL exceeds tau (faster; the
+  /// reported MEL is then a lower bound for malicious inputs). Off in the
+  /// benches that plot full MEL distributions.
+  bool early_exit = true;
+  /// Options forwarded to the parameter estimator.
+  EstimationOptions estimation;
+};
+
+struct Verdict {
+  bool malicious = false;
+  std::int64_t mel = 0;       ///< Measured MEL (lower bound on early exit).
+  double threshold = 0.0;     ///< Derived (or fixed) tau.
+  double alpha = 0.0;         ///< Configured false-positive budget.
+  bool is_text = false;       ///< Input was pure 0x20..0x7E.
+  bool loop_detected = false; ///< Cycle reached during pseudo-execution.
+  EstimatedParameters params; ///< n, p and the estimation pipeline values.
+  exec::MelResult mel_detail; ///< Full engine result.
+};
+
+class MelDetector {
+ public:
+  explicit MelDetector(DetectorConfig config = {});
+
+  /// Scans one payload and returns the verdict. Never throws; non-text
+  /// input is scanned all the same and flagged via Verdict::is_text.
+  [[nodiscard]] Verdict scan(util::ByteView payload) const;
+
+  /// The threshold the detector would use for a payload of `input_chars`
+  /// characters with the given frequency table (exposed for calibration
+  /// tooling and tests).
+  [[nodiscard]] double derive_threshold(const CharFrequencyTable& frequencies,
+                                        std::size_t input_chars) const;
+
+  [[nodiscard]] const DetectorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  DetectorConfig config_;
+};
+
+}  // namespace mel::core

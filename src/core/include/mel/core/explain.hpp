@@ -1,0 +1,43 @@
+#pragma once
+// Verdict diagnostics: when the detector flags a payload, an operator
+// wants to see *why* — where the offending instruction chain sits, what
+// it disassembles to, and what the benign-side invalidity profile looked
+// like. This module renders that evidence.
+
+#include <string>
+#include <vector>
+
+#include "mel/core/detector.hpp"
+
+namespace mel::core {
+
+struct Explanation {
+  Verdict verdict;
+
+  /// Byte span of the longest error-free chain (the MEL run).
+  std::size_t run_start = 0;
+  std::size_t run_end = 0;
+
+  /// Formatted instructions of the run head (up to the configured cap).
+  std::vector<std::string> listing;
+  /// Instructions in the run beyond the listing cap.
+  std::size_t listing_truncated = 0;
+
+  /// Invalid-instruction census over the whole payload:
+  /// (reason name, count). Sorted by count, descending.
+  std::vector<std::pair<std::string, std::size_t>> invalidity_census;
+
+  /// One-paragraph human-readable summary.
+  std::string summary;
+};
+
+/// Scans `payload` with the detector's configuration (early exit disabled
+/// so the full run is measured) and assembles the evidence report.
+[[nodiscard]] Explanation explain(const MelDetector& detector,
+                                  util::ByteView payload,
+                                  std::size_t max_listing = 16);
+
+/// Renders the explanation as a multi-line report for terminals/logs.
+[[nodiscard]] std::string format_explanation(const Explanation& explanation);
+
+}  // namespace mel::core

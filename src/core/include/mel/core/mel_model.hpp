@@ -1,0 +1,68 @@
+#pragma once
+// The paper's probabilistic MEL model (Section 3).
+//
+// A stream of n instructions, each independently invalid with probability
+// p, splits into N+1 valid runs X_i ~ Geometric(p). Treating the runs as
+// independent and summing over N ~ Binomial(n, p) gives the closed form
+//
+//   P[Xmax <= x] = (1 - (1-p)^x) * (1 - p(1-p)^x)^n
+//
+// from which the detection threshold tau is derived for a user-chosen
+// false-positive budget alpha (Section 3.2):
+//
+//   tau = ( ln(1 - (1-alpha)^(1/n)) - ln p ) / ln(1-p).
+//
+// This class implements the closed form, the further approximation the
+// paper uses for tau (dropping the (1-(1-p)^tau) factor), exact inversion
+// by bisection, and bridges to the exact longest-run law in mel::stats for
+// quantifying the independence approximation.
+
+#include <cstdint>
+#include <vector>
+
+namespace mel::core {
+
+class MelModel {
+ public:
+  /// Preconditions: n >= 1, 0 < p < 1.
+  MelModel(std::int64_t n, double p);
+
+  [[nodiscard]] std::int64_t n() const noexcept { return n_; }
+  [[nodiscard]] double p() const noexcept { return p_; }
+
+  /// P[Xmax <= x] per the paper's closed form.
+  [[nodiscard]] double cdf(std::int64_t x) const;
+  /// P[Xmax = x] = cdf(x) - cdf(x-1).
+  [[nodiscard]] double pmf(std::int64_t x) const;
+  /// Model mean, summed numerically.
+  [[nodiscard]] double mean() const;
+
+  /// False-positive probability for threshold tau ("MEL > tau"):
+  /// 1 - cdf(tau), using the full closed form.
+  [[nodiscard]] double false_positive_rate(double tau) const;
+  /// The paper's additional approximation 1 - (1 - p(1-p)^tau)^n
+  /// (drops the first factor, which is ~1 near the tail).
+  [[nodiscard]] double false_positive_rate_approx(double tau) const;
+
+  /// Threshold from the paper's closed-form inversion (Section 3.2).
+  /// Precondition: 0 < alpha < 1.
+  [[nodiscard]] double threshold_for_alpha(double alpha) const;
+  /// Threshold without the approximation: solves
+  /// false_positive_rate(tau) = alpha by bisection (paper's "40.62 vs
+  /// 40.61" comparison).
+  [[nodiscard]] double threshold_for_alpha_exact(double alpha) const;
+
+  /// PMF table for x = 0.. until the tail mass drops below tail_epsilon.
+  [[nodiscard]] std::vector<double> pmf_table(double tail_epsilon = 1e-9) const;
+
+  /// Exact longest-run law (no run-independence approximation), via the
+  /// dynamic program in mel::stats. Lets callers measure the model error.
+  [[nodiscard]] double cdf_exact_dp(std::int64_t x) const;
+  [[nodiscard]] double pmf_exact_dp(std::int64_t x) const;
+
+ private:
+  std::int64_t n_;
+  double p_;
+};
+
+}  // namespace mel::core

@@ -1,0 +1,47 @@
+#pragma once
+// Decoder-free estimation of the model parameters n and p from the input
+// length and a character frequency table (paper Section 5.2). No byte of
+// the input is disassembled; only static knowledge of the IA-32 text
+// opcode map is used.
+
+#include <array>
+#include <cstdint>
+
+namespace mel::core {
+
+/// Character frequency table: probability per byte value. For text-channel
+/// estimation all mass must lie in 0x20..0x7E.
+using CharFrequencyTable = std::array<double, 256>;
+
+struct EstimationOptions {
+  /// Segment overrides counted as "wrong" for the p_segment term. Defaults
+  /// match mel::exec::ValidityRules: fs (0x64 'd') and gs (0x65 'e').
+  std::array<bool, 6> wrong_segment = {false, false, false,
+                                       false, true,  true};
+};
+
+struct EstimatedParameters {
+  // Instruction-length pipeline (Section 5.2, "Determining n").
+  double z = 0.0;  ///< P[character is a prefix byte].
+  double expected_prefix_chain = 0.0;       ///< z / (1-z).
+  double expected_actual_length = 0.0;      ///< Opcode+ModRM+SIB+disp+imm.
+  double expected_instruction_length = 0.0; ///< Sum of the two above.
+  std::size_t input_chars = 0;              ///< C.
+  double n = 0.0;  ///< Estimated instruction count C / E[len].
+
+  // Invalidity pipeline (Section 5.2, "Determining p").
+  double p_io = 0.0;            ///< P[opcode is insb/insd/outsb/outsd].
+  double p_wrong_segment = 0.0; ///< P[memory access under wrong override].
+  double p = 0.0;               ///< p_io + p_wrong_segment.
+
+  // Diagnostics.
+  double modrm_probability = 0.0;  ///< P[opcode takes ModR/M | non-prefix].
+};
+
+/// Estimates every parameter from the frequency table and the input size.
+/// Precondition: the table's text-domain mass is ~1 (text channel).
+[[nodiscard]] EstimatedParameters estimate_parameters(
+    const CharFrequencyTable& frequencies, std::size_t input_chars,
+    const EstimationOptions& options = {});
+
+}  // namespace mel::core

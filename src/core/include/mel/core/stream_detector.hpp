@@ -1,0 +1,67 @@
+#pragma once
+// Streaming front-end for the detector: scan a reassembled byte stream
+// (a TCP flow, a request pipeline) in fixed windows with overlap, so a
+// decrypter that straddles a window boundary is still seen whole.
+//
+// The window size doubles as the model's C (input characters), so every
+// window gets the same derived threshold — the paper's evaluation setup
+// (~4K chars per case) cast as a streaming scanner.
+
+#include <deque>
+
+#include "mel/core/detector.hpp"
+
+namespace mel::core {
+
+struct StreamConfig {
+  DetectorConfig detector;
+  /// Bytes per scanned window (the model's C).
+  std::size_t window_size = 4096;
+  /// Bytes of the previous window re-scanned at the front of the next.
+  /// Must exceed the longest worm you expect to catch whole; the default
+  /// covers multi-KB decrypters. Must be < window_size.
+  std::size_t overlap = 1024;
+  /// Attach the flagged window's bytes to each alert (for explain/forensic
+  /// tooling). Costs one copy per alert.
+  bool keep_window_bytes = false;
+};
+
+struct StreamAlert {
+  std::uint64_t stream_offset = 0;  ///< Window start within the stream.
+  Verdict verdict;
+  util::ByteBuffer window;  ///< Filled when keep_window_bytes is set.
+};
+
+class StreamDetector {
+ public:
+  explicit StreamDetector(StreamConfig config = {});
+
+  /// Appends bytes to the stream; scans every completed window and
+  /// returns alerts raised by this batch (possibly empty).
+  std::vector<StreamAlert> feed(util::ByteView bytes);
+
+  /// Scans whatever remains in the buffer (end of stream).
+  std::vector<StreamAlert> finish();
+
+  [[nodiscard]] std::uint64_t bytes_consumed() const noexcept {
+    return consumed_;
+  }
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return buffer_.size();
+  }
+  [[nodiscard]] std::uint64_t windows_scanned() const noexcept {
+    return windows_scanned_;
+  }
+
+ private:
+  std::vector<StreamAlert> drain(bool flush);
+
+  StreamConfig config_;
+  MelDetector detector_;
+  util::ByteBuffer buffer_;
+  std::uint64_t buffer_stream_offset_ = 0;  ///< Stream offset of buffer_[0].
+  std::uint64_t consumed_ = 0;
+  std::uint64_t windows_scanned_ = 0;
+};
+
+}  // namespace mel::core

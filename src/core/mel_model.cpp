@@ -1,0 +1,96 @@
+#include "mel/core/mel_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "mel/stats/longest_run.hpp"
+
+namespace mel::core {
+
+MelModel::MelModel(std::int64_t n, double p) : n_(n), p_(p) {
+  assert(n >= 1);
+  assert(p > 0.0 && p < 1.0);
+}
+
+double MelModel::cdf(std::int64_t x) const {
+  if (x < 0) return 0.0;
+  if (x >= n_) return 1.0;
+  const double q_pow =
+      std::pow(1.0 - p_, static_cast<double>(x));  // (1-p)^x
+  const double first = 1.0 - q_pow;
+  // (1 - p(1-p)^x)^n in log space for numerical stability at large n.
+  const double second =
+      std::exp(static_cast<double>(n_) * std::log1p(-p_ * q_pow));
+  return first * second;
+}
+
+double MelModel::pmf(std::int64_t x) const {
+  if (x < 0) return 0.0;
+  return std::max(0.0, cdf(x) - cdf(x - 1));
+}
+
+double MelModel::mean() const {
+  // E[X] = sum_{x>=0} (1 - cdf(x)), truncated when the tail vanishes.
+  double total = 0.0;
+  for (std::int64_t x = 0; x < n_; ++x) {
+    const double tail = 1.0 - cdf(x);
+    total += tail;
+    if (tail < 1e-12) break;
+  }
+  return total;
+}
+
+double MelModel::false_positive_rate(double tau) const {
+  const double q_pow = std::pow(1.0 - p_, tau);
+  const double first = 1.0 - q_pow;
+  const double second =
+      std::exp(static_cast<double>(n_) * std::log1p(-p_ * q_pow));
+  return 1.0 - first * second;
+}
+
+double MelModel::false_positive_rate_approx(double tau) const {
+  const double q_pow = std::pow(1.0 - p_, tau);
+  return 1.0 - std::exp(static_cast<double>(n_) * std::log1p(-p_ * q_pow));
+}
+
+double MelModel::threshold_for_alpha(double alpha) const {
+  assert(alpha > 0.0 && alpha < 1.0);
+  // c = 1 - (1-alpha)^(1/n), computed stably via expm1/log1p.
+  const double c = -std::expm1(std::log1p(-alpha) / static_cast<double>(n_));
+  return (std::log(c) - std::log(p_)) / std::log1p(-p_);
+}
+
+double MelModel::threshold_for_alpha_exact(double alpha) const {
+  assert(alpha > 0.0 && alpha < 1.0);
+  // false_positive_rate(tau) decreases in tau; bisect.
+  double lo = 0.0;
+  double hi = static_cast<double>(n_);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (false_positive_rate(mid) > alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<double> MelModel::pmf_table(double tail_epsilon) const {
+  std::vector<double> table;
+  for (std::int64_t x = 0; x <= n_; ++x) {
+    table.push_back(pmf(x));
+    if (x > 0 && 1.0 - cdf(x) < tail_epsilon) break;
+  }
+  return table;
+}
+
+double MelModel::cdf_exact_dp(std::int64_t x) const {
+  return stats::longest_run_cdf_exact(n_, p_, x);
+}
+
+double MelModel::pmf_exact_dp(std::int64_t x) const {
+  return stats::longest_run_pmf_exact(n_, p_, x);
+}
+
+}  // namespace mel::core

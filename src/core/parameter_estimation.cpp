@@ -1,0 +1,83 @@
+#include "mel/core/parameter_estimation.hpp"
+
+#include <cassert>
+#include <span>
+
+#include "mel/disasm/opcode_table.hpp"
+#include "mel/disasm/text_subset.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::core {
+
+namespace {
+
+/// Byte values of the six segment-override prefixes, indexed by SegReg.
+constexpr std::uint8_t kSegPrefixByte[6] = {0x26, 0x2E, 0x36,
+                                            0x3E, 0x64, 0x65};
+
+/// P[the effective segment override of an instruction is "wrong"].
+///
+/// Model: the prefix chain has geometric length (each char is a prefix
+/// with probability z, i.i.d.); the last segment-class prefix in the chain
+/// wins. With s = P[prefix is segment-class | prefix] and w = P[segment
+/// prefix is wrong | segment prefix]:
+///   P[chain contains >= 1 segment prefix] = z*s / (1 - z*(1-s))
+///   P[effective override wrong] = w * that.
+double wrong_override_probability(const CharFrequencyTable& freq,
+                                  const std::array<bool, 6>& wrong,
+                                  double z) {
+  double seg_mass = 0.0;
+  double wrong_mass = 0.0;
+  for (int seg = 0; seg < 6; ++seg) {
+    const double mass = freq[kSegPrefixByte[seg]];
+    seg_mass += mass;
+    if (wrong[seg]) wrong_mass += mass;
+  }
+  if (seg_mass == 0.0 || z == 0.0) return 0.0;
+  const double s = seg_mass / z;
+  const double w = wrong_mass / seg_mass;
+  const double at_least_one_segment = z * s / (1.0 - z * (1.0 - s));
+  return w * at_least_one_segment;
+}
+
+}  // namespace
+
+EstimatedParameters estimate_parameters(const CharFrequencyTable& frequencies,
+                                        std::size_t input_chars,
+                                        const EstimationOptions& options) {
+  EstimatedParameters params;
+  params.input_chars = input_chars;
+
+  const disasm::ByteDistribution dist(frequencies);
+  params.z = disasm::prefix_char_probability(dist);
+  assert(params.z < 1.0);
+  params.expected_prefix_chain = disasm::expected_prefix_chain_length(dist);
+  params.expected_actual_length =
+      disasm::expected_actual_instruction_length(dist);
+  params.expected_instruction_length =
+      params.expected_prefix_chain + params.expected_actual_length;
+  params.n = static_cast<double>(input_chars) /
+             params.expected_instruction_length;
+
+  // Opcode-conditional probabilities: the opcode is the first non-prefix
+  // character, so condition the table on "not a prefix".
+  const double non_prefix_mass = 1.0 - params.z;
+  double io_mass = 0.0;
+  double modrm_mass = 0.0;
+  for (std::uint8_t opcode : disasm::text_opcode_bytes()) {
+    const double mass = frequencies[opcode];
+    if (mass == 0.0) continue;
+    if (disasm::is_text_io_opcode(opcode)) io_mass += mass;
+    if (disasm::one_byte_table()[opcode].needs_modrm()) modrm_mass += mass;
+  }
+  params.p_io = io_mass / non_prefix_mass;
+  params.modrm_probability = modrm_mass / non_prefix_mass;
+  params.p_wrong_segment =
+      wrong_override_probability(frequencies, options.wrong_segment,
+                                 params.z) *
+      params.modrm_probability;
+  params.p = params.p_io + params.p_wrong_segment;
+  return params;
+}
+
+}  // namespace mel::core

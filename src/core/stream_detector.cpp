@@ -1,0 +1,57 @@
+#include "mel/core/stream_detector.hpp"
+
+#include <cassert>
+
+namespace mel::core {
+
+StreamDetector::StreamDetector(StreamConfig config)
+    : config_(std::move(config)), detector_(config_.detector) {
+  assert(config_.window_size > 0);
+  assert(config_.overlap < config_.window_size);
+}
+
+std::vector<StreamAlert> StreamDetector::feed(util::ByteView bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  consumed_ += bytes.size();
+  return drain(/*flush=*/false);
+}
+
+std::vector<StreamAlert> StreamDetector::finish() {
+  return drain(/*flush=*/true);
+}
+
+std::vector<StreamAlert> StreamDetector::drain(bool flush) {
+  std::vector<StreamAlert> alerts;
+  const std::size_t step = config_.window_size - config_.overlap;
+  while (buffer_.size() >= config_.window_size ||
+         (flush && !buffer_.empty())) {
+    const std::size_t length =
+        std::min(buffer_.size(), config_.window_size);
+    const Verdict verdict =
+        detector_.scan(util::ByteView(buffer_.data(), length));
+    ++windows_scanned_;
+    if (verdict.malicious) {
+      StreamAlert alert;
+      alert.stream_offset = buffer_stream_offset_;
+      alert.verdict = verdict;
+      if (config_.keep_window_bytes) {
+        alert.window.assign(buffer_.begin(),
+                            buffer_.begin() + static_cast<std::ptrdiff_t>(length));
+      }
+      alerts.push_back(std::move(alert));
+    }
+    if (length < config_.window_size) {
+      // Flushed tail: everything scanned, stream done.
+      buffer_stream_offset_ += buffer_.size();
+      buffer_.clear();
+      break;
+    }
+    // Slide the window, keeping `overlap` bytes for boundary coverage.
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(step));
+    buffer_stream_offset_ += step;
+  }
+  return alerts;
+}
+
+}  // namespace mel::core

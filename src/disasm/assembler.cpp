@@ -1,0 +1,257 @@
+#include "mel/disasm/assembler.hpp"
+
+#include <cassert>
+
+namespace mel::disasm {
+
+namespace {
+
+std::uint8_t reg_index(Gpr reg) {
+  const auto index = static_cast<std::uint8_t>(reg);
+  assert(index < 8);
+  return index;
+}
+
+/// mod=3 register-direct ModR/M byte.
+std::uint8_t modrm_reg(std::uint8_t reg_field, std::uint8_t rm_field) {
+  return static_cast<std::uint8_t>(0xC0 | (reg_field << 3) | rm_field);
+}
+
+/// mod=0 memory [base] ModR/M byte. Preconditions: base not ESP/EBP
+/// (those need SIB/disp forms, which the corpus does not use).
+std::uint8_t modrm_mem(std::uint8_t reg_field, Gpr base) {
+  const std::uint8_t rm = reg_index(base);
+  assert(rm != 4 && rm != 5 && "use SIB/disp forms for esp/ebp bases");
+  return static_cast<std::uint8_t>((reg_field << 3) | rm);
+}
+
+}  // namespace
+
+Assembler::Label Assembler::make_label() {
+  label_positions_.push_back(-1);
+  return Label{label_positions_.size() - 1};
+}
+
+Assembler& Assembler::bind(Label label) {
+  assert(label.id < label_positions_.size());
+  assert(label_positions_[label.id] < 0 && "label already bound");
+  label_positions_[label.id] = static_cast<std::ptrdiff_t>(code_.size());
+  return *this;
+}
+
+void Assembler::reference(Label label, FixupKind kind) {
+  assert(label.id < label_positions_.size());
+  fixups_.push_back(Fixup{code_.size(), kind, label.id});
+  if (kind == FixupKind::kRel8) {
+    emit8(0);
+  } else {
+    emit32(0);
+  }
+}
+
+Assembler& Assembler::mov_imm(Gpr dst, std::uint32_t imm) {
+  emit8(static_cast<std::uint8_t>(0xB8 + reg_index(dst)));
+  emit32(imm);
+  return *this;
+}
+
+Assembler& Assembler::mov_imm8(Gpr reg8, std::uint8_t imm) {
+  emit8(static_cast<std::uint8_t>(0xB0 + reg_index(reg8)));
+  emit8(imm);
+  return *this;
+}
+
+Assembler& Assembler::mov(Gpr dst, Gpr src) {
+  emit8(0x89);
+  emit8(modrm_reg(reg_index(src), reg_index(dst)));
+  return *this;
+}
+
+Assembler& Assembler::mov_to_mem(Gpr base, Gpr src) {
+  emit8(0x89);
+  emit8(modrm_mem(reg_index(src), base));
+  return *this;
+}
+
+Assembler& Assembler::mov_from_mem(Gpr dst, Gpr base) {
+  emit8(0x8B);
+  emit8(modrm_mem(reg_index(dst), base));
+  return *this;
+}
+
+Assembler& Assembler::lea(Gpr dst, Gpr base, std::int8_t disp) {
+  emit8(0x8D);
+  const std::uint8_t rm = reg_index(base);
+  assert(rm != 4 && "lea from esp needs a SIB byte");
+  emit8(static_cast<std::uint8_t>(0x40 | (reg_index(dst) << 3) | rm));
+  emit8(static_cast<std::uint8_t>(disp));
+  return *this;
+}
+
+Assembler& Assembler::xchg(Gpr a, Gpr b) {
+  if (a == Gpr::kEax) {
+    emit8(static_cast<std::uint8_t>(0x90 + reg_index(b)));
+  } else if (b == Gpr::kEax) {
+    emit8(static_cast<std::uint8_t>(0x90 + reg_index(a)));
+  } else {
+    emit8(0x87);
+    emit8(modrm_reg(reg_index(b), reg_index(a)));
+  }
+  return *this;
+}
+
+Assembler& Assembler::xor_(Gpr dst, Gpr src) {
+  emit8(0x31);
+  emit8(modrm_reg(reg_index(src), reg_index(dst)));
+  return *this;
+}
+
+Assembler& Assembler::and_imm(Gpr dst, std::uint32_t imm) {
+  if (dst == Gpr::kEax) {
+    emit8(0x25);
+  } else {
+    emit8(0x81);
+    emit8(modrm_reg(4, reg_index(dst)));
+  }
+  emit32(imm);
+  return *this;
+}
+
+Assembler& Assembler::sub_imm(Gpr dst, std::uint32_t imm) {
+  if (dst == Gpr::kEax) {
+    emit8(0x2D);
+  } else {
+    emit8(0x81);
+    emit8(modrm_reg(5, reg_index(dst)));
+  }
+  emit32(imm);
+  return *this;
+}
+
+Assembler& Assembler::add_imm(Gpr dst, std::uint32_t imm) {
+  if (dst == Gpr::kEax) {
+    emit8(0x05);
+  } else {
+    emit8(0x81);
+    emit8(modrm_reg(0, reg_index(dst)));
+  }
+  emit32(imm);
+  return *this;
+}
+
+Assembler& Assembler::inc(Gpr reg) {
+  emit8(static_cast<std::uint8_t>(0x40 + reg_index(reg)));
+  return *this;
+}
+
+Assembler& Assembler::dec(Gpr reg) {
+  emit8(static_cast<std::uint8_t>(0x48 + reg_index(reg)));
+  return *this;
+}
+
+Assembler& Assembler::cmp_imm8(Gpr reg8, std::uint8_t imm) {
+  emit8(0x80);
+  emit8(modrm_reg(7, reg_index(reg8)));
+  emit8(imm);
+  return *this;
+}
+
+Assembler& Assembler::push(Gpr reg) {
+  emit8(static_cast<std::uint8_t>(0x50 + reg_index(reg)));
+  return *this;
+}
+
+Assembler& Assembler::pop(Gpr reg) {
+  emit8(static_cast<std::uint8_t>(0x58 + reg_index(reg)));
+  return *this;
+}
+
+Assembler& Assembler::push_imm32(std::uint32_t imm) {
+  emit8(0x68);
+  emit32(imm);
+  return *this;
+}
+
+Assembler& Assembler::push_imm8(std::int8_t imm) {
+  emit8(0x6A);
+  emit8(static_cast<std::uint8_t>(imm));
+  return *this;
+}
+
+Assembler& Assembler::jmp(Label target) {
+  emit8(0xEB);
+  reference(target, FixupKind::kRel8);
+  return *this;
+}
+
+Assembler& Assembler::jcc(Cond cond, Label target) {
+  emit8(static_cast<std::uint8_t>(0x70 + static_cast<std::uint8_t>(cond)));
+  reference(target, FixupKind::kRel8);
+  return *this;
+}
+
+Assembler& Assembler::loop_(Label target) {
+  emit8(0xE2);
+  reference(target, FixupKind::kRel8);
+  return *this;
+}
+
+Assembler& Assembler::call(Label target) {
+  emit8(0xE8);
+  reference(target, FixupKind::kRel32);
+  return *this;
+}
+
+Assembler& Assembler::ret() {
+  emit8(0xC3);
+  return *this;
+}
+
+Assembler& Assembler::int_(std::uint8_t vector) {
+  emit8(0xCD);
+  emit8(vector);
+  return *this;
+}
+
+Assembler& Assembler::nop() {
+  emit8(0x90);
+  return *this;
+}
+
+Assembler& Assembler::raw(std::initializer_list<int> bytes) {
+  for (int b : bytes) emit8(static_cast<std::uint8_t>(b));
+  return *this;
+}
+
+void Assembler::apply_fixups() {
+  for (const Fixup& fixup : fixups_) {
+    const std::ptrdiff_t target = label_positions_[fixup.label];
+    assert(target >= 0 && "unbound label referenced");
+    if (fixup.kind == FixupKind::kRel8) {
+      const std::ptrdiff_t rel =
+          target - static_cast<std::ptrdiff_t>(fixup.position) - 1;
+      assert(rel >= -128 && rel <= 127 && "rel8 target out of range");
+      code_[fixup.position] = static_cast<std::uint8_t>(rel);
+    } else {
+      const std::ptrdiff_t rel =
+          target - static_cast<std::ptrdiff_t>(fixup.position) - 4;
+      const auto rel32 = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(rel));
+      code_[fixup.position] = static_cast<std::uint8_t>(rel32);
+      code_[fixup.position + 1] = static_cast<std::uint8_t>(rel32 >> 8);
+      code_[fixup.position + 2] = static_cast<std::uint8_t>(rel32 >> 16);
+      code_[fixup.position + 3] = static_cast<std::uint8_t>(rel32 >> 24);
+    }
+  }
+  fixups_.clear();
+}
+
+util::ByteBuffer Assembler::take() {
+  apply_fixups();
+  util::ByteBuffer out = std::move(code_);
+  code_.clear();
+  label_positions_.clear();
+  return out;
+}
+
+}  // namespace mel::disasm

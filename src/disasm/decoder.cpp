@@ -1,0 +1,444 @@
+#include "mel/disasm/decoder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mel/disasm/opcode_table.hpp"
+
+namespace mel::disasm {
+
+namespace {
+
+using OT = OpTemplate;
+
+/// Cursor over the byte stream; tracks consumption and truncation.
+class Cursor {
+ public:
+  Cursor(util::ByteView bytes, std::size_t offset)
+      : bytes_(bytes), pos_(offset) {}
+
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool has(std::size_t count) const noexcept {
+    return pos_ + count <= bytes_.size();
+  }
+
+  /// Reads one byte; on truncation returns 0 and latches the error.
+  std::uint8_t u8() noexcept {
+    if (!has(1)) {
+      truncated_ = true;
+      return 0;
+    }
+    return bytes_[pos_++];
+  }
+
+  std::uint16_t u16() noexcept {
+    const std::uint16_t lo = u8();
+    const std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  std::uint32_t u32() noexcept {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+  }
+
+ private:
+  util::ByteView bytes_;
+  std::size_t pos_;
+  bool truncated_ = false;
+};
+
+Width v_width(const Instruction& insn) noexcept {
+  return insn.operand_size_16 ? Width::kWord : Width::kDword;
+}
+
+Operand make_reg(std::uint8_t raw, Width width) noexcept {
+  Operand operand;
+  operand.kind = OperandKind::kRegister;
+  operand.width = width;
+  operand.reg = static_cast<Gpr>(raw & 7);
+  return operand;
+}
+
+Operand make_seg(SegReg seg) noexcept {
+  Operand operand;
+  operand.kind = OperandKind::kSegment;
+  operand.seg = seg;
+  return operand;
+}
+
+Operand make_imm(std::int64_t value, Width width) noexcept {
+  Operand operand;
+  operand.kind = OperandKind::kImmediate;
+  operand.width = width;
+  operand.immediate = value;
+  return operand;
+}
+
+/// Decoded ModR/M state, shared by the register and memory operand slots.
+struct ModRm {
+  bool present = false;
+  std::uint8_t mod = 0;
+  std::uint8_t reg = 0;
+  std::uint8_t rm = 0;
+  Operand rm_operand;  ///< Register or memory form of the r/m field.
+};
+
+/// Decodes the ModR/M byte plus SIB/displacement into `modrm.rm_operand`.
+void decode_effective_address(Cursor& cursor, Instruction& insn,
+                              ModRm& modrm) {
+  const std::uint8_t byte = cursor.u8();
+  modrm.present = true;
+  modrm.mod = byte >> 6;
+  modrm.reg = (byte >> 3) & 7;
+  modrm.rm = byte & 7;
+
+  Operand& operand = modrm.rm_operand;
+  if (modrm.mod == 3) {
+    operand.kind = OperandKind::kRegister;
+    operand.reg = static_cast<Gpr>(modrm.rm);
+    return;
+  }
+  operand.kind = OperandKind::kMemory;
+
+  if (insn.address_size_16) {
+    // 16-bit addressing forms (0x67 prefix): fixed base/index pairs.
+    static constexpr Gpr kBase[8] = {Gpr::kEbx, Gpr::kEbx, Gpr::kEbp,
+                                     Gpr::kEbp, Gpr::kEsi, Gpr::kEdi,
+                                     Gpr::kEbp, Gpr::kEbx};
+    static constexpr Gpr kIndex[8] = {Gpr::kEsi, Gpr::kEdi, Gpr::kEsi,
+                                      Gpr::kEdi, Gpr::kNone, Gpr::kNone,
+                                      Gpr::kNone, Gpr::kNone};
+    operand.base = kBase[modrm.rm];
+    operand.index = kIndex[modrm.rm];
+    if (modrm.mod == 0 && modrm.rm == 6) {
+      operand.base = Gpr::kNone;  // disp16 absolute.
+      operand.has_displacement = true;
+      operand.displacement = static_cast<std::int16_t>(cursor.u16());
+    } else if (modrm.mod == 1) {
+      operand.has_displacement = true;
+      operand.displacement = static_cast<std::int8_t>(cursor.u8());
+    } else if (modrm.mod == 2) {
+      operand.has_displacement = true;
+      operand.displacement = static_cast<std::int16_t>(cursor.u16());
+    }
+    return;
+  }
+
+  // 32-bit addressing.
+  if (modrm.rm == 4) {
+    const std::uint8_t sib = cursor.u8();
+    const std::uint8_t scale_bits = sib >> 6;
+    const std::uint8_t index = (sib >> 3) & 7;
+    const std::uint8_t base = sib & 7;
+    operand.scale = static_cast<std::uint8_t>(1u << scale_bits);
+    operand.index = (index == 4) ? Gpr::kNone : static_cast<Gpr>(index);
+    if (base == 5 && modrm.mod == 0) {
+      operand.base = Gpr::kNone;  // [index*scale + disp32]
+      operand.has_displacement = true;
+      operand.displacement = static_cast<std::int32_t>(cursor.u32());
+    } else {
+      operand.base = static_cast<Gpr>(base);
+    }
+  } else if (modrm.rm == 5 && modrm.mod == 0) {
+    operand.base = Gpr::kNone;  // disp32 absolute.
+    operand.has_displacement = true;
+    operand.displacement = static_cast<std::int32_t>(cursor.u32());
+  } else {
+    operand.base = static_cast<Gpr>(modrm.rm);
+  }
+
+  if (modrm.mod == 1) {
+    operand.has_displacement = true;
+    operand.displacement = static_cast<std::int8_t>(cursor.u8());
+  } else if (modrm.mod == 2) {
+    operand.has_displacement = true;
+    operand.displacement = static_cast<std::int32_t>(cursor.u32());
+  }
+}
+
+Instruction invalid_at(std::size_t offset, std::size_t consumed) {
+  Instruction insn;
+  insn.offset = offset;
+  insn.mnemonic = Mnemonic::kInvalid;
+  insn.flags = kFlagUndefined;
+  insn.length = static_cast<std::uint8_t>(
+      std::min<std::size_t>(consumed ? consumed : 1, kMaxInstructionLength));
+  return insn;
+}
+
+}  // namespace
+
+bool is_prefix_byte(std::uint8_t b) noexcept {
+  return one_byte_table()[b].is_prefix;
+}
+
+Instruction decode_instruction(util::ByteView bytes, std::size_t offset) {
+  Instruction insn;
+  insn.offset = offset;
+  if (offset >= bytes.size()) {
+    insn.mnemonic = Mnemonic::kInvalid;
+    insn.flags = kFlagUndefined;
+    insn.length = 0;
+    return insn;
+  }
+
+  Cursor cursor(bytes, offset);
+
+  // --- Prefix loop ---------------------------------------------------------
+  // The architectural limit is 15 bytes for the whole instruction; a longer
+  // prefix chain raises #UD, which we report as an invalid instruction.
+  while (cursor.has(1)) {
+    const std::uint8_t byte = bytes[cursor.position()];
+    const OpcodeInfo& maybe_prefix = one_byte_table()[byte];
+    if (!maybe_prefix.is_prefix) break;
+    (void)cursor.u8();
+    ++insn.prefix_count;
+    switch (byte) {
+      case 0x26: insn.segment_override = SegReg::kEs; break;
+      case 0x2E: insn.segment_override = SegReg::kCs; break;
+      case 0x36: insn.segment_override = SegReg::kSs; break;
+      case 0x3E: insn.segment_override = SegReg::kDs; break;
+      case 0x64: insn.segment_override = SegReg::kFs; break;
+      case 0x65: insn.segment_override = SegReg::kGs; break;
+      case 0x66: insn.operand_size_16 = true; break;
+      case 0x67: insn.address_size_16 = true; break;
+      case 0xF0: insn.lock_prefix = true; break;
+      case 0xF2:
+      case 0xF3: insn.rep_prefix = true; break;
+      default: break;
+    }
+    if (cursor.position() - offset >= kMaxInstructionLength) {
+      return invalid_at(offset, cursor.position() - offset);
+    }
+  }
+  if (!cursor.has(1)) {
+    // Stream ended inside the prefix chain.
+    return invalid_at(offset, cursor.position() - offset);
+  }
+
+  // --- Opcode --------------------------------------------------------------
+  std::uint8_t opcode = cursor.u8();
+  const OpcodeInfo* info = nullptr;
+  if (opcode == 0x0F) {
+    if (!cursor.has(1)) return invalid_at(offset, cursor.position() - offset);
+    opcode = cursor.u8();
+    info = &two_byte_table()[opcode];
+  } else {
+    info = &one_byte_table()[opcode];
+  }
+  if (!info->defined() || info->is_prefix) {
+    return invalid_at(offset, cursor.position() - offset);
+  }
+  if (info->mnemonic == Mnemonic::kUnknown && info->group == OpGroup::kNone) {
+    // Recognized page, unmodeled opcode: keep kUnknown + kFlagUndefined so
+    // policies treat it conservatively, but report honest length-so-far.
+    Instruction unknown = invalid_at(offset, cursor.position() - offset);
+    unknown.mnemonic = Mnemonic::kUnknown;
+    return unknown;
+  }
+
+  insn.mnemonic = info->mnemonic;
+  insn.flags |= info->flags;
+  if (insn.mnemonic == Mnemonic::kJcc || insn.mnemonic == Mnemonic::kSetcc ||
+      insn.mnemonic == Mnemonic::kCmovcc) {
+    insn.cc = opcode & 0xF;
+  }
+  bool dst_writes = info->dst_writes;
+  bool dst_reads = info->dst_reads;
+
+  // --- ModR/M + group resolution --------------------------------------------
+  ModRm modrm;
+  if (info->needs_modrm()) {
+    decode_effective_address(cursor, insn, modrm);
+    if (cursor.truncated()) {
+      return invalid_at(offset, cursor.position() - offset);
+    }
+  }
+  OT op_templates[kMaxOperands] = {info->op1, info->op2, info->op3};
+  if (info->group != OpGroup::kNone) {
+    const GroupEntry& entry = group_entry(info->group, modrm.reg);
+    if (!entry.defined()) {
+      return invalid_at(offset, cursor.position() - offset);  // #UD encoding.
+    }
+    insn.mnemonic = entry.mnemonic;
+    insn.flags |= entry.extra_flags;
+    dst_writes = entry.dst_writes;
+    dst_reads = entry.dst_reads;
+    insn.group_reg = modrm.reg;
+    // Group 3 TEST (reg field 0/1) carries an immediate after the r/m.
+    if (info->group == OpGroup::kGroup3 && modrm.reg <= 1) {
+      op_templates[1] = (info->op1 == OT::kEb) ? OT::kIb : OT::kIz;
+    }
+  }
+
+  // --- Operands --------------------------------------------------------------
+  const Width vw = v_width(insn);
+  bool saw_byte_form = false;
+  for (std::size_t i = 0; i < kMaxOperands; ++i) {
+    const OT ot = op_templates[i];
+    if (ot == OT::kNone) break;
+    Operand operand;
+    bool no_access = false;  // LEA-style address-only operand.
+    switch (ot) {
+      case OT::kEb:
+        operand = modrm.rm_operand;
+        operand.width = Width::kByte;
+        saw_byte_form = true;
+        break;
+      case OT::kEv:
+        operand = modrm.rm_operand;
+        operand.width = vw;
+        break;
+      case OT::kEw:
+        operand = modrm.rm_operand;
+        operand.width = Width::kWord;
+        break;
+      case OT::kGb:
+        operand = make_reg(modrm.reg, Width::kByte);
+        saw_byte_form = true;
+        break;
+      case OT::kGv:
+        operand = make_reg(modrm.reg, vw);
+        break;
+      case OT::kGw:
+        operand = make_reg(modrm.reg, Width::kWord);
+        break;
+      case OT::kSw:
+        if (modrm.reg >= 6) {
+          return invalid_at(offset, cursor.position() - offset);  // #UD.
+        }
+        operand = make_seg(static_cast<SegReg>(modrm.reg));
+        break;
+      case OT::kM:
+      case OT::kMa:
+      case OT::kMp:
+        if (modrm.rm_operand.kind != OperandKind::kMemory) {
+          return invalid_at(offset, cursor.position() - offset);  // #UD.
+        }
+        operand = modrm.rm_operand;
+        operand.width = vw;
+        no_access = (ot == OT::kM);
+        break;
+      case OT::kIb:
+        operand = make_imm(static_cast<std::int8_t>(cursor.u8()), Width::kByte);
+        break;
+      case OT::kIbU:
+        operand = make_imm(cursor.u8(), Width::kByte);
+        break;
+      case OT::kIw:
+        operand = make_imm(cursor.u16(), Width::kWord);
+        break;
+      case OT::kIz:
+        operand = insn.operand_size_16
+                      ? make_imm(cursor.u16(), Width::kWord)
+                      : make_imm(static_cast<std::int32_t>(cursor.u32()),
+                                 Width::kDword);
+        break;
+      case OT::kI1:
+        operand = make_imm(1, Width::kByte);
+        break;
+      case OT::kJb: {
+        operand = make_imm(static_cast<std::int8_t>(cursor.u8()), Width::kByte);
+        operand.kind = OperandKind::kRelative;
+        break;
+      }
+      case OT::kJz: {
+        const std::int64_t rel =
+            insn.operand_size_16 ? static_cast<std::int16_t>(cursor.u16())
+                                 : static_cast<std::int32_t>(cursor.u32());
+        operand = make_imm(rel, vw);
+        operand.kind = OperandKind::kRelative;
+        break;
+      }
+      case OT::kAp: {
+        const std::int64_t target =
+            insn.operand_size_16 ? cursor.u16()
+                                 : static_cast<std::int64_t>(cursor.u32());
+        operand = make_imm(target, vw);
+        operand.kind = OperandKind::kFarPointer;
+        operand.far_segment = cursor.u16();
+        break;
+      }
+      case OT::kOb:
+      case OT::kOv: {
+        operand.kind = OperandKind::kMemory;
+        operand.width = (ot == OT::kOb) ? Width::kByte : vw;
+        if (ot == OT::kOb) saw_byte_form = true;
+        operand.has_displacement = true;
+        operand.displacement = insn.address_size_16
+                                   ? static_cast<std::int32_t>(cursor.u16())
+                                   : static_cast<std::int32_t>(cursor.u32());
+        break;
+      }
+      case OT::kRegB:
+        operand = make_reg(opcode & 7, Width::kByte);
+        saw_byte_form = true;
+        break;
+      case OT::kRegV:
+        operand = make_reg(opcode & 7, vw);
+        break;
+      case OT::kAL:
+        operand = make_reg(0, Width::kByte);
+        saw_byte_form = true;
+        break;
+      case OT::kCL:
+        operand = make_reg(1, Width::kByte);
+        break;
+      case OT::kDX:
+        operand = make_reg(2, Width::kWord);
+        break;
+      case OT::keAX:
+        operand = make_reg(0, vw);
+        break;
+      case OT::kSeg:
+        operand = make_seg(info->fixed_seg);
+        break;
+      case OT::kNone:
+        break;
+    }
+    if (cursor.truncated()) {
+      return invalid_at(offset, cursor.position() - offset);
+    }
+    // Memory access classification: first operand follows the opcode's
+    // read/write behaviour, later operands are sources (reads). LEA's kM
+    // computes an address without touching memory.
+    if (operand.is_memory() && !no_access) {
+      if (i == 0) {
+        if (dst_writes) insn.flags |= kFlagMemWrite;
+        if (dst_reads) insn.flags |= kFlagMemRead;
+      } else {
+        insn.flags |= kFlagMemRead;
+      }
+    }
+    insn.operands[insn.operand_count++] = operand;
+  }
+
+  const std::size_t consumed = cursor.position() - offset;
+  if (consumed > kMaxInstructionLength) {
+    return invalid_at(offset, consumed);
+  }
+  insn.length = static_cast<std::uint8_t>(consumed);
+  // Byte-form string/I/O opcodes are even (a4/a6/aa/ac/ae/6c/6e).
+  const bool implicit_byte =
+      insn.has_flag(kFlagString) && (opcode & 1) == 0;
+  insn.data_width = (saw_byte_form || implicit_byte) ? Width::kByte : vw;
+  return insn;
+}
+
+std::vector<Instruction> linear_sweep(util::ByteView bytes,
+                                      std::size_t start) {
+  std::vector<Instruction> result;
+  std::size_t offset = start;
+  while (offset < bytes.size()) {
+    Instruction insn = decode_instruction(bytes, offset);
+    assert(insn.length >= 1);
+    offset += insn.length;
+    result.push_back(std::move(insn));
+  }
+  return result;
+}
+
+}  // namespace mel::disasm

@@ -1,0 +1,147 @@
+#include "mel/disasm/formatter.hpp"
+
+#include <sstream>
+
+#include "mel/disasm/decoder.hpp"
+
+namespace mel::disasm {
+
+namespace {
+
+void append_hex(std::ostringstream& out, std::int64_t value) {
+  if (value < 0) {
+    out << "-0x" << std::hex << -value << std::dec;
+  } else {
+    out << "0x" << std::hex << value << std::dec;
+  }
+}
+
+void append_memory(std::ostringstream& out, const Instruction& insn,
+                   const Operand& operand) {
+  switch (operand.width) {
+    case Width::kByte:
+      out << "byte ";
+      break;
+    case Width::kWord:
+      out << "word ";
+      break;
+    case Width::kDword:
+      out << "dword ";
+      break;
+  }
+  if (insn.segment_override != SegReg::kNone) {
+    out << seg_name(insn.segment_override) << ':';
+  }
+  out << '[';
+  bool first = true;
+  if (operand.base != Gpr::kNone) {
+    out << gpr_name(operand.base, Width::kDword);
+    first = false;
+  }
+  if (operand.index != Gpr::kNone) {
+    if (!first) out << '+';
+    out << gpr_name(operand.index, Width::kDword);
+    if (operand.scale > 1) out << '*' << static_cast<int>(operand.scale);
+    first = false;
+  }
+  if (operand.has_displacement) {
+    if (!first && operand.displacement >= 0) out << '+';
+    if (operand.displacement < 0) {
+      out << "-";
+      append_hex(out, -static_cast<std::int64_t>(operand.displacement));
+    } else {
+      append_hex(out, operand.displacement);
+    }
+  } else if (first) {
+    out << '0';
+  }
+  out << ']';
+}
+
+void append_operand(std::ostringstream& out, const Instruction& insn,
+                    const Operand& operand) {
+  switch (operand.kind) {
+    case OperandKind::kNone:
+      break;
+    case OperandKind::kRegister:
+      out << gpr_name(operand.reg, operand.width);
+      break;
+    case OperandKind::kSegment:
+      out << seg_name(operand.seg);
+      break;
+    case OperandKind::kImmediate:
+      append_hex(out, operand.immediate);
+      break;
+    case OperandKind::kMemory:
+      append_memory(out, insn, operand);
+      break;
+    case OperandKind::kRelative:
+      // Render the resolved target offset, matching objdump's style.
+      append_hex(out, insn.branch_target());
+      break;
+    case OperandKind::kFarPointer:
+      append_hex(out, operand.far_segment);
+      out << ':';
+      append_hex(out, operand.immediate);
+      break;
+  }
+}
+
+char width_suffix(Width width) noexcept {
+  switch (width) {
+    case Width::kByte:
+      return 'b';
+    case Width::kWord:
+      return 'w';
+    case Width::kDword:
+      return 'd';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string format_instruction(const Instruction& insn) {
+  std::ostringstream out;
+  if (insn.lock_prefix) out << "lock ";
+  if (insn.rep_prefix) out << "rep ";
+  out << mnemonic_name(insn.mnemonic, insn.cc);
+  // Implicit-operand string/I/O instructions take a size suffix.
+  if (insn.has_flag(kFlagString)) out << width_suffix(insn.data_width);
+  bool first = true;
+  for (std::size_t i = 0; i < insn.operand_count; ++i) {
+    out << (first ? " " : ", ");
+    first = false;
+    append_operand(out, insn, insn.operands[i]);
+  }
+  return out.str();
+}
+
+std::string format_listing_line(const Instruction& insn,
+                                util::ByteView bytes) {
+  std::ostringstream out;
+  out << std::hex;
+  for (int shift = 12; shift >= 0; shift -= 4) {
+    out << "0123456789abcdef"[(insn.offset >> shift) & 0xF];
+  }
+  out << std::dec << "  ";
+  std::string hex_bytes;
+  if (insn.length > 0 && insn.offset + insn.length <= bytes.size()) {
+    hex_bytes = util::hex_string(bytes.subspan(insn.offset, insn.length));
+  }
+  out << hex_bytes;
+  for (std::size_t pad = hex_bytes.size(); pad < 30; ++pad) out << ' ';
+  out << ' ' << format_instruction(insn);
+  return out.str();
+}
+
+std::string format_listing(util::ByteView bytes) {
+  std::string out;
+  for (const Instruction& insn : linear_sweep(bytes)) {
+    out += format_listing_line(insn, bytes);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mel::disasm

@@ -1,0 +1,115 @@
+#pragma once
+// Minimal IA-32 assembler: a fluent builder for the instruction subset the
+// shellcode corpus and tests need. The inverse of the decoder for that
+// subset — every emit is covered by a decode-back test.
+//
+//   Assembler a;
+//   Label loop = a.make_label();
+//   a.xor_(Gpr::kEcx, Gpr::kEcx)
+//    .mov_imm8(Gpr::kEcx, 3)
+//    .bind(loop)
+//    .dec(Gpr::kEcx)
+//    .jcc(Cond::kNotZero, loop)   // backward rel8, fixed up at bind/take
+//    .int_(0x80);
+//   util::ByteBuffer code = a.take();
+
+#include <cstdint>
+#include <vector>
+
+#include "mel/disasm/registers.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::disasm {
+
+/// Condition codes by IA-32 encoding (low nibble of 0x70+cc).
+enum class Cond : std::uint8_t {
+  kOverflow = 0x0,
+  kNoOverflow = 0x1,
+  kBelow = 0x2,
+  kAboveEqual = 0x3,
+  kZero = 0x4,
+  kNotZero = 0x5,
+  kBelowEqual = 0x6,
+  kAbove = 0x7,
+  kSign = 0x8,
+  kNoSign = 0x9,
+  kParity = 0xA,
+  kNoParity = 0xB,
+  kLess = 0xC,
+  kGreaterEqual = 0xD,
+  kLessEqual = 0xE,
+  kGreater = 0xF,
+};
+
+class Assembler {
+ public:
+  /// Opaque label handle. Valid for the Assembler that made it.
+  struct Label {
+    std::size_t id = 0;
+  };
+
+  [[nodiscard]] Label make_label();
+  /// Binds the label to the current position. Precondition: not yet bound.
+  Assembler& bind(Label label);
+
+  // --- Register / immediate moves -----------------------------------------
+  Assembler& mov_imm(Gpr dst, std::uint32_t imm);     // B8+r imm32
+  Assembler& mov_imm8(Gpr reg8, std::uint8_t imm);    // B0+r imm8 (al..bh)
+  Assembler& mov(Gpr dst, Gpr src);                   // 89 /r
+  Assembler& mov_to_mem(Gpr base, Gpr src);           // 89 /r, [base]
+  Assembler& mov_from_mem(Gpr dst, Gpr base);         // 8B /r, [base]
+  Assembler& lea(Gpr dst, Gpr base, std::int8_t disp);  // 8D /r disp8
+  Assembler& xchg(Gpr a, Gpr b);                      // 87 /r (or 90+r)
+
+  // --- ALU ------------------------------------------------------------------
+  Assembler& xor_(Gpr dst, Gpr src);                  // 31 /r
+  Assembler& and_imm(Gpr dst, std::uint32_t imm);     // 81 /4 or 25
+  Assembler& sub_imm(Gpr dst, std::uint32_t imm);     // 81 /5 or 2D
+  Assembler& add_imm(Gpr dst, std::uint32_t imm);     // 81 /0 or 05
+  Assembler& inc(Gpr reg);                            // 40+r
+  Assembler& dec(Gpr reg);                            // 48+r
+  Assembler& cmp_imm8(Gpr reg8, std::uint8_t imm);    // 80 /7
+
+  // --- Stack ------------------------------------------------------------------
+  Assembler& push(Gpr reg);                           // 50+r
+  Assembler& pop(Gpr reg);                            // 58+r
+  Assembler& push_imm32(std::uint32_t imm);           // 68
+  Assembler& push_imm8(std::int8_t imm);              // 6A
+
+  // --- Control flow -------------------------------------------------------------
+  Assembler& jmp(Label target);                       // EB rel8
+  Assembler& jcc(Cond cond, Label target);            // 70+cc rel8
+  Assembler& loop_(Label target);                     // E2 rel8
+  Assembler& call(Label target);                      // E8 rel32
+  Assembler& ret();                                   // C3
+  Assembler& int_(std::uint8_t vector);               // CD ib
+  Assembler& nop();                                   // 90
+
+  // --- Raw escape hatch ------------------------------------------------------
+  Assembler& raw(std::initializer_list<int> bytes);
+
+  [[nodiscard]] std::size_t size() const noexcept { return code_.size(); }
+
+  /// Finalizes and returns the code. Precondition: every referenced label
+  /// is bound and every rel8 fixup is within range (asserted).
+  [[nodiscard]] util::ByteBuffer take();
+
+ private:
+  enum class FixupKind : std::uint8_t { kRel8, kRel32 };
+  struct Fixup {
+    std::size_t position;  ///< Offset of the displacement field.
+    FixupKind kind;
+    std::size_t label;
+  };
+
+  void emit8(std::uint8_t b) { code_.push_back(b); }
+  void emit32(std::uint32_t v) { util::append_le32(code_, v); }
+  void reference(Label label, FixupKind kind);
+  void apply_fixups();
+
+  util::ByteBuffer code_;
+  std::vector<std::ptrdiff_t> label_positions_;  ///< -1 = unbound.
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace mel::disasm

@@ -1,0 +1,39 @@
+#pragma once
+// IA-32 instruction decoder (32-bit protected mode defaults, as on the
+// paper's Linux/P4 testbed). Decodes any byte sequence — benign text
+// disassembles to *something* almost always, which is exactly the property
+// the paper exploits — and reports undefined/truncated encodings as
+// instructions with mnemonic kInvalid and the kFlagUndefined flag.
+
+#include <cstddef>
+#include <vector>
+
+#include "mel/disasm/instruction.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::disasm {
+
+/// Decodes a single instruction starting at `offset`.
+///
+/// Always makes progress: the returned length is >= 1 whenever
+/// offset < bytes.size() (an undecodable byte consumes at least itself),
+/// and 0 only when offset is at or past the end of the stream.
+[[nodiscard]] Instruction decode_instruction(util::ByteView bytes,
+                                             std::size_t offset);
+
+/// True when the instruction decoded to a defined encoding.
+[[nodiscard]] inline bool decoded_ok(const Instruction& insn) noexcept {
+  return insn.mnemonic != Mnemonic::kInvalid && insn.length > 0;
+}
+
+/// Linear sweep: decodes instructions back to back from `start` until the
+/// end of the stream. Undecodable bytes appear as kInvalid entries of
+/// length >= 1, so the sweep always terminates and covers every byte.
+[[nodiscard]] std::vector<Instruction> linear_sweep(util::ByteView bytes,
+                                                    std::size_t start = 0);
+
+/// True when byte b is one of the 11 IA-32 prefix bytes. The text-domain
+/// subset of these is what the paper's z parameter measures.
+[[nodiscard]] bool is_prefix_byte(std::uint8_t b) noexcept;
+
+}  // namespace mel::disasm

@@ -1,0 +1,23 @@
+#pragma once
+// Text rendering of decoded instructions (Intel-flavoured syntax) for
+// examples, debugging and the worm_forge tool.
+
+#include <string>
+
+#include "mel/disasm/instruction.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::disasm {
+
+/// "sub eax, 0x41414141" — mnemonic plus comma-separated operands.
+[[nodiscard]] std::string format_instruction(const Instruction& insn);
+
+/// One listing line: "0040  2d 41 41 41 41   sub eax, 0x41414141".
+/// `bytes` must be the stream the instruction was decoded from.
+[[nodiscard]] std::string format_listing_line(const Instruction& insn,
+                                              util::ByteView bytes);
+
+/// Full linear-sweep listing of a stream (one line per instruction).
+[[nodiscard]] std::string format_listing(util::ByteView bytes);
+
+}  // namespace mel::disasm

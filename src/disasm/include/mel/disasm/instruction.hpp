@@ -1,0 +1,174 @@
+#pragma once
+// Decoded IA-32 instruction model. The decoder fills this structure; the
+// abstract payload executor consumes it through the class-flag accessors.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "mel/disasm/registers.hpp"
+
+namespace mel::disasm {
+
+/// Mnemonics for every instruction the decoder understands. Condition-coded
+/// families (Jcc / SETcc) use a single mnemonic plus Instruction::cc.
+enum class Mnemonic : std::uint8_t {
+  kInvalid = 0,  ///< Undefined or undecodable opcode.
+  kUnknown,      ///< Recognized escape page but unmodeled opcode (e.g. SSE).
+  // Arithmetic / logic.
+  kAdd, kOr, kAdc, kSbb, kAnd, kSub, kXor, kCmp, kTest,
+  kInc, kDec, kNeg, kNot, kMul, kImul, kDiv, kIdiv,
+  kRol, kRor, kRcl, kRcr, kShl, kShr, kSal, kSar,
+  // BCD / misc legacy.
+  kDaa, kDas, kAaa, kAas, kAam, kAad, kSalc, kXlat,
+  kBound, kArpl, kCwde, kCdq, kSahf, kLahf, kCmc,
+  // Data movement.
+  kMov, kXchg, kLea, kLes, kLds, kMovzx, kMovsx, kBswap, kSetcc,
+  kCmovcc, kBt, kBts, kBtr, kBtc, kShld, kShrd, kLar, kLsl,
+  // Stack.
+  kPush, kPop, kPusha, kPopa, kPushf, kPopf, kEnter, kLeave,
+  // String / I/O.
+  kMovs, kCmps, kStos, kLods, kScas, kIns, kOuts, kIn, kOut,
+  // Control flow.
+  kJcc, kJmp, kJmpFar, kCall, kCallFar, kRet, kRetFar,
+  kLoop, kLoope, kLoopne, kJecxz,
+  kInt, kInt3, kInto, kInt1, kIret,
+  // System / privileged / misc.
+  kNop, kWait, kHlt, kClc, kStc, kCli, kSti, kCld, kStd,
+  kSysenter, kSysexit, kRdtsc, kCpuid, kSystemGroup,  // 0F 00 / 0F 01
+  kFpu,  ///< x87 escape block D8-DF (decoded for length/memory only).
+};
+
+/// Printable lowercase mnemonic text; Jcc/SETcc require the cc code.
+[[nodiscard]] std::string_view mnemonic_name(Mnemonic mnemonic,
+                                             std::uint8_t cc = 0) noexcept;
+
+/// IA-32 condition codes (low nibble of Jcc/SETcc opcodes).
+[[nodiscard]] std::string_view condition_suffix(std::uint8_t cc) noexcept;
+
+/// Instruction class flags. Assigned partly from static opcode properties
+/// and partly from decoded operands (e.g. whether a ModR/M operand ended up
+/// in memory form). Validity policies in mel::exec key off these.
+enum InstructionFlags : std::uint32_t {
+  kFlagNone = 0,
+  kFlagCondBranch = 1u << 0,    ///< Jcc, LOOPcc, JECXZ.
+  kFlagUncondBranch = 1u << 1,  ///< JMP (near, relative or indirect).
+  kFlagCall = 1u << 2,          ///< CALL (near or far).
+  kFlagRet = 1u << 3,           ///< RET / RETF / IRET.
+  kFlagBranchIndirect = 1u << 4,  ///< Target from register/memory (FF /2,/4).
+  kFlagBranchFar = 1u << 5,       ///< Far JMP/CALL with ptr16:32.
+  kFlagIoString = 1u << 6,      ///< INS/OUTS family ('l','m','n','o' bytes).
+  kFlagIoPort = 1u << 7,        ///< IN/OUT port instructions.
+  kFlagPrivileged = 1u << 8,    ///< HLT/CLI/STI/LGDT-class; faults in ring 3.
+  kFlagInterrupt = 1u << 9,     ///< INT/INT3/INTO/INT1.
+  kFlagString = 1u << 10,       ///< MOVS/CMPS/STOS/LODS/SCAS.
+  kFlagStackRead = 1u << 11,    ///< POP/POPA/POPF/RET/LEAVE.
+  kFlagStackWrite = 1u << 12,   ///< PUSH/PUSHA/PUSHF/CALL/ENTER.
+  kFlagSegmentLoad = 1u << 13,  ///< MOV Sw,Ew / POP seg / LES / LDS.
+  kFlagMemRead = 1u << 14,      ///< Reads a non-stack memory operand.
+  kFlagMemWrite = 1u << 15,     ///< Writes a non-stack memory operand.
+  kFlagFpu = 1u << 16,          ///< x87 escape.
+  kFlagSystem = 1u << 17,       ///< SYSENTER/SYSEXIT/CPUID/RDTSC/0F00/0F01.
+  kFlagUndefined = 1u << 18,    ///< Undefined opcode (raises #UD).
+  kFlagLegacyBcd = 1u << 19,    ///< AAA/DAA-class text opcodes.
+};
+
+enum class OperandKind : std::uint8_t {
+  kNone = 0,
+  kRegister,   ///< GPR of Operand::width.
+  kSegment,    ///< Segment register.
+  kImmediate,  ///< Immediate constant.
+  kMemory,     ///< ModR/M (or implicit) memory reference.
+  kRelative,   ///< Branch displacement relative to next instruction.
+  kFarPointer, ///< ptr16:32 immediate far address.
+};
+
+/// One decoded operand.
+struct Operand {
+  OperandKind kind = OperandKind::kNone;
+  Width width = Width::kDword;
+
+  // kRegister / kSegment.
+  Gpr reg = Gpr::kNone;
+  SegReg seg = SegReg::kNone;
+
+  // kMemory: effective address components. kNone base+index with
+  // has_displacement means an absolute (explicit) address.
+  Gpr base = Gpr::kNone;
+  Gpr index = Gpr::kNone;
+  std::uint8_t scale = 1;  ///< 1, 2, 4 or 8.
+  bool has_displacement = false;
+  std::int32_t displacement = 0;
+
+  // kImmediate / kRelative / kFarPointer.
+  std::int64_t immediate = 0;    ///< Sign-extended immediate or rel target delta.
+  std::uint16_t far_segment = 0; ///< kFarPointer selector.
+
+  [[nodiscard]] bool is_memory() const noexcept {
+    return kind == OperandKind::kMemory;
+  }
+  /// Absolute-address memory operand with no base/index register
+  /// (the paper's "explicit memory address" case).
+  [[nodiscard]] bool is_absolute_memory() const noexcept {
+    return is_memory() && base == Gpr::kNone && index == Gpr::kNone;
+  }
+};
+
+inline constexpr std::size_t kMaxOperands = 3;
+inline constexpr std::size_t kMaxInstructionLength = 15;
+
+/// A fully decoded instruction.
+struct Instruction {
+  std::size_t offset = 0;  ///< Byte offset of the first prefix/opcode byte.
+  std::uint8_t length = 0; ///< Total encoded length in bytes.
+
+  Mnemonic mnemonic = Mnemonic::kInvalid;
+  std::uint8_t cc = 0;        ///< Condition code for kJcc / kSetcc.
+  std::uint8_t group_reg = 0; ///< ModR/M reg field for group opcodes.
+
+  // Prefix state.
+  std::uint8_t prefix_count = 0;       ///< Number of prefix bytes consumed.
+  SegReg segment_override = SegReg::kNone;
+  bool operand_size_16 = false;  ///< 0x66 seen.
+  bool address_size_16 = false;  ///< 0x67 seen.
+  bool lock_prefix = false;      ///< 0xF0 seen.
+  bool rep_prefix = false;       ///< 0xF2/0xF3 seen.
+
+  std::uint32_t flags = kFlagNone;
+  std::array<Operand, kMaxOperands> operands{};
+  std::uint8_t operand_count = 0;
+
+  /// Effective data width: byte for byte-form opcodes, else the v width
+  /// (dword, or word under the 0x66 prefix). Drives the b/w/d suffix of
+  /// implicit-operand instructions (movs/ins/outs/stos/...).
+  Width data_width = Width::kDword;
+
+  [[nodiscard]] bool has_flag(InstructionFlags flag) const noexcept {
+    return (flags & flag) != 0;
+  }
+  [[nodiscard]] bool is_branch() const noexcept {
+    return (flags & (kFlagCondBranch | kFlagUncondBranch | kFlagCall |
+                     kFlagRet)) != 0;
+  }
+  [[nodiscard]] bool accesses_memory() const noexcept {
+    return (flags & (kFlagMemRead | kFlagMemWrite)) != 0;
+  }
+  /// Next sequential offset (fall-through successor).
+  [[nodiscard]] std::size_t end_offset() const noexcept {
+    return offset + length;
+  }
+  /// For kRelative branches: absolute target offset within the stream.
+  /// Precondition: the first operand is kRelative.
+  [[nodiscard]] std::int64_t branch_target() const noexcept {
+    return static_cast<std::int64_t>(end_offset()) + operands[0].immediate;
+  }
+  /// First memory operand, or nullptr when none exists.
+  [[nodiscard]] const Operand* memory_operand() const noexcept {
+    for (std::size_t i = 0; i < operand_count; ++i) {
+      if (operands[i].is_memory()) return &operands[i];
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace mel::disasm

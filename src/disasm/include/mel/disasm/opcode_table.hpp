@@ -1,0 +1,101 @@
+#pragma once
+// Table-driven IA-32 opcode metadata: the full one-byte map and the subset
+// of the 0x0F two-byte page relevant to shellcode analysis. The decoder is
+// a thin interpreter over these tables.
+
+#include <array>
+#include <cstdint>
+
+#include "mel/disasm/instruction.hpp"
+
+namespace mel::disasm {
+
+/// Operand encoding templates (Intel SDM appendix notation).
+enum class OpTemplate : std::uint8_t {
+  kNone = 0,
+  // ModR/M driven.
+  kEb,  ///< r/m, byte.
+  kEv,  ///< r/m, word/dword by operand size.
+  kEw,  ///< r/m, word.
+  kGb,  ///< reg field, byte.
+  kGv,  ///< reg field, word/dword.
+  kGw,  ///< reg field, word.
+  kSw,  ///< reg field selects a segment register.
+  kM,   ///< r/m, must be memory, no access (LEA).
+  kMa,  ///< r/m, must be memory, bound pair (BOUND).
+  kMp,  ///< r/m, must be memory, far pointer (LES/LDS, FF /3, FF /5).
+  // Immediates and displacements.
+  kIb,  ///< imm8, sign-extended (arithmetic forms).
+  kIbU, ///< imm8, zero-extended (INT vector, port, shift count, AAM base).
+  kIw,  ///< imm16.
+  kIz,  ///< imm16/32 by operand size.
+  kI1,  ///< implicit constant 1 (shift forms).
+  kJb,  ///< rel8.
+  kJz,  ///< rel16/32.
+  kAp,  ///< ptr16:32 far immediate.
+  kOb,  ///< moffs8: absolute address, byte access.
+  kOv,  ///< moffs: absolute address, word/dword access.
+  // Registers.
+  kRegB,  ///< register embedded in opcode low 3 bits, byte width.
+  kRegV,  ///< register embedded in opcode low 3 bits, v width.
+  kAL, kCL, kDX, keAX,
+  kSeg,  ///< fixed segment register (OpcodeInfo::fixed_seg).
+};
+
+/// ModR/M reg-field groups (Intel group numbers).
+enum class OpGroup : std::uint8_t {
+  kNone = 0,
+  kGroup1,   ///< 0x80-0x83 immediate arithmetic.
+  kGroup1A,  ///< 0x8F POP Ev.
+  kGroup2,   ///< 0xC0/0xC1/0xD0-0xD3 shifts/rotates.
+  kGroup3,   ///< 0xF6/0xF7 TEST/NOT/NEG/MUL/IMUL/DIV/IDIV.
+  kGroup4,   ///< 0xFE INC/DEC Eb.
+  kGroup5,   ///< 0xFF INC/DEC/CALL/CALLF/JMP/JMPF/PUSH.
+  kGroup8,   ///< 0x0F 0xBA BT/BTS/BTR/BTC Ev,Ib.
+  kGroup11,  ///< 0xC6/0xC7 MOV immediate.
+};
+
+/// Static description of one opcode byte.
+struct OpcodeInfo {
+  Mnemonic mnemonic = Mnemonic::kInvalid;
+  OpTemplate op1 = OpTemplate::kNone;
+  OpTemplate op2 = OpTemplate::kNone;
+  OpTemplate op3 = OpTemplate::kNone;
+  std::uint32_t flags = kFlagNone;  ///< Static InstructionFlags.
+  OpGroup group = OpGroup::kNone;
+  SegReg fixed_seg = SegReg::kNone;  ///< For kSeg template.
+  bool is_prefix = false;            ///< Consumed by the prefix loop.
+  bool dst_writes = false;  ///< First operand is written.
+  bool dst_reads = false;   ///< First operand is also read (add vs mov).
+
+  [[nodiscard]] bool defined() const noexcept {
+    return mnemonic != Mnemonic::kInvalid;
+  }
+  [[nodiscard]] bool needs_modrm() const noexcept;
+};
+
+/// Resolution of a group opcode by its ModR/M reg field.
+struct GroupEntry {
+  Mnemonic mnemonic = Mnemonic::kInvalid;
+  std::uint32_t extra_flags = kFlagNone;
+  bool dst_writes = false;
+  bool dst_reads = false;
+  [[nodiscard]] bool defined() const noexcept {
+    return mnemonic != Mnemonic::kInvalid;
+  }
+};
+
+/// The 256-entry one-byte opcode map (32-bit mode semantics).
+[[nodiscard]] const std::array<OpcodeInfo, 256>& one_byte_table() noexcept;
+
+/// The 256-entry 0x0F page. Unmodeled entries decode as kUnknown with
+/// kFlagUndefined (adequate: the 0x0F escape byte is outside the text
+/// domain, so this page only matters for binary corpora where treating an
+/// exotic SSE instruction as run-terminating is the conservative choice).
+[[nodiscard]] const std::array<OpcodeInfo, 256>& two_byte_table() noexcept;
+
+/// Resolves a group opcode. Preconditions: group != kNone, reg < 8.
+[[nodiscard]] const GroupEntry& group_entry(OpGroup group,
+                                            std::uint8_t reg) noexcept;
+
+}  // namespace mel::disasm

@@ -1,0 +1,52 @@
+#pragma once
+// IA-32 register model shared by the decoder, formatter and the abstract
+// payload executor.
+
+#include <cstdint>
+#include <string_view>
+
+namespace mel::disasm {
+
+/// General-purpose register index (IA-32 encoding order). The same 3-bit
+/// index selects the 8/16/32-bit view depending on the operand width.
+enum class Gpr : std::uint8_t {
+  kEax = 0,
+  kEcx = 1,
+  kEdx = 2,
+  kEbx = 3,
+  kEsp = 4,
+  kEbp = 5,
+  kEsi = 6,
+  kEdi = 7,
+  kNone = 0xFF,
+};
+
+/// Segment registers (IA-32 encoding order).
+enum class SegReg : std::uint8_t {
+  kEs = 0,
+  kCs = 1,
+  kSs = 2,
+  kDs = 3,
+  kFs = 4,
+  kGs = 5,
+  kNone = 0xFF,
+};
+
+/// Operand width.
+enum class Width : std::uint8_t {
+  kByte = 1,   // 8-bit
+  kWord = 2,   // 16-bit
+  kDword = 4,  // 32-bit
+};
+
+/// Register name for the given width, e.g. (kEax, kByte) -> "al".
+[[nodiscard]] std::string_view gpr_name(Gpr reg, Width width) noexcept;
+[[nodiscard]] std::string_view seg_name(SegReg seg) noexcept;
+
+/// True when the 8-bit view of `reg` aliases the high byte (ah/ch/dh/bh),
+/// i.e. the raw 3-bit register field was >= 4 in a byte-width context.
+[[nodiscard]] constexpr bool is_high_byte(std::uint8_t raw_index) noexcept {
+  return raw_index >= 4;
+}
+
+}  // namespace mel::disasm

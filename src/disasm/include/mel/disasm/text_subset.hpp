@@ -1,0 +1,82 @@
+#pragma once
+// The keyboard-enterable instruction subset (paper Section 2.1) and the
+// decoder-free expected-instruction-length analysis (paper Section 5.2).
+//
+// Everything here is *static* knowledge about IA-32 text encodings; nothing
+// requires disassembling the input. That is the point of Section 5.2: the
+// detector's parameters n and p are derived from the character frequency
+// table alone.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "mel/util/bytes.hpp"
+
+namespace mel::disasm {
+
+/// A probability distribution over byte values. For text analyses all mass
+/// must lie in 0x20..0x7E. Index = byte value.
+using ByteDistribution = std::span<const double, 256>;
+
+/// Paper Section 2.1 categories of text-enterable opcodes.
+enum class TextOpcodeCategory : std::uint8_t {
+  kNotText,          ///< Byte outside 0x20..0x7E.
+  kPrefix,           ///< Operand/segment override prefixes (a16, o16, cs:, ...).
+  kRegisterMemory,   ///< sub/xor/and/inc/imul/cmp/dec/push/pop/popa/...
+  kJump,             ///< jo through jng (0x70..0x7E).
+  kIo,               ///< insb/insd/outsb/outsd ('l' 'm' 'n' 'o').
+  kMisc,             ///< aaa/daa/das/bound/arpl.
+};
+
+/// Classifies one opcode byte per the paper's taxonomy.
+[[nodiscard]] TextOpcodeCategory classify_text_opcode(std::uint8_t b) noexcept;
+
+/// True when b is a text byte that acts as an instruction prefix
+/// (es: cs: ss: ds: fs: gs: o16 a16 — all eight prefixes are text bytes).
+[[nodiscard]] bool is_text_prefix_byte(std::uint8_t b) noexcept;
+
+/// True for the privileged text I/O opcodes 'l', 'm', 'n', 'o'
+/// (insb, insd, outsb, outsd) that fault at user level.
+[[nodiscard]] constexpr bool is_text_io_opcode(std::uint8_t b) noexcept {
+  return b >= 0x6C && b <= 0x6F;
+}
+
+/// All text opcode bytes (non-prefix), in ascending order.
+[[nodiscard]] const std::vector<std::uint8_t>& text_opcode_bytes();
+
+/// Human-readable inventory row for documentation/examples.
+struct TextOpcodeInfo {
+  std::uint8_t byte;
+  char character;  ///< The ASCII character this opcode is.
+  std::string_view mnemonic;
+  TextOpcodeCategory category;
+};
+[[nodiscard]] std::vector<TextOpcodeInfo> text_opcode_inventory();
+
+// --- Section 5.2 parameter machinery ---------------------------------------
+
+/// z: probability that a character drawn from `dist` is a prefix byte.
+[[nodiscard]] double prefix_char_probability(ByteDistribution dist);
+
+/// E[length of prefix chain] = z / (1 - z) (geometric chain of prefixes).
+[[nodiscard]] double expected_prefix_chain_length(ByteDistribution dist);
+
+/// E[length of the actual instruction] (opcode + ModR/M + SIB +
+/// displacement + immediate), computed by exact enumeration over the text
+/// opcode map with subsequent bytes drawn i.i.d. from `dist`.
+/// Precondition: dist has all its mass in the text domain.
+[[nodiscard]] double expected_actual_instruction_length(ByteDistribution dist);
+
+/// E[instruction length] = E[prefix chain] + E[actual instruction].
+[[nodiscard]] double expected_instruction_length(ByteDistribution dist);
+
+/// Expected byte length of the instruction whose opcode byte is `opcode`,
+/// with all subsequent bytes i.i.d. from `dist` (helper exposed for tests
+/// and the parameter-estimation ablation).
+[[nodiscard]] double expected_length_for_opcode(std::uint8_t opcode,
+                                                ByteDistribution dist);
+
+}  // namespace mel::disasm

@@ -1,0 +1,196 @@
+#include "mel/disasm/instruction.hpp"
+
+namespace mel::disasm {
+
+std::string_view mnemonic_name(Mnemonic mnemonic, std::uint8_t cc) noexcept {
+  switch (mnemonic) {
+    case Mnemonic::kInvalid:
+      return "(bad)";
+    case Mnemonic::kUnknown:
+      return "(unknown)";
+    case Mnemonic::kAdd: return "add";
+    case Mnemonic::kOr: return "or";
+    case Mnemonic::kAdc: return "adc";
+    case Mnemonic::kSbb: return "sbb";
+    case Mnemonic::kAnd: return "and";
+    case Mnemonic::kSub: return "sub";
+    case Mnemonic::kXor: return "xor";
+    case Mnemonic::kCmp: return "cmp";
+    case Mnemonic::kTest: return "test";
+    case Mnemonic::kInc: return "inc";
+    case Mnemonic::kDec: return "dec";
+    case Mnemonic::kNeg: return "neg";
+    case Mnemonic::kNot: return "not";
+    case Mnemonic::kMul: return "mul";
+    case Mnemonic::kImul: return "imul";
+    case Mnemonic::kDiv: return "div";
+    case Mnemonic::kIdiv: return "idiv";
+    case Mnemonic::kRol: return "rol";
+    case Mnemonic::kRor: return "ror";
+    case Mnemonic::kRcl: return "rcl";
+    case Mnemonic::kRcr: return "rcr";
+    case Mnemonic::kShl: return "shl";
+    case Mnemonic::kShr: return "shr";
+    case Mnemonic::kSal: return "sal";
+    case Mnemonic::kSar: return "sar";
+    case Mnemonic::kDaa: return "daa";
+    case Mnemonic::kDas: return "das";
+    case Mnemonic::kAaa: return "aaa";
+    case Mnemonic::kAas: return "aas";
+    case Mnemonic::kAam: return "aam";
+    case Mnemonic::kAad: return "aad";
+    case Mnemonic::kSalc: return "salc";
+    case Mnemonic::kXlat: return "xlat";
+    case Mnemonic::kBound: return "bound";
+    case Mnemonic::kArpl: return "arpl";
+    case Mnemonic::kCwde: return "cwde";
+    case Mnemonic::kCdq: return "cdq";
+    case Mnemonic::kSahf: return "sahf";
+    case Mnemonic::kLahf: return "lahf";
+    case Mnemonic::kCmc: return "cmc";
+    case Mnemonic::kMov: return "mov";
+    case Mnemonic::kXchg: return "xchg";
+    case Mnemonic::kLea: return "lea";
+    case Mnemonic::kLes: return "les";
+    case Mnemonic::kLds: return "lds";
+    case Mnemonic::kMovzx: return "movzx";
+    case Mnemonic::kMovsx: return "movsx";
+    case Mnemonic::kBswap: return "bswap";
+    case Mnemonic::kSetcc:
+      switch (cc & 0xF) {
+        case 0x0: return "seto";
+        case 0x1: return "setno";
+        case 0x2: return "setb";
+        case 0x3: return "setae";
+        case 0x4: return "sete";
+        case 0x5: return "setne";
+        case 0x6: return "setbe";
+        case 0x7: return "seta";
+        case 0x8: return "sets";
+        case 0x9: return "setns";
+        case 0xA: return "setp";
+        case 0xB: return "setnp";
+        case 0xC: return "setl";
+        case 0xD: return "setge";
+        case 0xE: return "setle";
+        default: return "setg";
+      }
+    case Mnemonic::kCmovcc:
+      switch (cc & 0xF) {
+        case 0x0: return "cmovo";
+        case 0x1: return "cmovno";
+        case 0x2: return "cmovb";
+        case 0x3: return "cmovae";
+        case 0x4: return "cmove";
+        case 0x5: return "cmovne";
+        case 0x6: return "cmovbe";
+        case 0x7: return "cmova";
+        case 0x8: return "cmovs";
+        case 0x9: return "cmovns";
+        case 0xA: return "cmovp";
+        case 0xB: return "cmovnp";
+        case 0xC: return "cmovl";
+        case 0xD: return "cmovge";
+        case 0xE: return "cmovle";
+        default: return "cmovg";
+      }
+    case Mnemonic::kBt: return "bt";
+    case Mnemonic::kBts: return "bts";
+    case Mnemonic::kBtr: return "btr";
+    case Mnemonic::kBtc: return "btc";
+    case Mnemonic::kShld: return "shld";
+    case Mnemonic::kShrd: return "shrd";
+    case Mnemonic::kLar: return "lar";
+    case Mnemonic::kLsl: return "lsl";
+    case Mnemonic::kPush: return "push";
+    case Mnemonic::kPop: return "pop";
+    case Mnemonic::kPusha: return "pusha";
+    case Mnemonic::kPopa: return "popa";
+    case Mnemonic::kPushf: return "pushf";
+    case Mnemonic::kPopf: return "popf";
+    case Mnemonic::kEnter: return "enter";
+    case Mnemonic::kLeave: return "leave";
+    case Mnemonic::kMovs: return "movs";
+    case Mnemonic::kCmps: return "cmps";
+    case Mnemonic::kStos: return "stos";
+    case Mnemonic::kLods: return "lods";
+    case Mnemonic::kScas: return "scas";
+    case Mnemonic::kIns: return "ins";
+    case Mnemonic::kOuts: return "outs";
+    case Mnemonic::kIn: return "in";
+    case Mnemonic::kOut: return "out";
+    case Mnemonic::kJcc:
+      switch (cc & 0xF) {
+        case 0x0: return "jo";
+        case 0x1: return "jno";
+        case 0x2: return "jb";
+        case 0x3: return "jae";
+        case 0x4: return "je";
+        case 0x5: return "jne";
+        case 0x6: return "jbe";
+        case 0x7: return "ja";
+        case 0x8: return "js";
+        case 0x9: return "jns";
+        case 0xA: return "jp";
+        case 0xB: return "jnp";
+        case 0xC: return "jl";
+        case 0xD: return "jge";
+        case 0xE: return "jle";
+        default: return "jg";
+      }
+    case Mnemonic::kJmp: return "jmp";
+    case Mnemonic::kJmpFar: return "ljmp";
+    case Mnemonic::kCall: return "call";
+    case Mnemonic::kCallFar: return "lcall";
+    case Mnemonic::kRet: return "ret";
+    case Mnemonic::kRetFar: return "retf";
+    case Mnemonic::kLoop: return "loop";
+    case Mnemonic::kLoope: return "loope";
+    case Mnemonic::kLoopne: return "loopne";
+    case Mnemonic::kJecxz: return "jecxz";
+    case Mnemonic::kInt: return "int";
+    case Mnemonic::kInt3: return "int3";
+    case Mnemonic::kInto: return "into";
+    case Mnemonic::kInt1: return "int1";
+    case Mnemonic::kIret: return "iret";
+    case Mnemonic::kNop: return "nop";
+    case Mnemonic::kWait: return "wait";
+    case Mnemonic::kHlt: return "hlt";
+    case Mnemonic::kClc: return "clc";
+    case Mnemonic::kStc: return "stc";
+    case Mnemonic::kCli: return "cli";
+    case Mnemonic::kSti: return "sti";
+    case Mnemonic::kCld: return "cld";
+    case Mnemonic::kStd: return "std";
+    case Mnemonic::kSysenter: return "sysenter";
+    case Mnemonic::kSysexit: return "sysexit";
+    case Mnemonic::kRdtsc: return "rdtsc";
+    case Mnemonic::kCpuid: return "cpuid";
+    case Mnemonic::kSystemGroup: return "(system)";
+    case Mnemonic::kFpu: return "(x87)";
+  }
+  return "?";
+}
+
+std::string_view condition_suffix(std::uint8_t cc) noexcept {
+  switch (cc & 0xF) {
+    case 0x0: return "o";
+    case 0x1: return "no";
+    case 0x2: return "b";
+    case 0x3: return "ae";
+    case 0x4: return "e";
+    case 0x5: return "ne";
+    case 0x6: return "be";
+    case 0x7: return "a";
+    case 0x8: return "s";
+    case 0x9: return "ns";
+    case 0xA: return "p";
+    case 0xB: return "np";
+    case 0xC: return "l";
+    case 0xD: return "ge";
+    case 0xE: return "le";
+    default: return "g";
+  }
+}
+
+}  // namespace mel::disasm

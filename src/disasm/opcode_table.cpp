@@ -1,0 +1,473 @@
+#include "mel/disasm/opcode_table.hpp"
+
+namespace mel::disasm {
+
+namespace {
+
+using OT = OpTemplate;
+using M = Mnemonic;
+
+constexpr std::uint32_t kRW = 0;  // marker comments only
+
+/// Builder shorthands. An OpcodeInfo is mostly zero; these helpers keep the
+/// 256-entry tables legible.
+constexpr OpcodeInfo op(M m, OT a = OT::kNone, OT b = OT::kNone,
+                        OT c = OT::kNone, std::uint32_t flags = kFlagNone,
+                        bool dst_writes = false, bool dst_reads = false) {
+  OpcodeInfo info{};
+  info.mnemonic = m;
+  info.op1 = a;
+  info.op2 = b;
+  info.op3 = c;
+  info.flags = flags;
+  info.dst_writes = dst_writes;
+  info.dst_reads = dst_reads;
+  return info;
+}
+
+constexpr OpcodeInfo group_op(OpGroup g, OT a, OT b = OT::kNone,
+                              std::uint32_t flags = kFlagNone) {
+  OpcodeInfo info{};
+  info.mnemonic = M::kUnknown;  // Replaced by the group entry.
+  info.group = g;
+  info.op1 = a;
+  info.op2 = b;
+  info.flags = flags;
+  return info;
+}
+
+constexpr OpcodeInfo prefix_op() {
+  OpcodeInfo info{};
+  info.mnemonic = M::kUnknown;
+  info.is_prefix = true;
+  return info;
+}
+
+constexpr OpcodeInfo seg_stack_op(M m, SegReg seg, std::uint32_t flags) {
+  OpcodeInfo info = op(m, OT::kSeg, OT::kNone, OT::kNone, flags);
+  info.fixed_seg = seg;
+  return info;
+}
+
+constexpr OpcodeInfo undefined_op() {
+  OpcodeInfo info{};
+  info.mnemonic = M::kInvalid;
+  info.flags = kFlagUndefined;
+  return info;
+}
+
+/// Fills the six standard encodings of a classic ALU opcode block starting
+/// at `base` (ADD/OR/ADC/SBB/AND/SUB/XOR/CMP).
+constexpr void fill_alu_block(std::array<OpcodeInfo, 256>& t, std::uint8_t base,
+                              M m, bool writes) {
+  t[base + 0] = op(m, OT::kEb, OT::kGb, OT::kNone, kFlagNone, writes, true);
+  t[base + 1] = op(m, OT::kEv, OT::kGv, OT::kNone, kFlagNone, writes, true);
+  t[base + 2] = op(m, OT::kGb, OT::kEb, OT::kNone, kFlagNone, writes, true);
+  t[base + 3] = op(m, OT::kGv, OT::kEv, OT::kNone, kFlagNone, writes, true);
+  t[base + 4] = op(m, OT::kAL, OT::kIb, OT::kNone, kFlagNone, writes, true);
+  t[base + 5] = op(m, OT::keAX, OT::kIz, OT::kNone, kFlagNone, writes, true);
+}
+
+constexpr std::array<OpcodeInfo, 256> build_one_byte_table() {
+  std::array<OpcodeInfo, 256> t{};
+  for (auto& e : t) e = undefined_op();
+
+  fill_alu_block(t, 0x00, M::kAdd, /*writes=*/true);
+  t[0x06] = seg_stack_op(M::kPush, SegReg::kEs, kFlagStackWrite);
+  t[0x07] = seg_stack_op(M::kPop, SegReg::kEs,
+                         kFlagStackRead | kFlagSegmentLoad);
+  fill_alu_block(t, 0x08, M::kOr, true);
+  t[0x0E] = seg_stack_op(M::kPush, SegReg::kCs, kFlagStackWrite);
+  // 0x0F is the two-byte escape; handled by the decoder before table lookup.
+  fill_alu_block(t, 0x10, M::kAdc, true);
+  t[0x16] = seg_stack_op(M::kPush, SegReg::kSs, kFlagStackWrite);
+  t[0x17] = seg_stack_op(M::kPop, SegReg::kSs,
+                         kFlagStackRead | kFlagSegmentLoad);
+  fill_alu_block(t, 0x18, M::kSbb, true);
+  t[0x1E] = seg_stack_op(M::kPush, SegReg::kDs, kFlagStackWrite);
+  t[0x1F] = seg_stack_op(M::kPop, SegReg::kDs,
+                         kFlagStackRead | kFlagSegmentLoad);
+  fill_alu_block(t, 0x20, M::kAnd, true);
+  t[0x26] = prefix_op();  // es:
+  t[0x27] = op(M::kDaa, OT::kNone, OT::kNone, OT::kNone, kFlagLegacyBcd);
+  fill_alu_block(t, 0x28, M::kSub, true);
+  t[0x2E] = prefix_op();  // cs:
+  t[0x2F] = op(M::kDas, OT::kNone, OT::kNone, OT::kNone, kFlagLegacyBcd);
+  fill_alu_block(t, 0x30, M::kXor, true);
+  t[0x36] = prefix_op();  // ss:
+  t[0x37] = op(M::kAaa, OT::kNone, OT::kNone, OT::kNone, kFlagLegacyBcd);
+  fill_alu_block(t, 0x38, M::kCmp, /*writes=*/false);
+  t[0x3E] = prefix_op();  // ds:
+  t[0x3F] = op(M::kAas, OT::kNone, OT::kNone, OT::kNone, kFlagLegacyBcd);
+
+  for (int r = 0; r < 8; ++r) {
+    t[0x40 + r] = op(M::kInc, OT::kRegV, OT::kNone, OT::kNone, kFlagNone,
+                     true, true);
+    t[0x48 + r] = op(M::kDec, OT::kRegV, OT::kNone, OT::kNone, kFlagNone,
+                     true, true);
+    t[0x50 + r] = op(M::kPush, OT::kRegV, OT::kNone, OT::kNone,
+                     kFlagStackWrite, false, true);
+    t[0x58 + r] = op(M::kPop, OT::kRegV, OT::kNone, OT::kNone,
+                     kFlagStackRead, true, false);
+  }
+
+  t[0x60] = op(M::kPusha, OT::kNone, OT::kNone, OT::kNone, kFlagStackWrite);
+  t[0x61] = op(M::kPopa, OT::kNone, OT::kNone, OT::kNone, kFlagStackRead);
+  t[0x62] = op(M::kBound, OT::kGv, OT::kMa, OT::kNone, kFlagNone, false, true);
+  t[0x63] = op(M::kArpl, OT::kEw, OT::kGw, OT::kNone, kFlagNone, true, true);
+  t[0x64] = prefix_op();  // fs:
+  t[0x65] = prefix_op();  // gs:
+  t[0x66] = prefix_op();  // operand size
+  t[0x67] = prefix_op();  // address size
+  t[0x68] = op(M::kPush, OT::kIz, OT::kNone, OT::kNone, kFlagStackWrite);
+  t[0x69] = op(M::kImul, OT::kGv, OT::kEv, OT::kIz, kFlagNone, true, false);
+  t[0x6A] = op(M::kPush, OT::kIb, OT::kNone, OT::kNone, kFlagStackWrite);
+  t[0x6B] = op(M::kImul, OT::kGv, OT::kEv, OT::kIb, kFlagNone, true, false);
+  t[0x6C] = op(M::kIns, OT::kNone, OT::kNone, OT::kNone,
+               kFlagIoString | kFlagString | kFlagMemWrite);
+  t[0x6D] = op(M::kIns, OT::kNone, OT::kNone, OT::kNone,
+               kFlagIoString | kFlagString | kFlagMemWrite);
+  t[0x6E] = op(M::kOuts, OT::kNone, OT::kNone, OT::kNone,
+               kFlagIoString | kFlagString | kFlagMemRead);
+  t[0x6F] = op(M::kOuts, OT::kNone, OT::kNone, OT::kNone,
+               kFlagIoString | kFlagString | kFlagMemRead);
+
+  for (int cc = 0; cc < 16; ++cc) {
+    t[0x70 + cc] = op(M::kJcc, OT::kJb, OT::kNone, OT::kNone, kFlagCondBranch);
+  }
+
+  t[0x80] = group_op(OpGroup::kGroup1, OT::kEb, OT::kIb);
+  t[0x81] = group_op(OpGroup::kGroup1, OT::kEv, OT::kIz);
+  t[0x82] = group_op(OpGroup::kGroup1, OT::kEb, OT::kIb);  // alias of 0x80
+  t[0x83] = group_op(OpGroup::kGroup1, OT::kEv, OT::kIb);
+  t[0x84] = op(M::kTest, OT::kEb, OT::kGb, OT::kNone, kFlagNone, false, true);
+  t[0x85] = op(M::kTest, OT::kEv, OT::kGv, OT::kNone, kFlagNone, false, true);
+  t[0x86] = op(M::kXchg, OT::kEb, OT::kGb, OT::kNone, kFlagNone, true, true);
+  t[0x87] = op(M::kXchg, OT::kEv, OT::kGv, OT::kNone, kFlagNone, true, true);
+  t[0x88] = op(M::kMov, OT::kEb, OT::kGb, OT::kNone, kFlagNone, true, false);
+  t[0x89] = op(M::kMov, OT::kEv, OT::kGv, OT::kNone, kFlagNone, true, false);
+  t[0x8A] = op(M::kMov, OT::kGb, OT::kEb, OT::kNone, kFlagNone, true, false);
+  t[0x8B] = op(M::kMov, OT::kGv, OT::kEv, OT::kNone, kFlagNone, true, false);
+  t[0x8C] = op(M::kMov, OT::kEv, OT::kSw, OT::kNone, kFlagNone, true, false);
+  t[0x8D] = op(M::kLea, OT::kGv, OT::kM, OT::kNone, kFlagNone, true, false);
+  t[0x8E] = op(M::kMov, OT::kSw, OT::kEw, OT::kNone, kFlagSegmentLoad, true,
+               false);
+  t[0x8F] = group_op(OpGroup::kGroup1A, OT::kEv, OT::kNone, kFlagStackRead);
+
+  t[0x90] = op(M::kNop);
+  for (int r = 1; r < 8; ++r) {
+    t[0x90 + r] = op(M::kXchg, OT::kRegV, OT::keAX, OT::kNone, kFlagNone,
+                     true, true);
+  }
+  t[0x98] = op(M::kCwde);
+  t[0x99] = op(M::kCdq);
+  t[0x9A] = op(M::kCallFar, OT::kAp, OT::kNone, OT::kNone,
+               kFlagCall | kFlagBranchFar | kFlagStackWrite);
+  t[0x9B] = op(M::kWait);
+  t[0x9C] = op(M::kPushf, OT::kNone, OT::kNone, OT::kNone, kFlagStackWrite);
+  t[0x9D] = op(M::kPopf, OT::kNone, OT::kNone, OT::kNone, kFlagStackRead);
+  t[0x9E] = op(M::kSahf);
+  t[0x9F] = op(M::kLahf);
+
+  t[0xA0] = op(M::kMov, OT::kAL, OT::kOb, OT::kNone, kFlagMemRead, true,
+               false);
+  t[0xA1] = op(M::kMov, OT::keAX, OT::kOv, OT::kNone, kFlagMemRead, true,
+               false);
+  t[0xA2] = op(M::kMov, OT::kOb, OT::kAL, OT::kNone, kFlagMemWrite, true,
+               false);
+  t[0xA3] = op(M::kMov, OT::kOv, OT::keAX, OT::kNone, kFlagMemWrite, true,
+               false);
+  t[0xA4] = op(M::kMovs, OT::kNone, OT::kNone, OT::kNone,
+               kFlagString | kFlagMemRead | kFlagMemWrite);
+  t[0xA5] = t[0xA4];
+  t[0xA6] = op(M::kCmps, OT::kNone, OT::kNone, OT::kNone,
+               kFlagString | kFlagMemRead);
+  t[0xA7] = t[0xA6];
+  t[0xA8] = op(M::kTest, OT::kAL, OT::kIb, OT::kNone, kFlagNone, false, true);
+  t[0xA9] = op(M::kTest, OT::keAX, OT::kIz, OT::kNone, kFlagNone, false, true);
+  t[0xAA] = op(M::kStos, OT::kNone, OT::kNone, OT::kNone,
+               kFlagString | kFlagMemWrite);
+  t[0xAB] = t[0xAA];
+  t[0xAC] = op(M::kLods, OT::kNone, OT::kNone, OT::kNone,
+               kFlagString | kFlagMemRead);
+  t[0xAD] = t[0xAC];
+  t[0xAE] = op(M::kScas, OT::kNone, OT::kNone, OT::kNone,
+               kFlagString | kFlagMemRead);
+  t[0xAF] = t[0xAE];
+
+  for (int r = 0; r < 8; ++r) {
+    t[0xB0 + r] = op(M::kMov, OT::kRegB, OT::kIb, OT::kNone, kFlagNone, true,
+                     false);
+    t[0xB8 + r] = op(M::kMov, OT::kRegV, OT::kIz, OT::kNone, kFlagNone, true,
+                     false);
+  }
+
+  t[0xC0] = group_op(OpGroup::kGroup2, OT::kEb, OT::kIbU);
+  t[0xC1] = group_op(OpGroup::kGroup2, OT::kEv, OT::kIbU);
+  t[0xC2] = op(M::kRet, OT::kIw, OT::kNone, OT::kNone,
+               kFlagRet | kFlagStackRead);
+  t[0xC3] = op(M::kRet, OT::kNone, OT::kNone, OT::kNone,
+               kFlagRet | kFlagStackRead);
+  t[0xC4] = op(M::kLes, OT::kGv, OT::kMp, OT::kNone,
+               kFlagSegmentLoad | kFlagMemRead, true, false);
+  t[0xC5] = op(M::kLds, OT::kGv, OT::kMp, OT::kNone,
+               kFlagSegmentLoad | kFlagMemRead, true, false);
+  t[0xC6] = group_op(OpGroup::kGroup11, OT::kEb, OT::kIb);
+  t[0xC7] = group_op(OpGroup::kGroup11, OT::kEv, OT::kIz);
+  t[0xC8] = op(M::kEnter, OT::kIw, OT::kIbU, OT::kNone, kFlagStackWrite);
+  t[0xC9] = op(M::kLeave, OT::kNone, OT::kNone, OT::kNone, kFlagStackRead);
+  t[0xCA] = op(M::kRetFar, OT::kIw, OT::kNone, OT::kNone,
+               kFlagRet | kFlagStackRead | kFlagBranchFar);
+  t[0xCB] = op(M::kRetFar, OT::kNone, OT::kNone, OT::kNone,
+               kFlagRet | kFlagStackRead | kFlagBranchFar);
+  t[0xCC] = op(M::kInt3, OT::kNone, OT::kNone, OT::kNone, kFlagInterrupt);
+  t[0xCD] = op(M::kInt, OT::kIbU, OT::kNone, OT::kNone, kFlagInterrupt);
+  t[0xCE] = op(M::kInto, OT::kNone, OT::kNone, OT::kNone, kFlagInterrupt);
+  t[0xCF] = op(M::kIret, OT::kNone, OT::kNone, OT::kNone,
+               kFlagRet | kFlagStackRead | kFlagInterrupt);
+
+  t[0xD0] = group_op(OpGroup::kGroup2, OT::kEb, OT::kI1);
+  t[0xD1] = group_op(OpGroup::kGroup2, OT::kEv, OT::kI1);
+  t[0xD2] = group_op(OpGroup::kGroup2, OT::kEb, OT::kCL);
+  t[0xD3] = group_op(OpGroup::kGroup2, OT::kEv, OT::kCL);
+  t[0xD4] = op(M::kAam, OT::kIbU, OT::kNone, OT::kNone, kFlagLegacyBcd);
+  t[0xD5] = op(M::kAad, OT::kIbU, OT::kNone, OT::kNone, kFlagLegacyBcd);
+  t[0xD6] = op(M::kSalc);  // Undocumented but executes everywhere.
+  t[0xD7] = op(M::kXlat, OT::kNone, OT::kNone, OT::kNone, kFlagMemRead);
+  for (int e = 0; e < 8; ++e) {
+    t[0xD8 + e] = op(M::kFpu, OT::kEv, OT::kNone, OT::kNone, kFlagFpu, false,
+                     true);
+  }
+
+  t[0xE0] = op(M::kLoopne, OT::kJb, OT::kNone, OT::kNone, kFlagCondBranch);
+  t[0xE1] = op(M::kLoope, OT::kJb, OT::kNone, OT::kNone, kFlagCondBranch);
+  t[0xE2] = op(M::kLoop, OT::kJb, OT::kNone, OT::kNone, kFlagCondBranch);
+  t[0xE3] = op(M::kJecxz, OT::kJb, OT::kNone, OT::kNone, kFlagCondBranch);
+  t[0xE4] = op(M::kIn, OT::kAL, OT::kIbU, OT::kNone, kFlagIoPort, true, false);
+  t[0xE5] = op(M::kIn, OT::keAX, OT::kIbU, OT::kNone, kFlagIoPort, true, false);
+  t[0xE6] = op(M::kOut, OT::kIbU, OT::kAL, OT::kNone, kFlagIoPort);
+  t[0xE7] = op(M::kOut, OT::kIbU, OT::keAX, OT::kNone, kFlagIoPort);
+  t[0xE8] = op(M::kCall, OT::kJz, OT::kNone, OT::kNone,
+               kFlagCall | kFlagStackWrite);
+  t[0xE9] = op(M::kJmp, OT::kJz, OT::kNone, OT::kNone, kFlagUncondBranch);
+  t[0xEA] = op(M::kJmpFar, OT::kAp, OT::kNone, OT::kNone,
+               kFlagUncondBranch | kFlagBranchFar);
+  t[0xEB] = op(M::kJmp, OT::kJb, OT::kNone, OT::kNone, kFlagUncondBranch);
+  t[0xEC] = op(M::kIn, OT::kAL, OT::kDX, OT::kNone, kFlagIoPort, true, false);
+  t[0xED] = op(M::kIn, OT::keAX, OT::kDX, OT::kNone, kFlagIoPort, true,
+               false);
+  t[0xEE] = op(M::kOut, OT::kDX, OT::kAL, OT::kNone, kFlagIoPort);
+  t[0xEF] = op(M::kOut, OT::kDX, OT::keAX, OT::kNone, kFlagIoPort);
+
+  t[0xF0] = prefix_op();  // lock
+  t[0xF1] = op(M::kInt1, OT::kNone, OT::kNone, OT::kNone, kFlagInterrupt);
+  t[0xF2] = prefix_op();  // repne
+  t[0xF3] = prefix_op();  // rep
+  t[0xF4] = op(M::kHlt, OT::kNone, OT::kNone, OT::kNone, kFlagPrivileged);
+  t[0xF5] = op(M::kCmc);
+  t[0xF6] = group_op(OpGroup::kGroup3, OT::kEb);
+  t[0xF7] = group_op(OpGroup::kGroup3, OT::kEv);
+  t[0xF8] = op(M::kClc);
+  t[0xF9] = op(M::kStc);
+  t[0xFA] = op(M::kCli, OT::kNone, OT::kNone, OT::kNone, kFlagPrivileged);
+  t[0xFB] = op(M::kSti, OT::kNone, OT::kNone, OT::kNone, kFlagPrivileged);
+  t[0xFC] = op(M::kCld);
+  t[0xFD] = op(M::kStd);
+  t[0xFE] = group_op(OpGroup::kGroup4, OT::kEb);
+  t[0xFF] = group_op(OpGroup::kGroup5, OT::kEv);
+
+  (void)kRW;
+  return t;
+}
+
+constexpr std::array<OpcodeInfo, 256> build_two_byte_table() {
+  std::array<OpcodeInfo, 256> t{};
+  // Default: recognized escape page, unmodeled opcode. Treated as
+  // run-terminating by validity policies (conservative; see header).
+  for (auto& e : t) {
+    e = OpcodeInfo{};
+    e.mnemonic = M::kUnknown;
+    e.flags = kFlagUndefined;
+  }
+
+  t[0x00] = op(M::kSystemGroup, OT::kEw, OT::kNone, OT::kNone,
+               kFlagSystem | kFlagPrivileged, false, true);
+  t[0x01] = op(M::kSystemGroup, OT::kEv, OT::kNone, OT::kNone,
+               kFlagSystem | kFlagPrivileged, false, true);
+  t[0x06] = op(M::kSystemGroup, OT::kNone, OT::kNone, OT::kNone,
+               kFlagSystem | kFlagPrivileged);  // clts
+  t[0x08] = op(M::kSystemGroup, OT::kNone, OT::kNone, OT::kNone,
+               kFlagSystem | kFlagPrivileged);  // invd
+  t[0x09] = op(M::kSystemGroup, OT::kNone, OT::kNone, OT::kNone,
+               kFlagSystem | kFlagPrivileged);  // wbinvd
+  t[0x02] = op(M::kLar, OT::kGv, OT::kEw, OT::kNone, kFlagSystem, true,
+               false);
+  t[0x03] = op(M::kLsl, OT::kGv, OT::kEw, OT::kNone, kFlagSystem, true,
+               false);
+  t[0x1F] = op(M::kNop, OT::kEv);  // Multi-byte NOP; no memory access.
+  t[0x31] = op(M::kRdtsc, OT::kNone, OT::kNone, OT::kNone, kFlagSystem);
+  t[0x34] = op(M::kSysenter, OT::kNone, OT::kNone, OT::kNone,
+               kFlagSystem | kFlagInterrupt);
+  t[0x35] = op(M::kSysexit, OT::kNone, OT::kNone, OT::kNone,
+               kFlagSystem | kFlagPrivileged);
+  for (int cc = 0; cc < 16; ++cc) {
+    t[0x40 + cc] = op(M::kCmovcc, OT::kGv, OT::kEv, OT::kNone, kFlagNone,
+                      true, true);
+    t[0x80 + cc] = op(M::kJcc, OT::kJz, OT::kNone, OT::kNone, kFlagCondBranch);
+    t[0x90 + cc] = op(M::kSetcc, OT::kEb, OT::kNone, OT::kNone, kFlagNone,
+                      true, false);
+  }
+  t[0xA0] = seg_stack_op(M::kPush, SegReg::kFs, kFlagStackWrite);
+  t[0xA1] = seg_stack_op(M::kPop, SegReg::kFs,
+                         kFlagStackRead | kFlagSegmentLoad);
+  t[0xA2] = op(M::kCpuid, OT::kNone, OT::kNone, OT::kNone, kFlagSystem);
+  t[0xA3] = op(M::kBt, OT::kEv, OT::kGv, OT::kNone, kFlagNone, false, true);
+  t[0xA4] = op(M::kShld, OT::kEv, OT::kGv, OT::kIbU, kFlagNone, true, true);
+  t[0xA5] = op(M::kShld, OT::kEv, OT::kGv, OT::kCL, kFlagNone, true, true);
+  t[0xA8] = seg_stack_op(M::kPush, SegReg::kGs, kFlagStackWrite);
+  t[0xA9] = seg_stack_op(M::kPop, SegReg::kGs,
+                         kFlagStackRead | kFlagSegmentLoad);
+  t[0xAB] = op(M::kBts, OT::kEv, OT::kGv, OT::kNone, kFlagNone, true, true);
+  t[0xAC] = op(M::kShrd, OT::kEv, OT::kGv, OT::kIbU, kFlagNone, true, true);
+  t[0xAD] = op(M::kShrd, OT::kEv, OT::kGv, OT::kCL, kFlagNone, true, true);
+  t[0xAF] = op(M::kImul, OT::kGv, OT::kEv, OT::kNone, kFlagNone, true, true);
+  t[0xB3] = op(M::kBtr, OT::kEv, OT::kGv, OT::kNone, kFlagNone, true, true);
+  t[0xBA] = group_op(OpGroup::kGroup8, OT::kEv, OT::kIbU);
+  t[0xBB] = op(M::kBtc, OT::kEv, OT::kGv, OT::kNone, kFlagNone, true, true);
+  t[0xB6] = op(M::kMovzx, OT::kGv, OT::kEb, OT::kNone, kFlagNone, true, false);
+  t[0xB7] = op(M::kMovzx, OT::kGv, OT::kEw, OT::kNone, kFlagNone, true, false);
+  t[0xBE] = op(M::kMovsx, OT::kGv, OT::kEb, OT::kNone, kFlagNone, true, false);
+  t[0xBF] = op(M::kMovsx, OT::kGv, OT::kEw, OT::kNone, kFlagNone, true, false);
+  for (int r = 0; r < 8; ++r) {
+    t[0xC8 + r] = op(M::kBswap, OT::kRegV, OT::kNone, OT::kNone, kFlagNone,
+                     true, true);
+  }
+  return t;
+}
+
+// Group resolution tables --------------------------------------------------
+
+constexpr GroupEntry ge(M m, bool writes, bool reads,
+                        std::uint32_t extra = kFlagNone) {
+  return GroupEntry{m, extra, writes, reads};
+}
+
+constexpr std::array<GroupEntry, 8> kGroup1 = {
+    ge(M::kAdd, true, true), ge(M::kOr, true, true),
+    ge(M::kAdc, true, true), ge(M::kSbb, true, true),
+    ge(M::kAnd, true, true), ge(M::kSub, true, true),
+    ge(M::kXor, true, true), ge(M::kCmp, false, true),
+};
+
+constexpr std::array<GroupEntry, 8> kGroup1A = {
+    ge(M::kPop, true, false), GroupEntry{}, GroupEntry{}, GroupEntry{},
+    GroupEntry{}, GroupEntry{}, GroupEntry{}, GroupEntry{},
+};
+
+constexpr std::array<GroupEntry, 8> kGroup2 = {
+    ge(M::kRol, true, true), ge(M::kRor, true, true),
+    ge(M::kRcl, true, true), ge(M::kRcr, true, true),
+    ge(M::kShl, true, true), ge(M::kShr, true, true),
+    ge(M::kSal, true, true), ge(M::kSar, true, true),
+};
+
+constexpr std::array<GroupEntry, 8> kGroup3 = {
+    ge(M::kTest, false, true), ge(M::kTest, false, true),
+    ge(M::kNot, true, true),   ge(M::kNeg, true, true),
+    ge(M::kMul, false, true),  ge(M::kImul, false, true),
+    ge(M::kDiv, false, true),  ge(M::kIdiv, false, true),
+};
+
+constexpr std::array<GroupEntry, 8> kGroup4 = {
+    ge(M::kInc, true, true), ge(M::kDec, true, true),
+    GroupEntry{}, GroupEntry{}, GroupEntry{}, GroupEntry{},
+    GroupEntry{}, GroupEntry{},
+};
+
+constexpr std::array<GroupEntry, 8> kGroup5 = {
+    ge(M::kInc, true, true),
+    ge(M::kDec, true, true),
+    ge(M::kCall, false, true,
+       kFlagCall | kFlagBranchIndirect | kFlagStackWrite),
+    ge(M::kCallFar, false, true,
+       kFlagCall | kFlagBranchIndirect | kFlagBranchFar | kFlagStackWrite),
+    ge(M::kJmp, false, true, kFlagUncondBranch | kFlagBranchIndirect),
+    ge(M::kJmpFar, false, true,
+       kFlagUncondBranch | kFlagBranchIndirect | kFlagBranchFar),
+    ge(M::kPush, false, true, kFlagStackWrite),
+    GroupEntry{},
+};
+
+constexpr std::array<GroupEntry, 8> kGroup8 = {
+    GroupEntry{}, GroupEntry{}, GroupEntry{}, GroupEntry{},
+    ge(M::kBt, false, true), ge(M::kBts, true, true),
+    ge(M::kBtr, true, true), ge(M::kBtc, true, true),
+};
+
+constexpr std::array<GroupEntry, 8> kGroup11 = {
+    ge(M::kMov, true, false), GroupEntry{}, GroupEntry{}, GroupEntry{},
+    GroupEntry{}, GroupEntry{}, GroupEntry{}, GroupEntry{},
+};
+
+constexpr std::array<OpcodeInfo, 256> kOneByte = build_one_byte_table();
+constexpr std::array<OpcodeInfo, 256> kTwoByte = build_two_byte_table();
+
+}  // namespace
+
+bool OpcodeInfo::needs_modrm() const noexcept {
+  const auto uses_modrm = [](OpTemplate ot) {
+    switch (ot) {
+      case OpTemplate::kEb:
+      case OpTemplate::kEv:
+      case OpTemplate::kEw:
+      case OpTemplate::kGb:
+      case OpTemplate::kGv:
+      case OpTemplate::kGw:
+      case OpTemplate::kSw:
+      case OpTemplate::kM:
+      case OpTemplate::kMa:
+      case OpTemplate::kMp:
+        return true;
+      default:
+        return false;
+    }
+  };
+  return group != OpGroup::kNone || uses_modrm(op1) || uses_modrm(op2) ||
+         uses_modrm(op3);
+}
+
+const std::array<OpcodeInfo, 256>& one_byte_table() noexcept {
+  return kOneByte;
+}
+
+const std::array<OpcodeInfo, 256>& two_byte_table() noexcept {
+  return kTwoByte;
+}
+
+const GroupEntry& group_entry(OpGroup group, std::uint8_t reg) noexcept {
+  static constexpr GroupEntry kEmpty{};
+  if (reg >= 8) return kEmpty;
+  switch (group) {
+    case OpGroup::kGroup1:
+      return kGroup1[reg];
+    case OpGroup::kGroup1A:
+      return kGroup1A[reg];
+    case OpGroup::kGroup2:
+      return kGroup2[reg];
+    case OpGroup::kGroup3:
+      return kGroup3[reg];
+    case OpGroup::kGroup4:
+      return kGroup4[reg];
+    case OpGroup::kGroup5:
+      return kGroup5[reg];
+    case OpGroup::kGroup8:
+      return kGroup8[reg];
+    case OpGroup::kGroup11:
+      return kGroup11[reg];
+    case OpGroup::kNone:
+      break;
+  }
+  return kEmpty;
+}
+
+}  // namespace mel::disasm

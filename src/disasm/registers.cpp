@@ -1,0 +1,38 @@
+#include "mel/disasm/registers.hpp"
+
+#include <array>
+
+namespace mel::disasm {
+
+namespace {
+constexpr std::array<std::string_view, 8> kNames32 = {
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"};
+constexpr std::array<std::string_view, 8> kNames16 = {
+    "ax", "cx", "dx", "bx", "sp", "bp", "si", "di"};
+constexpr std::array<std::string_view, 8> kNames8 = {
+    "al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"};
+constexpr std::array<std::string_view, 6> kSegNames = {"es", "cs", "ss",
+                                                       "ds", "fs", "gs"};
+}  // namespace
+
+std::string_view gpr_name(Gpr reg, Width width) noexcept {
+  const auto index = static_cast<std::uint8_t>(reg);
+  if (index >= 8) return "?";
+  switch (width) {
+    case Width::kByte:
+      return kNames8[index];
+    case Width::kWord:
+      return kNames16[index];
+    case Width::kDword:
+      return kNames32[index];
+  }
+  return "?";
+}
+
+std::string_view seg_name(SegReg seg) noexcept {
+  const auto index = static_cast<std::uint8_t>(seg);
+  if (index >= 6) return "?";
+  return kSegNames[index];
+}
+
+}  // namespace mel::disasm

@@ -1,0 +1,201 @@
+#include "mel/disasm/text_subset.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "mel/disasm/instruction.hpp"
+#include "mel/disasm/opcode_table.hpp"
+
+namespace mel::disasm {
+
+namespace {
+
+/// Total probability mass on text bytes; used to validate distributions.
+[[maybe_unused]] double text_mass(ByteDistribution dist) {
+  double mass = 0.0;
+  for (int b = util::kTextLow; b <= util::kTextHigh; ++b) mass += dist[b];
+  return mass;
+}
+
+/// P[byte & 7 == 5] under dist, i.e. a SIB base field of 5 which adds a
+/// disp32 when mod == 0.
+double sib_base5_probability(ByteDistribution dist) {
+  double p = 0.0;
+  for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+    if ((b & 7) == 5) p += dist[b];
+  }
+  return p;
+}
+
+/// Immediate/displacement byte count contributed by a template, for text
+/// streams (no 0x66-within-instruction: prefixes are part of the chain).
+int template_tail_bytes(OpTemplate ot) {
+  switch (ot) {
+    case OpTemplate::kIb:
+    case OpTemplate::kIbU:
+    case OpTemplate::kJb:
+      return 1;
+    case OpTemplate::kIw:
+      return 2;
+    case OpTemplate::kIz:
+    case OpTemplate::kJz:
+    case OpTemplate::kOb:
+    case OpTemplate::kOv:
+      return 4;
+    case OpTemplate::kAp:
+      return 6;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+TextOpcodeCategory classify_text_opcode(std::uint8_t b) noexcept {
+  if (!util::is_text_byte(b)) return TextOpcodeCategory::kNotText;
+  if (is_text_prefix_byte(b)) return TextOpcodeCategory::kPrefix;
+  if (is_text_io_opcode(b)) return TextOpcodeCategory::kIo;
+  if (b >= 0x70 && b <= 0x7E) return TextOpcodeCategory::kJump;
+  switch (b) {
+    case 0x27:  // daa
+    case 0x2F:  // das
+    case 0x37:  // aaa
+    case 0x3F:  // aas
+    case 0x62:  // bound
+    case 0x63:  // arpl
+      return TextOpcodeCategory::kMisc;
+    default:
+      return TextOpcodeCategory::kRegisterMemory;
+  }
+}
+
+bool is_text_prefix_byte(std::uint8_t b) noexcept {
+  return util::is_text_byte(b) && one_byte_table()[b].is_prefix;
+}
+
+const std::vector<std::uint8_t>& text_opcode_bytes() {
+  static const std::vector<std::uint8_t> bytes = [] {
+    std::vector<std::uint8_t> out;
+    for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+      const auto byte = static_cast<std::uint8_t>(b);
+      if (!is_text_prefix_byte(byte)) out.push_back(byte);
+    }
+    return out;
+  }();
+  return bytes;
+}
+
+std::vector<TextOpcodeInfo> text_opcode_inventory() {
+  std::vector<TextOpcodeInfo> rows;
+  for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+    const auto byte = static_cast<std::uint8_t>(b);
+    const TextOpcodeCategory category = classify_text_opcode(byte);
+    std::string_view name;
+    if (category == TextOpcodeCategory::kPrefix) {
+      switch (byte) {
+        case 0x26: name = "es:"; break;
+        case 0x2E: name = "cs:"; break;
+        case 0x36: name = "ss:"; break;
+        case 0x3E: name = "ds:"; break;
+        case 0x64: name = "fs:"; break;
+        case 0x65: name = "gs:"; break;
+        case 0x66: name = "o16"; break;
+        case 0x67: name = "a16"; break;
+        default: name = "?"; break;
+      }
+    } else {
+      const OpcodeInfo& info = one_byte_table()[byte];
+      if (info.group != OpGroup::kNone) {
+        name = "(group)";
+      } else {
+        name = mnemonic_name(info.mnemonic, byte & 0xF);
+      }
+    }
+    rows.push_back(TextOpcodeInfo{byte, static_cast<char>(byte), name,
+                                  category});
+  }
+  return rows;
+}
+
+double prefix_char_probability(ByteDistribution dist) {
+  double z = 0.0;
+  for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+    if (is_text_prefix_byte(static_cast<std::uint8_t>(b))) z += dist[b];
+  }
+  return z;
+}
+
+double expected_prefix_chain_length(ByteDistribution dist) {
+  const double z = prefix_char_probability(dist);
+  assert(z < 1.0);
+  return z / (1.0 - z);
+}
+
+double expected_length_for_opcode(std::uint8_t opcode, ByteDistribution dist) {
+  assert(util::is_text_byte(opcode));
+  assert(!is_text_prefix_byte(opcode));
+  const OpcodeInfo& info = one_byte_table()[opcode];
+  assert(info.defined());
+
+  double length = 1.0;  // The opcode byte itself.
+
+  if (info.needs_modrm()) {
+    // Enumerate text ModR/M values weighted by the stream distribution.
+    // Text bytes have MSB 0, so mod is 0 (0x20..0x3F) or 1 (0x40..0x7E):
+    // the register-register form (mod 3) is unreachable — the structural
+    // fact behind the paper's "one operand must come from memory".
+    const double p_base5 = sib_base5_probability(dist);
+    double modrm_mass = 0.0;
+    double expected_tail = 0.0;
+    for (int m = util::kTextLow; m <= util::kTextHigh; ++m) {
+      const double weight = dist[m];
+      if (weight == 0.0) continue;
+      modrm_mass += weight;
+      const int mod = m >> 6;
+      const int rm = m & 7;
+      double tail = 1.0;  // The ModR/M byte.
+      if (mod == 0) {
+        if (rm == 4) {
+          tail += 1.0 + 4.0 * p_base5;  // SIB, plus disp32 when base==5.
+        } else if (rm == 5) {
+          tail += 4.0;  // disp32 absolute.
+        }
+      } else {        // mod == 1
+        tail += 1.0;  // disp8.
+        if (rm == 4) tail += 1.0;  // SIB.
+      }
+      expected_tail += weight * tail;
+    }
+    assert(modrm_mass > 0.0);
+    length += expected_tail / modrm_mass;
+  }
+
+  length += template_tail_bytes(info.op1);
+  length += template_tail_bytes(info.op2);
+  length += template_tail_bytes(info.op3);
+  return length;
+}
+
+double expected_actual_instruction_length(ByteDistribution dist) {
+  assert(std::fabs(text_mass(dist) - 1.0) < 1e-6 &&
+         "distribution must be over the text domain");
+  // The opcode byte is the first non-prefix character: renormalize over
+  // non-prefix text bytes.
+  double opcode_mass = 0.0;
+  double expectation = 0.0;
+  for (std::uint8_t opcode : text_opcode_bytes()) {
+    const double weight = dist[opcode];
+    if (weight == 0.0) continue;
+    opcode_mass += weight;
+    expectation += weight * expected_length_for_opcode(opcode, dist);
+  }
+  assert(opcode_mass > 0.0);
+  return expectation / opcode_mass;
+}
+
+double expected_instruction_length(ByteDistribution dist) {
+  return expected_prefix_chain_length(dist) +
+         expected_actual_instruction_length(dist);
+}
+
+}  // namespace mel::disasm

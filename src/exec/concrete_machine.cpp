@@ -1,0 +1,1004 @@
+#include "mel/exec/concrete_machine.hpp"
+
+#include <cassert>
+
+#include "mel/disasm/decoder.hpp"
+
+namespace mel::exec {
+
+namespace {
+
+using disasm::Gpr;
+using disasm::Instruction;
+using disasm::Mnemonic;
+using disasm::Operand;
+using disasm::OperandKind;
+using disasm::Width;
+
+std::uint32_t width_mask(Width width) {
+  switch (width) {
+    case Width::kByte:
+      return 0xFFu;
+    case Width::kWord:
+      return 0xFFFFu;
+    case Width::kDword:
+      return 0xFFFFFFFFu;
+  }
+  return 0xFFFFFFFFu;
+}
+
+int width_bits(Width width) {
+  switch (width) {
+    case Width::kByte:
+      return 8;
+    case Width::kWord:
+      return 16;
+    case Width::kDword:
+      return 32;
+  }
+  return 32;
+}
+
+}  // namespace
+
+std::string_view stop_reason_name(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kRunning: return "running";
+    case StopReason::kOutOfImage: return "out-of-image";
+    case StopReason::kFault: return "fault";
+    case StopReason::kInterrupt: return "interrupt";
+    case StopReason::kIndirectBranch: return "indirect-branch";
+    case StopReason::kUnimplemented: return "unimplemented";
+    case StopReason::kBudget: return "budget";
+  }
+  return "?";
+}
+
+ConcreteMachine::ConcreteMachine(util::ByteView image, MachineConfig config)
+    : config_(config),
+      image_(image.begin(), image.end()),
+      stack_(config.stack_size, 0) {
+  regs_.fill(config_.garbage);
+  regs_[static_cast<int>(Gpr::kEsp)] = initial_esp();
+  eip_ = config_.image_base;
+}
+
+std::uint32_t ConcreteMachine::reg(Gpr reg_id) const {
+  return regs_[static_cast<std::uint8_t>(reg_id) & 7];
+}
+
+void ConcreteMachine::set_reg(Gpr reg_id, std::uint32_t value) {
+  regs_[static_cast<std::uint8_t>(reg_id) & 7] = value;
+}
+
+std::optional<std::uint8_t> ConcreteMachine::read8(std::uint32_t addr) const {
+  if (addr >= config_.image_base &&
+      addr - config_.image_base < image_.size()) {
+    return image_[addr - config_.image_base];
+  }
+  if (addr >= config_.stack_base &&
+      addr - config_.stack_base < stack_.size()) {
+    return stack_[addr - config_.stack_base];
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> ConcreteMachine::read32(std::uint32_t addr) const {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    const auto byte = read8(addr + static_cast<std::uint32_t>(i));
+    if (!byte) return std::nullopt;
+    value = (value << 8) | *byte;
+  }
+  return value;
+}
+
+bool ConcreteMachine::write8(std::uint32_t addr, std::uint8_t value) {
+  if (addr >= config_.image_base &&
+      addr - config_.image_base < image_.size()) {
+    image_[addr - config_.image_base] = value;
+    return true;
+  }
+  if (addr >= config_.stack_base &&
+      addr - config_.stack_base < stack_.size()) {
+    stack_[addr - config_.stack_base] = value;
+    return true;
+  }
+  return false;
+}
+
+bool ConcreteMachine::write32(std::uint32_t addr, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    if (!write8(addr + static_cast<std::uint32_t>(i),
+                static_cast<std::uint8_t>(value >> (8 * i)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<util::ByteBuffer> ConcreteMachine::read_block(
+    std::uint32_t addr, std::size_t length) const {
+  util::ByteBuffer out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const auto byte = read8(addr + static_cast<std::uint32_t>(i));
+    if (!byte) return std::nullopt;
+    out.push_back(*byte);
+  }
+  return out;
+}
+
+std::uint32_t ConcreteMachine::effective_address(
+    const Operand& operand) const {
+  std::uint32_t addr = static_cast<std::uint32_t>(operand.displacement);
+  if (operand.base != Gpr::kNone) addr += reg(operand.base);
+  if (operand.index != Gpr::kNone) addr += reg(operand.index) * operand.scale;
+  return addr;
+}
+
+std::uint32_t ConcreteMachine::alu_add(std::uint32_t a, std::uint32_t b,
+                                       bool carry_in) {
+  const std::uint64_t wide = static_cast<std::uint64_t>(a) + b +
+                             (carry_in ? 1 : 0);
+  const auto result = static_cast<std::uint32_t>(wide);
+  flags_.carry = wide >> 32;
+  flags_.zero = result == 0;
+  flags_.sign = result >> 31;
+  flags_.overflow = (~(a ^ b) & (a ^ result)) >> 31;
+  return result;
+}
+
+std::uint32_t ConcreteMachine::alu_sub(std::uint32_t a, std::uint32_t b,
+                                       bool borrow_in) {
+  const std::uint64_t rhs = static_cast<std::uint64_t>(b) +
+                            (borrow_in ? 1 : 0);
+  const auto result = static_cast<std::uint32_t>(a - rhs);
+  flags_.carry = static_cast<std::uint64_t>(a) < rhs;
+  flags_.zero = result == 0;
+  flags_.sign = result >> 31;
+  flags_.overflow = ((a ^ b) & (a ^ result)) >> 31;
+  return result;
+}
+
+void ConcreteMachine::set_logic_flags(std::uint32_t result) {
+  flags_.carry = false;
+  flags_.overflow = false;
+  flags_.zero = result == 0;
+  flags_.sign = result >> 31;
+}
+
+bool ConcreteMachine::condition_holds(std::uint8_t cc) const {
+  switch (cc & 0xE) {  // Pairs; low bit negates.
+    case 0x0: return ((cc & 1) == 0) == flags_.overflow;
+    case 0x2: return ((cc & 1) == 0) == flags_.carry;
+    case 0x4: return ((cc & 1) == 0) == flags_.zero;
+    case 0x6: return ((cc & 1) == 0) == (flags_.carry || flags_.zero);
+    case 0x8: return ((cc & 1) == 0) == flags_.sign;
+    case 0xA: return false;  // Parity untracked; jp/jnp modeled as jnp.
+    case 0xC: return ((cc & 1) == 0) == (flags_.sign != flags_.overflow);
+    case 0xE:
+      return ((cc & 1) == 0) ==
+             (flags_.zero || (flags_.sign != flags_.overflow));
+  }
+  return false;
+}
+
+bool ConcreteMachine::push32(std::uint32_t value) {
+  const std::uint32_t esp = reg(Gpr::kEsp) - 4;
+  if (!write32(esp, value)) return false;
+  set_reg(Gpr::kEsp, esp);
+  return true;
+}
+
+std::optional<std::uint32_t> ConcreteMachine::pop32() {
+  const std::uint32_t esp = reg(Gpr::kEsp);
+  const auto value = read32(esp);
+  if (!value) return std::nullopt;
+  set_reg(Gpr::kEsp, esp + 4);
+  return value;
+}
+
+RunResult ConcreteMachine::run(std::uint64_t max_instructions) {
+  RunResult result;
+  for (std::uint64_t i = 0; i < max_instructions; ++i) {
+    const StepOutcome outcome = step();
+    if (outcome.stopped) {
+      RunResult final_result = outcome.result;
+      final_result.instructions_executed = result.instructions_executed;
+      final_result.final_eip = eip_;
+      return final_result;
+    }
+    ++result.instructions_executed;
+  }
+  result.reason = StopReason::kBudget;
+  result.final_eip = eip_;
+  return result;
+}
+
+ConcreteMachine::StepOutcome ConcreteMachine::step() {
+  StepOutcome stop;
+  stop.stopped = true;
+
+  // Fetch.
+  if (eip_ < config_.image_base ||
+      eip_ - config_.image_base >= image_.size()) {
+    stop.result.reason = StopReason::kOutOfImage;
+    return stop;
+  }
+  const std::size_t offset = eip_ - config_.image_base;
+  const Instruction insn = disasm::decode_instruction(image_, offset);
+  stop.result.stop_offset = offset;
+  if (tracer_) tracer_(eip_, insn);
+
+  // Static fault classes first (privileged, I/O, wrong segment, ...): the
+  // machine faults exactly where the static DAWN policy says hardware
+  // would. Interrupts are a clean stop (the syscall boundary).
+  if (insn.has_flag(disasm::kFlagInterrupt)) {
+    stop.result.reason = StopReason::kInterrupt;
+    return stop;
+  }
+  const InvalidReason static_reason =
+      classify_instruction(insn, ValidityRules::dawn());
+  if (static_reason != InvalidReason::kValidInstruction) {
+    stop.result.reason = StopReason::kFault;
+    stop.result.fault_reason = static_reason;
+    return stop;
+  }
+
+  const std::uint32_t next_eip =
+      config_.image_base + static_cast<std::uint32_t>(insn.end_offset());
+
+  const auto fault = [&](InvalidReason reason) {
+    stop.result.reason = StopReason::kFault;
+    stop.result.fault_reason = reason;
+    return stop;
+  };
+  const auto unimplemented = [&]() {
+    stop.result.reason = StopReason::kUnimplemented;
+    return stop;
+  };
+  const auto done = [&]() {
+    eip_ = next_eip;
+    stop.stopped = false;
+    return stop;
+  };
+  const auto jump_to = [&](std::uint32_t target) {
+    eip_ = target;
+    stop.stopped = false;
+    return stop;
+  };
+
+  // Operand access helpers (width-aware).
+  const auto read_operand = [&](const Operand& op) -> std::optional<std::uint32_t> {
+    switch (op.kind) {
+      case OperandKind::kImmediate:
+        return static_cast<std::uint32_t>(op.immediate) &
+               width_mask(op.width);
+      case OperandKind::kRegister: {
+        const auto raw = static_cast<std::uint8_t>(op.reg);
+        if (op.width == Width::kByte) {
+          const std::uint32_t full = regs_[raw & 3];
+          return (raw >= 4) ? (full >> 8) & 0xFF : full & 0xFF;
+        }
+        return regs_[raw] & width_mask(op.width);
+      }
+      case OperandKind::kMemory: {
+        const std::uint32_t addr = effective_address(op);
+        if (op.width == Width::kByte) {
+          const auto byte = read8(addr);
+          if (!byte) return std::nullopt;
+          return *byte;
+        }
+        if (op.width == Width::kWord) {
+          const auto lo = read8(addr);
+          const auto hi = read8(addr + 1);
+          if (!lo || !hi) return std::nullopt;
+          return static_cast<std::uint32_t>(*lo) |
+                 (static_cast<std::uint32_t>(*hi) << 8);
+        }
+        return read32(addr);
+      }
+      default:
+        return std::nullopt;
+    }
+  };
+  const auto write_operand = [&](const Operand& op,
+                                 std::uint32_t value) -> bool {
+    switch (op.kind) {
+      case OperandKind::kRegister: {
+        const auto raw = static_cast<std::uint8_t>(op.reg);
+        if (op.width == Width::kByte) {
+          std::uint32_t& full = regs_[raw & 3];
+          if (raw >= 4) {
+            full = (full & 0xFFFF00FFu) | ((value & 0xFFu) << 8);
+          } else {
+            full = (full & 0xFFFFFF00u) | (value & 0xFFu);
+          }
+          return true;
+        }
+        if (op.width == Width::kWord) {
+          regs_[raw] = (regs_[raw] & 0xFFFF0000u) | (value & 0xFFFFu);
+          return true;
+        }
+        regs_[raw] = value;
+        return true;
+      }
+      case OperandKind::kMemory: {
+        const std::uint32_t addr = effective_address(op);
+        if (op.width == Width::kByte) {
+          return write8(addr, static_cast<std::uint8_t>(value));
+        }
+        if (op.width == Width::kWord) {
+          return write8(addr, static_cast<std::uint8_t>(value)) &&
+                 write8(addr + 1, static_cast<std::uint8_t>(value >> 8));
+        }
+        return write32(addr, value);
+      }
+      default:
+        return false;
+    }
+  };
+
+  // Width-aware flag fix for sub-32-bit ALU: recompute ZF/SF at width.
+  const auto fix_flags_for_width = [&](std::uint32_t result, Width width) {
+    const std::uint32_t masked = result & width_mask(width);
+    flags_.zero = masked == 0;
+    flags_.sign = (masked >> (width_bits(width) - 1)) & 1;
+  };
+
+  const Operand& dst = insn.operands[0];
+  const Operand& src = insn.operands[1];
+
+  switch (insn.mnemonic) {
+    case Mnemonic::kNop:
+    case Mnemonic::kWait:
+      return done();
+
+    case Mnemonic::kMov: {
+      if (dst.kind == OperandKind::kSegment ||
+          src.kind == OperandKind::kSegment) {
+        return unimplemented();  // Segment moves (8C is valid but rare).
+      }
+      const auto value = read_operand(src);
+      if (!value) return fault(InvalidReason::kIllegalMemory);
+      if (!write_operand(dst, *value)) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      return done();
+    }
+
+    case Mnemonic::kLea:
+      if (!write_operand(dst, effective_address(src))) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      return done();
+
+    case Mnemonic::kXchg: {
+      const auto a = read_operand(dst);
+      const auto b = read_operand(src);
+      if (!a || !b) return fault(InvalidReason::kIllegalMemory);
+      if (!write_operand(dst, *b) || !write_operand(src, *a)) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      return done();
+    }
+
+    case Mnemonic::kAdd:
+    case Mnemonic::kAdc:
+    case Mnemonic::kSub:
+    case Mnemonic::kSbb:
+    case Mnemonic::kCmp:
+    case Mnemonic::kAnd:
+    case Mnemonic::kOr:
+    case Mnemonic::kXor:
+    case Mnemonic::kTest: {
+      const auto a = read_operand(dst);
+      const auto b = read_operand(src);
+      if (!a || !b) return fault(InvalidReason::kIllegalMemory);
+      std::uint32_t result = 0;
+      switch (insn.mnemonic) {
+        case Mnemonic::kAdd: result = alu_add(*a, *b, false); break;
+        case Mnemonic::kAdc: result = alu_add(*a, *b, flags_.carry); break;
+        case Mnemonic::kSub:
+        case Mnemonic::kCmp: result = alu_sub(*a, *b, false); break;
+        case Mnemonic::kSbb: result = alu_sub(*a, *b, flags_.carry); break;
+        case Mnemonic::kAnd:
+        case Mnemonic::kTest:
+          result = *a & *b;
+          set_logic_flags(result);
+          break;
+        case Mnemonic::kOr:
+          result = *a | *b;
+          set_logic_flags(result);
+          break;
+        case Mnemonic::kXor:
+          result = *a ^ *b;
+          set_logic_flags(result);
+          break;
+        default: break;
+      }
+      fix_flags_for_width(result, dst.width);
+      if (insn.mnemonic != Mnemonic::kCmp &&
+          insn.mnemonic != Mnemonic::kTest) {
+        if (!write_operand(dst, result)) {
+          return fault(InvalidReason::kIllegalMemory);
+        }
+      }
+      return done();
+    }
+
+    case Mnemonic::kInc:
+    case Mnemonic::kDec: {
+      const auto value = read_operand(dst);
+      if (!value) return fault(InvalidReason::kIllegalMemory);
+      const bool saved_carry = flags_.carry;  // INC/DEC preserve CF.
+      const std::uint32_t result =
+          insn.mnemonic == Mnemonic::kInc ? alu_add(*value, 1, false)
+                                          : alu_sub(*value, 1, false);
+      flags_.carry = saved_carry;
+      fix_flags_for_width(result, dst.width);
+      if (!write_operand(dst, result)) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      return done();
+    }
+
+    case Mnemonic::kNot: {
+      const auto value = read_operand(dst);
+      if (!value) return fault(InvalidReason::kIllegalMemory);
+      if (!write_operand(dst, ~*value)) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      return done();
+    }
+
+    case Mnemonic::kNeg: {
+      const auto value = read_operand(dst);
+      if (!value) return fault(InvalidReason::kIllegalMemory);
+      const std::uint32_t result = alu_sub(0, *value, false);
+      fix_flags_for_width(result, dst.width);
+      if (!write_operand(dst, result)) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      return done();
+    }
+
+    case Mnemonic::kShl:
+    case Mnemonic::kSal:
+    case Mnemonic::kShr:
+    case Mnemonic::kSar:
+    case Mnemonic::kRol:
+    case Mnemonic::kRor: {
+      const auto value = read_operand(dst);
+      const auto count_raw = read_operand(src);
+      if (!value || !count_raw) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      const int bits = width_bits(dst.width);
+      const std::uint32_t count = *count_raw & 0x1F;
+      std::uint32_t v = *value & width_mask(dst.width);
+      for (std::uint32_t step_count = 0; step_count < count; ++step_count) {
+        switch (insn.mnemonic) {
+          case Mnemonic::kShl:
+          case Mnemonic::kSal:
+            flags_.carry = (v >> (bits - 1)) & 1;
+            v = (v << 1) & width_mask(dst.width);
+            break;
+          case Mnemonic::kShr:
+            flags_.carry = v & 1;
+            v >>= 1;
+            break;
+          case Mnemonic::kSar: {
+            flags_.carry = v & 1;
+            const std::uint32_t msb = v & (1u << (bits - 1));
+            v = (v >> 1) | msb;
+            break;
+          }
+          case Mnemonic::kRol: {
+            const std::uint32_t msb = (v >> (bits - 1)) & 1;
+            v = ((v << 1) | msb) & width_mask(dst.width);
+            flags_.carry = msb;
+            break;
+          }
+          case Mnemonic::kRor: {
+            const std::uint32_t lsb = v & 1;
+            v = (v >> 1) | (lsb << (bits - 1));
+            flags_.carry = lsb;
+            break;
+          }
+          default: break;
+        }
+      }
+      if (count != 0) fix_flags_for_width(v, dst.width);
+      if (!write_operand(dst, v)) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      return done();
+    }
+
+    case Mnemonic::kPush: {
+      if (dst.kind == OperandKind::kSegment) return unimplemented();
+      const auto value = read_operand(dst);
+      if (!value) return fault(InvalidReason::kIllegalMemory);
+      if (!push32(*value)) return fault(InvalidReason::kIllegalMemory);
+      return done();
+    }
+
+    case Mnemonic::kPop: {
+      if (dst.kind == OperandKind::kSegment) return unimplemented();
+      const auto value = pop32();
+      if (!value) return fault(InvalidReason::kIllegalMemory);
+      if (!write_operand(dst, *value)) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      return done();
+    }
+
+    case Mnemonic::kPusha: {
+      const std::uint32_t original_esp = reg(Gpr::kEsp);
+      for (int r = 0; r < 8; ++r) {
+        const std::uint32_t value =
+            r == static_cast<int>(Gpr::kEsp) ? original_esp
+                                             : regs_[r];
+        if (!push32(value)) {
+          return fault(InvalidReason::kIllegalMemory);
+        }
+      }
+      return done();
+    }
+
+    case Mnemonic::kPopa: {
+      for (int r = 7; r >= 0; --r) {
+        const auto value = pop32();
+        if (!value) return fault(InvalidReason::kIllegalMemory);
+        if (r != static_cast<int>(Gpr::kEsp)) {
+          regs_[r] = *value;  // ESP slot is discarded per the ISA.
+        }
+      }
+      return done();
+    }
+
+    case Mnemonic::kPushf: {
+      std::uint32_t eflags = 0x2;
+      if (flags_.carry) eflags |= 0x1;
+      if (flags_.zero) eflags |= 0x40;
+      if (flags_.sign) eflags |= 0x80;
+      if (flags_.overflow) eflags |= 0x800;
+      if (!push32(eflags)) return fault(InvalidReason::kIllegalMemory);
+      return done();
+    }
+
+    case Mnemonic::kPopf: {
+      const auto eflags = pop32();
+      if (!eflags) return fault(InvalidReason::kIllegalMemory);
+      flags_.carry = *eflags & 0x1;
+      flags_.zero = *eflags & 0x40;
+      flags_.sign = *eflags & 0x80;
+      flags_.overflow = *eflags & 0x800;
+      return done();
+    }
+
+    case Mnemonic::kEnter: {
+      if (!push32(reg(Gpr::kEbp))) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      set_reg(Gpr::kEbp, reg(Gpr::kEsp));
+      set_reg(Gpr::kEsp,
+              reg(Gpr::kEsp) -
+                  static_cast<std::uint32_t>(insn.operands[0].immediate));
+      return done();
+    }
+
+    case Mnemonic::kLeave: {
+      set_reg(Gpr::kEsp, reg(Gpr::kEbp));
+      const auto value = pop32();
+      if (!value) return fault(InvalidReason::kIllegalMemory);
+      set_reg(Gpr::kEbp, *value);
+      return done();
+    }
+
+    case Mnemonic::kJmp:
+      if (insn.has_flag(disasm::kFlagBranchIndirect)) {
+        const auto target = read_operand(dst);
+        if (!target) return fault(InvalidReason::kIllegalMemory);
+        if (*target < config_.image_base ||
+            *target - config_.image_base >= image_.size()) {
+          stop.result.reason = StopReason::kIndirectBranch;
+          return stop;
+        }
+        return jump_to(*target);
+      }
+      return jump_to(config_.image_base +
+                     static_cast<std::uint32_t>(insn.branch_target()));
+
+    case Mnemonic::kJcc:
+      if (condition_holds(insn.cc)) {
+        return jump_to(config_.image_base +
+                       static_cast<std::uint32_t>(insn.branch_target()));
+      }
+      return done();
+
+    case Mnemonic::kJecxz:
+      if (reg(Gpr::kEcx) == 0) {
+        return jump_to(config_.image_base +
+                       static_cast<std::uint32_t>(insn.branch_target()));
+      }
+      return done();
+
+    case Mnemonic::kLoop:
+    case Mnemonic::kLoope:
+    case Mnemonic::kLoopne: {
+      const std::uint32_t ecx = reg(Gpr::kEcx) - 1;
+      set_reg(Gpr::kEcx, ecx);
+      bool taken = ecx != 0;
+      if (insn.mnemonic == Mnemonic::kLoope) taken = taken && flags_.zero;
+      if (insn.mnemonic == Mnemonic::kLoopne) taken = taken && !flags_.zero;
+      if (taken) {
+        return jump_to(config_.image_base +
+                       static_cast<std::uint32_t>(insn.branch_target()));
+      }
+      return done();
+    }
+
+    case Mnemonic::kCall: {
+      if (insn.has_flag(disasm::kFlagBranchIndirect)) {
+        const auto target = read_operand(dst);
+        if (!target) return fault(InvalidReason::kIllegalMemory);
+        if (!push32(next_eip)) {
+          return fault(InvalidReason::kIllegalMemory);
+        }
+        if (*target < config_.image_base ||
+            *target - config_.image_base >= image_.size()) {
+          stop.result.reason = StopReason::kIndirectBranch;
+          return stop;
+        }
+        return jump_to(*target);
+      }
+      if (!push32(next_eip)) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      return jump_to(config_.image_base +
+                     static_cast<std::uint32_t>(insn.branch_target()));
+    }
+
+    case Mnemonic::kRet: {
+      const auto target = pop32();
+      if (!target) return fault(InvalidReason::kIllegalMemory);
+      if (insn.operand_count >= 1 &&
+          insn.operands[0].kind == OperandKind::kImmediate) {
+        set_reg(Gpr::kEsp,
+                reg(Gpr::kEsp) +
+                    static_cast<std::uint32_t>(insn.operands[0].immediate));
+      }
+      if (*target < config_.image_base ||
+          *target - config_.image_base >= image_.size()) {
+        stop.result.reason = StopReason::kIndirectBranch;
+        return stop;
+      }
+      return jump_to(*target);
+    }
+
+    case Mnemonic::kMovs:
+    case Mnemonic::kStos:
+    case Mnemonic::kLods: {
+      const std::uint32_t unit = static_cast<std::uint32_t>(insn.data_width);
+      std::uint64_t repeats = insn.rep_prefix ? reg(Gpr::kEcx) : 1;
+      if (repeats > 1'000'000) return unimplemented();  // Runaway rep.
+      while (repeats-- > 0) {
+        std::uint32_t value = reg(Gpr::kEax);
+        if (insn.mnemonic != Mnemonic::kStos) {
+          // Source is [esi].
+          const auto loaded = read_block(reg(Gpr::kEsi), unit);
+          if (!loaded) return fault(InvalidReason::kIllegalMemory);
+          value = 0;
+          for (std::size_t i = unit; i-- > 0;) {
+            value = (value << 8) | (*loaded)[i];
+          }
+          set_reg(Gpr::kEsi, reg(Gpr::kEsi) + unit);
+        }
+        if (insn.mnemonic == Mnemonic::kLods) {
+          const Operand ax{OperandKind::kRegister, insn.data_width,
+                           Gpr::kEax};
+          write_operand(ax, value);
+        } else {
+          for (std::uint32_t i = 0; i < unit; ++i) {
+            if (!write8(reg(Gpr::kEdi) + i,
+                        static_cast<std::uint8_t>(value >> (8 * i)))) {
+              return fault(InvalidReason::kIllegalMemory);
+            }
+          }
+          set_reg(Gpr::kEdi, reg(Gpr::kEdi) + unit);
+        }
+        if (insn.rep_prefix) set_reg(Gpr::kEcx, reg(Gpr::kEcx) - 1);
+      }
+      return done();
+    }
+
+    case Mnemonic::kXlat: {
+      const auto byte = read8(reg(Gpr::kEbx) + (reg(Gpr::kEax) & 0xFF));
+      if (!byte) return fault(InvalidReason::kIllegalMemory);
+      set_reg(Gpr::kEax, (reg(Gpr::kEax) & 0xFFFFFF00u) | *byte);
+      return done();
+    }
+
+    case Mnemonic::kCwde: {
+      const auto ax = static_cast<std::int16_t>(reg(Gpr::kEax) & 0xFFFF);
+      set_reg(Gpr::kEax, static_cast<std::uint32_t>(
+                             static_cast<std::int32_t>(ax)));
+      return done();
+    }
+
+    case Mnemonic::kCdq: {
+      const bool negative = reg(Gpr::kEax) >> 31;
+      set_reg(Gpr::kEdx, negative ? 0xFFFFFFFFu : 0u);
+      return done();
+    }
+
+    case Mnemonic::kSahf: {
+      const std::uint32_t ah = (reg(Gpr::kEax) >> 8) & 0xFF;
+      flags_.carry = ah & 0x1;
+      flags_.zero = ah & 0x40;
+      flags_.sign = ah & 0x80;
+      return done();
+    }
+
+    case Mnemonic::kLahf: {
+      std::uint32_t ah = 0x2;
+      if (flags_.carry) ah |= 0x1;
+      if (flags_.zero) ah |= 0x40;
+      if (flags_.sign) ah |= 0x80;
+      set_reg(Gpr::kEax,
+              (reg(Gpr::kEax) & 0xFFFF00FFu) | (ah << 8));
+      return done();
+    }
+
+    case Mnemonic::kSalc:
+      set_reg(Gpr::kEax, (reg(Gpr::kEax) & 0xFFFFFF00u) |
+                             (flags_.carry ? 0xFFu : 0x00u));
+      return done();
+
+    case Mnemonic::kClc: flags_.carry = false; return done();
+    case Mnemonic::kStc: flags_.carry = true; return done();
+    case Mnemonic::kCmc: flags_.carry = !flags_.carry; return done();
+    case Mnemonic::kCld:
+    case Mnemonic::kStd:
+      return done();  // DF modeled as always-forward; cld is the common case.
+
+    case Mnemonic::kBound: {
+      // Modeled as the bounds *read* without the #BR trap, matching the
+      // conservative static rule (see validity.hpp).
+      const std::uint32_t addr = effective_address(src);
+      if (!read32(addr) || !read32(addr + 4)) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      return done();
+    }
+
+    case Mnemonic::kArpl: {
+      const auto dest_value = read_operand(dst);
+      const auto src_value = read_operand(src);
+      if (!dest_value || !src_value) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      if ((*dest_value & 3) < (*src_value & 3)) {
+        flags_.zero = true;
+        write_operand(dst, (*dest_value & ~3u) | (*src_value & 3));
+      } else {
+        flags_.zero = false;
+      }
+      return done();
+    }
+
+    case Mnemonic::kDaa:
+    case Mnemonic::kDas:
+    case Mnemonic::kAaa:
+    case Mnemonic::kAas:
+    case Mnemonic::kAam:
+    case Mnemonic::kAad: {
+      // BCD adjustments: value-accurate for AAM/AAD, flag-coarse for the
+      // others (their AF interplay is untracked; text detection never
+      // depends on it).
+      std::uint32_t eax = reg(Gpr::kEax);
+      std::uint32_t al = eax & 0xFF;
+      std::uint32_t ah = (eax >> 8) & 0xFF;
+      switch (insn.mnemonic) {
+        case Mnemonic::kAam: {
+          const auto base =
+              static_cast<std::uint32_t>(insn.operands[0].immediate);
+          ah = al / base;  // base==0 already faulted statically (aam_zero).
+          al = al % base;
+          break;
+        }
+        case Mnemonic::kAad: {
+          const auto base =
+              static_cast<std::uint32_t>(insn.operands[0].immediate);
+          al = (al + ah * base) & 0xFF;
+          ah = 0;
+          break;
+        }
+        case Mnemonic::kAaa:
+          if ((al & 0xF) > 9) {
+            al = (al + 6) & 0xF;
+            ah = (ah + 1) & 0xFF;
+            flags_.carry = true;
+          } else {
+            flags_.carry = false;
+          }
+          break;
+        case Mnemonic::kAas:
+          if ((al & 0xF) > 9) {
+            al = (al - 6) & 0xF;
+            ah = (ah - 1) & 0xFF;
+            flags_.carry = true;
+          } else {
+            flags_.carry = false;
+          }
+          break;
+        case Mnemonic::kDaa:
+          if ((al & 0xF) > 9) al += 6;
+          if (al > 0x9F) {
+            al += 0x60;
+            flags_.carry = true;
+          }
+          al &= 0xFF;
+          break;
+        case Mnemonic::kDas:
+          if ((al & 0xF) > 9) al -= 6;
+          if (al > 0x9F) {
+            al -= 0x60;
+            flags_.carry = true;
+          }
+          al &= 0xFF;
+          break;
+        default: break;
+      }
+      flags_.zero = al == 0;
+      flags_.sign = al >> 7;
+      set_reg(Gpr::kEax, (eax & 0xFFFF0000u) | (ah << 8) | al);
+      return done();
+    }
+
+    case Mnemonic::kMul:
+    case Mnemonic::kImul: {
+      if (insn.operand_count == 3) {
+        // imul Gv, Ev, imm
+        const auto value = read_operand(src);
+        if (!value) return fault(InvalidReason::kIllegalMemory);
+        const auto imm =
+            static_cast<std::int64_t>(insn.operands[2].immediate);
+        const std::int64_t wide =
+            static_cast<std::int64_t>(static_cast<std::int32_t>(*value)) *
+            imm;
+        write_operand(dst, static_cast<std::uint32_t>(wide));
+        flags_.carry = flags_.overflow =
+            wide != static_cast<std::int32_t>(wide);
+        return done();
+      }
+      if (insn.operand_count == 2 && insn.mnemonic == Mnemonic::kImul) {
+        // imul Gv, Ev
+        const auto a = read_operand(dst);
+        const auto b = read_operand(src);
+        if (!a || !b) return fault(InvalidReason::kIllegalMemory);
+        const std::int64_t wide =
+            static_cast<std::int64_t>(static_cast<std::int32_t>(*a)) *
+            static_cast<std::int32_t>(*b);
+        write_operand(dst, static_cast<std::uint32_t>(wide));
+        flags_.carry = flags_.overflow =
+            wide != static_cast<std::int32_t>(wide);
+        return done();
+      }
+      // Group-3 one-operand form: EDX:EAX = EAX * r/m.
+      const auto value = read_operand(dst);
+      if (!value) return fault(InvalidReason::kIllegalMemory);
+      if (insn.mnemonic == Mnemonic::kMul) {
+        const std::uint64_t wide =
+            static_cast<std::uint64_t>(reg(Gpr::kEax)) * *value;
+        set_reg(Gpr::kEax, static_cast<std::uint32_t>(wide));
+        set_reg(Gpr::kEdx, static_cast<std::uint32_t>(wide >> 32));
+        flags_.carry = flags_.overflow = (wide >> 32) != 0;
+      } else {
+        const std::int64_t wide =
+            static_cast<std::int64_t>(
+                static_cast<std::int32_t>(reg(Gpr::kEax))) *
+            static_cast<std::int32_t>(*value);
+        set_reg(Gpr::kEax, static_cast<std::uint32_t>(wide));
+        set_reg(Gpr::kEdx,
+                static_cast<std::uint32_t>(static_cast<std::uint64_t>(wide) >>
+                                           32));
+        flags_.carry = flags_.overflow =
+            wide != static_cast<std::int32_t>(wide);
+      }
+      return done();
+    }
+
+    case Mnemonic::kDiv:
+    case Mnemonic::kIdiv: {
+      const auto divisor = read_operand(dst);
+      if (!divisor) return fault(InvalidReason::kIllegalMemory);
+      if (*divisor == 0) return fault(InvalidReason::kDivideError);
+      if (insn.mnemonic == Mnemonic::kDiv) {
+        const std::uint64_t dividend =
+            (static_cast<std::uint64_t>(reg(Gpr::kEdx)) << 32) |
+            reg(Gpr::kEax);
+        const std::uint64_t quotient = dividend / *divisor;
+        if (quotient > 0xFFFFFFFFull) {
+          return fault(InvalidReason::kDivideError);
+        }
+        set_reg(Gpr::kEax, static_cast<std::uint32_t>(quotient));
+        set_reg(Gpr::kEdx,
+                static_cast<std::uint32_t>(dividend % *divisor));
+      } else {
+        const auto dividend = static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(reg(Gpr::kEdx)) << 32) |
+            reg(Gpr::kEax));
+        const auto div_value =
+            static_cast<std::int64_t>(static_cast<std::int32_t>(*divisor));
+        const std::int64_t quotient = dividend / div_value;
+        if (quotient > 0x7FFFFFFFll || quotient < -0x80000000ll) {
+          return fault(InvalidReason::kDivideError);
+        }
+        set_reg(Gpr::kEax, static_cast<std::uint32_t>(quotient));
+        set_reg(Gpr::kEdx,
+                static_cast<std::uint32_t>(dividend % div_value));
+      }
+      return done();
+    }
+
+    case Mnemonic::kMovzx:
+    case Mnemonic::kMovsx: {
+      const auto value = read_operand(src);
+      if (!value) return fault(InvalidReason::kIllegalMemory);
+      std::uint32_t extended = *value;
+      if (insn.mnemonic == Mnemonic::kMovsx) {
+        extended = src.width == Width::kByte
+                       ? static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                             static_cast<std::int8_t>(*value)))
+                       : static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                             static_cast<std::int16_t>(*value)));
+      }
+      write_operand(dst, extended);
+      return done();
+    }
+
+    case Mnemonic::kBswap: {
+      const std::uint32_t v = reg(dst.reg);
+      set_reg(dst.reg, ((v & 0xFF) << 24) | ((v & 0xFF00) << 8) |
+                           ((v >> 8) & 0xFF00) | (v >> 24));
+      return done();
+    }
+
+    case Mnemonic::kSetcc: {
+      if (!write_operand(dst, condition_holds(insn.cc) ? 1 : 0)) {
+        return fault(InvalidReason::kIllegalMemory);
+      }
+      return done();
+    }
+
+    case Mnemonic::kCmovcc: {
+      if (condition_holds(insn.cc)) {
+        const auto value = read_operand(src);
+        if (!value) return fault(InvalidReason::kIllegalMemory);
+        write_operand(dst, *value);
+      }
+      return done();
+    }
+
+    case Mnemonic::kRdtsc:
+      set_reg(Gpr::kEax, 0x5EED5EED);
+      set_reg(Gpr::kEdx, 0);
+      return done();
+
+    case Mnemonic::kCpuid:
+      set_reg(Gpr::kEax, 1);
+      set_reg(Gpr::kEbx, 0x6C65626D);  // "mbel"
+      set_reg(Gpr::kEcx, 0);
+      set_reg(Gpr::kEdx, 0);
+      return done();
+
+    default:
+      return unimplemented();
+  }
+}
+
+}  // namespace mel::exec

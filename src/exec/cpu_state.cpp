@@ -1,0 +1,242 @@
+#include "mel/exec/cpu_state.hpp"
+
+#include "mel/util/rng.hpp"
+
+namespace mel::exec {
+
+namespace {
+
+using disasm::Gpr;
+using disasm::Instruction;
+using disasm::Mnemonic;
+using disasm::Operand;
+using disasm::OperandKind;
+
+bool is_gpr(const Operand& operand) noexcept {
+  return operand.kind == OperandKind::kRegister &&
+         operand.reg != Gpr::kNone;
+}
+
+}  // namespace
+
+AbstractCpu::AbstractCpu() {
+  states_.fill(RegState::kUninit);
+  values_.fill(0);
+  // ESP is always a live stack pointer in the hosting process.
+  set_init(Gpr::kEsp);
+}
+
+RegState AbstractCpu::state(Gpr reg) const noexcept {
+  return states_[static_cast<std::uint8_t>(reg) & 7];
+}
+
+std::uint32_t AbstractCpu::known_value(Gpr reg) const noexcept {
+  return values_[static_cast<std::uint8_t>(reg) & 7];
+}
+
+void AbstractCpu::set_uninit(Gpr reg) noexcept {
+  states_[static_cast<std::uint8_t>(reg) & 7] = RegState::kUninit;
+  values_[static_cast<std::uint8_t>(reg) & 7] = 0;
+}
+
+void AbstractCpu::set_init(Gpr reg) noexcept {
+  states_[static_cast<std::uint8_t>(reg) & 7] = RegState::kInit;
+  values_[static_cast<std::uint8_t>(reg) & 7] = 0;
+}
+
+void AbstractCpu::set_known(Gpr reg, std::uint32_t value) noexcept {
+  states_[static_cast<std::uint8_t>(reg) & 7] = RegState::kKnown;
+  values_[static_cast<std::uint8_t>(reg) & 7] = value;
+}
+
+std::uint64_t AbstractCpu::hash() const noexcept {
+  std::uint64_t seed = 0x243F6A8885A308D3ULL;
+  for (int i = 0; i < 8; ++i) {
+    seed ^= static_cast<std::uint64_t>(states_[i]) + 0x9E3779B9u +
+            (seed << 6) + (seed >> 2);
+    seed ^= values_[i] + 0x9E3779B9u + (seed << 6) + (seed >> 2);
+  }
+  return util::splitmix64_next(seed);
+}
+
+void AbstractCpu::apply(const Instruction& insn) noexcept {
+  const Operand& dst = insn.operands[0];
+  const Operand& src = insn.operands[1];
+
+  switch (insn.mnemonic) {
+    case Mnemonic::kMov:
+      if (!is_gpr(dst)) return;
+      if (src.kind == OperandKind::kImmediate) {
+        set_known(dst.reg, static_cast<std::uint32_t>(src.immediate));
+      } else if (is_gpr(src)) {
+        states_[static_cast<std::uint8_t>(dst.reg)] = state(src.reg);
+        values_[static_cast<std::uint8_t>(dst.reg)] = known_value(src.reg);
+      } else {
+        set_init(dst.reg);  // Loaded from memory/segment: unknown value.
+      }
+      return;
+
+    case Mnemonic::kLea: {
+      if (!is_gpr(dst) || !src.is_memory()) return;
+      // Known when every address component is known.
+      std::uint32_t value = static_cast<std::uint32_t>(src.displacement);
+      bool known = true;
+      bool uninit = false;
+      if (src.base != Gpr::kNone) {
+        known = known && state(src.base) == RegState::kKnown;
+        uninit = uninit || is_uninitialized(src.base);
+        value += known_value(src.base);
+      }
+      if (src.index != Gpr::kNone) {
+        known = known && state(src.index) == RegState::kKnown;
+        uninit = uninit || is_uninitialized(src.index);
+        value += known_value(src.index) * src.scale;
+      }
+      if (known) {
+        set_known(dst.reg, value);
+      } else if (uninit) {
+        set_uninit(dst.reg);  // Garbage in, garbage out.
+      } else {
+        set_init(dst.reg);
+      }
+      return;
+    }
+
+    case Mnemonic::kXor:
+      // xor r, r zeroes the register regardless of prior state — the
+      // canonical register-clearing idiom in shellcode.
+      if (is_gpr(dst) && is_gpr(src) && dst.reg == src.reg &&
+          dst.width == disasm::Width::kDword) {
+        set_known(dst.reg, 0);
+        return;
+      }
+      [[fallthrough]];
+    case Mnemonic::kAdd:
+    case Mnemonic::kOr:
+    case Mnemonic::kAdc:
+    case Mnemonic::kSbb:
+    case Mnemonic::kAnd:
+    case Mnemonic::kSub: {
+      if (!is_gpr(dst)) return;
+      if (dst.width != disasm::Width::kDword) {
+        // Partial-width update of a known register: degrade.
+        if (state(dst.reg) != RegState::kUninit) set_init(dst.reg);
+        return;
+      }
+      // Constant-fold when both sides are known.
+      std::uint32_t rhs = 0;
+      bool rhs_known = false;
+      if (src.kind == OperandKind::kImmediate) {
+        rhs = static_cast<std::uint32_t>(src.immediate);
+        rhs_known = true;
+      } else if (is_gpr(src) && state(src.reg) == RegState::kKnown) {
+        rhs = known_value(src.reg);
+        rhs_known = true;
+      }
+      if (state(dst.reg) == RegState::kKnown && rhs_known) {
+        std::uint32_t lhs = known_value(dst.reg);
+        switch (insn.mnemonic) {
+          case Mnemonic::kAdd: lhs += rhs; break;
+          case Mnemonic::kOr: lhs |= rhs; break;
+          case Mnemonic::kAnd: lhs &= rhs; break;
+          case Mnemonic::kSub: lhs -= rhs; break;
+          case Mnemonic::kXor: lhs ^= rhs; break;
+          default:
+            // ADC/SBB depend on untracked flags: degrade to initialized.
+            set_init(dst.reg);
+            return;
+        }
+        set_known(dst.reg, lhs);
+      } else if (state(dst.reg) == RegState::kUninit) {
+        // Garbage stays garbage under arithmetic.
+        set_uninit(dst.reg);
+      } else {
+        set_init(dst.reg);
+      }
+      return;
+    }
+
+    case Mnemonic::kInc:
+    case Mnemonic::kDec:
+      if (!is_gpr(dst)) return;
+      if (state(dst.reg) == RegState::kKnown &&
+          dst.width == disasm::Width::kDword) {
+        set_known(dst.reg, known_value(dst.reg) +
+                               (insn.mnemonic == Mnemonic::kInc ? 1u : ~0u));
+      }
+      return;
+
+    case Mnemonic::kPop:
+      if (is_gpr(dst)) set_init(dst.reg);  // Stack data: defined, unknown.
+      return;
+
+    case Mnemonic::kPopa:
+      // POPA initializes all registers from the stack (ESP skipped by the
+      // instruction but recomputed, so it stays initialized).
+      for (int r = 0; r < 8; ++r) {
+        set_init(static_cast<Gpr>(r));
+      }
+      return;
+
+    case Mnemonic::kXchg:
+      if (is_gpr(dst) && is_gpr(src)) {
+        std::swap(states_[static_cast<std::uint8_t>(dst.reg)],
+                  states_[static_cast<std::uint8_t>(src.reg)]);
+        std::swap(values_[static_cast<std::uint8_t>(dst.reg)],
+                  values_[static_cast<std::uint8_t>(src.reg)]);
+      } else if (is_gpr(dst)) {
+        set_init(dst.reg);
+      } else if (is_gpr(src)) {
+        set_init(src.reg);
+      }
+      return;
+
+    case Mnemonic::kMovzx:
+    case Mnemonic::kMovsx:
+    case Mnemonic::kBswap:
+    case Mnemonic::kImul:
+      if (is_gpr(dst) && state(dst.reg) == RegState::kUninit &&
+          is_gpr(src) && state(src.reg) != RegState::kUninit) {
+        set_init(dst.reg);
+      } else if (is_gpr(dst) && state(dst.reg) == RegState::kKnown) {
+        set_init(dst.reg);  // Value no longer tracked precisely.
+      }
+      return;
+
+    case Mnemonic::kIn:
+    case Mnemonic::kLahf:
+    case Mnemonic::kSalc:
+      // AL/eAX written with unknown data; degrade EAX.
+      if (state(Gpr::kEax) == RegState::kUninit) return;
+      set_init(Gpr::kEax);
+      return;
+
+    case Mnemonic::kCwde:
+    case Mnemonic::kCdq:
+    case Mnemonic::kAaa:
+    case Mnemonic::kAas:
+    case Mnemonic::kAam:
+    case Mnemonic::kAad:
+    case Mnemonic::kDaa:
+    case Mnemonic::kDas:
+      // Modify EAX/EDX views; keep the coarse state, drop known values.
+      if (state(Gpr::kEax) == RegState::kKnown) set_init(Gpr::kEax);
+      if (insn.mnemonic == Mnemonic::kCdq &&
+          state(Gpr::kEdx) == RegState::kUninit) {
+        set_init(Gpr::kEdx);  // CDQ writes EDX from EAX's sign.
+      }
+      return;
+
+    default: {
+      // Conservative fallback: any other instruction that writes its first
+      // GPR operand leaves it defined-but-unknown (never *less* defined).
+      if (is_gpr(dst) && insn.has_flag(disasm::kFlagMemRead) &&
+          state(dst.reg) == RegState::kUninit) {
+        set_init(dst.reg);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace mel::exec

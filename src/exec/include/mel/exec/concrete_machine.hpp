@@ -1,0 +1,137 @@
+#pragma once
+// Concrete IA-32 user-mode emulator for the instruction subset the decoder
+// models. Two jobs:
+//
+//  * Worm potency verification: actually run a text worm — sled, register
+//    setup, decrypter, hops — and watch the binary payload materialize in
+//    emulated stack memory. This replaces the paper's "run the vulnerable
+//    program and observe the shell" with a hermetic equivalent.
+//
+//  * Ground truth for the validity policies: executing benign text until
+//    the first fault must produce the same fault reason the static
+//    classifier predicts (tested in test_exec_concrete_machine.cpp).
+//
+// The machine models registers, the arithmetic flags needed by the
+// conditional instructions, and a two-region memory map (the input image
+// and a stack). Anything the paper's rules call invalid faults here the
+// same way: privileged I/O, wrong-segment access, out-of-map memory,
+// interrupts stop execution.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mel/disasm/instruction.hpp"
+#include "mel/exec/validity.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::exec {
+
+/// Why the machine stopped.
+enum class StopReason : std::uint8_t {
+  kRunning = 0,      ///< Budget not exhausted, no stop condition yet.
+  kOutOfImage,       ///< EIP left the mapped image (fell off the end).
+  kFault,            ///< An instruction faulted; see fault_reason.
+  kInterrupt,        ///< INT/INT3/INTO executed (syscall boundary).
+  kIndirectBranch,   ///< Branch target from register/memory left the map.
+  kUnimplemented,    ///< Decoded fine but not modeled by the emulator.
+  kBudget,           ///< Instruction budget exhausted.
+};
+
+[[nodiscard]] std::string_view stop_reason_name(StopReason reason) noexcept;
+
+struct MachineConfig {
+  std::uint32_t image_base = 0x08048000;  ///< Where the input is mapped.
+  std::uint32_t stack_base = 0xBFFE0000;  ///< Bottom of the stack region.
+  std::uint32_t stack_size = 64 * 1024;   ///< ESP starts at the top.
+  /// Registers start with this garbage value (except ESP), mirroring the
+  /// paper's uninitialized-register reality.
+  std::uint32_t garbage = 0xDEADBEEF;
+};
+
+struct RunResult {
+  StopReason reason = StopReason::kRunning;
+  InvalidReason fault_reason = InvalidReason::kValidInstruction;
+  std::uint64_t instructions_executed = 0;
+  std::uint32_t final_eip = 0;
+  /// Offset within the image of the instruction that stopped execution
+  /// (valid unless the stop was kBudget/kOutOfImage).
+  std::size_t stop_offset = 0;
+};
+
+class ConcreteMachine {
+ public:
+  explicit ConcreteMachine(util::ByteView image, MachineConfig config = {});
+
+  /// Runs from the current EIP until a stop condition or the budget.
+  RunResult run(std::uint64_t max_instructions = 1'000'000);
+
+  /// Observer invoked for every instruction the machine is about to
+  /// execute (after fetch/decode, before effects): (eip, instruction).
+  /// Pass nullptr to disable. Debugger-style tracing for tools.
+  using Tracer = std::function<void(std::uint32_t, const disasm::Instruction&)>;
+  void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
+
+  // --- Architectural state ---------------------------------------------------
+  [[nodiscard]] std::uint32_t reg(disasm::Gpr reg_id) const;
+  void set_reg(disasm::Gpr reg_id, std::uint32_t value);
+  [[nodiscard]] std::uint32_t eip() const noexcept { return eip_; }
+  void set_eip(std::uint32_t eip) noexcept { eip_ = eip; }
+
+  struct Flags {
+    bool carry = false;
+    bool zero = false;
+    bool sign = false;
+    bool overflow = false;
+  };
+  [[nodiscard]] const Flags& flags() const noexcept { return flags_; }
+
+  // --- Memory ------------------------------------------------------------------
+  /// Reads memory; nullopt when any byte is outside the mapped regions.
+  [[nodiscard]] std::optional<std::uint32_t> read32(std::uint32_t addr) const;
+  [[nodiscard]] std::optional<std::uint8_t> read8(std::uint32_t addr) const;
+  [[nodiscard]] bool write32(std::uint32_t addr, std::uint32_t value);
+  [[nodiscard]] bool write8(std::uint32_t addr, std::uint8_t value);
+  /// Copies out [addr, addr+length); nullopt if any byte is unmapped.
+  [[nodiscard]] std::optional<util::ByteBuffer> read_block(
+      std::uint32_t addr, std::size_t length) const;
+
+  [[nodiscard]] const MachineConfig& config() const noexcept {
+    return config_;
+  }
+  /// Top-of-stack address ESP started at.
+  [[nodiscard]] std::uint32_t initial_esp() const noexcept {
+    return config_.stack_base + config_.stack_size;
+  }
+
+ private:
+  struct StepOutcome {
+    bool stopped = false;
+    RunResult result;
+  };
+  StepOutcome step();
+
+  /// Resolves a ModR/M memory operand's effective address.
+  [[nodiscard]] std::uint32_t effective_address(
+      const disasm::Operand& operand) const;
+
+  // ALU helpers update flags like hardware.
+  std::uint32_t alu_add(std::uint32_t a, std::uint32_t b, bool carry_in);
+  std::uint32_t alu_sub(std::uint32_t a, std::uint32_t b, bool borrow_in);
+  void set_logic_flags(std::uint32_t result);
+  [[nodiscard]] bool condition_holds(std::uint8_t cc) const;
+
+  bool push32(std::uint32_t value);
+  std::optional<std::uint32_t> pop32();
+
+  MachineConfig config_;
+  util::ByteBuffer image_;
+  util::ByteBuffer stack_;
+  std::array<std::uint32_t, 8> regs_{};
+  Flags flags_;
+  std::uint32_t eip_ = 0;
+  Tracer tracer_;
+};
+
+}  // namespace mel::exec

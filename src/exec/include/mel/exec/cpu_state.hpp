@@ -1,0 +1,57 @@
+#pragma once
+// Abstract CPU register state for pseudo-execution (DAWN strict mode).
+//
+// Each general-purpose register is tracked as Uninitialized (garbage at
+// path entry), Initialized (defined but unknown value), or Known (constant
+// propagated from immediates). The paper's "illegal memory access via
+// uninitialized register" rule (Section 2.4) keys off this lattice.
+
+#include <array>
+#include <cstdint>
+
+#include "mel/disasm/instruction.hpp"
+
+namespace mel::exec {
+
+enum class RegState : std::uint8_t {
+  kUninit = 0,  ///< Never written on this path: arbitrary garbage.
+  kInit,        ///< Written from memory/stack: defined, value unknown.
+  kKnown,       ///< Constant-propagated value available.
+};
+
+class AbstractCpu {
+ public:
+  /// Fresh path state: all registers uninitialized except ESP, which the
+  /// hosting process guarantees to be a valid stack pointer.
+  AbstractCpu();
+
+  [[nodiscard]] RegState state(disasm::Gpr reg) const noexcept;
+  [[nodiscard]] std::uint32_t known_value(disasm::Gpr reg) const noexcept;
+
+  void set_uninit(disasm::Gpr reg) noexcept;
+  void set_init(disasm::Gpr reg) noexcept;
+  void set_known(disasm::Gpr reg, std::uint32_t value) noexcept;
+
+  /// True when the register may hold garbage (the invalidity trigger).
+  [[nodiscard]] bool is_uninitialized(disasm::Gpr reg) const noexcept {
+    return state(reg) == RegState::kUninit;
+  }
+
+  /// Applies the register effects of one decoded instruction (constant
+  /// propagation for mov/alu/inc/dec/xchg/lea/pop/popa/xor-clear etc.;
+  /// anything unmodeled conservatively degrades written registers to
+  /// kInit). Memory contents are not tracked.
+  void apply(const disasm::Instruction& insn) noexcept;
+
+  /// Equality is used by the path explorer for state memoization.
+  bool operator==(const AbstractCpu& other) const noexcept = default;
+
+  /// Order-insensitive hash for memoization tables.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+ private:
+  std::array<RegState, 8> states_{};
+  std::array<std::uint32_t, 8> values_{};
+};
+
+}  // namespace mel::exec

@@ -1,0 +1,89 @@
+#pragma once
+// MEL (Maximum Executable Length) computation over a byte stream.
+//
+// Definition (paper Section 2.2): the length, in instructions, of the
+// longest error-free execution path, taking every byte offset as a
+// potential entry point and following both sides of conditional branches.
+//
+// Three engines, trading fidelity to the probabilistic model against
+// path coverage:
+//  * Linear sweep — the stream is disassembled back to back exactly as the
+//    model of Section 3 describes (n = C / E[instruction length]
+//    instructions, runs terminated by invalid instructions); the MEL is
+//    the longest valid run. This is the model-faithful measurement the
+//    Section 5 evaluation numbers correspond to, and the default.
+//  * DAG dynamic program — every byte offset is an entry point and both
+//    sides of each conditional branch are followed (APE's view). Exact and
+//    O(stream length) for position-local validity rules: text streams only
+//    contain forward jumps (a text rel8 is 0x20..0x7E, always positive),
+//    so the control-flow graph over offsets is acyclic. Taking the maximum
+//    over ~C entry points and all branch forks inflates benign MELs well
+//    above the single-stream law — the ablation bench quantifies this.
+//  * Path explorer — pseudo-execution with an AbstractCpu per path,
+//    enabling the uninitialized-register rule (DAWN strict mode); bounded
+//    by a step budget and a per-path visited set (loops are flagged).
+
+#include <cstdint>
+#include <vector>
+
+#include "mel/exec/validity.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::exec {
+
+enum class MelEngine : std::uint8_t {
+  kLinearSweep = 0,  ///< Model-faithful single-stream run length (default).
+  kAllPathsDag,      ///< Every entry offset + branch forking, DP.
+  kPathExplorer,     ///< Every entry offset + CPU state (strict rules).
+};
+
+struct MelOptions {
+  ValidityRules rules = ValidityRules::dawn();
+  MelEngine engine = MelEngine::kLinearSweep;
+  /// Path-explorer step budget across all entry points.
+  std::uint64_t step_budget = 2'000'000;
+  /// Stop early once the MEL exceeds this value (<0: never). Detectors set
+  /// this to their threshold: anything beyond it is already malicious.
+  std::int64_t early_exit_threshold = -1;
+};
+
+struct MelResult {
+  std::int64_t mel = 0;               ///< The maximum executable length.
+  std::size_t best_entry_offset = 0;  ///< Entry point achieving it.
+  bool loop_detected = false;    ///< A cycle was reached (binary streams).
+  bool budget_exhausted = false; ///< Explorer ran out of steps; mel is a lower bound.
+  bool early_exit = false;       ///< Stopped at early_exit_threshold.
+  std::uint64_t instructions_decoded = 0;
+};
+
+/// Computes the MEL of `bytes` under `options`, dispatching on
+/// options.engine. The uninitialized-register rule requires the path
+/// explorer and forces it regardless of the engine selection.
+[[nodiscard]] MelResult compute_mel(util::ByteView bytes,
+                                    const MelOptions& options = {});
+
+/// Forces the linear-sweep engine (exposed for tests/benches).
+[[nodiscard]] MelResult compute_mel_sweep(util::ByteView bytes,
+                                          const MelOptions& options);
+
+/// Forces the DAG engine (exposed for tests/benches).
+[[nodiscard]] MelResult compute_mel_dag(util::ByteView bytes,
+                                        const MelOptions& options);
+
+/// Forces the path explorer (exposed for tests/benches).
+[[nodiscard]] MelResult compute_mel_explorer(util::ByteView bytes,
+                                             const MelOptions& options);
+
+/// Per-entry-offset executable lengths (instructions executable starting
+/// at each byte offset, following branches, position-local rules only).
+/// This is the quantity APE samples and Stride scans windows of.
+[[nodiscard]] std::vector<std::int32_t> compute_execable_lengths(
+    util::ByteView bytes, const ValidityRules& rules);
+
+/// Per-entry-offset reachability: the furthest byte offset (exclusive)
+/// reachable error-free when starting execution at each offset. Backward
+/// targets contribute their instruction's end. Used by sled detection.
+[[nodiscard]] std::vector<std::size_t> compute_reach(
+    util::ByteView bytes, const ValidityRules& rules);
+
+}  // namespace mel::exec

@@ -1,0 +1,42 @@
+#pragma once
+// Linear-sweep stream analysis: disassemble back-to-back and classify each
+// instruction under a validity policy. Feeds the paper's model-validation
+// experiments — the Section 3.3 chi-square independence test over
+// consecutive instruction validity, the empirical invalid-instruction
+// probability p, and the measured average instruction length that
+// Section 5.3 compares against the character-frequency prediction.
+
+#include <vector>
+
+#include "mel/disasm/instruction.hpp"
+#include "mel/exec/validity.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::exec {
+
+struct SweepAnalysis {
+  std::vector<disasm::Instruction> instructions;
+  std::vector<InvalidReason> classifications;  ///< Parallel to instructions.
+
+  std::size_t instruction_count = 0;
+  std::size_t invalid_count = 0;
+  double invalid_fraction = 0.0;           ///< Empirical p.
+  double average_instruction_length = 0.0; ///< Bytes per instruction.
+
+  [[nodiscard]] bool is_valid(std::size_t i) const {
+    return classifications[i] == InvalidReason::kValidInstruction;
+  }
+};
+
+/// Disassembles `bytes` linearly from offset 0 and classifies every
+/// instruction under `rules` (position-local rules only; the sweep carries
+/// no CPU state).
+[[nodiscard]] SweepAnalysis analyze_sweep(util::ByteView bytes,
+                                          const ValidityRules& rules);
+
+/// Per-rule invalidity census: how many instructions each rule fired on.
+/// Index by static_cast<size_t>(InvalidReason).
+[[nodiscard]] std::vector<std::size_t> invalidity_census(
+    const SweepAnalysis& analysis);
+
+}  // namespace mel::exec

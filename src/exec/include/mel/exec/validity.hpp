@@ -1,0 +1,121 @@
+#pragma once
+// Validity policies: what makes a disassembled instruction "invalid"
+// (error-raising) during pseudo-execution.
+//
+// The paper contrasts two definitions (Section 6):
+//  * APE  — invalid only when the encoding is incorrect or a memory operand
+//           touches an illegal (absolute, out-of-image) address;
+//  * DAWN — additionally invalidates the text-specific cases: privileged
+//           I/O instructions ('l','m','n','o'), memory access under a wrong
+//           segment override, and (strict mode) addressing through an
+//           uninitialized register.
+// Every rule is an independent toggle so the ablation bench can measure the
+// contribution of each (paper Section 3.3: "finding more ways to increase
+// p is important").
+
+#include <array>
+#include <string_view>
+
+#include "mel/disasm/instruction.hpp"
+#include "mel/exec/cpu_state.hpp"
+
+namespace mel::exec {
+
+struct ValidityRules {
+  /// Undefined/undecodable/truncated encodings raise #UD. Always sensible.
+  bool undefined_opcode = true;
+  /// HLT/CLI/STI/LGDT-class ring-0 instructions fault in user mode.
+  bool privileged = true;
+  /// IN/OUT/INS/OUTS fault at user level (IOPL). The DAWN text rule: the
+  /// frequent letters l,m,n,o are exactly insb/insd/outsb/outsd.
+  bool io_instructions = true;
+  /// INT/INT3/INTO/INT1 abort or trap the process.
+  bool interrupts = true;
+  /// Far JMP/CALL/RET load an arbitrary selector: #GP.
+  bool far_control_transfer = true;
+  /// MOV seg / POP seg / LES / LDS with arbitrary data: #GP.
+  bool segment_register_load = true;
+  /// Memory access with a wrong segment override faults (paper: "wrong
+  /// Segment Selector"). Which overrides are wrong is set below.
+  bool wrong_segment_memory = true;
+  /// Writes through cs: fault (code segment is not writable).
+  bool cs_write = true;
+  /// AAM 0 raises #DE. Statically decidable, unlike DIV.
+  bool aam_zero = true;
+  /// Absolute-address memory operands (disp-only / moffs) assumed illegal.
+  /// The paper's conservative choice is OFF (register-spring exposes valid
+  /// static addresses); APE's image-map check maps to ON here.
+  bool absolute_memory = false;
+  /// Memory addressing through an uninitialized base/index register is
+  /// illegal. Requires CPU state (path explorer). DAWN strict mode.
+  bool uninitialized_register_memory = false;
+
+  /// Segment overrides considered wrong for data access. Defaults model a
+  /// flat 32-bit Linux process: ds/ss/cs(read)/es fine, fs/gs wild.
+  std::array<bool, 6> wrong_segment = {
+      /*es=*/false, /*cs=*/false, /*ss=*/false,
+      /*ds=*/false, /*fs=*/true,  /*gs=*/true,
+  };
+
+  /// DAWN's full rule set (strict: with the uninitialized-register rule).
+  [[nodiscard]] static ValidityRules dawn(bool strict = false) {
+    ValidityRules rules;
+    rules.uninitialized_register_memory = strict;
+    return rules;
+  }
+
+  /// APE's narrow definition: broken encodings and illegal absolute
+  /// addresses only. No text-specific knowledge.
+  [[nodiscard]] static ValidityRules ape() {
+    ValidityRules rules;
+    rules.privileged = false;
+    rules.io_instructions = false;
+    rules.interrupts = true;  // APE counted abort-raising int3 as invalid.
+    rules.far_control_transfer = false;
+    rules.segment_register_load = false;
+    rules.wrong_segment_memory = false;
+    rules.cs_write = false;
+    rules.aam_zero = false;
+    rules.absolute_memory = true;
+    rules.uninitialized_register_memory = false;
+    return rules;
+  }
+};
+
+/// Why an instruction was ruled invalid (for diagnostics and the
+/// per-rule ablation).
+enum class InvalidReason : std::uint8_t {
+  kValidInstruction = 0,
+  kUndefinedOpcode,
+  kPrivileged,
+  kIoInstruction,
+  kInterrupt,
+  kFarTransfer,
+  kSegmentLoad,
+  kWrongSegment,
+  kCsWrite,
+  kAamZero,
+  kAbsoluteMemory,
+  kUninitializedRegister,
+  // Dynamic-only reasons, reported by the ConcreteMachine emulator (the
+  // static classifier never returns these).
+  kIllegalMemory,  ///< Access to an unmapped address at run time.
+  kDivideError,    ///< DIV/IDIV by zero or quotient overflow (#DE).
+};
+
+[[nodiscard]] std::string_view invalid_reason_name(InvalidReason reason) noexcept;
+
+/// Classifies one instruction. `cpu` may be null; the uninitialized-register
+/// rule is then skipped (it needs path state).
+[[nodiscard]] InvalidReason classify_instruction(
+    const disasm::Instruction& insn, const ValidityRules& rules,
+    const AbstractCpu* cpu = nullptr) noexcept;
+
+[[nodiscard]] inline bool is_valid_instruction(
+    const disasm::Instruction& insn, const ValidityRules& rules,
+    const AbstractCpu* cpu = nullptr) noexcept {
+  return classify_instruction(insn, rules, cpu) ==
+         InvalidReason::kValidInstruction;
+}
+
+}  // namespace mel::exec

@@ -1,0 +1,275 @@
+#include "mel/exec/mel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "mel/disasm/decoder.hpp"
+
+namespace mel::exec {
+
+namespace {
+
+using disasm::Instruction;
+
+/// Control-flow successors of a valid instruction, as stream offsets.
+/// Returns raw targets (may be out of range or backward); the engines
+/// filter. A count of 0 means the path cannot be followed further
+/// (ret, indirect or far transfer).
+int successor_offsets(const Instruction& insn, std::int64_t out[2]) {
+  if (insn.has_flag(disasm::kFlagRet) ||
+      insn.has_flag(disasm::kFlagBranchIndirect) ||
+      insn.has_flag(disasm::kFlagBranchFar)) {
+    return 0;
+  }
+  const auto fall_through = static_cast<std::int64_t>(insn.end_offset());
+  if (insn.has_flag(disasm::kFlagCondBranch)) {
+    out[0] = fall_through;
+    out[1] = insn.branch_target();
+    return 2;
+  }
+  if (insn.has_flag(disasm::kFlagUncondBranch) ||
+      insn.has_flag(disasm::kFlagCall)) {
+    // Relative JMP/CALL: execution continues at the target only.
+    out[0] = insn.branch_target();
+    return 1;
+  }
+  out[0] = fall_through;
+  return 1;
+}
+
+}  // namespace
+
+MelResult compute_mel_dag(util::ByteView bytes, const MelOptions& options) {
+  MelResult result;
+  const auto n = static_cast<std::int64_t>(bytes.size());
+  if (n == 0) return result;
+
+  // longest[o] = number of valid instructions executable starting at o.
+  std::vector<std::int32_t> longest(static_cast<std::size_t>(n) + 1, 0);
+
+  for (std::int64_t offset = n - 1; offset >= 0; --offset) {
+    const Instruction insn =
+        disasm::decode_instruction(bytes, static_cast<std::size_t>(offset));
+    ++result.instructions_decoded;
+    if (!is_valid_instruction(insn, options.rules)) continue;  // longest = 0.
+
+    std::int64_t succ[2];
+    const int succ_count = successor_offsets(insn, succ);
+    std::int32_t best_continuation = 0;
+    for (int i = 0; i < succ_count; ++i) {
+      const std::int64_t target = succ[i];
+      if (target <= offset) {
+        // Backward or self target: only binary streams can encode this
+        // (text rel8 displacements are positive). The DP cannot follow it;
+        // cut the path here and let the caller know.
+        result.loop_detected = true;
+        continue;
+      }
+      if (target > n) continue;  // Jumps out of the analyzed stream.
+      best_continuation =
+          std::max(best_continuation, longest[static_cast<std::size_t>(target)]);
+    }
+    const std::int32_t total = 1 + best_continuation;
+    longest[static_cast<std::size_t>(offset)] = total;
+    if (total > result.mel) {
+      result.mel = total;
+      result.best_entry_offset = static_cast<std::size_t>(offset);
+      if (options.early_exit_threshold >= 0 &&
+          result.mel > options.early_exit_threshold) {
+        result.early_exit = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+MelResult compute_mel_explorer(util::ByteView bytes,
+                               const MelOptions& options) {
+  MelResult result;
+  const std::size_t n = bytes.size();
+  if (n == 0) return result;
+
+  // Instructions are CPU-state independent: decode each offset once.
+  std::vector<Instruction> decoded(n);
+  std::vector<bool> decoded_yet(n, false);
+  const auto instruction_at = [&](std::size_t offset) -> const Instruction& {
+    if (!decoded_yet[offset]) {
+      decoded[offset] = disasm::decode_instruction(bytes, offset);
+      decoded_yet[offset] = true;
+      ++result.instructions_decoded;
+    }
+    return decoded[offset];
+  };
+
+  struct Frame {
+    std::size_t offset;
+    AbstractCpu cpu;
+    std::int64_t count;
+    bool entered;  ///< True once children were pushed; pop = backtrack.
+  };
+
+  std::vector<bool> on_path(n, false);
+  std::vector<Frame> stack;
+  std::uint64_t steps = 0;
+
+  const auto record = [&](std::int64_t count, std::size_t entry) {
+    if (count > result.mel) {
+      result.mel = count;
+      result.best_entry_offset = entry;
+    }
+  };
+
+  for (std::size_t entry = 0; entry < n; ++entry) {
+    stack.clear();
+    stack.push_back(Frame{entry, AbstractCpu{}, 0, false});
+    while (!stack.empty()) {
+      Frame frame = stack.back();
+      stack.pop_back();
+      if (frame.entered) {
+        on_path[frame.offset] = false;  // Backtrack.
+        continue;
+      }
+      if (frame.offset >= n) {
+        record(frame.count, entry);
+        continue;
+      }
+      if (on_path[frame.offset]) {
+        // Cycle: this path re-executes earlier instructions and could run
+        // forever error-free. Flag it; the detector treats a loop as
+        // exceeding any threshold.
+        result.loop_detected = true;
+        record(frame.count, entry);
+        continue;
+      }
+      if (++steps > options.step_budget) {
+        result.budget_exhausted = true;
+        return result;
+      }
+
+      const Instruction& insn = instruction_at(frame.offset);
+      if (!is_valid_instruction(insn, options.rules, &frame.cpu)) {
+        record(frame.count, entry);
+        continue;
+      }
+
+      const std::int64_t count = frame.count + 1;
+      record(count, entry);
+      if (options.early_exit_threshold >= 0 &&
+          result.mel > options.early_exit_threshold) {
+        result.early_exit = true;
+        return result;
+      }
+
+      AbstractCpu cpu = frame.cpu;
+      cpu.apply(insn);
+
+      // Re-push this frame as a backtrack marker, then the children.
+      on_path[frame.offset] = true;
+      stack.push_back(Frame{frame.offset, AbstractCpu{}, 0, true});
+
+      std::int64_t succ[2];
+      const int succ_count = successor_offsets(insn, succ);
+      for (int i = 0; i < succ_count; ++i) {
+        if (succ[i] < 0 || succ[i] > static_cast<std::int64_t>(n)) continue;
+        stack.push_back(
+            Frame{static_cast<std::size_t>(succ[i]), cpu, count, false});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::int32_t> compute_execable_lengths(util::ByteView bytes,
+                                                   const ValidityRules& rules) {
+  const auto n = static_cast<std::int64_t>(bytes.size());
+  std::vector<std::int32_t> longest(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int64_t offset = n - 1; offset >= 0; --offset) {
+    const Instruction insn =
+        disasm::decode_instruction(bytes, static_cast<std::size_t>(offset));
+    if (!is_valid_instruction(insn, rules)) continue;
+    std::int64_t succ[2];
+    const int succ_count = successor_offsets(insn, succ);
+    std::int32_t best = 0;
+    for (int i = 0; i < succ_count; ++i) {
+      if (succ[i] <= offset || succ[i] > n) continue;  // Backward/out: cut.
+      best = std::max(best, longest[static_cast<std::size_t>(succ[i])]);
+    }
+    longest[static_cast<std::size_t>(offset)] = 1 + best;
+  }
+  longest.pop_back();  // Drop the sentinel entry at offset n.
+  return longest;
+}
+
+std::vector<std::size_t> compute_reach(util::ByteView bytes,
+                                       const ValidityRules& rules) {
+  const auto n = static_cast<std::int64_t>(bytes.size());
+  std::vector<std::size_t> reach(static_cast<std::size_t>(n) + 1,
+                                 static_cast<std::size_t>(n));
+  reach[static_cast<std::size_t>(n)] = static_cast<std::size_t>(n);
+  for (std::int64_t offset = n - 1; offset >= 0; --offset) {
+    const Instruction insn =
+        disasm::decode_instruction(bytes, static_cast<std::size_t>(offset));
+    if (!is_valid_instruction(insn, rules)) {
+      reach[static_cast<std::size_t>(offset)] =
+          static_cast<std::size_t>(offset);  // Faults immediately.
+      continue;
+    }
+    std::size_t best = insn.end_offset();  // The instruction itself ran.
+    std::int64_t succ[2];
+    const int succ_count = successor_offsets(insn, succ);
+    for (int i = 0; i < succ_count; ++i) {
+      if (succ[i] <= offset || succ[i] > n) continue;
+      best = std::max(best, reach[static_cast<std::size_t>(succ[i])]);
+    }
+    reach[static_cast<std::size_t>(offset)] = best;
+  }
+  reach.pop_back();
+  return reach;
+}
+
+MelResult compute_mel_sweep(util::ByteView bytes, const MelOptions& options) {
+  MelResult result;
+  std::size_t offset = 0;
+  std::int64_t run = 0;
+  std::size_t run_start = 0;
+  while (offset < bytes.size()) {
+    const Instruction insn = disasm::decode_instruction(bytes, offset);
+    ++result.instructions_decoded;
+    if (is_valid_instruction(insn, options.rules)) {
+      if (run == 0) run_start = offset;
+      ++run;
+      if (run > result.mel) {
+        result.mel = run;
+        result.best_entry_offset = run_start;
+        if (options.early_exit_threshold >= 0 &&
+            result.mel > options.early_exit_threshold) {
+          result.early_exit = true;
+          return result;
+        }
+      }
+    } else {
+      run = 0;
+    }
+    offset += insn.length;
+  }
+  return result;
+}
+
+MelResult compute_mel(util::ByteView bytes, const MelOptions& options) {
+  if (options.rules.uninitialized_register_memory) {
+    return compute_mel_explorer(bytes, options);
+  }
+  switch (options.engine) {
+    case MelEngine::kLinearSweep:
+      return compute_mel_sweep(bytes, options);
+    case MelEngine::kAllPathsDag:
+      return compute_mel_dag(bytes, options);
+    case MelEngine::kPathExplorer:
+      return compute_mel_explorer(bytes, options);
+  }
+  return compute_mel_sweep(bytes, options);
+}
+
+}  // namespace mel::exec

@@ -1,0 +1,40 @@
+#include "mel/exec/sweep.hpp"
+
+#include "mel/disasm/decoder.hpp"
+
+namespace mel::exec {
+
+SweepAnalysis analyze_sweep(util::ByteView bytes, const ValidityRules& rules) {
+  SweepAnalysis analysis;
+  analysis.instructions = disasm::linear_sweep(bytes);
+  analysis.classifications.reserve(analysis.instructions.size());
+
+  std::size_t total_length = 0;
+  for (const disasm::Instruction& insn : analysis.instructions) {
+    const InvalidReason reason = classify_instruction(insn, rules);
+    analysis.classifications.push_back(reason);
+    if (reason != InvalidReason::kValidInstruction) ++analysis.invalid_count;
+    total_length += insn.length;
+  }
+  analysis.instruction_count = analysis.instructions.size();
+  if (analysis.instruction_count > 0) {
+    analysis.invalid_fraction =
+        static_cast<double>(analysis.invalid_count) /
+        static_cast<double>(analysis.instruction_count);
+    analysis.average_instruction_length =
+        static_cast<double>(total_length) /
+        static_cast<double>(analysis.instruction_count);
+  }
+  return analysis;
+}
+
+std::vector<std::size_t> invalidity_census(const SweepAnalysis& analysis) {
+  std::vector<std::size_t> census(
+      static_cast<std::size_t>(InvalidReason::kDivideError) + 1, 0);
+  for (const InvalidReason reason : analysis.classifications) {
+    ++census[static_cast<std::size_t>(reason)];
+  }
+  return census;
+}
+
+}  // namespace mel::exec

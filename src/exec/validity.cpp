@@ -1,0 +1,124 @@
+#include "mel/exec/validity.hpp"
+
+namespace mel::exec {
+
+namespace {
+
+using disasm::Gpr;
+using disasm::Instruction;
+using disasm::Mnemonic;
+using disasm::Operand;
+using disasm::SegReg;
+
+/// Registers implicitly used for addressing by string/xlat instructions.
+bool implicit_address_registers_uninit(const Instruction& insn,
+                                       const AbstractCpu& cpu) noexcept {
+  if (insn.mnemonic == Mnemonic::kXlat) {
+    return cpu.is_uninitialized(Gpr::kEbx);
+  }
+  if (!insn.has_flag(disasm::kFlagString)) return false;
+  // Source side uses ESI (movs/cmps/lods/outs), destination side EDI
+  // (movs/cmps/stos/scas/ins).
+  const bool reads = insn.has_flag(disasm::kFlagMemRead);
+  const bool writes = insn.has_flag(disasm::kFlagMemWrite);
+  const bool uses_esi =
+      reads && insn.mnemonic != Mnemonic::kScas;  // scas reads via EDI.
+  const bool uses_edi = writes || insn.mnemonic == Mnemonic::kScas ||
+                        insn.mnemonic == Mnemonic::kCmps;
+  if (uses_esi && cpu.is_uninitialized(Gpr::kEsi)) return true;
+  if (uses_edi && cpu.is_uninitialized(Gpr::kEdi)) return true;
+  return false;
+}
+
+bool modrm_address_registers_uninit(const Instruction& insn,
+                                    const AbstractCpu& cpu) noexcept {
+  const Operand* mem = insn.memory_operand();
+  if (mem == nullptr) return false;
+  if (mem->base != Gpr::kNone && cpu.is_uninitialized(mem->base)) return true;
+  if (mem->index != Gpr::kNone && cpu.is_uninitialized(mem->index)) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view invalid_reason_name(InvalidReason reason) noexcept {
+  switch (reason) {
+    case InvalidReason::kValidInstruction: return "valid";
+    case InvalidReason::kUndefinedOpcode: return "undefined-opcode";
+    case InvalidReason::kPrivileged: return "privileged";
+    case InvalidReason::kIoInstruction: return "io-instruction";
+    case InvalidReason::kInterrupt: return "interrupt";
+    case InvalidReason::kFarTransfer: return "far-transfer";
+    case InvalidReason::kSegmentLoad: return "segment-load";
+    case InvalidReason::kWrongSegment: return "wrong-segment";
+    case InvalidReason::kCsWrite: return "cs-write";
+    case InvalidReason::kAamZero: return "aam-zero";
+    case InvalidReason::kAbsoluteMemory: return "absolute-memory";
+    case InvalidReason::kUninitializedRegister:
+      return "uninitialized-register";
+    case InvalidReason::kIllegalMemory:
+      return "illegal-memory";
+    case InvalidReason::kDivideError:
+      return "divide-error";
+  }
+  return "?";
+}
+
+InvalidReason classify_instruction(const Instruction& insn,
+                                   const ValidityRules& rules,
+                                   const AbstractCpu* cpu) noexcept {
+  if (rules.undefined_opcode && insn.has_flag(disasm::kFlagUndefined)) {
+    return InvalidReason::kUndefinedOpcode;
+  }
+  if (rules.privileged && insn.has_flag(disasm::kFlagPrivileged)) {
+    return InvalidReason::kPrivileged;
+  }
+  if (rules.io_instructions &&
+      (insn.has_flag(disasm::kFlagIoString) ||
+       insn.has_flag(disasm::kFlagIoPort))) {
+    return InvalidReason::kIoInstruction;
+  }
+  if (rules.interrupts && insn.has_flag(disasm::kFlagInterrupt)) {
+    return InvalidReason::kInterrupt;
+  }
+  if (rules.far_control_transfer && insn.has_flag(disasm::kFlagBranchFar)) {
+    return InvalidReason::kFarTransfer;
+  }
+  if (rules.segment_register_load &&
+      insn.has_flag(disasm::kFlagSegmentLoad)) {
+    return InvalidReason::kSegmentLoad;
+  }
+  if (rules.aam_zero && insn.mnemonic == Mnemonic::kAam &&
+      insn.operand_count >= 1 && insn.operands[0].immediate == 0) {
+    return InvalidReason::kAamZero;
+  }
+
+  if (insn.accesses_memory()) {
+    const SegReg override_seg = insn.segment_override;
+    if (rules.wrong_segment_memory && override_seg != SegReg::kNone &&
+        rules.wrong_segment[static_cast<std::uint8_t>(override_seg)]) {
+      return InvalidReason::kWrongSegment;
+    }
+    if (rules.cs_write && override_seg == SegReg::kCs &&
+        insn.has_flag(disasm::kFlagMemWrite)) {
+      return InvalidReason::kCsWrite;
+    }
+    if (rules.absolute_memory) {
+      const Operand* mem = insn.memory_operand();
+      if (mem != nullptr && mem->is_absolute_memory()) {
+        return InvalidReason::kAbsoluteMemory;
+      }
+    }
+    if (rules.uninitialized_register_memory && cpu != nullptr) {
+      if (modrm_address_registers_uninit(insn, *cpu) ||
+          implicit_address_registers_uninit(insn, *cpu)) {
+        return InvalidReason::kUninitializedRegister;
+      }
+    }
+  }
+  return InvalidReason::kValidInstruction;
+}
+
+}  // namespace mel::exec

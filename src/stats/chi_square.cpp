@@ -1,0 +1,85 @@
+#include "mel/stats/chi_square.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "mel/stats/special_functions.hpp"
+
+namespace mel::stats {
+
+ContingencyTable::ContingencyTable(int rows, int cols)
+    : rows_(rows), cols_(cols), cells_(static_cast<std::size_t>(rows) * cols, 0) {
+  assert(rows >= 2 && cols >= 2);
+}
+
+void ContingencyTable::add(int row, int col, std::uint64_t count) {
+  assert(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  cells_[static_cast<std::size_t>(row) * cols_ + col] += count;
+  total_ += count;
+}
+
+std::uint64_t ContingencyTable::observed(int row, int col) const {
+  assert(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  return cells_[static_cast<std::size_t>(row) * cols_ + col];
+}
+
+std::uint64_t ContingencyTable::row_total(int row) const {
+  std::uint64_t sum = 0;
+  for (int c = 0; c < cols_; ++c) sum += observed(row, c);
+  return sum;
+}
+
+std::uint64_t ContingencyTable::col_total(int col) const {
+  std::uint64_t sum = 0;
+  for (int r = 0; r < rows_; ++r) sum += observed(r, col);
+  return sum;
+}
+
+double ContingencyTable::expected(int row, int col) const {
+  assert(total_ > 0);
+  return static_cast<double>(row_total(row)) *
+         static_cast<double>(col_total(col)) / static_cast<double>(total_);
+}
+
+ChiSquareResult chi_square_independence_test(const ContingencyTable& table) {
+  assert(table.grand_total() > 0);
+  double statistic = 0.0;
+  for (int r = 0; r < table.rows(); ++r) {
+    for (int c = 0; c < table.cols(); ++c) {
+      const double expected = table.expected(r, c);
+      assert(expected > 0.0 && "marginal totals must be nonzero");
+      const double diff = static_cast<double>(table.observed(r, c)) - expected;
+      statistic += diff * diff / expected;
+    }
+  }
+  ChiSquareResult result;
+  result.statistic = statistic;
+  result.degrees_of_freedom = (table.rows() - 1) * (table.cols() - 1);
+  result.p_value = chi_square_survival(statistic, result.degrees_of_freedom);
+  return result;
+}
+
+ChiSquareResult chi_square_goodness_of_fit(
+    const std::vector<std::uint64_t>& observed,
+    const std::vector<double>& expected_probability) {
+  assert(observed.size() == expected_probability.size());
+  assert(observed.size() >= 2);
+  const auto total = std::accumulate(observed.begin(), observed.end(),
+                                     std::uint64_t{0});
+  assert(total > 0);
+  double statistic = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = expected_probability[i] * static_cast<double>(total);
+    assert(expected > 0.0);
+    const double diff = static_cast<double>(observed[i]) - expected;
+    statistic += diff * diff / expected;
+  }
+  ChiSquareResult result;
+  result.statistic = statistic;
+  result.degrees_of_freedom = static_cast<int>(observed.size()) - 1;
+  result.p_value = chi_square_survival(statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace mel::stats

@@ -1,0 +1,55 @@
+#include "mel/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mel::stats {
+
+void RunningStats::add(double sample) noexcept {
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Summary summarize(std::span<const double> samples) {
+  Summary summary;
+  if (samples.empty()) return summary;
+  RunningStats stats;
+  double lo = samples.front();
+  double hi = samples.front();
+  for (double s : samples) {
+    stats.add(s);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  summary.count = samples.size();
+  summary.mean = stats.mean();
+  summary.variance = stats.variance();
+  summary.stddev = stats.stddev();
+  summary.min = lo;
+  summary.max = hi;
+  return summary;
+}
+
+double quantile(std::span<const double> samples, double q) {
+  assert(!samples.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  return sorted[lower] * (1.0 - fraction) + sorted[lower + 1] * fraction;
+}
+
+}  // namespace mel::stats

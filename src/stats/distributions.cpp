@@ -1,0 +1,67 @@
+#include "mel/stats/distributions.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "mel/stats/special_functions.hpp"
+
+namespace mel::stats {
+
+Geometric::Geometric(double p) : p_(p) {
+  assert(p > 0.0 && p <= 1.0);
+}
+
+double Geometric::pmf(std::int64_t x) const {
+  if (x < 0) return 0.0;
+  return std::pow(1.0 - p_, static_cast<double>(x)) * p_;
+}
+
+double Geometric::cdf(std::int64_t x) const {
+  if (x < 0) return 0.0;
+  return 1.0 - std::pow(1.0 - p_, static_cast<double>(x) + 1.0);
+}
+
+double Geometric::cdf_strict(std::int64_t x) const {
+  if (x <= 0) return 0.0;
+  return 1.0 - std::pow(1.0 - p_, static_cast<double>(x));
+}
+
+double Geometric::mean() const noexcept { return (1.0 - p_) / p_; }
+
+Binomial::Binomial(std::int64_t n, double p) : p_(p), n_(n) {
+  assert(n >= 0);
+  assert(p >= 0.0 && p <= 1.0);
+}
+
+double Binomial::pmf(std::int64_t k) const {
+  if (k < 0 || k > n_) return 0.0;
+  if (p_ == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p_ == 1.0) return k == n_ ? 1.0 : 0.0;
+  const double log_pmf =
+      log_binomial_coefficient(static_cast<unsigned long>(n_),
+                               static_cast<unsigned long>(k)) +
+      static_cast<double>(k) * std::log(p_) +
+      static_cast<double>(n_ - k) * std::log1p(-p_);
+  return std::exp(log_pmf);
+}
+
+double Binomial::cdf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  if (k >= n_) return 1.0;
+  // Regularized incomplete beta would be ideal; direct summation is exact
+  // enough for the n values in this library (n <= ~1e6) and keeps the
+  // dependency surface minimal.
+  double sum = 0.0;
+  for (std::int64_t i = 0; i <= k; ++i) sum += pmf(i);
+  return std::min(sum, 1.0);
+}
+
+double Binomial::mean() const noexcept {
+  return static_cast<double>(n_) * p_;
+}
+
+double Binomial::variance() const noexcept {
+  return static_cast<double>(n_) * p_ * (1.0 - p_);
+}
+
+}  // namespace mel::stats

@@ -1,0 +1,72 @@
+#include "mel/stats/histogram.hpp"
+
+#include <cassert>
+
+namespace mel::stats {
+
+void IntHistogram::add(std::int64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  counts_[value] += count;
+  total_ += count;
+}
+
+void IntHistogram::merge(const IntHistogram& other) {
+  for (const auto& [value, count] : other.counts_) add(value, count);
+}
+
+std::uint64_t IntHistogram::count(std::int64_t value) const {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double IntHistogram::pmf(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+double IntHistogram::cdf(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (const auto& [v, c] : counts_) {
+    if (v > value) break;
+    acc += c;
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::int64_t IntHistogram::min() const {
+  assert(!empty());
+  return counts_.begin()->first;
+}
+
+std::int64_t IntHistogram::max() const {
+  assert(!empty());
+  return counts_.rbegin()->first;
+}
+
+double IntHistogram::mean() const {
+  assert(!empty());
+  double weighted = 0.0;
+  for (const auto& [value, count] : counts_) {
+    weighted += static_cast<double>(value) * static_cast<double>(count);
+  }
+  return weighted / static_cast<double>(total_);
+}
+
+std::int64_t IntHistogram::quantile(double q) const {
+  assert(!empty());
+  assert(q >= 0.0 && q <= 1.0);
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t acc = 0;
+  for (const auto& [value, count] : counts_) {
+    acc += count;
+    if (static_cast<double>(acc) >= target) return value;
+  }
+  return counts_.rbegin()->first;
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>> IntHistogram::items() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+}  // namespace mel::stats

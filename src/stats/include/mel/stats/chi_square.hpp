@@ -1,0 +1,56 @@
+#pragma once
+// Pearson chi-square independence test, used in Section 3.3 of the paper to
+// validate that the validity of consecutive instructions is independent
+// (the Bernoulli assumption underlying the MEL model).
+
+#include <cstdint>
+#include <vector>
+
+namespace mel::stats {
+
+/// A general r x c contingency table of observed frequencies.
+class ContingencyTable {
+ public:
+  /// Creates an r x c table of zeros. Preconditions: rows >= 2, cols >= 2.
+  ContingencyTable(int rows, int cols);
+
+  void add(int row, int col, std::uint64_t count = 1);
+  [[nodiscard]] std::uint64_t observed(int row, int col) const;
+  /// Expected frequency under independence: row_total * col_total / total.
+  [[nodiscard]] double expected(int row, int col) const;
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] std::uint64_t row_total(int row) const;
+  [[nodiscard]] std::uint64_t col_total(int col) const;
+  [[nodiscard]] std::uint64_t grand_total() const noexcept { return total_; }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<std::uint64_t> cells_;
+  std::uint64_t total_ = 0;
+};
+
+struct ChiSquareResult {
+  double statistic = 0.0;       ///< Pearson X^2 statistic.
+  int degrees_of_freedom = 0;   ///< (r-1)(c-1).
+  double p_value = 1.0;         ///< P[X^2 >= statistic] under H0.
+  /// True when p_value < significance (H0 of independence rejected).
+  [[nodiscard]] bool rejects_independence(double significance = 0.05) const {
+    return p_value < significance;
+  }
+};
+
+/// Runs Pearson's chi-square test of independence on the table.
+/// Precondition: every marginal total is nonzero.
+[[nodiscard]] ChiSquareResult chi_square_independence_test(
+    const ContingencyTable& table);
+
+/// Goodness-of-fit: observed counts against expected probabilities.
+/// Preconditions: sizes match, probabilities sum to ~1, total > 0.
+[[nodiscard]] ChiSquareResult chi_square_goodness_of_fit(
+    const std::vector<std::uint64_t>& observed,
+    const std::vector<double>& expected_probability);
+
+}  // namespace mel::stats

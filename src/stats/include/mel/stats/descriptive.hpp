@@ -1,0 +1,42 @@
+#pragma once
+// Descriptive statistics over samples (means, variance, quantiles) used by
+// benches and the PAYL baseline's per-byte frequency models.
+
+#include <span>
+#include <vector>
+
+namespace mel::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Population variance (divide by count).
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a full summary in one pass (Welford). Empty input -> zeros.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// q-quantile by linear interpolation on the sorted copy, q in [0,1].
+/// Precondition: samples non-empty.
+[[nodiscard]] double quantile(std::span<const double> samples, double q);
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double sample) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance; 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace mel::stats

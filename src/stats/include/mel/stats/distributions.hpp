@@ -1,0 +1,49 @@
+#pragma once
+// Elementary discrete distributions used by the MEL model (Section 3 of the
+// paper): the Geometric distribution of individual valid-run lengths and the
+// Binomial distribution of the invalid-instruction count N ~ B(n, p).
+// All mass functions are computed in log space where overflow is possible.
+
+#include <cstdint>
+
+namespace mel::stats {
+
+/// Geometric run-length distribution in the paper's convention: a run of
+/// valid instructions terminated by an invalid one, counting the run length
+/// X in {0, 1, 2, ...} with success-per-trial probability q = 1 - p of
+/// continuing. P[X = x] = (1-p)^x * p,  P[X <= x] = 1 - (1-p)^(x+1).
+/// The paper's CDF "1 - (1-p)^x" corresponds to P[X < x]; both are exposed.
+class Geometric {
+ public:
+  /// p = probability that a trial terminates the run. Precondition: 0<p<=1.
+  explicit Geometric(double p);
+
+  [[nodiscard]] double p() const noexcept { return p_; }
+  [[nodiscard]] double pmf(std::int64_t x) const;
+  [[nodiscard]] double cdf(std::int64_t x) const;         // P[X <= x]
+  [[nodiscard]] double cdf_strict(std::int64_t x) const;  // P[X < x] (paper)
+  [[nodiscard]] double mean() const noexcept;             // (1-p)/p
+
+ private:
+  double p_;
+};
+
+/// Binomial(n, p): number of invalid instructions among n.
+class Binomial {
+ public:
+  /// Preconditions: n >= 0, 0 <= p <= 1.
+  Binomial(std::int64_t n, double p);
+
+  [[nodiscard]] std::int64_t n() const noexcept { return n_; }
+  [[nodiscard]] double p() const noexcept { return p_; }
+  [[nodiscard]] double pmf(std::int64_t k) const;
+  [[nodiscard]] double cdf(std::int64_t k) const;  // P[N <= k], summed pmf
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+
+ private:
+  double p_;
+  std::int64_t n_;
+};
+
+}  // namespace mel::stats

@@ -1,0 +1,39 @@
+#pragma once
+// Integer-keyed histogram used for empirical MEL distributions (Figure 1
+// Monte-Carlo curves, Figure 3 benign/malicious frequency charts).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace mel::stats {
+
+class IntHistogram {
+ public:
+  void add(std::int64_t value, std::uint64_t count = 1);
+  void merge(const IntHistogram& other);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+  [[nodiscard]] std::uint64_t count(std::int64_t value) const;
+
+  /// Empirical probability mass at `value` (0 when the histogram is empty).
+  [[nodiscard]] double pmf(std::int64_t value) const;
+  /// Empirical P[X <= value].
+  [[nodiscard]] double cdf(std::int64_t value) const;
+
+  [[nodiscard]] std::int64_t min() const;  // Precondition: !empty()
+  [[nodiscard]] std::int64_t max() const;  // Precondition: !empty()
+  [[nodiscard]] double mean() const;       // Precondition: !empty()
+  /// Smallest v with P[X <= v] >= q, q in [0,1]. Precondition: !empty().
+  [[nodiscard]] std::int64_t quantile(double q) const;
+
+  /// Sorted (value, count) pairs for rendering.
+  [[nodiscard]] std::vector<std::pair<std::int64_t, std::uint64_t>> items() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mel::stats

@@ -1,0 +1,35 @@
+#pragma once
+// Kolmogorov-Smirnov machinery for comparing an empirical distribution
+// (Monte-Carlo / measured MELs) against a model: the KS statistic
+// sup_x |F1(x) - F2(x)| and the asymptotic two-sample / one-sample
+// p-value via the Kolmogorov distribution's series expansion.
+
+#include <cstdint>
+#include <vector>
+
+#include "mel/stats/histogram.hpp"
+
+namespace mel::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F1 - F2|.
+  double p_value = 1.0;    ///< Asymptotic; small = distributions differ.
+};
+
+/// One-sample KS: empirical histogram vs a model CDF sampled on the
+/// integer support [lo, hi]. `model_cdf[i]` is P[X <= lo + i].
+/// Precondition: histogram non-empty, model_cdf non-empty and
+/// non-decreasing.
+[[nodiscard]] KsResult ks_test_against_cdf(
+    const IntHistogram& empirical, std::int64_t lo,
+    const std::vector<double>& model_cdf);
+
+/// Two-sample KS between empirical histograms.
+/// Precondition: both non-empty.
+[[nodiscard]] KsResult ks_test_two_sample(const IntHistogram& a,
+                                          const IntHistogram& b);
+
+/// Kolmogorov distribution survival: P[K > x], series expansion.
+[[nodiscard]] double kolmogorov_survival(double x);
+
+}  // namespace mel::stats

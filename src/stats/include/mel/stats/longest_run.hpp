@@ -1,0 +1,45 @@
+#pragma once
+// Exact distribution of the longest success run in n Bernoulli trials.
+//
+// The paper's closed form (Section 3.1) assumes the valid-run lengths X_i
+// are independent geometric variables, ignoring the constraint
+// sum X_i = n. This module computes the *exact* law of the longest run by
+// dynamic programming, which lets the library measure the approximation
+// error instead of asserting it is small (see bench tab_ablation).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mel::stats {
+
+/// Exact P[L <= x] where L is the longest run of successes in n independent
+/// Bernoulli trials, each succeeding with probability q = 1 - p
+/// (p = per-trial failure probability, matching the paper's "invalid
+/// instruction" probability).
+///
+/// Recurrence over a(i) = P[no success run longer than x in i trials],
+/// conditioning on the position of the first failure:
+///   a(i) = sum_{j=1..min(i, x+1)} q^(j-1) p a(i-j)   + [i <= x] q^i
+/// Computed with a sliding window in O(n) per x.
+///
+/// Preconditions: n >= 0, 0 < p <= 1, x >= 0.
+[[nodiscard]] double longest_run_cdf_exact(std::int64_t n, double p,
+                                           std::int64_t x);
+
+/// Exact PMF: P[L = x] = cdf(x) - cdf(x-1).
+[[nodiscard]] double longest_run_pmf_exact(std::int64_t n, double p,
+                                           std::int64_t x);
+
+/// Full exact PMF over x = 0..n, truncated after the tail mass falls below
+/// `tail_epsilon` (the remaining mass is folded into the last entry's CDF,
+/// not the PMF). Returned vector index is x.
+[[nodiscard]] std::vector<double> longest_run_pmf_table(std::int64_t n,
+                                                        double p,
+                                                        double tail_epsilon = 1e-12);
+
+/// Longest run of `true` values in a boolean sequence (utility shared with
+/// the Monte-Carlo engine and tests). Returns 0 for an empty sequence.
+[[nodiscard]] std::int64_t longest_true_run(const std::vector<bool>& values);
+
+}  // namespace mel::stats

@@ -1,0 +1,30 @@
+#pragma once
+// Monte-Carlo engine for the MEL model validation (Figure 1 of the paper):
+// toss a p-coin n times, measure the longest run of tails (valid
+// instructions) between heads (invalid instructions), repeat for thousands
+// of rounds, and report the empirical PMF of the maximum.
+
+#include <cstdint>
+
+#include "mel/stats/histogram.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::stats {
+
+struct MonteCarloConfig {
+  std::int64_t n = 1000;        ///< Trials (instructions) per round.
+  double p = 0.175;             ///< Per-trial invalid probability.
+  std::uint64_t rounds = 5000;  ///< Independent rounds to aggregate.
+  std::uint64_t seed = 1;       ///< PRNG seed; every result is reproducible.
+};
+
+/// One round: simulates n Bernoulli trials and returns the longest
+/// failure-free (valid) run, i.e. the MEL of the simulated stream.
+[[nodiscard]] std::int64_t simulate_mel_round(std::int64_t n, double p,
+                                              util::Xoshiro256& rng);
+
+/// Full experiment: `rounds` rounds aggregated into an empirical histogram
+/// of the MEL, directly comparable with the model PMF.
+[[nodiscard]] IntHistogram simulate_mel_distribution(const MonteCarloConfig& config);
+
+}  // namespace mel::stats

@@ -1,0 +1,28 @@
+#pragma once
+// Special functions needed by the statistics substrate. Implemented here so
+// the library carries no dependency beyond the standard library:
+//  * log-gamma (via std::lgamma),
+//  * regularized incomplete gamma P(a,x)/Q(a,x) (series + continued
+//    fraction, Numerical-Recipes-style), used for chi-square p-values,
+//  * log binomial coefficient.
+
+namespace mel::stats {
+
+/// ln Gamma(x) for x > 0.
+[[nodiscard]] double log_gamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a).
+/// Preconditions: a > 0, x >= 0. Accurate to ~1e-12.
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double regularized_gamma_q(double a, double x);
+
+/// ln C(n, k). Preconditions: 0 <= k <= n.
+[[nodiscard]] double log_binomial_coefficient(unsigned long n, unsigned long k);
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom evaluated at `statistic`: P[X >= statistic].
+[[nodiscard]] double chi_square_survival(double statistic, int dof);
+
+}  // namespace mel::stats

@@ -1,0 +1,62 @@
+#include "mel/stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mel::stats {
+
+double kolmogorov_survival(double x) {
+  if (x <= 0.0) return 1.0;
+  // P[K > x] = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2).
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * x * x);
+    sum += (k % 2 == 1) ? term : -term;
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test_against_cdf(const IntHistogram& empirical, std::int64_t lo,
+                             const std::vector<double>& model_cdf) {
+  assert(!empirical.empty());
+  assert(!model_cdf.empty());
+  KsResult result;
+  const std::int64_t hi = lo + static_cast<std::int64_t>(model_cdf.size()) - 1;
+  const std::int64_t from = std::min(lo, empirical.min());
+  const std::int64_t to = std::max(hi, empirical.max());
+  for (std::int64_t x = from; x <= to; ++x) {
+    const double model = x < lo ? 0.0
+                        : x > hi ? 1.0
+                                 : model_cdf[static_cast<std::size_t>(x - lo)];
+    result.statistic = std::max(
+        result.statistic, std::fabs(empirical.cdf(x) - model));
+  }
+  const double n = static_cast<double>(empirical.total());
+  // Asymptotic with the standard finite-sample correction.
+  const double scaled =
+      (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * result.statistic;
+  result.p_value = kolmogorov_survival(scaled);
+  return result;
+}
+
+KsResult ks_test_two_sample(const IntHistogram& a, const IntHistogram& b) {
+  assert(!a.empty() && !b.empty());
+  KsResult result;
+  const std::int64_t from = std::min(a.min(), b.min());
+  const std::int64_t to = std::max(a.max(), b.max());
+  for (std::int64_t x = from; x <= to; ++x) {
+    result.statistic =
+        std::max(result.statistic, std::fabs(a.cdf(x) - b.cdf(x)));
+  }
+  const double na = static_cast<double>(a.total());
+  const double nb = static_cast<double>(b.total());
+  const double effective = std::sqrt(na * nb / (na + nb));
+  const double scaled =
+      (effective + 0.12 + 0.11 / effective) * result.statistic;
+  result.p_value = kolmogorov_survival(scaled);
+  return result;
+}
+
+}  // namespace mel::stats

@@ -1,0 +1,80 @@
+#include "mel/stats/longest_run.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mel::stats {
+
+double longest_run_cdf_exact(std::int64_t n, double p, std::int64_t x) {
+  assert(n >= 0);
+  assert(p > 0.0 && p <= 1.0);
+  assert(x >= 0);
+  if (n <= x) return 1.0;  // A run longer than x cannot fit.
+  const double q = 1.0 - p;
+
+  // a[i] = P[no success run of length > x within i trials].
+  // Sliding-window evaluation of the convolution sum: maintain
+  //   window = sum_{j=1..x+1} q^(j-1) p a(i-j)
+  // and the boundary term q^i for i <= x.
+  std::vector<double> a(static_cast<std::size_t>(n) + 1);
+  a[0] = 1.0;
+  // Powers of q up to x+1, used to add/remove window terms.
+  std::vector<double> q_pow(static_cast<std::size_t>(x) + 2);
+  q_pow[0] = 1.0;
+  for (std::size_t j = 1; j < q_pow.size(); ++j) q_pow[j] = q_pow[j - 1] * q;
+
+  double window = 0.0;
+  for (std::int64_t i = 1; i <= n; ++i) {
+    // Add the j=1 term for this i: q^0 * p * a[i-1]; all previous terms
+    // shift one position deeper, which multiplies them by q.
+    window = window * q + p * a[static_cast<std::size_t>(i - 1)];
+    // Terms deeper than j = x+1 fall out of the window.
+    if (i - 1 >= x + 1) {
+      window -= q_pow[static_cast<std::size_t>(x + 1)] * p *
+                a[static_cast<std::size_t>(i - x - 2)];
+    }
+    double value = window;
+    if (i <= x) value += q_pow[static_cast<std::size_t>(i)];
+    // Clamp tiny negative values arising from floating-point cancellation.
+    a[static_cast<std::size_t>(i)] = std::clamp(value, 0.0, 1.0);
+  }
+  return a[static_cast<std::size_t>(n)];
+}
+
+double longest_run_pmf_exact(std::int64_t n, double p, std::int64_t x) {
+  assert(x >= 0);
+  const double high = longest_run_cdf_exact(n, p, x);
+  const double low = x == 0 ? 0.0 : longest_run_cdf_exact(n, p, x - 1);
+  return std::max(0.0, high - low);
+}
+
+std::vector<double> longest_run_pmf_table(std::int64_t n, double p,
+                                          double tail_epsilon) {
+  assert(n >= 0);
+  std::vector<double> pmf;
+  double prev_cdf = 0.0;
+  for (std::int64_t x = 0; x <= n; ++x) {
+    const double cdf = longest_run_cdf_exact(n, p, x);
+    pmf.push_back(std::max(0.0, cdf - prev_cdf));
+    prev_cdf = cdf;
+    if (1.0 - cdf < tail_epsilon && x > 0) break;
+  }
+  return pmf;
+}
+
+std::int64_t longest_true_run(const std::vector<bool>& values) {
+  std::int64_t best = 0;
+  std::int64_t current = 0;
+  for (bool v : values) {
+    if (v) {
+      ++current;
+      best = std::max(best, current);
+    } else {
+      current = 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace mel::stats

@@ -1,0 +1,34 @@
+#include "mel/stats/monte_carlo.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mel::stats {
+
+std::int64_t simulate_mel_round(std::int64_t n, double p,
+                                util::Xoshiro256& rng) {
+  assert(n >= 0);
+  std::int64_t best = 0;
+  std::int64_t current = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (rng.next_bernoulli(p)) {
+      current = 0;  // Head: an invalid instruction terminates the run.
+    } else {
+      ++current;
+      best = std::max(best, current);
+    }
+  }
+  return best;
+}
+
+IntHistogram simulate_mel_distribution(const MonteCarloConfig& config) {
+  assert(config.p > 0.0 && config.p <= 1.0);
+  util::Xoshiro256 rng(config.seed);
+  IntHistogram histogram;
+  for (std::uint64_t round = 0; round < config.rounds; ++round) {
+    histogram.add(simulate_mel_round(config.n, config.p, rng));
+  }
+  return histogram;
+}
+
+}  // namespace mel::stats

@@ -1,0 +1,86 @@
+#include "mel/stats/special_functions.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mel::stats {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+constexpr double kTiny = 1e-300;
+
+/// Series expansion of P(a, x); converges fast for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+/// Continued fraction (modified Lentz) for Q(a, x); for x >= a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
+}
+
+}  // namespace
+
+double log_gamma(double x) {
+  assert(x > 0.0);
+  return std::lgamma(x);
+}
+
+double regularized_gamma_p(double a, double x) {
+  assert(a > 0.0);
+  assert(x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double regularized_gamma_q(double a, double x) {
+  assert(a > 0.0);
+  assert(x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_continued_fraction(a, x);
+}
+
+double log_binomial_coefficient(unsigned long n, unsigned long k) {
+  assert(k <= n);
+  return log_gamma(static_cast<double>(n) + 1.0) -
+         log_gamma(static_cast<double>(k) + 1.0) -
+         log_gamma(static_cast<double>(n - k) + 1.0);
+}
+
+double chi_square_survival(double statistic, int dof) {
+  assert(dof >= 1);
+  if (statistic <= 0.0) return 1.0;
+  return regularized_gamma_q(static_cast<double>(dof) / 2.0, statistic / 2.0);
+}
+
+}  // namespace mel::stats

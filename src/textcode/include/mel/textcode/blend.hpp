@@ -1,0 +1,32 @@
+#pragma once
+// Kolesnikov-Lee style polymorphic blending (paper Section 1): pad a text
+// worm with characters drawn to match a benign byte-frequency profile, so
+// that 1-gram statistical detectors (PAYL) see a normal-looking payload
+// while the executable decrypter is untouched.
+
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::textcode {
+
+struct BlendOptions {
+  /// Total size of the blended payload. Must exceed the worm size; the
+  /// larger the budget, the closer the blend gets to the target profile.
+  std::size_t total_size = 4000;
+};
+
+/// Appends padding sampled from `target` (deficit-first) after the worm
+/// until the whole payload's byte histogram approximates the target
+/// distribution. The worm prefix is preserved verbatim, so its MEL — and
+/// its function — are unchanged. Precondition: total_size >= worm.size().
+[[nodiscard]] util::ByteBuffer blend_to_distribution(
+    util::ByteView worm, const traffic::ByteDistributionTable& target,
+    const BlendOptions& options, util::Xoshiro256& rng);
+
+/// L1 distance between the byte distribution of `payload` and `target`
+/// (0 = identical profiles, 2 = disjoint). Used to verify blending works.
+[[nodiscard]] double distribution_distance(
+    util::ByteView payload, const traffic::ByteDistributionTable& target);
+
+}  // namespace mel::textcode

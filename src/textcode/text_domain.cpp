@@ -1,0 +1,46 @@
+#include "mel/textcode/text_domain.hpp"
+
+namespace mel::textcode {
+
+std::array<std::array<XorCell, 3>, 3> xor_closure_table() {
+  std::array<std::array<XorCell, 3>, 3> table{};
+  for (int a = util::kTextLow; a <= util::kTextHigh; ++a) {
+    for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+      const auto part_a = static_cast<std::size_t>(
+          text_part(static_cast<std::uint8_t>(a)));
+      const auto part_b = static_cast<std::size_t>(
+          text_part(static_cast<std::uint8_t>(b)));
+      XorCell& cell = table[part_a][part_b];
+      ++cell.pairs;
+      const auto result = static_cast<std::uint8_t>(a ^ b);
+      if (util::is_text_byte(result)) {
+        ++cell.text_results;
+      } else if (result <= 0x1F) {
+        ++cell.low_results;
+      }
+    }
+  }
+  return table;
+}
+
+int xor_key_coverage(std::uint8_t key) {
+  int covered = 0;
+  for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+    if (util::is_text_byte(static_cast<std::uint8_t>(key ^ b))) ++covered;
+  }
+  return covered;
+}
+
+bool single_xor_key_exists() {
+  // Key 0 is the identity — it "keeps text text" but encrypts nothing, so
+  // the paper's question is about nontrivial keys.
+  for (int key = 1; key <= 0xFF; ++key) {
+    if (xor_key_coverage(static_cast<std::uint8_t>(key)) ==
+        util::kTextDomainSize) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mel::textcode

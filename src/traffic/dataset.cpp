@@ -1,0 +1,52 @@
+#include "mel/traffic/dataset.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "mel/traffic/http_gen.hpp"
+
+namespace mel::traffic {
+
+std::vector<util::ByteBuffer> make_benign_dataset(
+    const BenignDatasetOptions& options) {
+  assert(options.cases > 0 && options.case_size > 0);
+  util::Xoshiro256 rng(options.seed);
+  HttpGenerator http;
+  MarkovTextGenerator text;
+
+  const double total_weight =
+      options.html_weight + options.prose_weight + options.form_weight;
+  assert(total_weight > 0.0);
+  const double p_html = options.html_weight / total_weight;
+  const double p_prose = options.prose_weight / total_weight;
+
+  std::vector<util::ByteBuffer> corpus;
+  corpus.reserve(options.cases);
+  for (std::size_t i = 0; i < options.cases; ++i) {
+    std::string payload;
+    const double kind = rng.next_double();
+    if (kind < p_html) {
+      const HttpMessage response =
+          http.make_response(options.case_size + 64, rng);
+      payload = strip_headers(response.raw);
+    } else if (kind < p_html + p_prose) {
+      payload = text.generate(options.case_size + 64, rng);
+    } else {
+      // Concatenated form submissions / query strings.
+      std::ostringstream out;
+      while (static_cast<std::size_t>(out.tellp()) <
+             options.case_size + 64) {
+        const HttpMessage request = http.make_request(rng);
+        out << http.make_url(rng) << '&' << strip_headers(request.raw);
+      }
+      payload = out.str();
+    }
+    payload = ascii_filter(payload);
+    payload.resize(options.case_size, ' ');
+    corpus.push_back(util::to_bytes(payload));
+    assert(util::is_text_buffer(corpus.back()));
+  }
+  return corpus;
+}
+
+}  // namespace mel::traffic

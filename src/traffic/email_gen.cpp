@@ -1,0 +1,89 @@
+#include "mel/traffic/email_gen.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "mel/traffic/http_gen.hpp"
+
+namespace mel::traffic {
+
+namespace {
+
+constexpr std::array<std::string_view, 10> kUsers = {
+    "alice", "bob",    "carol", "dave",  "erin",
+    "frank", "grace",  "heidi", "ivan",  "judy",
+};
+
+constexpr std::array<std::string_view, 6> kDomains = {
+    "cise.example.edu", "example.com",   "mail.example.org",
+    "lists.example.net", "example.co.uk", "dept.example.edu",
+};
+
+constexpr std::array<std::string_view, 8> kSubjectLead = {
+    "Re: meeting notes",      "schedule for next week",
+    "Re: paper draft",        "question about the homework",
+    "lunch on friday?",       "Fwd: seminar announcement",
+    "server maintenance",     "Re: budget numbers",
+};
+
+template <typename Array>
+std::string_view pick(const Array& values, util::Xoshiro256& rng) {
+  return values[rng.next_below(values.size())];
+}
+
+}  // namespace
+
+EmailGenerator::EmailGenerator() : text_() {}
+
+EmailMessage EmailGenerator::make_email(std::size_t body_size,
+                                        util::Xoshiro256& rng) const {
+  EmailMessage message;
+  std::ostringstream headers;
+  const std::string_view from_user = pick(kUsers, rng);
+  const std::string_view to_user = pick(kUsers, rng);
+  headers << "From: " << from_user << "@" << pick(kDomains, rng) << "\r\n"
+          << "To: " << to_user << "@" << pick(kDomains, rng) << "\r\n"
+          << "Subject: " << pick(kSubjectLead, rng) << "\r\n"
+          << "Date: Mon, 6 Jul 2026 "
+          << 8 + rng.next_below(10) << ":" << 10 + rng.next_below(49)
+          << ":00 -0500\r\n"
+          << "Message-ID: <" << rng() << "." << rng.next_below(100000)
+          << "@" << pick(kDomains, rng) << ">\r\n"
+          << "MIME-Version: 1.0\r\n"
+          << "Content-Type: text/plain; charset=us-ascii\r\n\r\n";
+  message.headers = headers.str();
+
+  std::ostringstream body;
+  body << "Hi " << to_user << ",\r\n\r\n";
+  while (static_cast<std::size_t>(body.tellp()) + 80 < body_size) {
+    if (rng.next_bernoulli(0.25)) {
+      body << "> " << text_.generate(50 + rng.next_below(60), rng)
+           << "\r\n";
+    } else {
+      body << text_.generate(120 + rng.next_below(200), rng) << "\r\n\r\n";
+    }
+  }
+  body << "\r\nregards,\r\n" << from_user << "\r\n-- \r\n"
+       << from_user << "@" << pick(kDomains, rng) << " | office "
+       << 100 + rng.next_below(400) << "\r\n";
+  message.body = body.str();
+  if (message.body.size() > body_size) message.body.resize(body_size);
+  message.raw = message.headers + message.body;
+  return message;
+}
+
+std::vector<util::ByteBuffer> EmailGenerator::make_mail_corpus(
+    std::size_t cases, std::size_t case_size, std::uint64_t seed) const {
+  util::Xoshiro256 rng(seed);
+  std::vector<util::ByteBuffer> corpus;
+  corpus.reserve(cases);
+  for (std::size_t i = 0; i < cases; ++i) {
+    const EmailMessage message = make_email(case_size + 64, rng);
+    std::string payload = ascii_filter(strip_headers(message.raw));
+    payload.resize(case_size, ' ');
+    corpus.push_back(util::to_bytes(payload));
+  }
+  return corpus;
+}
+
+}  // namespace mel::traffic

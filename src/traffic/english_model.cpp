@@ -1,0 +1,217 @@
+#include "mel/traffic/english_model.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace mel::traffic {
+
+namespace {
+
+/// Embedded seed corpus for the Markov generator: ordinary web-flavoured
+/// English, pure text bytes. The generator only needs representative
+/// bigram statistics, not meaningful content.
+constexpr std::string_view kSeedCorpus =
+    "the department of computer and information science hosts a number of "
+    "research groups working on networks distributed systems and security. "
+    "students can find the schedule of classes and seminar announcements on "
+    "the main page. the library provides online access to journals and "
+    "conference proceedings for all enrolled students and faculty members. "
+    "please contact the webmaster if any of the links on this page appear "
+    "to be broken or out of date. the weather this week is expected to be "
+    "partly cloudy with a chance of afternoon showers and a light breeze "
+    "from the northeast. our online store offers free shipping on orders "
+    "over fifty dollars during the holiday season. enter your email address "
+    "to subscribe to the newsletter and receive updates about new products "
+    "and special offers. the quick brown fox jumps over the lazy dog while "
+    "the five boxing wizards jump quickly. researchers have shown that the "
+    "frequency distribution of letters in english text is remarkably stable "
+    "across different sources and genres. network traffic collected from a "
+    "campus gateway contains requests for pages images style sheets and "
+    "scripts as well as form submissions and search queries. the server "
+    "returned a page containing the search results for the query entered by "
+    "the user. copyright notice all rights reserved terms of use and privacy "
+    "policy apply to this site. graduate admissions are open until the end "
+    "of january and decisions will be announced in early april. the game "
+    "ended with a final score of three to one after extra time was played. "
+    "a list of frequently asked questions and their answers is maintained "
+    "by the support team and updated every month. the committee meets on "
+    "the first tuesday of every month in the main conference room on the "
+    "third floor of the engineering building.";
+
+ByteDistributionTable build_web_text_distribution() {
+  ByteDistributionTable dist{};
+  const auto& letters = english_letter_frequencies();
+
+  // Mixture weights for ASCII-filtered web text. Chosen to mirror the
+  // composition of header-stripped HTTP payloads: prose dominates, with
+  // markup punctuation, digits and capitalized words mixed in.
+  constexpr double kLower = 0.66;
+  constexpr double kUpper = 0.04;
+  constexpr double kSpace = 0.155;
+  constexpr double kDigits = 0.055;
+  constexpr double kPunct = 0.09;
+
+  for (int i = 0; i < 26; ++i) {
+    dist['a' + i] += kLower * letters[i];
+    dist['A' + i] += kUpper * letters[i];
+  }
+  dist[' '] += kSpace;
+  for (int d = 0; d < 10; ++d) dist['0' + d] += kDigits / 10.0;
+  // Punctuation weighted toward web-payload characters (markup, URLs,
+  // form encodings).
+  struct PunctWeight {
+    char ch;
+    double weight;
+  };
+  constexpr PunctWeight kPunctTable[] = {
+      {'.', 0.14}, {',', 0.10}, {'/', 0.10}, {'<', 0.06}, {'>', 0.06},
+      {'=', 0.07}, {'"', 0.07}, {'-', 0.07}, {':', 0.05}, {';', 0.03},
+      {'&', 0.05}, {'?', 0.03}, {'\'', 0.03}, {'(', 0.02}, {')', 0.02},
+      {'_', 0.03}, {'%', 0.03}, {'+', 0.02}, {'!', 0.01}, {'#', 0.01},
+  };
+  double punct_total = 0.0;
+  for (const auto& [ch, weight] : kPunctTable) punct_total += weight;
+  for (const auto& [ch, weight] : kPunctTable) {
+    dist[static_cast<unsigned char>(ch)] += kPunct * weight / punct_total;
+  }
+
+  // Normalize exactly to 1.
+  const double sum = std::accumulate(dist.begin(), dist.end(), 0.0);
+  for (double& p : dist) p /= sum;
+  return dist;
+}
+
+}  // namespace
+
+const std::array<double, 26>& english_letter_frequencies() {
+  // Lewand, "Cryptological Mathematics" relative frequencies (percent),
+  // the standard table matching the Oxford-corpus ordering cited by the
+  // paper. Index 0 = 'a'.
+  static const std::array<double, 26> frequencies = [] {
+    std::array<double, 26> f = {
+        8.167,  // a
+        1.492,  // b
+        2.782,  // c
+        4.253,  // d
+        12.702, // e
+        2.228,  // f
+        2.015,  // g
+        6.094,  // h
+        6.966,  // i
+        0.153,  // j
+        0.772,  // k
+        4.025,  // l
+        2.406,  // m
+        6.749,  // n
+        7.507,  // o
+        1.929,  // p
+        0.095,  // q
+        5.987,  // r
+        6.327,  // s
+        9.056,  // t
+        2.758,  // u
+        0.978,  // v
+        2.360,  // w
+        0.150,  // x
+        1.974,  // y
+        0.074,  // z
+    };
+    const double total = std::accumulate(f.begin(), f.end(), 0.0);
+    for (double& v : f) v /= total;
+    return f;
+  }();
+  return frequencies;
+}
+
+const ByteDistributionTable& web_text_distribution() {
+  static const ByteDistributionTable dist = build_web_text_distribution();
+  return dist;
+}
+
+ByteDistributionTable measure_distribution(util::ByteView bytes) {
+  ByteDistributionTable dist{};
+  if (bytes.empty()) return dist;
+  for (std::uint8_t b : bytes) dist[b] += 1.0;
+  for (double& p : dist) p /= static_cast<double>(bytes.size());
+  return dist;
+}
+
+ByteDistributionTable measure_distribution(
+    const std::vector<util::ByteBuffer>& corpus) {
+  ByteDistributionTable dist{};
+  std::size_t total = 0;
+  for (const util::ByteBuffer& chunk : corpus) {
+    for (std::uint8_t b : chunk) dist[b] += 1.0;
+    total += chunk.size();
+  }
+  if (total == 0) return dist;
+  for (double& p : dist) p /= static_cast<double>(total);
+  return dist;
+}
+
+MarkovTextGenerator::MarkovTextGenerator()
+    : MarkovTextGenerator(kSeedCorpus) {}
+
+MarkovTextGenerator::MarkovTextGenerator(std::string_view corpus) {
+  assert(corpus.size() >= 3);
+  const auto context_of = [](char a, char b) {
+    return static_cast<std::uint16_t>(
+        (static_cast<std::uint8_t>(a) << 8) | static_cast<std::uint8_t>(b));
+  };
+  std::unordered_map<std::uint16_t, std::unordered_map<char, std::uint32_t>>
+      counts;
+  std::unordered_map<char, std::uint32_t> unigram_counts;
+  for (std::size_t i = 0; i + 2 < corpus.size(); ++i) {
+    counts[context_of(corpus[i], corpus[i + 1])][corpus[i + 2]] += 1;
+  }
+  for (char c : corpus) unigram_counts[c] += 1;
+
+  for (const auto& [context, nexts] : counts) {
+    Node node;
+    for (const auto& [ch, count] : nexts) {
+      node.nexts.emplace_back(ch, count);
+      node.total += count;
+    }
+    contexts_.emplace(context, std::move(node));
+    start_contexts_.push_back(context);
+  }
+  for (const auto& [ch, count] : unigram_counts) {
+    unigram_.nexts.emplace_back(ch, count);
+    unigram_.total += count;
+  }
+}
+
+char MarkovTextGenerator::sample(std::uint16_t context,
+                                 util::Xoshiro256& rng) const {
+  const auto it = contexts_.find(context);
+  const Node& node = (it != contexts_.end()) ? it->second : unigram_;
+  assert(node.total > 0);
+  std::uint64_t pick = rng.next_below(node.total);
+  for (const auto& [ch, count] : node.nexts) {
+    if (pick < count) return ch;
+    pick -= count;
+  }
+  return node.nexts.back().first;
+}
+
+std::string MarkovTextGenerator::generate(std::size_t length,
+                                          util::Xoshiro256& rng) const {
+  std::string out;
+  out.reserve(length);
+  if (length == 0) return out;
+  assert(!start_contexts_.empty());
+  std::uint16_t context =
+      start_contexts_[rng.next_below(start_contexts_.size())];
+  out.push_back(static_cast<char>(context >> 8));
+  if (length > 1) out.push_back(static_cast<char>(context & 0xFF));
+  while (out.size() < length) {
+    const char next = sample(context, rng);
+    out.push_back(next);
+    context = static_cast<std::uint16_t>((context << 8) |
+                                         static_cast<std::uint8_t>(next));
+  }
+  out.resize(length);
+  return out;
+}
+
+}  // namespace mel::traffic

@@ -1,0 +1,181 @@
+#include "mel/traffic/http_gen.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "mel/util/bytes.hpp"
+
+namespace mel::traffic {
+
+namespace {
+
+constexpr std::array<std::string_view, 20> kPathWords = {
+    "index",   "about",   "research", "people",  "courses", "news",
+    "images",  "static",  "assets",   "search",  "login",   "profile",
+    "archive", "library", "seminar",  "projects", "contact", "faq",
+    "store",   "blog",
+};
+
+constexpr std::array<std::string_view, 12> kExtensions = {
+    ".html", ".htm", ".php", ".jsp", ".css", ".js",
+    ".png",  ".jpg", ".gif", ".pdf", ".txt", "",
+};
+
+constexpr std::array<std::string_view, 10> kQueryKeys = {
+    "q", "id", "page", "user", "lang", "sort", "cat", "ref", "sid", "view",
+};
+
+constexpr std::array<std::string_view, 8> kUserAgents = {
+    "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)",
+    "Mozilla/5.0 (X11; U; Linux i686; en-US)",
+    "Mozilla/5.0 (Windows; U; Windows NT 5.1; en-US)",
+    "Opera/9.02 (Windows NT 5.1; U; en)",
+    "Lynx/2.8.5rel.1 libwww-FM/2.14",
+    "Wget/1.10.2",
+    "Mozilla/5.0 (Macintosh; U; PPC Mac OS X; en)",
+    "curl/7.15.5",
+};
+
+constexpr std::array<std::string_view, 6> kHosts = {
+    "www.cise.example.edu", "mail.example.edu",  "www.example.com",
+    "news.example.org",     "shop.example.com",  "wiki.example.net",
+};
+
+template <typename Array>
+std::string_view pick(const Array& values, util::Xoshiro256& rng) {
+  return values[rng.next_below(values.size())];
+}
+
+std::string random_token(util::Xoshiro256& rng, std::size_t length) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string token;
+  token.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    token.push_back(kAlphabet[rng.next_below(sizeof(kAlphabet) - 1)]);
+  }
+  return token;
+}
+
+/// Wraps Markov prose into simple single-line HTML.
+std::string html_body(const MarkovTextGenerator& text, std::size_t size,
+                      util::Xoshiro256& rng) {
+  std::ostringstream out;
+  out << "<html><head><title>" << text.generate(24, rng)
+      << "</title></head><body>";
+  while (static_cast<std::size_t>(out.tellp()) + 20 < size) {
+    out << "<p>" << text.generate(40 + rng.next_below(160), rng) << "</p>";
+    if (rng.next_bernoulli(0.2)) {
+      out << "<a href=\"/" << pick(kPathWords, rng) << "/"
+          << random_token(rng, 6) << ".html\">" << text.generate(12, rng)
+          << "</a>";
+    }
+  }
+  out << "</body></html>";
+  std::string body = out.str();
+  if (body.size() > size) body.resize(size);
+  return body;
+}
+
+}  // namespace
+
+HttpGenerator::HttpGenerator(std::uint64_t seed) : text_() { (void)seed; }
+
+std::string HttpGenerator::make_url(util::Xoshiro256& rng) const {
+  std::ostringstream url;
+  const std::size_t depth = 1 + rng.next_below(3);
+  for (std::size_t i = 0; i < depth; ++i) {
+    url << '/' << pick(kPathWords, rng);
+  }
+  url << pick(kExtensions, rng);
+  if (rng.next_bernoulli(0.5)) {
+    url << '?';
+    const std::size_t params = 1 + rng.next_below(3);
+    for (std::size_t i = 0; i < params; ++i) {
+      if (i > 0) url << '&';
+      url << pick(kQueryKeys, rng) << '=' << random_token(rng, 3 + rng.next_below(8));
+    }
+  }
+  return url.str();
+}
+
+HttpMessage HttpGenerator::make_request(util::Xoshiro256& rng) const {
+  HttpMessage message;
+  const bool is_post = rng.next_bernoulli(0.25);
+  std::ostringstream headers;
+  std::string body;
+  if (is_post) {
+    std::ostringstream form;
+    const std::size_t fields = 2 + rng.next_below(4);
+    for (std::size_t i = 0; i < fields; ++i) {
+      if (i > 0) form << '&';
+      form << pick(kQueryKeys, rng) << '='
+           << text_.generate(4 + rng.next_below(20), rng);
+    }
+    body = form.str();
+    // Form data is URL-encoded: spaces become '+'.
+    for (char& c : body) {
+      if (c == ' ') c = '+';
+    }
+  }
+  headers << (is_post ? "POST " : "GET ") << make_url(rng) << " HTTP/1.1\r\n"
+          << "Host: " << pick(kHosts, rng) << "\r\n"
+          << "User-Agent: " << pick(kUserAgents, rng) << "\r\n"
+          << "Accept: text/html,text/plain;q=0.8,*/*;q=0.5\r\n"
+          << "Accept-Language: en-us,en;q=0.5\r\n"
+          << "Connection: keep-alive\r\n";
+  if (rng.next_bernoulli(0.4)) {
+    headers << "Cookie: session=" << random_token(rng, 16)
+            << "; pref=" << random_token(rng, 6) << "\r\n";
+  }
+  if (is_post) {
+    headers << "Content-Type: application/x-www-form-urlencoded\r\n"
+            << "Content-Length: " << body.size() << "\r\n";
+  }
+  headers << "\r\n";
+  message.headers = headers.str();
+  message.body = body;
+  message.raw = message.headers + message.body;
+  return message;
+}
+
+HttpMessage HttpGenerator::make_response(std::size_t body_size,
+                                         util::Xoshiro256& rng) const {
+  HttpMessage message;
+  const bool ok = rng.next_bernoulli(0.92);
+  message.body = html_body(text_, body_size, rng);
+  std::ostringstream headers;
+  headers << "HTTP/1.1 " << (ok ? "200 OK" : "404 Not Found") << "\r\n"
+          << "Date: Mon, 06 Jul 2026 12:00:00 GMT\r\n"
+          << "Server: Apache/2.0.52 (Unix)\r\n"
+          << "Content-Type: text/html; charset=iso-8859-1\r\n"
+          << "Content-Length: " << message.body.size() << "\r\n"
+          << "Connection: close\r\n\r\n";
+  message.headers = headers.str();
+  message.raw = message.headers + message.body;
+  return message;
+}
+
+std::string strip_headers(const std::string& message) {
+  const std::size_t blank = message.find("\r\n\r\n");
+  if (blank == std::string::npos) return message;
+  return message.substr(blank + 4);
+}
+
+std::string ascii_filter(std::string_view message) {
+  std::string out;
+  out.reserve(message.size());
+  for (char c : message) {
+    const auto b = static_cast<std::uint8_t>(c);
+    if (util::is_text_byte(b)) {
+      out.push_back(c);
+    } else if (b == '\r' || b == '\n' || b == '\t') {
+      out.push_back(' ');
+    } else {
+      out.push_back('.');
+    }
+  }
+  return out;
+}
+
+}  // namespace mel::traffic

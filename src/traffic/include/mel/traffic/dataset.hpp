@@ -1,0 +1,33 @@
+#pragma once
+// Benign dataset builder mirroring the paper's evaluation corpus
+// (Section 5.1): ~100 cases of ~4K text characters of header-stripped web
+// traffic each.
+
+#include <vector>
+
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::traffic {
+
+struct BenignDatasetOptions {
+  std::size_t cases = 100;       ///< Number of benign samples.
+  std::size_t case_size = 4000;  ///< Characters per sample (paper: ~4K).
+  std::uint64_t seed = 2008;     ///< PRNG seed (ICDCS year, naturally).
+  /// Mixture of payload kinds (normalized internally). Header-stripped web
+  /// captures are dominated by response bodies; form/query payloads are a
+  /// small fraction. (The form kind is also the statistically hardest for
+  /// the model — its immediate-heavy byte mix hides the invalidating
+  /// opcodes inside operands — so the ablation benches exercise it
+  /// separately at full weight.)
+  double html_weight = 0.70;  ///< HTML response bodies.
+  double prose_weight = 0.25; ///< Plain Markov English.
+  double form_weight = 0.05;  ///< URL-encoded form/query payloads.
+};
+
+/// Builds the benign corpus: every sample is pure text (0x20..0x7E),
+/// header-stripped, exactly case_size bytes.
+[[nodiscard]] std::vector<util::ByteBuffer> make_benign_dataset(
+    const BenignDatasetOptions& options = {});
+
+}  // namespace mel::traffic

@@ -1,0 +1,42 @@
+#pragma once
+// Synthetic email (RFC 822-ish) traffic: the paper's other motivating
+// text-only channel ("many protocols are text-based, viz ... email
+// traffic"). Generates realistic message shapes for benign corpora and
+// for the SMTP-channel variant of the gateway scenario.
+
+#include <string>
+#include <vector>
+
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::traffic {
+
+struct EmailMessage {
+  std::string raw;      ///< Headers + blank line + body, CRLF line ends.
+  std::string headers;
+  std::string body;
+};
+
+class EmailGenerator {
+ public:
+  EmailGenerator();
+
+  /// One message with plausible From/To/Subject/Date/Message-ID headers
+  /// and a prose body of roughly `body_size` characters, with quoted
+  /// reply lines and a signature.
+  [[nodiscard]] EmailMessage make_email(std::size_t body_size,
+                                        util::Xoshiro256& rng) const;
+
+  /// A benign mail-spool corpus: `cases` messages, each ASCII-filtered
+  /// and trimmed/padded to exactly `case_size` text bytes of body.
+  [[nodiscard]] std::vector<util::ByteBuffer> make_mail_corpus(
+      std::size_t cases, std::size_t case_size,
+      std::uint64_t seed) const;
+
+ private:
+  MarkovTextGenerator text_;
+};
+
+}  // namespace mel::traffic

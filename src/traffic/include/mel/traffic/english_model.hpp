@@ -1,0 +1,69 @@
+#pragma once
+// Statistical model of benign English/web text. Substitutes the paper's
+// captured departmental web traffic (Section 5.1): the MEL model consumes
+// only the character frequency distribution and the local randomness of
+// the stream, both of which this module reproduces.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::traffic {
+
+/// Probability per byte value (sums to 1; text analyses expect all mass in
+/// 0x20..0x7E).
+using ByteDistributionTable = std::array<double, 256>;
+
+/// Relative frequency of lowercase letters in English prose ('a'..'z'),
+/// normalized to sum 1. (Classic Lewand/Oxford ordering: e t a o i n ...)
+[[nodiscard]] const std::array<double, 26>& english_letter_frequencies();
+
+/// A preset distribution modeling ASCII-filtered web text: ~70% lowercase
+/// letters by English frequency, plus spaces, digits, uppercase and
+/// punctuation. This is the "pre-set (from experience)" table of
+/// Section 5.2.
+[[nodiscard]] const ByteDistributionTable& web_text_distribution();
+
+/// Empirical byte distribution of a corpus chunk (the "linear sweep of the
+/// input character stream" alternative of Section 5.2).
+[[nodiscard]] ByteDistributionTable measure_distribution(util::ByteView bytes);
+
+/// Merges per-case measurements into one distribution.
+[[nodiscard]] ByteDistributionTable measure_distribution(
+    const std::vector<util::ByteBuffer>& corpus);
+
+/// Order-2 Markov chain text generator trained on an embedded English/web
+/// seed corpus. Output is pure text bytes (0x20..0x7E).
+class MarkovTextGenerator {
+ public:
+  /// Trains on the built-in corpus.
+  MarkovTextGenerator();
+  /// Trains on caller-supplied text (must be pure text bytes).
+  explicit MarkovTextGenerator(std::string_view corpus);
+
+  /// Generates `length` characters of Markov text.
+  [[nodiscard]] std::string generate(std::size_t length,
+                                     util::Xoshiro256& rng) const;
+
+ private:
+  struct Node {
+    std::vector<std::pair<char, std::uint32_t>> nexts;
+    std::uint32_t total = 0;
+  };
+  /// Samples the successor of a 2-char context; falls back to the global
+  /// unigram distribution for unseen contexts.
+  [[nodiscard]] char sample(std::uint16_t context,
+                            util::Xoshiro256& rng) const;
+
+  std::unordered_map<std::uint16_t, Node> contexts_;
+  Node unigram_;  ///< Order-0 fallback.
+  std::vector<std::uint16_t> start_contexts_;  ///< Seed states.
+};
+
+}  // namespace mel::traffic

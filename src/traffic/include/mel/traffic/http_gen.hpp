@@ -1,0 +1,51 @@
+#pragma once
+// Synthetic HTTP traffic generator: requests and responses shaped like the
+// departmental web capture the paper used (Section 5.1), plus the header
+// stripping step it describes.
+
+#include <string>
+
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::traffic {
+
+/// One synthesized HTTP message.
+struct HttpMessage {
+  std::string raw;      ///< Full message including header block and CRLFs.
+  std::string headers;  ///< Header block (start line through blank line).
+  std::string body;     ///< Payload after the blank line.
+};
+
+class HttpGenerator {
+ public:
+  explicit HttpGenerator(std::uint64_t seed = 42);
+
+  /// GET/POST request with realistic URL, query string and headers.
+  /// POST bodies are URL-encoded form data.
+  [[nodiscard]] HttpMessage make_request(util::Xoshiro256& rng) const;
+
+  /// 200/404 response with headers and an HTML body of roughly
+  /// `body_size` characters.
+  [[nodiscard]] HttpMessage make_response(std::size_t body_size,
+                                          util::Xoshiro256& rng) const;
+
+  /// A plausible URL path + query string (also used standalone for the
+  /// URL-channel experiments the paper motivates).
+  [[nodiscard]] std::string make_url(util::Xoshiro256& rng) const;
+
+ private:
+  MarkovTextGenerator text_;
+};
+
+/// Strips the header block: returns the payload after the first blank line,
+/// or the whole message if no header block is present (paper Section 5.1:
+/// "after stripping off the headers").
+[[nodiscard]] std::string strip_headers(const std::string& message);
+
+/// Maps a message onto the keyboard-enterable domain: CR/LF/TAB become
+/// spaces, any other non-text byte becomes '.'. Models the ASCII filter in
+/// front of text-only services.
+[[nodiscard]] std::string ascii_filter(std::string_view message);
+
+}  // namespace mel::traffic

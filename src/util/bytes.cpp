@@ -1,0 +1,102 @@
+#include "mel/util/bytes.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace mel::util {
+
+namespace {
+constexpr std::array<char, 16> kHexDigits = {'0', '1', '2', '3', '4', '5',
+                                             '6', '7', '8', '9', 'a', 'b',
+                                             'c', 'd', 'e', 'f'};
+
+void append_hex_byte(std::string& out, std::uint8_t b) {
+  out.push_back(kHexDigits[b >> 4]);
+  out.push_back(kHexDigits[b & 0xF]);
+}
+}  // namespace
+
+bool is_text_buffer(ByteView bytes) noexcept {
+  for (std::uint8_t b : bytes) {
+    if (!is_text_byte(b)) return false;
+  }
+  return true;
+}
+
+void append_le16(ByteBuffer& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void append_le32(ByteBuffer& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((value >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+std::uint16_t load_le16(ByteView bytes, std::size_t offset) {
+  assert(bytes.size() >= offset + 2);
+  return static_cast<std::uint16_t>(bytes[offset] |
+                                    (static_cast<std::uint16_t>(bytes[offset + 1]) << 8));
+}
+
+std::uint32_t load_le32(ByteView bytes, std::size_t offset) {
+  assert(bytes.size() >= offset + 4);
+  return static_cast<std::uint32_t>(bytes[offset]) |
+         (static_cast<std::uint32_t>(bytes[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[offset + 3]) << 24);
+}
+
+ByteBuffer to_bytes(std::string_view text) {
+  return ByteBuffer(text.begin(), text.end());
+}
+
+std::string to_printable(ByteView bytes) {
+  std::string out;
+  out.reserve(bytes.size());
+  for (std::uint8_t b : bytes) out.push_back(is_text_byte(b) ? static_cast<char>(b) : '.');
+  return out;
+}
+
+std::string hexdump(ByteView bytes, std::size_t base_address) {
+  std::string out;
+  constexpr std::size_t kPerLine = 16;
+  for (std::size_t line = 0; line < bytes.size(); line += kPerLine) {
+    // Address column.
+    std::size_t addr = base_address + line;
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kHexDigits[(addr >> shift) & 0xF]);
+    }
+    out += "  ";
+    const std::size_t end = std::min(line + kPerLine, bytes.size());
+    for (std::size_t i = line; i < line + kPerLine; ++i) {
+      if (i < end) {
+        append_hex_byte(out, bytes[i]);
+        out.push_back(' ');
+      } else {
+        out += "   ";
+      }
+      if (i == line + 7) out.push_back(' ');
+    }
+    out += " |";
+    for (std::size_t i = line; i < end; ++i) {
+      out.push_back(is_text_byte(bytes[i]) ? static_cast<char>(bytes[i]) : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string hex_string(ByteView bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 3);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    append_hex_byte(out, bytes[i]);
+  }
+  return out;
+}
+
+}  // namespace mel::util

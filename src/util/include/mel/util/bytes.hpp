@@ -1,0 +1,57 @@
+#pragma once
+// Byte-level helpers shared across the disassembler, encoders and traffic
+// generators: the keyboard-enterable ("text") byte domain from the paper,
+// little-endian packing, and debugging dumps.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mel::util {
+
+using ByteBuffer = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// The paper's text domain: keyboard-enterable bytes, 0x20 through 0x7E.
+inline constexpr std::uint8_t kTextLow = 0x20;
+inline constexpr std::uint8_t kTextHigh = 0x7E;
+inline constexpr int kTextDomainSize = kTextHigh - kTextLow + 1;  // 95
+
+/// True when b lies in the keyboard-enterable range 0x20..0x7E.
+[[nodiscard]] constexpr bool is_text_byte(std::uint8_t b) noexcept {
+  return b >= kTextLow && b <= kTextHigh;
+}
+
+/// True when every byte of the buffer is keyboard-enterable.
+[[nodiscard]] bool is_text_buffer(ByteView bytes) noexcept;
+
+/// True for the alphanumeric subset [0-9A-Za-z] used by rix-style encoders.
+[[nodiscard]] constexpr bool is_alnum_byte(std::uint8_t b) noexcept {
+  return (b >= '0' && b <= '9') || (b >= 'A' && b <= 'Z') ||
+         (b >= 'a' && b <= 'z');
+}
+
+/// Little-endian stores (IA-32 immediates and displacements).
+void append_le16(ByteBuffer& out, std::uint16_t value);
+void append_le32(ByteBuffer& out, std::uint32_t value);
+
+/// Little-endian loads. Precondition: bytes.size() >= offset + width.
+[[nodiscard]] std::uint16_t load_le16(ByteView bytes, std::size_t offset);
+[[nodiscard]] std::uint32_t load_le32(ByteView bytes, std::size_t offset);
+
+/// Converts a string literal / payload to a byte buffer (no NUL added).
+[[nodiscard]] ByteBuffer to_bytes(std::string_view text);
+
+/// Renders bytes as printable ASCII, substituting '.' for non-text bytes.
+[[nodiscard]] std::string to_printable(ByteView bytes);
+
+/// Classic 16-bytes-per-line hex dump with an ASCII gutter.
+[[nodiscard]] std::string hexdump(ByteView bytes, std::size_t base_address = 0);
+
+/// "41 42 43" style compact hex rendering of a short byte run.
+[[nodiscard]] std::string hex_string(ByteView bytes);
+
+}  // namespace mel::util

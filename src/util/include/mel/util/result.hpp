@@ -1,0 +1,54 @@
+#pragma once
+// Minimal Result<T> for recoverable failures (C++20 has no std::expected).
+// Used at API boundaries where an input can legitimately be malformed;
+// programming errors use assertions instead.
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mel::util {
+
+/// Error payload: a short human-readable reason.
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : storage_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok());
+    return std::get<1>(storage_).message;
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Convenience factory: Err("bad header").
+[[nodiscard]] inline Error Err(std::string message) {
+  return Error{std::move(message)};
+}
+
+}  // namespace mel::util

@@ -1,0 +1,58 @@
+#pragma once
+// Deterministic pseudo-random number generation for all of libmel.
+//
+// Every stochastic component (Monte-Carlo engine, traffic generators,
+// shellcode corpus, blending) draws from an explicitly seeded Xoshiro256**
+// generator so that experiments and tests are exactly reproducible.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace mel::util {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into a full
+/// Xoshiro256** state. Also usable standalone as a cheap hash/mixer.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// Xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 256-bit state.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full state from a single 64-bit value via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool next_bernoulli(double p) noexcept;
+
+  /// Jump function: advances the state by 2^128 steps, giving a
+  /// non-overlapping subsequence for a parallel/independent stream.
+  void jump() noexcept;
+
+  /// Derives an independent child generator (jumps a copy).
+  [[nodiscard]] Xoshiro256 split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mel::util

@@ -1,0 +1,32 @@
+#include "mel/util/logging.hpp"
+
+namespace mel::util {
+
+namespace {
+LogLevel g_threshold = LogLevel::kInfo;
+
+constexpr std::string_view level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_threshold() noexcept { return g_threshold; }
+void set_log_threshold(LogLevel level) noexcept { g_threshold = level; }
+
+void log_line(LogLevel level, std::string_view message) {
+  if (level < g_threshold) return;
+  std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  out << "[" << level_tag(level) << "] " << message << '\n';
+}
+
+}  // namespace mel::util

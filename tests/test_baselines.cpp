@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mel/baselines/ape.hpp"
+#include "mel/baselines/payl.hpp"
+#include "mel/baselines/sigfree.hpp"
+#include "mel/baselines/signature_scanner.hpp"
+#include "mel/baselines/stride.hpp"
+#include "mel/textcode/blend.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/english_model.hpp"
+
+namespace mel::baselines {
+namespace {
+
+using textcode::binary_shellcode_corpus;
+using textcode::make_register_spring_worm;
+using textcode::make_sled_worm;
+
+// --- APE ---------------------------------------------------------------------
+
+TEST(Ape, CatchesSledWorms) {
+  util::Xoshiro256 rng(1);
+  const ApeDetector ape;
+  const auto& payload = binary_shellcode_corpus().front();
+  const auto worm = make_sled_worm(payload, 300, 20, rng);
+  const ApeResult result = ape.scan(worm);
+  EXPECT_TRUE(result.alarm);
+  EXPECT_GT(result.max_executable_length, 35);
+}
+
+TEST(Ape, MissesRegisterSpringWorms) {
+  // Section 4.1: no sled, nothing long to execute — APE and Stride are
+  // blind to the modern delivery.
+  util::Xoshiro256 rng(2);
+  const ApeDetector ape;
+  int alarms = 0;
+  for (const auto& payload : binary_shellcode_corpus()) {
+    const auto worm = make_register_spring_worm(payload, 200, 8, rng);
+    if (ape.scan(worm).alarm) ++alarms;
+  }
+  EXPECT_LE(alarms, 1);
+}
+
+TEST(Ape, SamplingBoundsWork) {
+  ApeConfig config;
+  config.sample_count = 4;
+  const ApeDetector ape(config);
+  util::ByteBuffer tiny = {0x90, 0x90};
+  const ApeResult result = ape.scan(tiny);
+  EXPECT_EQ(result.positions_sampled, 2u);  // Clamped to payload size.
+  EXPECT_FALSE(ape.scan({}).alarm);
+}
+
+TEST(Ape, MissesTextWormsLikeThePaperSays) {
+  // APE's narrow rules see benign text and text worms alike: under its
+  // rules nearly everything "executes", so the experimentally-tuned sled
+  // threshold fires on benign text too — useless for the text channel.
+  util::Xoshiro256 rng(3);
+  const ApeDetector ape;
+  const auto benign = traffic::make_benign_dataset({.cases = 10});
+  int benign_alarms = 0;
+  for (const auto& payload : benign) {
+    if (ape.scan(payload).alarm) ++benign_alarms;
+  }
+  // Massive false positives on benign text == ineffective for text.
+  EXPECT_GE(benign_alarms, 8);
+}
+
+// --- Stride ------------------------------------------------------------------
+
+TEST(Stride, DetectsPolymorphicSled) {
+  util::Xoshiro256 rng(4);
+  const StrideDetector stride;
+  const auto& payload = binary_shellcode_corpus().front();
+  const auto worm = make_sled_worm(payload, 300, 20, rng);
+  const StrideResult result = stride.scan(worm);
+  EXPECT_TRUE(result.alarm);
+  EXPECT_LT(result.sled_offset, 300u);
+  EXPECT_GE(result.sled_length, 30u);
+}
+
+TEST(Stride, SpringWormsLackRealSleds) {
+  // Section 4.1: register-spring worms carry no sled. Stride may still
+  // stumble on short accidental runs inside random junk (its known FP
+  // mode), but nothing remotely like a real landing zone: real sleds
+  // measure hundreds of surviving offsets, junk artifacts a few dozen.
+  util::Xoshiro256 rng(5);
+  const StrideDetector stride;
+  std::size_t max_spring_sled = 0;
+  for (const auto& payload : binary_shellcode_corpus()) {
+    const auto worm = make_register_spring_worm(payload, 200, 8, rng);
+    max_spring_sled =
+        std::max(max_spring_sled, stride.scan(worm).sled_length);
+  }
+  EXPECT_LT(max_spring_sled, 60u);
+  const auto sled_worm =
+      make_sled_worm(binary_shellcode_corpus().front(), 300, 20, rng);
+  EXPECT_GE(stride.scan(sled_worm).sled_length, 200u);
+}
+
+TEST(Stride, ShortInputNeverAlarms) {
+  const StrideDetector stride;
+  util::ByteBuffer tiny(10, 0x90);
+  EXPECT_FALSE(stride.scan(tiny).alarm);
+}
+
+TEST(Stride, PureNopBufferIsASled) {
+  const StrideDetector stride;
+  util::ByteBuffer nops(100, 0x90);
+  const StrideResult result = stride.scan(nops);
+  EXPECT_TRUE(result.alarm);
+  EXPECT_EQ(result.sled_offset, 0u);
+}
+
+// --- PAYL --------------------------------------------------------------------
+
+TEST(Payl, TrainsAndAcceptsBenign) {
+  const auto benign = traffic::make_benign_dataset({.cases = 60});
+  PaylDetector payl;
+  payl.train(benign);
+  ASSERT_TRUE(payl.trained());
+  const auto fresh = traffic::make_benign_dataset({.cases = 20, .seed = 77});
+  int alarms = 0;
+  for (const auto& payload : fresh) {
+    if (payl.scan(payload).alarm) ++alarms;
+  }
+  EXPECT_LE(alarms, 3);
+}
+
+TEST(Payl, FlagsUnblendedTextWorm) {
+  const auto benign = traffic::make_benign_dataset({.cases = 60});
+  PaylDetector payl;
+  payl.train(benign);
+  util::Xoshiro256 rng(6);
+  // Pad the worm to a benign-like size WITHOUT matching the distribution.
+  auto worm = textcode::encode_text_worm(
+      binary_shellcode_corpus().front().bytes, {}, rng);
+  worm.resize(4000, '!');
+  EXPECT_TRUE(payl.scan(worm).alarm);
+}
+
+TEST(Payl, EvadedByBlendedWorm) {
+  // Kolesnikov & Lee's attack (paper Section 1): blending defeats 1-gram
+  // anomaly detection while the MEL signal is untouched.
+  const auto benign = traffic::make_benign_dataset({.cases = 60});
+  PaylDetector payl;
+  payl.train(benign);
+  util::Xoshiro256 rng(7);
+  const auto worm = textcode::encode_text_worm(
+      binary_shellcode_corpus().front().bytes, {}, rng);
+  const auto target = traffic::measure_distribution(benign);
+  textcode::BlendOptions blend_options;
+  blend_options.total_size = 4000;
+  const auto blended =
+      textcode::blend_to_distribution(worm, target, blend_options, rng);
+  const PaylResult result = payl.scan(blended);
+  EXPECT_FALSE(result.alarm) << "score " << result.score << " vs "
+                             << result.threshold;
+}
+
+TEST(Payl, TwoGramModelAlsoAcceptsBenign) {
+  PaylConfig config;
+  config.ngram = 2;
+  PaylDetector payl(config);
+  payl.train(traffic::make_benign_dataset({.cases = 60}));
+  const auto fresh = traffic::make_benign_dataset({.cases = 15, .seed = 31});
+  int alarms = 0;
+  for (const auto& payload : fresh) {
+    if (payl.scan(payload).alarm) ++alarms;
+  }
+  EXPECT_LE(alarms, 3);
+}
+
+TEST(Payl, TwoGramScoreSeesThroughOneGramBlending) {
+  // The naive deficit blend matches byte frequencies but not bigram
+  // structure: the 2-gram *score* of the blend stays several times the
+  // benign level even though the 1-gram score is normalized away.
+  // (Whether a deployment catches it depends on calibration against its
+  // own traffic mix; full polymorphic blending defeats n-grams too — the
+  // arms race the paper cites, which MEL sidesteps entirely.)
+  const auto benign = traffic::make_benign_dataset({.cases = 60});
+  PaylConfig config;
+  config.ngram = 2;
+  PaylDetector payl2(config);
+  payl2.train(benign);
+  PaylDetector payl1;
+  payl1.train(benign);
+  util::Xoshiro256 rng(7);
+  const auto worm = textcode::encode_text_worm(
+      binary_shellcode_corpus().front().bytes, {}, rng);
+  const auto target = traffic::measure_distribution(benign);
+  textcode::BlendOptions blend_options;
+  blend_options.total_size = 4000;
+  const auto blended =
+      textcode::blend_to_distribution(worm, target, blend_options, rng);
+
+  // Median benign scores under both models.
+  std::vector<double> scores1;
+  std::vector<double> scores2;
+  for (const auto& payload :
+       traffic::make_benign_dataset({.cases = 15, .seed = 31})) {
+    scores1.push_back(payl1.score(payload));
+    scores2.push_back(payl2.score(payload));
+  }
+  std::sort(scores1.begin(), scores1.end());
+  std::sort(scores2.begin(), scores2.end());
+  const double median1 = scores1[scores1.size() / 2];
+  const double median2 = scores2[scores2.size() / 2];
+  // 1-gram: the blend is in the benign ballpark (within ~4x of median;
+  // the alarm-level check is Payl.EvadedByBlendedWorm).
+  EXPECT_LT(payl1.score(blended), median1 * 4.0);
+  // 2-gram: the blend still stands out by several x.
+  EXPECT_GT(payl2.score(blended), median2 * 3.0);
+}
+
+TEST(Payl, UntrainedScansReturnNothing) {
+  const PaylDetector payl;
+  EXPECT_FALSE(payl.trained());
+  EXPECT_FALSE(payl.scan(util::to_bytes("anything")).alarm);
+}
+
+// --- SigFree-like -------------------------------------------------------------
+
+TEST(SigFree, TextWormHasManyUsefulInstructions) {
+  util::Xoshiro256 rng(8);
+  const SigFreeDetector sigfree;
+  const auto worm = textcode::encode_text_worm(
+      binary_shellcode_corpus().front().bytes, {}, rng);
+  const SigFreeResult result = sigfree.scan(worm);
+  EXPECT_TRUE(result.alarm);
+  EXPECT_GT(result.max_useful_count, 100);
+}
+
+TEST(SigFree, BenignTextHasFewUsefulInstructions) {
+  const SigFreeDetector sigfree;
+  const auto benign = traffic::make_benign_dataset({.cases = 15});
+  int alarms = 0;
+  for (const auto& payload : benign) {
+    if (sigfree.scan(payload).alarm) ++alarms;
+  }
+  EXPECT_LE(alarms, 3);
+}
+
+TEST(SigFree, UsefulCountNeverExceedsRunLength) {
+  const SigFreeDetector sigfree;
+  const auto benign = traffic::make_benign_dataset({.cases = 5, .seed = 9});
+  for (const auto& payload : benign) {
+    const SigFreeResult result = sigfree.scan(payload);
+    EXPECT_LE(result.max_useful_count, result.max_run_length);
+  }
+}
+
+// --- Signature scanner ---------------------------------------------------------
+
+TEST(SignatureScanner, CatchesBinaryMissesText) {
+  // The paper's McAfee experiment: alarms for binary shellcode, none for
+  // the text counterparts.
+  SignatureScanner scanner;
+  scanner.add_signatures_from(binary_shellcode_corpus());
+  EXPECT_GE(scanner.signature_count(), 6u);
+
+  util::Xoshiro256 rng(10);
+  for (const auto& payload : binary_shellcode_corpus()) {
+    const auto binary_worm = make_sled_worm(payload, 100, 8, rng);
+    EXPECT_TRUE(scanner.scan(binary_worm).detected) << payload.name;
+    const auto text_worm =
+        textcode::encode_text_worm(payload.bytes, {}, rng);
+    EXPECT_FALSE(scanner.scan(text_worm).detected) << payload.name;
+  }
+}
+
+TEST(SignatureScanner, ReportsMatchDetails) {
+  SignatureScanner scanner;
+  scanner.add_signature(
+      Signature{"marker", util::to_bytes("NEEDLE")});
+  const auto hay = util::to_bytes("xxxxNEEDLEyyyy");
+  const ScanMatch match = scanner.scan(hay);
+  EXPECT_TRUE(match.detected);
+  EXPECT_EQ(match.signature_name, "marker");
+  EXPECT_EQ(match.offset, 4u);
+  EXPECT_FALSE(scanner.scan(util::to_bytes("clean")).detected);
+}
+
+TEST(SignatureScanner, SkipsTooShortPayloads) {
+  SignatureScanner scanner;
+  std::vector<textcode::Shellcode> tiny = {
+      {"tiny", "too small", {0x90, 0x90}}};
+  scanner.add_signatures_from(tiny, 12);
+  EXPECT_EQ(scanner.signature_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mel::baselines

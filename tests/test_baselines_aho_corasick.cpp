@@ -1,0 +1,154 @@
+#include "mel/baselines/aho_corasick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mel/baselines/signature_scanner.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::baselines {
+namespace {
+
+using util::ByteBuffer;
+using util::to_bytes;
+
+TEST(AhoCorasick, FindsSimplePatterns) {
+  AhoCorasick automaton;
+  const auto he = automaton.add_pattern(to_bytes("he"));
+  const auto she = automaton.add_pattern(to_bytes("she"));
+  const auto his = automaton.add_pattern(to_bytes("his"));
+  const auto hers = automaton.add_pattern(to_bytes("hers"));
+  automaton.build();
+  EXPECT_EQ(automaton.pattern_count(), 4u);
+
+  const auto matches = automaton.find_all(to_bytes("ushers"));
+  // Classic example: "she" at 1, "he" at 2, "hers" at 2.
+  ASSERT_EQ(matches.size(), 3u);
+  std::set<std::pair<std::size_t, std::size_t>> found;
+  for (const auto& match : matches) {
+    found.insert({match.pattern_id, match.offset});
+  }
+  EXPECT_TRUE(found.count({she, 1}));
+  EXPECT_TRUE(found.count({he, 2}));
+  EXPECT_TRUE(found.count({hers, 2}));
+  EXPECT_FALSE(found.count({his, 0}));
+}
+
+TEST(AhoCorasick, FirstMatchIsEarliestEnd) {
+  AhoCorasick automaton;
+  automaton.add_pattern(to_bytes("abcd"));
+  const auto bc = automaton.add_pattern(to_bytes("bc"));
+  automaton.build();
+  const auto first = automaton.find_first(to_bytes("abcd"));
+  ASSERT_TRUE(first.found);
+  EXPECT_EQ(first.match.pattern_id, bc);  // "bc" ends at 2, before "abcd".
+  EXPECT_EQ(first.match.offset, 1u);
+}
+
+TEST(AhoCorasick, NoMatch) {
+  AhoCorasick automaton;
+  automaton.add_pattern(to_bytes("needle"));
+  automaton.build();
+  EXPECT_FALSE(automaton.find_first(to_bytes("haystack only")).found);
+  EXPECT_TRUE(automaton.find_all(to_bytes("haystack only")).empty());
+  EXPECT_TRUE(automaton.find_all({}).empty());
+}
+
+TEST(AhoCorasick, OverlappingAndRepeated) {
+  AhoCorasick automaton;
+  const auto aa = automaton.add_pattern(to_bytes("aa"));
+  automaton.build();
+  const auto matches = automaton.find_all(to_bytes("aaaa"));
+  ASSERT_EQ(matches.size(), 3u);  // Offsets 0, 1, 2.
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    EXPECT_EQ(matches[i].pattern_id, aa);
+    EXPECT_EQ(matches[i].offset, i);
+  }
+}
+
+TEST(AhoCorasick, BinaryPatternsWithAllByteValues) {
+  AhoCorasick automaton;
+  ByteBuffer pattern = {0x00, 0xFF, 0x80, 0x00};
+  const auto id = automaton.add_pattern(pattern);
+  automaton.build();
+  ByteBuffer text = {0x01, 0x00, 0xFF, 0x80, 0x00, 0x02};
+  const auto matches = automaton.find_all(text);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].pattern_id, id);
+  EXPECT_EQ(matches[0].offset, 1u);
+}
+
+TEST(AhoCorasick, DifferentialAgainstNaiveSearch) {
+  // Random patterns over a small alphabet (to force overlaps) vs
+  // std::search ground truth.
+  util::Xoshiro256 rng(42);
+  for (int round = 0; round < 20; ++round) {
+    AhoCorasick automaton;
+    std::vector<ByteBuffer> patterns;
+    const std::size_t pattern_count = 3 + rng.next_below(6);
+    for (std::size_t p = 0; p < pattern_count; ++p) {
+      ByteBuffer pattern(1 + rng.next_below(5));
+      for (auto& b : pattern) {
+        b = static_cast<std::uint8_t>('a' + rng.next_below(3));
+      }
+      patterns.push_back(pattern);
+      automaton.add_pattern(pattern);
+    }
+    automaton.build();
+
+    ByteBuffer text(300);
+    for (auto& b : text) {
+      b = static_cast<std::uint8_t>('a' + rng.next_below(3));
+    }
+
+    // Ground truth: every occurrence of every pattern.
+    std::multiset<std::pair<std::size_t, std::size_t>> expected;
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      auto it = text.begin();
+      while (true) {
+        it = std::search(it, text.end(), patterns[p].begin(),
+                         patterns[p].end());
+        if (it == text.end()) break;
+        expected.insert(
+            {p, static_cast<std::size_t>(it - text.begin())});
+        ++it;
+      }
+    }
+    std::multiset<std::pair<std::size_t, std::size_t>> actual;
+    for (const auto& match : automaton.find_all(text)) {
+      actual.insert({match.pattern_id, match.offset});
+    }
+    ASSERT_EQ(actual, expected) << "round " << round;
+  }
+}
+
+TEST(SignatureScanner, ScanAllReportsEveryHit) {
+  SignatureScanner scanner;
+  scanner.add_signature(Signature{"a", to_bytes("XYZ")});
+  scanner.add_signature(Signature{"b", to_bytes("YZQ")});
+  const auto hits = scanner.scan_all(to_bytes("..XYZQ..XYZ"));
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].signature_name, "a");
+  EXPECT_EQ(hits[0].offset, 2u);
+  EXPECT_EQ(hits[1].signature_name, "b");
+  EXPECT_EQ(hits[1].offset, 3u);
+  EXPECT_EQ(hits[2].signature_name, "a");
+  EXPECT_EQ(hits[2].offset, 8u);
+}
+
+TEST(SignatureScanner, IncrementalAddRebuildsAutomaton) {
+  SignatureScanner scanner;
+  scanner.add_signature(Signature{"first", to_bytes("AAA")});
+  EXPECT_TRUE(scanner.scan(to_bytes("xxAAAxx")).detected);
+  // Adding after a scan must take effect (dirty-rebuild path).
+  scanner.add_signature(Signature{"second", to_bytes("BBB")});
+  const auto match = scanner.scan(to_bytes("xxBBBxx"));
+  EXPECT_TRUE(match.detected);
+  EXPECT_EQ(match.signature_name, "second");
+}
+
+}  // namespace
+}  // namespace mel::baselines

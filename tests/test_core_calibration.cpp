@@ -1,0 +1,58 @@
+#include "mel/core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/core/mel_model.hpp"
+
+namespace mel::core {
+namespace {
+
+TEST(IsoError, TauDecreasesInP) {
+  double prev = 1e9;
+  for (double p = 0.05; p <= 0.6; p += 0.05) {
+    const double tau = iso_error_tau(p, 1540, 0.01);
+    EXPECT_LT(tau, prev) << p;
+    prev = tau;
+  }
+}
+
+TEST(IsoError, InverseRoundTrips) {
+  for (double p : {0.073, 0.125, 0.227, 0.4}) {
+    const double tau = iso_error_tau(p, 1540, 0.01);
+    EXPECT_NEAR(iso_error_p(tau, 1540, 0.01), p, 1e-6) << p;
+  }
+}
+
+TEST(IsoError, PaperFigure2Annotations) {
+  // p=0.227 <-> tau~40 and p=0.073 <-> tau~120 on the 1% iso-error line.
+  EXPECT_NEAR(iso_error_tau(0.227, 1540, 0.01), 40.6, 0.5);
+  EXPECT_NEAR(iso_error_p(120.0, 1540, 0.01), 0.075, 0.006);
+}
+
+TEST(IsoError, CurveSamplingIsOrderedAndConsistent) {
+  const auto curve = iso_error_curve(1540, 0.01, 0.05, 0.5, 46);
+  ASSERT_EQ(curve.size(), 46u);
+  EXPECT_NEAR(curve.front().p, 0.05, 1e-12);
+  EXPECT_NEAR(curve.back().p, 0.5, 1e-12);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].p, curve[i - 1].p);
+    EXPECT_LT(curve[i].tau, curve[i - 1].tau);
+  }
+  // Every sampled point satisfies the defining equation.
+  for (const auto& point : curve) {
+    EXPECT_NEAR(MelModel(1540, point.p).false_positive_rate_approx(point.tau),
+                0.01, 1e-6);
+  }
+}
+
+TEST(SensitivityGap, PaperGapIsLarge) {
+  // Benign p=0.227 (tau 40) vs worm min MEL 120 (p 0.073): the estimate
+  // may drift by ~0.15 in p before any error appears.
+  const SensitivityGap gap = sensitivity_gap(0.227, 120.0, 1540, 0.01);
+  EXPECT_NEAR(gap.benign_tau, 40.6, 0.5);
+  EXPECT_NEAR(gap.malware_p, 0.075, 0.006);
+  EXPECT_GT(gap.p_gap(), 0.14);
+}
+
+}  // namespace
+}  // namespace mel::core

@@ -1,0 +1,81 @@
+#include "mel/core/calibrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+
+namespace mel::core {
+namespace {
+
+TEST(Calibrator, HealthyOnRepresentativeCorpus) {
+  const auto benign = traffic::make_benign_dataset({.cases = 60});
+  const CalibrationReport report = calibrate_from_benign(benign);
+  EXPECT_TRUE(report.healthy) << format_calibration_report(report);
+  EXPECT_GT(report.tau, 20.0);
+  EXPECT_LT(report.tau, 80.0);
+  EXPECT_NEAR(report.params.p, 0.23, 0.06);
+  EXPECT_LE(report.empirical_fp_rate, 0.03);
+  EXPECT_GT(report.gap.p_gap(), 0.1);
+  EXPECT_TRUE(report.config.preset_frequencies.has_value());
+}
+
+TEST(Calibrator, ProducedConfigDetects) {
+  const auto benign = traffic::make_benign_dataset({.cases = 50, .seed = 8});
+  const CalibrationReport report = calibrate_from_benign(benign);
+  const MelDetector detector(report.config);
+  util::Xoshiro256 rng(7);
+  const auto worm = textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus().front().bytes, {}, rng);
+  EXPECT_TRUE(detector.scan(worm).malicious);
+  int false_positives = 0;
+  for (const auto& payload :
+       traffic::make_benign_dataset({.cases = 30, .seed = 99})) {
+    if (detector.scan(payload).malicious) ++false_positives;
+  }
+  EXPECT_LE(false_positives, 2);
+}
+
+TEST(Calibrator, WarnsOnSmallSample) {
+  const auto benign = traffic::make_benign_dataset({.cases = 5});
+  const CalibrationReport report = calibrate_from_benign(benign);
+  EXPECT_FALSE(report.healthy);
+  bool mentioned = false;
+  for (const auto& warning : report.warnings) {
+    mentioned = mentioned || warning.find("30 benign samples") !=
+                                 std::string::npos;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST(Calibrator, AlphaFlowsThrough) {
+  const auto benign = traffic::make_benign_dataset({.cases = 40});
+  CalibratorOptions strict;
+  strict.alpha = 0.001;
+  CalibratorOptions loose;
+  loose.alpha = 0.05;
+  const auto strict_report = calibrate_from_benign(benign, strict);
+  const auto loose_report = calibrate_from_benign(benign, loose);
+  EXPECT_GT(strict_report.tau, loose_report.tau);
+  EXPECT_EQ(strict_report.config.alpha, 0.001);
+}
+
+TEST(Calibrator, ReportFormatIsReadable) {
+  const auto benign = traffic::make_benign_dataset({.cases = 40});
+  const std::string text =
+      format_calibration_report(calibrate_from_benign(benign));
+  EXPECT_NE(text.find("tau="), std::string::npos);
+  EXPECT_NE(text.find("benign MEL:"), std::string::npos);
+  EXPECT_NE(text.find("sensitivity gap:"), std::string::npos);
+}
+
+TEST(Calibrator, BenignMelHistogramIsPopulated) {
+  const auto benign = traffic::make_benign_dataset({.cases = 40});
+  const CalibrationReport report = calibrate_from_benign(benign);
+  EXPECT_EQ(report.benign_mels.total(), 40u);
+  EXPECT_GT(report.benign_mels.mean(), 10.0);
+  EXPECT_LT(report.benign_mels.mean(), 40.0);
+}
+
+}  // namespace
+}  // namespace mel::core

@@ -1,0 +1,84 @@
+#include "mel/core/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "mel/core/calibrator.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/english_model.hpp"
+
+namespace mel::core {
+namespace {
+
+TEST(ConfigIo, RoundTripsDefaults) {
+  DetectorConfig original;
+  original.alpha = 0.005;
+  original.engine = exec::MelEngine::kAllPathsDag;
+  original.early_exit = false;
+  const std::string text = serialize_config(original);
+  const auto parsed = parse_config(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_DOUBLE_EQ(parsed.value().alpha, 0.005);
+  EXPECT_EQ(parsed.value().engine, exec::MelEngine::kAllPathsDag);
+  EXPECT_FALSE(parsed.value().early_exit);
+  EXPECT_FALSE(parsed.value().measure_input);
+}
+
+TEST(ConfigIo, RoundTripsFrequencyTable) {
+  DetectorConfig original;
+  original.preset_frequencies = traffic::web_text_distribution();
+  const auto parsed = parse_config(serialize_config(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_TRUE(parsed.value().preset_frequencies.has_value());
+  const auto& recovered = *parsed.value().preset_frequencies;
+  const auto& expected = traffic::web_text_distribution();
+  for (int b = 0; b < 256; ++b) {
+    EXPECT_NEAR(recovered[b], expected[b], 1e-9) << b;
+  }
+}
+
+TEST(ConfigIo, CalibratedConfigSurvivesSaveLoad) {
+  // The real workflow: calibrate, save, load elsewhere, detect.
+  const auto benign = traffic::make_benign_dataset({.cases = 40});
+  const auto report = calibrate_from_benign(benign);
+  const std::string path = "/tmp/mel_config_io_test.melcfg";
+  ASSERT_TRUE(save_config(report.config, path));
+  const auto loaded = load_config(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+
+  const MelDetector detector(loaded.value());
+  util::Xoshiro256 rng(1);
+  const auto worm = textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus().front().bytes, {}, rng);
+  EXPECT_TRUE(detector.scan(worm).malicious);
+  EXPECT_FALSE(detector.scan(benign.front()).malicious);
+}
+
+TEST(ConfigIo, RejectsGarbage) {
+  EXPECT_FALSE(parse_config("").ok());
+  EXPECT_FALSE(parse_config("not a config\n").ok());
+  EXPECT_FALSE(parse_config("melcfg 1\nalpha 2.0\nend\n").ok());
+  EXPECT_FALSE(parse_config("melcfg 1\nengine warp\nend\n").ok());
+  EXPECT_FALSE(parse_config("melcfg 1\nflux 1\nend\n").ok());
+  EXPECT_FALSE(parse_config("melcfg 1\nalpha 0.01\n").ok());  // no end
+  EXPECT_FALSE(parse_config("melcfg 1\nfreq 300 0.5\nend\n").ok());
+  // A frequency table that cannot be a distribution.
+  EXPECT_FALSE(parse_config("melcfg 1\nfreq 65 0.1\nend\n").ok());
+}
+
+TEST(ConfigIo, CommentsAndBlankLinesAreAllowed) {
+  const auto parsed = parse_config(
+      "melcfg 1\n# a comment\n\nalpha 0.02\nend\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_DOUBLE_EQ(parsed.value().alpha, 0.02);
+}
+
+TEST(ConfigIo, LoadMissingFileFails) {
+  EXPECT_FALSE(load_config("/nonexistent/path.melcfg").ok());
+}
+
+}  // namespace
+}  // namespace mel::core

@@ -1,0 +1,151 @@
+#include "mel/core/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/english_model.hpp"
+
+namespace mel::core {
+namespace {
+
+TEST(MelDetector, EmptyPayloadIsBenign) {
+  const MelDetector detector;
+  const Verdict verdict = detector.scan({});
+  EXPECT_FALSE(verdict.malicious);
+  EXPECT_EQ(verdict.mel, 0);
+}
+
+TEST(MelDetector, ShortEnglishTextIsBenign) {
+  const MelDetector detector;
+  const auto payload = util::to_bytes(
+      "The quick brown fox jumps over the lazy dog while the five boxing "
+      "wizards jump quickly, and nobody at the gateway minds at all.");
+  const Verdict verdict = detector.scan(payload);
+  EXPECT_FALSE(verdict.malicious);
+  EXPECT_TRUE(verdict.is_text);
+  EXPECT_GT(verdict.threshold, 0.0);
+}
+
+TEST(MelDetector, BenignCorpusHasNominalFalsePositiveRate) {
+  // alpha = 1% over 100 cases: expect about one FP, certainly not many.
+  const auto corpus = traffic::make_benign_dataset({.cases = 100});
+  const MelDetector detector;
+  int false_positives = 0;
+  for (const auto& payload : corpus) {
+    const Verdict verdict = detector.scan(payload);
+    EXPECT_TRUE(verdict.is_text);
+    if (verdict.malicious) ++false_positives;
+  }
+  EXPECT_LE(false_positives, 3);
+}
+
+TEST(MelDetector, EveryTextWormIsCaught) {
+  // The paper's headline: zero false negatives on >100 text worms.
+  const auto worms = textcode::text_worm_corpus(108, 1234);
+  const MelDetector detector;
+  for (const auto& worm : worms) {
+    const Verdict verdict = detector.scan(worm.bytes);
+    EXPECT_TRUE(verdict.malicious) << worm.name;
+    EXPECT_TRUE(verdict.is_text) << worm.name;
+  }
+}
+
+TEST(MelDetector, WormMelFarExceedsBenign) {
+  // Figure 3's gap: benign max ~tau, malicious always above 120.
+  DetectorConfig config;
+  config.early_exit = false;
+  const MelDetector detector(config);
+  const auto worms = textcode::text_worm_corpus(24, 55);
+  for (const auto& worm : worms) {
+    const Verdict verdict = detector.scan(worm.bytes);
+    EXPECT_GT(verdict.mel, 120) << worm.name;
+  }
+}
+
+TEST(MelDetector, AdaptiveModeSelfCalibrationHazard) {
+  // Documented hazard: measuring n and p from the (attacker-controlled)
+  // input lets a worm raise its own threshold. The default preset mode
+  // catches what adaptive mode misses.
+  DetectorConfig adaptive;
+  adaptive.measure_input = true;
+  const MelDetector adaptive_detector(adaptive);
+  const MelDetector preset_detector;
+
+  const auto worms = textcode::text_worm_corpus(6, 7);
+  int adaptive_catches = 0;
+  int preset_catches = 0;
+  for (const auto& worm : worms) {
+    if (adaptive_detector.scan(worm.bytes).malicious) ++adaptive_catches;
+    if (preset_detector.scan(worm.bytes).malicious) ++preset_catches;
+  }
+  EXPECT_EQ(preset_catches, 6);
+  EXPECT_LT(adaptive_catches, 6);  // The hazard is real.
+}
+
+TEST(MelDetector, AdaptiveModeIsFineOnBenignTraffic) {
+  DetectorConfig adaptive;
+  adaptive.measure_input = true;
+  const MelDetector detector(adaptive);
+  const auto corpus = traffic::make_benign_dataset({.cases = 40, .seed = 5});
+  int false_positives = 0;
+  for (const auto& payload : corpus) {
+    if (detector.scan(payload).malicious) ++false_positives;
+  }
+  EXPECT_LE(false_positives, 2);
+}
+
+TEST(MelDetector, FixedThresholdOverride) {
+  DetectorConfig config;
+  config.fixed_threshold = 3.0;
+  const MelDetector detector(config);
+  // Even mild text exceeds a threshold of 3.
+  const auto payload = util::to_bytes(
+      "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+  const Verdict verdict = detector.scan(payload);
+  EXPECT_EQ(verdict.threshold, 3.0);
+  EXPECT_TRUE(verdict.malicious);
+}
+
+TEST(MelDetector, AlphaControlsSensitivity) {
+  // Smaller alpha -> larger threshold (Section 3.2's tunable knob).
+  DetectorConfig strict_config;
+  strict_config.alpha = 0.001;
+  DetectorConfig loose_config;
+  loose_config.alpha = 0.05;
+  const MelDetector strict(strict_config);
+  const MelDetector loose(loose_config);
+  const auto dist = traffic::web_text_distribution();
+  EXPECT_GT(strict.derive_threshold(dist, 4000),
+            loose.derive_threshold(dist, 4000));
+}
+
+TEST(MelDetector, ThresholdScalesWithInputSize) {
+  const MelDetector detector;
+  const auto dist = traffic::web_text_distribution();
+  const double tau_small = detector.derive_threshold(dist, 500);
+  const double tau_large = detector.derive_threshold(dist, 50000);
+  EXPECT_LT(tau_small, tau_large);
+}
+
+TEST(MelDetector, NonTextInputIsStillScanned) {
+  const MelDetector detector;
+  util::ByteBuffer binary = {0x31, 0xC0, 0x50, 0xCD, 0x80, 0x00, 0xFF};
+  const Verdict verdict = detector.scan(binary);
+  EXPECT_FALSE(verdict.is_text);
+  EXPECT_GE(verdict.mel, 0);
+}
+
+TEST(MelDetector, VerdictCarriesEstimationPipeline) {
+  const MelDetector detector;
+  const auto corpus = traffic::make_benign_dataset({.cases = 1});
+  const Verdict verdict = detector.scan(corpus[0]);
+  EXPECT_GT(verdict.params.n, 0.0);
+  EXPECT_GT(verdict.params.p, 0.0);
+  EXPECT_GT(verdict.params.expected_instruction_length, 1.0);
+  EXPECT_EQ(verdict.params.input_chars, corpus[0].size());
+  EXPECT_EQ(verdict.alpha, 0.01);
+}
+
+}  // namespace
+}  // namespace mel::core

@@ -1,0 +1,81 @@
+#include "mel/core/explain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+
+namespace mel::core {
+namespace {
+
+TEST(Explain, MaliciousWormReport) {
+  util::Xoshiro256 rng(3);
+  const auto worm = textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus().front().bytes, {}, rng);
+  const MelDetector detector;
+  const Explanation explanation = explain(detector, worm);
+
+  EXPECT_TRUE(explanation.verdict.malicious);
+  // Full-run measurement even though the detector defaults to early exit.
+  EXPECT_GT(explanation.verdict.mel, 100);
+  EXPECT_GT(explanation.run_end, explanation.run_start);
+  // The run span covers most of the worm.
+  EXPECT_GT(explanation.run_end - explanation.run_start, worm.size() / 2);
+  EXPECT_FALSE(explanation.listing.empty());
+  EXPECT_GT(explanation.listing_truncated, 0u);
+  EXPECT_NE(explanation.summary.find("MALICIOUS"), std::string::npos);
+}
+
+TEST(Explain, BenignReport) {
+  const auto corpus = traffic::make_benign_dataset({.cases = 1});
+  const MelDetector detector;
+  const Explanation explanation = explain(detector, corpus[0]);
+  EXPECT_FALSE(explanation.verdict.malicious);
+  EXPECT_NE(explanation.summary.find("benign"), std::string::npos);
+  // Benign text is full of invalidating instructions.
+  EXPECT_FALSE(explanation.invalidity_census.empty());
+  bool has_io = false;
+  for (const auto& [reason, count] : explanation.invalidity_census) {
+    if (reason == "io-instruction") has_io = count > 0;
+  }
+  EXPECT_TRUE(has_io);
+}
+
+TEST(Explain, ListingMatchesRunLength) {
+  util::Xoshiro256 rng(4);
+  const auto worm = textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus()[2].bytes, {}, rng);
+  const MelDetector detector;
+  const Explanation explanation = explain(detector, worm, /*max_listing=*/8);
+  EXPECT_LE(explanation.listing.size(), 8u);
+  EXPECT_EQ(static_cast<std::int64_t>(explanation.listing.size() +
+                                      explanation.listing_truncated),
+            explanation.verdict.mel);
+}
+
+TEST(Explain, FormatContainsKeyFields) {
+  util::Xoshiro256 rng(5);
+  const auto worm = textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus()[1].bytes, {}, rng);
+  const MelDetector detector;
+  // List enough instructions to get past the printable sled into the
+  // decrypter body.
+  const std::string report =
+      format_explanation(explain(detector, worm, /*max_listing=*/80));
+  EXPECT_NE(report.find("longest run"), std::string::npos);
+  EXPECT_NE(report.find("estimation:"), std::string::npos);
+  EXPECT_NE(report.find("sub eax"), std::string::npos);
+}
+
+TEST(Explain, CensusIsSortedDescending) {
+  const auto corpus = traffic::make_benign_dataset({.cases = 1, .seed = 9});
+  const MelDetector detector;
+  const Explanation explanation = explain(detector, corpus[0]);
+  for (std::size_t i = 1; i < explanation.invalidity_census.size(); ++i) {
+    EXPECT_GE(explanation.invalidity_census[i - 1].second,
+              explanation.invalidity_census[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace mel::core

@@ -1,0 +1,124 @@
+#include "mel/core/parameter_estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/english_model.hpp"
+
+namespace mel::core {
+namespace {
+
+CharFrequencyTable uniform_text_distribution() {
+  CharFrequencyTable dist{};
+  for (int b = 0x20; b <= 0x7E; ++b) dist[b] = 1.0 / 95.0;
+  return dist;
+}
+
+TEST(ParameterEstimation, UniformTextDistribution) {
+  const auto dist = uniform_text_distribution();
+  const EstimatedParameters params = estimate_parameters(dist, 4000);
+  // 8 of 95 characters are prefixes.
+  EXPECT_NEAR(params.z, 8.0 / 95.0, 1e-12);
+  EXPECT_NEAR(params.expected_prefix_chain, (8.0 / 95.0) / (87.0 / 95.0),
+              1e-12);
+  // 4 of 87 non-prefix opcodes are I/O.
+  EXPECT_NEAR(params.p_io, 4.0 / 87.0, 1e-12);
+  EXPECT_GT(params.p_wrong_segment, 0.0);
+  EXPECT_NEAR(params.p, params.p_io + params.p_wrong_segment, 1e-12);
+  EXPECT_GT(params.n, 0.0);
+  EXPECT_NEAR(params.n * params.expected_instruction_length, 4000.0, 1e-6);
+}
+
+TEST(ParameterEstimation, WebDistributionMatchesPaperSection52) {
+  // The paper's operating point: z=0.16, E[prefix]=0.19, E[actual]=2.4,
+  // E[len]=2.6, n=1540 (C=4K), p_io=0.185, p_seg=0.042, p=0.227.
+  // Our synthetic web profile lands in the same neighbourhood.
+  const EstimatedParameters params =
+      estimate_parameters(traffic::web_text_distribution(), 4000);
+  EXPECT_NEAR(params.z, 0.16, 0.03);
+  EXPECT_NEAR(params.expected_prefix_chain, 0.19, 0.04);
+  EXPECT_NEAR(params.expected_actual_length, 2.4, 0.25);
+  EXPECT_NEAR(params.expected_instruction_length, 2.6, 0.25);
+  EXPECT_NEAR(params.n, 1540.0, 120.0);
+  EXPECT_NEAR(params.p_io, 0.185, 0.035);
+  EXPECT_NEAR(params.p_wrong_segment, 0.042, 0.015);
+  EXPECT_NEAR(params.p, 0.227, 0.04);
+}
+
+TEST(ParameterEstimation, NoPrefixMassMeansNoSegmentRule) {
+  CharFrequencyTable dist{};
+  dist['A'] = 0.5;  // inc ecx
+  dist['P'] = 0.5;  // push eax
+  const EstimatedParameters params = estimate_parameters(dist, 1000);
+  EXPECT_DOUBLE_EQ(params.z, 0.0);
+  EXPECT_DOUBLE_EQ(params.p_wrong_segment, 0.0);
+  EXPECT_DOUBLE_EQ(params.p_io, 0.0);
+  EXPECT_NEAR(params.expected_instruction_length, 1.0, 1e-12);
+  EXPECT_NEAR(params.n, 1000.0, 1e-9);
+}
+
+TEST(ParameterEstimation, PureIoDistribution) {
+  CharFrequencyTable dist{};
+  dist['l'] = 0.25;
+  dist['m'] = 0.25;
+  dist['n'] = 0.25;
+  dist['o'] = 0.25;
+  const EstimatedParameters params = estimate_parameters(dist, 1000);
+  EXPECT_DOUBLE_EQ(params.p_io, 1.0);
+  EXPECT_DOUBLE_EQ(params.p, 1.0);
+}
+
+TEST(ParameterEstimation, WrongSegmentScalesWithOverrideMass) {
+  // More fs:/gs: characters -> larger p_wrong_segment.
+  CharFrequencyTable low{};
+  low['d'] = 0.02;   // fs:
+  low[' '] = 0.48;   // and Eb,Gb (ModRM)
+  low['A'] = 0.50;   // inc ecx
+  CharFrequencyTable high = low;
+  high['d'] = 0.20;
+  high['A'] = 0.32;
+  const double p_low =
+      estimate_parameters(low, 1000).p_wrong_segment;
+  const double p_high =
+      estimate_parameters(high, 1000).p_wrong_segment;
+  EXPECT_GT(p_high, p_low);
+  EXPECT_GT(p_low, 0.0);
+}
+
+TEST(ParameterEstimation, WrongSegmentSetIsConfigurable) {
+  CharFrequencyTable dist{};
+  dist['>'] = 0.10;  // ds: — normally a RIGHT segment.
+  dist[' '] = 0.45;
+  dist['A'] = 0.45;
+  EstimationOptions options;
+  const double p_default =
+      estimate_parameters(dist, 1000, options).p_wrong_segment;
+  EXPECT_DOUBLE_EQ(p_default, 0.0);
+  options.wrong_segment[3] = true;  // Treat ds: as wrong.
+  const double p_ds =
+      estimate_parameters(dist, 1000, options).p_wrong_segment;
+  EXPECT_GT(p_ds, 0.0);
+}
+
+TEST(ParameterEstimation, ModRmProbabilityCountsCorrectOpcodes) {
+  // ' ' (0x20, and Eb,Gb) takes ModRM; 'A' (0x41, inc) does not.
+  CharFrequencyTable dist{};
+  dist[' '] = 0.3;
+  dist['A'] = 0.7;
+  const EstimatedParameters params = estimate_parameters(dist, 1000);
+  EXPECT_NEAR(params.modrm_probability, 0.3, 1e-12);
+}
+
+TEST(ParameterEstimation, MeasuredCorpusDistributionIsUsable) {
+  // End to end: measure the benign generator's output and estimate.
+  const auto corpus = traffic::make_benign_dataset({.cases = 20});
+  const auto dist = traffic::measure_distribution(corpus);
+  const EstimatedParameters params = estimate_parameters(dist, 4000);
+  EXPECT_GT(params.p, 0.1);
+  EXPECT_LT(params.p, 0.4);
+  EXPECT_GT(params.n, 1000.0);
+  EXPECT_LT(params.n, 2200.0);
+}
+
+}  // namespace
+}  // namespace mel::core

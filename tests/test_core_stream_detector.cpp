@@ -1,0 +1,125 @@
+#include "mel/core/stream_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::core {
+namespace {
+
+util::ByteBuffer benign_text(std::size_t size, std::uint64_t seed) {
+  traffic::MarkovTextGenerator generator;
+  util::Xoshiro256 rng(seed);
+  return util::to_bytes(generator.generate(size, rng));
+}
+
+util::ByteBuffer worm_bytes(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus().front().bytes, {}, rng);
+}
+
+TEST(StreamDetector, CleanStreamRaisesNothing) {
+  StreamDetector stream;
+  const auto text = benign_text(20000, 1);
+  auto alerts = stream.feed(text);
+  auto tail = stream.finish();
+  alerts.insert(alerts.end(), tail.begin(), tail.end());
+  EXPECT_TRUE(alerts.empty());
+  EXPECT_EQ(stream.bytes_consumed(), 20000u);
+  EXPECT_GT(stream.windows_scanned(), 4u);
+}
+
+TEST(StreamDetector, WormInMidStreamIsCaught) {
+  StreamDetector stream;
+  const auto prefix = benign_text(6000, 2);
+  const auto worm = worm_bytes(3);
+  const auto suffix = benign_text(6000, 4);
+  std::size_t alerts = 0;
+  alerts += stream.feed(prefix).size();
+  alerts += stream.feed(worm).size();
+  alerts += stream.feed(suffix).size();
+  alerts += stream.finish().size();
+  EXPECT_GE(alerts, 1u);
+}
+
+TEST(StreamDetector, WormSplitAcrossFeedsIsCaught) {
+  // Byte-dribbling the worm must not matter: the window reassembles it.
+  StreamDetector stream;
+  const auto prefix = benign_text(3000, 5);
+  const auto worm = worm_bytes(6);
+  std::size_t alerts = 0;
+  alerts += stream.feed(prefix).size();
+  for (std::uint8_t b : worm) {
+    alerts += stream.feed(util::ByteView(&b, 1)).size();
+  }
+  alerts += stream.feed(benign_text(5000, 7)).size();
+  alerts += stream.finish().size();
+  EXPECT_GE(alerts, 1u);
+}
+
+TEST(StreamDetector, WormStraddlingWindowBoundary) {
+  // Place the worm right at the first window's edge; the overlap must
+  // carry it whole into the second window.
+  StreamConfig config;
+  config.window_size = 4096;
+  config.overlap = 1536;  // Larger than the worm.
+  StreamDetector stream(config);
+  const auto worm = worm_bytes(8);
+  ASSERT_LT(worm.size(), config.overlap);
+  util::ByteBuffer data = benign_text(4096 - worm.size() / 2, 9);
+  data.insert(data.end(), worm.begin(), worm.end());
+  const auto tail = benign_text(4096, 10);
+  data.insert(data.end(), tail.begin(), tail.end());
+  std::size_t alerts = stream.feed(data).size() + stream.finish().size();
+  EXPECT_GE(alerts, 1u);
+}
+
+TEST(StreamDetector, FinishScansShortTail) {
+  StreamConfig config;
+  config.window_size = 4096;
+  StreamDetector stream(config);
+  const auto worm = worm_bytes(11);  // Far smaller than one window.
+  EXPECT_TRUE(stream.feed(worm).empty());  // Window not yet full.
+  const auto alerts = stream.finish();
+  EXPECT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(stream.pending_bytes(), 0u);
+}
+
+TEST(StreamDetector, AlertCarriesWindowWhenRequested) {
+  StreamConfig config;
+  config.keep_window_bytes = true;
+  StreamDetector stream(config);
+  const auto worm = worm_bytes(12);
+  stream.feed(worm);
+  const auto alerts = stream.finish();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].window.size(), worm.size());
+  EXPECT_EQ(alerts[0].window, worm);
+  EXPECT_EQ(alerts[0].stream_offset, 0u);
+}
+
+TEST(StreamDetector, StreamOffsetsAdvanceBySteps) {
+  StreamConfig config;
+  config.window_size = 1024;
+  config.overlap = 256;
+  config.keep_window_bytes = false;
+  StreamDetector stream(config);
+  // Two worms far apart; alerts should report distinct offsets.
+  util::ByteBuffer data = worm_bytes(13);
+  auto filler = benign_text(5000, 14);
+  data.insert(data.end(), filler.begin(), filler.end());
+  const auto second = worm_bytes(15);
+  data.insert(data.end(), second.begin(), second.end());
+  auto alerts = stream.feed(data);
+  const auto tail = stream.finish();
+  alerts.insert(alerts.end(), tail.begin(), tail.end());
+  ASSERT_GE(alerts.size(), 2u);
+  EXPECT_LT(alerts.front().stream_offset, 1024u);
+  EXPECT_GT(alerts.back().stream_offset, 4000u);
+}
+
+}  // namespace
+}  // namespace mel::core

@@ -1,0 +1,220 @@
+#include "mel/disasm/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/disasm/decoder.hpp"
+#include "mel/disasm/formatter.hpp"
+
+namespace mel::disasm {
+namespace {
+
+/// Assembles one instruction and decodes it back.
+std::string round_trip(Assembler& assembler) {
+  const util::ByteBuffer code = assembler.take();
+  const Instruction insn = decode_instruction(code, 0);
+  EXPECT_TRUE(decoded_ok(insn));
+  EXPECT_EQ(insn.length, code.size());
+  return format_instruction(insn);
+}
+
+TEST(Assembler, MovesDecodeBack) {
+  {
+    Assembler a;
+    a.mov_imm(Gpr::kEax, 0x12345678);
+    EXPECT_EQ(round_trip(a), "mov eax, 0x12345678");
+  }
+  {
+    Assembler a;
+    a.mov_imm8(Gpr::kEbx, 0x0B);  // bl
+    EXPECT_EQ(round_trip(a), "mov bl, 0xb");
+  }
+  {
+    Assembler a;
+    a.mov(Gpr::kEbx, Gpr::kEsp);
+    EXPECT_EQ(round_trip(a), "mov ebx, esp");
+  }
+  {
+    Assembler a;
+    a.mov_to_mem(Gpr::kEbx, Gpr::kEax);
+    EXPECT_EQ(round_trip(a), "mov dword [ebx], eax");
+  }
+  {
+    Assembler a;
+    a.mov_from_mem(Gpr::kEcx, Gpr::kEsi);
+    EXPECT_EQ(round_trip(a), "mov ecx, dword [esi]");
+  }
+  {
+    Assembler a;
+    a.lea(Gpr::kEax, Gpr::kEbx, 0x10);
+    EXPECT_EQ(round_trip(a), "lea eax, dword [ebx+0x10]");
+  }
+}
+
+TEST(Assembler, AluFormsPickShortEncodingsForEax) {
+  {
+    Assembler a;
+    a.sub_imm(Gpr::kEax, 0x21212121);
+    const auto code = a.take();
+    EXPECT_EQ(code[0], 0x2D);  // Short eAX form.
+    EXPECT_EQ(code.size(), 5u);
+  }
+  {
+    Assembler a;
+    a.sub_imm(Gpr::kEbx, 4);
+    const auto code = a.take();
+    EXPECT_EQ(code[0], 0x81);  // Group-1 form for other registers.
+    EXPECT_EQ(code.size(), 6u);
+    const Instruction insn = decode_instruction(code, 0);
+    EXPECT_EQ(format_instruction(insn), "sub ebx, 0x4");
+  }
+  {
+    Assembler a;
+    a.and_imm(Gpr::kEax, 0x40404040);
+    EXPECT_EQ(round_trip(a), "and eax, 0x40404040");
+  }
+  {
+    Assembler a;
+    a.add_imm(Gpr::kEdx, 0x1000);
+    EXPECT_EQ(round_trip(a), "add edx, 0x1000");
+  }
+}
+
+TEST(Assembler, StackAndMisc) {
+  {
+    Assembler a;
+    a.push(Gpr::kEdi);
+    EXPECT_EQ(round_trip(a), "push edi");
+  }
+  {
+    Assembler a;
+    a.pop(Gpr::kEbp);
+    EXPECT_EQ(round_trip(a), "pop ebp");
+  }
+  {
+    Assembler a;
+    a.push_imm32(0x6E69622F);
+    EXPECT_EQ(round_trip(a), "push 0x6e69622f");
+  }
+  {
+    Assembler a;
+    a.push_imm8(0x0B);
+    EXPECT_EQ(round_trip(a), "push 0xb");
+  }
+  {
+    Assembler a;
+    a.int_(0x80);
+    EXPECT_EQ(round_trip(a), "int 0x80");
+  }
+  {
+    Assembler a;
+    a.xchg(Gpr::kEcx, Gpr::kEax);
+    const auto code = a.take();
+    EXPECT_EQ(code.size(), 1u);  // 0x91 short form.
+    EXPECT_EQ(code[0], 0x91);
+  }
+  {
+    Assembler a;
+    a.xchg(Gpr::kEbx, Gpr::kEcx);
+    EXPECT_EQ(round_trip(a), "xchg ebx, ecx");
+  }
+  {
+    Assembler a;
+    a.cmp_imm8(Gpr::kEcx, 3);  // cl
+    EXPECT_EQ(round_trip(a), "cmp cl, 0x3");
+  }
+}
+
+TEST(Assembler, ForwardLabelFixup) {
+  Assembler a;
+  Assembler::Label skip = a.make_label();
+  a.jcc(Cond::kZero, skip);
+  a.nop();
+  a.nop();
+  a.bind(skip);
+  a.ret();
+  const auto code = a.take();
+  // je +2 over two nops.
+  ASSERT_EQ(code.size(), 5u);
+  EXPECT_EQ(code[0], 0x74);
+  EXPECT_EQ(code[1], 0x02);
+  const Instruction insn = decode_instruction(code, 0);
+  EXPECT_EQ(insn.branch_target(), 4);
+}
+
+TEST(Assembler, BackwardLabelFixup) {
+  Assembler a;
+  Assembler::Label loop = a.make_label();
+  a.xor_(Gpr::kEcx, Gpr::kEcx);
+  a.bind(loop);
+  a.dec(Gpr::kEcx);
+  a.jcc(Cond::kNotZero, loop);
+  const auto code = a.take();
+  // jne -3 (back over dec ecx + itself).
+  ASSERT_EQ(code.size(), 5u);
+  EXPECT_EQ(code[3], 0x75);
+  EXPECT_EQ(static_cast<std::int8_t>(code[4]), -3);
+  const Instruction insn = decode_instruction(code, 3);
+  EXPECT_EQ(insn.branch_target(), 2);
+}
+
+TEST(Assembler, LoopAndCall) {
+  Assembler a;
+  Assembler::Label top = a.make_label();
+  a.bind(top);
+  a.nop();
+  a.loop_(top);
+  Assembler::Label fn = a.make_label();
+  a.call(fn);
+  a.ret();
+  a.bind(fn);
+  a.ret();
+  const auto code = a.take();
+  // loop -3; call rel32 to the final ret.
+  EXPECT_EQ(code[1], 0xE2);
+  EXPECT_EQ(static_cast<std::int8_t>(code[2]), -3);
+  const Instruction call_insn = decode_instruction(code, 3);
+  EXPECT_EQ(format_instruction(call_insn),
+            "call 0x9");  // Offset of the bound fn label.
+}
+
+TEST(Assembler, WholeProgramDecodesCleanly) {
+  // The classic execve("/bin/sh"), authored through the builder.
+  Assembler a;
+  a.xor_(Gpr::kEax, Gpr::kEax)
+      .push(Gpr::kEax)
+      .push_imm32(0x68732F2F)   // "//sh"
+      .push_imm32(0x6E69622F)   // "/bin"
+      .mov(Gpr::kEbx, Gpr::kEsp)
+      .push(Gpr::kEax)
+      .push(Gpr::kEbx)
+      .mov(Gpr::kEcx, Gpr::kEsp)
+      .xor_(Gpr::kEdx, Gpr::kEdx)
+      .mov_imm8(Gpr::kEax, 0x0B)  // al
+      .int_(0x80);
+  const auto code = a.take();
+  std::size_t covered = 0;
+  for (const Instruction& insn : linear_sweep(code)) {
+    EXPECT_TRUE(decoded_ok(insn));
+    covered += insn.length;
+  }
+  EXPECT_EQ(covered, code.size());
+  // It matches the hand-written corpus payload byte for byte.
+  const util::ByteBuffer expected = {
+      0x31, 0xC0, 0x50, 0x68, 0x2F, 0x2F, 0x73, 0x68, 0x68, 0x2F, 0x62,
+      0x69, 0x6E, 0x89, 0xE3, 0x50, 0x53, 0x89, 0xE1, 0x31, 0xD2, 0xB0,
+      0x0B, 0xCD, 0x80};
+  EXPECT_EQ(code, expected);
+}
+
+TEST(Assembler, TakeResetsState) {
+  Assembler a;
+  a.nop();
+  EXPECT_EQ(a.take().size(), 1u);
+  a.ret();
+  const auto second = a.take();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], 0xC3);
+}
+
+}  // namespace
+}  // namespace mel::disasm

@@ -1,0 +1,431 @@
+#include "mel/disasm/decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mel/disasm/formatter.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::disasm {
+namespace {
+
+using util::ByteBuffer;
+
+ByteBuffer bytes_of(std::initializer_list<int> values) {
+  ByteBuffer out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+/// Golden decode case: raw bytes -> expected rendering + length.
+struct DecodeCase {
+  const char* label;
+  ByteBuffer bytes;
+  const char* expected_text;
+  std::uint8_t expected_length;
+};
+
+class DecodeGoldenTest : public ::testing::TestWithParam<DecodeCase> {};
+
+TEST_P(DecodeGoldenTest, DecodesToExpectedForm) {
+  const DecodeCase& c = GetParam();
+  const Instruction insn = decode_instruction(c.bytes, 0);
+  EXPECT_TRUE(decoded_ok(insn)) << c.label;
+  EXPECT_EQ(format_instruction(insn), c.expected_text) << c.label;
+  EXPECT_EQ(insn.length, c.expected_length) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OneByteBasics, DecodeGoldenTest,
+    ::testing::Values(
+        DecodeCase{"nop", bytes_of({0x90}), "nop", 1},
+        DecodeCase{"push-eax", bytes_of({0x50}), "push eax", 1},
+        DecodeCase{"pop-edi", bytes_of({0x5F}), "pop edi", 1},
+        DecodeCase{"inc-ecx", bytes_of({0x41}), "inc ecx", 1},
+        DecodeCase{"dec-ebx", bytes_of({0x4B}), "dec ebx", 1},
+        DecodeCase{"pusha", bytes_of({0x60}), "pusha", 1},
+        DecodeCase{"popa", bytes_of({0x61}), "popa", 1},
+        DecodeCase{"ret", bytes_of({0xC3}), "ret", 1},
+        DecodeCase{"ret-imm", bytes_of({0xC2, 0x08, 0x00}), "ret 0x8", 3},
+        DecodeCase{"leave", bytes_of({0xC9}), "leave", 1},
+        DecodeCase{"hlt", bytes_of({0xF4}), "hlt", 1},
+        DecodeCase{"int3", bytes_of({0xCC}), "int3", 1},
+        DecodeCase{"int-80", bytes_of({0xCD, 0x80}), "int 0x80", 2},
+        DecodeCase{"daa", bytes_of({0x27}), "daa", 1},
+        DecodeCase{"aaa", bytes_of({0x37}), "aaa", 1},
+        DecodeCase{"salc", bytes_of({0xD6}), "salc", 1},
+        DecodeCase{"xlat", bytes_of({0xD7}), "xlat", 1},
+        DecodeCase{"cwde", bytes_of({0x98}), "cwde", 1},
+        DecodeCase{"cdq", bytes_of({0x99}), "cdq", 1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    AluAndImmediates, DecodeGoldenTest,
+    ::testing::Values(
+        DecodeCase{"sub-eax-imm32", bytes_of({0x2D, 0x41, 0x42, 0x43, 0x44}),
+                   "sub eax, 0x44434241", 5},
+        DecodeCase{"and-eax-imm32", bytes_of({0x25, 0x40, 0x40, 0x40, 0x40}),
+                   "and eax, 0x40404040", 5},
+        DecodeCase{"xor-eax-eax", bytes_of({0x31, 0xC0}), "xor eax, eax", 2},
+        DecodeCase{"mov-ebx-esp", bytes_of({0x89, 0xE3}), "mov ebx, esp", 2},
+        DecodeCase{"mov-load-disp8",
+                   bytes_of({0x8B, 0x45, 0xFC}),
+                   "mov eax, dword [ebp-0x4]", 3},
+        DecodeCase{"add-al-imm8", bytes_of({0x04, 0x7F}), "add al, 0x7f", 2},
+        DecodeCase{"cmp-eax-imm32",
+                   bytes_of({0x3D, 0x01, 0x00, 0x00, 0x00}),
+                   "cmp eax, 0x1", 5},
+        DecodeCase{"push-imm32",
+                   bytes_of({0x68, 0x2F, 0x62, 0x69, 0x6E}),
+                   "push 0x6e69622f", 5},
+        DecodeCase{"push-imm8", bytes_of({0x6A, 0x0B}), "push 0xb", 2},
+        DecodeCase{"test-al-imm", bytes_of({0xA8, 0x01}), "test al, 0x1", 2},
+        DecodeCase{"mov-reg8-imm", bytes_of({0xB0, 0x0B}), "mov al, 0xb", 2},
+        DecodeCase{"mov-reg32-imm",
+                   bytes_of({0xBF, 0x78, 0x56, 0x34, 0x12}),
+                   "mov edi, 0x12345678", 5},
+        DecodeCase{"imul-three-op",
+                   bytes_of({0x69, 0xC0, 0x10, 0x00, 0x00, 0x00}),
+                   "imul eax, eax, 0x10", 6},
+        DecodeCase{"imul-three-op-ib", bytes_of({0x6B, 0xC0, 0x10}),
+                   "imul eax, eax, 0x10", 3},
+        DecodeCase{"xchg-eax-ecx", bytes_of({0x91}), "xchg ecx, eax", 1},
+        DecodeCase{"enter", bytes_of({0xC8, 0x10, 0x00, 0x01}),
+                   "enter 0x10, 0x1", 4}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ModRmAndSib, DecodeGoldenTest,
+    ::testing::Values(
+        DecodeCase{"lea-sib-scale4",
+                   bytes_of({0x8D, 0x04, 0x8D, 0x00, 0x00, 0x00, 0x01}),
+                   "lea eax, dword [ecx*4+0x1000000]", 7},
+        DecodeCase{"mov-sib-base-index",
+                   bytes_of({0x8B, 0x04, 0x1E}),
+                   "mov eax, dword [esi+ebx]", 3},
+        DecodeCase{"mov-disp32-absolute",
+                   bytes_of({0x8B, 0x0D, 0x44, 0x33, 0x22, 0x11}),
+                   "mov ecx, dword [0x11223344]", 6},
+        DecodeCase{"mov-disp32-base",
+                   bytes_of({0x89, 0x83, 0x10, 0x20, 0x30, 0x40}),
+                   "mov dword [ebx+0x40302010], eax", 6},
+        DecodeCase{"add-mem-byte", bytes_of({0x00, 0x18}),
+                   "add byte [eax], bl", 2},
+        DecodeCase{"and-space-space", bytes_of({0x20, 0x20}),
+                   "and byte [eax], ah", 2},
+        DecodeCase{"bound", bytes_of({0x62, 0x05, 0x44, 0x33, 0x22, 0x11}),
+                   "bound eax, dword [0x11223344]", 6},
+        DecodeCase{"arpl", bytes_of({0x63, 0xC8}), "arpl ax, cx", 2},
+        DecodeCase{"mov-byte-imm-to-mem", bytes_of({0xC6, 0x00, 0x41}),
+                   "mov byte [eax], 0x41", 3},
+        DecodeCase{"mov-dword-imm-to-mem",
+                   bytes_of({0xC7, 0x00, 0x44, 0x33, 0x22, 0x11}),
+                   "mov dword [eax], 0x11223344", 6},
+        DecodeCase{"pop-mem", bytes_of({0x8F, 0x00}), "pop dword [eax]", 2},
+        DecodeCase{"neg-eax", bytes_of({0xF7, 0xD8}), "neg eax", 2},
+        DecodeCase{"grp3-test-imm", bytes_of({0xF6, 0xC3, 0x01}),
+                   "test bl, 0x1", 3},
+        DecodeCase{"mul-ecx", bytes_of({0xF7, 0xE1}), "mul ecx", 2},
+        DecodeCase{"shl-al-imm", bytes_of({0xC0, 0xE0, 0x05}),
+                   "shl al, 0x5", 3},
+        DecodeCase{"shl-al-cl", bytes_of({0xD2, 0xE0}), "shl al, cl", 2},
+        DecodeCase{"ror-al-1", bytes_of({0xD0, 0xC8}), "ror al, 0x1", 2},
+        DecodeCase{"inc-mem-byte", bytes_of({0xFE, 0x01}),
+                   "inc byte [ecx]", 2}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ControlFlow, DecodeGoldenTest,
+    ::testing::Values(
+        DecodeCase{"call-rel0", bytes_of({0xE8, 0x00, 0x00, 0x00, 0x00}),
+                   "call 0x5", 5},
+        DecodeCase{"jmp-self", bytes_of({0xEB, 0xFE}), "jmp 0x0", 2},
+        DecodeCase{"je-forward", bytes_of({0x74, 0x10}), "je 0x12", 2},
+        DecodeCase{"jo-text", bytes_of({0x70, 0x20}), "jo 0x22", 2},
+        DecodeCase{"jle-text", bytes_of({0x7E, 0x7E}), "jle 0x80", 2},
+        DecodeCase{"jecxz", bytes_of({0xE3, 0x05}), "jecxz 0x7", 2},
+        DecodeCase{"loop", bytes_of({0xE2, 0xF0}), "loop -0xe", 2},
+        DecodeCase{"jmp-near",
+                   bytes_of({0xE9, 0x10, 0x00, 0x00, 0x00}),
+                   "jmp 0x15", 5},
+        DecodeCase{"jcc-near",
+                   bytes_of({0x0F, 0x84, 0x10, 0x00, 0x00, 0x00}),
+                   "je 0x16", 6},
+        DecodeCase{"jmp-indirect-mem",
+                   bytes_of({0xFF, 0x25, 0x44, 0x33, 0x22, 0x11}),
+                   "jmp dword [0x11223344]", 6},
+        DecodeCase{"jmp-esp", bytes_of({0xFF, 0xE4}), "jmp esp", 2},
+        DecodeCase{"call-indirect-reg", bytes_of({0xFF, 0xD0}),
+                   "call eax", 2},
+        DecodeCase{"push-via-ff", bytes_of({0xFF, 0x30}),
+                   "push dword [eax]", 2},
+        DecodeCase{"ljmp",
+                   bytes_of({0xEA, 0x44, 0x33, 0x22, 0x11, 0x08, 0x00}),
+                   "ljmp 0x8:0x11223344", 7},
+        DecodeCase{"lcall",
+                   bytes_of({0x9A, 0x44, 0x33, 0x22, 0x11, 0x08, 0x00}),
+                   "lcall 0x8:0x11223344", 7},
+        DecodeCase{"retf", bytes_of({0xCB}), "retf", 1},
+        DecodeCase{"iret", bytes_of({0xCF}), "iret", 1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    PrefixesAndSizes, DecodeGoldenTest,
+    ::testing::Values(
+        DecodeCase{"opsize-mov-imm16", bytes_of({0x66, 0xB8, 0x34, 0x12}),
+                   "mov ax, 0x1234", 4},
+        DecodeCase{"addrsize-16bit-modrm", bytes_of({0x67, 0x8B, 0x07}),
+                   "mov eax, dword [ebx]", 3},
+        DecodeCase{"addrsize-16bit-bp-si",
+                   bytes_of({0x67, 0x8B, 0x02}),
+                   "mov eax, dword [ebp+esi]", 3},
+        DecodeCase{"addrsize-disp16",
+                   bytes_of({0x67, 0x8B, 0x0E, 0x34, 0x12}),
+                   "mov ecx, dword [0x1234]", 5},
+        DecodeCase{"segment-override-load", bytes_of({0x26, 0x8B, 0x03}),
+                   "mov eax, dword es:[ebx]", 3},
+        DecodeCase{"fs-moffs-load",
+                   bytes_of({0x64, 0xA1, 0x00, 0x00, 0x00, 0x00}),
+                   "mov eax, dword fs:[0x0]", 6},
+        DecodeCase{"moffs-store-byte",
+                   bytes_of({0xA2, 0x44, 0x33, 0x22, 0x11}),
+                   "mov byte [0x11223344], al", 5},
+        DecodeCase{"lock-add", bytes_of({0xF0, 0x01, 0x03}),
+                   "lock add dword [ebx], eax", 3},
+        DecodeCase{"rep-movsb", bytes_of({0xF3, 0xA4}), "rep movsb", 2},
+        DecodeCase{"movsw-with-66", bytes_of({0x66, 0xA5}), "movsw", 2},
+        DecodeCase{"insb", bytes_of({0x6C}), "insb", 1},
+        DecodeCase{"outsd", bytes_of({0x6F}), "outsd", 1},
+        DecodeCase{"in-al-imm", bytes_of({0xE4, 0x10}), "in al, 0x10", 2},
+        DecodeCase{"out-dx-eax", bytes_of({0xEF}), "out dx, eax", 1},
+        DecodeCase{"stosd", bytes_of({0xAB}), "stosd", 1},
+        DecodeCase{"scasb", bytes_of({0xAE}), "scasb", 1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SegmentsAndTwoByte, DecodeGoldenTest,
+    ::testing::Values(
+        DecodeCase{"push-es", bytes_of({0x06}), "push es", 1},
+        DecodeCase{"pop-ds", bytes_of({0x1F}), "pop ds", 1},
+        DecodeCase{"mov-to-seg", bytes_of({0x8E, 0xD8}), "mov ds, ax", 2},
+        DecodeCase{"mov-from-seg", bytes_of({0x8C, 0xD8}), "mov eax, ds", 2},
+        DecodeCase{"les", bytes_of({0xC4, 0x03}),
+                   "les eax, dword [ebx]", 2},
+        DecodeCase{"lds", bytes_of({0xC5, 0x03}),
+                   "lds eax, dword [ebx]", 2},
+        DecodeCase{"seto", bytes_of({0x0F, 0x90, 0xC0}), "seto al", 3},
+        DecodeCase{"setne-mem", bytes_of({0x0F, 0x95, 0x03}),
+                   "setne byte [ebx]", 3},
+        DecodeCase{"bswap-eax", bytes_of({0x0F, 0xC8}), "bswap eax", 2},
+        DecodeCase{"movzx-eax-bl", bytes_of({0x0F, 0xB6, 0xC3}),
+                   "movzx eax, bl", 3},
+        DecodeCase{"movsx-word", bytes_of({0x0F, 0xBF, 0xC1}),
+                   "movsx eax, cx", 3},
+        DecodeCase{"imul-two-op", bytes_of({0x0F, 0xAF, 0xC3}),
+                   "imul eax, ebx", 3},
+        DecodeCase{"push-fs", bytes_of({0x0F, 0xA0}), "push fs", 2},
+        DecodeCase{"pop-gs", bytes_of({0x0F, 0xA9}), "pop gs", 2},
+        DecodeCase{"cpuid", bytes_of({0x0F, 0xA2}), "cpuid", 2},
+        DecodeCase{"rdtsc", bytes_of({0x0F, 0x31}), "rdtsc", 2},
+        DecodeCase{"sysenter", bytes_of({0x0F, 0x34}), "sysenter", 2},
+        DecodeCase{"long-nop", bytes_of({0x0F, 0x1F, 0x00}),
+                   "nop dword [eax]", 3},
+        DecodeCase{"cmove", bytes_of({0x0F, 0x44, 0xC3}),
+                   "cmove eax, ebx", 3},
+        DecodeCase{"cmovne-mem", bytes_of({0x0F, 0x45, 0x03}),
+                   "cmovne eax, dword [ebx]", 3},
+        DecodeCase{"bt", bytes_of({0x0F, 0xA3, 0xC8}), "bt eax, ecx", 3},
+        DecodeCase{"bts-mem", bytes_of({0x0F, 0xAB, 0x08}),
+                   "bts dword [eax], ecx", 3},
+        DecodeCase{"btr", bytes_of({0x0F, 0xB3, 0xC8}), "btr eax, ecx", 3},
+        DecodeCase{"btc", bytes_of({0x0F, 0xBB, 0xC8}), "btc eax, ecx", 3},
+        DecodeCase{"bt-imm-group8", bytes_of({0x0F, 0xBA, 0xE0, 0x1F}),
+                   "bt eax, 0x1f", 4},
+        DecodeCase{"bts-imm-group8", bytes_of({0x0F, 0xBA, 0xE8, 0x07}),
+                   "bts eax, 0x7", 4},
+        DecodeCase{"shld-imm",
+                   bytes_of({0x0F, 0xA4, 0xC3, 0x04}),
+                   "shld ebx, eax, 0x4", 4},
+        DecodeCase{"shrd-cl", bytes_of({0x0F, 0xAD, 0xC3}),
+                   "shrd ebx, eax, cl", 3},
+        DecodeCase{"lar", bytes_of({0x0F, 0x02, 0xC3}), "lar eax, bx", 3},
+        DecodeCase{"lsl", bytes_of({0x0F, 0x03, 0xC3}), "lsl eax, bx", 3}));
+
+// --- Structural / negative cases -------------------------------------------
+
+TEST(Decode, EmptyAndOutOfRange) {
+  const ByteBuffer empty;
+  const Instruction insn = decode_instruction(empty, 0);
+  EXPECT_FALSE(decoded_ok(insn));
+  EXPECT_EQ(insn.length, 0);
+  const ByteBuffer one = bytes_of({0x90});
+  EXPECT_EQ(decode_instruction(one, 5).length, 0);
+}
+
+TEST(Decode, TruncatedImmediateIsInvalid) {
+  const ByteBuffer truncated = bytes_of({0x2D, 0x41});
+  const Instruction insn = decode_instruction(truncated, 0);
+  EXPECT_FALSE(decoded_ok(insn));
+  EXPECT_TRUE(insn.has_flag(kFlagUndefined));
+  EXPECT_GE(insn.length, 1);
+}
+
+TEST(Decode, TruncatedModRmIsInvalid) {
+  const ByteBuffer truncated = bytes_of({0x8B});
+  EXPECT_FALSE(decoded_ok(decode_instruction(truncated, 0)));
+}
+
+TEST(Decode, PrefixOnlyStreamIsInvalid) {
+  const ByteBuffer prefixes = bytes_of({0x66, 0x66, 0x66});
+  const Instruction insn = decode_instruction(prefixes, 0);
+  EXPECT_FALSE(decoded_ok(insn));
+  EXPECT_EQ(insn.length, 3);
+}
+
+TEST(Decode, FourteenPrefixesPlusOpcodeIsMaxLength) {
+  ByteBuffer bytes(14, 0x2E);
+  bytes.push_back(0x90);
+  const Instruction insn = decode_instruction(bytes, 0);
+  EXPECT_TRUE(decoded_ok(insn));
+  EXPECT_EQ(insn.length, 15);
+  EXPECT_EQ(insn.prefix_count, 14);
+}
+
+TEST(Decode, SixteenBytesExceedsArchitecturalLimit) {
+  ByteBuffer bytes(15, 0x2E);
+  bytes.push_back(0x90);
+  const Instruction insn = decode_instruction(bytes, 0);
+  EXPECT_FALSE(decoded_ok(insn));
+}
+
+TEST(Decode, Group8LowEncodingsAreUndefined) {
+  // 0F BA /0../3 are undefined.
+  for (int reg = 0; reg < 4; ++reg) {
+    EXPECT_FALSE(decoded_ok(decode_instruction(
+        bytes_of({0x0F, 0xBA, 0xC0 | (reg << 3), 0x01}), 0)))
+        << reg;
+  }
+}
+
+TEST(Decode, UndefinedGroupEncodings) {
+  // Group 4 (0xFE) defines only /0 and /1.
+  EXPECT_FALSE(decoded_ok(decode_instruction(bytes_of({0xFE, 0xD0}), 0)));
+  // Group 1A (0x8F) defines only /0.
+  EXPECT_FALSE(decoded_ok(decode_instruction(bytes_of({0x8F, 0xC8}), 0)));
+  // Group 11 (0xC6) defines only /0.
+  EXPECT_FALSE(decoded_ok(decode_instruction(bytes_of({0xC6, 0x08, 0x41}), 0)));
+  // Group 5 /7 is undefined.
+  EXPECT_FALSE(decoded_ok(decode_instruction(bytes_of({0xFF, 0xF8}), 0)));
+}
+
+TEST(Decode, InvalidSegmentRegisterEncoding) {
+  // MOV Sw,Ew with reg field 6/7 is #UD.
+  EXPECT_FALSE(decoded_ok(decode_instruction(bytes_of({0x8E, 0xF8}), 0)));
+  EXPECT_FALSE(decoded_ok(decode_instruction(bytes_of({0x8E, 0xF0}), 0)));
+  EXPECT_TRUE(decoded_ok(decode_instruction(bytes_of({0x8E, 0xE8}), 0)));
+}
+
+TEST(Decode, MemoryOnlyFormsRejectRegisters) {
+  // LEA, BOUND, LES with mod==3 are #UD.
+  EXPECT_FALSE(decoded_ok(decode_instruction(bytes_of({0x8D, 0xC0}), 0)));
+  EXPECT_FALSE(decoded_ok(decode_instruction(bytes_of({0x62, 0xC0}), 0)));
+  EXPECT_FALSE(decoded_ok(decode_instruction(bytes_of({0xC4, 0xC0}), 0)));
+}
+
+TEST(Decode, UnmodeledTwoBytePageIsUnknown) {
+  const Instruction insn = decode_instruction(bytes_of({0x0F, 0x05}), 0);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kUnknown);
+  EXPECT_TRUE(insn.has_flag(kFlagUndefined));
+  EXPECT_EQ(insn.length, 2);
+}
+
+TEST(Decode, ClassificationFlags) {
+  EXPECT_TRUE(decode_instruction(bytes_of({0x6C}), 0)
+                  .has_flag(kFlagIoString));
+  EXPECT_TRUE(decode_instruction(bytes_of({0xE4, 0x01}), 0)
+                  .has_flag(kFlagIoPort));
+  EXPECT_TRUE(decode_instruction(bytes_of({0xF4}), 0)
+                  .has_flag(kFlagPrivileged));
+  EXPECT_TRUE(decode_instruction(bytes_of({0xCD, 0x80}), 0)
+                  .has_flag(kFlagInterrupt));
+  EXPECT_TRUE(decode_instruction(bytes_of({0x07}), 0)
+                  .has_flag(kFlagSegmentLoad));
+  EXPECT_TRUE(decode_instruction(bytes_of({0x50}), 0)
+                  .has_flag(kFlagStackWrite));
+  EXPECT_TRUE(decode_instruction(bytes_of({0x58}), 0)
+                  .has_flag(kFlagStackRead));
+  const Instruction store = decode_instruction(bytes_of({0x89, 0x03}), 0);
+  EXPECT_TRUE(store.has_flag(kFlagMemWrite));
+  EXPECT_FALSE(store.has_flag(kFlagMemRead));
+  const Instruction load = decode_instruction(bytes_of({0x8B, 0x03}), 0);
+  EXPECT_TRUE(load.has_flag(kFlagMemRead));
+  EXPECT_FALSE(load.has_flag(kFlagMemWrite));
+  const Instruction rmw = decode_instruction(bytes_of({0x01, 0x03}), 0);
+  EXPECT_TRUE(rmw.has_flag(kFlagMemRead));
+  EXPECT_TRUE(rmw.has_flag(kFlagMemWrite));
+  // LEA computes an address but performs no access.
+  const Instruction lea = decode_instruction(bytes_of({0x8D, 0x03}), 0);
+  EXPECT_FALSE(lea.accesses_memory());
+  // Long NOP with a memory form performs no access either.
+  const Instruction lnop = decode_instruction(bytes_of({0x0F, 0x1F, 0x00}), 0);
+  EXPECT_FALSE(lnop.accesses_memory());
+}
+
+TEST(Decode, BranchTargets) {
+  const Instruction fwd = decode_instruction(bytes_of({0x74, 0x10}), 0);
+  EXPECT_EQ(fwd.branch_target(), 0x12);
+  const Instruction back = decode_instruction(bytes_of({0xEB, 0xFE}), 0);
+  EXPECT_EQ(back.branch_target(), 0);
+  ByteBuffer at_offset = bytes_of({0x90, 0x90, 0x74, 0x05});
+  const Instruction later = decode_instruction(at_offset, 2);
+  EXPECT_EQ(later.offset, 2u);
+  EXPECT_EQ(later.branch_target(), 4 + 5);
+}
+
+TEST(Decode, X87EscapeDecodesWithModRm) {
+  const Instruction reg_form = decode_instruction(bytes_of({0xD8, 0xC1}), 0);
+  EXPECT_TRUE(decoded_ok(reg_form));
+  EXPECT_EQ(reg_form.mnemonic, Mnemonic::kFpu);
+  EXPECT_EQ(reg_form.length, 2);
+  const Instruction mem_form =
+      decode_instruction(bytes_of({0xD9, 0x05, 1, 2, 3, 4}), 0);
+  EXPECT_TRUE(decoded_ok(mem_form));
+  EXPECT_EQ(mem_form.length, 6);
+  EXPECT_TRUE(mem_form.accesses_memory());
+}
+
+TEST(LinearSweep, CoversEveryByteAndTerminates) {
+  ByteBuffer stream = bytes_of({0x90, 0x2D, 0x41, 0x42, 0x43, 0x44, 0xC3});
+  const auto instructions = linear_sweep(stream);
+  ASSERT_EQ(instructions.size(), 3u);
+  EXPECT_EQ(instructions[0].mnemonic, Mnemonic::kNop);
+  EXPECT_EQ(instructions[1].mnemonic, Mnemonic::kSub);
+  EXPECT_EQ(instructions[2].mnemonic, Mnemonic::kRet);
+  std::size_t covered = 0;
+  for (const auto& insn : instructions) covered += insn.length;
+  EXPECT_EQ(covered, stream.size());
+}
+
+TEST(LinearSweep, RandomBytesAlwaysTerminate) {
+  // Fuzz-ish: every byte value as a stream of repeated values.
+  for (int b = 0; b < 256; ++b) {
+    ByteBuffer stream(64, static_cast<std::uint8_t>(b));
+    const auto instructions = linear_sweep(stream);
+    std::size_t covered = 0;
+    for (const auto& insn : instructions) {
+      ASSERT_GE(insn.length, 1) << "byte " << b;
+      covered += insn.length;
+    }
+    EXPECT_EQ(covered, stream.size()) << "byte " << b;
+  }
+}
+
+TEST(IsPrefixByte, ExactSet) {
+  int count = 0;
+  for (int b = 0; b < 256; ++b) {
+    if (is_prefix_byte(static_cast<std::uint8_t>(b))) ++count;
+  }
+  EXPECT_EQ(count, 11);  // 6 segment + 2 size + lock + repne + rep.
+  EXPECT_TRUE(is_prefix_byte(0x66));
+  EXPECT_TRUE(is_prefix_byte(0xF0));
+  EXPECT_FALSE(is_prefix_byte(0x90));
+}
+
+}  // namespace
+}  // namespace mel::disasm

@@ -1,0 +1,165 @@
+// Differential validation of the IA-32 decoder against GNU binutils.
+//
+// Random keyboard-enterable streams are disassembled both by our decoder
+// (linear sweep) and by `objdump -D -b binary -m i386 -M intel`; the
+// instruction boundaries (offset + length) must agree exactly. The text
+// domain is where the paper lives and where our opcode map is complete,
+// so any boundary disagreement there is a real bug in one of the two.
+//
+// The suite skips itself when objdump is unavailable.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unistd.h>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mel/disasm/decoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::disasm {
+namespace {
+
+bool objdump_available() {
+  return std::system("objdump --version > /dev/null 2>&1") == 0;
+}
+
+/// Instruction start offsets according to objdump, in order.
+std::vector<std::size_t> objdump_offsets(const util::ByteBuffer& bytes) {
+  char path[] = "/tmp/mel_objdump_XXXXXX";
+  const int fd = mkstemp(path);
+  EXPECT_GE(fd, 0);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  close(fd);
+  const std::string command =
+      std::string("objdump -D -b binary -m i386 -M intel ") + path +
+      " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::vector<std::size_t> offsets;
+  char line[512];
+  while (std::fgets(line, sizeof(line), pipe) != nullptr) {
+    // Instruction lines look like "  1f:\t25 40 40 40 40 \tand eax,...".
+    // Long instructions wrap: the continuation line carries only hex
+    // bytes (no second tab, no mnemonic) and must be skipped.
+    const char* colon = std::strchr(line, ':');
+    if (colon == nullptr || colon[1] != '\t') continue;
+    if (std::strchr(colon + 2, '\t') == nullptr) continue;
+    char* end = nullptr;
+    const unsigned long offset = std::strtoul(line, &end, 16);
+    if (end != colon) continue;
+    offsets.push_back(offset);
+  }
+  pclose(pipe);
+  std::remove(path);
+  return offsets;
+}
+
+std::vector<std::size_t> our_offsets(const util::ByteBuffer& bytes) {
+  std::vector<std::size_t> offsets;
+  for (const Instruction& insn : linear_sweep(bytes)) {
+    offsets.push_back(insn.offset);
+  }
+  return offsets;
+}
+
+/// Compares boundaries, ignoring the last few offsets where end-of-buffer
+/// truncation policies may differ legitimately.
+void expect_same_boundaries(const util::ByteBuffer& bytes,
+                            const char* label) {
+  const auto ours = our_offsets(bytes);
+  const auto theirs = objdump_offsets(bytes);
+  ASSERT_FALSE(theirs.empty()) << label;
+  const std::size_t tail_guard =
+      bytes.size() > 16 ? bytes.size() - 16 : 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ours.size() && j < theirs.size() && ours[i] < tail_guard &&
+         theirs[j] < tail_guard) {
+    ASSERT_EQ(ours[i], theirs[j])
+        << label << ": boundary divergence near offset " << ours[i]
+        << " vs " << theirs[j] << "\n"
+        << util::hexdump(util::ByteView(bytes).subspan(
+               std::min(ours[i], theirs[j]),
+               std::min<std::size_t>(
+                   32, bytes.size() - std::min(ours[i], theirs[j]))));
+    ++i;
+    ++j;
+  }
+}
+
+TEST(ObjdumpDiff, RandomTextStreams) {
+  if (!objdump_available()) GTEST_SKIP() << "objdump not installed";
+  util::Xoshiro256 rng(20080625);
+  for (int round = 0; round < 40; ++round) {
+    util::ByteBuffer bytes(512);
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(0x20 + rng.next_below(95));
+    }
+    expect_same_boundaries(bytes, "uniform-text");
+  }
+}
+
+TEST(ObjdumpDiff, BenignWebTraffic) {
+  if (!objdump_available()) GTEST_SKIP() << "objdump not installed";
+  const auto corpus = traffic::make_benign_dataset({.cases = 10, .seed = 3});
+  for (const auto& payload : corpus) {
+    expect_same_boundaries(payload, "benign-corpus");
+  }
+}
+
+TEST(ObjdumpDiff, PrefixHeavyTextStreams) {
+  // Oversample the eight text prefixes (es cs ss ds fs gs o16 a16) to
+  // stress prefix chains, 16-bit operand immediates and 16-bit ModR/M
+  // addressing forms against binutils.
+  if (!objdump_available()) GTEST_SKIP() << "objdump not installed";
+  util::Xoshiro256 rng(77);
+  static constexpr std::uint8_t kPrefixes[] = {0x26, 0x2E, 0x36, 0x3E,
+                                               0x64, 0x65, 0x66, 0x67};
+  for (int round = 0; round < 20; ++round) {
+    util::ByteBuffer bytes;
+    while (bytes.size() < 512) {
+      if (rng.next_bernoulli(0.4)) {
+        bytes.push_back(kPrefixes[rng.next_below(sizeof(kPrefixes))]);
+      } else {
+        bytes.push_back(static_cast<std::uint8_t>(0x20 + rng.next_below(95)));
+      }
+    }
+    expect_same_boundaries(bytes, "prefix-heavy");
+  }
+}
+
+TEST(ObjdumpDiff, TextWormStreams) {
+  if (!objdump_available()) GTEST_SKIP() << "objdump not installed";
+  util::Xoshiro256 rng(9);
+  // Worm bytes = sled + decrypter + tail: dense in the interesting text
+  // opcodes (sub/and/push/jcc with 4-byte immediates).
+  util::ByteBuffer bytes;
+  for (int i = 0; i < 6; ++i) {
+    bytes.push_back(0x25);  // and eax, imm32
+    for (int k = 0; k < 4; ++k) {
+      bytes.push_back(static_cast<std::uint8_t>(0x21 + rng.next_below(94)));
+    }
+    bytes.push_back(0x2D);  // sub eax, imm32
+    for (int k = 0; k < 4; ++k) {
+      bytes.push_back(static_cast<std::uint8_t>(0x21 + rng.next_below(94)));
+    }
+    bytes.push_back(0x50);  // push eax
+    bytes.push_back(0x70);  // jo +0x24
+    bytes.push_back(0x24);
+  }
+  expect_same_boundaries(bytes, "decrypter-like");
+}
+
+}  // namespace
+}  // namespace mel::disasm

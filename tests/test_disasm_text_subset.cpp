@@ -1,0 +1,215 @@
+#include "mel/disasm/text_subset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "mel/disasm/decoder.hpp"
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::disasm {
+namespace {
+
+TEST(TextSubset, PrefixSetMatchesPaperSection21) {
+  // All eight text prefixes: es: cs: ss: ds: fs: gs: o16 a16.
+  const std::array<std::uint8_t, 8> prefixes = {0x26, 0x2E, 0x36, 0x3E,
+                                                0x64, 0x65, 0x66, 0x67};
+  int count = 0;
+  for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+    if (is_text_prefix_byte(static_cast<std::uint8_t>(b))) ++count;
+  }
+  EXPECT_EQ(count, 8);
+  for (std::uint8_t p : prefixes) EXPECT_TRUE(is_text_prefix_byte(p));
+  // Lock/rep prefixes are NOT text.
+  EXPECT_FALSE(is_text_prefix_byte(0xF0));
+  EXPECT_FALSE(is_text_prefix_byte(0xF3));
+}
+
+TEST(TextSubset, IoOpcodesAreTheFourFrequentLetters) {
+  // 'l' insb, 'm' insd, 'n' outsb, 'o' outsd — the paper's key fact.
+  EXPECT_TRUE(is_text_io_opcode('l'));
+  EXPECT_TRUE(is_text_io_opcode('m'));
+  EXPECT_TRUE(is_text_io_opcode('n'));
+  EXPECT_TRUE(is_text_io_opcode('o'));
+  EXPECT_FALSE(is_text_io_opcode('k'));
+  EXPECT_FALSE(is_text_io_opcode('p'));
+}
+
+TEST(TextSubset, JumpRangeIsJoThroughJng) {
+  for (int b = 0x70; b <= 0x7E; ++b) {
+    EXPECT_EQ(classify_text_opcode(static_cast<std::uint8_t>(b)),
+              TextOpcodeCategory::kJump)
+        << b;
+  }
+  // 0x7F (jg) is DEL — not keyboard-enterable, exactly as the paper says
+  // the range ends at jng (0x7E).
+  EXPECT_EQ(classify_text_opcode(0x7F), TextOpcodeCategory::kNotText);
+}
+
+TEST(TextSubset, MiscOpcodesMatchPaperList) {
+  // aaa, daa, das, bound, arpl (and aas, also text).
+  EXPECT_EQ(classify_text_opcode(0x37), TextOpcodeCategory::kMisc);  // aaa
+  EXPECT_EQ(classify_text_opcode(0x27), TextOpcodeCategory::kMisc);  // daa
+  EXPECT_EQ(classify_text_opcode(0x2F), TextOpcodeCategory::kMisc);  // das
+  EXPECT_EQ(classify_text_opcode(0x62), TextOpcodeCategory::kMisc);  // bound
+  EXPECT_EQ(classify_text_opcode(0x63), TextOpcodeCategory::kMisc);  // arpl
+}
+
+TEST(TextSubset, EveryTextByteIsClassified) {
+  for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+    EXPECT_NE(classify_text_opcode(static_cast<std::uint8_t>(b)),
+              TextOpcodeCategory::kNotText)
+        << b;
+  }
+  EXPECT_EQ(classify_text_opcode(0x1F), TextOpcodeCategory::kNotText);
+  EXPECT_EQ(classify_text_opcode(0x80), TextOpcodeCategory::kNotText);
+}
+
+TEST(TextSubset, EveryTextOpcodeByteIsDefined) {
+  // Almost any text string decodes into syntactically correct
+  // instructions (paper Section 1): every non-prefix text byte is a
+  // defined opcode.
+  for (std::uint8_t opcode : text_opcode_bytes()) {
+    util::ByteBuffer stream(16, opcode);
+    const Instruction insn = decode_instruction(stream, 0);
+    EXPECT_TRUE(decoded_ok(insn)) << "opcode " << static_cast<int>(opcode);
+  }
+  EXPECT_EQ(text_opcode_bytes().size(), 95u - 8u);
+}
+
+TEST(TextSubset, TextModRmNeverSelectsRegisterForm) {
+  // A text ModR/M byte has MSB 0, so mod is 0 or 1: register-register
+  // forms are unreachable and one operand must come from memory
+  // (paper Section 2.4).
+  for (int m = util::kTextLow; m <= util::kTextHigh; ++m) {
+    EXPECT_LT(m >> 6, 2) << m;
+  }
+}
+
+TEST(TextSubset, TextRelativeDisplacementsAreForward) {
+  // Text rel8 bytes are 0x20..0x7E: always positive, at least +32.
+  for (int rel = util::kTextLow; rel <= util::kTextHigh; ++rel) {
+    EXPECT_GT(static_cast<std::int8_t>(rel), 0);
+    EXPECT_GE(static_cast<std::int8_t>(rel), 0x20);
+  }
+}
+
+TEST(TextSubset, InventoryCoversWholeDomain) {
+  const auto inventory = text_opcode_inventory();
+  EXPECT_EQ(inventory.size(), 95u);
+  int io = 0;
+  int jumps = 0;
+  int prefixes = 0;
+  for (const auto& row : inventory) {
+    switch (row.category) {
+      case TextOpcodeCategory::kIo: ++io; break;
+      case TextOpcodeCategory::kJump: ++jumps; break;
+      case TextOpcodeCategory::kPrefix: ++prefixes; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(io, 4);
+  EXPECT_EQ(jumps, 15);  // jo (0x70) .. jng (0x7E)
+  EXPECT_EQ(prefixes, 8);
+}
+
+// --- Expected-length machinery (Section 5.2) -------------------------------
+
+/// Point-mass distribution helper.
+std::array<double, 256> point_mass(std::uint8_t byte) {
+  std::array<double, 256> dist{};
+  dist[byte] = 1.0;
+  return dist;
+}
+
+TEST(ExpectedLength, PrefixChainIsGeometric) {
+  // z = 0.5 -> E[chain] = 1; z = 0 -> 0.
+  std::array<double, 256> dist{};
+  dist[0x2E] = 0.5;  // cs: prefix
+  dist[0x41] = 0.5;  // inc ecx
+  EXPECT_NEAR(prefix_char_probability(dist), 0.5, 1e-12);
+  EXPECT_NEAR(expected_prefix_chain_length(dist), 1.0, 1e-12);
+  const auto no_prefix = point_mass(0x41);
+  EXPECT_NEAR(expected_prefix_chain_length(no_prefix), 0.0, 1e-12);
+}
+
+TEST(ExpectedLength, SingleByteOpcode) {
+  const auto dist = point_mass(0x41);  // inc ecx: always 1 byte.
+  EXPECT_NEAR(expected_length_for_opcode(0x41, dist), 1.0, 1e-12);
+  EXPECT_NEAR(expected_actual_instruction_length(dist), 1.0, 1e-12);
+}
+
+TEST(ExpectedLength, ImmediateOpcodes) {
+  const auto dist = point_mass(0x6A);  // push imm8.
+  EXPECT_NEAR(expected_length_for_opcode(0x6A, dist), 2.0, 1e-12);
+  EXPECT_NEAR(expected_length_for_opcode(0x68, dist), 5.0, 1e-12);  // imm32
+  EXPECT_NEAR(expected_length_for_opcode(0x2D, dist), 5.0, 1e-12);  // sub eAX
+  EXPECT_NEAR(expected_length_for_opcode(0x3C, dist), 2.0, 1e-12);  // cmp AL
+  EXPECT_NEAR(expected_length_for_opcode(0x70, dist), 2.0, 1e-12);  // jo
+}
+
+TEST(ExpectedLength, ModRmDependsOnFollowingDistribution) {
+  // ModR/M byte '!' = 0x21: mod 0, rm 1 -> [ecx], no SIB/disp: total 2.
+  const auto dist_21 = point_mass(0x21);
+  EXPECT_NEAR(expected_length_for_opcode(0x20, dist_21), 2.0, 1e-12);
+  // ModR/M byte 'A' = 0x41: mod 1, rm 1 -> [ecx]+disp8: total 3.
+  const auto dist_41 = point_mass(0x41);
+  EXPECT_NEAR(expected_length_for_opcode(0x20, dist_41), 3.0, 1e-12);
+  // ModR/M byte '%' = 0x25: mod 0, rm 5 -> disp32: total 6.
+  const auto dist_25 = point_mass(0x25);
+  EXPECT_NEAR(expected_length_for_opcode(0x20, dist_25), 6.0, 1e-12);
+  // ModR/M byte '$' = 0x24: mod 0, rm 4 -> SIB; SIB '$' has base 4 (esp),
+  // not 5, so no disp: total 3.
+  const auto dist_24 = point_mass(0x24);
+  EXPECT_NEAR(expected_length_for_opcode(0x20, dist_24), 3.0, 1e-12);
+  // ModR/M '$' then SIB '%' (base 5, mod 0) adds disp32: the pure-0x25
+  // case is covered above; here a mix: half '$', half '%':
+  std::array<double, 256> mix{};
+  mix[0x24] = 0.5;
+  mix[0x25] = 0.5;
+  // ModRM='$' (p=.5): 1 + 1(SIB) + 4*P[sib base==5]=4*.5 -> 4.0 total tail
+  // ModRM='%' (p=.5): 1 + 4 -> 5.0 total tail; opcode adds 1.
+  EXPECT_NEAR(expected_length_for_opcode(0x20, mix),
+              1.0 + 0.5 * (1 + 1 + 4 * 0.5) + 0.5 * (1 + 4), 1e-12);
+}
+
+TEST(ExpectedLength, WebDistributionMatchesPaperBallpark) {
+  const auto& dist = traffic::web_text_distribution();
+  const double z = prefix_char_probability(dist);
+  EXPECT_NEAR(z, 0.16, 0.03);  // Paper: 0.16.
+  EXPECT_NEAR(expected_prefix_chain_length(dist), 0.19, 0.04);  // Paper: 0.19.
+  EXPECT_NEAR(expected_actual_instruction_length(dist), 2.4, 0.25);  // 2.4.
+  EXPECT_NEAR(expected_instruction_length(dist), 2.6, 0.25);  // 2.6.
+}
+
+TEST(ExpectedLength, PredictionMatchesMeasuredSweep) {
+  // Generate a random i.i.d. stream from the web distribution, decode it,
+  // and compare the measured average instruction length against the
+  // static prediction (the paper's 2.6 vs 2.65 comparison).
+  const auto& dist = traffic::web_text_distribution();
+  util::Xoshiro256 rng(2026);
+  util::ByteBuffer stream;
+  stream.reserve(200000);
+  // Build the sampling CDF.
+  std::array<double, 256> cdf{};
+  double acc = 0.0;
+  for (int b = 0; b < 256; ++b) {
+    acc += dist[b];
+    cdf[b] = acc;
+  }
+  while (stream.size() < 200000) {
+    const double u = rng.next_double();
+    int b = 0;
+    while (b < 255 && cdf[b] < u) ++b;
+    stream.push_back(static_cast<std::uint8_t>(b));
+  }
+  const auto instructions = linear_sweep(stream);
+  const double measured = static_cast<double>(stream.size()) /
+                          static_cast<double>(instructions.size());
+  const double predicted = expected_instruction_length(dist);
+  EXPECT_NEAR(measured, predicted, 0.1);
+}
+
+}  // namespace
+}  // namespace mel::disasm

@@ -1,0 +1,156 @@
+#include "mel/exec/cpu_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/disasm/decoder.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::exec {
+namespace {
+
+using disasm::Gpr;
+
+disasm::Instruction decode(std::initializer_list<int> raw) {
+  util::ByteBuffer bytes;
+  for (int v : raw) bytes.push_back(static_cast<std::uint8_t>(v));
+  return disasm::decode_instruction(bytes, 0);
+}
+
+TEST(AbstractCpu, FreshStateHasOnlyEspLive) {
+  AbstractCpu cpu;
+  for (int r = 0; r < 8; ++r) {
+    const auto reg = static_cast<Gpr>(r);
+    if (reg == Gpr::kEsp) {
+      EXPECT_FALSE(cpu.is_uninitialized(reg));
+    } else {
+      EXPECT_TRUE(cpu.is_uninitialized(reg));
+    }
+  }
+}
+
+TEST(AbstractCpu, MovImmediateMakesKnown) {
+  AbstractCpu cpu;
+  cpu.apply(decode({0xB8, 0x78, 0x56, 0x34, 0x12}));  // mov eax, 0x12345678
+  EXPECT_EQ(cpu.state(Gpr::kEax), RegState::kKnown);
+  EXPECT_EQ(cpu.known_value(Gpr::kEax), 0x12345678u);
+}
+
+TEST(AbstractCpu, MovRegisterCopiesState) {
+  AbstractCpu cpu;
+  cpu.set_known(Gpr::kEbx, 7);
+  cpu.apply(decode({0x89, 0xD9}));  // mov ecx, ebx
+  EXPECT_EQ(cpu.state(Gpr::kEcx), RegState::kKnown);
+  EXPECT_EQ(cpu.known_value(Gpr::kEcx), 7u);
+}
+
+TEST(AbstractCpu, MovFromMemoryInitializes) {
+  AbstractCpu cpu;
+  cpu.set_init(Gpr::kEbx);
+  cpu.apply(decode({0x8B, 0x03}));  // mov eax, [ebx]
+  EXPECT_EQ(cpu.state(Gpr::kEax), RegState::kInit);
+}
+
+TEST(AbstractCpu, XorSelfClearsEvenWhenUninitialized) {
+  AbstractCpu cpu;
+  cpu.apply(decode({0x31, 0xC0}));  // xor eax, eax
+  EXPECT_EQ(cpu.state(Gpr::kEax), RegState::kKnown);
+  EXPECT_EQ(cpu.known_value(Gpr::kEax), 0u);
+}
+
+TEST(AbstractCpu, ArithmeticConstantFolding) {
+  AbstractCpu cpu;
+  cpu.apply(decode({0xB8, 0x10, 0x00, 0x00, 0x00}));  // mov eax, 0x10
+  cpu.apply(decode({0x2D, 0x01, 0x00, 0x00, 0x00}));  // sub eax, 1
+  EXPECT_EQ(cpu.known_value(Gpr::kEax), 0xFu);
+  cpu.apply(decode({0x25, 0x0C, 0x00, 0x00, 0x00}));  // and eax, 0xc
+  EXPECT_EQ(cpu.known_value(Gpr::kEax), 0xCu);
+  cpu.apply(decode({0x05, 0x30, 0x00, 0x00, 0x00}));  // add eax, 0x30
+  EXPECT_EQ(cpu.known_value(Gpr::kEax), 0x3Cu);
+  cpu.apply(decode({0x40}));  // inc eax
+  EXPECT_EQ(cpu.known_value(Gpr::kEax), 0x3Du);
+  cpu.apply(decode({0x48}));  // dec eax
+  EXPECT_EQ(cpu.known_value(Gpr::kEax), 0x3Cu);
+}
+
+TEST(AbstractCpu, SubTripleMaterialization) {
+  // The encoder's idiom: and-and to zero, three subs to a target value.
+  AbstractCpu cpu;
+  cpu.apply(decode({0x25, 0x40, 0x40, 0x40, 0x40}));
+  cpu.apply(decode({0x25, 0x3F, 0x3F, 0x3F, 0x3F}));
+  EXPECT_EQ(cpu.state(Gpr::kEax), RegState::kUninit);  // garbage & masks
+  // But after xor-clearing it is known-zero and folding works.
+  cpu.apply(decode({0x31, 0xC0}));
+  cpu.apply(decode({0x2D, 0x21, 0x21, 0x21, 0x21}));
+  EXPECT_EQ(cpu.known_value(Gpr::kEax), 0u - 0x21212121u);
+}
+
+TEST(AbstractCpu, ArithmeticOnGarbageStaysGarbage) {
+  AbstractCpu cpu;
+  cpu.apply(decode({0x05, 0x01, 0x00, 0x00, 0x00}));  // add eax, 1
+  EXPECT_TRUE(cpu.is_uninitialized(Gpr::kEax));
+}
+
+TEST(AbstractCpu, PopInitializes) {
+  AbstractCpu cpu;
+  cpu.apply(decode({0x5B}));  // pop ebx
+  EXPECT_EQ(cpu.state(Gpr::kEbx), RegState::kInit);
+}
+
+TEST(AbstractCpu, PopaInitializesAll) {
+  AbstractCpu cpu;
+  cpu.apply(decode({0x61}));
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_FALSE(cpu.is_uninitialized(static_cast<Gpr>(r)));
+  }
+}
+
+TEST(AbstractCpu, XchgSwapsStates) {
+  AbstractCpu cpu;
+  cpu.set_known(Gpr::kEax, 5);
+  cpu.apply(decode({0x91}));  // xchg ecx, eax
+  EXPECT_EQ(cpu.state(Gpr::kEcx), RegState::kKnown);
+  EXPECT_EQ(cpu.known_value(Gpr::kEcx), 5u);
+  EXPECT_TRUE(cpu.is_uninitialized(Gpr::kEax));
+}
+
+TEST(AbstractCpu, LeaComputesFromKnownComponents) {
+  AbstractCpu cpu;
+  cpu.set_known(Gpr::kEbx, 0x100);
+  cpu.apply(decode({0x8D, 0x43, 0x10}));  // lea eax, [ebx+0x10]
+  EXPECT_EQ(cpu.state(Gpr::kEax), RegState::kKnown);
+  EXPECT_EQ(cpu.known_value(Gpr::kEax), 0x110u);
+}
+
+TEST(AbstractCpu, LeaFromGarbageIsGarbage) {
+  AbstractCpu cpu;
+  cpu.apply(decode({0x8D, 0x43, 0x10}));  // lea eax, [ebx+0x10], ebx uninit
+  EXPECT_TRUE(cpu.is_uninitialized(Gpr::kEax));
+}
+
+TEST(AbstractCpu, PushEspPopIdiom) {
+  // push esp / pop ecx: the text encoder's register init.
+  AbstractCpu cpu;
+  cpu.apply(decode({0x54}));
+  cpu.apply(decode({0x59}));
+  EXPECT_FALSE(cpu.is_uninitialized(Gpr::kEcx));
+}
+
+TEST(AbstractCpu, HashAndEqualityAgree) {
+  AbstractCpu a;
+  AbstractCpu b;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  a.set_known(Gpr::kEdi, 9);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(AbstractCpu, PartialWidthWriteDegradesKnown) {
+  AbstractCpu cpu;
+  cpu.set_known(Gpr::kEax, 0x1234);
+  cpu.apply(decode({0x24, 0x0F}));  // and al, 0xf
+  EXPECT_EQ(cpu.state(Gpr::kEax), RegState::kInit);
+}
+
+}  // namespace
+}  // namespace mel::exec

@@ -1,0 +1,241 @@
+#include "mel/exec/mel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::exec {
+namespace {
+
+using util::ByteBuffer;
+
+ByteBuffer bytes_of(std::initializer_list<int> values) {
+  ByteBuffer out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+MelOptions sweep_options() {
+  MelOptions options;
+  options.engine = MelEngine::kLinearSweep;
+  return options;
+}
+
+MelOptions dag_options() {
+  MelOptions options;
+  options.engine = MelEngine::kAllPathsDag;
+  return options;
+}
+
+TEST(MelSweep, EmptyStream) {
+  EXPECT_EQ(compute_mel({}, sweep_options()).mel, 0);
+}
+
+TEST(MelSweep, PureValidRun) {
+  // 8 one-byte valid instructions.
+  const ByteBuffer stream = bytes_of({0x41, 0x42, 0x50, 0x51, 0x58, 0x59,
+                                      0x90, 0x61});
+  const MelResult result = compute_mel(stream, sweep_options());
+  EXPECT_EQ(result.mel, 8);
+  EXPECT_EQ(result.best_entry_offset, 0u);
+}
+
+TEST(MelSweep, RunBrokenByInvalidInstruction) {
+  // inc, inc, insb(invalid), inc, inc, inc -> MEL 3.
+  const ByteBuffer stream =
+      bytes_of({0x41, 0x42, 0x6C, 0x41, 0x42, 0x43});
+  const MelResult result = compute_mel(stream, sweep_options());
+  EXPECT_EQ(result.mel, 3);
+  EXPECT_EQ(result.best_entry_offset, 3u);
+}
+
+TEST(MelSweep, PaperExampleRunStructure) {
+  // Section 3.1's example shape: runs of 2,4,3,2,0,1 -> MEL 4.
+  // Valid = inc ecx (0x41); invalid = insb (0x6C).
+  const ByteBuffer stream = bytes_of({0x41, 0x41, 0x6C,            // 2
+                                      0x41, 0x41, 0x41, 0x41, 0x6C, // 4
+                                      0x41, 0x41, 0x41, 0x6C,      // 3
+                                      0x41, 0x41, 0x6C,            // 2
+                                      0x6C,                        // 0
+                                      0x41});                      // 1
+  const MelResult result = compute_mel(stream, sweep_options());
+  EXPECT_EQ(result.mel, 4);
+  EXPECT_EQ(result.best_entry_offset, 3u);
+}
+
+TEST(MelSweep, MultiByteInstructionsCountAsOne) {
+  // sub eax, imm32 (5 bytes) x 3 -> MEL 3, not 15.
+  ByteBuffer stream;
+  for (int i = 0; i < 3; ++i) {
+    const ByteBuffer sub = bytes_of({0x2D, 0x21, 0x22, 0x23, 0x24});
+    stream.insert(stream.end(), sub.begin(), sub.end());
+  }
+  EXPECT_EQ(compute_mel(stream, sweep_options()).mel, 3);
+}
+
+TEST(MelSweep, EarlyExitStopsAtThreshold) {
+  ByteBuffer stream(100, 0x41);
+  MelOptions options = sweep_options();
+  options.early_exit_threshold = 10;
+  const MelResult result = compute_mel(stream, options);
+  EXPECT_TRUE(result.early_exit);
+  EXPECT_EQ(result.mel, 11);  // Stopped right past the threshold.
+}
+
+TEST(MelDag, MaxOverEntryOffsetsBeatsSweep) {
+  // A stream whose natural decode chain is broken but whose shifted chain
+  // is long: 0x6C (insb, invalid) then valid run. The sweep from 0 sees
+  // the run after the insb; the DAG takes the best entry too.
+  const ByteBuffer stream = bytes_of({0x6C, 0x41, 0x41, 0x41});
+  EXPECT_EQ(compute_mel(stream, sweep_options()).mel, 3);
+  EXPECT_EQ(compute_mel(stream, dag_options()).mel, 3);
+}
+
+TEST(MelDag, FollowsConditionalBranchBothWays) {
+  // jo +0x20 over 32 invalid bytes (insb), then 4 valid inc.
+  ByteBuffer stream = bytes_of({0x70, 0x20});
+  stream.insert(stream.end(), 32, 0x6C);  // insb island: invalid
+  stream.insert(stream.end(), 4, 0x41);
+  // Sweep: jo counts 1, then hits insb -> restart; best run is the tail 4.
+  EXPECT_EQ(compute_mel(stream, sweep_options()).mel, 4);
+  // DAG: jo (1) + taken branch over the island + 4 incs = 5.
+  EXPECT_EQ(compute_mel(stream, dag_options()).mel, 5);
+}
+
+TEST(MelDag, UnconditionalJumpFollowsTargetOnly) {
+  // jmp +0x20 (eb 20), landing past an invalid island into 3 incs.
+  ByteBuffer stream = bytes_of({0xEB, 0x20});
+  stream.insert(stream.end(), 32, 0x6C);
+  stream.insert(stream.end(), 3, 0x41);
+  EXPECT_EQ(compute_mel(stream, dag_options()).mel, 4);  // jmp + 3.
+}
+
+TEST(MelDag, RetTerminatesPath) {
+  const ByteBuffer stream = bytes_of({0x41, 0xC3, 0x41, 0x41});
+  // Best chain: inc, ret -> 2 ... but entry at 2 gives inc, inc -> 2.
+  EXPECT_EQ(compute_mel(stream, dag_options()).mel, 2);
+}
+
+TEST(MelDag, IndirectBranchTerminatesButCounts) {
+  const ByteBuffer stream = bytes_of({0x41, 0xFF, 0xE4});  // inc; jmp esp
+  EXPECT_EQ(compute_mel(stream, dag_options()).mel, 2);
+}
+
+TEST(MelDag, BackwardJumpIsCutAndFlagged) {
+  // jmp -2 (self-loop): binary-only encoding.
+  const ByteBuffer stream = bytes_of({0x90, 0xEB, 0xFD});
+  const MelResult result = compute_mel(stream, dag_options());
+  EXPECT_TRUE(result.loop_detected);
+  EXPECT_LE(result.mel, 3);
+}
+
+TEST(MelDag, JumpOutOfBufferEndsPath) {
+  const ByteBuffer stream = bytes_of({0xEB, 0x7E});  // Far past the end.
+  EXPECT_EQ(compute_mel(stream, dag_options()).mel, 1);
+}
+
+TEST(MelExplorer, MatchesDagWithoutCpuRules) {
+  // With position-local rules only, the explorer and the DAG agree.
+  MelOptions dag = dag_options();
+  MelOptions exp = dag_options();
+  exp.engine = MelEngine::kPathExplorer;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::ByteBuffer stream;
+    util::Xoshiro256 rng(seed);
+    for (int i = 0; i < 200; ++i) {
+      stream.push_back(static_cast<std::uint8_t>(
+          0x20 + rng.next_below(95)));
+    }
+    const MelResult a = compute_mel(stream, dag);
+    const MelResult b = compute_mel(stream, exp);
+    EXPECT_EQ(a.mel, b.mel) << "seed " << seed;
+  }
+}
+
+TEST(MelExplorer, DetectsRealLoop) {
+  // dec ecx; jmp -3 : loops forever error-free.
+  const ByteBuffer stream = bytes_of({0x49, 0xEB, 0xFD});
+  MelOptions options;
+  options.engine = MelEngine::kPathExplorer;
+  const MelResult result = compute_mel(stream, options);
+  EXPECT_TRUE(result.loop_detected);
+}
+
+TEST(MelExplorer, UninitializedRegisterRuleShortensRuns) {
+  // mov eax,[ebx] x4: valid without CPU state, invalid at path start with
+  // the strict rule (EBX uninitialized).
+  ByteBuffer stream;
+  for (int i = 0; i < 4; ++i) {
+    const ByteBuffer load = bytes_of({0x8B, 0x03});
+    stream.insert(stream.end(), load.begin(), load.end());
+  }
+  MelOptions lax = dag_options();
+  EXPECT_EQ(compute_mel(stream, lax).mel, 4);
+  MelOptions strict;
+  strict.rules = ValidityRules::dawn(/*strict=*/true);
+  EXPECT_EQ(compute_mel(stream, strict).mel, 0);
+}
+
+TEST(MelExplorer, RegisterInitializationEnablesMemoryAccess) {
+  // pop ebx; mov eax,[ebx] — the pop initializes EBX, so the load is fine.
+  const ByteBuffer stream = bytes_of({0x5B, 0x8B, 0x03});
+  MelOptions strict;
+  strict.rules = ValidityRules::dawn(true);
+  EXPECT_EQ(compute_mel(stream, strict).mel, 2);
+}
+
+TEST(MelExplorer, PopaInitializesEverything) {
+  // popa; mov eax,[esi]
+  const ByteBuffer stream = bytes_of({0x61, 0x8B, 0x06});
+  MelOptions strict;
+  strict.rules = ValidityRules::dawn(true);
+  EXPECT_EQ(compute_mel(stream, strict).mel, 2);
+}
+
+TEST(MelExplorer, BudgetExhaustionIsReported) {
+  ByteBuffer stream(512, 0x41);
+  MelOptions options;
+  options.engine = MelEngine::kPathExplorer;
+  options.step_budget = 10;
+  const MelResult result = compute_mel(stream, options);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_LE(result.mel, 10);
+}
+
+TEST(ExecableLengths, PerOffsetValues) {
+  // insb at 2 splits the stream: lengths [2,1,0,3,2,1].
+  const ByteBuffer stream = bytes_of({0x41, 0x41, 0x6C, 0x41, 0x41, 0x41});
+  const auto lengths =
+      compute_execable_lengths(stream, ValidityRules::dawn());
+  ASSERT_EQ(lengths.size(), stream.size());
+  EXPECT_EQ(lengths[0], 2);
+  EXPECT_EQ(lengths[1], 1);
+  EXPECT_EQ(lengths[2], 0);
+  EXPECT_EQ(lengths[3], 3);
+  EXPECT_EQ(lengths[5], 1);
+}
+
+TEST(ComputeReach, SurvivalDistances) {
+  const ByteBuffer stream = bytes_of({0x41, 0x6C, 0x41, 0x41});
+  const auto reach = compute_reach(stream, ValidityRules::dawn());
+  ASSERT_EQ(reach.size(), stream.size());
+  EXPECT_EQ(reach[0], 1u);  // inc runs, then insb faults at offset 1.
+  EXPECT_EQ(reach[1], 1u);  // Faults immediately.
+  EXPECT_EQ(reach[2], 4u);  // Runs to the end.
+  EXPECT_EQ(reach[3], 4u);
+}
+
+TEST(ComputeMel, DispatchHonorsEngineSelection) {
+  ByteBuffer stream = bytes_of({0x70, 0x20});
+  stream.insert(stream.end(), 32, 0x6C);
+  stream.insert(stream.end(), 4, 0x41);
+  MelOptions options;
+  options.engine = MelEngine::kLinearSweep;
+  EXPECT_EQ(compute_mel(stream, options).mel, 4);
+  options.engine = MelEngine::kAllPathsDag;
+  EXPECT_EQ(compute_mel(stream, options).mel, 5);
+}
+
+}  // namespace
+}  // namespace mel::exec

@@ -1,0 +1,190 @@
+#include "mel/exec/validity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/disasm/decoder.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::exec {
+namespace {
+
+using disasm::Instruction;
+using util::ByteBuffer;
+
+Instruction decode(std::initializer_list<int> raw) {
+  ByteBuffer bytes;
+  for (int v : raw) bytes.push_back(static_cast<std::uint8_t>(v));
+  return disasm::decode_instruction(bytes, 0);
+}
+
+TEST(DawnRules, IoInstructionsAreInvalid) {
+  const ValidityRules rules = ValidityRules::dawn();
+  // 'l' 'm' 'n' 'o' — the paper's frequent-letter I/O opcodes.
+  for (int opcode : {0x6C, 0x6D, 0x6E, 0x6F}) {
+    EXPECT_EQ(classify_instruction(decode({opcode}), rules),
+              InvalidReason::kIoInstruction)
+        << opcode;
+  }
+  // Port I/O too.
+  EXPECT_EQ(classify_instruction(decode({0xE4, 0x01}), rules),
+            InvalidReason::kIoInstruction);
+  EXPECT_EQ(classify_instruction(decode({0xEF}), rules),
+            InvalidReason::kIoInstruction);
+}
+
+TEST(DawnRules, WrongSegmentOverrideOnMemoryAccess) {
+  const ValidityRules rules = ValidityRules::dawn();
+  // fs: mov eax, [ebx] — wrong segment in a flat Linux process.
+  EXPECT_EQ(classify_instruction(decode({0x64, 0x8B, 0x03}), rules),
+            InvalidReason::kWrongSegment);
+  EXPECT_EQ(classify_instruction(decode({0x65, 0x8B, 0x03}), rules),
+            InvalidReason::kWrongSegment);
+  // ds:/ss:/es: are fine.
+  EXPECT_EQ(classify_instruction(decode({0x3E, 0x8B, 0x03}), rules),
+            InvalidReason::kValidInstruction);
+  EXPECT_EQ(classify_instruction(decode({0x36, 0x8B, 0x03}), rules),
+            InvalidReason::kValidInstruction);
+  EXPECT_EQ(classify_instruction(decode({0x26, 0x8B, 0x03}), rules),
+            InvalidReason::kValidInstruction);
+  // A wrong override on a non-memory instruction is harmless.
+  EXPECT_EQ(classify_instruction(decode({0x64, 0x41}), rules),
+            InvalidReason::kValidInstruction);
+}
+
+TEST(DawnRules, CsWriteFaultsButCsReadIsFine) {
+  const ValidityRules rules = ValidityRules::dawn();
+  // cs: mov [ebx], eax — write to the (read-only) code segment.
+  EXPECT_EQ(classify_instruction(decode({0x2E, 0x89, 0x03}), rules),
+            InvalidReason::kCsWrite);
+  // cs: mov eax, [ebx] — reads through cs are legal.
+  EXPECT_EQ(classify_instruction(decode({0x2E, 0x8B, 0x03}), rules),
+            InvalidReason::kValidInstruction);
+}
+
+TEST(DawnRules, PrivilegedAndInterrupts) {
+  const ValidityRules rules = ValidityRules::dawn();
+  EXPECT_EQ(classify_instruction(decode({0xF4}), rules),
+            InvalidReason::kPrivileged);  // hlt
+  EXPECT_EQ(classify_instruction(decode({0xFA}), rules),
+            InvalidReason::kPrivileged);  // cli
+  EXPECT_EQ(classify_instruction(decode({0xCC}), rules),
+            InvalidReason::kInterrupt);  // int3
+  EXPECT_EQ(classify_instruction(decode({0xCD, 0x80}), rules),
+            InvalidReason::kInterrupt);  // int 0x80
+  EXPECT_EQ(classify_instruction(decode({0xCE}), rules),
+            InvalidReason::kInterrupt);  // into
+}
+
+TEST(DawnRules, SegmentLoadsAndFarTransfers) {
+  const ValidityRules rules = ValidityRules::dawn();
+  EXPECT_EQ(classify_instruction(decode({0x07}), rules),
+            InvalidReason::kSegmentLoad);  // pop es
+  EXPECT_EQ(classify_instruction(decode({0x8E, 0xD8}), rules),
+            InvalidReason::kSegmentLoad);  // mov ds, eax
+  EXPECT_EQ(classify_instruction(
+                decode({0xEA, 0x44, 0x33, 0x22, 0x11, 0x08, 0x00}), rules),
+            InvalidReason::kFarTransfer);  // ljmp
+  EXPECT_EQ(classify_instruction(decode({0xCB}), rules),
+            InvalidReason::kFarTransfer);  // retf
+}
+
+TEST(DawnRules, AamZeroRaisesDivideError) {
+  const ValidityRules rules = ValidityRules::dawn();
+  EXPECT_EQ(classify_instruction(decode({0xD4, 0x00}), rules),
+            InvalidReason::kAamZero);
+  EXPECT_EQ(classify_instruction(decode({0xD4, 0x0A}), rules),
+            InvalidReason::kValidInstruction);
+}
+
+TEST(DawnRules, UndefinedOpcodeAlwaysInvalid) {
+  const ValidityRules rules = ValidityRules::dawn();
+  EXPECT_EQ(classify_instruction(decode({0x0F, 0x05}), rules),
+            InvalidReason::kUndefinedOpcode);
+  EXPECT_EQ(classify_instruction(decode({0xFE, 0xD0}), rules),
+            InvalidReason::kUndefinedOpcode);
+}
+
+TEST(DawnRules, ConservativeOnAbsoluteMemory) {
+  // The paper deliberately does NOT count explicit addresses as invalid
+  // (register-spring exposes valid static addresses).
+  const ValidityRules rules = ValidityRules::dawn();
+  EXPECT_EQ(classify_instruction(
+                decode({0x8B, 0x0D, 0x44, 0x33, 0x22, 0x11}), rules),
+            InvalidReason::kValidInstruction);
+}
+
+TEST(DawnRules, TextInstructionsAreOtherwiseValid) {
+  const ValidityRules rules = ValidityRules::dawn();
+  for (int opcode : {0x41, 0x50, 0x58, 0x61, 0x27, 0x37, 0x63}) {
+    EXPECT_EQ(classify_instruction(decode({opcode, 0x41, 0x41}), rules),
+              InvalidReason::kValidInstruction)
+        << opcode;
+  }
+  EXPECT_EQ(classify_instruction(decode({0x70, 0x20}), rules),
+            InvalidReason::kValidInstruction);  // jo
+  EXPECT_EQ(classify_instruction(decode({0x25, 0x40, 0x40, 0x40, 0x40}),
+                                 rules),
+            InvalidReason::kValidInstruction);  // and eax, imm
+}
+
+TEST(ApeRules, NarrowDefinitionAcceptsTextHazards) {
+  const ValidityRules rules = ValidityRules::ape();
+  // APE does not know the text-specific rules: I/O and wrong-segment pass.
+  EXPECT_EQ(classify_instruction(decode({0x6C}), rules),
+            InvalidReason::kValidInstruction);
+  EXPECT_EQ(classify_instruction(decode({0x64, 0x8B, 0x03}), rules),
+            InvalidReason::kValidInstruction);
+  EXPECT_EQ(classify_instruction(decode({0xF4}), rules),
+            InvalidReason::kValidInstruction);  // hlt passes too
+  // But broken encodings and absolute addresses are invalid.
+  EXPECT_EQ(classify_instruction(decode({0x0F, 0x05}), rules),
+            InvalidReason::kUndefinedOpcode);
+  EXPECT_EQ(classify_instruction(
+                decode({0x8B, 0x0D, 0x44, 0x33, 0x22, 0x11}), rules),
+            InvalidReason::kAbsoluteMemory);
+}
+
+TEST(UninitializedRegisterRule, RequiresCpuState) {
+  ValidityRules rules = ValidityRules::dawn(/*strict=*/true);
+  const Instruction load = decode({0x8B, 0x03});  // mov eax, [ebx]
+  // Without CPU state the rule cannot fire.
+  EXPECT_EQ(classify_instruction(load, rules, nullptr),
+            InvalidReason::kValidInstruction);
+  AbstractCpu cpu;  // All registers (except ESP) uninitialized.
+  EXPECT_EQ(classify_instruction(load, rules, &cpu),
+            InvalidReason::kUninitializedRegister);
+  cpu.set_init(disasm::Gpr::kEbx);
+  EXPECT_EQ(classify_instruction(load, rules, &cpu),
+            InvalidReason::kValidInstruction);
+}
+
+TEST(UninitializedRegisterRule, EspIsAlwaysLive) {
+  const ValidityRules rules = ValidityRules::dawn(true);
+  AbstractCpu cpu;
+  const Instruction load = decode({0x8B, 0x04, 0x24});  // mov eax, [esp]
+  EXPECT_EQ(classify_instruction(load, rules, &cpu),
+            InvalidReason::kValidInstruction);
+}
+
+TEST(UninitializedRegisterRule, StringAndXlatImplicitRegisters) {
+  const ValidityRules rules = ValidityRules::dawn(true);
+  AbstractCpu cpu;
+  EXPECT_EQ(classify_instruction(decode({0xA4}), rules, &cpu),
+            InvalidReason::kUninitializedRegister);  // movsb: esi/edi
+  EXPECT_EQ(classify_instruction(decode({0xD7}), rules, &cpu),
+            InvalidReason::kUninitializedRegister);  // xlat: ebx
+  cpu.set_init(disasm::Gpr::kEsi);
+  cpu.set_init(disasm::Gpr::kEdi);
+  EXPECT_EQ(classify_instruction(decode({0xA4}), rules, &cpu),
+            InvalidReason::kValidInstruction);
+}
+
+TEST(InvalidReasonNames, AllDistinct) {
+  for (int r = 0;
+       r <= static_cast<int>(InvalidReason::kDivideError); ++r) {
+    EXPECT_NE(invalid_reason_name(static_cast<InvalidReason>(r)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace mel::exec

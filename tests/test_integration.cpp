@@ -1,0 +1,189 @@
+// End-to-end integration tests: the full pipeline of the paper's
+// evaluation (Section 5), cross-module consistency between the estimator,
+// the model and the pseudo-execution engines, and the Section 3.3
+// independence verification on generated traffic.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "mel/core/detector.hpp"
+#include "mel/core/mel_model.hpp"
+#include "mel/exec/sweep.hpp"
+#include "mel/stats/chi_square.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/english_model.hpp"
+#include "mel/traffic/email_gen.hpp"
+#include "mel/traffic/http_gen.hpp"
+
+namespace mel {
+namespace {
+
+TEST(Integration, PaperEvaluationPipeline) {
+  // (i) test data, (ii) threshold from theory, (iii) detection,
+  // (iv) FP/FN rates.
+  const auto benign = traffic::make_benign_dataset({});
+  const auto worms = textcode::text_worm_corpus(108, 2008);
+
+  // Corpus-calibrated preset, as the paper derives p from "the frequency
+  // distribution of our test data".
+  core::DetectorConfig config;
+  config.preset_frequencies = traffic::measure_distribution(benign);
+  const core::MelDetector detector(config);
+
+  int false_positives = 0;
+  for (const auto& payload : benign) {
+    if (detector.scan(payload).malicious) ++false_positives;
+  }
+  int false_negatives = 0;
+  for (const auto& worm : worms) {
+    if (!detector.scan(worm.bytes).malicious) ++false_negatives;
+  }
+  EXPECT_LE(false_positives, 2);  // alpha = 1% over 100 cases.
+  EXPECT_EQ(false_negatives, 0);  // The paper's zero-FN headline.
+}
+
+TEST(Integration, EstimatedParametersPredictMeasuredSweep) {
+  // The Section 5.3 consistency check: predicted E[instruction length]
+  // (2.6) vs measured (2.65), and estimated p vs the empirical invalid
+  // fraction, on the same corpus.
+  const auto benign = traffic::make_benign_dataset({.cases = 30});
+  const auto dist = traffic::measure_distribution(benign);
+  const auto params = core::estimate_parameters(dist, 4000);
+
+  double total_length = 0.0;
+  double total_invalid = 0.0;
+  double total_count = 0.0;
+  for (const auto& payload : benign) {
+    const auto sweep =
+        exec::analyze_sweep(payload, exec::ValidityRules::dawn());
+    total_length += sweep.average_instruction_length *
+                    static_cast<double>(sweep.instruction_count);
+    total_invalid += static_cast<double>(sweep.invalid_count);
+    total_count += static_cast<double>(sweep.instruction_count);
+  }
+  const double measured_length = total_length / total_count;
+  EXPECT_NEAR(params.expected_instruction_length, measured_length, 0.15);
+  // The estimate is built to be conservative (it ignores rules that need
+  // path state), so it should not exceed the empirical rate by much.
+  const double measured_p = total_invalid / total_count;
+  EXPECT_LT(params.p, measured_p + 0.02);
+  EXPECT_GT(params.p, measured_p - 0.12);
+}
+
+TEST(Integration, Section33IndependenceTestOnGeneratedTraffic) {
+  // Build the paper's 2x2 contingency table of consecutive-instruction
+  // validity over benign traffic and run Pearson's chi-square. The
+  // Bernoulli model requires independence not to be rejected wildly;
+  // Markov-generated text has mild local correlation, so we only require
+  // the association to be weak (Cramer's V), exactly what matters for the
+  // model's accuracy.
+  const auto benign = traffic::make_benign_dataset({.cases = 40});
+  stats::ContingencyTable table(2, 2);
+  for (const auto& payload : benign) {
+    const auto sweep =
+        exec::analyze_sweep(payload, exec::ValidityRules::dawn());
+    for (std::size_t i = 0; i + 1 < sweep.instruction_count; ++i) {
+      table.add(sweep.is_valid(i) ? 0 : 1, sweep.is_valid(i + 1) ? 0 : 1);
+    }
+  }
+  const auto result = stats::chi_square_independence_test(table);
+  const double cramers_v =
+      std::sqrt(result.statistic / static_cast<double>(table.grand_total()));
+  EXPECT_LT(cramers_v, 0.1) << "chi2=" << result.statistic
+                            << " p=" << result.p_value;
+}
+
+TEST(Integration, ModelDescribesMeasuredBenignMels) {
+  // The measured benign MEL distribution should sit where the model (with
+  // the corpus's empirical p and n) puts it: mean within a factor, max
+  // below the 1e-4 tail.
+  const auto benign = traffic::make_benign_dataset({.cases = 60});
+  double mean_mel = 0.0;
+  std::int64_t max_mel = 0;
+  double mean_p = 0.0;
+  double mean_n = 0.0;
+  for (const auto& payload : benign) {
+    const auto sweep =
+        exec::analyze_sweep(payload, exec::ValidityRules::dawn());
+    exec::MelOptions options;
+    const auto result = exec::compute_mel(payload, options);
+    mean_mel += static_cast<double>(result.mel);
+    max_mel = std::max(max_mel, result.mel);
+    mean_p += sweep.invalid_fraction;
+    mean_n += static_cast<double>(sweep.instruction_count);
+  }
+  const auto count = static_cast<double>(benign.size());
+  mean_mel /= count;
+  mean_p /= count;
+  mean_n /= count;
+  const core::MelModel model(static_cast<std::int64_t>(mean_n), mean_p);
+  EXPECT_NEAR(mean_mel, model.mean(), model.mean() * 0.4);
+  const double tail_threshold =
+      model.threshold_for_alpha(1e-4 / count);
+  EXPECT_LT(static_cast<double>(max_mel), tail_threshold * 1.5);
+}
+
+TEST(Integration, AsciiFilterDoesNotStopTextWorms) {
+  // The paper's opening point: a text worm passes any ASCII filter
+  // unmodified, so the filter alone is no defense.
+  util::Xoshiro256 rng(44);
+  const auto worm = textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus().front().bytes, {}, rng);
+  const std::string filtered = traffic::ascii_filter(
+      std::string_view(reinterpret_cast<const char*>(worm.data()),
+                       worm.size()));
+  EXPECT_EQ(util::to_bytes(filtered), worm);  // Unchanged by the filter.
+  // And the MEL detector still catches it after filtering.
+  const core::MelDetector detector;
+  EXPECT_TRUE(detector.scan(util::to_bytes(filtered)).malicious);
+}
+
+TEST(Integration, BinaryWormsAreOutOfScopeForMel) {
+  // Section 4.1: modern register-spring binary worms do not show a long
+  // MEL; the MEL method cannot catch them (that is the paper's claim, not
+  // a bug). Their encrypted payloads and junk look like benign binary.
+  util::Xoshiro256 rng(45);
+  core::DetectorConfig config;
+  config.early_exit = false;
+  const core::MelDetector detector(config);
+  const auto& payload = textcode::binary_shellcode_corpus().front();
+  const auto spring_worm =
+      textcode::make_register_spring_worm(payload, 300, 8, rng);
+  const auto verdict = detector.scan(spring_worm);
+  EXPECT_LT(verdict.mel, 40);  // Nothing sled-like to see.
+}
+
+TEST(Integration, DetectorThroughputIsPractical) {
+  // Smoke performance bound so regressions surface in CI: scanning 100KB
+  // of benign text must finish well under a second even on slow machines.
+  const auto benign =
+      traffic::make_benign_dataset({.cases = 25, .case_size = 4000});
+  const core::MelDetector detector;
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& payload : benign) (void)detector.scan(payload);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 2.0);
+}
+
+TEST(Integration, EmailChannelWorksLikeWebChannel) {
+  // The paper motivates email as another text-only carrier; the detector
+  // transfers without retuning (the model only needs the char profile).
+  mel::traffic::EmailGenerator generator;
+  const auto mail = generator.make_mail_corpus(40, 4000, 11);
+  const core::MelDetector detector;
+  int false_positives = 0;
+  for (const auto& payload : mail) {
+    if (detector.scan(payload).malicious) ++false_positives;
+  }
+  EXPECT_LE(false_positives, 2);
+  util::Xoshiro256 rng(12);
+  const auto worm = textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus()[4].bytes, {}, rng);
+  EXPECT_TRUE(detector.scan(worm).malicious);
+}
+
+}  // namespace
+}  // namespace mel

@@ -1,0 +1,186 @@
+// Property-based and fuzz tests: structural invariants that must hold for
+// ANY input bytes, not just crafted cases.
+
+#include <gtest/gtest.h>
+
+#include "mel/disasm/decoder.hpp"
+#include "mel/disasm/formatter.hpp"
+#include "mel/exec/concrete_machine.hpp"
+#include "mel/exec/mel.hpp"
+#include "mel/exec/sweep.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel {
+namespace {
+
+using util::ByteBuffer;
+
+ByteBuffer random_buffer(std::size_t size, std::uint64_t seed,
+                         bool text_only) {
+  util::Xoshiro256 rng(seed);
+  ByteBuffer bytes(size);
+  for (auto& b : bytes) {
+    b = text_only ? static_cast<std::uint8_t>(0x20 + rng.next_below(95))
+                  : static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  return bytes;
+}
+
+TEST(DecoderProperty, ExhaustiveTwoByteStartsNeverMisbehave) {
+  // Every (first, second) byte pair, padded with benign tail bytes:
+  // decoding must terminate, report length in [1, 15], and never read
+  // past the architectural limit.
+  ByteBuffer bytes(18, 0x41);
+  for (int b0 = 0; b0 < 256; ++b0) {
+    for (int b1 = 0; b1 < 256; ++b1) {
+      bytes[0] = static_cast<std::uint8_t>(b0);
+      bytes[1] = static_cast<std::uint8_t>(b1);
+      const disasm::Instruction insn = disasm::decode_instruction(bytes, 0);
+      ASSERT_GE(insn.length, 1) << b0 << "," << b1;
+      ASSERT_LE(insn.length, disasm::kMaxInstructionLength) << b0 << "," << b1;
+      ASSERT_LE(insn.operand_count, disasm::kMaxOperands);
+      // Formatting must never crash or produce empty text.
+      ASSERT_FALSE(disasm::format_instruction(insn).empty());
+    }
+  }
+}
+
+TEST(DecoderProperty, SweepAlwaysCoversBufferExactly) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const ByteBuffer bytes = random_buffer(777, seed, seed % 2 == 0);
+    std::size_t covered = 0;
+    for (const auto& insn : disasm::linear_sweep(bytes)) {
+      ASSERT_GE(insn.length, 1);
+      ASSERT_EQ(insn.offset, covered);
+      covered += insn.length;
+    }
+    ASSERT_EQ(covered, bytes.size()) << seed;
+  }
+}
+
+TEST(DecoderProperty, DecodeIsDeterministicAndOffsetIndependent) {
+  // Decoding at offset k of a buffer equals decoding the sub-buffer
+  // starting at k (no hidden global state).
+  const ByteBuffer bytes = random_buffer(300, 99, false);
+  for (std::size_t offset = 0; offset < bytes.size(); offset += 7) {
+    const auto a = disasm::decode_instruction(bytes, offset);
+    const ByteBuffer sub(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                         bytes.end());
+    const auto b = disasm::decode_instruction(sub, 0);
+    ASSERT_EQ(a.length, b.length) << offset;
+    ASSERT_EQ(a.mnemonic, b.mnemonic) << offset;
+    ASSERT_EQ(disasm::format_instruction(a).substr(0, 4),
+              disasm::format_instruction(b).substr(0, 4))
+        << offset;
+  }
+}
+
+TEST(MelProperty, DagDominatesSweepOnText) {
+  // On TEXT streams every linear-sweep run is one path through the DAG
+  // (conditional forward jumps are the only control flow, and the DAG
+  // takes the max over fall-through and target), so the DAG MEL >= the
+  // sweep MEL. Binary streams break this: a backward/indirect jump ends
+  // the DAG path while the sweep keeps counting the linear stream.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const ByteBuffer bytes = random_buffer(600, seed * 3 + 1, true);
+    exec::MelOptions sweep;
+    sweep.engine = exec::MelEngine::kLinearSweep;
+    exec::MelOptions dag;
+    dag.engine = exec::MelEngine::kAllPathsDag;
+    ASSERT_GE(exec::compute_mel(bytes, dag).mel,
+              exec::compute_mel(bytes, sweep).mel)
+        << seed;
+  }
+}
+
+TEST(MelProperty, StrictRulesNeverIncreaseMel) {
+  // Adding the uninitialized-register rule can only invalidate more
+  // instructions, so the strict explorer never beats the lax one.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ByteBuffer bytes = random_buffer(300, seed * 11, true);
+    exec::MelOptions lax;
+    lax.engine = exec::MelEngine::kPathExplorer;
+    exec::MelOptions strict = lax;
+    strict.rules = exec::ValidityRules::dawn(/*strict=*/true);
+    const auto lax_result = exec::compute_mel(bytes, lax);
+    const auto strict_result = exec::compute_mel(bytes, strict);
+    if (!lax_result.budget_exhausted && !strict_result.budget_exhausted) {
+      ASSERT_LE(strict_result.mel, lax_result.mel) << seed;
+    }
+  }
+}
+
+TEST(MelProperty, MelBoundedByInstructionCount) {
+  for (std::uint64_t seed = 40; seed <= 60; ++seed) {
+    const ByteBuffer bytes = random_buffer(500, seed, seed % 2 == 0);
+    const auto sweep = exec::analyze_sweep(bytes, exec::ValidityRules::dawn());
+    exec::MelOptions options;
+    const auto result = exec::compute_mel(bytes, options);
+    ASSERT_LE(result.mel,
+              static_cast<std::int64_t>(sweep.instruction_count));
+    ASSERT_LE(result.mel, static_cast<std::int64_t>(bytes.size()));
+  }
+}
+
+TEST(MelProperty, CensusAccountsForEveryInstruction) {
+  for (std::uint64_t seed = 70; seed <= 80; ++seed) {
+    const ByteBuffer bytes = random_buffer(400, seed, false);
+    const auto sweep = exec::analyze_sweep(bytes, exec::ValidityRules::dawn());
+    const auto census = exec::invalidity_census(sweep);
+    std::size_t total = 0;
+    for (std::size_t count : census) total += count;
+    ASSERT_EQ(total, sweep.instruction_count);
+    ASSERT_EQ(census[0],
+              sweep.instruction_count - sweep.invalid_count);  // valid bucket
+  }
+}
+
+TEST(MelProperty, EarlyExitNeverChangesTheVerdictSide) {
+  // Early exit may truncate the measured MEL but must agree on which side
+  // of the threshold the payload falls.
+  for (std::uint64_t seed = 90; seed <= 105; ++seed) {
+    const ByteBuffer bytes = random_buffer(800, seed, true);
+    exec::MelOptions full;
+    const auto full_result = exec::compute_mel(bytes, full);
+    exec::MelOptions early;
+    early.early_exit_threshold = 25;
+    const auto early_result = exec::compute_mel(bytes, early);
+    ASSERT_EQ(full_result.mel > 25, early_result.mel > 25) << seed;
+  }
+}
+
+TEST(MelProperty, AppendingBytesNeverShrinksDagMel) {
+  // The DAG maximizes over entries: adding suffix bytes can only add
+  // entries and extend continuations.
+  const ByteBuffer base = random_buffer(300, 123, true);
+  exec::MelOptions dag;
+  dag.engine = exec::MelEngine::kAllPathsDag;
+  std::int64_t previous = 0;
+  for (std::size_t size = 50; size <= base.size(); size += 50) {
+    const auto result = exec::compute_mel(
+        util::ByteView(base.data(), size), dag);
+    ASSERT_GE(result.mel, previous) << size;
+    previous = result.mel;
+  }
+}
+
+TEST(MelProperty, ConcreteExecutionNeverExceedsDagBound) {
+  // The emulator runs ONE concrete path under the same static rules (plus
+  // dynamic memory faults), so on forward-only text its instruction count
+  // from offset 0 can never exceed the DAG's longest-path bound there.
+  for (std::uint64_t seed = 200; seed <= 215; ++seed) {
+    const ByteBuffer bytes = random_buffer(400, seed, true);
+    const auto lengths =
+        exec::compute_execable_lengths(bytes, exec::ValidityRules::dawn());
+    exec::ConcreteMachine machine(bytes);
+    const auto run = machine.run(100000);
+    if (run.reason == exec::StopReason::kBudget) continue;  // Loop: no bound.
+    ASSERT_LE(run.instructions_executed,
+              static_cast<std::uint64_t>(lengths[0]) + 1)
+        << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mel

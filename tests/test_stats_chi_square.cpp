@@ -1,0 +1,98 @@
+#include "mel/stats/chi_square.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mel::stats {
+namespace {
+
+TEST(ContingencyTable, TotalsAndExpected) {
+  ContingencyTable table(2, 2);
+  table.add(0, 0, 10);
+  table.add(0, 1, 20);
+  table.add(1, 0, 30);
+  table.add(1, 1, 40);
+  EXPECT_EQ(table.grand_total(), 100u);
+  EXPECT_EQ(table.row_total(0), 30u);
+  EXPECT_EQ(table.row_total(1), 70u);
+  EXPECT_EQ(table.col_total(0), 40u);
+  EXPECT_EQ(table.col_total(1), 60u);
+  EXPECT_NEAR(table.expected(0, 0), 30.0 * 40.0 / 100.0, 1e-12);
+  EXPECT_NEAR(table.expected(1, 1), 70.0 * 60.0 / 100.0, 1e-12);
+}
+
+TEST(ChiSquareIndependence, PerfectIndependenceGivesZeroStatistic) {
+  // Counts exactly proportional to marginals.
+  ContingencyTable table(2, 2);
+  table.add(0, 0, 12);  // 30 * 40 / 100
+  table.add(0, 1, 18);
+  table.add(1, 0, 28);
+  table.add(1, 1, 42);
+  const ChiSquareResult result = chi_square_independence_test(table);
+  EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+  EXPECT_EQ(result.degrees_of_freedom, 1);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-12);
+  EXPECT_FALSE(result.rejects_independence());
+}
+
+TEST(ChiSquareIndependence, StrongDependenceIsRejected) {
+  ContingencyTable table(2, 2);
+  table.add(0, 0, 90);
+  table.add(0, 1, 10);
+  table.add(1, 0, 10);
+  table.add(1, 1, 90);
+  const ChiSquareResult result = chi_square_independence_test(table);
+  EXPECT_GT(result.statistic, 100.0);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_TRUE(result.rejects_independence());
+}
+
+TEST(ChiSquareIndependence, PaperSection33Table) {
+  // The paper's observed contingency table for consecutive-instruction
+  // validity; expected p-value about 0.1 — not significant at 5%.
+  ContingencyTable table(2, 2);
+  table.add(0, 0, 8960);  // valid I1, valid I2
+  table.add(0, 1, 2797);
+  table.add(1, 0, 2797);
+  table.add(1, 1, 938);
+  const ChiSquareResult result = chi_square_independence_test(table);
+  EXPECT_FALSE(result.rejects_independence(0.05));
+  EXPECT_GT(result.p_value, 0.01);
+  EXPECT_LT(result.p_value, 0.2);
+  // The expected cells the paper prints.
+  EXPECT_NEAR(table.expected(0, 0), 8922.0, 1.0);
+  EXPECT_NEAR(table.expected(0, 1), 2835.0, 1.0);
+  EXPECT_NEAR(table.expected(1, 1), 900.0, 1.0);
+}
+
+TEST(ChiSquareIndependence, LargerTableDegreesOfFreedom) {
+  ContingencyTable table(3, 4);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      table.add(r, c, static_cast<std::uint64_t>(10 + r + c));
+    }
+  }
+  const ChiSquareResult result = chi_square_independence_test(table);
+  EXPECT_EQ(result.degrees_of_freedom, 6);
+  EXPECT_GT(result.p_value, 0.9);  // Nearly flat table: independent.
+}
+
+TEST(GoodnessOfFit, UniformDiceFair) {
+  const std::vector<std::uint64_t> observed = {98, 105, 101, 97, 103, 96};
+  const std::vector<double> expected(6, 1.0 / 6.0);
+  const ChiSquareResult result =
+      chi_square_goodness_of_fit(observed, expected);
+  EXPECT_EQ(result.degrees_of_freedom, 5);
+  EXPECT_FALSE(result.rejects_independence());
+}
+
+TEST(GoodnessOfFit, LoadedDiceDetected) {
+  const std::vector<std::uint64_t> observed = {300, 60, 60, 60, 60, 60};
+  const std::vector<double> expected(6, 1.0 / 6.0);
+  const ChiSquareResult result =
+      chi_square_goodness_of_fit(observed, expected);
+  EXPECT_TRUE(result.rejects_independence());
+  EXPECT_LT(result.p_value, 1e-10);
+}
+
+}  // namespace
+}  // namespace mel::stats

@@ -1,0 +1,58 @@
+#include "mel/stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mel::stats {
+namespace {
+
+TEST(Summarize, EmptyInput) {
+  const Summary summary = summarize({});
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean, 0.0);
+}
+
+TEST(Summarize, KnownValues) {
+  const std::vector<double> samples = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary summary = summarize(samples);
+  EXPECT_EQ(summary.count, 8u);
+  EXPECT_DOUBLE_EQ(summary.mean, 5.0);
+  EXPECT_NEAR(summary.variance, 4.0, 1e-12);  // Classic textbook set.
+  EXPECT_NEAR(summary.stddev, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(summary.min, 2.0);
+  EXPECT_DOUBLE_EQ(summary.max, 9.0);
+}
+
+TEST(RunningStats, MatchesBatchSummary) {
+  const std::vector<double> samples = {1.5, -2.0, 3.25, 0.0, 10.0, -7.5};
+  RunningStats stats;
+  for (double s : samples) stats.add(s);
+  const Summary summary = summarize(samples);
+  EXPECT_EQ(stats.count(), summary.count);
+  EXPECT_NEAR(stats.mean(), summary.mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), summary.variance, 1e-12);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.add(42.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> samples = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.5), 25.0);
+  EXPECT_NEAR(quantile(samples, 0.25), 17.5, 1e-12);
+}
+
+TEST(Quantile, UnsortedInputIsHandled) {
+  const std::vector<double> samples = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.5), 25.0);
+}
+
+}  // namespace
+}  // namespace mel::stats

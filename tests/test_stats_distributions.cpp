@@ -1,0 +1,126 @@
+#include "mel/stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mel::stats {
+namespace {
+
+class GeometricTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricTest, PmfSumsToOne) {
+  const Geometric geometric(GetParam());
+  double sum = 0.0;
+  for (std::int64_t x = 0; x < 5000; ++x) sum += geometric.pmf(x);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(GeometricTest, CdfMatchesPmfPrefixSums) {
+  const Geometric geometric(GetParam());
+  double sum = 0.0;
+  for (std::int64_t x = 0; x < 100; ++x) {
+    sum += geometric.pmf(x);
+    EXPECT_NEAR(geometric.cdf(x), sum, 1e-12);
+  }
+}
+
+TEST_P(GeometricTest, MeanMatchesAnalyticForm) {
+  const double p = GetParam();
+  const Geometric geometric(p);
+  double mean = 0.0;
+  for (std::int64_t x = 0; x < 10000; ++x) {
+    mean += static_cast<double>(x) * geometric.pmf(x);
+  }
+  EXPECT_NEAR(mean, geometric.mean(), 1e-6);
+  EXPECT_NEAR(geometric.mean(), (1.0 - p) / p, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parameters, GeometricTest,
+                         ::testing::Values(0.05, 0.125, 0.175, 0.227, 0.3,
+                                           0.5, 0.9, 1.0));
+
+TEST(Geometric, StrictCdfIsPaperConvention) {
+  // The paper uses P[X < x] = 1 - (1-p)^x.
+  const Geometric geometric(0.25);
+  EXPECT_DOUBLE_EQ(geometric.cdf_strict(0), 0.0);
+  EXPECT_NEAR(geometric.cdf_strict(1), 0.25, 1e-12);
+  EXPECT_NEAR(geometric.cdf_strict(2), 1.0 - 0.75 * 0.75, 1e-12);
+  // Relation: cdf_strict(x+1) == cdf(x).
+  for (std::int64_t x = 0; x < 20; ++x) {
+    EXPECT_NEAR(geometric.cdf_strict(x + 1), geometric.cdf(x), 1e-12);
+  }
+}
+
+TEST(Geometric, NegativeArguments) {
+  const Geometric geometric(0.3);
+  EXPECT_DOUBLE_EQ(geometric.pmf(-1), 0.0);
+  EXPECT_DOUBLE_EQ(geometric.cdf(-1), 0.0);
+}
+
+struct BinomialCase {
+  std::int64_t n;
+  double p;
+};
+
+class BinomialTest : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialTest, PmfSumsToOne) {
+  const auto [n, p] = GetParam();
+  const Binomial binomial(n, p);
+  double sum = 0.0;
+  for (std::int64_t k = 0; k <= n; ++k) sum += binomial.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(BinomialTest, MeanAndVariance) {
+  const auto [n, p] = GetParam();
+  const Binomial binomial(n, p);
+  double mean = 0.0;
+  double second = 0.0;
+  for (std::int64_t k = 0; k <= n; ++k) {
+    mean += static_cast<double>(k) * binomial.pmf(k);
+    second += static_cast<double>(k) * static_cast<double>(k) *
+              binomial.pmf(k);
+  }
+  EXPECT_NEAR(mean, binomial.mean(), 1e-6 * (1.0 + binomial.mean()));
+  EXPECT_NEAR(second - mean * mean, binomial.variance(),
+              1e-5 * (1.0 + binomial.variance()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Parameters, BinomialTest,
+                         ::testing::Values(BinomialCase{10, 0.5},
+                                           BinomialCase{100, 0.227},
+                                           BinomialCase{1540, 0.227},
+                                           BinomialCase{50, 0.02},
+                                           BinomialCase{7, 0.9}));
+
+TEST(Binomial, DegenerateP) {
+  const Binomial zero(10, 0.0);
+  EXPECT_DOUBLE_EQ(zero.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(zero.pmf(1), 0.0);
+  const Binomial one(10, 1.0);
+  EXPECT_DOUBLE_EQ(one.pmf(10), 1.0);
+  EXPECT_DOUBLE_EQ(one.pmf(9), 0.0);
+}
+
+TEST(Binomial, SmallExactValues) {
+  const Binomial binomial(4, 0.5);
+  EXPECT_NEAR(binomial.pmf(0), 1.0 / 16, 1e-12);
+  EXPECT_NEAR(binomial.pmf(2), 6.0 / 16, 1e-12);
+  EXPECT_NEAR(binomial.cdf(2), 11.0 / 16, 1e-12);
+  EXPECT_DOUBLE_EQ(binomial.cdf(4), 1.0);
+  EXPECT_DOUBLE_EQ(binomial.cdf(-1), 0.0);
+}
+
+TEST(Binomial, LargeNStability) {
+  // The paper's n=1540 must not overflow: pmf near the mean is sane.
+  const Binomial binomial(1540, 0.227);
+  const auto mean = static_cast<std::int64_t>(binomial.mean());
+  EXPECT_GT(binomial.pmf(mean), 0.0);
+  EXPECT_LT(binomial.pmf(mean), 1.0);
+  EXPECT_GT(binomial.pmf(mean), binomial.pmf(mean + 100));
+}
+
+}  // namespace
+}  // namespace mel::stats

@@ -1,0 +1,75 @@
+#include "mel/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mel::stats {
+namespace {
+
+TEST(IntHistogram, EmptyState) {
+  IntHistogram histogram;
+  EXPECT_TRUE(histogram.empty());
+  EXPECT_EQ(histogram.total(), 0u);
+  EXPECT_EQ(histogram.count(5), 0u);
+  EXPECT_DOUBLE_EQ(histogram.pmf(5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.cdf(5), 0.0);
+}
+
+TEST(IntHistogram, AddAndQuery) {
+  IntHistogram histogram;
+  histogram.add(3);
+  histogram.add(3);
+  histogram.add(7, 2);
+  histogram.add(-1);
+  EXPECT_EQ(histogram.total(), 5u);
+  EXPECT_EQ(histogram.count(3), 2u);
+  EXPECT_EQ(histogram.count(7), 2u);
+  EXPECT_EQ(histogram.count(-1), 1u);
+  EXPECT_EQ(histogram.min(), -1);
+  EXPECT_EQ(histogram.max(), 7);
+  EXPECT_DOUBLE_EQ(histogram.pmf(3), 0.4);
+  EXPECT_DOUBLE_EQ(histogram.cdf(3), 0.6);
+  EXPECT_DOUBLE_EQ(histogram.cdf(100), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.cdf(-2), 0.0);
+}
+
+TEST(IntHistogram, ZeroCountAddIsNoop) {
+  IntHistogram histogram;
+  histogram.add(5, 0);
+  EXPECT_TRUE(histogram.empty());
+}
+
+TEST(IntHistogram, MeanAndQuantiles) {
+  IntHistogram histogram;
+  for (int v = 1; v <= 10; ++v) histogram.add(v);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 5.5);
+  EXPECT_EQ(histogram.quantile(0.0), 1);
+  EXPECT_EQ(histogram.quantile(0.5), 5);
+  EXPECT_EQ(histogram.quantile(1.0), 10);
+}
+
+TEST(IntHistogram, Merge) {
+  IntHistogram a;
+  a.add(1, 3);
+  IntHistogram b;
+  b.add(1, 2);
+  b.add(9, 5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 10u);
+  EXPECT_EQ(a.count(1), 5u);
+  EXPECT_EQ(a.count(9), 5u);
+}
+
+TEST(IntHistogram, ItemsAreSorted) {
+  IntHistogram histogram;
+  histogram.add(9);
+  histogram.add(-4);
+  histogram.add(2);
+  const auto items = histogram.items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, -4);
+  EXPECT_EQ(items[1].first, 2);
+  EXPECT_EQ(items[2].first, 9);
+}
+
+}  // namespace
+}  // namespace mel::stats

@@ -1,0 +1,105 @@
+#include "mel/stats/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/core/mel_model.hpp"
+#include "mel/stats/longest_run.hpp"
+#include "mel/stats/monte_carlo.hpp"
+
+namespace mel::stats {
+namespace {
+
+TEST(KolmogorovSurvival, KnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(0.0), 1.0);
+  // Standard critical values: P[K > 1.36] ~ 0.05, P[K > 1.63] ~ 0.01.
+  EXPECT_NEAR(kolmogorov_survival(1.36), 0.05, 0.003);
+  EXPECT_NEAR(kolmogorov_survival(1.63), 0.01, 0.002);
+  EXPECT_LT(kolmogorov_survival(2.5), 1e-4);
+  EXPECT_GT(kolmogorov_survival(0.5), 0.9);
+}
+
+TEST(KsAgainstCdf, SampleFromModelIsAccepted) {
+  // The Monte-Carlo engine samples the exact longest-run law; testing it
+  // against that law's CDF must not reject.
+  MonteCarloConfig config;
+  config.n = 800;
+  config.p = 0.2;
+  config.rounds = 4000;
+  config.seed = 1;
+  const IntHistogram empirical = simulate_mel_distribution(config);
+  std::vector<double> cdf;
+  for (std::int64_t x = 0; x <= 120; ++x) {
+    cdf.push_back(longest_run_cdf_exact(config.n, config.p, x));
+  }
+  const KsResult result = ks_test_against_cdf(empirical, 0, cdf);
+  EXPECT_GT(result.p_value, 0.01);
+  EXPECT_LT(result.statistic, 0.05);
+}
+
+TEST(KsAgainstCdf, WrongModelIsRejected) {
+  MonteCarloConfig config;
+  config.n = 800;
+  config.p = 0.2;
+  config.rounds = 4000;
+  config.seed = 2;
+  const IntHistogram empirical = simulate_mel_distribution(config);
+  // CDF for a very different p.
+  std::vector<double> cdf;
+  for (std::int64_t x = 0; x <= 300; ++x) {
+    cdf.push_back(longest_run_cdf_exact(config.n, 0.1, x));
+  }
+  const KsResult result = ks_test_against_cdf(empirical, 0, cdf);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsAgainstCdf, PaperModelShiftIsDetectable) {
+  // The paper's closed form is the exact law shifted by one; a large
+  // Monte-Carlo sample resolves that shift.
+  MonteCarloConfig config;
+  config.n = 1540;
+  config.p = 0.227;
+  config.rounds = 50000;
+  config.seed = 3;
+  const IntHistogram empirical = simulate_mel_distribution(config);
+  const core::MelModel model(config.n, config.p);
+  std::vector<double> raw_cdf;
+  std::vector<double> shifted_cdf;
+  for (std::int64_t x = 0; x <= 120; ++x) {
+    raw_cdf.push_back(model.cdf(x));
+    shifted_cdf.push_back(model.cdf(x + 1));
+  }
+  const KsResult raw = ks_test_against_cdf(empirical, 0, raw_cdf);
+  const KsResult shifted = ks_test_against_cdf(empirical, 0, shifted_cdf);
+  EXPECT_LT(shifted.statistic, raw.statistic);
+  EXPECT_GT(shifted.p_value, 0.01);
+}
+
+TEST(KsTwoSample, IdenticalSamplesAgree) {
+  MonteCarloConfig config;
+  config.n = 500;
+  config.p = 0.25;
+  config.rounds = 3000;
+  config.seed = 4;
+  const IntHistogram a = simulate_mel_distribution(config);
+  config.seed = 5;
+  const IntHistogram b = simulate_mel_distribution(config);
+  const KsResult result = ks_test_two_sample(a, b);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(KsTwoSample, DifferentParametersDisagree) {
+  MonteCarloConfig config;
+  config.n = 500;
+  config.p = 0.25;
+  config.rounds = 3000;
+  config.seed = 6;
+  const IntHistogram a = simulate_mel_distribution(config);
+  config.p = 0.15;
+  config.seed = 7;
+  const IntHistogram b = simulate_mel_distribution(config);
+  const KsResult result = ks_test_two_sample(a, b);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+}  // namespace
+}  // namespace mel::stats

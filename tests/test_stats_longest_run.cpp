@@ -1,0 +1,118 @@
+#include "mel/stats/longest_run.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mel/stats/monte_carlo.hpp"
+
+namespace mel::stats {
+namespace {
+
+TEST(LongestTrueRun, BasicCases) {
+  const std::vector<bool> empty;
+  EXPECT_EQ(longest_true_run(empty), 0);
+  const std::vector<bool> all_false = {false, false, false};
+  EXPECT_EQ(longest_true_run(all_false), 0);
+  const std::vector<bool> all_true = {true, true, true};
+  EXPECT_EQ(longest_true_run(all_true), 3);
+  const std::vector<bool> mixed = {true, false, true, true,
+                                   false, true, true, true};
+  EXPECT_EQ(longest_true_run(mixed), 3);
+  const std::vector<bool> run_at_end = {false, true, true};
+  EXPECT_EQ(longest_true_run(run_at_end), 2);
+}
+
+/// Brute force: enumerate all 2^n outcomes and accumulate exact
+/// probability of longest success run <= x.
+double brute_force_cdf(std::int64_t n, double p, std::int64_t x) {
+  double total = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double probability = 1.0;
+    std::int64_t best = 0;
+    std::int64_t current = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const bool failure = (mask >> i) & 1u;
+      probability *= failure ? p : (1.0 - p);
+      if (failure) {
+        current = 0;
+      } else {
+        ++current;
+        best = std::max(best, current);
+      }
+    }
+    if (best <= x) total += probability;
+  }
+  return total;
+}
+
+struct ExactCase {
+  std::int64_t n;
+  double p;
+};
+
+class LongestRunExactTest : public ::testing::TestWithParam<ExactCase> {};
+
+TEST_P(LongestRunExactTest, MatchesBruteForceEnumeration) {
+  const auto [n, p] = GetParam();
+  for (std::int64_t x = 0; x <= n; ++x) {
+    EXPECT_NEAR(longest_run_cdf_exact(n, p, x), brute_force_cdf(n, p, x),
+                1e-12)
+        << "n=" << n << " p=" << p << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallN, LongestRunExactTest,
+    ::testing::Values(ExactCase{1, 0.3}, ExactCase{2, 0.5},
+                      ExactCase{5, 0.175}, ExactCase{8, 0.227},
+                      ExactCase{10, 0.5}, ExactCase{12, 0.08},
+                      ExactCase{14, 0.9}, ExactCase{15, 0.3}));
+
+TEST(LongestRunExact, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(longest_run_cdf_exact(0, 0.3, 0), 1.0);
+  // x >= n: always satisfied.
+  EXPECT_DOUBLE_EQ(longest_run_cdf_exact(5, 0.3, 5), 1.0);
+  EXPECT_DOUBLE_EQ(longest_run_cdf_exact(5, 0.3, 7), 1.0);
+  // x = 0, p = 1: every trial fails, run length 0 always.
+  EXPECT_NEAR(longest_run_cdf_exact(10, 1.0, 0), 1.0, 1e-12);
+  // x = 0 in general: all n trials must fail -> p^n.
+  EXPECT_NEAR(longest_run_cdf_exact(10, 0.3, 0), std::pow(0.3, 10), 1e-12);
+}
+
+TEST(LongestRunExact, CdfIsMonotoneInX) {
+  double prev = 0.0;
+  for (std::int64_t x = 0; x <= 200; ++x) {
+    const double cdf = longest_run_cdf_exact(1000, 0.175, x);
+    EXPECT_GE(cdf, prev - 1e-12);
+    prev = cdf;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-9);
+}
+
+TEST(LongestRunExact, PmfTableSumsToOne) {
+  const std::vector<double> table = longest_run_pmf_table(500, 0.227);
+  double sum = 0.0;
+  for (double mass : table) sum += mass;
+  EXPECT_NEAR(sum, 1.0, 1e-8);
+}
+
+TEST(LongestRunExact, AgreesWithMonteCarlo) {
+  constexpr std::int64_t kN = 1000;
+  constexpr double kP = 0.175;
+  MonteCarloConfig config;
+  config.n = kN;
+  config.p = kP;
+  config.rounds = 20000;
+  config.seed = 424242;
+  const IntHistogram empirical = simulate_mel_distribution(config);
+  // Compare CDFs at several quantile points.
+  for (std::int64_t x : {10, 20, 30, 40, 60}) {
+    EXPECT_NEAR(empirical.cdf(x), longest_run_cdf_exact(kN, kP, x), 0.02)
+        << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace mel::stats

@@ -1,0 +1,97 @@
+#include "mel/stats/special_functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mel::stats {
+namespace {
+
+TEST(LogGamma, MatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(11.0), std::log(3628800.0), 1e-8);
+}
+
+TEST(RegularizedGamma, PAndQSumToOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 25.0, 80.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGamma, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(3.0, 0.0), 1.0);
+  EXPECT_NEAR(regularized_gamma_p(1.0, 50.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGamma, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^-x (gamma(1,x) is the exponential CDF).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+}
+
+TEST(RegularizedGamma, HalfIntegerMatchesErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 2.25, 4.0}) {
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+}
+
+TEST(LogBinomialCoefficient, SmallValues) {
+  EXPECT_NEAR(log_binomial_coefficient(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(log_binomial_coefficient(10, 5), std::log(252.0), 1e-10);
+  EXPECT_NEAR(log_binomial_coefficient(7, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial_coefficient(7, 7), 0.0, 1e-12);
+}
+
+TEST(LogBinomialCoefficient, Symmetry) {
+  for (unsigned long k = 0; k <= 20; ++k) {
+    EXPECT_NEAR(log_binomial_coefficient(20, k),
+                log_binomial_coefficient(20, 20 - k), 1e-9);
+  }
+}
+
+struct ChiSquareCase {
+  double statistic;
+  int dof;
+  double expected_p;
+};
+
+class ChiSquareSurvivalTest : public ::testing::TestWithParam<ChiSquareCase> {};
+
+TEST_P(ChiSquareSurvivalTest, MatchesReferenceValues) {
+  const auto& param = GetParam();
+  EXPECT_NEAR(chi_square_survival(param.statistic, param.dof),
+              param.expected_p, 2e-4);
+}
+
+// Reference values from standard chi-square tables.
+INSTANTIATE_TEST_SUITE_P(
+    Reference, ChiSquareSurvivalTest,
+    ::testing::Values(ChiSquareCase{3.841, 1, 0.05},
+                      ChiSquareCase{6.635, 1, 0.01},
+                      ChiSquareCase{2.706, 1, 0.10},
+                      ChiSquareCase{5.991, 2, 0.05},
+                      ChiSquareCase{7.815, 3, 0.05},
+                      ChiSquareCase{16.919, 9, 0.05},
+                      ChiSquareCase{0.0, 1, 1.0}));
+
+TEST(ChiSquareSurvival, MonotoneDecreasingInStatistic) {
+  double prev = 1.0;
+  for (double stat = 0.0; stat <= 20.0; stat += 0.5) {
+    const double p = chi_square_survival(stat, 3);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace mel::stats

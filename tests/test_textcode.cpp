@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "mel/textcode/blend.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/textcode/text_domain.hpp"
+#include "mel/core/detector.hpp"
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::textcode {
+namespace {
+
+// --- Text domain / XOR closure (Figure 4) -----------------------------------
+
+TEST(TextDomain, PartitionBoundaries) {
+  EXPECT_EQ(text_part(0x20), TextPart::kPunctLow);
+  EXPECT_EQ(text_part(0x3F), TextPart::kPunctLow);
+  EXPECT_EQ(text_part(0x40), TextPart::kUpper);
+  EXPECT_EQ(text_part(0x5F), TextPart::kUpper);
+  EXPECT_EQ(text_part(0x60), TextPart::kLower);
+  EXPECT_EQ(text_part(0x7E), TextPart::kLower);
+  EXPECT_EQ(text_part(0x1F), TextPart::kNotText);
+  EXPECT_EQ(text_part(0x7F), TextPart::kNotText);
+}
+
+TEST(XorClosure, SamePartXorLandsInNonTextLowRange) {
+  // Figure 4: XOR of two bytes from the same part yields 0x00..0x1F.
+  const auto table = xor_closure_table();
+  for (int part = 0; part < 3; ++part) {
+    const XorCell& cell = table[part][part];
+    EXPECT_GT(cell.pairs, 0u);
+    EXPECT_EQ(cell.text_results, 0u) << "part " << part;
+    EXPECT_EQ(cell.low_results, cell.pairs) << "part " << part;
+  }
+}
+
+TEST(XorClosure, CrossPartXorIsMostlyText) {
+  const auto table = xor_closure_table();
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_GT(table[a][b].text_fraction(), 0.5)
+          << "parts " << a << "," << b;
+    }
+  }
+}
+
+TEST(XorClosure, TotalPairCountIs95Squared) {
+  const auto table = xor_closure_table();
+  std::uint64_t total = 0;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) total += table[a][b].pairs;
+  }
+  EXPECT_EQ(total, 95u * 95u);
+}
+
+TEST(XorClosure, NoSingleKeyKeepsTextClosed) {
+  // The paper's central Figure 4 claim, proven by exhaustion.
+  EXPECT_FALSE(single_xor_key_exists());
+  // Key 0 trivially maps text to itself but "encrypts" nothing; it is the
+  // unique coverage maximum.
+  EXPECT_EQ(xor_key_coverage(0x00), 95);
+  for (int key = 1; key <= 0xFF; ++key) {
+    EXPECT_LT(xor_key_coverage(static_cast<std::uint8_t>(key)), 95) << key;
+  }
+}
+
+// --- Binary corpus -----------------------------------------------------------
+
+TEST(BinaryCorpus, HasExpectedPayloads) {
+  const auto& corpus = binary_shellcode_corpus();
+  EXPECT_GE(corpus.size(), 6u);
+  for (const auto& shellcode : corpus) {
+    EXPECT_FALSE(shellcode.name.empty());
+    EXPECT_FALSE(shellcode.bytes.empty());
+    // Binary payloads are decidedly not text.
+    EXPECT_FALSE(util::is_text_buffer(shellcode.bytes)) << shellcode.name;
+  }
+  // The classic execve ends with int 0x80.
+  const auto& execve = corpus.front();
+  ASSERT_GE(execve.bytes.size(), 2u);
+  EXPECT_EQ(execve.bytes[execve.bytes.size() - 2], 0xCD);
+  EXPECT_EQ(execve.bytes.back(), 0x80);
+}
+
+TEST(BinaryCorpus, SledWormShape) {
+  util::Xoshiro256 rng(1);
+  const auto& payload = binary_shellcode_corpus().front();
+  const auto worm = make_sled_worm(payload, 200, 16, rng);
+  EXPECT_EQ(worm.size(), 200 + payload.bytes.size() + 16 * 4);
+  // The payload appears verbatim after the sled.
+  EXPECT_EQ(std::memcmp(worm.data() + 200, payload.bytes.data(),
+                        payload.bytes.size()),
+            0);
+}
+
+TEST(BinaryCorpus, RegisterSpringWormHasNoSled) {
+  util::Xoshiro256 rng(2);
+  const auto& payload = binary_shellcode_corpus().front();
+  const auto worm = make_register_spring_worm(payload, 100, 8, rng);
+  EXPECT_EQ(worm.size(), 100 + 8 * 4 + payload.bytes.size());
+}
+
+TEST(BinaryCorpus, PolymorphicSledBytesAreSingleByteInstructions) {
+  util::Xoshiro256 rng(3);
+  const auto sled = make_polymorphic_sled(500, rng);
+  EXPECT_EQ(sled.size(), 500u);
+}
+
+// --- Sub-triple solver -------------------------------------------------------
+
+class SubTripleTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SubTripleTest, SolvesWithAllTextBytes) {
+  util::Xoshiro256 rng(GetParam() * 2654435761u + 1);
+  const SubTriple triple = solve_sub_triple(GetParam(), rng);
+  EXPECT_EQ(triple.k1 + triple.k2 + triple.k3, 0u - GetParam());
+  for (std::uint32_t k : {triple.k1, triple.k2, triple.k3}) {
+    for (int byte = 0; byte < 4; ++byte) {
+      const auto b = static_cast<std::uint8_t>(k >> (8 * byte));
+      EXPECT_GE(b, 0x21) << "value " << GetParam();
+      EXPECT_LE(b, 0x7E) << "value " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, SubTripleTest,
+                         ::testing::Values(0u, 1u, 0xFFu, 0x100u, 0x12345678u,
+                                           0x80000000u, 0xFFFFFFFFu,
+                                           0xDEADBEEFu, 0x6E69622Fu,
+                                           0x00000A0Du));
+
+TEST(SubTriple, RandomSweepAlwaysSolves) {
+  util::Xoshiro256 rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const auto value = static_cast<std::uint32_t>(rng());
+    const SubTriple triple = solve_sub_triple(value, rng);
+    ASSERT_EQ(triple.k1 + triple.k2 + triple.k3, 0u - value) << value;
+  }
+}
+
+// --- Encoder round trip ------------------------------------------------------
+
+TEST(Encoder, OutputIsPureText) {
+  util::Xoshiro256 rng(9);
+  for (const auto& binary : binary_shellcode_corpus()) {
+    TextWormOptions options;
+    const auto worm = encode_text_worm(binary.bytes, options, rng);
+    EXPECT_TRUE(util::is_text_buffer(worm)) << binary.name;
+  }
+}
+
+TEST(Encoder, DecoderRoundTripRecoversPayload) {
+  util::Xoshiro256 rng(10);
+  for (const auto& binary : binary_shellcode_corpus()) {
+    TextWormOptions options;
+    const auto worm = encode_text_worm(binary.bytes, options, rng);
+    const auto decoded = simulate_stack_decoder(worm);
+    ASSERT_GE(decoded.size(), binary.bytes.size()) << binary.name;
+    EXPECT_EQ(std::memcmp(decoded.data(), binary.bytes.data(),
+                          binary.bytes.size()),
+              0)
+        << binary.name;
+  }
+}
+
+TEST(Encoder, RoundTripWithJumpHops) {
+  util::Xoshiro256 rng(11);
+  TextWormOptions options;
+  options.jump_hops = true;
+  options.hop_probability = 1.0;  // A hop after every block.
+  const auto& binary = binary_shellcode_corpus().front();
+  const auto worm = encode_text_worm(binary.bytes, options, rng);
+  EXPECT_TRUE(util::is_text_buffer(worm));
+  const auto decoded = simulate_stack_decoder(worm);
+  ASSERT_GE(decoded.size(), binary.bytes.size());
+  EXPECT_EQ(std::memcmp(decoded.data(), binary.bytes.data(),
+                        binary.bytes.size()),
+            0);
+}
+
+TEST(Encoder, SizeExpansionIsSubstantial) {
+  // Section 2.3: no one-to-one correspondence — text encoding inflates the
+  // payload; each dword costs ~6 text instructions (>20 bytes per 4).
+  util::Xoshiro256 rng(12);
+  TextWormOptions options;
+  options.text_sled_length = 0;
+  options.ret_tail_dwords = 0;
+  const auto& binary = binary_shellcode_corpus().front();
+  const auto worm = encode_text_worm(binary.bytes, options, rng);
+  EXPECT_GT(worm.size(), binary.bytes.size() * 5);
+}
+
+TEST(Encoder, DecrypterHasNoBackwardJumps) {
+  // Structural check of the forward-only property: every byte that our
+  // encoder emits as a rel8 is text (>= +0x20); more simply, the whole
+  // worm is text, so no displacement byte can have its MSB set.
+  util::Xoshiro256 rng(13);
+  const auto& binary = binary_shellcode_corpus().front();
+  TextWormOptions options;
+  options.jump_hops = true;
+  const auto worm = encode_text_worm(binary.bytes, options, rng);
+  for (std::uint8_t b : worm) {
+    EXPECT_LT(b, 0x80);
+  }
+}
+
+TEST(Encoder, VariantsAreDiverse) {
+  // The randomized triple decomposition makes each encoding distinct.
+  util::Xoshiro256 rng_a(20);
+  util::Xoshiro256 rng_b(21);
+  const auto& binary = binary_shellcode_corpus().front();
+  TextWormOptions options;
+  const auto worm_a = encode_text_worm(binary.bytes, options, rng_a);
+  const auto worm_b = encode_text_worm(binary.bytes, options, rng_b);
+  EXPECT_NE(worm_a, worm_b);
+  // Yet both decode to the same payload.
+  const auto decoded_a = simulate_stack_decoder(worm_a);
+  const auto decoded_b = simulate_stack_decoder(worm_b);
+  ASSERT_GE(decoded_a.size(), binary.bytes.size());
+  EXPECT_EQ(std::memcmp(decoded_a.data(), decoded_b.data(),
+                        binary.bytes.size()),
+            0);
+}
+
+TEST(WormCorpus, ProducesRequestedCountAllText) {
+  const auto worms = text_worm_corpus(108, 5);
+  EXPECT_EQ(worms.size(), 108u);
+  for (const auto& worm : worms) {
+    EXPECT_TRUE(util::is_text_buffer(worm.bytes)) << worm.name;
+    EXPECT_FALSE(worm.name.empty());
+  }
+  // Names are unique.
+  std::set<std::string> names;
+  for (const auto& worm : worms) names.insert(worm.name);
+  EXPECT_EQ(names.size(), worms.size());
+}
+
+// --- Charset-restricted encoding ---------------------------------------------
+
+TEST(ImmediateCharset, StandardAndExclusions) {
+  const auto standard = ImmediateCharset::standard();
+  EXPECT_EQ(standard.size(), 0x7E - 0x21 + 1);
+  EXPECT_TRUE(standard.contains('!'));
+  EXPECT_TRUE(standard.contains('~'));
+  EXPECT_FALSE(standard.contains(' '));
+  EXPECT_FALSE(standard.contains(0x7F));
+  const auto reduced = ImmediateCharset::excluding("\"'\\");
+  EXPECT_EQ(reduced.size(), standard.size() - 3);
+  EXPECT_FALSE(reduced.contains('"'));
+  EXPECT_FALSE(reduced.contains('\\'));
+  EXPECT_EQ(reduced.min_byte(), 0x21);
+  EXPECT_EQ(reduced.max_byte(), 0x7E);
+}
+
+TEST(SubTriple, CharsetRestrictedSolves) {
+  const auto charset = ImmediateCharset::excluding("\"'\\&<>%+=;,");
+  util::Xoshiro256 rng(88);
+  for (int i = 0; i < 500; ++i) {
+    const auto value = static_cast<std::uint32_t>(rng());
+    const SubTriple triple = solve_sub_triple(value, charset, rng);
+    ASSERT_EQ(triple.k1 + triple.k2 + triple.k3, 0u - value);
+    for (std::uint32_t k : {triple.k1, triple.k2, triple.k3}) {
+      for (int byte = 0; byte < 4; ++byte) {
+        EXPECT_TRUE(charset.contains(static_cast<std::uint8_t>(k >> (8 * byte))));
+      }
+    }
+  }
+}
+
+TEST(Encoder, ForbiddenCharsetWormAvoidsBytesAndRoundTrips) {
+  // A worm injected into a quoted HTML attribute must avoid the context
+  // breakers; the encoder routes immediates around them.
+  const std::string forbidden = "\"'\\&<>";
+  TextWormOptions options;
+  options.forbidden = forbidden;
+  options.jump_hops = true;
+  options.hop_probability = 1.0;
+  util::Xoshiro256 rng(77);
+  const auto& binary = binary_shellcode_corpus().front();
+  const auto worm = encode_text_worm(binary.bytes, options, rng);
+  EXPECT_TRUE(util::is_text_buffer(worm));
+  for (std::uint8_t b : worm) {
+    EXPECT_EQ(forbidden.find(static_cast<char>(b)), std::string::npos)
+        << "byte " << static_cast<int>(b);
+  }
+  const auto decoded = simulate_stack_decoder(worm);
+  ASSERT_GE(decoded.size(), binary.bytes.size());
+  EXPECT_EQ(std::memcmp(decoded.data(), binary.bytes.data(),
+                        binary.bytes.size()),
+            0);
+}
+
+TEST(Encoder, ForbiddenMaskBytesFallBackToDisjointPair) {
+  // Excluding '@' and '?' forces the encoder to find another AND-disjoint
+  // zeroing pair; the round trip proves the zeroing still works.
+  TextWormOptions options;
+  options.forbidden = "@?";
+  util::Xoshiro256 rng(78);
+  const auto& binary = binary_shellcode_corpus()[2];
+  const auto worm = encode_text_worm(binary.bytes, options, rng);
+  for (std::uint8_t b : worm) {
+    EXPECT_NE(b, '@');
+    EXPECT_NE(b, '?');
+  }
+  const auto decoded = simulate_stack_decoder(worm);
+  ASSERT_GE(decoded.size(), binary.bytes.size());
+  EXPECT_EQ(std::memcmp(decoded.data(), binary.bytes.data(),
+                        binary.bytes.size()),
+            0);
+}
+
+TEST(Encoder, RestrictedWormIsStillDetected) {
+  // Charset games do not help the attacker: the decrypter's structure is
+  // unchanged.
+  TextWormOptions options;
+  options.forbidden = "\"'\\&<>@?";
+  util::Xoshiro256 rng(79);
+  const auto worm =
+      encode_text_worm(binary_shellcode_corpus()[1].bytes, options, rng);
+  const core::MelDetector detector;
+  EXPECT_TRUE(detector.scan(worm).malicious);
+}
+
+// --- Blending ---------------------------------------------------------------
+
+TEST(Blend, MovesDistributionTowardTarget) {
+  util::Xoshiro256 rng(30);
+  const auto& target = traffic::web_text_distribution();
+  const auto& binary = binary_shellcode_corpus().front();
+  TextWormOptions options;
+  const auto worm = encode_text_worm(binary.bytes, options, rng);
+  const double before = distribution_distance(worm, target);
+  BlendOptions blend_options;
+  blend_options.total_size = 4000;
+  const auto blended =
+      blend_to_distribution(worm, target, blend_options, rng);
+  const double after = distribution_distance(blended, target);
+  EXPECT_EQ(blended.size(), 4000u);
+  EXPECT_LT(after, before * 0.4);
+}
+
+TEST(Blend, PreservesWormPrefixVerbatim) {
+  util::Xoshiro256 rng(31);
+  const auto& target = traffic::web_text_distribution();
+  const auto& binary = binary_shellcode_corpus().front();
+  const auto worm = encode_text_worm(binary.bytes, {}, rng);
+  const auto blended = blend_to_distribution(worm, target, {}, rng);
+  ASSERT_GE(blended.size(), worm.size());
+  EXPECT_EQ(std::memcmp(blended.data(), worm.data(), worm.size()), 0);
+  // And therefore still decodes.
+  const auto decoded = simulate_stack_decoder(blended);
+  ASSERT_GE(decoded.size(), binary.bytes.size());
+  EXPECT_EQ(std::memcmp(decoded.data(), binary.bytes.data(),
+                        binary.bytes.size()),
+            0);
+}
+
+TEST(Blend, OutputStaysText) {
+  util::Xoshiro256 rng(32);
+  const auto& target = traffic::web_text_distribution();
+  const auto worm =
+      encode_text_worm(binary_shellcode_corpus()[1].bytes, {}, rng);
+  const auto blended = blend_to_distribution(worm, target, {}, rng);
+  EXPECT_TRUE(util::is_text_buffer(blended));
+}
+
+}  // namespace
+}  // namespace mel::textcode

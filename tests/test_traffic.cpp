@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/email_gen.hpp"
+#include "mel/traffic/english_model.hpp"
+#include "mel/traffic/http_gen.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::traffic {
+namespace {
+
+TEST(EnglishFrequencies, NormalizedAndOrdered) {
+  const auto& freq = english_letter_frequencies();
+  const double sum = std::accumulate(freq.begin(), freq.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // e is the most frequent letter; z among the least.
+  EXPECT_GT(freq['e' - 'a'], freq['t' - 'a']);
+  EXPECT_GT(freq['t' - 'a'], freq['q' - 'a']);
+  EXPECT_LT(freq['z' - 'a'], 0.01);
+}
+
+TEST(WebTextDistribution, TextOnlyAndNormalized) {
+  const auto& dist = web_text_distribution();
+  double text_mass = 0.0;
+  double total = 0.0;
+  for (int b = 0; b < 256; ++b) {
+    total += dist[b];
+    if (util::is_text_byte(static_cast<std::uint8_t>(b))) {
+      text_mass += dist[b];
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(text_mass, 1.0, 1e-9);
+  // The I/O letters l,m,n,o carry substantial mass — the paper's key fact.
+  EXPECT_GT(dist['l'] + dist['m'] + dist['n'] + dist['o'], 0.10);
+}
+
+TEST(MeasureDistribution, CountsBytes) {
+  const auto payload = util::to_bytes("aab");
+  const auto dist = measure_distribution(payload);
+  EXPECT_NEAR(dist['a'], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dist['b'], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dist['c'], 0.0);
+}
+
+TEST(MeasureDistribution, CorpusAggregation) {
+  std::vector<util::ByteBuffer> corpus = {util::to_bytes("aa"),
+                                          util::to_bytes("bb")};
+  const auto dist = measure_distribution(corpus);
+  EXPECT_NEAR(dist['a'], 0.5, 1e-12);
+  EXPECT_NEAR(dist['b'], 0.5, 1e-12);
+}
+
+TEST(MarkovGenerator, ProducesTextOfExactLength) {
+  MarkovTextGenerator generator;
+  util::Xoshiro256 rng(3);
+  for (std::size_t length : {0u, 1u, 2u, 10u, 1000u}) {
+    const std::string text = generator.generate(length, rng);
+    EXPECT_EQ(text.size(), length);
+    EXPECT_TRUE(util::is_text_buffer(util::to_bytes(text)));
+  }
+}
+
+TEST(MarkovGenerator, IsDeterministicPerSeed) {
+  MarkovTextGenerator generator;
+  util::Xoshiro256 rng_a(42);
+  util::Xoshiro256 rng_b(42);
+  EXPECT_EQ(generator.generate(200, rng_a), generator.generate(200, rng_b));
+}
+
+TEST(MarkovGenerator, LooksLikeEnglish) {
+  // Vowels and spaces should be abundant; rare letters rare.
+  MarkovTextGenerator generator;
+  util::Xoshiro256 rng(17);
+  const std::string text = generator.generate(20000, rng);
+  int vowels = 0;
+  int spaces = 0;
+  int zq = 0;
+  for (char c : text) {
+    if (c == 'e' || c == 'a' || c == 'o' || c == 'i' || c == 'u') ++vowels;
+    if (c == ' ') ++spaces;
+    if (c == 'z' || c == 'q') ++zq;
+  }
+  EXPECT_GT(vowels, 20000 / 5);
+  EXPECT_GT(spaces, 20000 / 12);
+  EXPECT_LT(zq, 20000 / 50);
+}
+
+TEST(HttpGenerator, RequestShape) {
+  HttpGenerator generator;
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const HttpMessage request = generator.make_request(rng);
+    const bool is_get = request.raw.rfind("GET ", 0) == 0;
+    const bool is_post = request.raw.rfind("POST ", 0) == 0;
+    EXPECT_TRUE(is_get || is_post);
+    EXPECT_NE(request.headers.find("Host: "), std::string::npos);
+    EXPECT_NE(request.headers.find("HTTP/1.1\r\n"), std::string::npos);
+    EXPECT_NE(request.headers.find("\r\n\r\n"), std::string::npos);
+    if (is_post) {
+      EXPECT_FALSE(request.body.empty());
+      EXPECT_NE(request.headers.find("Content-Length: "),
+                std::string::npos);
+    }
+    EXPECT_EQ(request.raw, request.headers + request.body);
+  }
+}
+
+TEST(HttpGenerator, ResponseShapeAndBodySize) {
+  HttpGenerator generator;
+  util::Xoshiro256 rng(6);
+  const HttpMessage response = generator.make_response(2000, rng);
+  EXPECT_EQ(response.raw.rfind("HTTP/1.1 ", 0), 0u);
+  EXPECT_NE(response.body.find("<html>"), std::string::npos);
+  EXPECT_LE(response.body.size(), 2000u);
+  EXPECT_GT(response.body.size(), 1000u);
+}
+
+TEST(HttpGenerator, UrlsAreWellFormed) {
+  HttpGenerator generator;
+  util::Xoshiro256 rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const std::string url = generator.make_url(rng);
+    EXPECT_EQ(url.front(), '/');
+    EXPECT_TRUE(util::is_text_buffer(util::to_bytes(url)));
+  }
+}
+
+TEST(StripHeaders, RemovesHeaderBlock) {
+  EXPECT_EQ(strip_headers("A: b\r\nC: d\r\n\r\nBODY"), "BODY");
+  EXPECT_EQ(strip_headers("no header block here"),
+            "no header block here");
+  EXPECT_EQ(strip_headers("X: y\r\n\r\n"), "");
+}
+
+TEST(AsciiFilter, MapsControlBytes) {
+  EXPECT_EQ(ascii_filter("ab\r\ncd\tz"), "ab  cd z");
+  std::string with_binary = "a";
+  with_binary.push_back('\x01');
+  with_binary.push_back('\xff');
+  with_binary.push_back('b');
+  EXPECT_EQ(ascii_filter(with_binary), "a..b");
+}
+
+TEST(BenignDataset, ShapeAndPurity) {
+  const auto corpus = make_benign_dataset({.cases = 25, .case_size = 1000});
+  ASSERT_EQ(corpus.size(), 25u);
+  for (const auto& payload : corpus) {
+    EXPECT_EQ(payload.size(), 1000u);
+    EXPECT_TRUE(util::is_text_buffer(payload));
+  }
+}
+
+TEST(BenignDataset, DeterministicPerSeed) {
+  const auto a = make_benign_dataset({.cases = 3, .seed = 99});
+  const auto b = make_benign_dataset({.cases = 3, .seed = 99});
+  EXPECT_EQ(a, b);
+  const auto c = make_benign_dataset({.cases = 3, .seed = 100});
+  EXPECT_NE(a, c);
+}
+
+TEST(BenignDataset, MixtureWeightsAreRespected) {
+  // Pure-prose corpus contains no markup.
+  const auto prose = make_benign_dataset(
+      {.cases = 5, .html_weight = 0, .prose_weight = 1, .form_weight = 0});
+  for (const auto& payload : prose) {
+    const std::string text(payload.begin(), payload.end());
+    EXPECT_EQ(text.find("<html>"), std::string::npos);
+  }
+  const auto html = make_benign_dataset(
+      {.cases = 5, .html_weight = 1, .prose_weight = 0, .form_weight = 0});
+  int with_markup = 0;
+  for (const auto& payload : html) {
+    const std::string text(payload.begin(), payload.end());
+    if (text.find("<p>") != std::string::npos) ++with_markup;
+  }
+  EXPECT_GE(with_markup, 4);
+}
+
+TEST(EmailGenerator, MessageShape) {
+  EmailGenerator generator;
+  util::Xoshiro256 rng(21);
+  const EmailMessage message = generator.make_email(1500, rng);
+  EXPECT_EQ(message.raw, message.headers + message.body);
+  EXPECT_NE(message.headers.find("From: "), std::string::npos);
+  EXPECT_NE(message.headers.find("Subject: "), std::string::npos);
+  EXPECT_NE(message.headers.find("Message-ID: <"), std::string::npos);
+  EXPECT_NE(message.headers.find("\r\n\r\n"), std::string::npos);
+  EXPECT_NE(message.body.find("regards,"), std::string::npos);
+  EXPECT_LE(message.body.size(), 1500u);
+}
+
+TEST(EmailGenerator, MailCorpusIsTextAndSized) {
+  EmailGenerator generator;
+  const auto corpus = generator.make_mail_corpus(12, 2000, 5);
+  ASSERT_EQ(corpus.size(), 12u);
+  for (const auto& payload : corpus) {
+    EXPECT_EQ(payload.size(), 2000u);
+    EXPECT_TRUE(util::is_text_buffer(payload));
+  }
+}
+
+TEST(EmailGenerator, QuotedRepliesAppear) {
+  EmailGenerator generator;
+  util::Xoshiro256 rng(22);
+  bool saw_quote = false;
+  for (int i = 0; i < 10 && !saw_quote; ++i) {
+    const EmailMessage message = generator.make_email(3000, rng);
+    saw_quote = message.body.find("> ") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_quote);
+}
+
+}  // namespace
+}  // namespace mel::traffic

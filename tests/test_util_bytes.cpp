@@ -1,0 +1,102 @@
+#include "mel/util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mel::util {
+namespace {
+
+TEST(TextDomain, BoundariesAreExact) {
+  EXPECT_FALSE(is_text_byte(0x1F));
+  EXPECT_TRUE(is_text_byte(0x20));
+  EXPECT_TRUE(is_text_byte(0x7E));
+  EXPECT_FALSE(is_text_byte(0x7F));
+  EXPECT_FALSE(is_text_byte(0x00));
+  EXPECT_FALSE(is_text_byte(0xFF));
+}
+
+TEST(TextDomain, DomainSizeIs95) {
+  int count = 0;
+  for (int b = 0; b < 256; ++b) {
+    if (is_text_byte(static_cast<std::uint8_t>(b))) ++count;
+  }
+  EXPECT_EQ(count, kTextDomainSize);
+  EXPECT_EQ(kTextDomainSize, 95);
+}
+
+TEST(TextDomain, BufferPredicate) {
+  EXPECT_TRUE(is_text_buffer(to_bytes("hello world ~!")));
+  EXPECT_FALSE(is_text_buffer(to_bytes("line\nbreak")));
+  ByteBuffer with_nul = to_bytes("abc");
+  with_nul.push_back(0);
+  EXPECT_FALSE(is_text_buffer(with_nul));
+  EXPECT_TRUE(is_text_buffer({}));  // Empty is trivially text.
+}
+
+TEST(AlnumPredicate, MatchesExactSet) {
+  int count = 0;
+  for (int b = 0; b < 256; ++b) {
+    if (is_alnum_byte(static_cast<std::uint8_t>(b))) ++count;
+  }
+  EXPECT_EQ(count, 26 + 26 + 10);
+  EXPECT_TRUE(is_alnum_byte('0'));
+  EXPECT_TRUE(is_alnum_byte('Z'));
+  EXPECT_TRUE(is_alnum_byte('a'));
+  EXPECT_FALSE(is_alnum_byte(' '));
+  EXPECT_FALSE(is_alnum_byte('@'));
+}
+
+TEST(LittleEndian, RoundTrip16) {
+  ByteBuffer buffer;
+  append_le16(buffer, 0xBEEF);
+  ASSERT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer[0], 0xEF);
+  EXPECT_EQ(buffer[1], 0xBE);
+  EXPECT_EQ(load_le16(buffer, 0), 0xBEEF);
+}
+
+TEST(LittleEndian, RoundTrip32) {
+  ByteBuffer buffer;
+  append_le32(buffer, 0xDEADBEEF);
+  ASSERT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer[0], 0xEF);
+  EXPECT_EQ(buffer[3], 0xDE);
+  EXPECT_EQ(load_le32(buffer, 0), 0xDEADBEEF);
+}
+
+TEST(LittleEndian, LoadAtOffset) {
+  ByteBuffer buffer = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55};
+  EXPECT_EQ(load_le16(buffer, 1), 0x2211);
+  EXPECT_EQ(load_le32(buffer, 2), 0x55443322u);
+}
+
+TEST(Printable, SubstitutesNonText) {
+  ByteBuffer data = to_bytes("ab");
+  data.push_back(0x01);
+  data.push_back('z');
+  EXPECT_EQ(to_printable(data), "ab.z");
+}
+
+TEST(Hexdump, FormatsLineWithAsciiGutter) {
+  const ByteBuffer data = to_bytes("ABCDEFGH");
+  const std::string dump = hexdump(data);
+  EXPECT_NE(dump.find("41 42 43 44 45 46 47 48"), std::string::npos);
+  EXPECT_NE(dump.find("|ABCDEFGH|"), std::string::npos);
+  EXPECT_NE(dump.find("00000000"), std::string::npos);
+}
+
+TEST(Hexdump, MultiLineAndBaseAddress) {
+  ByteBuffer data(20, 0x41);
+  const std::string dump = hexdump(data, 0x1000);
+  EXPECT_NE(dump.find("00001000"), std::string::npos);
+  EXPECT_NE(dump.find("00001010"), std::string::npos);
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);
+}
+
+TEST(HexString, CompactFormat) {
+  const ByteBuffer data = {0x0F, 0xA0, 0x7E};
+  EXPECT_EQ(hex_string(data), "0f a0 7e");
+  EXPECT_EQ(hex_string({}), "");
+}
+
+}  // namespace
+}  // namespace mel::util
