@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_pmf_model_vs_montecarlo.dir/fig1_pmf_model_vs_montecarlo.cpp.o"
+  "CMakeFiles/fig1_pmf_model_vs_montecarlo.dir/fig1_pmf_model_vs_montecarlo.cpp.o.d"
+  "fig1_pmf_model_vs_montecarlo"
+  "fig1_pmf_model_vs_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pmf_model_vs_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

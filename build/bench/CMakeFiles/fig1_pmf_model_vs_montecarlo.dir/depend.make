@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_pmf_model_vs_montecarlo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_iso_error_line.dir/fig2_iso_error_line.cpp.o"
+  "CMakeFiles/fig2_iso_error_line.dir/fig2_iso_error_line.cpp.o.d"
+  "fig2_iso_error_line"
+  "fig2_iso_error_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_iso_error_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_iso_error_line.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mel_frequency_charts.dir/fig3_mel_frequency_charts.cpp.o"
+  "CMakeFiles/fig3_mel_frequency_charts.dir/fig3_mel_frequency_charts.cpp.o.d"
+  "fig3_mel_frequency_charts"
+  "fig3_mel_frequency_charts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mel_frequency_charts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_xor_closure.dir/fig4_xor_closure.cpp.o"
+  "CMakeFiles/fig4_xor_closure.dir/fig4_xor_closure.cpp.o.d"
+  "fig4_xor_closure"
+  "fig4_xor_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_xor_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_xor_closure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_xor_closure.
+# This may be replaced when dependencies are built.

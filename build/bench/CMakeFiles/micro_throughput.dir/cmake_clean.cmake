@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_throughput.dir/micro_throughput.cpp.o"
+  "CMakeFiles/micro_throughput.dir/micro_throughput.cpp.o.d"
+  "micro_throughput"
+  "micro_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

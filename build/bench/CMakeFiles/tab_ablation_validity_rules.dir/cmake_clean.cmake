@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ablation_validity_rules.dir/tab_ablation_validity_rules.cpp.o"
+  "CMakeFiles/tab_ablation_validity_rules.dir/tab_ablation_validity_rules.cpp.o.d"
+  "tab_ablation_validity_rules"
+  "tab_ablation_validity_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ablation_validity_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ape_vs_dawn.dir/tab_ape_vs_dawn.cpp.o"
+  "CMakeFiles/tab_ape_vs_dawn.dir/tab_ape_vs_dawn.cpp.o.d"
+  "tab_ape_vs_dawn"
+  "tab_ape_vs_dawn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ape_vs_dawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

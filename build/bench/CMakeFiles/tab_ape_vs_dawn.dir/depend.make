@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_ape_vs_dawn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_baseline_evasion.dir/tab_baseline_evasion.cpp.o"
+  "CMakeFiles/tab_baseline_evasion.dir/tab_baseline_evasion.cpp.o.d"
+  "tab_baseline_evasion"
+  "tab_baseline_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_baseline_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

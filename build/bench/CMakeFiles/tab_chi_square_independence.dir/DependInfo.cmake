@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_chi_square_independence.cpp" "bench/CMakeFiles/tab_chi_square_independence.dir/tab_chi_square_independence.cpp.o" "gcc" "bench/CMakeFiles/tab_chi_square_independence.dir/tab_chi_square_independence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/textcode/CMakeFiles/mel_textcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mel_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mel_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/disasm/CMakeFiles/mel_disasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_chi_square_independence.dir/tab_chi_square_independence.cpp.o"
+  "CMakeFiles/tab_chi_square_independence.dir/tab_chi_square_independence.cpp.o.d"
+  "tab_chi_square_independence"
+  "tab_chi_square_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_chi_square_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

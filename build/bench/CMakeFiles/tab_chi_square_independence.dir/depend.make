@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_chi_square_independence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_detection_results.dir/tab_detection_results.cpp.o"
+  "CMakeFiles/tab_detection_results.dir/tab_detection_results.cpp.o.d"
+  "tab_detection_results"
+  "tab_detection_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_detection_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

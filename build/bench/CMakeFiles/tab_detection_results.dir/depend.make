@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_detection_results.
+# This may be replaced when dependencies are built.

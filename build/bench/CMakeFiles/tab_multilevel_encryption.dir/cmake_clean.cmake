@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_multilevel_encryption.dir/tab_multilevel_encryption.cpp.o"
+  "CMakeFiles/tab_multilevel_encryption.dir/tab_multilevel_encryption.cpp.o.d"
+  "tab_multilevel_encryption"
+  "tab_multilevel_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_multilevel_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

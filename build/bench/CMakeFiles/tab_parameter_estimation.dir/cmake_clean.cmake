@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_parameter_estimation.dir/tab_parameter_estimation.cpp.o"
+  "CMakeFiles/tab_parameter_estimation.dir/tab_parameter_estimation.cpp.o.d"
+  "tab_parameter_estimation"
+  "tab_parameter_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_parameter_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

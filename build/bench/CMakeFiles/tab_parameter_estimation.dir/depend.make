@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_parameter_estimation.
+# This may be replaced when dependencies are built.

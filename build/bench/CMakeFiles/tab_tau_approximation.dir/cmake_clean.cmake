@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_tau_approximation.dir/tab_tau_approximation.cpp.o"
+  "CMakeFiles/tab_tau_approximation.dir/tab_tau_approximation.cpp.o.d"
+  "tab_tau_approximation"
+  "tab_tau_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_tau_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_gateway.dir/http_gateway.cpp.o"
+  "CMakeFiles/http_gateway.dir/http_gateway.cpp.o.d"
+  "http_gateway"
+  "http_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

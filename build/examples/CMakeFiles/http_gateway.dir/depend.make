@@ -1,0 +1,2 @@
+# Empty dependencies file for http_gateway.
+# This may be replaced when dependencies are built.

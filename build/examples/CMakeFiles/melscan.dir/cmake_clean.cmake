@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melscan.dir/melscan.cpp.o"
+  "CMakeFiles/melscan.dir/melscan.cpp.o.d"
+  "melscan"
+  "melscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_explorer.dir/threshold_explorer.cpp.o"
+  "CMakeFiles/threshold_explorer.dir/threshold_explorer.cpp.o.d"
+  "threshold_explorer"
+  "threshold_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

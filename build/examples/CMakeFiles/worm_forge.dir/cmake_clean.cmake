@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_forge.dir/worm_forge.cpp.o"
+  "CMakeFiles/worm_forge.dir/worm_forge.cpp.o.d"
+  "worm_forge"
+  "worm_forge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_forge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for worm_forge.
+# This may be replaced when dependencies are built.

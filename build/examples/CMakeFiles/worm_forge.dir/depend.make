@@ -1,0 +1,2 @@
+# Empty dependencies file for worm_forge.
+# This may be replaced when dependencies are built.

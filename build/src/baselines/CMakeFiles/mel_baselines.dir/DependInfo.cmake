@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aho_corasick.cpp" "src/baselines/CMakeFiles/mel_baselines.dir/aho_corasick.cpp.o" "gcc" "src/baselines/CMakeFiles/mel_baselines.dir/aho_corasick.cpp.o.d"
+  "/root/repo/src/baselines/ape.cpp" "src/baselines/CMakeFiles/mel_baselines.dir/ape.cpp.o" "gcc" "src/baselines/CMakeFiles/mel_baselines.dir/ape.cpp.o.d"
+  "/root/repo/src/baselines/payl.cpp" "src/baselines/CMakeFiles/mel_baselines.dir/payl.cpp.o" "gcc" "src/baselines/CMakeFiles/mel_baselines.dir/payl.cpp.o.d"
+  "/root/repo/src/baselines/sigfree.cpp" "src/baselines/CMakeFiles/mel_baselines.dir/sigfree.cpp.o" "gcc" "src/baselines/CMakeFiles/mel_baselines.dir/sigfree.cpp.o.d"
+  "/root/repo/src/baselines/signature_scanner.cpp" "src/baselines/CMakeFiles/mel_baselines.dir/signature_scanner.cpp.o" "gcc" "src/baselines/CMakeFiles/mel_baselines.dir/signature_scanner.cpp.o.d"
+  "/root/repo/src/baselines/stride.cpp" "src/baselines/CMakeFiles/mel_baselines.dir/stride.cpp.o" "gcc" "src/baselines/CMakeFiles/mel_baselines.dir/stride.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/mel_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/disasm/CMakeFiles/mel_disasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/textcode/CMakeFiles/mel_textcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mel_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

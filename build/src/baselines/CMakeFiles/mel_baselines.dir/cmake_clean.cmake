@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_baselines.dir/aho_corasick.cpp.o"
+  "CMakeFiles/mel_baselines.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/mel_baselines.dir/ape.cpp.o"
+  "CMakeFiles/mel_baselines.dir/ape.cpp.o.d"
+  "CMakeFiles/mel_baselines.dir/payl.cpp.o"
+  "CMakeFiles/mel_baselines.dir/payl.cpp.o.d"
+  "CMakeFiles/mel_baselines.dir/sigfree.cpp.o"
+  "CMakeFiles/mel_baselines.dir/sigfree.cpp.o.d"
+  "CMakeFiles/mel_baselines.dir/signature_scanner.cpp.o"
+  "CMakeFiles/mel_baselines.dir/signature_scanner.cpp.o.d"
+  "CMakeFiles/mel_baselines.dir/stride.cpp.o"
+  "CMakeFiles/mel_baselines.dir/stride.cpp.o.d"
+  "libmel_baselines.a"
+  "libmel_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

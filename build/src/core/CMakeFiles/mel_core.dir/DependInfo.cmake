@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/mel_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/mel_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/calibrator.cpp" "src/core/CMakeFiles/mel_core.dir/calibrator.cpp.o" "gcc" "src/core/CMakeFiles/mel_core.dir/calibrator.cpp.o.d"
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/mel_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/mel_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/mel_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/mel_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/mel_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/mel_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/mel_model.cpp" "src/core/CMakeFiles/mel_core.dir/mel_model.cpp.o" "gcc" "src/core/CMakeFiles/mel_core.dir/mel_model.cpp.o.d"
+  "/root/repo/src/core/parameter_estimation.cpp" "src/core/CMakeFiles/mel_core.dir/parameter_estimation.cpp.o" "gcc" "src/core/CMakeFiles/mel_core.dir/parameter_estimation.cpp.o.d"
+  "/root/repo/src/core/stream_detector.cpp" "src/core/CMakeFiles/mel_core.dir/stream_detector.cpp.o" "gcc" "src/core/CMakeFiles/mel_core.dir/stream_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/mel_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/disasm/CMakeFiles/mel_disasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mel_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_core.dir/calibration.cpp.o"
+  "CMakeFiles/mel_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/mel_core.dir/calibrator.cpp.o"
+  "CMakeFiles/mel_core.dir/calibrator.cpp.o.d"
+  "CMakeFiles/mel_core.dir/config_io.cpp.o"
+  "CMakeFiles/mel_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/mel_core.dir/detector.cpp.o"
+  "CMakeFiles/mel_core.dir/detector.cpp.o.d"
+  "CMakeFiles/mel_core.dir/explain.cpp.o"
+  "CMakeFiles/mel_core.dir/explain.cpp.o.d"
+  "CMakeFiles/mel_core.dir/mel_model.cpp.o"
+  "CMakeFiles/mel_core.dir/mel_model.cpp.o.d"
+  "CMakeFiles/mel_core.dir/parameter_estimation.cpp.o"
+  "CMakeFiles/mel_core.dir/parameter_estimation.cpp.o.d"
+  "CMakeFiles/mel_core.dir/stream_detector.cpp.o"
+  "CMakeFiles/mel_core.dir/stream_detector.cpp.o.d"
+  "libmel_core.a"
+  "libmel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

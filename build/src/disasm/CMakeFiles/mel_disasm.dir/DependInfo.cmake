@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disasm/assembler.cpp" "src/disasm/CMakeFiles/mel_disasm.dir/assembler.cpp.o" "gcc" "src/disasm/CMakeFiles/mel_disasm.dir/assembler.cpp.o.d"
+  "/root/repo/src/disasm/decoder.cpp" "src/disasm/CMakeFiles/mel_disasm.dir/decoder.cpp.o" "gcc" "src/disasm/CMakeFiles/mel_disasm.dir/decoder.cpp.o.d"
+  "/root/repo/src/disasm/formatter.cpp" "src/disasm/CMakeFiles/mel_disasm.dir/formatter.cpp.o" "gcc" "src/disasm/CMakeFiles/mel_disasm.dir/formatter.cpp.o.d"
+  "/root/repo/src/disasm/instruction.cpp" "src/disasm/CMakeFiles/mel_disasm.dir/instruction.cpp.o" "gcc" "src/disasm/CMakeFiles/mel_disasm.dir/instruction.cpp.o.d"
+  "/root/repo/src/disasm/opcode_table.cpp" "src/disasm/CMakeFiles/mel_disasm.dir/opcode_table.cpp.o" "gcc" "src/disasm/CMakeFiles/mel_disasm.dir/opcode_table.cpp.o.d"
+  "/root/repo/src/disasm/registers.cpp" "src/disasm/CMakeFiles/mel_disasm.dir/registers.cpp.o" "gcc" "src/disasm/CMakeFiles/mel_disasm.dir/registers.cpp.o.d"
+  "/root/repo/src/disasm/text_subset.cpp" "src/disasm/CMakeFiles/mel_disasm.dir/text_subset.cpp.o" "gcc" "src/disasm/CMakeFiles/mel_disasm.dir/text_subset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_disasm.dir/assembler.cpp.o"
+  "CMakeFiles/mel_disasm.dir/assembler.cpp.o.d"
+  "CMakeFiles/mel_disasm.dir/decoder.cpp.o"
+  "CMakeFiles/mel_disasm.dir/decoder.cpp.o.d"
+  "CMakeFiles/mel_disasm.dir/formatter.cpp.o"
+  "CMakeFiles/mel_disasm.dir/formatter.cpp.o.d"
+  "CMakeFiles/mel_disasm.dir/instruction.cpp.o"
+  "CMakeFiles/mel_disasm.dir/instruction.cpp.o.d"
+  "CMakeFiles/mel_disasm.dir/opcode_table.cpp.o"
+  "CMakeFiles/mel_disasm.dir/opcode_table.cpp.o.d"
+  "CMakeFiles/mel_disasm.dir/registers.cpp.o"
+  "CMakeFiles/mel_disasm.dir/registers.cpp.o.d"
+  "CMakeFiles/mel_disasm.dir/text_subset.cpp.o"
+  "CMakeFiles/mel_disasm.dir/text_subset.cpp.o.d"
+  "libmel_disasm.a"
+  "libmel_disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mel_disasm.
+# This may be replaced when dependencies are built.

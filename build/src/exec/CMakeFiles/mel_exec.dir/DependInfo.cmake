@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/concrete_machine.cpp" "src/exec/CMakeFiles/mel_exec.dir/concrete_machine.cpp.o" "gcc" "src/exec/CMakeFiles/mel_exec.dir/concrete_machine.cpp.o.d"
+  "/root/repo/src/exec/cpu_state.cpp" "src/exec/CMakeFiles/mel_exec.dir/cpu_state.cpp.o" "gcc" "src/exec/CMakeFiles/mel_exec.dir/cpu_state.cpp.o.d"
+  "/root/repo/src/exec/mel.cpp" "src/exec/CMakeFiles/mel_exec.dir/mel.cpp.o" "gcc" "src/exec/CMakeFiles/mel_exec.dir/mel.cpp.o.d"
+  "/root/repo/src/exec/sweep.cpp" "src/exec/CMakeFiles/mel_exec.dir/sweep.cpp.o" "gcc" "src/exec/CMakeFiles/mel_exec.dir/sweep.cpp.o.d"
+  "/root/repo/src/exec/validity.cpp" "src/exec/CMakeFiles/mel_exec.dir/validity.cpp.o" "gcc" "src/exec/CMakeFiles/mel_exec.dir/validity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disasm/CMakeFiles/mel_disasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

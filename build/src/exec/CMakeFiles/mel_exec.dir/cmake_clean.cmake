@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_exec.dir/concrete_machine.cpp.o"
+  "CMakeFiles/mel_exec.dir/concrete_machine.cpp.o.d"
+  "CMakeFiles/mel_exec.dir/cpu_state.cpp.o"
+  "CMakeFiles/mel_exec.dir/cpu_state.cpp.o.d"
+  "CMakeFiles/mel_exec.dir/mel.cpp.o"
+  "CMakeFiles/mel_exec.dir/mel.cpp.o.d"
+  "CMakeFiles/mel_exec.dir/sweep.cpp.o"
+  "CMakeFiles/mel_exec.dir/sweep.cpp.o.d"
+  "CMakeFiles/mel_exec.dir/validity.cpp.o"
+  "CMakeFiles/mel_exec.dir/validity.cpp.o.d"
+  "libmel_exec.a"
+  "libmel_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

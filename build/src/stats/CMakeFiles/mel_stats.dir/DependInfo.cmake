@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chi_square.cpp" "src/stats/CMakeFiles/mel_stats.dir/chi_square.cpp.o" "gcc" "src/stats/CMakeFiles/mel_stats.dir/chi_square.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/mel_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/mel_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/mel_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/mel_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/mel_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/mel_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/mel_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/mel_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/longest_run.cpp" "src/stats/CMakeFiles/mel_stats.dir/longest_run.cpp.o" "gcc" "src/stats/CMakeFiles/mel_stats.dir/longest_run.cpp.o.d"
+  "/root/repo/src/stats/monte_carlo.cpp" "src/stats/CMakeFiles/mel_stats.dir/monte_carlo.cpp.o" "gcc" "src/stats/CMakeFiles/mel_stats.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "src/stats/CMakeFiles/mel_stats.dir/special_functions.cpp.o" "gcc" "src/stats/CMakeFiles/mel_stats.dir/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_stats.dir/chi_square.cpp.o"
+  "CMakeFiles/mel_stats.dir/chi_square.cpp.o.d"
+  "CMakeFiles/mel_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/mel_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/mel_stats.dir/distributions.cpp.o"
+  "CMakeFiles/mel_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/mel_stats.dir/histogram.cpp.o"
+  "CMakeFiles/mel_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/mel_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/mel_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/mel_stats.dir/longest_run.cpp.o"
+  "CMakeFiles/mel_stats.dir/longest_run.cpp.o.d"
+  "CMakeFiles/mel_stats.dir/monte_carlo.cpp.o"
+  "CMakeFiles/mel_stats.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/mel_stats.dir/special_functions.cpp.o"
+  "CMakeFiles/mel_stats.dir/special_functions.cpp.o.d"
+  "libmel_stats.a"
+  "libmel_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

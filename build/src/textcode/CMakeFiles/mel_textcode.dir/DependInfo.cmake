@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/textcode/blend.cpp" "src/textcode/CMakeFiles/mel_textcode.dir/blend.cpp.o" "gcc" "src/textcode/CMakeFiles/mel_textcode.dir/blend.cpp.o.d"
+  "/root/repo/src/textcode/encoder.cpp" "src/textcode/CMakeFiles/mel_textcode.dir/encoder.cpp.o" "gcc" "src/textcode/CMakeFiles/mel_textcode.dir/encoder.cpp.o.d"
+  "/root/repo/src/textcode/shellcode_corpus.cpp" "src/textcode/CMakeFiles/mel_textcode.dir/shellcode_corpus.cpp.o" "gcc" "src/textcode/CMakeFiles/mel_textcode.dir/shellcode_corpus.cpp.o.d"
+  "/root/repo/src/textcode/text_domain.cpp" "src/textcode/CMakeFiles/mel_textcode.dir/text_domain.cpp.o" "gcc" "src/textcode/CMakeFiles/mel_textcode.dir/text_domain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disasm/CMakeFiles/mel_disasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mel_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

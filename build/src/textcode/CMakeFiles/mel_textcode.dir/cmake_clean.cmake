@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_textcode.dir/blend.cpp.o"
+  "CMakeFiles/mel_textcode.dir/blend.cpp.o.d"
+  "CMakeFiles/mel_textcode.dir/encoder.cpp.o"
+  "CMakeFiles/mel_textcode.dir/encoder.cpp.o.d"
+  "CMakeFiles/mel_textcode.dir/shellcode_corpus.cpp.o"
+  "CMakeFiles/mel_textcode.dir/shellcode_corpus.cpp.o.d"
+  "CMakeFiles/mel_textcode.dir/text_domain.cpp.o"
+  "CMakeFiles/mel_textcode.dir/text_domain.cpp.o.d"
+  "libmel_textcode.a"
+  "libmel_textcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_textcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

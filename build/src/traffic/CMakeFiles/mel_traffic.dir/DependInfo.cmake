@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/dataset.cpp" "src/traffic/CMakeFiles/mel_traffic.dir/dataset.cpp.o" "gcc" "src/traffic/CMakeFiles/mel_traffic.dir/dataset.cpp.o.d"
+  "/root/repo/src/traffic/email_gen.cpp" "src/traffic/CMakeFiles/mel_traffic.dir/email_gen.cpp.o" "gcc" "src/traffic/CMakeFiles/mel_traffic.dir/email_gen.cpp.o.d"
+  "/root/repo/src/traffic/english_model.cpp" "src/traffic/CMakeFiles/mel_traffic.dir/english_model.cpp.o" "gcc" "src/traffic/CMakeFiles/mel_traffic.dir/english_model.cpp.o.d"
+  "/root/repo/src/traffic/http_gen.cpp" "src/traffic/CMakeFiles/mel_traffic.dir/http_gen.cpp.o" "gcc" "src/traffic/CMakeFiles/mel_traffic.dir/http_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

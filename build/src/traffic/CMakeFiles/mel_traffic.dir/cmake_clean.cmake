@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_traffic.dir/dataset.cpp.o"
+  "CMakeFiles/mel_traffic.dir/dataset.cpp.o.d"
+  "CMakeFiles/mel_traffic.dir/email_gen.cpp.o"
+  "CMakeFiles/mel_traffic.dir/email_gen.cpp.o.d"
+  "CMakeFiles/mel_traffic.dir/english_model.cpp.o"
+  "CMakeFiles/mel_traffic.dir/english_model.cpp.o.d"
+  "CMakeFiles/mel_traffic.dir/http_gen.cpp.o"
+  "CMakeFiles/mel_traffic.dir/http_gen.cpp.o.d"
+  "libmel_traffic.a"
+  "libmel_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmel_traffic.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_util.dir/bytes.cpp.o"
+  "CMakeFiles/mel_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mel_util.dir/logging.cpp.o"
+  "CMakeFiles/mel_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mel_util.dir/rng.cpp.o"
+  "CMakeFiles/mel_util.dir/rng.cpp.o.d"
+  "libmel_util.a"
+  "libmel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

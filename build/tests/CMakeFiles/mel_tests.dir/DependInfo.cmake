@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/mel_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_baselines_aho_corasick.cpp" "tests/CMakeFiles/mel_tests.dir/test_baselines_aho_corasick.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_baselines_aho_corasick.cpp.o.d"
+  "/root/repo/tests/test_core_calibration.cpp" "tests/CMakeFiles/mel_tests.dir/test_core_calibration.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_core_calibration.cpp.o.d"
+  "/root/repo/tests/test_core_calibrator.cpp" "tests/CMakeFiles/mel_tests.dir/test_core_calibrator.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_core_calibrator.cpp.o.d"
+  "/root/repo/tests/test_core_config_io.cpp" "tests/CMakeFiles/mel_tests.dir/test_core_config_io.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_core_config_io.cpp.o.d"
+  "/root/repo/tests/test_core_detector.cpp" "tests/CMakeFiles/mel_tests.dir/test_core_detector.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_core_detector.cpp.o.d"
+  "/root/repo/tests/test_core_explain.cpp" "tests/CMakeFiles/mel_tests.dir/test_core_explain.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_core_explain.cpp.o.d"
+  "/root/repo/tests/test_core_mel_model.cpp" "tests/CMakeFiles/mel_tests.dir/test_core_mel_model.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_core_mel_model.cpp.o.d"
+  "/root/repo/tests/test_core_parameter_estimation.cpp" "tests/CMakeFiles/mel_tests.dir/test_core_parameter_estimation.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_core_parameter_estimation.cpp.o.d"
+  "/root/repo/tests/test_core_stream_detector.cpp" "tests/CMakeFiles/mel_tests.dir/test_core_stream_detector.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_core_stream_detector.cpp.o.d"
+  "/root/repo/tests/test_disasm_assembler.cpp" "tests/CMakeFiles/mel_tests.dir/test_disasm_assembler.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_disasm_assembler.cpp.o.d"
+  "/root/repo/tests/test_disasm_decoder.cpp" "tests/CMakeFiles/mel_tests.dir/test_disasm_decoder.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_disasm_decoder.cpp.o.d"
+  "/root/repo/tests/test_disasm_objdump_diff.cpp" "tests/CMakeFiles/mel_tests.dir/test_disasm_objdump_diff.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_disasm_objdump_diff.cpp.o.d"
+  "/root/repo/tests/test_disasm_text_subset.cpp" "tests/CMakeFiles/mel_tests.dir/test_disasm_text_subset.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_disasm_text_subset.cpp.o.d"
+  "/root/repo/tests/test_exec_concrete_machine.cpp" "tests/CMakeFiles/mel_tests.dir/test_exec_concrete_machine.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_exec_concrete_machine.cpp.o.d"
+  "/root/repo/tests/test_exec_cpu_state.cpp" "tests/CMakeFiles/mel_tests.dir/test_exec_cpu_state.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_exec_cpu_state.cpp.o.d"
+  "/root/repo/tests/test_exec_mel.cpp" "tests/CMakeFiles/mel_tests.dir/test_exec_mel.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_exec_mel.cpp.o.d"
+  "/root/repo/tests/test_exec_validity.cpp" "tests/CMakeFiles/mel_tests.dir/test_exec_validity.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_exec_validity.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mel_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_property_fuzz.cpp" "tests/CMakeFiles/mel_tests.dir/test_property_fuzz.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_property_fuzz.cpp.o.d"
+  "/root/repo/tests/test_stats_chi_square.cpp" "tests/CMakeFiles/mel_tests.dir/test_stats_chi_square.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_stats_chi_square.cpp.o.d"
+  "/root/repo/tests/test_stats_descriptive.cpp" "tests/CMakeFiles/mel_tests.dir/test_stats_descriptive.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_stats_descriptive.cpp.o.d"
+  "/root/repo/tests/test_stats_distributions.cpp" "tests/CMakeFiles/mel_tests.dir/test_stats_distributions.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_stats_distributions.cpp.o.d"
+  "/root/repo/tests/test_stats_histogram.cpp" "tests/CMakeFiles/mel_tests.dir/test_stats_histogram.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_stats_histogram.cpp.o.d"
+  "/root/repo/tests/test_stats_ks_test.cpp" "tests/CMakeFiles/mel_tests.dir/test_stats_ks_test.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_stats_ks_test.cpp.o.d"
+  "/root/repo/tests/test_stats_longest_run.cpp" "tests/CMakeFiles/mel_tests.dir/test_stats_longest_run.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_stats_longest_run.cpp.o.d"
+  "/root/repo/tests/test_stats_special_functions.cpp" "tests/CMakeFiles/mel_tests.dir/test_stats_special_functions.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_stats_special_functions.cpp.o.d"
+  "/root/repo/tests/test_textcode.cpp" "tests/CMakeFiles/mel_tests.dir/test_textcode.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_textcode.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/mel_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_util_bytes.cpp" "tests/CMakeFiles/mel_tests.dir/test_util_bytes.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_util_bytes.cpp.o.d"
+  "/root/repo/tests/test_util_rng.cpp" "tests/CMakeFiles/mel_tests.dir/test_util_rng.cpp.o" "gcc" "tests/CMakeFiles/mel_tests.dir/test_util_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/textcode/CMakeFiles/mel_textcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mel_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mel_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/disasm/CMakeFiles/mel_disasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
