@@ -6,14 +6,20 @@
 // filter passes everything (the attack is pure text); the MEL detector
 // flags exactly the attack.
 //
+// The gateway runs behind mel::service::ScanService, the fault-tolerant
+// front-end: payloads over the cap are refused with a typed error rather
+// than scanned unboundedly, every scan carries a deadline, and verdicts
+// from fallback paths arrive flagged degraded (see docs/robustness.md).
+//
 //   $ ./http_gateway [requests=40] [seed=7]
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "mel/core/detector.hpp"
+#include "mel/service/scan_service.hpp"
 #include "mel/textcode/encoder.hpp"
 #include "mel/textcode/shellcode_corpus.hpp"
 #include "mel/traffic/http_gen.hpp"
@@ -31,9 +37,18 @@ int main(int argc, char** argv) {
   // Gateway payloads are short (a few hundred bytes), where the MEL
   // distribution is wider; a production gateway budgets fewer false
   // alarms than the evaluation default, so dial alpha down to 0.5%.
-  mel::core::DetectorConfig config;
-  config.alpha = 0.005;
-  const mel::core::MelDetector detector(config);
+  mel::service::ServiceConfig config;
+  config.detector.alpha = 0.005;
+  // Inline-deployment guardrails: bound what one request may cost.
+  config.max_payload_bytes = 1 << 20;
+  config.budget.deadline = std::chrono::milliseconds(250);
+  auto service_or = mel::service::ScanService::create(config);
+  if (!service_or.is_ok()) {
+    std::fprintf(stderr, "gateway config rejected: %s\n",
+                 service_or.status().to_string().c_str());
+    return 2;
+  }
+  mel::service::ScanService service = std::move(service_or).take();
 
   // The attack: a text-encoded bind shell smuggled in as a POST body.
   mel::textcode::TextWormOptions worm_options;
@@ -50,6 +65,7 @@ int main(int argc, char** argv) {
 
   std::size_t alarms = 0;
   std::size_t misses = 0;
+  std::size_t rejects = 0;
   for (std::size_t i = 0; i < request_count; ++i) {
     std::string payload;
     if (i == attack_at) {
@@ -68,21 +84,41 @@ int main(int argc, char** argv) {
                                 : mel::traffic::ascii_filter(
                                       mel::traffic::strip_headers(payload)));
 
-    const auto verdict = detector.scan(body);
+    const auto outcome_or = service.scan(body);
     const bool is_attack = i == attack_at;
+    if (!outcome_or.is_ok()) {
+      // Typed refusal (too large / deadline / resources): fail closed on
+      // this request rather than pass unscanned bytes downstream.
+      ++rejects;
+      if (is_attack) ++misses;
+      std::printf("%5zu %7zu %7s %7s %9s  %s\n", i, body.size(), "-", "-",
+                  "REJECT", outcome_or.status().to_string().c_str());
+      continue;
+    }
+    const auto& verdict = outcome_or.value().verdict;
     if (verdict.malicious) ++alarms;
     if (is_attack && !verdict.malicious) ++misses;
     if (verdict.malicious || is_attack || i < 5) {
       std::printf("%5zu %7zu %7lld %7.1f %9s  %.40s\n", i, body.size(),
                   static_cast<long long>(verdict.mel), verdict.threshold,
-                  verdict.malicious ? "ALARM" : "ok",
+                  verdict.malicious
+                      ? (verdict.degraded ? "ALARM*" : "ALARM")
+                      : (verdict.degraded ? "ok*" : "ok"),
                   mel::util::to_printable(body).c_str());
     }
   }
 
+  const auto& stats = service.stats();
   std::printf("\nresult: %zu alarm(s), %zu false; attack %s\n", alarms,
               alarms - (misses == 0 ? 1 : 0),
               misses == 0 ? "DETECTED" : "MISSED");
+  std::printf("service: %llu scans, %llu degraded, %llu rejected\n",
+              static_cast<unsigned long long>(stats.scans_attempted),
+              static_cast<unsigned long long>(stats.scans_degraded),
+              static_cast<unsigned long long>(stats.scans_rejected));
+  if (rejects > 0) {
+    std::printf("(* = degraded verdict; REJECT = typed refusal)\n");
+  }
   std::printf(
       "The ASCII filter passed every request, including the worm; the MEL\n"
       "threshold separated them with no signatures and no tuning. Short\n"

@@ -4,10 +4,16 @@
 #include <cmath>
 
 #include "mel/traffic/english_model.hpp"
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/logging.hpp"
 
 namespace mel::core {
 
 namespace {
+
+/// Clamp bound for out-of-domain alpha: deep enough in (0,1) that the
+/// threshold math stays finite.
+constexpr double kAlphaEpsilon = 1e-9;
 
 CharFrequencyTable measure_frequencies(util::ByteView payload) {
   CharFrequencyTable table{};
@@ -19,7 +25,42 @@ CharFrequencyTable measure_frequencies(util::ByteView payload) {
 
 }  // namespace
 
+util::Status DetectorConfig::validate() const {
+  if (!(alpha > 0.0 && alpha < 1.0)) {  // !(..) also catches NaN.
+    return util::Status::invalid_config(
+        "DetectorConfig::alpha must lie in (0,1); got " +
+        std::to_string(alpha));
+  }
+  if (fixed_threshold && !(*fixed_threshold >= 0.0)) {
+    return util::Status::invalid_config(
+        "DetectorConfig::fixed_threshold must be >= 0; got " +
+        std::to_string(*fixed_threshold));
+  }
+  if (preset_frequencies) {
+    for (double value : *preset_frequencies) {
+      if (!(value >= 0.0) || !std::isfinite(value)) {
+        return util::Status::invalid_config(
+            "DetectorConfig::preset_frequencies entries must be finite "
+            "and non-negative");
+      }
+    }
+  }
+  return util::Status::ok();
+}
+
 MelDetector::MelDetector(DetectorConfig config) : config_(std::move(config)) {
+  // Out-of-domain alpha used to be a debug-only assert; in release it fed
+  // NaN into the threshold derivation. Clamp to the nearest valid value
+  // so a misconfigured gateway fails alarm-happy (alpha high) or
+  // alarm-shy (alpha low) but never with NaN verdicts.
+  if (!(config_.alpha > 0.0 && config_.alpha < 1.0)) {
+    const double clamped = std::isnan(config_.alpha) || config_.alpha <= 0.0
+                               ? kAlphaEpsilon
+                               : 1.0 - kAlphaEpsilon;
+    util::log_warn_ctx({.component = "detector"}, "alpha ", config_.alpha,
+                       " outside (0,1); clamped to ", clamped);
+    config_.alpha = clamped;
+  }
   assert(config_.alpha > 0.0 && config_.alpha < 1.0);
   if (!config_.preset_frequencies && !config_.measure_input) {
     // Secure default: the built-in benign web-text profile. Deriving the
@@ -27,6 +68,13 @@ MelDetector::MelDetector(DetectorConfig config) : config_(std::move(config)) {
     // control over the threshold (see DetectorConfig::measure_input).
     config_.preset_frequencies = traffic::web_text_distribution();
   }
+}
+
+util::StatusOr<MelDetector> MelDetector::create(DetectorConfig config) {
+  if (util::Status status = config.validate(); !status.is_ok()) {
+    return status;
+  }
+  return MelDetector(std::move(config));
 }
 
 double MelDetector::derive_threshold(const CharFrequencyTable& frequencies,
@@ -44,6 +92,11 @@ double MelDetector::derive_threshold(const CharFrequencyTable& frequencies,
 }
 
 Verdict MelDetector::scan(util::ByteView payload) const {
+  return scan(payload, ScanBudget{});
+}
+
+Verdict MelDetector::scan(util::ByteView payload,
+                          const ScanBudget& budget) const {
   Verdict verdict;
   verdict.alpha = config_.alpha;
   verdict.is_text = util::is_text_buffer(payload);
@@ -63,6 +116,10 @@ Verdict MelDetector::scan(util::ByteView payload) const {
   if (config_.early_exit) {
     options.early_exit_threshold =
         static_cast<std::int64_t>(std::floor(verdict.threshold));
+  }
+  options.decode_budget = budget.decode_budget;
+  if (budget.deadline.count() > 0) {
+    options.deadline = util::fault::now() + budget.deadline;
   }
   verdict.mel_detail = exec::compute_mel(payload, options);
   verdict.mel = verdict.mel_detail.mel;

@@ -8,12 +8,14 @@
 //      alpha (no parameter tuning: Section 6),
 //   3. pseudo-execute every entry point and compare the MEL against tau.
 
+#include <chrono>
 #include <optional>
 
 #include "mel/core/mel_model.hpp"
 #include "mel/core/parameter_estimation.hpp"
 #include "mel/exec/mel.hpp"
 #include "mel/util/bytes.hpp"
+#include "mel/util/status.hpp"
 
 namespace mel::core {
 
@@ -46,6 +48,23 @@ struct DetectorConfig {
   bool early_exit = true;
   /// Options forwarded to the parameter estimator.
   EstimationOptions estimation;
+
+  /// kInvalidConfig when any knob is outside its documented domain
+  /// (alpha outside (0,1), negative fixed threshold, NaN/negative preset
+  /// frequencies); OK otherwise. MelDetector::create() rejects invalid
+  /// configs; the plain constructor clamps them (see MelDetector).
+  [[nodiscard]] util::Status validate() const;
+};
+
+/// Per-scan resource limits, independent of the detector's statistical
+/// config. Both default to "unlimited" so plain scan() is unchanged.
+struct ScanBudget {
+  /// Hard cap on instructions decoded by the MEL engine (0 = unlimited).
+  /// On a trip the verdict's mel is a lower bound (mel_detail flags it).
+  std::uint64_t decode_budget = 0;
+  /// Wall-clock budget measured from scan entry (zero = none). Checked
+  /// on the skew-aware scan clock inside the engine loop.
+  std::chrono::nanoseconds deadline{0};
 };
 
 struct Verdict {
@@ -55,17 +74,35 @@ struct Verdict {
   double alpha = 0.0;         ///< Configured false-positive budget.
   bool is_text = false;       ///< Input was pure 0x20..0x7E.
   bool loop_detected = false; ///< Cycle reached during pseudo-execution.
+  /// Set by the service layer when the verdict came from a fallback path
+  /// (budget trip, degenerate estimation, truncated input) and carries
+  /// reduced statistical fidelity. Never set by MelDetector itself.
+  bool degraded = false;
   EstimatedParameters params; ///< n, p and the estimation pipeline values.
   exec::MelResult mel_detail; ///< Full engine result.
 };
 
 class MelDetector {
  public:
+  /// Clamps out-of-domain values (e.g. alpha outside (0,1) is clamped to
+  /// the nearest valid value with a warning) instead of asserting, so a
+  /// release build never derives NaN thresholds from a bad knob. Use
+  /// create() to reject instead of clamp.
   explicit MelDetector(DetectorConfig config = {});
+
+  /// Validating factory: returns kInvalidConfig instead of clamping.
+  [[nodiscard]] static util::StatusOr<MelDetector> create(
+      DetectorConfig config);
 
   /// Scans one payload and returns the verdict. Never throws; non-text
   /// input is scanned all the same and flagged via Verdict::is_text.
   [[nodiscard]] Verdict scan(util::ByteView payload) const;
+
+  /// Scans under per-scan resource limits; on a budget/deadline trip the
+  /// verdict's mel_detail carries budget_exhausted/deadline_exceeded and
+  /// the mel is a lower bound (callers decide how to degrade).
+  [[nodiscard]] Verdict scan(util::ByteView payload,
+                             const ScanBudget& budget) const;
 
   /// The threshold the detector would use for a payload of `input_chars`
   /// characters with the given frequency table (exposed for calibration

@@ -20,12 +20,21 @@
 #include <cstdint>
 #include <vector>
 
+#include "mel/util/status.hpp"
+
 namespace mel::core {
 
 class MelModel {
  public:
-  /// Preconditions: n >= 1, 0 < p < 1.
+  /// Preconditions: n >= 1, 0 < p < 1 (asserted; use validate()/create()
+  /// at boundaries where the parameters come from untrusted input).
   MelModel(std::int64_t n, double p);
+
+  /// kInvalidConfig when (n, p) lie outside the model's domain — the
+  /// recoverable-path twin of the constructor's asserts.
+  [[nodiscard]] static util::Status validate(std::int64_t n, double p);
+  [[nodiscard]] static util::StatusOr<MelModel> create(std::int64_t n,
+                                                       double p);
 
   [[nodiscard]] std::int64_t n() const noexcept { return n_; }
   [[nodiscard]] double p() const noexcept { return p_; }

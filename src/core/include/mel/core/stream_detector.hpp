@@ -15,7 +15,7 @@ namespace mel::core {
 
 struct StreamConfig {
   DetectorConfig detector;
-  /// Bytes per scanned window (the model's C).
+  /// Bytes per scanned window (the model's C). Must be > 0.
   std::size_t window_size = 4096;
   /// Bytes of the previous window re-scanned at the front of the next.
   /// Must exceed the longest worm you expect to catch whole; the default
@@ -24,6 +24,22 @@ struct StreamConfig {
   /// Attach the flagged window's bytes to each alert (for explain/forensic
   /// tooling). Costs one copy per alert.
   bool keep_window_bytes = false;
+  /// Hard cap on buffered (pending) bytes enforced by try_feed(): a batch
+  /// that would exceed it is refused with kResourceExhausted so the
+  /// caller backs off instead of the buffer growing without bound.
+  /// 0 = unlimited (legacy feed() behavior). Must be >= window_size when
+  /// set.
+  std::size_t max_buffered_bytes = 0;
+  /// Per-window scan limits (decode budget / deadline) applied to every
+  /// window scan. Windows cut short by a limit are counted via
+  /// windows_degraded() and their alerts flagged Verdict::degraded.
+  ScanBudget window_budget;
+
+  /// kInvalidConfig for window_size == 0, overlap >= window_size, a cap
+  /// smaller than one window, or an invalid detector config. These used
+  /// to be debug-only asserts; overlap >= window_size made drain() spin
+  /// forever in release builds.
+  [[nodiscard]] util::Status validate() const;
 };
 
 struct StreamAlert {
@@ -34,11 +50,28 @@ struct StreamAlert {
 
 class StreamDetector {
  public:
+  /// Sanitizes an invalid config (window_size == 0 falls back to the
+  /// default, overlap is clamped below window_size) with a warning, so a
+  /// release build can't spin forever in drain(). Use create() to reject
+  /// instead of sanitize.
   explicit StreamDetector(StreamConfig config = {});
 
+  /// Validating factory: returns kInvalidConfig instead of sanitizing.
+  [[nodiscard]] static util::StatusOr<StreamDetector> create(
+      StreamConfig config);
+
   /// Appends bytes to the stream; scans every completed window and
-  /// returns alerts raised by this batch (possibly empty).
+  /// returns alerts raised by this batch (possibly empty). Incoming
+  /// bytes are buffered and drained one window at a time, so peak memory
+  /// is ~window_size regardless of batch size.
   std::vector<StreamAlert> feed(util::ByteView bytes);
+
+  /// feed() with backpressure: refuses the whole batch with
+  /// kResourceExhausted when it would push pending bytes past
+  /// max_buffered_bytes (no partial consumption — retry with less), and
+  /// converts allocation failure into the same code.
+  [[nodiscard]] util::StatusOr<std::vector<StreamAlert>> try_feed(
+      util::ByteView bytes);
 
   /// Scans whatever remains in the buffer (end of stream).
   std::vector<StreamAlert> finish();
@@ -52,6 +85,11 @@ class StreamDetector {
   [[nodiscard]] std::uint64_t windows_scanned() const noexcept {
     return windows_scanned_;
   }
+  /// Windows whose scan was cut short by the per-window budget/deadline
+  /// (their mel is a lower bound; alerts from them carry degraded=true).
+  [[nodiscard]] std::uint64_t windows_degraded() const noexcept {
+    return windows_degraded_;
+  }
 
  private:
   std::vector<StreamAlert> drain(bool flush);
@@ -62,6 +100,7 @@ class StreamDetector {
   std::uint64_t buffer_stream_offset_ = 0;  ///< Stream offset of buffer_[0].
   std::uint64_t consumed_ = 0;
   std::uint64_t windows_scanned_ = 0;
+  std::uint64_t windows_degraded_ = 0;
 };
 
 }  // namespace mel::core

@@ -12,6 +12,23 @@ MelModel::MelModel(std::int64_t n, double p) : n_(n), p_(p) {
   assert(p > 0.0 && p < 1.0);
 }
 
+util::Status MelModel::validate(std::int64_t n, double p) {
+  if (n < 1) {
+    return util::Status::invalid_config(
+        "MelModel requires n >= 1 instructions; got " + std::to_string(n));
+  }
+  if (!(p > 0.0 && p < 1.0)) {  // !(..) also catches NaN.
+    return util::Status::invalid_config(
+        "MelModel requires p in (0,1); got " + std::to_string(p));
+  }
+  return util::Status::ok();
+}
+
+util::StatusOr<MelModel> MelModel::create(std::int64_t n, double p) {
+  if (util::Status status = validate(n, p); !status.is_ok()) return status;
+  return MelModel(n, p);
+}
+
 double MelModel::cdf(std::int64_t x) const {
   if (x < 0) return 0.0;
   if (x >= n_) return 1.0;

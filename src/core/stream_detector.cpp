@@ -1,19 +1,111 @@
 #include "mel/core/stream_detector.hpp"
 
 #include <cassert>
+#include <new>
+#include <string>
+
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/logging.hpp"
 
 namespace mel::core {
 
+util::Status StreamConfig::validate() const {
+  if (window_size == 0) {
+    return util::Status::invalid_config(
+        "StreamConfig::window_size must be > 0");
+  }
+  if (overlap >= window_size) {
+    return util::Status::invalid_config(
+        "StreamConfig::overlap (" + std::to_string(overlap) +
+        ") must be < window_size (" + std::to_string(window_size) +
+        "); equal values would make the window slide by zero bytes");
+  }
+  if (max_buffered_bytes != 0 && max_buffered_bytes < window_size) {
+    return util::Status::invalid_config(
+        "StreamConfig::max_buffered_bytes (" +
+        std::to_string(max_buffered_bytes) +
+        ") must be >= window_size; no window could ever complete");
+  }
+  return detector.validate();
+}
+
 StreamDetector::StreamDetector(StreamConfig config)
     : config_(std::move(config)), detector_(config_.detector) {
+  // These were debug-only asserts; in release, overlap >= window_size
+  // made drain()'s slide step zero and the loop spin forever on the
+  // first full window. Sanitize so the plain constructor is always safe.
+  if (config_.window_size == 0) {
+    util::log_warn_ctx({.component = "stream"},
+                       "window_size 0 is invalid; using default 4096");
+    config_.window_size = 4096;
+  }
+  if (config_.overlap >= config_.window_size) {
+    util::log_warn_ctx({.component = "stream"}, "overlap ", config_.overlap,
+                       " >= window_size ", config_.window_size,
+                       "; clamped to ", config_.window_size - 1);
+    config_.overlap = config_.window_size - 1;
+  }
+  if (config_.max_buffered_bytes != 0 &&
+      config_.max_buffered_bytes < config_.window_size) {
+    util::log_warn_ctx({.component = "stream"}, "max_buffered_bytes ",
+                       config_.max_buffered_bytes,
+                       " < window_size; raised to one window");
+    config_.max_buffered_bytes = config_.window_size;
+  }
   assert(config_.window_size > 0);
   assert(config_.overlap < config_.window_size);
 }
 
+util::StatusOr<StreamDetector> StreamDetector::create(StreamConfig config) {
+  if (util::Status status = config.validate(); !status.is_ok()) {
+    return status;
+  }
+  return StreamDetector(std::move(config));
+}
+
 std::vector<StreamAlert> StreamDetector::feed(util::ByteView bytes) {
-  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
-  consumed_ += bytes.size();
-  return drain(/*flush=*/false);
+  std::vector<StreamAlert> alerts;
+  // Buffer at most one window's worth before draining, so a huge batch
+  // does not balloon buffer_ to the batch size before any scanning.
+  std::size_t offset = 0;
+  do {
+    const std::size_t chunk =
+        std::min(bytes.size() - offset, config_.window_size);
+    buffer_.insert(buffer_.end(), bytes.begin() + offset,
+                   bytes.begin() + offset + chunk);
+    consumed_ += chunk;
+    offset += chunk;
+    std::vector<StreamAlert> batch = drain(/*flush=*/false);
+    if (alerts.empty()) {
+      alerts = std::move(batch);
+    } else {
+      alerts.insert(alerts.end(), std::make_move_iterator(batch.begin()),
+                    std::make_move_iterator(batch.end()));
+    }
+  } while (offset < bytes.size());
+  return alerts;
+}
+
+util::StatusOr<std::vector<StreamAlert>> StreamDetector::try_feed(
+    util::ByteView bytes) {
+  if (util::fault::should_fire(util::fault::Point::kAllocFailure)) {
+    return util::Status::resource_exhausted(
+        "injected allocation failure in stream buffer");
+  }
+  if (config_.max_buffered_bytes != 0 &&
+      buffer_.size() + bytes.size() > config_.max_buffered_bytes) {
+    return util::Status::resource_exhausted(
+        "stream buffer cap: " + std::to_string(buffer_.size()) +
+        " pending + " + std::to_string(bytes.size()) + " incoming > cap " +
+        std::to_string(config_.max_buffered_bytes) +
+        "; feed smaller batches");
+  }
+  try {
+    return feed(bytes);
+  } catch (const std::bad_alloc&) {
+    return util::Status::resource_exhausted(
+        "allocation failed while buffering stream bytes");
+  }
 }
 
 std::vector<StreamAlert> StreamDetector::finish() {
@@ -27,9 +119,16 @@ std::vector<StreamAlert> StreamDetector::drain(bool flush) {
          (flush && !buffer_.empty())) {
     const std::size_t length =
         std::min(buffer_.size(), config_.window_size);
-    const Verdict verdict =
-        detector_.scan(util::ByteView(buffer_.data(), length));
+    Verdict verdict = detector_.scan(util::ByteView(buffer_.data(), length),
+                                     config_.window_budget);
     ++windows_scanned_;
+    if (verdict.mel_detail.truncated_by_limits()) {
+      // The window's mel is a lower bound; any verdict built from it has
+      // reduced fidelity. Count it and tag alerts so a degraded verdict
+      // can never leak unflagged.
+      ++windows_degraded_;
+      verdict.degraded = true;
+    }
     if (verdict.malicious) {
       StreamAlert alert;
       alert.stream_offset = buffer_stream_offset_;

@@ -23,11 +23,14 @@
 //    enabling the uninitialized-register rule (DAWN strict mode); bounded
 //    by a step budget and a per-path visited set (loops are flagged).
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "mel/exec/validity.hpp"
 #include "mel/util/bytes.hpp"
+#include "mel/util/status.hpp"
 
 namespace mel::exec {
 
@@ -45,15 +48,39 @@ struct MelOptions {
   /// Stop early once the MEL exceeds this value (<0: never). Detectors set
   /// this to their threshold: anything beyond it is already malicious.
   std::int64_t early_exit_threshold = -1;
+  /// Hard cap on instructions decoded, enforced by every engine (0 =
+  /// unlimited). When it trips, MelResult::budget_exhausted is set and the
+  /// returned mel is a lower bound.
+  std::uint64_t decode_budget = 0;
+  /// Wall-clock deadline checked every kDeadlineCheckInterval decodes
+  /// against the skew-aware scan clock (util::fault::now()). When it
+  /// trips, MelResult::deadline_exceeded is set and mel is a lower bound.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// kInvalidConfig when the combination is unusable (e.g. a zero step
+  /// budget); OK otherwise. Service layers validate before scanning.
+  [[nodiscard]] util::Status validate() const;
 };
+
+/// How often (in decoded instructions / explorer steps) the engines check
+/// the deadline. Power of two; the check is a masked counter compare.
+inline constexpr std::uint64_t kDeadlineCheckInterval = 256;
 
 struct MelResult {
   std::int64_t mel = 0;               ///< The maximum executable length.
   std::size_t best_entry_offset = 0;  ///< Entry point achieving it.
   bool loop_detected = false;    ///< A cycle was reached (binary streams).
-  bool budget_exhausted = false; ///< Explorer ran out of steps; mel is a lower bound.
+  bool budget_exhausted = false; ///< Step/decode budget ran out; mel is a lower bound.
+  bool deadline_exceeded = false; ///< Deadline passed mid-scan; mel is a lower bound.
   bool early_exit = false;       ///< Stopped at early_exit_threshold.
   std::uint64_t instructions_decoded = 0;
+
+  /// True when the engine stopped before exhausting the stream for a
+  /// resource reason (budget or deadline) — the mel is only a lower bound
+  /// and callers should degrade rather than trust a benign-looking value.
+  [[nodiscard]] bool truncated_by_limits() const noexcept {
+    return budget_exhausted || deadline_exceeded;
+  }
 };
 
 /// Computes the MEL of `bytes` under `options`, dispatching on

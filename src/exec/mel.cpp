@@ -5,12 +5,38 @@
 #include <vector>
 
 #include "mel/disasm/decoder.hpp"
+#include "mel/util/fault_injection.hpp"
 
 namespace mel::exec {
 
 namespace {
 
 using disasm::Instruction;
+
+/// Shared limit enforcement for all engines. `work_count` is the engine's
+/// monotone work counter (instructions decoded, or explorer steps); the
+/// deadline is only consulted every kDeadlineCheckInterval units so the
+/// hot loop pays a masked compare, not a clock read. The kEngineStall
+/// fault point lives at the same checkpoint: a firing stall advances the
+/// scan clock, which the very next deadline compare observes.
+bool limits_tripped(const MelOptions& options, std::uint64_t work_count,
+                    MelResult& result) {
+  if (options.decode_budget > 0 &&
+      result.instructions_decoded > options.decode_budget) {
+    result.budget_exhausted = true;
+    return true;
+  }
+  if ((work_count & (kDeadlineCheckInterval - 1)) == 0) {
+    if (util::fault::should_fire(util::fault::Point::kEngineStall)) {
+      util::fault::advance_clock(util::fault::time_jump());
+    }
+    if (options.deadline && util::fault::now() >= *options.deadline) {
+      result.deadline_exceeded = true;
+      return true;
+    }
+  }
+  return false;
+}
 
 /// Control-flow successors of a valid instruction, as stream offsets.
 /// Returns raw targets (may be out of range or backward); the engines
@@ -40,6 +66,19 @@ int successor_offsets(const Instruction& insn, std::int64_t out[2]) {
 
 }  // namespace
 
+util::Status MelOptions::validate() const {
+  if (step_budget == 0) {
+    return util::Status::invalid_config(
+        "MelOptions::step_budget must be >= 1 (0 would let the path "
+        "explorer do no work at all)");
+  }
+  if (early_exit_threshold < -1) {
+    return util::Status::invalid_config(
+        "MelOptions::early_exit_threshold must be -1 (disabled) or >= 0");
+  }
+  return util::Status::ok();
+}
+
 MelResult compute_mel_dag(util::ByteView bytes, const MelOptions& options) {
   MelResult result;
   const auto n = static_cast<std::int64_t>(bytes.size());
@@ -52,6 +91,9 @@ MelResult compute_mel_dag(util::ByteView bytes, const MelOptions& options) {
     const Instruction insn =
         disasm::decode_instruction(bytes, static_cast<std::size_t>(offset));
     ++result.instructions_decoded;
+    if (limits_tripped(options, result.instructions_decoded, result)) {
+      return result;
+    }
     if (!is_valid_instruction(insn, options.rules)) continue;  // longest = 0.
 
     std::int64_t succ[2];
@@ -147,6 +189,7 @@ MelResult compute_mel_explorer(util::ByteView bytes,
         result.budget_exhausted = true;
         return result;
       }
+      if (limits_tripped(options, steps, result)) return result;
 
       const Instruction& insn = instruction_at(frame.offset);
       if (!is_valid_instruction(insn, options.rules, &frame.cpu)) {
@@ -237,6 +280,9 @@ MelResult compute_mel_sweep(util::ByteView bytes, const MelOptions& options) {
   while (offset < bytes.size()) {
     const Instruction insn = disasm::decode_instruction(bytes, offset);
     ++result.instructions_decoded;
+    if (limits_tripped(options, result.instructions_decoded, result)) {
+      return result;
+    }
     if (is_valid_instruction(insn, options.rules)) {
       if (run == 0) run_start = offset;
       ++run;

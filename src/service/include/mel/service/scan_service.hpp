@@ -1,0 +1,119 @@
+#pragma once
+// Fault-tolerant scanning front-end around MelDetector/StreamDetector.
+//
+// The core detector is a pure function: payload in, verdict out. A
+// production gateway needs more: per-scan deadlines and work budgets,
+// payload size caps, bounded stream buffering with backpressure, and a
+// defined answer for every failure mode. ScanService supplies that
+// plumbing and a graceful-degradation ladder:
+//
+//   1. Normal: full statistical scan, verdict as from MelDetector.
+//   2. Degraded: the decode budget tripped mid-scan (mel is a lower
+//      bound) or parameter estimation was degenerate (no statistical
+//      threshold exists) — the verdict is re-decided against the
+//      configured fixed `degraded_threshold` and flagged
+//      Verdict::degraded so it can never masquerade as full-fidelity.
+//   3. Rejected: the request cannot be answered at all — payload over
+//      the cap (kPayloadTooLarge), deadline passed (kDeadlineExceeded),
+//      buffering/allocation limits (kResourceExhausted). The caller gets
+//      a typed util::Status, never a crash and never a silent verdict.
+//
+// With no limits configured and fault injection disarmed, scan() is a
+// transparent wrapper: verdicts are identical to MelDetector::scan().
+
+#include <array>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "mel/core/detector.hpp"
+#include "mel/core/stream_detector.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::service {
+
+struct ServiceConfig {
+  core::DetectorConfig detector;
+
+  /// Payloads larger than this are refused with kPayloadTooLarge
+  /// (0 = unlimited).
+  std::uint64_t max_payload_bytes = 0;
+  /// Per-scan decode budget and wall-clock deadline (zero = unlimited).
+  core::ScanBudget budget;
+  /// Fixed fallback threshold for degraded verdicts. The default sits at
+  /// the paper's tau for the 4K evaluation point; calibrate it like a
+  /// fixed-threshold detector (it is one, on the fallback path).
+  double degraded_threshold = 40.0;
+
+  /// Stream-session knobs (ScanService::stream_feed).
+  std::size_t stream_window_size = 4096;
+  std::size_t stream_overlap = 1024;
+  /// Hard cap on pending stream bytes; a batch that would exceed it is
+  /// refused with kResourceExhausted (backpressure).
+  std::size_t stream_buffer_cap = 1 << 20;
+  bool keep_window_bytes = false;
+
+  [[nodiscard]] util::Status validate() const;
+};
+
+struct ScanOutcome {
+  core::Verdict verdict;
+  std::uint64_t scan_id = 0;
+  std::chrono::nanoseconds elapsed{0};
+  /// Human-readable cause when verdict.degraded is set; empty otherwise.
+  std::string degrade_reason;
+};
+
+/// Monotone counters; one reject bucket per StatusCode.
+struct ServiceStats {
+  std::uint64_t scans_attempted = 0;
+  std::uint64_t scans_completed = 0;   ///< Returned a verdict (any rung).
+  std::uint64_t scans_degraded = 0;    ///< Verdicts flagged degraded.
+  std::uint64_t scans_rejected = 0;    ///< Typed-error returns.
+  std::uint64_t alarms = 0;            ///< Malicious verdicts (incl. stream).
+  std::array<std::uint64_t, 8> rejects_by_code{};
+
+  [[nodiscard]] std::uint64_t rejects(util::StatusCode code) const noexcept {
+    return rejects_by_code[static_cast<std::size_t>(code)];
+  }
+};
+
+class ScanService {
+ public:
+  /// Validates the config; kInvalidConfig instead of clamping.
+  [[nodiscard]] static util::StatusOr<ScanService> create(
+      ServiceConfig config);
+
+  /// Scans one payload under the configured limits. Returns an outcome
+  /// (possibly with verdict.degraded set — check it before trusting the
+  /// threshold semantics) or a typed error. Never throws.
+  [[nodiscard]] util::StatusOr<ScanOutcome> scan(util::ByteView payload);
+
+  /// Streaming session: feed bytes with backpressure. Alerts from
+  /// budget-cut windows carry verdict.degraded.
+  [[nodiscard]] util::StatusOr<std::vector<core::StreamAlert>> stream_feed(
+      util::ByteView bytes);
+  /// Scans the remaining tail; ends the stream session.
+  std::vector<core::StreamAlert> stream_finish();
+
+  [[nodiscard]] const ServiceStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::uint64_t stream_windows_degraded() const noexcept {
+    return stream_.windows_degraded();
+  }
+
+ private:
+  explicit ScanService(ServiceConfig config);
+
+  util::Status reject(std::uint64_t scan_id, util::Status status);
+
+  ServiceConfig config_;
+  core::MelDetector detector_;
+  core::StreamDetector stream_;
+  ServiceStats stats_;
+  std::uint64_t next_scan_id_ = 1;
+};
+
+}  // namespace mel::service

@@ -1,0 +1,190 @@
+#include "mel/service/scan_service.hpp"
+
+#include <cmath>
+#include <new>
+#include <utility>
+
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/logging.hpp"
+
+namespace mel::service {
+
+namespace {
+
+using util::fault::Point;
+
+core::StreamConfig make_stream_config(const ServiceConfig& config) {
+  core::StreamConfig stream;
+  stream.detector = config.detector;
+  stream.window_size = config.stream_window_size;
+  stream.overlap = config.stream_overlap;
+  stream.keep_window_bytes = config.keep_window_bytes;
+  stream.max_buffered_bytes = config.stream_buffer_cap;
+  stream.window_budget = config.budget;
+  return stream;
+}
+
+/// Mirrors MelDetector::derive_threshold's degenerate-input guard: when
+/// the estimate has no statistical basis, the detector falls back to
+/// threshold = input size, which can never flag anything. The service
+/// turns that silent give-up into an explicit degraded verdict.
+bool estimation_degenerate(const core::Verdict& verdict) {
+  const auto n = static_cast<std::int64_t>(std::llround(verdict.params.n));
+  return n < 1 || verdict.params.p <= 0.0 || verdict.params.p >= 1.0;
+}
+
+}  // namespace
+
+util::Status ServiceConfig::validate() const {
+  if (util::Status status = detector.validate(); !status.is_ok()) {
+    return status;
+  }
+  if (!(degraded_threshold >= 0.0)) {  // !(..) also catches NaN.
+    return util::Status::invalid_config(
+        "ServiceConfig::degraded_threshold must be >= 0; got " +
+        std::to_string(degraded_threshold));
+  }
+  if (budget.deadline.count() < 0) {
+    return util::Status::invalid_config(
+        "ServiceConfig::budget.deadline must be >= 0");
+  }
+  return make_stream_config(*this).validate();
+}
+
+ScanService::ScanService(ServiceConfig config)
+    : config_(std::move(config)),
+      detector_(config_.detector),
+      stream_(make_stream_config(config_)) {}
+
+util::StatusOr<ScanService> ScanService::create(ServiceConfig config) {
+  if (util::Status status = config.validate(); !status.is_ok()) {
+    return status;
+  }
+  return ScanService(std::move(config));
+}
+
+util::Status ScanService::reject(std::uint64_t scan_id, util::Status status) {
+  ++stats_.scans_rejected;
+  ++stats_.rejects_by_code[static_cast<std::size_t>(status.code())];
+  util::log_warn_ctx({.component = "service", .scan_id = scan_id},
+                     "scan rejected: ", status.to_string());
+  return status;
+}
+
+util::StatusOr<ScanOutcome> ScanService::scan(util::ByteView payload) {
+  const std::uint64_t scan_id = next_scan_id_++;
+  ++stats_.scans_attempted;
+  const auto start = util::fault::now();
+
+  // Chaos hook: a clock that jumps at scan entry must surface as a
+  // deadline rejection below, never as a half-trusted verdict.
+  if (util::fault::should_fire(Point::kClockSkew)) {
+    util::fault::advance_clock(util::fault::time_jump());
+  }
+
+  if (config_.max_payload_bytes != 0 &&
+      payload.size() > config_.max_payload_bytes) {
+    return reject(scan_id,
+                  util::Status::payload_too_large(
+                      std::to_string(payload.size()) + " bytes > cap " +
+                      std::to_string(config_.max_payload_bytes)));
+  }
+  const auto deadline = config_.budget.deadline;
+  if (deadline.count() > 0 && util::fault::now() - start >= deadline) {
+    return reject(scan_id, util::Status::deadline_exceeded(
+                               "deadline passed before scanning began"));
+  }
+
+  // Chaos hook: an upstream partial read hands us a cut-short window.
+  // The scan proceeds on the prefix but the verdict must say so.
+  util::ByteView view = payload;
+  bool truncated_input = false;
+  if (util::fault::should_fire(Point::kTruncatedWindow) &&
+      payload.size() > 1) {
+    view = payload.first(payload.size() / 2);
+    truncated_input = true;
+  }
+
+  ScanOutcome outcome;
+  outcome.scan_id = scan_id;
+  try {
+    if (util::fault::should_fire(Point::kAllocFailure)) {
+      throw std::bad_alloc{};
+    }
+    outcome.verdict = detector_.scan(view, config_.budget);
+  } catch (const std::bad_alloc&) {
+    return reject(scan_id, util::Status::resource_exhausted(
+                               "allocation failure during scan"));
+  }
+
+  core::Verdict& verdict = outcome.verdict;
+  if (verdict.mel_detail.deadline_exceeded) {
+    // The caller's time budget is gone; a partial answer now helps
+    // nobody downstream. (With early exit on, a payload whose partial
+    // MEL already cleared tau alarmed before the deadline could trip.)
+    return reject(scan_id,
+                  util::Status::deadline_exceeded(
+                      "scan exceeded its deadline after " +
+                      std::to_string(verdict.mel_detail.instructions_decoded) +
+                      " decoded instructions"));
+  }
+
+  // Degradation ladder: budget trips and degenerate estimation fall back
+  // to the fixed threshold; the verdict is flagged, never silent.
+  if (verdict.mel_detail.budget_exhausted) {
+    verdict.degraded = true;
+    outcome.degrade_reason =
+        "decode budget exhausted; MEL is a lower bound, fixed-threshold "
+        "fallback applied";
+  } else if (!payload.empty() && !config_.detector.fixed_threshold &&
+             estimation_degenerate(verdict)) {
+    verdict.degraded = true;
+    outcome.degrade_reason =
+        "parameter estimation degenerate; fixed-threshold fallback applied";
+  }
+  if (verdict.degraded) {
+    verdict.threshold = config_.degraded_threshold;
+    verdict.malicious =
+        static_cast<double>(verdict.mel) > verdict.threshold ||
+        verdict.loop_detected;
+  }
+  if (truncated_input) {
+    verdict.degraded = true;
+    if (!outcome.degrade_reason.empty()) outcome.degrade_reason += "; ";
+    outcome.degrade_reason +=
+        "input truncated upstream; verdict covers a prefix only";
+  }
+
+  outcome.elapsed = util::fault::now() - start;
+  ++stats_.scans_completed;
+  if (verdict.degraded) {
+    ++stats_.scans_degraded;
+    util::log_info_ctx({.component = "service", .scan_id = scan_id},
+                       "degraded verdict: ", outcome.degrade_reason);
+  }
+  if (verdict.malicious) ++stats_.alarms;
+  return outcome;
+}
+
+util::StatusOr<std::vector<core::StreamAlert>> ScanService::stream_feed(
+    util::ByteView bytes) {
+  util::StatusOr<std::vector<core::StreamAlert>> result =
+      stream_.try_feed(bytes);
+  if (!result.is_ok()) {
+    ++stats_.scans_rejected;
+    ++stats_.rejects_by_code[static_cast<std::size_t>(result.code())];
+    util::log_warn_ctx({.component = "service"},
+                       "stream batch refused: ", result.status().to_string());
+    return result;
+  }
+  stats_.alarms += result.value().size();
+  return result;
+}
+
+std::vector<core::StreamAlert> ScanService::stream_finish() {
+  std::vector<core::StreamAlert> alerts = stream_.finish();
+  stats_.alarms += alerts.size();
+  return alerts;
+}
+
+}  // namespace mel::service

@@ -1,0 +1,107 @@
+#include "mel/util/fault_injection.hpp"
+
+#if defined(MEL_FAULT_INJECTION)
+
+#include <atomic>
+
+namespace mel::util::fault {
+
+namespace {
+
+struct PointState {
+  std::atomic<bool> armed{false};
+  Trigger trigger{};
+  std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> fires{0};
+  std::uint64_t rng_state = 0;
+};
+
+PointState g_points[kPointCount];
+std::atomic<std::int64_t> g_skew_ns{0};
+std::atomic<std::int64_t> g_jump_ns{10'000'000'000};  // 10s default jump.
+
+PointState& state(Point point) noexcept {
+  return g_points[static_cast<int>(point)];
+}
+
+/// SplitMix64: tiny, seedable, and good enough for firing decisions.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void arm(Point point, const Trigger& trigger) noexcept {
+  PointState& s = state(point);
+  s.trigger = trigger;
+  if (s.trigger.fire_every == 0) s.trigger.fire_every = 1;
+  s.evaluations.store(0, std::memory_order_relaxed);
+  s.fires.store(0, std::memory_order_relaxed);
+  s.rng_state = trigger.seed;
+  s.armed.store(true, std::memory_order_release);
+}
+
+void disarm(Point point) noexcept {
+  state(point).armed.store(false, std::memory_order_release);
+}
+
+void reset() noexcept {
+  for (PointState& s : g_points) {
+    s.armed.store(false, std::memory_order_release);
+  }
+  g_skew_ns.store(0, std::memory_order_relaxed);
+  g_jump_ns.store(10'000'000'000, std::memory_order_relaxed);
+}
+
+bool should_fire(Point point) noexcept {
+  PointState& s = state(point);
+  if (!s.armed.load(std::memory_order_acquire)) return false;
+  const std::uint64_t evaluation =
+      s.evaluations.fetch_add(1, std::memory_order_relaxed);
+  if (evaluation < s.trigger.start_after) return false;
+  if (s.fires.load(std::memory_order_relaxed) >= s.trigger.max_fires) {
+    return false;
+  }
+  bool fire;
+  if (s.trigger.probability > 0.0) {
+    const double draw =
+        static_cast<double>(splitmix64(s.rng_state) >> 11) * 0x1.0p-53;
+    fire = draw < s.trigger.probability;
+  } else {
+    fire = (evaluation - s.trigger.start_after) % s.trigger.fire_every == 0;
+  }
+  if (fire) s.fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+std::uint64_t fire_count(Point point) noexcept {
+  return state(point).fires.load(std::memory_order_relaxed);
+}
+
+void set_time_jump(std::chrono::nanoseconds jump) noexcept {
+  g_jump_ns.store(jump.count(), std::memory_order_relaxed);
+}
+
+std::chrono::nanoseconds time_jump() noexcept {
+  return std::chrono::nanoseconds{g_jump_ns.load(std::memory_order_relaxed)};
+}
+
+void advance_clock(std::chrono::nanoseconds by) noexcept {
+  g_skew_ns.fetch_add(by.count(), std::memory_order_relaxed);
+}
+
+std::chrono::nanoseconds clock_skew() noexcept {
+  return std::chrono::nanoseconds{g_skew_ns.load(std::memory_order_relaxed)};
+}
+
+std::chrono::steady_clock::time_point now() noexcept {
+  return std::chrono::steady_clock::now() + clock_skew();
+}
+
+}  // namespace mel::util::fault
+
+#endif  // MEL_FAULT_INJECTION

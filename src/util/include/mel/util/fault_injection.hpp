@@ -1,0 +1,103 @@
+#pragma once
+// Deterministic fault injection for chaos testing the scan service.
+//
+// Injection points are compiled in under the MEL_FAULT_INJECTION CMake
+// option (default ON; a disarmed point costs one relaxed atomic load).
+// Firing is fully deterministic: each point is armed with a counter
+// trigger (fire after N evaluations, then every K-th) or a seeded
+// probability trigger (SplitMix64 stream, same seed => same firing
+// pattern), so a chaos test failure replays exactly.
+//
+// Points:
+//   kAllocFailure    - buffering paths simulate allocation failure; the
+//                      service maps it to kResourceExhausted.
+//   kClockSkew       - the scan clock jumps forward at scan entry; an
+//                      armed deadline trips before any work is done.
+//   kTruncatedWindow - the window handed to the detector is cut short,
+//                      modeling partial reads; the service must flag the
+//                      verdict degraded.
+//   kEngineStall     - the MEL engine burns wall-clock at a decode
+//                      checkpoint (the scan clock advances by the
+//                      configured jump), tripping mid-scan deadlines.
+//
+// All scan-path deadline checks read fault::now() (steady clock plus the
+// injected skew) so the injected time and real time stay on one axis.
+
+#include <chrono>
+#include <cstdint>
+
+namespace mel::util::fault {
+
+enum class Point : std::uint8_t {
+  kAllocFailure = 0,
+  kClockSkew,
+  kTruncatedWindow,
+  kEngineStall,
+};
+inline constexpr int kPointCount = 4;
+
+/// Firing rule for one injection point. With probability == 0 the rule is
+/// a pure counter: skip the first `start_after` evaluations, then fire
+/// every `fire_every`-th one. With probability > 0 each evaluation past
+/// `start_after` fires with that probability from a SplitMix64 stream
+/// seeded by `seed` (deterministic per seed).
+struct Trigger {
+  std::uint64_t start_after = 0;
+  std::uint64_t fire_every = 1;
+  std::uint64_t max_fires = ~std::uint64_t{0};
+  double probability = 0.0;
+  std::uint64_t seed = 0;
+};
+
+#if defined(MEL_FAULT_INJECTION)
+
+inline constexpr bool kCompiledIn = true;
+
+/// Arms `point` with `trigger`; replaces any previous trigger and resets
+/// its evaluation/fire counters.
+void arm(Point point, const Trigger& trigger) noexcept;
+void disarm(Point point) noexcept;
+/// Disarms every point and clears the injected clock skew. Chaos tests
+/// call this in their fixture teardown.
+void reset() noexcept;
+
+/// Evaluates `point`'s trigger. False when the point is disarmed.
+[[nodiscard]] bool should_fire(Point point) noexcept;
+/// How often `point` has fired since it was armed.
+[[nodiscard]] std::uint64_t fire_count(Point point) noexcept;
+
+/// Nanoseconds the scan clock jumps when kClockSkew or kEngineStall fire.
+void set_time_jump(std::chrono::nanoseconds jump) noexcept;
+[[nodiscard]] std::chrono::nanoseconds time_jump() noexcept;
+
+/// Advances the scan clock by `by` (what a firing stall/skew point does).
+void advance_clock(std::chrono::nanoseconds by) noexcept;
+[[nodiscard]] std::chrono::nanoseconds clock_skew() noexcept;
+
+/// The scan clock: steady_clock::now() plus injected skew.
+[[nodiscard]] std::chrono::steady_clock::time_point now() noexcept;
+
+#else  // !MEL_FAULT_INJECTION — every hook collapses to a no-op.
+
+inline constexpr bool kCompiledIn = false;
+
+inline void arm(Point, const Trigger&) noexcept {}
+inline void disarm(Point) noexcept {}
+inline void reset() noexcept {}
+[[nodiscard]] inline bool should_fire(Point) noexcept { return false; }
+[[nodiscard]] inline std::uint64_t fire_count(Point) noexcept { return 0; }
+inline void set_time_jump(std::chrono::nanoseconds) noexcept {}
+[[nodiscard]] inline std::chrono::nanoseconds time_jump() noexcept {
+  return std::chrono::nanoseconds{0};
+}
+inline void advance_clock(std::chrono::nanoseconds) noexcept {}
+[[nodiscard]] inline std::chrono::nanoseconds clock_skew() noexcept {
+  return std::chrono::nanoseconds{0};
+}
+[[nodiscard]] inline std::chrono::steady_clock::time_point now() noexcept {
+  return std::chrono::steady_clock::now();
+}
+
+#endif  // MEL_FAULT_INJECTION
+
+}  // namespace mel::util::fault

@@ -15,7 +15,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel log_threshold() noexcept;
 void set_log_threshold(LogLevel level) noexcept;
 
+/// Structured context rendered ahead of the message so service-layer
+/// events (degradation, budget trips) are attributable in logs:
+///   [WARN ] [service scan=42] deadline exceeded ...
+struct LogContext {
+  std::string_view component;  ///< Subsystem tag, e.g. "service", "stream".
+  std::uint64_t scan_id = 0;   ///< 0 = not tied to a particular scan.
+};
+
 void log_line(LogLevel level, std::string_view message);
+void log_line(LogLevel level, const LogContext& context,
+              std::string_view message);
 
 namespace detail {
 template <typename... Args>
@@ -24,6 +34,13 @@ void log_fmt(LogLevel level, Args&&... args) {
   std::ostringstream oss;
   (oss << ... << args);
   log_line(level, oss.str());
+}
+template <typename... Args>
+void log_fmt_ctx(LogLevel level, const LogContext& context, Args&&... args) {
+  if (level < log_threshold()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  log_line(level, context, oss.str());
 }
 }  // namespace detail
 
@@ -42,6 +59,20 @@ void log_warn(Args&&... args) {
 template <typename... Args>
 void log_error(Args&&... args) {
   detail::log_fmt(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+/// Context-tagged variants (same semantics, structured prefix).
+template <typename... Args>
+void log_warn_ctx(const LogContext& context, Args&&... args) {
+  detail::log_fmt_ctx(LogLevel::kWarn, context, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info_ctx(const LogContext& context, Args&&... args) {
+  detail::log_fmt_ctx(LogLevel::kInfo, context, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error_ctx(const LogContext& context, Args&&... args) {
+  detail::log_fmt_ctx(LogLevel::kError, context, std::forward<Args>(args)...);
 }
 
 }  // namespace mel::util

@@ -1,0 +1,131 @@
+#pragma once
+// Structured error taxonomy for the scanning service layers.
+//
+// Status / StatusOr<T> carry a machine-readable StatusCode plus a short
+// human-readable message. They are used at construction and scan
+// boundaries where an input (config, payload, stream batch) can
+// legitimately be malformed or a runtime budget can trip; assert() stays
+// reserved for internal invariants that validated inputs cannot violate.
+//
+// The older Result<T> (result.hpp) remains for message-only parse errors;
+// new code that needs typed errors should use Status.
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace mel::util {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  /// A configuration value is out of its documented domain (alpha outside
+  /// (0,1), overlap >= window_size, cap smaller than a window, ...).
+  kInvalidConfig,
+  /// A per-call argument is malformed (not a config problem).
+  kInvalidArgument,
+  /// The payload exceeds the service's configured maximum scan size.
+  kPayloadTooLarge,
+  /// The per-scan wall-clock deadline passed before a verdict was reached.
+  kDeadlineExceeded,
+  /// A memory/buffering limit tripped (stream buffer cap, alloc failure);
+  /// the caller should back off and retry with less data.
+  kResourceExhausted,
+  /// The operation completed on a fallback path with reduced fidelity
+  /// (used as a marker code; degraded *verdicts* are still returned as
+  /// values, flagged via Verdict::degraded).
+  kDegraded,
+  /// Invariant violation escaped to a boundary; indicates a bug.
+  kInternal,
+};
+
+/// Stable lowercase name for logs and test assertions.
+[[nodiscard]] std::string_view status_code_name(StatusCode code) noexcept;
+
+class [[nodiscard]] Status {
+ public:
+  /// Default: OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return Status(); }
+  [[nodiscard]] static Status invalid_config(std::string message) {
+    return Status(StatusCode::kInvalidConfig, std::move(message));
+  }
+  [[nodiscard]] static Status invalid_argument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  [[nodiscard]] static Status payload_too_large(std::string message) {
+    return Status(StatusCode::kPayloadTooLarge, std::move(message));
+  }
+  [[nodiscard]] static Status deadline_exceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  [[nodiscard]] static Status resource_exhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  [[nodiscard]] static Status degraded(std::string message) {
+    return Status(StatusCode::kDegraded, std::move(message));
+  }
+  [[nodiscard]] static Status internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return code_ == StatusCode::kOk;
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+  /// "deadline_exceeded: scan exceeded 50ms budget" (or "ok").
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  StatusOr(Status status)
+      : storage_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(storage_).is_ok() &&
+           "StatusOr must not hold an OK status without a value");
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(is_ok());
+    return std::get<0>(std::move(storage_));
+  }
+
+  /// The error Status; on an OK result returns a static OK status.
+  [[nodiscard]] const Status& status() const noexcept {
+    static const Status kOk;
+    return is_ok() ? kOk : std::get<1>(storage_);
+  }
+  [[nodiscard]] StatusCode code() const noexcept { return status().code(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace mel::util

@@ -29,4 +29,15 @@ void log_line(LogLevel level, std::string_view message) {
   out << "[" << level_tag(level) << "] " << message << '\n';
 }
 
+void log_line(LogLevel level, const LogContext& context,
+              std::string_view message) {
+  if (level < g_threshold) return;
+  std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  out << "[" << level_tag(level) << "] [";
+  out << (context.component.empty() ? std::string_view("?")
+                                    : context.component);
+  if (context.scan_id != 0) out << " scan=" << context.scan_id;
+  out << "] " << message << '\n';
+}
+
 }  // namespace mel::util

@@ -1,0 +1,36 @@
+#include "mel/util/status.hpp"
+
+namespace mel::util {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidConfig:
+      return "invalid_config";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kPayloadTooLarge:
+      return "payload_too_large";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kDegraded:
+      return "degraded";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string text(status_code_name(code_));
+  if (!message_.empty()) {
+    text += ": ";
+    text += message_;
+  }
+  return text;
+}
+
+}  // namespace mel::util

@@ -1,0 +1,191 @@
+// Regression tests for the error-taxonomy conversion: config mistakes
+// that used to be debug-only asserts (no-ops in release) now surface as
+// typed kInvalidConfig errors through create()/validate(), while the
+// plain constructors sanitize instead of misbehaving.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "mel/core/detector.hpp"
+#include "mel/core/mel_model.hpp"
+#include "mel/core/stream_detector.hpp"
+#include "mel/exec/mel.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::core {
+namespace {
+
+// --- StreamConfig validation (drain() infinite-loop hazard) -------------
+
+TEST(StreamConfigValidation, OverlapEqualToWindowIsRejected) {
+  StreamConfig config;
+  config.window_size = 4096;
+  config.overlap = 4096;  // Slide step would be zero: drain() spins.
+  const auto result = StreamDetector::create(config);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), util::StatusCode::kInvalidConfig);
+}
+
+TEST(StreamConfigValidation, OverlapLargerThanWindowIsRejected) {
+  StreamConfig config;
+  config.window_size = 1024;
+  config.overlap = 9999;
+  EXPECT_EQ(StreamDetector::create(config).code(),
+            util::StatusCode::kInvalidConfig);
+}
+
+TEST(StreamConfigValidation, ZeroWindowIsRejected) {
+  StreamConfig config;
+  config.window_size = 0;
+  EXPECT_EQ(StreamDetector::create(config).code(),
+            util::StatusCode::kInvalidConfig);
+}
+
+TEST(StreamConfigValidation, CapSmallerThanWindowIsRejected) {
+  StreamConfig config;
+  config.max_buffered_bytes = config.window_size - 1;
+  EXPECT_EQ(StreamDetector::create(config).code(),
+            util::StatusCode::kInvalidConfig);
+}
+
+TEST(StreamConfigValidation, DefaultConfigIsValid) {
+  EXPECT_TRUE(StreamDetector::create(StreamConfig{}).is_ok());
+}
+
+TEST(StreamConfigValidation, SanitizedCtorTerminates) {
+  // Regression: overlap >= window_size used to pass the release build's
+  // no-op assert and make drain() loop forever on the first full window.
+  StreamConfig config;
+  config.window_size = 512;
+  config.overlap = 512;
+  StreamDetector stream(config);  // Sanitizes with a warning.
+  const util::ByteBuffer data(4096, 'A');
+  stream.feed(data);  // Must return, not hang.
+  stream.finish();
+  EXPECT_EQ(stream.bytes_consumed(), data.size());
+  EXPECT_GT(stream.windows_scanned(), 0u);
+}
+
+TEST(StreamConfigValidation, SanitizedZeroWindowTerminates) {
+  StreamConfig config;
+  config.window_size = 0;
+  StreamDetector stream(config);
+  const util::ByteBuffer data(8192, 'x');
+  stream.feed(data);
+  stream.finish();
+  EXPECT_EQ(stream.bytes_consumed(), data.size());
+}
+
+// --- Stream buffer cap (backpressure) -----------------------------------
+
+TEST(StreamBackpressure, OversizedBatchIsRefusedWholesale) {
+  StreamConfig config;
+  config.window_size = 1024;
+  config.overlap = 128;
+  config.max_buffered_bytes = 2048;
+  StreamDetector stream(config);
+  const util::ByteBuffer batch(4096, 'A');
+  const auto result = stream.try_feed(batch);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), util::StatusCode::kResourceExhausted);
+  // No partial consumption: the stream state is untouched.
+  EXPECT_EQ(stream.bytes_consumed(), 0u);
+  EXPECT_EQ(stream.pending_bytes(), 0u);
+}
+
+TEST(StreamBackpressure, SmallerBatchesFlowAfterRefusal) {
+  StreamConfig config;
+  config.window_size = 1024;
+  config.overlap = 128;
+  config.max_buffered_bytes = 2048;
+  StreamDetector stream(config);
+  const util::ByteBuffer big(4096, 'A');
+  ASSERT_FALSE(stream.try_feed(big).is_ok());
+  const util::ByteBuffer small(1024, 'A');
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(stream.try_feed(small).is_ok());
+  }
+  EXPECT_EQ(stream.bytes_consumed(), 4096u);
+}
+
+TEST(StreamBackpressure, UncappedTryFeedAcceptsLargeBatches) {
+  StreamDetector stream;  // max_buffered_bytes = 0: legacy unlimited.
+  const util::ByteBuffer batch(1 << 16, 'A');
+  EXPECT_TRUE(stream.try_feed(batch).is_ok());
+}
+
+// --- DetectorConfig alpha validation ------------------------------------
+
+TEST(DetectorAlphaValidation, OutOfRangeAlphaIsRejectedByCreate) {
+  for (const double alpha : {0.0, -0.5, 1.0, 1.5,
+                             std::numeric_limits<double>::quiet_NaN()}) {
+    DetectorConfig config;
+    config.alpha = alpha;
+    const auto result = MelDetector::create(config);
+    ASSERT_FALSE(result.is_ok()) << "alpha=" << alpha;
+    EXPECT_EQ(result.code(), util::StatusCode::kInvalidConfig);
+  }
+}
+
+TEST(DetectorAlphaValidation, ValidAlphaIsAccepted) {
+  DetectorConfig config;
+  config.alpha = 0.01;
+  EXPECT_TRUE(MelDetector::create(config).is_ok());
+}
+
+TEST(DetectorAlphaValidation, CtorClampsInsteadOfNaN) {
+  // Regression: alpha >= 1 passed the release build's no-op assert and
+  // produced NaN thresholds (log of a negative number downstream).
+  for (const double alpha : {1.5, 0.0, -3.0}) {
+    DetectorConfig config;
+    config.alpha = alpha;
+    const MelDetector detector(config);
+    EXPECT_GT(detector.config().alpha, 0.0);
+    EXPECT_LT(detector.config().alpha, 1.0);
+    const util::ByteBuffer payload(4096, 'n');
+    const Verdict verdict = detector.scan(payload);
+    EXPECT_FALSE(std::isnan(verdict.threshold)) << "alpha=" << alpha;
+    EXPECT_TRUE(std::isfinite(verdict.threshold)) << "alpha=" << alpha;
+  }
+}
+
+// --- MelModel parameter validation --------------------------------------
+
+TEST(MelModelValidation, RejectsOutOfDomainParameters) {
+  EXPECT_EQ(MelModel::validate(0, 0.1).code(),
+            util::StatusCode::kInvalidConfig);
+  EXPECT_EQ(MelModel::validate(-5, 0.1).code(),
+            util::StatusCode::kInvalidConfig);
+  EXPECT_EQ(MelModel::validate(100, 0.0).code(),
+            util::StatusCode::kInvalidConfig);
+  EXPECT_EQ(MelModel::validate(100, 1.0).code(),
+            util::StatusCode::kInvalidConfig);
+  EXPECT_EQ(
+      MelModel::validate(100, std::numeric_limits<double>::quiet_NaN()).code(),
+      util::StatusCode::kInvalidConfig);
+  EXPECT_TRUE(MelModel::validate(100, 0.02).is_ok());
+}
+
+TEST(MelModelValidation, CreateMatchesValidate) {
+  EXPECT_FALSE(MelModel::create(0, 0.5).is_ok());
+  const auto model = MelModel::create(2048, 0.02);
+  ASSERT_TRUE(model.is_ok());
+  EXPECT_EQ(model.value().n(), 2048);
+}
+
+// --- exec::MelOptions validation ----------------------------------------
+
+TEST(MelOptionsValidation, ZeroStepBudgetIsRejected) {
+  exec::MelOptions options;
+  options.step_budget = 0;
+  EXPECT_EQ(options.validate().code(), util::StatusCode::kInvalidConfig);
+}
+
+TEST(MelOptionsValidation, DefaultsAreValid) {
+  EXPECT_TRUE(exec::MelOptions{}.validate().is_ok());
+}
+
+}  // namespace
+}  // namespace mel::core

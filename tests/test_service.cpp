@@ -1,0 +1,192 @@
+// ScanService behavior with fault injection disarmed: transparent
+// wrapping on the clean path (verdicts identical to MelDetector), typed
+// errors for limit violations, and the degradation ladder for budget
+// trips and degenerate estimation.
+
+#include "mel/service/scan_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "mel/textcode/encoder.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::service {
+namespace {
+
+util::ByteBuffer benign_text(std::size_t size, std::uint64_t seed) {
+  traffic::MarkovTextGenerator generator;
+  util::Xoshiro256 rng(seed);
+  return util::to_bytes(generator.generate(size, rng));
+}
+
+util::ByteBuffer worm_bytes(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus().front().bytes, {}, rng);
+}
+
+ScanService make_service(ServiceConfig config = {}) {
+  auto result = ScanService::create(std::move(config));
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return std::move(result).take();
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::fault::reset(); }
+  void TearDown() override { util::fault::reset(); }
+};
+
+// --- Config validation ---------------------------------------------------
+
+TEST_F(ServiceTest, CreateRejectsInvalidDetectorConfig) {
+  ServiceConfig config;
+  config.detector.alpha = 2.0;
+  EXPECT_EQ(ScanService::create(config).code(),
+            util::StatusCode::kInvalidConfig);
+}
+
+TEST_F(ServiceTest, CreateRejectsInvalidStreamGeometry) {
+  ServiceConfig config;
+  config.stream_overlap = config.stream_window_size;
+  EXPECT_EQ(ScanService::create(config).code(),
+            util::StatusCode::kInvalidConfig);
+}
+
+TEST_F(ServiceTest, CreateRejectsNaNDegradedThreshold) {
+  ServiceConfig config;
+  config.degraded_threshold = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ScanService::create(config).code(),
+            util::StatusCode::kInvalidConfig);
+}
+
+// --- Clean-path parity ---------------------------------------------------
+
+TEST_F(ServiceTest, UnlimitedServiceMatchesDetectorVerbatim) {
+  // Acceptance: with no limits and no faults, the service is a pure
+  // pass-through — every verdict field matches the bare detector.
+  ServiceConfig config;
+  config.detector.alpha = 0.005;
+  ScanService service = make_service(config);
+  const core::MelDetector detector(config.detector);
+
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const util::ByteBuffer payload =
+        seed % 2 == 0 ? benign_text(4096, seed) : worm_bytes(seed);
+    const auto outcome = service.scan(payload);
+    ASSERT_TRUE(outcome.is_ok());
+    const core::Verdict& got = outcome.value().verdict;
+    const core::Verdict want = detector.scan(payload);
+    EXPECT_EQ(got.malicious, want.malicious) << "seed=" << seed;
+    EXPECT_EQ(got.mel, want.mel) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(got.threshold, want.threshold) << "seed=" << seed;
+    EXPECT_EQ(got.loop_detected, want.loop_detected) << "seed=" << seed;
+    EXPECT_FALSE(got.degraded) << "seed=" << seed;
+  }
+  EXPECT_EQ(service.stats().scans_degraded, 0u);
+  EXPECT_EQ(service.stats().scans_rejected, 0u);
+}
+
+TEST_F(ServiceTest, EmptyPayloadIsBenignNotDegraded) {
+  ScanService service = make_service();
+  const auto outcome = service.scan({});
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_FALSE(outcome.value().verdict.malicious);
+  EXPECT_FALSE(outcome.value().verdict.degraded);
+}
+
+// --- Typed limit errors --------------------------------------------------
+
+TEST_F(ServiceTest, OversizedPayloadIsRefusedTyped) {
+  ServiceConfig config;
+  config.max_payload_bytes = 1024;
+  ScanService service = make_service(config);
+  const auto outcome = service.scan(benign_text(2048, 1));
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.code(), util::StatusCode::kPayloadTooLarge);
+  EXPECT_EQ(service.stats().scans_rejected, 1u);
+  EXPECT_EQ(service.stats().rejects(util::StatusCode::kPayloadTooLarge), 1u);
+  // The cap is exclusive of payloads at the limit.
+  EXPECT_TRUE(service.scan(benign_text(1024, 2)).is_ok());
+}
+
+TEST_F(ServiceTest, ScanIdsAreSequentialAndStatsAdd) {
+  ScanService service = make_service();
+  const auto first = service.scan(benign_text(512, 3));
+  const auto second = service.scan(benign_text(512, 4));
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value().scan_id + 1, second.value().scan_id);
+  EXPECT_EQ(service.stats().scans_attempted, 2u);
+  EXPECT_EQ(service.stats().scans_completed, 2u);
+}
+
+// --- Degradation ladder --------------------------------------------------
+
+TEST_F(ServiceTest, DecodeBudgetTripYieldsFlaggedDegradedVerdict) {
+  ServiceConfig config;
+  config.budget.decode_budget = 64;  // Far below a 4K window's decode count.
+  config.degraded_threshold = 40.0;
+  ScanService service = make_service(config);
+  const auto outcome = service.scan(benign_text(4096, 5));
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome.value().verdict.degraded);
+  EXPECT_TRUE(outcome.value().verdict.mel_detail.budget_exhausted);
+  EXPECT_FALSE(outcome.value().degrade_reason.empty());
+  EXPECT_DOUBLE_EQ(outcome.value().verdict.threshold, 40.0);
+  EXPECT_EQ(service.stats().scans_degraded, 1u);
+}
+
+TEST_F(ServiceTest, DegenerateEstimationFallsBackToFixedThreshold) {
+  // measure_input on a single repeated character: the estimated p has no
+  // invalidating mass, the statistical threshold does not exist, and the
+  // bare detector silently falls back to threshold = input size (which
+  // can never alarm). The service must flag that rung explicitly.
+  ServiceConfig config;
+  config.detector.measure_input = true;
+  config.degraded_threshold = 40.0;
+  ScanService service = make_service(config);
+  const util::ByteBuffer payload(4096, 'a');
+  const auto outcome = service.scan(payload);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome.value().verdict.degraded);
+  EXPECT_DOUBLE_EQ(outcome.value().verdict.threshold, 40.0);
+  EXPECT_FALSE(outcome.value().degrade_reason.empty());
+}
+
+// --- Stream session ------------------------------------------------------
+
+TEST_F(ServiceTest, StreamSessionCatchesMidStreamWorm) {
+  ScanService service = make_service();
+  std::size_t alerts = 0;
+  auto feed = [&](const util::ByteBuffer& bytes) {
+    const auto result = service.stream_feed(bytes);
+    ASSERT_TRUE(result.is_ok());
+    alerts += result.value().size();
+  };
+  feed(benign_text(6000, 6));
+  feed(worm_bytes(7));
+  feed(benign_text(6000, 8));
+  alerts += service.stream_finish().size();
+  EXPECT_GE(alerts, 1u);
+  EXPECT_EQ(service.stats().alarms, alerts);
+}
+
+TEST_F(ServiceTest, StreamBackpressureSurfacesAsResourceExhausted) {
+  ServiceConfig config;
+  config.stream_buffer_cap = 8192;
+  ScanService service = make_service(config);
+  const auto result = service.stream_feed(benign_text(20000, 9));
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.stats().rejects(util::StatusCode::kResourceExhausted),
+            1u);
+}
+
+}  // namespace
+}  // namespace mel::service

@@ -1,0 +1,299 @@
+// Chaos suite: deterministic fault injection against ScanService. The
+// contract under test — the service never crashes, never returns a
+// silent half-answer (every fallback verdict is flagged degraded, every
+// refusal is a typed Status), and with faults disarmed its results are
+// identical to the bare detector path. Runs under ASan/UBSan via the
+// `sanitize` CMake preset.
+
+#include "mel/service/scan_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "mel/textcode/encoder.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::service {
+namespace {
+
+namespace fault = util::fault;
+using fault::Point;
+using std::chrono::milliseconds;
+
+util::ByteBuffer benign_text(std::size_t size, std::uint64_t seed) {
+  traffic::MarkovTextGenerator generator;
+  util::Xoshiro256 rng(seed);
+  return util::to_bytes(generator.generate(size, rng));
+}
+
+/// The http_gateway attack: a text-encoded bind shell (jump-hop variant).
+util::ByteBuffer gateway_worm(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  textcode::TextWormOptions options;
+  options.jump_hops = true;
+  return textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus().back().bytes, options, rng);
+}
+
+ScanService make_service(ServiceConfig config) {
+  auto result = ScanService::create(std::move(config));
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return std::move(result).take();
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fault::kCompiledIn)
+        << "chaos suite requires MEL_FAULT_INJECTION=ON";
+    fault::reset();
+  }
+  void TearDown() override { fault::reset(); }
+};
+
+// --- Engine stall --------------------------------------------------------
+
+TEST_F(ChaosTest, EngineStallTripsMidScanDeadline) {
+  ServiceConfig config;
+  config.budget.deadline = milliseconds(100);
+  ScanService service = make_service(config);
+
+  fault::set_time_jump(std::chrono::seconds(10));
+  fault::arm(Point::kEngineStall, fault::Trigger{.fire_every = 1});
+
+  const auto outcome = service.scan(benign_text(4096, 1));
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_GE(fault::fire_count(Point::kEngineStall), 1u);
+  EXPECT_EQ(service.stats().rejects(util::StatusCode::kDeadlineExceeded), 1u);
+}
+
+TEST_F(ChaosTest, EngineStallWithoutDeadlineIsHarmless) {
+  ScanService service = make_service(ServiceConfig{});  // No deadline.
+  fault::arm(Point::kEngineStall, fault::Trigger{.fire_every = 1});
+  const auto outcome = service.scan(benign_text(4096, 2));
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_FALSE(outcome.value().verdict.degraded);
+}
+
+// --- Clock skew ----------------------------------------------------------
+
+TEST_F(ChaosTest, ClockSkewAtEntryRejectsBeforeAnyWork) {
+  ServiceConfig config;
+  config.budget.deadline = milliseconds(100);
+  ScanService service = make_service(config);
+
+  fault::set_time_jump(std::chrono::seconds(10));
+  fault::arm(Point::kClockSkew, fault::Trigger{.fire_every = 1});
+
+  const auto outcome = service.scan(benign_text(4096, 3));
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(fault::fire_count(Point::kClockSkew), 1u);
+}
+
+TEST_F(ChaosTest, ClockSkewWithoutDeadlineIsHarmless) {
+  ScanService service = make_service(ServiceConfig{});
+  fault::arm(Point::kClockSkew, fault::Trigger{.fire_every = 1});
+  EXPECT_TRUE(service.scan(benign_text(4096, 4)).is_ok());
+}
+
+// --- Allocation failure --------------------------------------------------
+
+TEST_F(ChaosTest, AllocFailureIsTypedResourceExhaustion) {
+  ScanService service = make_service(ServiceConfig{});
+  fault::arm(Point::kAllocFailure, fault::Trigger{.fire_every = 1});
+  const auto outcome = service.scan(benign_text(4096, 5));
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.code(), util::StatusCode::kResourceExhausted);
+
+  // Recovery: disarm and the same service instance scans normally.
+  fault::disarm(Point::kAllocFailure);
+  EXPECT_TRUE(service.scan(benign_text(4096, 5)).is_ok());
+}
+
+TEST_F(ChaosTest, StreamAllocFailureRefusesBatchWithoutCorruption) {
+  ScanService service = make_service(ServiceConfig{});
+  const auto clean = benign_text(6000, 6);
+
+  fault::arm(Point::kAllocFailure, fault::Trigger{.fire_every = 1});
+  const auto refused = service.stream_feed(clean);
+  ASSERT_FALSE(refused.is_ok());
+  EXPECT_EQ(refused.code(), util::StatusCode::kResourceExhausted);
+
+  // Backpressure contract: nothing was consumed; a retry after the fault
+  // clears proceeds from a consistent stream state.
+  fault::disarm(Point::kAllocFailure);
+  EXPECT_TRUE(service.stream_feed(clean).is_ok());
+  service.stream_finish();
+}
+
+// --- Truncated window ----------------------------------------------------
+
+TEST_F(ChaosTest, TruncatedWindowVerdictIsFlaggedDegraded) {
+  ScanService service = make_service(ServiceConfig{});
+  fault::arm(Point::kTruncatedWindow, fault::Trigger{.fire_every = 1});
+  const auto outcome = service.scan(benign_text(4096, 7));
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome.value().verdict.degraded);
+  EXPECT_NE(outcome.value().degrade_reason.find("truncated"),
+            std::string::npos);
+}
+
+// --- Degraded-path accuracy ----------------------------------------------
+
+TEST_F(ChaosTest, DegradedScanStillCatchesGatewayWorm) {
+  // Budget-starved scan of the http_gateway attack: the partial MEL (a
+  // lower bound) must still clear the fixed fallback threshold, so the
+  // degraded rung keeps catching the worm.
+  ServiceConfig config;
+  config.detector.alpha = 0.005;          // Gateway settings.
+  config.detector.early_exit = false;     // Force the budget to trip.
+  config.budget.decode_budget = 2000;
+  config.degraded_threshold = 40.0;
+  ScanService service = make_service(config);
+
+  // A request body like the gateway sees: the worm up front, benign text
+  // after it. The filler pushes total decodes past the budget while the
+  // worm's run is already in the partial MEL.
+  util::ByteBuffer body = gateway_worm(7);
+  const util::ByteBuffer filler = benign_text(8192, 77);
+  body.insert(body.end(), filler.begin(), filler.end());
+
+  const auto outcome = service.scan(body);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome.value().verdict.degraded);
+  EXPECT_TRUE(outcome.value().verdict.mel_detail.budget_exhausted);
+  EXPECT_TRUE(outcome.value().verdict.malicious)
+      << "partial MEL " << outcome.value().verdict.mel
+      << " should exceed fallback threshold 40";
+
+  // And benign traffic on the same starved budget stays clean.
+  const auto benign = service.scan(benign_text(8192, 8));
+  ASSERT_TRUE(benign.is_ok());
+  EXPECT_TRUE(benign.value().verdict.degraded);
+  EXPECT_FALSE(benign.value().verdict.malicious);
+}
+
+// --- Chaos soak ----------------------------------------------------------
+
+TEST_F(ChaosTest, SoakNeverCrashesNeverLeaksUnflaggedDegradation) {
+  ServiceConfig config;
+  config.detector.alpha = 0.005;
+  config.max_payload_bytes = 1 << 20;
+  config.budget.deadline = milliseconds(200);
+  ScanService service = make_service(config);
+  const core::MelDetector baseline(config.detector);
+
+  fault::set_time_jump(std::chrono::seconds(10));
+  fault::arm(Point::kClockSkew,
+             fault::Trigger{.probability = 0.2, .seed = 101});
+  fault::arm(Point::kAllocFailure,
+             fault::Trigger{.probability = 0.2, .seed = 202});
+  fault::arm(Point::kTruncatedWindow,
+             fault::Trigger{.probability = 0.2, .seed = 303});
+  fault::arm(Point::kEngineStall,
+             fault::Trigger{.probability = 0.05, .seed = 404});
+
+  std::uint64_t clean_scans = 0;
+  for (std::uint64_t i = 0; i < 80; ++i) {
+    const bool attack = i % 7 == 3;
+    const util::ByteBuffer payload =
+        attack ? gateway_worm(i) : benign_text(4096, i);
+
+    const auto skew_before = fault::fire_count(Point::kClockSkew);
+    const auto alloc_before = fault::fire_count(Point::kAllocFailure);
+    const auto trunc_before = fault::fire_count(Point::kTruncatedWindow);
+    const auto stall_before = fault::fire_count(Point::kEngineStall);
+
+    const auto outcome = service.scan(payload);
+
+    if (!outcome.is_ok()) {
+      // Every refusal must be one of the documented typed errors.
+      const auto code = outcome.code();
+      EXPECT_TRUE(code == util::StatusCode::kDeadlineExceeded ||
+                  code == util::StatusCode::kResourceExhausted ||
+                  code == util::StatusCode::kPayloadTooLarge)
+          << "scan " << i << ": " << outcome.status().to_string();
+      continue;
+    }
+    const core::Verdict& verdict = outcome.value().verdict;
+
+    // A fault that fired inside an OK scan must be accounted for:
+    // injected faults on the value path can only be truncation, and the
+    // verdict must carry the degraded flag — no silent successes.
+    EXPECT_EQ(fault::fire_count(Point::kAllocFailure), alloc_before)
+        << "scan " << i << " succeeded across an allocation failure";
+    const bool skew_fired = fault::fire_count(Point::kClockSkew) > skew_before;
+    const bool stall_fired =
+        fault::fire_count(Point::kEngineStall) > stall_before;
+    EXPECT_FALSE(stall_fired)
+        << "scan " << i << " succeeded across an engine stall";
+    const bool trunc_fired =
+        fault::fire_count(Point::kTruncatedWindow) > trunc_before;
+    if (trunc_fired) {
+      EXPECT_TRUE(verdict.degraded)
+          << "scan " << i << " leaked an unflagged truncated verdict";
+    }
+
+    if (!skew_fired && !trunc_fired && !verdict.degraded) {
+      // Clean path: byte-identical to the bare detector.
+      const core::Verdict want = baseline.scan(payload);
+      EXPECT_EQ(verdict.malicious, want.malicious) << "scan " << i;
+      EXPECT_EQ(verdict.mel, want.mel) << "scan " << i;
+      EXPECT_DOUBLE_EQ(verdict.threshold, want.threshold) << "scan " << i;
+      if (attack) EXPECT_TRUE(verdict.malicious) << "scan " << i;
+      ++clean_scans;
+    }
+  }
+  // The soak must actually exercise both the clean and the faulty path.
+  EXPECT_GT(clean_scans, 10u);
+  EXPECT_GT(service.stats().scans_rejected, 5u);
+  EXPECT_EQ(service.stats().scans_attempted, 80u);
+
+  // After the storm: disarm everything and verify full recovery.
+  fault::reset();
+  const auto worm_after = service.scan(gateway_worm(999));
+  ASSERT_TRUE(worm_after.is_ok());
+  EXPECT_TRUE(worm_after.value().verdict.malicious);
+  EXPECT_FALSE(worm_after.value().verdict.degraded);
+  const auto benign_after = service.scan(benign_text(4096, 998));
+  ASSERT_TRUE(benign_after.is_ok());
+  EXPECT_FALSE(benign_after.value().verdict.malicious);
+}
+
+// --- Faults-off parity with limits configured ----------------------------
+
+TEST_F(ChaosTest, GatewayLimitsAloneDoNotPerturbVerdicts) {
+  // The http_gateway config (payload cap + generous deadline) must be a
+  // transparent wrapper on normal traffic: identical verdicts to the
+  // bare detector, zero degraded, zero rejected.
+  ServiceConfig config;
+  config.detector.alpha = 0.005;
+  config.max_payload_bytes = 1 << 20;
+  config.budget.deadline = milliseconds(250);
+  ScanService service = make_service(config);
+  const core::MelDetector baseline(config.detector);
+
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const util::ByteBuffer payload =
+        i == 10 ? gateway_worm(42) : benign_text(2048, i);
+    const auto outcome = service.scan(payload);
+    ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+    const core::Verdict want = baseline.scan(payload);
+    EXPECT_EQ(outcome.value().verdict.malicious, want.malicious) << i;
+    EXPECT_EQ(outcome.value().verdict.mel, want.mel) << i;
+    EXPECT_DOUBLE_EQ(outcome.value().verdict.threshold, want.threshold) << i;
+    EXPECT_FALSE(outcome.value().verdict.degraded) << i;
+    EXPECT_EQ(outcome.value().verdict.malicious, i == 10) << i;
+  }
+  EXPECT_EQ(service.stats().scans_degraded, 0u);
+  EXPECT_EQ(service.stats().scans_rejected, 0u);
+}
+
+}  // namespace
+}  // namespace mel::service

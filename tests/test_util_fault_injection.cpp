@@ -1,0 +1,137 @@
+#include "mel/util/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/util/logging.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace mel::util::fault {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+};
+
+TEST_F(FaultInjectionTest, CompiledInForChaosSuite) {
+  // Tier-1 builds default MEL_FAULT_INJECTION=ON; the chaos tests in
+  // test_service_chaos.cpp rely on it.
+  EXPECT_TRUE(kCompiledIn);
+}
+
+TEST_F(FaultInjectionTest, DisarmedPointNeverFires) {
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(should_fire(Point::kAllocFailure));
+  }
+  EXPECT_EQ(fire_count(Point::kAllocFailure), 0u);
+}
+
+TEST_F(FaultInjectionTest, CounterTriggerIsExact) {
+  arm(Point::kEngineStall, Trigger{.start_after = 3, .fire_every = 2});
+  std::vector<bool> fired;
+  for (int i = 0; i < 10; ++i) fired.push_back(should_fire(Point::kEngineStall));
+  // Evaluations 0,1,2 skipped; then every 2nd starting at 3: 3,5,7,9.
+  const std::vector<bool> expected = {false, false, false, true, false,
+                                      true,  false, true,  false, true};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(fire_count(Point::kEngineStall), 4u);
+}
+
+TEST_F(FaultInjectionTest, MaxFiresCapsInjection) {
+  arm(Point::kTruncatedWindow, Trigger{.fire_every = 1, .max_fires = 2});
+  int fires = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (should_fire(Point::kTruncatedWindow)) ++fires;
+  }
+  EXPECT_EQ(fires, 2);
+}
+
+TEST_F(FaultInjectionTest, SeededProbabilityIsDeterministic) {
+  const Trigger trigger{.probability = 0.3, .seed = 1234};
+  std::vector<bool> first, second;
+  arm(Point::kClockSkew, trigger);
+  for (int i = 0; i < 200; ++i) first.push_back(should_fire(Point::kClockSkew));
+  arm(Point::kClockSkew, trigger);  // Re-arm resets the stream.
+  for (int i = 0; i < 200; ++i) second.push_back(should_fire(Point::kClockSkew));
+  EXPECT_EQ(first, second);
+  // Sanity: roughly 30% firing, not degenerate.
+  const auto fires = static_cast<int>(
+      std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 30);
+  EXPECT_LT(fires, 120);
+}
+
+TEST_F(FaultInjectionTest, ClockSkewShiftsScanClock) {
+  const auto before = now();
+  advance_clock(std::chrono::seconds(30));
+  const auto after = now();
+  EXPECT_GE(after - before, std::chrono::seconds(29));
+  reset();
+  EXPECT_EQ(clock_skew().count(), 0);
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsEverything) {
+  arm(Point::kAllocFailure, Trigger{});
+  arm(Point::kEngineStall, Trigger{});
+  set_time_jump(std::chrono::seconds(1));
+  reset();
+  EXPECT_FALSE(should_fire(Point::kAllocFailure));
+  EXPECT_FALSE(should_fire(Point::kEngineStall));
+  EXPECT_EQ(time_jump(), std::chrono::seconds(10));  // Back to default.
+}
+
+}  // namespace
+}  // namespace mel::util::fault
+
+namespace mel::util {
+namespace {
+
+/// Captures std::clog / std::cerr for asserting on log output.
+class CaptureStream {
+ public:
+  explicit CaptureStream(std::ostream& stream)
+      : stream_(stream), old_(stream.rdbuf(buffer_.rdbuf())) {}
+  ~CaptureStream() { stream_.rdbuf(old_); }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostream& stream_;
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+TEST(LoggingContext, ComponentAndScanIdArePrefixed) {
+  CaptureStream capture(std::cerr);
+  log_line(LogLevel::kWarn, LogContext{.component = "service", .scan_id = 42},
+           "deadline exceeded");
+  EXPECT_EQ(capture.text(), "[WARN ] [service scan=42] deadline exceeded\n");
+}
+
+TEST(LoggingContext, ScanIdZeroIsOmitted) {
+  CaptureStream capture(std::cerr);
+  log_line(LogLevel::kError, LogContext{.component = "stream"},
+           "buffer cap hit");
+  EXPECT_EQ(capture.text(), "[ERROR] [stream] buffer cap hit\n");
+}
+
+TEST(LoggingContext, PlainApiStillWorks) {
+  CaptureStream capture(std::cerr);
+  log_line(LogLevel::kWarn, "old-style message");
+  EXPECT_EQ(capture.text(), "[WARN ] old-style message\n");
+}
+
+TEST(LoggingContext, RespectsThreshold) {
+  CaptureStream capture(std::cerr);
+  const LogLevel old_threshold = log_threshold();
+  set_log_threshold(LogLevel::kError);
+  log_line(LogLevel::kWarn, LogContext{.component = "service"}, "hidden");
+  set_log_threshold(old_threshold);
+  EXPECT_EQ(capture.text(), "");
+}
+
+}  // namespace
+}  // namespace mel::util

@@ -1,0 +1,69 @@
+#include "mel/util/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace mel::util {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::deadline_exceeded("budget was 50ms");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(status.message(), "budget was 50ms");
+  EXPECT_EQ(status.to_string(), "deadline_exceeded: budget was 50ms");
+}
+
+TEST(Status, EveryCodeHasAStableName) {
+  EXPECT_EQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_EQ(status_code_name(StatusCode::kInvalidConfig), "invalid_config");
+  EXPECT_EQ(status_code_name(StatusCode::kInvalidArgument),
+            "invalid_argument");
+  EXPECT_EQ(status_code_name(StatusCode::kPayloadTooLarge),
+            "payload_too_large");
+  EXPECT_EQ(status_code_name(StatusCode::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(status_code_name(StatusCode::kResourceExhausted),
+            "resource_exhausted");
+  EXPECT_EQ(status_code_name(StatusCode::kDegraded), "degraded");
+  EXPECT_EQ(status_code_name(StatusCode::kInternal), "internal");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.code(), StatusCode::kOk);
+  EXPECT_TRUE(result.status().is_ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> result(Status::payload_too_large("5MB > 1MB"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), StatusCode::kPayloadTooLarge);
+  EXPECT_EQ(result.status().message(), "5MB > 1MB");
+}
+
+TEST(StatusOr, TakeMovesValueOut) {
+  StatusOr<std::string> result(std::string("payload"));
+  const std::string taken = std::move(result).take();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(StatusOr, WorksWithMoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(*std::move(result).take(), 7);
+}
+
+}  // namespace
+}  // namespace mel::util
