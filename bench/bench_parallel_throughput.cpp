@@ -1,0 +1,224 @@
+// Parallel scan-engine throughput: payloads/sec and MB/sec of
+// BatchScanService at 1, 2, 4 and hardware-width worker counts over
+// generated HTTP + e-mail gateway traffic (with worms mixed in, as a
+// live feed would have).
+//
+// Before timing anything, every parallel width is cross-checked against
+// a sequential ScanService run — if a single verdict, MEL or degraded
+// flag differs, the bench aborts: throughput numbers for a
+// nondeterministic engine are meaningless.
+//
+// Results go to stdout (human table) and BENCH_parallel_throughput.json
+// (machine-readable, includes the detected core count — scaling above
+// the physical core count is scheduling noise, not speedup; see
+// docs/performance.md).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mel/service/batch_scan_service.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/email_gen.hpp"
+#include "mel/util/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct WidthResult {
+  std::size_t workers = 0;
+  double seconds = 0.0;
+  double payloads_per_sec = 0.0;
+  double mb_per_sec = 0.0;
+  double speedup_vs_1 = 0.0;
+};
+
+/// Mixed gateway corpus: HTTP bodies, mail bodies, and ~5% text worms.
+std::vector<mel::util::ByteBuffer> make_traffic(std::size_t http_cases,
+                                                std::size_t mail_cases,
+                                                std::size_t worm_cases) {
+  mel::traffic::BenignDatasetOptions http_options;
+  http_options.cases = http_cases;
+  http_options.case_size = 4000;
+  auto corpus = mel::traffic::make_benign_dataset(http_options);
+
+  const mel::traffic::EmailGenerator email;
+  for (auto& mail : email.make_mail_corpus(mail_cases, 4000, 13)) {
+    corpus.push_back(std::move(mail));
+  }
+  for (const auto& worm : mel::textcode::text_worm_corpus(worm_cases, 2008)) {
+    corpus.push_back(worm.bytes);
+  }
+  // Deterministic shuffle so worms interleave with benign traffic.
+  mel::util::Xoshiro256 rng(7);
+  for (std::size_t i = corpus.size(); i > 1; --i) {
+    std::swap(corpus[i - 1], corpus[rng.next_below(i)]);
+  }
+  return corpus;
+}
+
+bool verdicts_match(const mel::service::BatchScanResult& parallel,
+                    const std::vector<mel::service::BatchItemResult>& oracle) {
+  if (parallel.items.size() != oracle.size()) return false;
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    const auto& got = parallel.items[i];
+    const auto& want = oracle[i];
+    if (got.is_ok() != want.is_ok()) return false;
+    if (!got.is_ok()) {
+      if (got.status.code() != want.status.code()) return false;
+      continue;
+    }
+    if (got.outcome.verdict.malicious != want.outcome.verdict.malicious ||
+        got.outcome.verdict.mel != want.outcome.verdict.mel ||
+        got.outcome.verdict.degraded != want.outcome.verdict.degraded) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  mel::bench::print_title(
+      "Parallel scan engine — batch throughput vs worker count");
+
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const auto corpus = make_traffic(220, 60, 16);
+  std::uint64_t total_bytes = 0;
+  for (const auto& payload : corpus) total_bytes += payload.size();
+  std::printf("\nTraffic: %zu payloads (HTTP + mail + worms), %.1f MB total. "
+              "Detected hardware threads: %u.\n",
+              corpus.size(), static_cast<double>(total_bytes) / 1e6,
+              hardware);
+
+  // Sequential oracle for the determinism cross-check.
+  mel::service::ServiceConfig service_config;
+  std::vector<mel::service::BatchItemResult> oracle(corpus.size());
+  std::uint64_t alarms = 0;
+  {
+    auto service_or = mel::service::ScanService::create(service_config);
+    if (!service_or.is_ok()) {
+      std::fprintf(stderr, "service config rejected: %s\n",
+                   service_or.status().to_string().c_str());
+      return 1;
+    }
+    const mel::service::ScanService service = std::move(service_or).take();
+    mel::exec::MelScratch scratch;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      auto outcome = service.scan(corpus[i], scratch);
+      if (outcome.is_ok()) {
+        oracle[i].outcome = std::move(outcome).take();
+        alarms += oracle[i].outcome.verdict.malicious;
+      } else {
+        oracle[i].status = outcome.status();
+      }
+    }
+  }
+  std::printf("Sequential oracle: %llu alarms raised.\n",
+              static_cast<unsigned long long>(alarms));
+
+  std::vector<std::size_t> widths{1, 2, 4};
+  if (std::find(widths.begin(), widths.end(), hardware) == widths.end()) {
+    widths.push_back(hardware);
+  }
+
+  constexpr int kRepetitions = 3;
+  std::vector<WidthResult> results;
+
+  mel::bench::print_section("Throughput (best of 3 repetitions per width)");
+  std::printf("%8s %10s %14s %10s %10s\n", "workers", "sec", "payloads/s",
+              "MB/s", "speedup");
+  for (std::size_t workers : widths) {
+    mel::service::BatchConfig config;
+    config.service = service_config;
+    config.workers = workers;
+    auto batch_or = mel::service::BatchScanService::create(config);
+    if (!batch_or.is_ok()) {
+      std::fprintf(stderr, "batch config rejected: %s\n",
+                   batch_or.status().to_string().c_str());
+      return 1;
+    }
+    const mel::service::BatchScanService batch = std::move(batch_or).take();
+
+    double best_seconds = 0.0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      const auto start = Clock::now();
+      const auto result = batch.scan_batch(corpus);
+      const auto stop = Clock::now();
+      if (!result.is_ok()) {
+        std::fprintf(stderr, "scan_batch failed at width %zu: %s\n", workers,
+                     result.status().to_string().c_str());
+        return 1;
+      }
+      if (!verdicts_match(result.value(), oracle)) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION at width %zu: parallel verdicts "
+                     "differ from sequential.\n",
+                     workers);
+        return 1;
+      }
+      const double seconds =
+          std::chrono::duration<double>(stop - start).count();
+      if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+    }
+
+    WidthResult row;
+    row.workers = workers;
+    row.seconds = best_seconds;
+    row.payloads_per_sec = static_cast<double>(corpus.size()) / best_seconds;
+    row.mb_per_sec = static_cast<double>(total_bytes) / 1e6 / best_seconds;
+    row.speedup_vs_1 =
+        results.empty() ? 1.0 : results.front().seconds / best_seconds;
+    results.push_back(row);
+    std::printf("%8zu %10.3f %14.0f %10.1f %9.2fx\n", row.workers,
+                row.seconds, row.payloads_per_sec, row.mb_per_sec,
+                row.speedup_vs_1);
+  }
+
+  std::printf("\nAll widths produced verdicts bit-identical to the "
+              "sequential run.\n");
+  if (hardware < 4) {
+    std::printf("NOTE: only %u hardware thread(s) detected — speedups above "
+                "1.0x are not\nachievable on this host; compare on a "
+                "multi-core machine (docs/performance.md).\n",
+                hardware);
+  }
+
+  // Machine-readable output.
+  std::FILE* json = std::fopen("BENCH_parallel_throughput.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_parallel_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"parallel_throughput\",\n");
+  std::fprintf(json, "  \"hardware_threads\": %u,\n", hardware);
+  std::fprintf(json, "  \"payloads\": %zu,\n", corpus.size());
+  std::fprintf(json, "  \"total_bytes\": %llu,\n",
+               static_cast<unsigned long long>(total_bytes));
+  std::fprintf(json, "  \"sequential_alarms\": %llu,\n",
+               static_cast<unsigned long long>(alarms));
+  std::fprintf(json, "  \"deterministic\": true,\n");
+  std::fprintf(json, "  \"repetitions\": %d,\n", kRepetitions);
+  std::fprintf(json, "  \"widths\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WidthResult& row = results[i];
+    std::fprintf(json,
+                 "    {\"workers\": %zu, \"seconds\": %.6f, "
+                 "\"payloads_per_sec\": %.1f, \"mb_per_sec\": %.3f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 row.workers, row.seconds, row.payloads_per_sec,
+                 row.mb_per_sec, row.speedup_vs_1,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nWrote BENCH_parallel_throughput.json\n");
+  return 0;
+}

@@ -41,6 +41,12 @@ class SignatureScanner {
 
   /// Scans the payload for any known signature. One Aho-Corasick pass
   /// matches the whole database simultaneously, as production scanners do.
+  ///
+  /// Thread-safety: scan()/scan_all() lazily (re)build the automaton on
+  /// the first call after a database change (mutable members below), so
+  /// unlike MelDetector this scanner is NOT safe for concurrent scans
+  /// unless the automaton is warmed first (one scan after the last
+  /// add_signature*) and the database is then left untouched.
   [[nodiscard]] ScanMatch scan(util::ByteView payload) const;
 
   /// All database hits in the payload (forensics; includes overlaps).

@@ -97,6 +97,12 @@ Verdict MelDetector::scan(util::ByteView payload) const {
 
 Verdict MelDetector::scan(util::ByteView payload,
                           const ScanBudget& budget) const {
+  exec::MelScratch scratch;
+  return scan(payload, budget, scratch);
+}
+
+Verdict MelDetector::scan(util::ByteView payload, const ScanBudget& budget,
+                          exec::MelScratch& scratch) const {
   Verdict verdict;
   verdict.alpha = config_.alpha;
   verdict.is_text = util::is_text_buffer(payload);
@@ -121,7 +127,7 @@ Verdict MelDetector::scan(util::ByteView payload,
   if (budget.deadline.count() > 0) {
     options.deadline = util::fault::now() + budget.deadline;
   }
-  verdict.mel_detail = exec::compute_mel(payload, options);
+  verdict.mel_detail = exec::compute_mel(payload, options, scratch);
   verdict.mel = verdict.mel_detail.mel;
   verdict.loop_detected = verdict.mel_detail.loop_detected;
 

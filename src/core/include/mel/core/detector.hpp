@@ -82,6 +82,10 @@ struct Verdict {
   exec::MelResult mel_detail; ///< Full engine result.
 };
 
+/// Thread-safety: a constructed MelDetector is immutable — scan() and
+/// derive_threshold() are const, pure functions of the payload and
+/// config, so one detector instance may serve any number of concurrent
+/// scan threads (the parallel batch engine relies on this).
 class MelDetector {
  public:
   /// Clamps out-of-domain values (e.g. alpha outside (0,1) is clamped to
@@ -103,6 +107,12 @@ class MelDetector {
   /// the mel is a lower bound (callers decide how to degrade).
   [[nodiscard]] Verdict scan(util::ByteView payload,
                              const ScanBudget& budget) const;
+
+  /// As above, reusing a caller-owned scratch arena for the engine's
+  /// working vectors (batch hot path; identical verdicts bit for bit).
+  /// The scratch must not be shared between concurrent scans.
+  [[nodiscard]] Verdict scan(util::ByteView payload, const ScanBudget& budget,
+                             exec::MelScratch& scratch) const;
 
   /// The threshold the detector would use for a payload of `input_chars`
   /// characters with the given frequency table (exposed for calibration

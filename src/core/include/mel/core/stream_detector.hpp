@@ -48,6 +48,10 @@ struct StreamAlert {
   util::ByteBuffer window;  ///< Filled when keep_window_bytes is set.
 };
 
+/// Thread-safety: a StreamDetector models ONE logical byte stream and is
+/// stateful (reassembly buffer, offsets, counters) — feed it from one
+/// thread, or serialize callers externally. Use one instance per flow;
+/// the underlying MelDetector is immutable and shared freely.
 class StreamDetector {
  public:
   /// Sanitizes an invalid config (window_size == 0 falls back to the

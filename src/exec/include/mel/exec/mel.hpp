@@ -23,11 +23,18 @@
 //    enabling the uninitialized-register rule (DAWN strict mode); bounded
 //    by a step budget and a per-path visited set (loops are flagged).
 
+// Thread-safety: every function here is a pure computation over its
+// arguments — no global mutable state (the fault hooks consulted at
+// deadline checkpoints are atomic) — so distinct threads may run
+// compute_mel concurrently. A MelScratch instance, however, belongs to
+// exactly one thread at a time (one per pool worker).
+
 #include <chrono>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "mel/disasm/instruction.hpp"
 #include "mel/exec/validity.hpp"
 #include "mel/util/bytes.hpp"
 #include "mel/util/status.hpp"
@@ -83,11 +90,31 @@ struct MelResult {
   }
 };
 
+/// Reusable per-worker buffers for the DAG and path-explorer engines.
+/// Both need O(stream length) working vectors; re-scanning through one
+/// scratch turns that into an amortized no-op (capacity is retained
+/// across scans) instead of a heap round-trip per payload. Results are
+/// bit-for-bit identical with or without a scratch — the buffers are
+/// fully re-initialized each scan. Not thread-safe: one scratch per
+/// worker thread. The linear sweep allocates nothing and ignores it.
+struct MelScratch {
+  std::vector<std::int32_t> longest;           ///< DAG run-length table.
+  std::vector<disasm::Instruction> decoded;    ///< Explorer decode cache.
+  std::vector<std::uint8_t> decoded_yet;       ///< Explorer cache validity.
+  std::vector<std::uint8_t> on_path;           ///< Explorer cycle marks.
+};
+
 /// Computes the MEL of `bytes` under `options`, dispatching on
 /// options.engine. The uninitialized-register rule requires the path
 /// explorer and forces it regardless of the engine selection.
 [[nodiscard]] MelResult compute_mel(util::ByteView bytes,
                                     const MelOptions& options = {});
+
+/// As above, reusing `scratch`'s buffers instead of allocating (hot batch
+/// paths; same result bit for bit).
+[[nodiscard]] MelResult compute_mel(util::ByteView bytes,
+                                    const MelOptions& options,
+                                    MelScratch& scratch);
 
 /// Forces the linear-sweep engine (exposed for tests/benches).
 [[nodiscard]] MelResult compute_mel_sweep(util::ByteView bytes,
@@ -96,10 +123,16 @@ struct MelResult {
 /// Forces the DAG engine (exposed for tests/benches).
 [[nodiscard]] MelResult compute_mel_dag(util::ByteView bytes,
                                         const MelOptions& options);
+[[nodiscard]] MelResult compute_mel_dag(util::ByteView bytes,
+                                        const MelOptions& options,
+                                        MelScratch& scratch);
 
 /// Forces the path explorer (exposed for tests/benches).
 [[nodiscard]] MelResult compute_mel_explorer(util::ByteView bytes,
                                              const MelOptions& options);
+[[nodiscard]] MelResult compute_mel_explorer(util::ByteView bytes,
+                                             const MelOptions& options,
+                                             MelScratch& scratch);
 
 /// Per-entry-offset executable lengths (instructions executable starting
 /// at each byte offset, following branches, position-local rules only).

@@ -79,13 +79,15 @@ util::Status MelOptions::validate() const {
   return util::Status::ok();
 }
 
-MelResult compute_mel_dag(util::ByteView bytes, const MelOptions& options) {
+MelResult compute_mel_dag(util::ByteView bytes, const MelOptions& options,
+                          MelScratch& scratch) {
   MelResult result;
   const auto n = static_cast<std::int64_t>(bytes.size());
   if (n == 0) return result;
 
   // longest[o] = number of valid instructions executable starting at o.
-  std::vector<std::int32_t> longest(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::int32_t>& longest = scratch.longest;
+  longest.assign(static_cast<std::size_t>(n) + 1, 0);
 
   for (std::int64_t offset = n - 1; offset >= 0; --offset) {
     const Instruction insn =
@@ -127,19 +129,21 @@ MelResult compute_mel_dag(util::ByteView bytes, const MelOptions& options) {
   return result;
 }
 
-MelResult compute_mel_explorer(util::ByteView bytes,
-                               const MelOptions& options) {
+MelResult compute_mel_explorer(util::ByteView bytes, const MelOptions& options,
+                               MelScratch& scratch) {
   MelResult result;
   const std::size_t n = bytes.size();
   if (n == 0) return result;
 
   // Instructions are CPU-state independent: decode each offset once.
-  std::vector<Instruction> decoded(n);
-  std::vector<bool> decoded_yet(n, false);
+  std::vector<Instruction>& decoded = scratch.decoded;
+  decoded.assign(n, Instruction{});
+  std::vector<std::uint8_t>& decoded_yet = scratch.decoded_yet;
+  decoded_yet.assign(n, 0);
   const auto instruction_at = [&](std::size_t offset) -> const Instruction& {
     if (!decoded_yet[offset]) {
       decoded[offset] = disasm::decode_instruction(bytes, offset);
-      decoded_yet[offset] = true;
+      decoded_yet[offset] = 1;
       ++result.instructions_decoded;
     }
     return decoded[offset];
@@ -152,7 +156,8 @@ MelResult compute_mel_explorer(util::ByteView bytes,
     bool entered;  ///< True once children were pushed; pop = backtrack.
   };
 
-  std::vector<bool> on_path(n, false);
+  std::vector<std::uint8_t>& on_path = scratch.on_path;
+  on_path.assign(n, 0);
   std::vector<Frame> stack;
   std::uint64_t steps = 0;
 
@@ -303,19 +308,36 @@ MelResult compute_mel_sweep(util::ByteView bytes, const MelOptions& options) {
   return result;
 }
 
-MelResult compute_mel(util::ByteView bytes, const MelOptions& options) {
+MelResult compute_mel_dag(util::ByteView bytes, const MelOptions& options) {
+  MelScratch scratch;
+  return compute_mel_dag(bytes, options, scratch);
+}
+
+MelResult compute_mel_explorer(util::ByteView bytes,
+                               const MelOptions& options) {
+  MelScratch scratch;
+  return compute_mel_explorer(bytes, options, scratch);
+}
+
+MelResult compute_mel(util::ByteView bytes, const MelOptions& options,
+                      MelScratch& scratch) {
   if (options.rules.uninitialized_register_memory) {
-    return compute_mel_explorer(bytes, options);
+    return compute_mel_explorer(bytes, options, scratch);
   }
   switch (options.engine) {
     case MelEngine::kLinearSweep:
-      return compute_mel_sweep(bytes, options);
+      return compute_mel_sweep(bytes, options);  // Allocation-free already.
     case MelEngine::kAllPathsDag:
-      return compute_mel_dag(bytes, options);
+      return compute_mel_dag(bytes, options, scratch);
     case MelEngine::kPathExplorer:
-      return compute_mel_explorer(bytes, options);
+      return compute_mel_explorer(bytes, options, scratch);
   }
   return compute_mel_sweep(bytes, options);
+}
+
+MelResult compute_mel(util::ByteView bytes, const MelOptions& options) {
+  MelScratch scratch;
+  return compute_mel(bytes, options, scratch);
 }
 
 }  // namespace mel::exec

@@ -1,0 +1,149 @@
+#include "mel/service/batch_scan_service.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "mel/exec/mel.hpp"
+#include "mel/util/fault_injection.hpp"
+
+namespace mel::service {
+
+namespace {
+
+/// Join point for one batch: scan_batch() blocks here until every runner
+/// task it enqueued has finished. A condvar latch (rather than futures)
+/// keeps the task type a plain std::function and the runner loop
+/// allocation-free.
+class BatchLatch {
+ public:
+  explicit BatchLatch(std::size_t count) : remaining_(count) {}
+
+  void count_down() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--remaining_ == 0) done_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t remaining_;
+};
+
+}  // namespace
+
+util::Status BatchConfig::validate() const {
+  if (util::Status status = service.validate(); !status.is_ok()) {
+    return status;
+  }
+  return util::ThreadPoolOptions{.workers = workers,
+                                 .queue_capacity = queue_capacity}
+      .validate();
+}
+
+void BatchStats::merge(const BatchStats& shard) noexcept {
+  payloads += shard.payloads;
+  bytes_scanned += shard.bytes_scanned;
+  completed += shard.completed;
+  rejected += shard.rejected;
+  degraded += shard.degraded;
+  alarms += shard.alarms;
+  for (std::size_t i = 0; i < rejects_by_code.size(); ++i) {
+    rejects_by_code[i] += shard.rejects_by_code[i];
+  }
+}
+
+BatchScanService::BatchScanService(BatchConfig config, ScanService service)
+    : config_(std::move(config)), service_(std::move(service)) {
+  pool_ = std::make_unique<util::ThreadPool>(util::ThreadPoolOptions{
+      .workers = config_.workers, .queue_capacity = config_.queue_capacity});
+}
+
+util::StatusOr<BatchScanService> BatchScanService::create(BatchConfig config) {
+  if (util::Status status = config.validate(); !status.is_ok()) {
+    return status;
+  }
+  util::StatusOr<ScanService> service = ScanService::create(config.service);
+  if (!service.is_ok()) return service.status();
+  return BatchScanService(std::move(config), std::move(service).take());
+}
+
+util::StatusOr<BatchScanResult> BatchScanService::scan_batch(
+    const std::vector<util::ByteView>& payloads) const {
+  const auto start = util::fault::now();
+  if (config_.max_batch_items != 0 &&
+      payloads.size() > config_.max_batch_items) {
+    return util::Status::resource_exhausted(
+        "batch of " + std::to_string(payloads.size()) +
+        " payloads exceeds max_batch_items " +
+        std::to_string(config_.max_batch_items));
+  }
+
+  BatchScanResult result;
+  result.items.resize(payloads.size());
+  if (payloads.empty()) return result;
+
+  const std::size_t runners =
+      std::min(pool_->worker_count(), payloads.size());
+  result.workers_used = runners;
+
+  // Dynamic scheduling: runners claim the next unscanned index. Every
+  // slot is written by exactly one runner; the latch orders all slot and
+  // shard writes before the merge below.
+  std::atomic<std::size_t> cursor{0};
+  std::vector<BatchStats> shards(runners);
+  BatchLatch latch(runners);
+
+  for (std::size_t runner = 0; runner < runners; ++runner) {
+    pool_->submit([this, &payloads, &result, &cursor, &shards, &latch,
+                   runner] {
+      exec::MelScratch scratch;  // One arena per runner, reused per claim.
+      BatchStats& shard = shards[runner];
+      for (;;) {
+        const std::size_t index =
+            cursor.fetch_add(1, std::memory_order_relaxed);
+        if (index >= payloads.size()) break;
+        const util::ByteView payload = payloads[index];
+        BatchItemResult& item = result.items[index];
+
+        util::StatusOr<ScanOutcome> outcome = service_.scan(payload, scratch);
+        ++shard.payloads;
+        if (!outcome.is_ok()) {
+          item.status = outcome.status();
+          ++shard.rejected;
+          ++shard.rejects_by_code[static_cast<std::size_t>(outcome.code())];
+          continue;
+        }
+        item.outcome = std::move(outcome).take();
+        ++shard.completed;
+        shard.bytes_scanned += payload.size();
+        if (item.outcome.verdict.degraded) ++shard.degraded;
+        if (item.outcome.verdict.malicious) ++shard.alarms;
+      }
+      latch.count_down();
+    });
+  }
+  latch.wait();
+
+  // Shard merge is a sum of non-negative counters — associative and
+  // commutative, so the aggregate is schedule-independent.
+  for (const BatchStats& shard : shards) result.stats.merge(shard);
+  result.elapsed = util::fault::now() - start;
+  return result;
+}
+
+util::StatusOr<BatchScanResult> BatchScanService::scan_batch(
+    const std::vector<util::ByteBuffer>& payloads) const {
+  std::vector<util::ByteView> views;
+  views.reserve(payloads.size());
+  for (const util::ByteBuffer& payload : payloads) views.emplace_back(payload);
+  return scan_batch(views);
+}
+
+}  // namespace mel::service

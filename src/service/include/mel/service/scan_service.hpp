@@ -20,8 +20,17 @@
 //
 // With no limits configured and fault injection disarmed, scan() is a
 // transparent wrapper: verdicts are identical to MelDetector::scan().
+//
+// Thread-safety contract: scan() is const and safe to call from any
+// number of threads on one ScanService — the detector is immutable, the
+// stats counters are atomics, and scan ids come from an atomic counter
+// (BatchScanService fans a shared instance across its pool). The stream
+// session (stream_feed/stream_finish) is stateful by nature — one
+// logical byte stream — and requires external serialization per service
+// instance.
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <vector>
@@ -64,17 +73,36 @@ struct ScanOutcome {
   std::string degrade_reason;
 };
 
-/// Monotone counters; one reject bucket per StatusCode.
+/// Monotone counters; one reject bucket per StatusCode. The counters are
+/// relaxed atomics so concurrent scans aggregate race-free; reads are
+/// per-counter snapshots (no cross-counter consistency is promised while
+/// scans are in flight). Copying takes a relaxed snapshot.
 struct ServiceStats {
-  std::uint64_t scans_attempted = 0;
-  std::uint64_t scans_completed = 0;   ///< Returned a verdict (any rung).
-  std::uint64_t scans_degraded = 0;    ///< Verdicts flagged degraded.
-  std::uint64_t scans_rejected = 0;    ///< Typed-error returns.
-  std::uint64_t alarms = 0;            ///< Malicious verdicts (incl. stream).
-  std::array<std::uint64_t, 8> rejects_by_code{};
+  std::atomic<std::uint64_t> scans_attempted{0};
+  std::atomic<std::uint64_t> scans_completed{0};  ///< Returned a verdict.
+  std::atomic<std::uint64_t> scans_degraded{0};   ///< Flagged degraded.
+  std::atomic<std::uint64_t> scans_rejected{0};   ///< Typed-error returns.
+  std::atomic<std::uint64_t> alarms{0};  ///< Malicious verdicts (incl. stream).
+  std::array<std::atomic<std::uint64_t>, 8> rejects_by_code{};
+
+  ServiceStats() = default;
+  ServiceStats(const ServiceStats& other) noexcept { *this = other; }
+  ServiceStats& operator=(const ServiceStats& other) noexcept {
+    scans_attempted = other.scans_attempted.load(std::memory_order_relaxed);
+    scans_completed = other.scans_completed.load(std::memory_order_relaxed);
+    scans_degraded = other.scans_degraded.load(std::memory_order_relaxed);
+    scans_rejected = other.scans_rejected.load(std::memory_order_relaxed);
+    alarms = other.alarms.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < rejects_by_code.size(); ++i) {
+      rejects_by_code[i] =
+          other.rejects_by_code[i].load(std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   [[nodiscard]] std::uint64_t rejects(util::StatusCode code) const noexcept {
-    return rejects_by_code[static_cast<std::size_t>(code)];
+    return rejects_by_code[static_cast<std::size_t>(code)].load(
+        std::memory_order_relaxed);
   }
 };
 
@@ -84,10 +112,25 @@ class ScanService {
   [[nodiscard]] static util::StatusOr<ScanService> create(
       ServiceConfig config);
 
+  /// Movable (atomics snapshot across; create()/StatusOr needs this).
+  /// Moving while scans are in flight is outside the contract.
+  ScanService(ScanService&& other) noexcept
+      : config_(std::move(other.config_)),
+        detector_(std::move(other.detector_)),
+        stream_(std::move(other.stream_)),
+        stats_(other.stats_),
+        next_scan_id_(other.next_scan_id_.load(std::memory_order_relaxed)) {}
+
   /// Scans one payload under the configured limits. Returns an outcome
   /// (possibly with verdict.degraded set — check it before trusting the
-  /// threshold semantics) or a typed error. Never throws.
-  [[nodiscard]] util::StatusOr<ScanOutcome> scan(util::ByteView payload);
+  /// threshold semantics) or a typed error. Never throws. Const and
+  /// thread-safe: any number of threads may scan through one service.
+  [[nodiscard]] util::StatusOr<ScanOutcome> scan(util::ByteView payload) const;
+
+  /// As above, reusing a caller-owned (per-thread) engine scratch arena —
+  /// the batch hot path. Verdicts are identical bit for bit.
+  [[nodiscard]] util::StatusOr<ScanOutcome> scan(
+      util::ByteView payload, exec::MelScratch& scratch) const;
 
   /// Streaming session: feed bytes with backpressure. Alerts from
   /// budget-cut windows carry verdict.degraded.
@@ -107,13 +150,15 @@ class ScanService {
  private:
   explicit ScanService(ServiceConfig config);
 
-  util::Status reject(std::uint64_t scan_id, util::Status status);
+  util::Status reject(std::uint64_t scan_id, util::Status status) const;
 
   ServiceConfig config_;
   core::MelDetector detector_;
   core::StreamDetector stream_;
-  ServiceStats stats_;
-  std::uint64_t next_scan_id_ = 1;
+  /// Mutable + atomic: scan() is logically const (pure verdicts) but
+  /// accounts for itself; see the thread-safety contract above.
+  mutable ServiceStats stats_;
+  mutable std::atomic<std::uint64_t> next_scan_id_{1};
 };
 
 }  // namespace mel::service

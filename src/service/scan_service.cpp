@@ -63,7 +63,8 @@ util::StatusOr<ScanService> ScanService::create(ServiceConfig config) {
   return ScanService(std::move(config));
 }
 
-util::Status ScanService::reject(std::uint64_t scan_id, util::Status status) {
+util::Status ScanService::reject(std::uint64_t scan_id,
+                                 util::Status status) const {
   ++stats_.scans_rejected;
   ++stats_.rejects_by_code[static_cast<std::size_t>(status.code())];
   util::log_warn_ctx({.component = "service", .scan_id = scan_id},
@@ -71,8 +72,15 @@ util::Status ScanService::reject(std::uint64_t scan_id, util::Status status) {
   return status;
 }
 
-util::StatusOr<ScanOutcome> ScanService::scan(util::ByteView payload) {
-  const std::uint64_t scan_id = next_scan_id_++;
+util::StatusOr<ScanOutcome> ScanService::scan(util::ByteView payload) const {
+  exec::MelScratch scratch;
+  return scan(payload, scratch);
+}
+
+util::StatusOr<ScanOutcome> ScanService::scan(util::ByteView payload,
+                                              exec::MelScratch& scratch) const {
+  const std::uint64_t scan_id =
+      next_scan_id_.fetch_add(1, std::memory_order_relaxed);
   ++stats_.scans_attempted;
   const auto start = util::fault::now();
 
@@ -111,7 +119,7 @@ util::StatusOr<ScanOutcome> ScanService::scan(util::ByteView payload) {
     if (util::fault::should_fire(Point::kAllocFailure)) {
       throw std::bad_alloc{};
     }
-    outcome.verdict = detector_.scan(view, config_.budget);
+    outcome.verdict = detector_.scan(view, config_.budget, scratch);
   } catch (const std::bad_alloc&) {
     return reject(scan_id, util::Status::resource_exhausted(
                                "allocation failure during scan"));

@@ -13,7 +13,9 @@ struct PointState {
   Trigger trigger{};
   std::atomic<std::uint64_t> evaluations{0};
   std::atomic<std::uint64_t> fires{0};
-  std::uint64_t rng_state = 0;
+  // Atomic so concurrent probability-trigger evaluations each claim a
+  // distinct position in the SplitMix64 stream instead of racing on it.
+  std::atomic<std::uint64_t> rng_state{0};
 };
 
 PointState g_points[kPointCount];
@@ -24,10 +26,15 @@ PointState& state(Point point) noexcept {
   return g_points[static_cast<int>(point)];
 }
 
-/// SplitMix64: tiny, seedable, and good enough for firing decisions.
-std::uint64_t splitmix64(std::uint64_t& x) noexcept {
-  x += 0x9E3779B97F4A7C15ull;
-  std::uint64_t z = x;
+inline constexpr std::uint64_t kSplitMixGamma = 0x9E3779B97F4A7C15ull;
+
+/// SplitMix64: tiny, seedable, and good enough for firing decisions. The
+/// state advance is a single fetch-add, so concurrent evaluations each
+/// get a unique stream position; the mix runs on the claimed value.
+std::uint64_t splitmix64(std::atomic<std::uint64_t>& state) noexcept {
+  std::uint64_t z =
+      state.fetch_add(kSplitMixGamma, std::memory_order_relaxed) +
+      kSplitMixGamma;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   return z ^ (z >> 31);
@@ -41,7 +48,7 @@ void arm(Point point, const Trigger& trigger) noexcept {
   if (s.trigger.fire_every == 0) s.trigger.fire_every = 1;
   s.evaluations.store(0, std::memory_order_relaxed);
   s.fires.store(0, std::memory_order_relaxed);
-  s.rng_state = trigger.seed;
+  s.rng_state.store(trigger.seed, std::memory_order_relaxed);
   s.armed.store(true, std::memory_order_release);
 }
 

@@ -22,6 +22,18 @@
 //
 // All scan-path deadline checks read fault::now() (steady clock plus the
 // injected skew) so the injected time and real time stay on one axis.
+//
+// Thread-safety contract: should_fire(), fire_count(), advance_clock(),
+// clock_skew() and now() are safe to call from any number of scan threads
+// concurrently (all state is atomic; probability triggers advance their
+// SplitMix64 stream with an atomic fetch-add so every evaluation draws a
+// distinct value). arm()/disarm()/reset() are test-harness setup APIs:
+// they must not race with in-flight evaluations of the same point —
+// arm before the scans start, reset after they join. Under concurrent
+// evaluation the per-point firing *pattern* follows the evaluation
+// interleaving; use fire_every=1 (or leave the point disarmed) when a
+// parallel test needs order-independent behavior, and max_fires is a
+// best-effort bound that can be overshot by one per racing thread.
 
 #include <chrono>
 #include <cstdint>

@@ -1,7 +1,13 @@
 #pragma once
-// Tiny leveled logger for examples and benches. Library code itself stays
-// silent; only tools narrate. Thread safety is not required (the whole
-// project is single-threaded by design).
+// Tiny leveled logger for the service tiers, examples and benches. Core
+// library code stays silent; the service layers narrate degradation and
+// rejection events.
+//
+// Thread-safety contract: every function here may be called from any
+// thread concurrently (the parallel batch engine logs from pool workers).
+// The threshold is an atomic, and each log line is rendered to one string
+// and written under a process-wide mutex, so lines never interleave
+// mid-record.
 
 #include <iostream>
 #include <sstream>

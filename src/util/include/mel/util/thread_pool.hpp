@@ -1,0 +1,92 @@
+#pragma once
+// Fixed-size worker pool over a bounded MPMC task queue.
+//
+// The scanning tiers need fan-out without unbounded buffering: a batch
+// gateway that queues faster than it scans must feel backpressure, not
+// grow a queue until the allocator gives out. The pool therefore has a
+// hard queue capacity and two admission modes consistent with the
+// service's kResourceExhausted semantics:
+//
+//   * try_submit() — refuses immediately when the queue is full (the
+//     caller maps the refusal to kResourceExhausted and backs off);
+//   * submit()     — blocks the producer until a slot frees (bounded
+//     memory, unbounded patience).
+//
+// Thread-safety contract: every public method may be called from any
+// thread concurrently. Tasks may not submit to the pool they run on
+// while a producer is blocked in submit() at full capacity (the classic
+// self-submission deadlock); the scan tiers never do — workers only
+// drain.
+//
+// The destructor drains the queue (every submitted task runs) and joins
+// the workers, so a pool can be torn down while results are still being
+// aggregated from per-worker shards.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mel/util/status.hpp"
+
+namespace mel::util {
+
+struct ThreadPoolOptions {
+  /// Worker threads. 0 = one per hardware thread (at least one).
+  std::size_t workers = 0;
+  /// Task-queue capacity; admission past it blocks (submit) or refuses
+  /// (try_submit). Must be >= 1.
+  std::size_t queue_capacity = 256;
+
+  /// kInvalidConfig for a zero queue capacity; OK otherwise.
+  [[nodiscard]] Status validate() const;
+};
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Starts the workers. Out-of-domain options are clamped (capacity 0
+  /// becomes 1) — validate ThreadPoolOptions at the config boundary to
+  /// reject instead.
+  explicit ThreadPool(ThreadPoolOptions options = {});
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`, blocking while the queue is at capacity.
+  void submit(Task task);
+
+  /// Enqueues `task` if a slot is free; returns false (task not consumed
+  /// anywhere) when the queue is full.
+  [[nodiscard]] bool try_submit(Task task);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept {
+    return capacity_;
+  }
+  /// Tasks fully executed since construction (monotone).
+  [[nodiscard]] std::uint64_t tasks_completed() const noexcept {
+    return tasks_completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop();
+
+  std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> tasks_completed_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mel::util

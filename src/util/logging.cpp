@@ -1,9 +1,15 @@
 #include "mel/util/logging.hpp"
 
+#include <atomic>
+#include <mutex>
+
 namespace mel::util {
 
 namespace {
-LogLevel g_threshold = LogLevel::kInfo;
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+// Serializes sink writes so concurrent scan workers never interleave
+// characters of two log records.
+std::mutex g_sink_mutex;
 
 constexpr std::string_view level_tag(LogLevel level) noexcept {
   switch (level) {
@@ -18,26 +24,40 @@ constexpr std::string_view level_tag(LogLevel level) noexcept {
   }
   return "?????";
 }
+
+void write_record(LogLevel level, const std::string& record) {
+  std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  out << record;
+}
 }  // namespace
 
-LogLevel log_threshold() noexcept { return g_threshold; }
-void set_log_threshold(LogLevel level) noexcept { g_threshold = level; }
+LogLevel log_threshold() noexcept {
+  return g_threshold.load(std::memory_order_relaxed);
+}
+void set_log_threshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, std::string_view message) {
-  if (level < g_threshold) return;
-  std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
-  out << "[" << level_tag(level) << "] " << message << '\n';
+  if (level < log_threshold()) return;
+  std::string record;
+  record.reserve(message.size() + 16);
+  record.append("[").append(level_tag(level)).append("] ");
+  record.append(message).push_back('\n');
+  write_record(level, record);
 }
 
 void log_line(LogLevel level, const LogContext& context,
               std::string_view message) {
-  if (level < g_threshold) return;
-  std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
-  out << "[" << level_tag(level) << "] [";
-  out << (context.component.empty() ? std::string_view("?")
+  if (level < log_threshold()) return;
+  std::ostringstream oss;
+  oss << "[" << level_tag(level) << "] [";
+  oss << (context.component.empty() ? std::string_view("?")
                                     : context.component);
-  if (context.scan_id != 0) out << " scan=" << context.scan_id;
-  out << "] " << message << '\n';
+  if (context.scan_id != 0) oss << " scan=" << context.scan_id;
+  oss << "] " << message << '\n';
+  write_record(level, oss.str());
 }
 
 }  // namespace mel::util

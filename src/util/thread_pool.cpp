@@ -1,0 +1,75 @@
+#include "mel/util/thread_pool.hpp"
+
+#include <utility>
+
+namespace mel::util {
+
+Status ThreadPoolOptions::validate() const {
+  if (queue_capacity == 0) {
+    return Status::invalid_config(
+        "ThreadPoolOptions::queue_capacity must be >= 1");
+  }
+  return Status::ok();
+}
+
+ThreadPool::ThreadPool(ThreadPoolOptions options)
+    : capacity_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
+  std::size_t workers = options.workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(Task task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return queue_.size() < capacity_ || stopping_; });
+    if (stopping_) return;  // Tear-down races drop the task, by contract.
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+}
+
+bool ThreadPool::try_submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    task();
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mel::util

@@ -1,0 +1,252 @@
+// Property test: the three routes to the MEL distribution agree.
+//
+//   1. Closed form (Section 3.1): P[Xmax<=x] = (1-(1-p)^x)(1-p(1-p)^x)^n,
+//      which treats the valid-run lengths as independent geometrics.
+//   2. Exact dynamic program (stats::longest_run_cdf_exact): the true law
+//      of the longest success run in n Bernoulli trials.
+//   3. Monte Carlo (stats::simulate_mel_distribution): empirical samples
+//      from the very process the model describes.
+//
+// Randomized (n, p) grids are drawn from a seeded PRNG so every run
+// covers the same points. Tolerances are principled, not plucked:
+// 1-vs-2 is an analytic approximation whose error shrinks with n (we
+// bound the sup-norm gap), while 2-vs-3 is sampling noise, so the KS and
+// chi-square tests from src/stats apply with a p-value floor — under H0
+// a 1e-3 floor false-alarms one seeded run in a thousand, and the seeds
+// are fixed, so a pass today is a pass forever.
+
+#include "mel/core/mel_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "mel/stats/chi_square.hpp"
+#include "mel/stats/histogram.hpp"
+#include "mel/stats/ks_test.hpp"
+#include "mel/stats/longest_run.hpp"
+#include "mel/stats/monte_carlo.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::core {
+namespace {
+
+struct GridPoint {
+  std::int64_t n = 0;
+  double p = 0.0;
+};
+
+/// Seeded random grid over the regime the detector operates in:
+/// n in [50, 2000] (instructions per case), p in [0.05, 0.4]
+/// (invalid-instruction probability; English text sits near 0.17).
+std::vector<GridPoint> random_grid(std::size_t points, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<GridPoint> grid;
+  grid.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    GridPoint point;
+    point.n = rng.next_in(50, 2000);
+    point.p = 0.05 + 0.35 * rng.next_double();
+    grid.push_back(point);
+  }
+  return grid;
+}
+
+/// Support wide enough to hold essentially all mass at (n, p): the CDF at
+/// the returned x exceeds 1 - 1e-9 for both model and exact law.
+std::int64_t support_hi(const MelModel& model) {
+  std::int64_t x = 1;
+  while (x < model.n() &&
+         (model.cdf(x) < 1.0 - 1e-9 || model.cdf_exact_dp(x) < 1.0 - 1e-9)) {
+    ++x;
+  }
+  return x;
+}
+
+// --- Closed form vs exact DP ---------------------------------------------
+
+TEST(ModelAgreementTest, ClosedFormTracksExactLawAcrossRandomGrid) {
+  // The closed form counts runs in the paper's "maximum inter-head
+  // distance" convention (a run of k valid instructions scores k+1; see
+  // test_core_mel_model's ModelIsTheExactLawShiftedByOne), so it is
+  // compared against the exact law shifted by that one bin. What remains
+  // after the shift is the genuine run-independence approximation error;
+  // 0.03 is headroom over the worst corner of this grid (0.0225 at
+  // n=79, p=0.37 — small n, large p).
+  for (const GridPoint& point : random_grid(25, 20260806)) {
+    const MelModel model(point.n, point.p);
+    const std::int64_t hi = support_hi(model);
+    double worst_gap = 0.0;
+    for (std::int64_t x = 0; x <= hi; ++x) {
+      const double closed = model.cdf(x + 1);
+      const double exact = stats::longest_run_cdf_exact(point.n, point.p, x);
+      worst_gap = std::max(worst_gap, std::abs(closed - exact));
+      // Both are CDFs: bounded and consistent with their own PMFs.
+      ASSERT_GE(closed, 0.0);
+      ASSERT_LE(closed, 1.0 + 1e-12);
+      ASSERT_NEAR(model.pmf(x), model.cdf(x) - model.cdf(x - 1), 1e-12)
+          << "n=" << point.n << " p=" << point.p << " x=" << x;
+    }
+    EXPECT_LT(worst_gap, 0.03)
+        << "closed form drifted from exact law at n=" << point.n
+        << " p=" << point.p;
+  }
+}
+
+TEST(ModelAgreementTest, ClosedFormErrorShrinksWithN) {
+  // The approximation error is O(1/n)-ish: at fixed p the sup-norm gap
+  // at n=2000 must be well below the gap at n=50. Guards against a
+  // "fix" that accidentally flattens the model's n-dependence.
+  const double p = 0.2;
+  const auto sup_gap = [&](std::int64_t n) {
+    const MelModel model(n, p);
+    const std::int64_t hi = support_hi(model);
+    double worst = 0.0;
+    for (std::int64_t x = 0; x <= hi; ++x) {
+      worst = std::max(worst,
+                       std::abs(model.cdf(x + 1) -
+                                stats::longest_run_cdf_exact(n, p, x)));
+    }
+    return worst;
+  };
+  const double at_small_n = sup_gap(50);
+  const double at_large_n = sup_gap(2000);
+  EXPECT_LT(at_large_n, at_small_n);
+  EXPECT_LT(at_large_n, 0.01);
+}
+
+TEST(ModelAgreementTest, ExactDpBridgeMatchesStatsModule) {
+  // MelModel::cdf_exact_dp is a bridge, not a reimplementation: it must
+  // equal stats::longest_run_cdf_exact bit for bit.
+  for (const GridPoint& point : random_grid(10, 7)) {
+    const MelModel model(point.n, point.p);
+    for (std::int64_t x : {std::int64_t{0}, std::int64_t{1}, std::int64_t{5},
+                           std::int64_t{20}, point.n / 2, point.n}) {
+      EXPECT_EQ(model.cdf_exact_dp(x),
+                stats::longest_run_cdf_exact(point.n, point.p, x));
+      EXPECT_EQ(model.pmf_exact_dp(x),
+                stats::longest_run_pmf_exact(point.n, point.p, x));
+    }
+  }
+}
+
+TEST(ModelAgreementTest, PmfTablesAreNormalized) {
+  for (const GridPoint& point : random_grid(10, 99)) {
+    const MelModel model(point.n, point.p);
+    double closed_mass = 0.0;
+    for (double mass : model.pmf_table(1e-12)) closed_mass += mass;
+    EXPECT_NEAR(closed_mass, 1.0, 1e-6)
+        << "closed-form pmf_table, n=" << point.n << " p=" << point.p;
+
+    double exact_mass = 0.0;
+    for (double mass : stats::longest_run_pmf_table(point.n, point.p, 1e-12)) {
+      exact_mass += mass;
+    }
+    EXPECT_NEAR(exact_mass, 1.0, 1e-6)
+        << "exact pmf_table, n=" << point.n << " p=" << point.p;
+  }
+}
+
+// --- Monte Carlo vs exact DP ---------------------------------------------
+
+TEST(ModelAgreementTest, MonteCarloMatchesExactLawByKsTest) {
+  // The simulator samples the exact process, so the one-sample KS test
+  // against the exact DP CDF is calibrated: p-values are uniform under
+  // H0 and a 1e-3 floor on fixed seeds is a permanent pass.
+  for (const GridPoint& point : random_grid(6, 424242)) {
+    stats::MonteCarloConfig config;
+    config.n = point.n;
+    config.p = point.p;
+    config.rounds = 4000;
+    config.seed = 1000 + point.n;
+    const stats::IntHistogram empirical =
+        stats::simulate_mel_distribution(config);
+
+    const std::int64_t hi = support_hi(MelModel(point.n, point.p));
+    std::vector<double> exact_cdf(static_cast<std::size_t>(hi) + 1);
+    for (std::int64_t x = 0; x <= hi; ++x) {
+      exact_cdf[static_cast<std::size_t>(x)] =
+          stats::longest_run_cdf_exact(point.n, point.p, x);
+    }
+    const stats::KsResult ks =
+        stats::ks_test_against_cdf(empirical, 0, exact_cdf);
+    EXPECT_GT(ks.p_value, 1e-3)
+        << "KS statistic " << ks.statistic << " at n=" << point.n
+        << " p=" << point.p;
+  }
+}
+
+TEST(ModelAgreementTest, MonteCarloMatchesExactLawByChiSquare) {
+  // Chi-square goodness of fit on binned counts. Bins with expected
+  // count < 5 are pooled into the tails so the asymptotic chi-square
+  // null holds (the classic Cochran rule).
+  for (const GridPoint& point : random_grid(4, 31337)) {
+    stats::MonteCarloConfig config;
+    config.n = point.n;
+    config.p = point.p;
+    config.rounds = 6000;
+    config.seed = 2000 + point.n;
+    const stats::IntHistogram empirical =
+        stats::simulate_mel_distribution(config);
+
+    const std::int64_t hi = support_hi(MelModel(point.n, point.p));
+    // Pool x-values left to right until each bin expects >= 5 samples.
+    std::vector<std::uint64_t> observed;
+    std::vector<double> expected;
+    double probability_acc = 0.0;
+    std::uint64_t count_acc = 0;
+    double mass_covered = 0.0;
+    for (std::int64_t x = 0; x <= hi; ++x) {
+      probability_acc += stats::longest_run_pmf_exact(point.n, point.p, x);
+      count_acc += empirical.count(x);
+      if (probability_acc * static_cast<double>(config.rounds) >= 5.0) {
+        observed.push_back(count_acc);
+        expected.push_back(probability_acc);
+        mass_covered += probability_acc;
+        probability_acc = 0.0;
+        count_acc = 0;
+      }
+    }
+    // Fold the remaining tail (everything past hi plus the last partial
+    // bin) into a final bucket so the probabilities sum to 1.
+    std::uint64_t tail_count = count_acc;
+    for (const auto& [value, count] : empirical.items()) {
+      if (value > hi) tail_count += count;
+    }
+    observed.push_back(tail_count);
+    expected.push_back(std::max(1.0 - mass_covered, 0.0));
+
+    ASSERT_GE(observed.size(), 3u) << "degenerate binning";
+    const stats::ChiSquareResult fit =
+        stats::chi_square_goodness_of_fit(observed, expected);
+    EXPECT_GT(fit.p_value, 1e-3)
+        << "chi2=" << fit.statistic << " df=" << fit.degrees_of_freedom
+        << " at n=" << point.n << " p=" << point.p;
+  }
+}
+
+TEST(ModelAgreementTest, ThresholdInversionRoundTrips) {
+  // tau = threshold_for_alpha(alpha) must reproduce ~alpha when pushed
+  // back through the false-positive formula it inverts, and the exact
+  // bisection must agree with the paper's approximation to sub-unit
+  // precision (the "40.62 vs 40.61" comparison, generalized).
+  for (const GridPoint& point : random_grid(12, 555)) {
+    const MelModel model(point.n, point.p);
+    for (double alpha : {0.05, 0.01, 0.001}) {
+      const double tau = model.threshold_for_alpha(alpha);
+      EXPECT_NEAR(model.false_positive_rate_approx(tau), alpha,
+                  alpha * 1e-6)
+          << "n=" << point.n << " p=" << point.p << " alpha=" << alpha;
+      const double tau_exact = model.threshold_for_alpha_exact(alpha);
+      EXPECT_NEAR(tau, tau_exact, 1.0)
+          << "n=" << point.n << " p=" << point.p << " alpha=" << alpha;
+      EXPECT_GE(tau_exact, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mel::core

@@ -1,0 +1,459 @@
+// Parallel batch engine correctness: bit-for-bit determinism against the
+// sequential ScanService at every worker count, no lost or duplicated
+// results under load, race-free stats aggregation, and typed-error
+// handling with deadlines and fault injection armed. The whole suite is
+// the workload the `tsan` CMake preset gates on.
+
+#include "mel/service/batch_scan_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "mel/textcode/encoder.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/rng.hpp"
+#include "mel/util/thread_pool.hpp"
+
+namespace mel::service {
+namespace {
+
+namespace fault = util::fault;
+using fault::Point;
+
+util::ByteBuffer benign_text(std::size_t size, std::uint64_t seed) {
+  traffic::MarkovTextGenerator generator;
+  util::Xoshiro256 rng(seed);
+  return util::to_bytes(generator.generate(size, rng));
+}
+
+util::ByteBuffer worm_bytes(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus().front().bytes, {}, rng);
+}
+
+/// Mixed-size corpus: benign text of varying length with worms sprinkled
+/// in — the shape a gateway batch actually has.
+std::vector<util::ByteBuffer> mixed_corpus(std::size_t count,
+                                           std::uint64_t seed) {
+  std::vector<util::ByteBuffer> corpus;
+  corpus.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % 9 == 4) {
+      corpus.push_back(worm_bytes(seed + i));
+    } else {
+      const std::size_t size = 256 + (i * 977) % 6000;
+      corpus.push_back(benign_text(size, seed + i));
+    }
+  }
+  return corpus;
+}
+
+BatchScanService make_batch(BatchConfig config) {
+  auto result = BatchScanService::create(std::move(config));
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return std::move(result).take();
+}
+
+/// Sequential oracle: one fresh ScanService, scanned in input order.
+std::vector<BatchItemResult> sequential_oracle(
+    const ServiceConfig& config, const std::vector<util::ByteBuffer>& corpus) {
+  auto service_or = ScanService::create(config);
+  EXPECT_TRUE(service_or.is_ok());
+  ScanService service = std::move(service_or).take();
+  std::vector<BatchItemResult> items(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    auto outcome = service.scan(corpus[i]);
+    if (outcome.is_ok()) {
+      items[i].outcome = std::move(outcome).take();
+    } else {
+      items[i].status = outcome.status();
+    }
+  }
+  return items;
+}
+
+void expect_identical(const std::vector<BatchItemResult>& got,
+                      const std::vector<BatchItemResult>& want,
+                      const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].is_ok(), want[i].is_ok()) << label << " item " << i;
+    if (!got[i].is_ok()) {
+      EXPECT_EQ(got[i].status.code(), want[i].status.code())
+          << label << " item " << i;
+      continue;
+    }
+    const core::Verdict& g = got[i].outcome.verdict;
+    const core::Verdict& w = want[i].outcome.verdict;
+    EXPECT_EQ(g.malicious, w.malicious) << label << " item " << i;
+    EXPECT_EQ(g.mel, w.mel) << label << " item " << i;
+    EXPECT_DOUBLE_EQ(g.threshold, w.threshold) << label << " item " << i;
+    EXPECT_EQ(g.loop_detected, w.loop_detected) << label << " item " << i;
+    EXPECT_EQ(g.degraded, w.degraded) << label << " item " << i;
+    EXPECT_EQ(g.mel_detail.budget_exhausted, w.mel_detail.budget_exhausted)
+        << label << " item " << i;
+  }
+}
+
+class ParallelServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+};
+
+// --- ThreadPool basics ---------------------------------------------------
+
+TEST_F(ParallelServiceTest, ThreadPoolRunsEverySubmittedTask) {
+  util::ThreadPool pool({.workers = 4, .queue_capacity = 8});
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  // Destructor drains the queue; check after scope exit via a local pool.
+  {
+    util::ThreadPool inner({.workers = 2, .queue_capacity = 4});
+    for (int i = 0; i < 50; ++i) {
+      inner.submit([&sum] { sum.fetch_add(0, std::memory_order_relaxed); });
+    }
+  }  // inner joined here: all 50 ran.
+  while (pool.tasks_completed() < 100) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST_F(ParallelServiceTest, ThreadPoolTrySubmitRefusesWhenFull) {
+  util::ThreadPool pool({.workers = 1, .queue_capacity = 1});
+  std::atomic<bool> release{false};
+  // Occupy the single worker so queued tasks cannot drain.
+  pool.submit([&release] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  // Fill the queue slot, then observe refusal (kResourceExhausted analog).
+  bool saw_refusal = false;
+  for (int i = 0; i < 64; ++i) {
+    if (!pool.try_submit([] {})) {
+      saw_refusal = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_refusal);
+  release.store(true, std::memory_order_release);
+}
+
+TEST_F(ParallelServiceTest, ThreadPoolOptionsValidate) {
+  EXPECT_EQ(util::ThreadPoolOptions{.queue_capacity = 0}.validate().code(),
+            util::StatusCode::kInvalidConfig);
+  EXPECT_TRUE(util::ThreadPoolOptions{}.validate().is_ok());
+}
+
+// --- Config validation ---------------------------------------------------
+
+TEST_F(ParallelServiceTest, CreateRejectsInvalidConfigs) {
+  BatchConfig bad_detector;
+  bad_detector.service.detector.alpha = 2.0;
+  EXPECT_EQ(BatchScanService::create(bad_detector).code(),
+            util::StatusCode::kInvalidConfig);
+
+  BatchConfig bad_queue;
+  bad_queue.queue_capacity = 0;
+  EXPECT_EQ(BatchScanService::create(bad_queue).code(),
+            util::StatusCode::kInvalidConfig);
+}
+
+// --- Determinism across worker counts ------------------------------------
+
+TEST_F(ParallelServiceTest, ParallelVerdictsIdenticalToSequentialAtAnyWidth) {
+  // Acceptance: verdicts, MELs and degraded flags are byte-identical to a
+  // sequential run at 1, 2 and N workers.
+  const auto corpus = mixed_corpus(60, 1000);
+  ServiceConfig service_config;
+  service_config.detector.alpha = 0.005;
+  const auto oracle = sequential_oracle(service_config, corpus);
+
+  std::size_t alarms = 0;
+  for (const auto& item : oracle) {
+    alarms += item.is_ok() && item.outcome.verdict.malicious;
+  }
+  ASSERT_GE(alarms, 6u) << "corpus must actually contain worms";
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    BatchConfig config;
+    config.service = service_config;
+    config.workers = workers;
+    const BatchScanService batch = make_batch(config);
+    const auto result = batch.scan_batch(corpus);
+    ASSERT_TRUE(result.is_ok()) << "workers=" << workers;
+    expect_identical(result.value().items, oracle, "parallel-vs-sequential");
+    EXPECT_EQ(result.value().stats.payloads, corpus.size())
+        << "workers=" << workers;
+    EXPECT_EQ(result.value().stats.alarms, alarms) << "workers=" << workers;
+    EXPECT_EQ(result.value().stats.rejected, 0u) << "workers=" << workers;
+  }
+}
+
+TEST_F(ParallelServiceTest, RepeatedBatchesAreStable) {
+  // Same corpus, same service instance, three runs: identical results
+  // every time (no cross-batch state leaks into verdicts).
+  const auto corpus = mixed_corpus(30, 2000);
+  BatchConfig config;
+  config.workers = 4;
+  const BatchScanService batch = make_batch(config);
+
+  const auto first = batch.scan_batch(corpus);
+  ASSERT_TRUE(first.is_ok());
+  for (int run = 0; run < 3; ++run) {
+    const auto again = batch.scan_batch(corpus);
+    ASSERT_TRUE(again.is_ok());
+    expect_identical(again.value().items, first.value().items, "rerun");
+  }
+  // Cumulative service stats cover all four batches.
+  EXPECT_EQ(batch.service_stats().scans_attempted, 4 * corpus.size());
+}
+
+// --- Ordering, stats shards, typed errors --------------------------------
+
+TEST_F(ParallelServiceTest, ResultsStayInInputOrderWithPerItemErrors) {
+  // Payload cap set so exactly the oversized items are refused; order and
+  // per-code reject shards must survive the parallel fan-out.
+  std::vector<util::ByteBuffer> corpus;
+  for (std::size_t i = 0; i < 40; ++i) {
+    corpus.push_back(benign_text(i % 4 == 3 ? 9000 : 1024, 3000 + i));
+  }
+  BatchConfig config;
+  config.service.max_payload_bytes = 4096;
+  config.workers = 4;
+  const BatchScanService batch = make_batch(config);
+
+  const auto result = batch.scan_batch(corpus);
+  ASSERT_TRUE(result.is_ok());
+  const auto& items = result.value().items;
+  ASSERT_EQ(items.size(), corpus.size());
+  std::uint64_t rejected = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i % 4 == 3) {
+      EXPECT_EQ(items[i].status.code(), util::StatusCode::kPayloadTooLarge)
+          << "item " << i;
+      ++rejected;
+    } else {
+      ASSERT_TRUE(items[i].is_ok()) << "item " << i;
+    }
+  }
+  EXPECT_EQ(result.value().stats.rejected, rejected);
+  EXPECT_EQ(result.value().stats.rejects(util::StatusCode::kPayloadTooLarge),
+            rejected);
+  EXPECT_EQ(result.value().stats.completed, corpus.size() - rejected);
+}
+
+TEST_F(ParallelServiceTest, OversizedBatchRefusedWholeWithBackpressure) {
+  BatchConfig config;
+  config.max_batch_items = 8;
+  config.workers = 2;
+  const BatchScanService batch = make_batch(config);
+  const auto corpus = mixed_corpus(9, 4000);
+  const auto result = batch.scan_batch(corpus);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), util::StatusCode::kResourceExhausted);
+  // Nothing was scanned: no partial consumption.
+  EXPECT_EQ(batch.service_stats().scans_attempted, 0u);
+}
+
+TEST_F(ParallelServiceTest, EmptyBatchIsANoop) {
+  const BatchScanService batch = make_batch({});
+  const auto result = batch.scan_batch(std::vector<util::ByteView>{});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().items.empty());
+  EXPECT_EQ(result.value().stats.payloads, 0u);
+}
+
+// --- Deadlines under parallelism -----------------------------------------
+
+TEST_F(ParallelServiceTest, DeadlinesNeverLoseItemsUnderParallelism) {
+  // Wall-clock deadlines are inherently timing-dependent, so the
+  // invariant under test is conservation, not equality: every input slot
+  // holds either a verdict or a documented typed error.
+  const auto corpus = mixed_corpus(40, 5000);
+  BatchConfig config;
+  config.service.budget.deadline = std::chrono::microseconds(200);
+  config.workers = 4;
+  const BatchScanService batch = make_batch(config);
+
+  const auto result = batch.scan_batch(corpus);
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result.value().items.size(), corpus.size());
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  for (const auto& item : result.value().items) {
+    if (item.is_ok()) {
+      ++completed;
+    } else {
+      EXPECT_EQ(item.status.code(), util::StatusCode::kDeadlineExceeded);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(completed + rejected, corpus.size());
+  EXPECT_EQ(result.value().stats.completed, completed);
+  EXPECT_EQ(result.value().stats.rejected, rejected);
+}
+
+// --- Fault injection, armed order-independently --------------------------
+
+TEST_F(ParallelServiceTest, TruncationFaultStaysDeterministicInParallel) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "MEL_FAULT_INJECTION off";
+  // fire_every=1 fires on EVERY evaluation — the one firing pattern that
+  // is independent of thread interleaving — so parallel must still equal
+  // sequential exactly, degraded flags included.
+  const auto corpus = mixed_corpus(24, 6000);
+  ServiceConfig service_config;
+
+  fault::arm(Point::kTruncatedWindow, fault::Trigger{.fire_every = 1});
+  const auto oracle = sequential_oracle(service_config, corpus);
+  std::uint64_t degraded_want = 0;
+  for (const auto& item : oracle) {
+    degraded_want += item.is_ok() && item.outcome.verdict.degraded;
+  }
+  ASSERT_EQ(degraded_want, corpus.size()) << "every scan must be truncated";
+
+  for (std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+    fault::reset();
+    fault::arm(Point::kTruncatedWindow, fault::Trigger{.fire_every = 1});
+    BatchConfig config;
+    config.service = service_config;
+    config.workers = workers;
+    const BatchScanService batch = make_batch(config);
+    const auto result = batch.scan_batch(corpus);
+    ASSERT_TRUE(result.is_ok()) << "workers=" << workers;
+    expect_identical(result.value().items, oracle, "truncation-fault");
+    EXPECT_EQ(result.value().stats.degraded, degraded_want)
+        << "workers=" << workers;
+  }
+}
+
+TEST_F(ParallelServiceTest, AllocFaultConservesItemsUnderHammering) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "MEL_FAULT_INJECTION off";
+  // Probability-triggered alloc failures from many threads: firing order
+  // is interleaving-dependent (documented), so assert conservation and
+  // typing — every item is a verdict or kResourceExhausted, and the
+  // shard totals account for all of them.
+  const auto corpus = mixed_corpus(48, 7000);
+  fault::arm(Point::kAllocFailure,
+             fault::Trigger{.probability = 0.3, .seed = 11});
+  BatchConfig config;
+  config.workers = 4;
+  const BatchScanService batch = make_batch(config);
+  const auto result = batch.scan_batch(corpus);
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result.value().items.size(), corpus.size());
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  for (const auto& item : result.value().items) {
+    if (item.is_ok()) {
+      ++completed;
+      continue;
+    }
+    EXPECT_EQ(item.status.code(), util::StatusCode::kResourceExhausted);
+    ++rejected;
+  }
+  EXPECT_EQ(completed + rejected, corpus.size());
+  EXPECT_EQ(result.value().stats.completed, completed);
+  EXPECT_EQ(result.value().stats.rejects(util::StatusCode::kResourceExhausted),
+            rejected);
+}
+
+// --- Concurrent callers hammering one engine -----------------------------
+
+TEST_F(ParallelServiceTest, ConcurrentBatchCallersShareThePoolSafely) {
+  // Many caller threads, one engine: every batch sees its own complete,
+  // correctly ordered results; the shared service's cumulative stats add
+  // up across callers. (TSan turns any aggregation race into a failure.)
+  const auto corpus = mixed_corpus(20, 8000);
+  ServiceConfig service_config;
+  const auto oracle = sequential_oracle(service_config, corpus);
+
+  BatchConfig config;
+  config.service = service_config;
+  config.workers = 4;
+  config.queue_capacity = 64;
+  const BatchScanService batch = make_batch(config);
+
+  constexpr int kCallers = 6;
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      const auto result = batch.scan_batch(corpus);
+      if (!result.is_ok() || result.value().items.size() != corpus.size()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (std::size_t i = 0; i < corpus.size(); ++i) {
+        const auto& item = result.value().items[i];
+        if (!item.is_ok() ||
+            item.outcome.verdict.malicious !=
+                oracle[i].outcome.verdict.malicious ||
+            item.outcome.verdict.mel != oracle[i].outcome.verdict.mel) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(batch.service_stats().scans_attempted, kCallers * corpus.size());
+}
+
+TEST_F(ParallelServiceTest, DirectConcurrentScansOnSharedScanService) {
+  // ScanService::scan is const and documented thread-safe on its own;
+  // hammer one instance without the batch layer.
+  ServiceConfig config;
+  auto service_or = ScanService::create(config);
+  ASSERT_TRUE(service_or.is_ok());
+  const ScanService service = std::move(service_or).take();
+
+  const auto benign = benign_text(4096, 1);
+  const auto worm = worm_bytes(2);
+  {
+    const auto warm_up = service.scan(worm);
+    ASSERT_TRUE(warm_up.is_ok());
+    ASSERT_TRUE(warm_up.value().verdict.malicious);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kScansEach = 25;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      exec::MelScratch scratch;
+      for (int i = 0; i < kScansEach; ++i) {
+        const bool attack = (t + i) % 2 == 0;
+        const auto outcome = service.scan(attack ? worm : benign, scratch);
+        if (!outcome.is_ok() ||
+            outcome.value().verdict.malicious != attack) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(service.stats().scans_attempted,
+            1u + kThreads * kScansEach);  // +1 for the warm-up scan.
+}
+
+}  // namespace
+}  // namespace mel::service
