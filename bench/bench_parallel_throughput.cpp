@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "mel/obs/export.hpp"
 #include "mel/service/batch_scan_service.hpp"
 #include "mel/textcode/encoder.hpp"
 #include "mel/traffic/dataset.hpp"
@@ -73,9 +74,9 @@ bool verdicts_match(const mel::service::BatchScanResult& parallel,
       if (got.status.code() != want.status.code()) return false;
       continue;
     }
-    if (got.outcome.verdict.malicious != want.outcome.verdict.malicious ||
-        got.outcome.verdict.mel != want.outcome.verdict.mel ||
-        got.outcome.verdict.degraded != want.outcome.verdict.degraded) {
+    if (got.report.verdict.malicious != want.report.verdict.malicious ||
+        got.report.verdict.mel != want.report.verdict.mel ||
+        got.report.verdict.degraded != want.report.verdict.degraded) {
       return false;
     }
   }
@@ -111,10 +112,11 @@ int main() {
     const mel::service::ScanService service = std::move(service_or).take();
     mel::exec::MelScratch scratch;
     for (std::size_t i = 0; i < corpus.size(); ++i) {
-      auto outcome = service.scan(corpus[i], scratch);
+      auto outcome = service.scan(mel::service::ScanRequest{
+          .payload = corpus[i], .scratch = &scratch});
       if (outcome.is_ok()) {
-        oracle[i].outcome = std::move(outcome).take();
-        alarms += oracle[i].outcome.verdict.malicious;
+        oracle[i].report = std::move(outcome).take();
+        alarms += oracle[i].report.verdict.malicious;
       } else {
         oracle[i].status = outcome.status();
       }
@@ -130,6 +132,7 @@ int main() {
 
   constexpr int kRepetitions = 3;
   std::vector<WidthResult> results;
+  std::string metrics_scrape;
 
   mel::bench::print_section("Throughput (best of 3 repetitions per width)");
   std::printf("%8s %10s %14s %10s %10s\n", "workers", "sec", "payloads/s",
@@ -167,6 +170,10 @@ int main() {
           std::chrono::duration<double>(stop - start).count();
       if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
     }
+
+    // The widest run's registry becomes the scrape artifact (each width
+    // has its own service, so this covers kRepetitions batches).
+    metrics_scrape = mel::obs::to_prometheus(batch.metrics_snapshot());
 
     WidthResult row;
     row.workers = workers;
@@ -219,6 +226,19 @@ int main() {
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
-  std::printf("\nWrote BENCH_parallel_throughput.json\n");
+
+  // The widest width's metrics registry in Prometheus exposition format
+  // — what a scrape of a live deployment at this traffic mix would show
+  // (docs/observability.md).
+  std::FILE* prom = std::fopen("BENCH_parallel_metrics.prom", "w");
+  if (prom == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_parallel_metrics.prom\n");
+    return 1;
+  }
+  std::fputs(metrics_scrape.c_str(), prom);
+  std::fclose(prom);
+  std::printf(
+      "\nWrote BENCH_parallel_throughput.json and "
+      "BENCH_parallel_metrics.prom\n");
   return 0;
 }

@@ -84,7 +84,8 @@ int main(int argc, char** argv) {
                                 : mel::traffic::ascii_filter(
                                       mel::traffic::strip_headers(payload)));
 
-    const auto outcome_or = service.scan(body);
+    const auto outcome_or =
+        service.scan(mel::service::ScanRequest{.payload = body});
     const bool is_attack = i == attack_at;
     if (!outcome_or.is_ok()) {
       // Typed refusal (too large / deadline / resources): fail closed on

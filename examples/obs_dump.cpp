@@ -1,0 +1,95 @@
+// obs_dump: scan a small mixed corpus through ScanService and dump the
+// metrics registry in either exporter format.
+//
+//   $ ./obs_dump --prom   # Prometheus exposition text (scrape endpoint)
+//   $ ./obs_dump --json   # JSON snapshot (round-trips via from_json)
+//   $ ./obs_dump --trace  # per-stage trace of one scan, as JSON
+//
+// Also the CI smoke test for the observability layer: it exercises
+// registration, recording, snapshot merging, and both exporters, and
+// exits non-zero if the JSON exporter fails to round-trip its own
+// output.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "mel/obs/export.hpp"
+#include "mel/obs/metrics.hpp"
+#include "mel/service/scan_service.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/rng.hpp"
+
+namespace {
+
+mel::util::ByteBuffer benign_text(std::size_t size, std::uint64_t seed) {
+  mel::traffic::MarkovTextGenerator generator;
+  mel::util::Xoshiro256 rng(seed);
+  return mel::util::to_bytes(generator.generate(size, rng));
+}
+
+mel::util::ByteBuffer worm_bytes(std::uint64_t seed) {
+  mel::util::Xoshiro256 rng(seed);
+  return mel::textcode::encode_text_worm(
+      mel::textcode::binary_shellcode_corpus().front().bytes, {}, rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* mode = argc > 1 ? argv[1] : "--prom";
+  if (std::strcmp(mode, "--prom") != 0 && std::strcmp(mode, "--json") != 0 &&
+      std::strcmp(mode, "--trace") != 0) {
+    std::fprintf(stderr, "usage: %s [--prom|--json|--trace]\n", argv[0]);
+    return 2;
+  }
+
+  auto service_or = mel::service::ScanService::create({});
+  if (!service_or.is_ok()) {
+    std::fprintf(stderr, "create: %s\n",
+                 service_or.status().to_string().c_str());
+    return 1;
+  }
+  const mel::service::ScanService service = std::move(service_or).take();
+
+  // A small mixed corpus: mostly benign web text, a few text worms.
+  std::vector<mel::obs::TraceSpan> last_trace;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const mel::util::ByteBuffer payload = seed % 4 == 0
+                                              ? worm_bytes(seed)
+                                              : benign_text(4096, seed);
+    const auto report = service.scan(mel::service::ScanRequest{
+        .payload = payload, .collect_trace = true});
+    if (!report.is_ok()) {
+      std::fprintf(stderr, "scan %llu: %s\n",
+                   static_cast<unsigned long long>(seed),
+                   report.status().to_string().c_str());
+      return 1;
+    }
+    last_trace = report.value().trace;
+  }
+
+  const mel::obs::MetricsSnapshot snapshot = service.metrics_snapshot();
+
+  if (std::strcmp(mode, "--trace") == 0) {
+    std::fputs(mel::obs::trace_to_json(last_trace).c_str(), stdout);
+    return 0;
+  }
+
+  const std::string json = mel::obs::to_json(snapshot);
+  // Smoke check regardless of output format: the JSON exporter must
+  // round-trip its own output to the identical snapshot.
+  const auto reparsed = mel::obs::from_json(json);
+  if (!reparsed.is_ok() || !(reparsed.value() == snapshot)) {
+    std::fprintf(stderr, "JSON snapshot failed to round-trip\n");
+    return 1;
+  }
+
+  std::fputs(std::strcmp(mode, "--json") == 0
+                 ? json.c_str()
+                 : mel::obs::to_prometheus(snapshot).c_str(),
+             stdout);
+  return 0;
+}

@@ -65,9 +65,9 @@ util::Result<DetectorConfig> parse_config(std::string_view text) {
       break;
     } else if (key == "alpha") {
       fields >> config.alpha;
-      if (!fields || config.alpha <= 0.0 || config.alpha >= 1.0) {
-        return util::Err("bad alpha");
-      }
+      if (!fields) return util::Err("bad alpha");
+      // Domain checking is deferred to DetectorConfig::validate() below —
+      // one validation path for files and programmatic configs alike.
     } else if (key == "engine") {
       std::string name;
       fields >> name;
@@ -110,6 +110,9 @@ util::Result<DetectorConfig> parse_config(std::string_view text) {
       return util::Err("frequency table does not sum to 1");
     }
     config.preset_frequencies = table;
+  }
+  if (util::Status status = config.validate(); !status.is_ok()) {
+    return util::Err(std::string(status.message()));
   }
   return config;
 }

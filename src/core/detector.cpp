@@ -103,18 +103,27 @@ Verdict MelDetector::scan(util::ByteView payload,
 
 Verdict MelDetector::scan(util::ByteView payload, const ScanBudget& budget,
                           exec::MelScratch& scratch) const {
+  return scan(payload, budget, scratch, nullptr);
+}
+
+Verdict MelDetector::scan(util::ByteView payload, const ScanBudget& budget,
+                          exec::MelScratch& scratch,
+                          obs::ScanTrace* trace) const {
   Verdict verdict;
   verdict.alpha = config_.alpha;
   verdict.is_text = util::is_text_buffer(payload);
   if (payload.empty()) return verdict;
 
-  const CharFrequencyTable frequencies =
-      config_.measure_input || !config_.preset_frequencies
-          ? measure_frequencies(payload)
-          : *config_.preset_frequencies;
-  verdict.params =
-      estimate_parameters(frequencies, payload.size(), config_.estimation);
-  verdict.threshold = derive_threshold(frequencies, payload.size());
+  CharFrequencyTable frequencies{};
+  {
+    const obs::ScanTrace::Span span(trace, obs::Stage::kEstimate);
+    frequencies = config_.measure_input || !config_.preset_frequencies
+                      ? measure_frequencies(payload)
+                      : *config_.preset_frequencies;
+    verdict.params =
+        estimate_parameters(frequencies, payload.size(), config_.estimation);
+    verdict.threshold = derive_threshold(frequencies, payload.size());
+  }
 
   exec::MelOptions options;
   options.rules = config_.rules;
@@ -127,14 +136,20 @@ Verdict MelDetector::scan(util::ByteView payload, const ScanBudget& budget,
   if (budget.deadline.count() > 0) {
     options.deadline = util::fault::now() + budget.deadline;
   }
-  verdict.mel_detail = exec::compute_mel(payload, options, scratch);
+  {
+    const obs::ScanTrace::Span span(trace, obs::Stage::kDecode);
+    verdict.mel_detail = exec::compute_mel(payload, options, scratch);
+  }
   verdict.mel = verdict.mel_detail.mel;
   verdict.loop_detected = verdict.mel_detail.loop_detected;
 
   // Decision rule: MEL beyond tau, or an executable loop (which makes the
   // error-free execution length unbounded).
-  verdict.malicious = static_cast<double>(verdict.mel) > verdict.threshold ||
-                      verdict.loop_detected;
+  {
+    const obs::ScanTrace::Span span(trace, obs::Stage::kDetect);
+    verdict.malicious = static_cast<double>(verdict.mel) > verdict.threshold ||
+                        verdict.loop_detected;
+  }
   return verdict;
 }
 

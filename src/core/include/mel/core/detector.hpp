@@ -14,6 +14,7 @@
 #include "mel/core/mel_model.hpp"
 #include "mel/core/parameter_estimation.hpp"
 #include "mel/exec/mel.hpp"
+#include "mel/obs/trace.hpp"
 #include "mel/util/bytes.hpp"
 #include "mel/util/status.hpp"
 
@@ -113,6 +114,13 @@ class MelDetector {
   /// The scratch must not be shared between concurrent scans.
   [[nodiscard]] Verdict scan(util::ByteView payload, const ScanBudget& budget,
                              exec::MelScratch& scratch) const;
+
+  /// As above, recording estimate/decode/detect spans against `trace`
+  /// (null trace: identical to the three-argument overload — spans are
+  /// evidence only and never influence the verdict).
+  [[nodiscard]] Verdict scan(util::ByteView payload, const ScanBudget& budget,
+                             exec::MelScratch& scratch,
+                             obs::ScanTrace* trace) const;
 
   /// The threshold the detector would use for a payload of `input_chars`
   /// characters with the given frequency table (exposed for calibration

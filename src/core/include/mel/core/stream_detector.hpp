@@ -10,6 +10,7 @@
 #include <deque>
 
 #include "mel/core/detector.hpp"
+#include "mel/obs/metrics.hpp"
 
 namespace mel::core {
 
@@ -33,7 +34,9 @@ struct StreamConfig {
   /// Per-window scan limits (decode budget / deadline) applied to every
   /// window scan. Windows cut short by a limit are counted via
   /// windows_degraded() and their alerts flagged Verdict::degraded.
-  ScanBudget window_budget;
+  /// (Named `budget` to match ServiceConfig::budget — one name for the
+  /// per-scan limit across config structs.)
+  ScanBudget budget;
 
   /// kInvalidConfig for window_size == 0, overlap >= window_size, a cap
   /// smaller than one window, or an invalid detector config. These used
@@ -80,11 +83,29 @@ class StreamDetector {
   /// Scans whatever remains in the buffer (end of stream).
   std::vector<StreamAlert> finish();
 
+  /// Registers this stream's series in `registry` (gauges for buffer
+  /// occupancy and its high-water mark, counters for windows scanned /
+  /// degraded, alerts, and try_feed rejections) under
+  /// `<prefix>_...` names. Call once before feeding; without it the
+  /// handles stay detached and instrumentation is free.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    const std::string& prefix = "mel_stream");
+
   [[nodiscard]] std::uint64_t bytes_consumed() const noexcept {
     return consumed_;
   }
   [[nodiscard]] std::size_t pending_bytes() const noexcept {
     return buffer_.size();
+  }
+  /// Largest buffer occupancy ever observed (bytes). The interesting
+  /// capacity-planning number: how close the stream got to
+  /// max_buffered_bytes.
+  [[nodiscard]] std::size_t buffer_high_water_bytes() const noexcept {
+    return buffer_high_water_;
+  }
+  /// Batches refused by try_feed() (cap overflow or allocation failure).
+  [[nodiscard]] std::uint64_t feeds_rejected() const noexcept {
+    return feeds_rejected_;
   }
   [[nodiscard]] std::uint64_t windows_scanned() const noexcept {
     return windows_scanned_;
@@ -97,6 +118,7 @@ class StreamDetector {
 
  private:
   std::vector<StreamAlert> drain(bool flush);
+  void note_buffer_level() noexcept;
 
   StreamConfig config_;
   MelDetector detector_;
@@ -105,6 +127,16 @@ class StreamDetector {
   std::uint64_t consumed_ = 0;
   std::uint64_t windows_scanned_ = 0;
   std::uint64_t windows_degraded_ = 0;
+  std::size_t buffer_high_water_ = 0;
+  std::uint64_t feeds_rejected_ = 0;
+
+  // Detached until bind_metrics(); every update below is then a no-op.
+  obs::Gauge buffer_gauge_;
+  obs::Gauge high_water_gauge_;
+  obs::Counter windows_counter_;
+  obs::Counter windows_degraded_counter_;
+  obs::Counter alerts_counter_;
+  obs::Counter feeds_rejected_counter_;
 };
 
 }  // namespace mel::core

@@ -63,6 +63,35 @@ util::StatusOr<StreamDetector> StreamDetector::create(StreamConfig config) {
   return StreamDetector(std::move(config));
 }
 
+void StreamDetector::bind_metrics(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) {
+  buffer_gauge_ = registry.gauge(
+      prefix + "_buffer_bytes", "Bytes currently buffered awaiting a window.");
+  high_water_gauge_ = registry.gauge(
+      prefix + "_buffer_high_water_bytes",
+      "Largest buffer occupancy observed (bytes).");
+  windows_counter_ = registry.counter(prefix + "_windows_scanned_total",
+                                      "Windows scanned.");
+  windows_degraded_counter_ = registry.counter(
+      prefix + "_windows_degraded_total",
+      "Windows cut short by the per-window budget/deadline.");
+  alerts_counter_ =
+      registry.counter(prefix + "_alerts_total", "Windows flagged malicious.");
+  feeds_rejected_counter_ = registry.counter(
+      prefix + "_feeds_rejected_total",
+      "Batches refused by try_feed (buffer cap or allocation failure).");
+  // Re-publish state accumulated before binding, so late binding does not
+  // under-report the high-water mark.
+  high_water_gauge_.update_max(static_cast<std::int64_t>(buffer_high_water_));
+  buffer_gauge_.set(static_cast<std::int64_t>(buffer_.size()));
+}
+
+void StreamDetector::note_buffer_level() noexcept {
+  if (buffer_.size() > buffer_high_water_) buffer_high_water_ = buffer_.size();
+  buffer_gauge_.set(static_cast<std::int64_t>(buffer_.size()));
+  high_water_gauge_.update_max(static_cast<std::int64_t>(buffer_high_water_));
+}
+
 std::vector<StreamAlert> StreamDetector::feed(util::ByteView bytes) {
   std::vector<StreamAlert> alerts;
   // Buffer at most one window's worth before draining, so a huge batch
@@ -75,6 +104,7 @@ std::vector<StreamAlert> StreamDetector::feed(util::ByteView bytes) {
                    bytes.begin() + offset + chunk);
     consumed_ += chunk;
     offset += chunk;
+    note_buffer_level();
     std::vector<StreamAlert> batch = drain(/*flush=*/false);
     if (alerts.empty()) {
       alerts = std::move(batch);
@@ -89,11 +119,15 @@ std::vector<StreamAlert> StreamDetector::feed(util::ByteView bytes) {
 util::StatusOr<std::vector<StreamAlert>> StreamDetector::try_feed(
     util::ByteView bytes) {
   if (util::fault::should_fire(util::fault::Point::kAllocFailure)) {
+    ++feeds_rejected_;
+    feeds_rejected_counter_.inc();
     return util::Status::resource_exhausted(
         "injected allocation failure in stream buffer");
   }
   if (config_.max_buffered_bytes != 0 &&
       buffer_.size() + bytes.size() > config_.max_buffered_bytes) {
+    ++feeds_rejected_;
+    feeds_rejected_counter_.inc();
     return util::Status::resource_exhausted(
         "stream buffer cap: " + std::to_string(buffer_.size()) +
         " pending + " + std::to_string(bytes.size()) + " incoming > cap " +
@@ -103,6 +137,8 @@ util::StatusOr<std::vector<StreamAlert>> StreamDetector::try_feed(
   try {
     return feed(bytes);
   } catch (const std::bad_alloc&) {
+    ++feeds_rejected_;
+    feeds_rejected_counter_.inc();
     return util::Status::resource_exhausted(
         "allocation failed while buffering stream bytes");
   }
@@ -120,16 +156,19 @@ std::vector<StreamAlert> StreamDetector::drain(bool flush) {
     const std::size_t length =
         std::min(buffer_.size(), config_.window_size);
     Verdict verdict = detector_.scan(util::ByteView(buffer_.data(), length),
-                                     config_.window_budget);
+                                     config_.budget);
     ++windows_scanned_;
+    windows_counter_.inc();
     if (verdict.mel_detail.truncated_by_limits()) {
       // The window's mel is a lower bound; any verdict built from it has
       // reduced fidelity. Count it and tag alerts so a degraded verdict
       // can never leak unflagged.
       ++windows_degraded_;
+      windows_degraded_counter_.inc();
       verdict.degraded = true;
     }
     if (verdict.malicious) {
+      alerts_counter_.inc();
       StreamAlert alert;
       alert.stream_offset = buffer_stream_offset_;
       alert.verdict = verdict;
@@ -150,6 +189,7 @@ std::vector<StreamAlert> StreamDetector::drain(bool flush) {
                   buffer_.begin() + static_cast<std::ptrdiff_t>(step));
     buffer_stream_offset_ += step;
   }
+  buffer_gauge_.set(static_cast<std::int64_t>(buffer_.size()));
   return alerts;
 }
 

@@ -1,0 +1,449 @@
+#include "mel/obs/export.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+
+namespace mel::obs {
+
+namespace {
+
+// --- Rendering helpers ----------------------------------------------------
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  append_escaped(out, text);
+  out += '"';
+}
+
+/// `name{labels}` or bare `name`; `extra` (e.g. le="40") is merged into
+/// the label set.
+void append_series_ref(std::string& out, const std::string& name,
+                       const std::string& labels,
+                       std::string_view extra = {}) {
+  out += name;
+  if (labels.empty() && extra.empty()) return;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+}
+
+void append_family_header(std::string& out, const std::string& name,
+                          const std::string& help, std::string_view type) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+// --- Minimal JSON parser (exactly the snapshot schema) --------------------
+//
+// The snapshot format only needs objects, arrays, strings and int64
+// numbers, so the parser handles exactly that — no floats, no bools, no
+// nulls. Any deviation returns kInvalidArgument with a byte offset.
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] util::Status error(const std::string& what) const {
+    return util::Status::invalid_argument(
+        what + " at byte " + std::to_string(position_));
+  }
+
+  void skip_space() {
+    while (position_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[position_]))) {
+      ++position_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char expected) {
+    skip_space();
+    if (position_ < text_.size() && text_[position_] == expected) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool peek(char expected) {
+    skip_space();
+    return position_ < text_.size() && text_[position_] == expected;
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_space();
+    return position_ >= text_.size();
+  }
+
+  [[nodiscard]] util::Status parse_string(std::string& out) {
+    if (!consume('"')) return error("expected string");
+    out.clear();
+    while (position_ < text_.size()) {
+      const char c = text_[position_++];
+      if (c == '"') return util::Status::ok();
+      if (c == '\\') {
+        if (position_ >= text_.size()) break;
+        const char escaped = text_[position_++];
+        switch (escaped) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case '/':
+            out += '/';
+            break;
+          default:
+            return error("unsupported escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+    return error("unterminated string");
+  }
+
+  [[nodiscard]] util::Status parse_int(std::int64_t& out) {
+    skip_space();
+    const std::size_t begin = position_;
+    if (position_ < text_.size() && text_[position_] == '-') ++position_;
+    while (position_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[position_]))) {
+      ++position_;
+    }
+    const auto result = std::from_chars(text_.data() + begin,
+                                        text_.data() + position_, out);
+    if (result.ec != std::errc{} ||
+        result.ptr != text_.data() + position_ || begin == position_) {
+      return error("expected integer");
+    }
+    return util::Status::ok();
+  }
+
+  [[nodiscard]] util::Status parse_uint(std::uint64_t& out) {
+    std::int64_t value = 0;
+    if (util::Status status = parse_int(value); !status.is_ok()) {
+      return status;
+    }
+    if (value < 0) return error("expected non-negative integer");
+    out = static_cast<std::uint64_t>(value);
+    return util::Status::ok();
+  }
+
+  [[nodiscard]] util::Status expect(char c, const char* what) {
+    if (!consume(c)) return error(std::string("expected ") + what);
+    return util::Status::ok();
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t position_ = 0;
+};
+
+#define MEL_OBS_TRY(expr)                                \
+  do {                                                   \
+    if (util::Status status = (expr); !status.is_ok()) { \
+      return status;                                     \
+    }                                                    \
+  } while (false)
+
+util::Status parse_int_array(JsonCursor& cursor,
+                             std::vector<std::int64_t>& out) {
+  MEL_OBS_TRY(cursor.expect('[', "'['"));
+  out.clear();
+  if (cursor.consume(']')) return util::Status::ok();
+  for (;;) {
+    std::int64_t value = 0;
+    MEL_OBS_TRY(cursor.parse_int(value));
+    out.push_back(value);
+    if (cursor.consume(']')) return util::Status::ok();
+    MEL_OBS_TRY(cursor.expect(',', "','"));
+  }
+}
+
+util::Status parse_uint_array(JsonCursor& cursor,
+                              std::vector<std::uint64_t>& out) {
+  MEL_OBS_TRY(cursor.expect('[', "'['"));
+  out.clear();
+  if (cursor.consume(']')) return util::Status::ok();
+  for (;;) {
+    std::uint64_t value = 0;
+    MEL_OBS_TRY(cursor.parse_uint(value));
+    out.push_back(value);
+    if (cursor.consume(']')) return util::Status::ok();
+    MEL_OBS_TRY(cursor.expect(',', "','"));
+  }
+}
+
+/// Parses one `"key": value` pair into the matching member. Counters and
+/// gauges share the scalar keys; histograms add the array keys.
+template <typename Series>
+util::Status parse_series_field(JsonCursor& cursor, const std::string& key,
+                                Series& series) {
+  if (key == "name") return cursor.parse_string(series.name);
+  if (key == "help") return cursor.parse_string(series.help);
+  if (key == "labels") return cursor.parse_string(series.labels);
+  if constexpr (std::is_same_v<Series, CounterValue>) {
+    if (key == "value") return cursor.parse_uint(series.value);
+  } else if constexpr (std::is_same_v<Series, GaugeValue>) {
+    if (key == "value") return cursor.parse_int(series.value);
+  } else {
+    if (key == "le") return parse_int_array(cursor, series.upper_bounds);
+    if (key == "counts") return parse_uint_array(cursor, series.counts);
+    if (key == "sum") return cursor.parse_int(series.sum);
+    if (key == "count") return cursor.parse_uint(series.count);
+  }
+  return cursor.error("unknown key '" + key + "'");
+}
+
+template <typename Series>
+util::Status parse_series_array(JsonCursor& cursor,
+                                std::vector<Series>& out) {
+  MEL_OBS_TRY(cursor.expect('[', "'['"));
+  if (cursor.consume(']')) return util::Status::ok();
+  for (;;) {
+    MEL_OBS_TRY(cursor.expect('{', "'{'"));
+    Series series;
+    if (!cursor.consume('}')) {
+      for (;;) {
+        std::string key;
+        MEL_OBS_TRY(cursor.parse_string(key));
+        MEL_OBS_TRY(cursor.expect(':', "':'"));
+        MEL_OBS_TRY(parse_series_field(cursor, key, series));
+        if (cursor.consume('}')) break;
+        MEL_OBS_TRY(cursor.expect(',', "','"));
+      }
+    }
+    out.push_back(std::move(series));
+    if (cursor.consume(']')) return util::Status::ok();
+    MEL_OBS_TRY(cursor.expect(',', "','"));
+  }
+}
+
+}  // namespace
+
+// --- Prometheus -----------------------------------------------------------
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+
+  const std::string* last_family = nullptr;
+  for (const CounterValue& counter : snapshot.counters) {
+    if (last_family == nullptr || *last_family != counter.name) {
+      append_family_header(out, counter.name, counter.help, "counter");
+      last_family = &counter.name;
+    }
+    append_series_ref(out, counter.name, counter.labels);
+    out += ' ';
+    out += std::to_string(counter.value);
+    out += '\n';
+  }
+
+  last_family = nullptr;
+  for (const GaugeValue& gauge : snapshot.gauges) {
+    if (last_family == nullptr || *last_family != gauge.name) {
+      append_family_header(out, gauge.name, gauge.help, "gauge");
+      last_family = &gauge.name;
+    }
+    append_series_ref(out, gauge.name, gauge.labels);
+    out += ' ';
+    out += std::to_string(gauge.value);
+    out += '\n';
+  }
+
+  last_family = nullptr;
+  for (const HistogramValue& histogram : snapshot.histograms) {
+    if (last_family == nullptr || *last_family != histogram.name) {
+      append_family_header(out, histogram.name, histogram.help, "histogram");
+      last_family = &histogram.name;
+    }
+    // Buckets are cumulative in the exposition format.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.upper_bounds.size(); ++i) {
+      cumulative += histogram.counts[i];
+      append_series_ref(
+          out, histogram.name + "_bucket", histogram.labels,
+          "le=\"" + std::to_string(histogram.upper_bounds[i]) + "\"");
+      out += ' ';
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    append_series_ref(out, histogram.name + "_bucket", histogram.labels,
+                      "le=\"+Inf\"");
+    out += ' ';
+    out += std::to_string(histogram.count);
+    out += '\n';
+    append_series_ref(out, histogram.name + "_sum", histogram.labels);
+    out += ' ';
+    out += std::to_string(histogram.sum);
+    out += '\n';
+    append_series_ref(out, histogram.name + "_count", histogram.labels);
+    out += ' ';
+    out += std::to_string(histogram.count);
+    out += '\n';
+  }
+  return out;
+}
+
+// --- JSON -----------------------------------------------------------------
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"counters\": [";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterValue& counter = snapshot.counters[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_json_string(out, counter.name);
+    out += ", \"help\": ";
+    append_json_string(out, counter.help);
+    out += ", \"labels\": ";
+    append_json_string(out, counter.labels);
+    out += ", \"value\": ";
+    out += std::to_string(counter.value);
+    out += '}';
+  }
+  out += snapshot.counters.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"gauges\": [";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeValue& gauge = snapshot.gauges[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_json_string(out, gauge.name);
+    out += ", \"help\": ";
+    append_json_string(out, gauge.help);
+    out += ", \"labels\": ";
+    append_json_string(out, gauge.labels);
+    out += ", \"value\": ";
+    out += std::to_string(gauge.value);
+    out += '}';
+  }
+  out += snapshot.gauges.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"histograms\": [";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramValue& histogram = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_json_string(out, histogram.name);
+    out += ", \"help\": ";
+    append_json_string(out, histogram.help);
+    out += ", \"labels\": ";
+    append_json_string(out, histogram.labels);
+    out += ", \"le\": [";
+    for (std::size_t b = 0; b < histogram.upper_bounds.size(); ++b) {
+      if (b != 0) out += ", ";
+      out += std::to_string(histogram.upper_bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t b = 0; b < histogram.counts.size(); ++b) {
+      if (b != 0) out += ", ";
+      out += std::to_string(histogram.counts[b]);
+    }
+    out += "], \"sum\": ";
+    out += std::to_string(histogram.sum);
+    out += ", \"count\": ";
+    out += std::to_string(histogram.count);
+    out += '}';
+  }
+  out += snapshot.histograms.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+util::StatusOr<MetricsSnapshot> from_json(std::string_view text) {
+  JsonCursor cursor(text);
+  MetricsSnapshot snapshot;
+  MEL_OBS_TRY(cursor.expect('{', "'{'"));
+  if (!cursor.consume('}')) {
+    for (;;) {
+      std::string key;
+      MEL_OBS_TRY(cursor.parse_string(key));
+      MEL_OBS_TRY(cursor.expect(':', "':'"));
+      if (key == "counters") {
+        MEL_OBS_TRY(parse_series_array(cursor, snapshot.counters));
+      } else if (key == "gauges") {
+        MEL_OBS_TRY(parse_series_array(cursor, snapshot.gauges));
+      } else if (key == "histograms") {
+        MEL_OBS_TRY(parse_series_array(cursor, snapshot.histograms));
+      } else {
+        return cursor.error("unknown key '" + key + "'");
+      }
+      if (cursor.consume('}')) break;
+      MEL_OBS_TRY(cursor.expect(',', "','"));
+    }
+  }
+  if (!cursor.at_end()) return cursor.error("trailing content");
+  for (const HistogramValue& histogram : snapshot.histograms) {
+    if (histogram.counts.size() != histogram.upper_bounds.size() + 1) {
+      return util::Status::invalid_argument(
+          "histogram '" + histogram.name +
+          "' counts/le size mismatch (counts must have one overflow slot)");
+    }
+  }
+  return snapshot;
+}
+
+std::string trace_to_json(const std::vector<TraceSpan>& spans) {
+  std::string out = "{\n  \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"stage\": ";
+    append_json_string(out, stage_name(span.stage));
+    out += ", \"start_ns\": ";
+    out += std::to_string(span.start_ns);
+    out += ", \"end_ns\": ";
+    out += std::to_string(span.end_ns);
+    out += ", \"duration_ns\": ";
+    out += std::to_string(span.duration_ns());
+    out += '}';
+  }
+  out += spans.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+#undef MEL_OBS_TRY
+
+}  // namespace mel::obs

@@ -1,0 +1,42 @@
+#pragma once
+// Text exporters for metrics snapshots and scan traces.
+//
+//   * to_prometheus — Prometheus exposition format (text/plain; version
+//     0.0.4): one # HELP / # TYPE header per family, histogram series as
+//     cumulative `_bucket{le=...}` plus `_sum` / `_count`. Suitable for a
+//     /metrics scrape endpoint or a bench-harness dump.
+//   * to_json / from_json — a stable machine-readable snapshot that
+//     round-trips exactly: from_json(to_json(s)) == s. Bench harnesses
+//     diff snapshots across runs; the golden-file tests pin the format.
+//   * trace_to_json — one scan's spans with stage names and nanosecond
+//     timestamps.
+//
+// Output is deterministic: series are emitted in the snapshot's sorted
+// (name, labels) order, and all numbers are integers (the registry keeps
+// histogram sums in int64 precisely so exports never depend on float
+// formatting).
+
+#include <string>
+#include <string_view>
+
+#include "mel/obs/metrics.hpp"
+#include "mel/obs/trace.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::obs {
+
+/// Prometheus exposition format rendering of the snapshot.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// JSON rendering of the snapshot (stable key order, 2-space indent).
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Parses to_json output back into a snapshot. kInvalidArgument on any
+/// structural or type mismatch; round-trips to_json exactly.
+[[nodiscard]] util::StatusOr<MetricsSnapshot> from_json(
+    std::string_view text);
+
+/// JSON rendering of one scan trace's spans.
+[[nodiscard]] std::string trace_to_json(const std::vector<TraceSpan>& spans);
+
+}  // namespace mel::obs

@@ -1,0 +1,224 @@
+#pragma once
+// Lock-sharded metrics registry for the scanning tiers.
+//
+// The paper's end-to-end evaluation (Section 5.3) reports FP/FN counts
+// and MEL distributions measured offline; a production MEL service must
+// emit the same evidence continuously. The registry holds three metric
+// kinds:
+//
+//   * Counter   — monotone event count (scans, alarms, rejects-by-code).
+//   * Gauge     — instantaneous value with set / add / update_max
+//                 (stream buffer occupancy, high-water marks).
+//   * Histogram — fixed pre-registered buckets over int64 observations
+//                 (MEL values, per-stage latencies in nanoseconds).
+//
+// Sharding discipline: counter and histogram updates land in a per-thread
+// shard (each shard guarded by its own mutex, so concurrent scan workers
+// almost never contend), and snapshot() merges the shards in fixed shard
+// order. Every merge is a sum of integers — associative and commutative,
+// exactly the BatchStats discipline — so the merged aggregate is
+// schedule-independent: a parallel batch over N workers snapshots
+// bit-identically to the same payloads scanned sequentially (histogram
+// sums are int64 on purpose; float accumulation would make the merge
+// order observable in the last bits). Gauges are single atomics (set is
+// last-writer-wins; update_max is commutative and the right merge for
+// high-water marks).
+//
+// Handles (Counter/Gauge/Histogram) are small copyable values. A
+// default-constructed handle is detached: every operation is a no-op, so
+// instrumented code paths need no "is metrics enabled" branches. Handles
+// must not outlive the registry that issued them.
+//
+// Thread-safety contract: handle updates and snapshot() may race freely
+// from any number of threads. Registration calls are serialized against
+// each other and against updates/snapshots by the registry; registering
+// the same (name, labels) twice returns the existing series (kind must
+// match — a mismatch logs and returns a detached handle rather than
+// corrupting the series).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mel::obs {
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge, kHistogram };
+
+class MetricsRegistry;
+
+/// Monotone event counter handle. Detached (default) handles no-op.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t by = 1) const noexcept;
+  [[nodiscard]] bool attached() const noexcept { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, std::size_t index)
+      : registry_(registry), index_(index) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+/// Instantaneous-value handle. set() is last-writer-wins; update_max()
+/// ratchets (the merge rule for high-water marks). Detached handles no-op.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t value) const noexcept;
+  void add(std::int64_t delta) const noexcept;
+  void update_max(std::int64_t candidate) const noexcept;
+  [[nodiscard]] bool attached() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<std::int64_t>* cell) : cell_(cell) {}
+  std::atomic<std::int64_t>* cell_ = nullptr;
+};
+
+/// Fixed-bucket histogram handle over int64 observations. A value lands
+/// in the first bucket whose upper bound is >= the value (Prometheus `le`
+/// semantics, bounds inclusive); values past the last bound land in the
+/// implicit +Inf bucket. Detached handles no-op.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(std::int64_t value) const noexcept;
+  [[nodiscard]] bool attached() const noexcept { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  struct Layout;  // Stable per-series bucket layout owned by the registry.
+  Histogram(MetricsRegistry* registry, const Layout* layout)
+      : registry_(registry), layout_(layout) {}
+  MetricsRegistry* registry_ = nullptr;
+  const Layout* layout_ = nullptr;
+};
+
+/// Pre-registered bucket layouts (upper bounds, ascending). The MEL
+/// layout brackets the paper's tau = 40 operating point densely; the
+/// latency layout spans 1us .. 5s log-ish, wide enough for budget-tripped
+/// scans.
+[[nodiscard]] const std::vector<std::int64_t>& mel_value_buckets();
+[[nodiscard]] const std::vector<std::int64_t>& latency_buckets_ns();
+
+// --- Snapshot types (plain values, comparable in tests) -------------------
+
+struct CounterValue {
+  std::string name;
+  std::string help;
+  std::string labels;  ///< Pre-rendered, e.g. `code="deadline_exceeded"`.
+  std::uint64_t value = 0;
+  friend bool operator==(const CounterValue&, const CounterValue&) = default;
+};
+
+struct GaugeValue {
+  std::string name;
+  std::string help;
+  std::string labels;
+  std::int64_t value = 0;
+  friend bool operator==(const GaugeValue&, const GaugeValue&) = default;
+};
+
+struct HistogramValue {
+  std::string name;
+  std::string help;
+  std::string labels;
+  std::vector<std::int64_t> upper_bounds;
+  /// Per-bucket (NOT cumulative) counts; size upper_bounds.size() + 1,
+  /// the final entry being the +Inf overflow bucket. The Prometheus
+  /// exporter renders the cumulative form.
+  std::vector<std::uint64_t> counts;
+  std::int64_t sum = 0;
+  std::uint64_t count = 0;
+  friend bool operator==(const HistogramValue&, const HistogramValue&) =
+      default;
+};
+
+/// Point-in-time merged view of a registry, sorted by (name, labels) so
+/// two registries with the same series and values compare equal
+/// regardless of registration order. No cross-metric consistency is
+/// promised while updates are in flight.
+struct MetricsSnapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+  friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&) =
+      default;
+};
+
+// --- Registry -------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  /// `shard_count` 0 picks the default (16). More shards cost memory per
+  /// histogram; fewer shards cost contention under many workers.
+  explicit MetricsRegistry(std::size_t shard_count = 0);
+  ~MetricsRegistry();  // Out of line: histogram layouts are incomplete here.
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) the counter series (name, labels).
+  [[nodiscard]] Counter counter(std::string name, std::string help,
+                                std::string labels = {});
+  /// Registers (or finds) the gauge series (name, labels).
+  [[nodiscard]] Gauge gauge(std::string name, std::string help,
+                            std::string labels = {});
+  /// Registers (or finds) the histogram series (name, labels) with the
+  /// given ascending upper bounds (must be non-empty and sorted).
+  [[nodiscard]] Histogram histogram(std::string name, std::string help,
+                                    std::vector<std::int64_t> upper_bounds,
+                                    std::string labels = {});
+
+  /// Merged point-in-time view; see MetricsSnapshot.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+ private:
+  friend class Counter;
+  friend class Histogram;
+
+  struct SeriesMeta {
+    MetricKind kind;
+    std::string name;
+    std::string help;
+    std::string labels;
+    std::size_t index = 0;                 ///< Slot within its kind.
+    std::vector<std::int64_t> bounds;      ///< Histograms only.
+  };
+
+  /// One lock shard: plain integers under a private mutex. Padded so two
+  /// shards never share a cache line.
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::vector<std::uint64_t> counters;
+    /// Flat bucket storage; histogram h occupies
+    /// [histogram_offsets[h], histogram_offsets[h+1]).
+    std::vector<std::uint64_t> histogram_counts;
+    std::vector<std::int64_t> histogram_sums;
+  };
+
+  void bump_counter(std::size_t index, std::uint64_t by) noexcept;
+  void observe_histogram(const Histogram::Layout& layout,
+                         std::int64_t value) noexcept;
+  [[nodiscard]] Shard& local_shard() const noexcept;
+
+  mutable std::mutex registry_mutex_;  ///< Guards metadata + gauge storage.
+  std::vector<SeriesMeta> series_;
+  /// Gauge cells and histogram layouts live behind unique_ptr so handles
+  /// hold stable addresses across registration growth.
+  std::vector<std::unique_ptr<std::atomic<std::int64_t>>> gauges_;
+  std::vector<std::unique_ptr<Histogram::Layout>> histogram_layouts_;
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace mel::obs

@@ -1,0 +1,112 @@
+#pragma once
+// Per-scan tracing: RAII spans over the pipeline stages of one scan
+// (decode, estimate, detect, verdict) with nanosecond timestamps.
+//
+// Timestamps come from an injectable clock defaulting to the skew-aware
+// scan clock (util::fault::now), so chaos tests that inject clock skew
+// see the jump inside the recorded spans — a trace is evidence of what
+// the scan actually experienced, including injected time.
+//
+// A ScanTrace belongs to exactly ONE scan: it is created on the scan's
+// stack, filled by the detector/service stages, and either discarded
+// (latency histograms already captured the durations) or copied into the
+// ScanReport when the request opted in. Traces never influence verdicts
+// and are not thread-safe — per-scan by construction, they never need to
+// be.
+//
+// Span helpers accept a nullable trace pointer so instrumented code needs
+// no branches: a null trace makes the span a no-op (and skips the clock
+// reads entirely).
+
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mel/util/fault_injection.hpp"
+
+namespace mel::obs {
+
+/// Pipeline stages of one scan, in the order the service narrates them.
+enum class Stage : std::uint8_t {
+  kDecode = 0,   ///< MEL engine pseudo-execution (the decode loop).
+  kEstimate,     ///< Character frequencies -> (n, p) -> threshold tau.
+  kDetect,       ///< Decision rule: MEL vs tau, loop flag.
+  kVerdict,      ///< Service degradation ladder + final verdict assembly.
+};
+inline constexpr std::size_t kStageCount = 4;
+
+[[nodiscard]] std::string_view stage_name(Stage stage) noexcept;
+
+struct TraceSpan {
+  Stage stage = Stage::kDecode;
+  std::int64_t start_ns = 0;  ///< Clock ns at span entry.
+  std::int64_t end_ns = 0;    ///< Clock ns at span exit.
+
+  [[nodiscard]] std::int64_t duration_ns() const noexcept {
+    return end_ns - start_ns;
+  }
+  friend bool operator==(const TraceSpan&, const TraceSpan&) = default;
+};
+
+class ScanTrace {
+ public:
+  /// Injectable time source. The default is the fault-aware scan clock so
+  /// injected skew shows up in spans exactly as it does in deadlines.
+  using Clock = std::chrono::steady_clock::time_point (*)();
+
+  explicit ScanTrace(Clock clock = &util::fault::now) : clock_(clock) {}
+
+  /// RAII span: records [construction, destruction) against `trace`.
+  /// A null trace is a no-op (no clock reads). Non-copyable, non-movable
+  /// — construct it as a named stack object scoping the stage.
+  class Span {
+   public:
+    Span(ScanTrace* trace, Stage stage) : trace_(trace), stage_(stage) {
+      if (trace_ != nullptr) start_ns_ = trace_->now_ns();
+    }
+    ~Span() {
+      if (trace_ != nullptr) {
+        trace_->record(stage_, start_ns_, trace_->now_ns());
+      }
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    ScanTrace* trace_;
+    Stage stage_;
+    std::int64_t start_ns_ = 0;
+  };
+
+  void record(Stage stage, std::int64_t start_ns, std::int64_t end_ns) {
+    spans_.push_back({stage, start_ns, end_ns});
+  }
+
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return spans_.empty(); }
+  void clear() noexcept { spans_.clear(); }
+
+  /// Total nanoseconds recorded against `stage` (0 when never entered).
+  [[nodiscard]] std::int64_t stage_ns(Stage stage) const noexcept {
+    std::int64_t total = 0;
+    for (const TraceSpan& span : spans_) {
+      if (span.stage == stage) total += span.duration_ns();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               clock_().time_since_epoch())
+        .count();
+  }
+
+ private:
+  Clock clock_;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace mel::obs

@@ -1,0 +1,277 @@
+#include "mel/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mel/util/logging.hpp"
+
+namespace mel::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultShards = 16;
+
+}  // namespace
+
+/// Stable per-series bucket layout; heap-allocated by the registry so a
+/// handle can read it without touching any growable container.
+struct Histogram::Layout {
+  std::size_t index = 0;   ///< Histogram slot (sums array position).
+  std::size_t offset = 0;  ///< First bucket within the flat counts array.
+  std::vector<std::int64_t> bounds;
+};
+
+// --- Handles --------------------------------------------------------------
+
+void Counter::inc(std::uint64_t by) const noexcept {
+  if (registry_ != nullptr) registry_->bump_counter(index_, by);
+}
+
+void Gauge::set(std::int64_t value) const noexcept {
+  if (cell_ != nullptr) cell_->store(value, std::memory_order_relaxed);
+}
+
+void Gauge::add(std::int64_t delta) const noexcept {
+  if (cell_ != nullptr) cell_->fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Gauge::update_max(std::int64_t candidate) const noexcept {
+  if (cell_ == nullptr) return;
+  std::int64_t seen = cell_->load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !cell_->compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::observe(std::int64_t value) const noexcept {
+  if (registry_ != nullptr) registry_->observe_histogram(*layout_, value);
+}
+
+// --- Bucket layouts -------------------------------------------------------
+
+const std::vector<std::int64_t>& mel_value_buckets() {
+  static const std::vector<std::int64_t> kBuckets = {
+      0,  1,  2,  4,   8,   12,  16,  20,   24,   28,   32,  36,
+      40, 48, 64, 96, 128, 192, 256, 512, 1024, 2048, 4096};
+  return kBuckets;
+}
+
+const std::vector<std::int64_t>& latency_buckets_ns() {
+  static const std::vector<std::int64_t> kBuckets = {
+      1'000,         5'000,       10'000,      50'000,      100'000,
+      500'000,       1'000'000,   5'000'000,   10'000'000,  50'000'000,
+      100'000'000,   500'000'000, 1'000'000'000, 5'000'000'000};
+  return kBuckets;
+}
+
+// --- Registry -------------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry(std::size_t shard_count)
+    : shards_(shard_count == 0 ? kDefaultShards : shard_count) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() const noexcept {
+  // Round-robin thread->slot assignment, fixed for the thread's lifetime.
+  // The slot is registry-agnostic (a plain enumeration of threads), so
+  // one thread maps to one shard per registry with zero per-call state.
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return shards_[slot % shards_.size()];
+}
+
+Counter MetricsRegistry::counter(std::string name, std::string help,
+                                 std::string labels) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const SeriesMeta& meta : series_) {
+    if (meta.name == name && meta.labels == labels) {
+      if (meta.kind == MetricKind::kCounter) return Counter(this, meta.index);
+      util::log_warn_ctx({.component = "obs"}, "metric '", name,
+                         "' already registered with a different kind; "
+                         "returning detached counter");
+      return Counter();
+    }
+  }
+
+  SeriesMeta meta;
+  meta.kind = MetricKind::kCounter;
+  meta.name = std::move(name);
+  meta.help = std::move(help);
+  meta.labels = std::move(labels);
+  std::size_t index = 0;
+  for (const SeriesMeta& existing : series_) {
+    index += existing.kind == MetricKind::kCounter ? 1 : 0;
+  }
+  meta.index = index;
+  series_.push_back(std::move(meta));
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard.mutex);
+    shard.counters.push_back(0);
+  }
+  return Counter(this, index);
+}
+
+Gauge MetricsRegistry::gauge(std::string name, std::string help,
+                             std::string labels) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const SeriesMeta& meta : series_) {
+    if (meta.name == name && meta.labels == labels) {
+      if (meta.kind == MetricKind::kGauge) {
+        return Gauge(gauges_[meta.index].get());
+      }
+      util::log_warn_ctx({.component = "obs"}, "metric '", name,
+                         "' already registered with a different kind; "
+                         "returning detached gauge");
+      return Gauge();
+    }
+  }
+
+  SeriesMeta meta;
+  meta.kind = MetricKind::kGauge;
+  meta.name = std::move(name);
+  meta.help = std::move(help);
+  meta.labels = std::move(labels);
+  meta.index = gauges_.size();
+  series_.push_back(std::move(meta));
+  gauges_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+  return Gauge(gauges_.back().get());
+}
+
+Histogram MetricsRegistry::histogram(std::string name, std::string help,
+                                     std::vector<std::int64_t> upper_bounds,
+                                     std::string labels) {
+  assert(!upper_bounds.empty() && "histogram needs at least one bound");
+  assert(std::is_sorted(upper_bounds.begin(), upper_bounds.end()) &&
+         "histogram bounds must ascend");
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const SeriesMeta& meta : series_) {
+    if (meta.name == name && meta.labels == labels) {
+      if (meta.kind == MetricKind::kHistogram) {
+        return Histogram(this, histogram_layouts_[meta.index].get());
+      }
+      util::log_warn_ctx({.component = "obs"}, "metric '", name,
+                         "' already registered with a different kind; "
+                         "returning detached histogram");
+      return Histogram();
+    }
+  }
+
+  auto layout = std::make_unique<Histogram::Layout>();
+  layout->index = histogram_layouts_.size();
+  layout->offset = histogram_layouts_.empty()
+                       ? 0
+                       : histogram_layouts_.back()->offset +
+                             histogram_layouts_.back()->bounds.size() + 1;
+  layout->bounds = std::move(upper_bounds);
+  const std::size_t total_slots =
+      layout->offset + layout->bounds.size() + 1;  // +Inf overflow bucket.
+
+  SeriesMeta meta;
+  meta.kind = MetricKind::kHistogram;
+  meta.name = std::move(name);
+  meta.help = std::move(help);
+  meta.labels = std::move(labels);
+  meta.index = layout->index;
+  series_.push_back(std::move(meta));
+  histogram_layouts_.push_back(std::move(layout));
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard.mutex);
+    shard.histogram_counts.resize(total_slots, 0);
+    shard.histogram_sums.push_back(0);
+  }
+  return Histogram(this, histogram_layouts_.back().get());
+}
+
+void MetricsRegistry::bump_counter(std::size_t index,
+                                   std::uint64_t by) noexcept {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.counters[index] += by;
+}
+
+void MetricsRegistry::observe_histogram(const Histogram::Layout& layout,
+                                        std::int64_t value) noexcept {
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(layout.bounds.begin(), layout.bounds.end(), value) -
+      layout.bounds.begin());
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.histogram_counts[layout.offset + bucket] += 1;
+  shard.histogram_sums[layout.index] += value;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MetricsSnapshot snap;
+
+  // Merge shards in fixed order; every aggregate is an integer sum, so
+  // the result is independent of which thread updated which shard.
+  std::size_t counter_slots = 0;
+  for (const SeriesMeta& meta : series_) {
+    counter_slots += meta.kind == MetricKind::kCounter ? 1 : 0;
+  }
+  const std::size_t bucket_slots =
+      histogram_layouts_.empty()
+          ? 0
+          : histogram_layouts_.back()->offset +
+                histogram_layouts_.back()->bounds.size() + 1;
+  std::vector<std::uint64_t> counters(counter_slots, 0);
+  std::vector<std::uint64_t> histogram_counts(bucket_slots, 0);
+  std::vector<std::int64_t> histogram_sums(histogram_layouts_.size(), 0);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard.mutex);
+    for (std::size_t i = 0; i < shard.counters.size(); ++i) {
+      counters[i] += shard.counters[i];
+    }
+    for (std::size_t i = 0; i < shard.histogram_counts.size(); ++i) {
+      histogram_counts[i] += shard.histogram_counts[i];
+    }
+    for (std::size_t i = 0; i < shard.histogram_sums.size(); ++i) {
+      histogram_sums[i] += shard.histogram_sums[i];
+    }
+  }
+
+  for (const SeriesMeta& meta : series_) {
+    switch (meta.kind) {
+      case MetricKind::kCounter:
+        snap.counters.push_back(
+            {meta.name, meta.help, meta.labels, counters[meta.index]});
+        break;
+      case MetricKind::kGauge:
+        snap.gauges.push_back(
+            {meta.name, meta.help, meta.labels,
+             gauges_[meta.index]->load(std::memory_order_relaxed)});
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram::Layout& layout = *histogram_layouts_[meta.index];
+        HistogramValue value;
+        value.name = meta.name;
+        value.help = meta.help;
+        value.labels = meta.labels;
+        value.upper_bounds = layout.bounds;
+        value.counts.assign(
+            histogram_counts.begin() +
+                static_cast<std::ptrdiff_t>(layout.offset),
+            histogram_counts.begin() +
+                static_cast<std::ptrdiff_t>(layout.offset +
+                                            layout.bounds.size() + 1));
+        value.sum = histogram_sums[meta.index];
+        for (std::uint64_t bucket : value.counts) value.count += bucket;
+        snap.histograms.push_back(std::move(value));
+        break;
+      }
+    }
+  }
+
+  const auto by_series = [](const auto& a, const auto& b) {
+    return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_series);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_series);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_series);
+  return snap;
+}
+
+}  // namespace mel::obs

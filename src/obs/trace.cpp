@@ -1,0 +1,19 @@
+#include "mel/obs/trace.hpp"
+
+namespace mel::obs {
+
+std::string_view stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kDecode:
+      return "decode";
+    case Stage::kEstimate:
+      return "estimate";
+    case Stage::kDetect:
+      return "detect";
+    case Stage::kVerdict:
+      return "verdict";
+  }
+  return "unknown";
+}
+
+}  // namespace mel::obs

@@ -112,19 +112,22 @@ util::StatusOr<BatchScanResult> BatchScanService::scan_batch(
         const util::ByteView payload = payloads[index];
         BatchItemResult& item = result.items[index];
 
-        util::StatusOr<ScanOutcome> outcome = service_.scan(payload, scratch);
+        util::StatusOr<ScanReport> report =
+            service_.scan(ScanRequest{.payload = payload,
+                                      .collect_trace = config_.collect_traces,
+                                      .scratch = &scratch});
         ++shard.payloads;
-        if (!outcome.is_ok()) {
-          item.status = outcome.status();
+        if (!report.is_ok()) {
+          item.status = report.status();
           ++shard.rejected;
-          ++shard.rejects_by_code[static_cast<std::size_t>(outcome.code())];
+          ++shard.rejects_by_code[static_cast<std::size_t>(report.code())];
           continue;
         }
-        item.outcome = std::move(outcome).take();
+        item.report = std::move(report).take();
         ++shard.completed;
         shard.bytes_scanned += payload.size();
-        if (item.outcome.verdict.degraded) ++shard.degraded;
-        if (item.outcome.verdict.malicious) ++shard.alarms;
+        if (item.report.verdict.degraded) ++shard.degraded;
+        if (item.report.verdict.malicious) ++shard.alarms;
       }
       latch.count_down();
     });

@@ -55,16 +55,20 @@ struct BatchConfig {
   /// Largest batch accepted; bigger ones are refused whole with
   /// kResourceExhausted (0 = unlimited).
   std::uint64_t max_batch_items = 0;
+  /// Collect per-scan trace spans into every item's report (the
+  /// per-stage latency histograms are recorded either way). Costs one
+  /// span-vector copy per payload.
+  bool collect_traces = false;
 
   [[nodiscard]] util::Status validate() const;
 };
 
 /// One slot of a batch result. `status` carries the typed refusal
 /// (payload cap, deadline, resources) exactly as the sequential service
-/// would have returned it; when OK, `outcome` is the scan outcome.
+/// would have returned it; when OK, `report` is the scan report.
 struct BatchItemResult {
   util::Status status;
-  ScanOutcome outcome;
+  ScanReport report;
 
   [[nodiscard]] bool is_ok() const noexcept { return status.is_ok(); }
 };
@@ -78,7 +82,7 @@ struct BatchStats {
   std::uint64_t rejected = 0;        ///< Items refused with a typed error.
   std::uint64_t degraded = 0;        ///< Verdicts flagged degraded.
   std::uint64_t alarms = 0;          ///< Malicious verdicts.
-  std::array<std::uint64_t, 8> rejects_by_code{};
+  std::array<std::uint64_t, util::kStatusCodeCount> rejects_by_code{};
 
   [[nodiscard]] std::uint64_t rejects(util::StatusCode code) const noexcept {
     return rejects_by_code[static_cast<std::size_t>(code)];
@@ -117,6 +121,14 @@ class BatchScanService {
   /// batch and caller so far).
   [[nodiscard]] const ServiceStats& service_stats() const noexcept {
     return service_.stats();
+  }
+  /// The shared service's metrics registry (all workers record into it;
+  /// the merged snapshot is schedule-independent for non-latency series).
+  [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept {
+    return service_.metrics();
+  }
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const {
+    return service_.metrics_snapshot();
   }
 
  private:

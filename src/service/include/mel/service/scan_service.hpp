@@ -18,12 +18,23 @@
 //      buffering/allocation limits (kResourceExhausted). The caller gets
 //      a typed util::Status, never a crash and never a silent verdict.
 //
+// The one public entry point is scan(ScanRequest) -> ScanReport: the
+// request carries the payload plus per-call options (budget override,
+// trace opt-in, scratch arena) so new options never add overloads. Every
+// scan is recorded in an obs::MetricsRegistry (MEL-value and per-stage
+// latency histograms, verdict / degrade-reason / status-code counters);
+// pass a shared registry in ServiceConfig::metrics to aggregate several
+// services, or let each service own one. All non-latency series are
+// sums of values derived from (payload, config) alone, so a parallel
+// batch snapshot equals the sequential snapshot bit for bit.
+//
 // With no limits configured and fault injection disarmed, scan() is a
 // transparent wrapper: verdicts are identical to MelDetector::scan().
 //
 // Thread-safety contract: scan() is const and safe to call from any
 // number of threads on one ScanService — the detector is immutable, the
-// stats counters are atomics, and scan ids come from an atomic counter
+// stats counters are atomics, metric updates go through the registry's
+// lock shards, and scan ids come from an atomic counter
 // (BatchScanService fans a shared instance across its pool). The stream
 // session (stream_feed/stream_finish) is stateful by nature — one
 // logical byte stream — and requires external serialization per service
@@ -32,11 +43,15 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "mel/core/detector.hpp"
 #include "mel/core/stream_detector.hpp"
+#include "mel/obs/metrics.hpp"
+#include "mel/obs/trace.hpp"
 #include "mel/util/status.hpp"
 
 namespace mel::service {
@@ -48,42 +63,84 @@ struct ServiceConfig {
   /// (0 = unlimited).
   std::uint64_t max_payload_bytes = 0;
   /// Per-scan decode budget and wall-clock deadline (zero = unlimited).
+  /// A ScanRequest::budget overrides this per call.
   core::ScanBudget budget;
   /// Fixed fallback threshold for degraded verdicts. The default sits at
   /// the paper's tau for the 4K evaluation point; calibrate it like a
   /// fixed-threshold detector (it is one, on the fallback path).
   double degraded_threshold = 40.0;
 
-  /// Stream-session knobs (ScanService::stream_feed).
-  std::size_t stream_window_size = 4096;
-  std::size_t stream_overlap = 1024;
+  /// Stream-session knobs (ScanService::stream_feed). Field names match
+  /// core::StreamConfig one for one.
+  std::size_t window_size = 4096;
+  std::size_t overlap = 1024;
   /// Hard cap on pending stream bytes; a batch that would exceed it is
   /// refused with kResourceExhausted (backpressure).
-  std::size_t stream_buffer_cap = 1 << 20;
+  std::size_t max_buffered_bytes = 1 << 20;
   bool keep_window_bytes = false;
+
+  /// Registry receiving this service's metric series. Null (default):
+  /// the service creates and owns a private registry, reachable via
+  /// ScanService::metrics(). Share one registry across services (and the
+  /// batch tier) to aggregate them into one scrape.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 
   [[nodiscard]] util::Status validate() const;
 };
 
-struct ScanOutcome {
+/// One scan call: the payload plus per-call options. Non-owning views —
+/// payload bytes and the scratch arena must outlive the scan() call.
+struct ScanRequest {
+  util::ByteView payload = {};
+  /// Overrides ServiceConfig::budget for this scan when set.
+  std::optional<core::ScanBudget> budget = std::nullopt;
+  /// Copy the per-stage trace spans into ScanReport::trace. Latency
+  /// histograms are recorded either way; this adds the per-scan copy.
+  bool collect_trace = false;
+  /// Caller-owned (per-thread) engine scratch arena — the batch hot
+  /// path. Null: the scan allocates its own. Must not be shared between
+  /// concurrent scans.
+  exec::MelScratch* scratch = nullptr;
+};
+
+struct ScanReport {
   core::Verdict verdict;
   std::uint64_t scan_id = 0;
   std::chrono::nanoseconds elapsed{0};
   /// Human-readable cause when verdict.degraded is set; empty otherwise.
   std::string degrade_reason;
+  /// Per-stage spans; filled only when ScanRequest::collect_trace.
+  std::vector<obs::TraceSpan> trace;
+
+  /// Total nanoseconds recorded against `stage` in `trace` (0 when the
+  /// stage never ran or the trace was not collected).
+  [[nodiscard]] std::int64_t stage_ns(obs::Stage stage) const noexcept {
+    std::int64_t total = 0;
+    for (const obs::TraceSpan& span : trace) {
+      if (span.stage == stage) total += span.duration_ns();
+    }
+    return total;
+  }
 };
+
+/// Pre-PR3 name for ScanReport. Removal is scheduled for the second
+/// release after this deprecation shipped; migrate to ScanReport.
+using ScanOutcome [[deprecated("use service::ScanReport")]] = ScanReport;
 
 /// Monotone counters; one reject bucket per StatusCode. The counters are
 /// relaxed atomics so concurrent scans aggregate race-free; reads are
 /// per-counter snapshots (no cross-counter consistency is promised while
-/// scans are in flight). Copying takes a relaxed snapshot.
+/// scans are in flight). Copying takes a relaxed snapshot. Kept for
+/// in-process callers; the metrics registry carries the same aggregates
+/// (and more) for export.
 struct ServiceStats {
   std::atomic<std::uint64_t> scans_attempted{0};
   std::atomic<std::uint64_t> scans_completed{0};  ///< Returned a verdict.
   std::atomic<std::uint64_t> scans_degraded{0};   ///< Flagged degraded.
   std::atomic<std::uint64_t> scans_rejected{0};   ///< Typed-error returns.
   std::atomic<std::uint64_t> alarms{0};  ///< Malicious verdicts (incl. stream).
-  std::array<std::atomic<std::uint64_t>, 8> rejects_by_code{};
+  std::array<std::atomic<std::uint64_t>, util::kStatusCodeCount>
+      rejects_by_code{};
 
   ServiceStats() = default;
   ServiceStats(const ServiceStats& other) noexcept { *this = other; }
@@ -119,17 +176,26 @@ class ScanService {
         detector_(std::move(other.detector_)),
         stream_(std::move(other.stream_)),
         stats_(other.stats_),
-        next_scan_id_(other.next_scan_id_.load(std::memory_order_relaxed)) {}
+        next_scan_id_(other.next_scan_id_.load(std::memory_order_relaxed)),
+        metrics_(std::move(other.metrics_)),
+        inst_(other.inst_) {}
 
-  /// Scans one payload under the configured limits. Returns an outcome
-  /// (possibly with verdict.degraded set — check it before trusting the
-  /// threshold semantics) or a typed error. Never throws. Const and
-  /// thread-safe: any number of threads may scan through one service.
-  [[nodiscard]] util::StatusOr<ScanOutcome> scan(util::ByteView payload) const;
+  /// THE scan entry point: scans request.payload under the configured
+  /// (or per-request) limits. Returns a report (check
+  /// verdict.degraded before trusting the threshold semantics) or a
+  /// typed error. Never throws. Const and thread-safe: any number of
+  /// threads may scan through one service.
+  [[nodiscard]] util::StatusOr<ScanReport> scan(
+      const ScanRequest& request) const;
 
-  /// As above, reusing a caller-owned (per-thread) engine scratch arena —
-  /// the batch hot path. Verdicts are identical bit for bit.
-  [[nodiscard]] util::StatusOr<ScanOutcome> scan(
+  /// Pre-PR3 positional form; forwards to scan(ScanRequest).
+  [[deprecated("use scan(ScanRequest{.payload = ...})")]] [[nodiscard]]
+  util::StatusOr<ScanReport> scan(util::ByteView payload) const;
+
+  /// Pre-PR3 positional form; forwards to scan(ScanRequest).
+  [[deprecated(
+      "use scan(ScanRequest{.payload = ..., .scratch = &scratch})")]]
+  [[nodiscard]] util::StatusOr<ScanReport> scan(
       util::ByteView payload, exec::MelScratch& scratch) const;
 
   /// Streaming session: feed bytes with backpressure. Alerts from
@@ -143,13 +209,43 @@ class ScanService {
   [[nodiscard]] const ServiceConfig& config() const noexcept {
     return config_;
   }
+  /// The registry this service records into (shared or privately owned).
+  [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept {
+    return *metrics_;
+  }
+  /// Point-in-time merged view of metrics(); see obs::MetricsSnapshot.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const {
+    return metrics_->snapshot();
+  }
   [[nodiscard]] std::uint64_t stream_windows_degraded() const noexcept {
     return stream_.windows_degraded();
+  }
+  [[nodiscard]] const core::StreamDetector& stream() const noexcept {
+    return stream_;
   }
 
  private:
   explicit ScanService(ServiceConfig config);
 
+  /// Copyable bundle of metric handles, so the move ctor stays one line.
+  /// All registered at construction; updates are handle-local.
+  struct Instruments {
+    obs::Counter attempted;
+    obs::Counter completed;
+    obs::Counter rejected;
+    obs::Counter degraded;
+    std::array<obs::Counter, util::kStatusCodeCount> by_status;
+    obs::Counter reason_budget;
+    obs::Counter reason_estimation;
+    obs::Counter reason_truncated;
+    obs::Counter verdict_malicious;
+    obs::Counter verdict_benign;
+    obs::Histogram mel;
+    std::array<obs::Histogram, obs::kStageCount> stage_latency;
+    obs::Histogram latency;
+  };
+
+  void register_instruments();
   util::Status reject(std::uint64_t scan_id, util::Status status) const;
 
   ServiceConfig config_;
@@ -159,6 +255,8 @@ class ScanService {
   /// accounts for itself; see the thread-safety contract above.
   mutable ServiceStats stats_;
   mutable std::atomic<std::uint64_t> next_scan_id_{1};
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  Instruments inst_;
 };
 
 }  // namespace mel::service

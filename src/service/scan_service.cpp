@@ -16,11 +16,11 @@ using util::fault::Point;
 core::StreamConfig make_stream_config(const ServiceConfig& config) {
   core::StreamConfig stream;
   stream.detector = config.detector;
-  stream.window_size = config.stream_window_size;
-  stream.overlap = config.stream_overlap;
+  stream.window_size = config.window_size;
+  stream.overlap = config.overlap;
   stream.keep_window_bytes = config.keep_window_bytes;
-  stream.max_buffered_bytes = config.stream_buffer_cap;
-  stream.window_budget = config.budget;
+  stream.max_buffered_bytes = config.max_buffered_bytes;
+  stream.budget = config.budget;
   return stream;
 }
 
@@ -54,7 +54,61 @@ util::Status ServiceConfig::validate() const {
 ScanService::ScanService(ServiceConfig config)
     : config_(std::move(config)),
       detector_(config_.detector),
-      stream_(make_stream_config(config_)) {}
+      stream_(make_stream_config(config_)),
+      metrics_(config_.metrics ? config_.metrics
+                               : std::make_shared<obs::MetricsRegistry>()) {
+  register_instruments();
+  stream_.bind_metrics(*metrics_);
+}
+
+void ScanService::register_instruments() {
+  obs::MetricsRegistry& reg = *metrics_;
+  inst_.attempted =
+      reg.counter("mel_scans_attempted_total", "Scan requests received.");
+  inst_.completed = reg.counter("mel_scans_completed_total",
+                                "Scans that returned a verdict.");
+  inst_.rejected = reg.counter("mel_scans_rejected_total",
+                               "Scans refused with a typed error.");
+  inst_.degraded = reg.counter("mel_scans_degraded_total",
+                               "Verdicts flagged degraded.");
+  for (std::size_t i = 0; i < util::kStatusCodeCount; ++i) {
+    inst_.by_status[i] = reg.counter(
+        "mel_scan_status_total", "Scan results by final status code.",
+        "code=\"" +
+            std::string(util::status_code_name(
+                static_cast<util::StatusCode>(i))) +
+            "\"");
+  }
+  inst_.reason_budget = reg.counter("mel_degrade_reasons_total",
+                                    "Degraded verdicts by cause.",
+                                    "reason=\"budget_exhausted\"");
+  inst_.reason_estimation = reg.counter("mel_degrade_reasons_total",
+                                        "Degraded verdicts by cause.",
+                                        "reason=\"estimation_degenerate\"");
+  inst_.reason_truncated = reg.counter("mel_degrade_reasons_total",
+                                       "Degraded verdicts by cause.",
+                                       "reason=\"truncated_input\"");
+  inst_.verdict_malicious =
+      reg.counter("mel_verdicts_total", "Verdicts returned, by decision.",
+                  "verdict=\"malicious\"");
+  inst_.verdict_benign =
+      reg.counter("mel_verdicts_total", "Verdicts returned, by decision.",
+                  "verdict=\"benign\"");
+  inst_.mel = reg.histogram("mel_value",
+                            "Measured maximum executable length per scan.",
+                            obs::mel_value_buckets());
+  for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+    inst_.stage_latency[i] = reg.histogram(
+        "mel_stage_latency_ns", "Per-stage scan latency (nanoseconds).",
+        obs::latency_buckets_ns(),
+        "stage=\"" +
+            std::string(obs::stage_name(static_cast<obs::Stage>(i))) +
+            "\"");
+  }
+  inst_.latency = reg.histogram("mel_scan_latency_ns",
+                                "End-to-end scan latency (nanoseconds).",
+                                obs::latency_buckets_ns());
+}
 
 util::StatusOr<ScanService> ScanService::create(ServiceConfig config) {
   if (util::Status status = config.validate(); !status.is_ok()) {
@@ -67,21 +121,30 @@ util::Status ScanService::reject(std::uint64_t scan_id,
                                  util::Status status) const {
   ++stats_.scans_rejected;
   ++stats_.rejects_by_code[static_cast<std::size_t>(status.code())];
+  inst_.rejected.inc();
+  inst_.by_status[static_cast<std::size_t>(status.code())].inc();
   util::log_warn_ctx({.component = "service", .scan_id = scan_id},
                      "scan rejected: ", status.to_string());
   return status;
 }
 
-util::StatusOr<ScanOutcome> ScanService::scan(util::ByteView payload) const {
-  exec::MelScratch scratch;
-  return scan(payload, scratch);
+util::StatusOr<ScanReport> ScanService::scan(util::ByteView payload) const {
+  return scan(ScanRequest{.payload = payload});
 }
 
-util::StatusOr<ScanOutcome> ScanService::scan(util::ByteView payload,
-                                              exec::MelScratch& scratch) const {
+util::StatusOr<ScanReport> ScanService::scan(util::ByteView payload,
+                                             exec::MelScratch& scratch) const {
+  return scan(ScanRequest{.payload = payload, .scratch = &scratch});
+}
+
+util::StatusOr<ScanReport> ScanService::scan(const ScanRequest& request) const {
+  const util::ByteView payload = request.payload;
+  const core::ScanBudget budget =
+      request.budget ? *request.budget : config_.budget;
   const std::uint64_t scan_id =
       next_scan_id_.fetch_add(1, std::memory_order_relaxed);
   ++stats_.scans_attempted;
+  inst_.attempted.inc();
   const auto start = util::fault::now();
 
   // Chaos hook: a clock that jumps at scan entry must surface as a
@@ -97,7 +160,7 @@ util::StatusOr<ScanOutcome> ScanService::scan(util::ByteView payload,
                       std::to_string(payload.size()) + " bytes > cap " +
                       std::to_string(config_.max_payload_bytes)));
   }
-  const auto deadline = config_.budget.deadline;
+  const auto deadline = budget.deadline;
   if (deadline.count() > 0 && util::fault::now() - start >= deadline) {
     return reject(scan_id, util::Status::deadline_exceeded(
                                "deadline passed before scanning began"));
@@ -113,19 +176,25 @@ util::StatusOr<ScanOutcome> ScanService::scan(util::ByteView payload,
     truncated_input = true;
   }
 
-  ScanOutcome outcome;
-  outcome.scan_id = scan_id;
+  // The trace is always collected: its spans feed the stage-latency
+  // histograms whether or not the caller asked for a copy.
+  obs::ScanTrace trace;
+  ScanReport report;
+  report.scan_id = scan_id;
+  exec::MelScratch local_scratch;
+  exec::MelScratch& scratch =
+      request.scratch != nullptr ? *request.scratch : local_scratch;
   try {
     if (util::fault::should_fire(Point::kAllocFailure)) {
       throw std::bad_alloc{};
     }
-    outcome.verdict = detector_.scan(view, config_.budget, scratch);
+    report.verdict = detector_.scan(view, budget, scratch, &trace);
   } catch (const std::bad_alloc&) {
     return reject(scan_id, util::Status::resource_exhausted(
                                "allocation failure during scan"));
   }
 
-  core::Verdict& verdict = outcome.verdict;
+  core::Verdict& verdict = report.verdict;
   if (verdict.mel_detail.deadline_exceeded) {
     // The caller's time budget is gone; a partial answer now helps
     // nobody downstream. (With early exit on, a payload whose partial
@@ -137,41 +206,58 @@ util::StatusOr<ScanOutcome> ScanService::scan(util::ByteView payload,
                       " decoded instructions"));
   }
 
-  // Degradation ladder: budget trips and degenerate estimation fall back
-  // to the fixed threshold; the verdict is flagged, never silent.
-  if (verdict.mel_detail.budget_exhausted) {
-    verdict.degraded = true;
-    outcome.degrade_reason =
-        "decode budget exhausted; MEL is a lower bound, fixed-threshold "
-        "fallback applied";
-  } else if (!payload.empty() && !config_.detector.fixed_threshold &&
-             estimation_degenerate(verdict)) {
-    verdict.degraded = true;
-    outcome.degrade_reason =
-        "parameter estimation degenerate; fixed-threshold fallback applied";
-  }
-  if (verdict.degraded) {
-    verdict.threshold = config_.degraded_threshold;
-    verdict.malicious =
-        static_cast<double>(verdict.mel) > verdict.threshold ||
-        verdict.loop_detected;
-  }
-  if (truncated_input) {
-    verdict.degraded = true;
-    if (!outcome.degrade_reason.empty()) outcome.degrade_reason += "; ";
-    outcome.degrade_reason +=
-        "input truncated upstream; verdict covers a prefix only";
+  {
+    // Degradation ladder: budget trips and degenerate estimation fall
+    // back to the fixed threshold; the verdict is flagged, never silent.
+    const obs::ScanTrace::Span span(&trace, obs::Stage::kVerdict);
+    if (verdict.mel_detail.budget_exhausted) {
+      verdict.degraded = true;
+      inst_.reason_budget.inc();
+      report.degrade_reason =
+          "decode budget exhausted; MEL is a lower bound, fixed-threshold "
+          "fallback applied";
+    } else if (!payload.empty() && !config_.detector.fixed_threshold &&
+               estimation_degenerate(verdict)) {
+      verdict.degraded = true;
+      inst_.reason_estimation.inc();
+      report.degrade_reason =
+          "parameter estimation degenerate; fixed-threshold fallback applied";
+    }
+    if (verdict.degraded) {
+      verdict.threshold = config_.degraded_threshold;
+      verdict.malicious =
+          static_cast<double>(verdict.mel) > verdict.threshold ||
+          verdict.loop_detected;
+    }
+    if (truncated_input) {
+      verdict.degraded = true;
+      inst_.reason_truncated.inc();
+      if (!report.degrade_reason.empty()) report.degrade_reason += "; ";
+      report.degrade_reason +=
+          "input truncated upstream; verdict covers a prefix only";
+    }
   }
 
-  outcome.elapsed = util::fault::now() - start;
+  report.elapsed = util::fault::now() - start;
   ++stats_.scans_completed;
+  inst_.completed.inc();
+  inst_.by_status[static_cast<std::size_t>(util::StatusCode::kOk)].inc();
+  inst_.mel.observe(verdict.mel);
+  (verdict.malicious ? inst_.verdict_malicious : inst_.verdict_benign).inc();
+  for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+    inst_.stage_latency[i].observe(
+        trace.stage_ns(static_cast<obs::Stage>(i)));
+  }
+  inst_.latency.observe(report.elapsed.count());
   if (verdict.degraded) {
     ++stats_.scans_degraded;
+    inst_.degraded.inc();
     util::log_info_ctx({.component = "service", .scan_id = scan_id},
-                       "degraded verdict: ", outcome.degrade_reason);
+                       "degraded verdict: ", report.degrade_reason);
   }
   if (verdict.malicious) ++stats_.alarms;
-  return outcome;
+  if (request.collect_trace) report.trace = trace.spans();
+  return report;
 }
 
 util::StatusOr<std::vector<core::StreamAlert>> ScanService::stream_feed(
@@ -181,6 +267,8 @@ util::StatusOr<std::vector<core::StreamAlert>> ScanService::stream_feed(
   if (!result.is_ok()) {
     ++stats_.scans_rejected;
     ++stats_.rejects_by_code[static_cast<std::size_t>(result.code())];
+    inst_.rejected.inc();
+    inst_.by_status[static_cast<std::size_t>(result.code())].inc();
     util::log_warn_ctx({.component = "service"},
                        "stream batch refused: ", result.status().to_string());
     return result;

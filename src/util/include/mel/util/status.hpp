@@ -40,6 +40,10 @@ enum class StatusCode : std::uint8_t {
   kInternal,
 };
 
+/// Number of StatusCode values — sized for per-code counter arrays and
+/// metric label loops.
+inline constexpr std::size_t kStatusCodeCount = 8;
+
 /// Stable lowercase name for logs and test assertions.
 [[nodiscard]] std::string_view status_code_name(StatusCode code) noexcept;
 

@@ -1,0 +1,175 @@
+// Exporter format pinning: the Prometheus exposition and JSON snapshot
+// renderings are golden-filed here — a byte change in either is a
+// deliberate format break and must update these strings — and the JSON
+// parser must round-trip its own output exactly.
+
+#include "mel/obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/obs/metrics.hpp"
+#include "mel/obs/trace.hpp"
+
+namespace mel::obs {
+namespace {
+
+/// Small fixed registry exercising every series shape: bare counter,
+/// labeled counter pair, gauge, histogram with overflow traffic.
+MetricsSnapshot golden_snapshot() {
+  MetricsRegistry registry(1);
+  registry.counter("scans_total", "Scans received.").inc(12);
+  registry.counter("verdicts_total", "Verdicts by decision.",
+                   "verdict=\"benign\"")
+      .inc(9);
+  registry.counter("verdicts_total", "Verdicts by decision.",
+                   "verdict=\"malicious\"")
+      .inc(3);
+  registry.gauge("buffer_bytes", "Buffered bytes.").set(4096);
+  const Histogram histogram =
+      registry.histogram("mel_value", "MEL per scan.", {8, 40, 256});
+  histogram.observe(3);
+  histogram.observe(8);
+  histogram.observe(41);
+  histogram.observe(1000);
+  return registry.snapshot();
+}
+
+constexpr std::string_view kGoldenPrometheus =
+    "# HELP scans_total Scans received.\n"
+    "# TYPE scans_total counter\n"
+    "scans_total 12\n"
+    "# HELP verdicts_total Verdicts by decision.\n"
+    "# TYPE verdicts_total counter\n"
+    "verdicts_total{verdict=\"benign\"} 9\n"
+    "verdicts_total{verdict=\"malicious\"} 3\n"
+    "# HELP buffer_bytes Buffered bytes.\n"
+    "# TYPE buffer_bytes gauge\n"
+    "buffer_bytes 4096\n"
+    "# HELP mel_value MEL per scan.\n"
+    "# TYPE mel_value histogram\n"
+    "mel_value_bucket{le=\"8\"} 2\n"
+    "mel_value_bucket{le=\"40\"} 2\n"
+    "mel_value_bucket{le=\"256\"} 3\n"
+    "mel_value_bucket{le=\"+Inf\"} 4\n"
+    "mel_value_sum 1052\n"
+    "mel_value_count 4\n";
+
+constexpr std::string_view kGoldenJson =
+    "{\n"
+    "  \"counters\": [\n"
+    "    {\"name\": \"scans_total\", \"help\": \"Scans received.\", "
+    "\"labels\": \"\", \"value\": 12},\n"
+    "    {\"name\": \"verdicts_total\", \"help\": \"Verdicts by decision.\", "
+    "\"labels\": \"verdict=\\\"benign\\\"\", \"value\": 9},\n"
+    "    {\"name\": \"verdicts_total\", \"help\": \"Verdicts by decision.\", "
+    "\"labels\": \"verdict=\\\"malicious\\\"\", \"value\": 3}\n"
+    "  ],\n"
+    "  \"gauges\": [\n"
+    "    {\"name\": \"buffer_bytes\", \"help\": \"Buffered bytes.\", "
+    "\"labels\": \"\", \"value\": 4096}\n"
+    "  ],\n"
+    "  \"histograms\": [\n"
+    "    {\"name\": \"mel_value\", \"help\": \"MEL per scan.\", "
+    "\"labels\": \"\", \"le\": [8, 40, 256], \"counts\": [2, 0, 1, 1], "
+    "\"sum\": 1052, \"count\": 4}\n"
+    "  ]\n"
+    "}\n";
+
+TEST(PrometheusExport, MatchesGoldenByteForByte) {
+  EXPECT_EQ(to_prometheus(golden_snapshot()), kGoldenPrometheus);
+}
+
+TEST(PrometheusExport, BucketsAreCumulativeWithInfEqualToCount) {
+  const std::string text = to_prometheus(golden_snapshot());
+  // le="40" must include the le="8" observations (cumulative form), and
+  // +Inf must equal _count.
+  EXPECT_NE(text.find("mel_value_bucket{le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("mel_value_count 4"), std::string::npos);
+}
+
+TEST(PrometheusExport, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(to_prometheus(MetricsSnapshot{}), "");
+}
+
+TEST(JsonExport, MatchesGoldenByteForByte) {
+  EXPECT_EQ(to_json(golden_snapshot()), kGoldenJson);
+}
+
+TEST(JsonExport, RoundTripsExactly) {
+  const MetricsSnapshot original = golden_snapshot();
+  const auto parsed = from_json(to_json(original));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value(), original);
+  // Idempotence: render(parse(render(s))) == render(s).
+  EXPECT_EQ(to_json(parsed.value()), to_json(original));
+}
+
+TEST(JsonExport, RoundTripsTheEmptySnapshot) {
+  const auto parsed = from_json(to_json(MetricsSnapshot{}));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), MetricsSnapshot{});
+}
+
+TEST(JsonExport, ParsesGoldenStringDirectly) {
+  const auto parsed = from_json(kGoldenJson);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), golden_snapshot());
+}
+
+TEST(JsonExport, RejectsMalformedInputWithInvalidArgument) {
+  for (std::string_view bad : {
+           std::string_view{""},
+           std::string_view{"[]"},
+           std::string_view{"{\"counters\": 7}"},
+           std::string_view{"{\"unknown\": []}"},
+           std::string_view{"{\"counters\": [{\"value\": 1.5}]}"},
+           std::string_view{"{} trailing"},
+           std::string_view{"{\"counters\": [{\"name\": \"x\""},
+       }) {
+    const auto parsed = from_json(bad);
+    ASSERT_FALSE(parsed.is_ok()) << "input: " << bad;
+    EXPECT_EQ(parsed.code(), util::StatusCode::kInvalidArgument)
+        << "input: " << bad;
+  }
+}
+
+TEST(JsonExport, RejectsHistogramWithoutOverflowSlot) {
+  // counts must be one longer than le (the +Inf slot).
+  const auto parsed = from_json(
+      "{\"histograms\": [{\"name\": \"h\", \"help\": \"\", \"labels\": \"\", "
+      "\"le\": [1, 2], \"counts\": [0, 0], \"sum\": 0, \"count\": 0}]}");
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(JsonExport, EscapesQuotesAndBackslashesInStrings) {
+  MetricsRegistry registry(1);
+  registry.counter("c_total", "say \"hi\" \\ there").inc(1);
+  const MetricsSnapshot snap = registry.snapshot();
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("say \\\"hi\\\" \\\\ there"), std::string::npos);
+  const auto parsed = from_json(json);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), snap);
+}
+
+TEST(TraceExport, RendersSpansWithStageNames) {
+  const std::vector<TraceSpan> spans = {
+      {Stage::kEstimate, 100, 250},
+      {Stage::kDecode, 250, 900},
+  };
+  const std::string json = trace_to_json(spans);
+  EXPECT_EQ(json,
+            "{\n"
+            "  \"spans\": [\n"
+            "    {\"stage\": \"estimate\", \"start_ns\": 100, "
+            "\"end_ns\": 250, \"duration_ns\": 150},\n"
+            "    {\"stage\": \"decode\", \"start_ns\": 250, "
+            "\"end_ns\": 900, \"duration_ns\": 650}\n"
+            "  ]\n"
+            "}\n");
+  EXPECT_EQ(trace_to_json({}), "{\n  \"spans\": []\n}\n");
+}
+
+}  // namespace
+}  // namespace mel::obs

@@ -1,0 +1,274 @@
+// MetricsRegistry and ScanTrace unit behavior: handle semantics, bucket
+// boundary rules, idempotent registration, and — the property the batch
+// tier's snapshot-equality guarantee stands on — shard merges that are
+// commutative: a registry hammered from many pool threads snapshots
+// identically to one filled sequentially. The tsan preset gates on this
+// file too.
+
+#include "mel/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "mel/obs/trace.hpp"
+#include "mel/util/thread_pool.hpp"
+
+namespace mel::obs {
+namespace {
+
+// --- Handle semantics -----------------------------------------------------
+
+TEST(MetricsRegistry, DetachedHandlesAreInertNoops) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  EXPECT_FALSE(counter.attached());
+  EXPECT_FALSE(gauge.attached());
+  EXPECT_FALSE(histogram.attached());
+  // Must not crash; there is nothing to observe.
+  counter.inc();
+  gauge.set(7);
+  gauge.add(1);
+  gauge.update_max(100);
+  histogram.observe(42);
+}
+
+TEST(MetricsRegistry, CounterAccumulatesAcrossHandleCopies) {
+  MetricsRegistry registry;
+  Counter counter = registry.counter("events_total", "help");
+  const Counter copy = counter;
+  counter.inc();
+  copy.inc(4);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "events_total");
+  EXPECT_EQ(snap.counters[0].value, 5u);
+}
+
+TEST(MetricsRegistry, GaugeSetAddAndMaxRatchet) {
+  MetricsRegistry registry;
+  const Gauge gauge = registry.gauge("level", "help");
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(registry.snapshot().gauges[0].value, 7);
+  gauge.update_max(5);  // Below current: no effect.
+  EXPECT_EQ(registry.snapshot().gauges[0].value, 7);
+  gauge.update_max(19);
+  EXPECT_EQ(registry.snapshot().gauges[0].value, 19);
+}
+
+TEST(MetricsRegistry, HistogramBucketBoundsAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  const Histogram histogram =
+      registry.histogram("h", "help", {10, 20, 40});
+  histogram.observe(0);    // <= 10
+  histogram.observe(10);   // == bound: still the le=10 bucket.
+  histogram.observe(11);   // first value past 10 -> le=20 bucket.
+  histogram.observe(20);   // == bound -> le=20.
+  histogram.observe(40);   // == last bound -> le=40.
+  histogram.observe(41);   // past every bound -> +Inf overflow.
+  histogram.observe(-5);   // below everything -> le=10.
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramValue& h = snap.histograms[0];
+  ASSERT_EQ(h.upper_bounds, (std::vector<std::int64_t>{10, 20, 40}));
+  ASSERT_EQ(h.counts.size(), 4u);  // 3 bounds + overflow.
+  EXPECT_EQ(h.counts[0], 3u);      // 0, 10, -5
+  EXPECT_EQ(h.counts[1], 2u);      // 11, 20
+  EXPECT_EQ(h.counts[2], 1u);      // 40
+  EXPECT_EQ(h.counts[3], 1u);      // 41
+  EXPECT_EQ(h.count, 7u);
+  EXPECT_EQ(h.sum, 0 + 10 + 11 + 20 + 40 + 41 - 5);
+}
+
+TEST(MetricsRegistry, PreRegisteredLayoutsAreSortedAndNonEmpty) {
+  ASSERT_FALSE(mel_value_buckets().empty());
+  ASSERT_FALSE(latency_buckets_ns().empty());
+  EXPECT_TRUE(std::is_sorted(mel_value_buckets().begin(),
+                             mel_value_buckets().end()));
+  EXPECT_TRUE(std::is_sorted(latency_buckets_ns().begin(),
+                             latency_buckets_ns().end()));
+  // The MEL layout must bracket the paper's tau=40 operating point.
+  EXPECT_TRUE(std::binary_search(mel_value_buckets().begin(),
+                                 mel_value_buckets().end(), 40));
+}
+
+// --- Registration rules ---------------------------------------------------
+
+TEST(MetricsRegistry, ReRegistrationReturnsTheSameSeries) {
+  MetricsRegistry registry;
+  registry.counter("dup_total", "help").inc(2);
+  registry.counter("dup_total", "help").inc(3);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 5u);
+}
+
+TEST(MetricsRegistry, LabelsDistinguishSeriesWithinAFamily) {
+  MetricsRegistry registry;
+  registry.counter("family_total", "help", "code=\"a\"").inc(1);
+  registry.counter("family_total", "help", "code=\"b\"").inc(2);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].labels, "code=\"a\"");
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].labels, "code=\"b\"");
+  EXPECT_EQ(snap.counters[1].value, 2u);
+}
+
+TEST(MetricsRegistry, KindMismatchYieldsDetachedHandleNotCorruption) {
+  MetricsRegistry registry;
+  registry.counter("metric", "help").inc(9);
+  const Gauge wrong = registry.gauge("metric", "help");
+  EXPECT_FALSE(wrong.attached());
+  wrong.set(1234);  // No-op; must not clobber the counter.
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 9u);
+  EXPECT_TRUE(snap.gauges.empty());
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedIndependentOfRegistrationOrder) {
+  MetricsRegistry forward;
+  forward.counter("a_total", "help").inc(1);
+  forward.counter("b_total", "help").inc(2);
+  MetricsRegistry backward;
+  backward.counter("b_total", "help").inc(2);
+  backward.counter("a_total", "help").inc(1);
+  EXPECT_EQ(forward.snapshot(), backward.snapshot());
+}
+
+// --- Shard-merge commutativity under concurrency --------------------------
+
+TEST(MetricsRegistry, HammeredSnapshotEqualsSequentialSnapshot) {
+  // Acceptance: integer sums merged across shards are schedule
+  // independent — the concurrent registry must produce the exact
+  // snapshot of a sequential registry fed the same observations.
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 500;
+
+  MetricsRegistry hammered(4);  // Fewer shards than threads: forced sharing.
+  const Counter counter = hammered.counter("ops_total", "help");
+  const Histogram histogram =
+      hammered.histogram("op_size", "help", {8, 64, 512});
+  const Gauge high_water = hammered.gauge("high_water", "help");
+  {
+    util::ThreadPool pool({.workers = kThreads, .queue_capacity = 64});
+    for (int t = 0; t < kThreads; ++t) {
+      pool.submit([&, t] {
+        for (int i = 0; i < kRoundsPerThread; ++i) {
+          counter.inc();
+          histogram.observe((t * kRoundsPerThread + i) % 700);
+          high_water.update_max(t * kRoundsPerThread + i);
+        }
+      });
+    }
+  }  // Pool dtor joins: all updates are done (and happen-before here).
+
+  MetricsRegistry sequential(1);
+  const Counter seq_counter = sequential.counter("ops_total", "help");
+  const Histogram seq_histogram =
+      sequential.histogram("op_size", "help", {8, 64, 512});
+  const Gauge seq_high_water = sequential.gauge("high_water", "help");
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kRoundsPerThread; ++i) {
+      seq_counter.inc();
+      seq_histogram.observe((t * kRoundsPerThread + i) % 700);
+      seq_high_water.update_max(t * kRoundsPerThread + i);
+    }
+  }
+
+  EXPECT_EQ(hammered.snapshot(), sequential.snapshot());
+  EXPECT_EQ(hammered.snapshot().counters[0].value,
+            static_cast<std::uint64_t>(kThreads * kRoundsPerThread));
+}
+
+TEST(MetricsRegistry, SnapshotWhileWritersAreLiveIsSafe) {
+  // Concurrent snapshot() against live writers: no torn histograms
+  // (count always equals the bucket total) and no crashes. TSan gates.
+  MetricsRegistry registry(2);
+  const Counter counter = registry.counter("c_total", "help");
+  const Histogram histogram = registry.histogram("h", "help", {10, 100});
+  util::ThreadPool pool({.workers = 4, .queue_capacity = 16});
+  for (int t = 0; t < 4; ++t) {
+    pool.submit([&] {
+      for (int i = 0; i < 2000; ++i) {
+        counter.inc();
+        histogram.observe(i % 128);
+      }
+    });
+  }
+  for (int probe = 0; probe < 50; ++probe) {
+    const MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t c : snap.histograms[0].counts) bucket_total += c;
+    EXPECT_EQ(snap.histograms[0].count, bucket_total);
+  }
+}
+
+// --- ScanTrace ------------------------------------------------------------
+
+std::int64_t g_fake_now_ns = 0;
+std::chrono::steady_clock::time_point fake_clock() {
+  g_fake_now_ns += 50;
+  return std::chrono::steady_clock::time_point(
+      std::chrono::nanoseconds(g_fake_now_ns));
+}
+
+TEST(ScanTrace, SpansRecordInjectedClockTicks) {
+  g_fake_now_ns = 0;
+  ScanTrace trace(&fake_clock);
+  {
+    const ScanTrace::Span estimate(&trace, Stage::kEstimate);  // 50
+  }                                                            // 100
+  {
+    const ScanTrace::Span decode(&trace, Stage::kDecode);  // 150
+  }                                                        // 200
+  ASSERT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.spans()[0],
+            (TraceSpan{Stage::kEstimate, 50, 100}));
+  EXPECT_EQ(trace.spans()[1], (TraceSpan{Stage::kDecode, 150, 200}));
+  EXPECT_EQ(trace.spans()[0].duration_ns(), 50);
+  EXPECT_EQ(trace.stage_ns(Stage::kEstimate), 50);
+  EXPECT_EQ(trace.stage_ns(Stage::kVerdict), 0);
+}
+
+TEST(ScanTrace, RepeatedStagesSumInStageNs) {
+  g_fake_now_ns = 0;
+  ScanTrace trace(&fake_clock);
+  { const ScanTrace::Span a(&trace, Stage::kDecode); }
+  { const ScanTrace::Span b(&trace, Stage::kDecode); }
+  EXPECT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.stage_ns(Stage::kDecode), 100);
+}
+
+TEST(ScanTrace, NullTraceSpanIsANoopWithoutClockReads) {
+  g_fake_now_ns = 0;
+  { const ScanTrace::Span span(nullptr, Stage::kDetect); }
+  EXPECT_EQ(g_fake_now_ns, 0) << "null span must never read the clock";
+}
+
+TEST(ScanTrace, StageNamesAreStable) {
+  EXPECT_EQ(stage_name(Stage::kDecode), "decode");
+  EXPECT_EQ(stage_name(Stage::kEstimate), "estimate");
+  EXPECT_EQ(stage_name(Stage::kDetect), "detect");
+  EXPECT_EQ(stage_name(Stage::kVerdict), "verdict");
+  EXPECT_EQ(kStageCount, 4u);
+}
+
+TEST(ScanTrace, DefaultClockIsMonotonicAndClearResets) {
+  ScanTrace trace;  // Default fault-aware clock.
+  { const ScanTrace::Span span(&trace, Stage::kDecode); }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_GE(trace.spans()[0].end_ns, trace.spans()[0].start_ns);
+  EXPECT_FALSE(trace.empty());
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+}  // namespace
+}  // namespace mel::obs

@@ -53,7 +53,7 @@ TEST_F(ServiceTest, CreateRejectsInvalidDetectorConfig) {
 
 TEST_F(ServiceTest, CreateRejectsInvalidStreamGeometry) {
   ServiceConfig config;
-  config.stream_overlap = config.stream_window_size;
+  config.overlap = config.window_size;
   EXPECT_EQ(ScanService::create(config).code(),
             util::StatusCode::kInvalidConfig);
 }
@@ -78,7 +78,7 @@ TEST_F(ServiceTest, UnlimitedServiceMatchesDetectorVerbatim) {
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     const util::ByteBuffer payload =
         seed % 2 == 0 ? benign_text(4096, seed) : worm_bytes(seed);
-    const auto outcome = service.scan(payload);
+    const auto outcome = service.scan(ScanRequest{.payload = payload});
     ASSERT_TRUE(outcome.is_ok());
     const core::Verdict& got = outcome.value().verdict;
     const core::Verdict want = detector.scan(payload);
@@ -94,7 +94,7 @@ TEST_F(ServiceTest, UnlimitedServiceMatchesDetectorVerbatim) {
 
 TEST_F(ServiceTest, EmptyPayloadIsBenignNotDegraded) {
   ScanService service = make_service();
-  const auto outcome = service.scan({});
+  const auto outcome = service.scan(ScanRequest{});
   ASSERT_TRUE(outcome.is_ok());
   EXPECT_FALSE(outcome.value().verdict.malicious);
   EXPECT_FALSE(outcome.value().verdict.degraded);
@@ -106,19 +106,19 @@ TEST_F(ServiceTest, OversizedPayloadIsRefusedTyped) {
   ServiceConfig config;
   config.max_payload_bytes = 1024;
   ScanService service = make_service(config);
-  const auto outcome = service.scan(benign_text(2048, 1));
+  const auto outcome = service.scan(ScanRequest{.payload = benign_text(2048, 1)});
   ASSERT_FALSE(outcome.is_ok());
   EXPECT_EQ(outcome.code(), util::StatusCode::kPayloadTooLarge);
   EXPECT_EQ(service.stats().scans_rejected, 1u);
   EXPECT_EQ(service.stats().rejects(util::StatusCode::kPayloadTooLarge), 1u);
   // The cap is exclusive of payloads at the limit.
-  EXPECT_TRUE(service.scan(benign_text(1024, 2)).is_ok());
+  EXPECT_TRUE(service.scan(ScanRequest{.payload = benign_text(1024, 2)}).is_ok());
 }
 
 TEST_F(ServiceTest, ScanIdsAreSequentialAndStatsAdd) {
   ScanService service = make_service();
-  const auto first = service.scan(benign_text(512, 3));
-  const auto second = service.scan(benign_text(512, 4));
+  const auto first = service.scan(ScanRequest{.payload = benign_text(512, 3)});
+  const auto second = service.scan(ScanRequest{.payload = benign_text(512, 4)});
   ASSERT_TRUE(first.is_ok());
   ASSERT_TRUE(second.is_ok());
   EXPECT_EQ(first.value().scan_id + 1, second.value().scan_id);
@@ -133,7 +133,7 @@ TEST_F(ServiceTest, DecodeBudgetTripYieldsFlaggedDegradedVerdict) {
   config.budget.decode_budget = 64;  // Far below a 4K window's decode count.
   config.degraded_threshold = 40.0;
   ScanService service = make_service(config);
-  const auto outcome = service.scan(benign_text(4096, 5));
+  const auto outcome = service.scan(ScanRequest{.payload = benign_text(4096, 5)});
   ASSERT_TRUE(outcome.is_ok());
   EXPECT_TRUE(outcome.value().verdict.degraded);
   EXPECT_TRUE(outcome.value().verdict.mel_detail.budget_exhausted);
@@ -152,7 +152,7 @@ TEST_F(ServiceTest, DegenerateEstimationFallsBackToFixedThreshold) {
   config.degraded_threshold = 40.0;
   ScanService service = make_service(config);
   const util::ByteBuffer payload(4096, 'a');
-  const auto outcome = service.scan(payload);
+  const auto outcome = service.scan(ScanRequest{.payload = payload});
   ASSERT_TRUE(outcome.is_ok());
   EXPECT_TRUE(outcome.value().verdict.degraded);
   EXPECT_DOUBLE_EQ(outcome.value().verdict.threshold, 40.0);
@@ -177,9 +177,42 @@ TEST_F(ServiceTest, StreamSessionCatchesMidStreamWorm) {
   EXPECT_EQ(service.stats().alarms, alerts);
 }
 
+// --- Deprecated positional shims -----------------------------------------
+
+// The pre-PR3 overloads must keep returning the exact same results as
+// the ScanRequest form for their deprecation window. This is the one
+// place allowed to call them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(ServiceTest, DeprecatedPositionalShimsMatchScanRequestForm) {
+  ScanService service = make_service();
+  const util::ByteBuffer payload = benign_text(2048, 21);
+
+  const auto via_request = service.scan(ScanRequest{.payload = payload});
+  const auto via_shim = service.scan(payload);
+  exec::MelScratch scratch;
+  const auto via_scratch_shim = service.scan(payload, scratch);
+
+  ASSERT_TRUE(via_request.is_ok());
+  ASSERT_TRUE(via_shim.is_ok());
+  ASSERT_TRUE(via_scratch_shim.is_ok());
+  for (const ScanReport* report :
+       {&via_shim.value(), &via_scratch_shim.value()}) {
+    EXPECT_EQ(report->verdict.malicious, via_request.value().verdict.malicious);
+    EXPECT_EQ(report->verdict.mel, via_request.value().verdict.mel);
+    EXPECT_DOUBLE_EQ(report->verdict.threshold,
+                     via_request.value().verdict.threshold);
+    EXPECT_TRUE(report->trace.empty());  // Shims never opt into tracing.
+  }
+  // The deprecated alias still names the same type.
+  const ScanOutcome& alias = via_shim.value();
+  EXPECT_EQ(alias.scan_id, via_shim.value().scan_id);
+}
+#pragma GCC diagnostic pop
+
 TEST_F(ServiceTest, StreamBackpressureSurfacesAsResourceExhausted) {
   ServiceConfig config;
-  config.stream_buffer_cap = 8192;
+  config.max_buffered_bytes = 8192;
   ScanService service = make_service(config);
   const auto result = service.stream_feed(benign_text(20000, 9));
   ASSERT_FALSE(result.is_ok());

@@ -65,7 +65,7 @@ TEST_F(ChaosTest, EngineStallTripsMidScanDeadline) {
   fault::set_time_jump(std::chrono::seconds(10));
   fault::arm(Point::kEngineStall, fault::Trigger{.fire_every = 1});
 
-  const auto outcome = service.scan(benign_text(4096, 1));
+  const auto outcome = service.scan(ScanRequest{.payload = benign_text(4096, 1)});
   ASSERT_FALSE(outcome.is_ok());
   EXPECT_EQ(outcome.code(), util::StatusCode::kDeadlineExceeded);
   EXPECT_GE(fault::fire_count(Point::kEngineStall), 1u);
@@ -75,7 +75,7 @@ TEST_F(ChaosTest, EngineStallTripsMidScanDeadline) {
 TEST_F(ChaosTest, EngineStallWithoutDeadlineIsHarmless) {
   ScanService service = make_service(ServiceConfig{});  // No deadline.
   fault::arm(Point::kEngineStall, fault::Trigger{.fire_every = 1});
-  const auto outcome = service.scan(benign_text(4096, 2));
+  const auto outcome = service.scan(ScanRequest{.payload = benign_text(4096, 2)});
   ASSERT_TRUE(outcome.is_ok());
   EXPECT_FALSE(outcome.value().verdict.degraded);
 }
@@ -90,7 +90,7 @@ TEST_F(ChaosTest, ClockSkewAtEntryRejectsBeforeAnyWork) {
   fault::set_time_jump(std::chrono::seconds(10));
   fault::arm(Point::kClockSkew, fault::Trigger{.fire_every = 1});
 
-  const auto outcome = service.scan(benign_text(4096, 3));
+  const auto outcome = service.scan(ScanRequest{.payload = benign_text(4096, 3)});
   ASSERT_FALSE(outcome.is_ok());
   EXPECT_EQ(outcome.code(), util::StatusCode::kDeadlineExceeded);
   EXPECT_EQ(fault::fire_count(Point::kClockSkew), 1u);
@@ -99,7 +99,7 @@ TEST_F(ChaosTest, ClockSkewAtEntryRejectsBeforeAnyWork) {
 TEST_F(ChaosTest, ClockSkewWithoutDeadlineIsHarmless) {
   ScanService service = make_service(ServiceConfig{});
   fault::arm(Point::kClockSkew, fault::Trigger{.fire_every = 1});
-  EXPECT_TRUE(service.scan(benign_text(4096, 4)).is_ok());
+  EXPECT_TRUE(service.scan(ScanRequest{.payload = benign_text(4096, 4)}).is_ok());
 }
 
 // --- Allocation failure --------------------------------------------------
@@ -107,13 +107,13 @@ TEST_F(ChaosTest, ClockSkewWithoutDeadlineIsHarmless) {
 TEST_F(ChaosTest, AllocFailureIsTypedResourceExhaustion) {
   ScanService service = make_service(ServiceConfig{});
   fault::arm(Point::kAllocFailure, fault::Trigger{.fire_every = 1});
-  const auto outcome = service.scan(benign_text(4096, 5));
+  const auto outcome = service.scan(ScanRequest{.payload = benign_text(4096, 5)});
   ASSERT_FALSE(outcome.is_ok());
   EXPECT_EQ(outcome.code(), util::StatusCode::kResourceExhausted);
 
   // Recovery: disarm and the same service instance scans normally.
   fault::disarm(Point::kAllocFailure);
-  EXPECT_TRUE(service.scan(benign_text(4096, 5)).is_ok());
+  EXPECT_TRUE(service.scan(ScanRequest{.payload = benign_text(4096, 5)}).is_ok());
 }
 
 TEST_F(ChaosTest, StreamAllocFailureRefusesBatchWithoutCorruption) {
@@ -137,7 +137,7 @@ TEST_F(ChaosTest, StreamAllocFailureRefusesBatchWithoutCorruption) {
 TEST_F(ChaosTest, TruncatedWindowVerdictIsFlaggedDegraded) {
   ScanService service = make_service(ServiceConfig{});
   fault::arm(Point::kTruncatedWindow, fault::Trigger{.fire_every = 1});
-  const auto outcome = service.scan(benign_text(4096, 7));
+  const auto outcome = service.scan(ScanRequest{.payload = benign_text(4096, 7)});
   ASSERT_TRUE(outcome.is_ok());
   EXPECT_TRUE(outcome.value().verdict.degraded);
   EXPECT_NE(outcome.value().degrade_reason.find("truncated"),
@@ -164,7 +164,7 @@ TEST_F(ChaosTest, DegradedScanStillCatchesGatewayWorm) {
   const util::ByteBuffer filler = benign_text(8192, 77);
   body.insert(body.end(), filler.begin(), filler.end());
 
-  const auto outcome = service.scan(body);
+  const auto outcome = service.scan(ScanRequest{.payload = body});
   ASSERT_TRUE(outcome.is_ok());
   EXPECT_TRUE(outcome.value().verdict.degraded);
   EXPECT_TRUE(outcome.value().verdict.mel_detail.budget_exhausted);
@@ -173,7 +173,7 @@ TEST_F(ChaosTest, DegradedScanStillCatchesGatewayWorm) {
       << " should exceed fallback threshold 40";
 
   // And benign traffic on the same starved budget stays clean.
-  const auto benign = service.scan(benign_text(8192, 8));
+  const auto benign = service.scan(ScanRequest{.payload = benign_text(8192, 8)});
   ASSERT_TRUE(benign.is_ok());
   EXPECT_TRUE(benign.value().verdict.degraded);
   EXPECT_FALSE(benign.value().verdict.malicious);
@@ -210,7 +210,7 @@ TEST_F(ChaosTest, SoakNeverCrashesNeverLeaksUnflaggedDegradation) {
     const auto trunc_before = fault::fire_count(Point::kTruncatedWindow);
     const auto stall_before = fault::fire_count(Point::kEngineStall);
 
-    const auto outcome = service.scan(payload);
+    const auto outcome = service.scan(ScanRequest{.payload = payload});
 
     if (!outcome.is_ok()) {
       // Every refusal must be one of the documented typed errors.
@@ -257,11 +257,11 @@ TEST_F(ChaosTest, SoakNeverCrashesNeverLeaksUnflaggedDegradation) {
 
   // After the storm: disarm everything and verify full recovery.
   fault::reset();
-  const auto worm_after = service.scan(gateway_worm(999));
+  const auto worm_after = service.scan(ScanRequest{.payload = gateway_worm(999)});
   ASSERT_TRUE(worm_after.is_ok());
   EXPECT_TRUE(worm_after.value().verdict.malicious);
   EXPECT_FALSE(worm_after.value().verdict.degraded);
-  const auto benign_after = service.scan(benign_text(4096, 998));
+  const auto benign_after = service.scan(ScanRequest{.payload = benign_text(4096, 998)});
   ASSERT_TRUE(benign_after.is_ok());
   EXPECT_FALSE(benign_after.value().verdict.malicious);
 }
@@ -282,7 +282,7 @@ TEST_F(ChaosTest, GatewayLimitsAloneDoNotPerturbVerdicts) {
   for (std::uint64_t i = 0; i < 20; ++i) {
     const util::ByteBuffer payload =
         i == 10 ? gateway_worm(42) : benign_text(2048, i);
-    const auto outcome = service.scan(payload);
+    const auto outcome = service.scan(ScanRequest{.payload = payload});
     ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
     const core::Verdict want = baseline.scan(payload);
     EXPECT_EQ(outcome.value().verdict.malicious, want.malicious) << i;

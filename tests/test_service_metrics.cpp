@@ -1,0 +1,316 @@
+// Service-layer observability: every scan lands in the metrics registry,
+// degrade reasons and status codes are labeled correctly, stream
+// high-water/backpressure series surface through the registry, and — the
+// acceptance gate — a parallel batch over N workers snapshots
+// bit-identically to a sequential run for every non-latency series,
+// with verdicts unchanged by tracing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "mel/obs/export.hpp"
+#include "mel/obs/metrics.hpp"
+#include "mel/service/batch_scan_service.hpp"
+#include "mel/service/scan_service.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::service {
+namespace {
+
+util::ByteBuffer benign_text(std::size_t size, std::uint64_t seed) {
+  traffic::MarkovTextGenerator generator;
+  util::Xoshiro256 rng(seed);
+  return util::to_bytes(generator.generate(size, rng));
+}
+
+util::ByteBuffer worm_bytes(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus().front().bytes, {}, rng);
+}
+
+std::vector<util::ByteBuffer> mixed_corpus(std::size_t count,
+                                           std::uint64_t seed) {
+  std::vector<util::ByteBuffer> corpus;
+  corpus.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % 7 == 3) {
+      corpus.push_back(worm_bytes(seed + i));
+    } else {
+      corpus.push_back(benign_text(512 + (i * 911) % 5000, seed + i));
+    }
+  }
+  return corpus;
+}
+
+ScanService make_service(ServiceConfig config = {}) {
+  auto result = ScanService::create(std::move(config));
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return std::move(result).take();
+}
+
+/// Latency histograms are wall-clock measurements and can never be
+/// schedule-independent; every other series must be. The acceptance
+/// comparison strips exactly the families whose name says "latency".
+obs::MetricsSnapshot drop_latency(obs::MetricsSnapshot snap) {
+  const auto is_latency = [](const auto& series) {
+    return series.name.find("latency") != std::string::npos;
+  };
+  std::erase_if(snap.counters, is_latency);
+  std::erase_if(snap.gauges, is_latency);
+  std::erase_if(snap.histograms, is_latency);
+  return snap;
+}
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snap,
+                            std::string_view name, std::string_view labels) {
+  for (const obs::CounterValue& counter : snap.counters) {
+    if (counter.name == name && counter.labels == labels) {
+      return counter.value;
+    }
+  }
+  ADD_FAILURE() << "no counter " << name << "{" << labels << "}";
+  return 0;
+}
+
+std::int64_t gauge_value(const obs::MetricsSnapshot& snap,
+                         std::string_view name) {
+  for (const obs::GaugeValue& gauge : snap.gauges) {
+    if (gauge.name == name) return gauge.value;
+  }
+  ADD_FAILURE() << "no gauge " << name;
+  return 0;
+}
+
+const obs::HistogramValue* find_histogram(const obs::MetricsSnapshot& snap,
+                                          std::string_view name,
+                                          std::string_view labels = {}) {
+  for (const obs::HistogramValue& histogram : snap.histograms) {
+    if (histogram.name == name && histogram.labels == labels) {
+      return &histogram;
+    }
+  }
+  return nullptr;
+}
+
+class ServiceMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::fault::reset(); }
+  void TearDown() override { util::fault::reset(); }
+};
+
+// --- Per-scan recording ---------------------------------------------------
+
+TEST_F(ServiceMetricsTest, EveryScanLandsInVerdictAndMelSeries) {
+  ScanService service = make_service();
+  ASSERT_TRUE(
+      service.scan(ScanRequest{.payload = benign_text(4096, 1)}).is_ok());
+  ASSERT_TRUE(service.scan(ScanRequest{.payload = worm_bytes(2)}).is_ok());
+
+  const obs::MetricsSnapshot snap = service.metrics_snapshot();
+  EXPECT_EQ(counter_value(snap, "mel_scans_attempted_total", ""), 2u);
+  EXPECT_EQ(counter_value(snap, "mel_scans_completed_total", ""), 2u);
+  EXPECT_EQ(counter_value(snap, "mel_verdicts_total", "verdict=\"benign\""),
+            1u);
+  EXPECT_EQ(counter_value(snap, "mel_verdicts_total", "verdict=\"malicious\""),
+            1u);
+  EXPECT_EQ(counter_value(snap, "mel_scan_status_total", "code=\"ok\""), 2u);
+
+  const obs::HistogramValue* mel = find_histogram(snap, "mel_value");
+  ASSERT_NE(mel, nullptr);
+  EXPECT_EQ(mel->count, 2u);
+  ASSERT_EQ(mel->upper_bounds, obs::mel_value_buckets());
+
+  // Stage latency histograms exist for all four stages and saw both scans.
+  for (std::string_view stage : {"decode", "estimate", "detect", "verdict"}) {
+    const obs::HistogramValue* latency = find_histogram(
+        snap, "mel_stage_latency_ns",
+        "stage=\"" + std::string(stage) + "\"");
+    ASSERT_NE(latency, nullptr) << stage;
+    EXPECT_EQ(latency->count, 2u) << stage;
+  }
+}
+
+TEST_F(ServiceMetricsTest, RejectsAreCountedByStatusCode) {
+  ServiceConfig config;
+  config.max_payload_bytes = 1024;
+  ScanService service = make_service(config);
+  ASSERT_FALSE(
+      service.scan(ScanRequest{.payload = benign_text(4096, 3)}).is_ok());
+  ASSERT_TRUE(
+      service.scan(ScanRequest{.payload = benign_text(512, 4)}).is_ok());
+
+  const obs::MetricsSnapshot snap = service.metrics_snapshot();
+  EXPECT_EQ(counter_value(snap, "mel_scans_rejected_total", ""), 1u);
+  EXPECT_EQ(counter_value(snap, "mel_scan_status_total",
+                          "code=\"payload_too_large\""),
+            1u);
+  EXPECT_EQ(counter_value(snap, "mel_scan_status_total", "code=\"ok\""), 1u);
+  // Rejected scans record no MEL observation.
+  EXPECT_EQ(find_histogram(snap, "mel_value")->count, 1u);
+}
+
+TEST_F(ServiceMetricsTest, DegradeReasonsAreLabeled) {
+  ServiceConfig config;
+  config.budget.decode_budget = 64;
+  ScanService service = make_service(config);
+  ASSERT_TRUE(
+      service.scan(ScanRequest{.payload = benign_text(4096, 5)}).is_ok());
+
+  const obs::MetricsSnapshot snap = service.metrics_snapshot();
+  EXPECT_EQ(counter_value(snap, "mel_scans_degraded_total", ""), 1u);
+  EXPECT_EQ(counter_value(snap, "mel_degrade_reasons_total",
+                          "reason=\"budget_exhausted\""),
+            1u);
+  EXPECT_EQ(counter_value(snap, "mel_degrade_reasons_total",
+                          "reason=\"estimation_degenerate\""),
+            0u);
+  EXPECT_EQ(counter_value(snap, "mel_degrade_reasons_total",
+                          "reason=\"truncated_input\""),
+            0u);
+}
+
+TEST_F(ServiceMetricsTest, RequestedTraceIsReturnedAndStageNsAdds) {
+  ScanService service = make_service();
+  const auto report = service.scan(
+      ScanRequest{.payload = benign_text(4096, 6), .collect_trace = true});
+  ASSERT_TRUE(report.is_ok());
+  // estimate + decode + detect (detector) + verdict (service ladder).
+  ASSERT_EQ(report.value().trace.size(), 4u);
+  EXPECT_EQ(report.value().trace[0].stage, obs::Stage::kEstimate);
+  EXPECT_EQ(report.value().trace[1].stage, obs::Stage::kDecode);
+  EXPECT_EQ(report.value().trace[2].stage, obs::Stage::kDetect);
+  EXPECT_EQ(report.value().trace[3].stage, obs::Stage::kVerdict);
+  for (const obs::TraceSpan& span : report.value().trace) {
+    EXPECT_GE(span.duration_ns(), 0);
+    EXPECT_EQ(span.duration_ns(), report.value().stage_ns(span.stage));
+  }
+  // Without the opt-in, no spans are copied out.
+  const auto untraced =
+      service.scan(ScanRequest{.payload = benign_text(4096, 6)});
+  ASSERT_TRUE(untraced.is_ok());
+  EXPECT_TRUE(untraced.value().trace.empty());
+}
+
+// --- Stream series --------------------------------------------------------
+
+TEST_F(ServiceMetricsTest, StreamHighWaterAndBackpressureSurface) {
+  ServiceConfig config;
+  config.max_buffered_bytes = 8192;
+  ScanService service = make_service(config);
+
+  ASSERT_TRUE(service.stream_feed(benign_text(6000, 7)).is_ok());
+  ASSERT_FALSE(service.stream_feed(benign_text(20000, 8)).is_ok());
+  service.stream_finish();
+
+  EXPECT_GT(service.stream().buffer_high_water_bytes(), 0u);
+  EXPECT_EQ(service.stream().feeds_rejected(), 1u);
+
+  const obs::MetricsSnapshot snap = service.metrics_snapshot();
+  EXPECT_EQ(gauge_value(snap, "mel_stream_buffer_high_water_bytes"),
+            static_cast<std::int64_t>(
+                service.stream().buffer_high_water_bytes()));
+  EXPECT_EQ(counter_value(snap, "mel_stream_feeds_rejected_total", ""), 1u);
+  EXPECT_EQ(counter_value(snap, "mel_stream_windows_scanned_total", ""),
+            service.stream().windows_scanned());
+  EXPECT_EQ(gauge_value(snap, "mel_stream_buffer_bytes"), 0);  // Finished.
+}
+
+// --- Shared registries ----------------------------------------------------
+
+TEST_F(ServiceMetricsTest, SharedRegistryAggregatesAcrossServices) {
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  ServiceConfig config;
+  config.metrics = registry;
+  ScanService first = make_service(config);
+  ScanService second = make_service(config);
+  ASSERT_TRUE(
+      first.scan(ScanRequest{.payload = benign_text(1024, 9)}).is_ok());
+  ASSERT_TRUE(
+      second.scan(ScanRequest{.payload = benign_text(1024, 10)}).is_ok());
+  EXPECT_EQ(counter_value(registry->snapshot(), "mel_scans_attempted_total",
+                          ""),
+            2u);
+  EXPECT_EQ(&first.metrics(), registry.get());
+}
+
+// --- Parallel == sequential snapshot equality (acceptance) ----------------
+
+TEST_F(ServiceMetricsTest, EightWorkerBatchSnapshotEqualsSequentialSnapshot) {
+  // Acceptance: after a batch over 8 workers, the merged registry equals
+  // the sequential registry bit for bit on every counter, gauge, and
+  // histogram except the wall-clock latency families.
+  const auto corpus = mixed_corpus(64, 4000);
+  ServiceConfig service_config;
+  service_config.detector.alpha = 0.005;
+  service_config.budget.decode_budget = 1 << 16;
+
+  ScanService sequential = make_service(service_config);
+  for (const util::ByteBuffer& payload : corpus) {
+    (void)sequential.scan(ScanRequest{.payload = payload});
+  }
+
+  BatchConfig batch_config;
+  batch_config.service = service_config;
+  batch_config.workers = 8;
+  auto batch_or = BatchScanService::create(batch_config);
+  ASSERT_TRUE(batch_or.is_ok());
+  const BatchScanService batch = std::move(batch_or).take();
+  ASSERT_TRUE(batch.scan_batch(corpus).is_ok());
+
+  const obs::MetricsSnapshot parallel_snap =
+      drop_latency(batch.metrics_snapshot());
+  const obs::MetricsSnapshot sequential_snap =
+      drop_latency(sequential.metrics_snapshot());
+  ASSERT_FALSE(parallel_snap.counters.empty());
+  ASSERT_FALSE(parallel_snap.histograms.empty());
+  EXPECT_EQ(parallel_snap, sequential_snap);
+  // The exporters see the same bytes too.
+  EXPECT_EQ(obs::to_prometheus(parallel_snap),
+            obs::to_prometheus(sequential_snap));
+  EXPECT_EQ(obs::to_json(parallel_snap), obs::to_json(sequential_snap));
+}
+
+TEST_F(ServiceMetricsTest, TracingOnLeavesBatchVerdictsBitIdentical) {
+  // Acceptance: collecting traces must not perturb verdicts — spans are
+  // evidence, never input.
+  const auto corpus = mixed_corpus(40, 5000);
+  BatchConfig plain_config;
+  plain_config.workers = 4;
+  BatchConfig traced_config = plain_config;
+  traced_config.collect_traces = true;
+
+  auto plain_or = BatchScanService::create(plain_config);
+  auto traced_or = BatchScanService::create(traced_config);
+  ASSERT_TRUE(plain_or.is_ok());
+  ASSERT_TRUE(traced_or.is_ok());
+  const auto plain = std::move(plain_or).take().scan_batch(corpus);
+  const auto traced = std::move(traced_or).take().scan_batch(corpus);
+  ASSERT_TRUE(plain.is_ok());
+  ASSERT_TRUE(traced.is_ok());
+
+  ASSERT_EQ(plain.value().items.size(), traced.value().items.size());
+  for (std::size_t i = 0; i < plain.value().items.size(); ++i) {
+    const BatchItemResult& p = plain.value().items[i];
+    const BatchItemResult& t = traced.value().items[i];
+    ASSERT_EQ(p.is_ok(), t.is_ok()) << "item " << i;
+    EXPECT_EQ(p.report.verdict.malicious, t.report.verdict.malicious)
+        << "item " << i;
+    EXPECT_EQ(p.report.verdict.mel, t.report.verdict.mel) << "item " << i;
+    EXPECT_DOUBLE_EQ(p.report.verdict.threshold, t.report.verdict.threshold)
+        << "item " << i;
+    EXPECT_EQ(p.report.verdict.degraded, t.report.verdict.degraded)
+        << "item " << i;
+    EXPECT_TRUE(p.report.trace.empty()) << "item " << i;
+    EXPECT_FALSE(t.report.trace.empty()) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mel::service

@@ -69,9 +69,9 @@ std::vector<BatchItemResult> sequential_oracle(
   ScanService service = std::move(service_or).take();
   std::vector<BatchItemResult> items(corpus.size());
   for (std::size_t i = 0; i < corpus.size(); ++i) {
-    auto outcome = service.scan(corpus[i]);
+    auto outcome = service.scan(ScanRequest{.payload = corpus[i]});
     if (outcome.is_ok()) {
-      items[i].outcome = std::move(outcome).take();
+      items[i].report = std::move(outcome).take();
     } else {
       items[i].status = outcome.status();
     }
@@ -90,8 +90,8 @@ void expect_identical(const std::vector<BatchItemResult>& got,
           << label << " item " << i;
       continue;
     }
-    const core::Verdict& g = got[i].outcome.verdict;
-    const core::Verdict& w = want[i].outcome.verdict;
+    const core::Verdict& g = got[i].report.verdict;
+    const core::Verdict& w = want[i].report.verdict;
     EXPECT_EQ(g.malicious, w.malicious) << label << " item " << i;
     EXPECT_EQ(g.mel, w.mel) << label << " item " << i;
     EXPECT_DOUBLE_EQ(g.threshold, w.threshold) << label << " item " << i;
@@ -183,7 +183,7 @@ TEST_F(ParallelServiceTest, ParallelVerdictsIdenticalToSequentialAtAnyWidth) {
 
   std::size_t alarms = 0;
   for (const auto& item : oracle) {
-    alarms += item.is_ok() && item.outcome.verdict.malicious;
+    alarms += item.is_ok() && item.report.verdict.malicious;
   }
   ASSERT_GE(alarms, 6u) << "corpus must actually contain worms";
 
@@ -321,7 +321,7 @@ TEST_F(ParallelServiceTest, TruncationFaultStaysDeterministicInParallel) {
   const auto oracle = sequential_oracle(service_config, corpus);
   std::uint64_t degraded_want = 0;
   for (const auto& item : oracle) {
-    degraded_want += item.is_ok() && item.outcome.verdict.degraded;
+    degraded_want += item.is_ok() && item.report.verdict.degraded;
   }
   ASSERT_EQ(degraded_want, corpus.size()) << "every scan must be truncated";
 
@@ -401,9 +401,9 @@ TEST_F(ParallelServiceTest, ConcurrentBatchCallersShareThePoolSafely) {
       for (std::size_t i = 0; i < corpus.size(); ++i) {
         const auto& item = result.value().items[i];
         if (!item.is_ok() ||
-            item.outcome.verdict.malicious !=
-                oracle[i].outcome.verdict.malicious ||
-            item.outcome.verdict.mel != oracle[i].outcome.verdict.mel) {
+            item.report.verdict.malicious !=
+                oracle[i].report.verdict.malicious ||
+            item.report.verdict.mel != oracle[i].report.verdict.mel) {
           failures.fetch_add(1, std::memory_order_relaxed);
           return;
         }
@@ -426,7 +426,7 @@ TEST_F(ParallelServiceTest, DirectConcurrentScansOnSharedScanService) {
   const auto benign = benign_text(4096, 1);
   const auto worm = worm_bytes(2);
   {
-    const auto warm_up = service.scan(worm);
+    const auto warm_up = service.scan(ScanRequest{.payload = worm});
     ASSERT_TRUE(warm_up.is_ok());
     ASSERT_TRUE(warm_up.value().verdict.malicious);
   }
@@ -441,7 +441,8 @@ TEST_F(ParallelServiceTest, DirectConcurrentScansOnSharedScanService) {
       exec::MelScratch scratch;
       for (int i = 0; i < kScansEach; ++i) {
         const bool attack = (t + i) % 2 == 0;
-        const auto outcome = service.scan(attack ? worm : benign, scratch);
+        const auto outcome = service.scan(ScanRequest{
+            .payload = attack ? worm : benign, .scratch = &scratch});
         if (!outcome.is_ok() ||
             outcome.value().verdict.malicious != attack) {
           wrong.fetch_add(1, std::memory_order_relaxed);
