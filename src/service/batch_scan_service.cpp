@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "mel/exec/mel.hpp"
@@ -42,6 +43,9 @@ util::Status BatchConfig::validate() const {
   if (util::Status status = service.validate(); !status.is_ok()) {
     return status;
   }
+  if (util::Status status = retry.validate(); !status.is_ok()) {
+    return status;
+  }
   return util::ThreadPoolOptions{.workers = workers,
                                  .queue_capacity = queue_capacity}
       .validate();
@@ -54,6 +58,7 @@ void BatchStats::merge(const BatchStats& shard) noexcept {
   rejected += shard.rejected;
   degraded += shard.degraded;
   alarms += shard.alarms;
+  retried += shard.retried;
   for (std::size_t i = 0; i < rejects_by_code.size(); ++i) {
     rejects_by_code[i] += shard.rejects_by_code[i];
   }
@@ -63,6 +68,17 @@ BatchScanService::BatchScanService(BatchConfig config, ScanService service)
     : config_(std::move(config)), service_(std::move(service)) {
   pool_ = std::make_unique<util::ThreadPool>(util::ThreadPoolOptions{
       .workers = config_.workers, .queue_capacity = config_.queue_capacity});
+  // Same series name ScanService registers, so sequential and batch
+  // registries stay bit-identical; this handle does the incrementing.
+  retries_counter_ = service_.metrics().counter(
+      "mel_scan_retries_total", "Per-item retry attempts (batch tier).");
+  wire_queue_probe();
+  lifecycle_.store(ServiceState::kServing, std::memory_order_release);
+}
+
+void BatchScanService::wire_queue_probe() {
+  service_.set_queue_depth_probe(
+      [pool = pool_.get()] { return pool->queue_depth(); });
 }
 
 util::StatusOr<BatchScanService> BatchScanService::create(BatchConfig config) {
@@ -77,6 +93,24 @@ util::StatusOr<BatchScanService> BatchScanService::create(BatchConfig config) {
 util::StatusOr<BatchScanResult> BatchScanService::scan_batch(
     const std::vector<util::ByteView>& payloads) const {
   const auto start = util::fault::now();
+
+  // Claim the active-batch slot BEFORE the lifecycle check (mirroring
+  // ScanService::scan), so drain() either sees this batch in the count
+  // or this batch sees kDraining — never neither.
+  active_batches_.fetch_add(1, std::memory_order_acq_rel);
+  struct ActiveBatch {
+    std::atomic<std::size_t>* counter;
+    ~ActiveBatch() { counter->fetch_sub(1, std::memory_order_acq_rel); }
+  } active{&active_batches_};
+
+  const ServiceState lifecycle = lifecycle_.load(std::memory_order_acquire);
+  if (lifecycle != ServiceState::kServing) {
+    return util::Status::unavailable(
+               "batch service " +
+               std::string(service_state_name(lifecycle)) +
+               ", not accepting batches")
+        .with_retry_after(config_.service.admission.retry_after_hint);
+  }
   if (config_.max_batch_items != 0 &&
       payloads.size() > config_.max_batch_items) {
     return util::Status::resource_exhausted(
@@ -112,10 +146,30 @@ util::StatusOr<BatchScanResult> BatchScanService::scan_batch(
         const util::ByteView payload = payloads[index];
         BatchItemResult& item = result.items[index];
 
-        util::StatusOr<ScanReport> report =
-            service_.scan(ScanRequest{.payload = payload,
-                                      .collect_trace = config_.collect_traces,
-                                      .scratch = &scratch});
+        // fault_sequence = index pins the fault scope to the item, so
+        // armed triggers (any fire_every, probability) fire identically
+        // at every worker count; the retry stream is pinned the same way.
+        const ScanRequest request{.payload = payload,
+                                  .collect_trace = config_.collect_traces,
+                                  .scratch = &scratch,
+                                  .fault_sequence = index};
+        const auto item_start = util::fault::now();
+        const auto deadline = config_.service.budget.deadline;
+        RetrySchedule schedule(config_.retry, index);
+        util::StatusOr<ScanReport> report = service_.scan(request);
+        while (!report.is_ok()) {
+          std::chrono::nanoseconds remaining{-1};
+          if (deadline.count() > 0) {
+            remaining = deadline - (util::fault::now() - item_start);
+            if (remaining.count() < 0) remaining = {};
+          }
+          const auto backoff = schedule.next(report.status(), remaining);
+          if (!backoff) break;
+          ++shard.retried;
+          retries_counter_.inc();
+          if (backoff->count() > 0) std::this_thread::sleep_for(*backoff);
+          report = service_.scan(request);
+        }
         ++shard.payloads;
         if (!report.is_ok()) {
           item.status = report.status();
@@ -139,6 +193,29 @@ util::StatusOr<BatchScanResult> BatchScanService::scan_batch(
   for (const BatchStats& shard : shards) result.stats.merge(shard);
   result.elapsed = util::fault::now() - start;
   return result;
+}
+
+ServiceState BatchScanService::state() const noexcept {
+  const ServiceState lifecycle = lifecycle_.load(std::memory_order_acquire);
+  if (lifecycle != ServiceState::kServing) return lifecycle;
+  return service_.state();  // Folds in the breaker's health signal.
+}
+
+std::vector<core::StreamAlert> BatchScanService::drain() {
+  ServiceState expected = ServiceState::kServing;
+  if (!lifecycle_.compare_exchange_strong(expected, ServiceState::kDraining,
+                                          std::memory_order_acq_rel)) {
+    return {};  // Already draining/drained.
+  }
+  // In-flight batches first: their items must keep scanning through the
+  // inner service, so it drains only after the last batch delivered all
+  // of its verdicts. New batches observe kDraining and refuse.
+  while (active_batches_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  std::vector<core::StreamAlert> alerts = service_.drain();
+  lifecycle_.store(ServiceState::kStopped, std::memory_order_release);
+  return alerts;
 }
 
 util::StatusOr<BatchScanResult> BatchScanService::scan_batch(

@@ -9,15 +9,16 @@
 //
 //   * Determinism — the verdicts, MEL values, degraded flags and typed
 //     status codes of a batch are bit-for-bit identical to a sequential
-//     ScanService::scan loop over the same payloads, for ANY worker
-//     count and ANY scheduling interleaving. This holds because each
-//     scan is a pure function of (payload, config): workers share one
-//     immutable detector, each result lands in its payload's own
-//     pre-sized slot, and per-worker stat shards are merged by
-//     commutative sums. (Fault injection armed with order-dependent
-//     triggers — counters with fire_every > 1, probability streams — is
-//     the documented exception: the firing pattern then follows the
-//     interleaving. fire_every=1 triggers stay deterministic.)
+//     ScanService::scan loop over the same payloads (with matching
+//     ScanRequest::fault_sequence), for ANY worker count and ANY
+//     scheduling interleaving. This holds because each scan is a pure
+//     function of (payload, config): workers share one immutable
+//     detector, each result lands in its payload's own pre-sized slot,
+//     and per-worker stat shards are merged by commutative sums. Fault
+//     injection included: every item scans under a util::fault::ScanScope
+//     keyed by its batch index, so armed triggers — counters with any
+//     fire_every, probability streams — fire as a pure function of
+//     (trigger, item index), independent of interleaving.
 //   * Bounded resources — worker count and task-queue depth are fixed at
 //     construction; batches past max_batch_items are refused whole with
 //     kResourceExhausted, consistent with the stream tier's
@@ -34,6 +35,7 @@
 // concurrently (batches interleave over the shared pool); stats()
 // aggregates across all of them.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -59,6 +61,12 @@ struct BatchConfig {
   /// per-stage latency histograms are recorded either way). Costs one
   /// span-vector copy per payload.
   bool collect_traces = false;
+  /// Per-item retry policy for transient (util::is_retryable) failures:
+  /// shed admissions, open breakers, allocation pressure. Default
+  /// max_attempts = 1 disables retries. Retry delays are deterministic
+  /// per (retry.seed, item index) — parallel == sequential holds with
+  /// retries on.
+  RetryOptions retry;
 
   [[nodiscard]] util::Status validate() const;
 };
@@ -82,6 +90,7 @@ struct BatchStats {
   std::uint64_t rejected = 0;        ///< Items refused with a typed error.
   std::uint64_t degraded = 0;        ///< Verdicts flagged degraded.
   std::uint64_t alarms = 0;          ///< Malicious verdicts.
+  std::uint64_t retried = 0;         ///< Retry attempts (not first tries).
   std::array<std::uint64_t, util::kStatusCodeCount> rejects_by_code{};
 
   [[nodiscard]] std::uint64_t rejects(util::StatusCode code) const noexcept {
@@ -103,6 +112,19 @@ class BatchScanService {
   /// Validates the config; kInvalidConfig instead of clamping.
   [[nodiscard]] static util::StatusOr<BatchScanService> create(
       BatchConfig config);
+
+  /// Movable for create()/StatusOr. Moving with batches in flight is
+  /// outside the contract.
+  BatchScanService(BatchScanService&& other) noexcept
+      : config_(std::move(other.config_)),
+        service_(std::move(other.service_)),
+        pool_(std::move(other.pool_)),
+        retries_counter_(other.retries_counter_),
+        lifecycle_(other.lifecycle_.load(std::memory_order_relaxed)),
+        active_batches_(
+            other.active_batches_.load(std::memory_order_relaxed)) {
+    wire_queue_probe();
+  }
 
   /// Scans every payload across the pool; blocks until the batch is
   /// complete. Result order matches input order. Refuses oversized
@@ -131,12 +153,38 @@ class BatchScanService {
     return service_.metrics_snapshot();
   }
 
+  /// Health/lifecycle: this tier's own state while serving batches, the
+  /// inner service's (breaker-aware) state otherwise.
+  [[nodiscard]] ServiceState state() const noexcept;
+  /// Graceful shutdown: refuses new batches, waits for every in-flight
+  /// batch to deliver all of its verdicts, then drains the inner
+  /// ScanService (flushing its stream tail). Idempotent.
+  std::vector<core::StreamAlert> drain();
+
+  /// The inner service's admission controller / breaker, for probes.
+  [[nodiscard]] const AdmissionController& admission() const noexcept {
+    return service_.admission();
+  }
+  [[nodiscard]] const CircuitBreaker& breaker() const noexcept {
+    return service_.breaker();
+  }
+  /// Pool-queue refusal/depth evidence (see util::ThreadPool).
+  [[nodiscard]] const util::ThreadPool& pool() const noexcept {
+    return *pool_;
+  }
+
  private:
   BatchScanService(BatchConfig config, ScanService service);
+
+  /// Points the inner service's queue-depth shedding at this pool.
+  void wire_queue_probe();
 
   BatchConfig config_;
   ScanService service_;
   std::unique_ptr<util::ThreadPool> pool_;
+  obs::Counter retries_counter_;
+  std::atomic<ServiceState> lifecycle_{ServiceState::kStarting};
+  mutable std::atomic<std::size_t> active_batches_{0};
 };
 
 }  // namespace mel::service

@@ -1,0 +1,337 @@
+#pragma once
+// Overload-resilience primitives for the scan tiers.
+//
+// PR1 gave individual scans typed errors, deadlines and budgets; PR3
+// gave the service the metrics to *see* saturation. This layer is what
+// *acts* on overload, so an inline detector (the paper's DAWN
+// deployment sits on a live web/mail path) stays correct and responsive
+// when demand exceeds capacity instead of queueing without bound:
+//
+//   * AdmissionController — a deterministic token bucket (sustained
+//     rate + burst), a concurrency cap, and queue-depth load shedding.
+//     Excess work is refused up front with a typed kUnavailable status
+//     carrying a computed retry-after hint; admitted work is never
+//     queued behind work the service cannot finish in time.
+//   * CircuitBreaker — closed -> open -> half-open with a bounded probe
+//     count, driven by the failure/degraded rate over a sliding window
+//     of outcomes. When the scan path itself is sick (error storm,
+//     alloc failures), the breaker rejects instantly instead of letting
+//     every caller discover the failure at full cost.
+//   * RetryOptions / RetrySchedule — decorrelated-jitter exponential
+//     backoff (seeded util::Xoshiro256, deterministic per stream id),
+//     honoring util::is_retryable(Status), Status::retry_after() hints
+//     and the remaining deadline budget. Used by BatchScanService for
+//     transient per-item failures.
+//   * ServiceState — the health/lifecycle state machine shared by
+//     ScanService and BatchScanService:
+//     kStarting -> kServing <-> kDegraded -> kDraining -> kStopped.
+//
+// All time comparisons go through util::fault::now() (steady clock plus
+// injected skew), so every transition — token refill, breaker reopen —
+// is drivable from tests via fault::advance_clock without sleeping.
+//
+// Thread-safety: AdmissionController and CircuitBreaker may be hammered
+// from any number of scan threads (internal mutex / atomics); the
+// *_config() accessors are immutable after construction. RetrySchedule
+// is a per-call-site value type — one instance per logical operation,
+// not shared.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mel/obs/metrics.hpp"
+#include "mel/util/rng.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::service {
+
+// --- Lifecycle ------------------------------------------------------------
+
+/// Health/lifecycle of a scan service. kDegraded is a *health* signal
+/// (still serving, but the circuit breaker is open or probing);
+/// kDraining and kStopped refuse new admissions with kUnavailable.
+enum class ServiceState : std::uint8_t {
+  kStarting = 0,  ///< Constructed, not yet accepting work.
+  kServing,       ///< Normal operation.
+  kDegraded,      ///< Serving, but the breaker is open/half-open.
+  kDraining,      ///< drain() in progress: finishing in-flight work only.
+  kStopped,       ///< Drained; every request is refused.
+};
+inline constexpr std::size_t kServiceStateCount = 5;
+
+/// Stable lowercase name for logs, metrics and test assertions.
+[[nodiscard]] std::string_view service_state_name(ServiceState state) noexcept;
+
+// --- Admission control ----------------------------------------------------
+
+struct AdmissionConfig {
+  /// Sustained admissions per second (token-bucket refill rate).
+  /// 0 disables the rate limit.
+  double rate_per_sec = 0.0;
+  /// Token-bucket capacity: the burst admitted above the sustained rate.
+  /// Must be >= 1 when rate_per_sec > 0.
+  double burst = 1.0;
+  /// Hard cap on concurrently admitted (in-flight) requests.
+  /// 0 disables the cap.
+  std::size_t max_concurrent = 0;
+  /// Shed when the backing queue (see set_queue_depth_probe) holds more
+  /// than this many pending items. 0 disables queue shedding.
+  std::size_t max_queue_depth = 0;
+  /// Retry-after hint attached to concurrency/queue-depth refusals,
+  /// where no refill time can be computed. Rate-limit refusals compute
+  /// the exact token refill time instead.
+  std::chrono::nanoseconds retry_after_hint = std::chrono::milliseconds(10);
+
+  [[nodiscard]] util::Status validate() const;
+};
+
+/// Combines the three shedding rules; every refusal is a typed
+/// kUnavailable carrying a retry-after hint. With the default config
+/// every rule is disabled and try_admit always succeeds — the
+/// controller then costs one atomic increment per scan.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config = {});
+
+  /// Move support for StatusOr-returning factories higher up. Moving
+  /// while requests are in flight is outside the contract.
+  AdmissionController(AdmissionController&& other) noexcept;
+
+  /// RAII in-flight slot: released on destruction. Move-only.
+  class Permit {
+   public:
+    Permit() = default;
+    Permit(Permit&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Permit& operator=(Permit&& other) noexcept {
+      release();
+      controller_ = other.controller_;
+      other.controller_ = nullptr;
+      return *this;
+    }
+    ~Permit() { release(); }
+
+   private:
+    friend class AdmissionController;
+    explicit Permit(AdmissionController* controller)
+        : controller_(controller) {}
+    void release() noexcept;
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Admits or sheds one request: OK plus a Permit, or kUnavailable
+  /// with a retry-after hint (token refill time for rate shedding,
+  /// retry_after_hint otherwise). Check order: lifecycle concerns stay
+  /// with the service; here it is queue depth, then concurrency, then
+  /// the token bucket — so a request shed on queue/concurrency never
+  /// consumes a token.
+  [[nodiscard]] util::StatusOr<Permit> try_admit();
+
+  /// Queue-depth signal for max_queue_depth (e.g. the batch tier wires
+  /// its ThreadPool::queue_depth here). Set before serving traffic;
+  /// the probe must be safe to call from any scan thread.
+  void set_queue_depth_probe(std::function<std::size_t()> probe);
+
+  /// Registers shed/admit counters and the in-flight/queue-depth gauges
+  /// as `<prefix>_...`. Call once before serving; without it the
+  /// handles stay detached and instrumentation is free.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    const std::string& prefix = "mel_admission");
+
+  [[nodiscard]] const AdmissionConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  /// Monotone totals (relaxed snapshots).
+  [[nodiscard]] std::uint64_t admitted() const noexcept {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shed() const noexcept {
+    return shed_rate_.load(std::memory_order_relaxed) +
+           shed_concurrency_.load(std::memory_order_relaxed) +
+           shed_queue_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shed_rate() const noexcept {
+    return shed_rate_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shed_concurrency() const noexcept {
+    return shed_concurrency_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shed_queue() const noexcept {
+    return shed_queue_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void release_permit() noexcept;
+
+  AdmissionConfig config_;
+  std::function<std::size_t()> queue_depth_probe_;
+
+  /// Token bucket state, guarded: tokens_ and last_refill_ must move
+  /// together. Admission is O(ns) under this lock; scans are O(us-ms).
+  std::mutex bucket_mutex_;
+  double tokens_ = 0.0;
+  std::chrono::steady_clock::time_point last_refill_;
+
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_rate_{0};
+  std::atomic<std::uint64_t> shed_concurrency_{0};
+  std::atomic<std::uint64_t> shed_queue_{0};
+
+  obs::Counter admitted_counter_;
+  obs::Counter shed_rate_counter_;
+  obs::Counter shed_concurrency_counter_;
+  obs::Counter shed_queue_counter_;
+  obs::Gauge in_flight_gauge_;
+  obs::Gauge queue_depth_gauge_;
+};
+
+// --- Circuit breaker ------------------------------------------------------
+
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+[[nodiscard]] std::string_view breaker_state_name(BreakerState state) noexcept;
+
+struct CircuitBreakerConfig {
+  /// Master switch: a disabled breaker admits everything and records
+  /// nothing (the default, preserving pre-resilience behavior).
+  bool enabled = false;
+  /// Sliding window of most recent outcomes the failure rate is
+  /// computed over. Must be >= 1 when enabled.
+  std::size_t window = 32;
+  /// Outcomes required in the window before the breaker may trip —
+  /// prevents one early failure from reading as a 100% failure rate.
+  std::size_t min_samples = 8;
+  /// Open when failures/window_samples >= this ratio (in (0, 1]).
+  double failure_ratio = 0.5;
+  /// How long an open breaker rejects before moving to half-open.
+  std::chrono::nanoseconds open_for = std::chrono::milliseconds(100);
+  /// Probes admitted in half-open (bounded — the "thundering herd of
+  /// probes" is itself an overload). All must succeed to close; one
+  /// failure reopens. Must be >= 1 when enabled.
+  std::size_t half_open_probes = 2;
+  /// Count degraded verdicts as failures. A detector answering only on
+  /// its fallback path is sick even though it answers.
+  bool degraded_is_failure = true;
+
+  [[nodiscard]] util::Status validate() const;
+};
+
+/// Per-service breaker: closed -> open on failure-rate trip, open ->
+/// half-open after open_for, half-open -> closed after
+/// half_open_probes successes (any probe failure reopens). All
+/// transitions read util::fault::now(), so tests drive them with
+/// fault::advance_clock.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerConfig config = {});
+  CircuitBreaker(CircuitBreaker&& other) noexcept;
+
+  /// OK to proceed, or kUnavailable with retry-after = time until the
+  /// breaker re-opens for probes. Callers that proceed MUST call
+  /// record() with the outcome; half-open slots leak otherwise.
+  [[nodiscard]] util::Status try_acquire();
+
+  /// Reports one outcome of an acquired call.
+  void record(bool success);
+
+  [[nodiscard]] BreakerState state() const noexcept {
+    return state_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const CircuitBreakerConfig& config() const noexcept {
+    return config_;
+  }
+  /// Monotone counts of state transitions and open-state rejections.
+  [[nodiscard]] std::uint64_t transitions() const noexcept {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rejections() const noexcept {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers transition/rejection counters and the state gauge as
+  /// `<prefix>_...`.
+  void bind_metrics(obs::MetricsRegistry& registry,
+                    const std::string& prefix = "mel_breaker");
+
+ private:
+  void transition_locked(BreakerState to);
+
+  CircuitBreakerConfig config_;
+  std::mutex mutex_;
+  std::atomic<BreakerState> state_{BreakerState::kClosed};
+  /// Ring buffer of outcomes (1 = failure) with an incremental failure
+  /// count, so record() is O(1).
+  std::vector<std::uint8_t> window_;
+  std::size_t window_next_ = 0;
+  std::size_t window_filled_ = 0;
+  std::size_t window_failures_ = 0;
+  std::chrono::steady_clock::time_point opened_at_;
+  std::size_t probes_issued_ = 0;
+  std::size_t probes_succeeded_ = 0;
+  std::atomic<std::uint64_t> transitions_{0};
+  std::atomic<std::uint64_t> rejections_{0};
+
+  obs::Counter transition_counters_[3 * 3];  ///< [from][to], sparse.
+  obs::Counter rejections_counter_;
+  obs::Gauge state_gauge_;
+};
+
+// --- Retry policy ---------------------------------------------------------
+
+struct RetryOptions {
+  /// Total attempts including the first; 1 disables retries.
+  std::size_t max_attempts = 1;
+  /// Decorrelated-jitter base; also the minimum backoff.
+  std::chrono::nanoseconds base_backoff = std::chrono::milliseconds(1);
+  /// Backoff ceiling.
+  std::chrono::nanoseconds max_backoff = std::chrono::milliseconds(100);
+  /// Seed of the jitter stream; each RetrySchedule derives a per-stream
+  /// generator from (seed, stream), so batch item i retries with the
+  /// same delays at any worker count.
+  std::uint64_t seed = 2008;
+
+  [[nodiscard]] util::Status validate() const;
+};
+
+/// Backoff schedule for ONE logical operation (one batch item): asks
+/// "may I retry, and after how long?" after each failure. Decorrelated
+/// jitter (min(cap, uniform[base, 3 * previous])) from a seeded
+/// Xoshiro256 — deterministic per (options.seed, stream).
+class RetrySchedule {
+ public:
+  RetrySchedule(const RetryOptions& options, std::uint64_t stream) noexcept;
+
+  /// Decides the next attempt after a failure. Returns the backoff to
+  /// wait (>= the status's own retry_after() hint when one is set), or
+  /// a zero-less signal via has_value() == false when the operation
+  /// must not be retried: status not retryable, attempts exhausted, or
+  /// the remaining deadline budget cannot absorb the backoff.
+  /// `remaining_budget` < 0 means "no budget constraint".
+  [[nodiscard]] std::optional<std::chrono::nanoseconds> next(
+      const util::Status& status,
+      std::chrono::nanoseconds remaining_budget) noexcept;
+
+  [[nodiscard]] std::size_t attempts_started() const noexcept {
+    return attempt_;
+  }
+
+ private:
+  RetryOptions options_;
+  util::Xoshiro256 rng_;
+  std::chrono::nanoseconds previous_;
+  std::size_t attempt_ = 1;  ///< The first attempt is underway.
+};
+
+}  // namespace mel::service

@@ -52,6 +52,7 @@
 #include "mel/core/stream_detector.hpp"
 #include "mel/obs/metrics.hpp"
 #include "mel/obs/trace.hpp"
+#include "mel/service/resilience.hpp"
 #include "mel/util/status.hpp"
 
 namespace mel::service {
@@ -79,6 +80,13 @@ struct ServiceConfig {
   std::size_t max_buffered_bytes = 1 << 20;
   bool keep_window_bytes = false;
 
+  /// Overload shedding ahead of every scan: token-bucket rate limit,
+  /// concurrency cap, queue-depth shedding. Default: everything
+  /// disabled, every request admitted (pre-resilience behavior).
+  AdmissionConfig admission;
+  /// Failure-rate circuit breaker on the scan path. Default: disabled.
+  CircuitBreakerConfig breaker;
+
   /// Registry receiving this service's metric series. Null (default):
   /// the service creates and owns a private registry, reachable via
   /// ScanService::metrics(). Share one registry across services (and the
@@ -101,6 +109,11 @@ struct ScanRequest {
   /// path. Null: the scan allocates its own. Must not be shared between
   /// concurrent scans.
   exec::MelScratch* scratch = nullptr;
+  /// Deterministic fault-injection scope for this scan (batch item
+  /// index). When set, armed fault triggers fire as a pure function of
+  /// (trigger, sequence) — bit-identical at any worker count or
+  /// interleaving. Unset: triggers draw from the legacy global streams.
+  std::optional<std::uint64_t> fault_sequence = std::nullopt;
 };
 
 struct ScanReport {
@@ -178,7 +191,10 @@ class ScanService {
         stats_(other.stats_),
         next_scan_id_(other.next_scan_id_.load(std::memory_order_relaxed)),
         metrics_(std::move(other.metrics_)),
-        inst_(other.inst_) {}
+        inst_(other.inst_),
+        admission_(std::move(other.admission_)),
+        breaker_(std::move(other.breaker_)),
+        lifecycle_(other.lifecycle_.load(std::memory_order_relaxed)) {}
 
   /// THE scan entry point: scans request.payload under the configured
   /// (or per-request) limits. Returns a report (check
@@ -224,6 +240,27 @@ class ScanService {
     return stream_;
   }
 
+  /// Health/lifecycle of this service. Folds the breaker in: a serving
+  /// service whose breaker is open or probing reports kDegraded.
+  [[nodiscard]] ServiceState state() const noexcept;
+  /// Graceful shutdown: refuses new scans with kUnavailable, waits for
+  /// every in-flight scan to finish (their verdicts are delivered, not
+  /// dropped), then flushes the stream session's buffered tail and
+  /// returns its final alerts. Idempotent; the service ends kStopped.
+  std::vector<core::StreamAlert> drain();
+
+  [[nodiscard]] const AdmissionController& admission() const noexcept {
+    return admission_;
+  }
+  [[nodiscard]] const CircuitBreaker& breaker() const noexcept {
+    return breaker_;
+  }
+  /// Queue-depth signal for AdmissionConfig::max_queue_depth (the batch
+  /// tier wires its pool's queue here). Set before serving traffic.
+  void set_queue_depth_probe(std::function<std::size_t()> probe) {
+    admission_.set_queue_depth_probe(std::move(probe));
+  }
+
  private:
   explicit ScanService(ServiceConfig config);
 
@@ -240,6 +277,9 @@ class ScanService {
     obs::Counter reason_truncated;
     obs::Counter verdict_malicious;
     obs::Counter verdict_benign;
+    /// Per-item retry attempts. Registered here so sequential and batch
+    /// registries carry identical series; incremented by the batch tier.
+    obs::Counter retries;
     obs::Histogram mel;
     std::array<obs::Histogram, obs::kStageCount> stage_latency;
     obs::Histogram latency;
@@ -247,6 +287,10 @@ class ScanService {
 
   void register_instruments();
   util::Status reject(std::uint64_t scan_id, util::Status status) const;
+  /// The scan body, after the lifecycle/admission/breaker gates.
+  util::StatusOr<ScanReport> scan_admitted(
+      const ScanRequest& request, std::uint64_t scan_id,
+      std::chrono::steady_clock::time_point start) const;
 
   ServiceConfig config_;
   core::MelDetector detector_;
@@ -257,6 +301,11 @@ class ScanService {
   mutable std::atomic<std::uint64_t> next_scan_id_{1};
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   Instruments inst_;
+  mutable AdmissionController admission_;
+  mutable CircuitBreaker breaker_;
+  /// Stores only kStarting/kServing/kDraining/kStopped; kDegraded is
+  /// computed from the breaker in state().
+  std::atomic<ServiceState> lifecycle_{ServiceState::kStarting};
 };
 
 }  // namespace mel::service

@@ -1,0 +1,409 @@
+#include "mel/service/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "mel/util/fault_injection.hpp"
+
+namespace mel::service {
+
+namespace {
+
+constexpr std::uint64_t kStreamGamma = 0x9E3779B97F4A7C15ull;
+
+std::chrono::nanoseconds seconds_to_ns(double seconds) {
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(std::ceil(seconds * 1e9)));
+}
+
+}  // namespace
+
+std::string_view service_state_name(ServiceState state) noexcept {
+  switch (state) {
+    case ServiceState::kStarting:
+      return "starting";
+    case ServiceState::kServing:
+      return "serving";
+    case ServiceState::kDegraded:
+      return "degraded";
+    case ServiceState::kDraining:
+      return "draining";
+    case ServiceState::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+std::string_view breaker_state_name(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+// --- AdmissionController --------------------------------------------------
+
+util::Status AdmissionConfig::validate() const {
+  if (!(rate_per_sec >= 0.0) || !std::isfinite(rate_per_sec)) {
+    return util::Status::invalid_config(
+        "AdmissionConfig::rate_per_sec must be finite and >= 0");
+  }
+  if (rate_per_sec > 0.0 && !(burst >= 1.0 && std::isfinite(burst))) {
+    return util::Status::invalid_config(
+        "AdmissionConfig::burst must be >= 1 when rate_per_sec is set; a "
+        "bucket that cannot hold one token admits nothing");
+  }
+  if (retry_after_hint.count() < 0) {
+    return util::Status::invalid_config(
+        "AdmissionConfig::retry_after_hint must be >= 0");
+  }
+  return util::Status::ok();
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config),
+      tokens_(config.burst),
+      last_refill_(util::fault::now()) {}
+
+AdmissionController::AdmissionController(AdmissionController&& other) noexcept
+    : config_(other.config_),
+      queue_depth_probe_(std::move(other.queue_depth_probe_)),
+      tokens_(other.tokens_),
+      last_refill_(other.last_refill_),
+      in_flight_(other.in_flight_.load(std::memory_order_relaxed)),
+      admitted_(other.admitted_.load(std::memory_order_relaxed)),
+      shed_rate_(other.shed_rate_.load(std::memory_order_relaxed)),
+      shed_concurrency_(
+          other.shed_concurrency_.load(std::memory_order_relaxed)),
+      shed_queue_(other.shed_queue_.load(std::memory_order_relaxed)),
+      admitted_counter_(other.admitted_counter_),
+      shed_rate_counter_(other.shed_rate_counter_),
+      shed_concurrency_counter_(other.shed_concurrency_counter_),
+      shed_queue_counter_(other.shed_queue_counter_),
+      in_flight_gauge_(other.in_flight_gauge_),
+      queue_depth_gauge_(other.queue_depth_gauge_) {}
+
+void AdmissionController::set_queue_depth_probe(
+    std::function<std::size_t()> probe) {
+  queue_depth_probe_ = std::move(probe);
+}
+
+void AdmissionController::bind_metrics(obs::MetricsRegistry& registry,
+                                       const std::string& prefix) {
+  admitted_counter_ =
+      registry.counter(prefix + "_admitted_total", "Requests admitted.");
+  shed_rate_counter_ =
+      registry.counter(prefix + "_shed_total",
+                       "Requests refused with kUnavailable, by rule.",
+                       "reason=\"rate_limit\"");
+  shed_concurrency_counter_ =
+      registry.counter(prefix + "_shed_total",
+                       "Requests refused with kUnavailable, by rule.",
+                       "reason=\"concurrency_cap\"");
+  shed_queue_counter_ =
+      registry.counter(prefix + "_shed_total",
+                       "Requests refused with kUnavailable, by rule.",
+                       "reason=\"queue_depth\"");
+  in_flight_gauge_ = registry.gauge(prefix + "_in_flight",
+                                    "Requests admitted and not yet finished.");
+  queue_depth_gauge_ = registry.gauge(
+      prefix + "_queue_depth",
+      "Backing queue depth at the last admission decision.");
+}
+
+void AdmissionController::Permit::release() noexcept {
+  if (controller_ != nullptr) controller_->release_permit();
+  controller_ = nullptr;
+}
+
+void AdmissionController::release_permit() noexcept {
+  const std::size_t now_in_flight =
+      in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  in_flight_gauge_.set(static_cast<std::int64_t>(now_in_flight));
+}
+
+util::StatusOr<AdmissionController::Permit> AdmissionController::try_admit() {
+  // Queue-depth shedding first: when the backing queue is already deep,
+  // admitting more work only moves the wait somewhere less visible.
+  if (config_.max_queue_depth != 0 && queue_depth_probe_) {
+    const std::size_t depth = queue_depth_probe_();
+    queue_depth_gauge_.set(static_cast<std::int64_t>(depth));
+    if (depth > config_.max_queue_depth) {
+      shed_queue_.fetch_add(1, std::memory_order_relaxed);
+      shed_queue_counter_.inc();
+      return util::Status::unavailable(
+                 "shed: queue depth " + std::to_string(depth) + " > cap " +
+                 std::to_string(config_.max_queue_depth))
+          .with_retry_after(config_.retry_after_hint);
+    }
+  }
+
+  // Concurrency cap: optimistic claim, rolled back on refusal.
+  const std::size_t now_in_flight =
+      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.max_concurrent != 0 && now_in_flight > config_.max_concurrent) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    shed_concurrency_.fetch_add(1, std::memory_order_relaxed);
+    shed_concurrency_counter_.inc();
+    return util::Status::unavailable(
+               "shed: " + std::to_string(config_.max_concurrent) +
+               " scans already in flight")
+        .with_retry_after(config_.retry_after_hint);
+  }
+
+  // Token bucket last, so queue/concurrency sheds never burn a token.
+  if (config_.rate_per_sec > 0.0) {
+    std::lock_guard<std::mutex> lock(bucket_mutex_);
+    const auto now = util::fault::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - last_refill_).count();
+    if (elapsed > 0.0) {
+      tokens_ = std::min(config_.burst,
+                         tokens_ + elapsed * config_.rate_per_sec);
+      last_refill_ = now;
+    }
+    if (tokens_ < 1.0) {
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      shed_rate_.fetch_add(1, std::memory_order_relaxed);
+      shed_rate_counter_.inc();
+      // Exact hint: when the missing fraction of a token accrues.
+      const auto refill =
+          seconds_to_ns((1.0 - tokens_) / config_.rate_per_sec);
+      return util::Status::unavailable(
+                 "shed: rate limit " +
+                 std::to_string(config_.rate_per_sec) + "/s exceeded")
+          .with_retry_after(refill);
+    }
+    tokens_ -= 1.0;
+  }
+
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  admitted_counter_.inc();
+  in_flight_gauge_.set(static_cast<std::int64_t>(now_in_flight));
+  return Permit(this);
+}
+
+// --- CircuitBreaker -------------------------------------------------------
+
+util::Status CircuitBreakerConfig::validate() const {
+  if (!enabled) return util::Status::ok();
+  if (window == 0) {
+    return util::Status::invalid_config(
+        "CircuitBreakerConfig::window must be >= 1");
+  }
+  if (min_samples == 0 || min_samples > window) {
+    return util::Status::invalid_config(
+        "CircuitBreakerConfig::min_samples must be in [1, window]");
+  }
+  if (!(failure_ratio > 0.0 && failure_ratio <= 1.0)) {
+    return util::Status::invalid_config(
+        "CircuitBreakerConfig::failure_ratio must be in (0, 1]");
+  }
+  if (open_for.count() < 0) {
+    return util::Status::invalid_config(
+        "CircuitBreakerConfig::open_for must be >= 0");
+  }
+  if (half_open_probes == 0) {
+    return util::Status::invalid_config(
+        "CircuitBreakerConfig::half_open_probes must be >= 1; the breaker "
+        "could never close again");
+  }
+  return util::Status::ok();
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(config) {
+  if (config_.enabled) window_.assign(config_.window, 0);
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreaker&& other) noexcept
+    : config_(other.config_),
+      state_(other.state_.load(std::memory_order_relaxed)),
+      window_(std::move(other.window_)),
+      window_next_(other.window_next_),
+      window_filled_(other.window_filled_),
+      window_failures_(other.window_failures_),
+      opened_at_(other.opened_at_),
+      probes_issued_(other.probes_issued_),
+      probes_succeeded_(other.probes_succeeded_),
+      transitions_(other.transitions_.load(std::memory_order_relaxed)),
+      rejections_(other.rejections_.load(std::memory_order_relaxed)),
+      rejections_counter_(other.rejections_counter_),
+      state_gauge_(other.state_gauge_) {
+  for (std::size_t i = 0; i < 9; ++i) {
+    transition_counters_[i] = other.transition_counters_[i];
+  }
+}
+
+void CircuitBreaker::bind_metrics(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) {
+  // Only the four transitions the state machine can make are registered;
+  // the other [from][to] slots stay detached.
+  struct Edge {
+    BreakerState from, to;
+  };
+  constexpr Edge kEdges[] = {
+      {BreakerState::kClosed, BreakerState::kOpen},
+      {BreakerState::kOpen, BreakerState::kHalfOpen},
+      {BreakerState::kHalfOpen, BreakerState::kOpen},
+      {BreakerState::kHalfOpen, BreakerState::kClosed},
+  };
+  for (const Edge& edge : kEdges) {
+    const std::size_t slot = static_cast<std::size_t>(edge.from) * 3 +
+                             static_cast<std::size_t>(edge.to);
+    transition_counters_[slot] = registry.counter(
+        prefix + "_transitions_total", "Breaker state transitions.",
+        "from=\"" + std::string(breaker_state_name(edge.from)) +
+            "\",to=\"" + std::string(breaker_state_name(edge.to)) + "\"");
+  }
+  rejections_counter_ = registry.counter(
+      prefix + "_rejections_total",
+      "Requests refused because the breaker was open or probing.");
+  state_gauge_ = registry.gauge(
+      prefix + "_state", "Breaker state (0=closed, 1=open, 2=half_open).");
+}
+
+void CircuitBreaker::transition_locked(BreakerState to) {
+  const BreakerState from = state_.load(std::memory_order_relaxed);
+  if (from == to) return;
+  state_.store(to, std::memory_order_relaxed);
+  transitions_.fetch_add(1, std::memory_order_relaxed);
+  transition_counters_[static_cast<std::size_t>(from) * 3 +
+                       static_cast<std::size_t>(to)]
+      .inc();
+  state_gauge_.set(static_cast<std::int64_t>(to));
+}
+
+util::Status CircuitBreaker::try_acquire() {
+  if (!config_.enabled) return util::Status::ok();
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_.load(std::memory_order_relaxed)) {
+    case BreakerState::kClosed:
+      return util::Status::ok();
+    case BreakerState::kOpen: {
+      const auto elapsed = util::fault::now() - opened_at_;
+      if (elapsed >= config_.open_for) {
+        transition_locked(BreakerState::kHalfOpen);
+        probes_issued_ = 1;  // This caller is the first probe.
+        probes_succeeded_ = 0;
+        return util::Status::ok();
+      }
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      rejections_counter_.inc();
+      return util::Status::unavailable("circuit breaker open")
+          .with_retry_after(config_.open_for - elapsed);
+    }
+    case BreakerState::kHalfOpen: {
+      if (probes_issued_ < config_.half_open_probes) {
+        ++probes_issued_;
+        return util::Status::ok();
+      }
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      rejections_counter_.inc();
+      return util::Status::unavailable(
+                 "circuit breaker half-open: probe quota in use")
+          .with_retry_after(config_.open_for);
+    }
+  }
+  return util::Status::internal("unreachable breaker state");
+}
+
+void CircuitBreaker::record(bool success) {
+  if (!config_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_.load(std::memory_order_relaxed)) {
+    case BreakerState::kClosed: {
+      const std::uint8_t outcome = success ? 0 : 1;
+      if (window_filled_ == window_.size()) {
+        window_failures_ -= window_[window_next_];
+      } else {
+        ++window_filled_;
+      }
+      window_[window_next_] = outcome;
+      window_failures_ += outcome;
+      window_next_ = (window_next_ + 1) % window_.size();
+      if (window_filled_ >= config_.min_samples &&
+          static_cast<double>(window_failures_) >=
+              config_.failure_ratio * static_cast<double>(window_filled_)) {
+        transition_locked(BreakerState::kOpen);
+        opened_at_ = util::fault::now();
+        std::fill(window_.begin(), window_.end(), 0);
+        window_next_ = window_filled_ = window_failures_ = 0;
+      }
+      break;
+    }
+    case BreakerState::kHalfOpen: {
+      if (!success) {
+        transition_locked(BreakerState::kOpen);
+        opened_at_ = util::fault::now();
+        probes_issued_ = probes_succeeded_ = 0;
+        break;
+      }
+      if (++probes_succeeded_ >= config_.half_open_probes) {
+        transition_locked(BreakerState::kClosed);
+        probes_issued_ = probes_succeeded_ = 0;
+      }
+      break;
+    }
+    case BreakerState::kOpen:
+      // A result that straddled the trip: the window was already reset.
+      break;
+  }
+}
+
+// --- RetrySchedule --------------------------------------------------------
+
+util::Status RetryOptions::validate() const {
+  if (max_attempts == 0) {
+    return util::Status::invalid_config(
+        "RetryOptions::max_attempts must be >= 1 (1 disables retries)");
+  }
+  if (base_backoff.count() < 0) {
+    return util::Status::invalid_config(
+        "RetryOptions::base_backoff must be >= 0");
+  }
+  if (max_backoff < base_backoff) {
+    return util::Status::invalid_config(
+        "RetryOptions::max_backoff must be >= base_backoff");
+  }
+  return util::Status::ok();
+}
+
+RetrySchedule::RetrySchedule(const RetryOptions& options,
+                             std::uint64_t stream) noexcept
+    : options_(options), previous_(options.base_backoff) {
+  // Splitmix of (seed, stream): batch item i draws the same jitter
+  // sequence at any worker count.
+  std::uint64_t state = options.seed + (stream + 1) * kStreamGamma;
+  rng_ = util::Xoshiro256(util::splitmix64_next(state));
+}
+
+std::optional<std::chrono::nanoseconds> RetrySchedule::next(
+    const util::Status& status,
+    std::chrono::nanoseconds remaining_budget) noexcept {
+  if (!util::is_retryable(status)) return std::nullopt;
+  if (attempt_ >= options_.max_attempts) return std::nullopt;
+  // Decorrelated jitter: uniform in [base, 3 * previous], capped.
+  const std::int64_t base = options_.base_backoff.count();
+  const std::int64_t hi = std::max(base, 3 * previous_.count());
+  std::int64_t backoff_ns = base;
+  if (hi > base) backoff_ns = rng_.next_in(base, hi);
+  backoff_ns = std::min(backoff_ns, options_.max_backoff.count());
+  auto backoff = std::chrono::nanoseconds(backoff_ns);
+  // The service's own hint is a floor: it knows when capacity returns.
+  if (status.retry_after() > backoff) backoff = status.retry_after();
+  if (remaining_budget.count() >= 0 && backoff >= remaining_budget) {
+    return std::nullopt;
+  }
+  previous_ = backoff;
+  ++attempt_;
+  return backoff;
+}
+
+}  // namespace mel::service

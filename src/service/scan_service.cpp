@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <new>
+#include <thread>
 #include <utility>
 
 #include "mel/util/fault_injection.hpp"
@@ -48,6 +49,12 @@ util::Status ServiceConfig::validate() const {
     return util::Status::invalid_config(
         "ServiceConfig::budget.deadline must be >= 0");
   }
+  if (util::Status status = admission.validate(); !status.is_ok()) {
+    return status;
+  }
+  if (util::Status status = breaker.validate(); !status.is_ok()) {
+    return status;
+  }
   return make_stream_config(*this).validate();
 }
 
@@ -56,9 +63,14 @@ ScanService::ScanService(ServiceConfig config)
       detector_(config_.detector),
       stream_(make_stream_config(config_)),
       metrics_(config_.metrics ? config_.metrics
-                               : std::make_shared<obs::MetricsRegistry>()) {
+                               : std::make_shared<obs::MetricsRegistry>()),
+      admission_(config_.admission),
+      breaker_(config_.breaker) {
   register_instruments();
   stream_.bind_metrics(*metrics_);
+  admission_.bind_metrics(*metrics_);
+  breaker_.bind_metrics(*metrics_);
+  lifecycle_.store(ServiceState::kServing, std::memory_order_release);
 }
 
 void ScanService::register_instruments() {
@@ -94,6 +106,8 @@ void ScanService::register_instruments() {
   inst_.verdict_benign =
       reg.counter("mel_verdicts_total", "Verdicts returned, by decision.",
                   "verdict=\"benign\"");
+  inst_.retries = reg.counter("mel_scan_retries_total",
+                              "Per-item retry attempts (batch tier).");
   inst_.mel = reg.histogram("mel_value",
                             "Measured maximum executable length per scan.",
                             obs::mel_value_buckets());
@@ -119,6 +133,11 @@ util::StatusOr<ScanService> ScanService::create(ServiceConfig config) {
 
 util::Status ScanService::reject(std::uint64_t scan_id,
                                  util::Status status) const {
+  // Every retryable refusal leaves with a retry-after hint: callers (and
+  // RetrySchedule) treat it as the earliest useful retry time.
+  if (util::is_retryable(status) && status.retry_after().count() == 0) {
+    status.set_retry_after(config_.admission.retry_after_hint);
+  }
   ++stats_.scans_rejected;
   ++stats_.rejects_by_code[static_cast<std::size_t>(status.code())];
   inst_.rejected.inc();
@@ -138,14 +157,63 @@ util::StatusOr<ScanReport> ScanService::scan(util::ByteView payload,
 }
 
 util::StatusOr<ScanReport> ScanService::scan(const ScanRequest& request) const {
-  const util::ByteView payload = request.payload;
-  const core::ScanBudget budget =
-      request.budget ? *request.budget : config_.budget;
+  // Deterministic fault scope first: every firing decision below (clock
+  // skew, alloc failure, truncation) keys off the item sequence.
+  std::optional<util::fault::ScanScope> scope;
+  if (request.fault_sequence) scope.emplace(*request.fault_sequence);
+
   const std::uint64_t scan_id =
       next_scan_id_.fetch_add(1, std::memory_order_relaxed);
   ++stats_.scans_attempted;
   inst_.attempted.inc();
   const auto start = util::fault::now();
+
+  // Admission before the lifecycle gate: the in-flight permit is what
+  // drain() waits on, so a scan that saw kServing is always covered.
+  util::StatusOr<AdmissionController::Permit> permit = admission_.try_admit();
+  if (!permit.is_ok()) {
+    return reject(scan_id, permit.status());
+  }
+  const ServiceState lifecycle = lifecycle_.load(std::memory_order_acquire);
+  if (lifecycle != ServiceState::kServing) {
+    return reject(scan_id,
+                  util::Status::unavailable(
+                      "service " + std::string(service_state_name(lifecycle)) +
+                      ", not accepting scans"));
+  }
+  if (util::Status gate = breaker_.try_acquire(); !gate.is_ok()) {
+    return reject(scan_id, std::move(gate));
+  }
+
+  util::StatusOr<ScanReport> result = scan_admitted(request, scan_id, start);
+  bool failure;
+  if (result.is_ok()) {
+    failure =
+        config_.breaker.degraded_is_failure && result.value().verdict.degraded;
+  } else {
+    // Server faults trip the breaker; client errors (payload cap,
+    // malformed requests) say nothing about the scan path's health.
+    switch (result.code()) {
+      case util::StatusCode::kResourceExhausted:
+      case util::StatusCode::kDeadlineExceeded:
+      case util::StatusCode::kInternal:
+        failure = true;
+        break;
+      default:
+        failure = false;
+        break;
+    }
+  }
+  breaker_.record(!failure);
+  return result;
+}
+
+util::StatusOr<ScanReport> ScanService::scan_admitted(
+    const ScanRequest& request, std::uint64_t scan_id,
+    std::chrono::steady_clock::time_point start) const {
+  const util::ByteView payload = request.payload;
+  const core::ScanBudget budget =
+      request.budget ? *request.budget : config_.budget;
 
   // Chaos hook: a clock that jumps at scan entry must surface as a
   // deadline rejection below, never as a half-trusted verdict.
@@ -280,6 +348,36 @@ util::StatusOr<std::vector<core::StreamAlert>> ScanService::stream_feed(
 std::vector<core::StreamAlert> ScanService::stream_finish() {
   std::vector<core::StreamAlert> alerts = stream_.finish();
   stats_.alarms += alerts.size();
+  return alerts;
+}
+
+ServiceState ScanService::state() const noexcept {
+  const ServiceState lifecycle = lifecycle_.load(std::memory_order_acquire);
+  if (lifecycle == ServiceState::kServing && config_.breaker.enabled &&
+      breaker_.state() != BreakerState::kClosed) {
+    return ServiceState::kDegraded;
+  }
+  return lifecycle;
+}
+
+std::vector<core::StreamAlert> ScanService::drain() {
+  ServiceState expected = ServiceState::kServing;
+  if (!lifecycle_.compare_exchange_strong(expected, ServiceState::kDraining,
+                                          std::memory_order_acq_rel)) {
+    return {};  // Already draining/drained (or never started serving).
+  }
+  util::log_info_ctx({.component = "service"}, "drain: refusing new scans");
+  // Every admitted scan holds an in-flight permit until its report is
+  // delivered; scans admitted after the store above observe kDraining
+  // and reject. Scans are short (deadline-bounded), so spin politely.
+  while (admission_.in_flight() != 0) {
+    std::this_thread::yield();
+  }
+  std::vector<core::StreamAlert> alerts = stream_finish();
+  lifecycle_.store(ServiceState::kStopped, std::memory_order_release);
+  util::log_info_ctx({.component = "service"},
+                     "drain complete: ", alerts.size(),
+                     " alert(s) from the buffered stream tail");
   return alerts;
 }
 

@@ -28,19 +28,62 @@ PointState& state(Point point) noexcept {
 
 inline constexpr std::uint64_t kSplitMixGamma = 0x9E3779B97F4A7C15ull;
 
-/// SplitMix64: tiny, seedable, and good enough for firing decisions. The
-/// state advance is a single fetch-add, so concurrent evaluations each
-/// get a unique stream position; the mix runs on the claimed value.
-std::uint64_t splitmix64(std::atomic<std::uint64_t>& state) noexcept {
-  std::uint64_t z =
-      state.fetch_add(kSplitMixGamma, std::memory_order_relaxed) +
-      kSplitMixGamma;
+/// SplitMix64 output mix on a claimed stream position.
+std::uint64_t mix64(std::uint64_t z) noexcept {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   return z ^ (z >> 31);
 }
 
+/// SplitMix64: tiny, seedable, and good enough for firing decisions. The
+/// state advance is a single fetch-add, so concurrent evaluations each
+/// get a unique stream position; the mix runs on the claimed value.
+std::uint64_t splitmix64(std::atomic<std::uint64_t>& state) noexcept {
+  return mix64(state.fetch_add(kSplitMixGamma, std::memory_order_relaxed) +
+               kSplitMixGamma);
+}
+
+/// Per-thread ScanScope state: when active, firing decisions are pure
+/// functions of (trigger, sequence, per-point evaluation index) — no
+/// shared stream, hence no interleaving dependence.
+struct ScopeState {
+  bool active = false;
+  std::uint64_t sequence = 0;
+  std::uint64_t local_evals[kPointCount] = {};
+};
+
+thread_local ScopeState t_scope;
+
+double scoped_draw(const Trigger& trigger, std::uint64_t local) noexcept {
+  // Seed-per-item (splitmix of trigger seed and scope sequence), then one
+  // stream position per evaluation within the item.
+  const std::uint64_t item_seed =
+      mix64(trigger.seed + (t_scope.sequence + 1) * kSplitMixGamma);
+  const std::uint64_t z = mix64(item_seed + (local + 1) * kSplitMixGamma);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
+
+ScanScope::ScanScope(std::uint64_t sequence) noexcept
+    : saved_sequence_(t_scope.sequence), saved_active_(t_scope.active) {
+  for (int i = 0; i < kPointCount; ++i) {
+    saved_evals_[i] = t_scope.local_evals[i];
+    t_scope.local_evals[i] = 0;
+  }
+  t_scope.active = true;
+  t_scope.sequence = sequence;
+}
+
+ScanScope::~ScanScope() noexcept {
+  for (int i = 0; i < kPointCount; ++i) {
+    t_scope.local_evals[i] = saved_evals_[i];
+  }
+  t_scope.active = saved_active_;
+  t_scope.sequence = saved_sequence_;
+}
+
+bool scope_active() noexcept { return t_scope.active; }
 
 void arm(Point point, const Trigger& trigger) noexcept {
   PointState& s = state(point);
@@ -69,6 +112,30 @@ bool should_fire(Point point) noexcept {
   if (!s.armed.load(std::memory_order_acquire)) return false;
   const std::uint64_t evaluation =
       s.evaluations.fetch_add(1, std::memory_order_relaxed);
+  if (t_scope.active) {
+    // Scoped (deterministic) path: the decision depends only on the
+    // trigger and the scope, never on evaluations from other threads.
+    const std::uint64_t local =
+        t_scope.local_evals[static_cast<int>(point)]++;
+    if (s.fires.load(std::memory_order_relaxed) >= s.trigger.max_fires) {
+      return false;
+    }
+    bool fire;
+    if (s.trigger.probability > 0.0) {
+      fire = scoped_draw(s.trigger, local) < s.trigger.probability;
+    } else {
+      // Counter triggers select items: start_after and fire_every count
+      // scope sequences (batch items), and every evaluation within a
+      // selected item fires — fire_every=1 keeps its "every evaluation"
+      // meaning.
+      fire = t_scope.sequence >= s.trigger.start_after &&
+             (t_scope.sequence - s.trigger.start_after) %
+                     s.trigger.fire_every ==
+                 0;
+    }
+    if (fire) s.fires.fetch_add(1, std::memory_order_relaxed);
+    return fire;
+  }
   if (evaluation < s.trigger.start_after) return false;
   if (s.fires.load(std::memory_order_relaxed) >= s.trigger.max_fires) {
     return false;

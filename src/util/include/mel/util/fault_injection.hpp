@@ -29,11 +29,19 @@
 // SplitMix64 stream with an atomic fetch-add so every evaluation draws a
 // distinct value). arm()/disarm()/reset() are test-harness setup APIs:
 // they must not race with in-flight evaluations of the same point —
-// arm before the scans start, reset after they join. Under concurrent
-// evaluation the per-point firing *pattern* follows the evaluation
-// interleaving; use fire_every=1 (or leave the point disarmed) when a
-// parallel test needs order-independent behavior, and max_fires is a
-// best-effort bound that can be overshot by one per racing thread.
+// arm before the scans start, reset after they join.
+//
+// Determinism under concurrency: with a ScanScope active on the
+// evaluating thread (the scan tiers install one per payload, keyed by
+// the payload's batch index), every firing decision is a pure function
+// of (trigger, scope sequence, evaluation index within the scope) — a
+// SplitMix64 hash of the trigger seed and the sequence — so the firing
+// pattern is bit-identical at any worker count and any interleaving,
+// for counter triggers with ANY fire_every and for probability
+// triggers alike. Without a scope (legacy direct calls), counter and
+// probability triggers advance shared global streams and the pattern
+// follows the evaluation interleaving. max_fires remains a best-effort
+// global bound either way: it can be overshot by one per racing thread.
 
 #include <chrono>
 #include <cstdint>
@@ -61,9 +69,36 @@ struct Trigger {
   std::uint64_t seed = 0;
 };
 
+/// RAII: pins this thread's fault evaluation to the deterministic
+/// per-item stream `sequence` (see the determinism note above). While
+/// active, counter triggers select *items*: the point fires on every
+/// evaluation within items where `sequence >= start_after` and
+/// `(sequence - start_after) % fire_every == 0` (so fire_every = 1
+/// keeps its fire-on-every-evaluation meaning), and probability
+/// triggers draw from a SplitMix64 stream seeded by hashing
+/// (trigger.seed, sequence), one value per evaluation. Scopes nest
+/// (the previous scope is restored on destruction) and are
+/// thread-local: scopes on other threads are unaffected.
+
 #if defined(MEL_FAULT_INJECTION)
 
 inline constexpr bool kCompiledIn = true;
+
+class ScanScope {
+ public:
+  explicit ScanScope(std::uint64_t sequence) noexcept;
+  ~ScanScope() noexcept;
+  ScanScope(const ScanScope&) = delete;
+  ScanScope& operator=(const ScanScope&) = delete;
+
+ private:
+  std::uint64_t saved_sequence_;
+  std::uint64_t saved_evals_[4];  ///< kPointCount; kept POD for noexcept.
+  bool saved_active_;
+};
+
+/// Whether the calling thread currently has a ScanScope installed.
+[[nodiscard]] bool scope_active() noexcept;
 
 /// Arms `point` with `trigger`; replaces any previous trigger and resets
 /// its evaluation/fire counters.
@@ -92,6 +127,13 @@ void advance_clock(std::chrono::nanoseconds by) noexcept;
 #else  // !MEL_FAULT_INJECTION — every hook collapses to a no-op.
 
 inline constexpr bool kCompiledIn = false;
+
+class ScanScope {
+ public:
+  explicit ScanScope(std::uint64_t) noexcept {}
+};
+
+[[nodiscard]] inline bool scope_active() noexcept { return false; }
 
 inline void arm(Point, const Trigger&) noexcept {}
 inline void disarm(Point) noexcept {}

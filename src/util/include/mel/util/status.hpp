@@ -11,6 +11,7 @@
 // new code that needs typed errors should use Status.
 
 #include <cassert>
+#include <chrono>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -38,11 +39,16 @@ enum class StatusCode : std::uint8_t {
   kDegraded,
   /// Invariant violation escaped to a boundary; indicates a bug.
   kInternal,
+  /// The service refused the request before doing any work: overload
+  /// shedding (admission control), an open circuit breaker, or a
+  /// draining/stopped lifecycle state. Retryable by construction; the
+  /// Status usually carries a retry_after() hint.
+  kUnavailable,
 };
 
 /// Number of StatusCode values — sized for per-code counter arrays and
 /// metric label loops.
-inline constexpr std::size_t kStatusCodeCount = 8;
+inline constexpr std::size_t kStatusCodeCount = 9;
 
 /// Stable lowercase name for logs and test assertions.
 [[nodiscard]] std::string_view status_code_name(StatusCode code) noexcept;
@@ -76,6 +82,9 @@ class [[nodiscard]] Status {
   [[nodiscard]] static Status internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
+  [[nodiscard]] static Status unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
 
   [[nodiscard]] bool is_ok() const noexcept {
     return code_ == StatusCode::kOk;
@@ -87,13 +96,40 @@ class [[nodiscard]] Status {
     return message_;
   }
 
-  /// "deadline_exceeded: scan exceeded 50ms budget" (or "ok").
+  /// How long the caller should wait before retrying. Zero (the default)
+  /// means "no hint": either the error is not retryable or the service
+  /// could not compute a useful delay. Set on shed/refused paths (token
+  /// bucket refill time, circuit-breaker reopen time).
+  [[nodiscard]] std::chrono::nanoseconds retry_after() const noexcept {
+    return retry_after_;
+  }
+  void set_retry_after(std::chrono::nanoseconds hint) noexcept {
+    retry_after_ = hint;
+  }
+  /// Fluent form for factory chains:
+  /// `Status::unavailable("shed").with_retry_after(5ms)`.
+  [[nodiscard]] Status&& with_retry_after(
+      std::chrono::nanoseconds hint) && noexcept {
+    retry_after_ = hint;
+    return std::move(*this);
+  }
+
+  /// "deadline_exceeded: scan exceeded 50ms budget" (or "ok"). A set
+  /// retry_after() is appended as " (retry after Nms)".
   [[nodiscard]] std::string to_string() const;
 
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  std::chrono::nanoseconds retry_after_{0};
 };
+
+/// Whether a failed call may succeed if simply repeated later: true for
+/// kUnavailable (shed / breaker / draining — transient by definition) and
+/// kResourceExhausted (buffers drain, allocations recover). Deadline
+/// trips are NOT retryable — the caller's time budget is spent — and
+/// config/argument/payload errors fail the same way every time.
+[[nodiscard]] bool is_retryable(const Status& status) noexcept;
 
 template <typename T>
 class [[nodiscard]] StatusOr {

@@ -75,17 +75,32 @@ class ThreadPool {
   [[nodiscard]] std::uint64_t tasks_completed() const noexcept {
     return tasks_completed_.load(std::memory_order_relaxed);
   }
+  /// try_submit() calls refused on a full queue since construction
+  /// (monotone). The admission tier's queue-shedding evidence: every
+  /// refusal here should pair with a typed kUnavailable/
+  /// kResourceExhausted upstream.
+  [[nodiscard]] std::uint64_t submissions_refused() const noexcept {
+    return submissions_refused_.load(std::memory_order_relaxed);
+  }
+  /// Tasks currently queued (admitted, not yet claimed by a worker).
+  /// Point-in-time: may be stale by the time the caller acts on it —
+  /// intended as a load-shedding signal, not for synchronization.
+  [[nodiscard]] std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
 
  private:
   void worker_loop();
 
   std::size_t capacity_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<Task> queue_;
   bool stopping_ = false;
   std::atomic<std::uint64_t> tasks_completed_{0};
+  std::atomic<std::uint64_t> submissions_refused_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -20,6 +20,8 @@ std::string_view status_code_name(StatusCode code) noexcept {
       return "degraded";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }
@@ -30,7 +32,22 @@ std::string Status::to_string() const {
     text += ": ";
     text += message_;
   }
+  if (retry_after_.count() > 0) {
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(retry_after_);
+    text += " (retry after " + std::to_string(ms.count()) + "ms)";
+  }
   return text;
+}
+
+bool is_retryable(const Status& status) noexcept {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace mel::util

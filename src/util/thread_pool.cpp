@@ -49,7 +49,10 @@ void ThreadPool::submit(Task task) {
 bool ThreadPool::try_submit(Task task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_ || queue_.size() >= capacity_) return false;
+    if (stopping_ || queue_.size() >= capacity_) {
+      submissions_refused_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     queue_.push_back(std::move(task));
   }
   not_empty_.notify_one();

@@ -121,5 +121,49 @@ TEST(StreamDetector, StreamOffsetsAdvanceBySteps) {
   EXPECT_GT(alerts.back().stream_offset, 4000u);
 }
 
+TEST(StreamDetector, RecoversAcceptanceAfterBackpressureRefusal) {
+  // Backpressure is a pause, not a death sentence: a refused batch
+  // leaves the session consistent, scanning the buffer drains capacity,
+  // and the SAME bytes are accepted on retry — with detection intact.
+  StreamConfig config;
+  config.window_size = 1024;
+  config.overlap = 256;
+  config.max_buffered_bytes = 8192;
+  StreamDetector stream(config);
+
+  // 700 pending (under one window, nothing scans), then a batch that
+  // would overflow the cap: refused whole.
+  ASSERT_TRUE(stream.try_feed(benign_text(700, 50)).is_ok());
+  const util::ByteBuffer big = benign_text(7800, 51);
+  auto refused = stream.try_feed(big);
+  ASSERT_FALSE(refused.is_ok());
+  EXPECT_EQ(refused.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(stream.feeds_rejected(), 1u);
+  const std::size_t pending_after_refusal = stream.pending_bytes();
+  EXPECT_EQ(pending_after_refusal, 700u) << "no partial consumption";
+
+  // Drain: smaller feeds cross window boundaries and free the buffer.
+  ASSERT_TRUE(stream.try_feed(benign_text(1200, 52)).is_ok());
+  EXPECT_LT(stream.pending_bytes(), 1024u) << "windows were scanned out";
+
+  // The exact batch refused above is now accepted...
+  auto retried = stream.try_feed(big);
+  ASSERT_TRUE(retried.is_ok()) << retried.status().to_string();
+  EXPECT_EQ(stream.feeds_rejected(), 1u) << "the retry must not re-count";
+
+  // ...and a worm fed after recovery is still caught: refusal never
+  // poisons later detection.
+  auto alerts = stream.try_feed(worm_bytes(53));
+  ASSERT_TRUE(alerts.is_ok());
+  auto tail = stream.finish();
+  std::size_t alarm_count = alerts.value().size() + tail.size();
+  EXPECT_GE(alarm_count, 1u);
+  EXPECT_EQ(stream.pending_bytes(), 0u);
+
+  // The high-water mark recorded the closest approach to the cap.
+  EXPECT_LE(stream.buffer_high_water_bytes(), config.max_buffered_bytes);
+  EXPECT_GT(stream.buffer_high_water_bytes(), 0u);
+}
+
 }  // namespace
 }  // namespace mel::core

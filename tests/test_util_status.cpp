@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -36,6 +37,39 @@ TEST(Status, EveryCodeHasAStableName) {
             "resource_exhausted");
   EXPECT_EQ(status_code_name(StatusCode::kDegraded), "degraded");
   EXPECT_EQ(status_code_name(StatusCode::kInternal), "internal");
+  EXPECT_EQ(status_code_name(StatusCode::kUnavailable), "unavailable");
+}
+
+TEST(Status, RetryAfterHintRidesTheStatus) {
+  Status status = Status::unavailable("shed").with_retry_after(
+      std::chrono::milliseconds(25));
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.retry_after(), std::chrono::milliseconds(25));
+  EXPECT_EQ(status.to_string(), "unavailable: shed (retry after 25ms)");
+
+  // Default: no hint, no to_string suffix.
+  const Status bare = Status::unavailable("shed");
+  EXPECT_EQ(bare.retry_after().count(), 0);
+  EXPECT_EQ(bare.to_string(), "unavailable: shed");
+
+  // Mutable setter for paths that decide the hint after construction.
+  status.set_retry_after(std::chrono::nanoseconds(1));
+  EXPECT_EQ(status.retry_after(), std::chrono::nanoseconds(1));
+}
+
+TEST(Status, IsRetryableCoversExactlyTheTransientCodes) {
+  // Retryable: the service refused before/without consuming the budget.
+  EXPECT_TRUE(is_retryable(Status::unavailable("shed")));
+  EXPECT_TRUE(is_retryable(Status::resource_exhausted("alloc")));
+  // Not retryable: success needs no retry; client errors and spent
+  // deadlines will fail identically on a second attempt.
+  EXPECT_FALSE(is_retryable(Status::ok()));
+  EXPECT_FALSE(is_retryable(Status::invalid_config("bad")));
+  EXPECT_FALSE(is_retryable(Status::invalid_argument("bad")));
+  EXPECT_FALSE(is_retryable(Status::payload_too_large("big")));
+  EXPECT_FALSE(is_retryable(Status::deadline_exceeded("late")));
+  EXPECT_FALSE(is_retryable(Status::degraded("fallback")));
+  EXPECT_FALSE(is_retryable(Status::internal("bug")));
 }
 
 TEST(StatusOr, HoldsValue) {

@@ -1,0 +1,99 @@
+// ThreadPool refusal accounting and queue-depth probing: the signals the
+// admission tier (service::AdmissionController) sheds on. Liveness and
+// task-conservation basics live in test_service_parallel.cpp; this file
+// pins down the *counters*.
+
+#include "mel/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace mel::util {
+namespace {
+
+/// Parks the pool's single worker until released, so queued tasks cannot
+/// drain and queue state is fully under test control.
+class WorkerGate {
+ public:
+  explicit WorkerGate(ThreadPool& pool) {
+    pool.submit([this] {
+      entered_.store(true, std::memory_order_release);
+      while (!release_.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+    while (!entered_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  void open() { release_.store(true, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> entered_{false};
+  std::atomic<bool> release_{false};
+};
+
+TEST(ThreadPool, TrySubmitRefusalsAreCountedExactly) {
+  ThreadPool pool({.workers = 1, .queue_capacity = 2});
+  WorkerGate gate(pool);
+
+  // Fill both queue slots, then refuse a known number of times.
+  ASSERT_TRUE(pool.try_submit([] {}));
+  ASSERT_TRUE(pool.try_submit([] {}));
+  EXPECT_EQ(pool.submissions_refused(), 0u);
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_FALSE(pool.try_submit([] {}));
+    EXPECT_EQ(pool.submissions_refused(), static_cast<std::uint64_t>(i));
+  }
+  gate.open();
+}
+
+TEST(ThreadPool, QueueDepthTracksAdmittedUnclaimedTasks) {
+  ThreadPool pool({.workers = 1, .queue_capacity = 4});
+  WorkerGate gate(pool);
+
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  ASSERT_TRUE(pool.try_submit([] {}));
+  EXPECT_EQ(pool.queue_depth(), 1u);
+  ASSERT_TRUE(pool.try_submit([] {}));
+  ASSERT_TRUE(pool.try_submit([] {}));
+  EXPECT_EQ(pool.queue_depth(), 3u);
+
+  gate.open();
+  // Once the worker drains everything the depth returns to zero.
+  while (pool.tasks_completed() < 4) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, RefusalCounterSurvivesConcurrentHammering) {
+  // N threads race try_submit at a gated single-slot pool: accepted +
+  // refused must equal attempts exactly — no lost accounting.
+  ThreadPool pool({.workers = 1, .queue_capacity = 1});
+  WorkerGate gate(pool);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::atomic<std::uint64_t> accepted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &accepted] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (pool.try_submit([] {})) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(accepted.load() + pool.submissions_refused(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  gate.open();
+}
+
+}  // namespace
+}  // namespace mel::util
