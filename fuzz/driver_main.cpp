@@ -1,0 +1,228 @@
+// Entry point for the fuzz binaries, in two flavors selected at build time:
+//
+//  * MEL_FUZZ_LIBFUZZER — the translation unit defines only
+//    LLVMFuzzerTestOneInput; libFuzzer (clang -fsanitize=fuzzer) supplies
+//    main() and drives coverage-guided mutation. This is the CI fuzz-smoke
+//    configuration.
+//  * otherwise — a standalone driver usable with any compiler. It replays
+//    a corpus (each input twice, asserting fingerprint equality — the
+//    determinism gate ctest runs on every build) and can additionally run
+//    a naive mutation loop (-runs=N) so the targets stay exercisable on
+//    toolchains without libFuzzer.
+//
+// The target is fixed per binary via the MEL_FUZZ_TARGET compile
+// definition (e.g. -DMEL_FUZZ_TARGET=kStreamFeed).
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "mel/fuzz/harness.hpp"
+
+namespace {
+constexpr mel::fuzz::Target kTarget = mel::fuzz::Target::MEL_FUZZ_TARGET;
+}  // namespace
+
+#ifdef MEL_FUZZ_LIBFUZZER
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)mel::fuzz::one_input(kTarget, mel::util::ByteView(data, size));
+  return 0;
+}
+
+#else  // Standalone replay + mutation driver.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct CorpusEntry {
+  std::string path;
+  mel::util::ByteBuffer bytes;
+};
+
+bool read_file(const std::filesystem::path& path, mel::util::ByteBuffer& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+void collect(const std::string& root, std::vector<CorpusEntry>& corpus) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::file_status status = fs::status(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "fuzz driver: cannot stat %s\n", root.c_str());
+    std::exit(2);
+  }
+  std::vector<fs::path> files;
+  if (fs::is_directory(status)) {
+    for (const fs::directory_entry& entry :
+         fs::recursive_directory_iterator(root, ec)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+  } else {
+    files.emplace_back(root);
+  }
+  std::sort(files.begin(), files.end());  // Deterministic replay order.
+  for (const fs::path& file : files) {
+    CorpusEntry entry;
+    entry.path = file.string();
+    if (!read_file(file, entry.bytes)) {
+      std::fprintf(stderr, "fuzz driver: cannot read %s\n",
+                   entry.path.c_str());
+      std::exit(2);
+    }
+    corpus.push_back(std::move(entry));
+  }
+}
+
+/// One deterministic replay: run the input twice, insist the outcome
+/// fingerprints match. An oracle violation inside one_input aborts with
+/// its own diagnostic before we get here.
+void replay(const CorpusEntry& entry) {
+  const mel::util::ByteView view(entry.bytes);
+  const std::uint64_t first = mel::fuzz::one_input(kTarget, view);
+  const std::uint64_t second = mel::fuzz::one_input(kTarget, view);
+  if (first != second) {
+    std::fprintf(stderr,
+                 "fuzz driver: NONDETERMINISTIC outcome for %s "
+                 "(%016llx vs %016llx)\n",
+                 entry.path.c_str(),
+                 static_cast<unsigned long long>(first),
+                 static_cast<unsigned long long>(second));
+    std::abort();
+  }
+}
+
+bool parse_flag(const char* arg, const char* name, long long& value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  value = std::atoll(arg + len + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 0;            // Mutation iterations after replay.
+  long long max_len = 4096;      // Mutated input size cap.
+  long long seed = 1;            // Mutation RNG seed.
+  long long max_total_time = 0;  // Seconds; 0 = no time cap.
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (parse_flag(arg, "-runs", runs) ||
+        parse_flag(arg, "-max_len", max_len) ||
+        parse_flag(arg, "-seed", seed) ||
+        parse_flag(arg, "-max_total_time", max_total_time)) {
+      continue;
+    }
+    if (std::strcmp(arg, "-help") == 0 || std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: %s [-runs=N] [-max_len=N] [-seed=N] [-max_total_time=S] "
+          "[corpus dir or file]...\n"
+          "Replays every corpus input twice (determinism gate); with\n"
+          "-runs > 0 also fuzzes mutated corpus inputs for N iterations.\n",
+          argv[0]);
+      return 0;
+    }
+    if (arg[0] == '-') {
+      // Ignore unknown dash-flags so libFuzzer-style invocations
+      // (-print_final_stats=1, ...) don't break scripted callers.
+      continue;
+    }
+    inputs.emplace_back(arg);
+  }
+
+  std::vector<CorpusEntry> corpus;
+  for (const std::string& input : inputs) collect(input, corpus);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto out_of_time = [&]() {
+    return max_total_time > 0 &&
+           std::chrono::steady_clock::now() - start >=
+               std::chrono::seconds(max_total_time);
+  };
+
+  for (const CorpusEntry& entry : corpus) replay(entry);
+  std::printf("fuzz driver [%s]: replayed %zu corpus inputs, deterministic\n",
+              std::string(mel::fuzz::target_name(kTarget)).c_str(),
+              corpus.size());
+
+  if (runs > 0) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(seed));
+    mel::util::ByteBuffer scratch;
+    long long executed = 0;
+    for (; executed < runs && !out_of_time(); ++executed) {
+      // Start from a corpus input (or empty), apply a few byte-level
+      // mutations. No coverage feedback — this keeps gcc-only builds
+      // exercising the harnesses; real exploration runs under libFuzzer.
+      if (!corpus.empty()) {
+        scratch = corpus[rng() % corpus.size()].bytes;
+      } else {
+        scratch.clear();
+      }
+      const int edits = 1 + static_cast<int>(rng() % 8);
+      for (int e = 0; e < edits; ++e) {
+        switch (rng() % 4) {
+          case 0:  // Flip/overwrite a byte.
+            if (!scratch.empty()) {
+              scratch[rng() % scratch.size()] =
+                  static_cast<std::uint8_t>(rng());
+            }
+            break;
+          case 1:  // Insert a byte.
+            if (scratch.size() < static_cast<std::size_t>(max_len)) {
+              scratch.insert(scratch.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     scratch.empty() ? 0
+                                                     : rng() % scratch.size()),
+                             static_cast<std::uint8_t>(rng()));
+            }
+            break;
+          case 2:  // Erase a byte.
+            if (!scratch.empty()) {
+              scratch.erase(scratch.begin() +
+                            static_cast<std::ptrdiff_t>(rng() %
+                                                        scratch.size()));
+            }
+            break;
+          default:  // Truncate or extend with random tail.
+            if (scratch.empty() || (rng() & 1) == 0) {
+              const std::size_t grow = 1 + rng() % 16;
+              for (std::size_t g = 0;
+                   g < grow &&
+                   scratch.size() < static_cast<std::size_t>(max_len);
+                   ++g) {
+                scratch.push_back(static_cast<std::uint8_t>(rng()));
+              }
+            } else {
+              scratch.resize(rng() % scratch.size());
+            }
+            break;
+        }
+      }
+      if (scratch.size() > static_cast<std::size_t>(max_len)) {
+        scratch.resize(static_cast<std::size_t>(max_len));
+      }
+      (void)mel::fuzz::one_input(kTarget, mel::util::ByteView(scratch));
+    }
+    std::printf("fuzz driver [%s]: %lld mutated runs, no crashes\n",
+                std::string(mel::fuzz::target_name(kTarget)).c_str(),
+                executed);
+  }
+  return 0;
+}
+
+#endif  // MEL_FUZZ_LIBFUZZER

@@ -1,0 +1,662 @@
+#include "mel/fuzz/harness.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mel/core/config_io.hpp"
+#include "mel/core/detector.hpp"
+#include "mel/core/parameter_estimation.hpp"
+#include "mel/core/stream_detector.hpp"
+#include "mel/disasm/assembler.hpp"
+#include "mel/disasm/decoder.hpp"
+#include "mel/disasm/formatter.hpp"
+#include "mel/exec/mel.hpp"
+#include "mel/service/scan_service.hpp"
+#include "mel/util/logging.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::fuzz {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Oracle plumbing.
+
+/// Prints a diagnostic and aborts. Under libFuzzer the aborting input is
+/// saved as a crash artifact; under the ctest replay runner the test
+/// fails. Keep the message on one line — crash triage greps for it.
+[[noreturn]] void oracle_failure(const char* target, const char* what) {
+  std::fprintf(stderr, "MEL_FUZZ ORACLE FAILURE [%s]: %s\n", target, what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+#define MEL_FUZZ_REQUIRE(cond, target, what) \
+  do {                                       \
+    if (!(cond)) oracle_failure(target, what); \
+  } while (0)
+
+/// FNV-1a over the observable outcome. Deliberately excludes anything
+/// non-reproducible (scan ids, wall-clock latencies): two runs of the
+/// same input must produce the same fingerprint, in one process or two.
+struct Fingerprint {
+  std::uint64_t hash = 1469598103934665603ull;
+
+  void add_bytes(const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash ^= bytes[i];
+      hash *= 1099511628211ull;
+    }
+  }
+  void add(std::uint64_t value) noexcept { add_bytes(&value, sizeof(value)); }
+  void add(double value) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    add(bits);
+  }
+  void add(std::string_view text) noexcept {
+    add(static_cast<std::uint64_t>(text.size()));
+    add_bytes(text.data(), text.size());
+  }
+};
+
+util::ByteView clamp_input(util::ByteView data, std::size_t cap) {
+  return data.size() > cap ? data.first(cap) : data;
+}
+
+/// Deterministic splitmix64 step for fuzzer-derived choices (chunk sizes,
+/// operand bytes) that need more entropy than one input byte.
+std::uint64_t mix(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void add_verdict(Fingerprint& fp, const core::Verdict& verdict) {
+  fp.add(static_cast<std::uint64_t>(verdict.malicious));
+  fp.add(static_cast<std::uint64_t>(verdict.degraded));
+  fp.add(static_cast<std::uint64_t>(verdict.is_text));
+  fp.add(static_cast<std::uint64_t>(verdict.loop_detected));
+  fp.add(static_cast<std::uint64_t>(verdict.mel));
+  fp.add(verdict.threshold);
+  fp.add(verdict.params.n);
+  fp.add(verdict.params.p);
+}
+
+// ---------------------------------------------------------------------------
+// Target: decoder.
+
+std::uint64_t run_decoder(util::ByteView data) {
+  constexpr const char* kTag = "decoder";
+  data = clamp_input(data, kMaxFuzzInputBytes);
+  Fingerprint fp;
+
+  const std::vector<disasm::Instruction> insns = disasm::linear_sweep(data);
+  std::size_t covered = 0;
+  std::size_t formatted = 0;
+  for (const disasm::Instruction& insn : insns) {
+    MEL_FUZZ_REQUIRE(insn.length >= 1, kTag,
+                     "linear_sweep emitted a zero-length instruction");
+    MEL_FUZZ_REQUIRE(insn.offset == covered, kTag,
+                     "linear_sweep left a gap or overlapped itself");
+    MEL_FUZZ_REQUIRE(insn.end_offset() <= data.size(), kTag,
+                     "instruction claims bytes past the end of the stream");
+    covered = insn.end_offset();
+    fp.add(static_cast<std::uint64_t>(insn.mnemonic));
+    fp.add(static_cast<std::uint64_t>(insn.length));
+    fp.add(static_cast<std::uint64_t>(insn.flags));
+    // Formatting must never crash on any decode result; cap the string
+    // work so throughput stays fuzz-worthy on large inputs.
+    if (formatted < 1024) {
+      fp.add(disasm::format_instruction(insn));
+      ++formatted;
+    }
+  }
+  MEL_FUZZ_REQUIRE(covered == data.size(), kTag,
+                   "linear_sweep did not cover every byte");
+
+  if (!data.empty()) {
+    // Single decode at a fuzzer-chosen interior offset.
+    const std::size_t offset = data[0] % data.size();
+    const disasm::Instruction insn = disasm::decode_instruction(data, offset);
+    MEL_FUZZ_REQUIRE(insn.length >= 1, kTag,
+                     "decode_instruction made no progress mid-stream");
+    MEL_FUZZ_REQUIRE(insn.end_offset() <= data.size(), kTag,
+                     "decode_instruction overran the stream");
+    fp.add(disasm::format_instruction(insn));
+  }
+  // Past-the-end decode is the documented zero-length case.
+  const disasm::Instruction at_end =
+      disasm::decode_instruction(data, data.size());
+  MEL_FUZZ_REQUIRE(at_end.length == 0, kTag,
+                   "decode at end-of-stream must report length 0");
+  return fp.hash;
+}
+
+// ---------------------------------------------------------------------------
+// Target: exec_mel.
+
+std::uint64_t run_exec_mel(util::ByteView data) {
+  constexpr const char* kTag = "exec_mel";
+  data = clamp_input(data, kMaxFuzzInputBytes);
+  if (data.size() < 2) return 0;
+  const std::uint8_t engine_sel = data[0];
+  const std::uint8_t rules_sel = data[1];
+  const util::ByteView payload = data.subspan(2);
+
+  exec::MelOptions options;
+  options.engine = static_cast<exec::MelEngine>(engine_sel % 3);
+  options.step_budget = 1u << 16;  // Bounded explorer work per input.
+  options.decode_budget = (engine_sel & 0x80) ? 4096 : 0;
+  options.early_exit_threshold = (rules_sel & 0x40) ? 64 : -1;
+  // No deadline: wall-clock limits would make replay nondeterministic.
+  options.rules.io_instructions = (rules_sel & 1) != 0;
+  options.rules.interrupts = (rules_sel & 2) != 0;
+  options.rules.wrong_segment_memory = (rules_sel & 4) != 0;
+  options.rules.absolute_memory = (rules_sel & 8) != 0;
+  options.rules.privileged = (rules_sel & 16) != 0;
+  options.rules.uninitialized_register_memory = (rules_sel & 32) != 0;
+  MEL_FUZZ_REQUIRE(options.validate().is_ok(), kTag,
+                   "harness built an invalid MelOptions");
+
+  const exec::MelResult first = exec::compute_mel(payload, options);
+  const exec::MelResult second = exec::compute_mel(payload, options);
+
+  const auto n = static_cast<std::int64_t>(payload.size());
+  MEL_FUZZ_REQUIRE(first.mel >= 0, kTag, "negative MEL");
+  MEL_FUZZ_REQUIRE(first.mel <= n, kTag,
+                   "MEL exceeds the instruction-per-byte upper bound");
+  MEL_FUZZ_REQUIRE(
+      first.best_entry_offset <= payload.size(), kTag,
+      "best_entry_offset points outside the stream");
+  if (options.decode_budget > 0) {
+    // Engines may overshoot by at most one check interval before the
+    // budget trip is observed; anything beyond that is a real escape.
+    MEL_FUZZ_REQUIRE(
+        first.instructions_decoded <=
+            options.decode_budget + exec::kDeadlineCheckInterval,
+        kTag, "decode budget was not honored");
+  }
+  MEL_FUZZ_REQUIRE(!first.deadline_exceeded, kTag,
+                   "deadline tripped with no deadline configured");
+  MEL_FUZZ_REQUIRE(
+      first.mel == second.mel &&
+          first.best_entry_offset == second.best_entry_offset &&
+          first.loop_detected == second.loop_detected &&
+          first.budget_exhausted == second.budget_exhausted &&
+          first.early_exit == second.early_exit &&
+          first.instructions_decoded == second.instructions_decoded,
+      kTag, "compute_mel is nondeterministic for identical inputs");
+
+  // Position-local analyses share the decode surface; keep them on a
+  // shorter prefix (two O(n) passes per input).
+  const util::ByteView prefix = clamp_input(payload, 4096);
+  const std::vector<std::int32_t> lengths =
+      exec::compute_execable_lengths(prefix, options.rules);
+  const std::vector<std::size_t> reach =
+      exec::compute_reach(prefix, options.rules);
+  MEL_FUZZ_REQUIRE(lengths.size() == prefix.size() &&
+                       reach.size() == prefix.size(),
+                   kTag, "per-offset tables have the wrong size");
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    MEL_FUZZ_REQUIRE(lengths[i] >= 0, kTag, "negative executable length");
+    MEL_FUZZ_REQUIRE(reach[i] >= i && reach[i] <= prefix.size(), kTag,
+                     "reach outside [offset, stream end]");
+  }
+
+  Fingerprint fp;
+  fp.add(static_cast<std::uint64_t>(first.mel));
+  fp.add(static_cast<std::uint64_t>(first.best_entry_offset));
+  fp.add(static_cast<std::uint64_t>(first.instructions_decoded));
+  fp.add(static_cast<std::uint64_t>(first.loop_detected));
+  fp.add(static_cast<std::uint64_t>(first.budget_exhausted));
+  fp.add(static_cast<std::uint64_t>(first.early_exit));
+  for (std::int32_t length : lengths) {
+    fp.add(static_cast<std::uint64_t>(length));
+  }
+  return fp.hash;
+}
+
+// ---------------------------------------------------------------------------
+// Target: config_json.
+
+bool same_config(const core::DetectorConfig& a, const core::DetectorConfig& b) {
+  if (std::memcmp(&a.alpha, &b.alpha, sizeof(double)) != 0) return false;
+  if (a.engine != b.engine) return false;
+  if (a.measure_input != b.measure_input) return false;
+  if (a.early_exit != b.early_exit) return false;
+  if (a.preset_frequencies.has_value() != b.preset_frequencies.has_value()) {
+    return false;
+  }
+  if (a.preset_frequencies &&
+      std::memcmp(a.preset_frequencies->data(), b.preset_frequencies->data(),
+                  sizeof(core::CharFrequencyTable)) != 0) {
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t run_config_json(util::ByteView data) {
+  constexpr const char* kTag = "config_json";
+  // Deliberately allow slightly-over-cap inputs so the size-cap error
+  // path is fuzzed too.
+  data = clamp_input(data, core::kMaxConfigTextBytes + 64);
+  const std::string_view text(reinterpret_cast<const char*>(data.data()),
+                              data.size());
+
+  const util::StatusOr<core::DetectorConfig> parsed =
+      core::parse_config_checked(text);
+  Fingerprint fp;
+  if (!parsed.is_ok()) {
+    const util::StatusCode code = parsed.code();
+    MEL_FUZZ_REQUIRE(code == util::StatusCode::kInvalidArgument ||
+                         code == util::StatusCode::kInvalidConfig,
+                     kTag, "parse failure was not a typed input error");
+    // Backslashes are fine (escape_log_field output contains them); what
+    // must never appear is a raw control or non-ASCII byte from the input.
+    bool leaks_raw_bytes = false;
+    for (const char c : parsed.status().message()) {
+      const auto b = static_cast<unsigned char>(c);
+      if (b < 0x20 || b > 0x7E) leaks_raw_bytes = true;
+    }
+    MEL_FUZZ_REQUIRE(!leaks_raw_bytes, kTag,
+                     "parse error message leaks raw payload bytes");
+    fp.add(static_cast<std::uint64_t>(code));
+    fp.add(parsed.status().message());
+    return fp.hash;
+  }
+
+  // Round trip: parse -> serialize -> reparse must agree field for field
+  // (serialization is lossless by contract), and serialization must be a
+  // fixpoint.
+  const core::DetectorConfig& config = parsed.value();
+  const std::string serialized = core::serialize_config(config);
+  const util::StatusOr<core::DetectorConfig> reparsed =
+      core::parse_config_checked(serialized);
+  MEL_FUZZ_REQUIRE(reparsed.is_ok(), kTag,
+                   "serialize_config produced unparseable text");
+  MEL_FUZZ_REQUIRE(same_config(config, reparsed.value()), kTag,
+                   "parse -> serialize -> reparse changed the config");
+  MEL_FUZZ_REQUIRE(core::serialize_config(reparsed.value()) == serialized,
+                   kTag, "serialize_config is not a fixpoint");
+  fp.add(serialized);
+  return fp.hash;
+}
+
+// ---------------------------------------------------------------------------
+// Target: scan_request.
+
+const service::ScanService& shared_service(int engine_index) {
+  static const std::array<service::ScanService, 3> services = [] {
+    auto build = [](exec::MelEngine engine) {
+      service::ServiceConfig config;
+      config.detector.engine = engine;
+      config.max_payload_bytes = 16 * 1024;  // Exercise the cap path.
+      config.budget.decode_budget = 1u << 16;
+      util::StatusOr<service::ScanService> service =
+          service::ScanService::create(std::move(config));
+      if (!service.is_ok()) {
+        oracle_failure("scan_request", "harness service config rejected");
+      }
+      return std::move(service).take();
+    };
+    return std::array<service::ScanService, 3>{
+        build(exec::MelEngine::kLinearSweep),
+        build(exec::MelEngine::kAllPathsDag),
+        build(exec::MelEngine::kPathExplorer)};
+  }();
+  return services[static_cast<std::size_t>(engine_index)];
+}
+
+std::uint64_t run_scan_request(util::ByteView data) {
+  constexpr const char* kTag = "scan_request";
+  data = clamp_input(data, kMaxFuzzInputBytes);
+  if (data.empty()) return 0;
+  const std::uint8_t selector = data[0];
+  const util::ByteView payload = data.subspan(1);
+  const service::ScanService& service = shared_service(selector % 3);
+
+  const util::StatusOr<service::ScanReport> report =
+      service.scan(service::ScanRequest{.payload = payload});
+
+  Fingerprint fp;
+  const std::uint64_t cap = service.config().max_payload_bytes;
+  if (!report.is_ok()) {
+    const util::StatusCode code = report.code();
+    MEL_FUZZ_REQUIRE(code != util::StatusCode::kOk &&
+                         code != util::StatusCode::kInternal,
+                     kTag, "scan failed without a typed error");
+    MEL_FUZZ_REQUIRE(payload.size() > cap ||
+                         code != util::StatusCode::kPayloadTooLarge,
+                     kTag, "under-cap payload rejected as too large");
+    fp.add(static_cast<std::uint64_t>(code));
+    return fp.hash;
+  }
+  MEL_FUZZ_REQUIRE(payload.size() <= cap, kTag,
+                   "over-cap payload was accepted");
+  const core::Verdict& verdict = report.value().verdict;
+  MEL_FUZZ_REQUIRE(verdict.mel >= 0 &&
+                       verdict.mel <=
+                           static_cast<std::int64_t>(payload.size()),
+                   kTag, "verdict MEL outside [0, payload size]");
+  MEL_FUZZ_REQUIRE(std::isfinite(verdict.threshold), kTag,
+                   "non-finite threshold escaped the detector");
+  MEL_FUZZ_REQUIRE(verdict.alpha > 0.0 && verdict.alpha < 1.0, kTag,
+                   "alpha outside (0,1) in a delivered verdict");
+  add_verdict(fp, verdict);
+  fp.add(report.value().degrade_reason);
+  return fp.hash;
+}
+
+// ---------------------------------------------------------------------------
+// Target: stream_feed.
+
+std::uint64_t run_stream_feed(util::ByteView data) {
+  constexpr const char* kTag = "stream_feed";
+  data = clamp_input(data, kMaxFuzzInputBytes);
+  if (data.size() < 4) return 0;
+  // Header: window geometry and the chunking seed are fuzzer-chosen.
+  const std::size_t window_size = 32 + (data[0] % 8) * 61;   // 32..459.
+  const std::size_t overlap = data[1] % window_size;         // < window.
+  std::uint64_t chunk_state = 0x9E3779B97F4A7C15ull * (data[2] + 1) + data[3];
+  const util::ByteView payload = data.subspan(4);
+
+  core::StreamConfig config;
+  config.window_size = window_size;
+  config.overlap = overlap;
+  config.keep_window_bytes = true;  // The differential oracle needs them.
+  MEL_FUZZ_REQUIRE(config.validate().is_ok(), kTag,
+                   "harness built an invalid StreamConfig");
+
+  // Chunked pass: feed the payload in fuzzer-chosen pieces.
+  core::StreamDetector chunked(config);
+  std::vector<core::StreamAlert> chunked_alerts;
+  std::size_t offset = 0;
+  while (offset < payload.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(1 + mix(chunk_state) % 97,
+                              payload.size() - offset);
+    std::vector<core::StreamAlert> batch =
+        chunked.feed(payload.subspan(offset, chunk));
+    for (core::StreamAlert& alert : batch) {
+      chunked_alerts.push_back(std::move(alert));
+    }
+    offset += chunk;
+  }
+  for (core::StreamAlert& alert : chunked.finish()) {
+    chunked_alerts.push_back(std::move(alert));
+  }
+
+  // Whole-buffer pass: one feed of everything.
+  core::StreamDetector whole(config);
+  std::vector<core::StreamAlert> whole_alerts = whole.feed(payload);
+  for (core::StreamAlert& alert : whole.finish()) {
+    whole_alerts.push_back(std::move(alert));
+  }
+
+  // Oracle 1: chunk boundaries must be invisible — identical alerts.
+  MEL_FUZZ_REQUIRE(chunked_alerts.size() == whole_alerts.size(), kTag,
+                   "chunked and whole-buffer feeds raised different alerts");
+  for (std::size_t i = 0; i < chunked_alerts.size(); ++i) {
+    const core::StreamAlert& a = chunked_alerts[i];
+    const core::StreamAlert& b = whole_alerts[i];
+    MEL_FUZZ_REQUIRE(a.stream_offset == b.stream_offset, kTag,
+                     "alert offsets diverge across chunkings");
+    MEL_FUZZ_REQUIRE(a.verdict.malicious == b.verdict.malicious &&
+                         a.verdict.mel == b.verdict.mel &&
+                         a.verdict.threshold == b.verdict.threshold,
+                     kTag, "alert verdicts diverge across chunkings");
+  }
+  MEL_FUZZ_REQUIRE(chunked.bytes_consumed() == payload.size() &&
+                       whole.bytes_consumed() == payload.size(),
+                   kTag, "stream lost or double-counted bytes");
+
+  // Oracle 2 (differential): every flagged window, re-scanned standalone
+  // through the full ScanService path with the same detector config, must
+  // reach the same verdict — the streaming tier adds reassembly, never
+  // different detection semantics. (Stream and service both run the
+  // default DetectorConfig with no budget here.)
+  static const service::ScanService& oracle_service = []() -> auto& {
+    static util::StatusOr<service::ScanService> service =
+        service::ScanService::create(service::ServiceConfig{});
+    if (!service.is_ok()) {
+      oracle_failure("stream_feed", "oracle service config rejected");
+    }
+    return service.value();
+  }();
+  Fingerprint fp;
+  for (const core::StreamAlert& alert : chunked_alerts) {
+    MEL_FUZZ_REQUIRE(!alert.window.empty(), kTag,
+                     "keep_window_bytes alert carried no window bytes");
+    const util::StatusOr<service::ScanReport> rescan = oracle_service.scan(
+        service::ScanRequest{.payload = util::ByteView(alert.window)});
+    MEL_FUZZ_REQUIRE(rescan.is_ok(), kTag,
+                     "whole-buffer rescan of an alert window failed");
+    const core::Verdict& rescanned = rescan.value().verdict;
+    MEL_FUZZ_REQUIRE(rescanned.malicious == alert.verdict.malicious &&
+                         rescanned.mel == alert.verdict.mel &&
+                         rescanned.threshold == alert.verdict.threshold,
+                     kTag,
+                     "chunked stream verdict disagrees with whole-buffer "
+                     "ScanService::scan on the same window");
+    fp.add(alert.stream_offset);
+    add_verdict(fp, alert.verdict);
+  }
+  fp.add(static_cast<std::uint64_t>(chunked.windows_scanned()));
+  return fp.hash;
+}
+
+// ---------------------------------------------------------------------------
+// Target: assembler_roundtrip.
+
+/// Registers safe for memory-base operands: esp needs a SIB byte and ebp
+/// a displacement, which the minimal assembler's [base] form does not
+/// emit — exclude both rather than encode something the decoder would
+/// legitimately read differently.
+disasm::Gpr safe_base(std::uint8_t byte) {
+  constexpr disasm::Gpr kBases[6] = {disasm::Gpr::kEax, disasm::Gpr::kEcx,
+                                     disasm::Gpr::kEdx, disasm::Gpr::kEbx,
+                                     disasm::Gpr::kEsi, disasm::Gpr::kEdi};
+  return kBases[byte % 6];
+}
+
+disasm::Gpr any_gpr(std::uint8_t byte) {
+  return static_cast<disasm::Gpr>(byte % 8);
+}
+
+std::uint64_t run_assembler_roundtrip(util::ByteView data) {
+  constexpr const char* kTag = "assembler_roundtrip";
+  data = clamp_input(data, 512);  // ~64 instructions is plenty of program.
+
+  disasm::Assembler assembler;
+  std::vector<disasm::Mnemonic> expected;
+  std::size_t cursor = 0;
+  const auto next = [&]() -> std::uint8_t {
+    return cursor < data.size() ? data[cursor++] : 0;
+  };
+  const auto next_u32 = [&]() -> std::uint32_t {
+    return static_cast<std::uint32_t>(next()) |
+           (static_cast<std::uint32_t>(next()) << 8) |
+           (static_cast<std::uint32_t>(next()) << 16) |
+           (static_cast<std::uint32_t>(next()) << 24);
+  };
+
+  int emitted = 0;
+  while (cursor < data.size() && emitted < 64) {
+    ++emitted;
+    switch (next() % 17) {
+      case 0:
+        assembler.mov_imm(any_gpr(next()), next_u32());
+        expected.push_back(disasm::Mnemonic::kMov);
+        break;
+      case 1:
+        assembler.mov_imm8(any_gpr(next()), next());
+        expected.push_back(disasm::Mnemonic::kMov);
+        break;
+      case 2:
+        assembler.mov(any_gpr(next()), any_gpr(next()));
+        expected.push_back(disasm::Mnemonic::kMov);
+        break;
+      case 3:
+        assembler.mov_to_mem(safe_base(next()), any_gpr(next()));
+        expected.push_back(disasm::Mnemonic::kMov);
+        break;
+      case 4:
+        assembler.mov_from_mem(any_gpr(next()), safe_base(next()));
+        expected.push_back(disasm::Mnemonic::kMov);
+        break;
+      case 5:
+        assembler.xor_(any_gpr(next()), any_gpr(next()));
+        expected.push_back(disasm::Mnemonic::kXor);
+        break;
+      case 6:
+        assembler.and_imm(any_gpr(next()), next_u32());
+        expected.push_back(disasm::Mnemonic::kAnd);
+        break;
+      case 7:
+        assembler.sub_imm(any_gpr(next()), next_u32());
+        expected.push_back(disasm::Mnemonic::kSub);
+        break;
+      case 8:
+        assembler.add_imm(any_gpr(next()), next_u32());
+        expected.push_back(disasm::Mnemonic::kAdd);
+        break;
+      case 9:
+        assembler.inc(any_gpr(next()));
+        expected.push_back(disasm::Mnemonic::kInc);
+        break;
+      case 10:
+        assembler.dec(any_gpr(next()));
+        expected.push_back(disasm::Mnemonic::kDec);
+        break;
+      case 11:
+        assembler.push(any_gpr(next()));
+        expected.push_back(disasm::Mnemonic::kPush);
+        break;
+      case 12:
+        assembler.pop(any_gpr(next()));
+        expected.push_back(disasm::Mnemonic::kPop);
+        break;
+      case 13:
+        assembler.push_imm8(static_cast<std::int8_t>(next()));
+        expected.push_back(disasm::Mnemonic::kPush);
+        break;
+      case 14:
+        assembler.cmp_imm8(any_gpr(next()), next());
+        expected.push_back(disasm::Mnemonic::kCmp);
+        break;
+      case 15:
+        assembler.int_(next());
+        expected.push_back(disasm::Mnemonic::kInt);
+        break;
+      case 16: {
+        // Forward control flow over a run of nops: the only label shape
+        // the round-trip can always validate (text jumps are forward).
+        const std::uint8_t kind = next();
+        const int fill = next() % 6;
+        disasm::Assembler::Label label = assembler.make_label();
+        switch (kind % 3) {
+          case 0:
+            assembler.jmp(label);
+            expected.push_back(disasm::Mnemonic::kJmp);
+            break;
+          case 1:
+            assembler.jcc(static_cast<disasm::Cond>(next() % 16), label);
+            expected.push_back(disasm::Mnemonic::kJcc);
+            break;
+          default:
+            assembler.call(label);
+            expected.push_back(disasm::Mnemonic::kCall);
+            break;
+        }
+        for (int i = 0; i < fill; ++i) {
+          assembler.nop();
+          expected.push_back(disasm::Mnemonic::kNop);
+        }
+        assembler.bind(label);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  assembler.ret();
+  expected.push_back(disasm::Mnemonic::kRet);
+
+  const util::ByteBuffer code = assembler.take();
+  const std::vector<disasm::Instruction> decoded =
+      disasm::linear_sweep(util::ByteView(code));
+  MEL_FUZZ_REQUIRE(decoded.size() == expected.size(), kTag,
+                   "decode(assemble(x)) found a different instruction count");
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    MEL_FUZZ_REQUIRE(disasm::decoded_ok(decoded[i]), kTag,
+                     "assembled instruction decoded as invalid");
+    MEL_FUZZ_REQUIRE(decoded[i].mnemonic == expected[i], kTag,
+                     "decode(assemble(x)) changed an instruction");
+    covered += decoded[i].length;
+  }
+  MEL_FUZZ_REQUIRE(covered == code.size(), kTag,
+                   "assembled stream has trailing undecoded bytes");
+
+  Fingerprint fp;
+  fp.add_bytes(code.data(), code.size());
+  for (disasm::Mnemonic mnemonic : expected) {
+    fp.add(static_cast<std::uint64_t>(mnemonic));
+  }
+  return fp.hash;
+}
+
+}  // namespace
+
+std::string_view target_name(Target target) noexcept {
+  switch (target) {
+    case Target::kDecoder:
+      return "decoder";
+    case Target::kExecMel:
+      return "exec_mel";
+    case Target::kConfigJson:
+      return "config_json";
+    case Target::kScanRequest:
+      return "scan_request";
+    case Target::kStreamFeed:
+      return "stream_feed";
+    case Target::kAssemblerRoundtrip:
+      return "assembler_roundtrip";
+  }
+  return "unknown";
+}
+
+std::optional<Target> target_from_name(std::string_view name) noexcept {
+  for (Target target : all_targets()) {
+    if (target_name(target) == name) return target;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t one_input(Target target, util::ByteView data) {
+  switch (target) {
+    case Target::kDecoder:
+      return run_decoder(data);
+    case Target::kExecMel:
+      return run_exec_mel(data);
+    case Target::kConfigJson:
+      return run_config_json(data);
+    case Target::kScanRequest:
+      return run_scan_request(data);
+    case Target::kStreamFeed:
+      return run_stream_feed(data);
+    case Target::kAssemblerRoundtrip:
+      return run_assembler_roundtrip(data);
+  }
+  oracle_failure("harness", "unknown fuzz target");
+}
+
+}  // namespace mel::fuzz

@@ -1,0 +1,64 @@
+#pragma once
+// Shared fuzz-harness entry points: one function per attack surface, each
+// consuming arbitrary bytes and checking its oracles (crash-freedom plus
+// target-specific invariants — decoder progress, config round-trip,
+// chunked-vs-whole stream agreement, assemble/decode inversion).
+//
+// The same code compiles in two modes:
+//  * a libFuzzer binary per target (clang, -fsanitize=fuzzer + ASan/UBSan;
+//    see fuzz/CMakeLists.txt and docs/fuzzing.md) for coverage-guided
+//    exploration, and
+//  * a plain corpus-replay runner (any compiler) registered in ctest, so
+//    every checked-in corpus file under fuzz/corpus/<target>/ is a
+//    deterministic tier-1 regression test.
+//
+// one_input() returns a fingerprint of the observable outcome (verdict
+// bits, status codes, rendered text — never wall-clock or scan ids), so
+// replay harnesses can assert bit-for-bit determinism by running an input
+// twice and comparing. Oracle violations print a diagnostic and abort():
+// under libFuzzer that is a saved crash input, under ctest a failed test.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "mel/util/bytes.hpp"
+
+namespace mel::fuzz {
+
+enum class Target : std::uint8_t {
+  kDecoder = 0,          ///< disasm decode / linear sweep / formatter.
+  kExecMel,              ///< decode + MEL sweep/DAG/explorer with guards.
+  kConfigJson,           ///< config_io parse -> serialize -> reparse.
+  kScanRequest,          ///< full ScanRequest path under size caps.
+  kStreamFeed,           ///< chunked StreamDetector vs whole-buffer scan.
+  kAssemblerRoundtrip,   ///< decode(assemble(x)) == x.
+};
+
+inline constexpr std::size_t kTargetCount = 6;
+
+[[nodiscard]] constexpr std::array<Target, kTargetCount> all_targets() {
+  return {Target::kDecoder,     Target::kExecMel,
+          Target::kConfigJson,  Target::kScanRequest,
+          Target::kStreamFeed,  Target::kAssemblerRoundtrip};
+}
+
+/// Stable lowercase name, doubling as the corpus subdirectory name
+/// (fuzz/corpus/<name>/) and the fuzz binary suffix (fuzz_<name>).
+[[nodiscard]] std::string_view target_name(Target target) noexcept;
+
+/// Inverse of target_name; nullopt for unknown names.
+[[nodiscard]] std::optional<Target> target_from_name(
+    std::string_view name) noexcept;
+
+/// Per-input byte cap applied by every harness before any work: inputs
+/// beyond it are truncated, so a fuzzer handing us a huge buffer probes
+/// the size-cap paths instead of timing out on O(n) engines.
+inline constexpr std::size_t kMaxFuzzInputBytes = std::size_t{1} << 16;
+
+/// Runs one fuzz input through `target` and returns the outcome
+/// fingerprint. Never throws; aborts on an oracle violation.
+std::uint64_t one_input(Target target, util::ByteView data);
+
+}  // namespace mel::fuzz

@@ -1,0 +1,181 @@
+// Seed-corpus generator: writes deterministic starting inputs for every
+// fuzz target under <output root>/<target>/, drawing on the repo's own
+// adversarial generators (text worm encoder, sled/register-spring worms)
+// and benign traffic synthesizers (HTTP, email) so the fuzzers begin on
+// the interesting manifolds instead of random bytes.
+//
+//   mel_fuzz_make_corpus [output root]   (default: fuzz/corpus)
+//
+// Output is a pure function of the fixed seeds below: rerunning the tool
+// reproduces the checked-in corpus byte for byte (file sizes are capped
+// well under kMaxFuzzInputBytes to keep the tree small).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mel/core/config_io.hpp"
+#include "mel/core/detector.hpp"
+#include "mel/fuzz/harness.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/traffic/email_gen.hpp"
+#include "mel/traffic/http_gen.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path g_root;
+int g_written = 0;
+
+void write_seed(mel::fuzz::Target target, const std::string& name,
+                mel::util::ByteView bytes) {
+  const fs::path dir = g_root / std::string(mel::fuzz::target_name(target));
+  fs::create_directories(dir);
+  const fs::path file = dir / name;
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", file.string().c_str());
+    std::exit(1);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ++g_written;
+}
+
+void write_seed(mel::fuzz::Target target, const std::string& name,
+                const std::string& text) {
+  write_seed(target, name, mel::util::to_bytes(text));
+}
+
+/// Prepends harness header bytes to a payload.
+mel::util::ByteBuffer with_header(std::initializer_list<std::uint8_t> header,
+                                  mel::util::ByteView payload) {
+  mel::util::ByteBuffer out(header);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_root = argc > 1 ? fs::path(argv[1]) : fs::path("fuzz/corpus");
+
+  mel::util::Xoshiro256 rng(20080617);  // ICDCS 2008 vintage.
+  const std::vector<mel::textcode::Shellcode>& binaries =
+      mel::textcode::binary_shellcode_corpus();
+  const std::vector<mel::textcode::Shellcode> worms =
+      mel::textcode::text_worm_corpus(6, 1234);
+  mel::traffic::HttpGenerator http(7);
+  mel::traffic::EmailGenerator email;
+  const std::string http_body =
+      http.make_response(1500, rng).body.substr(0, 1500);
+  const std::vector<mel::util::ByteBuffer> mails =
+      email.make_mail_corpus(2, 1024, 99);
+
+  using mel::fuzz::Target;
+
+  // decoder: raw bytes straight into linear_sweep/format.
+  write_seed(Target::kDecoder, "shellcode_execve", binaries.at(0).bytes);
+  write_seed(Target::kDecoder, "shellcode_staged", binaries.back().bytes);
+  write_seed(Target::kDecoder, "text_worm", worms.at(0).bytes);
+  write_seed(Target::kDecoder, "http_body", http_body);
+  write_seed(Target::kDecoder, "sled_worm",
+             mel::textcode::make_sled_worm(binaries.at(1), 96, 16, rng));
+  write_seed(Target::kDecoder, "prefix_soup",
+             std::string("\x66\x67\xF0\xF2\x2E\x3E\x0F\x0F\x0F", 9) +
+                 std::string(64, '\x90'));
+  write_seed(Target::kDecoder, "truncated_imm", std::string("\xB8\x41", 2));
+
+  // exec_mel: [engine_sel, rules_sel] + payload.
+  write_seed(Target::kExecMel, "sweep_text_worm",
+             with_header({0, 0}, worms.at(1).bytes));
+  write_seed(Target::kExecMel, "dag_shellcode",
+             with_header({1, 0x0F}, binaries.at(2).bytes));
+  write_seed(Target::kExecMel, "explorer_strict_spring",
+             with_header({2, 0x3F},
+                         mel::textcode::make_register_spring_worm(
+                             binaries.at(0), 128, 8, rng)));
+  write_seed(Target::kExecMel, "budgeted_http",
+             with_header({static_cast<std::uint8_t>(0x80 | 1), 0x47},
+                         mel::util::to_bytes(http_body)));
+  write_seed(Target::kExecMel, "poly_sled",
+             with_header({2, 0x20},
+                         mel::textcode::make_polymorphic_sled(200, rng)));
+
+  // config_json: melcfg text, valid and broken.
+  mel::core::DetectorConfig config;
+  write_seed(Target::kConfigJson, "default", serialize_config(config));
+  config.alpha = 0.001953125;  // Exactly representable.
+  config.engine = mel::exec::MelEngine::kAllPathsDag;
+  config.measure_input = true;
+  write_seed(Target::kConfigJson, "dag_measured", serialize_config(config));
+  mel::core::CharFrequencyTable table{};
+  for (int b = mel::util::kTextLow; b <= mel::util::kTextHigh; ++b) {
+    table[static_cast<std::size_t>(b)] = 1.0 / mel::util::kTextDomainSize;
+  }
+  config = mel::core::DetectorConfig{};
+  config.preset_frequencies = table;
+  write_seed(Target::kConfigJson, "uniform_freqs", serialize_config(config));
+  write_seed(Target::kConfigJson, "bad_magic", std::string("melcfg 2\n"));
+  write_seed(Target::kConfigJson, "bad_alpha",
+             std::string("melcfg 1\nalpha 1.5\n"));
+  write_seed(Target::kConfigJson, "unknown_key",
+             std::string("melcfg 1\nalpha 0.01\nbogus key\n"));
+
+  // scan_request: [engine selector] + payload.
+  write_seed(Target::kScanRequest, "worm_sweep",
+             with_header({0}, worms.at(2).bytes));
+  write_seed(Target::kScanRequest, "mail_dag", with_header({1}, mails.at(0)));
+  write_seed(Target::kScanRequest, "shellcode_explorer",
+             with_header({2}, binaries.at(3).bytes));
+  write_seed(Target::kScanRequest, "http_sweep",
+             with_header({0}, mel::util::to_bytes(http_body)));
+  {
+    // Over the harness services' 16 KiB cap: exercises kPayloadTooLarge.
+    mel::util::ByteBuffer big(17 * 1024, std::uint8_t{'A'});
+    write_seed(Target::kScanRequest, "over_cap", with_header({0}, big));
+  }
+
+  // stream_feed: [window sel, overlap sel, seed, seed] + stream bytes.
+  {
+    // A text worm embedded mid-stream in benign HTTP text, so windows
+    // before, across and after the worm all get scanned.
+    mel::util::ByteBuffer stream = mel::util::to_bytes(http_body);
+    stream.insert(stream.end(), worms.at(3).bytes.begin(),
+                  worms.at(3).bytes.end());
+    const mel::util::ByteBuffer tail = mel::util::to_bytes(http_body);
+    stream.insert(stream.end(), tail.begin(), tail.end());
+    write_seed(Target::kStreamFeed, "worm_in_http",
+               with_header({3, 17, 5, 9}, stream));
+  }
+  write_seed(Target::kStreamFeed, "mail_small_windows",
+             with_header({0, 3, 1, 2}, mails.at(1)));
+  write_seed(Target::kStreamFeed, "shellcode_wide",
+             with_header({7, 200, 40, 1}, binaries.back().bytes));
+  write_seed(Target::kStreamFeed, "empty_stream",
+             mel::util::ByteBuffer{5, 0, 0, 0});
+
+  // assembler_roundtrip: opcode-choice byte programs; random bytes are
+  // already well-formed inputs for the builder.
+  {
+    mel::util::Xoshiro256 program_rng(4242);
+    for (int i = 0; i < 4; ++i) {
+      mel::util::ByteBuffer program(32 + 96 * static_cast<std::size_t>(i));
+      for (std::uint8_t& b : program) {
+        b = static_cast<std::uint8_t>(program_rng());
+      }
+      write_seed(Target::kAssemblerRoundtrip,
+                 "program_" + std::to_string(i), program);
+    }
+  }
+
+  std::printf("wrote %d seed inputs under %s\n", g_written,
+              g_root.string().c_str());
+  return 0;
+}

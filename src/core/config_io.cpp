@@ -1,8 +1,11 @@
 #include "mel/core/config_io.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "mel/util/logging.hpp"
 
 namespace mel::core {
 
@@ -27,7 +30,12 @@ std::string_view engine_name(exec::MelEngine engine) {
 std::string serialize_config(const DetectorConfig& config) {
   std::ostringstream out;
   out << kMagic << '\n';
-  out << "alpha " << config.alpha << '\n';
+  // %.17g guarantees double round-trip: a saved calibration reloads to
+  // exactly the alpha it was calibrated with (default stream precision
+  // silently truncated to 6 significant digits).
+  char alpha_line[64];
+  std::snprintf(alpha_line, sizeof(alpha_line), "alpha %.17g\n", config.alpha);
+  out << alpha_line;
   out << "engine " << engine_name(config.engine) << '\n';
   out << "measure_input " << (config.measure_input ? 1 : 0) << '\n';
   out << "early_exit " << (config.early_exit ? 1 : 0) << '\n';
@@ -36,7 +44,7 @@ std::string serialize_config(const DetectorConfig& config) {
       const double probability = (*config.preset_frequencies)[b];
       if (probability > 0.0) {
         char line[64];
-        std::snprintf(line, sizeof(line), "freq %d %.12g\n", b, probability);
+        std::snprintf(line, sizeof(line), "freq %d %.17g\n", b, probability);
         out << line;
       }
     }
@@ -45,11 +53,16 @@ std::string serialize_config(const DetectorConfig& config) {
   return out.str();
 }
 
-util::Result<DetectorConfig> parse_config(std::string_view text) {
+util::StatusOr<DetectorConfig> parse_config_checked(std::string_view text) {
+  if (text.size() > kMaxConfigTextBytes) {
+    return util::Status::invalid_argument(
+        "config text is " + std::to_string(text.size()) +
+        " bytes; the cap is " + std::to_string(kMaxConfigTextBytes));
+  }
   std::istringstream in{std::string(text)};
   std::string line;
   if (!std::getline(in, line) || line != kMagic) {
-    return util::Err("not a melcfg file (bad magic)");
+    return util::Status::invalid_argument("not a melcfg file (bad magic)");
   }
   DetectorConfig config;
   CharFrequencyTable table{};
@@ -65,7 +78,7 @@ util::Result<DetectorConfig> parse_config(std::string_view text) {
       break;
     } else if (key == "alpha") {
       fields >> config.alpha;
-      if (!fields) return util::Err("bad alpha");
+      if (!fields) return util::Status::invalid_argument("bad alpha");
       // Domain checking is deferred to DetectorConfig::validate() below —
       // one validation path for files and programmatic configs alike.
     } else if (key == "engine") {
@@ -78,7 +91,8 @@ util::Result<DetectorConfig> parse_config(std::string_view text) {
       } else if (name == "explorer") {
         config.engine = exec::MelEngine::kPathExplorer;
       } else {
-        return util::Err("bad engine: " + name);
+        return util::Status::invalid_argument(
+            "bad engine: " + util::escape_log_field(name));
       }
     } else if (key == "measure_input") {
       int flag = 0;
@@ -92,29 +106,40 @@ util::Result<DetectorConfig> parse_config(std::string_view text) {
       int byte = -1;
       double probability = -1.0;
       fields >> byte >> probability;
-      if (!fields || byte < 0 || byte > 255 || probability < 0.0 ||
-          probability > 1.0) {
-        return util::Err("bad freq line: " + line);
+      if (!fields || byte < 0 || byte > 255 ||
+          !(probability >= 0.0 && probability <= 1.0) /* rejects NaN */) {
+        return util::Status::invalid_argument(
+            "bad freq line: " + util::escape_log_field(line));
       }
       table[byte] = probability;
       has_frequencies = true;
     } else {
-      return util::Err("unknown key: " + key);
+      return util::Status::invalid_argument(
+          "unknown key: " + util::escape_log_field(key));
     }
   }
-  if (!saw_end) return util::Err("truncated config (no 'end')");
+  if (!saw_end) {
+    return util::Status::invalid_argument("truncated config (no 'end')");
+  }
   if (has_frequencies) {
     double total = 0.0;
     for (double probability : table) total += probability;
     if (total < 0.99 || total > 1.01) {
-      return util::Err("frequency table does not sum to 1");
+      return util::Status::invalid_argument(
+          "frequency table does not sum to 1");
     }
     config.preset_frequencies = table;
   }
   if (util::Status status = config.validate(); !status.is_ok()) {
-    return util::Err(std::string(status.message()));
+    return status;
   }
   return config;
+}
+
+util::Result<DetectorConfig> parse_config(std::string_view text) {
+  util::StatusOr<DetectorConfig> parsed = parse_config_checked(text);
+  if (!parsed.is_ok()) return util::Err(std::string(parsed.status().message()));
+  return std::move(parsed).take();
 }
 
 bool save_config(const DetectorConfig& config, const std::string& path) {
@@ -125,8 +150,17 @@ bool save_config(const DetectorConfig& config, const std::string& path) {
 }
 
 util::Result<DetectorConfig> load_config(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return util::Err("cannot open " + path);
+  // Check the size before buffering, so a multi-GB file is refused
+  // without ever being read into memory.
+  const std::streamoff size = in.tellg();
+  if (size < 0 ||
+      static_cast<std::uintmax_t>(size) > kMaxConfigTextBytes) {
+    return util::Err("config file " + path + " exceeds the " +
+                     std::to_string(kMaxConfigTextBytes) + "-byte cap");
+  }
+  in.seekg(0);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse_config(buffer.str());

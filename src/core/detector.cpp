@@ -82,6 +82,12 @@ double MelDetector::derive_threshold(const CharFrequencyTable& frequencies,
   if (config_.fixed_threshold) return *config_.fixed_threshold;
   const EstimatedParameters params =
       estimate_parameters(frequencies, input_chars, config_.estimation);
+  // llround of a non-finite or >2^63 double is UB; route such estimates
+  // (hostile frequency tables, absurd C) to the degenerate path instead.
+  if (!std::isfinite(params.n) ||
+      params.n >= 9.2e18 /* ~2^63, below the llround UB bound */) {
+    return static_cast<double>(input_chars);
+  }
   const auto n = static_cast<std::int64_t>(std::llround(params.n));
   if (n < 1 || params.p <= 0.0 || params.p >= 1.0) {
     // Degenerate input (empty, or a frequency table with no invalidating

@@ -10,14 +10,28 @@
 
 #include "mel/core/detector.hpp"
 #include "mel/util/result.hpp"
+#include "mel/util/status.hpp"
 
 namespace mel::core {
 
-/// Renders the config's statistical state. Stable, diff-friendly.
+/// Hard cap on accepted config text. Config files are attacker-adjacent
+/// (shipped to scanners, fetched from management planes); a multi-GB
+/// "config" must be refused up front, not buffered and line-split.
+inline constexpr std::size_t kMaxConfigTextBytes = 1 << 20;
+
+/// Renders the config's statistical state. Stable, diff-friendly, and
+/// lossless: doubles are emitted with round-trip precision, so
+/// parse(serialize(c)) reproduces c's fields bit for bit.
 [[nodiscard]] std::string serialize_config(const DetectorConfig& config);
 
 /// Parses serialize_config output. Unknown keys are rejected (typo
-/// safety); missing sections fall back to defaults.
+/// safety); missing sections fall back to defaults. Typed errors:
+/// kInvalidArgument for malformed/oversized text, kInvalidConfig when the
+/// parsed values fail DetectorConfig::validate().
+[[nodiscard]] util::StatusOr<DetectorConfig> parse_config_checked(
+    std::string_view text);
+
+/// Message-only wrapper around parse_config_checked (legacy callers).
 [[nodiscard]] util::Result<DetectorConfig> parse_config(
     std::string_view text);
 

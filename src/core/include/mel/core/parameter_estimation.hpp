@@ -7,6 +7,8 @@
 #include <array>
 #include <cstdint>
 
+#include "mel/util/status.hpp"
+
 namespace mel::core {
 
 /// Character frequency table: probability per byte value. For text-channel
@@ -38,10 +40,37 @@ struct EstimatedParameters {
   double modrm_probability = 0.0;  ///< P[opcode takes ModR/M | non-prefix].
 };
 
+/// Largest input_chars the estimator accepts: 2^53, the bound below which
+/// every std::size_t converts to double exactly. Beyond it C would be
+/// silently rounded and n = C / E[len] would drift from the true count —
+/// a wraparound-class bug surfaced as a typed error instead.
+inline constexpr std::size_t kMaxEstimationChars =
+    std::size_t{1} << 53;
+
+/// Input validation shared by the checked estimator and callers that want
+/// to pre-flight a table: kInvalidArgument for non-finite or negative
+/// entries, total mass far from a probability distribution (> 1 + 1e-6
+/// or everything zero with input_chars > 0), or a table whose entire mass
+/// sits on prefix bytes (z == 1 leaves no opcode to estimate from).
+[[nodiscard]] util::Status validate_estimation_input(
+    const CharFrequencyTable& frequencies, std::size_t input_chars);
+
 /// Estimates every parameter from the frequency table and the input size.
 /// Precondition: the table's text-domain mass is ~1 (text channel).
+/// Degenerate inputs (all-prefix mass, zero expected length, C beyond
+/// kMaxEstimationChars) yield n == 0 — the callers' existing "no
+/// statistical basis" path — never NaN, Inf, or wrapped integers.
 [[nodiscard]] EstimatedParameters estimate_parameters(
     const CharFrequencyTable& frequencies, std::size_t input_chars,
     const EstimationOptions& options = {});
+
+/// As estimate_parameters, but refuses malformed inputs with a typed
+/// kInvalidArgument (see validate_estimation_input) instead of the
+/// degenerate-result fallback. Service-tier entry points use this so a
+/// hostile frequency table is an error, not a silent n == 0.
+[[nodiscard]] util::StatusOr<EstimatedParameters>
+estimate_parameters_checked(const CharFrequencyTable& frequencies,
+                            std::size_t input_chars,
+                            const EstimationOptions& options = {});
 
 }  // namespace mel::core

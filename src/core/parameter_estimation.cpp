@@ -1,7 +1,9 @@
 #include "mel/core/parameter_estimation.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <span>
+#include <string>
 
 #include "mel/disasm/opcode_table.hpp"
 #include "mel/disasm/text_subset.hpp"
@@ -42,6 +44,42 @@ double wrong_override_probability(const CharFrequencyTable& freq,
 
 }  // namespace
 
+util::Status validate_estimation_input(const CharFrequencyTable& frequencies,
+                                       std::size_t input_chars) {
+  double total = 0.0;
+  for (int b = 0; b < 256; ++b) {
+    const double value = frequencies[b];
+    if (!std::isfinite(value) || value < 0.0) {
+      return util::Status::invalid_argument(
+          "frequency table entry for byte " + std::to_string(b) +
+          " is negative or non-finite");
+    }
+    total += value;
+  }
+  if (total > 1.0 + 1e-6) {
+    return util::Status::invalid_argument(
+        "frequency table mass " + std::to_string(total) +
+        " exceeds 1; not a probability distribution");
+  }
+  if (total == 0.0 && input_chars > 0) {
+    return util::Status::invalid_argument(
+        "frequency table is all-zero but input_chars > 0");
+  }
+  if (input_chars > kMaxEstimationChars) {
+    return util::Status::invalid_argument(
+        "input_chars " + std::to_string(input_chars) +
+        " exceeds the 2^53 exact-double bound; estimation would silently "
+        "lose precision");
+  }
+  const disasm::ByteDistribution dist(frequencies);
+  if (disasm::prefix_char_probability(dist) >= 1.0 - 1e-12) {
+    return util::Status::invalid_argument(
+        "frequency table places all mass on prefix bytes (z == 1); no "
+        "opcode distribution to estimate from");
+  }
+  return util::Status::ok();
+}
+
 EstimatedParameters estimate_parameters(const CharFrequencyTable& frequencies,
                                         std::size_t input_chars,
                                         const EstimationOptions& options) {
@@ -50,12 +88,28 @@ EstimatedParameters estimate_parameters(const CharFrequencyTable& frequencies,
 
   const disasm::ByteDistribution dist(frequencies);
   params.z = disasm::prefix_char_probability(dist);
-  assert(params.z < 1.0);
+  // z == 1 (all mass on prefix bytes) used to be a debug-only assert; a
+  // crafted table then fed Inf/NaN through every downstream quantity in
+  // release builds. Degenerate tables now yield n == 0, which every
+  // caller already treats as "no statistical basis for a threshold".
+  if (params.z >= 1.0 - 1e-12) {
+    params.z = 1.0;
+    return params;
+  }
   params.expected_prefix_chain = disasm::expected_prefix_chain_length(dist);
   params.expected_actual_length =
       disasm::expected_actual_instruction_length(dist);
   params.expected_instruction_length =
       params.expected_prefix_chain + params.expected_actual_length;
+  // Guard the division: a zero/non-finite expected length (empty table)
+  // or a C beyond double's exact-integer range would make n wrap or go
+  // non-finite downstream (llround of >2^63 is UB).
+  if (!(params.expected_instruction_length > 0.0) ||
+      !std::isfinite(params.expected_instruction_length) ||
+      input_chars > kMaxEstimationChars) {
+    params.n = 0.0;
+    return params;
+  }
   params.n = static_cast<double>(input_chars) /
              params.expected_instruction_length;
 
@@ -78,6 +132,16 @@ EstimatedParameters estimate_parameters(const CharFrequencyTable& frequencies,
       params.modrm_probability;
   params.p = params.p_io + params.p_wrong_segment;
   return params;
+}
+
+util::StatusOr<EstimatedParameters> estimate_parameters_checked(
+    const CharFrequencyTable& frequencies, std::size_t input_chars,
+    const EstimationOptions& options) {
+  if (util::Status status = validate_estimation_input(frequencies, input_chars);
+      !status.is_ok()) {
+    return status;
+  }
+  return estimate_parameters(frequencies, input_chars, options);
 }
 
 }  // namespace mel::core

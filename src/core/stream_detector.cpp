@@ -1,6 +1,7 @@
 #include "mel/core/stream_detector.hpp"
 
 #include <cassert>
+#include <limits>
 #include <new>
 #include <string>
 
@@ -123,6 +124,24 @@ util::StatusOr<std::vector<StreamAlert>> StreamDetector::try_feed(
     feeds_rejected_counter_.inc();
     return util::Status::resource_exhausted(
         "injected allocation failure in stream buffer");
+  }
+  // Overflow-safe accounting: `buffer_.size() + bytes.size()` can wrap
+  // std::size_t on a crafted span, turning the cap compare into a no-op.
+  // Compare by subtraction, and refuse a batch that would wrap the u64
+  // consumed counter with a typed error instead of silently wrapping.
+  if (bytes.size() >
+      std::numeric_limits<std::size_t>::max() - buffer_.size()) {
+    ++feeds_rejected_;
+    feeds_rejected_counter_.inc();
+    return util::Status::invalid_argument(
+        "feed of " + std::to_string(bytes.size()) +
+        " bytes would overflow the stream buffer's byte accounting");
+  }
+  if (bytes.size() > std::numeric_limits<std::uint64_t>::max() - consumed_) {
+    ++feeds_rejected_;
+    feeds_rejected_counter_.inc();
+    return util::Status::invalid_argument(
+        "feed would overflow the stream's consumed-byte counter");
   }
   if (config_.max_buffered_bytes != 0 &&
       buffer_.size() + bytes.size() > config_.max_buffered_bytes) {

@@ -195,6 +195,16 @@ MelResult compute_mel_explorer(util::ByteView bytes, const MelOptions& options,
         return result;
       }
       if (limits_tripped(options, steps, result)) return result;
+      // Defense in depth against a pathological frontier: a path visits
+      // each offset at most once (on_path), so the stack holds at most
+      // one backtrack marker plus two children per path position — more
+      // frames than that means a broken invariant, and the surface is
+      // attacker-chosen bytes. Degrade (mel is a lower bound), don't let
+      // the frontier grow without bound.
+      if (stack.size() > 3 * n + 4) {
+        result.budget_exhausted = true;
+        return result;
+      }
 
       const Instruction& insn = instruction_at(frame.offset);
       if (!is_valid_instruction(insn, options.rules, &frame.cpu)) {

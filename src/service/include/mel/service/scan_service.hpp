@@ -57,6 +57,13 @@
 
 namespace mel::service {
 
+/// Architectural payload ceiling (4 GiB), enforced ahead of the
+/// configurable ServiceConfig::max_payload_bytes. Requests beyond it are
+/// malformed (kInvalidArgument): the estimation pipeline and the O(n)
+/// engine tables are not sized for them on any deployment.
+inline constexpr std::uint64_t kAbsoluteMaxPayloadBytes =
+    std::uint64_t{4} << 30;
+
 struct ServiceConfig {
   core::DetectorConfig detector;
 

@@ -221,6 +221,19 @@ util::StatusOr<ScanReport> ScanService::scan_admitted(
     util::fault::advance_clock(util::fault::time_jump());
   }
 
+  // Absolute defensive ceiling, independent of the configured cap: the
+  // estimation pipeline converts byte counts to double and the engines
+  // size O(n) tables from them, so a payload past the architectural
+  // limit is a malformed request (kInvalidArgument), not merely "too
+  // large for this deployment" (kPayloadTooLarge below).
+  if (payload.size() > kAbsoluteMaxPayloadBytes) {
+    return reject(scan_id,
+                  util::Status::invalid_argument(
+                      std::to_string(payload.size()) +
+                      "-byte payload exceeds the scanner's absolute " +
+                      std::to_string(kAbsoluteMaxPayloadBytes) +
+                      "-byte limit"));
+  }
   if (config_.max_payload_bytes != 0 &&
       payload.size() > config_.max_payload_bytes) {
     return reject(scan_id,

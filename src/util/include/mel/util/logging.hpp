@@ -11,11 +11,24 @@
 
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace mel::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Renders payload-derived text safe for a terminal/log sink: backslash
+/// is doubled, \n/\r/\t become their two-character escapes, and every
+/// other byte outside 0x20..0x7E (terminal escape sequences, raw payload
+/// bytes, UTF-8 continuation bytes) becomes \xNN. Log records quote
+/// attacker-controlled bytes — status messages built from payloads,
+/// config parse errors — so an injected ESC ] or \n can never forge a
+/// log line or reprogram the operator's terminal.
+[[nodiscard]] std::string escape_log_field(std::string_view raw);
+
+/// True when escape_log_field(raw) would change raw (fast pre-check).
+[[nodiscard]] bool log_field_needs_escaping(std::string_view raw) noexcept;
 
 /// Global minimum level; messages below it are discarded.
 LogLevel log_threshold() noexcept;

@@ -30,7 +30,50 @@ void write_record(LogLevel level, const std::string& record) {
   std::lock_guard<std::mutex> lock(g_sink_mutex);
   out << record;
 }
+
+constexpr char kHexDigits[] = "0123456789abcdef";
 }  // namespace
+
+bool log_field_needs_escaping(std::string_view raw) noexcept {
+  for (char c : raw) {
+    const auto b = static_cast<unsigned char>(c);
+    if (b < 0x20 || b > 0x7E || b == '\\') return true;
+  }
+  return false;
+}
+
+std::string escape_log_field(std::string_view raw) {
+  if (!log_field_needs_escaping(raw)) return std::string(raw);
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    const auto b = static_cast<unsigned char>(c);
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        continue;
+      case '\n':
+        out += "\\n";
+        continue;
+      case '\r':
+        out += "\\r";
+        continue;
+      case '\t':
+        out += "\\t";
+        continue;
+      default:
+        break;
+    }
+    if (b < 0x20 || b > 0x7E) {
+      out += "\\x";
+      out.push_back(kHexDigits[b >> 4]);
+      out.push_back(kHexDigits[b & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
 
 LogLevel log_threshold() noexcept {
   return g_threshold.load(std::memory_order_relaxed);
@@ -44,7 +87,7 @@ void log_line(LogLevel level, std::string_view message) {
   std::string record;
   record.reserve(message.size() + 16);
   record.append("[").append(level_tag(level)).append("] ");
-  record.append(message).push_back('\n');
+  record.append(escape_log_field(message)).push_back('\n');
   write_record(level, record);
 }
 
@@ -53,10 +96,11 @@ void log_line(LogLevel level, const LogContext& context,
   if (level < log_threshold()) return;
   std::ostringstream oss;
   oss << "[" << level_tag(level) << "] [";
-  oss << (context.component.empty() ? std::string_view("?")
-                                    : context.component);
+  oss << (context.component.empty()
+              ? std::string("?")
+              : escape_log_field(context.component));
   if (context.scan_id != 0) oss << " scan=" << context.scan_id;
-  oss << "] " << message << '\n';
+  oss << "] " << escape_log_field(message) << '\n';
   write_record(level, oss.str());
 }
 

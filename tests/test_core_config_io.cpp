@@ -80,5 +80,62 @@ TEST(ConfigIo, LoadMissingFileFails) {
   EXPECT_FALSE(load_config("/nonexistent/path.melcfg").ok());
 }
 
+// --- Adversarial-input guards --------------------------------------------
+
+TEST(ConfigIo, CheckedParserReturnsTypedErrors) {
+  EXPECT_EQ(parse_config_checked("not a config").code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(parse_config_checked("melcfg 1\nbogus 1\nend\n").code(),
+            util::StatusCode::kInvalidArgument);
+  // Domain errors surface as the config-validation code, not a parse one.
+  EXPECT_EQ(parse_config_checked("melcfg 1\nalpha 1.5\nend\n").code(),
+            util::StatusCode::kInvalidConfig);
+}
+
+TEST(ConfigIo, OversizedConfigTextIsRefusedUpFront) {
+  std::string huge = "melcfg 1\n";
+  huge.append(kMaxConfigTextBytes + 1, '#');
+  const auto parsed = parse_config_checked(huge);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigIo, ParseErrorsNeverLeakRawPayloadBytes) {
+  // A hostile config embedding terminal-escape and control bytes: the
+  // error message must be printable ASCII (escaped), never the raw bytes.
+  const std::string hostile =
+      std::string("melcfg 1\nengine \x1b]0;pwned\x07\n") +
+      "freq 10 \xff\n" + std::string("ev\nil key\n");
+  for (const std::string& text :
+       {hostile, std::string("melcfg 1\n\x1b[31mboo 1\n")}) {
+    const auto parsed = parse_config_checked(text);
+    ASSERT_FALSE(parsed.is_ok());
+    for (const char c : parsed.status().message()) {
+      const auto b = static_cast<unsigned char>(c);
+      EXPECT_GE(b, 0x20u) << "raw control byte in: "
+                          << parsed.status().message();
+      EXPECT_LE(b, 0x7Eu);
+    }
+  }
+}
+
+TEST(ConfigIo, SerializationIsLosslessForAwkwardDoubles) {
+  DetectorConfig original;
+  original.alpha = 0.1;  // Not exactly representable; needs %.17g.
+  CharFrequencyTable table{};
+  table['a'] = 1.0 / 3.0;
+  table['b'] = 2.0 / 3.0;
+  original.preset_frequencies = table;
+  const auto parsed = parse_config_checked(serialize_config(original));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().alpha, original.alpha);  // Bitwise, not NEAR.
+  ASSERT_TRUE(parsed.value().preset_frequencies.has_value());
+  EXPECT_EQ((*parsed.value().preset_frequencies)['a'], 1.0 / 3.0);
+  EXPECT_EQ((*parsed.value().preset_frequencies)['b'], 2.0 / 3.0);
+  // And serialization is a fixpoint: re-serializing the reparse yields
+  // the identical text (the fuzz round-trip oracle relies on this).
+  EXPECT_EQ(serialize_config(parsed.value()), serialize_config(original));
+}
+
 }  // namespace
 }  // namespace mel::core

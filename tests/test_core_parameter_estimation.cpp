@@ -1,5 +1,8 @@
 #include "mel/core/parameter_estimation.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "mel/traffic/dataset.hpp"
@@ -107,6 +110,72 @@ TEST(ParameterEstimation, ModRmProbabilityCountsCorrectOpcodes) {
   dist['A'] = 0.7;
   const EstimatedParameters params = estimate_parameters(dist, 1000);
   EXPECT_NEAR(params.modrm_probability, 0.3, 1e-12);
+}
+
+// --- Adversarial-input guards (see validate_estimation_input) -----------
+
+TEST(ParameterEstimation, AllPrefixMassYieldsDegenerateNotCrash) {
+  // Every byte a prefix: z == 1 used to trip an assert (debug) or divide
+  // toward Inf (release). Now: a degenerate n == 0 result.
+  CharFrequencyTable dist{};
+  dist[0x26] = 1.0;  // es: override prefix, '&'.
+  const EstimatedParameters params = estimate_parameters(dist, 4000);
+  EXPECT_EQ(params.n, 0.0);
+  EXPECT_TRUE(std::isfinite(params.n));
+
+  const auto checked = estimate_parameters_checked(dist, 4000);
+  ASSERT_FALSE(checked.is_ok());
+  EXPECT_EQ(checked.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ParameterEstimation, CheckedRejectsMalformedTables) {
+  const auto uniform = uniform_text_distribution();
+
+  CharFrequencyTable negative = uniform;
+  negative['a'] = -0.25;
+  EXPECT_EQ(estimate_parameters_checked(negative, 100).code(),
+            util::StatusCode::kInvalidArgument);
+
+  CharFrequencyTable nan_entry = uniform;
+  nan_entry['a'] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(estimate_parameters_checked(nan_entry, 100).code(),
+            util::StatusCode::kInvalidArgument);
+
+  CharFrequencyTable inf_entry = uniform;
+  inf_entry['a'] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(estimate_parameters_checked(inf_entry, 100).code(),
+            util::StatusCode::kInvalidArgument);
+
+  CharFrequencyTable overweight = uniform;
+  overweight['a'] = 2.0;  // Total mass ~3: not a distribution.
+  EXPECT_EQ(estimate_parameters_checked(overweight, 100).code(),
+            util::StatusCode::kInvalidArgument);
+
+  CharFrequencyTable empty{};
+  EXPECT_EQ(estimate_parameters_checked(empty, 100).code(),
+            util::StatusCode::kInvalidArgument);
+  // All-zero with zero input chars is vacuously fine.
+  EXPECT_TRUE(validate_estimation_input(empty, 0).is_ok());
+
+  EXPECT_TRUE(validate_estimation_input(uniform, 4000).is_ok());
+  const auto ok = estimate_parameters_checked(uniform, 4000);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_GT(ok.value().n, 0.0);
+}
+
+TEST(ParameterEstimation, InputBeyondDoubleExactnessIsRefused) {
+  const auto uniform = uniform_text_distribution();
+  // 2^53 is the last exactly-representable integer; beyond it C would
+  // silently round inside the double pipeline.
+  EXPECT_TRUE(validate_estimation_input(uniform, kMaxEstimationChars).is_ok());
+  EXPECT_EQ(
+      validate_estimation_input(uniform, kMaxEstimationChars + 1).code(),
+      util::StatusCode::kInvalidArgument);
+
+  // The unchecked estimator degrades instead of wrapping.
+  const EstimatedParameters params =
+      estimate_parameters(uniform, kMaxEstimationChars + 1);
+  EXPECT_EQ(params.n, 0.0);
 }
 
 TEST(ParameterEstimation, MeasuredCorpusDistributionIsUsable) {

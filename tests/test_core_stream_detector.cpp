@@ -1,5 +1,7 @@
 #include "mel/core/stream_detector.hpp"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "mel/textcode/encoder.hpp"
@@ -163,6 +165,34 @@ TEST(StreamDetector, RecoversAcceptanceAfterBackpressureRefusal) {
   // The high-water mark recorded the closest approach to the cap.
   EXPECT_LE(stream.buffer_high_water_bytes(), config.max_buffered_bytes);
   EXPECT_GT(stream.buffer_high_water_bytes(), 0u);
+}
+
+TEST(StreamDetector, AbsurdBatchSizeIsATypedErrorNotAWraparound) {
+  StreamConfig config;
+  config.window_size = 256;
+  config.overlap = 32;
+  StreamDetector stream(config);
+
+  // Park some bytes below one window so the buffer is non-empty.
+  const auto text = benign_text(100, 7);
+  ASSERT_TRUE(stream.try_feed(text).is_ok());
+  ASSERT_GT(stream.pending_bytes(), 0u);
+
+  // A batch whose claimed size would wrap size_t byte accounting. The
+  // guard must reject on the size alone — the pointer is never
+  // dereferenced (the span's data is a single real byte).
+  const std::uint8_t byte = 0x41;
+  const util::ByteView forged(&byte,
+                              std::numeric_limits<std::size_t>::max());
+  const auto refused = stream.try_feed(forged);
+  ASSERT_FALSE(refused.is_ok());
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(stream.feeds_rejected(), 1u);
+
+  // The stream is not poisoned: normal feeding still works.
+  const auto after = stream.try_feed(benign_text(500, 8));
+  EXPECT_TRUE(after.is_ok());
+  EXPECT_GT(stream.bytes_consumed(), 0u);
 }
 
 }  // namespace

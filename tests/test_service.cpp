@@ -115,6 +115,24 @@ TEST_F(ServiceTest, OversizedPayloadIsRefusedTyped) {
   EXPECT_TRUE(service.scan(ScanRequest{.payload = benign_text(1024, 2)}).is_ok());
 }
 
+TEST_F(ServiceTest, ArchitecturalPayloadCeilingIsMalformedNotTooLarge) {
+  // Even an "unlimited" service (max_payload_bytes = 0) refuses payloads
+  // over the 4 GiB architectural ceiling — as kInvalidArgument (a
+  // malformed request), not kPayloadTooLarge (a policy limit). The size
+  // check fires before any byte is read: the span's data is one real
+  // byte with a forged length.
+  ScanService service = make_service();
+  const std::uint8_t byte = 0x41;
+  const auto huge = static_cast<std::size_t>(kAbsoluteMaxPayloadBytes) + 1;
+  const auto outcome =
+      service.scan(ScanRequest{.payload = util::ByteView(&byte, huge)});
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.stats().rejects(util::StatusCode::kInvalidArgument), 1u);
+  // The service still scans normal payloads afterwards.
+  EXPECT_TRUE(service.scan(ScanRequest{.payload = benign_text(256, 9)}).is_ok());
+}
+
 TEST_F(ServiceTest, ScanIdsAreSequentialAndStatsAdd) {
   ScanService service = make_service();
   const auto first = service.scan(ScanRequest{.payload = benign_text(512, 3)});

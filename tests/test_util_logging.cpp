@@ -1,0 +1,72 @@
+// Log-field escaping: payload-derived bytes must reach the log sink as
+// printable ASCII only, so a crafted payload can neither forge log
+// records (\n injection) nor reprogram the operator's terminal (ESC
+// sequences).
+
+#include "mel/util/logging.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using mel::util::escape_log_field;
+using mel::util::log_field_needs_escaping;
+
+TEST(LogEscape, PlainAsciiPassesThroughUntouched) {
+  const std::string plain =
+      "scan rejected: payload_too_large: 17408 bytes > cap 16384";
+  EXPECT_FALSE(log_field_needs_escaping(plain));
+  EXPECT_EQ(escape_log_field(plain), plain);
+  EXPECT_EQ(escape_log_field(""), "");
+}
+
+TEST(LogEscape, ControlBytesBecomeTwoCharEscapes) {
+  EXPECT_EQ(escape_log_field("a\nb"), "a\\nb");
+  EXPECT_EQ(escape_log_field("a\rb"), "a\\rb");
+  EXPECT_EQ(escape_log_field("a\tb"), "a\\tb");
+  EXPECT_EQ(escape_log_field("a\\b"), "a\\\\b");
+}
+
+TEST(LogEscape, TerminalEscapeAndHighBytesBecomeHex) {
+  // ESC ] 0 ; — the classic title-bar reprogramming prefix.
+  EXPECT_EQ(escape_log_field("\x1b]0;pwned\x07"), "\\x1b]0;pwned\\x07");
+  EXPECT_EQ(escape_log_field(std::string("\x00", 1)), "\\x00");
+  EXPECT_EQ(escape_log_field("\x7f"), "\\x7f");
+  EXPECT_EQ(escape_log_field("\xc3\xa9"), "\\xc3\\xa9");  // UTF-8 é raw.
+  EXPECT_EQ(escape_log_field("\xff\xfe"), "\\xff\\xfe");
+}
+
+TEST(LogEscape, EscapedOutputIsAlwaysPrintable) {
+  std::string all_bytes;
+  for (int b = 0; b < 256; ++b) {
+    all_bytes.push_back(static_cast<char>(b));
+  }
+  const std::string escaped = escape_log_field(all_bytes);
+  for (const char c : escaped) {
+    const auto b = static_cast<unsigned char>(c);
+    EXPECT_GE(b, 0x20u);
+    EXPECT_LE(b, 0x7Eu);
+  }
+  // Escaping an already-escaped field must not need further hex work
+  // (backslashes double, but no control bytes can remain).
+  for (const char c : escape_log_field(escaped)) {
+    const auto b = static_cast<unsigned char>(c);
+    EXPECT_GE(b, 0x20u);
+    EXPECT_LE(b, 0x7Eu);
+  }
+}
+
+TEST(LogEscape, NeedsEscapingMatchesEscapeBehavior) {
+  const std::string cases[] = {
+      "",      "plain text",  "tab\there", "nl\nhere",
+      "\x1b[31m", "back\\slash", "high\x80",  "del\x7f",
+  };
+  for (const std::string& raw : cases) {
+    SCOPED_TRACE(testing::PrintToString(raw));
+    EXPECT_EQ(log_field_needs_escaping(raw), escape_log_field(raw) != raw);
+  }
+}
+
+}  // namespace
