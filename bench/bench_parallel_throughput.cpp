@@ -83,16 +83,80 @@ bool verdicts_match(const mel::service::BatchScanResult& parallel,
   return true;
 }
 
-}  // namespace
+/// Everything the JSON artifact needs, filled in as far as the run got.
+/// Emitted UNCONDITIONALLY — a failed run produces a JSON with its
+/// status string instead of an empty bench trajectory (CI uploads the
+/// file either way, so a regression is visible as data, not absence).
+struct BenchOutput {
+  std::string status = "ok";
+  unsigned hardware = 1;
+  std::size_t payloads = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t alarms = 0;
+  bool deterministic = false;
+  int repetitions = 0;
+  std::vector<WidthResult> results;
+  std::string metrics_scrape;
+};
 
-int main() {
+void emit_json(const BenchOutput& out) {
+  std::FILE* json = std::fopen("BENCH_parallel_throughput.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_parallel_throughput.json\n");
+    return;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"parallel_throughput\",\n");
+  std::fprintf(json, "  \"status\": \"%s\",\n", out.status.c_str());
+  std::fprintf(json, "  \"hardware_threads\": %u,\n", out.hardware);
+  std::fprintf(json, "  \"payloads\": %zu,\n", out.payloads);
+  std::fprintf(json, "  \"total_bytes\": %llu,\n",
+               static_cast<unsigned long long>(out.total_bytes));
+  std::fprintf(json, "  \"sequential_alarms\": %llu,\n",
+               static_cast<unsigned long long>(out.alarms));
+  std::fprintf(json, "  \"deterministic\": %s,\n",
+               out.deterministic ? "true" : "false");
+  std::fprintf(json, "  \"repetitions\": %d,\n", out.repetitions);
+  std::fprintf(json, "  \"widths\": [\n");
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    const WidthResult& row = out.results[i];
+    std::fprintf(json,
+                 "    {\"workers\": %zu, \"seconds\": %.6f, "
+                 "\"payloads_per_sec\": %.1f, \"mb_per_sec\": %.3f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 row.workers, row.seconds, row.payloads_per_sec,
+                 row.mb_per_sec, row.speedup_vs_1,
+                 i + 1 < out.results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+
+  // The widest width's metrics registry in Prometheus exposition format
+  // — what a scrape of a live deployment at this traffic mix would show
+  // (docs/observability.md).
+  std::FILE* prom = std::fopen("BENCH_parallel_metrics.prom", "w");
+  if (prom == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_parallel_metrics.prom\n");
+    return;
+  }
+  std::fputs(out.metrics_scrape.c_str(), prom);
+  std::fclose(prom);
+  std::printf(
+      "\nWrote BENCH_parallel_throughput.json and "
+      "BENCH_parallel_metrics.prom\n");
+}
+
+int run(BenchOutput& out) {
   mel::bench::print_title(
       "Parallel scan engine — batch throughput vs worker count");
 
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  out.hardware = hardware;
   const auto corpus = make_traffic(220, 60, 16);
   std::uint64_t total_bytes = 0;
   for (const auto& payload : corpus) total_bytes += payload.size();
+  out.payloads = corpus.size();
+  out.total_bytes = total_bytes;
   std::printf("\nTraffic: %zu payloads (HTTP + mail + worms), %.1f MB total. "
               "Detected hardware threads: %u.\n",
               corpus.size(), static_cast<double>(total_bytes) / 1e6,
@@ -107,6 +171,7 @@ int main() {
     if (!service_or.is_ok()) {
       std::fprintf(stderr, "service config rejected: %s\n",
                    service_or.status().to_string().c_str());
+      out.status = "service config rejected";
       return 1;
     }
     const mel::service::ScanService service = std::move(service_or).take();
@@ -124,6 +189,7 @@ int main() {
   }
   std::printf("Sequential oracle: %llu alarms raised.\n",
               static_cast<unsigned long long>(alarms));
+  out.alarms = alarms;
 
   std::vector<std::size_t> widths{1, 2, 4};
   if (std::find(widths.begin(), widths.end(), hardware) == widths.end()) {
@@ -131,8 +197,8 @@ int main() {
   }
 
   constexpr int kRepetitions = 3;
-  std::vector<WidthResult> results;
-  std::string metrics_scrape;
+  out.repetitions = kRepetitions;
+  std::vector<WidthResult>& results = out.results;
 
   mel::bench::print_section("Throughput (best of 3 repetitions per width)");
   std::printf("%8s %10s %14s %10s %10s\n", "workers", "sec", "payloads/s",
@@ -145,6 +211,7 @@ int main() {
     if (!batch_or.is_ok()) {
       std::fprintf(stderr, "batch config rejected: %s\n",
                    batch_or.status().to_string().c_str());
+      out.status = "batch config rejected";
       return 1;
     }
     const mel::service::BatchScanService batch = std::move(batch_or).take();
@@ -157,6 +224,7 @@ int main() {
       if (!result.is_ok()) {
         std::fprintf(stderr, "scan_batch failed at width %zu: %s\n", workers,
                      result.status().to_string().c_str());
+        out.status = "scan_batch failed at width " + std::to_string(workers);
         return 1;
       }
       if (!verdicts_match(result.value(), oracle)) {
@@ -164,6 +232,8 @@ int main() {
                      "DETERMINISM VIOLATION at width %zu: parallel verdicts "
                      "differ from sequential.\n",
                      workers);
+        out.status =
+            "determinism violation at width " + std::to_string(workers);
         return 1;
       }
       const double seconds =
@@ -173,7 +243,7 @@ int main() {
 
     // The widest run's registry becomes the scrape artifact (each width
     // has its own service, so this covers kRepetitions batches).
-    metrics_scrape = mel::obs::to_prometheus(batch.metrics_snapshot());
+    out.metrics_scrape = mel::obs::to_prometheus(batch.metrics_snapshot());
 
     WidthResult row;
     row.workers = workers;
@@ -190,55 +260,22 @@ int main() {
 
   std::printf("\nAll widths produced verdicts bit-identical to the "
               "sequential run.\n");
+  out.deterministic = true;
   if (hardware < 4) {
     std::printf("NOTE: only %u hardware thread(s) detected — speedups above "
                 "1.0x are not\nachievable on this host; compare on a "
                 "multi-core machine (docs/performance.md).\n",
                 hardware);
   }
-
-  // Machine-readable output.
-  std::FILE* json = std::fopen("BENCH_parallel_throughput.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_parallel_throughput.json\n");
-    return 1;
-  }
-  std::fprintf(json, "{\n");
-  std::fprintf(json, "  \"bench\": \"parallel_throughput\",\n");
-  std::fprintf(json, "  \"hardware_threads\": %u,\n", hardware);
-  std::fprintf(json, "  \"payloads\": %zu,\n", corpus.size());
-  std::fprintf(json, "  \"total_bytes\": %llu,\n",
-               static_cast<unsigned long long>(total_bytes));
-  std::fprintf(json, "  \"sequential_alarms\": %llu,\n",
-               static_cast<unsigned long long>(alarms));
-  std::fprintf(json, "  \"deterministic\": true,\n");
-  std::fprintf(json, "  \"repetitions\": %d,\n", kRepetitions);
-  std::fprintf(json, "  \"widths\": [\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const WidthResult& row = results[i];
-    std::fprintf(json,
-                 "    {\"workers\": %zu, \"seconds\": %.6f, "
-                 "\"payloads_per_sec\": %.1f, \"mb_per_sec\": %.3f, "
-                 "\"speedup_vs_1\": %.3f}%s\n",
-                 row.workers, row.seconds, row.payloads_per_sec,
-                 row.mb_per_sec, row.speedup_vs_1,
-                 i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
-
-  // The widest width's metrics registry in Prometheus exposition format
-  // — what a scrape of a live deployment at this traffic mix would show
-  // (docs/observability.md).
-  std::FILE* prom = std::fopen("BENCH_parallel_metrics.prom", "w");
-  if (prom == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_parallel_metrics.prom\n");
-    return 1;
-  }
-  std::fputs(metrics_scrape.c_str(), prom);
-  std::fclose(prom);
-  std::printf(
-      "\nWrote BENCH_parallel_throughput.json and "
-      "BENCH_parallel_metrics.prom\n");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  BenchOutput out;
+  const int rc = run(out);
+  if (rc != 0 && out.status == "ok") out.status = "failed";
+  emit_json(out);
+  return rc;
 }

@@ -1,0 +1,205 @@
+// Verdict-cache effectiveness on repetitive gateway traffic.
+//
+// Production mail/HTTP feeds repeat themselves: the same bodies,
+// boilerplate and attachments recur far more often than a uniform
+// sampler would suggest. This bench builds a Zipf-flavored stream over a
+// small set of distinct payloads (plus worms), scans it once through a
+// plain ScanService and once with a persist::VerdictCache in front, and
+// reports the hit rate and speedup — after first proving every cached
+// verdict bit-identical to the computed one.
+//
+// Results go to stdout and BENCH_verdict_cache.json. The JSON is written
+// UNCONDITIONALLY: a failed run carries its status string instead of
+// leaving an empty bench trajectory.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mel/persist/verdict_cache.hpp"
+#include "mel/service/scan_service.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/email_gen.hpp"
+#include "mel/util/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchOutput {
+  std::string status = "ok";
+  std::size_t distinct_payloads = 0;
+  std::size_t stream_length = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t alarms = 0;
+  double hit_rate = 0.0;
+  double cold_seconds = 0.0;
+  double cached_seconds = 0.0;
+  double speedup = 0.0;
+  bool verdicts_identical = false;
+};
+
+void emit_json(const BenchOutput& out) {
+  std::FILE* json = std::fopen("BENCH_verdict_cache.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_verdict_cache.json\n");
+    return;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"verdict_cache\",\n");
+  std::fprintf(json, "  \"status\": \"%s\",\n", out.status.c_str());
+  std::fprintf(json, "  \"distinct_payloads\": %zu,\n", out.distinct_payloads);
+  std::fprintf(json, "  \"stream_length\": %zu,\n", out.stream_length);
+  std::fprintf(json, "  \"total_bytes\": %llu,\n",
+               static_cast<unsigned long long>(out.total_bytes));
+  std::fprintf(json, "  \"alarms\": %llu,\n",
+               static_cast<unsigned long long>(out.alarms));
+  std::fprintf(json, "  \"hit_rate\": %.4f,\n", out.hit_rate);
+  std::fprintf(json, "  \"cold_seconds\": %.6f,\n", out.cold_seconds);
+  std::fprintf(json, "  \"cached_seconds\": %.6f,\n", out.cached_seconds);
+  std::fprintf(json, "  \"speedup\": %.3f,\n", out.speedup);
+  std::fprintf(json, "  \"verdicts_identical\": %s\n",
+               out.verdicts_identical ? "true" : "false");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nWrote BENCH_verdict_cache.json\n");
+}
+
+int run(BenchOutput& out) {
+  mel::bench::print_title(
+      "Verdict cache — hit rate and speedup on repetitive gateway traffic");
+
+  // Distinct payload pool: HTTP bodies, mails, a few worms.
+  mel::traffic::BenignDatasetOptions http_options;
+  http_options.cases = 48;
+  http_options.case_size = 4000;
+  auto pool = mel::traffic::make_benign_dataset(http_options);
+  const mel::traffic::EmailGenerator email;
+  for (auto& mail : email.make_mail_corpus(12, 4000, 29)) {
+    pool.push_back(std::move(mail));
+  }
+  for (const auto& worm : mel::textcode::text_worm_corpus(4, 77)) {
+    pool.push_back(worm.bytes);
+  }
+  out.distinct_payloads = pool.size();
+
+  // Zipf-ish repetition: index ~ floor(U^3 * n) concentrates most of the
+  // stream on a few "hot" payloads, the tail stays cold.
+  constexpr std::size_t kStreamLength = 2000;
+  mel::util::Xoshiro256 rng(20080617);
+  std::vector<std::size_t> stream(kStreamLength);
+  for (std::size_t& index : stream) {
+    const double u =
+        static_cast<double>(rng()) / 18446744073709551616.0;  // [0,1).
+    index = static_cast<std::size_t>(u * u * u *
+                                     static_cast<double>(pool.size()));
+    index = std::min(index, pool.size() - 1);
+  }
+  out.stream_length = kStreamLength;
+  for (std::size_t index : stream) out.total_bytes += pool[index].size();
+  std::printf("\nTraffic: %zu scans over %zu distinct payloads, %.1f MB "
+              "total.\n",
+              kStreamLength, pool.size(),
+              static_cast<double>(out.total_bytes) / 1e6);
+
+  // Pass 1: no cache (the baseline every hit must match bit for bit).
+  std::vector<mel::core::Verdict> cold_verdicts(kStreamLength);
+  {
+    auto service_or =
+        mel::service::ScanService::create(mel::service::ServiceConfig{});
+    if (!service_or.is_ok()) {
+      out.status = "service config rejected";
+      return 1;
+    }
+    const auto service = std::move(service_or).take();
+    mel::exec::MelScratch scratch;
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < kStreamLength; ++i) {
+      auto report = service.scan(mel::service::ScanRequest{
+          .payload = pool[stream[i]], .scratch = &scratch});
+      if (!report.is_ok()) {
+        out.status = "cold scan failed: " + report.status().to_string();
+        return 1;
+      }
+      cold_verdicts[i] = report.value().verdict;
+      out.alarms += report.value().verdict.malicious;
+    }
+    out.cold_seconds = std::chrono::duration<double>(Clock::now() - start)
+                           .count();
+  }
+
+  // Pass 2: same stream with a verdict cache in front.
+  std::shared_ptr<mel::persist::VerdictCache> cache;
+  {
+    auto cache_or = mel::persist::VerdictCache::create({});
+    if (!cache_or.is_ok()) {
+      out.status = "cache config rejected";
+      return 1;
+    }
+    cache = std::move(cache_or).take();
+  }
+  {
+    mel::service::ServiceConfig config;
+    config.verdict_cache = cache;
+    auto service_or = mel::service::ScanService::create(std::move(config));
+    if (!service_or.is_ok()) {
+      out.status = "cached service config rejected";
+      return 1;
+    }
+    const auto service = std::move(service_or).take();
+    mel::exec::MelScratch scratch;
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < kStreamLength; ++i) {
+      auto report = service.scan(mel::service::ScanRequest{
+          .payload = pool[stream[i]], .scratch = &scratch});
+      if (!report.is_ok()) {
+        out.status = "cached scan failed: " + report.status().to_string();
+        return 1;
+      }
+      // Hit==miss bit-identity: the whole point of the cache's
+      // correctness stance. memcmp-level equality on the decision fields.
+      const mel::core::Verdict& got = report.value().verdict;
+      const mel::core::Verdict& want = cold_verdicts[i];
+      if (got.malicious != want.malicious || got.mel != want.mel ||
+          got.threshold != want.threshold || got.degraded != want.degraded) {
+        out.status = "cached verdict diverged at scan " + std::to_string(i);
+        return 1;
+      }
+    }
+    out.cached_seconds = std::chrono::duration<double>(Clock::now() - start)
+                             .count();
+  }
+  out.verdicts_identical = true;
+
+  const std::uint64_t lookups = cache->hits() + cache->misses();
+  out.hit_rate = lookups == 0 ? 0.0
+                              : static_cast<double>(cache->hits()) /
+                                    static_cast<double>(lookups);
+  out.speedup =
+      out.cached_seconds > 0.0 ? out.cold_seconds / out.cached_seconds : 0.0;
+
+  mel::bench::print_section("Results");
+  std::printf("%-28s %12.3f s\n", "no cache", out.cold_seconds);
+  std::printf("%-28s %12.3f s\n", "with verdict cache", out.cached_seconds);
+  std::printf("%-28s %12.1f %%\n", "hit rate", out.hit_rate * 100.0);
+  std::printf("%-28s %12.2fx\n", "speedup", out.speedup);
+  std::printf("%-28s %12llu\n", "alarms (both passes)",
+              static_cast<unsigned long long>(out.alarms));
+  std::printf("\nEvery cache-hit verdict matched the no-cache verdict "
+              "bit for bit.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  BenchOutput out;
+  const int rc = run(out);
+  if (rc != 0 && out.status == "ok") out.status = "failed";
+  emit_json(out);
+  return rc;
+}

@@ -15,6 +15,7 @@
 #include "mel/disasm/decoder.hpp"
 #include "mel/disasm/formatter.hpp"
 #include "mel/exec/mel.hpp"
+#include "mel/persist/snapshot.hpp"
 #include "mel/service/scan_service.hpp"
 #include "mel/util/logging.hpp"
 #include "mel/util/status.hpp"
@@ -614,6 +615,56 @@ std::uint64_t run_assembler_roundtrip(util::ByteView data) {
   return fp.hash;
 }
 
+// ---------------------------------------------------------------------------
+// Target: snapshot_restore.
+
+std::uint64_t run_snapshot_restore(util::ByteView data) {
+  constexpr const char* kTag = "snapshot_restore";
+  data = clamp_input(data, kMaxFuzzInputBytes);
+  Fingerprint fp;
+
+  const util::StatusOr<persist::PersistentState> decoded =
+      persist::decode_snapshot(data);
+  if (!decoded.is_ok()) {
+    // Arbitrary bytes must die as a typed input error, never anything
+    // that could read as a server-side fault (and never a crash — the
+    // fact we got here at all is half the oracle).
+    const util::StatusCode code = decoded.code();
+    MEL_FUZZ_REQUIRE(code == util::StatusCode::kInvalidArgument ||
+                         code == util::StatusCode::kInvalidConfig,
+                     kTag, "decode failure was not a typed input error");
+    fp.add(static_cast<std::uint64_t>(code));
+    fp.add(decoded.status().message());
+    return fp.hash;
+  }
+
+  // A state that decoded must be fully usable and canonically
+  // re-encodable: encode -> decode -> encode is a byte-level fixpoint.
+  const persist::PersistentState& state = decoded.value();
+  MEL_FUZZ_REQUIRE(state.detector.validate().is_ok(), kTag,
+                   "decoded state carries an invalid DetectorConfig");
+  MEL_FUZZ_REQUIRE(std::isfinite(state.tau) && state.tau >= 0.0, kTag,
+                   "decoded tau outside its domain");
+  MEL_FUZZ_REQUIRE(std::isfinite(state.n) && state.n >= 0.0, kTag,
+                   "decoded n outside its domain");
+  MEL_FUZZ_REQUIRE(state.p >= 0.0 && state.p <= 1.0, kTag,
+                   "decoded p outside [0,1]");
+
+  const util::ByteBuffer encoded = persist::encode_snapshot(state);
+  const util::StatusOr<persist::PersistentState> redecoded =
+      persist::decode_snapshot(encoded);
+  MEL_FUZZ_REQUIRE(redecoded.is_ok(), kTag,
+                   "re-encoded snapshot failed to decode");
+  MEL_FUZZ_REQUIRE(persist::encode_snapshot(redecoded.value()) == encoded,
+                   kTag, "encode -> decode -> encode is not a fixpoint");
+  MEL_FUZZ_REQUIRE(redecoded.value().cache == state.cache &&
+                       redecoded.value().drift == state.drift,
+                   kTag, "cache/drift state changed across the round trip");
+
+  fp.add_bytes(encoded.data(), encoded.size());
+  return fp.hash;
+}
+
 }  // namespace
 
 std::string_view target_name(Target target) noexcept {
@@ -630,6 +681,8 @@ std::string_view target_name(Target target) noexcept {
       return "stream_feed";
     case Target::kAssemblerRoundtrip:
       return "assembler_roundtrip";
+    case Target::kSnapshotRestore:
+      return "snapshot_restore";
   }
   return "unknown";
 }
@@ -655,6 +708,8 @@ std::uint64_t one_input(Target target, util::ByteView data) {
       return run_stream_feed(data);
     case Target::kAssemblerRoundtrip:
       return run_assembler_roundtrip(data);
+    case Target::kSnapshotRestore:
+      return run_snapshot_restore(data);
   }
   oracle_failure("harness", "unknown fuzz target");
 }

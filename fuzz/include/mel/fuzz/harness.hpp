@@ -34,14 +34,17 @@ enum class Target : std::uint8_t {
   kScanRequest,          ///< full ScanRequest path under size caps.
   kStreamFeed,           ///< chunked StreamDetector vs whole-buffer scan.
   kAssemblerRoundtrip,   ///< decode(assemble(x)) == x.
+  kSnapshotRestore,      ///< persist snapshot decode: typed error or
+                         ///< valid state, plus the encode fixpoint.
 };
 
-inline constexpr std::size_t kTargetCount = 6;
+inline constexpr std::size_t kTargetCount = 7;
 
 [[nodiscard]] constexpr std::array<Target, kTargetCount> all_targets() {
   return {Target::kDecoder,     Target::kExecMel,
           Target::kConfigJson,  Target::kScanRequest,
-          Target::kStreamFeed,  Target::kAssemblerRoundtrip};
+          Target::kStreamFeed,  Target::kAssemblerRoundtrip,
+          Target::kSnapshotRestore};
 }
 
 /// Stable lowercase name, doubling as the corpus subdirectory name

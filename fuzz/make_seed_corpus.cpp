@@ -19,6 +19,7 @@
 #include "mel/core/config_io.hpp"
 #include "mel/core/detector.hpp"
 #include "mel/fuzz/harness.hpp"
+#include "mel/persist/snapshot.hpp"
 #include "mel/textcode/encoder.hpp"
 #include "mel/textcode/shellcode_corpus.hpp"
 #include "mel/traffic/email_gen.hpp"
@@ -160,6 +161,57 @@ int main(int argc, char** argv) {
              with_header({7, 200, 40, 1}, binaries.back().bytes));
   write_seed(Target::kStreamFeed, "empty_stream",
              mel::util::ByteBuffer{5, 0, 0, 0});
+
+  // snapshot_restore: valid snapshots plus targeted header mutations, so
+  // the fuzzer starts astride the accept/reject boundary instead of
+  // having to rediscover the magic and CRC layout from random bytes.
+  {
+    mel::persist::PersistentState state;
+    state.detector = config;  // uniform_freqs preset from above.
+    state.tau = 41.5;
+    state.n = 3.2;
+    state.p = 0.0625;
+    state.calibration_point_chars = 4096;
+    state.calibration_epoch = 3;
+    state.cache.hits = 1000;
+    state.cache.misses = 250;
+    state.cache.insertions = 250;
+    state.cache.evictions = 10;
+    for (std::size_t b = 0x20; b <= 0x7E; ++b) {
+      state.drift.window_counts[b] = 100 + b;
+    }
+    state.drift.window_payloads = 17;
+    state.drift.windows_checked = 4;
+    state.drift.drifts_detected = 1;
+    const mel::util::ByteBuffer valid = mel::persist::encode_snapshot(state);
+    write_seed(Target::kSnapshotRestore, "valid_calibrated", valid);
+
+    mel::persist::PersistentState minimal;
+    write_seed(Target::kSnapshotRestore, "valid_default",
+               mel::persist::encode_snapshot(minimal));
+
+    mel::util::ByteBuffer mutated = valid;
+    mutated[3] = 'X';  // Magic byte.
+    write_seed(Target::kSnapshotRestore, "bad_magic", mutated);
+
+    mutated = valid;
+    mutated[8] = 0x7F;  // Format version (LE low byte): version skew.
+    write_seed(Target::kSnapshotRestore, "version_skew", mutated);
+
+    mutated = valid;
+    mutated[16] ^= 0x01;  // Header CRC.
+    write_seed(Target::kSnapshotRestore, "bad_header_crc", mutated);
+
+    mutated = valid;
+    mutated[valid.size() / 2] ^= 0x80;  // Mid-section payload bit flip.
+    write_seed(Target::kSnapshotRestore, "section_bit_flip", mutated);
+
+    write_seed(Target::kSnapshotRestore, "truncated_header",
+               mel::util::ByteView(valid).first(12));
+    write_seed(Target::kSnapshotRestore, "truncated_mid_section",
+               mel::util::ByteView(valid).first(valid.size() - 7));
+    write_seed(Target::kSnapshotRestore, "empty", mel::util::ByteBuffer{});
+  }
 
   // assembler_roundtrip: opcode-choice byte programs; random bytes are
   // already well-formed inputs for the builder.

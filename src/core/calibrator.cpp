@@ -91,6 +91,38 @@ CalibrationReport calibrate_from_benign(
   return report;
 }
 
+util::StatusOr<RecalibrationResult> recalibrate_from_frequencies(
+    const CharFrequencyTable& frequencies, std::size_t input_chars,
+    const CalibratorOptions& options) {
+  if (!(options.alpha > 0.0 && options.alpha < 1.0)) {
+    return util::Status::invalid_config(
+        "recalibration alpha must lie in (0,1); got " +
+        std::to_string(options.alpha));
+  }
+  util::StatusOr<EstimatedParameters> params =
+      estimate_parameters_checked(frequencies, input_chars);
+  if (!params.is_ok()) return params.status();
+
+  RecalibrationResult result;
+  result.params = params.value();
+  const auto n = static_cast<std::int64_t>(std::llround(result.params.n));
+  if (n < 1 || result.params.p <= 0.0 || result.params.p >= 1.0) {
+    return util::Status::invalid_config(
+        "drifted distribution yields a degenerate estimate (n=" +
+        std::to_string(result.params.n) +
+        ", p=" + std::to_string(result.params.p) +
+        "); keeping the previous calibration");
+  }
+  result.tau = MelModel(n, result.params.p).threshold_for_alpha(options.alpha);
+  result.config.alpha = options.alpha;
+  result.config.rules = options.rules;
+  result.config.preset_frequencies = frequencies;
+  if (util::Status status = result.config.validate(); !status.is_ok()) {
+    return status;
+  }
+  return result;
+}
+
 std::string format_calibration_report(const CalibrationReport& report) {
   std::ostringstream out;
   out << "calibration: " << (report.healthy ? "HEALTHY" : "NEEDS ATTENTION")

@@ -60,6 +60,26 @@ struct CalibrationReport {
     const std::vector<util::ByteBuffer>& samples,
     const CalibratorOptions& options = {});
 
+/// A recalibration derived from an already-measured character frequency
+/// distribution (the online drift pipeline's input: the DriftMonitor has
+/// the live frequencies, not the raw payloads).
+struct RecalibrationResult {
+  DetectorConfig config;       ///< Ready-to-run, preset installed.
+  EstimatedParameters params;  ///< n, p at the anchor size.
+  double tau = 0.0;            ///< Threshold at the anchor size.
+};
+
+/// Re-derives a detector configuration and tau from a frequency table
+/// measured on live traffic, anchored at `input_chars` (the calibration
+/// point size; the detector still re-derives tau per payload at scan
+/// time). Typed errors: kInvalidArgument for a malformed table (via
+/// validate_estimation_input), kInvalidConfig when the estimate is
+/// degenerate (n < 1 or p outside (0,1)) — a caller must keep its
+/// previous calibration rather than install a thresholdless config.
+[[nodiscard]] util::StatusOr<RecalibrationResult> recalibrate_from_frequencies(
+    const CharFrequencyTable& frequencies, std::size_t input_chars,
+    const CalibratorOptions& options = {});
+
 /// Renders the report for logs/terminals.
 [[nodiscard]] std::string format_calibration_report(
     const CalibrationReport& report);

@@ -1,0 +1,214 @@
+#include "mel/persist/drift_monitor.hpp"
+
+#include <string>
+#include <vector>
+
+#include "mel/stats/chi_square.hpp"
+#include "mel/util/logging.hpp"
+
+namespace mel::persist {
+
+util::Status DriftMonitorConfig::validate() const {
+  if (window_payloads == 0) {
+    return util::Status::invalid_config(
+        "DriftMonitorConfig::window_payloads must be >= 1");
+  }
+  if (!(significance > 0.0 && significance < 1.0)) {
+    return util::Status::invalid_config(
+        "DriftMonitorConfig::significance must lie in (0,1); got " +
+        std::to_string(significance));
+  }
+  if (!(min_expected_per_bin > 0.0)) {
+    return util::Status::invalid_config(
+        "DriftMonitorConfig::min_expected_per_bin must be > 0");
+  }
+  if (!(zero_support_tolerance >= 0.0 && zero_support_tolerance <= 1.0)) {
+    return util::Status::invalid_config(
+        "DriftMonitorConfig::zero_support_tolerance must lie in [0,1]");
+  }
+  return util::Status::ok();
+}
+
+DriftMonitor::DriftMonitor(DriftMonitorConfig config) : config_(config) {}
+
+util::StatusOr<std::shared_ptr<DriftMonitor>> DriftMonitor::create(
+    DriftMonitorConfig config) {
+  if (util::Status status = config.validate(); !status.is_ok()) {
+    return status;
+  }
+  return std::shared_ptr<DriftMonitor>(new DriftMonitor(config));
+}
+
+void DriftMonitor::set_baseline(const core::CharFrequencyTable& baseline) {
+  std::lock_guard<std::mutex> lock(check_mutex_);
+  baseline_ = baseline;
+  baseline_set_ = true;
+}
+
+void DriftMonitor::set_on_drift(DriftCallback callback) {
+  std::lock_guard<std::mutex> lock(check_mutex_);
+  on_drift_ = std::move(callback);
+}
+
+void DriftMonitor::observe(util::ByteView payload) {
+  for (std::uint8_t byte : payload) {
+    counts_[byte].fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t seen =
+      window_payloads_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (seen % config_.window_payloads == 0) {
+    close_window();
+  }
+}
+
+void DriftMonitor::close_window() {
+  // The callback is invoked AFTER the lock is released: it recalibrates
+  // and calls back into set_baseline(), which takes check_mutex_ too.
+  DriftCallback callback;
+  core::CharFrequencyTable distribution{};
+  std::uint64_t window_chars = 0;
+
+  {
+    std::lock_guard<std::mutex> lock(check_mutex_);
+    if (!baseline_set_) return;
+
+    // Snapshot the window. Counts from payloads racing this boundary
+    // land on whichever side their increments reached first — windows
+    // are a cadence, not an exact partition (see the header).
+    std::array<std::uint64_t, 256> observed{};
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < 256; ++b) {
+      observed[b] = counts_[b].load(std::memory_order_relaxed);
+      total += observed[b];
+    }
+    window_chars_gauge_.set(static_cast<std::int64_t>(total));
+    if (total < config_.min_window_chars) {
+      return;  // Starved window: keep accumulating, test at next close.
+    }
+
+    // Reset for the next window before the (possibly slow) test.
+    for (auto& counter : counts_) {
+      counter.store(0, std::memory_order_relaxed);
+    }
+    windows_checked_.fetch_add(1, std::memory_order_relaxed);
+    windows_counter_.inc();
+
+    // Partition the byte values: baseline-supported bytes with an
+    // expected count >= min_expected_per_bin get their own chi-square
+    // bin, the rest of the supported bytes pool into one rare bin, and
+    // observed mass on zero-probability bytes is a support change the
+    // test cannot express — beyond tolerance it is drift by itself.
+    std::vector<std::uint64_t> bin_observed;
+    std::vector<double> bin_probability;
+    std::uint64_t rare_observed = 0;
+    double rare_probability = 0.0;
+    std::uint64_t zero_support = 0;
+    for (std::size_t b = 0; b < 256; ++b) {
+      const double probability = baseline_[b];
+      if (probability <= 0.0) {
+        zero_support += observed[b];
+        continue;
+      }
+      if (probability * static_cast<double>(total) >=
+          config_.min_expected_per_bin) {
+        bin_observed.push_back(observed[b]);
+        bin_probability.push_back(probability);
+      } else {
+        rare_observed += observed[b];
+        rare_probability += probability;
+      }
+    }
+
+    bool drift = false;
+    std::string cause;
+    const double zero_fraction =
+        static_cast<double>(zero_support) / static_cast<double>(total);
+    if (zero_fraction > config_.zero_support_tolerance) {
+      drift = true;
+      cause = "support change: " + std::to_string(zero_fraction * 100.0) +
+              "% of window mass on bytes outside the calibrated "
+              "distribution";
+    } else if (bin_observed.size() >= 2) {
+      if (rare_probability > 0.0 &&
+          rare_probability * static_cast<double>(total) >=
+              config_.min_expected_per_bin) {
+        bin_observed.push_back(rare_observed);
+        bin_probability.push_back(rare_probability);
+      }
+      // Renormalize over the tested bins: sub-tolerance zero-support
+      // mass and an unpoolable rare remainder sit outside the test.
+      std::uint64_t tested_total = 0;
+      double tested_probability = 0.0;
+      for (std::uint64_t count : bin_observed) tested_total += count;
+      for (double probability : bin_probability) {
+        tested_probability += probability;
+      }
+      if (tested_total > 0 && tested_probability > 0.0) {
+        for (double& probability : bin_probability) {
+          probability /= tested_probability;
+        }
+        const stats::ChiSquareResult result =
+            stats::chi_square_goodness_of_fit(bin_observed, bin_probability);
+        if (result.p_value < config_.significance) {
+          drift = true;
+          cause =
+              "chi-square rejected: X2=" + std::to_string(result.statistic) +
+              " df=" + std::to_string(result.degrees_of_freedom) +
+              " p=" + std::to_string(result.p_value);
+        }
+      }
+    }
+
+    if (!drift) return;
+    drifts_detected_.fetch_add(1, std::memory_order_relaxed);
+    drifts_counter_.inc();
+    util::log_warn_ctx({.component = "persist"},
+                       "distribution drift detected (", cause,
+                       "); window of ", total, " chars");
+    if (on_drift_) {
+      for (std::size_t b = 0; b < 256; ++b) {
+        distribution[b] =
+            static_cast<double>(observed[b]) / static_cast<double>(total);
+      }
+      window_chars = total;
+      callback = on_drift_;
+    }
+  }
+
+  if (callback) callback(distribution, window_chars);
+}
+
+DriftState DriftMonitor::state() const {
+  std::lock_guard<std::mutex> lock(check_mutex_);
+  DriftState state;
+  for (std::size_t b = 0; b < 256; ++b) {
+    state.window_counts[b] = counts_[b].load(std::memory_order_relaxed);
+  }
+  state.window_payloads =
+      window_payloads_.load(std::memory_order_relaxed) %
+      config_.window_payloads;
+  state.windows_checked = windows_checked_.load(std::memory_order_relaxed);
+  state.drifts_detected = drifts_detected_.load(std::memory_order_relaxed);
+  return state;
+}
+
+void DriftMonitor::restore(const DriftState& state) {
+  std::lock_guard<std::mutex> lock(check_mutex_);
+  for (std::size_t b = 0; b < 256; ++b) {
+    counts_[b].store(state.window_counts[b], std::memory_order_relaxed);
+  }
+  window_payloads_.store(state.window_payloads, std::memory_order_relaxed);
+  windows_checked_.store(state.windows_checked, std::memory_order_relaxed);
+  drifts_detected_.store(state.drifts_detected, std::memory_order_relaxed);
+}
+
+void DriftMonitor::bind_metrics(obs::MetricsRegistry& registry) {
+  windows_counter_ = registry.counter("mel_drift_windows_checked_total",
+                                      "Drift windows tested.");
+  drifts_counter_ = registry.counter("mel_drift_detected_total",
+                                     "Drift detections (recalibrations).");
+  window_chars_gauge_ = registry.gauge(
+      "mel_drift_window_chars", "Characters in the last closed window.");
+}
+
+}  // namespace mel::persist

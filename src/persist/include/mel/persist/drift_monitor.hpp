@@ -1,0 +1,129 @@
+#pragma once
+// Online drift detection over the live character distribution.
+//
+// The detector's statistical guarantees are only as good as its
+// calibrated character frequency table: when the benign channel moves
+// (new locale, new content mix, seasonal traffic), the estimated p — and
+// with it tau — silently loses its meaning. The DriftMonitor watches the
+// live byte distribution and raises a recalibration signal when the
+// observed window is no longer statistically compatible with the
+// calibrated baseline.
+//
+// Mechanism: every scanned payload's byte counts land in per-byte
+// relaxed atomic counters (no locks on the scan path). Every
+// `window_payloads`-th payload closes a window: the closing thread takes
+// the check mutex, snapshots and resets the counters, and runs the
+// src/stats Pearson chi-square goodness-of-fit test of the observed
+// counts against the baseline distribution — low-expectation bytes are
+// pooled (Cochran's rule) and observed mass on bytes the baseline gives
+// zero probability is itself a drift signal (the support changed).
+// When the test rejects at `significance`, the on_drift callback fires
+// with the observed distribution; the StateManager wires that to
+// core recalibration, a cache epoch bump, and a snapshot write.
+//
+// Thread-safety: observe() is safe from any number of scan threads; a
+// window close serializes on the internal mutex. Payloads racing a
+// window boundary may land counts on either side — windows are a
+// statistical cadence, not an exact partition. The on_drift callback
+// runs on the closing scan thread AFTER the check mutex is released,
+// so it may safely call set_baseline() (the recalibration path does).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "mel/core/parameter_estimation.hpp"
+#include "mel/obs/metrics.hpp"
+#include "mel/persist/snapshot.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::persist {
+
+struct DriftMonitorConfig {
+  /// Window cadence: the chi-square test runs every this-many payloads.
+  std::uint64_t window_payloads = 1024;
+  /// Significance level: drift is declared when the goodness-of-fit
+  /// p-value falls below this (smaller = fewer, stronger alarms).
+  double significance = 0.01;
+  /// Windows with fewer characters than this carry over instead of
+  /// being tested (a starved window proves nothing).
+  std::uint64_t min_window_chars = 1 << 14;
+  /// Bytes whose expected count in the window falls below this are
+  /// pooled into one rare-mass bin (Cochran's rule of thumb: 5).
+  double min_expected_per_bin = 5.0;
+  /// Fraction of window mass on bytes with zero baseline probability
+  /// that by itself declares drift (the support changed; chi-square
+  /// cannot even be formed there).
+  double zero_support_tolerance = 1e-3;
+
+  [[nodiscard]] util::Status validate() const;
+};
+
+class DriftMonitor {
+ public:
+  /// observed: the window's distribution, normalized over all 256 byte
+  /// values. window_chars: how many characters backed it.
+  using DriftCallback = std::function<void(
+      const core::CharFrequencyTable& observed, std::uint64_t window_chars)>;
+
+  [[nodiscard]] static util::StatusOr<std::shared_ptr<DriftMonitor>> create(
+      DriftMonitorConfig config);
+
+  /// Installs the calibrated distribution the live traffic is tested
+  /// against. Call at startup and after every recalibration.
+  void set_baseline(const core::CharFrequencyTable& baseline);
+
+  /// Installs the drift signal handler (StateManager's recalibration).
+  void set_on_drift(DriftCallback callback);
+
+  /// Accounts one scanned payload. Lock-free except on the payload that
+  /// closes a window, which runs the test inline.
+  void observe(util::ByteView payload);
+
+  [[nodiscard]] std::uint64_t windows_checked() const noexcept {
+    return windows_checked_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t drifts_detected() const noexcept {
+    return drifts_detected_.load(std::memory_order_relaxed);
+  }
+
+  /// Current accumulation for the snapshot / restored from one.
+  [[nodiscard]] DriftState state() const;
+  void restore(const DriftState& state);
+
+  /// Registers mel_drift_* series on `registry`. Call before traffic.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
+  [[nodiscard]] const DriftMonitorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  explicit DriftMonitor(DriftMonitorConfig config);
+
+  /// Closes the current window: snapshot + reset the counters and run
+  /// the test under check_mutex_, then fire the callback on rejection
+  /// with the lock released.
+  void close_window();
+
+  DriftMonitorConfig config_;
+  std::array<std::atomic<std::uint64_t>, 256> counts_{};
+  std::atomic<std::uint64_t> window_payloads_{0};
+  std::atomic<std::uint64_t> windows_checked_{0};
+  std::atomic<std::uint64_t> drifts_detected_{0};
+
+  mutable std::mutex check_mutex_;  ///< Guards baseline_ and window close.
+  core::CharFrequencyTable baseline_{};
+  bool baseline_set_ = false;
+  DriftCallback on_drift_;
+
+  obs::Counter windows_counter_;
+  obs::Counter drifts_counter_;
+  obs::Gauge window_chars_gauge_;
+};
+
+}  // namespace mel::persist

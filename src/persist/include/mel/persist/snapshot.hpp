@@ -1,0 +1,110 @@
+#pragma once
+// Versioned binary snapshot format for the detector's durable state.
+//
+// Everything the service cannot afford to lose across a restart is
+// gathered into one PersistentState value: the calibrated DetectorConfig
+// (alpha, engine, preset character frequencies), the derived threshold
+// tau with its n/p estimate and anchor size, the calibration epoch that
+// keys verdict-cache invalidation, the cache's lifetime counters, and
+// the drift monitor's accumulated character frequencies.
+//
+// Wire format (all integers little-endian, doubles as IEEE-754 bit
+// patterns — the encoding is bit-lossless and byte-deterministic, so
+// encode(decode(encode(s))) == encode(s) is a tested fixpoint):
+//
+//   header   8  magic "MELSNAP1"
+//            4  format version (kSnapshotFormatVersion)
+//            4  section count
+//            4  CRC-32C over the 16 header bytes above
+//   section  4  section id
+//            4  flags (reserved, must be 0)
+//            8  payload size in bytes
+//            4  CRC-32C over the payload bytes
+//            .. payload
+//
+// Every section carries its own CRC, so a single flipped bit pinpoints
+// the damaged section instead of poisoning the whole file. Versioning
+// policy (docs/persistence.md): additions within a version are new
+// section ids — a reader skips unknown ids whose CRC checks out — and
+// any layout change to an existing section bumps kSnapshotFormatVersion,
+// which readers reject with a typed error (restore then falls back to
+// last-known-good or cold-start; see snapshot_file.hpp).
+//
+// decode_snapshot() accepts arbitrary bytes and never crashes: every
+// failure mode (bad magic, version skew, truncation, CRC mismatch,
+// overlong declared sizes, malformed embedded config) returns a typed
+// util::Status. The snapshot_restore fuzz harness holds it to that.
+
+#include <array>
+#include <cstdint>
+
+#include "mel/core/detector.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::persist {
+
+inline constexpr std::array<std::uint8_t, 8> kSnapshotMagic = {
+    'M', 'E', 'L', 'S', 'N', 'A', 'P', '1'};
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// Largest snapshot accepted by the decoder. Snapshots are small (a
+/// frequency table, counters, one config text); a multi-megabyte
+/// "snapshot" is corrupt or hostile and is refused before any parsing.
+inline constexpr std::size_t kMaxSnapshotBytes = std::size_t{4} << 20;
+
+/// Lifetime counters of the verdict cache, persisted so hit-rate
+/// dashboards survive restarts (the cached verdicts themselves are
+/// deliberately NOT persisted: they are cheap to recompute and stale
+/// verdicts across a calibration change would be a correctness risk).
+struct CacheMetadata {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+
+  [[nodiscard]] bool operator==(const CacheMetadata&) const = default;
+};
+
+/// The drift monitor's accumulated evidence: per-byte character counts
+/// of the current observation window plus lifetime totals.
+struct DriftState {
+  std::array<std::uint64_t, 256> window_counts{};
+  std::uint64_t window_payloads = 0;
+  std::uint64_t windows_checked = 0;
+  std::uint64_t drifts_detected = 0;
+
+  [[nodiscard]] bool operator==(const DriftState&) const = default;
+};
+
+/// Everything restored after a restart.
+struct PersistentState {
+  /// Calibrated detector configuration (preset frequencies installed).
+  core::DetectorConfig detector;
+  /// Threshold derived at calibration time, with its estimate and the
+  /// anchor input size it was derived at.
+  double tau = 0.0;
+  double n = 0.0;
+  double p = 0.0;
+  std::uint64_t calibration_point_chars = 0;
+  /// Monotone epoch; bumped on every recalibration. Verdict-cache
+  /// entries from older epochs are invalid.
+  std::uint64_t calibration_epoch = 0;
+
+  CacheMetadata cache;
+  DriftState drift;
+};
+
+/// Serializes `state` into the snapshot wire format. Deterministic:
+/// equal states encode to equal bytes.
+[[nodiscard]] util::ByteBuffer encode_snapshot(const PersistentState& state);
+
+/// Parses snapshot bytes. Typed errors, never a crash:
+///   kInvalidArgument — wrong magic, version skew, truncation, CRC
+///     mismatch, malformed section layout or embedded config text,
+///     oversized input;
+///   kInvalidConfig   — the embedded DetectorConfig fails validate().
+[[nodiscard]] util::StatusOr<PersistentState> decode_snapshot(
+    util::ByteView bytes);
+
+}  // namespace mel::persist

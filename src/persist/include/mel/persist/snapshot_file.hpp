@@ -1,0 +1,67 @@
+#pragma once
+// Crash-safe snapshot files: atomic publication and defensive restore.
+//
+// Write protocol (save_snapshot):
+//   1. encode to <path>.tmp and fsync the bytes,
+//   2. rename the current <path> (if any) to <path>.bak — the
+//      last-known-good generation,
+//   3. rename <path>.tmp to <path> (atomic publication on POSIX).
+// A crash or injected fault at ANY step leaves either the previous
+// snapshot at <path>, or <path> absent with the previous generation at
+// <path>.bak — never a torn file at the final path. Filesystem faults
+// (write failure, short write, rename failure, fsync failure) are
+// injection points (util::fault), so every error branch is a
+// deterministic test, not a hope.
+//
+// Restore protocol (restore_snapshot): try <path>, then <path>.bak,
+// then report cold start. Each candidate is fully decoded and validated
+// (magic, version, per-section CRC) before it is trusted; a torn or
+// corrupt primary with an intact backup restores the backup and says
+// so. Restore never crashes and never returns a half-parsed state — the
+// worst case is kColdStart with the reasons attached.
+
+#include <string>
+
+#include "mel/persist/snapshot.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::persist {
+
+/// Atomically persists `state` to `path` (see the write protocol above).
+/// Typed errors: kResourceExhausted for I/O failures (write/sync/rename),
+/// with the previous snapshot generation left restorable.
+[[nodiscard]] util::Status save_snapshot(const PersistentState& state,
+                                         const std::string& path);
+
+/// Reads and decodes one snapshot file. kResourceExhausted when the file
+/// cannot be read (missing, unreadable), the decoder's typed errors
+/// otherwise.
+[[nodiscard]] util::StatusOr<PersistentState> load_snapshot(
+    const std::string& path);
+
+/// Where a restored state came from.
+enum class RestoreSource : std::uint8_t {
+  kPrimary = 0,  ///< <path> decoded and validated.
+  kBackup,       ///< <path> bad/missing; <path>.bak decoded.
+  kColdStart,    ///< Neither generation usable; `state` is the caller's
+                 ///< cold-start default.
+};
+
+[[nodiscard]] std::string_view restore_source_name(
+    RestoreSource source) noexcept;
+
+struct RestoreResult {
+  PersistentState state;
+  RestoreSource source = RestoreSource::kColdStart;
+  /// Why the primary (and backup) were rejected; OK when unused.
+  util::Status primary_status;
+  util::Status backup_status;
+};
+
+/// Restores from `path`, falling back to `path`.bak and then to
+/// `cold_start`. Total: always returns a usable state; the statuses say
+/// what happened to the rejected generations.
+[[nodiscard]] RestoreResult restore_snapshot(const std::string& path,
+                                             PersistentState cold_start);
+
+}  // namespace mel::persist

@@ -1,0 +1,173 @@
+#pragma once
+// StateManager: the durable-state orchestrator.
+//
+// One object owns the lifecycle that snapshot.hpp, snapshot_file.hpp,
+// verdict_cache.hpp and drift_monitor.hpp each cover a piece of:
+//
+//   startup     restore_snapshot(path) — primary, then .bak, then the
+//               caller's cold-start state — then seed the verdict cache
+//               epoch + lifetime counters and the drift monitor's
+//               window/baseline from the restored state.
+//   runtime     the drift monitor's on_drift fires handle_drift():
+//               re-derive (config, tau) from the observed distribution
+//               via core::recalibrate_from_frequencies, push the new
+//               calibration into the serving detector through the
+//               apply-calibration hook, bump the calibration epoch (an
+//               O(1) invalidation of every cached verdict), move the
+//               drift baseline to the new calibration, and persist a
+//               fresh snapshot.
+//   shutdown    save() publishes the current state atomically.
+//
+// The apply hook exists because persist sits BELOW service in the layer
+// order: the StateManager cannot name ScanService. The service owner
+// wires `set_apply_calibration` to ScanService::apply_calibration (or
+// whatever serves verdicts); a null hook means recalibrations update
+// only the durable state.
+//
+// Failure stance: every step degrades, nothing aborts. A failed
+// recalibration (degenerate estimate) keeps the previous calibration and
+// counts a failure; a rejected apply keeps the previous calibration and
+// does NOT bump the epoch (the cache stays valid for the detector that
+// is actually serving); a failed snapshot write leaves the previous
+// generation restorable and counts a failure.
+//
+// Thread-safety: all public methods are safe from any thread.
+// handle_drift runs on the scan thread that closed the drift window
+// (DriftMonitor invokes it outside its own lock); a state mutex guards
+// the calibration fields and an I/O mutex serializes snapshot writes.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "mel/core/calibrator.hpp"
+#include "mel/obs/metrics.hpp"
+#include "mel/persist/drift_monitor.hpp"
+#include "mel/persist/snapshot.hpp"
+#include "mel/persist/snapshot_file.hpp"
+#include "mel/persist/verdict_cache.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::persist {
+
+struct StateManagerConfig {
+  /// Snapshot file path. Empty: no durability — restore is a cold start
+  /// and save() is a validated no-op (useful in tests and benches).
+  std::string snapshot_path;
+  /// Knobs for online recalibration (alpha, rules; the same options a
+  /// full offline calibration would use).
+  core::CalibratorOptions calibrator;
+  /// Anchor input size (characters) at which recalibration derives tau
+  /// when the restored state carries none. The detector still re-derives
+  /// tau per payload at scan time; this anchors the persisted value.
+  std::uint64_t default_anchor_chars = 4096;
+};
+
+class StateManager : public std::enable_shared_from_this<StateManager> {
+ public:
+  /// Installs a new calibration into whatever serves verdicts. Returns
+  /// non-OK to veto (the recalibration is then abandoned: no epoch bump,
+  /// no baseline move, no snapshot).
+  using ApplyCalibration = std::function<util::Status(
+      const core::DetectorConfig& config, double tau)>;
+
+  /// Restores state from config.snapshot_path (falling back per
+  /// restore_snapshot) or adopts `cold_start`, seeds `cache` and `drift`
+  /// from it, and wires the drift monitor's on_drift to handle_drift.
+  /// `cache` and `drift` may each be null (feature disabled).
+  /// kInvalidConfig when default_anchor_chars is 0.
+  [[nodiscard]] static util::StatusOr<std::shared_ptr<StateManager>> create(
+      StateManagerConfig config, PersistentState cold_start,
+      std::shared_ptr<VerdictCache> cache, std::shared_ptr<DriftMonitor> drift);
+
+  /// Where the startup state came from, with the rejection reasons for
+  /// any generation that was passed over.
+  [[nodiscard]] const RestoreResult& restore_result() const noexcept {
+    return restore_;
+  }
+  [[nodiscard]] RestoreSource restore_source() const noexcept {
+    return restore_.source;
+  }
+
+  /// Wires recalibrations into the serving detector. Call before
+  /// traffic; a recalibration firing with no hook updates durable state
+  /// only.
+  void set_apply_calibration(ApplyCalibration apply);
+
+  /// Point-in-time durable state: calibration fields under the state
+  /// mutex, live cache counters, live drift accumulation.
+  [[nodiscard]] PersistentState current() const;
+
+  /// Atomically persists current() to the snapshot path. OK (and a
+  /// no-op) when the path is empty; save_snapshot's typed errors
+  /// otherwise. Serialized: concurrent saves queue on the I/O mutex.
+  [[nodiscard]] util::Status save();
+
+  /// The drift pipeline entry (wired to DriftMonitor::on_drift at
+  /// create; callable directly in tests). See the failure stance above.
+  void handle_drift(const core::CharFrequencyTable& observed,
+                    std::uint64_t window_chars);
+
+  [[nodiscard]] std::uint64_t calibration_epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Successful recalibrations (calibration installed + epoch bumped).
+  [[nodiscard]] std::uint64_t recalibrations() const noexcept {
+    return recalibrations_.load(std::memory_order_relaxed);
+  }
+  /// Drift signals that did NOT change the calibration (degenerate
+  /// estimate or vetoed apply).
+  [[nodiscard]] std::uint64_t recalibration_failures() const noexcept {
+    return recalibration_failures_.load(std::memory_order_relaxed);
+  }
+  /// Snapshot writes that returned an error (previous generation kept).
+  [[nodiscard]] std::uint64_t save_failures() const noexcept {
+    return save_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers mel_state_* series on `registry`. Call before traffic.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
+  [[nodiscard]] const StateManagerConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const std::shared_ptr<VerdictCache>& cache() const noexcept {
+    return cache_;
+  }
+  [[nodiscard]] const std::shared_ptr<DriftMonitor>& drift() const noexcept {
+    return drift_;
+  }
+
+ private:
+  StateManager(StateManagerConfig config, std::shared_ptr<VerdictCache> cache,
+               std::shared_ptr<DriftMonitor> drift);
+
+  StateManagerConfig config_;
+  std::shared_ptr<VerdictCache> cache_;
+  std::shared_ptr<DriftMonitor> drift_;
+  RestoreResult restore_;
+
+  mutable std::mutex state_mutex_;  ///< Guards state_ and apply_.
+  PersistentState state_;           ///< Calibration fields are canonical
+                                    ///< here; cache/drift fields are
+                                    ///< refreshed from the live objects.
+  ApplyCalibration apply_;
+
+  std::mutex io_mutex_;  ///< Serializes snapshot writes.
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> recalibrations_{0};
+  std::atomic<std::uint64_t> recalibration_failures_{0};
+  std::atomic<std::uint64_t> save_failures_{0};
+
+  obs::Counter recal_counter_;
+  obs::Counter recal_failure_counter_;
+  obs::Counter save_counter_;
+  obs::Counter save_failure_counter_;
+  obs::Gauge epoch_gauge_;
+};
+
+}  // namespace mel::persist

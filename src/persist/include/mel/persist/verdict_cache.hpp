@@ -1,0 +1,189 @@
+#pragma once
+// Content-addressed verdict cache for the scan front-end.
+//
+// Production gateway traffic is highly repetitive — the same bodies,
+// boilerplate and attachments recur endlessly — and a MEL verdict is a
+// pure function of (payload, calibrated config). The cache exploits
+// both: payloads are addressed by a 128-bit rolling-hash fingerprint of
+// their content (plus the exact length), and cached verdicts are valid
+// exactly until the calibration changes.
+//
+// Invalidation is O(1) by design: every entry is stamped with the
+// calibration epoch current at insert time, bump_epoch() increments an
+// atomic counter, and lookups treat any entry from an older epoch as a
+// miss (evicting it lazily). No stop-the-world sweep on the scan path.
+//
+// Correctness stance: a cache hit must be bit-identical to the verdict a
+// fresh scan would produce. Two ingredients deliver that: verdict purity
+// (the detector is deterministic, and only clean full-fidelity verdicts
+// — not degraded, not budget-overridden — are admitted to the cache) and
+// fingerprint width (128 bits of independent polynomial hashes plus the
+// length; a collision needs ~2^64 distinct payloads by the birthday
+// bound, far beyond any deployment's traffic. The tests pin the
+// hit==miss guarantee under the parallel==sequential cross-check).
+//
+// Structure: N shards (power of two), each an independent LRU list +
+// hash map behind its own mutex, so concurrent scan workers touching
+// different shards never contend. Capacity is enforced per shard
+// (capacity / shards each), eviction is strict LRU within the shard.
+//
+// Thread-safety: all public methods are safe from any number of threads.
+// Counters are relaxed atomics mirrored to the obs registry when
+// bind_metrics() was called.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mel/core/detector.hpp"
+#include "mel/obs/metrics.hpp"
+#include "mel/persist/snapshot.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::persist {
+
+struct VerdictCacheConfig {
+  /// Total cached verdicts across all shards (>= shards).
+  std::size_t capacity = 4096;
+  /// Shard count; power of two. More shards cost memory, fewer cost
+  /// contention under many workers.
+  std::size_t shards = 16;
+
+  [[nodiscard]] util::Status validate() const;
+};
+
+/// 128-bit content address: two independent 64-bit polynomial rolling
+/// hashes over the payload, plus the exact byte length.
+struct Fingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t length = 0;
+
+  [[nodiscard]] bool operator==(const Fingerprint&) const = default;
+};
+
+/// Computes the content address of `payload`. Pure and thread-safe; the
+/// polynomial accumulation is a single pass (the "rolling" form — update
+/// by one byte — is what StreamDetector windows would use; whole-payload
+/// addressing rolls the full span).
+[[nodiscard]] Fingerprint fingerprint_payload(util::ByteView payload) noexcept;
+
+class VerdictCache {
+ public:
+  /// Validating factory; kInvalidConfig instead of clamping.
+  [[nodiscard]] static util::StatusOr<std::shared_ptr<VerdictCache>> create(
+      VerdictCacheConfig config);
+
+  /// Looks up `key`. A hit from a stale calibration epoch is a miss (and
+  /// lazily evicts the entry). Updates hit/miss counters.
+  [[nodiscard]] std::optional<core::Verdict> lookup(const Fingerprint& key);
+
+  /// Inserts (or refreshes) `key` under the CURRENT epoch, evicting the
+  /// shard's least-recently-used entry when full.
+  void insert(const Fingerprint& key, const core::Verdict& verdict);
+
+  /// Invalidates every cached verdict in O(1): entries from earlier
+  /// epochs fail lookup from this call on.
+  void bump_epoch() noexcept;
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Restores the epoch from a snapshot (StateManager, at startup).
+  void set_epoch(std::uint64_t epoch) noexcept {
+    epoch_.store(epoch, std::memory_order_release);
+  }
+
+  /// Drops every entry immediately (restore paths; tests).
+  void clear();
+
+  /// Entries currently resident (relaxed counter; exact when quiescent).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(entries_.load(std::memory_order_relaxed));
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t insertions() const noexcept {
+    return insertions_.load(std::memory_order_relaxed);
+  }
+
+  /// Lifetime counters for the snapshot (persisted across restarts).
+  [[nodiscard]] CacheMetadata metadata() const;
+  /// Seeds the lifetime counters from a restored snapshot.
+  void restore_metadata(const CacheMetadata& meta);
+
+  /// Registers mel_cache_* series (hits/misses/evictions/insertions
+  /// counters, entries gauge) on `registry`. Call once, before traffic.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
+  [[nodiscard]] const VerdictCacheConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  explicit VerdictCache(VerdictCacheConfig config);
+
+  struct Entry {
+    Fingerprint key;
+    core::Verdict verdict;
+    std::uint64_t epoch = 0;
+  };
+
+  struct FingerprintHash {
+    [[nodiscard]] std::size_t operator()(
+        const Fingerprint& key) const noexcept {
+      // lo/hi are already well-mixed polynomial hashes; fold in the
+      // length so equal-content prefixes of different sizes spread.
+      return static_cast<std::size_t>(key.lo ^ (key.hi >> 1) ^
+                                      (key.length * 0x9E3779B97F4A7C15ull));
+    }
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    /// LRU order, front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<Fingerprint, std::list<Entry>::iterator,
+                       FingerprintHash>
+        index;
+  };
+
+  Shard& shard_for(const Fingerprint& key) noexcept {
+    // hi rather than lo selects the shard so the shard choice and the
+    // index hash draw on independent fingerprint halves.
+    return *shards_[key.hi & shard_mask_];
+  }
+
+  VerdictCacheConfig config_;
+  std::size_t shard_mask_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> epoch_{0};
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::int64_t> entries_{0};
+
+  obs::Counter hits_counter_;
+  obs::Counter misses_counter_;
+  obs::Counter evictions_counter_;
+  obs::Counter insertions_counter_;
+  obs::Gauge entries_gauge_;
+};
+
+}  // namespace mel::persist

@@ -1,0 +1,323 @@
+#include "mel/persist/snapshot.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "mel/core/config_io.hpp"
+#include "mel/util/crc32c.hpp"
+
+namespace mel::persist {
+
+namespace {
+
+// Section ids. New ids may be added within a format version (readers
+// skip unknown ids); changing an existing section's layout requires a
+// version bump.
+enum SectionId : std::uint32_t {
+  kSectionDetectorConfig = 1,
+  kSectionCalibration = 2,
+  kSectionCacheMeta = 3,
+  kSectionDriftState = 4,
+};
+
+inline constexpr std::size_t kHeaderBytes = 20;
+inline constexpr std::size_t kSectionHeaderBytes = 20;
+
+void append_u32(util::ByteBuffer& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+void append_u64(util::ByteBuffer& out, std::uint64_t value) {
+  append_u32(out, static_cast<std::uint32_t>(value));
+  append_u32(out, static_cast<std::uint32_t>(value >> 32));
+}
+
+void append_double(util::ByteBuffer& out, double value) {
+  append_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Bounds-checked little-endian reader over the snapshot bytes.
+class Reader {
+ public:
+  explicit Reader(util::ByteView bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  [[nodiscard]] bool read_u32(std::uint32_t& out) noexcept {
+    if (remaining() < 4) return false;
+    out = static_cast<std::uint32_t>(bytes_[pos_]) |
+          (static_cast<std::uint32_t>(bytes_[pos_ + 1]) << 8) |
+          (static_cast<std::uint32_t>(bytes_[pos_ + 2]) << 16) |
+          (static_cast<std::uint32_t>(bytes_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool read_u64(std::uint64_t& out) noexcept {
+    std::uint32_t low = 0;
+    std::uint32_t high = 0;
+    if (!read_u32(low) || !read_u32(high)) return false;
+    out = static_cast<std::uint64_t>(low) |
+          (static_cast<std::uint64_t>(high) << 32);
+    return true;
+  }
+
+  [[nodiscard]] bool read_double(double& out) noexcept {
+    std::uint64_t bits = 0;
+    if (!read_u64(bits)) return false;
+    out = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  [[nodiscard]] bool read_view(std::size_t size, util::ByteView& out) noexcept {
+    if (remaining() < size) return false;
+    out = bytes_.subspan(pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+ private:
+  util::ByteView bytes_;
+  std::size_t pos_ = 0;
+};
+
+void append_section(util::ByteBuffer& out, std::uint32_t id,
+                    const util::ByteBuffer& payload) {
+  append_u32(out, id);
+  append_u32(out, 0);  // flags
+  append_u64(out, payload.size());
+  append_u32(out, util::crc32c(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+util::Status corrupt(std::size_t offset, const std::string& what) {
+  return util::Status::invalid_argument(
+      "snapshot corrupt at byte " + std::to_string(offset) + ": " + what);
+}
+
+util::Status decode_calibration(util::ByteView payload,
+                                PersistentState& state) {
+  Reader reader(payload);
+  if (!reader.read_double(state.tau) || !reader.read_double(state.n) ||
+      !reader.read_double(state.p) ||
+      !reader.read_u64(state.calibration_point_chars) ||
+      !reader.read_u64(state.calibration_epoch) || reader.remaining() != 0) {
+    return util::Status::invalid_argument(
+        "snapshot calibration section has wrong size (" +
+        std::to_string(payload.size()) + " bytes)");
+  }
+  // A snapshot that decodes is a *usable* state: non-finite or
+  // out-of-domain calibration values would resurface as NaN thresholds
+  // mid-scan, long after restore claimed success.
+  if (!std::isfinite(state.tau) || state.tau < 0.0) {
+    return util::Status::invalid_argument(
+        "snapshot calibration tau is out of domain");
+  }
+  if (!std::isfinite(state.n) || state.n < 0.0 || !std::isfinite(state.p) ||
+      state.p < 0.0 || state.p > 1.0) {
+    return util::Status::invalid_argument(
+        "snapshot calibration n/p is out of domain");
+  }
+  return util::Status::ok();
+}
+
+util::Status decode_cache_meta(util::ByteView payload, PersistentState& state) {
+  Reader reader(payload);
+  if (!reader.read_u64(state.cache.hits) ||
+      !reader.read_u64(state.cache.misses) ||
+      !reader.read_u64(state.cache.evictions) ||
+      !reader.read_u64(state.cache.insertions) || reader.remaining() != 0) {
+    return util::Status::invalid_argument(
+        "snapshot cache-metadata section has wrong size (" +
+        std::to_string(payload.size()) + " bytes)");
+  }
+  return util::Status::ok();
+}
+
+util::Status decode_drift_state(util::ByteView payload,
+                                PersistentState& state) {
+  Reader reader(payload);
+  bool ok = reader.read_u64(state.drift.window_payloads) &&
+            reader.read_u64(state.drift.windows_checked) &&
+            reader.read_u64(state.drift.drifts_detected);
+  for (std::size_t b = 0; ok && b < 256; ++b) {
+    ok = reader.read_u64(state.drift.window_counts[b]);
+  }
+  if (!ok || reader.remaining() != 0) {
+    return util::Status::invalid_argument(
+        "snapshot drift-state section has wrong size (" +
+        std::to_string(payload.size()) + " bytes)");
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::ByteBuffer encode_snapshot(const PersistentState& state) {
+  // Sections are emitted in fixed id order, so equal states always
+  // produce identical bytes (the round-trip fixpoint tests rely on it).
+  util::ByteBuffer config_payload =
+      util::to_bytes(core::serialize_config(state.detector));
+
+  util::ByteBuffer calibration;
+  append_double(calibration, state.tau);
+  append_double(calibration, state.n);
+  append_double(calibration, state.p);
+  append_u64(calibration, state.calibration_point_chars);
+  append_u64(calibration, state.calibration_epoch);
+
+  util::ByteBuffer cache_meta;
+  append_u64(cache_meta, state.cache.hits);
+  append_u64(cache_meta, state.cache.misses);
+  append_u64(cache_meta, state.cache.evictions);
+  append_u64(cache_meta, state.cache.insertions);
+
+  util::ByteBuffer drift;
+  append_u64(drift, state.drift.window_payloads);
+  append_u64(drift, state.drift.windows_checked);
+  append_u64(drift, state.drift.drifts_detected);
+  for (std::uint64_t count : state.drift.window_counts) {
+    append_u64(drift, count);
+  }
+
+  util::ByteBuffer out;
+  out.reserve(kHeaderBytes + 4 * kSectionHeaderBytes + config_payload.size() +
+              calibration.size() + cache_meta.size() + drift.size());
+  for (std::uint8_t byte : kSnapshotMagic) out.push_back(byte);
+  append_u32(out, kSnapshotFormatVersion);
+  append_u32(out, 4);  // section count
+  append_u32(out, util::crc32c(util::ByteView(out).first(16)));
+
+  append_section(out, kSectionDetectorConfig, config_payload);
+  append_section(out, kSectionCalibration, calibration);
+  append_section(out, kSectionCacheMeta, cache_meta);
+  append_section(out, kSectionDriftState, drift);
+  return out;
+}
+
+util::StatusOr<PersistentState> decode_snapshot(util::ByteView bytes) {
+  if (bytes.size() > kMaxSnapshotBytes) {
+    return util::Status::invalid_argument(
+        "snapshot is " + std::to_string(bytes.size()) +
+        " bytes; the cap is " + std::to_string(kMaxSnapshotBytes));
+  }
+  if (bytes.size() < kHeaderBytes) {
+    return corrupt(bytes.size(), "truncated before the header ended");
+  }
+  for (std::size_t i = 0; i < kSnapshotMagic.size(); ++i) {
+    if (bytes[i] != kSnapshotMagic[i]) {
+      return corrupt(i, "bad magic (not a MELSNAP1 snapshot)");
+    }
+  }
+  Reader reader(bytes);
+  util::ByteView header_prefix;
+  (void)reader.read_view(16, header_prefix);  // magic + version + count.
+  Reader header_reader(header_prefix.subspan(8));
+  std::uint32_t version = 0;
+  std::uint32_t section_count = 0;
+  (void)header_reader.read_u32(version);
+  (void)header_reader.read_u32(section_count);
+  std::uint32_t header_crc = 0;
+  (void)reader.read_u32(header_crc);
+  if (util::crc32c(header_prefix) != header_crc) {
+    return corrupt(16, "header CRC mismatch");
+  }
+  if (version != kSnapshotFormatVersion) {
+    return util::Status::invalid_argument(
+        "snapshot format version " + std::to_string(version) +
+        " is not supported (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+
+  PersistentState state;
+  bool saw_config = false;
+  bool saw_calibration = false;
+  for (std::uint32_t section = 0; section < section_count; ++section) {
+    const std::size_t section_start = reader.position();
+    std::uint32_t id = 0;
+    std::uint32_t flags = 0;
+    std::uint64_t payload_size = 0;
+    std::uint32_t payload_crc = 0;
+    if (!reader.read_u32(id) || !reader.read_u32(flags) ||
+        !reader.read_u64(payload_size) || !reader.read_u32(payload_crc)) {
+      return corrupt(section_start, "truncated section header");
+    }
+    if (flags != 0) {
+      return corrupt(section_start, "unsupported section flags " +
+                                        std::to_string(flags));
+    }
+    if (payload_size > reader.remaining()) {
+      return corrupt(section_start,
+                     "section " + std::to_string(id) + " declares " +
+                         std::to_string(payload_size) + " payload bytes but " +
+                         std::to_string(reader.remaining()) + " remain");
+    }
+    util::ByteView payload;
+    (void)reader.read_view(static_cast<std::size_t>(payload_size), payload);
+    if (util::crc32c(payload) != payload_crc) {
+      return corrupt(section_start,
+                     "section " + std::to_string(id) + " CRC mismatch");
+    }
+    switch (id) {
+      case kSectionDetectorConfig: {
+        util::StatusOr<core::DetectorConfig> config =
+            core::parse_config_checked(std::string_view(
+                reinterpret_cast<const char*>(payload.data()),
+                payload.size()));
+        if (!config.is_ok()) {
+          return util::Status(config.code(),
+                              "snapshot detector-config section: " +
+                                  config.status().message());
+        }
+        state.detector = std::move(config).take();
+        saw_config = true;
+        break;
+      }
+      case kSectionCalibration: {
+        if (util::Status status = decode_calibration(payload, state);
+            !status.is_ok()) {
+          return status;
+        }
+        saw_calibration = true;
+        break;
+      }
+      case kSectionCacheMeta: {
+        if (util::Status status = decode_cache_meta(payload, state);
+            !status.is_ok()) {
+          return status;
+        }
+        break;
+      }
+      case kSectionDriftState: {
+        if (util::Status status = decode_drift_state(payload, state);
+            !status.is_ok()) {
+          return status;
+        }
+        break;
+      }
+      default:
+        // Unknown id with a valid CRC: a newer writer within this format
+        // version added a section. Skip it (forward compatibility).
+        break;
+    }
+  }
+  if (reader.remaining() != 0) {
+    return corrupt(reader.position(), "trailing bytes after the last section");
+  }
+  if (!saw_config || !saw_calibration) {
+    return util::Status::invalid_argument(
+        "snapshot is missing a required section (detector config and "
+        "calibration are mandatory)");
+  }
+  return state;
+}
+
+}  // namespace mel::persist

@@ -1,0 +1,178 @@
+#include "mel/persist/snapshot_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/logging.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define MEL_PERSIST_HAVE_FSYNC 1
+#endif
+
+namespace mel::persist {
+
+namespace {
+
+using util::fault::Point;
+
+std::string errno_detail() {
+  return std::strerror(errno) != nullptr ? std::strerror(errno) : "I/O error";
+}
+
+/// fwrite with the short-write and write-failure fault points threaded
+/// in. Returns the byte count actually persisted.
+std::size_t checked_write(std::FILE* file, util::ByteView bytes) {
+  if (util::fault::should_fire(Point::kFsWriteFailure)) return 0;
+  util::ByteView to_write = bytes;
+  if (util::fault::should_fire(Point::kFsShortWrite) && bytes.size() > 1) {
+    to_write = bytes.first(bytes.size() / 2);
+  }
+  const std::size_t written =
+      std::fwrite(to_write.data(), 1, to_write.size(), file);
+  // An injected short write wrote what it wrote — report it so the
+  // caller sees a partial persist exactly as ENOSPC would look.
+  return written;
+}
+
+bool checked_sync(std::FILE* file) {
+  if (util::fault::should_fire(Point::kFsSyncFailure)) return false;
+  if (std::fflush(file) != 0) return false;
+#if defined(MEL_PERSIST_HAVE_FSYNC)
+  if (fsync(fileno(file)) != 0) return false;
+#endif
+  return true;
+}
+
+bool checked_rename(const std::string& from, const std::string& to) {
+  if (util::fault::should_fire(Point::kFsRenameFailure)) return false;
+  return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace
+
+util::Status save_snapshot(const PersistentState& state,
+                           const std::string& path) {
+  const util::ByteBuffer bytes = encode_snapshot(state);
+  const std::string tmp_path = path + ".tmp";
+  const std::string bak_path = path + ".bak";
+
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return util::Status::resource_exhausted(
+        "cannot open snapshot temp file " + tmp_path + ": " + errno_detail());
+  }
+  const std::size_t written = checked_write(file, bytes);
+  const bool synced = written == bytes.size() && checked_sync(file);
+  std::fclose(file);
+  if (!synced) {
+    // The temp file is torn or unsynced; remove it so a later restore
+    // never considers it. The published snapshot is untouched.
+    std::remove(tmp_path.c_str());
+    return util::Status::resource_exhausted(
+        written == bytes.size()
+            ? "snapshot fsync failed for " + tmp_path
+            : "snapshot write persisted only " + std::to_string(written) +
+                  " of " + std::to_string(bytes.size()) + " bytes");
+  }
+
+  // Demote the current snapshot to .bak before publishing, so a crash
+  // between the two renames still leaves one intact generation.
+  if (file_exists(path) && !checked_rename(path, bak_path)) {
+    std::remove(tmp_path.c_str());
+    return util::Status::resource_exhausted(
+        "cannot demote current snapshot to " + bak_path + ": " +
+        errno_detail());
+  }
+  if (!checked_rename(tmp_path, path)) {
+    // Torn-rename window: <path> may be absent now, but .bak holds the
+    // previous generation — exactly what restore_snapshot falls back to.
+    std::remove(tmp_path.c_str());
+    return util::Status::resource_exhausted(
+        "cannot publish snapshot to " + path + ": " + errno_detail() +
+        " (previous generation remains at " + bak_path + ")");
+  }
+  return util::Status::ok();
+}
+
+util::StatusOr<PersistentState> load_snapshot(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return util::Status::resource_exhausted("cannot open snapshot " + path +
+                                            ": " + errno_detail());
+  }
+  util::ByteBuffer bytes;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+    if (bytes.size() > kMaxSnapshotBytes) {
+      std::fclose(file);
+      return util::Status::invalid_argument(
+          "snapshot " + path + " exceeds the " +
+          std::to_string(kMaxSnapshotBytes) + "-byte cap");
+    }
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return util::Status::resource_exhausted("read error on snapshot " + path);
+  }
+  return decode_snapshot(bytes);
+}
+
+std::string_view restore_source_name(RestoreSource source) noexcept {
+  switch (source) {
+    case RestoreSource::kPrimary:
+      return "primary";
+    case RestoreSource::kBackup:
+      return "backup";
+    case RestoreSource::kColdStart:
+      return "cold_start";
+  }
+  return "cold_start";
+}
+
+RestoreResult restore_snapshot(const std::string& path,
+                               PersistentState cold_start) {
+  RestoreResult result;
+  util::StatusOr<PersistentState> primary = load_snapshot(path);
+  if (primary.is_ok()) {
+    result.state = std::move(primary).take();
+    result.source = RestoreSource::kPrimary;
+    return result;
+  }
+  result.primary_status = primary.status();
+  util::log_warn_ctx({.component = "persist"},
+                     "snapshot restore: primary rejected: ",
+                     result.primary_status.to_string());
+
+  util::StatusOr<PersistentState> backup = load_snapshot(path + ".bak");
+  if (backup.is_ok()) {
+    result.state = std::move(backup).take();
+    result.source = RestoreSource::kBackup;
+    util::log_warn_ctx({.component = "persist"},
+                       "snapshot restore: fell back to last-known-good ",
+                       path + ".bak");
+    return result;
+  }
+  result.backup_status = backup.status();
+  util::log_warn_ctx({.component = "persist"},
+                     "snapshot restore: backup rejected: ",
+                     result.backup_status.to_string(),
+                     "; cold-starting");
+  result.state = std::move(cold_start);
+  result.source = RestoreSource::kColdStart;
+  return result;
+}
+
+}  // namespace mel::persist

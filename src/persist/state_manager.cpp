@@ -1,0 +1,181 @@
+#include "mel/persist/state_manager.hpp"
+
+#include <utility>
+
+#include "mel/util/logging.hpp"
+
+namespace mel::persist {
+
+StateManager::StateManager(StateManagerConfig config,
+                           std::shared_ptr<VerdictCache> cache,
+                           std::shared_ptr<DriftMonitor> drift)
+    : config_(std::move(config)),
+      cache_(std::move(cache)),
+      drift_(std::move(drift)) {}
+
+util::StatusOr<std::shared_ptr<StateManager>> StateManager::create(
+    StateManagerConfig config, PersistentState cold_start,
+    std::shared_ptr<VerdictCache> cache, std::shared_ptr<DriftMonitor> drift) {
+  if (config.default_anchor_chars == 0) {
+    return util::Status::invalid_config(
+        "StateManagerConfig::default_anchor_chars must be >= 1");
+  }
+  std::shared_ptr<StateManager> manager(
+      new StateManager(std::move(config), std::move(cache), std::move(drift)));
+
+  if (manager->config_.snapshot_path.empty()) {
+    manager->restore_.state = std::move(cold_start);
+    manager->restore_.source = RestoreSource::kColdStart;
+  } else {
+    manager->restore_ = restore_snapshot(manager->config_.snapshot_path,
+                                         std::move(cold_start));
+  }
+  manager->state_ = manager->restore_.state;
+  manager->epoch_.store(manager->state_.calibration_epoch,
+                        std::memory_order_release);
+  util::log_info_ctx({.component = "persist"}, "state restore: source=",
+                     restore_source_name(manager->restore_.source),
+                     " epoch=", manager->state_.calibration_epoch,
+                     " tau=", manager->state_.tau);
+
+  if (manager->cache_) {
+    manager->cache_->set_epoch(manager->state_.calibration_epoch);
+    manager->cache_->restore_metadata(manager->state_.cache);
+  }
+  if (manager->drift_) {
+    manager->drift_->restore(manager->state_.drift);
+    if (manager->state_.detector.preset_frequencies.has_value()) {
+      manager->drift_->set_baseline(*manager->state_.detector
+                                         .preset_frequencies);
+    }
+    // weak_ptr: the monitor outliving the manager must not fire into a
+    // destroyed object, and a shared capture would cycle (manager owns
+    // the monitor, the monitor's callback would own the manager).
+    std::weak_ptr<StateManager> weak = manager;
+    manager->drift_->set_on_drift(
+        [weak](const core::CharFrequencyTable& observed,
+               std::uint64_t window_chars) {
+          if (std::shared_ptr<StateManager> self = weak.lock()) {
+            self->handle_drift(observed, window_chars);
+          }
+        });
+  }
+  return manager;
+}
+
+void StateManager::set_apply_calibration(ApplyCalibration apply) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  apply_ = std::move(apply);
+}
+
+PersistentState StateManager::current() const {
+  PersistentState state;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    state = state_;
+  }
+  if (cache_) state.cache = cache_->metadata();
+  if (drift_) state.drift = drift_->state();
+  return state;
+}
+
+util::Status StateManager::save() {
+  if (config_.snapshot_path.empty()) return util::Status::ok();
+  const PersistentState state = current();
+  util::Status status;
+  {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    status = save_snapshot(state, config_.snapshot_path);
+  }
+  if (status.is_ok()) {
+    save_counter_.inc();
+  } else {
+    save_failures_.fetch_add(1, std::memory_order_relaxed);
+    save_failure_counter_.inc();
+    util::log_warn_ctx({.component = "persist"},
+                       "snapshot save failed: ", status.to_string());
+  }
+  return status;
+}
+
+void StateManager::handle_drift(const core::CharFrequencyTable& observed,
+                                std::uint64_t window_chars) {
+  std::uint64_t anchor = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    anchor = state_.calibration_point_chars != 0
+                 ? state_.calibration_point_chars
+                 : config_.default_anchor_chars;
+  }
+  util::StatusOr<core::RecalibrationResult> recal =
+      core::recalibrate_from_frequencies(
+          observed, static_cast<std::size_t>(anchor), config_.calibrator);
+  if (!recal.is_ok()) {
+    recalibration_failures_.fetch_add(1, std::memory_order_relaxed);
+    recal_failure_counter_.inc();
+    util::log_warn_ctx({.component = "persist"},
+                       "drift recalibration rejected (keeping previous "
+                       "calibration): ",
+                       recal.status().to_string());
+    return;
+  }
+  const core::RecalibrationResult result = std::move(recal).take();
+
+  std::uint64_t new_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (apply_) {
+      util::Status applied = apply_(result.config, result.tau);
+      if (!applied.is_ok()) {
+        recalibration_failures_.fetch_add(1, std::memory_order_relaxed);
+        recal_failure_counter_.inc();
+        util::log_warn_ctx({.component = "persist"},
+                           "recalibration vetoed by apply hook (keeping "
+                           "previous calibration): ",
+                           applied.to_string());
+        return;
+      }
+    }
+    state_.detector = result.config;
+    state_.tau = result.tau;
+    state_.n = result.params.n;
+    state_.p = result.params.p;
+    state_.calibration_point_chars = anchor;
+    new_epoch = ++state_.calibration_epoch;
+  }
+  epoch_.store(new_epoch, std::memory_order_release);
+  epoch_gauge_.set(static_cast<std::int64_t>(new_epoch));
+  recalibrations_.fetch_add(1, std::memory_order_relaxed);
+  recal_counter_.inc();
+
+  // Order matters: the serving detector already switched (apply hook),
+  // so invalidate cached verdicts from the old calibration BEFORE any
+  // new inserts could land under the old epoch.
+  if (cache_) cache_->set_epoch(new_epoch);
+  if (drift_ && result.config.preset_frequencies.has_value()) {
+    drift_->set_baseline(*result.config.preset_frequencies);
+  }
+
+  util::log_info_ctx({.component = "persist"},
+                     "drift recalibration installed: epoch=", new_epoch,
+                     " tau=", result.tau, " n=", result.params.n,
+                     " p=", result.params.p, " window_chars=", window_chars);
+  (void)save();  // Best-effort; failures are counted and logged above.
+}
+
+void StateManager::bind_metrics(obs::MetricsRegistry& registry) {
+  recal_counter_ = registry.counter("mel_state_recalibrations_total",
+                                    "Drift recalibrations installed.");
+  recal_failure_counter_ =
+      registry.counter("mel_state_recalibration_failures_total",
+                       "Drift recalibrations rejected or vetoed.");
+  save_counter_ = registry.counter("mel_state_snapshot_saves_total",
+                                   "Snapshots published atomically.");
+  save_failure_counter_ =
+      registry.counter("mel_state_snapshot_save_failures_total",
+                       "Snapshot writes that failed (previous kept).");
+  epoch_gauge_ = registry.gauge("mel_state_calibration_epoch",
+                                "Current calibration epoch.");
+}
+
+}  // namespace mel::persist

@@ -1,0 +1,179 @@
+#include "mel/persist/verdict_cache.hpp"
+
+#include <bit>
+#include <string>
+
+namespace mel::persist {
+
+namespace {
+
+// Two independent odd multipliers for the polynomial rolling hashes
+// (mod 2^64). Large, odd, and unrelated: the classic FNV prime and a
+// golden-ratio-derived constant.
+inline constexpr std::uint64_t kBaseLo = 0x00000100000001B3ull;
+inline constexpr std::uint64_t kBaseHi = 0x9E3779B97F4A7C15ull;
+
+std::uint64_t final_mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Fingerprint fingerprint_payload(util::ByteView payload) noexcept {
+  std::uint64_t lo = 0xCBF29CE484222325ull;  // FNV offset basis.
+  std::uint64_t hi = 0x6A09E667F3BCC909ull;  // frac(sqrt(2)).
+  for (std::uint8_t byte : payload) {
+    lo = lo * kBaseLo + byte + 1;
+    hi = hi * kBaseHi + byte + 1;
+  }
+  Fingerprint key;
+  key.lo = final_mix(lo);
+  key.hi = final_mix(hi ^ payload.size());
+  key.length = payload.size();
+  return key;
+}
+
+util::Status VerdictCacheConfig::validate() const {
+  if (shards == 0 || !std::has_single_bit(shards)) {
+    return util::Status::invalid_config(
+        "VerdictCacheConfig::shards must be a power of two >= 1; got " +
+        std::to_string(shards));
+  }
+  if (capacity < shards) {
+    return util::Status::invalid_config(
+        "VerdictCacheConfig::capacity (" + std::to_string(capacity) +
+        ") must be >= shards (" + std::to_string(shards) + ")");
+  }
+  return util::Status::ok();
+}
+
+VerdictCache::VerdictCache(VerdictCacheConfig config)
+    : config_(config),
+      shard_mask_(config.shards - 1),
+      per_shard_capacity_(config.capacity / config.shards) {
+  shards_.reserve(config.shards);
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+util::StatusOr<std::shared_ptr<VerdictCache>> VerdictCache::create(
+    VerdictCacheConfig config) {
+  if (util::Status status = config.validate(); !status.is_ok()) {
+    return status;
+  }
+  return std::shared_ptr<VerdictCache>(new VerdictCache(config));
+}
+
+std::optional<core::Verdict> VerdictCache::lookup(const Fingerprint& key) {
+  const std::uint64_t current_epoch = epoch();
+  Shard& shard = shard_for(key);
+  std::optional<core::Verdict> result;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      if (it->second->epoch == current_epoch) {
+        // Refresh LRU position and serve the hit.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        result = it->second->verdict;
+      } else {
+        // Stale calibration epoch: lazily evict, report a miss.
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (result) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_counter_.inc();
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_counter_.inc();
+  }
+  return result;
+}
+
+void VerdictCache::insert(const Fingerprint& key,
+                          const core::Verdict& verdict) {
+  const std::uint64_t current_epoch = epoch();
+  Shard& shard = shard_for(key);
+  std::uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->verdict = verdict;
+      it->second->epoch = current_epoch;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      while (shard.lru.size() >= per_shard_capacity_ && !shard.lru.empty()) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        ++evicted;
+      }
+      shard.lru.push_front(Entry{key, verdict, current_epoch});
+      shard.index.emplace(key, shard.lru.begin());
+      entries_.fetch_add(1, std::memory_order_relaxed);
+      entries_.fetch_sub(static_cast<std::int64_t>(evicted),
+                         std::memory_order_relaxed);
+    }
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  insertions_counter_.inc();
+  if (evicted != 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    evictions_counter_.inc(evicted);
+  }
+  entries_gauge_.set(static_cast<std::int64_t>(size()));
+}
+
+void VerdictCache::bump_epoch() noexcept {
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void VerdictCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+  entries_.store(0, std::memory_order_relaxed);
+  entries_gauge_.set(0);
+}
+
+CacheMetadata VerdictCache::metadata() const {
+  CacheMetadata meta;
+  meta.hits = hits();
+  meta.misses = misses();
+  meta.evictions = evictions();
+  meta.insertions = insertions();
+  return meta;
+}
+
+void VerdictCache::restore_metadata(const CacheMetadata& meta) {
+  hits_.store(meta.hits, std::memory_order_relaxed);
+  misses_.store(meta.misses, std::memory_order_relaxed);
+  evictions_.store(meta.evictions, std::memory_order_relaxed);
+  insertions_.store(meta.insertions, std::memory_order_relaxed);
+}
+
+void VerdictCache::bind_metrics(obs::MetricsRegistry& registry) {
+  hits_counter_ = registry.counter(
+      "mel_cache_lookups_total", "Verdict-cache lookups by outcome.",
+      "outcome=\"hit\"");
+  misses_counter_ = registry.counter(
+      "mel_cache_lookups_total", "Verdict-cache lookups by outcome.",
+      "outcome=\"miss\"");
+  evictions_counter_ = registry.counter("mel_cache_evictions_total",
+                                        "Verdict-cache LRU evictions.");
+  insertions_counter_ = registry.counter("mel_cache_insertions_total",
+                                         "Verdict-cache insertions.");
+  entries_gauge_ = registry.gauge("mel_cache_entries",
+                                  "Verdict-cache resident entries.");
+}
+
+}  // namespace mel::persist

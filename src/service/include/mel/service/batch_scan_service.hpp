@@ -161,6 +161,12 @@ class BatchScanService {
   /// ScanService (flushing its stream tail). Idempotent.
   std::vector<core::StreamAlert> drain();
 
+  /// Mutable access to the shared inner service, for wiring that must
+  /// target the live instance — e.g. persist::StateManager's apply hook
+  /// calling apply_calibration() to hot-swap the serving detector while
+  /// batches are in flight.
+  [[nodiscard]] ScanService& service() noexcept { return service_; }
+
   /// The inner service's admission controller / breaker, for probes.
   [[nodiscard]] const AdmissionController& admission() const noexcept {
     return service_.admission();

@@ -52,6 +52,8 @@
 #include "mel/core/stream_detector.hpp"
 #include "mel/obs/metrics.hpp"
 #include "mel/obs/trace.hpp"
+#include "mel/persist/drift_monitor.hpp"
+#include "mel/persist/verdict_cache.hpp"
 #include "mel/service/resilience.hpp"
 #include "mel/util/status.hpp"
 
@@ -99,6 +101,25 @@ struct ServiceConfig {
   /// ScanService::metrics(). Share one registry across services (and the
   /// batch tier) to aggregate them into one scrape.
   std::shared_ptr<obs::MetricsRegistry> metrics;
+
+  /// Content-addressed verdict cache consulted ahead of the detector.
+  /// Null (default): every scan computes. A hit returns the cached
+  /// verdict — bit-identical to what a fresh scan would produce, because
+  /// only clean full-fidelity verdicts (not degraded, not under a
+  /// per-request budget override) are admitted, and entries are
+  /// invalidated on every calibration change via the epoch. Hit/miss
+  /// ORDER is schedule-dependent under the parallel batch tier (two
+  /// workers may both miss on the same payload), so mel_cache_* series
+  /// are excluded from the parallel==sequential determinism contract;
+  /// every verdict-derived series still holds it. Note: a cache hit
+  /// skips the detector-path fault checkpoints, so chaos suites with
+  /// armed triggers should leave the cache null.
+  std::shared_ptr<persist::VerdictCache> verdict_cache;
+  /// Online drift monitor fed every successfully scanned payload.
+  /// Null (default): no drift tracking. Wire its on_drift through a
+  /// persist::StateManager to apply_calibration for the full
+  /// detect-recalibrate-invalidate-snapshot loop.
+  std::shared_ptr<persist::DriftMonitor> drift_monitor;
 
   [[nodiscard]] util::Status validate() const;
 };
@@ -193,7 +214,7 @@ class ScanService {
   /// Moving while scans are in flight is outside the contract.
   ScanService(ScanService&& other) noexcept
       : config_(std::move(other.config_)),
-        detector_(std::move(other.detector_)),
+        detector_(other.detector_.load(std::memory_order_acquire)),
         stream_(std::move(other.stream_)),
         stats_(other.stats_),
         next_scan_id_(other.next_scan_id_.load(std::memory_order_relaxed)),
@@ -268,6 +289,26 @@ class ScanService {
     admission_.set_queue_depth_probe(std::move(probe));
   }
 
+  /// Hot-swaps the serving detector to a new calibration without a
+  /// restart: validates `config`, builds the replacement detector, and
+  /// publishes it atomically — scans in flight finish on the detector
+  /// they loaded; scans admitted after the swap use the new one. This is
+  /// the StateManager's apply-calibration hook target (tau is logged;
+  /// the detector re-derives tau per payload from the new config).
+  /// kInvalidConfig rejects leave the serving detector untouched.
+  /// Scope: payload scans only — the stream session and config() keep
+  /// their construction-time calibration (a stream mid-flight changing
+  /// thresholds would make its alerts unattributable).
+  [[nodiscard]] util::Status apply_calibration(
+      const core::DetectorConfig& config, double tau);
+
+  /// The detector currently serving scans (construction config until the
+  /// first apply_calibration).
+  [[nodiscard]] std::shared_ptr<const core::MelDetector> detector()
+      const noexcept {
+    return detector_.load(std::memory_order_acquire);
+  }
+
  private:
   explicit ScanService(ServiceConfig config);
 
@@ -300,7 +341,9 @@ class ScanService {
       std::chrono::steady_clock::time_point start) const;
 
   ServiceConfig config_;
-  core::MelDetector detector_;
+  /// Atomically swappable so apply_calibration() can replace the serving
+  /// detector under live traffic (scans load once and keep their copy).
+  std::atomic<std::shared_ptr<const core::MelDetector>> detector_;
   core::StreamDetector stream_;
   /// Mutable + atomic: scan() is logically const (pure verdicts) but
   /// accounts for itself; see the thread-safety contract above.

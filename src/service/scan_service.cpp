@@ -60,7 +60,7 @@ util::Status ServiceConfig::validate() const {
 
 ScanService::ScanService(ServiceConfig config)
     : config_(std::move(config)),
-      detector_(config_.detector),
+      detector_(std::make_shared<const core::MelDetector>(config_.detector)),
       stream_(make_stream_config(config_)),
       metrics_(config_.metrics ? config_.metrics
                                : std::make_shared<obs::MetricsRegistry>()),
@@ -70,6 +70,8 @@ ScanService::ScanService(ServiceConfig config)
   stream_.bind_metrics(*metrics_);
   admission_.bind_metrics(*metrics_);
   breaker_.bind_metrics(*metrics_);
+  if (config_.verdict_cache) config_.verdict_cache->bind_metrics(*metrics_);
+  if (config_.drift_monitor) config_.drift_monitor->bind_metrics(*metrics_);
   lifecycle_.store(ServiceState::kServing, std::memory_order_release);
 }
 
@@ -262,17 +264,43 @@ util::StatusOr<ScanReport> ScanService::scan_admitted(
   obs::ScanTrace trace;
   ScanReport report;
   report.scan_id = scan_id;
-  exec::MelScratch local_scratch;
-  exec::MelScratch& scratch =
-      request.scratch != nullptr ? *request.scratch : local_scratch;
-  try {
-    if (util::fault::should_fire(Point::kAllocFailure)) {
-      throw std::bad_alloc{};
+
+  // Content-addressed verdict cache. Eligibility excludes the truncated
+  // chaos path (the view is not the payload) and per-request budget
+  // overrides (a cached verdict must be a pure function of payload and
+  // service config alone). A hit serves the cached verdict through the
+  // same accounting tail as a computed one — every verdict-derived
+  // series is identical either way.
+  persist::VerdictCache* const cache = config_.verdict_cache.get();
+  const bool cache_eligible =
+      cache != nullptr && !truncated_input && !request.budget.has_value();
+  persist::Fingerprint fingerprint;
+  bool cache_hit = false;
+  if (cache_eligible) {
+    fingerprint = persist::fingerprint_payload(view);
+    if (std::optional<core::Verdict> cached = cache->lookup(fingerprint)) {
+      report.verdict = *cached;
+      cache_hit = true;
     }
-    report.verdict = detector_.scan(view, budget, scratch, &trace);
-  } catch (const std::bad_alloc&) {
-    return reject(scan_id, util::Status::resource_exhausted(
-                               "allocation failure during scan"));
+  }
+
+  if (!cache_hit) {
+    exec::MelScratch local_scratch;
+    exec::MelScratch& scratch =
+        request.scratch != nullptr ? *request.scratch : local_scratch;
+    // Scans load the detector once and finish on it even if a
+    // recalibration swaps the serving detector mid-scan.
+    const std::shared_ptr<const core::MelDetector> detector =
+        detector_.load(std::memory_order_acquire);
+    try {
+      if (util::fault::should_fire(Point::kAllocFailure)) {
+        throw std::bad_alloc{};
+      }
+      report.verdict = detector->scan(view, budget, scratch, &trace);
+    } catch (const std::bad_alloc&) {
+      return reject(scan_id, util::Status::resource_exhausted(
+                                 "allocation failure during scan"));
+    }
   }
 
   core::Verdict& verdict = report.verdict;
@@ -338,7 +366,35 @@ util::StatusOr<ScanReport> ScanService::scan_admitted(
   }
   if (verdict.malicious) ++stats_.alarms;
   if (request.collect_trace) report.trace = trace.spans();
+
+  // Only clean full-fidelity verdicts enter the cache: degraded verdicts
+  // depend on service-level fallback state, and anything else would
+  // break the hit==miss bit-identity contract.
+  if (cache_eligible && !cache_hit && !verdict.degraded) {
+    cache->insert(fingerprint, verdict);
+  }
+  // Feed the drift monitor last: a window close runs the chi-square test
+  // (and possibly the whole recalibration pipeline) inline on this
+  // thread, after this scan's own verdict is fully accounted.
+  if (config_.drift_monitor && !truncated_input) {
+    config_.drift_monitor->observe(view);
+  }
   return report;
+}
+
+util::Status ScanService::apply_calibration(const core::DetectorConfig& config,
+                                            double tau) {
+  util::StatusOr<core::MelDetector> detector = core::MelDetector::create(config);
+  if (!detector.is_ok()) {
+    return detector.status();
+  }
+  detector_.store(std::make_shared<const core::MelDetector>(
+                      std::move(detector).take()),
+                  std::memory_order_release);
+  util::log_info_ctx({.component = "service"},
+                     "calibration applied: alpha=", config.alpha,
+                     " tau(anchor)=", tau);
+  return util::Status::ok();
 }
 
 util::StatusOr<std::vector<core::StreamAlert>> ScanService::stream_feed(

@@ -1,0 +1,29 @@
+#pragma once
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78):
+// the checksum guarding the persistence layer's snapshot sections.
+// Castagnoli rather than the zip CRC-32 because its error-detection
+// properties over short binary records are strictly better and it is
+// what modern storage stacks (ext4 metadata, iSCSI, Btrfs) standardize
+// on — a snapshot checked here matches what the disk stack expects.
+//
+// Table-driven software implementation (8 tables, byte-sliced): no SSE4.2
+// requirement, deterministic on every host, ~1 GB/s — far faster than the
+// snapshots it guards need. Thread-safe: the tables are immutable after
+// static initialization and the functions are pure.
+
+#include <cstdint>
+
+#include "mel/util/bytes.hpp"
+
+namespace mel::util {
+
+/// CRC-32C of `bytes`, with the conventional init/final inversion
+/// (crc32c of the empty view is 0).
+[[nodiscard]] std::uint32_t crc32c(ByteView bytes) noexcept;
+
+/// Streaming form: feed `crc` from a previous call (or 0 to start) to
+/// checksum a logical record spread over several buffers.
+[[nodiscard]] std::uint32_t crc32c_extend(std::uint32_t crc,
+                                          ByteView bytes) noexcept;
+
+}  // namespace mel::util

@@ -19,6 +19,17 @@
 //   kEngineStall     - the MEL engine burns wall-clock at a decode
 //                      checkpoint (the scan clock advances by the
 //                      configured jump), tripping mid-scan deadlines.
+//   kFsWriteFailure  - a persistence write() reports failure; the writer
+//                      must surface a typed Status, never a torn file
+//                      visible at the final path.
+//   kFsShortWrite    - a persistence write() persists only a prefix,
+//                      modeling ENOSPC/partial I/O; restore must reject
+//                      the truncated file.
+//   kFsRenameFailure - the atomic publish rename() fails, modeling a
+//                      crash between temp-file and rename; the previous
+//                      snapshot must remain restorable.
+//   kFsSyncFailure   - fsync() reports failure (dying disk); the writer
+//                      must report it instead of claiming durability.
 //
 // All scan-path deadline checks read fault::now() (steady clock plus the
 // injected skew) so the injected time and real time stay on one axis.
@@ -53,8 +64,12 @@ enum class Point : std::uint8_t {
   kClockSkew,
   kTruncatedWindow,
   kEngineStall,
+  kFsWriteFailure,
+  kFsShortWrite,
+  kFsRenameFailure,
+  kFsSyncFailure,
 };
-inline constexpr int kPointCount = 4;
+inline constexpr int kPointCount = 8;
 
 /// Firing rule for one injection point. With probability == 0 the rule is
 /// a pure counter: skip the first `start_after` evaluations, then fire
@@ -93,7 +108,7 @@ class ScanScope {
 
  private:
   std::uint64_t saved_sequence_;
-  std::uint64_t saved_evals_[4];  ///< kPointCount; kept POD for noexcept.
+  std::uint64_t saved_evals_[8];  ///< kPointCount; kept POD for noexcept.
   bool saved_active_;
 };
 

@@ -1,0 +1,366 @@
+// Content-addressed verdict cache (src/persist/verdict_cache).
+//
+// Pins the correctness stance end to end: fingerprints are deterministic
+// and length-sensitive, LRU eviction is strict within a shard, a
+// calibration-epoch bump invalidates every entry in O(1), and — the part
+// that matters — a cache hit through ScanService is bit-identical to the
+// verdict a fresh scan would produce, sequentially and at eight parallel
+// workers sharing one cache. Part of the CI 'Persist*' corruption /
+// determinism gates.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mel/obs/export.hpp"
+#include "mel/persist/verdict_cache.hpp"
+#include "mel/service/batch_scan_service.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::persist {
+namespace {
+
+namespace fault = util::fault;
+
+util::ByteBuffer benign_text(std::size_t size, std::uint64_t seed) {
+  traffic::MarkovTextGenerator generator;
+  util::Xoshiro256 rng(seed);
+  return util::to_bytes(generator.generate(size, rng));
+}
+
+util::ByteBuffer worm_bytes(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus().front().bytes, {}, rng);
+}
+
+core::Verdict make_verdict(std::int64_t mel) {
+  core::Verdict verdict;
+  verdict.mel = mel;
+  verdict.threshold = 40.0;
+  verdict.malicious = static_cast<double>(mel) > verdict.threshold;
+  return verdict;
+}
+
+/// Distinct fingerprints that all land in shard 0, so single-shard LRU
+/// order is exercised without reverse-engineering the hash.
+Fingerprint shard0_key(std::uint64_t i) {
+  return Fingerprint{.lo = i * 0x9E3779B97F4A7C15ull, .hi = 0, .length = i};
+}
+
+class PersistCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+};
+
+// --- Fingerprints ----------------------------------------------------------
+
+TEST_F(PersistCacheTest, FingerprintIsDeterministic) {
+  const auto payload = benign_text(2048, 41);
+  const Fingerprint a = fingerprint_payload(payload);
+  const Fingerprint b = fingerprint_payload(payload);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.length, payload.size());
+}
+
+TEST_F(PersistCacheTest, FingerprintSeesEveryByteAndTheLength) {
+  util::ByteBuffer payload = benign_text(512, 42);
+  const Fingerprint original = fingerprint_payload(payload);
+  for (std::size_t i = 0; i < payload.size(); i += 37) {
+    payload[i] ^= 0x01;
+    EXPECT_NE(fingerprint_payload(payload), original)
+        << "flip at byte " << i << " went unseen";
+    payload[i] ^= 0x01;
+  }
+  // A strict prefix must differ even where the polynomial state matches.
+  EXPECT_NE(fingerprint_payload(util::ByteView(payload).first(511)),
+            original);
+}
+
+TEST_F(PersistCacheTest, DistinctPayloadsGetDistinctFingerprints) {
+  std::vector<Fingerprint> seen;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    seen.push_back(fingerprint_payload(benign_text(256 + i, 1000 + i)));
+  }
+  for (std::size_t a = 0; a < seen.size(); ++a) {
+    for (std::size_t b = a + 1; b < seen.size(); ++b) {
+      ASSERT_NE(seen[a], seen[b]) << "collision between " << a << "/" << b;
+    }
+  }
+}
+
+// --- Cache mechanics -------------------------------------------------------
+
+TEST_F(PersistCacheTest, ConfigIsValidatedNotClamped) {
+  EXPECT_FALSE(VerdictCache::create({.capacity = 4, .shards = 3}).is_ok())
+      << "non-power-of-two shards";
+  EXPECT_FALSE(VerdictCache::create({.capacity = 4, .shards = 0}).is_ok());
+  EXPECT_FALSE(VerdictCache::create({.capacity = 2, .shards = 4}).is_ok())
+      << "capacity below shard count";
+  EXPECT_TRUE(VerdictCache::create({.capacity = 16, .shards = 4}).is_ok());
+}
+
+TEST_F(PersistCacheTest, InsertThenLookupHits) {
+  auto cache = VerdictCache::create({.capacity = 8, .shards = 1}).take();
+  const Fingerprint key = shard0_key(1);
+  EXPECT_FALSE(cache->lookup(key).has_value());
+  cache->insert(key, make_verdict(12));
+  const auto hit = cache->lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->mel, 12);
+  EXPECT_EQ(cache->hits(), 1u);
+  EXPECT_EQ(cache->misses(), 1u);
+  EXPECT_EQ(cache->size(), 1u);
+}
+
+TEST_F(PersistCacheTest, LruEvictsTheColdestEntry) {
+  auto cache = VerdictCache::create({.capacity = 4, .shards = 1}).take();
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    cache->insert(shard0_key(i), make_verdict(static_cast<std::int64_t>(i)));
+  }
+  cache->insert(shard0_key(5), make_verdict(5));
+  EXPECT_EQ(cache->evictions(), 1u);
+  EXPECT_EQ(cache->size(), 4u);
+  EXPECT_FALSE(cache->lookup(shard0_key(1)).has_value())
+      << "the least-recently-used entry must be the one evicted";
+  for (std::uint64_t i = 2; i <= 5; ++i) {
+    EXPECT_TRUE(cache->lookup(shard0_key(i)).has_value()) << "key " << i;
+  }
+}
+
+TEST_F(PersistCacheTest, LookupRefreshesRecency) {
+  auto cache = VerdictCache::create({.capacity = 4, .shards = 1}).take();
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    cache->insert(shard0_key(i), make_verdict(static_cast<std::int64_t>(i)));
+  }
+  ASSERT_TRUE(cache->lookup(shard0_key(1)).has_value());  // Warm key 1.
+  cache->insert(shard0_key(5), make_verdict(5));
+  EXPECT_TRUE(cache->lookup(shard0_key(1)).has_value())
+      << "a just-hit entry must not be the eviction victim";
+  EXPECT_FALSE(cache->lookup(shard0_key(2)).has_value());
+}
+
+TEST_F(PersistCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  auto cache = VerdictCache::create({.capacity = 4, .shards = 1}).take();
+  const Fingerprint key = shard0_key(1);
+  cache->insert(key, make_verdict(1));
+  cache->insert(key, make_verdict(2));
+  EXPECT_EQ(cache->size(), 1u);
+  const auto hit = cache->lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->mel, 2);
+}
+
+TEST_F(PersistCacheTest, EpochBumpInvalidatesEverythingInO1) {
+  auto cache = VerdictCache::create({.capacity = 64, .shards = 4}).take();
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    cache->insert(Fingerprint{.lo = i, .hi = i * 7919, .length = i},
+                  make_verdict(1));
+  }
+  EXPECT_EQ(cache->size(), 32u);
+  cache->bump_epoch();
+  EXPECT_EQ(cache->epoch(), 1u);
+  // Every lookup after the bump is a miss; stale entries evict lazily.
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_FALSE(
+        cache->lookup(Fingerprint{.lo = i, .hi = i * 7919, .length = i})
+            .has_value());
+  }
+  EXPECT_EQ(cache->size(), 0u) << "stale entries must evict on touch";
+  // Fresh inserts under the new epoch serve normally.
+  cache->insert(Fingerprint{.lo = 1, .hi = 2, .length = 3},
+                make_verdict(4));
+  EXPECT_TRUE(cache->lookup(Fingerprint{.lo = 1, .hi = 2, .length = 3})
+                  .has_value());
+}
+
+TEST_F(PersistCacheTest, ClearDropsEverythingImmediately) {
+  auto cache = VerdictCache::create({.capacity = 16, .shards = 2}).take();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    cache->insert(Fingerprint{.lo = i, .hi = i, .length = i},
+                  make_verdict(1));
+  }
+  cache->clear();
+  EXPECT_EQ(cache->size(), 0u);
+}
+
+TEST_F(PersistCacheTest, MetadataRoundTripsThroughRestore) {
+  auto cache = VerdictCache::create({}).take();
+  cache->restore_metadata(CacheMetadata{
+      .hits = 100, .misses = 20, .evictions = 3, .insertions = 21});
+  const Fingerprint key = shard0_key(9);
+  (void)cache->lookup(key);  // miss
+  cache->insert(key, make_verdict(1));
+  (void)cache->lookup(key);  // hit
+  const CacheMetadata meta = cache->metadata();
+  EXPECT_EQ(meta.hits, 101u);
+  EXPECT_EQ(meta.misses, 21u);
+  EXPECT_EQ(meta.evictions, 3u);
+  EXPECT_EQ(meta.insertions, 22u)
+      << "restored lifetime counters must continue, not reset";
+}
+
+TEST_F(PersistCacheTest, MetricsMirrorTheCounters) {
+  obs::MetricsRegistry registry;
+  auto cache = VerdictCache::create({.capacity = 8, .shards = 1}).take();
+  cache->bind_metrics(registry);
+  const Fingerprint key = shard0_key(3);
+  (void)cache->lookup(key);
+  cache->insert(key, make_verdict(1));
+  (void)cache->lookup(key);
+  const std::string scrape = obs::to_prometheus(registry.snapshot());
+  EXPECT_NE(scrape.find("mel_cache_lookups_total{outcome=\"hit\"} 1"),
+            std::string::npos)
+      << scrape;
+  EXPECT_NE(scrape.find("mel_cache_lookups_total{outcome=\"miss\"} 1"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("mel_cache_insertions_total 1"), std::string::npos);
+  EXPECT_NE(scrape.find("mel_cache_entries 1"), std::string::npos);
+}
+
+// --- Through the service: hit == miss, bit for bit -------------------------
+
+TEST_F(PersistCacheTest, ServiceCacheHitIsBitIdenticalToTheFreshScan) {
+  auto cache = VerdictCache::create({}).take();
+  service::ServiceConfig config;
+  config.verdict_cache = cache;
+  auto service_or = service::ScanService::create(std::move(config));
+  ASSERT_TRUE(service_or.is_ok());
+  const service::ScanService service = std::move(service_or).take();
+
+  for (std::uint64_t seed : {900ull, 901ull, 902ull}) {
+    const auto payload =
+        seed == 901 ? worm_bytes(seed) : benign_text(3000, seed);
+    auto first = service.scan(service::ScanRequest{.payload = payload});
+    ASSERT_TRUE(first.is_ok());
+    auto second = service.scan(service::ScanRequest{.payload = payload});
+    ASSERT_TRUE(second.is_ok());
+    const core::Verdict& miss = first.value().verdict;
+    const core::Verdict& hit = second.value().verdict;
+    EXPECT_EQ(hit.malicious, miss.malicious);
+    EXPECT_EQ(hit.mel, miss.mel);
+    EXPECT_EQ(hit.threshold, miss.threshold);
+    EXPECT_EQ(hit.alpha, miss.alpha);
+    EXPECT_EQ(hit.is_text, miss.is_text);
+    EXPECT_EQ(hit.loop_detected, miss.loop_detected);
+    EXPECT_EQ(hit.degraded, miss.degraded);
+  }
+  EXPECT_EQ(cache->hits(), 3u);
+  EXPECT_EQ(cache->misses(), 3u);
+}
+
+TEST_F(PersistCacheTest, BudgetOverriddenScansBypassTheCache) {
+  // A per-request budget changes what the detector may do; such verdicts
+  // are neither served from nor admitted to the cache.
+  auto cache = VerdictCache::create({}).take();
+  service::ServiceConfig config;
+  config.verdict_cache = cache;
+  auto service_or = service::ScanService::create(std::move(config));
+  ASSERT_TRUE(service_or.is_ok());
+  const service::ScanService service = std::move(service_or).take();
+
+  const auto payload = benign_text(2000, 77);
+  auto report = service.scan(service::ScanRequest{
+      .payload = payload, .budget = core::ScanBudget{}});
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(cache->hits() + cache->misses(), 0u)
+      << "budget-overridden scans must not touch the cache";
+  EXPECT_EQ(cache->size(), 0u);
+}
+
+TEST_F(PersistCacheTest, TruncationDegradedVerdictsAreNeverCached) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "MEL_FAULT_INJECTION off";
+  auto cache = VerdictCache::create({}).take();
+  service::ServiceConfig config;
+  config.verdict_cache = cache;
+  auto service_or = service::ScanService::create(std::move(config));
+  ASSERT_TRUE(service_or.is_ok());
+  const service::ScanService service = std::move(service_or).take();
+
+  const auto payload = benign_text(2048, 78);
+  fault::arm(fault::Point::kTruncatedWindow,
+             fault::Trigger{.fire_every = 1});
+  auto degraded = service.scan(service::ScanRequest{.payload = payload});
+  ASSERT_TRUE(degraded.is_ok());
+  ASSERT_TRUE(degraded.value().verdict.degraded);
+  EXPECT_EQ(cache->size(), 0u)
+      << "a degraded verdict in the cache would outlive the fault";
+  fault::reset();
+
+  // The fault is gone: the next scan is a clean miss, computed fresh.
+  auto clean = service.scan(service::ScanRequest{.payload = payload});
+  ASSERT_TRUE(clean.is_ok());
+  EXPECT_FALSE(clean.value().verdict.degraded);
+  EXPECT_EQ(cache->size(), 1u);
+}
+
+TEST_F(PersistCacheTest, EightWorkersSharingOneCacheMatchTheOracle) {
+  // Repetitive corpus (every payload appears 4x) through a parallel
+  // batch tier sharing one cache, twice. Every verdict in both passes
+  // must match the sequential no-cache oracle; the second pass — all 12
+  // distinct payloads resident by then — must be pure hits. Hit/miss
+  // ORDER within the first pass is schedule-dependent (racing workers
+  // may each miss the same fresh key); only totals are asserted there.
+  std::vector<util::ByteBuffer> corpus;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const auto payload = i % 4 == 3 ? worm_bytes(7000 + i)
+                                    : benign_text(1500 + 100 * i, 7000 + i);
+    for (int rep = 0; rep < 4; ++rep) corpus.push_back(payload);
+  }
+
+  std::vector<core::Verdict> oracle;
+  {
+    auto service_or = service::ScanService::create(service::ServiceConfig{});
+    ASSERT_TRUE(service_or.is_ok());
+    const service::ScanService service = std::move(service_or).take();
+    for (const auto& payload : corpus) {
+      auto report = service.scan(service::ScanRequest{.payload = payload});
+      ASSERT_TRUE(report.is_ok());
+      oracle.push_back(report.value().verdict);
+    }
+  }
+
+  auto cache = VerdictCache::create({}).take();
+  service::BatchConfig config;
+  config.workers = 8;
+  config.service.verdict_cache = cache;
+  auto batch_or = service::BatchScanService::create(config);
+  ASSERT_TRUE(batch_or.is_ok());
+
+  const auto check_pass = [&](const service::BatchScanResult& out) {
+    ASSERT_EQ(out.items.size(), oracle.size());
+    for (std::size_t i = 0; i < out.items.size(); ++i) {
+      ASSERT_TRUE(out.items[i].is_ok());
+      const core::Verdict& got = out.items[i].report.verdict;
+      EXPECT_EQ(got.malicious, oracle[i].malicious) << "item " << i;
+      EXPECT_EQ(got.mel, oracle[i].mel) << "item " << i;
+      EXPECT_EQ(got.threshold, oracle[i].threshold) << "item " << i;
+      EXPECT_FALSE(got.degraded) << "item " << i;
+    }
+  };
+
+  const auto first = batch_or.value().scan_batch(corpus);
+  ASSERT_TRUE(first.is_ok());
+  check_pass(first.value());
+  EXPECT_EQ(cache->hits() + cache->misses(), corpus.size());
+  EXPECT_EQ(cache->misses(), cache->insertions())
+      << "every clean miss must be inserted exactly once";
+  EXPECT_EQ(cache->size(), 12u) << "12 distinct payloads resident";
+
+  const std::uint64_t hits_before = cache->hits();
+  const auto second = batch_or.value().scan_batch(corpus);
+  ASSERT_TRUE(second.is_ok());
+  check_pass(second.value());
+  EXPECT_EQ(cache->hits() - hits_before, corpus.size())
+      << "a fully-resident second pass must be pure hits";
+}
+
+}  // namespace
+}  // namespace mel::persist

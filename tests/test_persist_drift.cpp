@@ -1,0 +1,230 @@
+// Online drift detection (src/persist/drift_monitor).
+//
+// Traffic that matches the calibrated baseline must not alarm; traffic
+// whose character distribution moved must close a window and fire the
+// on_drift callback with the observed distribution. Also pins the
+// starved-window carry-over, the zero-support drift signal, the
+// snapshot state round-trip, and the deadlock regression: the callback
+// runs with the check mutex released, so it may call set_baseline().
+// Part of the CI 'Persist*' gates.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "mel/obs/export.hpp"
+#include "mel/persist/drift_monitor.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::persist {
+namespace {
+
+core::CharFrequencyTable uniform_text_table() {
+  core::CharFrequencyTable table{};
+  for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+    table[static_cast<std::size_t>(b)] = 1.0 / util::kTextDomainSize;
+  }
+  return table;
+}
+
+/// Bytes drawn uniformly from the printable text domain — traffic that
+/// matches uniform_text_table exactly in distribution.
+util::ByteBuffer uniform_payload(std::size_t size, util::Xoshiro256& rng) {
+  util::ByteBuffer out(size);
+  for (std::uint8_t& b : out) {
+    b = static_cast<std::uint8_t>(
+        util::kTextLow +
+        rng.next_below(static_cast<std::uint64_t>(util::kTextDomainSize)));
+  }
+  return out;
+}
+
+/// Heavily skewed but full-support traffic: half the bytes are 'e', the
+/// rest uniform text. Chi-square against the uniform baseline rejects
+/// overwhelmingly, yet every bin keeps mass (no zero-support shortcut).
+util::ByteBuffer skewed_payload(std::size_t size, util::Xoshiro256& rng) {
+  util::ByteBuffer out(size);
+  for (std::uint8_t& b : out) {
+    b = rng.next_below(2) == 0
+            ? std::uint8_t{'e'}
+            : static_cast<std::uint8_t>(
+                  util::kTextLow +
+                  rng.next_below(
+                      static_cast<std::uint64_t>(util::kTextDomainSize)));
+  }
+  return out;
+}
+
+DriftMonitorConfig fast_config() {
+  DriftMonitorConfig config;
+  config.window_payloads = 4;
+  config.min_window_chars = 1024;
+  config.significance = 0.01;
+  return config;
+}
+
+TEST(PersistDriftTest, ConfigIsValidated) {
+  DriftMonitorConfig config;
+  config.window_payloads = 0;
+  EXPECT_FALSE(DriftMonitor::create(config).is_ok());
+  config = DriftMonitorConfig{};
+  config.significance = 0.0;
+  EXPECT_FALSE(DriftMonitor::create(config).is_ok());
+  config = DriftMonitorConfig{};
+  config.significance = 1.5;
+  EXPECT_FALSE(DriftMonitor::create(config).is_ok());
+  EXPECT_TRUE(DriftMonitor::create(DriftMonitorConfig{}).is_ok());
+}
+
+TEST(PersistDriftTest, BaselineMatchingTrafficDoesNotAlarm) {
+  auto monitor = DriftMonitor::create(fast_config()).take();
+  monitor->set_baseline(uniform_text_table());
+  int callbacks = 0;
+  monitor->set_on_drift([&](const core::CharFrequencyTable&, std::uint64_t) {
+    ++callbacks;
+  });
+  util::Xoshiro256 rng(501);
+  for (int i = 0; i < 20; ++i) {  // 5 windows of 4 payloads.
+    monitor->observe(uniform_payload(512, rng));
+  }
+  EXPECT_EQ(monitor->windows_checked(), 5u);
+  EXPECT_EQ(monitor->drifts_detected(), 0u)
+      << "in-distribution traffic must not trigger recalibration";
+  EXPECT_EQ(callbacks, 0);
+}
+
+TEST(PersistDriftTest, ShiftedDistributionFiresTheCallback) {
+  auto monitor = DriftMonitor::create(fast_config()).take();
+  monitor->set_baseline(uniform_text_table());
+  core::CharFrequencyTable observed{};
+  std::uint64_t observed_chars = 0;
+  int callbacks = 0;
+  monitor->set_on_drift(
+      [&](const core::CharFrequencyTable& distribution,
+          std::uint64_t window_chars) {
+        observed = distribution;
+        observed_chars = window_chars;
+        ++callbacks;
+      });
+  util::Xoshiro256 rng(502);
+  for (int i = 0; i < 4; ++i) {
+    monitor->observe(skewed_payload(512, rng));
+  }
+  EXPECT_EQ(monitor->windows_checked(), 1u);
+  EXPECT_EQ(monitor->drifts_detected(), 1u);
+  ASSERT_EQ(callbacks, 1);
+  EXPECT_EQ(observed_chars, 2048u);
+  // The reported distribution is normalized and carries the skew.
+  double total = 0.0;
+  for (double f : observed) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(observed['e'], 0.3) << "half the bytes were 'e'";
+}
+
+TEST(PersistDriftTest, StarvedWindowsCarryOverInsteadOfTesting) {
+  DriftMonitorConfig config = fast_config();
+  config.min_window_chars = 1 << 20;  // Far more than the test feeds.
+  auto monitor = DriftMonitor::create(config).take();
+  monitor->set_baseline(uniform_text_table());
+  util::Xoshiro256 rng(503);
+  for (int i = 0; i < 12; ++i) {  // 3 window boundaries, all starved.
+    monitor->observe(skewed_payload(64, rng));
+  }
+  EXPECT_EQ(monitor->windows_checked(), 0u)
+      << "a starved window proves nothing and must not be tested";
+  EXPECT_EQ(monitor->drifts_detected(), 0u);
+  // The accumulated counts are still there for the snapshot.
+  const DriftState state = monitor->state();
+  std::uint64_t total = 0;
+  for (std::uint64_t count : state.window_counts) total += count;
+  EXPECT_EQ(total, 12u * 64u);
+}
+
+TEST(PersistDriftTest, MassOutsideTheBaselineSupportIsItselfDrift) {
+  // The baseline gives zero probability to byte 0x00; chi-square cannot
+  // even form a bin there. Observed mass on such bytes beyond the
+  // tolerance must declare drift directly.
+  auto monitor = DriftMonitor::create(fast_config()).take();
+  monitor->set_baseline(uniform_text_table());
+  util::Xoshiro256 rng(504);
+  for (int i = 0; i < 4; ++i) {
+    util::ByteBuffer payload = uniform_payload(512, rng);
+    for (std::size_t j = 0; j < payload.size(); j += 16) payload[j] = 0x00;
+    monitor->observe(payload);
+  }
+  EXPECT_EQ(monitor->drifts_detected(), 1u)
+      << "support change must not hide behind a pooled chi-square bin";
+}
+
+TEST(PersistDriftTest, StateRoundTripsThroughSnapshotRestore) {
+  DriftMonitorConfig config;
+  config.window_payloads = 1000;  // No window closes during the test.
+  auto monitor = DriftMonitor::create(config).take();
+  monitor->set_baseline(uniform_text_table());
+  util::Xoshiro256 rng(505);
+  for (int i = 0; i < 3; ++i) monitor->observe(uniform_payload(256, rng));
+
+  const DriftState saved = monitor->state();
+  EXPECT_EQ(saved.window_payloads, 3u);
+
+  auto restored = DriftMonitor::create(config).take();
+  restored->restore(saved);
+  EXPECT_EQ(restored->state(), saved)
+      << "restore must reproduce the accumulation bit for bit";
+  EXPECT_EQ(restored->windows_checked(), saved.windows_checked);
+  EXPECT_EQ(restored->drifts_detected(), saved.drifts_detected);
+}
+
+TEST(PersistDriftTest, CallbackMaySafelyMoveTheBaseline) {
+  // Deadlock regression: the recalibration path calls set_baseline()
+  // from inside the on_drift callback. The callback must therefore run
+  // with the check mutex already released.
+  //
+  // The baseline moves to the ANALYTIC skewed distribution (what a real
+  // recalibration derives), not the raw window sample: a sampled
+  // baseline carries chi-square noise on both sides of the next test
+  // (E[X^2] ~ 2*df instead of df) and would re-alarm spuriously.
+  core::CharFrequencyTable skewed_table = uniform_text_table();
+  for (double& f : skewed_table) f *= 0.5;
+  skewed_table['e'] += 0.5;
+
+  auto monitor = DriftMonitor::create(fast_config()).take();
+  monitor->set_baseline(uniform_text_table());
+  DriftMonitor* raw = monitor.get();
+  int callbacks = 0;
+  monitor->set_on_drift(
+      [&, raw](const core::CharFrequencyTable&, std::uint64_t) {
+        raw->set_baseline(skewed_table);  // Would deadlock under the lock.
+        ++callbacks;
+      });
+  util::Xoshiro256 rng(506);
+  for (int i = 0; i < 4; ++i) monitor->observe(skewed_payload(512, rng));
+  ASSERT_EQ(callbacks, 1);
+
+  // The baseline moved to the skewed distribution: more of the same
+  // traffic is now in-distribution and must NOT re-alarm.
+  for (int i = 0; i < 4; ++i) monitor->observe(skewed_payload(512, rng));
+  EXPECT_EQ(monitor->windows_checked(), 2u);
+  EXPECT_EQ(monitor->drifts_detected(), 1u)
+      << "after recalibration the new normal is normal";
+}
+
+TEST(PersistDriftTest, MetricsMirrorTheCounters) {
+  obs::MetricsRegistry registry;
+  auto monitor = DriftMonitor::create(fast_config()).take();
+  monitor->bind_metrics(registry);
+  monitor->set_baseline(uniform_text_table());
+  util::Xoshiro256 rng(507);
+  for (int i = 0; i < 4; ++i) monitor->observe(skewed_payload(512, rng));
+  const std::string scrape = obs::to_prometheus(registry.snapshot());
+  EXPECT_NE(scrape.find("mel_drift_windows_checked_total 1"),
+            std::string::npos)
+      << scrape;
+  EXPECT_NE(scrape.find("mel_drift_detected_total 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mel::persist

@@ -1,0 +1,481 @@
+// Snapshot format + crash-safe file protocol (src/persist).
+//
+// Format tests pin the wire contract: encode->decode->encode is a byte
+// fixpoint, every truncation of a valid snapshot is rejected, and every
+// single-bit flip outside the (skippable) section-id fields is rejected
+// with a typed error — never a crash, never a half-parsed state.
+//
+// File tests drive save_snapshot/restore_snapshot through the four fs
+// fault points (write failure, short write, rename failure, fsync
+// failure): each injected fault must surface kResourceExhausted and
+// leave the previous snapshot generation restorable. This suite is the
+// CI corruption-injection step (--gtest_filter='Persist*').
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mel/persist/snapshot.hpp"
+#include "mel/persist/snapshot_file.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/crc32c.hpp"
+#include "mel/util/fault_injection.hpp"
+
+namespace mel::persist {
+namespace {
+
+namespace fault = util::fault;
+using fault::Point;
+
+core::CharFrequencyTable uniform_text_table() {
+  core::CharFrequencyTable table{};
+  for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+    table[static_cast<std::size_t>(b)] = 1.0 / util::kTextDomainSize;
+  }
+  return table;
+}
+
+/// A fully-populated state: every section carries non-default values so
+/// a round-trip that drops anything is caught.
+PersistentState make_state() {
+  PersistentState state;
+  state.detector.alpha = 0.005;
+  state.detector.preset_frequencies = uniform_text_table();
+  state.tau = 41.5;
+  state.n = 512.25;
+  state.p = 0.0625;
+  state.calibration_point_chars = 4096;
+  state.calibration_epoch = 7;
+  state.cache = CacheMetadata{
+      .hits = 1000, .misses = 250, .evictions = 10, .insertions = 260};
+  for (std::size_t b = 0x20; b <= 0x7E; ++b) {
+    state.drift.window_counts[b] = 100 + b;
+  }
+  state.drift.window_payloads = 17;
+  state.drift.windows_checked = 4;
+  state.drift.drifts_detected = 1;
+  return state;
+}
+
+/// A state whose encoding is small (no frequency table in the config
+/// text), for the exhaustive bit-flip sweep.
+PersistentState make_small_state() {
+  PersistentState state;
+  state.tau = 30.0;
+  state.n = 100.0;
+  state.p = 0.05;
+  state.calibration_point_chars = 1024;
+  state.calibration_epoch = 2;
+  return state;
+}
+
+bool states_equal(const PersistentState& a, const PersistentState& b) {
+  return a.tau == b.tau && a.n == b.n && a.p == b.p &&
+         a.calibration_point_chars == b.calibration_point_chars &&
+         a.calibration_epoch == b.calibration_epoch && a.cache == b.cache &&
+         a.drift == b.drift &&
+         a.detector.alpha == b.detector.alpha &&
+         a.detector.preset_frequencies == b.detector.preset_frequencies;
+}
+
+bool is_typed_decode_error(const util::Status& status) {
+  return status.code() == util::StatusCode::kInvalidArgument ||
+         status.code() == util::StatusCode::kInvalidConfig;
+}
+
+/// Byte ranges of the four section-id fields: the one place a bit flip
+/// may legally survive (an optional section turning into an unknown id
+/// is skipped by design).
+std::vector<std::pair<std::size_t, std::size_t>> section_id_ranges(
+    const util::ByteBuffer& bytes) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  std::size_t pos = 20;  // Past the header.
+  while (pos + 20 <= bytes.size()) {
+    ranges.emplace_back(pos, pos + 4);
+    std::uint64_t size = 0;
+    for (int i = 0; i < 8; ++i) {
+      size |= static_cast<std::uint64_t>(bytes[pos + 8 + i]) << (8 * i);
+    }
+    pos += 20 + static_cast<std::size_t>(size);
+  }
+  return ranges;
+}
+
+/// RAII temp snapshot path: removes <path>, <path>.bak and <path>.tmp on
+/// construction and destruction.
+class TempSnapshotPath {
+ public:
+  explicit TempSnapshotPath(const std::string& name)
+      : path_(::testing::TempDir() + "mel_" + name + ".snap") {
+    cleanup();
+  }
+  ~TempSnapshotPath() { cleanup(); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void cleanup() const {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".bak").c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  std::string path_;
+};
+
+class PersistSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+};
+
+// --- Wire format -----------------------------------------------------------
+
+TEST_F(PersistSnapshotTest, RoundTripPreservesEveryField) {
+  const PersistentState state = make_state();
+  auto decoded = decode_snapshot(encode_snapshot(state));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_TRUE(states_equal(state, decoded.value()));
+}
+
+TEST_F(PersistSnapshotTest, EncodeDecodeEncodeIsAByteFixpoint) {
+  const util::ByteBuffer first = encode_snapshot(make_state());
+  auto decoded = decode_snapshot(first);
+  ASSERT_TRUE(decoded.is_ok());
+  const util::ByteBuffer second = encode_snapshot(decoded.value());
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(PersistSnapshotTest, EqualStatesEncodeToIdenticalBytes) {
+  EXPECT_EQ(encode_snapshot(make_state()), encode_snapshot(make_state()));
+}
+
+TEST_F(PersistSnapshotTest, RejectsBadMagic) {
+  util::ByteBuffer bytes = encode_snapshot(make_state());
+  bytes[0] = 'X';
+  const auto result = decode_snapshot(bytes);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(PersistSnapshotTest, RejectsVersionSkew) {
+  util::ByteBuffer bytes = encode_snapshot(make_state());
+  bytes[8] = 0x7F;  // Format version, LE low byte.
+  // The version change also breaks the header CRC; fix it up so the
+  // version check itself is what rejects.
+  const std::uint32_t crc = util::crc32c(util::ByteView(bytes).first(16));
+  for (int i = 0; i < 4; ++i) {
+    bytes[16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  const auto result = decode_snapshot(bytes);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(PersistSnapshotTest, RejectsHeaderCrcMismatch) {
+  util::ByteBuffer bytes = encode_snapshot(make_state());
+  bytes[17] ^= 0x01;  // The stored CRC itself.
+  EXPECT_FALSE(decode_snapshot(bytes).is_ok());
+  bytes = encode_snapshot(make_state());
+  bytes[12] ^= 0x01;  // Section count, covered by the CRC.
+  EXPECT_FALSE(decode_snapshot(bytes).is_ok());
+}
+
+TEST_F(PersistSnapshotTest, EveryTruncationIsRejected) {
+  const util::ByteBuffer bytes = encode_snapshot(make_small_state());
+  for (std::size_t length = 0; length < bytes.size(); ++length) {
+    const auto result = decode_snapshot(util::ByteView(bytes).first(length));
+    ASSERT_FALSE(result.is_ok()) << "truncation to " << length << " accepted";
+    EXPECT_TRUE(is_typed_decode_error(result.status()))
+        << "untyped error at length " << length;
+  }
+}
+
+TEST_F(PersistSnapshotTest, EverySingleBitFlipOutsideSectionIdsIsRejected) {
+  const util::ByteBuffer original = encode_snapshot(make_small_state());
+  const auto id_ranges = section_id_ranges(original);
+  ASSERT_EQ(id_ranges.size(), 4u);
+  const auto in_id_field = [&](std::size_t offset) {
+    for (const auto& [lo, hi] : id_ranges) {
+      if (offset >= lo && offset < hi) return true;
+    }
+    return false;
+  };
+
+  util::ByteBuffer mutated = original;
+  for (std::size_t offset = 0; offset < original.size(); ++offset) {
+    for (int bit = 0; bit < 8; ++bit) {
+      mutated[offset] =
+          original[offset] ^ static_cast<std::uint8_t>(1u << bit);
+      const auto result = decode_snapshot(mutated);
+      if (in_id_field(offset)) {
+        // A flipped section id may become an unknown id (skipped by the
+        // forward-compatibility rule) — but never a torn parse.
+        if (result.is_ok()) {
+          EXPECT_TRUE(result.value().detector.validate().is_ok());
+        } else {
+          EXPECT_TRUE(is_typed_decode_error(result.status()));
+        }
+      } else {
+        ASSERT_FALSE(result.is_ok())
+            << "bit " << bit << " at byte " << offset << " went undetected";
+        EXPECT_TRUE(is_typed_decode_error(result.status()));
+      }
+    }
+    mutated[offset] = original[offset];
+  }
+}
+
+TEST_F(PersistSnapshotTest, CorruptingAMandatorySectionIdIsRejected) {
+  // Unlike the optional cache/drift sections, the detector-config and
+  // calibration sections cannot silently vanish into "unknown, skipped".
+  util::ByteBuffer bytes = encode_snapshot(make_small_state());
+  bytes[20] = 0x63;  // Section id 1 (detector config) -> unknown 0x63.
+  const auto result = decode_snapshot(bytes);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("missing"), std::string::npos);
+}
+
+TEST_F(PersistSnapshotTest, UnknownSectionIdIsSkipped) {
+  // A newer writer within this format version appended a section this
+  // reader does not know: bump the count, fix the header CRC, append a
+  // well-formed section with id 0x63 — the reader must skip it and
+  // return the same state.
+  util::ByteBuffer bytes = encode_snapshot(make_state());
+  bytes[12] = 5;  // Section count 4 -> 5 (LE low byte).
+  const std::uint32_t crc = util::crc32c(util::ByteView(bytes).first(16));
+  for (int i = 0; i < 4; ++i) {
+    bytes[16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  const util::ByteBuffer payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  bytes.push_back(0x63);  // id
+  for (int i = 0; i < 3; ++i) bytes.push_back(0);
+  for (int i = 0; i < 4; ++i) bytes.push_back(0);  // flags
+  bytes.push_back(static_cast<std::uint8_t>(payload.size()));  // size (LE)
+  for (int i = 0; i < 7; ++i) bytes.push_back(0);
+  const std::uint32_t payload_crc = util::crc32c(payload);
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(payload_crc >> (8 * i)));
+  }
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  const auto result = decode_snapshot(bytes);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_TRUE(states_equal(make_state(), result.value()));
+}
+
+TEST_F(PersistSnapshotTest, RejectsNonzeroSectionFlags) {
+  util::ByteBuffer bytes = encode_snapshot(make_small_state());
+  bytes[24] = 1;  // First section's flags field.
+  EXPECT_FALSE(decode_snapshot(bytes).is_ok());
+}
+
+TEST_F(PersistSnapshotTest, RejectsOversizedInput) {
+  const util::ByteBuffer bytes(kMaxSnapshotBytes + 1, std::uint8_t{0});
+  const auto result = decode_snapshot(bytes);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(PersistSnapshotTest, RejectsNonFiniteAndOutOfDomainCalibration) {
+  PersistentState state = make_small_state();
+  state.tau = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(decode_snapshot(encode_snapshot(state)).is_ok())
+      << "NaN tau must not survive a restore";
+  state = make_small_state();
+  state.p = 1.5;
+  EXPECT_FALSE(decode_snapshot(encode_snapshot(state)).is_ok());
+  state = make_small_state();
+  state.n = -1.0;
+  EXPECT_FALSE(decode_snapshot(encode_snapshot(state)).is_ok());
+}
+
+// --- Crash-safe files ------------------------------------------------------
+
+TEST_F(PersistSnapshotTest, SaveThenLoadRoundTrips) {
+  const TempSnapshotPath temp("save_load");
+  const PersistentState state = make_state();
+  ASSERT_TRUE(save_snapshot(state, temp.path()).is_ok());
+  auto loaded = load_snapshot(temp.path());
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_TRUE(states_equal(state, loaded.value()));
+}
+
+TEST_F(PersistSnapshotTest, SecondSaveDemotesFirstGenerationToBackup) {
+  const TempSnapshotPath temp("two_generations");
+  PersistentState first = make_state();
+  ASSERT_TRUE(save_snapshot(first, temp.path()).is_ok());
+  PersistentState second = make_state();
+  second.calibration_epoch = 8;
+  ASSERT_TRUE(save_snapshot(second, temp.path()).is_ok());
+
+  auto primary = load_snapshot(temp.path());
+  ASSERT_TRUE(primary.is_ok());
+  EXPECT_EQ(primary.value().calibration_epoch, 8u);
+  auto backup = load_snapshot(temp.path() + ".bak");
+  ASSERT_TRUE(backup.is_ok()) << "previous generation must stay restorable";
+  EXPECT_EQ(backup.value().calibration_epoch, 7u);
+}
+
+TEST_F(PersistSnapshotTest, RestorePrefersThePrimary) {
+  const TempSnapshotPath temp("prefers_primary");
+  ASSERT_TRUE(save_snapshot(make_state(), temp.path()).is_ok());
+  const RestoreResult result = restore_snapshot(temp.path(), {});
+  EXPECT_EQ(result.source, RestoreSource::kPrimary);
+  EXPECT_TRUE(states_equal(make_state(), result.state));
+  EXPECT_TRUE(result.primary_status.is_ok());
+}
+
+TEST_F(PersistSnapshotTest, RestoreFallsBackToBackupWhenPrimaryIsCorrupt) {
+  const TempSnapshotPath temp("backup_fallback");
+  ASSERT_TRUE(save_snapshot(make_state(), temp.path()).is_ok());
+  PersistentState newer = make_state();
+  newer.calibration_epoch = 8;
+  ASSERT_TRUE(save_snapshot(newer, temp.path()).is_ok());
+
+  // Tear the primary mid-file (a crashed writer would have been caught
+  // by the tmp+rename protocol; this models on-disk corruption).
+  {
+    std::FILE* file = std::fopen(temp.path().c_str(), "r+b");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, 200, SEEK_SET);
+    std::fputc(0xFF, file);
+    std::fclose(file);
+  }
+
+  const RestoreResult result = restore_snapshot(temp.path(), {});
+  EXPECT_EQ(result.source, RestoreSource::kBackup);
+  EXPECT_EQ(result.state.calibration_epoch, 7u)
+      << "the last-known-good generation, not the torn one";
+  EXPECT_FALSE(result.primary_status.is_ok());
+  EXPECT_TRUE(is_typed_decode_error(result.primary_status));
+}
+
+TEST_F(PersistSnapshotTest, RestoreColdStartsWhenNoGenerationExists) {
+  const TempSnapshotPath temp("cold_start");
+  PersistentState cold;
+  cold.tau = 33.0;
+  const RestoreResult result = restore_snapshot(temp.path(), cold);
+  EXPECT_EQ(result.source, RestoreSource::kColdStart);
+  EXPECT_EQ(result.state.tau, 33.0);
+  EXPECT_FALSE(result.primary_status.is_ok());
+  EXPECT_FALSE(result.backup_status.is_ok());
+  EXPECT_EQ(restore_source_name(result.source), "cold_start");
+}
+
+TEST_F(PersistSnapshotTest, WriteFailureLeavesPreviousGenerationRestorable) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "MEL_FAULT_INJECTION off";
+  const TempSnapshotPath temp("write_failure");
+  ASSERT_TRUE(save_snapshot(make_state(), temp.path()).is_ok());
+
+  fault::arm(Point::kFsWriteFailure, fault::Trigger{.fire_every = 1});
+  PersistentState newer = make_state();
+  newer.calibration_epoch = 99;
+  const util::Status status = save_snapshot(newer, temp.path());
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kResourceExhausted);
+  fault::reset();
+
+  const RestoreResult result = restore_snapshot(temp.path(), {});
+  EXPECT_EQ(result.source, RestoreSource::kPrimary);
+  EXPECT_EQ(result.state.calibration_epoch, 7u)
+      << "the failed write must not have touched the published snapshot";
+  EXPECT_FALSE(load_snapshot(temp.path() + ".tmp").is_ok())
+      << "no torn temp file may linger";
+}
+
+TEST_F(PersistSnapshotTest, ShortWriteIsDetectedNotPublished) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "MEL_FAULT_INJECTION off";
+  const TempSnapshotPath temp("short_write");
+  fault::arm(Point::kFsShortWrite, fault::Trigger{.fire_every = 1});
+  const util::Status status = save_snapshot(make_state(), temp.path());
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kResourceExhausted);
+  fault::reset();
+  EXPECT_EQ(restore_snapshot(temp.path(), {}).source,
+            RestoreSource::kColdStart)
+      << "a half-written first snapshot must not be restorable";
+}
+
+TEST_F(PersistSnapshotTest, SyncFailureIsReportedNotSwallowed) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "MEL_FAULT_INJECTION off";
+  const TempSnapshotPath temp("sync_failure");
+  fault::arm(Point::kFsSyncFailure, fault::Trigger{.fire_every = 1});
+  const util::Status status = save_snapshot(make_state(), temp.path());
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kResourceExhausted)
+      << "claiming durability after a failed fsync would be a lie";
+}
+
+TEST_F(PersistSnapshotTest, DemoteRenameFailureKeepsPrimaryIntact) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "MEL_FAULT_INJECTION off";
+  const TempSnapshotPath temp("demote_failure");
+  ASSERT_TRUE(save_snapshot(make_state(), temp.path()).is_ok());
+
+  // First rename (demote current -> .bak) fails: the published snapshot
+  // must be untouched.
+  fault::arm(Point::kFsRenameFailure, fault::Trigger{.fire_every = 1});
+  PersistentState newer = make_state();
+  newer.calibration_epoch = 99;
+  ASSERT_FALSE(save_snapshot(newer, temp.path()).is_ok());
+  fault::reset();
+
+  const RestoreResult result = restore_snapshot(temp.path(), {});
+  EXPECT_EQ(result.source, RestoreSource::kPrimary);
+  EXPECT_EQ(result.state.calibration_epoch, 7u);
+}
+
+TEST_F(PersistSnapshotTest, TornPublishRenameFallsBackToBackup) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "MEL_FAULT_INJECTION off";
+  const TempSnapshotPath temp("torn_publish");
+  ASSERT_TRUE(save_snapshot(make_state(), temp.path()).is_ok());
+
+  // start_after=1: the demote rename succeeds, the publish rename fails
+  // — the crash-between-renames window. <path> is gone, but .bak holds
+  // the previous generation and restore must find it.
+  fault::arm(Point::kFsRenameFailure, fault::Trigger{.start_after = 1});
+  PersistentState newer = make_state();
+  newer.calibration_epoch = 99;
+  const util::Status status = save_snapshot(newer, temp.path());
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kResourceExhausted);
+  fault::reset();
+
+  const RestoreResult result = restore_snapshot(temp.path(), {});
+  EXPECT_EQ(result.source, RestoreSource::kBackup);
+  EXPECT_EQ(result.state.calibration_epoch, 7u);
+}
+
+TEST_F(PersistSnapshotTest, EveryFsFaultPointYieldsTypedErrorAndRecovery) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "MEL_FAULT_INJECTION off";
+  // The sweep the sanitize job leans on: each fs fault point in turn,
+  // always a typed error, always a restorable previous generation,
+  // never an abort.
+  const TempSnapshotPath temp("fault_sweep");
+  ASSERT_TRUE(save_snapshot(make_state(), temp.path()).is_ok());
+  for (const Point point : {Point::kFsWriteFailure, Point::kFsShortWrite,
+                            Point::kFsRenameFailure, Point::kFsSyncFailure}) {
+    fault::reset();
+    fault::arm(point, fault::Trigger{.fire_every = 1});
+    PersistentState newer = make_state();
+    newer.calibration_epoch = 100;
+    const util::Status status = save_snapshot(newer, temp.path());
+    ASSERT_FALSE(status.is_ok())
+        << "point " << static_cast<int>(point) << " did not surface";
+    EXPECT_EQ(status.code(), util::StatusCode::kResourceExhausted);
+    fault::reset();
+    const RestoreResult result = restore_snapshot(temp.path(), {});
+    EXPECT_NE(result.source, RestoreSource::kColdStart)
+        << "point " << static_cast<int>(point)
+        << " lost the previous generation";
+    EXPECT_EQ(result.state.calibration_epoch, 7u);
+  }
+}
+
+}  // namespace
+}  // namespace mel::persist

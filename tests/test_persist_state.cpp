@@ -1,0 +1,337 @@
+// StateManager: the durable-state orchestrator end to end.
+//
+// Pins the lifecycle: restore seeds the verdict cache's epoch/counters
+// and the drift monitor's accumulation; handle_drift re-derives the
+// calibration, hot-swaps the serving detector through the apply hook,
+// bumps the cache epoch and snapshots; every failure mode (degenerate
+// estimate, vetoed apply, failed write) degrades without losing the
+// previous calibration. The final test drives the whole pipeline
+// through a live ScanService: skewed traffic in, recalibrated detector
+// + invalidated cache + restorable snapshot out. Part of the CI
+// 'Persist*' gates.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mel/obs/export.hpp"
+#include "mel/persist/state_manager.hpp"
+#include "mel/service/scan_service.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/textcode/shellcode_corpus.hpp"
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::persist {
+namespace {
+
+namespace fault = util::fault;
+using fault::Point;
+
+core::CharFrequencyTable uniform_text_table() {
+  core::CharFrequencyTable table{};
+  for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+    table[static_cast<std::size_t>(b)] = 1.0 / util::kTextDomainSize;
+  }
+  return table;
+}
+
+/// Full-support skewed traffic (half 'e', half uniform text): drifts
+/// hard against a uniform baseline yet recalibrates to a usable (n, p).
+util::ByteBuffer skewed_payload(std::size_t size, util::Xoshiro256& rng) {
+  util::ByteBuffer out(size);
+  for (std::uint8_t& b : out) {
+    b = rng.next_below(2) == 0
+            ? std::uint8_t{'e'}
+            : static_cast<std::uint8_t>(
+                  util::kTextLow +
+                  rng.next_below(
+                      static_cast<std::uint64_t>(util::kTextDomainSize)));
+  }
+  return out;
+}
+
+/// A calibrated cold-start state with the uniform-text preset installed
+/// (so a wired drift monitor gets a baseline at create()).
+PersistentState calibrated_cold_start() {
+  PersistentState state;
+  state.detector.preset_frequencies = uniform_text_table();
+  state.tau = 40.0;
+  state.n = 1000.0;
+  state.p = 0.06;
+  state.calibration_point_chars = 4096;
+  state.calibration_epoch = 3;
+  return state;
+}
+
+class TempSnapshotPath {
+ public:
+  explicit TempSnapshotPath(const std::string& name)
+      : path_(::testing::TempDir() + "mel_" + name + ".snap") {
+    cleanup();
+  }
+  ~TempSnapshotPath() { cleanup(); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void cleanup() const {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".bak").c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  std::string path_;
+};
+
+class PersistStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+};
+
+TEST_F(PersistStateTest, CreateRejectsZeroAnchor) {
+  StateManagerConfig config;
+  config.default_anchor_chars = 0;
+  const auto result =
+      StateManager::create(config, PersistentState{}, nullptr, nullptr);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), util::StatusCode::kInvalidConfig);
+}
+
+TEST_F(PersistStateTest, EmptyPathColdStartsAndSaveIsANoOp) {
+  auto manager = StateManager::create(StateManagerConfig{},
+                                      calibrated_cold_start(), nullptr,
+                                      nullptr)
+                     .take();
+  EXPECT_EQ(manager->restore_source(), RestoreSource::kColdStart);
+  EXPECT_EQ(manager->calibration_epoch(), 3u);
+  EXPECT_EQ(manager->current().tau, 40.0);
+  EXPECT_TRUE(manager->save().is_ok()) << "no path: validated no-op";
+}
+
+TEST_F(PersistStateTest, RestoreSeedsCacheEpochCountersAndDriftState) {
+  const TempSnapshotPath temp("state_restore_seeds");
+  PersistentState persisted = calibrated_cold_start();
+  persisted.calibration_epoch = 11;
+  persisted.cache = CacheMetadata{
+      .hits = 500, .misses = 70, .evictions = 2, .insertions = 72};
+  persisted.drift.window_counts[0x41] = 1234;
+  persisted.drift.windows_checked = 9;
+  ASSERT_TRUE(save_snapshot(persisted, temp.path()).is_ok());
+
+  auto cache = VerdictCache::create({}).take();
+  auto drift = DriftMonitor::create(DriftMonitorConfig{}).take();
+  StateManagerConfig config;
+  config.snapshot_path = temp.path();
+  auto manager = StateManager::create(config, PersistentState{}, cache, drift)
+                     .take();
+
+  EXPECT_EQ(manager->restore_source(), RestoreSource::kPrimary);
+  EXPECT_EQ(manager->calibration_epoch(), 11u);
+  EXPECT_EQ(cache->epoch(), 11u)
+      << "cached verdicts must key off the restored epoch";
+  EXPECT_EQ(cache->metadata().hits, 500u);
+  EXPECT_EQ(drift->state().window_counts[0x41], 1234u);
+  EXPECT_EQ(drift->windows_checked(), 9u);
+}
+
+TEST_F(PersistStateTest, HandleDriftRecalibratesBumpsEpochAndSnapshots) {
+  const TempSnapshotPath temp("state_recalibrates");
+  auto cache = VerdictCache::create({}).take();
+  StateManagerConfig config;
+  config.snapshot_path = temp.path();
+  auto manager = StateManager::create(config, calibrated_cold_start(), cache,
+                                      nullptr)
+                     .take();
+
+  int applies = 0;
+  double applied_tau = 0.0;
+  manager->set_apply_calibration(
+      [&](const core::DetectorConfig& detector, double tau) {
+        ++applies;
+        applied_tau = tau;
+        EXPECT_TRUE(detector.preset_frequencies.has_value());
+        return util::Status::ok();
+      });
+
+  manager->handle_drift(uniform_text_table(), 1 << 15);
+
+  EXPECT_EQ(applies, 1);
+  EXPECT_GT(applied_tau, 0.0);
+  EXPECT_EQ(manager->recalibrations(), 1u);
+  EXPECT_EQ(manager->recalibration_failures(), 0u);
+  EXPECT_EQ(manager->calibration_epoch(), 4u) << "monotone epoch bump";
+  EXPECT_EQ(cache->epoch(), 4u)
+      << "every cached verdict from epoch 3 must be invalid now";
+
+  // The snapshot landed and carries the NEW calibration.
+  const RestoreResult restored = restore_snapshot(temp.path(), {});
+  EXPECT_EQ(restored.source, RestoreSource::kPrimary);
+  EXPECT_EQ(restored.state.calibration_epoch, 4u);
+  EXPECT_EQ(restored.state.tau, applied_tau);
+  EXPECT_EQ(restored.state.calibration_point_chars, 4096u)
+      << "the restored anchor, not the default, re-anchors tau";
+}
+
+TEST_F(PersistStateTest, DegenerateEstimateKeepsThePreviousCalibration) {
+  auto cache = VerdictCache::create({}).take();
+  auto manager = StateManager::create(StateManagerConfig{},
+                                      calibrated_cold_start(), cache, nullptr)
+                     .take();
+  int applies = 0;
+  manager->set_apply_calibration(
+      [&](const core::DetectorConfig&, double) {
+        ++applies;
+        return util::Status::ok();
+      });
+
+  // All mass on the 0x66 operand-size prefix: z == 1, no opcode
+  // distribution to estimate from — the recalibration must be refused.
+  core::CharFrequencyTable degenerate{};
+  degenerate[0x66] = 1.0;
+  manager->handle_drift(degenerate, 1 << 15);
+
+  EXPECT_EQ(applies, 0) << "a thresholdless config must never be applied";
+  EXPECT_EQ(manager->recalibrations(), 0u);
+  EXPECT_EQ(manager->recalibration_failures(), 1u);
+  EXPECT_EQ(manager->calibration_epoch(), 3u) << "no epoch bump";
+  EXPECT_EQ(cache->epoch(), 3u) << "cache stays valid for the serving tau";
+  EXPECT_EQ(manager->current().tau, 40.0);
+}
+
+TEST_F(PersistStateTest, VetoedApplyAbandonsTheRecalibration) {
+  const TempSnapshotPath temp("state_veto");
+  auto cache = VerdictCache::create({}).take();
+  StateManagerConfig config;
+  config.snapshot_path = temp.path();
+  auto manager = StateManager::create(config, calibrated_cold_start(), cache,
+                                      nullptr)
+                     .take();
+  manager->set_apply_calibration(
+      [](const core::DetectorConfig&, double) {
+        return util::Status::unavailable("serving tier refused the swap");
+      });
+
+  manager->handle_drift(uniform_text_table(), 1 << 15);
+
+  EXPECT_EQ(manager->recalibrations(), 0u);
+  EXPECT_EQ(manager->recalibration_failures(), 1u);
+  EXPECT_EQ(manager->calibration_epoch(), 3u)
+      << "the cache must stay valid for the detector actually serving";
+  EXPECT_EQ(cache->epoch(), 3u);
+  EXPECT_EQ(manager->current().tau, 40.0);
+  EXPECT_FALSE(load_snapshot(temp.path()).is_ok())
+      << "an abandoned recalibration must not be persisted";
+}
+
+TEST_F(PersistStateTest, SaveFailureIsCountedAndPreviousGenerationSurvives) {
+  if (!fault::kCompiledIn) GTEST_SKIP() << "MEL_FAULT_INJECTION off";
+  const TempSnapshotPath temp("state_save_failure");
+  StateManagerConfig config;
+  config.snapshot_path = temp.path();
+  auto manager = StateManager::create(config, calibrated_cold_start(),
+                                      nullptr, nullptr)
+                     .take();
+  ASSERT_TRUE(manager->save().is_ok());
+
+  fault::arm(Point::kFsWriteFailure, fault::Trigger{.fire_every = 1});
+  const util::Status status = manager->save();
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(manager->save_failures(), 1u);
+  fault::reset();
+
+  const RestoreResult restored = restore_snapshot(temp.path(), {});
+  EXPECT_EQ(restored.source, RestoreSource::kPrimary);
+  EXPECT_EQ(restored.state.calibration_epoch, 3u);
+}
+
+TEST_F(PersistStateTest, MetricsMirrorTheLifecycle) {
+  obs::MetricsRegistry registry;
+  auto manager = StateManager::create(StateManagerConfig{},
+                                      calibrated_cold_start(), nullptr,
+                                      nullptr)
+                     .take();
+  manager->bind_metrics(registry);
+  manager->handle_drift(uniform_text_table(), 1 << 15);
+  core::CharFrequencyTable degenerate{};
+  degenerate[0x66] = 1.0;
+  manager->handle_drift(degenerate, 1 << 15);
+
+  const std::string scrape = obs::to_prometheus(registry.snapshot());
+  EXPECT_NE(scrape.find("mel_state_recalibrations_total 1"),
+            std::string::npos)
+      << scrape;
+  EXPECT_NE(scrape.find("mel_state_recalibration_failures_total 1"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("mel_state_calibration_epoch 4"), std::string::npos);
+}
+
+// --- The whole pipeline through a live ScanService -------------------------
+
+TEST_F(PersistStateTest, SkewedTrafficHotSwapsTheServingDetector) {
+  // Drift in live traffic -> window closes inside ScanService::scan ->
+  // StateManager recalibrates -> apply hook swaps the serving detector
+  // atomically -> cache epoch bumps -> snapshot lands. All on the scan
+  // thread, no orchestration by the test beyond feeding payloads.
+  const TempSnapshotPath temp("state_end_to_end");
+  auto cache = VerdictCache::create({}).take();
+  DriftMonitorConfig drift_config;
+  drift_config.window_payloads = 8;
+  drift_config.min_window_chars = 2048;
+  auto drift = DriftMonitor::create(drift_config).take();
+
+  StateManagerConfig manager_config;
+  manager_config.snapshot_path = temp.path();
+  auto manager = StateManager::create(manager_config, calibrated_cold_start(),
+                                      cache, drift)
+                     .take();
+
+  service::ServiceConfig service_config;
+  service_config.verdict_cache = cache;
+  service_config.drift_monitor = drift;
+  auto service_or = service::ScanService::create(std::move(service_config));
+  ASSERT_TRUE(service_or.is_ok());
+  service::ScanService service = std::move(service_or).take();
+  manager->set_apply_calibration(
+      [&service](const core::DetectorConfig& detector, double tau) {
+        return service.apply_calibration(detector, tau);
+      });
+
+  const std::shared_ptr<const core::MelDetector> before = service.detector();
+  util::Xoshiro256 rng(600);
+  for (int i = 0; i < 8; ++i) {
+    auto report =
+        service.scan(service::ScanRequest{.payload = skewed_payload(512, rng)});
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  }
+
+  EXPECT_EQ(drift->drifts_detected(), 1u);
+  EXPECT_EQ(manager->recalibrations(), 1u);
+  EXPECT_EQ(manager->calibration_epoch(), 4u);
+  EXPECT_EQ(cache->epoch(), 4u);
+  EXPECT_NE(service.detector(), before)
+      << "the serving detector must have been hot-swapped";
+  EXPECT_TRUE(
+      service.detector()->config().preset_frequencies.has_value());
+
+  // The snapshot published by the drift path restores on its own.
+  const RestoreResult restored = restore_snapshot(temp.path(), {});
+  EXPECT_EQ(restored.source, RestoreSource::kPrimary);
+  EXPECT_EQ(restored.state.calibration_epoch, 4u);
+  EXPECT_EQ(restored.state.tau, manager->current().tau);
+
+  // Recalibration must not lobotomize detection: a worm through the
+  // recalibrated detector still alarms.
+  util::Xoshiro256 worm_rng(601);
+  const util::ByteBuffer worm = textcode::encode_text_worm(
+      textcode::binary_shellcode_corpus().front().bytes, {}, worm_rng);
+  auto verdict = service.scan(service::ScanRequest{.payload = worm});
+  ASSERT_TRUE(verdict.is_ok());
+  EXPECT_TRUE(verdict.value().verdict.malicious);
+}
+
+}  // namespace
+}  // namespace mel::persist

@@ -11,11 +11,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "mel/obs/export.hpp"
+#include "mel/persist/snapshot_file.hpp"
+#include "mel/persist/state_manager.hpp"
 #include "mel/service/batch_scan_service.hpp"
 #include "mel/textcode/encoder.hpp"
 #include "mel/textcode/shellcode_corpus.hpp"
@@ -309,6 +312,173 @@ TEST_F(OverloadSoakTest, DrainUnderConcurrentBatchLoadLosesNoVerdicts) {
   // After drain every new batch is refused.
   EXPECT_EQ(batch.scan_batch(corpus).code(),
             util::StatusCode::kUnavailable);
+}
+
+// --- Drain under drift: recalibration mid-storm loses nothing -------------
+
+core::CharFrequencyTable uniform_text_table() {
+  core::CharFrequencyTable table{};
+  for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+    table[static_cast<std::size_t>(b)] = 1.0 / util::kTextDomainSize;
+  }
+  return table;
+}
+
+/// Full-support but heavily skewed text: half 'e', half uniform printable.
+/// Against a uniform baseline this closes every drift window with an
+/// astronomic chi-square, yet recalibrates to a valid (n, p) estimate.
+util::ByteBuffer skewed_payload(std::size_t size, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  util::ByteBuffer out(size);
+  for (std::uint8_t& b : out) {
+    b = rng.next_below(2) == 0
+            ? std::uint8_t{'e'}
+            : static_cast<std::uint8_t>(
+                  util::kTextLow +
+                  rng.next_below(
+                      static_cast<std::uint64_t>(util::kTextDomainSize)));
+  }
+  return out;
+}
+
+TEST_F(OverloadSoakTest, DrainUnderDriftRecalibrationLosesNoVerdicts) {
+  // The full persistence loop under concurrent batch load: caller
+  // threads hammer scan_batch with out-of-distribution traffic; drift
+  // windows close ON SCAN THREADS and recalibrate the serving detector
+  // (hot-swap + cache epoch bump + snapshot) while batches are in
+  // flight; the main thread then drains mid-storm. Invariants: every
+  // batch is complete-or-refused-whole, at least one recalibration
+  // landed, the detector actually swapped, and the final snapshot
+  // generation is restorable with the manager's epoch.
+  const std::string path =
+      ::testing::TempDir() + "mel_soak_drift.snap";
+  const auto scrub = [&path] {
+    std::remove(path.c_str());
+    std::remove((path + ".bak").c_str());
+    std::remove((path + ".tmp").c_str());
+  };
+  scrub();
+
+  std::shared_ptr<persist::VerdictCache> cache =
+      persist::VerdictCache::create(persist::VerdictCacheConfig{}).take();
+  persist::DriftMonitorConfig drift_config;
+  drift_config.window_payloads = 16;
+  drift_config.min_window_chars = 4096;
+  // The post-recalibration baseline is a sampled distribution; only a
+  // gross mismatch may re-alarm (same stance as the drift suite).
+  drift_config.significance = 1e-6;
+  std::shared_ptr<persist::DriftMonitor> drift =
+      persist::DriftMonitor::create(drift_config).take();
+
+  persist::PersistentState cold;
+  cold.detector.preset_frequencies = uniform_text_table();
+  cold.tau = 40.0;
+  cold.n = 1000.0;
+  cold.p = 0.06;
+  cold.calibration_point_chars = 4096;
+  cold.calibration_epoch = 1;
+  persist::StateManagerConfig manager_config;
+  manager_config.snapshot_path = path;
+  auto manager_or = persist::StateManager::create(
+      std::move(manager_config), cold, cache, drift);
+  ASSERT_TRUE(manager_or.is_ok());
+  std::shared_ptr<persist::StateManager> manager =
+      std::move(manager_or).take();
+  ASSERT_EQ(manager->restore_source(), persist::RestoreSource::kColdStart);
+
+  BatchConfig config;
+  config.workers = 4;
+  config.queue_capacity = 64;
+  config.service.verdict_cache = cache;
+  config.service.drift_monitor = drift;
+  auto batch_or = BatchScanService::create(config);
+  ASSERT_TRUE(batch_or.is_ok());
+  BatchScanService& batch = batch_or.value();
+  manager->set_apply_calibration(
+      [&batch](const core::DetectorConfig& detector, double tau) {
+        return batch.service().apply_calibration(detector, tau);
+      });
+  const std::shared_ptr<const core::MelDetector> before =
+      batch.service().detector();
+
+  // One drift window per batch: 16 payloads x 512 chars >= 4096.
+  std::vector<util::ByteBuffer> corpus;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    corpus.push_back(skewed_payload(512, 9650 + i));
+  }
+
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 20;
+  std::atomic<std::uint64_t> complete_batches{0};
+  std::atomic<std::uint64_t> refused_batches{0};
+  std::atomic<std::uint64_t> anomalies{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int round = 0; round < kRounds; ++round) {
+        const auto result = batch.scan_batch(corpus);
+        if (!result.is_ok()) {
+          if (result.code() != util::StatusCode::kUnavailable) {
+            anomalies.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            refused_batches.fetch_add(1, std::memory_order_relaxed);
+          }
+          continue;
+        }
+        const BatchScanResult& out = result.value();
+        if (out.items.size() != corpus.size() ||
+            out.stats.completed != corpus.size()) {
+          anomalies.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        complete_batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  // Drain only after the drift pipeline has demonstrably fired AND a
+  // few batches landed; bail out of the wait if the callers somehow
+  // exhaust their rounds first (the assertions below then explain).
+  const std::uint64_t total_calls =
+      static_cast<std::uint64_t>(kCallers) * kRounds;
+  while ((complete_batches.load(std::memory_order_acquire) < 4 ||
+          manager->recalibrations() < 1) &&
+         complete_batches.load(std::memory_order_acquire) +
+                 refused_batches.load(std::memory_order_acquire) <
+             total_calls) {
+    std::this_thread::yield();
+  }
+  (void)batch.drain();
+  EXPECT_EQ(batch.state(), ServiceState::kStopped);
+  for (std::thread& caller : callers) caller.join();
+
+  EXPECT_EQ(anomalies.load(), 0u) << "partial or mistyped batch observed";
+  EXPECT_EQ(complete_batches.load() + refused_batches.load(), total_calls);
+  EXPECT_GE(complete_batches.load(), 4u);
+
+  // The drift pipeline ran on the scan threads while batches were live.
+  EXPECT_GE(manager->recalibrations(), 1u)
+      << "out-of-distribution traffic must recalibrate";
+  EXPECT_GT(manager->calibration_epoch(), 1u);
+  EXPECT_EQ(cache->epoch(), manager->calibration_epoch())
+      << "cached verdicts from the old calibration must be invalid";
+  EXPECT_NE(batch.service().detector(), before)
+      << "the serving detector must have been hot-swapped";
+
+  // The state that served the storm is durable: the snapshot written by
+  // the winning recalibration (or this final save) restores as a real
+  // generation carrying the manager's epoch.
+  ASSERT_TRUE(manager->save().is_ok());
+  const persist::RestoreResult restored = persist::restore_snapshot(
+      path, persist::PersistentState{});
+  EXPECT_NE(restored.source, persist::RestoreSource::kColdStart);
+  EXPECT_EQ(restored.state.calibration_epoch, manager->calibration_epoch());
+  EXPECT_EQ(restored.state.tau, manager->current().tau);
+  scrub();
 }
 
 // --- Determinism with order-hostile faults armed --------------------------
