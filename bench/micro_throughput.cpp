@@ -64,6 +64,19 @@ void BM_MelAllPathsDag(benchmark::State& state) {
 }
 BENCHMARK(BM_MelAllPathsDag);
 
+void BM_MelCachedDag(benchmark::State& state) {
+  const auto& payload = benign_4k();
+  mel::exec::MelOptions options;
+  options.engine = mel::exec::MelEngine::kCachedDag;
+  mel::exec::MelScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mel::exec::compute_mel(payload, options, scratch));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_MelCachedDag);
+
 void BM_MelStrictExplorer(benchmark::State& state) {
   const auto& payload = benign_4k();
   mel::exec::MelOptions options;

@@ -153,7 +153,7 @@ std::uint64_t run_exec_mel(util::ByteView data) {
   const util::ByteView payload = data.subspan(2);
 
   exec::MelOptions options;
-  options.engine = static_cast<exec::MelEngine>(engine_sel % 3);
+  options.engine = static_cast<exec::MelEngine>(engine_sel % 4);
   options.step_budget = 1u << 16;  // Bounded explorer work per input.
   options.decode_budget = (engine_sel & 0x80) ? 4096 : 0;
   options.early_exit_threshold = (rules_sel & 0x40) ? 64 : -1;
@@ -195,6 +195,27 @@ std::uint64_t run_exec_mel(util::ByteView data) {
           first.early_exit == second.early_exit &&
           first.instructions_decoded == second.instructions_decoded,
       kTag, "compute_mel is nondeterministic for identical inputs");
+
+  // Differential oracle: the cached-DAG engine is documented to be
+  // bit-identical to the every-offset DAG on ALL result fields (verdict
+  // inputs and degraded flags alike). Run the pair under this input's
+  // rules minus the explorer-only uninitialized-register rule, with the
+  // same budget/early-exit knobs the dispatch above used.
+  {
+    exec::MelOptions pair = options;
+    pair.rules.uninitialized_register_memory = false;
+    const exec::MelResult legacy = exec::compute_mel_dag(payload, pair);
+    const exec::MelResult cached = exec::compute_mel_cached(payload, pair);
+    MEL_FUZZ_REQUIRE(
+        cached.mel == legacy.mel &&
+            cached.best_entry_offset == legacy.best_entry_offset &&
+            cached.loop_detected == legacy.loop_detected &&
+            cached.budget_exhausted == legacy.budget_exhausted &&
+            cached.deadline_exceeded == legacy.deadline_exceeded &&
+            cached.early_exit == legacy.early_exit &&
+            cached.instructions_decoded == legacy.instructions_decoded,
+        kTag, "cached-DAG engine diverged from the every-offset DAG");
+  }
 
   // Position-local analyses share the decode surface; keep them on a
   // shorter prefix (two O(n) passes per input).

@@ -108,6 +108,57 @@ int main(int argc, char** argv) {
   write_seed(Target::kExecMel, "poly_sled",
              with_header({2, 0x20},
                          mel::textcode::make_polymorphic_sled(200, rng)));
+  // Cached-DAG seeds (engine_sel 3): shapes that stress the decode-once
+  // cache — prefilter-dense runs, window-straddling encodings, backward
+  // branches, and the statically-decidable validity corner cases — so the
+  // cached-vs-legacy differential oracle starts on the edges.
+  write_seed(Target::kExecMel, "cached_all_invalid",
+             with_header({3, 0x1F},
+                         mel::util::to_bytes(
+                             std::string(20, 'l') + std::string(20, 'n') +
+                             std::string("lmnolmnolmno\xF4\xF4", 14))));
+  write_seed(Target::kExecMel, "cached_all_valid",
+             with_header({3, 0x1F},
+                         mel::util::to_bytes(std::string(32, '\x90') +
+                                             std::string(32, 'A'))));
+  write_seed(Target::kExecMel, "cached_tail_truncated",
+             with_header({3, 0x1F},
+                         mel::util::to_bytes(
+                             std::string(29, '\x90') +
+                             std::string("\x66\x67\xB8\x41", 4))));
+  write_seed(Target::kExecMel, "cached_backward_jmp",
+             with_header({3, 0x1F}, mel::util::to_bytes(std::string(
+                                        "\x90\x90\xEB\xFE\x90", 5))));
+  write_seed(Target::kExecMel, "cached_cond_ladder",
+             with_header({3, 0x5F},
+                         mel::util::to_bytes(std::string(
+                             "\x72\x04\x90\x90\x75\x02\x90\x90"
+                             "\x74\xFC\x90",
+                             11))));
+  write_seed(Target::kExecMel, "cached_aam_zero",
+             with_header({3, 0x1F}, mel::util::to_bytes(std::string(
+                                        "\xD4\x00\xD4\x0A\x90", 5))));
+  write_seed(Target::kExecMel, "cached_moffs_absolute",
+             with_header({3, 0x0F},
+                         mel::util::to_bytes(std::string(
+                             "\xA0\x10\x20\x30\x40"
+                             "\xA3\x10\x20\x30\x40\x90",
+                             11))));
+  write_seed(Target::kExecMel, "cached_fs_override",
+             with_header({3, 0x1F},
+                         mel::util::to_bytes(std::string(
+                             "\x64\x8B\x00\x65\x89\x01\x90", 7))));
+  write_seed(Target::kExecMel, "cached_prefix_chain",
+             with_header({3, 0x1F},
+                         mel::util::to_bytes(
+                             std::string(15, '\x66') + std::string("\x90", 1) +
+                             std::string(8, '\x67') + std::string("\x40", 1))));
+  write_seed(Target::kExecMel, "cached_0f_page",
+             with_header({static_cast<std::uint8_t>(0x80 | 3), 0x1F},
+                         mel::util::to_bytes(std::string(
+                             "\x0F\x31\x0F\xA2\x0F\x0B"
+                             "\x0F\x84\x02\x00\x00\x00\x90\x90",
+                             14))));
 
   // config_json: melcfg text, valid and broken.
   mel::core::DetectorConfig config;

@@ -21,6 +21,8 @@ std::string_view engine_name(exec::MelEngine engine) {
       return "dag";
     case exec::MelEngine::kPathExplorer:
       return "explorer";
+    case exec::MelEngine::kCachedDag:
+      return "cached-dag";
   }
   return "sweep";
 }
@@ -90,6 +92,8 @@ util::StatusOr<DetectorConfig> parse_config_checked(std::string_view text) {
         config.engine = exec::MelEngine::kAllPathsDag;
       } else if (name == "explorer") {
         config.engine = exec::MelEngine::kPathExplorer;
+      } else if (name == "cached-dag") {
+        config.engine = exec::MelEngine::kCachedDag;
       } else {
         return util::Status::invalid_argument(
             "bad engine: " + util::escape_log_field(name));

@@ -115,6 +115,12 @@ Verdict MelDetector::scan(util::ByteView payload, const ScanBudget& budget,
 Verdict MelDetector::scan(util::ByteView payload, const ScanBudget& budget,
                           exec::MelScratch& scratch,
                           obs::ScanTrace* trace) const {
+  return scan(payload, budget, scratch, trace, ScanWindow{});
+}
+
+Verdict MelDetector::scan(util::ByteView payload, const ScanBudget& budget,
+                          exec::MelScratch& scratch, obs::ScanTrace* trace,
+                          const ScanWindow& window) const {
   Verdict verdict;
   verdict.alpha = config_.alpha;
   verdict.is_text = util::is_text_buffer(payload);
@@ -142,6 +148,8 @@ Verdict MelDetector::scan(util::ByteView payload, const ScanBudget& budget,
   if (budget.deadline.count() > 0) {
     options.deadline = util::fault::now() + budget.deadline;
   }
+  options.cache_stream_offset = window.stream_offset;
+  options.cache_reuse = window.reuse_cache;
   {
     const obs::ScanTrace::Span span(trace, obs::Stage::kDecode);
     verdict.mel_detail = exec::compute_mel(payload, options, scratch);

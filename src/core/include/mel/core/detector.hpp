@@ -68,6 +68,19 @@ struct ScanBudget {
   std::chrono::nanoseconds deadline{0};
 };
 
+/// Stream-window context for the cached-DAG engine: where the payload
+/// sits within its logical stream and whether the scratch's decode cache
+/// may reuse entries from the previously scanned (overlapping) window.
+/// The defaults describe a standalone payload (no reuse).
+struct ScanWindow {
+  /// Stream-absolute offset of payload[0].
+  std::uint64_t stream_offset = 0;
+  /// Allow cross-window cache reuse. Caller contract: the overlap between
+  /// this window and the scratch's previous one holds identical stream
+  /// bytes (true for StreamDetector's sliding buffer).
+  bool reuse_cache = false;
+};
+
 struct Verdict {
   bool malicious = false;
   std::int64_t mel = 0;       ///< Measured MEL (lower bound on early exit).
@@ -121,6 +134,14 @@ class MelDetector {
   [[nodiscard]] Verdict scan(util::ByteView payload, const ScanBudget& budget,
                              exec::MelScratch& scratch,
                              obs::ScanTrace* trace) const;
+
+  /// As above, with stream-window context so the cached-DAG engine can
+  /// reuse decode-cache entries across overlapping windows of one stream.
+  /// Engines other than kCachedDag ignore `window`; verdicts are identical
+  /// with or without it.
+  [[nodiscard]] Verdict scan(util::ByteView payload, const ScanBudget& budget,
+                             exec::MelScratch& scratch, obs::ScanTrace* trace,
+                             const ScanWindow& window) const;
 
   /// The threshold the detector would use for a payload of `input_chars`
   /// characters with the given frequency table (exposed for calibration

@@ -110,6 +110,14 @@ class StreamDetector {
   [[nodiscard]] std::uint64_t windows_scanned() const noexcept {
     return windows_scanned_;
   }
+  /// Total bytes handed to the detector across all windows, INCLUDING the
+  /// overlap bytes re-fed at the front of each window. This is the
+  /// engine's real workload; dividing wall time by bytes_consumed()
+  /// instead overstates stream throughput by ~window/(window-overlap)
+  /// (see docs/performance.md — raw vs effective MB/s).
+  [[nodiscard]] std::uint64_t bytes_scanned() const noexcept {
+    return bytes_scanned_;
+  }
   /// Windows whose scan was cut short by the per-window budget/deadline
   /// (their mel is a lower bound; alerts from them carry degraded=true).
   [[nodiscard]] std::uint64_t windows_degraded() const noexcept {
@@ -123,8 +131,13 @@ class StreamDetector {
   StreamConfig config_;
   MelDetector detector_;
   util::ByteBuffer buffer_;
+  /// Per-stream scratch: with the kCachedDag engine, consecutive window
+  /// scans through one scratch re-use decode-cache entries for the
+  /// overlap bytes (each stream byte decoded once, not once per window).
+  exec::MelScratch scratch_;
   std::uint64_t buffer_stream_offset_ = 0;  ///< Stream offset of buffer_[0].
   std::uint64_t consumed_ = 0;
+  std::uint64_t bytes_scanned_ = 0;
   std::uint64_t windows_scanned_ = 0;
   std::uint64_t windows_degraded_ = 0;
   std::size_t buffer_high_water_ = 0;

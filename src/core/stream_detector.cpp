@@ -174,8 +174,12 @@ std::vector<StreamAlert> StreamDetector::drain(bool flush) {
          (flush && !buffer_.empty())) {
     const std::size_t length =
         std::min(buffer_.size(), config_.window_size);
-    Verdict verdict = detector_.scan(util::ByteView(buffer_.data(), length),
-                                     config_.budget);
+    Verdict verdict = detector_.scan(
+        util::ByteView(buffer_.data(), length), config_.budget, scratch_,
+        /*trace=*/nullptr,
+        ScanWindow{.stream_offset = buffer_stream_offset_,
+                   .reuse_cache = true});
+    bytes_scanned_ += length;
     ++windows_scanned_;
     windows_counter_.inc();
     if (verdict.mel_detail.truncated_by_limits()) {

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "mel/disasm/opcode_table.hpp"
+#include "mel/disasm/scan_decoder.hpp"
 
 namespace mel::disasm {
 
@@ -167,6 +168,86 @@ Instruction invalid_at(std::size_t offset, std::size_t consumed) {
   insn.length = static_cast<std::uint8_t>(
       std::min<std::size_t>(consumed ? consumed : 1, kMaxInstructionLength));
   return insn;
+}
+
+/// Facts-path twin of invalid_at(): same flags and honest-length report,
+/// everything else reset to defaults (matching a freshly constructed
+/// Instruction from invalid_at).
+ScanFacts scan_invalid(std::size_t consumed) {
+  ScanFacts facts;
+  facts.mnemonic = Mnemonic::kInvalid;
+  facts.flags = kFlagUndefined;
+  facts.length = static_cast<std::uint8_t>(
+      std::min<std::size_t>(consumed ? consumed : 1, kMaxInstructionLength));
+  // Every consumed byte potentially drove the bail-out decision, so the
+  // whole encoding is structural.
+  facts.structure_len = facts.length;
+  return facts;
+}
+
+/// ModR/M summary for the scan path: raw fields plus the two derived
+/// properties the facts need (memory form, absolute addressing). Consumes
+/// exactly the bytes decode_effective_address() would, in the same order.
+struct ScanModRm {
+  std::uint8_t mod = 0;
+  std::uint8_t reg = 0;
+  std::uint8_t rm = 0;
+  bool memory_form = false;  ///< rm_operand.kind would be kMemory.
+  bool absolute = false;     ///< rm_operand.is_absolute_memory().
+  /// Trailing displacement bytes consumed: the EA's shape-determining
+  /// bytes (ModR/M, SIB) end disp_bytes before the cursor.
+  std::uint8_t disp_bytes = 0;
+};
+
+void scan_effective_address(Cursor& cursor, bool address_size_16,
+                            ScanModRm& modrm) {
+  const std::uint8_t byte = cursor.u8();
+  modrm.mod = byte >> 6;
+  modrm.reg = (byte >> 3) & 7;
+  modrm.rm = byte & 7;
+  if (modrm.mod == 3) return;  // Register form.
+  modrm.memory_form = true;
+
+  if (address_size_16) {
+    // 16-bit forms: base/index come from fixed pairs, so the only
+    // absolute form is the mod==0 rm==6 disp16 special case.
+    if (modrm.mod == 0 && modrm.rm == 6) {
+      modrm.absolute = true;
+      (void)cursor.u16();
+      modrm.disp_bytes = 2;
+    } else if (modrm.mod == 1) {
+      (void)cursor.u8();
+      modrm.disp_bytes = 1;
+    } else if (modrm.mod == 2) {
+      (void)cursor.u16();
+      modrm.disp_bytes = 2;
+    }
+    return;
+  }
+
+  // 32-bit addressing.
+  if (modrm.rm == 4) {
+    const std::uint8_t sib = cursor.u8();
+    const std::uint8_t index = (sib >> 3) & 7;
+    const std::uint8_t base = sib & 7;
+    if (base == 5 && modrm.mod == 0) {
+      // [index*scale + disp32]; absolute only when the index is absent too.
+      modrm.absolute = (index == 4);
+      (void)cursor.u32();
+      modrm.disp_bytes = 4;
+    }
+  } else if (modrm.rm == 5 && modrm.mod == 0) {
+    modrm.absolute = true;  // disp32 absolute.
+    (void)cursor.u32();
+    modrm.disp_bytes = 4;
+  }
+  if (modrm.mod == 1) {
+    (void)cursor.u8();
+    modrm.disp_bytes += 1;
+  } else if (modrm.mod == 2) {
+    (void)cursor.u32();
+    modrm.disp_bytes += 4;
+  }
 }
 
 }  // namespace
@@ -426,6 +507,225 @@ Instruction decode_instruction(util::ByteView bytes, std::size_t offset) {
       insn.has_flag(kFlagString) && (opcode & 1) == 0;
   insn.data_width = (saw_byte_form || implicit_byte) ? Width::kByte : vw;
   return insn;
+}
+
+ScanFacts scan_instruction(util::ByteView bytes, std::size_t offset) {
+  ScanFacts facts;
+  if (offset >= bytes.size()) {
+    facts.flags = kFlagUndefined;
+    facts.length = 0;
+    return facts;
+  }
+
+  Cursor cursor(bytes, offset);
+  bool operand_size_16 = false;
+  bool address_size_16 = false;
+
+  // --- Prefix loop (mirrors decode_instruction byte for byte) --------------
+  while (cursor.has(1)) {
+    const std::uint8_t byte = bytes[cursor.position()];
+    if (!one_byte_table()[byte].is_prefix) break;
+    (void)cursor.u8();
+    switch (byte) {
+      case 0x26: facts.segment_override = SegReg::kEs; break;
+      case 0x2E: facts.segment_override = SegReg::kCs; break;
+      case 0x36: facts.segment_override = SegReg::kSs; break;
+      case 0x3E: facts.segment_override = SegReg::kDs; break;
+      case 0x64: facts.segment_override = SegReg::kFs; break;
+      case 0x65: facts.segment_override = SegReg::kGs; break;
+      case 0x66: operand_size_16 = true; break;
+      case 0x67: address_size_16 = true; break;
+      default: break;
+    }
+    if (cursor.position() - offset >= kMaxInstructionLength) {
+      return scan_invalid(cursor.position() - offset);
+    }
+  }
+  if (!cursor.has(1)) {
+    return scan_invalid(cursor.position() - offset);
+  }
+
+  // --- Opcode --------------------------------------------------------------
+  std::uint8_t opcode = cursor.u8();
+  const OpcodeInfo* info = nullptr;
+  if (opcode == 0x0F) {
+    if (!cursor.has(1)) return scan_invalid(cursor.position() - offset);
+    opcode = cursor.u8();
+    info = &two_byte_table()[opcode];
+  } else {
+    info = &one_byte_table()[opcode];
+  }
+  if (!info->defined() || info->is_prefix) {
+    return scan_invalid(cursor.position() - offset);
+  }
+  if (info->mnemonic == Mnemonic::kUnknown && info->group == OpGroup::kNone) {
+    ScanFacts unknown = scan_invalid(cursor.position() - offset);
+    unknown.mnemonic = Mnemonic::kUnknown;
+    return unknown;
+  }
+
+  facts.mnemonic = info->mnemonic;
+  facts.flags |= info->flags;
+  bool dst_writes = info->dst_writes;
+  bool dst_reads = info->dst_reads;
+
+  // --- ModR/M + group resolution -------------------------------------------
+  ScanModRm modrm;
+  if (info->needs_modrm()) {
+    scan_effective_address(cursor, address_size_16, modrm);
+    if (cursor.truncated()) {
+      return scan_invalid(cursor.position() - offset);
+    }
+  }
+  // Structural bytes end here: prefixes, opcode, ModR/M and SIB. The bytes
+  // past this point (displacement, immediates) only carry VALUES — they
+  // never change length, flags, mnemonic or operand shape. AAM is the one
+  // exception (its immediate value decides aam_immediate_zero) and is
+  // patched below.
+  const std::size_t structure_end = cursor.position() - modrm.disp_bytes;
+  OT op_templates[kMaxOperands] = {info->op1, info->op2, info->op3};
+  if (info->group != OpGroup::kNone) {
+    const GroupEntry& entry = group_entry(info->group, modrm.reg);
+    if (!entry.defined()) {
+      return scan_invalid(cursor.position() - offset);  // #UD encoding.
+    }
+    facts.mnemonic = entry.mnemonic;
+    facts.flags |= entry.extra_flags;
+    dst_writes = entry.dst_writes;
+    dst_reads = entry.dst_reads;
+    if (info->group == OpGroup::kGroup3 && modrm.reg <= 1) {
+      op_templates[1] = (info->op1 == OT::kEb) ? OT::kIb : OT::kIz;
+    }
+  }
+
+  // --- Operands (consumption only; no Operand materialization) -------------
+  for (std::size_t i = 0; i < kMaxOperands; ++i) {
+    const OT ot = op_templates[i];
+    if (ot == OT::kNone) break;
+    bool is_memory = false;    // Operand.kind would be kMemory.
+    bool is_absolute = false;  // Operand.is_absolute_memory().
+    bool no_access = false;    // LEA-style address-only operand.
+    switch (ot) {
+      case OT::kEb:
+      case OT::kEv:
+      case OT::kEw:
+        is_memory = modrm.memory_form;
+        is_absolute = modrm.absolute;
+        break;
+      case OT::kGb:
+      case OT::kGv:
+      case OT::kGw:
+        break;
+      case OT::kSw:
+        if (modrm.reg >= 6) {
+          return scan_invalid(cursor.position() - offset);  // #UD.
+        }
+        break;
+      case OT::kM:
+      case OT::kMa:
+      case OT::kMp:
+        if (!modrm.memory_form) {
+          return scan_invalid(cursor.position() - offset);  // #UD.
+        }
+        is_memory = true;
+        is_absolute = modrm.absolute;
+        no_access = (ot == OT::kM);
+        break;
+      case OT::kIb:
+      case OT::kIbU: {
+        const std::uint8_t imm = cursor.u8();
+        if (i == 0 && facts.mnemonic == Mnemonic::kAam) {
+          facts.aam_immediate_zero = (imm == 0);
+        }
+        break;
+      }
+      case OT::kIw:
+        (void)cursor.u16();
+        break;
+      case OT::kIz:
+        if (operand_size_16) {
+          (void)cursor.u16();
+        } else {
+          (void)cursor.u32();
+        }
+        break;
+      case OT::kI1:
+        break;
+      case OT::kJb: {
+        const auto rel = static_cast<std::int8_t>(cursor.u8());
+        if (i == 0) {
+          facts.has_relative = true;
+          facts.rel_displacement = rel;
+          facts.rel_size = 1;
+        }
+        break;
+      }
+      case OT::kJz: {
+        const std::int32_t rel =
+            operand_size_16 ? static_cast<std::int16_t>(cursor.u16())
+                            : static_cast<std::int32_t>(cursor.u32());
+        if (i == 0) {
+          facts.has_relative = true;
+          facts.rel_displacement = rel;
+          facts.rel_size = operand_size_16 ? 2 : 4;
+        }
+        break;
+      }
+      case OT::kAp:
+        if (operand_size_16) {
+          (void)cursor.u16();
+        } else {
+          (void)cursor.u32();
+        }
+        (void)cursor.u16();  // Selector.
+        break;
+      case OT::kOb:
+      case OT::kOv:
+        is_memory = true;
+        is_absolute = true;  // moffs is always disp-only.
+        if (address_size_16) {
+          (void)cursor.u16();
+        } else {
+          (void)cursor.u32();
+        }
+        break;
+      case OT::kRegB:
+      case OT::kRegV:
+      case OT::kAL:
+      case OT::kCL:
+      case OT::kDX:
+      case OT::keAX:
+      case OT::kSeg:
+      case OT::kNone:
+        break;
+    }
+    if (cursor.truncated()) {
+      return scan_invalid(cursor.position() - offset);
+    }
+    if (is_memory && !no_access) {
+      if (i == 0) {
+        if (dst_writes) facts.flags |= kFlagMemWrite;
+        if (dst_reads) facts.flags |= kFlagMemRead;
+      } else {
+        facts.flags |= kFlagMemRead;
+      }
+    }
+    if (is_memory && !facts.has_memory_operand) {
+      facts.has_memory_operand = true;
+      facts.first_memory_absolute = is_absolute;
+    }
+  }
+
+  const std::size_t consumed = cursor.position() - offset;
+  if (consumed > kMaxInstructionLength) {
+    return scan_invalid(consumed);
+  }
+  facts.length = static_cast<std::uint8_t>(consumed);
+  facts.structure_len =
+      facts.mnemonic == Mnemonic::kAam
+          ? facts.length  // The AAM immediate's value is structural.
+          : static_cast<std::uint8_t>(structure_end - offset);
+  return facts;
 }
 
 std::vector<Instruction> linear_sweep(util::ByteView bytes,

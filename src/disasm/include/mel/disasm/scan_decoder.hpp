@@ -1,0 +1,75 @@
+#pragma once
+// Facts-only instruction scan: the decode-once cache's fast path.
+//
+// scan_instruction() walks the exact byte-consumption control flow of
+// decode_instruction() — same prefix loop, same opcode/group resolution,
+// same ModR/M/SIB/displacement/immediate sizing, same truncation and #UD
+// bail-outs — but materializes none of the Operand machinery. It returns
+// only the facts the MEL engines consume: encoded length, the class-flag
+// word, and the handful of operand-derived bits the validity rules and
+// control-flow successor logic read (segment override, memory-operand
+// shape, AAM immediate, relative branch displacement).
+//
+// Contract (enforced by the differential battery in
+// tests/test_exec_instruction_cache.cpp and the exec_mel fuzz oracle):
+// for every byte stream and offset,
+//   scan_instruction(b, o) == facts_of(decode_instruction(b, o))
+// field for field. Any change to decoder.cpp must keep its scan twin in
+// lockstep — both live in the same translation unit on purpose.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mel/disasm/instruction.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::disasm {
+
+/// Upper bound on bytes a single decode examines from its start offset:
+/// up to 14 prefix bytes survive the 15-byte cap before the opcode, then
+/// 2 opcode + 1 ModR/M + 1 SIB + 4 displacement + 6 immediate (ptr16:32)
+/// = 28; rounded up for headroom. A decode at offset o depends only on
+/// bytes [o, o + kMaxDecodeReach), which is what makes cache entries
+/// shift-reusable across overlapping stream windows and bounds the
+/// invalidation radius of a single-byte mutation.
+inline constexpr std::size_t kMaxDecodeReach = 32;
+
+/// The subset of a decoded instruction the MEL hot path consumes.
+/// Field-for-field equal to what decode_instruction would produce.
+struct ScanFacts {
+  std::uint8_t length = 0;        ///< == Instruction::length.
+  std::uint32_t flags = kFlagNone;  ///< == Instruction::flags.
+  Mnemonic mnemonic = Mnemonic::kInvalid;  ///< == Instruction::mnemonic.
+  SegReg segment_override = SegReg::kNone;
+  /// First operand decoded to kRelative (Jb/Jz forms); rel_displacement
+  /// is then Instruction::operands[0].immediate, so the branch target is
+  /// offset + length + rel_displacement.
+  bool has_relative = false;
+  std::int32_t rel_displacement = 0;
+  /// memory_operand() != nullptr, and whether that first memory operand
+  /// is_absolute_memory() (disp-only / moffs form).
+  bool has_memory_operand = false;
+  bool first_memory_absolute = false;
+  /// mnemonic == kAam with immediate operand 0 (the statically decidable
+  /// #DE case the aam_zero rule keys on).
+  bool aam_immediate_zero = false;
+  /// Number of leading bytes that fully determine every field above except
+  /// rel_displacement: prefixes, opcode, ModR/M and SIB (plus the AAM
+  /// immediate, whose value is structural). Two scans whose streams agree
+  /// on these bytes — and that both have `length` bytes available — yield
+  /// identical facts modulo the relative-displacement value. This is what
+  /// lets the instruction cache memoize scans by their leading bytes.
+  std::uint8_t structure_len = 0;
+  /// Width in bytes of the trailing relative displacement (0 when
+  /// has_relative is false; else 1, 2 or 4, occupying the encoding's last
+  /// rel_size bytes, sign-extended into rel_displacement).
+  std::uint8_t rel_size = 0;
+};
+
+/// Scans a single instruction starting at `offset`. Same progress
+/// guarantee as decode_instruction: length >= 1 whenever offset is in
+/// range, 0 only at or past the end of the stream.
+[[nodiscard]] ScanFacts scan_instruction(util::ByteView bytes,
+                                         std::size_t offset);
+
+}  // namespace mel::disasm

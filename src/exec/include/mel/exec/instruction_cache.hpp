@@ -1,0 +1,200 @@
+#pragma once
+// Decode-once instruction cache: the data structure behind the kCachedDag
+// MEL engine.
+//
+// One bind() pass scans every offset of a window with the facts-only scan
+// decoder (src/disasm/scan_decoder.hpp), classifies each offset under a
+// fixed ValidityRules, and stores the result as 4 bytes per offset across
+// two columns:
+//
+//   len_succ  packed: encoded length (1..15), control-flow successor
+//             class (CacheSucc below), wide-rel flag
+//   rel16     relative branch displacement (kBranch/kCondBranch only);
+//             the rare displacement outside int16 is re-read from the
+//             window bytes via the wide-rel flag
+//
+// The DAG longest-run DP then runs directly over these columns — no
+// Instruction materialization, no re-decode, one cache line per 32
+// offsets of length/succ — so MEL is O(n) per window with a small
+// constant and an L1-resident working set for 4 KiB windows.
+//
+// Three accelerations on top of the single pass:
+//
+//  * First-byte prefilter: a 256-entry table of bytes that can NEVER start
+//    a valid instruction under the bound rules (e.g. 0x6C insb when the
+//    io_instructions rule is on, or undefined opcodes). Offsets starting
+//    with such a byte are classified kInvalid without running the scan
+//    decoder at all. The table is sound only when rules.undefined_opcode
+//    is on (otherwise a truncated suffix of ANY opcode classifies valid);
+//    with it off the prefilter is disabled.
+//
+//  * Structural scan memo: ScanFacts::structure_len says how many leading
+//    bytes of an encoding determine every fact except the relative
+//    displacement VALUE. Scans whose structure fits in the first two bytes
+//    (plain opcodes, opcode+ModR/M, prefix+opcode) are memoized in a dense
+//    65536-entry pair table; structures of three or four bytes (ModR/M
+//    with SIB, prefix chains, 0x0F page) go to a small open-addressing
+//    hash keyed by the first four bytes. Later offsets whose leading bytes
+//    match a memoized entry emit length/validity/succ by lookup and read
+//    only the relative displacement from the window. Entries are inserted
+//    only from scans that ran at least kMaxDecodeReach bytes clear of the
+//    window end (so no entry bakes in a truncation), and a lookup applies
+//    only when the entry's full length fits the window — otherwise the
+//    offset falls back to a real scan, keeping emitted columns identical
+//    whether the memo is warm or cold. Same soundness gate as the
+//    prefilter (rules.undefined_opcode on, so short tails classify
+//    #UD-invalid); both memos reset when the bound rules change.
+//
+//  * Cross-window reuse: windows of a stream overlap (StreamDetector keeps
+//    `overlap` bytes of history). bind() is keyed by the stream-absolute
+//    offset of the window start; when the same scratch is re-bound to a
+//    window that slid forward over the same underlying stream, entries for
+//    the shared bytes are shifted left instead of re-scanned. Only entries
+//    whose full decode reach (kMaxDecodeReach bytes) fit inside the
+//    PREVIOUS window are reused — entries near the old window end saw its
+//    truncation boundary and must be re-scanned. Callers assert the
+//    contract that the overlapping byte ranges are identical (true for
+//    StreamDetector's sliding buffer).
+//
+// The cache is NOT thread-safe; it lives in MelScratch (one per worker).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mel/disasm/scan_decoder.hpp"
+#include "mel/exec/validity.hpp"
+#include "mel/util/bytes.hpp"
+
+namespace mel::exec {
+
+/// Control-flow successor class of a cache entry, mirroring
+/// successor_offsets() over a full Instruction (same check order:
+/// ret/indirect/far first, then conditional, then unconditional/call).
+enum class CacheSucc : std::uint8_t {
+  kInvalid = 0,  ///< Offset does not start a valid instruction: run ends.
+  kNone,         ///< Valid, but the path stops (ret / indirect / far).
+  kFall,         ///< Fall-through only (the common case).
+  kBranch,       ///< Relative JMP/CALL: target only.
+  kCondBranch,   ///< Jcc/LOOPcc/JECXZ: fall-through and target.
+};
+
+/// Packed per-offset classification word: bits 0..7 encoded length,
+/// bits 8..10 CacheSucc, bit 11 the wide-rel flag. Together with the
+/// int16 rel column this is 4 bytes per offset — a 4 KiB window's whole
+/// classification (16 KiB) stays L1-resident alongside the DP table.
+inline constexpr std::uint16_t kCacheLenMask = 0x00FF;
+inline constexpr unsigned kCacheSuccShift = 8;
+/// Set when the relative displacement does not fit int16. Such a
+/// displacement is always a trailing 4-byte field (rel8/rel16 values fit
+/// by construction), so readers recover it from the window bytes at
+/// offset + length - 4 instead of the rel column.
+inline constexpr std::uint16_t kCacheWideRel = 0x0800;
+
+/// Lifetime counters (accumulated across binds of one cache instance).
+struct InstructionCacheStats {
+  std::uint64_t binds = 0;
+  std::uint64_t scanned = 0;            ///< Full scan-decoder invocations.
+  std::uint64_t prefilter_skipped = 0;  ///< Classified by first byte alone.
+  std::uint64_t pair_memo_hits = 0;     ///< Classified by a structural memo.
+  std::uint64_t reused = 0;             ///< Shifted from the previous bind.
+};
+
+class InstructionCache {
+ public:
+  /// Builds (or incrementally rebuilds) the cache for `bytes` under
+  /// `rules`. `stream_offset` is the stream-absolute position of bytes[0]
+  /// (0 for standalone payloads). When `allow_reuse` is set and this cache
+  /// was previously bound to the same rules at an earlier-or-equal stream
+  /// offset, overlapping entries are shifted instead of re-scanned; the
+  /// caller guarantees the overlapping bytes are unchanged. `build_floor`
+  /// skips entries below that offset (they are never read when a decode
+  /// budget trips first); a floored build is never reused.
+  void bind(util::ByteView bytes, const ValidityRules& rules,
+            std::uint64_t stream_offset = 0, bool allow_reuse = false,
+            std::size_t build_floor = 0);
+
+  /// Re-scans the entries a single-byte mutation at `mutated` can affect:
+  /// exactly [mutated - kMaxDecodeReach + 1, mutated]. The caller passes
+  /// the already-mutated bytes (same window the cache is bound to).
+  void update_byte(util::ByteView bytes, std::size_t mutated);
+
+  [[nodiscard]] std::size_t size() const noexcept { return len_succ_.size(); }
+  [[nodiscard]] std::uint8_t length(std::size_t offset) const noexcept {
+    return static_cast<std::uint8_t>(len_succ_[offset] & kCacheLenMask);
+  }
+  [[nodiscard]] CacheSucc succ(std::size_t offset) const noexcept {
+    return static_cast<CacheSucc>((len_succ_[offset] >> kCacheSuccShift) &
+                                  0x7);
+  }
+  /// Relative displacement of the entry at `offset`. Takes the window the
+  /// cache is bound to: a wide displacement lives in the window bytes, not
+  /// the 2-byte rel column.
+  [[nodiscard]] std::int32_t rel(util::ByteView bytes,
+                                 std::size_t offset) const noexcept {
+    const std::uint16_t word = len_succ_[offset];
+    if (word & kCacheWideRel) {
+      return static_cast<std::int32_t>(
+          util::load_le32(bytes, offset + (word & kCacheLenMask) - 4));
+    }
+    return rel16_[offset];
+  }
+  /// Raw column pointers for the DP hot loop (valid until the next bind).
+  [[nodiscard]] const std::uint16_t* len_succ_data() const noexcept {
+    return len_succ_.data();
+  }
+  [[nodiscard]] const std::int16_t* rel_data() const noexcept {
+    return rel16_.data();
+  }
+
+  [[nodiscard]] bool prefilter_enabled() const noexcept {
+    return prefilter_enabled_;
+  }
+  /// True when `first_byte` can never start a valid instruction under the
+  /// bound rules (exposed for tests; meaningless unless prefilter_enabled).
+  [[nodiscard]] bool never_valid_first_byte(std::uint8_t first_byte)
+      const noexcept {
+    return never_valid_[first_byte] != 0;
+  }
+  [[nodiscard]] const InstructionCacheStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  void rebuild_prefilter(const ValidityRules& rules);
+  void scan_range(util::ByteView bytes, std::size_t begin, std::size_t end);
+
+  /// Classification columns, 4 bytes per offset (see the packed-word
+  /// constants above). Split SoA so the DP streams exactly what it reads.
+  std::vector<std::uint16_t> len_succ_;
+  std::vector<std::int16_t> rel16_;
+
+  std::array<std::uint8_t, 256> never_valid_{};
+  bool prefilter_enabled_ = false;
+  /// First-level memo keyed by the first byte alone, 512 bytes (always
+  /// L1-resident). Covers never-valid first bytes (prefilled from the
+  /// prefilter: length 1, kInvalid) and memoized single-byte structures
+  /// (opcodes without prefix/ModR/M — most letters in text). An offset
+  /// that hits here never touches the 128 KiB pair table, which keeps
+  /// that table's hot-line footprint down to the multi-byte structures.
+  /// Entry 0 = fall through to the pair/quad memos or the scan.
+  std::array<std::uint16_t, 256> first_memo_{};
+  /// Dense memo for two-byte structures, keyed (byte0 << 8) | byte1.
+  /// Entry 0 = not yet seen; see the encoding constants in
+  /// instruction_cache.cpp.
+  std::vector<std::uint16_t> pair_memo_;
+  /// Open-addressing memo for three/four-byte structures, keyed by the
+  /// first four window bytes (little-endian). quad_entry_ 0 = empty slot.
+  std::vector<std::uint32_t> quad_key_;
+  std::vector<std::uint16_t> quad_entry_;
+
+  ValidityRules rules_{};
+  std::uint64_t rules_key_ = 0;
+  bool bound_ = false;
+  std::uint64_t stream_offset_ = 0;
+  std::size_t scan_begin_ = 0;  ///< build_floor of the current binding.
+
+  InstructionCacheStats stats_;
+};
+
+}  // namespace mel::exec

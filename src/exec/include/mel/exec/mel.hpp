@@ -22,6 +22,11 @@
 //  * Path explorer — pseudo-execution with an AbstractCpu per path,
 //    enabling the uninitialized-register rule (DAWN strict mode); bounded
 //    by a step budget and a per-path visited set (loops are flagged).
+//  * Cached DAG — the DAG dynamic program re-expressed over a decode-once
+//    per-window instruction cache (instruction_cache.hpp): same results
+//    bit for bit, but each offset is scanned once with the facts-only
+//    decoder (O(n) per window), never-valid first bytes are skipped by a
+//    256-entry prefilter, and overlapping stream windows reuse entries.
 
 // Thread-safety: every function here is a pure computation over its
 // arguments — no global mutable state (the fault hooks consulted at
@@ -35,6 +40,7 @@
 #include <vector>
 
 #include "mel/disasm/instruction.hpp"
+#include "mel/exec/instruction_cache.hpp"
 #include "mel/exec/validity.hpp"
 #include "mel/util/bytes.hpp"
 #include "mel/util/status.hpp"
@@ -45,6 +51,10 @@ enum class MelEngine : std::uint8_t {
   kLinearSweep = 0,  ///< Model-faithful single-stream run length (default).
   kAllPathsDag,      ///< Every entry offset + branch forking, DP.
   kPathExplorer,     ///< Every entry offset + CPU state (strict rules).
+  kCachedDag,        ///< kAllPathsDag semantics over a decode-once cache:
+                     ///< bit-identical results, O(n) per window. Appended
+                     ///< after kPathExplorer so persisted engine numbers
+                     ///< stay stable.
 };
 
 struct MelOptions {
@@ -63,6 +73,13 @@ struct MelOptions {
   /// against the skew-aware scan clock (util::fault::now()). When it
   /// trips, MelResult::deadline_exceeded is set and mel is a lower bound.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// kCachedDag only: stream-absolute offset of bytes[0], keying the
+  /// decode cache so overlapping windows of the same stream reuse entries.
+  std::uint64_t cache_stream_offset = 0;
+  /// kCachedDag only: permit the scratch's cache to reuse entries from its
+  /// previous window. Caller contract: the overlapping byte range is the
+  /// same underlying stream data (StreamDetector's sliding buffer is).
+  bool cache_reuse = false;
 
   /// kInvalidConfig when the combination is unusable (e.g. a zero step
   /// budget); OK otherwise. Service layers validate before scanning.
@@ -99,9 +116,13 @@ struct MelResult {
 /// worker thread. The linear sweep allocates nothing and ignores it.
 struct MelScratch {
   std::vector<std::int32_t> longest;           ///< DAG run-length table.
+  /// kCachedDag run-length table for windows under 32 Ki bytes (a MEL is
+  /// at most n, so int16 suffices and halves the DP's hot footprint).
+  std::vector<std::int16_t> longest16;
   std::vector<disasm::Instruction> decoded;    ///< Explorer decode cache.
   std::vector<std::uint8_t> decoded_yet;       ///< Explorer cache validity.
   std::vector<std::uint8_t> on_path;           ///< Explorer cycle marks.
+  InstructionCache cache;                      ///< kCachedDag decode cache.
 };
 
 /// Computes the MEL of `bytes` under `options`, dispatching on
@@ -126,6 +147,15 @@ struct MelScratch {
 [[nodiscard]] MelResult compute_mel_dag(util::ByteView bytes,
                                         const MelOptions& options,
                                         MelScratch& scratch);
+
+/// Forces the cached-DAG engine: kAllPathsDag results bit for bit
+/// (verdict, mel, entry offset, degraded flags, instructions_decoded),
+/// computed over the scratch's decode-once cache.
+[[nodiscard]] MelResult compute_mel_cached(util::ByteView bytes,
+                                           const MelOptions& options);
+[[nodiscard]] MelResult compute_mel_cached(util::ByteView bytes,
+                                           const MelOptions& options,
+                                           MelScratch& scratch);
 
 /// Forces the path explorer (exposed for tests/benches).
 [[nodiscard]] MelResult compute_mel_explorer(util::ByteView bytes,

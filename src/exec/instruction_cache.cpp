@@ -1,0 +1,393 @@
+#include "mel/exec/instruction_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mel/disasm/opcode_table.hpp"
+
+namespace mel::exec {
+
+namespace {
+
+using disasm::Mnemonic;
+using disasm::OpcodeInfo;
+using disasm::OpGroup;
+using disasm::ScanFacts;
+using disasm::SegReg;
+
+/// Position-independent validity: classify_instruction() restated over
+/// ScanFacts, same rule order (the uninitialized-register rule needs CPU
+/// state and never reaches the cached engine — compute_mel dispatch forces
+/// the path explorer when it is on).
+bool facts_valid(const ScanFacts& facts, const ValidityRules& rules) noexcept {
+  if (rules.undefined_opcode && (facts.flags & disasm::kFlagUndefined)) {
+    return false;
+  }
+  if (rules.privileged && (facts.flags & disasm::kFlagPrivileged)) {
+    return false;
+  }
+  if (rules.io_instructions &&
+      (facts.flags & (disasm::kFlagIoString | disasm::kFlagIoPort))) {
+    return false;
+  }
+  if (rules.interrupts && (facts.flags & disasm::kFlagInterrupt)) {
+    return false;
+  }
+  if (rules.far_control_transfer &&
+      (facts.flags & disasm::kFlagBranchFar)) {
+    return false;
+  }
+  if (rules.segment_register_load &&
+      (facts.flags & disasm::kFlagSegmentLoad)) {
+    return false;
+  }
+  if (rules.aam_zero && facts.mnemonic == Mnemonic::kAam &&
+      facts.aam_immediate_zero) {
+    return false;
+  }
+  if (facts.flags & (disasm::kFlagMemRead | disasm::kFlagMemWrite)) {
+    if (rules.wrong_segment_memory &&
+        facts.segment_override != SegReg::kNone &&
+        rules.wrong_segment[static_cast<std::uint8_t>(
+            facts.segment_override)]) {
+      return false;
+    }
+    if (rules.cs_write && facts.segment_override == SegReg::kCs &&
+        (facts.flags & disasm::kFlagMemWrite)) {
+      return false;
+    }
+    if (rules.absolute_memory && facts.has_memory_operand &&
+        facts.first_memory_absolute) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Successor class of a valid instruction — mirrors successor_offsets()'s
+/// flag-check order exactly.
+CacheSucc facts_succ(const ScanFacts& facts) noexcept {
+  if (facts.flags & (disasm::kFlagRet | disasm::kFlagBranchIndirect |
+                     disasm::kFlagBranchFar)) {
+    return CacheSucc::kNone;
+  }
+  if (facts.flags & disasm::kFlagCondBranch) return CacheSucc::kCondBranch;
+  if (facts.flags & (disasm::kFlagUncondBranch | disasm::kFlagCall)) {
+    return CacheSucc::kBranch;
+  }
+  return CacheSucc::kFall;
+}
+
+/// True when `flags` alone (no operand knowledge) already trip one of the
+/// position-independent rules — every decode outcome carrying them is
+/// invalid regardless of the bytes that follow.
+bool static_flags_trip(std::uint32_t flags,
+                       const ValidityRules& rules) noexcept {
+  if (flags & disasm::kFlagUndefined) return true;  // Prefilter: rule is on.
+  if (rules.privileged && (flags & disasm::kFlagPrivileged)) return true;
+  if (rules.io_instructions &&
+      (flags & (disasm::kFlagIoString | disasm::kFlagIoPort))) {
+    return true;
+  }
+  if (rules.interrupts && (flags & disasm::kFlagInterrupt)) return true;
+  if (rules.far_control_transfer && (flags & disasm::kFlagBranchFar)) {
+    return true;
+  }
+  if (rules.segment_register_load && (flags & disasm::kFlagSegmentLoad)) {
+    return true;
+  }
+  return false;
+}
+
+/// Can a byte value, as the FIRST byte at an offset, never begin a valid
+/// instruction? Only callable when rules.undefined_opcode is on: that
+/// makes every truncated/#UD decode outcome invalid, so a first byte whose
+/// every full decode is also invalid is invalid, full stop.
+bool first_byte_never_valid(std::uint8_t byte,
+                            const ValidityRules& rules) noexcept {
+  const OpcodeInfo& info = disasm::one_byte_table()[byte];
+  if (info.is_prefix) return false;  // Depends on what follows.
+  if (byte == 0x0F) return false;    // Two-byte page: per-second-byte.
+  if (!info.defined()) return true;  // #UD always.
+  if (info.mnemonic == Mnemonic::kUnknown && info.group == OpGroup::kNone) {
+    return true;  // Unmodeled: decoder reports kFlagUndefined.
+  }
+  if (info.group != OpGroup::kNone) {
+    // Invalid only if every reg-field resolution is (#UD or a static trip).
+    for (std::uint8_t reg = 0; reg < 8; ++reg) {
+      const disasm::GroupEntry& entry = disasm::group_entry(info.group, reg);
+      if (!entry.defined()) continue;  // #UD for this reg.
+      if (!static_flags_trip(info.flags | entry.extra_flags, rules)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return static_flags_trip(info.flags, rules);
+}
+
+// Memo entry layout (std::uint16_t), shared by the dense pair table and
+// the quad hash. Zero means "not yet seen"; every stored entry has
+// kMemoPresent set, so the two never collide.
+constexpr std::uint16_t kMemoPresent = 0x8000;
+constexpr std::uint16_t kMemoSlow = 0x4000;  ///< Structure too long: scan.
+constexpr unsigned kMemoSuccShift = 8;       ///< Bits 8..10: CacheSucc.
+constexpr unsigned kMemoRelShift = 11;  ///< Bits 11..12: rel width class.
+constexpr std::uint16_t kMemoLengthMask = 0x00FF;
+
+/// Quad-hash geometry: 16384 slots covers the distinct 4-grams of a text
+/// window many times over; a bounded probe keeps the worst case flat (a
+/// full neighborhood just means that 4-gram keeps taking the real scan).
+constexpr std::size_t kQuadSlots = 16384;
+constexpr std::size_t kQuadProbeLimit = 8;
+
+std::size_t quad_slot(std::uint32_t key) noexcept {
+  return (key * 0x9E3779B1u) >> 18;  // Fibonacci hash into 2^14 slots.
+}
+
+/// Encodes the offset-independent part of scan facts: length, validity /
+/// successor class under the bound rules, and where to read the relative
+/// displacement (0 none, 1 rel8, 2 rel16, 3 rel32 — always the encoding's
+/// trailing bytes).
+std::uint16_t encode_memo(const ScanFacts& facts,
+                          const ValidityRules& rules) noexcept {
+  std::uint16_t entry = kMemoPresent;
+  entry |= static_cast<std::uint16_t>(facts.length) & kMemoLengthMask;
+  const CacheSucc succ = facts_valid(facts, rules) ? facts_succ(facts)
+                                                   : CacheSucc::kInvalid;
+  entry |= static_cast<std::uint16_t>(static_cast<unsigned>(succ)
+                                      << kMemoSuccShift);
+  if (facts.has_relative) {
+    const unsigned rel_class =
+        facts.rel_size == 1 ? 1u : (facts.rel_size == 2 ? 2u : 3u);
+    entry |= static_cast<std::uint16_t>(rel_class << kMemoRelShift);
+  }
+  return entry;
+}
+
+std::uint64_t make_rules_key(const ValidityRules& rules) noexcept {
+  std::uint64_t key = 0;
+  int bit = 0;
+  const auto add = [&](bool value) {
+    key |= static_cast<std::uint64_t>(value) << bit++;
+  };
+  add(rules.undefined_opcode);
+  add(rules.privileged);
+  add(rules.io_instructions);
+  add(rules.interrupts);
+  add(rules.far_control_transfer);
+  add(rules.segment_register_load);
+  add(rules.wrong_segment_memory);
+  add(rules.cs_write);
+  add(rules.aam_zero);
+  add(rules.absolute_memory);
+  add(rules.uninitialized_register_memory);
+  for (bool wrong : rules.wrong_segment) add(wrong);
+  return key;
+}
+
+}  // namespace
+
+void InstructionCache::rebuild_prefilter(const ValidityRules& rules) {
+  prefilter_enabled_ = rules.undefined_opcode;
+  if (!prefilter_enabled_) {
+    never_valid_.fill(0);
+    first_memo_.fill(0);
+    pair_memo_.clear();
+    quad_key_.clear();
+    quad_entry_.clear();
+    return;
+  }
+  first_memo_.fill(0);
+  for (int byte = 0; byte < 256; ++byte) {
+    const bool never =
+        first_byte_never_valid(static_cast<std::uint8_t>(byte), rules);
+    never_valid_[static_cast<std::size_t>(byte)] = never ? 1 : 0;
+    if (never) {
+      // Prefill the first-byte memo: length 1, CacheSucc::kInvalid. The
+      // DP never reads length or rel of an invalid entry.
+      first_memo_[static_cast<std::size_t>(byte)] = kMemoPresent | 1;
+    }
+  }
+  // Validity is baked into memo entries, so a rules change resets the
+  // memos to empty; they refill lazily against the new rules.
+  pair_memo_.assign(65536, 0);
+  quad_key_.assign(kQuadSlots, 0);
+  quad_entry_.assign(kQuadSlots, 0);
+}
+
+void InstructionCache::scan_range(util::ByteView bytes, std::size_t begin,
+                                  std::size_t end) {
+  const std::size_t n = bytes.size();
+  std::uint64_t prefilter_skipped = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t scanned = 0;
+  // Deterministic emission contract: for a given (window bytes, offset)
+  // the stored columns are identical whether the offset was classified by
+  // the prefilter, a memo hit, or a real scan — the differential battery
+  // compares columns across caches of different memo warmth.
+  const auto emit = [&](std::size_t offset, std::uint32_t length,
+                        unsigned succ_bits, std::int32_t rel) {
+    const bool wide = rel < -32768 || rel > 32767;
+    len_succ_[offset] = static_cast<std::uint16_t>(
+        length | (succ_bits << kCacheSuccShift) |
+        (wide ? kCacheWideRel : 0));
+    rel16_[offset] = wide ? 0 : static_cast<std::int16_t>(rel);
+  };
+  for (std::size_t offset = begin; offset < end; ++offset) {
+    std::uint16_t entry = 0;
+    bool from_first = false;
+    if (prefilter_enabled_) {
+      const std::uint8_t b0 = bytes[offset];
+      const std::uint16_t fe = first_memo_[b0];
+      if (fe != 0) {
+        entry = fe;  // Single-byte structure: never a slow marker.
+        from_first = true;
+      } else if (offset + 1 < n) {
+        const std::uint16_t pe =
+            pair_memo_[(static_cast<std::size_t>(b0) << 8) |
+                       bytes[offset + 1]];
+        if ((pe & kMemoSlow) == 0) {
+          entry = pe;  // Present (or unseen: 0 falls through to the scan).
+        } else if (offset + 4 <= n) {
+          const std::uint32_t key = util::load_le32(bytes, offset);
+          const std::size_t slot = quad_slot(key);
+          for (std::size_t probe = 0; probe < kQuadProbeLimit; ++probe) {
+            const std::size_t i = (slot + probe) & (kQuadSlots - 1);
+            if (quad_entry_[i] == 0) break;
+            if (quad_key_[i] == key) {
+              if ((quad_entry_[i] & kMemoSlow) == 0) entry = quad_entry_[i];
+              break;
+            }
+          }
+        }
+      }
+      if (entry != 0) {
+        const auto len = static_cast<std::uint8_t>(entry & kMemoLengthMask);
+        if (offset + len <= n) {
+          std::int32_t rel = 0;
+          const unsigned rel_class = (entry >> kMemoRelShift) & 0x3;
+          if (rel_class != 0) {
+            rel = rel_class == 1
+                      ? static_cast<std::int8_t>(bytes[offset + len - 1])
+                      : (rel_class == 2
+                             ? static_cast<std::int32_t>(
+                                   static_cast<std::int16_t>(util::load_le16(
+                                       bytes, offset + len - 2)))
+                             : static_cast<std::int32_t>(util::load_le32(
+                                   bytes, offset + len - 4)));
+          }
+          emit(offset, len, (entry >> kMemoSuccShift) & 0x7, rel);
+          ++(from_first ? prefilter_skipped : memo_hits);
+          continue;
+        }
+        // Too close to the window end for the memoized length: run the
+        // real (truncating) scan so emitted columns never depend on memo
+        // warmth.
+      }
+    }
+    const ScanFacts facts = disasm::scan_instruction(bytes, offset);
+    ++scanned;
+    emit(offset, facts.length,
+         static_cast<unsigned>(facts_valid(facts, rules_)
+                                   ? facts_succ(facts)
+                                   : CacheSucc::kInvalid),
+         facts.rel_displacement);
+    // Memoize boundary-free scans by their structural bytes. Entries are a
+    // pure function of those bytes (plus the bound rules), so it does not
+    // matter which window or offset inserted them.
+    if (prefilter_enabled_ && offset + disasm::kMaxDecodeReach <= n) {
+      if (facts.structure_len <= 1) {
+        first_memo_[bytes[offset]] = encode_memo(facts, rules_);
+        continue;
+      }
+      const std::size_t pair_index =
+          (static_cast<std::size_t>(bytes[offset]) << 8) | bytes[offset + 1];
+      if (facts.structure_len <= 2) {
+        pair_memo_[pair_index] = encode_memo(facts, rules_);
+      } else {
+        pair_memo_[pair_index] = kMemoPresent | kMemoSlow;
+        const std::uint32_t key = util::load_le32(bytes, offset);
+        const std::size_t slot = quad_slot(key);
+        for (std::size_t probe = 0; probe < kQuadProbeLimit; ++probe) {
+          const std::size_t i = (slot + probe) & (kQuadSlots - 1);
+          if (quad_entry_[i] != 0 && quad_key_[i] != key) continue;
+          quad_key_[i] = key;
+          quad_entry_[i] = facts.structure_len <= 4
+                               ? encode_memo(facts, rules_)
+                               : (kMemoPresent | kMemoSlow);
+          break;
+        }
+      }
+    }
+  }
+  stats_.prefilter_skipped += prefilter_skipped;
+  stats_.pair_memo_hits += memo_hits;
+  stats_.scanned += scanned;
+}
+
+void InstructionCache::bind(util::ByteView bytes, const ValidityRules& rules,
+                            std::uint64_t stream_offset, bool allow_reuse,
+                            std::size_t build_floor) {
+  const std::uint64_t key = make_rules_key(rules);
+  const std::size_t n = bytes.size();
+  ++stats_.binds;
+
+  // Entries reusable from the previous binding: same rules, stream moved
+  // forward (or stayed), both bindings full builds, and only entries whose
+  // decode reach fit entirely inside the PREVIOUS window (later ones saw
+  // its truncation boundary).
+  std::size_t reused = 0;
+  if (allow_reuse && bound_ && key == rules_key_ && build_floor == 0 &&
+      scan_begin_ == 0 && stream_offset >= stream_offset_) {
+    const std::uint64_t shift64 = stream_offset - stream_offset_;
+    const std::size_t prev_n = len_succ_.size();
+    if (shift64 <= prev_n) {
+      const auto shift = static_cast<std::size_t>(shift64);
+      if (prev_n >= shift + disasm::kMaxDecodeReach) {
+        reused = std::min(n, prev_n - shift - disasm::kMaxDecodeReach + 1);
+      }
+      if (reused > 0 && shift > 0) {
+        std::memmove(len_succ_.data(), len_succ_.data() + shift,
+                     reused * sizeof(std::uint16_t));
+        std::memmove(rel16_.data(), rel16_.data() + shift,
+                     reused * sizeof(std::int16_t));
+      }
+    }
+  }
+  stats_.reused += reused;
+
+  if (key != rules_key_ || !bound_) {
+    rules_ = rules;
+    rules_key_ = key;
+    rebuild_prefilter(rules);
+  }
+  bound_ = true;
+  stream_offset_ = stream_offset;
+  scan_begin_ = build_floor;
+
+  len_succ_.resize(n);
+  rel16_.resize(n);
+  if (build_floor > 0) {
+    // Entries below the floor are never consulted (the decode budget trips
+    // first); poison them so a misuse shows up as kInvalid, not stale data.
+    const std::size_t poison_end = std::min(build_floor, n);
+    for (std::size_t i = 0; i < poison_end; ++i) {
+      len_succ_[i] &= static_cast<std::uint16_t>(
+          ~(std::uint16_t{0x7} << kCacheSuccShift));
+    }
+  }
+  scan_range(bytes, std::max(reused, build_floor), n);
+}
+
+void InstructionCache::update_byte(util::ByteView bytes,
+                                   std::size_t mutated) {
+  if (mutated >= len_succ_.size() || bytes.size() != len_succ_.size()) return;
+  const std::size_t begin =
+      mutated >= disasm::kMaxDecodeReach - 1
+          ? mutated - (disasm::kMaxDecodeReach - 1)
+          : 0;
+  scan_range(bytes, std::max(begin, scan_begin_), mutated + 1);
+}
+
+}  // namespace mel::exec

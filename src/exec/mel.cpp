@@ -129,6 +129,163 @@ MelResult compute_mel_dag(util::ByteView bytes, const MelOptions& options,
   return result;
 }
 
+namespace {
+
+/// The kCachedDag DP over the cache's packed columns. Templated on the
+/// run-length element: int16 for windows under 32 Ki bytes (a MEL is at
+/// most n, and the halved table keeps a 4 KiB window's whole working set
+/// L1-resident), int32 beyond.
+template <typename TLongest>
+MelResult run_cached_dp(util::ByteView bytes, const MelOptions& options,
+                        const InstructionCache& cache,
+                        std::vector<TLongest>& longest) {
+  MelResult result;
+  const auto n = static_cast<std::int64_t>(bytes.size());
+
+  // Padded past n+1 with zeros so the always-forward fall-through index
+  // (at most offset + 255, lengths being one byte) needs no clamp: any
+  // index in (n, n + 256] reads a zero continuation, exactly what the
+  // out-of-stream rule prescribes. Only [0, n) is ever written.
+  longest.assign(static_cast<std::size_t>(n) + 257, 0);
+  const std::uint16_t* len_succ = cache.len_succ_data();
+  const std::int16_t* rel16 = cache.rel_data();
+
+  // Identical work accounting to compute_mel_dag, restated so the hot
+  // loop pays for none of it. There instructions_decoded increments once
+  // per offset examined and limits_tripped runs before each body; here the
+  // counter IS n - offset, so the budget trip point (count > budget,
+  // checked before the body) is simply the loop bound `stop`, and the
+  // every-kDeadlineCheckInterval checkpoint (fault hook + deadline read)
+  // runs between batches of check-free iterations — at exactly the counts
+  // the legacy mask compare would have fired on. On the budget-trip
+  // iteration the legacy path returns before reaching its deadline
+  // checkpoint, which the batched form reproduces by exiting the outer
+  // loop before any checkpoint at a count past the budget.
+  const std::int64_t stop =
+      (options.decode_budget > 0 &&
+       options.decode_budget < static_cast<std::uint64_t>(n))
+          ? n - static_cast<std::int64_t>(options.decode_budget)
+          : 0;
+
+  // The successor handling is the branch-free restatement of
+  // compute_mel_dag's switch — succ classes in window data are effectively
+  // random, so a predicated formulation beats predicted branches. Per
+  // class: kInvalid has no successors and leaves longest at 0; kNone has
+  // none but scores; kFall uses the fall-through; kBranch the relative
+  // target; kCondBranch both. The fall-through (offset + length, length
+  // >= 1) is always forward, so only the branch target can set
+  // loop_detected; targets past the end contribute a zero continuation,
+  // which indexing the (n+1)-entry table at a clamped position provides
+  // for free (longest[n] == 0).
+  bool loop_detected = false;
+  std::int64_t offset = n - 1;
+  while (offset >= stop) {
+    const auto count = static_cast<std::uint64_t>(n - offset);
+    if ((count & (kDeadlineCheckInterval - 1)) == 0) {
+      if (util::fault::should_fire(util::fault::Point::kEngineStall)) {
+        util::fault::advance_clock(util::fault::time_jump());
+      }
+      if (options.deadline && util::fault::now() >= *options.deadline) {
+        result.deadline_exceeded = true;
+        result.instructions_decoded = count;
+        result.loop_detected = result.loop_detected || loop_detected;
+        return result;
+      }
+    }
+    const std::uint64_t next_checkpoint =
+        (count & ~static_cast<std::uint64_t>(kDeadlineCheckInterval - 1)) +
+        kDeadlineCheckInterval;
+    const std::int64_t batch_low =
+        std::max(stop, n - static_cast<std::int64_t>(next_checkpoint - 1));
+    for (; offset >= batch_low; --offset) {
+      const auto o = static_cast<std::size_t>(offset);
+      const std::uint32_t word = len_succ[o];
+      const std::uint32_t length = word & kCacheLenMask;
+      const unsigned sc = (word >> kCacheSuccShift) & 0x7;
+      std::int64_t rel = rel16[o];
+      if (word & kCacheWideRel) {
+        // Rare (a rel32 outside int16); the flag is set deterministically
+        // from the displacement value, so this branch predicts well.
+        rel = static_cast<std::int32_t>(util::load_le32(bytes, o + length - 4));
+      }
+      const std::int64_t fall_through = offset + length;
+      const std::int64_t target = fall_through + rel;
+
+      const bool use_fall =
+          sc == static_cast<unsigned>(CacheSucc::kFall) ||
+          sc == static_cast<unsigned>(CacheSucc::kCondBranch);
+      const bool use_branch =
+          sc == static_cast<unsigned>(CacheSucc::kBranch) ||
+          sc == static_cast<unsigned>(CacheSucc::kCondBranch);
+      const bool branch_forward = use_branch && target > offset;
+      loop_detected |= use_branch && target <= offset;
+
+      const std::size_t target_clamped = static_cast<std::size_t>(
+          std::min(std::max(target, std::int64_t{0}), n));
+      const std::int32_t cont_fall =
+          longest[static_cast<std::size_t>(fall_through)] &
+          -static_cast<std::int32_t>(use_fall);
+      const std::int32_t cont_branch =
+          longest[target_clamped] & -static_cast<std::int32_t>(branch_forward);
+
+      const std::int32_t total =
+          (1 + std::max(cont_fall, cont_branch)) &
+          -static_cast<std::int32_t>(
+              sc != static_cast<unsigned>(CacheSucc::kInvalid));
+      longest[o] = static_cast<TLongest>(total);
+      if (total > result.mel) {
+        result.mel = total;
+        result.best_entry_offset = o;
+        if (options.early_exit_threshold >= 0 &&
+            result.mel > options.early_exit_threshold) {
+          result.early_exit = true;
+          result.instructions_decoded = static_cast<std::uint64_t>(n - offset);
+          result.loop_detected = result.loop_detected || loop_detected;
+          return result;
+        }
+      }
+    }
+  }
+  if (stop > 0) {
+    // The legacy loop's (budget + 1)'th increment trips before that
+    // offset's body runs.
+    result.budget_exhausted = true;
+    result.instructions_decoded = options.decode_budget + 1;
+  } else {
+    result.instructions_decoded = static_cast<std::uint64_t>(n);
+  }
+  result.loop_detected = result.loop_detected || loop_detected;
+  return result;
+}
+
+}  // namespace
+
+MelResult compute_mel_cached(util::ByteView bytes, const MelOptions& options,
+                             MelScratch& scratch) {
+  const auto n = static_cast<std::int64_t>(bytes.size());
+  if (n == 0) return MelResult{};
+
+  // When a decode budget would trip before the DP reaches low offsets,
+  // don't scan them: the legacy engine counts offsets n-1 down to
+  // n-1-budget (the budget+1'th decode trips before its entry is used),
+  // so only entries at offsets >= n-budget are ever consulted.
+  const std::size_t build_floor =
+      (options.decode_budget > 0 &&
+       options.decode_budget < static_cast<std::uint64_t>(n))
+          ? static_cast<std::size_t>(n) -
+                static_cast<std::size_t>(options.decode_budget)
+          : 0;
+  InstructionCache& cache = scratch.cache;
+  cache.bind(bytes, options.rules, options.cache_stream_offset,
+             options.cache_reuse, build_floor);
+
+  if (n <= 32767) {
+    return run_cached_dp<std::int16_t>(bytes, options, cache,
+                                       scratch.longest16);
+  }
+  return run_cached_dp<std::int32_t>(bytes, options, cache, scratch.longest);
+}
+
 MelResult compute_mel_explorer(util::ByteView bytes, const MelOptions& options,
                                MelScratch& scratch) {
   MelResult result;
@@ -323,6 +480,12 @@ MelResult compute_mel_dag(util::ByteView bytes, const MelOptions& options) {
   return compute_mel_dag(bytes, options, scratch);
 }
 
+MelResult compute_mel_cached(util::ByteView bytes,
+                             const MelOptions& options) {
+  MelScratch scratch;
+  return compute_mel_cached(bytes, options, scratch);
+}
+
 MelResult compute_mel_explorer(util::ByteView bytes,
                                const MelOptions& options) {
   MelScratch scratch;
@@ -341,6 +504,8 @@ MelResult compute_mel(util::ByteView bytes, const MelOptions& options,
       return compute_mel_dag(bytes, options, scratch);
     case MelEngine::kPathExplorer:
       return compute_mel_explorer(bytes, options, scratch);
+    case MelEngine::kCachedDag:
+      return compute_mel_cached(bytes, options, scratch);
   }
   return compute_mel_sweep(bytes, options);
 }

@@ -1,0 +1,596 @@
+// Differential battery for the decode-once instruction cache and the
+// kCachedDag MEL engine (the PR-7 hot-path rewrite).
+//
+// The cached engine's contract is BIT-IDENTITY with kAllPathsDag: same
+// mel, entry offset, loop/budget/early-exit flags and the same
+// instructions_decoded count on every input. These tests enforce it
+// three ways:
+//  * exhaustively at the decoder layer (scan_instruction vs
+//    decode_instruction over every 1- and 2-byte input and randomized
+//    longer ones),
+//  * per cache entry (validity/length/displacement vs a full decode +
+//    classify at every offset),
+//  * end to end over the worm/traffic corpora, the checked-in fuzz
+//    corpus, window sizes 1 / 2 / prime / max, and budget + early-exit
+//    limit combinations.
+// Plus the satellite property: a single-byte mutation may only change
+// cache entries within kMaxDecodeReach of the mutated offset, and
+// incremental invalidation (update_byte) equals a from-scratch rebuild.
+
+#include "mel/exec/instruction_cache.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mel/core/stream_detector.hpp"
+#include "mel/disasm/decoder.hpp"
+#include "mel/disasm/scan_decoder.hpp"
+#include "mel/exec/mel.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using mel::disasm::Instruction;
+using mel::disasm::ScanFacts;
+using mel::exec::CacheSucc;
+using mel::exec::InstructionCache;
+using mel::exec::MelOptions;
+using mel::exec::MelResult;
+using mel::exec::MelScratch;
+using mel::exec::ValidityRules;
+using mel::util::ByteBuffer;
+using mel::util::ByteView;
+
+// ---------------------------------------------------------------------------
+// Layer 1: scan_instruction is a field-for-field twin of decode_instruction.
+
+/// The facts a full decode implies — the reference side of the scan
+/// differential (mirrors the ScanFacts contract in scan_decoder.hpp).
+ScanFacts facts_of(const Instruction& insn) {
+  ScanFacts facts;
+  facts.length = insn.length;
+  facts.flags = insn.flags;
+  facts.mnemonic = insn.mnemonic;
+  facts.segment_override = insn.segment_override;
+  if (insn.operand_count >= 1 &&
+      insn.operands[0].kind == mel::disasm::OperandKind::kRelative) {
+    facts.has_relative = true;
+    facts.rel_displacement =
+        static_cast<std::int32_t>(insn.operands[0].immediate);
+  }
+  if (const mel::disasm::Operand* mem = insn.memory_operand()) {
+    facts.has_memory_operand = true;
+    facts.first_memory_absolute = mem->is_absolute_memory();
+  }
+  facts.aam_immediate_zero = insn.mnemonic == mel::disasm::Mnemonic::kAam &&
+                             insn.operand_count >= 1 &&
+                             insn.operands[0].immediate == 0;
+  return facts;
+}
+
+testing::AssertionResult facts_match(ByteView bytes, std::size_t offset) {
+  const ScanFacts scanned = mel::disasm::scan_instruction(bytes, offset);
+  const ScanFacts decoded =
+      facts_of(mel::disasm::decode_instruction(bytes, offset));
+  if (scanned.length == decoded.length && scanned.flags == decoded.flags &&
+      scanned.mnemonic == decoded.mnemonic &&
+      scanned.segment_override == decoded.segment_override &&
+      scanned.has_relative == decoded.has_relative &&
+      (!scanned.has_relative ||
+       scanned.rel_displacement == decoded.rel_displacement) &&
+      scanned.has_memory_operand == decoded.has_memory_operand &&
+      scanned.first_memory_absolute == decoded.first_memory_absolute &&
+      scanned.aam_immediate_zero == decoded.aam_immediate_zero) {
+    return testing::AssertionSuccess();
+  }
+  std::string hex;
+  for (std::size_t i = offset; i < bytes.size() && i < offset + 18; ++i) {
+    char buf[4];
+    std::snprintf(buf, sizeof(buf), "%02x ", bytes[i]);
+    hex += buf;
+  }
+  return testing::AssertionFailure()
+         << "scan/decode divergence at offset " << offset << " bytes [" << hex
+         << "]: scan{len=" << int(scanned.length) << " flags=" << std::hex
+         << scanned.flags << std::dec << " mn=" << int(scanned.mnemonic)
+         << " rel=" << scanned.has_relative << ":" << scanned.rel_displacement
+         << " mem=" << scanned.has_memory_operand << "/"
+         << scanned.first_memory_absolute << "} decode{len="
+         << int(decoded.length) << " flags=" << std::hex << decoded.flags
+         << std::dec << " mn=" << int(decoded.mnemonic)
+         << " rel=" << decoded.has_relative << ":" << decoded.rel_displacement
+         << " mem=" << decoded.has_memory_operand << "/"
+         << decoded.first_memory_absolute << "}";
+}
+
+TEST(ScanDecoder, MatchesFullDecodeOnEveryOneByteInput) {
+  for (int b = 0; b < 256; ++b) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(b);
+    ASSERT_TRUE(facts_match(ByteView(&byte, 1), 0)) << "byte " << b;
+  }
+}
+
+TEST(ScanDecoder, MatchesFullDecodeOnEveryTwoByteInput) {
+  std::uint8_t bytes[2];
+  for (int hi = 0; hi < 256; ++hi) {
+    for (int lo = 0; lo < 256; ++lo) {
+      bytes[0] = static_cast<std::uint8_t>(hi);
+      bytes[1] = static_cast<std::uint8_t>(lo);
+      ASSERT_TRUE(facts_match(ByteView(bytes, 2), 0))
+          << "bytes " << hi << " " << lo;
+      ASSERT_TRUE(facts_match(ByteView(bytes, 2), 1));
+    }
+  }
+}
+
+TEST(ScanDecoder, MatchesFullDecodeOnRandomBuffersEveryOffset) {
+  mel::util::Xoshiro256 rng(2008);
+  for (int round = 0; round < 400; ++round) {
+    ByteBuffer buffer(16 + rng.next_below(49));
+    // Mix of regimes: uniform bytes, printable text, and prefix-heavy.
+    const int mode = round % 3;
+    for (auto& b : buffer) {
+      if (mode == 0) {
+        b = static_cast<std::uint8_t>(rng.next_below(256));
+      } else if (mode == 1) {
+        b = static_cast<std::uint8_t>(0x20 + rng.next_below(0x5F));
+      } else {
+        static constexpr std::uint8_t kSpice[] = {0x66, 0x67, 0x64, 0x2E,
+                                                  0x0F, 0xF0, 0xD4, 0xA0};
+        b = rng.next_bernoulli(0.4)
+                ? kSpice[rng.next_below(sizeof(kSpice))]
+                : static_cast<std::uint8_t>(rng.next_below(256));
+      }
+    }
+    for (std::size_t offset = 0; offset <= buffer.size(); ++offset) {
+      ASSERT_TRUE(facts_match(buffer, offset)) << "round " << round;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: every cache entry equals a full decode + classify at its offset.
+
+std::vector<std::pair<std::string, ValidityRules>> rule_sets() {
+  std::vector<std::pair<std::string, ValidityRules>> sets;
+  sets.emplace_back("dawn", ValidityRules::dawn());
+  sets.emplace_back("ape", ValidityRules::ape());
+  ValidityRules no_undef = ValidityRules::dawn();
+  no_undef.undefined_opcode = false;  // Disables the prefilter entirely.
+  sets.emplace_back("no-undef", no_undef);
+  ValidityRules absolute = ValidityRules::dawn();
+  absolute.absolute_memory = true;
+  sets.emplace_back("dawn+abs", absolute);
+  return sets;
+}
+
+/// Replica of the legacy engines' (file-local) successor_offsets():
+/// control-flow successors of a valid instruction as stream offsets;
+/// 0 successors means the path stops (ret / indirect / far).
+int legacy_successors(const Instruction& insn, std::int64_t out[2]) {
+  if (insn.has_flag(mel::disasm::kFlagRet) ||
+      insn.has_flag(mel::disasm::kFlagBranchIndirect) ||
+      insn.has_flag(mel::disasm::kFlagBranchFar)) {
+    return 0;
+  }
+  const auto fall_through = static_cast<std::int64_t>(insn.end_offset());
+  if (insn.has_flag(mel::disasm::kFlagCondBranch)) {
+    out[0] = fall_through;
+    out[1] = insn.branch_target();
+    return 2;
+  }
+  if (insn.has_flag(mel::disasm::kFlagUncondBranch) ||
+      insn.has_flag(mel::disasm::kFlagCall)) {
+    out[0] = insn.branch_target();
+    return 1;
+  }
+  out[0] = fall_through;
+  return 1;
+}
+
+ByteBuffer random_mixed_buffer(mel::util::Xoshiro256& rng, std::size_t size,
+                               int mode) {
+  ByteBuffer buffer(size);
+  for (auto& b : buffer) {
+    if (mode == 0) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    } else {
+      b = static_cast<std::uint8_t>(0x20 + rng.next_below(0x5F));
+    }
+  }
+  return buffer;
+}
+
+TEST(InstructionCacheEntries, MatchFullDecodeAndClassifyAtEveryOffset) {
+  mel::util::Xoshiro256 rng(77);
+  for (const auto& [name, rules] : rule_sets()) {
+    InstructionCache cache;
+    for (int round = 0; round < 40; ++round) {
+      const ByteBuffer buffer = random_mixed_buffer(rng, 256, round % 2);
+      cache.bind(buffer, rules);
+      ASSERT_EQ(cache.size(), buffer.size());
+      for (std::size_t o = 0; o < buffer.size(); ++o) {
+        const Instruction insn = mel::disasm::decode_instruction(buffer, o);
+        const bool legacy_valid = mel::exec::is_valid_instruction(insn, rules);
+        const bool cached_valid = cache.succ(o) != CacheSucc::kInvalid;
+        ASSERT_EQ(cached_valid, legacy_valid)
+            << "rules=" << name << " offset=" << o << " byte="
+            << int(buffer[o]);
+        if (!legacy_valid) continue;
+        ASSERT_EQ(cache.length(o), insn.length) << "rules=" << name;
+        // Successor class must mirror successor_offsets().
+        std::int64_t succ[2];
+        const int succ_count = legacy_successors(insn, succ);
+        switch (cache.succ(o)) {
+          case CacheSucc::kNone:
+            EXPECT_EQ(succ_count, 0);
+            break;
+          case CacheSucc::kFall:
+            ASSERT_EQ(succ_count, 1);
+            EXPECT_EQ(succ[0], static_cast<std::int64_t>(o) + insn.length);
+            break;
+          case CacheSucc::kBranch:
+            ASSERT_EQ(succ_count, 1);
+            EXPECT_EQ(succ[0], static_cast<std::int64_t>(o) + insn.length +
+                                   cache.rel(buffer, o));
+            break;
+          case CacheSucc::kCondBranch:
+            ASSERT_EQ(succ_count, 2);
+            EXPECT_EQ(succ[0], static_cast<std::int64_t>(o) + insn.length);
+            EXPECT_EQ(succ[1], static_cast<std::int64_t>(o) + insn.length +
+                                   cache.rel(buffer, o));
+            break;
+          case CacheSucc::kInvalid:
+            break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: end-to-end engine differential over real corpora.
+
+testing::AssertionResult results_equal(const MelResult& cached,
+                                       const MelResult& legacy) {
+  if (cached.mel == legacy.mel &&
+      cached.best_entry_offset == legacy.best_entry_offset &&
+      cached.loop_detected == legacy.loop_detected &&
+      cached.budget_exhausted == legacy.budget_exhausted &&
+      cached.deadline_exceeded == legacy.deadline_exceeded &&
+      cached.early_exit == legacy.early_exit &&
+      cached.instructions_decoded == legacy.instructions_decoded) {
+    return testing::AssertionSuccess();
+  }
+  return testing::AssertionFailure()
+         << "cached{mel=" << cached.mel << " entry=" << cached.best_entry_offset
+         << " loop=" << cached.loop_detected << " budget="
+         << cached.budget_exhausted << " early=" << cached.early_exit
+         << " decoded=" << cached.instructions_decoded << "} legacy{mel="
+         << legacy.mel << " entry=" << legacy.best_entry_offset
+         << " loop=" << legacy.loop_detected << " budget="
+         << legacy.budget_exhausted << " early=" << legacy.early_exit
+         << " decoded=" << legacy.instructions_decoded << "}";
+}
+
+/// Differential over every chunked window of `payload` at `window` bytes
+/// (plus the final partial window).
+void diff_windows(ByteView payload, std::size_t window,
+                  const ValidityRules& rules, const std::string& context) {
+  MelOptions options;
+  options.rules = rules;
+  MelScratch legacy_scratch;
+  MelScratch cached_scratch;
+  std::size_t start = 0;
+  do {
+    const std::size_t length = std::min(window, payload.size() - start);
+    const ByteView view = payload.subspan(start, length);
+    const MelResult legacy =
+        mel::exec::compute_mel_dag(view, options, legacy_scratch);
+    const MelResult cached =
+        mel::exec::compute_mel_cached(view, options, cached_scratch);
+    ASSERT_TRUE(results_equal(cached, legacy))
+        << context << " window [" << start << ", " << start + length << ")";
+    start += window;
+  } while (start < payload.size());
+}
+
+std::vector<ByteBuffer> test_corpora() {
+  mel::traffic::BenignDatasetOptions http_options;
+  http_options.cases = 24;
+  http_options.case_size = 3000;
+  std::vector<ByteBuffer> corpus =
+      mel::traffic::make_benign_dataset(http_options);
+  for (const auto& worm : mel::textcode::text_worm_corpus(12, 2008)) {
+    corpus.push_back(worm.bytes);
+  }
+  return corpus;
+}
+
+TEST(CachedDagDifferential, MatchesLegacyOnCorporaAtAllWindowSizes) {
+  const std::vector<ByteBuffer> corpus = test_corpora();
+  ASSERT_FALSE(corpus.empty());
+  const std::size_t kPrime = 97;
+  const auto sets = rule_sets();
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const ByteBuffer& payload = corpus[i];
+    const std::string tag = "payload " + std::to_string(i);
+    // Full battery (windows 1, 2, prime, max) under the default rules;
+    // the alternate rule sets run at prime and max to bound runtime.
+    diff_windows(payload, 1, sets[0].second, tag + " dawn");
+    diff_windows(payload, 2, sets[0].second, tag + " dawn");
+    for (const auto& [name, rules] : sets) {
+      diff_windows(payload, kPrime, rules, tag + " " + name);
+      diff_windows(payload, payload.size(), rules, tag + " " + name);
+    }
+  }
+}
+
+TEST(CachedDagDifferential, MatchesLegacyOnCheckedInFuzzCorpus) {
+  const fs::path dir = fs::path(MEL_FUZZ_CORPUS_DIR) / "exec_mel";
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::recursive_directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty()) << "no exec_mel corpus at " << dir;
+  const auto sets = rule_sets();
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << path;
+    const ByteBuffer payload((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+    for (const auto& [name, rules] : sets) {
+      diff_windows(payload, std::max<std::size_t>(payload.size(), 1), rules,
+                   path.filename().string() + " " + name);
+      if (payload.size() > 4) {
+        diff_windows(payload, 97, rules, path.filename().string() + " " + name);
+      }
+    }
+  }
+}
+
+TEST(CachedDagDifferential, BudgetAndEarlyExitTripIdentically) {
+  mel::util::Xoshiro256 rng(41);
+  const auto worms = mel::textcode::text_worm_corpus(3, 7);
+  std::vector<ByteBuffer> payloads;
+  for (const auto& worm : worms) payloads.push_back(worm.bytes);
+  payloads.push_back(random_mixed_buffer(rng, 700, 0));
+  payloads.push_back(random_mixed_buffer(rng, 700, 1));
+  for (const ByteBuffer& payload : payloads) {
+    const std::uint64_t n = payload.size();
+    for (std::uint64_t budget :
+         {std::uint64_t{1}, std::uint64_t{5}, n / 2, n - 1, n, n + 5}) {
+      for (std::int64_t threshold : {std::int64_t{-1}, std::int64_t{0},
+                                     std::int64_t{3}, std::int64_t{1000}}) {
+        MelOptions options;
+        options.decode_budget = budget;
+        options.early_exit_threshold = threshold;
+        MelScratch legacy_scratch;
+        MelScratch cached_scratch;
+        const MelResult legacy =
+            mel::exec::compute_mel_dag(payload, options, legacy_scratch);
+        const MelResult cached =
+            mel::exec::compute_mel_cached(payload, options, cached_scratch);
+        ASSERT_TRUE(results_equal(cached, legacy))
+            << "budget=" << budget << " threshold=" << threshold;
+      }
+    }
+  }
+}
+
+TEST(CachedDagDifferential, DispatchesThroughComputeMel) {
+  const auto worms = mel::textcode::text_worm_corpus(2, 3);
+  MelOptions options;
+  options.engine = mel::exec::MelEngine::kCachedDag;
+  MelOptions legacy_options;
+  legacy_options.engine = mel::exec::MelEngine::kAllPathsDag;
+  for (const auto& worm : worms) {
+    const MelResult cached = mel::exec::compute_mel(worm.bytes, options);
+    const MelResult legacy =
+        mel::exec::compute_mel(worm.bytes, legacy_options);
+    ASSERT_TRUE(results_equal(cached, legacy));
+  }
+  // The uninitialized-register rule still forces the path explorer.
+  MelOptions strict = options;
+  strict.rules = ValidityRules::dawn(/*strict=*/true);
+  for (const auto& worm : worms) {
+    const MelResult via_dispatch = mel::exec::compute_mel(worm.bytes, strict);
+    MelOptions explorer = strict;
+    explorer.engine = mel::exec::MelEngine::kPathExplorer;
+    const MelResult via_explorer =
+        mel::exec::compute_mel(worm.bytes, explorer);
+    ASSERT_TRUE(results_equal(via_dispatch, via_explorer));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-window reuse: shifted entries equal a fresh build, and the stream
+// detector produces identical alerts with either engine.
+
+TEST(InstructionCacheReuse, ShiftedEntriesEqualFreshBind) {
+  mel::util::Xoshiro256 rng(99);
+  const ByteBuffer stream = random_mixed_buffer(rng, 4096 + 1024 + 512, 0);
+  const std::size_t window = 1024;
+  const std::size_t step = 768;  // 256 bytes of overlap.
+  InstructionCache sliding;
+  const ValidityRules rules = ValidityRules::dawn();
+  for (std::size_t start = 0; start + window <= stream.size(); start += step) {
+    const ByteView view = ByteView(stream).subspan(start, window);
+    sliding.bind(view, rules, /*stream_offset=*/start, /*allow_reuse=*/true);
+    InstructionCache fresh;
+    fresh.bind(view, rules);
+    for (std::size_t o = 0; o < window; ++o) {
+      ASSERT_EQ(sliding.succ(o), fresh.succ(o))
+          << "window@" << start << " offset " << o;
+      if (fresh.succ(o) == CacheSucc::kInvalid) continue;
+      ASSERT_EQ(sliding.length(o), fresh.length(o));
+      ASSERT_EQ(sliding.rel(view, o), fresh.rel(view, o));
+    }
+  }
+  // The slide actually reused entries (that is the point of the cache).
+  EXPECT_GT(sliding.stats().reused, 0u);
+}
+
+TEST(InstructionCacheReuse, StreamDetectorAlertsIdenticalAcrossEngines) {
+  // A long stream with worms sprinkled into benign text: the cached
+  // engine (with cross-window reuse through the stream's scratch) must
+  // raise exactly the alerts the legacy DAG engine raises.
+  mel::util::Xoshiro256 rng(13);
+  ByteBuffer stream = random_mixed_buffer(rng, 6000, 1);
+  const auto worms = mel::textcode::text_worm_corpus(2, 5);
+  for (std::size_t w = 0; w < worms.size(); ++w) {
+    const ByteBuffer& body = worms[w].bytes;
+    const std::size_t at = 1500 + w * 2800;
+    ASSERT_LE(at + body.size(), stream.size());
+    std::copy(body.begin(), body.end(),
+              stream.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+
+  const auto run = [&](mel::exec::MelEngine engine) {
+    mel::core::StreamConfig config;
+    config.detector.engine = engine;
+    config.window_size = 1024;
+    config.overlap = 256;
+    mel::core::StreamDetector detector(config);
+    std::vector<mel::core::StreamAlert> alerts;
+    // Feed in ragged batches to exercise window/batch misalignment.
+    std::size_t offset = 0;
+    std::size_t chunk = 333;
+    while (offset < stream.size()) {
+      const std::size_t len = std::min(chunk, stream.size() - offset);
+      auto batch = detector.feed(ByteView(stream).subspan(offset, len));
+      alerts.insert(alerts.end(), batch.begin(), batch.end());
+      offset += len;
+      chunk = 137 + (chunk * 31) % 811;
+    }
+    auto tail = detector.finish();
+    alerts.insert(alerts.end(), tail.begin(), tail.end());
+    EXPECT_EQ(detector.bytes_scanned() >= detector.bytes_consumed(), true);
+    return alerts;
+  };
+
+  const auto legacy = run(mel::exec::MelEngine::kAllPathsDag);
+  const auto cached = run(mel::exec::MelEngine::kCachedDag);
+  ASSERT_EQ(cached.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(cached[i].stream_offset, legacy[i].stream_offset);
+    EXPECT_EQ(cached[i].verdict.malicious, legacy[i].verdict.malicious);
+    EXPECT_EQ(cached[i].verdict.mel, legacy[i].verdict.mel);
+    EXPECT_EQ(cached[i].verdict.loop_detected,
+              legacy[i].verdict.loop_detected);
+    EXPECT_EQ(cached[i].verdict.degraded, legacy[i].verdict.degraded);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite property: single-byte mutations have bounded blast radius and
+// incremental invalidation equals a from-scratch rebuild.
+
+TEST(InstructionCacheMutation, RadiusBoundedAndUpdateByteEqualsRebuild) {
+  mel::util::Xoshiro256 rng(4242);
+  const ValidityRules rules = ValidityRules::dawn();
+  for (int round = 0; round < 120; ++round) {
+    ByteBuffer original = random_mixed_buffer(rng, 192, round % 2);
+    InstructionCache before;
+    before.bind(original, rules);
+
+    ByteBuffer mutated = original;
+    const std::size_t at = rng.next_below(mutated.size());
+    std::uint8_t flip;
+    do {
+      flip = static_cast<std::uint8_t>(rng.next_below(256));
+    } while (flip == mutated[at]);
+    mutated[at] = flip;
+
+    InstructionCache fresh;
+    fresh.bind(mutated, rules);
+
+    // Property 1: entries outside [at - reach + 1, at] are untouched.
+    for (std::size_t o = 0; o < mutated.size(); ++o) {
+      const bool in_radius =
+          o <= at && at < o + mel::disasm::kMaxDecodeReach;
+      if (in_radius) continue;
+      ASSERT_EQ(before.succ(o), fresh.succ(o))
+          << "round " << round << ": mutation at " << at
+          << " changed entry at distant offset " << o;
+      ASSERT_EQ(before.length(o), fresh.length(o)) << "offset " << o;
+      ASSERT_EQ(before.rel(original, o), fresh.rel(mutated, o))
+          << "offset " << o;
+    }
+
+    // Property 2: incremental invalidation == from-scratch rebuild,
+    // for every offset.
+    InstructionCache incremental;
+    incremental.bind(original, rules);
+    incremental.update_byte(mutated, at);
+    for (std::size_t o = 0; o < mutated.size(); ++o) {
+      ASSERT_EQ(incremental.succ(o), fresh.succ(o))
+          << "round " << round << " offset " << o << " (mutation at " << at
+          << ")";
+      ASSERT_EQ(incremental.length(o), fresh.length(o)) << "offset " << o;
+      ASSERT_EQ(incremental.rel(mutated, o), fresh.rel(mutated, o))
+          << "offset " << o;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prefilter semantics.
+
+TEST(InstructionCachePrefilter, DisabledWhenUndefinedOpcodeRuleIsOff) {
+  ByteBuffer buffer(16, 0x90);
+  InstructionCache cache;
+  ValidityRules rules = ValidityRules::dawn();
+  cache.bind(buffer, rules);
+  EXPECT_TRUE(cache.prefilter_enabled());
+  rules.undefined_opcode = false;
+  cache.bind(buffer, rules);
+  EXPECT_FALSE(cache.prefilter_enabled());
+}
+
+TEST(InstructionCachePrefilter, NeverValidBytesAreNeverValid) {
+  // Soundness: for every byte the prefilter writes off, no suffix makes a
+  // valid instruction (checked against the full decoder + classifier).
+  mel::util::Xoshiro256 rng(555);
+  for (const auto& [name, rules] : rule_sets()) {
+    if (!rules.undefined_opcode) continue;
+    ByteBuffer probe(24, 0);
+    InstructionCache cache;
+    cache.bind(probe, rules);  // Any bind refreshes the table.
+    int never_count = 0;
+    for (int b = 0; b < 256; ++b) {
+      if (!cache.never_valid_first_byte(static_cast<std::uint8_t>(b))) {
+        continue;
+      }
+      ++never_count;
+      for (int round = 0; round < 32; ++round) {
+        probe[0] = static_cast<std::uint8_t>(b);
+        for (std::size_t i = 1; i < probe.size(); ++i) {
+          probe[i] = static_cast<std::uint8_t>(rng.next_below(256));
+        }
+        const Instruction insn = mel::disasm::decode_instruction(probe, 0);
+        ASSERT_FALSE(mel::exec::is_valid_instruction(insn, rules))
+            << "rules=" << name << " prefilter wrongly rejects first byte "
+            << b;
+      }
+    }
+    // The table is doing real work under DAWN rules (io/privileged/
+    // undefined first bytes exist in quantity).
+    if (name == "dawn") EXPECT_GT(never_count, 20);
+  }
+}
+
+}  // namespace
