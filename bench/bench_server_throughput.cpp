@@ -1,0 +1,325 @@
+// Network front-end throughput: the shared-nothing MelServer driven
+// over loopback TCP by concurrent blocking clients. Reports
+//
+//   * connection churn (connect + ping + close per second) — the
+//     acceptor/dispatch path,
+//   * sustained scan throughput and admitted-path latency percentiles
+//     across the shard fleet,
+//   * overload behavior at 4x capacity: the admission bucket covers a
+//     quarter of the offered requests, so ~75% must be shed — every
+//     refusal a well-formed typed kUnavailable error frame with a
+//     retry-after hint. A single malformed refusal fails the bench.
+//
+// Results go to stdout (human table) and BENCH_server_throughput.json
+// at the repo root (MEL_BENCH_REPO_ROOT, baked in by CMake) so CI can
+// upload the artifact regardless of the working directory. Pass --smoke
+// for a CI-sized run (sanitize/tsan trees).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mel/net/client.hpp"
+#include "mel/net/server.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/email_gen.hpp"
+#include "mel/util/rng.hpp"
+
+#ifndef MEL_BENCH_REPO_ROOT
+#define MEL_BENCH_REPO_ROOT "."
+#endif
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The gateway corpus every throughput bench uses: HTTP + mail + worms,
+/// deterministically shuffled.
+std::vector<mel::util::ByteBuffer> make_traffic(std::size_t http_cases,
+                                                std::size_t mail_cases,
+                                                std::size_t worm_cases) {
+  mel::traffic::BenignDatasetOptions http_options;
+  http_options.cases = http_cases;
+  http_options.case_size = 4000;
+  auto corpus = mel::traffic::make_benign_dataset(http_options);
+  const mel::traffic::EmailGenerator email;
+  for (auto& mail : email.make_mail_corpus(mail_cases, 4000, 13)) {
+    corpus.push_back(std::move(mail));
+  }
+  for (const auto& worm : mel::textcode::text_worm_corpus(worm_cases, 2008)) {
+    corpus.push_back(worm.bytes);
+  }
+  mel::util::Xoshiro256 rng(7);
+  for (std::size_t i = corpus.size(); i > 1; --i) {
+    std::swap(corpus[i - 1], corpus[rng.next_below(i)]);
+  }
+  return corpus;
+}
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(rank, sorted_us.size() - 1)];
+}
+
+struct ClientLedger {
+  std::vector<double> admitted_us;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;            ///< kUnavailable with retry-after.
+  std::uint64_t malformed = 0;       ///< Refusals missing code or hint.
+  std::uint64_t transport_errors = 0;
+};
+
+/// One client thread: a private blocking connection looping over its
+/// slice of the corpus `rounds` times.
+void drive_client(std::uint16_t port,
+                  const std::vector<mel::util::ByteBuffer>& corpus,
+                  std::size_t offset, std::size_t rounds,
+                  ClientLedger& ledger) {
+  mel::net::ClientConfig config;
+  config.port = port;
+  auto client_or = mel::net::ScanClient::connect(std::move(config));
+  if (!client_or.is_ok()) {
+    ledger.transport_errors += rounds * corpus.size();
+    return;
+  }
+  mel::net::ScanClient client = std::move(client_or).take();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const auto& payload = corpus[(offset + i) % corpus.size()];
+      const auto start = Clock::now();
+      const auto verdict = client.scan(payload);
+      const double us =
+          std::chrono::duration<double, std::micro>(Clock::now() - start)
+              .count();
+      if (verdict.is_ok()) {
+        ledger.ok += 1;
+        ledger.admitted_us.push_back(us);
+        continue;
+      }
+      const mel::util::Status& status = verdict.status();
+      if (status.code() == mel::util::StatusCode::kUnavailable) {
+        if (status.retry_after().count() > 0) {
+          ledger.shed += 1;
+        } else {
+          ledger.malformed += 1;  // A shed without a hint is a bug.
+        }
+        continue;
+      }
+      ledger.transport_errors += 1;
+      if (!client.connected()) return;  // Lost the connection: stop.
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t shards = smoke ? 2 : 4;
+  const std::size_t clients = shards * 2;
+  const std::size_t churn_connections = smoke ? 50 : 400;
+  const std::size_t sustained_rounds = smoke ? 1 : 3;
+
+  const auto corpus =
+      smoke ? make_traffic(40, 10, 4) : make_traffic(220, 60, 16);
+  mel::bench::print_title(
+      "MEL network front-end: connections/sec, sustained scan "
+      "throughput, shed behavior at 4x overload");
+  std::printf("corpus: %zu payloads, %zu shard(s), %zu client(s)%s\n",
+              corpus.size(), shards, clients, smoke ? "  [smoke]" : "");
+
+  mel::net::ServerConfig config;
+  config.service.detector.alpha = 0.01;
+  config.shards = shards;
+
+  // --- Phase 1: connection churn ------------------------------------------
+  mel::bench::print_section("connection churn (connect + ping + close)");
+  double connections_per_sec = 0.0;
+  {
+    auto server_or = mel::net::MelServer::start(config);
+    if (!server_or.is_ok()) {
+      std::fprintf(stderr, "server start: %s\n",
+                   server_or.status().to_string().c_str());
+      return 1;
+    }
+    auto server = std::move(server_or).take();
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < churn_connections; ++i) {
+      mel::net::ClientConfig client_config;
+      client_config.port = server->port();
+      auto client = mel::net::ScanClient::connect(std::move(client_config));
+      if (!client.is_ok() || !client.value().ping().is_ok()) {
+        std::fprintf(stderr, "churn connection %zu failed\n", i);
+        return 1;
+      }
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    connections_per_sec =
+        static_cast<double>(churn_connections) / std::max(seconds, 1e-9);
+    std::printf("%zu connections in %.3fs -> %.0f connections/sec\n",
+                churn_connections, seconds, connections_per_sec);
+    server->drain();
+  }
+
+  // --- Phase 2: sustained throughput --------------------------------------
+  mel::bench::print_section("sustained throughput (no admission limits)");
+  double sustained_rps = 0.0;
+  double sustained_p50 = 0.0;
+  double sustained_p99 = 0.0;
+  {
+    auto server = std::move(mel::net::MelServer::start(config).take());
+    std::vector<ClientLedger> ledgers(clients);
+    std::vector<std::thread> threads;
+    const auto start = Clock::now();
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back(drive_client, server->port(), std::cref(corpus),
+                           c * corpus.size() / clients, sustained_rounds,
+                           std::ref(ledgers[c]));
+    }
+    for (auto& thread : threads) thread.join();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    std::vector<double> admitted_us;
+    std::uint64_t ok = 0;
+    std::uint64_t transport_errors = 0;
+    for (const ClientLedger& ledger : ledgers) {
+      ok += ledger.ok;
+      transport_errors += ledger.transport_errors;
+      admitted_us.insert(admitted_us.end(), ledger.admitted_us.begin(),
+                         ledger.admitted_us.end());
+    }
+    if (transport_errors > 0 || ok == 0) {
+      std::fprintf(stderr, "sustained phase: %llu transport error(s)\n",
+                   static_cast<unsigned long long>(transport_errors));
+      return 1;
+    }
+    std::sort(admitted_us.begin(), admitted_us.end());
+    sustained_rps = static_cast<double>(ok) / std::max(seconds, 1e-9);
+    sustained_p50 = percentile(admitted_us, 0.50);
+    sustained_p99 = percentile(admitted_us, 0.99);
+    std::printf("%llu scans in %.3fs -> %.0f req/s  (p50 %.0fus  p99 %.0fus)\n",
+                static_cast<unsigned long long>(ok), seconds, sustained_rps,
+                sustained_p50, sustained_p99);
+    server->drain();
+  }
+
+  // --- Phase 3: overload at 4x capacity ------------------------------------
+  mel::bench::print_section("overload: admission covers 1/4 of offered load");
+  const std::size_t offered = clients * corpus.size();
+  std::uint64_t overload_ok = 0;
+  std::uint64_t overload_shed = 0;
+  std::uint64_t overload_malformed = 0;
+  double overload_p99 = 0.0;
+  double shed_rate = 0.0;
+  {
+    mel::net::ServerConfig overload_config = config;
+    // Aggregate token bucket = offered/4 (the server divides it across
+    // shards); refill is negligible within the run, so ~3/4 of the
+    // offered requests must be refused with retry-after hints.
+    overload_config.service.admission.rate_per_sec = 1.0;
+    overload_config.service.admission.burst =
+        static_cast<double>(offered) / 4.0;
+
+    auto server =
+        std::move(mel::net::MelServer::start(overload_config).take());
+    std::vector<ClientLedger> ledgers(clients);
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back(drive_client, server->port(), std::cref(corpus),
+                           c * corpus.size() / clients, std::size_t{1},
+                           std::ref(ledgers[c]));
+    }
+    for (auto& thread : threads) thread.join();
+
+    std::vector<double> admitted_us;
+    std::uint64_t transport_errors = 0;
+    for (const ClientLedger& ledger : ledgers) {
+      overload_ok += ledger.ok;
+      overload_shed += ledger.shed;
+      overload_malformed += ledger.malformed;
+      transport_errors += ledger.transport_errors;
+      admitted_us.insert(admitted_us.end(), ledger.admitted_us.begin(),
+                         ledger.admitted_us.end());
+    }
+    std::sort(admitted_us.begin(), admitted_us.end());
+    overload_p99 = percentile(admitted_us, 0.99);
+    shed_rate = static_cast<double>(overload_shed) /
+                static_cast<double>(std::max<std::size_t>(offered, 1));
+    std::printf(
+        "offered %zu  admitted %llu  shed %llu (%.1f%%)  malformed %llu  "
+        "admitted p99 %.0fus\n",
+        offered, static_cast<unsigned long long>(overload_ok),
+        static_cast<unsigned long long>(overload_shed), 100.0 * shed_rate,
+        static_cast<unsigned long long>(overload_malformed), overload_p99);
+
+    const mel::net::ServerStats stats = server->stats();
+    std::printf("server counters: %llu frames, %llu scans ok, %llu rejected\n",
+                static_cast<unsigned long long>(stats.frames_received),
+                static_cast<unsigned long long>(stats.scans_ok),
+                static_cast<unsigned long long>(stats.scans_rejected));
+    server->drain();
+
+    if (transport_errors > 0) {
+      std::fprintf(stderr, "overload phase: %llu transport error(s)\n",
+                   static_cast<unsigned long long>(transport_errors));
+      return 1;
+    }
+  }
+
+  // Gates: every refusal well-formed; the shed rate near the 3/4 the
+  // token budget dictates (per-shard bucket variance allows a band).
+  int status = 0;
+  if (overload_malformed > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu refusal(s) lacked a typed code or "
+                 "retry-after hint\n",
+                 static_cast<unsigned long long>(overload_malformed));
+    status = 1;
+  }
+  if (shed_rate < 0.5 || shed_rate > 0.95) {
+    std::fprintf(stderr,
+                 "FAIL: shed rate %.3f outside [0.5, 0.95] at 4x overload\n",
+                 shed_rate);
+    status = 1;
+  }
+
+  const char* path = MEL_BENCH_REPO_ROOT "/BENCH_server_throughput.json";
+  std::FILE* json = std::fopen(path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"server_throughput\",\n");
+  std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(json, "  \"shards\": %zu,\n", shards);
+  std::fprintf(json, "  \"clients\": %zu,\n", clients);
+  std::fprintf(json, "  \"connections_per_sec\": %.1f,\n",
+               connections_per_sec);
+  std::fprintf(json, "  \"sustained_rps\": %.1f,\n", sustained_rps);
+  std::fprintf(json, "  \"sustained_p50_us\": %.1f,\n", sustained_p50);
+  std::fprintf(json, "  \"sustained_p99_us\": %.1f,\n", sustained_p99);
+  std::fprintf(json, "  \"overload_offered\": %zu,\n", offered);
+  std::fprintf(json, "  \"overload_admitted\": %llu,\n",
+               static_cast<unsigned long long>(overload_ok));
+  std::fprintf(json, "  \"overload_shed\": %llu,\n",
+               static_cast<unsigned long long>(overload_shed));
+  std::fprintf(json, "  \"overload_shed_rate\": %.4f,\n", shed_rate);
+  std::fprintf(json, "  \"overload_malformed_refusals\": %llu,\n",
+               static_cast<unsigned long long>(overload_malformed));
+  std::fprintf(json, "  \"overload_admitted_p99_us\": %.1f,\n", overload_p99);
+  std::fprintf(json, "  \"pass\": %s\n", status == 0 ? "true" : "false");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", path);
+  return status;
+}

@@ -15,6 +15,7 @@
 #include "mel/disasm/decoder.hpp"
 #include "mel/disasm/formatter.hpp"
 #include "mel/exec/mel.hpp"
+#include "mel/net/frame.hpp"
 #include "mel/persist/snapshot.hpp"
 #include "mel/service/scan_service.hpp"
 #include "mel/util/logging.hpp"
@@ -686,6 +687,149 @@ std::uint64_t run_snapshot_restore(util::ByteView data) {
   return fp.hash;
 }
 
+// ---------------------------------------------------------------------------
+// Target: frame_parse.
+
+std::uint64_t run_frame_parse(util::ByteView data) {
+  constexpr const char* kTag = "frame_parse";
+  data = clamp_input(data, kMaxFuzzInputBytes);
+  Fingerprint fp;
+
+  // Pass 1: whole-buffer decode. Arbitrary bytes must yield only valid
+  // frames or a typed input error (kInvalidArgument for malformed
+  // bytes, kPayloadTooLarge for the configured cap) — never a crash,
+  // never an over-read (the payload view is bounds-checked below).
+  net::FrameLimits limits;
+  limits.max_payload_bytes = 1 << 14;  // Small cap, so fuzzing reaches it.
+  std::vector<net::FrameHeader> whole_headers;
+  std::vector<util::ByteBuffer> whole_payloads;
+  util::Status whole_error;
+  {
+    net::FrameDecoder decoder(limits);
+    decoder.feed(data);
+    while (true) {
+      auto next = decoder.next();
+      if (!next.is_ok()) {
+        const util::StatusCode code = next.code();
+        MEL_FUZZ_REQUIRE(code == util::StatusCode::kInvalidArgument ||
+                             code == util::StatusCode::kPayloadTooLarge,
+                         kTag, "decode failure was not a typed input error");
+        whole_error = next.status();
+        // Poison contract: the error must be sticky.
+        auto again = decoder.next();
+        MEL_FUZZ_REQUIRE(!again.is_ok() && again.code() == code, kTag,
+                         "poisoned decoder forgot its error");
+        break;
+      }
+      if (!next.value().has_value()) break;
+      const net::FrameView& view = *next.value();
+      MEL_FUZZ_REQUIRE(view.header.payload_len == view.payload.size(), kTag,
+                       "payload view does not match the declared length");
+      MEL_FUZZ_REQUIRE(view.payload.size() <= limits.max_payload_bytes, kTag,
+                       "decoder handed out a payload over the cap");
+      MEL_FUZZ_REQUIRE(view.header.version == net::kProtocolVersion, kTag,
+                       "decoder accepted a foreign protocol version");
+      MEL_FUZZ_REQUIRE(view.header.flags == 0, kTag,
+                       "decoder accepted reserved flags");
+      whole_headers.push_back(view.header);
+      whole_payloads.emplace_back(view.payload.begin(), view.payload.end());
+      decoder.release();
+    }
+  }
+
+  // Pass 2: the same bytes fed in fuzzer-chosen chunks (1..257 bytes)
+  // through the zero-copy write_area/commit path must reproduce the
+  // same frames and the same error — TCP segmentation must be
+  // unobservable.
+  {
+    net::FrameDecoder decoder(limits);
+    std::uint64_t rng = 0x4D454C57ull ^ data.size();
+    std::size_t fed = 0;
+    std::size_t frame_index = 0;
+    util::Status chunked_error;
+    bool done = false;
+    while (!done) {
+      if (fed < data.size()) {
+        const std::size_t chunk =
+            std::min<std::size_t>(1 + (mix(rng) % 257), data.size() - fed);
+        std::span<std::uint8_t> area = decoder.write_area(chunk);
+        std::memcpy(area.data(), data.data() + fed, chunk);
+        decoder.commit(chunk);
+        fed += chunk;
+      } else {
+        done = true;  // One final drain pass below, then stop.
+      }
+      while (true) {
+        auto next = decoder.next();
+        if (!next.is_ok()) {
+          chunked_error = next.status();
+          done = true;
+          break;
+        }
+        if (!next.value().has_value()) break;
+        const net::FrameView& view = *next.value();
+        MEL_FUZZ_REQUIRE(frame_index < whole_headers.size(), kTag,
+                         "chunked decode produced extra frames");
+        const net::FrameHeader& want = whole_headers[frame_index];
+        MEL_FUZZ_REQUIRE(
+            view.header.type == want.type &&
+                view.header.tenant == want.tenant &&
+                view.header.request_id == want.request_id &&
+                view.header.payload_len == want.payload_len,
+            kTag, "chunked decode disagreed with whole-buffer headers");
+        MEL_FUZZ_REQUIRE(
+            view.payload.size() == whole_payloads[frame_index].size() &&
+                std::memcmp(view.payload.data(),
+                            whole_payloads[frame_index].data(),
+                            view.payload.size()) == 0,
+            kTag, "chunked decode disagreed with whole-buffer payloads");
+        ++frame_index;
+        decoder.release();
+      }
+    }
+    MEL_FUZZ_REQUIRE(chunked_error.code() == whole_error.code(), kTag,
+                     "chunked decode saw a different error than whole");
+    // Chunked can only stop early on the same frames; trailing partial
+    // bytes are invisible either way.
+    MEL_FUZZ_REQUIRE(frame_index == whole_headers.size(), kTag,
+                     "chunked decode dropped frames");
+  }
+
+  // Pass 3: every decoded frame re-encodes to the exact bytes it was
+  // parsed from (encode(decode(x)) fixpoint over the valid prefix).
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < whole_headers.size(); ++i) {
+    const util::ByteBuffer encoded =
+        net::encode_frame(whole_headers[i], whole_payloads[i]);
+    MEL_FUZZ_REQUIRE(offset + encoded.size() <= data.size(), kTag,
+                     "re-encoded frame overruns the input");
+    MEL_FUZZ_REQUIRE(
+        std::memcmp(encoded.data(), data.data() + offset, encoded.size()) ==
+            0,
+        kTag, "re-encoded frame differs from its wire bytes");
+    offset += encoded.size();
+    fp.add(static_cast<std::uint64_t>(whole_headers[i].type));
+    fp.add(static_cast<std::uint64_t>(whole_headers[i].tenant));
+    fp.add(whole_headers[i].request_id);
+    fp.add_bytes(whole_payloads[i].data(), whole_payloads[i].size());
+  }
+
+  // Response-body decoders share the never-crash bar; feed them the
+  // raw input too so their parsers get direct coverage.
+  if (const auto verdict = net::decode_verdict_body(data); verdict.is_ok()) {
+    fp.add(static_cast<std::uint64_t>(verdict.value().mel));
+    fp.add(verdict.value().threshold);
+  }
+  if (const auto error = net::decode_error_body(data); error.is_ok()) {
+    fp.add(static_cast<std::uint64_t>(error.value().status.code()));
+    fp.add(error.value().status.message());
+  }
+
+  fp.add(static_cast<std::uint64_t>(whole_error.code()));
+  fp.add(whole_error.message());
+  return fp.hash;
+}
+
 }  // namespace
 
 std::string_view target_name(Target target) noexcept {
@@ -704,6 +848,8 @@ std::string_view target_name(Target target) noexcept {
       return "assembler_roundtrip";
     case Target::kSnapshotRestore:
       return "snapshot_restore";
+    case Target::kFrameParse:
+      return "frame_parse";
   }
   return "unknown";
 }
@@ -731,6 +877,8 @@ std::uint64_t one_input(Target target, util::ByteView data) {
       return run_assembler_roundtrip(data);
     case Target::kSnapshotRestore:
       return run_snapshot_restore(data);
+    case Target::kFrameParse:
+      return run_frame_parse(data);
   }
   oracle_failure("harness", "unknown fuzz target");
 }

@@ -36,15 +36,17 @@ enum class Target : std::uint8_t {
   kAssemblerRoundtrip,   ///< decode(assemble(x)) == x.
   kSnapshotRestore,      ///< persist snapshot decode: typed error or
                          ///< valid state, plus the encode fixpoint.
+  kFrameParse,           ///< net wire-frame decoder: typed error or valid
+                         ///< frames, chunked == whole, re-encode fixpoint.
 };
 
-inline constexpr std::size_t kTargetCount = 7;
+inline constexpr std::size_t kTargetCount = 8;
 
 [[nodiscard]] constexpr std::array<Target, kTargetCount> all_targets() {
   return {Target::kDecoder,     Target::kExecMel,
           Target::kConfigJson,  Target::kScanRequest,
           Target::kStreamFeed,  Target::kAssemblerRoundtrip,
-          Target::kSnapshotRestore};
+          Target::kSnapshotRestore, Target::kFrameParse};
 }
 
 /// Stable lowercase name, doubling as the corpus subdirectory name

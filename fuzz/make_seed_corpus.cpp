@@ -19,6 +19,7 @@
 #include "mel/core/config_io.hpp"
 #include "mel/core/detector.hpp"
 #include "mel/fuzz/harness.hpp"
+#include "mel/net/frame.hpp"
 #include "mel/persist/snapshot.hpp"
 #include "mel/textcode/encoder.hpp"
 #include "mel/textcode/shellcode_corpus.hpp"
@@ -262,6 +263,66 @@ int main(int argc, char** argv) {
     write_seed(Target::kSnapshotRestore, "truncated_mid_section",
                mel::util::ByteView(valid).first(valid.size() - 7));
     write_seed(Target::kSnapshotRestore, "empty", mel::util::ByteBuffer{});
+  }
+
+  // frame_parse: wire frames astride the accept/reject boundary — valid
+  // single and back-to-back frames, then targeted header mutations for
+  // each typed-error path (magic, version, flags, type, oversize) and
+  // truncations, so the fuzzer does not have to rediscover the 24-byte
+  // layout from random bytes.
+  {
+    const mel::util::ByteBuffer scan = mel::net::encode_scan_request(
+        7, 0x1122334455667788ull, mel::util::to_bytes("GET / HTTP/1.1"));
+    write_seed(Target::kFrameParse, "valid_scan", scan);
+    write_seed(Target::kFrameParse, "valid_ping",
+               mel::net::encode_ping(42));
+
+    mel::util::ByteBuffer pipelined = scan;
+    const mel::util::ByteBuffer second = mel::net::encode_scan_request(
+        7, 0x99AABBCCDDEEFF00ull, mel::util::ByteView(worms.at(4).bytes));
+    pipelined.insert(pipelined.end(), second.begin(), second.end());
+    const mel::util::ByteBuffer pong = mel::net::encode_pong(42);
+    pipelined.insert(pipelined.end(), pong.begin(), pong.end());
+    write_seed(Target::kFrameParse, "pipelined_three", pipelined);
+
+    mel::net::WireVerdict verdict;
+    verdict.malicious = true;
+    verdict.mel = 61;
+    verdict.threshold = 41.5;
+    verdict.alpha = 0.01;
+    verdict.scan_id = 9;
+    write_seed(Target::kFrameParse, "valid_verdict",
+               mel::net::encode_verdict(7, 42, verdict));
+    write_seed(Target::kFrameParse, "valid_error",
+               mel::net::encode_error(
+                   7, 42,
+                   mel::util::Status::unavailable("shed: bucket empty")));
+
+    mel::util::ByteBuffer mutated = scan;
+    mutated[0] = 'X';  // Magic.
+    write_seed(Target::kFrameParse, "bad_magic", mutated);
+
+    mutated = scan;
+    mutated[4] = 9;  // Protocol version skew.
+    write_seed(Target::kFrameParse, "version_skew", mutated);
+
+    mutated = scan;
+    mutated[6] = 0x01;  // Reserved flags.
+    write_seed(Target::kFrameParse, "reserved_flags", mutated);
+
+    mutated = scan;
+    mutated[5] = 0x7F;  // Unknown frame type.
+    write_seed(Target::kFrameParse, "unknown_type", mutated);
+
+    mutated = scan;
+    mutated[23] = 0x40;  // payload_len high byte: over the 16 KiB cap.
+    write_seed(Target::kFrameParse, "oversize_payload", mutated);
+
+    write_seed(Target::kFrameParse, "truncated_header",
+               mel::util::ByteView(scan).first(11));
+    write_seed(Target::kFrameParse, "truncated_payload",
+               mel::util::ByteView(scan).first(scan.size() - 3));
+    write_seed(Target::kFrameParse, "empty", mel::util::ByteBuffer{});
   }
 
   // assembler_roundtrip: opcode-choice byte programs; random bytes are

@@ -1,0 +1,207 @@
+#include "mel/net/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mel::net {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+util::StatusOr<ScanClient> ScanClient::connect(ClientConfig config) {
+  if (util::Status status = config.frame.validate(); !status.is_ok()) {
+    return status;
+  }
+  ScanClient client;
+  client.config_ = std::move(config);
+  client.decoder_ = std::make_unique<FrameDecoder>(client.config_.frame);
+
+  client.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (client.fd_ < 0) {
+    return util::Status::internal(errno_string("socket"));
+  }
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(client.config_.port);
+  if (::inet_pton(AF_INET, client.config_.host.c_str(), &addr.sin_addr) != 1) {
+    client.close();
+    return util::Status::invalid_argument(
+        "ClientConfig::host is not an IPv4 address: " + client.config_.host);
+  }
+  if (::connect(client.fd_, reinterpret_cast<const ::sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    client.close();
+    return util::Status::unavailable(errno_string("connect"));
+  }
+  const int nodelay = 1;
+  (void)::setsockopt(client.fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                     sizeof(nodelay));
+  return client;
+}
+
+ScanClient::ScanClient(ScanClient&& other) noexcept
+    : config_(std::move(other.config_)),
+      fd_(other.fd_),
+      next_request_id_(other.next_request_id_),
+      decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+ScanClient& ScanClient::operator=(ScanClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    config_ = std::move(other.config_);
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+ScanClient::~ScanClient() { close(); }
+
+void ScanClient::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status ScanClient::send_all(const util::ByteBuffer& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ::ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return util::Status::unavailable(errno_string("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return util::Status::ok();
+}
+
+util::StatusOr<FrameView> ScanClient::read_frame() {
+  while (true) {
+    auto next = decoder_->next();
+    if (!next.is_ok()) {
+      close();  // Server spoke garbage; the stream is unrecoverable.
+      return next.status();
+    }
+    if (next.value().has_value()) return *next.value();
+
+    std::span<std::uint8_t> area = decoder_->write_area(16 * 1024);
+    const ::ssize_t n = ::recv(fd_, area.data(), area.size(), 0);
+    if (n < 0) {
+      decoder_->commit(0);
+      if (errno == EINTR) continue;
+      close();
+      return util::Status::unavailable(errno_string("recv"));
+    }
+    if (n == 0) {
+      decoder_->commit(0);
+      close();
+      return util::Status::unavailable(
+          "server closed the connection mid-response");
+    }
+    decoder_->commit(static_cast<std::size_t>(n));
+  }
+}
+
+util::StatusOr<WireVerdict> ScanClient::round_trip_scan(
+    const util::ByteBuffer& frame, std::uint64_t request_id) {
+  if (util::Status status = send_all(frame); !status.is_ok()) return status;
+  auto response = read_frame();
+  if (!response.is_ok()) return response.status();
+  const FrameView& view = response.value();
+  // Protocol-level refusals (malformed frame, connection limit) carry
+  // request id 0: the server could not attribute them to one request.
+  // Everything else must echo our id exactly.
+  if (view.header.request_id != request_id &&
+      !(view.header.type == FrameType::kError &&
+        view.header.request_id == 0)) {
+    close();
+    return util::Status::internal(
+        "server echoed request id " +
+        std::to_string(view.header.request_id) + ", expected " +
+        std::to_string(request_id));
+  }
+  switch (view.header.type) {
+    case FrameType::kVerdict: {
+      auto verdict = decode_verdict_body(view.payload);
+      decoder_->release();
+      if (!verdict.is_ok()) {
+        close();
+        return verdict.status();
+      }
+      return std::move(verdict).take();
+    }
+    case FrameType::kError: {
+      auto error = decode_error_body(view.payload);
+      decoder_->release();
+      if (!error.is_ok()) {
+        close();
+        return error.status();
+      }
+      // Hand the server's typed refusal to the caller verbatim. The
+      // connection stays usable: server-side errors are frame-scoped.
+      return std::move(error).take().status;
+    }
+    default:
+      decoder_->release();
+      close();
+      return util::Status::internal(
+          "server answered a scan with an unexpected frame type");
+  }
+}
+
+util::StatusOr<WireVerdict> ScanClient::scan(util::ByteView payload) {
+  if (fd_ < 0) {
+    return util::Status::unavailable("client is not connected");
+  }
+  if (payload.size() > config_.frame.max_payload_bytes) {
+    return util::Status::payload_too_large(
+        "payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the frame limit of " +
+        std::to_string(config_.frame.max_payload_bytes));
+  }
+  const std::uint64_t request_id = next_request_id_++;
+  return round_trip_scan(
+      encode_scan_request(config_.tenant, request_id, payload), request_id);
+}
+
+util::Status ScanClient::ping() {
+  if (fd_ < 0) {
+    return util::Status::unavailable("client is not connected");
+  }
+  const std::uint64_t request_id = next_request_id_++;
+  if (util::Status status = send_all(encode_ping(request_id));
+      !status.is_ok()) {
+    return status;
+  }
+  auto response = read_frame();
+  if (!response.is_ok()) return response.status();
+  const FrameView view = response.value();
+  decoder_->release();
+  if (view.header.type != FrameType::kPong ||
+      view.header.request_id != request_id) {
+    close();
+    return util::Status::internal("malformed pong");
+  }
+  return util::Status::ok();
+}
+
+}  // namespace mel::net

@@ -1,0 +1,309 @@
+#include "mel/net/frame.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <string>
+
+namespace mel::net {
+
+namespace {
+
+// Header field offsets (see the layout table in frame.hpp).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffType = 5;
+constexpr std::size_t kOffFlags = 6;
+constexpr std::size_t kOffTenant = 8;
+constexpr std::size_t kOffRequestId = 12;
+constexpr std::size_t kOffPayloadLen = 20;
+
+static_assert(kOffPayloadLen + 4 == kFrameHeaderBytes);
+
+// Error body layout (within the payload of a kError frame):
+//   0   u8  status code (util::StatusCode)
+//   1   u8  server protocol version
+//   2   u16 message length
+//   4   u32 reserved (must be zero)
+//   8   u64 retry-after hint, nanoseconds
+//   16  n   message bytes
+constexpr std::size_t kErrorBodyFixedBytes = 16;
+
+std::uint64_t double_bits(double value) noexcept {
+  return std::bit_cast<std::uint64_t>(value);
+}
+
+double bits_double(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+}  // namespace
+
+util::Status FrameLimits::validate() const {
+  if (max_payload_bytes == 0 ||
+      max_payload_bytes > kAbsoluteMaxFramePayloadBytes) {
+    return util::Status::invalid_config(
+        "frame max_payload_bytes must be in [1, " +
+        std::to_string(kAbsoluteMaxFramePayloadBytes) + "], got " +
+        std::to_string(max_payload_bytes));
+  }
+  return util::Status::ok();
+}
+
+util::ByteBuffer encode_frame(const FrameHeader& header,
+                              util::ByteView payload) {
+  assert(payload.size() <= kAbsoluteMaxFramePayloadBytes &&
+         "caller must respect the architectural payload ceiling");
+  util::ByteBuffer out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  for (std::uint8_t byte : kFrameMagic) out.push_back(byte);
+  out.push_back(header.version);
+  out.push_back(static_cast<std::uint8_t>(header.type));
+  util::append_le16(out, header.flags);
+  util::append_le32(out, header.tenant);
+  util::append_le64(out, header.request_id);
+  util::append_le32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+util::ByteBuffer encode_scan_request(service::TenantId tenant,
+                                     std::uint64_t request_id,
+                                     util::ByteView payload) {
+  return encode_frame(FrameHeader{.type = FrameType::kScanRequest,
+                                  .tenant = tenant,
+                                  .request_id = request_id},
+                      payload);
+}
+
+util::ByteBuffer encode_ping(std::uint64_t request_id) {
+  return encode_frame(
+      FrameHeader{.type = FrameType::kPing, .request_id = request_id}, {});
+}
+
+util::ByteBuffer encode_verdict(service::TenantId tenant,
+                                std::uint64_t request_id,
+                                const WireVerdict& verdict) {
+  util::ByteBuffer body;
+  body.reserve(kVerdictBodyBytes);
+  body.push_back(verdict.malicious ? 1 : 0);
+  body.push_back(verdict.degraded ? 1 : 0);
+  body.push_back(verdict.is_text ? 1 : 0);
+  body.push_back(verdict.loop_detected ? 1 : 0);
+  util::append_le32(body, 0);  // reserved
+  util::append_le64(body, static_cast<std::uint64_t>(verdict.mel));
+  util::append_le64(body, double_bits(verdict.threshold));
+  util::append_le64(body, double_bits(verdict.alpha));
+  util::append_le64(body, verdict.scan_id);
+  assert(body.size() == kVerdictBodyBytes);
+  return encode_frame(FrameHeader{.type = FrameType::kVerdict,
+                                  .tenant = tenant,
+                                  .request_id = request_id},
+                      body);
+}
+
+util::ByteBuffer encode_error(service::TenantId tenant,
+                              std::uint64_t request_id,
+                              const util::Status& status) {
+  const std::string& message = status.message();
+  const std::size_t message_len =
+      std::min(message.size(), kMaxErrorMessageBytes);
+  util::ByteBuffer body;
+  body.reserve(kErrorBodyFixedBytes + message_len);
+  body.push_back(static_cast<std::uint8_t>(status.code()));
+  body.push_back(kProtocolVersion);
+  util::append_le16(body, static_cast<std::uint16_t>(message_len));
+  util::append_le32(body, 0);  // reserved
+  util::append_le64(body,
+                    static_cast<std::uint64_t>(status.retry_after().count()));
+  body.insert(body.end(), message.begin(),
+              message.begin() + static_cast<std::ptrdiff_t>(message_len));
+  return encode_frame(FrameHeader{.type = FrameType::kError,
+                                  .tenant = tenant,
+                                  .request_id = request_id},
+                      body);
+}
+
+util::ByteBuffer encode_pong(std::uint64_t request_id) {
+  return encode_frame(
+      FrameHeader{.type = FrameType::kPong, .request_id = request_id}, {});
+}
+
+util::StatusOr<WireVerdict> decode_verdict_body(util::ByteView body) {
+  if (body.size() != kVerdictBodyBytes) {
+    return util::Status::invalid_argument(
+        "verdict body must be " + std::to_string(kVerdictBodyBytes) +
+        " bytes, got " + std::to_string(body.size()));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (body[i] > 1) {
+      return util::Status::invalid_argument(
+          "verdict flag byte " + std::to_string(i) + " must be 0 or 1");
+    }
+  }
+  if (util::load_le32(body, 4) != 0) {
+    return util::Status::invalid_argument(
+        "verdict reserved field must be zero");
+  }
+  WireVerdict verdict;
+  verdict.malicious = body[0] != 0;
+  verdict.degraded = body[1] != 0;
+  verdict.is_text = body[2] != 0;
+  verdict.loop_detected = body[3] != 0;
+  verdict.mel = static_cast<std::int64_t>(util::load_le64(body, 8));
+  verdict.threshold = bits_double(util::load_le64(body, 16));
+  verdict.alpha = bits_double(util::load_le64(body, 24));
+  verdict.scan_id = util::load_le64(body, 32);
+  return verdict;
+}
+
+util::StatusOr<WireError> decode_error_body(util::ByteView body) {
+  if (body.size() < kErrorBodyFixedBytes) {
+    return util::Status::invalid_argument(
+        "error body must be at least " +
+        std::to_string(kErrorBodyFixedBytes) + " bytes, got " +
+        std::to_string(body.size()));
+  }
+  const std::uint8_t raw_code = body[0];
+  if (raw_code == 0 || raw_code >= util::kStatusCodeCount) {
+    return util::Status::invalid_argument(
+        "error frame carries unknown status code " +
+        std::to_string(raw_code));
+  }
+  const std::size_t message_len = util::load_le16(body, 2);
+  if (message_len > kMaxErrorMessageBytes) {
+    return util::Status::invalid_argument(
+        "error message length " + std::to_string(message_len) +
+        " exceeds the " + std::to_string(kMaxErrorMessageBytes) +
+        "-byte cap");
+  }
+  if (body.size() != kErrorBodyFixedBytes + message_len) {
+    return util::Status::invalid_argument(
+        "error body size does not match its declared message length");
+  }
+  if (util::load_le32(body, 4) != 0) {
+    return util::Status::invalid_argument(
+        "error reserved field must be zero");
+  }
+  WireError error;
+  error.server_version = body[1];
+  util::Status status(
+      static_cast<util::StatusCode>(raw_code),
+      std::string(reinterpret_cast<const char*>(body.data()) +
+                      kErrorBodyFixedBytes,
+                  message_len));
+  status.set_retry_after(std::chrono::nanoseconds(
+      static_cast<std::int64_t>(util::load_le64(body, 8))));
+  error.status = std::move(status);
+  return error;
+}
+
+// --- FrameDecoder ---------------------------------------------------------
+
+FrameDecoder::FrameDecoder(FrameLimits limits) : limits_(limits) {
+  // An invalid cap would let a hostile length header drive unbounded
+  // buffering; fall back to the default rather than trust it.
+  if (!limits_.validate().is_ok()) limits_ = FrameLimits{};
+}
+
+std::span<std::uint8_t> FrameDecoder::write_area(std::size_t hint) {
+  if (hint == 0) hint = 1;
+  // An un-committed previous write_area is abandoned: trim it away so
+  // stale uninitialized bytes can never reach the parser.
+  buffer_.resize(write_base_);
+  // Compact consumed bytes away first so the buffer's high-water mark
+  // tracks one frame, not connection lifetime. This moves live bytes,
+  // invalidating any un-released FrameView — documented in the header.
+  if (read_pos_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(read_pos_));
+    read_pos_ = 0;
+  }
+  write_base_ = buffer_.size();
+  buffer_.resize(write_base_ + hint);
+  return {buffer_.data() + write_base_, hint};
+}
+
+void FrameDecoder::commit(std::size_t n) noexcept {
+  assert(write_base_ + n <= buffer_.size() &&
+         "commit() larger than the open write area");
+  // Shrinking a vector of bytes neither reallocates nor throws.
+  buffer_.resize(write_base_ + n);
+  write_base_ = buffer_.size();
+}
+
+void FrameDecoder::feed(util::ByteView bytes) {
+  if (bytes.empty()) return;
+  std::span<std::uint8_t> area = write_area(bytes.size());
+  std::memcpy(area.data(), bytes.data(), bytes.size());
+  commit(bytes.size());
+}
+
+util::StatusOr<std::optional<FrameView>> FrameDecoder::next() {
+  if (!error_.is_ok()) return error_;
+  release();  // Consume a frame the caller forgot to release.
+
+  const std::size_t available = buffered_bytes();
+  if (available < kFrameHeaderBytes) return std::optional<FrameView>();
+  const util::ByteView head(buffer_.data() + read_pos_, kFrameHeaderBytes);
+
+  if (!std::equal(kFrameMagic.begin(), kFrameMagic.end(), head.begin())) {
+    return poison(util::Status::invalid_argument(
+        "bad frame magic (expected \"MELW\")"));
+  }
+  FrameHeader header;
+  header.version = head[kOffVersion];
+  if (header.version != kProtocolVersion) {
+    return poison(util::Status::invalid_argument(
+        "unsupported protocol version " + std::to_string(header.version) +
+        " (server speaks " + std::to_string(kProtocolVersion) + ")"));
+  }
+  const std::uint8_t raw_type = head[kOffType];
+  if (!is_known_frame_type(raw_type)) {
+    return poison(util::Status::invalid_argument(
+        "unknown frame type " + std::to_string(raw_type)));
+  }
+  header.type = static_cast<FrameType>(raw_type);
+  header.flags = util::load_le16(head, kOffFlags);
+  if (header.flags != 0) {
+    return poison(util::Status::invalid_argument(
+        "nonzero frame flags are reserved in protocol v2"));
+  }
+  header.tenant = util::load_le32(head, kOffTenant);
+  header.request_id = util::load_le64(head, kOffRequestId);
+  header.payload_len = util::load_le32(head, kOffPayloadLen);
+  if (header.payload_len > kAbsoluteMaxFramePayloadBytes) {
+    return poison(util::Status::invalid_argument(
+        "declared payload length " + std::to_string(header.payload_len) +
+        " exceeds the architectural frame ceiling"));
+  }
+  if (header.payload_len > limits_.max_payload_bytes) {
+    return poison(util::Status::payload_too_large(
+        "frame payload of " + std::to_string(header.payload_len) +
+        " bytes exceeds the " + std::to_string(limits_.max_payload_bytes) +
+        "-byte limit"));
+  }
+
+  const std::size_t frame_bytes = kFrameHeaderBytes + header.payload_len;
+  if (available < frame_bytes) return std::optional<FrameView>();
+
+  pending_frame_ = frame_bytes;
+  return std::optional<FrameView>(FrameView{
+      .header = header,
+      .payload = util::ByteView(
+          buffer_.data() + read_pos_ + kFrameHeaderBytes,
+          header.payload_len)});
+}
+
+void FrameDecoder::release() noexcept {
+  read_pos_ += pending_frame_;
+  pending_frame_ = 0;
+}
+
+util::Status FrameDecoder::poison(util::Status status) {
+  error_ = std::move(status);
+  return error_;
+}
+
+}  // namespace mel::net

@@ -1,0 +1,81 @@
+#pragma once
+// Blocking client for the MEL wire protocol: one TCP connection, one
+// request in flight at a time. This is the reference peer the loopback
+// tests and the throughput bench drive — pipelined/async clients can be
+// built on frame.hpp directly (the protocol supports them via
+// request_id echo), but the blocking form keeps correctness tests
+// legible.
+//
+// Error surface: network-level failures are kUnavailable / kInternal;
+// protocol violations from the server are kInvalidArgument; an error
+// FRAME from the server is returned as the status it carries (code,
+// message, retry-after hint) — exactly what the in-process
+// ScanService::scan would have returned, so callers migrate by swapping
+// the call site only (docs/serving.md, migration guide).
+//
+// Not thread-safe: one ScanClient per thread.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mel/net/frame.hpp"
+#include "mel/service/tenant.hpp"
+
+namespace mel::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Tenant id stamped on every request this client sends.
+  service::TenantId tenant = service::kDefaultTenant;
+  /// Limits applied to server responses (a hostile/buggy server must
+  /// not drive unbounded client buffering either).
+  FrameLimits frame;
+};
+
+class ScanClient {
+ public:
+  /// Connects (blocking). kUnavailable when the server is not there.
+  [[nodiscard]] static util::StatusOr<ScanClient> connect(
+      ClientConfig config);
+
+  ScanClient(ScanClient&& other) noexcept;
+  ScanClient& operator=(ScanClient&& other) noexcept;
+  ScanClient(const ScanClient&) = delete;
+  ScanClient& operator=(const ScanClient&) = delete;
+  ~ScanClient();
+
+  /// Scans `payload` on the server under this client's tenant;
+  /// blocks for the verdict. A server-side refusal (shed, draining,
+  /// oversize, unknown tenant, ...) is returned as its typed Status.
+  [[nodiscard]] util::StatusOr<WireVerdict> scan(util::ByteView payload);
+
+  /// Round-trip liveness probe.
+  [[nodiscard]] util::Status ping();
+
+  [[nodiscard]] const ClientConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  ScanClient() = default;
+
+  /// Sends `frame` and blocks for the matching response (request_id
+  /// echo); returns the raw response frame's decoded pieces.
+  [[nodiscard]] util::StatusOr<WireVerdict> round_trip_scan(
+      const util::ByteBuffer& frame, std::uint64_t request_id);
+  [[nodiscard]] util::Status send_all(const util::ByteBuffer& bytes);
+  /// Reads until one full frame is decodable; the FrameView's payload
+  /// is copied out by the caller before the next read.
+  [[nodiscard]] util::StatusOr<FrameView> read_frame();
+
+  ClientConfig config_;
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::unique_ptr<FrameDecoder> decoder_;
+};
+
+}  // namespace mel::net

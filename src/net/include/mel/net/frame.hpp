@@ -1,0 +1,230 @@
+#pragma once
+// Wire framing for the MEL scan protocol (v2).
+//
+// Every message on a connection is one length-prefixed binary frame,
+// little-endian throughout (doubles travel as IEEE-754 bit patterns, so
+// a verdict crosses the wire bit-losslessly):
+//
+//   offset size field
+//   0      4    magic "MELW"
+//   4      1    protocol version (kProtocolVersion = 2)
+//   5      1    frame type (FrameType)
+//   6      2    flags (u16; no flags are defined in v2 — nonzero is a
+//               protocol error, reserved as the forward-compat escape
+//               hatch exactly like the snapshot format's section flags)
+//   8      4    tenant id (u32; service::TenantId)
+//   12     8    request id (u64; chosen by the client, echoed verbatim
+//               in the matching response so clients may pipeline)
+//   20     4    payload length (u32)
+//   24     n    payload
+//
+// Client -> server frame types: kScanRequest (payload = the bytes to
+// scan), kPing (empty payload). Server -> client: kVerdict (fixed
+// 40-byte VerdictBody), kError (ErrorBody: typed status code +
+// retry-after hint + short message), kPong.
+//
+// Error stance (mirrors the snapshot decoder): FrameDecoder accepts
+// arbitrary bytes and never crashes or over-reads — every malformed
+// input (bad magic, version skew, nonzero flags, oversize or breach of
+// the configured payload cap) is a typed util::Status. A decoder that
+// returned an error is poisoned: the stream cannot be resynchronized
+// (length framing with no sentinel), so the connection must be closed.
+// The frame_parse fuzz harness holds the decoder to all of this.
+//
+// Zero-copy contract: the server read()s straight into the decoder's
+// buffer (write_area/commit) and FrameView::payload aliases that buffer
+// — the bytes flow from the socket into ScanRequest::payload with no
+// copy. A FrameView is valid until the next release()/feed()/
+// write_area() call on its decoder.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "mel/service/tenant.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::net {
+
+inline constexpr std::array<std::uint8_t, 4> kFrameMagic = {'M', 'E', 'L',
+                                                            'W'};
+/// v2: the first wire revision (v1 was the in-process API; see
+/// docs/serving.md for the migration guide).
+inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+
+/// Architectural ceiling on one frame's payload, independent of the
+/// configured FrameLimits cap — bounds per-connection memory on any
+/// deployment. Larger declared lengths are malformed, not merely big.
+inline constexpr std::uint32_t kAbsoluteMaxFramePayloadBytes = 64u << 20;
+
+/// Error-frame messages are advisory; cap them so a hostile peer cannot
+/// stuff megabytes into the "message" of its own refusal.
+inline constexpr std::size_t kMaxErrorMessageBytes = 512;
+
+enum class FrameType : std::uint8_t {
+  kScanRequest = 1,
+  kPing = 2,
+  kVerdict = 0x81,
+  kError = 0x82,
+  kPong = 0x83,
+};
+
+/// True for the types a client sends (what the server accepts).
+[[nodiscard]] constexpr bool is_request_type(FrameType type) noexcept {
+  return type == FrameType::kScanRequest || type == FrameType::kPing;
+}
+/// True for the types a server sends (what the client accepts).
+[[nodiscard]] constexpr bool is_response_type(FrameType type) noexcept {
+  return type == FrameType::kVerdict || type == FrameType::kError ||
+         type == FrameType::kPong;
+}
+[[nodiscard]] constexpr bool is_known_frame_type(std::uint8_t raw) noexcept {
+  const auto type = static_cast<FrameType>(raw);
+  return is_request_type(type) || is_response_type(type);
+}
+
+struct FrameHeader {
+  std::uint8_t version = kProtocolVersion;
+  FrameType type = FrameType::kPing;
+  std::uint16_t flags = 0;
+  service::TenantId tenant = service::kDefaultTenant;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_len = 0;
+};
+
+/// One decoded frame; payload aliases the decoder's buffer (see the
+/// zero-copy contract above).
+struct FrameView {
+  FrameHeader header;
+  util::ByteView payload;
+};
+
+struct FrameLimits {
+  /// Deployment cap on a frame payload; breaches are kPayloadTooLarge
+  /// (the absolute ceiling above yields kInvalidArgument — malformed,
+  /// not merely oversized). Must be in [1, kAbsoluteMaxFramePayloadBytes].
+  std::uint32_t max_payload_bytes = 1u << 20;
+
+  [[nodiscard]] util::Status validate() const;
+};
+
+// --- Encoding -------------------------------------------------------------
+
+/// Renders header + payload into wire bytes. header.payload_len is taken
+/// from payload.size() (the field in `header` is ignored).
+[[nodiscard]] util::ByteBuffer encode_frame(const FrameHeader& header,
+                                            util::ByteView payload);
+
+/// Scan request frame (client -> server).
+[[nodiscard]] util::ByteBuffer encode_scan_request(service::TenantId tenant,
+                                                   std::uint64_t request_id,
+                                                   util::ByteView payload);
+
+/// Ping frame (client -> server).
+[[nodiscard]] util::ByteBuffer encode_ping(std::uint64_t request_id);
+
+/// The verdict fields that cross the wire — everything a caller needs
+/// to act on a verdict, bit-identical to the in-process core::Verdict
+/// fields of the same names.
+struct WireVerdict {
+  bool malicious = false;
+  bool degraded = false;
+  bool is_text = false;
+  bool loop_detected = false;
+  std::int64_t mel = 0;
+  double threshold = 0.0;
+  double alpha = 0.0;
+  std::uint64_t scan_id = 0;
+
+  [[nodiscard]] bool operator==(const WireVerdict&) const = default;
+};
+
+inline constexpr std::size_t kVerdictBodyBytes = 40;
+
+/// Verdict response frame; echoes (tenant, request_id).
+[[nodiscard]] util::ByteBuffer encode_verdict(service::TenantId tenant,
+                                              std::uint64_t request_id,
+                                              const WireVerdict& verdict);
+
+/// Decoded error frame: the typed status (code + message + retry-after,
+/// exactly what the in-process API returns) plus the server's protocol
+/// version so a client seeing "unsupported version" can negotiate down.
+struct WireError {
+  util::Status status;
+  std::uint8_t server_version = kProtocolVersion;
+};
+
+/// Error response frame; echoes (tenant, request_id). The message is
+/// truncated to kMaxErrorMessageBytes.
+[[nodiscard]] util::ByteBuffer encode_error(service::TenantId tenant,
+                                            std::uint64_t request_id,
+                                            const util::Status& status);
+
+/// Pong response frame; echoes request_id.
+[[nodiscard]] util::ByteBuffer encode_pong(std::uint64_t request_id);
+
+// --- Body decoding (responses) --------------------------------------------
+
+[[nodiscard]] util::StatusOr<WireVerdict> decode_verdict_body(
+    util::ByteView body);
+[[nodiscard]] util::StatusOr<WireError> decode_error_body(
+    util::ByteView body);
+
+// --- Incremental decoding -------------------------------------------------
+
+/// Reassembles frames from a TCP byte stream, across any read()
+/// boundaries. Not thread-safe: one decoder per connection, driven by
+/// that connection's shard thread only.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(FrameLimits limits = {});
+
+  /// Writable tail of the internal buffer for zero-copy read():
+  /// guarantees at least `hint` writable bytes (growing/compacting as
+  /// needed — which invalidates any outstanding FrameView). Pair every
+  /// write_area() with one commit(n), n <= hint, before calling next():
+  /// the uncommitted remainder is trimmed and never decoded.
+  [[nodiscard]] std::span<std::uint8_t> write_area(std::size_t hint);
+  void commit(std::size_t n) noexcept;
+
+  /// Copy-in convenience over write_area/commit (clients, tests, fuzz).
+  void feed(util::ByteView bytes);
+
+  /// Extracts the next complete frame. Three outcomes:
+  ///   * a FrameView — call release() once done with its payload;
+  ///   * nullopt — the buffered bytes end mid-frame; feed more;
+  ///   * a typed error — protocol violation; the decoder is poisoned
+  ///     (every later next() repeats the error) and the connection must
+  ///     be closed. kInvalidArgument for malformed bytes (magic,
+  ///     version, flags, unknown type, absolute-ceiling breach),
+  ///     kPayloadTooLarge for a well-formed frame over the configured
+  ///     cap.
+  [[nodiscard]] util::StatusOr<std::optional<FrameView>> next();
+
+  /// Consumes the frame last returned by next(); its FrameView (and
+  /// payload view) are invalid from here on. No-op when none pending.
+  void release() noexcept;
+
+  /// Committed bytes not yet consumed by release(). An open write_area
+  /// does not count until commit().
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return write_base_ - read_pos_;
+  }
+  [[nodiscard]] const FrameLimits& limits() const noexcept { return limits_; }
+
+ private:
+  util::Status poison(util::Status status);
+
+  FrameLimits limits_;
+  util::ByteBuffer buffer_;
+  std::size_t read_pos_ = 0;      ///< Start of the unconsumed region.
+  std::size_t write_base_ = 0;    ///< Committed size under an open write_area.
+  std::size_t pending_frame_ = 0; ///< Bytes of the un-released frame.
+  util::Status error_;            ///< Sticky once a violation was seen.
+};
+
+}  // namespace mel::net

@@ -1,0 +1,80 @@
+#pragma once
+// Readiness notification for the server's shard loops: a thin seam over
+// epoll (Linux) and poll() (everywhere else) so the event loop is
+// portable without an #ifdef forest in server.cpp.
+//
+// The interface is level-triggered on both backends — a ready fd stays
+// ready until drained — so shard code can treat "kReadable" as "read()
+// will not block right now" regardless of backend. Each Poller belongs
+// to exactly one thread; there is no cross-thread wakeup here (shards
+// use a self-pipe registered like any other fd).
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "mel/util/status.hpp"
+
+namespace mel::net {
+
+enum class PollerBackend : std::uint8_t {
+  kAuto = 0,  ///< epoll on Linux, poll() elsewhere.
+  kEpoll,     ///< Linux only; create() fails elsewhere.
+  kPoll,      ///< Portable poll(2) backend.
+};
+
+[[nodiscard]] const char* poller_backend_name(PollerBackend backend) noexcept;
+
+struct PollerEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error/hangup on the fd (EPOLLERR/EPOLLHUP/POLLNVAL); the owner
+  /// should close the connection.
+  bool error = false;
+};
+
+class Poller {
+ public:
+  /// A functional poll(2)-backend instance with nothing registered —
+  /// cheap member-default; prefer create() to pick the best backend.
+  Poller() = default;
+
+  [[nodiscard]] static util::StatusOr<Poller> create(
+      PollerBackend backend = PollerBackend::kAuto);
+
+  Poller(Poller&& other) noexcept;
+  Poller& operator=(Poller&& other) noexcept;
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+  ~Poller();
+
+  /// Registers fd for readability and (optionally) writability
+  /// notifications. Registering an fd twice is kInvalidArgument.
+  [[nodiscard]] util::Status add(int fd, bool want_write = false);
+  /// Changes the write-interest of an already-registered fd.
+  [[nodiscard]] util::Status set_write_interest(int fd, bool want_write);
+  [[nodiscard]] util::Status remove(int fd);
+
+  /// Blocks up to `timeout` for readiness; appends events to `out`
+  /// (which is cleared first). Zero events on timeout is not an error.
+  /// A negative timeout blocks indefinitely.
+  [[nodiscard]] util::Status wait(std::vector<PollerEvent>& out,
+                                  std::chrono::milliseconds timeout);
+
+  [[nodiscard]] PollerBackend backend() const noexcept { return backend_; }
+  [[nodiscard]] std::size_t watched_fds() const noexcept;
+
+ private:
+  PollerBackend backend_ = PollerBackend::kPoll;
+  int epoll_fd_ = -1;  ///< Owned epoll instance; -1 on the poll backend.
+  /// poll backend: the registration table rebuilt into pollfd form per
+  /// wait(); epoll backend: mirror used for watched_fds()/dup checks.
+  struct Registration {
+    int fd;
+    bool want_write;
+  };
+  std::vector<Registration> registrations_;
+};
+
+}  // namespace mel::net

@@ -1,0 +1,232 @@
+#pragma once
+// Shared-nothing network front-end for the scan service.
+//
+// Topology: one acceptor thread listens on a TCP socket and deals each
+// accepted connection onto one of N shard threads (round-robin). Each
+// shard owns a PRIVATE copy of the entire scan stack — ScanService (and
+// with it a TenantRegistry built from the same TenantConfig vector), an
+// exec::MelScratch arena, an optional persist::VerdictCache slice, and
+// its admission token buckets — plus its own Poller and connection
+// table. After the accept hand-off (a per-shard inbox + wake pipe, the
+// only cross-thread touch a connection ever experiences) nothing is
+// shared between shards: no lock a shard can take is reachable from
+// another shard, so shard count scales without contention.
+//
+// Because shards cannot share a token bucket, the server divides every
+// configured admission rate (service-wide and per-tenant: rate_per_sec,
+// burst, max_concurrent) by the shard count — the aggregate limit then
+// matches the configured limit, enforced per shard. This is the
+// documented approximation of the shared-nothing design: a tenant
+// hammering a single connection can use only 1/N of its quota.
+//
+// Verdict determinism: a scan's verdict is a pure function of (payload,
+// tenant calibration), every shard is built from the same config, and
+// per-shard caches only ever return verdicts the same shard computed —
+// so the verdict for a payload is bit-identical at ANY shard count and
+// whichever shard the connection lands on. The loopback test pins this
+// at 1 shard vs N shards against direct ScanService::scan calls.
+//
+// Zero-copy read path: each connection read()s straight into its
+// FrameDecoder via write_area/commit, and the decoded frame's payload
+// view is handed to ScanService::scan as ScanRequest::payload without
+// copying. The scan runs synchronously on the shard thread, inside the
+// view's validity window.
+//
+// Durable state: the server owns one persist::StateManager per
+// configured snapshot path — ServerConfig::snapshot_path for the
+// default tenant plus every TenantConfig::snapshot_path — restoring at
+// start() (restored calibrations are applied to every shard before the
+// listener opens) and saving on drain(). Recalibrations fan out to all
+// shards through the apply-calibration hook.
+//
+// Lifecycle mirrors ScanService: start() -> serving; drain() stops the
+// acceptor, lets each shard flush pending responses, drains every
+// shard's service (health-gated: in-flight verdicts are delivered, new
+// work is refused), saves durable state, and joins all threads.
+// Destruction drains if the caller did not.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "mel/exec/mel.hpp"
+#include "mel/net/frame.hpp"
+#include "mel/net/poller.hpp"
+#include "mel/persist/state_manager.hpp"
+#include "mel/service/scan_service.hpp"
+
+namespace mel::net {
+
+struct ServerConfig {
+  /// The scan stack every shard instantiates privately. Field names are
+  /// the service's own — window_size/overlap/budget/admission/tenants —
+  /// and validation routes through ServiceConfig::validate (and with it
+  /// core::DetectorConfig::validate): one config vocabulary from wire
+  /// to detector. Admission rates here are the AGGREGATE limits; the
+  /// server divides them across shards (see the header comment).
+  service::ServiceConfig service;
+
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port, readable via port().
+  std::uint16_t port = 0;
+  /// Shard (worker thread) count, each with a private scan stack.
+  std::size_t shards = 1;
+  /// Wire-frame limits applied per connection.
+  FrameLimits frame;
+  /// Connections over this cap are refused with a kUnavailable error
+  /// frame and closed immediately.
+  std::size_t max_connections = 1024;
+  /// A connection whose pending response bytes exceed this is dropped
+  /// (a peer not reading its verdicts is backpressure we must not
+  /// absorb as unbounded memory).
+  std::size_t max_write_buffer_bytes = std::size_t{4} << 20;
+  /// Total verdict-cache capacity, divided across the per-shard caches.
+  /// 0 disables caching.
+  std::size_t cache_capacity = 0;
+  /// Event-loop backend (epoll on Linux under kAuto).
+  PollerBackend poller = PollerBackend::kAuto;
+  /// Snapshot path for the DEFAULT tenant's StateManager; per-tenant
+  /// paths ride in service.tenants[i].snapshot_path. Empty: no
+  /// default-tenant durability.
+  std::string snapshot_path;
+
+  /// kInvalidConfig on any violation; service/frame checks are routed
+  /// through their own validate() so the error vocabulary is shared.
+  [[nodiscard]] util::Status validate() const;
+};
+
+/// Aggregated server counters (relaxed snapshots of per-shard atomics).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_refused = 0;  ///< Over max_connections.
+  std::uint64_t connections_dropped = 0;  ///< Protocol/backpressure closes.
+  std::uint64_t frames_received = 0;
+  std::uint64_t scans_ok = 0;
+  std::uint64_t scans_rejected = 0;  ///< Error frames sent for scans.
+};
+
+class MelServer {
+ public:
+  /// Validates, builds every shard's private stack, restores durable
+  /// state (applying restored calibrations to all shards), binds the
+  /// listener and starts the threads. On return the server is serving.
+  [[nodiscard]] static util::StatusOr<std::unique_ptr<MelServer>> start(
+      ServerConfig config);
+
+  MelServer(const MelServer&) = delete;
+  MelServer& operator=(const MelServer&) = delete;
+  ~MelServer();
+
+  /// The bound TCP port (the ephemeral pick when config.port was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Shard-local service, for tests and scrapes (each shard has its own
+  /// metrics registry; aggregate by iterating shards).
+  [[nodiscard]] const service::ScanService& shard_service(
+      std::size_t shard) const;
+
+  /// Worst-of-shards health: kServing only when every shard serves.
+  [[nodiscard]] service::ServiceState state() const noexcept;
+
+  [[nodiscard]] ServerStats stats() const noexcept;
+
+  /// Applies a new calibration to `tenant` on EVERY shard (first error
+  /// wins, remaining shards still attempted). kDefaultTenant retargets
+  /// the service-wide detector.
+  [[nodiscard]] util::Status apply_calibration(
+      service::TenantId tenant, const core::DetectorConfig& config,
+      double tau);
+
+  /// The StateManager owning `tenant`'s durable state; null when no
+  /// snapshot path was configured for it (kDefaultTenant keys the
+  /// ServerConfig::snapshot_path manager).
+  [[nodiscard]] std::shared_ptr<persist::StateManager> state_manager(
+      service::TenantId tenant) const;
+
+  /// Graceful shutdown: stop accepting, flush pending responses, drain
+  /// every shard's service, save every StateManager, join all threads.
+  /// Idempotent.
+  void drain();
+
+ private:
+  MelServer() = default;
+
+  struct Connection {
+    int fd = -1;
+    FrameDecoder decoder;
+    util::ByteBuffer out;        ///< Pending response bytes.
+    std::size_t out_pos = 0;     ///< Already-written prefix of out.
+    bool close_after_flush = false;
+  };
+
+  struct Shard {
+    std::thread thread;
+    Poller poller;
+    int wake_read_fd = -1;
+    int wake_write_fd = -1;
+    /// Acceptor -> shard hand-off (the only cross-thread state).
+    std::mutex inbox_mutex;
+    std::vector<int> inbox;
+
+    /// The shard-private scan stack.
+    std::optional<service::ScanService> service;
+    std::shared_ptr<persist::VerdictCache> cache;
+    std::unique_ptr<exec::MelScratch> scratch;
+    std::unordered_map<int, Connection> connections;
+
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> scans_ok{0};
+    std::atomic<std::uint64_t> scans_rejected{0};
+    std::atomic<std::uint64_t> connections_dropped{0};
+  };
+
+  void acceptor_loop();
+  void shard_loop(Shard& shard);
+  void wake(Shard& shard);
+  /// Deals `fd` to a shard inbox, or refuses it over max_connections.
+  void dispatch_connection(int fd);
+
+  // Shard-loop helpers (all run on the shard's own thread).
+  void shard_adopt_inbox(Shard& shard);
+  void shard_read(Shard& shard, Connection& conn);
+  void shard_handle_frame(Shard& shard, Connection& conn,
+                          const FrameView& frame);
+  /// Returns false when flushing closed the connection (backpressure
+  /// overflow, write error, or a completed close_after_flush) — the
+  /// Connection is destroyed and must not be touched again.
+  bool shard_flush(Shard& shard, Connection& conn);
+  void shard_close(Shard& shard, int fd, bool dropped);
+
+  ServerConfig config_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int acceptor_wake_read_fd_ = -1;
+  int acceptor_wake_write_fd_ = -1;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> drained_{false};
+  std::atomic<std::uint64_t> next_shard_{0};
+  std::atomic<std::size_t> active_connections_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_refused_{0};
+
+  std::unordered_map<service::TenantId,
+                     std::shared_ptr<persist::StateManager>>
+      state_managers_;
+};
+
+}  // namespace mel::net

@@ -1,0 +1,209 @@
+#include "mel/net/poller.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define MEL_NET_HAVE_EPOLL 1
+#else
+#define MEL_NET_HAVE_EPOLL 0
+#endif
+
+namespace mel::net {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+const char* poller_backend_name(PollerBackend backend) noexcept {
+  switch (backend) {
+    case PollerBackend::kAuto:
+      return "auto";
+    case PollerBackend::kEpoll:
+      return "epoll";
+    case PollerBackend::kPoll:
+      return "poll";
+  }
+  return "unknown";
+}
+
+util::StatusOr<Poller> Poller::create(PollerBackend backend) {
+  Poller poller;
+  if (backend == PollerBackend::kAuto) {
+    backend = MEL_NET_HAVE_EPOLL ? PollerBackend::kEpoll : PollerBackend::kPoll;
+  }
+  poller.backend_ = backend;
+  if (backend == PollerBackend::kEpoll) {
+#if MEL_NET_HAVE_EPOLL
+    poller.epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (poller.epoll_fd_ < 0) {
+      return util::Status::internal(errno_string("epoll_create1"));
+    }
+#else
+    return util::Status::invalid_config(
+        "epoll poller backend requested on a non-Linux platform");
+#endif
+  }
+  return poller;
+}
+
+Poller::Poller(Poller&& other) noexcept
+    : backend_(other.backend_),
+      epoll_fd_(other.epoll_fd_),
+      registrations_(std::move(other.registrations_)) {
+  other.epoll_fd_ = -1;
+  other.registrations_.clear();
+}
+
+Poller& Poller::operator=(Poller&& other) noexcept {
+  if (this != &other) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    backend_ = other.backend_;
+    epoll_fd_ = other.epoll_fd_;
+    registrations_ = std::move(other.registrations_);
+    other.epoll_fd_ = -1;
+    other.registrations_.clear();
+  }
+  return *this;
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+std::size_t Poller::watched_fds() const noexcept {
+  return registrations_.size();
+}
+
+util::Status Poller::add(int fd, bool want_write) {
+  if (fd < 0) return util::Status::invalid_argument("poller: negative fd");
+  const auto it = std::find_if(
+      registrations_.begin(), registrations_.end(),
+      [fd](const Registration& r) { return r.fd == fd; });
+  if (it != registrations_.end()) {
+    return util::Status::invalid_argument(
+        "poller: fd " + std::to_string(fd) + " already registered");
+  }
+#if MEL_NET_HAVE_EPOLL
+  if (backend_ == PollerBackend::kEpoll) {
+    ::epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return util::Status::internal(errno_string("epoll_ctl(ADD)"));
+    }
+  }
+#endif
+  registrations_.push_back(Registration{fd, want_write});
+  return util::Status::ok();
+}
+
+util::Status Poller::set_write_interest(int fd, bool want_write) {
+  const auto it = std::find_if(
+      registrations_.begin(), registrations_.end(),
+      [fd](const Registration& r) { return r.fd == fd; });
+  if (it == registrations_.end()) {
+    return util::Status::invalid_argument(
+        "poller: fd " + std::to_string(fd) + " is not registered");
+  }
+  if (it->want_write == want_write) return util::Status::ok();
+#if MEL_NET_HAVE_EPOLL
+  if (backend_ == PollerBackend::kEpoll) {
+    ::epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      return util::Status::internal(errno_string("epoll_ctl(MOD)"));
+    }
+  }
+#endif
+  it->want_write = want_write;
+  return util::Status::ok();
+}
+
+util::Status Poller::remove(int fd) {
+  const auto it = std::find_if(
+      registrations_.begin(), registrations_.end(),
+      [fd](const Registration& r) { return r.fd == fd; });
+  if (it == registrations_.end()) {
+    return util::Status::invalid_argument(
+        "poller: fd " + std::to_string(fd) + " is not registered");
+  }
+#if MEL_NET_HAVE_EPOLL
+  if (backend_ == PollerBackend::kEpoll) {
+    // Ignore failures: the fd may already be closed, which removed it.
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  registrations_.erase(it);
+  return util::Status::ok();
+}
+
+util::Status Poller::wait(std::vector<PollerEvent>& out,
+                          std::chrono::milliseconds timeout) {
+  out.clear();
+  const int timeout_ms =
+      timeout.count() < 0
+          ? -1
+          : static_cast<int>(std::min<std::chrono::milliseconds::rep>(
+                timeout.count(), std::numeric_limits<int>::max()));
+#if MEL_NET_HAVE_EPOLL
+  if (backend_ == PollerBackend::kEpoll) {
+    std::array<::epoll_event, 64> events;
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return util::Status::ok();
+      return util::Status::internal(errno_string("epoll_wait"));
+    }
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      PollerEvent event;
+      event.fd = events[static_cast<std::size_t>(i)].data.fd;
+      const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+      event.readable = (mask & EPOLLIN) != 0;
+      event.writable = (mask & EPOLLOUT) != 0;
+      event.error = (mask & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(event);
+    }
+    return util::Status::ok();
+  }
+#endif
+  std::vector<::pollfd> fds;
+  fds.reserve(registrations_.size());
+  for (const Registration& r : registrations_) {
+    ::pollfd p{};
+    p.fd = r.fd;
+    p.events = POLLIN | (r.want_write ? POLLOUT : 0);
+    fds.push_back(p);
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return util::Status::ok();
+    return util::Status::internal(errno_string("poll"));
+  }
+  for (const ::pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    PollerEvent event;
+    event.fd = p.fd;
+    event.readable = (p.revents & POLLIN) != 0;
+    event.writable = (p.revents & POLLOUT) != 0;
+    event.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(event);
+  }
+  return util::Status::ok();
+}
+
+}  // namespace mel::net

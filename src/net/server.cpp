@@ -1,0 +1,650 @@
+#include "mel/net/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mel/util/logging.hpp"
+
+namespace mel::net {
+
+namespace {
+
+constexpr std::size_t kReadChunkBytes = 16 * 1024;
+constexpr std::chrono::milliseconds kLoopTick{100};
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+util::Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return util::Status::internal(errno_string("fcntl(O_NONBLOCK)"));
+  }
+  return util::Status::ok();
+}
+
+/// Divides an aggregate admission quota across `shards` token buckets so
+/// the per-shard buckets sum (approximately) to the configured limit.
+service::AdmissionConfig divide_admission(service::AdmissionConfig admission,
+                                          std::size_t shards) {
+  if (shards <= 1) return admission;
+  const double n = static_cast<double>(shards);
+  if (admission.rate_per_sec > 0.0) {
+    admission.rate_per_sec /= n;
+    admission.burst = std::max(1.0, admission.burst / n);
+  }
+  if (admission.max_concurrent > 0) {
+    admission.max_concurrent =
+        std::max<std::size_t>(1, admission.max_concurrent / shards);
+  }
+  if (admission.max_queue_depth > 0) {
+    admission.max_queue_depth =
+        std::max<std::size_t>(1, admission.max_queue_depth / shards);
+  }
+  return admission;
+}
+
+WireVerdict to_wire(const service::ScanReport& report) {
+  WireVerdict verdict;
+  verdict.malicious = report.verdict.malicious;
+  verdict.degraded = report.verdict.degraded;
+  verdict.is_text = report.verdict.is_text;
+  verdict.loop_detected = report.verdict.loop_detected;
+  verdict.mel = report.verdict.mel;
+  verdict.threshold = report.verdict.threshold;
+  verdict.alpha = report.verdict.alpha;
+  verdict.scan_id = report.scan_id;
+  return verdict;
+}
+
+}  // namespace
+
+util::Status ServerConfig::validate() const {
+  if (util::Status status = service.validate(); !status.is_ok()) {
+    return status;
+  }
+  if (util::Status status = frame.validate(); !status.is_ok()) {
+    return status;
+  }
+  if (shards == 0 || shards > 256) {
+    return util::Status::invalid_config(
+        "ServerConfig::shards must be in [1, 256], got " +
+        std::to_string(shards));
+  }
+  if (max_connections == 0) {
+    return util::Status::invalid_config(
+        "ServerConfig::max_connections must be >= 1");
+  }
+  if (max_write_buffer_bytes < kFrameHeaderBytes + kVerdictBodyBytes) {
+    return util::Status::invalid_config(
+        "ServerConfig::max_write_buffer_bytes too small to hold one "
+        "verdict frame");
+  }
+  if (bind_address.empty()) {
+    return util::Status::invalid_config(
+        "ServerConfig::bind_address must not be empty");
+  }
+  // Frames the service would refuse as oversized are still WIRE-valid;
+  // but a frame cap above the service payload cap only buffers bytes
+  // that are then refused — flag the config instead of serving it.
+  if (service.max_payload_bytes != 0 &&
+      frame.max_payload_bytes > service.max_payload_bytes) {
+    return util::Status::invalid_config(
+        "frame.max_payload_bytes exceeds service.max_payload_bytes: the "
+        "server would buffer frames the service must refuse");
+  }
+  return util::Status::ok();
+}
+
+util::StatusOr<std::unique_ptr<MelServer>> MelServer::start(
+    ServerConfig config) {
+  if (util::Status status = config.validate(); !status.is_ok()) {
+    return status;
+  }
+  std::unique_ptr<MelServer> server(new MelServer());
+  server->config_ = std::move(config);
+  const ServerConfig& cfg = server->config_;
+
+  // --- Build every shard's private scan stack -----------------------------
+  for (std::size_t i = 0; i < cfg.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+
+    service::ServiceConfig service_config = cfg.service;
+    service_config.admission =
+        divide_admission(service_config.admission, cfg.shards);
+    for (service::TenantConfig& tenant : service_config.tenants) {
+      tenant.admission = divide_admission(tenant.admission, cfg.shards);
+    }
+    if (cfg.cache_capacity > 0) {
+      persist::VerdictCacheConfig cache_config;
+      cache_config.shards = 4;
+      cache_config.capacity =
+          std::max<std::size_t>(cache_config.shards,
+                                cfg.cache_capacity / cfg.shards);
+      auto cache = persist::VerdictCache::create(cache_config);
+      if (!cache.is_ok()) return cache.status();
+      shard->cache = std::move(cache).take();
+      service_config.verdict_cache = shard->cache;
+    }
+
+    auto service = service::ScanService::create(std::move(service_config));
+    if (!service.is_ok()) return service.status();
+    shard->service.emplace(std::move(service).take());
+    shard->scratch = std::make_unique<exec::MelScratch>();
+
+    auto poller = Poller::create(cfg.poller);
+    if (!poller.is_ok()) return poller.status();
+    shard->poller = std::move(poller).take();
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      return util::Status::internal(errno_string("pipe"));
+    }
+    shard->wake_read_fd = pipe_fds[0];
+    shard->wake_write_fd = pipe_fds[1];
+    if (util::Status status = set_nonblocking(shard->wake_read_fd);
+        !status.is_ok()) {
+      return status;
+    }
+    if (util::Status status = shard->poller.add(shard->wake_read_fd);
+        !status.is_ok()) {
+      return status;
+    }
+    server->shards_.push_back(std::move(shard));
+  }
+
+  // --- Durable state: one StateManager per configured snapshot path ------
+  // Created after the shards so restored calibrations have services to
+  // land in; the apply hook fans every recalibration out to all shards.
+  auto make_manager = [&](service::TenantId tenant,
+                          const std::string& snapshot_path,
+                          const core::DetectorConfig& detector)
+      -> util::Status {
+    persist::StateManagerConfig manager_config;
+    manager_config.snapshot_path = snapshot_path;
+    manager_config.default_anchor_chars = cfg.service.window_size;
+    persist::PersistentState cold;
+    cold.detector = detector;
+    cold.tau = cfg.service.degraded_threshold;
+    cold.calibration_point_chars = cfg.service.window_size;
+    auto manager = persist::StateManager::create(
+        std::move(manager_config), std::move(cold), nullptr, nullptr);
+    if (!manager.is_ok()) return manager.status();
+    std::shared_ptr<persist::StateManager> state_manager =
+        std::move(manager).take();
+
+    MelServer* raw = server.get();
+    state_manager->set_apply_calibration(
+        [raw, tenant](const core::DetectorConfig& applied, double tau) {
+          return raw->apply_calibration(tenant, applied, tau);
+        });
+    // A restored snapshot carries the calibration that was serving when
+    // it was written; re-install it so a restart resumes where the last
+    // process left off (cold starts serve the configured detector
+    // as-is, nothing to apply).
+    if (state_manager->restore_source() != persist::RestoreSource::kColdStart) {
+      const persist::PersistentState restored = state_manager->current();
+      if (util::Status status = raw->apply_calibration(
+              tenant, restored.detector, restored.tau);
+          !status.is_ok()) {
+        util::log_warn_ctx({.component = "net"},
+                           "restored calibration rejected for tenant ",
+                           tenant, ": ", status.to_string());
+      }
+    }
+    server->state_managers_.emplace(tenant, std::move(state_manager));
+    return util::Status::ok();
+  };
+  if (!cfg.snapshot_path.empty()) {
+    if (util::Status status = make_manager(
+            service::kDefaultTenant, cfg.snapshot_path, cfg.service.detector);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  for (const service::TenantConfig& tenant : cfg.service.tenants) {
+    if (tenant.snapshot_path.empty()) continue;
+    if (util::Status status = make_manager(
+            tenant.id, tenant.snapshot_path,
+            tenant.detector ? *tenant.detector : cfg.service.detector);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+
+  // --- Listener -----------------------------------------------------------
+  server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) {
+    return util::Status::internal(errno_string("socket"));
+  }
+  const int reuse = 1;
+  (void)::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse,
+                     sizeof(reuse));
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg.port);
+  if (::inet_pton(AF_INET, cfg.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::invalid_config(
+        "ServerConfig::bind_address is not an IPv4 address: " +
+        cfg.bind_address);
+  }
+  if (::bind(server->listen_fd_,
+             reinterpret_cast<const ::sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return util::Status::internal(errno_string("bind"));
+  }
+  if (::listen(server->listen_fd_, 128) != 0) {
+    return util::Status::internal(errno_string("listen"));
+  }
+  ::socklen_t addr_len = sizeof(addr);
+  if (::getsockname(server->listen_fd_,
+                    reinterpret_cast<::sockaddr*>(&addr), &addr_len) != 0) {
+    return util::Status::internal(errno_string("getsockname"));
+  }
+  server->port_ = ntohs(addr.sin_port);
+  if (util::Status status = set_nonblocking(server->listen_fd_);
+      !status.is_ok()) {
+    return status;
+  }
+
+  int acceptor_pipe[2];
+  if (::pipe(acceptor_pipe) != 0) {
+    return util::Status::internal(errno_string("pipe"));
+  }
+  server->acceptor_wake_read_fd_ = acceptor_pipe[0];
+  server->acceptor_wake_write_fd_ = acceptor_pipe[1];
+  if (util::Status status = set_nonblocking(server->acceptor_wake_read_fd_);
+      !status.is_ok()) {
+    return status;
+  }
+
+  // --- Threads ------------------------------------------------------------
+  for (auto& shard : server->shards_) {
+    Shard* raw = shard.get();
+    shard->thread = std::thread([server_ptr = server.get(), raw] {
+      server_ptr->shard_loop(*raw);
+    });
+  }
+  server->acceptor_ =
+      std::thread([server_ptr = server.get()] { server_ptr->acceptor_loop(); });
+
+  util::log_info_ctx({.component = "net"}, "serving on ", cfg.bind_address,
+                     ":", server->port_, " with ", cfg.shards, " shard(s), ",
+                     poller_backend_name(server->shards_[0]->poller.backend()),
+                     " poller");
+  return server;
+}
+
+MelServer::~MelServer() {
+  drain();
+  for (auto& shard : shards_) {
+    if (shard->wake_read_fd >= 0) ::close(shard->wake_read_fd);
+    if (shard->wake_write_fd >= 0) ::close(shard->wake_write_fd);
+  }
+  if (acceptor_wake_read_fd_ >= 0) ::close(acceptor_wake_read_fd_);
+  if (acceptor_wake_write_fd_ >= 0) ::close(acceptor_wake_write_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+const service::ScanService& MelServer::shard_service(std::size_t shard) const {
+  assert(shard < shards_.size());
+  return *shards_[shard]->service;
+}
+
+service::ServiceState MelServer::state() const noexcept {
+  service::ServiceState worst = service::ServiceState::kServing;
+  for (const auto& shard : shards_) {
+    const service::ServiceState state = shard->service->state();
+    if (static_cast<int>(state) > static_cast<int>(worst)) worst = state;
+  }
+  return worst;
+}
+
+ServerStats MelServer::stats() const noexcept {
+  ServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_refused =
+      connections_refused_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    stats.connections_dropped +=
+        shard->connections_dropped.load(std::memory_order_relaxed);
+    stats.frames_received +=
+        shard->frames_received.load(std::memory_order_relaxed);
+    stats.scans_ok += shard->scans_ok.load(std::memory_order_relaxed);
+    stats.scans_rejected +=
+        shard->scans_rejected.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+util::Status MelServer::apply_calibration(service::TenantId tenant,
+                                          const core::DetectorConfig& config,
+                                          double tau) {
+  util::Status first_error;
+  for (auto& shard : shards_) {
+    util::Status status =
+        shard->service->apply_calibration(tenant, config, tau);
+    if (!status.is_ok() && first_error.is_ok()) {
+      first_error = std::move(status);
+    }
+  }
+  return first_error;
+}
+
+std::shared_ptr<persist::StateManager> MelServer::state_manager(
+    service::TenantId tenant) const {
+  const auto it = state_managers_.find(tenant);
+  return it == state_managers_.end() ? nullptr : it->second;
+}
+
+void MelServer::wake(Shard& shard) {
+  const std::uint8_t byte = 1;
+  // A full pipe already guarantees a pending wakeup.
+  (void)!::write(shard.wake_write_fd, &byte, 1);
+}
+
+void MelServer::drain() {
+  if (drained_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  const std::uint8_t byte = 1;
+  (void)!::write(acceptor_wake_write_fd_, &byte, 1);
+  for (auto& shard : shards_) wake(*shard);
+
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  for (auto& shard : shards_) {
+    // Health-gated service drain: in-flight work (none by now — scans
+    // are synchronous on the shard thread) finishes, new work refuses.
+    (void)shard->service->drain();
+  }
+  for (auto& [tenant, manager] : state_managers_) {
+    if (util::Status status = manager->save(); !status.is_ok()) {
+      util::log_warn_ctx({.component = "net"},
+                         "snapshot save failed for tenant ", tenant, ": ",
+                         status.to_string());
+    }
+  }
+}
+
+// --- Acceptor -------------------------------------------------------------
+
+void MelServer::acceptor_loop() {
+  auto poller_or = Poller::create(config_.poller);
+  if (!poller_or.is_ok()) {
+    util::log_error_ctx({.component = "net"}, "acceptor poller: ",
+                        poller_or.status().to_string());
+    return;
+  }
+  Poller poller = std::move(poller_or).take();
+  if (!poller.add(listen_fd_).is_ok() ||
+      !poller.add(acceptor_wake_read_fd_).is_ok()) {
+    util::log_error_ctx({.component = "net"},
+                        "acceptor poller registration failed");
+    return;
+  }
+
+  std::vector<PollerEvent> events;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (!poller.wait(events, kLoopTick).is_ok()) break;
+    for (const PollerEvent& event : events) {
+      if (event.fd != listen_fd_ || !event.readable) continue;
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;  // EAGAIN or transient; poll again.
+        dispatch_connection(fd);
+      }
+    }
+  }
+}
+
+void MelServer::dispatch_connection(int fd) {
+  if (!set_nonblocking(fd).is_ok()) {
+    ::close(fd);
+    return;
+  }
+  const int nodelay = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                     sizeof(nodelay));
+
+  if (active_connections_.load(std::memory_order_relaxed) >=
+      config_.max_connections) {
+    // Refuse with a well-formed retry-after error frame, best effort on
+    // a fresh socket (the frame is small; one write nearly always
+    // lands), then close.
+    connections_refused_.fetch_add(1, std::memory_order_relaxed);
+    const util::ByteBuffer refusal = encode_error(
+        service::kDefaultTenant, 0,
+        util::Status::unavailable("connection limit reached")
+            .with_retry_after(std::chrono::milliseconds(10)));
+    (void)!::write(fd, refusal.data(), refusal.size());
+    ::close(fd);
+    return;
+  }
+
+  active_connections_.fetch_add(1, std::memory_order_relaxed);
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t index =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  Shard& shard = *shards_[index];
+  {
+    std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+    shard.inbox.push_back(fd);
+  }
+  wake(shard);
+}
+
+// --- Shard event loop -----------------------------------------------------
+
+void MelServer::shard_loop(Shard& shard) {
+  std::vector<PollerEvent> events;
+  while (true) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping) {
+      // Drain: flush what each connection still owes (best effort on
+      // the nonblocking socket — a stalled peer forfeits its tail),
+      // then leave. No new frames are read; the service's own drain()
+      // runs after the loops exit.
+      for (auto& [fd, conn] : shard.connections) {
+        while (conn.out_pos < conn.out.size()) {
+          const ::ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
+                                      conn.out.size() - conn.out_pos);
+          if (n > 0) {
+            conn.out_pos += static_cast<std::size_t>(n);
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          break;
+        }
+        ::close(conn.fd);
+        active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      shard.connections.clear();
+      return;
+    }
+
+    if (!shard.poller.wait(events, kLoopTick).is_ok()) continue;
+    for (const PollerEvent& event : events) {
+      if (event.fd == shard.wake_read_fd) {
+        std::uint8_t drain_buf[64];
+        while (::read(shard.wake_read_fd, drain_buf, sizeof(drain_buf)) > 0) {
+        }
+        shard_adopt_inbox(shard);
+        continue;
+      }
+      const auto it = shard.connections.find(event.fd);
+      if (it == shard.connections.end()) continue;
+      Connection& conn = it->second;
+      if (event.error) {
+        shard_close(shard, event.fd, /*dropped=*/true);
+        continue;
+      }
+      if (event.readable) shard_read(shard, conn);
+      // shard_read may have closed the fd; re-find before writing.
+      const auto again = shard.connections.find(event.fd);
+      if (again == shard.connections.end()) continue;
+      if (event.writable) (void)shard_flush(shard, again->second);
+    }
+  }
+}
+
+void MelServer::shard_adopt_inbox(Shard& shard) {
+  std::vector<int> adopted;
+  {
+    std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+    adopted.swap(shard.inbox);
+  }
+  for (int fd : adopted) {
+    Connection conn;
+    conn.fd = fd;
+    conn.decoder = FrameDecoder(config_.frame);
+    if (!shard.poller.add(fd).is_ok()) {
+      ::close(fd);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    shard.connections.emplace(fd, std::move(conn));
+  }
+}
+
+void MelServer::shard_read(Shard& shard, Connection& conn) {
+  while (true) {
+    std::span<std::uint8_t> area = conn.decoder.write_area(kReadChunkBytes);
+    const ::ssize_t n = ::read(conn.fd, area.data(), area.size());
+    if (n < 0) {
+      conn.decoder.commit(0);
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      shard_close(shard, conn.fd, /*dropped=*/true);
+      return;
+    }
+    if (n == 0) {  // Peer closed.
+      conn.decoder.commit(0);
+      shard_close(shard, conn.fd, /*dropped=*/false);
+      return;
+    }
+    conn.decoder.commit(static_cast<std::size_t>(n));
+
+    while (true) {
+      auto next = conn.decoder.next();
+      if (!next.is_ok()) {
+        // Protocol violation: answer with the typed error, then hang
+        // up — a corrupt length-prefixed stream cannot be resumed.
+        const util::ByteBuffer frame =
+            encode_error(service::kDefaultTenant, 0, next.status());
+        conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+        conn.close_after_flush = true;
+        shard.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+        (void)shard_flush(shard, conn);
+        return;
+      }
+      if (!next.value().has_value()) break;
+      shard.frames_received.fetch_add(1, std::memory_order_relaxed);
+      shard_handle_frame(shard, conn, *next.value());
+      conn.decoder.release();
+      if (conn.close_after_flush) break;
+    }
+    if (!shard_flush(shard, conn)) return;  // conn destroyed.
+    if (n < static_cast<::ssize_t>(area.size())) break;
+  }
+}
+
+void MelServer::shard_handle_frame(Shard& shard, Connection& conn,
+                                   const FrameView& frame) {
+  switch (frame.header.type) {
+    case FrameType::kPing: {
+      const util::ByteBuffer pong = encode_pong(frame.header.request_id);
+      conn.out.insert(conn.out.end(), pong.begin(), pong.end());
+      return;
+    }
+    case FrameType::kScanRequest: {
+      // Zero-copy hand-off: the payload view aliases the decoder's
+      // buffer, valid through this synchronous scan.
+      service::ScanRequest request;
+      request.payload = frame.payload;
+      request.tenant = frame.header.tenant;
+      request.scratch = shard.scratch.get();
+      const auto report = shard.service->scan(request);
+      util::ByteBuffer response;
+      if (report.is_ok()) {
+        shard.scans_ok.fetch_add(1, std::memory_order_relaxed);
+        response = encode_verdict(frame.header.tenant,
+                                  frame.header.request_id,
+                                  to_wire(report.value()));
+      } else {
+        shard.scans_rejected.fetch_add(1, std::memory_order_relaxed);
+        response = encode_error(frame.header.tenant,
+                                frame.header.request_id, report.status());
+      }
+      conn.out.insert(conn.out.end(), response.begin(), response.end());
+      return;
+    }
+    default: {
+      // Response-typed frame from a client: a protocol violation.
+      const util::ByteBuffer error = encode_error(
+          frame.header.tenant, frame.header.request_id,
+          util::Status::invalid_argument(
+              "client sent a server-to-client frame type"));
+      conn.out.insert(conn.out.end(), error.begin(), error.end());
+      conn.close_after_flush = true;
+      shard.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+bool MelServer::shard_flush(Shard& shard, Connection& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const ::ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
+                                conn.out.size() - conn.out_pos);
+    if (n > 0) {
+      conn.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (conn.out.size() - conn.out_pos > config_.max_write_buffer_bytes) {
+        // The peer is not reading its verdicts; absorbing unbounded
+        // response bytes would let one slow client take the shard down.
+        shard_close(shard, conn.fd, /*dropped=*/true);
+        return false;
+      }
+      (void)shard.poller.set_write_interest(conn.fd, true);
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    shard_close(shard, conn.fd, /*dropped=*/true);
+    return false;
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+  (void)shard.poller.set_write_interest(conn.fd, false);
+  if (conn.close_after_flush) {
+    shard_close(shard, conn.fd, /*dropped=*/false);
+    return false;
+  }
+  return true;
+}
+
+void MelServer::shard_close(Shard& shard, int fd, bool dropped) {
+  const auto it = shard.connections.find(fd);
+  if (it == shard.connections.end()) return;
+  (void)shard.poller.remove(fd);
+  ::close(fd);
+  shard.connections.erase(it);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  if (dropped) {
+    shard.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mel::net

@@ -55,6 +55,7 @@
 #include "mel/persist/drift_monitor.hpp"
 #include "mel/persist/verdict_cache.hpp"
 #include "mel/service/resilience.hpp"
+#include "mel/service/tenant.hpp"
 #include "mel/util/status.hpp"
 
 namespace mel::service {
@@ -121,6 +122,13 @@ struct ServiceConfig {
   /// detect-recalibrate-invalidate-snapshot loop.
   std::shared_ptr<persist::DriftMonitor> drift_monitor;
 
+  /// Tenant declarations (the ScanRequest v2 tenant scope). Each
+  /// service builds its own TenantRegistry from this vector — the
+  /// shared-nothing discipline for sharded front-ends. Empty (default):
+  /// only kDefaultTenant is served; any other ScanRequest::tenant is a
+  /// kInvalidArgument.
+  std::vector<TenantConfig> tenants;
+
   [[nodiscard]] util::Status validate() const;
 };
 
@@ -128,6 +136,11 @@ struct ServiceConfig {
 /// payload bytes and the scratch arena must outlive the scan() call.
 struct ScanRequest {
   util::ByteView payload = {};
+  /// Tenant scope for this scan (the v2 API). kDefaultTenant uses the
+  /// service defaults; any other id must name a ServiceConfig::tenants
+  /// entry, whose detector/threshold overrides and admission quota
+  /// apply. Unknown ids are refused with kInvalidArgument.
+  TenantId tenant = kDefaultTenant;
   /// Overrides ServiceConfig::budget for this scan when set.
   std::optional<core::ScanBudget> budget = std::nullopt;
   /// Copy the per-stage trace spans into ScanReport::trace. Latency
@@ -163,10 +176,6 @@ struct ScanReport {
     return total;
   }
 };
-
-/// Pre-PR3 name for ScanReport. Removal is scheduled for the second
-/// release after this deprecation shipped; migrate to ScanReport.
-using ScanOutcome [[deprecated("use service::ScanReport")]] = ScanReport;
 
 /// Monotone counters; one reject bucket per StatusCode. The counters are
 /// relaxed atomics so concurrent scans aggregate race-free; reads are
@@ -219,6 +228,7 @@ class ScanService {
         stats_(other.stats_),
         next_scan_id_(other.next_scan_id_.load(std::memory_order_relaxed)),
         metrics_(std::move(other.metrics_)),
+        tenants_(std::move(other.tenants_)),
         inst_(other.inst_),
         admission_(std::move(other.admission_)),
         breaker_(std::move(other.breaker_)),
@@ -231,16 +241,6 @@ class ScanService {
   /// threads may scan through one service.
   [[nodiscard]] util::StatusOr<ScanReport> scan(
       const ScanRequest& request) const;
-
-  /// Pre-PR3 positional form; forwards to scan(ScanRequest).
-  [[deprecated("use scan(ScanRequest{.payload = ...})")]] [[nodiscard]]
-  util::StatusOr<ScanReport> scan(util::ByteView payload) const;
-
-  /// Pre-PR3 positional form; forwards to scan(ScanRequest).
-  [[deprecated(
-      "use scan(ScanRequest{.payload = ..., .scratch = &scratch})")]]
-  [[nodiscard]] util::StatusOr<ScanReport> scan(
-      util::ByteView payload, exec::MelScratch& scratch) const;
 
   /// Streaming session: feed bytes with backpressure. Alerts from
   /// budget-cut windows carry verdict.degraded.
@@ -302,6 +302,19 @@ class ScanService {
   [[nodiscard]] util::Status apply_calibration(
       const core::DetectorConfig& config, double tau);
 
+  /// Tenant-scoped form: swaps only `tenant`'s serving detector.
+  /// kDefaultTenant forwards to the service-wide overload above;
+  /// unknown ids are kInvalidArgument, invalid configs kInvalidConfig
+  /// (the old detector keeps serving either way).
+  [[nodiscard]] util::Status apply_calibration(
+      TenantId tenant, const core::DetectorConfig& config, double tau);
+
+  /// The tenant table built from ServiceConfig::tenants (empty registry
+  /// when none were configured). Lookups are lock-free; see tenant.hpp.
+  [[nodiscard]] const TenantRegistry& tenants() const noexcept {
+    return *tenants_;
+  }
+
   /// The detector currently serving scans (construction config until the
   /// first apply_calibration).
   [[nodiscard]] std::shared_ptr<const core::MelDetector> detector()
@@ -335,10 +348,14 @@ class ScanService {
 
   void register_instruments();
   util::Status reject(std::uint64_t scan_id, util::Status status) const;
-  /// The scan body, after the lifecycle/admission/breaker gates.
+  util::Status reject(std::uint64_t scan_id, util::Status status,
+                      const TenantEntry* tenant) const;
+  /// The scan body, after the lifecycle/admission/breaker/tenant gates.
+  /// `tenant` is null for kDefaultTenant requests.
   util::StatusOr<ScanReport> scan_admitted(
       const ScanRequest& request, std::uint64_t scan_id,
-      std::chrono::steady_clock::time_point start) const;
+      std::chrono::steady_clock::time_point start,
+      const TenantEntry* tenant) const;
 
   ServiceConfig config_;
   /// Atomically swappable so apply_calibration() can replace the serving
@@ -350,6 +367,9 @@ class ScanService {
   mutable ServiceStats stats_;
   mutable std::atomic<std::uint64_t> next_scan_id_{1};
   std::shared_ptr<obs::MetricsRegistry> metrics_;
+  /// Built from config_.tenants at construction; never null (an empty
+  /// registry when no tenants are declared).
+  std::shared_ptr<TenantRegistry> tenants_;
   Instruments inst_;
   mutable AdmissionController admission_;
   mutable CircuitBreaker breaker_;

@@ -1,0 +1,217 @@
+#pragma once
+// Tenant scoping for the scan tiers (the ScanRequest v2 API).
+//
+// A multi-tenant deployment runs one scan front-end for many customers,
+// each with its own false-positive budget (DetectorConfig/tau), its own
+// admission quota, its own metric series and its own durable calibration
+// state. The pieces:
+//
+//   * TenantId      — the wire-visible tenant key. kDefaultTenant (0)
+//                     is the service itself: requests that carry it use
+//                     the ServiceConfig defaults and need no registry
+//                     entry.
+//   * TenantConfig  — declarative per-tenant settings: an optional
+//                     DetectorConfig override, an optional degraded-mode
+//                     threshold, a PR-4 AdmissionConfig token bucket,
+//                     and a snapshot path for a per-tenant
+//                     persist::StateManager.
+//   * TenantRegistry— the runtime table built from a vector of
+//                     TenantConfig at service construction. The id ->
+//                     entry map is immutable after create() (lock-free
+//                     lookups on the scan path); per-entry runtime state
+//                     (serving detector, token bucket, counters) is
+//                     internally synchronized.
+//
+// Shared-nothing discipline: a TenantRegistry is cheap to instantiate,
+// so each shard of the network front-end builds its OWN registry from
+// the same TenantConfig vector — tenant token buckets then never cross
+// shard boundaries (quotas are enforced per shard; the server divides
+// the configured rates by the shard count so the aggregate matches).
+//
+// Metric labels: every tenant entry registers
+// mel_tenant_*_total{tenant="<name>"} series on the service registry, so
+// one scrape breaks traffic down by tenant without per-tenant scrapes.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mel/core/detector.hpp"
+#include "mel/obs/metrics.hpp"
+#include "mel/service/resilience.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::service {
+
+/// Wire-visible tenant key (rides in every frame header).
+using TenantId = std::uint32_t;
+
+/// The service's own identity: requests carrying it use the
+/// ServiceConfig defaults and bypass the registry entirely.
+inline constexpr TenantId kDefaultTenant = 0;
+
+/// Declarative per-tenant settings. Value type: the same vector of
+/// configs seeds every shard's private registry.
+struct TenantConfig {
+  /// Must be != kDefaultTenant and unique across the registry.
+  TenantId id = kDefaultTenant;
+  /// Metric label value and log handle. Lowercase [a-z0-9_-], 1..64
+  /// chars, unique across the registry (label-injection-proof by
+  /// construction: no quotes, newlines or backslashes can appear).
+  std::string name;
+  /// Detector override: this tenant's scans use a detector built from
+  /// it instead of ServiceConfig::detector. Absent: service default.
+  std::optional<core::DetectorConfig> detector;
+  /// Per-tenant fallback threshold for degraded verdicts. Absent:
+  /// ServiceConfig::degraded_threshold.
+  std::optional<double> degraded_threshold;
+  /// Per-tenant admission quota (token bucket / concurrency / queue
+  /// depth), checked AFTER the service-wide admission gate. Default:
+  /// everything disabled — the tenant rides the service-wide limits.
+  AdmissionConfig admission;
+  /// Snapshot path for this tenant's persist::StateManager, so its
+  /// calibration survives restarts independently of every other
+  /// tenant's. Empty: no per-tenant durable state. (The service layer
+  /// stores the path; the owner — e.g. net::MelServer — instantiates
+  /// the StateManager, because persist sits below service.)
+  std::string snapshot_path;
+
+  /// kInvalidConfig on any violation; detector overrides are routed
+  /// through core::DetectorConfig::validate.
+  [[nodiscard]] util::Status validate() const;
+};
+
+/// True when `name` is usable as a tenant metric label value.
+[[nodiscard]] bool is_valid_tenant_name(const std::string& name) noexcept;
+
+/// Runtime state for one tenant. The struct layout is an implementation
+/// detail of ScanService/TenantRegistry; tests reach it through the
+/// registry's lookup for assertions only.
+class TenantEntry {
+ public:
+  explicit TenantEntry(TenantConfig config);
+
+  [[nodiscard]] const TenantConfig& config() const noexcept {
+    return config_;
+  }
+  /// The tenant's serving detector; null means "use the service
+  /// default". Swapped atomically by apply_calibration.
+  [[nodiscard]] std::shared_ptr<const core::MelDetector> detector()
+      const noexcept {
+    return detector_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] AdmissionController& admission() const noexcept {
+    return admission_;
+  }
+
+  /// Monotone per-tenant totals (relaxed snapshots), mirrored to the
+  /// mel_tenant_* metric series when bind_metrics was called.
+  [[nodiscard]] std::uint64_t scans() const noexcept {
+    return scans_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shed() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t alarms() const noexcept {
+    return alarms_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class TenantRegistry;
+  friend class ScanService;
+
+  void record_scan() const noexcept {
+    scans_.fetch_add(1, std::memory_order_relaxed);
+    scans_counter_.inc();
+  }
+  void record_completed(bool malicious) const noexcept {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_counter_.inc();
+    if (malicious) {
+      alarms_.fetch_add(1, std::memory_order_relaxed);
+      malicious_counter_.inc();
+    } else {
+      benign_counter_.inc();
+    }
+  }
+  void record_rejected() const noexcept {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_counter_.inc();
+  }
+  void record_shed() const noexcept {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_counter_.inc();
+  }
+
+  TenantConfig config_;
+  /// Null when the tenant has no detector override AND no calibration
+  /// has been applied; the scan path then uses the service detector.
+  std::atomic<std::shared_ptr<const core::MelDetector>> detector_{nullptr};
+  mutable AdmissionController admission_;
+
+  mutable std::atomic<std::uint64_t> scans_{0};
+  mutable std::atomic<std::uint64_t> completed_{0};
+  mutable std::atomic<std::uint64_t> rejected_{0};
+  mutable std::atomic<std::uint64_t> shed_{0};
+  mutable std::atomic<std::uint64_t> alarms_{0};
+
+  obs::Counter scans_counter_;
+  obs::Counter completed_counter_;
+  obs::Counter rejected_counter_;
+  obs::Counter shed_counter_;
+  obs::Counter malicious_counter_;
+  obs::Counter benign_counter_;
+};
+
+/// Immutable id -> TenantEntry table; see the header comment for the
+/// concurrency and shared-nothing story.
+class TenantRegistry {
+ public:
+  /// Validates every config (unique ids and names, no kDefaultTenant
+  /// entry, detector overrides through DetectorConfig::validate) and
+  /// builds the runtime entries — including each override's detector,
+  /// so a bad override is a construction-time kInvalidConfig, never a
+  /// scan-time surprise.
+  [[nodiscard]] static util::StatusOr<std::shared_ptr<TenantRegistry>> create(
+      std::vector<TenantConfig> configs);
+
+  /// Lock-free lookup; nullptr for unknown ids (and for kDefaultTenant,
+  /// which by contract has no entry).
+  [[nodiscard]] const TenantEntry* find(TenantId id) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  /// Entries in the order the configs were given (for iteration in
+  /// servers/tests).
+  [[nodiscard]] const std::vector<TenantEntry*>& entries() const noexcept {
+    return ordered_;
+  }
+
+  /// Registers mel_tenant_*_total{tenant="<name>"} series for every
+  /// entry plus the per-tenant admission controllers. Call once before
+  /// traffic (ScanService does this at construction).
+  void bind_metrics(obs::MetricsRegistry& registry);
+
+  /// Swaps `tenant`'s serving detector to a new calibration; validated
+  /// via MelDetector::create, kInvalidConfig leaves the old detector
+  /// serving. kInvalidArgument for unknown tenants.
+  [[nodiscard]] util::Status apply_calibration(
+      TenantId tenant, const core::DetectorConfig& config, double tau);
+
+ private:
+  TenantRegistry() = default;
+
+  std::unordered_map<TenantId, std::unique_ptr<TenantEntry>> entries_;
+  std::vector<TenantEntry*> ordered_;
+};
+
+}  // namespace mel::service

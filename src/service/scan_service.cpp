@@ -40,6 +40,21 @@ util::Status ServiceConfig::validate() const {
   if (util::Status status = detector.validate(); !status.is_ok()) {
     return status;
   }
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    if (util::Status status = tenants[i].validate(); !status.is_ok()) {
+      return status;
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (tenants[j].id == tenants[i].id) {
+        return util::Status::invalid_config(
+            "duplicate tenant id " + std::to_string(tenants[i].id));
+      }
+      if (tenants[j].name == tenants[i].name) {
+        return util::Status::invalid_config("duplicate tenant name \"" +
+                                            tenants[i].name + "\"");
+      }
+    }
+  }
   if (!(degraded_threshold >= 0.0)) {  // !(..) also catches NaN.
     return util::Status::invalid_config(
         "ServiceConfig::degraded_threshold must be >= 0; got " +
@@ -66,10 +81,24 @@ ScanService::ScanService(ServiceConfig config)
                                : std::make_shared<obs::MetricsRegistry>()),
       admission_(config_.admission),
       breaker_(config_.breaker) {
+  // The configs were validated by create(); registry construction can
+  // only fail on what validate() already rejects, so a failure here is
+  // a bug — fall back to an empty registry rather than crash.
+  util::StatusOr<std::shared_ptr<TenantRegistry>> tenants =
+      TenantRegistry::create(config_.tenants);
+  if (tenants.is_ok()) {
+    tenants_ = std::move(tenants).take();
+  } else {
+    util::log_warn_ctx({.component = "service"},
+                       "tenant registry rejected validated configs: ",
+                       tenants.status().to_string());
+    tenants_ = TenantRegistry::create({}).take();
+  }
   register_instruments();
   stream_.bind_metrics(*metrics_);
   admission_.bind_metrics(*metrics_);
   breaker_.bind_metrics(*metrics_);
+  tenants_->bind_metrics(*metrics_);
   if (config_.verdict_cache) config_.verdict_cache->bind_metrics(*metrics_);
   if (config_.drift_monitor) config_.drift_monitor->bind_metrics(*metrics_);
   lifecycle_.store(ServiceState::kServing, std::memory_order_release);
@@ -135,6 +164,11 @@ util::StatusOr<ScanService> ScanService::create(ServiceConfig config) {
 
 util::Status ScanService::reject(std::uint64_t scan_id,
                                  util::Status status) const {
+  return reject(scan_id, std::move(status), nullptr);
+}
+
+util::Status ScanService::reject(std::uint64_t scan_id, util::Status status,
+                                 const TenantEntry* tenant) const {
   // Every retryable refusal leaves with a retry-after hint: callers (and
   // RetrySchedule) treat it as the earliest useful retry time.
   if (util::is_retryable(status) && status.retry_after().count() == 0) {
@@ -144,18 +178,10 @@ util::Status ScanService::reject(std::uint64_t scan_id,
   ++stats_.rejects_by_code[static_cast<std::size_t>(status.code())];
   inst_.rejected.inc();
   inst_.by_status[static_cast<std::size_t>(status.code())].inc();
+  if (tenant != nullptr) tenant->record_rejected();
   util::log_warn_ctx({.component = "service", .scan_id = scan_id},
                      "scan rejected: ", status.to_string());
   return status;
-}
-
-util::StatusOr<ScanReport> ScanService::scan(util::ByteView payload) const {
-  return scan(ScanRequest{.payload = payload});
-}
-
-util::StatusOr<ScanReport> ScanService::scan(util::ByteView payload,
-                                             exec::MelScratch& scratch) const {
-  return scan(ScanRequest{.payload = payload, .scratch = &scratch});
 }
 
 util::StatusOr<ScanReport> ScanService::scan(const ScanRequest& request) const {
@@ -170,24 +196,53 @@ util::StatusOr<ScanReport> ScanService::scan(const ScanRequest& request) const {
   inst_.attempted.inc();
   const auto start = util::fault::now();
 
+  // Tenant resolution ahead of every gate: an unknown tenant is a
+  // malformed request and must not consume admission tokens.
+  const TenantEntry* tenant = nullptr;
+  if (request.tenant != kDefaultTenant) {
+    tenant = tenants_->find(request.tenant);
+    if (tenant == nullptr) {
+      return reject(scan_id,
+                    util::Status::invalid_argument(
+                        "unknown tenant id " +
+                        std::to_string(request.tenant)));
+    }
+    tenant->record_scan();
+  }
+
   // Admission before the lifecycle gate: the in-flight permit is what
   // drain() waits on, so a scan that saw kServing is always covered.
   util::StatusOr<AdmissionController::Permit> permit = admission_.try_admit();
   if (!permit.is_ok()) {
-    return reject(scan_id, permit.status());
+    return reject(scan_id, permit.status(), tenant);
   }
   const ServiceState lifecycle = lifecycle_.load(std::memory_order_acquire);
   if (lifecycle != ServiceState::kServing) {
     return reject(scan_id,
                   util::Status::unavailable(
                       "service " + std::string(service_state_name(lifecycle)) +
-                      ", not accepting scans"));
+                      ", not accepting scans"),
+                  tenant);
+  }
+  // The tenant's own quota, after the service-wide gate (service health
+  // dominates) and before the breaker (a tenant over quota says nothing
+  // about the scan path's health).
+  std::optional<AdmissionController::Permit> tenant_permit;
+  if (tenant != nullptr) {
+    util::StatusOr<AdmissionController::Permit> quota =
+        tenant->admission().try_admit();
+    if (!quota.is_ok()) {
+      tenant->record_shed();
+      return reject(scan_id, quota.status(), tenant);
+    }
+    tenant_permit.emplace(std::move(quota).take());
   }
   if (util::Status gate = breaker_.try_acquire(); !gate.is_ok()) {
-    return reject(scan_id, std::move(gate));
+    return reject(scan_id, std::move(gate), tenant);
   }
 
-  util::StatusOr<ScanReport> result = scan_admitted(request, scan_id, start);
+  util::StatusOr<ScanReport> result =
+      scan_admitted(request, scan_id, start, tenant);
   bool failure;
   if (result.is_ok()) {
     failure =
@@ -212,10 +267,20 @@ util::StatusOr<ScanReport> ScanService::scan(const ScanRequest& request) const {
 
 util::StatusOr<ScanReport> ScanService::scan_admitted(
     const ScanRequest& request, std::uint64_t scan_id,
-    std::chrono::steady_clock::time_point start) const {
+    std::chrono::steady_clock::time_point start,
+    const TenantEntry* tenant) const {
   const util::ByteView payload = request.payload;
   const core::ScanBudget budget =
       request.budget ? *request.budget : config_.budget;
+  // Tenant overrides resolved once, up front. A tenant without its own
+  // detector serves on the service detector; the degraded fallback
+  // threshold follows the same rule.
+  const std::shared_ptr<const core::MelDetector> tenant_detector =
+      tenant != nullptr ? tenant->detector() : nullptr;
+  const double degraded_threshold =
+      tenant != nullptr && tenant->config().degraded_threshold
+          ? *tenant->config().degraded_threshold
+          : config_.degraded_threshold;
 
   // Chaos hook: a clock that jumps at scan entry must surface as a
   // deadline rejection below, never as a half-trusted verdict.
@@ -234,19 +299,23 @@ util::StatusOr<ScanReport> ScanService::scan_admitted(
                       std::to_string(payload.size()) +
                       "-byte payload exceeds the scanner's absolute " +
                       std::to_string(kAbsoluteMaxPayloadBytes) +
-                      "-byte limit"));
+                      "-byte limit"),
+                  tenant);
   }
   if (config_.max_payload_bytes != 0 &&
       payload.size() > config_.max_payload_bytes) {
     return reject(scan_id,
                   util::Status::payload_too_large(
                       std::to_string(payload.size()) + " bytes > cap " +
-                      std::to_string(config_.max_payload_bytes)));
+                      std::to_string(config_.max_payload_bytes)),
+                  tenant);
   }
   const auto deadline = budget.deadline;
   if (deadline.count() > 0 && util::fault::now() - start >= deadline) {
-    return reject(scan_id, util::Status::deadline_exceeded(
-                               "deadline passed before scanning began"));
+    return reject(scan_id,
+                  util::Status::deadline_exceeded(
+                      "deadline passed before scanning began"),
+                  tenant);
   }
 
   // Chaos hook: an upstream partial read hands us a cut-short window.
@@ -278,28 +347,45 @@ util::StatusOr<ScanReport> ScanService::scan_admitted(
   bool cache_hit = false;
   if (cache_eligible) {
     fingerprint = persist::fingerprint_payload(view);
+    if (request.tenant != kDefaultTenant) {
+      // Partition the cache address space by tenant: a tenant's
+      // override detector must never serve (or be served) another
+      // tenant's cached verdict for the same bytes. Salting both
+      // fingerprint halves keeps shard selection and index hashing on
+      // independent tenant-mixed words.
+      std::uint64_t salt = request.tenant;
+      salt = (salt ^ (salt >> 30)) * 0xBF58476D1CE4E5B9ull;
+      salt = (salt ^ (salt >> 27)) * 0x94D049BB133111EBull;
+      salt ^= salt >> 31;
+      fingerprint.lo ^= salt;
+      fingerprint.hi ^= (salt << 32) | (salt >> 32);
+    }
     if (std::optional<core::Verdict> cached = cache->lookup(fingerprint)) {
       report.verdict = *cached;
       cache_hit = true;
     }
   }
 
+  // Scans load the detector once and finish on it even if a
+  // recalibration swaps the serving detector mid-scan. Tenant override
+  // first, service default otherwise.
+  const std::shared_ptr<const core::MelDetector> detector =
+      tenant_detector != nullptr ? tenant_detector
+                                 : detector_.load(std::memory_order_acquire);
   if (!cache_hit) {
     exec::MelScratch local_scratch;
     exec::MelScratch& scratch =
         request.scratch != nullptr ? *request.scratch : local_scratch;
-    // Scans load the detector once and finish on it even if a
-    // recalibration swaps the serving detector mid-scan.
-    const std::shared_ptr<const core::MelDetector> detector =
-        detector_.load(std::memory_order_acquire);
     try {
       if (util::fault::should_fire(Point::kAllocFailure)) {
         throw std::bad_alloc{};
       }
       report.verdict = detector->scan(view, budget, scratch, &trace);
     } catch (const std::bad_alloc&) {
-      return reject(scan_id, util::Status::resource_exhausted(
-                                 "allocation failure during scan"));
+      return reject(scan_id,
+                    util::Status::resource_exhausted(
+                        "allocation failure during scan"),
+                    tenant);
     }
   }
 
@@ -312,7 +398,8 @@ util::StatusOr<ScanReport> ScanService::scan_admitted(
                   util::Status::deadline_exceeded(
                       "scan exceeded its deadline after " +
                       std::to_string(verdict.mel_detail.instructions_decoded) +
-                      " decoded instructions"));
+                      " decoded instructions"),
+                  tenant);
   }
 
   {
@@ -325,7 +412,7 @@ util::StatusOr<ScanReport> ScanService::scan_admitted(
       report.degrade_reason =
           "decode budget exhausted; MEL is a lower bound, fixed-threshold "
           "fallback applied";
-    } else if (!payload.empty() && !config_.detector.fixed_threshold &&
+    } else if (!payload.empty() && !detector->config().fixed_threshold &&
                estimation_degenerate(verdict)) {
       verdict.degraded = true;
       inst_.reason_estimation.inc();
@@ -333,7 +420,7 @@ util::StatusOr<ScanReport> ScanService::scan_admitted(
           "parameter estimation degenerate; fixed-threshold fallback applied";
     }
     if (verdict.degraded) {
-      verdict.threshold = config_.degraded_threshold;
+      verdict.threshold = degraded_threshold;
       verdict.malicious =
           static_cast<double>(verdict.mel) > verdict.threshold ||
           verdict.loop_detected;
@@ -365,6 +452,7 @@ util::StatusOr<ScanReport> ScanService::scan_admitted(
                        "degraded verdict: ", report.degrade_reason);
   }
   if (verdict.malicious) ++stats_.alarms;
+  if (tenant != nullptr) tenant->record_completed(verdict.malicious);
   if (request.collect_trace) report.trace = trace.spans();
 
   // Only clean full-fidelity verdicts enter the cache: degraded verdicts
@@ -395,6 +483,15 @@ util::Status ScanService::apply_calibration(const core::DetectorConfig& config,
                      "calibration applied: alpha=", config.alpha,
                      " tau(anchor)=", tau);
   return util::Status::ok();
+}
+
+util::Status ScanService::apply_calibration(TenantId tenant,
+                                            const core::DetectorConfig& config,
+                                            double tau) {
+  if (tenant == kDefaultTenant) {
+    return apply_calibration(config, tau);
+  }
+  return tenants_->apply_calibration(tenant, config, tau);
 }
 
 util::StatusOr<std::vector<core::StreamAlert>> ScanService::stream_feed(

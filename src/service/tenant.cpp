@@ -1,0 +1,138 @@
+#include "mel/service/tenant.hpp"
+
+#include <utility>
+
+#include "mel/util/logging.hpp"
+
+namespace mel::service {
+
+bool is_valid_tenant_name(const std::string& name) noexcept {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+util::Status TenantConfig::validate() const {
+  if (id == kDefaultTenant) {
+    return util::Status::invalid_config(
+        "TenantConfig::id must not be kDefaultTenant (0): the default "
+        "tenant is the service itself and has no registry entry");
+  }
+  if (!is_valid_tenant_name(name)) {
+    return util::Status::invalid_config(
+        "TenantConfig::name must be 1..64 chars of [a-z0-9_-]; got \"" +
+        util::escape_log_field(name) + "\"");
+  }
+  if (detector) {
+    if (util::Status status = detector->validate(); !status.is_ok()) {
+      return status;
+    }
+  }
+  if (degraded_threshold && !(*degraded_threshold >= 0.0)) {
+    return util::Status::invalid_config(
+        "TenantConfig::degraded_threshold must be >= 0 for tenant \"" + name +
+        "\"");
+  }
+  return admission.validate();
+}
+
+TenantEntry::TenantEntry(TenantConfig config)
+    : config_(std::move(config)), admission_(config_.admission) {}
+
+util::StatusOr<std::shared_ptr<TenantRegistry>> TenantRegistry::create(
+    std::vector<TenantConfig> configs) {
+  auto registry = std::shared_ptr<TenantRegistry>(new TenantRegistry());
+  registry->ordered_.reserve(configs.size());
+  for (TenantConfig& config : configs) {
+    if (util::Status status = config.validate(); !status.is_ok()) {
+      return status;
+    }
+    if (registry->entries_.contains(config.id)) {
+      return util::Status::invalid_config(
+          "duplicate tenant id " + std::to_string(config.id));
+    }
+    for (const TenantEntry* existing : registry->ordered_) {
+      if (existing->config().name == config.name) {
+        return util::Status::invalid_config("duplicate tenant name \"" +
+                                            config.name + "\"");
+      }
+    }
+    auto entry = std::make_unique<TenantEntry>(std::move(config));
+    if (entry->config().detector) {
+      // Build the override detector now: a config that cannot serve is
+      // a construction-time error, not a per-scan one.
+      util::StatusOr<core::MelDetector> detector =
+          core::MelDetector::create(*entry->config().detector);
+      if (!detector.is_ok()) {
+        return detector.status();
+      }
+      entry->detector_.store(std::make_shared<const core::MelDetector>(
+                                 std::move(detector).take()),
+                             std::memory_order_release);
+    }
+    TenantEntry* raw = entry.get();
+    registry->entries_.emplace(raw->config().id, std::move(entry));
+    registry->ordered_.push_back(raw);
+  }
+  return registry;
+}
+
+const TenantEntry* TenantRegistry::find(TenantId id) const noexcept {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+void TenantRegistry::bind_metrics(obs::MetricsRegistry& registry) {
+  for (TenantEntry* entry : ordered_) {
+    const std::string label = "tenant=\"" + entry->config().name + "\"";
+    entry->scans_counter_ = registry.counter(
+        "mel_tenant_scans_total", "Scan requests received, by tenant.",
+        label);
+    entry->completed_counter_ =
+        registry.counter("mel_tenant_scans_completed_total",
+                         "Scans that returned a verdict, by tenant.", label);
+    entry->rejected_counter_ = registry.counter(
+        "mel_tenant_scans_rejected_total",
+        "Scans refused with a typed error, by tenant.", label);
+    entry->shed_counter_ = registry.counter(
+        "mel_tenant_admission_shed_total",
+        "Scans shed by the tenant's own admission quota.", label);
+    entry->malicious_counter_ = registry.counter(
+        "mel_tenant_verdicts_total", "Verdicts by tenant and decision.",
+        label + ",verdict=\"malicious\"");
+    entry->benign_counter_ = registry.counter(
+        "mel_tenant_verdicts_total", "Verdicts by tenant and decision.",
+        label + ",verdict=\"benign\"");
+    entry->admission_.bind_metrics(registry,
+                                   "mel_tenant_admission_" +
+                                       entry->config().name);
+  }
+}
+
+util::Status TenantRegistry::apply_calibration(
+    TenantId tenant, const core::DetectorConfig& config, double tau) {
+  const auto it = entries_.find(tenant);
+  if (it == entries_.end()) {
+    return util::Status::invalid_argument(
+        "apply_calibration: unknown tenant id " + std::to_string(tenant));
+  }
+  util::StatusOr<core::MelDetector> detector =
+      core::MelDetector::create(config);
+  if (!detector.is_ok()) {
+    return detector.status();
+  }
+  it->second->detector_.store(std::make_shared<const core::MelDetector>(
+                                  std::move(detector).take()),
+                              std::memory_order_release);
+  util::log_info_ctx({.component = "service"},
+                     "tenant calibration applied: tenant=",
+                     it->second->config().name, " alpha=", config.alpha,
+                     " tau(anchor)=", tau);
+  return util::Status::ok();
+}
+
+}  // namespace mel::service

@@ -35,6 +35,11 @@ void append_le32(ByteBuffer& out, std::uint32_t value) {
   out.push_back(static_cast<std::uint8_t>(value >> 24));
 }
 
+void append_le64(ByteBuffer& out, std::uint64_t value) {
+  append_le32(out, static_cast<std::uint32_t>(value & 0xFFFFFFFFu));
+  append_le32(out, static_cast<std::uint32_t>(value >> 32));
+}
+
 std::uint16_t load_le16(ByteView bytes, std::size_t offset) {
   assert(bytes.size() >= offset + 2);
   return static_cast<std::uint16_t>(bytes[offset] |
@@ -47,6 +52,12 @@ std::uint32_t load_le32(ByteView bytes, std::size_t offset) {
          (static_cast<std::uint32_t>(bytes[offset + 1]) << 8) |
          (static_cast<std::uint32_t>(bytes[offset + 2]) << 16) |
          (static_cast<std::uint32_t>(bytes[offset + 3]) << 24);
+}
+
+std::uint64_t load_le64(ByteView bytes, std::size_t offset) {
+  assert(bytes.size() >= offset + 8);
+  return static_cast<std::uint64_t>(load_le32(bytes, offset)) |
+         (static_cast<std::uint64_t>(load_le32(bytes, offset + 4)) << 32);
 }
 
 ByteBuffer to_bytes(std::string_view text) {

@@ -34,13 +34,16 @@ inline constexpr int kTextDomainSize = kTextHigh - kTextLow + 1;  // 95
          (b >= 'a' && b <= 'z');
 }
 
-/// Little-endian stores (IA-32 immediates and displacements).
+/// Little-endian stores (IA-32 immediates and displacements; 64-bit for
+/// wire-frame and snapshot fields).
 void append_le16(ByteBuffer& out, std::uint16_t value);
 void append_le32(ByteBuffer& out, std::uint32_t value);
+void append_le64(ByteBuffer& out, std::uint64_t value);
 
 /// Little-endian loads. Precondition: bytes.size() >= offset + width.
 [[nodiscard]] std::uint16_t load_le16(ByteView bytes, std::size_t offset);
 [[nodiscard]] std::uint32_t load_le32(ByteView bytes, std::size_t offset);
+[[nodiscard]] std::uint64_t load_le64(ByteView bytes, std::size_t offset);
 
 /// Converts a string literal / payload to a byte buffer (no NUL added).
 [[nodiscard]] ByteBuffer to_bytes(std::string_view text);

@@ -1,0 +1,346 @@
+// Wire-protocol framing: golden byte layouts, encode/decode round
+// trips, the typed-error taxonomy for malformed and oversize frames,
+// and FrameDecoder reassembly across arbitrary read() boundaries —
+// including the poisoned-decoder contract that makes a corrupt
+// length-prefixed stream unrecoverable by design.
+
+#include "mel/net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstring>
+#include <string>
+
+#include "mel/util/bytes.hpp"
+
+namespace mel::net {
+namespace {
+
+using util::ByteBuffer;
+using util::ByteView;
+using util::StatusCode;
+
+std::string as_string(ByteView bytes) {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+void store_le32(ByteBuffer& buffer, std::size_t offset, std::uint32_t value) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    buffer[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+ByteBuffer scan_frame(std::string payload = "GET / HTTP/1.1",
+                      service::TenantId tenant = 7,
+                      std::uint64_t request_id = 0x1122334455667788ull) {
+  return encode_scan_request(tenant, request_id, util::to_bytes(payload));
+}
+
+// --- Golden layout --------------------------------------------------------
+
+TEST(NetFrame, GoldenScanRequestLayout) {
+  // Acceptance: the exact byte layout documented in frame.hpp — any
+  // drift here is a wire-format break, not a refactor.
+  const ByteBuffer frame = encode_scan_request(0x0A0B0C0Du, 0x1122334455667788ull,
+                                               util::to_bytes("AB"));
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 2);
+  EXPECT_EQ(frame[0], 'M');
+  EXPECT_EQ(frame[1], 'E');
+  EXPECT_EQ(frame[2], 'L');
+  EXPECT_EQ(frame[3], 'W');
+  EXPECT_EQ(frame[4], kProtocolVersion);
+  EXPECT_EQ(frame[5], static_cast<std::uint8_t>(FrameType::kScanRequest));
+  EXPECT_EQ(frame[6], 0);  // flags LE
+  EXPECT_EQ(frame[7], 0);
+  EXPECT_EQ(util::load_le32(frame, 8), 0x0A0B0C0Du);
+  EXPECT_EQ(util::load_le64(frame, 12), 0x1122334455667788ull);
+  EXPECT_EQ(util::load_le32(frame, 20), 2u);
+  EXPECT_EQ(frame[24], 'A');
+  EXPECT_EQ(frame[25], 'B');
+}
+
+TEST(NetFrame, PingAndPongAreHeaderOnly) {
+  EXPECT_EQ(encode_ping(3).size(), kFrameHeaderBytes);
+  EXPECT_EQ(encode_pong(3).size(), kFrameHeaderBytes);
+}
+
+// --- Round trips ----------------------------------------------------------
+
+TEST(NetFrame, ScanRequestRoundTrip) {
+  FrameDecoder decoder;
+  decoder.feed(scan_frame());
+  auto next = decoder.next();
+  ASSERT_TRUE(next.is_ok()) << next.status().to_string();
+  ASSERT_TRUE(next.value().has_value());
+  const FrameView& view = *next.value();
+  EXPECT_EQ(view.header.type, FrameType::kScanRequest);
+  EXPECT_EQ(view.header.version, kProtocolVersion);
+  EXPECT_EQ(view.header.tenant, 7u);
+  EXPECT_EQ(view.header.request_id, 0x1122334455667788ull);
+  EXPECT_EQ(as_string(view.payload), "GET / HTTP/1.1");
+  decoder.release();
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(NetFrame, VerdictBodyRoundTripsBitLossless) {
+  // Doubles travel as IEEE-754 bit patterns: the decoded verdict must
+  // be bit-identical, including a threshold that is not exactly
+  // representable in decimal.
+  WireVerdict verdict;
+  verdict.malicious = true;
+  verdict.degraded = false;
+  verdict.is_text = true;
+  verdict.loop_detected = true;
+  verdict.mel = -61;  // Signed lower bound survives the u64 transport.
+  verdict.threshold = 41.3;
+  verdict.alpha = 0.01;
+  verdict.scan_id = 0xFEDCBA9876543210ull;
+
+  FrameDecoder decoder;
+  decoder.feed(encode_verdict(9, 77, verdict));
+  auto next = decoder.next();
+  ASSERT_TRUE(next.is_ok());
+  ASSERT_TRUE(next.value().has_value());
+  EXPECT_EQ(next.value()->header.type, FrameType::kVerdict);
+  auto decoded = decode_verdict_body(next.value()->payload);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value(), verdict);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.value().threshold),
+            std::bit_cast<std::uint64_t>(verdict.threshold));
+}
+
+TEST(NetFrame, ErrorBodyCarriesStatusCodeMessageAndRetryAfter) {
+  const util::Status refusal =
+      util::Status::unavailable("shed: bucket empty")
+          .with_retry_after(std::chrono::milliseconds(25));
+  FrameDecoder decoder;
+  decoder.feed(encode_error(3, 12, refusal));
+  auto next = decoder.next();
+  ASSERT_TRUE(next.is_ok());
+  ASSERT_TRUE(next.value().has_value());
+  EXPECT_EQ(next.value()->header.type, FrameType::kError);
+  auto decoded = decode_error_body(next.value()->payload);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(decoded.value().status.message(), "shed: bucket empty");
+  EXPECT_EQ(decoded.value().status.retry_after(),
+            std::chrono::milliseconds(25));
+  EXPECT_EQ(decoded.value().server_version, kProtocolVersion);
+}
+
+TEST(NetFrame, ErrorMessageTruncatedToCap) {
+  const std::string long_message(4 * kMaxErrorMessageBytes, 'x');
+  FrameDecoder decoder;
+  decoder.feed(encode_error(0, 0, util::Status::internal(long_message)));
+  auto next = decoder.next();
+  ASSERT_TRUE(next.is_ok());
+  ASSERT_TRUE(next.value().has_value());
+  auto decoded = decode_error_body(next.value()->payload);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().status.message().size(), kMaxErrorMessageBytes);
+}
+
+// --- Malformed frames: the typed-error taxonomy ---------------------------
+
+StatusCode decode_error_code(ByteBuffer frame) {
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  return decoder.next().status().code();
+}
+
+TEST(NetFrame, BadMagicIsInvalidArgument) {
+  ByteBuffer frame = scan_frame();
+  frame[0] = 'X';
+  EXPECT_EQ(decode_error_code(frame), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrame, VersionSkewIsInvalidArgument) {
+  ByteBuffer frame = scan_frame();
+  frame[4] = kProtocolVersion + 1;
+  EXPECT_EQ(decode_error_code(frame), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrame, UnknownTypeIsInvalidArgument) {
+  ByteBuffer frame = scan_frame();
+  frame[5] = 0x7F;
+  EXPECT_EQ(decode_error_code(frame), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrame, NonzeroFlagsAreInvalidArgument) {
+  // Flags are the forward-compat escape hatch: v2 peers must reject
+  // them rather than silently ignore semantics they do not know.
+  ByteBuffer frame = scan_frame();
+  frame[6] = 0x01;
+  EXPECT_EQ(decode_error_code(frame), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrame, ConfiguredCapBreachIsPayloadTooLarge) {
+  // A well-formed frame over the deployment cap is "too large", not
+  // malformed — callers can retry against a bigger-cap endpoint.
+  FrameDecoder decoder(FrameLimits{.max_payload_bytes = 8});
+  decoder.feed(scan_frame("123456789"));
+  EXPECT_EQ(decoder.next().status().code(), StatusCode::kPayloadTooLarge);
+}
+
+TEST(NetFrame, AbsoluteCeilingBreachIsInvalidArgument) {
+  // Over the architectural ceiling the declared length itself is
+  // malformed: no configuration may accept it.
+  ByteBuffer frame = scan_frame();
+  store_le32(frame, 20, kAbsoluteMaxFramePayloadBytes + 1);
+  FrameDecoder decoder(
+      FrameLimits{.max_payload_bytes = kAbsoluteMaxFramePayloadBytes});
+  decoder.feed(frame);
+  EXPECT_EQ(decoder.next().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrame, PoisonedDecoderStaysPoisoned) {
+  ByteBuffer frame = scan_frame();
+  frame[0] = 'X';
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  const util::Status first = decoder.next().status();
+  ASSERT_FALSE(first.is_ok());
+  // Even fresh valid bytes cannot revive it: the stream lost framing.
+  decoder.feed(scan_frame());
+  const util::Status second = decoder.next().status();
+  EXPECT_EQ(second.code(), first.code());
+  EXPECT_EQ(second.message(), first.message());
+}
+
+TEST(NetFrame, InvalidLimitsFallBackToDefaults) {
+  EXPECT_EQ(FrameLimits{.max_payload_bytes = 0}.validate().code(),
+            StatusCode::kInvalidConfig);
+  const FrameDecoder decoder(FrameLimits{.max_payload_bytes = 0});
+  EXPECT_EQ(decoder.limits().max_payload_bytes, FrameLimits{}.max_payload_bytes);
+}
+
+// --- Reassembly across read boundaries ------------------------------------
+
+TEST(NetFrame, ByteAtATimeReassembly) {
+  const ByteBuffer wire = scan_frame();
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    decoder.feed(ByteView(&wire[i], 1));
+    auto next = decoder.next();
+    ASSERT_TRUE(next.is_ok()) << "at byte " << i;
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(next.value().has_value()) << "frame complete early at " << i;
+    } else {
+      ASSERT_TRUE(next.value().has_value());
+      EXPECT_EQ(as_string(next.value()->payload), "GET / HTTP/1.1");
+    }
+  }
+}
+
+TEST(NetFrame, PipelinedFramesDecodeInOrder) {
+  ByteBuffer wire = scan_frame("first", 1, 10);
+  const ByteBuffer second = scan_frame("second", 2, 20);
+  wire.insert(wire.end(), second.begin(), second.end());
+  const ByteBuffer ping = encode_ping(30);
+  wire.insert(wire.end(), ping.begin(), ping.end());
+
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  auto first = decoder.next();
+  ASSERT_TRUE(first.is_ok() && first.value().has_value());
+  EXPECT_EQ(as_string(first.value()->payload), "first");
+  decoder.release();
+  auto next = decoder.next();
+  ASSERT_TRUE(next.is_ok() && next.value().has_value());
+  EXPECT_EQ(as_string(next.value()->payload), "second");
+  decoder.release();
+  auto last = decoder.next();
+  ASSERT_TRUE(last.is_ok() && last.value().has_value());
+  EXPECT_EQ(last.value()->header.type, FrameType::kPing);
+  EXPECT_EQ(last.value()->header.request_id, 30u);
+  decoder.release();
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(NetFrame, WriteAreaCommitZeroCopyPath) {
+  // The server's read path: ask for a write area, copy in a partial
+  // read, commit exactly what arrived. Uncommitted tail bytes must
+  // never reach the parser.
+  const ByteBuffer wire = scan_frame();
+  FrameDecoder decoder;
+  const std::size_t split = kFrameHeaderBytes + 3;
+
+  std::span<std::uint8_t> area = decoder.write_area(1024);
+  ASSERT_GE(area.size(), split);
+  std::memcpy(area.data(), wire.data(), split);
+  decoder.commit(split);
+  EXPECT_EQ(decoder.buffered_bytes(), split);
+  auto partial = decoder.next();
+  ASSERT_TRUE(partial.is_ok());
+  EXPECT_FALSE(partial.value().has_value());
+
+  // A second write_area abandons nothing already committed.
+  area = decoder.write_area(1024);
+  std::memcpy(area.data(), wire.data() + split, wire.size() - split);
+  decoder.commit(wire.size() - split);
+  auto complete = decoder.next();
+  ASSERT_TRUE(complete.is_ok());
+  ASSERT_TRUE(complete.value().has_value());
+  EXPECT_EQ(as_string(complete.value()->payload), "GET / HTTP/1.1");
+}
+
+TEST(NetFrame, AbandonedWriteAreaIsTrimmed) {
+  FrameDecoder decoder;
+  // Open a write area and abandon it (commit 0): its bytes must not
+  // count as buffered, and the next frame must decode cleanly.
+  (void)decoder.write_area(512);
+  decoder.commit(0);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  decoder.feed(encode_ping(5));
+  auto next = decoder.next();
+  ASSERT_TRUE(next.is_ok());
+  ASSERT_TRUE(next.value().has_value());
+  EXPECT_EQ(next.value()->header.request_id, 5u);
+}
+
+TEST(NetFrame, TruncatedStreamReportsIncompleteNotError) {
+  const ByteBuffer wire = scan_frame();
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{11},
+                                 kFrameHeaderBytes, wire.size() - 3}) {
+    FrameDecoder decoder;
+    decoder.feed(ByteView(wire).first(keep));
+    auto next = decoder.next();
+    ASSERT_TRUE(next.is_ok()) << "prefix " << keep;
+    EXPECT_FALSE(next.value().has_value()) << "prefix " << keep;
+  }
+}
+
+// --- Body-decoder hardening ------------------------------------------------
+
+TEST(NetFrame, VerdictBodyRejectsWrongSizeAndJunkFlags) {
+  EXPECT_EQ(decode_verdict_body(ByteBuffer(kVerdictBodyBytes - 1)).code(),
+            StatusCode::kInvalidArgument);
+  ByteBuffer body(kVerdictBodyBytes, std::uint8_t{0});
+  body[0] = 2;  // Flag bytes are strictly 0/1.
+  EXPECT_EQ(decode_verdict_body(body).code(), StatusCode::kInvalidArgument);
+  body[0] = 0;
+  body[4] = 1;  // Reserved field must be zero.
+  EXPECT_EQ(decode_verdict_body(body).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrame, ErrorBodyRejectsUnknownCodeAndLengthMismatch) {
+  const ByteBuffer valid =
+      encode_error(0, 0, util::Status::unavailable("x"));
+  const ByteView body =
+      ByteView(valid).subspan(kFrameHeaderBytes);
+  ASSERT_TRUE(decode_error_body(body).is_ok());
+
+  ByteBuffer mutated(body.begin(), body.end());
+  mutated[0] = 0;  // kOk is not a refusal.
+  EXPECT_EQ(decode_error_body(mutated).code(), StatusCode::kInvalidArgument);
+  mutated[0] = 0xEE;  // Out of the enum.
+  EXPECT_EQ(decode_error_body(mutated).code(), StatusCode::kInvalidArgument);
+
+  mutated = ByteBuffer(body.begin(), body.end());
+  mutated[2] = 200;  // Declared message length beyond the body.
+  EXPECT_EQ(decode_error_body(mutated).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mel::net

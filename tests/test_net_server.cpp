@@ -1,0 +1,454 @@
+// MelServer loopback behavior: verdicts over the wire are bit-identical
+// to direct ScanService::scan calls at 1 and N shards (the shared-
+// nothing design's core promise), tenant overrides and durable state
+// apply end to end, and the refusal paths — overload, oversize frames,
+// malformed bytes, connection caps — all answer with well-formed typed
+// error frames before closing.
+
+#include "mel/net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mel/net/client.hpp"
+#include "mel/persist/snapshot_file.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/email_gen.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::net {
+namespace {
+
+using util::ByteBuffer;
+using util::ByteView;
+using util::StatusCode;
+
+/// The bench's mixed gateway corpus: HTTP bodies, mail bodies, text
+/// worms, deterministically shuffled (same recipe as
+/// bench_parallel_throughput).
+std::vector<ByteBuffer> make_traffic(std::size_t http_cases,
+                                     std::size_t mail_cases,
+                                     std::size_t worm_cases) {
+  traffic::BenignDatasetOptions http_options;
+  http_options.cases = http_cases;
+  http_options.case_size = 4000;
+  auto corpus = traffic::make_benign_dataset(http_options);
+  const traffic::EmailGenerator email;
+  for (auto& mail : email.make_mail_corpus(mail_cases, 4000, 13)) {
+    corpus.push_back(std::move(mail));
+  }
+  for (const auto& worm : textcode::text_worm_corpus(worm_cases, 2008)) {
+    corpus.push_back(worm.bytes);
+  }
+  util::Xoshiro256 rng(7);
+  for (std::size_t i = corpus.size(); i > 1; --i) {
+    std::swap(corpus[i - 1], corpus[rng.next_below(i)]);
+  }
+  return corpus;
+}
+
+ServerConfig base_config() {
+  ServerConfig config;
+  config.service.detector.alpha = 0.01;
+  return config;
+}
+
+std::unique_ptr<MelServer> start_server(ServerConfig config) {
+  auto server = MelServer::start(std::move(config));
+  EXPECT_TRUE(server.is_ok()) << server.status().to_string();
+  return std::move(server).take();
+}
+
+ScanClient connect_client(const MelServer& server,
+                          service::TenantId tenant = service::kDefaultTenant) {
+  ClientConfig config;
+  config.port = server.port();
+  config.tenant = tenant;
+  auto client = ScanClient::connect(std::move(config));
+  EXPECT_TRUE(client.is_ok()) << client.status().to_string();
+  return std::move(client).take();
+}
+
+/// Field-by-field bit identity, scan_id excluded (a per-service
+/// monotone counter, not part of the verdict).
+void expect_bit_identical(const WireVerdict& wire,
+                          const service::ScanReport& direct,
+                          const std::string& context) {
+  EXPECT_EQ(wire.malicious, direct.verdict.malicious) << context;
+  EXPECT_EQ(wire.degraded, direct.verdict.degraded) << context;
+  EXPECT_EQ(wire.is_text, direct.verdict.is_text) << context;
+  EXPECT_EQ(wire.loop_detected, direct.verdict.loop_detected) << context;
+  EXPECT_EQ(wire.mel, direct.verdict.mel) << context;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(wire.threshold),
+            std::bit_cast<std::uint64_t>(direct.verdict.threshold))
+      << context;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(wire.alpha),
+            std::bit_cast<std::uint64_t>(direct.verdict.alpha))
+      << context;
+}
+
+/// Minimal raw TCP peer for the protocol-violation tests, where
+/// ScanClient's own guardrails would refuse to send the bytes.
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    ::sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<const ::sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(ByteView bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ::ssize_t n = ::send(fd_, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Blocks until one full frame arrives; decodes its error body.
+  WireError read_error_frame() {
+    WireError error;
+    while (true) {
+      auto next = decoder_.next();
+      if (!next.is_ok()) {
+        ADD_FAILURE() << "server sent garbage: " << next.status().to_string();
+        return error;
+      }
+      if (next.value().has_value()) {
+        EXPECT_EQ(next.value()->header.type, FrameType::kError);
+        auto decoded = decode_error_body(next.value()->payload);
+        EXPECT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+        if (decoded.is_ok()) error = std::move(decoded).take();
+        decoder_.release();
+        return error;
+      }
+      std::span<std::uint8_t> area = decoder_.write_area(4096);
+      const ::ssize_t n = ::recv(fd_, area.data(), area.size(), 0);
+      decoder_.commit(n > 0 ? static_cast<std::size_t>(n) : 0);
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed before an error frame arrived";
+        return error;
+      }
+    }
+  }
+
+  /// True when the server hung up (EOF) with no further bytes.
+  bool at_eof() {
+    std::uint8_t byte = 0;
+    return ::recv(fd_, &byte, 1, 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+// --- Config validation ----------------------------------------------------
+
+TEST(NetServer, StartRejectsZeroShards) {
+  ServerConfig config = base_config();
+  config.shards = 0;
+  EXPECT_EQ(MelServer::start(config).code(), StatusCode::kInvalidConfig);
+}
+
+TEST(NetServer, StartRejectsFrameCapAboveServicePayloadCap) {
+  // A frame the service must refuse should never be buffered: the two
+  // caps share the service's own validation vocabulary.
+  ServerConfig config = base_config();
+  config.service.max_payload_bytes = 1024;
+  config.frame.max_payload_bytes = 2048;
+  EXPECT_EQ(MelServer::start(config).code(), StatusCode::kInvalidConfig);
+}
+
+TEST(NetServer, StartRejectsInvalidDetectorConfigThroughServiceValidate) {
+  ServerConfig config = base_config();
+  config.service.detector.alpha = 2.0;  // DetectorConfig::validate fails.
+  EXPECT_EQ(MelServer::start(config).code(), StatusCode::kInvalidConfig);
+}
+
+TEST(NetServer, StartRejectsNonIPv4BindAddress) {
+  ServerConfig config = base_config();
+  config.bind_address = "not-an-address";
+  EXPECT_EQ(MelServer::start(config).code(), StatusCode::kInvalidConfig);
+}
+
+// --- Basic serving --------------------------------------------------------
+
+TEST(NetServer, BindsEphemeralPortAndAnswersPing) {
+  auto server = start_server(base_config());
+  EXPECT_NE(server->port(), 0);
+  EXPECT_EQ(server->state(), service::ServiceState::kServing);
+  ScanClient client = connect_client(*server);
+  EXPECT_TRUE(client.ping().is_ok());
+  EXPECT_TRUE(client.ping().is_ok());  // Connection stays usable.
+}
+
+TEST(NetServer, LoopbackVerdictsBitIdenticalAcrossShardCounts) {
+  // Acceptance (ISSUE 8): the wire verdict for every payload of the
+  // 296-payload gateway corpus is bit-identical to a direct in-process
+  // ScanService::scan, at 1 shard and at N shards — sharding and the
+  // network hop must be invisible in the verdict.
+  const std::vector<ByteBuffer> corpus = make_traffic(220, 60, 16);
+
+  ServerConfig config = base_config();
+  auto direct = service::ScanService::create(config.service);
+  ASSERT_TRUE(direct.is_ok()) << direct.status().to_string();
+  service::ScanService oracle = std::move(direct).take();
+  std::vector<util::StatusOr<service::ScanReport>> expected;
+  expected.reserve(corpus.size());
+  for (const ByteBuffer& payload : corpus) {
+    expected.push_back(oracle.scan(service::ScanRequest{.payload = payload}));
+  }
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    config.shards = shards;
+    auto server = start_server(config);
+    ASSERT_EQ(server->shard_count(), shards);
+
+    // Three round-robined connections: at 3 shards every shard serves
+    // part of the corpus, proving the verdict does not depend on which
+    // shard a connection landed on.
+    std::vector<ScanClient> clients;
+    for (int i = 0; i < 3; ++i) clients.push_back(connect_client(*server));
+
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const auto wire = clients[i % clients.size()].scan(corpus[i]);
+      const std::string context = "payload " + std::to_string(i) + " at " +
+                                  std::to_string(shards) + " shard(s)";
+      ASSERT_EQ(wire.is_ok(), expected[i].is_ok()) << context;
+      if (!wire.is_ok()) {
+        EXPECT_EQ(wire.status().code(), expected[i].status().code())
+            << context;
+        continue;
+      }
+      expect_bit_identical(wire.value(), expected[i].value(), context);
+    }
+    const ServerStats stats = server->stats();
+    EXPECT_EQ(stats.scans_ok + stats.scans_rejected, corpus.size());
+    server->drain();
+  }
+}
+
+// --- Tenant-scoped scanning -----------------------------------------------
+
+TEST(NetServer, TenantDetectorOverrideAppliesOverTheWire) {
+  ServerConfig config = base_config();
+  service::TenantConfig tenant;
+  tenant.id = 7;
+  tenant.name = "acme";
+  core::DetectorConfig override_detector = config.service.detector;
+  override_detector.alpha = 0.0625;
+  tenant.detector = override_detector;
+  config.service.tenants.push_back(tenant);
+  config.shards = 2;
+
+  auto direct = service::ScanService::create(config.service);
+  ASSERT_TRUE(direct.is_ok()) << direct.status().to_string();
+  service::ScanService oracle = std::move(direct).take();
+
+  auto server = start_server(config);
+  ScanClient tenant_client = connect_client(*server, 7);
+  ScanClient default_client = connect_client(*server);
+
+  const ByteBuffer payload = make_traffic(1, 0, 0).front();
+  const auto tenant_wire = tenant_client.scan(payload);
+  ASSERT_TRUE(tenant_wire.is_ok()) << tenant_wire.status().to_string();
+  EXPECT_EQ(tenant_wire.value().alpha, 0.0625);
+
+  const auto tenant_direct = oracle.scan(
+      service::ScanRequest{.payload = payload, .tenant = 7});
+  ASSERT_TRUE(tenant_direct.is_ok());
+  expect_bit_identical(tenant_wire.value(), tenant_direct.value(),
+                       "tenant 7 override");
+
+  const auto default_wire = default_client.scan(payload);
+  ASSERT_TRUE(default_wire.is_ok());
+  EXPECT_EQ(default_wire.value().alpha, 0.01);
+}
+
+TEST(NetServer, UnknownTenantRefusedWithSameCodeAsDirectCall) {
+  ServerConfig config = base_config();
+  auto direct = service::ScanService::create(config.service);
+  ASSERT_TRUE(direct.is_ok());
+  service::ScanService oracle = std::move(direct).take();
+
+  auto server = start_server(config);
+  ScanClient client = connect_client(*server, /*tenant=*/99);
+  const ByteBuffer payload = util::to_bytes("hello tenant");
+  const auto wire = client.scan(payload);
+  const auto expected =
+      oracle.scan(service::ScanRequest{.payload = payload, .tenant = 99});
+  ASSERT_FALSE(wire.is_ok());
+  ASSERT_FALSE(expected.is_ok());
+  EXPECT_EQ(wire.status().code(), expected.status().code());
+  // Frame-scoped refusal: the connection survives for the next scan.
+  EXPECT_TRUE(client.ping().is_ok());
+}
+
+// --- Refusal paths ---------------------------------------------------------
+
+TEST(NetServer, OverloadRefusalCarriesRetryAfter) {
+  ServerConfig config = base_config();
+  config.service.admission.rate_per_sec = 1.0;
+  config.service.admission.burst = 1.0;
+  auto server = start_server(config);
+  ScanClient client = connect_client(*server);
+
+  const ByteBuffer payload = util::to_bytes("rate limited payload");
+  const auto first = client.scan(payload);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+
+  // The single token is spent; the immediate retry is shed with a
+  // well-formed retry-after hint, and the connection stays usable.
+  const auto second = client.scan(payload);
+  ASSERT_FALSE(second.is_ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(second.status().retry_after().count(), 0);
+  EXPECT_TRUE(client.ping().is_ok());
+  EXPECT_GE(server->stats().scans_rejected, 1u);
+}
+
+TEST(NetServer, OversizeFrameAnsweredWithPayloadTooLargeThenClosed) {
+  ServerConfig config = base_config();
+  config.frame.max_payload_bytes = 64;
+  auto server = start_server(config);
+
+  RawConn conn(server->port());
+  conn.send(encode_scan_request(0, 1, ByteBuffer(100, std::uint8_t{'A'})));
+  const WireError error = conn.read_error_frame();
+  EXPECT_EQ(error.status.code(), StatusCode::kPayloadTooLarge);
+  EXPECT_EQ(error.server_version, kProtocolVersion);
+  // A corrupt length-prefixed stream cannot resynchronize: hang up.
+  EXPECT_TRUE(conn.at_eof());
+}
+
+TEST(NetServer, MalformedMagicAnsweredWithTypedErrorThenClosed) {
+  auto server = start_server(base_config());
+  RawConn conn(server->port());
+  conn.send(util::to_bytes("XXXX this is not a MELW frame, not even close"));
+  const WireError error = conn.read_error_frame();
+  EXPECT_EQ(error.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(conn.at_eof());
+  EXPECT_GE(server->stats().connections_dropped, 1u);
+}
+
+TEST(NetServer, ResponseTypedFrameFromClientRefused) {
+  auto server = start_server(base_config());
+  RawConn conn(server->port());
+  conn.send(encode_pong(9));  // Server-to-client type from a client.
+  const WireError error = conn.read_error_frame();
+  EXPECT_EQ(error.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(conn.at_eof());
+}
+
+TEST(NetServer, ConnectionLimitRefusalCarriesRetryAfter) {
+  ServerConfig config = base_config();
+  config.max_connections = 1;
+  auto server = start_server(config);
+
+  ScanClient occupant = connect_client(*server);
+  ASSERT_TRUE(occupant.ping().is_ok());  // Occupies the single slot.
+
+  RawConn refused(server->port());
+  const WireError error = refused.read_error_frame();
+  EXPECT_EQ(error.status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(error.status.retry_after().count(), 0);
+  EXPECT_TRUE(refused.at_eof());
+  EXPECT_GE(server->stats().connections_refused, 1u);
+}
+
+// --- Lifecycle and durable state ------------------------------------------
+
+TEST(NetServer, DrainStopsEveryShardAndIsIdempotent) {
+  auto server = start_server(base_config());
+  ScanClient client = connect_client(*server);
+  ASSERT_TRUE(client.scan(util::to_bytes("drain me gently")).is_ok());
+
+  server->drain();
+  EXPECT_EQ(server->state(), service::ServiceState::kStopped);
+  EXPECT_GE(server->stats().scans_ok, 1u);
+  server->drain();  // Second drain is a no-op, not a crash.
+  EXPECT_EQ(server->state(), service::ServiceState::kStopped);
+}
+
+TEST(NetServer, RestoresPerTenantSnapshotsAndSavesOnDrain) {
+  const std::string default_path =
+      ::testing::TempDir() + "mel_net_default.snap";
+  const std::string tenant_path = ::testing::TempDir() + "mel_net_acme.snap";
+  std::remove(default_path.c_str());
+  std::remove(tenant_path.c_str());
+
+  ServerConfig config = base_config();
+  config.snapshot_path = default_path;
+  service::TenantConfig tenant;
+  tenant.id = 7;
+  tenant.name = "acme";
+  tenant.snapshot_path = tenant_path;
+  config.service.tenants.push_back(tenant);
+  config.shards = 2;
+
+  // Pre-seed both snapshot files with calibrations that differ from the
+  // configured detector: a restore-and-apply start must serve them.
+  persist::PersistentState default_state;
+  default_state.detector = config.service.detector;
+  default_state.detector.alpha = 0.125;
+  default_state.tau = 50.0;
+  default_state.calibration_point_chars = config.service.window_size;
+  ASSERT_TRUE(persist::save_snapshot(default_state, default_path).is_ok());
+  persist::PersistentState tenant_state = default_state;
+  tenant_state.detector.alpha = 0.25;
+  ASSERT_TRUE(persist::save_snapshot(tenant_state, tenant_path).is_ok());
+
+  auto server = start_server(config);
+  ASSERT_NE(server->state_manager(service::kDefaultTenant), nullptr);
+  ASSERT_NE(server->state_manager(7), nullptr);
+  EXPECT_EQ(server->state_manager(service::kDefaultTenant)->restore_source(),
+            persist::RestoreSource::kPrimary);
+
+  const ByteBuffer payload = util::to_bytes(
+      "an unremarkable piece of benign keyboard text for calibration");
+  ScanClient default_client = connect_client(*server);
+  const auto default_verdict = default_client.scan(payload);
+  ASSERT_TRUE(default_verdict.is_ok());
+  EXPECT_EQ(default_verdict.value().alpha, 0.125);
+
+  ScanClient tenant_client = connect_client(*server, 7);
+  const auto tenant_verdict = tenant_client.scan(payload);
+  ASSERT_TRUE(tenant_verdict.is_ok());
+  EXPECT_EQ(tenant_verdict.value().alpha, 0.25);
+
+  // Drain re-persists both managers; the files must restore cleanly.
+  server->drain();
+  EXPECT_EQ(persist::restore_snapshot(default_path, {}).source,
+            persist::RestoreSource::kPrimary);
+  EXPECT_EQ(persist::restore_snapshot(tenant_path, {}).source,
+            persist::RestoreSource::kPrimary);
+  std::remove(default_path.c_str());
+  std::remove(tenant_path.c_str());
+  std::remove((default_path + ".bak").c_str());
+  std::remove((tenant_path + ".bak").c_str());
+}
+
+}  // namespace
+}  // namespace mel::net

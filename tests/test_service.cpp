@@ -195,38 +195,27 @@ TEST_F(ServiceTest, StreamSessionCatchesMidStreamWorm) {
   EXPECT_EQ(service.stats().alarms, alerts);
 }
 
-// --- Deprecated positional shims -----------------------------------------
-
-// The pre-PR3 overloads must keep returning the exact same results as
-// the ScanRequest form for their deprecation window. This is the one
-// place allowed to call them.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(ServiceTest, DeprecatedPositionalShimsMatchScanRequestForm) {
+// The ScanRequest form is THE entry point (the pre-PR3 positional shims
+// and the ScanOutcome alias were removed with the v2 API): a scratch
+// arena rides in the request and changes nothing about the verdict.
+TEST_F(ServiceTest, ScratchArenaInRequestLeavesVerdictIdentical) {
   ScanService service = make_service();
   const util::ByteBuffer payload = benign_text(2048, 21);
 
-  const auto via_request = service.scan(ScanRequest{.payload = payload});
-  const auto via_shim = service.scan(payload);
+  const auto plain = service.scan(ScanRequest{.payload = payload});
   exec::MelScratch scratch;
-  const auto via_scratch_shim = service.scan(payload, scratch);
+  const auto with_scratch =
+      service.scan(ScanRequest{.payload = payload, .scratch = &scratch});
 
-  ASSERT_TRUE(via_request.is_ok());
-  ASSERT_TRUE(via_shim.is_ok());
-  ASSERT_TRUE(via_scratch_shim.is_ok());
-  for (const ScanReport* report :
-       {&via_shim.value(), &via_scratch_shim.value()}) {
-    EXPECT_EQ(report->verdict.malicious, via_request.value().verdict.malicious);
-    EXPECT_EQ(report->verdict.mel, via_request.value().verdict.mel);
-    EXPECT_DOUBLE_EQ(report->verdict.threshold,
-                     via_request.value().verdict.threshold);
-    EXPECT_TRUE(report->trace.empty());  // Shims never opt into tracing.
-  }
-  // The deprecated alias still names the same type.
-  const ScanOutcome& alias = via_shim.value();
-  EXPECT_EQ(alias.scan_id, via_shim.value().scan_id);
+  ASSERT_TRUE(plain.is_ok());
+  ASSERT_TRUE(with_scratch.is_ok());
+  EXPECT_EQ(with_scratch.value().verdict.malicious,
+            plain.value().verdict.malicious);
+  EXPECT_EQ(with_scratch.value().verdict.mel, plain.value().verdict.mel);
+  EXPECT_DOUBLE_EQ(with_scratch.value().verdict.threshold,
+                   plain.value().verdict.threshold);
+  EXPECT_TRUE(with_scratch.value().trace.empty());
 }
-#pragma GCC diagnostic pop
 
 TEST_F(ServiceTest, StreamBackpressureSurfacesAsResourceExhausted) {
   ServiceConfig config;

@@ -1,0 +1,219 @@
+// Tenant scoping at the service layer (the ScanRequest v2 API):
+// TenantConfig/registry validation, per-tenant detector overrides and
+// calibration swaps, per-tenant admission quotas layered under the
+// service-wide gate, and the per-tenant counters the metric series
+// mirror.
+
+#include "mel/service/tenant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "mel/service/scan_service.hpp"
+#include "mel/traffic/english_model.hpp"
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::service {
+namespace {
+
+using util::StatusCode;
+
+util::ByteBuffer benign_text(std::size_t size, std::uint64_t seed) {
+  traffic::MarkovTextGenerator generator;
+  util::Xoshiro256 rng(seed);
+  return util::to_bytes(generator.generate(size, rng));
+}
+
+TenantConfig valid_tenant(TenantId id = 7, std::string name = "acme") {
+  TenantConfig config;
+  config.id = id;
+  config.name = std::move(name);
+  return config;
+}
+
+ScanService make_service(ServiceConfig config = {}) {
+  auto result = ScanService::create(std::move(config));
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return std::move(result).take();
+}
+
+class TenantTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::fault::reset(); }
+  void TearDown() override { util::fault::reset(); }
+};
+
+// --- TenantConfig validation ----------------------------------------------
+
+TEST_F(TenantTest, ValidConfigPasses) {
+  EXPECT_TRUE(valid_tenant().validate().is_ok());
+}
+
+TEST_F(TenantTest, DefaultTenantIdRejected) {
+  // kDefaultTenant is the service itself; registering it would shadow
+  // the ServiceConfig defaults.
+  EXPECT_EQ(valid_tenant(kDefaultTenant).validate().code(),
+            StatusCode::kInvalidConfig);
+}
+
+TEST_F(TenantTest, NamesAreLabelInjectionProofByConstruction) {
+  EXPECT_TRUE(is_valid_tenant_name("acme-corp_01"));
+  EXPECT_FALSE(is_valid_tenant_name(""));
+  EXPECT_FALSE(is_valid_tenant_name("Uppercase"));
+  EXPECT_FALSE(is_valid_tenant_name("has space"));
+  EXPECT_FALSE(is_valid_tenant_name("quote\"inject"));
+  EXPECT_FALSE(is_valid_tenant_name("line\nbreak"));
+  EXPECT_FALSE(is_valid_tenant_name(std::string(65, 'a')));
+  EXPECT_EQ(valid_tenant(7, "Not A Label").validate().code(),
+            StatusCode::kInvalidConfig);
+}
+
+TEST_F(TenantTest, DetectorOverrideRoutedThroughDetectorValidate) {
+  TenantConfig config = valid_tenant();
+  core::DetectorConfig detector;
+  detector.alpha = 2.0;
+  config.detector = detector;
+  EXPECT_EQ(config.validate().code(), StatusCode::kInvalidConfig);
+}
+
+TEST_F(TenantTest, AdmissionConfigRoutedThroughItsValidate) {
+  TenantConfig config = valid_tenant();
+  config.admission.rate_per_sec = 10.0;
+  config.admission.burst = 0.0;  // Bucket that can never hold a token.
+  EXPECT_EQ(config.validate().code(), StatusCode::kInvalidConfig);
+}
+
+TEST_F(TenantTest, NonFiniteDegradedThresholdRejected) {
+  TenantConfig config = valid_tenant();
+  config.degraded_threshold = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(config.validate().code(), StatusCode::kInvalidConfig);
+}
+
+// --- TenantRegistry -------------------------------------------------------
+
+TEST_F(TenantTest, RegistryRejectsDuplicateIdsAndNames) {
+  EXPECT_EQ(TenantRegistry::create({valid_tenant(7, "a"), valid_tenant(7, "b")})
+                .code(),
+            StatusCode::kInvalidConfig);
+  EXPECT_EQ(
+      TenantRegistry::create({valid_tenant(7, "a"), valid_tenant(8, "a")})
+          .code(),
+      StatusCode::kInvalidConfig);
+}
+
+TEST_F(TenantTest, RegistryLookupIsExactAndDefaultFree) {
+  auto registry =
+      TenantRegistry::create({valid_tenant(7, "acme"), valid_tenant(9, "bee")});
+  ASSERT_TRUE(registry.is_ok()) << registry.status().to_string();
+  EXPECT_EQ(registry.value()->size(), 2u);
+  ASSERT_NE(registry.value()->find(7), nullptr);
+  EXPECT_EQ(registry.value()->find(7)->config().name, "acme");
+  EXPECT_EQ(registry.value()->find(42), nullptr);
+  EXPECT_EQ(registry.value()->find(kDefaultTenant), nullptr);
+  EXPECT_EQ(registry.value()->entries().size(), 2u);
+  EXPECT_EQ(registry.value()->entries().front()->config().id, 7u);
+}
+
+TEST_F(TenantTest, RegistryCalibrationSwapIsValidatedAndScoped) {
+  auto registry = TenantRegistry::create({valid_tenant(7, "acme")}).take();
+  EXPECT_EQ(registry->find(7)->detector(), nullptr);  // Service default.
+
+  core::DetectorConfig bad;
+  bad.alpha = 2.0;
+  EXPECT_EQ(registry->apply_calibration(7, bad, 40.0).code(),
+            StatusCode::kInvalidConfig);
+  EXPECT_EQ(registry->find(7)->detector(), nullptr);  // Veto kept the old.
+
+  core::DetectorConfig good;
+  good.alpha = 0.0625;
+  EXPECT_TRUE(registry->apply_calibration(7, good, 40.0).is_ok());
+  EXPECT_NE(registry->find(7)->detector(), nullptr);
+
+  EXPECT_EQ(registry->apply_calibration(42, good, 40.0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- ScanService integration ----------------------------------------------
+
+TEST_F(TenantTest, TenantDetectorOverrideScopesTheVerdict) {
+  ServiceConfig config;
+  config.detector.alpha = 0.01;
+  TenantConfig tenant = valid_tenant();
+  core::DetectorConfig override_detector = config.detector;
+  override_detector.alpha = 0.0625;
+  tenant.detector = override_detector;
+  config.tenants.push_back(tenant);
+  ScanService service = make_service(config);
+
+  const util::ByteBuffer payload = benign_text(2048, 3);
+  const auto tenant_report =
+      service.scan(ScanRequest{.payload = payload, .tenant = 7});
+  ASSERT_TRUE(tenant_report.is_ok()) << tenant_report.status().to_string();
+  EXPECT_EQ(tenant_report.value().verdict.alpha, 0.0625);
+
+  const auto default_report = service.scan(ScanRequest{.payload = payload});
+  ASSERT_TRUE(default_report.is_ok());
+  EXPECT_EQ(default_report.value().verdict.alpha, 0.01);
+}
+
+TEST_F(TenantTest, UnknownTenantIsATypedRejection) {
+  ScanService service = make_service();
+  const auto report = service.scan(
+      ScanRequest{.payload = benign_text(512, 4), .tenant = 99});
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.stats().scans_rejected.load(), 1u);
+}
+
+TEST_F(TenantTest, TenantQuotaShedsOnlyThatTenant) {
+  ServiceConfig config;
+  TenantConfig tenant = valid_tenant();
+  tenant.admission.rate_per_sec = 1.0;
+  tenant.admission.burst = 1.0;
+  config.tenants.push_back(tenant);
+  ScanService service = make_service(config);
+  const util::ByteBuffer payload = benign_text(1024, 5);
+
+  ASSERT_TRUE(
+      service.scan(ScanRequest{.payload = payload, .tenant = 7}).is_ok());
+  const auto shed = service.scan(ScanRequest{.payload = payload, .tenant = 7});
+  ASSERT_FALSE(shed.is_ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(shed.status().retry_after().count(), 0);
+
+  // The default tenant rides the (disabled) service-wide limits.
+  EXPECT_TRUE(service.scan(ScanRequest{.payload = payload}).is_ok());
+
+  // The bucket refills on the fault clock: no sleeping in tests.
+  util::fault::advance_clock(std::chrono::seconds(2));
+  EXPECT_TRUE(
+      service.scan(ScanRequest{.payload = payload, .tenant = 7}).is_ok());
+}
+
+TEST_F(TenantTest, PerTenantCountersTrackOutcomes) {
+  ServiceConfig config;
+  TenantConfig tenant = valid_tenant();
+  tenant.admission.rate_per_sec = 1.0;
+  tenant.admission.burst = 1.0;
+  config.tenants.push_back(tenant);
+  ScanService service = make_service(config);
+  const TenantEntry* entry = service.tenants().find(7);
+  ASSERT_NE(entry, nullptr);
+
+  const util::ByteBuffer payload = benign_text(1024, 6);
+  ASSERT_TRUE(
+      service.scan(ScanRequest{.payload = payload, .tenant = 7}).is_ok());
+  ASSERT_FALSE(
+      service.scan(ScanRequest{.payload = payload, .tenant = 7}).is_ok());
+
+  EXPECT_EQ(entry->scans(), 2u);
+  EXPECT_EQ(entry->completed(), 1u);
+  EXPECT_EQ(entry->shed(), 1u);
+  EXPECT_EQ(entry->alarms(), 0u);
+}
+
+}  // namespace
+}  // namespace mel::service
