@@ -9,6 +9,11 @@
 //     quarter of the offered requests, so ~75% must be shed — every
 //     refusal a well-formed typed kUnavailable error frame with a
 //     retry-after hint. A single malformed refusal fails the bench.
+//   * faulty-network behavior: the socket fault matrix (short transfers,
+//     EAGAIN storms, peer RSTs, accept failures) armed while
+//     self-healing clients retry with backoff — reports the retry
+//     success rate and the post-storm recovery time. An untyped failure
+//     or a recovery above the gate fails the bench.
 //
 // Results go to stdout (human table) and BENCH_server_throughput.json
 // at the repo root (MEL_BENCH_REPO_ROOT, baked in by CMake) so CI can
@@ -28,6 +33,7 @@
 #include "mel/textcode/encoder.hpp"
 #include "mel/traffic/dataset.hpp"
 #include "mel/traffic/email_gen.hpp"
+#include "mel/util/fault_injection.hpp"
 #include "mel/util/rng.hpp"
 
 #ifndef MEL_BENCH_REPO_ROOT
@@ -116,6 +122,73 @@ void drive_client(std::uint16_t port,
       if (!client.connected()) return;  // Lost the connection: stop.
     }
   }
+}
+
+/// Failure codes the faulty-network phase accepts as well-formed; see
+/// the chaos soak (test_net_chaos.cpp) for the same vocabulary.
+bool is_typed_chaos_failure(mel::util::StatusCode code) {
+  using mel::util::StatusCode;
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct FaultyLedger {
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;       ///< Typed failures after retries.
+  std::uint64_t untyped = 0;      ///< Failures outside the vocabulary.
+  std::uint64_t retried = 0;      ///< Scans that needed >= 1 retry.
+  std::uint64_t retried_ok = 0;   ///< ...and still completed.
+  std::uint64_t retries = 0;      ///< Total retry attempts.
+  std::uint64_t reconnects = 0;
+};
+
+/// One self-healing client under the fault matrix: retries with
+/// decorrelated-jitter backoff, bounded per call by request_deadline.
+void drive_faulty_client(std::uint16_t port,
+                         const std::vector<mel::util::ByteBuffer>& corpus,
+                         std::size_t offset, FaultyLedger& ledger) {
+  mel::net::ClientConfig config;
+  config.port = port;
+  config.retry.max_attempts = 6;
+  config.retry.base_backoff = std::chrono::milliseconds(1);
+  config.retry.max_backoff = std::chrono::milliseconds(20);
+  config.request_deadline = std::chrono::milliseconds(3'000);
+  config.connect_deadline = std::chrono::milliseconds(1'000);
+  auto client_or = mel::net::ScanClient::connect(std::move(config));
+  if (!client_or.is_ok()) {
+    ledger.failed += corpus.size();
+    if (!is_typed_chaos_failure(client_or.status().code())) {
+      ledger.untyped += 1;
+    }
+    return;
+  }
+  mel::net::ScanClient client = std::move(client_or).take();
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto& payload = corpus[(offset + i) % corpus.size()];
+    const std::uint64_t retries_before = client.stats().retries;
+    const auto verdict = client.scan(payload);
+    const bool needed_retry = client.stats().retries > retries_before;
+    if (needed_retry) ledger.retried += 1;
+    if (verdict.is_ok()) {
+      ledger.ok += 1;
+      if (needed_retry) ledger.retried_ok += 1;
+    } else {
+      ledger.failed += 1;
+      if (!is_typed_chaos_failure(verdict.status().code())) {
+        ledger.untyped += 1;
+      }
+    }
+  }
+  ledger.retries = client.stats().retries;
+  ledger.reconnects = client.stats().reconnects;
 }
 
 }  // namespace
@@ -275,6 +348,97 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Phase 4: faulty network ---------------------------------------------
+  mel::bench::print_section(
+      "faulty network: socket fault matrix, self-healing clients");
+  std::uint64_t faulty_ok = 0;
+  std::uint64_t faulty_failed = 0;
+  std::uint64_t faulty_untyped = 0;
+  std::uint64_t faulty_retried = 0;
+  std::uint64_t faulty_retried_ok = 0;
+  std::uint64_t faulty_retries = 0;
+  std::uint64_t faulty_reconnects = 0;
+  double retry_success_rate = 1.0;
+  double recovery_ms = 0.0;
+  if (!mel::util::fault::kCompiledIn) {
+    std::printf("skipped: MEL_FAULT_INJECTION is compiled out\n");
+  } else {
+    namespace fault = mel::util::fault;
+    mel::net::ServerConfig faulty_config = config;
+    faulty_config.loop_tick = std::chrono::milliseconds(5);
+    auto server = std::move(mel::net::MelServer::start(faulty_config).take());
+
+    // The full matrix at once, seeded probability triggers: torn
+    // transfers, spurious EAGAIN on both directions, peer RSTs, and
+    // accept failures, all live simultaneously.
+    fault::set_sock_byte_limit(5);
+    fault::arm(fault::Point::kSockReadShort,
+               fault::Trigger{.probability = 0.3, .seed = 201});
+    fault::arm(fault::Point::kSockReadEAgain,
+               fault::Trigger{.probability = 0.15, .seed = 202});
+    fault::arm(fault::Point::kSockReadReset,
+               fault::Trigger{.probability = 0.015, .seed = 203});
+    fault::arm(fault::Point::kSockWriteShort,
+               fault::Trigger{.probability = 0.3, .seed = 204});
+    fault::arm(fault::Point::kSockWriteEAgain,
+               fault::Trigger{.probability = 0.15, .seed = 205});
+    fault::arm(fault::Point::kSockWriteReset,
+               fault::Trigger{.probability = 0.015, .seed = 206});
+    fault::arm(fault::Point::kSockAcceptFailure,
+               fault::Trigger{.probability = 0.15, .seed = 207});
+
+    std::vector<FaultyLedger> ledgers(clients);
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back(drive_faulty_client, server->port(),
+                           std::cref(corpus), c * corpus.size() / clients,
+                           std::ref(ledgers[c]));
+    }
+    for (auto& thread : threads) thread.join();
+    for (const FaultyLedger& ledger : ledgers) {
+      faulty_ok += ledger.ok;
+      faulty_failed += ledger.failed;
+      faulty_untyped += ledger.untyped;
+      faulty_retried += ledger.retried;
+      faulty_retried_ok += ledger.retried_ok;
+      faulty_retries += ledger.retries;
+      faulty_reconnects += ledger.reconnects;
+    }
+    retry_success_rate =
+        faulty_retried == 0
+            ? 1.0
+            : static_cast<double>(faulty_retried_ok) /
+                  static_cast<double>(faulty_retried);
+
+    // Recovery: the storm ends; how long until a fresh client gets a
+    // verdict from the same server.
+    fault::reset();
+    const auto recovery_start = Clock::now();
+    while (true) {
+      mel::net::ClientConfig fresh_config;
+      fresh_config.port = server->port();
+      fresh_config.request_deadline = std::chrono::milliseconds(2'000);
+      auto fresh = mel::net::ScanClient::connect(std::move(fresh_config));
+      if (fresh.is_ok() && fresh.value().scan(corpus[0]).is_ok()) break;
+      if (Clock::now() - recovery_start > std::chrono::seconds(10)) break;
+    }
+    recovery_ms = std::chrono::duration<double, std::milli>(
+                      Clock::now() - recovery_start)
+                      .count();
+    std::printf(
+        "offered %zu  ok %llu  failed(typed) %llu  untyped %llu\n"
+        "retried scans %llu  retry success %.1f%%  (%llu retries, "
+        "%llu reconnects)\nrecovery after fault clear: %.1fms\n",
+        offered, static_cast<unsigned long long>(faulty_ok),
+        static_cast<unsigned long long>(faulty_failed),
+        static_cast<unsigned long long>(faulty_untyped),
+        static_cast<unsigned long long>(faulty_retried),
+        100.0 * retry_success_rate,
+        static_cast<unsigned long long>(faulty_retries),
+        static_cast<unsigned long long>(faulty_reconnects), recovery_ms);
+    server->drain();
+  }
+
   // Gates: every refusal well-formed; the shed rate near the 3/4 the
   // token budget dictates (per-shard bucket variance allows a band).
   int status = 0;
@@ -290,6 +454,25 @@ int main(int argc, char** argv) {
                  "FAIL: shed rate %.3f outside [0.5, 0.95] at 4x overload\n",
                  shed_rate);
     status = 1;
+  }
+  if (mel::util::fault::kCompiledIn) {
+    if (faulty_untyped > 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu untyped failure(s) under the fault matrix\n",
+                   static_cast<unsigned long long>(faulty_untyped));
+      status = 1;
+    }
+    if (faulty_ok == 0) {
+      std::fprintf(stderr,
+                   "FAIL: no scan completed under the fault matrix\n");
+      status = 1;
+    }
+    if (recovery_ms > 5'000.0) {
+      std::fprintf(stderr,
+                   "FAIL: recovery took %.0fms after faults cleared\n",
+                   recovery_ms);
+      status = 1;
+    }
   }
 
   const char* path = MEL_BENCH_REPO_ROOT "/BENCH_server_throughput.json";
@@ -317,6 +500,21 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  \"overload_malformed_refusals\": %llu,\n",
                static_cast<unsigned long long>(overload_malformed));
   std::fprintf(json, "  \"overload_admitted_p99_us\": %.1f,\n", overload_p99);
+  std::fprintf(json, "  \"faulty_injection_compiled_in\": %s,\n",
+               mel::util::fault::kCompiledIn ? "true" : "false");
+  std::fprintf(json, "  \"faulty_ok\": %llu,\n",
+               static_cast<unsigned long long>(faulty_ok));
+  std::fprintf(json, "  \"faulty_failed_typed\": %llu,\n",
+               static_cast<unsigned long long>(faulty_failed));
+  std::fprintf(json, "  \"faulty_untyped_failures\": %llu,\n",
+               static_cast<unsigned long long>(faulty_untyped));
+  std::fprintf(json, "  \"faulty_retried_scans\": %llu,\n",
+               static_cast<unsigned long long>(faulty_retried));
+  std::fprintf(json, "  \"faulty_retry_success_rate\": %.4f,\n",
+               retry_success_rate);
+  std::fprintf(json, "  \"faulty_reconnects\": %llu,\n",
+               static_cast<unsigned long long>(faulty_reconnects));
+  std::fprintf(json, "  \"faulty_recovery_ms\": %.1f,\n", recovery_ms);
   std::fprintf(json, "  \"pass\": %s\n", status == 0 ? "true" : "false");
   std::fprintf(json, "}\n");
   std::fclose(json);

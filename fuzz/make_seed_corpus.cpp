@@ -323,6 +323,38 @@ int main(int argc, char** argv) {
     write_seed(Target::kFrameParse, "truncated_payload",
                mel::util::ByteView(scan).first(scan.size() - 3));
     write_seed(Target::kFrameParse, "empty", mel::util::ByteBuffer{});
+
+    // Torn-stream shapes from the client decode path (ISSUE 9): frames
+    // cut mid-header and mid-VerdictBody model the prefixes a reader
+    // holds after a short read, and a tear *followed by* more complete
+    // frames pins the sticky-poison rule — the decoder must refuse to
+    // resynchronize past garbage onto the later valid frames.
+    const mel::util::ByteBuffer verdict_frame =
+        mel::net::encode_verdict(7, 42, verdict);
+    write_seed(Target::kFrameParse, "torn_mid_verdict_body",
+               mel::util::ByteView(verdict_frame)
+                   .first(mel::net::kFrameHeaderBytes + 13));
+    write_seed(Target::kFrameParse, "torn_mid_verdict_header",
+               mel::util::ByteView(verdict_frame).first(7));
+
+    mel::util::ByteBuffer torn_then_valid(
+        scan.begin(), scan.begin() + static_cast<std::ptrdiff_t>(10));
+    torn_then_valid[3] ^= 0x20;  // Corrupt the torn prefix too.
+    torn_then_valid.insert(torn_then_valid.end(), verdict_frame.begin(),
+                           verdict_frame.end());
+    write_seed(Target::kFrameParse, "torn_prefix_then_valid_verdict",
+               torn_then_valid);
+
+    // Interleaved response burst torn at the tail: a complete verdict,
+    // a complete error, then a pong missing its final header bytes —
+    // the exact wire state when a peer dies mid-flush.
+    mel::util::ByteBuffer burst = verdict_frame;
+    const mel::util::ByteBuffer error_frame = mel::net::encode_error(
+        7, 43, mel::util::Status::resource_exhausted("scan in flight"));
+    burst.insert(burst.end(), error_frame.begin(), error_frame.end());
+    burst.insert(burst.end(), pong.begin(),
+                 pong.begin() + static_cast<std::ptrdiff_t>(pong.size() - 5));
+    write_seed(Target::kFrameParse, "interleaved_burst_torn_tail", burst);
   }
 
   // assembler_roundtrip: opcode-choice byte programs; random bytes are

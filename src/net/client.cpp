@@ -1,20 +1,38 @@
 #include "mel/net/client.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/fault_socket.hpp"
 
 namespace mel::net {
 
 namespace {
 
+constexpr auto kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
+
 std::string errno_string(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
+}
+
+util::Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return util::Status::internal(errno_string("fcntl(O_NONBLOCK)"));
+  }
+  return util::Status::ok();
 }
 
 }  // namespace
@@ -23,38 +41,37 @@ util::StatusOr<ScanClient> ScanClient::connect(ClientConfig config) {
   if (util::Status status = config.frame.validate(); !status.is_ok()) {
     return status;
   }
+  if (util::Status status = config.retry.validate(); !status.is_ok()) {
+    return status;
+  }
+  if (config.request_deadline.count() < 0 ||
+      config.connect_deadline.count() < 0) {
+    return util::Status::invalid_config(
+        "ClientConfig deadlines must be >= 0 (0 disables)");
+  }
   ScanClient client;
   client.config_ = std::move(config);
-  client.decoder_ = std::make_unique<FrameDecoder>(client.config_.frame);
-
-  client.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (client.fd_ < 0) {
-    return util::Status::internal(errno_string("socket"));
+  client.endpoints_.push_back(
+      ClientEndpoint{client.config_.host, client.config_.port});
+  for (const ClientEndpoint& ep : client.config_.failover) {
+    client.endpoints_.push_back(ep);
   }
-  ::sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(client.config_.port);
-  if (::inet_pton(AF_INET, client.config_.host.c_str(), &addr.sin_addr) != 1) {
-    client.close();
-    return util::Status::invalid_argument(
-        "ClientConfig::host is not an IPv4 address: " + client.config_.host);
+  if (util::Status status = client.ensure_connected(kNoDeadline);
+      !status.is_ok()) {
+    return status;
   }
-  if (::connect(client.fd_, reinterpret_cast<const ::sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    client.close();
-    return util::Status::unavailable(errno_string("connect"));
-  }
-  const int nodelay = 1;
-  (void)::setsockopt(client.fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay,
-                     sizeof(nodelay));
   return client;
 }
 
 ScanClient::ScanClient(ScanClient&& other) noexcept
     : config_(std::move(other.config_)),
+      endpoints_(std::move(other.endpoints_)),
+      endpoint_(other.endpoint_),
       fd_(other.fd_),
+      ever_connected_(other.ever_connected_),
       next_request_id_(other.next_request_id_),
-      decoder_(std::move(other.decoder_)) {
+      decoder_(std::move(other.decoder_)),
+      stats_(other.stats_) {
   other.fd_ = -1;
 }
 
@@ -62,9 +79,13 @@ ScanClient& ScanClient::operator=(ScanClient&& other) noexcept {
   if (this != &other) {
     close();
     config_ = std::move(other.config_);
+    endpoints_ = std::move(other.endpoints_);
+    endpoint_ = other.endpoint_;
     fd_ = other.fd_;
+    ever_connected_ = other.ever_connected_;
     next_request_id_ = other.next_request_id_;
     decoder_ = std::move(other.decoder_);
+    stats_ = other.stats_;
     other.fd_ = -1;
   }
   return *this;
@@ -79,13 +100,139 @@ void ScanClient::close() noexcept {
   }
 }
 
-util::Status ScanClient::send_all(const util::ByteBuffer& bytes) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ::ssize_t n =
-        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+ScanClient::TimePoint ScanClient::call_deadline() const noexcept {
+  if (config_.request_deadline.count() == 0) return kNoDeadline;
+  return util::fault::now() + config_.request_deadline;
+}
+
+util::Status ScanClient::connect_endpoint(const ClientEndpoint& ep,
+                                          TimePoint deadline) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return util::Status::internal(errno_string("socket"));
+  }
+  if (util::Status status = set_nonblocking(fd_); !status.is_ok()) {
+    close();
+    return status;
+  }
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    return util::Status::invalid_argument(
+        "client endpoint host is not an IPv4 address: " + ep.host);
+  }
+  if (::connect(fd_, reinterpret_cast<const ::sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      close();
+      return util::Status::unavailable(errno_string("connect"));
+    }
+    if (util::Status status = await(POLLOUT, deadline, "connect");
+        !status.is_ok()) {
+      close();
+      return status;
+    }
+    int so_error = 0;
+    ::socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      close();
+      errno = so_error != 0 ? so_error : errno;
+      return util::Status::unavailable(errno_string("connect"));
+    }
+  }
+  const int nodelay = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                     sizeof(nodelay));
+  return util::Status::ok();
+}
+
+util::Status ScanClient::ensure_connected(TimePoint deadline) {
+  if (fd_ >= 0) return util::Status::ok();
+  util::Status last = util::Status::unavailable("no endpoints configured");
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const std::size_t index = (endpoint_ + i) % endpoints_.size();
+    TimePoint attempt_deadline = deadline;
+    if (config_.connect_deadline.count() > 0) {
+      const TimePoint bound =
+          util::fault::now() + config_.connect_deadline;
+      attempt_deadline = std::min(attempt_deadline, bound);
+    }
+    last = connect_endpoint(endpoints_[index], attempt_deadline);
+    if (last.is_ok()) {
+      if (index != endpoint_) {
+        endpoint_ = index;
+        ++stats_.failovers;
+      }
+      if (ever_connected_) ++stats_.reconnects;
+      ever_connected_ = true;
+      // Fresh decoder per connection: a poisoned response stream (or
+      // half a torn frame) cannot leak into the new byte stream.
+      decoder_ = std::make_unique<FrameDecoder>(config_.frame);
+      return util::Status::ok();
+    }
+    if (deadline != kNoDeadline && util::fault::now() >= deadline) {
+      return util::Status::deadline_exceeded(
+          "request deadline exceeded while reconnecting");
+    }
+  }
+  return last;
+}
+
+util::Status ScanClient::await(short events, TimePoint deadline,
+                               const char* what) {
+  while (true) {
+    int timeout_ms = -1;
+    if (deadline != kNoDeadline) {
+      const auto now = util::fault::now();
+      if (now >= deadline) {
+        return util::Status::deadline_exceeded(
+            std::string(what) + ": request deadline exceeded");
+      }
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now);
+      // +1ms so we sleep past the deadline, not up to just before it.
+      timeout_ms = static_cast<int>(
+          std::min<std::chrono::milliseconds::rep>(remaining.count() + 1,
+                                                   60'000));
+    }
+    ::pollfd p{};
+    p.fd = fd_;
+    p.events = events;
+    const int n = ::poll(&p, 1, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
+      close();
+      return util::Status::internal(errno_string("poll"));
+    }
+    if (n == 0) continue;  // Timeout tick: deadline re-checked on top.
+    // POLLERR/POLLHUP: fall through and let the read()/write() observe
+    // the real error (data may still be readable on HUP).
+    return util::Status::ok();
+  }
+}
+
+util::Status ScanClient::send_all(const util::ByteBuffer& bytes,
+                                  TimePoint deadline) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ::ssize_t n = util::fault::sock_write(
+        fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (util::Status status = await(POLLOUT, deadline, "send");
+            !status.is_ok()) {
+          // Deadline mid-request: the torn request poisons the stream
+          // for pipelining, so drop the connection with it.
+          close();
+          return status;
+        }
+        continue;
+      }
       close();
       return util::Status::unavailable(errno_string("send"));
     }
@@ -94,20 +241,32 @@ util::Status ScanClient::send_all(const util::ByteBuffer& bytes) {
   return util::Status::ok();
 }
 
-util::StatusOr<FrameView> ScanClient::read_frame() {
+util::StatusOr<FrameView> ScanClient::read_frame(TimePoint deadline) {
   while (true) {
     auto next = decoder_->next();
     if (!next.is_ok()) {
-      close();  // Server spoke garbage; the stream is unrecoverable.
+      // Server spoke garbage; the stream is unrecoverable (sticky
+      // poison). The next call reconnects with a fresh decoder.
+      ++stats_.poisoned_streams;
+      close();
       return next.status();
     }
     if (next.value().has_value()) return *next.value();
 
+    if (util::Status status = await(POLLIN, deadline, "recv");
+        !status.is_ok()) {
+      // A response may now arrive on a stream we will not read; drop
+      // the connection so the reply cannot mismatch a later request.
+      close();
+      return status;
+    }
     std::span<std::uint8_t> area = decoder_->write_area(16 * 1024);
-    const ::ssize_t n = ::recv(fd_, area.data(), area.size(), 0);
+    const ::ssize_t n = util::fault::sock_read(fd_, area.data(), area.size());
     if (n < 0) {
       decoder_->commit(0);
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
       close();
       return util::Status::unavailable(errno_string("recv"));
     }
@@ -122,14 +281,18 @@ util::StatusOr<FrameView> ScanClient::read_frame() {
 }
 
 util::StatusOr<WireVerdict> ScanClient::round_trip_scan(
-    const util::ByteBuffer& frame, std::uint64_t request_id) {
-  if (util::Status status = send_all(frame); !status.is_ok()) return status;
-  auto response = read_frame();
+    const util::ByteBuffer& frame, std::uint64_t request_id,
+    TimePoint deadline) {
+  if (util::Status status = send_all(frame, deadline); !status.is_ok()) {
+    return status;
+  }
+  auto response = read_frame(deadline);
   if (!response.is_ok()) return response.status();
   const FrameView& view = response.value();
-  // Protocol-level refusals (malformed frame, connection limit) carry
-  // request id 0: the server could not attribute them to one request.
-  // Everything else must echo our id exactly.
+  // Protocol-level refusals (malformed frame, connection limit,
+  // lifecycle timeouts) carry request id 0: the server could not
+  // attribute them to one request. Everything else must echo our id
+  // exactly.
   if (view.header.request_id != request_id &&
       !(view.header.type == FrameType::kError &&
         view.header.request_id == 0)) {
@@ -169,30 +332,57 @@ util::StatusOr<WireVerdict> ScanClient::round_trip_scan(
 }
 
 util::StatusOr<WireVerdict> ScanClient::scan(util::ByteView payload) {
-  if (fd_ < 0) {
-    return util::Status::unavailable("client is not connected");
-  }
   if (payload.size() > config_.frame.max_payload_bytes) {
     return util::Status::payload_too_large(
         "payload of " + std::to_string(payload.size()) +
         " bytes exceeds the frame limit of " +
         std::to_string(config_.frame.max_payload_bytes));
   }
+  const TimePoint deadline = call_deadline();
   const std::uint64_t request_id = next_request_id_++;
-  return round_trip_scan(
-      encode_scan_request(config_.tenant, request_id, payload), request_id);
+  const util::ByteBuffer frame =
+      encode_scan_request(config_.tenant, request_id, payload);
+  // One schedule per logical scan; the request id is the jitter stream,
+  // so a replay retries with the same delays.
+  service::RetrySchedule schedule(config_.retry, request_id);
+  while (true) {
+    util::Status status = ensure_connected(deadline);
+    if (status.is_ok()) {
+      auto result = round_trip_scan(frame, request_id, deadline);
+      if (result.is_ok()) {
+        ++stats_.scans_ok;
+        return result;
+      }
+      status = result.status();
+    }
+    if (status.code() == util::StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+      return status;
+    }
+    std::chrono::nanoseconds remaining{-1};
+    if (deadline != kNoDeadline) {
+      remaining = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          deadline - util::fault::now());
+      if (remaining.count() < 0) remaining = std::chrono::nanoseconds{0};
+    }
+    const auto backoff = schedule.next(status, remaining);
+    if (!backoff.has_value()) return status;
+    ++stats_.retries;
+    if (backoff->count() > 0) std::this_thread::sleep_for(*backoff);
+  }
 }
 
 util::Status ScanClient::ping() {
-  if (fd_ < 0) {
-    return util::Status::unavailable("client is not connected");
+  const TimePoint deadline = call_deadline();
+  if (util::Status status = ensure_connected(deadline); !status.is_ok()) {
+    return status;
   }
   const std::uint64_t request_id = next_request_id_++;
-  if (util::Status status = send_all(encode_ping(request_id));
+  if (util::Status status = send_all(encode_ping(request_id), deadline);
       !status.is_ok()) {
     return status;
   }
-  auto response = read_frame();
+  auto response = read_frame(deadline);
   if (!response.is_ok()) return response.status();
   const FrameView view = response.value();
   decoder_->release();

@@ -1,42 +1,90 @@
 #pragma once
-// Blocking client for the MEL wire protocol: one TCP connection, one
-// request in flight at a time. This is the reference peer the loopback
-// tests and the throughput bench drive — pipelined/async clients can be
-// built on frame.hpp directly (the protocol supports them via
-// request_id echo), but the blocking form keeps correctness tests
-// legible.
+// Self-healing client for the MEL wire protocol: one TCP connection,
+// one request in flight at a time, but the connection is a cattle, not
+// a pet — every call carries a wall-clock deadline, every transport
+// failure closes the socket, and the next attempt reconnects with a
+// fresh FrameDecoder (so a poisoned response stream can never stick
+// past the connection that poisoned it). Reconnects back off with the
+// service tier's decorrelated-jitter retry policy and honor the
+// retry-after hints the v2 error frames carry; when the current
+// endpoint is unreachable the client fails over through the configured
+// endpoint list and sticks with whichever worked.
 //
 // Error surface: network-level failures are kUnavailable / kInternal;
-// protocol violations from the server are kInvalidArgument; an error
-// FRAME from the server is returned as the status it carries (code,
-// message, retry-after hint) — exactly what the in-process
-// ScanService::scan would have returned, so callers migrate by swapping
-// the call site only (docs/serving.md, migration guide).
+// protocol violations from the server are kInvalidArgument; a blown
+// request deadline is kDeadlineExceeded (never an indefinite block); an
+// error FRAME from the server is returned as the status it carries
+// (code, message, retry-after hint) — exactly what the in-process
+// ScanService::scan would have returned, so callers migrate by
+// swapping the call site only (docs/serving.md, migration guide).
+//
+// Retries default OFF (RetryOptions::max_attempts = 1): a refusal
+// surfaces to the caller immediately, matching the in-process service.
+// Opt in by raising max_attempts; only retryable statuses
+// (kUnavailable, kResourceExhausted — see util::is_retryable) are
+// retried, within the request deadline.
+//
+// All deadlines run on the fault::now() axis and all socket I/O routes
+// through the util::fault socket wrappers, so chaos tests drive this
+// client through the same fault matrix as the server.
 //
 // Not thread-safe: one ScanClient per thread.
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mel/net/frame.hpp"
+#include "mel/service/resilience.hpp"
 #include "mel/service/tenant.hpp"
 
 namespace mel::net {
 
+struct ClientEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
 struct ClientConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  /// Failover endpoints tried (in order, wrapping) when host:port is
+  /// unreachable or the connection dies. The client pins whichever
+  /// endpoint last connected.
+  std::vector<ClientEndpoint> failover;
   /// Tenant id stamped on every request this client sends.
   service::TenantId tenant = service::kDefaultTenant;
   /// Limits applied to server responses (a hostile/buggy server must
   /// not drive unbounded client buffering either).
   FrameLimits frame;
+  /// Wall budget for one scan()/ping() call — connect, retries,
+  /// backoff, send, and receive all included — on the fault::now()
+  /// axis. Exhaustion returns typed kDeadlineExceeded. 0 disables
+  /// (blocks indefinitely, the pre-hardening behavior).
+  std::chrono::milliseconds request_deadline{5'000};
+  /// Budget for one TCP connect attempt, per endpoint.
+  std::chrono::milliseconds connect_deadline{1'000};
+  /// Backoff policy for retryable failures (reconnects and re-sends).
+  /// The default max_attempts = 1 disables retries.
+  service::RetryOptions retry;
+};
+
+/// Self-healing counters (one thread, plain integers).
+struct ClientStats {
+  std::uint64_t scans_ok = 0;
+  std::uint64_t retries = 0;     ///< Attempts after the first, any call.
+  std::uint64_t reconnects = 0;  ///< Successful re-establishments.
+  std::uint64_t failovers = 0;   ///< Endpoint switches on reconnect.
+  std::uint64_t deadline_exceeded = 0;  ///< Calls ended by the deadline.
+  std::uint64_t poisoned_streams = 0;   ///< Response decoders poisoned.
 };
 
 class ScanClient {
  public:
-  /// Connects (blocking). kUnavailable when the server is not there.
+  /// Connects (bounded by connect_deadline per endpoint, trying the
+  /// failover list). kUnavailable when no endpoint is reachable.
   [[nodiscard]] static util::StatusOr<ScanClient> connect(
       ClientConfig config);
 
@@ -46,36 +94,62 @@ class ScanClient {
   ScanClient& operator=(const ScanClient&) = delete;
   ~ScanClient();
 
-  /// Scans `payload` on the server under this client's tenant;
-  /// blocks for the verdict. A server-side refusal (shed, draining,
-  /// oversize, unknown tenant, ...) is returned as its typed Status.
+  /// Scans `payload` on the server under this client's tenant; blocks
+  /// for the verdict, at most request_deadline. A server-side refusal
+  /// (shed, draining, oversize, unknown tenant, ...) is returned as its
+  /// typed Status; with retries enabled, retryable refusals and
+  /// transport failures are retried (reconnecting as needed) under the
+  /// same deadline.
   [[nodiscard]] util::StatusOr<WireVerdict> scan(util::ByteView payload);
 
-  /// Round-trip liveness probe.
+  /// Round-trip liveness probe, bounded by request_deadline.
   [[nodiscard]] util::Status ping();
 
   [[nodiscard]] const ClientConfig& config() const noexcept {
     return config_;
   }
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+  /// The endpoint the client is currently pinned to.
+  [[nodiscard]] const ClientEndpoint& endpoint() const noexcept {
+    return endpoints_[endpoint_];
+  }
   void close() noexcept;
 
  private:
   ScanClient() = default;
+  using TimePoint = std::chrono::steady_clock::time_point;
 
-  /// Sends `frame` and blocks for the matching response (request_id
-  /// echo); returns the raw response frame's decoded pieces.
-  [[nodiscard]] util::StatusOr<WireVerdict> round_trip_scan(
-      const util::ByteBuffer& frame, std::uint64_t request_id);
-  [[nodiscard]] util::Status send_all(const util::ByteBuffer& bytes);
+  /// fault::now() + request_deadline (TimePoint::max() when disabled).
+  [[nodiscard]] TimePoint call_deadline() const noexcept;
+  /// Reconnects if the socket is down: tries each endpoint once
+  /// starting from the pinned one, fresh FrameDecoder on success.
+  [[nodiscard]] util::Status ensure_connected(TimePoint deadline);
+  [[nodiscard]] util::Status connect_endpoint(const ClientEndpoint& ep,
+                                              TimePoint deadline);
+  /// poll()s the socket for `events` until ready or `deadline`.
+  [[nodiscard]] util::Status await(short events, TimePoint deadline,
+                                   const char* what);
+  [[nodiscard]] util::Status send_all(const util::ByteBuffer& bytes,
+                                      TimePoint deadline);
   /// Reads until one full frame is decodable; the FrameView's payload
   /// is copied out by the caller before the next read.
-  [[nodiscard]] util::StatusOr<FrameView> read_frame();
+  [[nodiscard]] util::StatusOr<FrameView> read_frame(TimePoint deadline);
+  /// Sends `frame` and blocks for the matching response (request_id
+  /// echo); one attempt, no retries at this layer.
+  [[nodiscard]] util::StatusOr<WireVerdict> round_trip_scan(
+      const util::ByteBuffer& frame, std::uint64_t request_id,
+      TimePoint deadline);
 
   ClientConfig config_;
+  /// [0] = config host:port, then the failover list.
+  std::vector<ClientEndpoint> endpoints_;
+  std::size_t endpoint_ = 0;
   int fd_ = -1;
+  bool ever_connected_ = false;
   std::uint64_t next_request_id_ = 1;
   std::unique_ptr<FrameDecoder> decoder_;
+  ClientStats stats_;
 };
 
 }  // namespace mel::net

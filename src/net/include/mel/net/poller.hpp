@@ -32,6 +32,11 @@ struct PollerEvent {
   /// Error/hangup on the fd (EPOLLERR/EPOLLHUP/POLLNVAL); the owner
   /// should close the connection.
   bool error = false;
+  /// The fd's armed deadline (set_deadline) has passed. A wakeup hint,
+  /// not a verdict: readiness processed in the same batch may have
+  /// already renewed the connection's real deadline, so the owner must
+  /// re-check its own deadline state before acting.
+  bool timer = false;
 };
 
 class Poller {
@@ -56,9 +61,23 @@ class Poller {
   [[nodiscard]] util::Status set_write_interest(int fd, bool want_write);
   [[nodiscard]] util::Status remove(int fd);
 
+  /// Arms (or replaces) a one-shot deadline for a registered fd on the
+  /// fault::now() time axis (injected skew trips deadlines). wait()
+  /// clamps its sleep so it wakes by the earliest armed deadline and
+  /// emits a timer event for every fd whose deadline has passed; a
+  /// fired deadline is cleared and must be re-armed to fire again.
+  [[nodiscard]] util::Status set_deadline(
+      int fd, std::chrono::steady_clock::time_point deadline);
+  [[nodiscard]] util::Status clear_deadline(int fd);
+  /// The earliest armed deadline, or time_point::max() when none is.
+  [[nodiscard]] std::chrono::steady_clock::time_point next_deadline()
+      const noexcept;
+
   /// Blocks up to `timeout` for readiness; appends events to `out`
   /// (which is cleared first). Zero events on timeout is not an error.
-  /// A negative timeout blocks indefinitely.
+  /// A negative timeout blocks indefinitely — until readiness or the
+  /// earliest armed deadline. Timer expirations are merged into the
+  /// readiness event for the same fd when both happen in one wait.
   [[nodiscard]] util::Status wait(std::vector<PollerEvent>& out,
                                   std::chrono::milliseconds timeout);
 
@@ -73,7 +92,13 @@ class Poller {
   struct Registration {
     int fd;
     bool want_write;
+    /// One-shot deadline; time_point::max() means "none armed".
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
+  /// Appends/merges a timer event for every expired deadline and
+  /// clears those deadlines (one-shot semantics).
+  void emit_timer_events(std::vector<PollerEvent>& out);
   std::vector<Registration> registrations_;
 };
 

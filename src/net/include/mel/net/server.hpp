@@ -86,6 +86,36 @@ struct ServerConfig {
   /// (a peer not reading its verdicts is backpressure we must not
   /// absorb as unbounded memory).
   std::size_t max_write_buffer_bytes = std::size_t{4} << 20;
+
+  // --- Connection-lifecycle hardening ------------------------------------
+  // All timers run on the fault::now() axis (steady clock + injected
+  // skew), enforced from the shard poller's deadline wheel — so chaos
+  // tests trip them deterministically with a clock jump, and no shard
+  // thread ever blocks on a sick peer. A zero duration disables that
+  // check.
+  /// A connection that delivers no bytes for this long is closed (with
+  /// a best-effort typed kDeadlineExceeded error frame).
+  std::chrono::milliseconds idle_timeout{30'000};
+  /// A partially-read frame must complete within this budget; a peer
+  /// that tears a frame and walks away is refused and closed.
+  std::chrono::milliseconds read_deadline{10'000};
+  /// Pending response bytes must drain within this budget; a peer that
+  /// stops reading its verdicts is shed (closed), never blocks a shard
+  /// thread.
+  std::chrono::milliseconds write_deadline{10'000};
+  /// Slow-loris defense: while a frame is partially read, the peer must
+  /// deliver at least slow_loris_min_bytes per interval or be refused
+  /// and closed — trickling one byte per second cannot hold a slot.
+  std::chrono::milliseconds slow_loris_interval{1'000};
+  std::size_t slow_loris_min_bytes = 64;
+  /// Per-connection cap on scan responses buffered but not yet flushed
+  /// (pipelining depth). Requests over the cap are refused with a typed
+  /// kResourceExhausted + retry-after error frame; the connection stays
+  /// open and usable.
+  std::size_t max_inflight_per_connection = 64;
+  /// Shard/acceptor event-loop tick: the upper bound on how late a
+  /// lifecycle deadline fires past its poller wakeup. Tests shrink it.
+  std::chrono::milliseconds loop_tick{100};
   /// Total verdict-cache capacity, divided across the per-shard caches.
   /// 0 disables caching.
   std::size_t cache_capacity = 0;
@@ -95,6 +125,16 @@ struct ServerConfig {
   /// paths ride in service.tenants[i].snapshot_path. Empty: no
   /// default-tenant durability.
   std::string snapshot_path;
+  /// Per-tenant drift loops: when set, EVERY tenant (default included)
+  /// gets its own DriftMonitor with this cadence, fed only that
+  /// tenant's scanned payloads, wired through the tenant's StateManager
+  /// — one tenant's distribution shift recalibrates only that tenant's
+  /// detector (fanned out to every shard), bumps only its epoch, and
+  /// snapshots only its state. Tenants without a snapshot path get an
+  /// ephemeral (non-durable) StateManager to host the loop. Distinct
+  /// from service.drift_monitor, which is one service-wide monitor over
+  /// all traffic.
+  std::optional<persist::DriftMonitorConfig> drift;
 
   /// kInvalidConfig on any violation; service/frame checks are routed
   /// through their own validate() so the error vocabulary is shared.
@@ -109,6 +149,13 @@ struct ServerStats {
   std::uint64_t frames_received = 0;
   std::uint64_t scans_ok = 0;
   std::uint64_t scans_rejected = 0;  ///< Error frames sent for scans.
+  /// Connections closed for a lifecycle-deadline violation (idle,
+  /// read-deadline, write-deadline, or slow-loris). Also counted in
+  /// connections_dropped.
+  std::uint64_t timeout_closes = 0;
+  /// Scan requests refused over max_inflight_per_connection (also
+  /// counted in scans_rejected).
+  std::uint64_t inflight_refused = 0;
 };
 
 class MelServer {
@@ -151,8 +198,13 @@ class MelServer {
 
   /// The StateManager owning `tenant`'s durable state; null when no
   /// snapshot path was configured for it (kDefaultTenant keys the
-  /// ServerConfig::snapshot_path manager).
+  /// ServerConfig::snapshot_path manager) and per-tenant drift is off.
   [[nodiscard]] std::shared_ptr<persist::StateManager> state_manager(
+      service::TenantId tenant) const;
+
+  /// The tenant's private drift monitor; null unless ServerConfig::drift
+  /// was set.
+  [[nodiscard]] std::shared_ptr<persist::DriftMonitor> drift_monitor(
       service::TenantId tenant) const;
 
   /// Graceful shutdown: stop accepting, flush pending responses, drain
@@ -169,6 +221,22 @@ class MelServer {
     util::ByteBuffer out;        ///< Pending response bytes.
     std::size_t out_pos = 0;     ///< Already-written prefix of out.
     bool close_after_flush = false;
+
+    // Lifecycle timers, all on the fault::now() axis. A time_point of
+    // max() means "that timer is not running".
+    std::chrono::steady_clock::time_point last_read_at{};
+    /// When the currently-buffered partial frame started.
+    std::chrono::steady_clock::time_point read_start =
+        std::chrono::steady_clock::time_point::max();
+    /// When the pending response bytes first became pending.
+    std::chrono::steady_clock::time_point write_start =
+        std::chrono::steady_clock::time_point::max();
+    /// Slow-loris accounting: bytes delivered since the window opened.
+    std::chrono::steady_clock::time_point loris_window_start =
+        std::chrono::steady_clock::time_point::max();
+    std::size_t loris_window_bytes = 0;
+    /// Scan responses buffered since the out buffer last drained.
+    std::size_t inflight = 0;
   };
 
   struct Shard {
@@ -190,6 +258,8 @@ class MelServer {
     std::atomic<std::uint64_t> scans_ok{0};
     std::atomic<std::uint64_t> scans_rejected{0};
     std::atomic<std::uint64_t> connections_dropped{0};
+    std::atomic<std::uint64_t> timeout_closes{0};
+    std::atomic<std::uint64_t> inflight_refused{0};
   };
 
   void acceptor_loop();
@@ -208,6 +278,13 @@ class MelServer {
   /// Connection is destroyed and must not be touched again.
   bool shard_flush(Shard& shard, Connection& conn);
   void shard_close(Shard& shard, int fd, bool dropped);
+  /// Recomputes and arms the connection's earliest lifecycle deadline
+  /// on the shard poller.
+  void shard_arm_deadlines(Shard& shard, Connection& conn);
+  /// Evaluates lifecycle deadlines against fault::now() (timer events
+  /// are wakeup hints; activity in the same batch may have renewed a
+  /// deadline). Returns false when a violation closed the connection.
+  bool shard_check_deadlines(Shard& shard, Connection& conn);
 
   ServerConfig config_;
   std::uint16_t port_ = 0;
@@ -227,6 +304,12 @@ class MelServer {
   std::unordered_map<service::TenantId,
                      std::shared_ptr<persist::StateManager>>
       state_managers_;
+  /// Per-tenant drift monitors (ServerConfig::drift). Built before the
+  /// shard threads start and immutable after — shards read it without
+  /// locks; DriftMonitor::observe is itself thread-safe.
+  std::unordered_map<service::TenantId,
+                     std::shared_ptr<persist::DriftMonitor>>
+      drift_monitors_;
 };
 
 }  // namespace mel::net

@@ -1,6 +1,8 @@
 #include "mel/net/poller.hpp"
 
 #include <algorithm>
+
+#include "mel/util/fault_injection.hpp"
 #include <array>
 #include <cerrno>
 #include <cstring>
@@ -151,9 +153,49 @@ util::Status Poller::remove(int fd) {
   return util::Status::ok();
 }
 
+util::Status Poller::set_deadline(
+    int fd, std::chrono::steady_clock::time_point deadline) {
+  const auto it = std::find_if(
+      registrations_.begin(), registrations_.end(),
+      [fd](const Registration& r) { return r.fd == fd; });
+  if (it == registrations_.end()) {
+    return util::Status::invalid_argument(
+        "poller: fd " + std::to_string(fd) + " is not registered");
+  }
+  it->deadline = deadline;
+  return util::Status::ok();
+}
+
+util::Status Poller::clear_deadline(int fd) {
+  return set_deadline(fd, std::chrono::steady_clock::time_point::max());
+}
+
+std::chrono::steady_clock::time_point Poller::next_deadline() const noexcept {
+  auto earliest = std::chrono::steady_clock::time_point::max();
+  for (const Registration& r : registrations_) {
+    earliest = std::min(earliest, r.deadline);
+  }
+  return earliest;
+}
+
 util::Status Poller::wait(std::vector<PollerEvent>& out,
                           std::chrono::milliseconds timeout) {
   out.clear();
+  // Clamp the sleep so the earliest armed deadline wakes us. The
+  // deadline axis is fault::now(), so an injected clock jump makes the
+  // next wait() return immediately with the timer events due.
+  const auto earliest = next_deadline();
+  if (earliest != std::chrono::steady_clock::time_point::max()) {
+    const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+        earliest - util::fault::now());
+    // +1ms so we wake after the deadline, not just before it (poll
+    // truncates to whole milliseconds).
+    const auto clamp = std::max<std::chrono::milliseconds::rep>(
+        0, until.count() + 1);
+    if (timeout.count() < 0 || clamp < timeout.count()) {
+      timeout = std::chrono::milliseconds{clamp};
+    }
+  }
   const int timeout_ms =
       timeout.count() < 0
           ? -1
@@ -178,6 +220,7 @@ util::Status Poller::wait(std::vector<PollerEvent>& out,
       event.error = (mask & (EPOLLERR | EPOLLHUP)) != 0;
       out.push_back(event);
     }
+    emit_timer_events(out);
     return util::Status::ok();
   }
 #endif
@@ -203,7 +246,28 @@ util::Status Poller::wait(std::vector<PollerEvent>& out,
     event.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
     out.push_back(event);
   }
+  emit_timer_events(out);
   return util::Status::ok();
+}
+
+void Poller::emit_timer_events(std::vector<PollerEvent>& out) {
+  const auto now = util::fault::now();
+  for (Registration& r : registrations_) {
+    if (r.deadline > now) continue;
+    r.deadline = std::chrono::steady_clock::time_point::max();
+    const auto it = std::find_if(out.begin(), out.end(),
+                                 [&r](const PollerEvent& e) {
+                                   return e.fd == r.fd;
+                                 });
+    if (it != out.end()) {
+      it->timer = true;
+    } else {
+      PollerEvent event;
+      event.fd = r.fd;
+      event.timer = true;
+      out.push_back(event);
+    }
+  }
 }
 
 }  // namespace mel::net

@@ -12,6 +12,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/fault_socket.hpp"
 #include "mel/util/logging.hpp"
 
 namespace mel::net {
@@ -19,7 +21,7 @@ namespace mel::net {
 namespace {
 
 constexpr std::size_t kReadChunkBytes = 16 * 1024;
-constexpr std::chrono::milliseconds kLoopTick{100};
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
 
 std::string errno_string(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
@@ -93,6 +95,29 @@ util::Status ServerConfig::validate() const {
   if (bind_address.empty()) {
     return util::Status::invalid_config(
         "ServerConfig::bind_address must not be empty");
+  }
+  if (loop_tick.count() < 1) {
+    return util::Status::invalid_config(
+        "ServerConfig::loop_tick must be >= 1ms");
+  }
+  if (idle_timeout.count() < 0 || read_deadline.count() < 0 ||
+      write_deadline.count() < 0 || slow_loris_interval.count() < 0) {
+    return util::Status::invalid_config(
+        "ServerConfig lifecycle timeouts must be >= 0 (0 disables)");
+  }
+  if (slow_loris_interval.count() > 0 && slow_loris_min_bytes == 0) {
+    return util::Status::invalid_config(
+        "ServerConfig::slow_loris_min_bytes must be >= 1 when "
+        "slow_loris_interval is enabled");
+  }
+  if (max_inflight_per_connection == 0) {
+    return util::Status::invalid_config(
+        "ServerConfig::max_inflight_per_connection must be >= 1");
+  }
+  if (drift.has_value()) {
+    if (util::Status status = drift->validate(); !status.is_ok()) {
+      return status;
+    }
   }
   // Frames the service would refuse as oversized are still WIRE-valid;
   // but a frame cap above the service payload cap only buffers bytes
@@ -177,9 +202,19 @@ util::StatusOr<std::unique_ptr<MelServer>> MelServer::start(
     cold.detector = detector;
     cold.tau = cfg.service.degraded_threshold;
     cold.calibration_point_chars = cfg.service.window_size;
+    // Per-tenant drift loop: the monitor sees only this tenant's
+    // payloads (the shards feed it per frame.header.tenant), and its
+    // drift signal recalibrates only this tenant through the manager.
+    std::shared_ptr<persist::DriftMonitor> drift;
+    if (cfg.drift.has_value()) {
+      auto monitor = persist::DriftMonitor::create(*cfg.drift);
+      if (!monitor.is_ok()) return monitor.status();
+      drift = std::move(monitor).take();
+    }
     auto manager = persist::StateManager::create(
-        std::move(manager_config), std::move(cold), nullptr, nullptr);
+        std::move(manager_config), std::move(cold), nullptr, drift);
     if (!manager.is_ok()) return manager.status();
+    if (drift) server->drift_monitors_.emplace(tenant, std::move(drift));
     std::shared_ptr<persist::StateManager> state_manager =
         std::move(manager).take();
 
@@ -205,7 +240,10 @@ util::StatusOr<std::unique_ptr<MelServer>> MelServer::start(
     server->state_managers_.emplace(tenant, std::move(state_manager));
     return util::Status::ok();
   };
-  if (!cfg.snapshot_path.empty()) {
+  // A tenant gets a manager when it has durable state to own — or when
+  // per-tenant drift is on, in which case even path-less tenants get an
+  // ephemeral manager to host their drift loop.
+  if (!cfg.snapshot_path.empty() || cfg.drift.has_value()) {
     if (util::Status status = make_manager(
             service::kDefaultTenant, cfg.snapshot_path, cfg.service.detector);
         !status.is_ok()) {
@@ -213,7 +251,7 @@ util::StatusOr<std::unique_ptr<MelServer>> MelServer::start(
     }
   }
   for (const service::TenantConfig& tenant : cfg.service.tenants) {
-    if (tenant.snapshot_path.empty()) continue;
+    if (tenant.snapshot_path.empty() && !cfg.drift.has_value()) continue;
     if (util::Status status = make_manager(
             tenant.id, tenant.snapshot_path,
             tenant.detector ? *tenant.detector : cfg.service.detector);
@@ -323,6 +361,10 @@ ServerStats MelServer::stats() const noexcept {
     stats.scans_ok += shard->scans_ok.load(std::memory_order_relaxed);
     stats.scans_rejected +=
         shard->scans_rejected.load(std::memory_order_relaxed);
+    stats.timeout_closes +=
+        shard->timeout_closes.load(std::memory_order_relaxed);
+    stats.inflight_refused +=
+        shard->inflight_refused.load(std::memory_order_relaxed);
   }
   return stats;
 }
@@ -345,6 +387,12 @@ std::shared_ptr<persist::StateManager> MelServer::state_manager(
     service::TenantId tenant) const {
   const auto it = state_managers_.find(tenant);
   return it == state_managers_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<persist::DriftMonitor> MelServer::drift_monitor(
+    service::TenantId tenant) const {
+  const auto it = drift_monitors_.find(tenant);
+  return it == drift_monitors_.end() ? nullptr : it->second;
 }
 
 void MelServer::wake(Shard& shard) {
@@ -397,12 +445,15 @@ void MelServer::acceptor_loop() {
 
   std::vector<PollerEvent> events;
   while (!stopping_.load(std::memory_order_acquire)) {
-    if (!poller.wait(events, kLoopTick).is_ok()) break;
+    if (!poller.wait(events, config_.loop_tick).is_ok()) break;
     for (const PollerEvent& event : events) {
       if (event.fd != listen_fd_ || !event.readable) continue;
       while (true) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) break;  // EAGAIN or transient; poll again.
+        // EAGAIN or transient (EMFILE under fd exhaustion — existing
+        // connections keep serving; the level-triggered listen fd
+        // retries at the next poll) breaks back to the wait.
+        const int fd = util::fault::sock_accept(listen_fd_);
+        if (fd < 0) break;
         dispatch_connection(fd);
       }
     }
@@ -428,7 +479,7 @@ void MelServer::dispatch_connection(int fd) {
         service::kDefaultTenant, 0,
         util::Status::unavailable("connection limit reached")
             .with_retry_after(std::chrono::milliseconds(10)));
-    (void)!::write(fd, refusal.data(), refusal.size());
+    (void)!util::fault::sock_write(fd, refusal.data(), refusal.size());
     ::close(fd);
     return;
   }
@@ -458,7 +509,8 @@ void MelServer::shard_loop(Shard& shard) {
       // runs after the loops exit.
       for (auto& [fd, conn] : shard.connections) {
         while (conn.out_pos < conn.out.size()) {
-          const ::ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
+          const ::ssize_t n =
+              util::fault::sock_write(conn.fd, conn.out.data() + conn.out_pos,
                                       conn.out.size() - conn.out_pos);
           if (n > 0) {
             conn.out_pos += static_cast<std::size_t>(n);
@@ -474,7 +526,7 @@ void MelServer::shard_loop(Shard& shard) {
       return;
     }
 
-    if (!shard.poller.wait(events, kLoopTick).is_ok()) continue;
+    if (!shard.poller.wait(events, config_.loop_tick).is_ok()) continue;
     for (const PollerEvent& event : events) {
       if (event.fd == shard.wake_read_fd) {
         std::uint8_t drain_buf[64];
@@ -491,10 +543,17 @@ void MelServer::shard_loop(Shard& shard) {
         continue;
       }
       if (event.readable) shard_read(shard, conn);
-      // shard_read may have closed the fd; re-find before writing.
-      const auto again = shard.connections.find(event.fd);
+      // Each step may close the fd and destroy the Connection; re-find
+      // before the next one touches it.
+      auto again = shard.connections.find(event.fd);
       if (again == shard.connections.end()) continue;
-      if (event.writable) (void)shard_flush(shard, again->second);
+      if (event.writable && !shard_flush(shard, again->second)) continue;
+      again = shard.connections.find(event.fd);
+      if (again == shard.connections.end()) continue;
+      if (event.timer && !shard_check_deadlines(shard, again->second)) {
+        continue;
+      }
+      shard_arm_deadlines(shard, again->second);
     }
   }
 }
@@ -509,19 +568,22 @@ void MelServer::shard_adopt_inbox(Shard& shard) {
     Connection conn;
     conn.fd = fd;
     conn.decoder = FrameDecoder(config_.frame);
+    conn.last_read_at = util::fault::now();
     if (!shard.poller.add(fd).is_ok()) {
       ::close(fd);
       active_connections_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
-    shard.connections.emplace(fd, std::move(conn));
+    const auto [it, inserted] = shard.connections.emplace(fd, std::move(conn));
+    if (inserted) shard_arm_deadlines(shard, it->second);
   }
 }
 
 void MelServer::shard_read(Shard& shard, Connection& conn) {
   while (true) {
     std::span<std::uint8_t> area = conn.decoder.write_area(kReadChunkBytes);
-    const ::ssize_t n = ::read(conn.fd, area.data(), area.size());
+    const ::ssize_t n =
+        util::fault::sock_read(conn.fd, area.data(), area.size());
     if (n < 0) {
       conn.decoder.commit(0);
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
@@ -534,6 +596,8 @@ void MelServer::shard_read(Shard& shard, Connection& conn) {
       return;
     }
     conn.decoder.commit(static_cast<std::size_t>(n));
+    conn.last_read_at = util::fault::now();
+    conn.loris_window_bytes += static_cast<std::size_t>(n);
 
     while (true) {
       auto next = conn.decoder.next();
@@ -554,6 +618,18 @@ void MelServer::shard_read(Shard& shard, Connection& conn) {
       conn.decoder.release();
       if (conn.close_after_flush) break;
     }
+    // Partial-frame tracking for the read deadline and the slow-loris
+    // window: both run exactly while the decoder holds a torn frame.
+    if (conn.decoder.buffered_bytes() > 0) {
+      if (conn.read_start == kNoDeadline) {
+        conn.read_start = util::fault::now();
+        conn.loris_window_start = conn.read_start;
+        conn.loris_window_bytes = 0;
+      }
+    } else {
+      conn.read_start = kNoDeadline;
+      conn.loris_window_start = kNoDeadline;
+    }
     if (!shard_flush(shard, conn)) return;  // conn destroyed.
     if (n < static_cast<::ssize_t>(area.size())) break;
   }
@@ -568,6 +644,21 @@ void MelServer::shard_handle_frame(Shard& shard, Connection& conn,
       return;
     }
     case FrameType::kScanRequest: {
+      if (conn.inflight >= config_.max_inflight_per_connection) {
+        // Pipelining cap: the peer has more responses queued than it is
+        // reading back. Refuse (typed, retryable) without scanning; the
+        // connection stays open and the cap clears when the buffered
+        // responses drain.
+        shard.inflight_refused.fetch_add(1, std::memory_order_relaxed);
+        shard.scans_rejected.fetch_add(1, std::memory_order_relaxed);
+        const util::ByteBuffer refusal = encode_error(
+            frame.header.tenant, frame.header.request_id,
+            util::Status::resource_exhausted(
+                "per-connection in-flight request cap reached")
+                .with_retry_after(std::chrono::milliseconds(5)));
+        conn.out.insert(conn.out.end(), refusal.begin(), refusal.end());
+        return;
+      }
       // Zero-copy hand-off: the payload view aliases the decoder's
       // buffer, valid through this synchronous scan.
       service::ScanRequest request;
@@ -578,6 +669,16 @@ void MelServer::shard_handle_frame(Shard& shard, Connection& conn,
       util::ByteBuffer response;
       if (report.is_ok()) {
         shard.scans_ok.fetch_add(1, std::memory_order_relaxed);
+        // Tenant-scoped drift: only this tenant's traffic shapes its
+        // window. A window close may run the whole recalibration
+        // pipeline inline here (chi-square -> recalibrate -> fan-out
+        // -> snapshot), mirroring the service-wide monitor's contract.
+        if (!drift_monitors_.empty()) {
+          const auto drift_it = drift_monitors_.find(frame.header.tenant);
+          if (drift_it != drift_monitors_.end()) {
+            drift_it->second->observe(frame.payload);
+          }
+        }
         response = encode_verdict(frame.header.tenant,
                                   frame.header.request_id,
                                   to_wire(report.value()));
@@ -587,6 +688,7 @@ void MelServer::shard_handle_frame(Shard& shard, Connection& conn,
                                 frame.header.request_id, report.status());
       }
       conn.out.insert(conn.out.end(), response.begin(), response.end());
+      conn.inflight += 1;
       return;
     }
     default: {
@@ -604,8 +706,15 @@ void MelServer::shard_handle_frame(Shard& shard, Connection& conn,
 }
 
 bool MelServer::shard_flush(Shard& shard, Connection& conn) {
+  // The write deadline measures from the moment bytes became pending,
+  // not from the first stall — a peer trickle-reading one byte per tick
+  // cannot reset it.
+  if (conn.out_pos < conn.out.size() && conn.write_start == kNoDeadline) {
+    conn.write_start = util::fault::now();
+  }
   while (conn.out_pos < conn.out.size()) {
-    const ::ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
+    const ::ssize_t n =
+        util::fault::sock_write(conn.fd, conn.out.data() + conn.out_pos,
                                 conn.out.size() - conn.out_pos);
     if (n > 0) {
       conn.out_pos += static_cast<std::size_t>(n);
@@ -627,9 +736,82 @@ bool MelServer::shard_flush(Shard& shard, Connection& conn) {
   }
   conn.out.clear();
   conn.out_pos = 0;
+  conn.inflight = 0;
+  conn.write_start = kNoDeadline;
   (void)shard.poller.set_write_interest(conn.fd, false);
   if (conn.close_after_flush) {
     shard_close(shard, conn.fd, /*dropped=*/false);
+    return false;
+  }
+  return true;
+}
+
+void MelServer::shard_arm_deadlines(Shard& shard, Connection& conn) {
+  auto earliest = kNoDeadline;
+  if (config_.idle_timeout.count() > 0) {
+    earliest = std::min(earliest, conn.last_read_at + config_.idle_timeout);
+  }
+  const bool partial_frame = conn.decoder.buffered_bytes() > 0 &&
+                             conn.read_start != kNoDeadline;
+  if (partial_frame && config_.read_deadline.count() > 0) {
+    earliest = std::min(earliest, conn.read_start + config_.read_deadline);
+  }
+  if (partial_frame && config_.slow_loris_interval.count() > 0) {
+    earliest = std::min(
+        earliest, conn.loris_window_start + config_.slow_loris_interval);
+  }
+  if (conn.out_pos < conn.out.size() && conn.write_start != kNoDeadline &&
+      config_.write_deadline.count() > 0) {
+    earliest = std::min(earliest, conn.write_start + config_.write_deadline);
+  }
+  (void)shard.poller.set_deadline(conn.fd, earliest);
+}
+
+bool MelServer::shard_check_deadlines(Shard& shard, Connection& conn) {
+  const auto now = util::fault::now();
+  // Refusing a sick-but-healthy-socket peer is best effort, and only
+  // when the response stream is clean — injecting an error frame into
+  // half-written response bytes would corrupt the peer's decode.
+  const auto refuse_and_close = [&](const char* what) {
+    if (conn.out_pos >= conn.out.size()) {
+      const util::ByteBuffer frame = encode_error(
+          service::kDefaultTenant, 0,
+          util::Status::deadline_exceeded(what));
+      (void)!util::fault::sock_write(conn.fd, frame.data(), frame.size());
+    }
+    shard.timeout_closes.fetch_add(1, std::memory_order_relaxed);
+    shard_close(shard, conn.fd, /*dropped=*/true);
+  };
+
+  // A peer that stopped draining its responses is shed: no refusal
+  // frame (it is not reading), no blocking, just the close.
+  if (conn.out_pos < conn.out.size() && conn.write_start != kNoDeadline &&
+      config_.write_deadline.count() > 0 &&
+      now >= conn.write_start + config_.write_deadline) {
+    shard.timeout_closes.fetch_add(1, std::memory_order_relaxed);
+    shard_close(shard, conn.fd, /*dropped=*/true);
+    return false;
+  }
+  const bool partial_frame = conn.decoder.buffered_bytes() > 0 &&
+                             conn.read_start != kNoDeadline;
+  if (partial_frame && config_.read_deadline.count() > 0 &&
+      now >= conn.read_start + config_.read_deadline) {
+    refuse_and_close("read deadline exceeded mid-frame");
+    return false;
+  }
+  if (partial_frame && config_.slow_loris_interval.count() > 0 &&
+      now >= conn.loris_window_start + config_.slow_loris_interval) {
+    if (conn.loris_window_bytes < config_.slow_loris_min_bytes) {
+      refuse_and_close("slow-loris: too few bytes per interval mid-frame");
+      return false;
+    }
+    // Enough bytes arrived this interval; open the next window.
+    conn.loris_window_start = now;
+    conn.loris_window_bytes = 0;
+  }
+  if (config_.idle_timeout.count() > 0 &&
+      now >= conn.last_read_at + config_.idle_timeout) {
+    refuse_and_close("idle timeout: no bytes received");
     return false;
   }
   return true;

@@ -21,6 +21,7 @@ struct PointState {
 PointState g_points[kPointCount];
 std::atomic<std::int64_t> g_skew_ns{0};
 std::atomic<std::int64_t> g_jump_ns{10'000'000'000};  // 10s default jump.
+std::atomic<std::size_t> g_sock_byte_limit{1};
 
 PointState& state(Point point) noexcept {
   return g_points[static_cast<int>(point)];
@@ -105,6 +106,15 @@ void reset() noexcept {
   }
   g_skew_ns.store(0, std::memory_order_relaxed);
   g_jump_ns.store(10'000'000'000, std::memory_order_relaxed);
+  g_sock_byte_limit.store(1, std::memory_order_relaxed);
+}
+
+void set_sock_byte_limit(std::size_t limit) noexcept {
+  g_sock_byte_limit.store(limit == 0 ? 1 : limit, std::memory_order_relaxed);
+}
+
+std::size_t sock_byte_limit() noexcept {
+  return g_sock_byte_limit.load(std::memory_order_relaxed);
 }
 
 bool should_fire(Point point) noexcept {

@@ -1,0 +1,51 @@
+#include "mel/util/fault_socket.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "mel/util/fault_injection.hpp"
+
+namespace mel::util::fault {
+
+ssize_t sock_read(int fd, void* buf, std::size_t n) noexcept {
+  if (should_fire(Point::kSockReadReset)) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (should_fire(Point::kSockReadEAgain)) {
+    errno = EAGAIN;
+    return -1;
+  }
+  if (should_fire(Point::kSockReadShort)) {
+    n = std::min(n, sock_byte_limit());
+  }
+  return ::read(fd, buf, n);
+}
+
+ssize_t sock_write(int fd, const void* buf, std::size_t n) noexcept {
+  if (should_fire(Point::kSockWriteReset)) {
+    errno = EPIPE;
+    return -1;
+  }
+  if (should_fire(Point::kSockWriteEAgain)) {
+    errno = EAGAIN;
+    return -1;
+  }
+  if (should_fire(Point::kSockWriteShort)) {
+    n = std::min(n, sock_byte_limit());
+  }
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+int sock_accept(int fd) noexcept {
+  if (should_fire(Point::kSockAcceptFailure)) {
+    errno = EMFILE;
+    return -1;
+  }
+  return ::accept(fd, nullptr, nullptr);
+}
+
+}  // namespace mel::util::fault

@@ -30,6 +30,33 @@
 //                      snapshot must remain restorable.
 //   kFsSyncFailure   - fsync() reports failure (dying disk); the writer
 //                      must report it instead of claiming durability.
+//   kSockReadShort   - a socket read() delivers at most sock_byte_limit()
+//                      bytes even when more are buffered (slow peer,
+//                      fragmented delivery). The reader must reassemble.
+//   kSockReadEAgain  - a socket read() reports EAGAIN although the fd was
+//                      polled readable (spurious readiness / EAGAIN
+//                      storm). The event loop must re-poll, not spin or
+//                      treat it as an error.
+//   kSockReadReset   - a socket read() reports ECONNRESET (peer RST).
+//                      The connection must be torn down cleanly.
+//   kSockWriteShort  - a socket write() accepts at most sock_byte_limit()
+//                      bytes (tiny send windows). Combined with
+//                      kSockWriteReset this produces torn frames at a
+//                      chosen byte offset on the peer's decode path.
+//   kSockWriteEAgain - a socket write() reports EAGAIN although polled
+//                      writable; fired persistently this is a write
+//                      stall, which must shed (deadline) rather than
+//                      block a shard thread.
+//   kSockWriteReset  - a socket write() reports EPIPE (peer vanished
+//                      mid-response).
+//   kSockAcceptFailure - accept() reports EMFILE (fd exhaustion); the
+//                      acceptor must keep serving existing connections
+//                      and retry later.
+//
+// The kSock* points fire inside the util::fault socket wrappers
+// (fault_socket.hpp) that src/net routes every connection-socket
+// syscall through; the server's wake pipes stay raw so chaos cannot
+// break the waking machinery itself.
 //
 // All scan-path deadline checks read fault::now() (steady clock plus the
 // injected skew) so the injected time and real time stay on one axis.
@@ -68,8 +95,15 @@ enum class Point : std::uint8_t {
   kFsShortWrite,
   kFsRenameFailure,
   kFsSyncFailure,
+  kSockReadShort,
+  kSockReadEAgain,
+  kSockReadReset,
+  kSockWriteShort,
+  kSockWriteEAgain,
+  kSockWriteReset,
+  kSockAcceptFailure,
 };
-inline constexpr int kPointCount = 8;
+inline constexpr int kPointCount = 15;
 
 /// Firing rule for one injection point. With probability == 0 the rule is
 /// a pure counter: skip the first `start_after` evaluations, then fire
@@ -108,7 +142,7 @@ class ScanScope {
 
  private:
   std::uint64_t saved_sequence_;
-  std::uint64_t saved_evals_[8];  ///< kPointCount; kept POD for noexcept.
+  std::uint64_t saved_evals_[16];  ///< >= kPointCount; kept POD for noexcept.
   bool saved_active_;
 };
 
@@ -139,6 +173,13 @@ void advance_clock(std::chrono::nanoseconds by) noexcept;
 /// The scan clock: steady_clock::now() plus injected skew.
 [[nodiscard]] std::chrono::steady_clock::time_point now() noexcept;
 
+/// Byte cap applied when kSockReadShort / kSockWriteShort fire: the
+/// wrapped syscall transfers at most this many bytes. Combined with a
+/// one-shot short-write trigger this tears a frame at a chosen byte
+/// offset. Minimum 1; reset() restores the default of 1.
+void set_sock_byte_limit(std::size_t limit) noexcept;
+[[nodiscard]] std::size_t sock_byte_limit() noexcept;
+
 #else  // !MEL_FAULT_INJECTION — every hook collapses to a no-op.
 
 inline constexpr bool kCompiledIn = false;
@@ -166,6 +207,8 @@ inline void advance_clock(std::chrono::nanoseconds) noexcept {}
 [[nodiscard]] inline std::chrono::steady_clock::time_point now() noexcept {
   return std::chrono::steady_clock::now();
 }
+inline void set_sock_byte_limit(std::size_t) noexcept {}
+[[nodiscard]] inline std::size_t sock_byte_limit() noexcept { return 1; }
 
 #endif  // MEL_FAULT_INJECTION
 

@@ -1,0 +1,49 @@
+#pragma once
+// Fault-injectable socket syscall wrappers.
+//
+// src/net routes every connection-socket and listen-socket syscall
+// through these wrappers so the kSock* fault points
+// (fault_injection.hpp) can deterministically simulate the network's
+// failure modes — short reads/writes, EAGAIN storms, peer resets, and
+// accept failure — on a healthy loopback connection. With the points
+// disarmed (or MEL_FAULT_INJECTION off) each wrapper is a thin veneer
+// over the raw syscall.
+//
+// Error reporting matches the syscalls: -1 with errno set. Injected
+// failures set errno exactly like the real failure would (EAGAIN,
+// ECONNRESET, EPIPE, EMFILE), so callers cannot tell injected faults
+// from real ones — which is the point: the handling path under test is
+// the production path.
+//
+// The server's self-pipe wake fds are intentionally NOT routed through
+// these wrappers: chaos must not be able to break the waking machinery
+// itself, only the traffic it carries.
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace mel::util::fault {
+
+/// read(fd, buf, n) with kSockReadReset / kSockReadEAgain /
+/// kSockReadShort injection (checked in that order). A firing
+/// kSockReadShort clamps n to sock_byte_limit() before the real read,
+/// so data is delayed, never lost.
+[[nodiscard]] ssize_t sock_read(int fd, void* buf, std::size_t n) noexcept;
+
+/// send(fd, buf, n, MSG_NOSIGNAL) with kSockWriteReset /
+/// kSockWriteEAgain / kSockWriteShort injection (checked in that
+/// order). MSG_NOSIGNAL turns a real peer-gone write into EPIPE
+/// instead of SIGPIPE; injected kSockWriteReset reports EPIPE the same
+/// way. A firing kSockWriteShort clamps n to sock_byte_limit(), which
+/// tears the in-flight frame at a chosen byte offset on the peer's
+/// decode path.
+[[nodiscard]] ssize_t sock_write(int fd, const void* buf,
+                                 std::size_t n) noexcept;
+
+/// accept(fd, nullptr, nullptr) with kSockAcceptFailure injection
+/// (reports EMFILE, the fd-exhaustion failure an acceptor must survive
+/// without dropping existing connections).
+[[nodiscard]] int sock_accept(int fd) noexcept;
+
+}  // namespace mel::util::fault

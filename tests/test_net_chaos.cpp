@@ -1,0 +1,246 @@
+// End-to-end network-path chaos soak (ISSUE 9 acceptance): drive the
+// gateway corpus through MelServer + ScanClient under the full socket
+// fault matrix — short reads/writes, EAGAIN storms, peer RSTs on both
+// directions, accept failures, and everything at once — at 1 and 3
+// shards. The invariants are absolute, not statistical:
+//   * zero lost verdicts — every scan() returns (the deadline bounds it);
+//   * zero corrupted verdicts — every completed verdict is bit-identical
+//     to a direct in-process ScanService::scan of the same payload;
+//   * every failure is a typed Status from the known refusal vocabulary,
+//     never garbage, never a hang;
+//   * after fault::reset() the server serves a fresh client perfectly —
+//     the storm leaves no wreckage behind.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mel/net/client.hpp"
+#include "mel/net/server.hpp"
+#include "mel/textcode/encoder.hpp"
+#include "mel/traffic/dataset.hpp"
+#include "mel/traffic/email_gen.hpp"
+#include "mel/util/fault_injection.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::net {
+namespace {
+
+namespace fault = util::fault;
+using fault::Point;
+using fault::Trigger;
+using util::ByteBuffer;
+using util::StatusCode;
+
+/// A shrunken slice of the bench's mixed gateway corpus (HTTP bodies,
+/// mail bodies, text worms) — the same recipe as the loopback
+/// bit-identity test, sized for 16 scenario runs.
+std::vector<ByteBuffer> chaos_corpus() {
+  traffic::BenignDatasetOptions http_options;
+  http_options.cases = 30;
+  http_options.case_size = 4000;
+  auto corpus = traffic::make_benign_dataset(http_options);
+  const traffic::EmailGenerator email;
+  for (auto& mail : email.make_mail_corpus(6, 4000, 13)) {
+    corpus.push_back(std::move(mail));
+  }
+  for (const auto& worm : textcode::text_worm_corpus(4, 2008)) {
+    corpus.push_back(worm.bytes);
+  }
+  util::Xoshiro256 rng(7);
+  for (std::size_t i = corpus.size(); i > 1; --i) {
+    std::swap(corpus[i - 1], corpus[rng.next_below(i)]);
+  }
+  return corpus;
+}
+
+ServerConfig chaos_server_config(std::size_t shards) {
+  ServerConfig config;
+  config.service.detector.alpha = 0.01;
+  config.shards = shards;
+  config.loop_tick = std::chrono::milliseconds(5);
+  return config;
+}
+
+ClientConfig chaos_client_config(std::uint16_t port) {
+  ClientConfig config;
+  config.port = port;
+  // Self-healing on: transport failures and retryable refusals are
+  // retried with decorrelated-jitter backoff, all under one deadline.
+  config.retry.max_attempts = 6;
+  config.retry.base_backoff = std::chrono::milliseconds(1);
+  config.retry.max_backoff = std::chrono::milliseconds(20);
+  config.request_deadline = std::chrono::milliseconds(3'000);
+  config.connect_deadline = std::chrono::milliseconds(1'000);
+  return config;
+}
+
+/// One cell of the fault matrix: the points to arm and the byte limit
+/// for the short-transfer points. Probability triggers (seeded, so the
+/// firing stream replays) rather than fire_every=1: a permanently
+/// failing level-triggered syscall would be a livelock, not a fault.
+struct Scenario {
+  const char* name;
+  std::vector<std::pair<Point, Trigger>> arms;
+  std::size_t byte_limit = 1;
+};
+
+std::vector<Scenario> fault_matrix() {
+  return {
+      {"short-reads",
+       {{Point::kSockReadShort, Trigger{.probability = 0.5, .seed = 101}}},
+       5},
+      {"read-eagain-storm",
+       {{Point::kSockReadEAgain, Trigger{.probability = 0.35, .seed = 102}}}},
+      {"peer-rst-on-read",
+       {{Point::kSockReadReset, Trigger{.probability = 0.03, .seed = 103}}}},
+      {"torn-writes",
+       {{Point::kSockWriteShort, Trigger{.probability = 0.5, .seed = 104}}},
+       5},
+      {"write-eagain-stall",
+       {{Point::kSockWriteEAgain, Trigger{.probability = 0.35, .seed = 105}}}},
+      {"peer-rst-on-write",
+       {{Point::kSockWriteReset, Trigger{.probability = 0.03, .seed = 106}}}},
+      {"accept-emfile",
+       {{Point::kSockAcceptFailure, Trigger{.probability = 0.3, .seed = 107}}}},
+      {"everything-at-once",
+       {{Point::kSockReadShort, Trigger{.probability = 0.3, .seed = 201}},
+        {Point::kSockReadEAgain, Trigger{.probability = 0.15, .seed = 202}},
+        {Point::kSockReadReset, Trigger{.probability = 0.015, .seed = 203}},
+        {Point::kSockWriteShort, Trigger{.probability = 0.3, .seed = 204}},
+        {Point::kSockWriteEAgain, Trigger{.probability = 0.15, .seed = 205}},
+        {Point::kSockWriteReset, Trigger{.probability = 0.015, .seed = 206}},
+        {Point::kSockAcceptFailure,
+         Trigger{.probability = 0.15, .seed = 207}}},
+       5},
+  };
+}
+
+void expect_bit_identical(const WireVerdict& wire,
+                          const service::ScanReport& direct,
+                          const std::string& context) {
+  EXPECT_EQ(wire.malicious, direct.verdict.malicious) << context;
+  EXPECT_EQ(wire.degraded, direct.verdict.degraded) << context;
+  EXPECT_EQ(wire.is_text, direct.verdict.is_text) << context;
+  EXPECT_EQ(wire.loop_detected, direct.verdict.loop_detected) << context;
+  EXPECT_EQ(wire.mel, direct.verdict.mel) << context;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(wire.threshold),
+            std::bit_cast<std::uint64_t>(direct.verdict.threshold))
+      << context;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(wire.alpha),
+            std::bit_cast<std::uint64_t>(direct.verdict.alpha))
+      << context;
+}
+
+/// The complete set of codes a scan may legitimately fail with under
+/// socket chaos. Anything else is a corrupted error path.
+bool is_typed_chaos_failure(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:        // Transport death, shed, drain.
+    case StatusCode::kDeadlineExceeded:   // Request budget exhausted.
+    case StatusCode::kResourceExhausted:  // In-flight / admission caps.
+    case StatusCode::kInvalidArgument:    // Poisoned response stream.
+    case StatusCode::kInternal:           // Protocol echo violations.
+      return true;
+    default:
+      return false;
+  }
+}
+
+class NetChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fault::kCompiledIn)
+        << "chaos soak requires MEL_FAULT_INJECTION=ON (tier-1 default)";
+    fault::reset();
+  }
+  void TearDown() override { fault::reset(); }
+};
+
+TEST_F(NetChaosTest, FaultMatrixSoakAtOneAndThreeShards) {
+  const std::vector<ByteBuffer> corpus = chaos_corpus();
+
+  // The truth table: direct in-process verdicts, computed fault-free.
+  auto oracle_or = service::ScanService::create(chaos_server_config(1).service);
+  ASSERT_TRUE(oracle_or.is_ok()) << oracle_or.status().to_string();
+  service::ScanService oracle = std::move(oracle_or).take();
+  std::vector<service::ScanReport> expected;
+  expected.reserve(corpus.size());
+  for (const ByteBuffer& payload : corpus) {
+    auto report = oracle.scan(service::ScanRequest{.payload = payload});
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    expected.push_back(std::move(report).take());
+  }
+
+  for (const Scenario& scenario : fault_matrix()) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+      const std::string where =
+          std::string(scenario.name) + " @ " + std::to_string(shards) +
+          " shard(s)";
+      auto server = MelServer::start(chaos_server_config(shards));
+      ASSERT_TRUE(server.is_ok()) << where << ": "
+                                  << server.status().to_string();
+
+      fault::set_sock_byte_limit(scenario.byte_limit);
+      for (const auto& [point, trigger] : scenario.arms) {
+        fault::arm(point, trigger);
+      }
+
+      // Two clients so a torn connection on one does not serialize the
+      // whole soak behind its reconnect backoff.
+      std::vector<ScanClient> clients;
+      for (int i = 0; i < 2; ++i) {
+        auto client =
+            ScanClient::connect(chaos_client_config(server.value()->port()));
+        ASSERT_TRUE(client.is_ok()) << where << ": "
+                                    << client.status().to_string();
+        clients.push_back(std::move(client).take());
+      }
+
+      std::size_t ok = 0;
+      std::size_t failed = 0;
+      for (std::size_t i = 0; i < corpus.size(); ++i) {
+        const std::string context =
+            where + ", payload " + std::to_string(i);
+        const auto wire = clients[i % clients.size()].scan(corpus[i]);
+        if (wire.is_ok()) {
+          ++ok;
+          expect_bit_identical(wire.value(), expected[i], context);
+        } else {
+          ++failed;
+          EXPECT_TRUE(is_typed_chaos_failure(wire.status().code()))
+              << context << ": untyped failure " << wire.status().to_string();
+          EXPECT_FALSE(wire.status().message().empty()) << context;
+        }
+      }
+      // Zero lost: every scan call came back, and the path was not so
+      // broken that nothing completed.
+      EXPECT_EQ(ok + failed, corpus.size()) << where;
+      EXPECT_GT(ok, 0u) << where;
+
+      // The storm passes; the server must be unscarred. A fresh client
+      // on a clean network gets a bit-identical verdict immediately.
+      fault::reset();
+      auto fresh =
+          ScanClient::connect(chaos_client_config(server.value()->port()));
+      ASSERT_TRUE(fresh.is_ok()) << where << ": "
+                                 << fresh.status().to_string();
+      const auto healed = fresh.value().scan(corpus[0]);
+      ASSERT_TRUE(healed.is_ok())
+          << where << " post-reset: " << healed.status().to_string();
+      expect_bit_identical(healed.value(), expected[0], where + " post-reset");
+      EXPECT_EQ(server.value()->state(), service::ServiceState::kServing)
+          << where;
+
+      server.value()->drain();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mel::net

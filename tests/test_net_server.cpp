@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -24,6 +26,7 @@
 #include "mel/textcode/encoder.hpp"
 #include "mel/traffic/dataset.hpp"
 #include "mel/traffic/email_gen.hpp"
+#include "mel/util/fault_injection.hpp"
 #include "mel/util/rng.hpp"
 
 namespace mel::net {
@@ -149,6 +152,39 @@ class RawConn {
       if (n <= 0) {
         ADD_FAILURE() << "connection closed before an error frame arrived";
         return error;
+      }
+    }
+  }
+
+  /// One decoded frame of any type, header and payload copied out.
+  struct Frame {
+    FrameHeader header;
+    ByteBuffer payload;
+  };
+
+  /// Blocks until one full frame arrives (the pipelining tests read
+  /// verdicts and refusals off the same connection, in order).
+  Frame read_frame() {
+    Frame frame;
+    while (true) {
+      auto next = decoder_.next();
+      if (!next.is_ok()) {
+        ADD_FAILURE() << "server sent garbage: " << next.status().to_string();
+        return frame;
+      }
+      if (next.value().has_value()) {
+        frame.header = next.value()->header;
+        frame.payload.assign(next.value()->payload.begin(),
+                             next.value()->payload.end());
+        decoder_.release();
+        return frame;
+      }
+      std::span<std::uint8_t> area = decoder_.write_area(4096);
+      const ::ssize_t n = ::recv(fd_, area.data(), area.size(), 0);
+      decoder_.commit(n > 0 ? static_cast<std::size_t>(n) : 0);
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed before a full frame arrived";
+        return frame;
       }
     }
   }
@@ -448,6 +484,235 @@ TEST(NetServer, RestoresPerTenantSnapshotsAndSavesOnDrain) {
   std::remove(tenant_path.c_str());
   std::remove((default_path + ".bak").c_str());
   std::remove((tenant_path + ".bak").c_str());
+}
+
+// --- Connection-lifecycle hardening ---------------------------------------
+// All lifecycle timers are driven by the shard poller's deadline wheel;
+// the tests shrink loop_tick and the budgets so a violation fires within
+// milliseconds, and disable the timers they are not probing.
+
+namespace fault = util::fault;
+
+class NetServerLifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+
+  static ServerConfig hardened_config() {
+    ServerConfig config = base_config();
+    config.loop_tick = std::chrono::milliseconds(5);
+    return config;
+  }
+};
+
+TEST_F(NetServerLifecycleTest, IdleTimeoutRefusesSilentConnection) {
+  ServerConfig config = hardened_config();
+  config.idle_timeout = std::chrono::milliseconds(100);
+  auto server = start_server(config);
+
+  // Connect and say nothing: the slot must not be holdable for free.
+  RawConn conn(server->port());
+  const WireError error = conn.read_error_frame();
+  EXPECT_EQ(error.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(conn.at_eof());
+  EXPECT_GE(server->stats().timeout_closes, 1u);
+  EXPECT_GE(server->stats().connections_dropped, 1u);
+}
+
+TEST_F(NetServerLifecycleTest, ReadDeadlineClosesTornFrameSender) {
+  ServerConfig config = hardened_config();
+  config.read_deadline = std::chrono::milliseconds(100);
+  config.idle_timeout = std::chrono::milliseconds(0);
+  config.slow_loris_interval = std::chrono::milliseconds(0);
+  auto server = start_server(config);
+
+  // The first 10 bytes of a valid scan request, then silence: the frame
+  // never completes, so the read deadline must refuse the peer.
+  const ByteBuffer full = encode_scan_request(
+      service::kDefaultTenant, 1, util::to_bytes("a torn scan request"));
+  RawConn conn(server->port());
+  conn.send(ByteView(full.data(), 10));
+  const WireError error = conn.read_error_frame();
+  EXPECT_EQ(error.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(conn.at_eof());
+  EXPECT_GE(server->stats().timeout_closes, 1u);
+}
+
+TEST_F(NetServerLifecycleTest, SlowLorisTricklerRefused) {
+  ServerConfig config = hardened_config();
+  config.slow_loris_interval = std::chrono::milliseconds(50);
+  config.slow_loris_min_bytes = 64;
+  config.read_deadline = std::chrono::milliseconds(0);
+  config.idle_timeout = std::chrono::milliseconds(0);
+  auto server = start_server(config);
+
+  // A torn frame opens the loris window; delivering nothing further is
+  // below the per-interval floor, so the trickler cannot hold the slot.
+  const ByteBuffer full = encode_scan_request(
+      service::kDefaultTenant, 1, util::to_bytes("one byte per second"));
+  RawConn conn(server->port());
+  conn.send(ByteView(full.data(), 10));
+  const WireError error = conn.read_error_frame();
+  EXPECT_EQ(error.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(conn.at_eof());
+  EXPECT_GE(server->stats().timeout_closes, 1u);
+}
+
+TEST_F(NetServerLifecycleTest, WriteDeadlineShedsPeerWhenWritesStall) {
+  ASSERT_TRUE(fault::kCompiledIn);
+  ServerConfig config = hardened_config();
+  config.write_deadline = std::chrono::milliseconds(100);
+  config.idle_timeout = std::chrono::milliseconds(0);
+  auto server = start_server(config);
+
+  RawConn conn(server->port());
+  // Every server-side write reports EAGAIN (a write stall): the verdict
+  // cannot drain, and after write_deadline the peer is shed silently —
+  // no error frame (it is not reading), no blocked shard thread.
+  fault::arm(fault::Point::kSockWriteEAgain,
+             fault::Trigger{.fire_every = 1});
+  conn.send(encode_scan_request(service::kDefaultTenant, 1,
+                                util::to_bytes("a verdict never drained")));
+  EXPECT_TRUE(conn.at_eof());
+  EXPECT_GE(server->stats().timeout_closes, 1u);
+  fault::reset();
+  // The shard survived the shed: a fresh connection scans normally.
+  ScanClient client = connect_client(*server);
+  EXPECT_TRUE(client.scan(util::to_bytes("post-shed health check")).is_ok());
+}
+
+TEST_F(NetServerLifecycleTest, InflightCapRefusesPipelinedRequestsTyped) {
+  ASSERT_TRUE(fault::kCompiledIn);
+  ServerConfig config = hardened_config();
+  config.max_inflight_per_connection = 1;
+  config.write_deadline = std::chrono::milliseconds(0);
+  config.idle_timeout = std::chrono::milliseconds(0);
+  auto server = start_server(config);
+
+  RawConn conn(server->port());
+  // Stall server writes so the three pipelined responses stay buffered:
+  // the in-flight count cannot drain between requests regardless of how
+  // the bytes segment across reads.
+  fault::arm(fault::Point::kSockWriteEAgain,
+             fault::Trigger{.fire_every = 1});
+  const ByteBuffer payload = util::to_bytes("pipelined request");
+  ByteBuffer batch;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const ByteBuffer one =
+        encode_scan_request(service::kDefaultTenant, id, payload);
+    batch.insert(batch.end(), one.begin(), one.end());
+  }
+  conn.send(batch);
+  // Wait (bounded) for the shard to ingest all three frames.
+  for (int i = 0; i < 5000 && server->stats().frames_received < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server->stats().frames_received, 3u);
+  EXPECT_EQ(server->stats().inflight_refused, 2u);
+  EXPECT_EQ(server->stats().scans_ok, 1u);
+
+  // Un-stall: the buffered responses drain in request order — one
+  // verdict, two typed retryable refusals — and the connection lives.
+  fault::disarm(fault::Point::kSockWriteEAgain);
+  const RawConn::Frame first = conn.read_frame();
+  EXPECT_EQ(first.header.type, FrameType::kVerdict);
+  EXPECT_EQ(first.header.request_id, 1u);
+  for (std::uint64_t id = 2; id <= 3; ++id) {
+    const RawConn::Frame refusal = conn.read_frame();
+    EXPECT_EQ(refusal.header.type, FrameType::kError);
+    EXPECT_EQ(refusal.header.request_id, id);
+    auto decoded = decode_error_body(refusal.payload);
+    ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+    EXPECT_EQ(decoded.value().status.code(), StatusCode::kResourceExhausted);
+    EXPECT_GT(decoded.value().status.retry_after().count(), 0);
+  }
+  // The cap cleared with the drain: the next request scans.
+  conn.send(encode_scan_request(service::kDefaultTenant, 4, payload));
+  const RawConn::Frame healed = conn.read_frame();
+  EXPECT_EQ(healed.header.type, FrameType::kVerdict);
+  EXPECT_EQ(healed.header.request_id, 4u);
+}
+
+// --- Per-tenant drift loops ------------------------------------------------
+
+/// Full-support skewed traffic (half 'e', half uniform text): drifts
+/// hard against a uniform baseline (same recipe as test_persist_state).
+ByteBuffer skewed_payload(std::size_t size, util::Xoshiro256& rng) {
+  ByteBuffer out(size);
+  for (std::uint8_t& b : out) {
+    b = rng.next_below(2) == 0
+            ? std::uint8_t{'e'}
+            : static_cast<std::uint8_t>(
+                  util::kTextLow +
+                  rng.next_below(
+                      static_cast<std::uint64_t>(util::kTextDomainSize)));
+  }
+  return out;
+}
+
+ByteBuffer uniform_payload(std::size_t size, util::Xoshiro256& rng) {
+  ByteBuffer out(size);
+  for (std::uint8_t& b : out) {
+    b = static_cast<std::uint8_t>(
+        util::kTextLow +
+        rng.next_below(static_cast<std::uint64_t>(util::kTextDomainSize)));
+  }
+  return out;
+}
+
+TEST(NetServerDrift, PerTenantDriftRecalibratesOnlyTheDriftingTenant) {
+  // ServerConfig::drift gives EVERY tenant its own monitor fed only its
+  // own payloads: tenant 7's skewed traffic must recalibrate tenant 7
+  // and leave the default tenant's calibration untouched.
+  ServerConfig config = base_config();
+  core::CharFrequencyTable uniform{};
+  for (int b = util::kTextLow; b <= util::kTextHigh; ++b) {
+    uniform[static_cast<std::size_t>(b)] = 1.0 / util::kTextDomainSize;
+  }
+  config.service.detector.preset_frequencies = uniform;
+  service::TenantConfig tenant;
+  tenant.id = 7;
+  tenant.name = "acme";
+  config.service.tenants.push_back(tenant);
+  config.shards = 2;
+  persist::DriftMonitorConfig drift;
+  drift.window_payloads = 8;
+  drift.min_window_chars = 2048;
+  config.drift = drift;
+
+  auto server = start_server(config);
+  ASSERT_NE(server->drift_monitor(service::kDefaultTenant), nullptr);
+  ASSERT_NE(server->drift_monitor(7), nullptr);
+  // No snapshot paths anywhere: both managers are ephemeral drift hosts.
+  ASSERT_NE(server->state_manager(service::kDefaultTenant), nullptr);
+  ASSERT_NE(server->state_manager(7), nullptr);
+
+  util::Xoshiro256 rng(600);
+  ScanClient tenant_client = connect_client(*server, 7);
+  ScanClient default_client = connect_client(*server);
+  for (int i = 0; i < 8; ++i) {
+    const auto skewed = tenant_client.scan(skewed_payload(512, rng));
+    ASSERT_TRUE(skewed.is_ok()) << skewed.status().to_string();
+    const auto uniform_scan = default_client.scan(uniform_payload(512, rng));
+    ASSERT_TRUE(uniform_scan.is_ok()) << uniform_scan.status().to_string();
+  }
+
+  // Tenant 7 drifted and recalibrated through its own manager...
+  EXPECT_EQ(server->drift_monitor(7)->windows_checked(), 1u);
+  EXPECT_EQ(server->drift_monitor(7)->drifts_detected(), 1u);
+  EXPECT_EQ(server->state_manager(7)->recalibrations(), 1u);
+  // ...while the default tenant's window closed clean: no cross-tenant
+  // contamination of either the monitor or the calibration.
+  EXPECT_EQ(server->drift_monitor(service::kDefaultTenant)->windows_checked(),
+            1u);
+  EXPECT_EQ(server->drift_monitor(service::kDefaultTenant)->drifts_detected(),
+            0u);
+  EXPECT_EQ(server->state_manager(service::kDefaultTenant)->recalibrations(),
+            0u);
+
+  // Both tenants keep serving after the inline recalibration.
+  EXPECT_TRUE(tenant_client.ping().is_ok());
+  EXPECT_TRUE(default_client.ping().is_ok());
 }
 
 }  // namespace

@@ -5,8 +5,17 @@
 #include "mel/util/logging.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <sstream>
+#include <string>
 #include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mel/util/fault_socket.hpp"
 
 namespace mel::util::fault {
 namespace {
@@ -82,6 +91,130 @@ TEST_F(FaultInjectionTest, ResetDisarmsEverything) {
   EXPECT_FALSE(should_fire(Point::kAllocFailure));
   EXPECT_FALSE(should_fire(Point::kEngineStall));
   EXPECT_EQ(time_jump(), std::chrono::seconds(10));  // Back to default.
+}
+
+// --- Socket wrappers (fault_socket.hpp) -----------------------------------
+// Errno parity contract: an injected failure must be indistinguishable
+// from the real one, so production code cannot tell chaos from weather.
+
+/// A connected AF_UNIX stream pair; [0] is "ours", [1] the peer's.
+class SocketPair {
+ public:
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0); }
+  ~SocketPair() {
+    ::close(fds_[0]);
+    ::close(fds_[1]);
+  }
+  [[nodiscard]] int ours() const noexcept { return fds_[0]; }
+  [[nodiscard]] int peer() const noexcept { return fds_[1]; }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FaultInjectionTest, SockWrappersPassThroughWhenDisarmed) {
+  SocketPair pair;
+  const std::string message = "hello over the wrapped pair";
+  ASSERT_EQ(sock_write(pair.ours(), message.data(), message.size()),
+            static_cast<ssize_t>(message.size()));
+  std::string read_back(message.size(), '\0');
+  ASSERT_EQ(sock_read(pair.peer(), read_back.data(), read_back.size()),
+            static_cast<ssize_t>(message.size()));
+  EXPECT_EQ(read_back, message);
+}
+
+TEST_F(FaultInjectionTest, SockReadShortClampsToByteLimit) {
+  SocketPair pair;
+  const std::string message = "twelve bytes";
+  ASSERT_EQ(::send(pair.ours(), message.data(), message.size(), 0),
+            static_cast<ssize_t>(message.size()));
+
+  set_sock_byte_limit(4);
+  arm(Point::kSockReadShort, Trigger{.fire_every = 1, .max_fires = 1});
+  char buffer[64] = {};
+  EXPECT_EQ(sock_read(pair.peer(), buffer, sizeof buffer), 4);
+  EXPECT_EQ(std::string(buffer, 4), "twel");
+  // The clamp drops nothing: the rest is still queued for the next read.
+  EXPECT_EQ(sock_read(pair.peer(), buffer, sizeof buffer),
+            static_cast<ssize_t>(message.size() - 4));
+  EXPECT_EQ(std::string(buffer, message.size() - 4), "ve bytes");
+}
+
+TEST_F(FaultInjectionTest, SockReadEAgainInjectsWithoutConsumingData) {
+  SocketPair pair;
+  ASSERT_EQ(::send(pair.ours(), "ok", 2, 0), 2);
+
+  arm(Point::kSockReadEAgain, Trigger{.fire_every = 1, .max_fires = 1});
+  char buffer[8] = {};
+  errno = 0;
+  EXPECT_EQ(sock_read(pair.peer(), buffer, sizeof buffer), -1);
+  EXPECT_EQ(errno, EAGAIN);
+  EXPECT_EQ(fire_count(Point::kSockReadEAgain), 1u);
+  // Spurious EAGAIN, not data loss: the retry sees the bytes.
+  EXPECT_EQ(sock_read(pair.peer(), buffer, sizeof buffer), 2);
+}
+
+TEST_F(FaultInjectionTest, SockReadResetReportsEConnReset) {
+  SocketPair pair;
+  arm(Point::kSockReadReset, Trigger{.fire_every = 1});
+  char buffer[8] = {};
+  errno = 0;
+  EXPECT_EQ(sock_read(pair.peer(), buffer, sizeof buffer), -1);
+  EXPECT_EQ(errno, ECONNRESET);
+}
+
+TEST_F(FaultInjectionTest, SockWriteShortClampsToByteLimit) {
+  SocketPair pair;
+  set_sock_byte_limit(3);
+  arm(Point::kSockWriteShort, Trigger{.fire_every = 1, .max_fires = 1});
+  const std::string message = "torn frame";
+  EXPECT_EQ(sock_write(pair.ours(), message.data(), message.size()), 3);
+  // Only the accepted prefix crossed: the torn-frame offset is exact.
+  char buffer[64] = {};
+  EXPECT_EQ(::recv(pair.peer(), buffer, sizeof buffer, MSG_DONTWAIT), 3);
+  EXPECT_EQ(std::string(buffer, 3), "tor");
+}
+
+TEST_F(FaultInjectionTest, SockWriteEAgainInjectsEAgain) {
+  SocketPair pair;
+  arm(Point::kSockWriteEAgain, Trigger{.fire_every = 1});
+  errno = 0;
+  EXPECT_EQ(sock_write(pair.ours(), "x", 1), -1);
+  EXPECT_EQ(errno, EAGAIN);
+}
+
+TEST_F(FaultInjectionTest, SockWriteResetReportsEPipe) {
+  SocketPair pair;
+  arm(Point::kSockWriteReset, Trigger{.fire_every = 1});
+  errno = 0;
+  EXPECT_EQ(sock_write(pair.ours(), "x", 1), -1);
+  EXPECT_EQ(errno, EPIPE);
+}
+
+TEST_F(FaultInjectionTest, SockAcceptFailureReportsEMFile) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const ::sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  arm(Point::kSockAcceptFailure, Trigger{.fire_every = 1});
+  errno = 0;
+  EXPECT_EQ(sock_accept(listener), -1);
+  EXPECT_EQ(errno, EMFILE);
+  ::close(listener);
+}
+
+TEST_F(FaultInjectionTest, ResetRestoresSockByteLimit) {
+  set_sock_byte_limit(7);
+  EXPECT_EQ(sock_byte_limit(), 7u);
+  reset();
+  EXPECT_EQ(sock_byte_limit(), 1u);
+  set_sock_byte_limit(0);  // Clamped to the documented minimum of 1.
+  EXPECT_EQ(sock_byte_limit(), 1u);
 }
 
 }  // namespace
