@@ -181,7 +181,11 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json, "{\n");
   std::fprintf(json, "  \"bench\": \"overload_shedding\",\n");
+  std::fprintf(json, "  \"schema_version\": 2,\n");
   std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(json, "  \"corpus_payloads\": %zu,\n", corpus.size());
+  std::fprintf(json, "  \"shards\": 0,\n");
+  std::fprintf(json, "  \"workers\": %zu,\n", workers);
   std::fprintf(json, "  \"threads\": %zu,\n", workers);
   std::fprintf(json, "  \"requests\": %zu,\n", corpus.size());
   std::fprintf(json, "  \"admitted\": %zu,\n", admitted_us.size());

@@ -171,9 +171,17 @@ void emit_json(const BenchOutput& out) {
   }
   std::fprintf(json, "{\n");
   std::fprintf(json, "  \"bench\": \"parallel_throughput\",\n");
+  std::fprintf(json, "  \"schema_version\": 2,\n");
   std::fprintf(json, "  \"status\": \"%s\",\n", out.status.c_str());
   std::fprintf(json, "  \"smoke\": %s,\n", out.smoke ? "true" : "false");
   std::fprintf(json, "  \"hardware_threads\": %u,\n", out.hardware);
+  std::fprintf(json, "  \"corpus_payloads\": %zu,\n", out.payloads);
+  // In-process batch bench: no network shards; the worker sweep is the
+  // \"widths\" array below, so \"workers\" reports the widest width run.
+  std::fprintf(json, "  \"shards\": 0,\n");
+  std::fprintf(json, "  \"workers\": %zu,\n",
+               out.results.empty() ? std::size_t{0}
+                                   : out.results.back().workers);
   std::fprintf(json, "  \"payloads\": %zu,\n", out.payloads);
   std::fprintf(json, "  \"total_bytes\": %llu,\n",
                static_cast<unsigned long long>(out.total_bytes));

@@ -14,6 +14,10 @@
 //     self-healing clients retry with backoff — reports the retry
 //     success rate and the post-storm recovery time. An untyped failure
 //     or a recovery above the gate fails the bench.
+//   * shard recovery: a supervised server loses a shard thread to an
+//     injected crash mid-traffic; the supervisor must condemn and
+//     rebuild it inside the 5s gate, and the rebuilt fleet must then
+//     serve verdicts bit-identical to a direct in-process ScanService.
 //
 // Results go to stdout (human table) and BENCH_server_throughput.json
 // at the repo root (MEL_BENCH_REPO_ROOT, baked in by CMake) so CI can
@@ -21,6 +25,7 @@
 // for a CI-sized run (sanitize/tsan trees).
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +35,8 @@
 #include "bench_util.hpp"
 #include "mel/net/client.hpp"
 #include "mel/net/server.hpp"
+#include "mel/service/scan_service.hpp"
+#include "mel/super/supervision.hpp"
 #include "mel/textcode/encoder.hpp"
 #include "mel/traffic/dataset.hpp"
 #include "mel/traffic/email_gen.hpp"
@@ -189,6 +196,22 @@ void drive_faulty_client(std::uint16_t port,
   }
   ledger.retries = client.stats().retries;
   ledger.reconnects = client.stats().reconnects;
+}
+
+/// Bit-for-bit agreement between a wire verdict and a direct in-process
+/// scan — the contract the rebuilt shard fleet must honor (the same
+/// fields the chaos soak checks in test_net_chaos.cpp).
+bool wire_matches_direct(const mel::net::WireVerdict& wire,
+                         const mel::service::ScanReport& direct) {
+  return wire.malicious == direct.verdict.malicious &&
+         wire.degraded == direct.verdict.degraded &&
+         wire.is_text == direct.verdict.is_text &&
+         wire.loop_detected == direct.verdict.loop_detected &&
+         wire.mel == direct.verdict.mel &&
+         std::bit_cast<std::uint64_t>(wire.threshold) ==
+             std::bit_cast<std::uint64_t>(direct.verdict.threshold) &&
+         std::bit_cast<std::uint64_t>(wire.alpha) ==
+             std::bit_cast<std::uint64_t>(direct.verdict.alpha);
 }
 
 }  // namespace
@@ -439,6 +462,122 @@ int main(int argc, char** argv) {
     server->drain();
   }
 
+  // --- Phase 5: shard recovery ---------------------------------------------
+  mel::bench::print_section(
+      "shard recovery: injected shard crash under supervision");
+  bool recovery_ran = false;
+  double shard_recovery_ms = 0.0;
+  std::uint64_t recovery_rebuilds = 0;
+  std::uint64_t recovery_condemned = 0;
+  std::uint64_t recovery_rebuild_failures = 0;
+  std::uint64_t recovery_typed_refusals = 0;
+  std::uint64_t recovery_untyped = 0;
+  std::size_t recovery_checked = 0;
+  std::uint64_t recovery_mismatches = 0;
+  if (!mel::util::fault::kCompiledIn) {
+    std::printf("skipped: MEL_FAULT_INJECTION is compiled out\n");
+  } else {
+    recovery_ran = true;
+    namespace fault = mel::util::fault;
+    fault::reset();
+
+    mel::net::ServerConfig supervised = config;
+    supervised.loop_tick = std::chrono::milliseconds(2);
+    mel::super::SupervisorConfig supervision;
+    supervision.heartbeat_interval = std::chrono::milliseconds(5);
+    // Crash detection rides the instant thread-exited path; the beat
+    // allowance is lenient so loaded CI machines cannot false-positive.
+    supervision.missed_heartbeats = 400;
+    supervision.stall_grace = 1.5;
+    supervision.stall_timeout = std::chrono::milliseconds(200);
+    supervision.quarantine_after = 2;
+    // Park the brownout ladder: this phase measures recovery fidelity,
+    // and a degraded verdict would break the bit-identity check below.
+    supervision.brownout.engage_pressure = 100;
+    supervised.supervision = supervision;
+
+    auto server = std::move(mel::net::MelServer::start(supervised).take());
+
+    // The truth table: the same detector stack, in process, fault free.
+    auto oracle =
+        std::move(mel::service::ScanService::create(supervised.service).take());
+
+    // One shard thread dies at a deterministic point once traffic flows.
+    fault::arm(fault::Point::kShardHeartbeatLoss,
+               fault::Trigger{.start_after = 5, .fire_every = 1'000'000,
+                              .max_fires = 1});
+
+    mel::net::ClientConfig retry_config;
+    retry_config.port = server->port();
+    retry_config.retry.max_attempts = 8;
+    retry_config.retry.base_backoff = std::chrono::milliseconds(1);
+    retry_config.retry.max_backoff = std::chrono::milliseconds(20);
+    retry_config.request_deadline = std::chrono::milliseconds(2'000);
+    auto driver =
+        std::move(mel::net::ScanClient::connect(std::move(retry_config)).take());
+
+    // Drive traffic until the supervisor has condemned the dead shard
+    // and rebuilt it. The clock starts at arming, so the measurement
+    // covers detection + condemnation + rebuild + re-deal end to end.
+    const auto crash_start = Clock::now();
+    std::size_t sent = 0;
+    while (Clock::now() - crash_start < std::chrono::seconds(10)) {
+      const auto verdict = driver.scan(corpus[sent % corpus.size()]);
+      ++sent;
+      if (!verdict.is_ok()) {
+        if (is_typed_chaos_failure(verdict.status().code())) {
+          recovery_typed_refusals += 1;
+        } else {
+          recovery_untyped += 1;
+        }
+      }
+      if (server->stats().shards_rebuilt >= 1) break;
+    }
+    shard_recovery_ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - crash_start)
+                            .count();
+    const mel::net::ServerStats stats = server->stats();
+    recovery_rebuilds = stats.shards_rebuilt;
+    recovery_condemned = stats.shards_condemned;
+    recovery_rebuild_failures = stats.shard_rebuild_failures;
+
+    // Post-recovery fidelity: a fresh client on a clean fault table must
+    // get verdicts bit-identical to the in-process oracle.
+    fault::reset();
+    mel::net::ClientConfig fresh_config;
+    fresh_config.port = server->port();
+    fresh_config.request_deadline = std::chrono::milliseconds(2'000);
+    auto fresh =
+        std::move(mel::net::ScanClient::connect(std::move(fresh_config)).take());
+    for (std::size_t i = 0; i < 16 && i < corpus.size(); ++i) {
+      const auto want =
+          oracle.scan(mel::service::ScanRequest{.payload = corpus[i]});
+      const auto got = fresh.scan(corpus[i]);
+      if (!want.is_ok() || !got.is_ok()) {
+        recovery_mismatches += 1;
+        continue;
+      }
+      recovery_checked += 1;
+      if (!wire_matches_direct(got.value(), want.value())) {
+        recovery_mismatches += 1;
+      }
+    }
+    std::printf(
+        "crash -> rebuilt in %.1fms  (condemned %llu, rebuilt %llu, "
+        "rebuild failures %llu)\n"
+        "during recovery: %zu scans, %llu typed refusal(s), %llu untyped\n"
+        "post-recovery: %zu verdicts checked, %llu mismatch(es)\n",
+        shard_recovery_ms,
+        static_cast<unsigned long long>(recovery_condemned),
+        static_cast<unsigned long long>(recovery_rebuilds),
+        static_cast<unsigned long long>(recovery_rebuild_failures), sent,
+        static_cast<unsigned long long>(recovery_typed_refusals),
+        static_cast<unsigned long long>(recovery_untyped),
+        recovery_checked,
+        static_cast<unsigned long long>(recovery_mismatches));
+    server->drain();
+  }
+
   // Gates: every refusal well-formed; the shed rate near the 3/4 the
   // token budget dictates (per-shard bucket variance allows a band).
   int status = 0;
@@ -474,6 +613,34 @@ int main(int argc, char** argv) {
       status = 1;
     }
   }
+  if (recovery_ran) {
+    if (recovery_rebuilds < 1) {
+      std::fprintf(stderr,
+                   "FAIL: shard crash was never rebuilt (condemned %llu)\n",
+                   static_cast<unsigned long long>(recovery_condemned));
+      status = 1;
+    }
+    if (shard_recovery_ms > 5'000.0) {
+      std::fprintf(stderr,
+                   "FAIL: shard recovery took %.0fms (gate: 5000ms)\n",
+                   shard_recovery_ms);
+      status = 1;
+    }
+    if (recovery_untyped > 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu untyped failure(s) during shard recovery\n",
+                   static_cast<unsigned long long>(recovery_untyped));
+      status = 1;
+    }
+    if (recovery_checked == 0 || recovery_mismatches > 0) {
+      std::fprintf(stderr,
+                   "FAIL: post-recovery verdicts not bit-identical "
+                   "(%zu checked, %llu mismatched)\n",
+                   recovery_checked,
+                   static_cast<unsigned long long>(recovery_mismatches));
+      status = 1;
+    }
+  }
 
   const char* path = MEL_BENCH_REPO_ROOT "/BENCH_server_throughput.json";
   std::FILE* json = std::fopen(path, "w");
@@ -483,8 +650,11 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json, "{\n");
   std::fprintf(json, "  \"bench\": \"server_throughput\",\n");
+  std::fprintf(json, "  \"schema_version\": 2,\n");
   std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(json, "  \"corpus_payloads\": %zu,\n", corpus.size());
   std::fprintf(json, "  \"shards\": %zu,\n", shards);
+  std::fprintf(json, "  \"workers\": %zu,\n", clients);
   std::fprintf(json, "  \"clients\": %zu,\n", clients);
   std::fprintf(json, "  \"connections_per_sec\": %.1f,\n",
                connections_per_sec);
@@ -515,6 +685,23 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  \"faulty_reconnects\": %llu,\n",
                static_cast<unsigned long long>(faulty_reconnects));
   std::fprintf(json, "  \"faulty_recovery_ms\": %.1f,\n", recovery_ms);
+  std::fprintf(json, "  \"shard_recovery_ran\": %s,\n",
+               recovery_ran ? "true" : "false");
+  std::fprintf(json, "  \"shard_recovery_ms\": %.1f,\n", shard_recovery_ms);
+  std::fprintf(json, "  \"shard_recovery_condemned\": %llu,\n",
+               static_cast<unsigned long long>(recovery_condemned));
+  std::fprintf(json, "  \"shard_recovery_rebuilds\": %llu,\n",
+               static_cast<unsigned long long>(recovery_rebuilds));
+  std::fprintf(json, "  \"shard_recovery_rebuild_failures\": %llu,\n",
+               static_cast<unsigned long long>(recovery_rebuild_failures));
+  std::fprintf(json, "  \"shard_recovery_typed_refusals\": %llu,\n",
+               static_cast<unsigned long long>(recovery_typed_refusals));
+  std::fprintf(json, "  \"shard_recovery_untyped_failures\": %llu,\n",
+               static_cast<unsigned long long>(recovery_untyped));
+  std::fprintf(json, "  \"shard_recovery_verdicts_checked\": %zu,\n",
+               recovery_checked);
+  std::fprintf(json, "  \"shard_recovery_verdict_mismatches\": %llu,\n",
+               static_cast<unsigned long long>(recovery_mismatches));
   std::fprintf(json, "  \"pass\": %s\n", status == 0 ? "true" : "false");
   std::fprintf(json, "}\n");
   std::fclose(json);

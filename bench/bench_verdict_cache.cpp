@@ -51,7 +51,11 @@ void emit_json(const BenchOutput& out) {
   }
   std::fprintf(json, "{\n");
   std::fprintf(json, "  \"bench\": \"verdict_cache\",\n");
+  std::fprintf(json, "  \"schema_version\": 2,\n");
   std::fprintf(json, "  \"status\": \"%s\",\n", out.status.c_str());
+  std::fprintf(json, "  \"corpus_payloads\": %zu,\n", out.stream_length);
+  std::fprintf(json, "  \"shards\": 0,\n");
+  std::fprintf(json, "  \"workers\": 1,\n");
   std::fprintf(json, "  \"distinct_payloads\": %zu,\n", out.distinct_payloads);
   std::fprintf(json, "  \"stream_length\": %zu,\n", out.stream_length);
   std::fprintf(json, "  \"total_bytes\": %llu,\n",

@@ -8,15 +8,21 @@
 // Also the CI smoke test for the observability layer: it exercises
 // registration, recording, snapshot merging, and both exporters, and
 // exits non-zero if the JSON exporter fails to round-trip its own
-// output.
+// output. The supervision series (mel_super_*, mel_quarantine_*) ride
+// the same registry: a standalone Supervisor is driven through one
+// stall -> condemnation -> quarantine -> brownout cycle so a scrape of
+// this binary shows every series a supervised deployment would export.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "mel/obs/export.hpp"
 #include "mel/obs/metrics.hpp"
 #include "mel/service/scan_service.hpp"
+#include "mel/super/supervision.hpp"
 #include "mel/textcode/encoder.hpp"
 #include "mel/textcode/shellcode_corpus.hpp"
 #include "mel/traffic/english_model.hpp"
@@ -36,6 +42,57 @@ mel::util::ByteBuffer worm_bytes(std::uint64_t seed) {
       mel::textcode::binary_shellcode_corpus().front().bytes, {}, rng);
 }
 
+/// Drives a standalone Supervisor through one full supervision story —
+/// a wedged scan is condemned twice (quarantining its fingerprint and
+/// refusing a resubmission), a shard dies and is rebuilt, and pressure
+/// walks the brownout ladder one level up — so the registry carries a
+/// non-zero sample of every mel_super_* and mel_quarantine_* series.
+void exercise_supervision(mel::obs::MetricsRegistry& registry) {
+  namespace super = mel::super;
+  using std::chrono::milliseconds;
+
+  super::SupervisorConfig config;
+  config.heartbeat_interval = milliseconds(10);
+  config.missed_heartbeats = 100;
+  config.stall_timeout = milliseconds(50);
+  config.quarantine_after = 2;
+  config.brownout.engage_pressure = 2;
+  super::Supervisor supervisor(config, 1);
+  supervisor.bind_metrics(registry);
+
+  const auto t0 = std::chrono::steady_clock::time_point{} + milliseconds(1);
+  const mel::persist::Fingerprint poison{.lo = 11, .hi = 12, .length = 64};
+
+  // Two stalls on the same fingerprint: condemn, rebuild, condemn again
+  // — the second offense crosses the quarantine threshold.
+  for (int offense = 0; offense < 2; ++offense) {
+    supervisor.table().heartbeat(0, t0);
+    supervisor.table().begin_scan(0, poison, t0, milliseconds(10));
+    supervisor.tick(t0 + milliseconds(500));
+    supervisor.table().mark_exited(0);
+    supervisor.table().reset_for_rebuild(0, t0 + milliseconds(600));
+    supervisor.record_rebuild();
+  }
+  if (supervisor.quarantine().is_quarantined(poison)) {
+    supervisor.quarantine().record_refusal();
+  }
+
+  // A dead shard (thread exit with no scan in flight), then its rebuild.
+  supervisor.table().heartbeat(0, t0 + milliseconds(700));
+  supervisor.table().mark_exited(0);
+  supervisor.tick(t0 + milliseconds(800));
+  supervisor.table().reset_for_rebuild(0, t0 + milliseconds(900));
+  supervisor.record_rebuild();
+
+  // Enough pressure inside one window to step the ladder to level 1,
+  // plus one reduced scan and one screen verdict for their counters.
+  supervisor.brownout().record_pressure(t0 + milliseconds(1000));
+  supervisor.brownout().record_pressure(t0 + milliseconds(1001));
+  supervisor.brownout().update(t0 + milliseconds(1002));
+  supervisor.brownout().record_reduced_scan();
+  supervisor.brownout().record_screened_scan();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -46,13 +103,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto service_or = mel::service::ScanService::create({});
+  // One shared registry: the scan path and the supervision series land
+  // in the same scrape, as they do in a supervised MelServer.
+  auto registry = std::make_shared<mel::obs::MetricsRegistry>();
+  mel::service::ServiceConfig service_config;
+  service_config.metrics = registry;
+  auto service_or = mel::service::ScanService::create(std::move(service_config));
   if (!service_or.is_ok()) {
     std::fprintf(stderr, "create: %s\n",
                  service_or.status().to_string().c_str());
     return 1;
   }
   const mel::service::ScanService service = std::move(service_or).take();
+  exercise_supervision(*registry);
 
   // A small mixed corpus: mostly benign web text, a few text worms.
   std::vector<mel::obs::TraceSpan> last_trace;

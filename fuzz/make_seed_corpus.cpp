@@ -10,6 +10,7 @@
 // reproduces the checked-in corpus byte for byte (file sizes are capped
 // well under kMaxFuzzInputBytes to keep the tree small).
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -194,6 +195,30 @@ int main(int argc, char** argv) {
     mel::util::ByteBuffer big(17 * 1024, std::uint8_t{'A'});
     write_seed(Target::kScanRequest, "over_cap", with_header({0}, big));
   }
+  {
+    // Brownout-boundary payloads (ISSUE 10): the screen-only ladder
+    // level judges by Shannon byte entropy against the default 6.0
+    // bits/byte threshold, so seed the fuzzers exactly astride it —
+    // 256 distinct bytes (8.0), 64 distinct (6.0, the >= boundary
+    // flags), and 32 distinct (5.0, clean). Repeating each value keeps
+    // the histogram uniform at any truncation the fuzzer tries.
+    auto uniform_bytes = [](std::size_t distinct, std::size_t repeats) {
+      mel::util::ByteBuffer out;
+      out.reserve(distinct * repeats);
+      for (std::size_t r = 0; r < repeats; ++r) {
+        for (std::size_t b = 0; b < distinct; ++b) {
+          out.push_back(static_cast<std::uint8_t>(b));
+        }
+      }
+      return out;
+    };
+    write_seed(Target::kScanRequest, "screen_high_entropy",
+               with_header({0}, uniform_bytes(256, 8)));
+    write_seed(Target::kScanRequest, "screen_entropy_at_threshold",
+               with_header({1}, uniform_bytes(64, 16)));
+    write_seed(Target::kScanRequest, "screen_entropy_below_threshold",
+               with_header({2}, uniform_bytes(32, 32)));
+  }
 
   // stream_feed: [window sel, overlap sel, seed, seed] + stream bytes.
   {
@@ -355,6 +380,36 @@ int main(int argc, char** argv) {
     burst.insert(burst.end(), pong.begin(),
                  pong.begin() + static_cast<std::ptrdiff_t>(pong.size() - 5));
     write_seed(Target::kFrameParse, "interleaved_burst_torn_tail", burst);
+
+    // Supervision-era responses (ISSUE 10): the frames a client sees
+    // around a shard recovery. The quarantine refusal is terminal
+    // (kInvalidArgument, no retry-after); the in-flight refusal is
+    // retryable (kUnavailable + hint); the screen verdict is the
+    // brownout ladder's degraded shape — malicious by entropy, mel 0,
+    // scan_id 0, the entropy threshold riding the threshold slot.
+    write_seed(Target::kFrameParse, "quarantine_refusal",
+               mel::net::encode_error(
+                   7, 44,
+                   mel::util::Status::invalid_argument(
+                       "payload quarantined: fingerprint repeatedly wedged "
+                       "scan shards; refused without scanning")));
+    write_seed(Target::kFrameParse, "shard_recovering_refusal",
+               mel::net::encode_error(
+                   7, 45,
+                   mel::util::Status::unavailable(
+                       "shard recovering: request was in flight on a wedged "
+                       "scan")
+                       .with_retry_after(std::chrono::milliseconds(200))));
+    mel::net::WireVerdict screen;
+    screen.malicious = true;
+    screen.degraded = true;
+    screen.is_text = false;
+    screen.mel = 0;
+    screen.threshold = 6.0;
+    screen.alpha = 0.0;
+    screen.scan_id = 0;
+    write_seed(Target::kFrameParse, "brownout_screen_verdict",
+               mel::net::encode_verdict(7, 46, screen));
   }
 
   // assembler_roundtrip: opcode-choice byte programs; random bytes are

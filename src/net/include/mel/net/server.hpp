@@ -44,6 +44,23 @@
 // shard's service (health-gated: in-flight verdicts are delivered, new
 // work is refused), saves durable state, and joins all threads.
 // Destruction drains if the caller did not.
+//
+// Shard supervision (ServerConfig::supervision, off by default): every
+// shard publishes a heartbeat and its current scan fingerprint into a
+// super::SupervisionTable; the acceptor loop doubles as the supervisor,
+// ticking once per loop_tick on the fault::now() clock. A stalled scan
+// (deadline overrun past the grace factor) or a dead shard (missed
+// heartbeats / thread exit) is condemned; recovery is crash-only — the
+// condemned shard abandons its state and exits, the supervisor joins
+// it, re-deals clean connections to healthy shards (dirty ones get a
+// best-effort typed kUnavailable + retry-after and are closed),
+// rebuilds the shard's private stack from config, and re-applies the
+// persisted calibration via StateManager::reapply. Fingerprints that
+// wedge shards repeatedly are quarantined (typed kInvalidArgument
+// refusal, never re-scanned); sustained pressure engages the brownout
+// ladder (full MEL -> reduced budget -> signature/entropy screen, each
+// step flagged degraded on the wire) before admission control sheds.
+// See docs/resilience.md.
 
 #include <atomic>
 #include <cstdint>
@@ -60,6 +77,7 @@
 #include "mel/net/poller.hpp"
 #include "mel/persist/state_manager.hpp"
 #include "mel/service/scan_service.hpp"
+#include "mel/super/supervision.hpp"
 
 namespace mel::net {
 
@@ -135,6 +153,12 @@ struct ServerConfig {
   /// from service.drift_monitor, which is one service-wide monitor over
   /// all traffic.
   std::optional<persist::DriftMonitorConfig> drift;
+  /// Shard supervision (stall watchdog, crash-only recovery, poison
+  /// quarantine, brownout ladder). Unset: no supervision — a wedged
+  /// shard strands its connections, exactly the pre-supervision
+  /// behavior. The supervisor tick rides the acceptor loop at
+  /// loop_tick cadence; heartbeat_interval should be >= loop_tick.
+  std::optional<super::SupervisorConfig> supervision;
 
   /// kInvalidConfig on any violation; service/frame checks are routed
   /// through their own validate() so the error vocabulary is shared.
@@ -156,6 +180,17 @@ struct ServerStats {
   /// Scan requests refused over max_inflight_per_connection (also
   /// counted in scans_rejected).
   std::uint64_t inflight_refused = 0;
+
+  // --- Supervision (all zero when ServerConfig::supervision is unset) ----
+  std::uint64_t shards_condemned = 0;  ///< Stall + death condemnations.
+  std::uint64_t shards_rebuilt = 0;
+  std::uint64_t shard_rebuild_failures = 0;
+  /// Clean connections migrated off a condemned shard.
+  std::uint64_t connections_redealt = 0;
+  /// Quarantine refusals (also counted in scans_rejected).
+  std::uint64_t scans_quarantined = 0;
+  /// Verdicts served by the brownout screen (level 2); also in scans_ok.
+  std::uint64_t scans_screened = 0;
 };
 
 class MelServer {
@@ -207,6 +242,12 @@ class MelServer {
   [[nodiscard]] std::shared_ptr<persist::DriftMonitor> drift_monitor(
       service::TenantId tenant) const;
 
+  /// The supervision subsystem; null unless ServerConfig::supervision
+  /// was set. Tests reach the table/quarantine/brownout through it.
+  [[nodiscard]] super::Supervisor* supervisor() const noexcept {
+    return supervisor_.get();
+  }
+
   /// Graceful shutdown: stop accepting, flush pending responses, drain
   /// every shard's service, save every StateManager, join all threads.
   /// Idempotent.
@@ -247,6 +288,12 @@ class MelServer {
     /// Acceptor -> shard hand-off (the only cross-thread state).
     std::mutex inbox_mutex;
     std::vector<int> inbox;
+    /// This shard's SupervisionTable slot (== its index in shards_).
+    std::size_t index = 0;
+    /// Set on the shard thread when a fault point or condemnation
+    /// demands a crash-only exit mid-iteration (only the shard thread
+    /// touches it).
+    bool crash_exit = false;
 
     /// The shard-private scan stack.
     std::optional<service::ScanService> service;
@@ -265,8 +312,26 @@ class MelServer {
   void acceptor_loop();
   void shard_loop(Shard& shard);
   void wake(Shard& shard);
-  /// Deals `fd` to a shard inbox, or refuses it over max_connections.
+  /// Deals `fd` to a healthy shard inbox, or refuses it (over
+  /// max_connections, or no healthy shard to take it).
   void dispatch_connection(int fd);
+
+  /// Builds (or rebuilds) `shard`'s private scan stack — divided
+  /// admission, cache slice, service, scratch, poller, wake pipe —
+  /// from config_. Used at start() and on the shard-recovery path.
+  [[nodiscard]] util::Status build_shard_stack(Shard& shard);
+  /// Crash-only exit bookkeeping, run on the shard thread as its last
+  /// act: connections are abandoned (fds stay open for the supervisor
+  /// to re-deal or refuse), the slot is marked exited.
+  void shard_crash_exit(Shard& shard);
+  /// One supervisor pass (acceptor thread): condemn stalled/dead
+  /// shards, recover exited ones.
+  void supervise_tick();
+  /// Joins a condemned+exited shard, re-deals its salvageable
+  /// connections, rebuilds its stack, re-applies persisted
+  /// calibrations, and restarts its thread. On failure the shard stays
+  /// condemned and the next tick retries.
+  void recover_shard(std::size_t index);
 
   // Shard-loop helpers (all run on the shard's own thread).
   void shard_adopt_inbox(Shard& shard);
@@ -300,6 +365,12 @@ class MelServer {
   std::atomic<std::size_t> active_connections_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_refused_{0};
+  std::atomic<std::uint64_t> connections_redealt_{0};
+  std::atomic<std::uint64_t> scans_quarantined_{0};
+  std::atomic<std::uint64_t> scans_screened_{0};
+
+  /// Built at start() when ServerConfig::supervision is set.
+  std::unique_ptr<super::Supervisor> supervisor_;
 
   std::unordered_map<service::TenantId,
                      std::shared_ptr<persist::StateManager>>

@@ -119,6 +119,11 @@ util::Status ServerConfig::validate() const {
       return status;
     }
   }
+  if (supervision.has_value()) {
+    if (util::Status status = supervision->validate(); !status.is_ok()) {
+      return status;
+    }
+  }
   // Frames the service would refuse as oversized are still WIRE-valid;
   // but a frame cap above the service payload cap only buffers bytes
   // that are then refused — flag the config instead of serving it.
@@ -143,49 +148,21 @@ util::StatusOr<std::unique_ptr<MelServer>> MelServer::start(
   // --- Build every shard's private scan stack -----------------------------
   for (std::size_t i = 0; i < cfg.shards; ++i) {
     auto shard = std::make_unique<Shard>();
-
-    service::ServiceConfig service_config = cfg.service;
-    service_config.admission =
-        divide_admission(service_config.admission, cfg.shards);
-    for (service::TenantConfig& tenant : service_config.tenants) {
-      tenant.admission = divide_admission(tenant.admission, cfg.shards);
-    }
-    if (cfg.cache_capacity > 0) {
-      persist::VerdictCacheConfig cache_config;
-      cache_config.shards = 4;
-      cache_config.capacity =
-          std::max<std::size_t>(cache_config.shards,
-                                cfg.cache_capacity / cfg.shards);
-      auto cache = persist::VerdictCache::create(cache_config);
-      if (!cache.is_ok()) return cache.status();
-      shard->cache = std::move(cache).take();
-      service_config.verdict_cache = shard->cache;
-    }
-
-    auto service = service::ScanService::create(std::move(service_config));
-    if (!service.is_ok()) return service.status();
-    shard->service.emplace(std::move(service).take());
-    shard->scratch = std::make_unique<exec::MelScratch>();
-
-    auto poller = Poller::create(cfg.poller);
-    if (!poller.is_ok()) return poller.status();
-    shard->poller = std::move(poller).take();
-
-    int pipe_fds[2];
-    if (::pipe(pipe_fds) != 0) {
-      return util::Status::internal(errno_string("pipe"));
-    }
-    shard->wake_read_fd = pipe_fds[0];
-    shard->wake_write_fd = pipe_fds[1];
-    if (util::Status status = set_nonblocking(shard->wake_read_fd);
-        !status.is_ok()) {
-      return status;
-    }
-    if (util::Status status = shard->poller.add(shard->wake_read_fd);
+    shard->index = i;
+    if (util::Status status = server->build_shard_stack(*shard);
         !status.is_ok()) {
       return status;
     }
     server->shards_.push_back(std::move(shard));
+  }
+
+  // --- Supervision (before the shard threads touch the table) -------------
+  if (cfg.supervision.has_value()) {
+    server->supervisor_ =
+        std::make_unique<super::Supervisor>(*cfg.supervision, cfg.shards);
+    if (cfg.service.metrics) {
+      server->supervisor_->bind_metrics(*cfg.service.metrics);
+    }
   }
 
   // --- Durable state: one StateManager per configured snapshot path ------
@@ -322,6 +299,48 @@ util::StatusOr<std::unique_ptr<MelServer>> MelServer::start(
   return server;
 }
 
+util::Status MelServer::build_shard_stack(Shard& shard) {
+  const ServerConfig& cfg = config_;
+  service::ServiceConfig service_config = cfg.service;
+  service_config.admission =
+      divide_admission(service_config.admission, cfg.shards);
+  for (service::TenantConfig& tenant : service_config.tenants) {
+    tenant.admission = divide_admission(tenant.admission, cfg.shards);
+  }
+  shard.cache.reset();
+  if (cfg.cache_capacity > 0) {
+    persist::VerdictCacheConfig cache_config;
+    cache_config.shards = 4;
+    cache_config.capacity = std::max<std::size_t>(
+        cache_config.shards, cfg.cache_capacity / cfg.shards);
+    auto cache = persist::VerdictCache::create(cache_config);
+    if (!cache.is_ok()) return cache.status();
+    shard.cache = std::move(cache).take();
+    service_config.verdict_cache = shard.cache;
+  }
+
+  auto service = service::ScanService::create(std::move(service_config));
+  if (!service.is_ok()) return service.status();
+  shard.service.emplace(std::move(service).take());
+  shard.scratch = std::make_unique<exec::MelScratch>();
+
+  auto poller = Poller::create(cfg.poller);
+  if (!poller.is_ok()) return poller.status();
+  shard.poller = std::move(poller).take();
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return util::Status::internal(errno_string("pipe"));
+  }
+  shard.wake_read_fd = pipe_fds[0];
+  shard.wake_write_fd = pipe_fds[1];
+  if (util::Status status = set_nonblocking(shard.wake_read_fd);
+      !status.is_ok()) {
+    return status;
+  }
+  return shard.poller.add(shard.wake_read_fd);
+}
+
 MelServer::~MelServer() {
   drain();
   for (auto& shard : shards_) {
@@ -366,6 +385,17 @@ ServerStats MelServer::stats() const noexcept {
     stats.inflight_refused +=
         shard->inflight_refused.load(std::memory_order_relaxed);
   }
+  stats.connections_redealt =
+      connections_redealt_.load(std::memory_order_relaxed);
+  stats.scans_quarantined =
+      scans_quarantined_.load(std::memory_order_relaxed);
+  stats.scans_screened = scans_screened_.load(std::memory_order_relaxed);
+  if (supervisor_ != nullptr) {
+    stats.shards_condemned =
+        supervisor_->stalls_detected() + supervisor_->deaths_detected();
+    stats.shards_rebuilt = supervisor_->shards_rebuilt();
+    stats.shard_rebuild_failures = supervisor_->rebuild_failures();
+  }
   return stats;
 }
 
@@ -396,6 +426,7 @@ std::shared_ptr<persist::DriftMonitor> MelServer::drift_monitor(
 }
 
 void MelServer::wake(Shard& shard) {
+  if (shard.wake_write_fd < 0) return;  // Mid-rebuild: pipe torn down.
   const std::uint8_t byte = 1;
   // A full pipe already guarantees a pending wakeup.
   (void)!::write(shard.wake_write_fd, &byte, 1);
@@ -411,6 +442,22 @@ void MelServer::drain() {
   if (acceptor_.joinable()) acceptor_.join();
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
+  }
+  // Crash-exited shards abandoned their connection tables (fds open for
+  // the supervisor to re-deal); if the server drained before a rebuild
+  // ran, nothing else will release them. Undispatched inbox fds too.
+  for (auto& shard : shards_) {
+    for (auto& [fd, conn] : shard->connections) {
+      ::close(conn.fd);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard->connections.clear();
+    std::lock_guard<std::mutex> lock(shard->inbox_mutex);
+    for (int fd : shard->inbox) {
+      ::close(fd);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard->inbox.clear();
   }
   for (auto& shard : shards_) {
     // Health-gated service drain: in-flight work (none by now — scans
@@ -446,6 +493,7 @@ void MelServer::acceptor_loop() {
   std::vector<PollerEvent> events;
   while (!stopping_.load(std::memory_order_acquire)) {
     if (!poller.wait(events, config_.loop_tick).is_ok()) break;
+    if (supervisor_ != nullptr) supervise_tick();
     for (const PollerEvent& event : events) {
       if (event.fd != listen_fd_ || !event.readable) continue;
       while (true) {
@@ -484,10 +532,38 @@ void MelServer::dispatch_connection(int fd) {
     return;
   }
 
+  const std::size_t start_index =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  std::size_t index = start_index;
+  if (supervisor_ != nullptr) {
+    // Only a healthy shard may adopt: a condemned shard's loop is dead
+    // or dying, and a rebuilding one has no poller yet.
+    bool found = false;
+    for (std::size_t probe = 0; probe < shards_.size(); ++probe) {
+      const std::size_t candidate = (start_index + probe) % shards_.size();
+      if (supervisor_->table().health(candidate) ==
+          super::ShardHealth::kHealthy) {
+        index = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // Every shard is condemned or mid-rebuild; refuse typed and
+      // retryable rather than park the fd on a dead loop.
+      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      const util::ByteBuffer refusal = encode_error(
+          service::kDefaultTenant, 0,
+          util::Status::unavailable("no healthy shard: recovery in progress")
+              .with_retry_after(2 * config_.loop_tick));
+      (void)!util::fault::sock_write(fd, refusal.data(), refusal.size());
+      ::close(fd);
+      return;
+    }
+  }
+
   active_connections_.fetch_add(1, std::memory_order_relaxed);
   connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-  const std::size_t index =
-      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   Shard& shard = *shards_[index];
   {
     std::lock_guard<std::mutex> lock(shard.inbox_mutex);
@@ -501,6 +577,17 @@ void MelServer::dispatch_connection(int fd) {
 void MelServer::shard_loop(Shard& shard) {
   std::vector<PollerEvent> events;
   while (true) {
+    if (supervisor_ != nullptr) {
+      supervisor_->table().heartbeat(shard.index, util::fault::now());
+      if (supervisor_->table().condemned(shard.index) ||
+          util::fault::should_fire(
+              util::fault::Point::kShardHeartbeatLoss)) {
+        // Condemned (or fault-injected sudden death): crash-only exit.
+        // No flush, no closes — the supervisor inherits the fds.
+        shard_crash_exit(shard);
+        return;
+      }
+    }
     const bool stopping = stopping_.load(std::memory_order_acquire);
     if (stopping) {
       // Drain: flush what each connection still owes (best effort on
@@ -543,6 +630,7 @@ void MelServer::shard_loop(Shard& shard) {
         continue;
       }
       if (event.readable) shard_read(shard, conn);
+      if (shard.crash_exit) break;
       // Each step may close the fd and destroy the Connection; re-find
       // before the next one touches it.
       auto again = shard.connections.find(event.fd);
@@ -554,6 +642,10 @@ void MelServer::shard_loop(Shard& shard) {
         continue;
       }
       shard_arm_deadlines(shard, again->second);
+    }
+    if (shard.crash_exit) {
+      shard_crash_exit(shard);
+      return;
     }
   }
 }
@@ -615,6 +707,7 @@ void MelServer::shard_read(Shard& shard, Connection& conn) {
       if (!next.value().has_value()) break;
       shard.frames_received.fetch_add(1, std::memory_order_relaxed);
       shard_handle_frame(shard, conn, *next.value());
+      if (shard.crash_exit) return;  // Wedged scan: conn is abandoned.
       conn.decoder.release();
       if (conn.close_after_flush) break;
     }
@@ -659,13 +752,91 @@ void MelServer::shard_handle_frame(Shard& shard, Connection& conn,
         conn.out.insert(conn.out.end(), refusal.begin(), refusal.end());
         return;
       }
+      // --- Supervision: quarantine, brownout, wedge publishing ----------
+      persist::Fingerprint fingerprint{};
+      const persist::Fingerprint* fingerprint_ptr = nullptr;
+      super::BrownoutLevel brownout_level = super::BrownoutLevel::kFull;
+      if (supervisor_ != nullptr) {
+        fingerprint = persist::fingerprint_payload(frame.payload);
+        fingerprint_ptr = &fingerprint;
+        super::Quarantine& quarantine = supervisor_->quarantine();
+        if (quarantine.is_quarantined(fingerprint)) {
+          // Verdict-of-record: terminal and non-retryable. The payload
+          // has already wedged scan shards; it is never re-scanned.
+          quarantine.record_refusal();
+          scans_quarantined_.fetch_add(1, std::memory_order_relaxed);
+          shard.scans_rejected.fetch_add(1, std::memory_order_relaxed);
+          const util::ByteBuffer refusal = encode_error(
+              frame.header.tenant, frame.header.request_id,
+              util::Status::invalid_argument(
+                  "payload quarantined: fingerprint repeatedly wedged "
+                  "scan shards; refused without scanning"));
+          conn.out.insert(conn.out.end(), refusal.begin(), refusal.end());
+          return;
+        }
+        brownout_level = supervisor_->brownout().level();
+        if (brownout_level == super::BrownoutLevel::kScreenOnly) {
+          // Ladder floor: the entropy/signature screen answers without
+          // touching the service. Always flagged degraded; scan_id 0
+          // says no service scan ran.
+          const core::Verdict verdict = super::screen_verdict(
+              frame.payload, config_.supervision->brownout.screen);
+          supervisor_->brownout().record_screened_scan();
+          scans_screened_.fetch_add(1, std::memory_order_relaxed);
+          shard.scans_ok.fetch_add(1, std::memory_order_relaxed);
+          WireVerdict wire;
+          wire.malicious = verdict.malicious;
+          wire.degraded = true;
+          wire.is_text = verdict.is_text;
+          wire.loop_detected = verdict.loop_detected;
+          wire.mel = verdict.mel;
+          wire.threshold = verdict.threshold;
+          wire.alpha = verdict.alpha;
+          wire.scan_id = 0;
+          const util::ByteBuffer response = encode_verdict(
+              frame.header.tenant, frame.header.request_id, wire);
+          conn.out.insert(conn.out.end(), response.begin(), response.end());
+          conn.inflight += 1;
+          return;
+        }
+        if (util::fault::should_fire(util::fault::Point::kShardStall)) {
+          // Wedge model: this scan never returns. Publish it so the
+          // watchdog can attribute the stall to this fingerprint, park
+          // until condemned (or server drain), then crash-only exit —
+          // exactly what a supervisor of a wedged worker process sees.
+          supervisor_->table().begin_scan(shard.index, fingerprint,
+                                          util::fault::now(),
+                                          config_.service.budget.deadline);
+          while (!supervisor_->table().condemned(shard.index) &&
+                 !stopping_.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          shard.crash_exit = true;
+          return;
+        }
+      }
+
       // Zero-copy hand-off: the payload view aliases the decoder's
       // buffer, valid through this synchronous scan.
       service::ScanRequest request;
       request.payload = frame.payload;
       request.tenant = frame.header.tenant;
       request.scratch = shard.scratch.get();
+      request.content_fingerprint = fingerprint_ptr;
+      if (brownout_level == super::BrownoutLevel::kReducedBudget) {
+        // Level 1: scan under the reduced budget. The per-request
+        // override also keeps the verdict out of the cache.
+        request.budget = config_.supervision->brownout.reduced_budget;
+        supervisor_->brownout().record_reduced_scan();
+      }
+      if (supervisor_ != nullptr) {
+        supervisor_->table().begin_scan(
+            shard.index, fingerprint, util::fault::now(),
+            request.budget.has_value() ? request.budget->deadline
+                                       : config_.service.budget.deadline);
+      }
       const auto report = shard.service->scan(request);
+      if (supervisor_ != nullptr) supervisor_->table().end_scan(shard.index);
       util::ByteBuffer response;
       if (report.is_ok()) {
         shard.scans_ok.fetch_add(1, std::memory_order_relaxed);
@@ -679,9 +850,14 @@ void MelServer::shard_handle_frame(Shard& shard, Connection& conn,
             drift_it->second->observe(frame.payload);
           }
         }
+        WireVerdict wire = to_wire(report.value());
+        if (brownout_level == super::BrownoutLevel::kReducedBudget) {
+          // Every brownout verdict is flagged on the wire: the fidelity
+          // contract degraded even when the reduced budget did not trip.
+          wire.degraded = true;
+        }
         response = encode_verdict(frame.header.tenant,
-                                  frame.header.request_id,
-                                  to_wire(report.value()));
+                                  frame.header.request_id, wire);
       } else {
         shard.scans_rejected.fetch_add(1, std::memory_order_relaxed);
         response = encode_error(frame.header.tenant,
@@ -815,6 +991,160 @@ bool MelServer::shard_check_deadlines(Shard& shard, Connection& conn) {
     return false;
   }
   return true;
+}
+
+// --- Supervision and crash-only recovery -----------------------------------
+
+void MelServer::shard_crash_exit(Shard& shard) {
+  // Crash-only: no flush, no closes, no poller cleanup. The connection
+  // table stays intact with its fds open; the supervisor (acceptor
+  // thread) joins this thread, re-deals the salvageable fds to healthy
+  // shards, and refuses the rest with a typed retry-after.
+  shard.crash_exit = true;
+  supervisor_->table().mark_exited(shard.index);
+}
+
+void MelServer::supervise_tick() {
+  const auto now = util::fault::now();
+  const super::Supervisor::TickReport report = supervisor_->tick(now);
+  for (std::size_t i = 0; i < report.shards.size(); ++i) {
+    const super::Supervisor::ShardFinding& finding = report.shards[i];
+    if (finding.finding == super::Supervisor::Finding::kStalled) {
+      util::log_warn_ctx({.component = "net"}, "shard ", i,
+                         " condemned: scan stalled",
+                         finding.offender_quarantined
+                             ? "; offending payload quarantined"
+                             : "");
+    } else if (finding.finding == super::Supervisor::Finding::kDead) {
+      util::log_warn_ctx({.component = "net"}, "shard ", i,
+                         " condemned: heartbeats lost or thread exited");
+    }
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (supervisor_->table().health(i) != super::ShardHealth::kCondemned) {
+      continue;
+    }
+    if (supervisor_->table().exited(i)) {
+      recover_shard(i);
+    } else {
+      // The shard polls condemnation once per loop iteration; wake it
+      // in case it is parked in poller.wait with no traffic.
+      wake(*shards_[i]);
+    }
+  }
+}
+
+void MelServer::recover_shard(std::size_t index) {
+  Shard& shard = *shards_[index];
+  supervisor_->table().set_health(index, super::ShardHealth::kRebuilding);
+  if (shard.thread.joinable()) shard.thread.join();
+
+  const auto refuse_in_flight = [&](int fd) {
+    // Typed verdict for work caught on the wedged shard: retryable
+    // kUnavailable with a retry-after spanning the rebuild.
+    const util::ByteBuffer refusal = encode_error(
+        service::kDefaultTenant, 0,
+        util::Status::unavailable(
+            "shard recovering: request was in flight on a wedged scan")
+            .with_retry_after(2 * config_.loop_tick));
+    (void)!util::fault::sock_write(fd, refusal.data(), refusal.size());
+    ::close(fd);
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    shard.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  if (util::fault::should_fire(util::fault::Point::kShardRebuildFailure)) {
+    supervisor_->record_rebuild_failure();
+    supervisor_->table().set_health(index, super::ShardHealth::kCondemned);
+    util::log_warn_ctx({.component = "net"}, "shard ", index,
+                       " rebuild failed (injected); retrying next tick");
+    return;  // Connections stay parked for the retry.
+  }
+
+  // Salvage: a clean connection (no torn frame buffered, nothing left
+  // to write) migrates whole to a healthy shard — its requests were all
+  // answered, so no verdict is lost. Anything mid-request was in flight
+  // on the wedged scan: typed refusal, then the close.
+  std::vector<int> redeal;
+  for (auto& [fd, conn] : shard.connections) {
+    const bool clean = conn.decoder.buffered_bytes() == 0 &&
+                       conn.out_pos >= conn.out.size() &&
+                       !conn.close_after_flush;
+    if (clean) {
+      redeal.push_back(fd);
+    } else {
+      refuse_in_flight(fd);
+    }
+  }
+  shard.connections.clear();
+  {
+    // Accepted but never adopted: these saw no scan at all; re-deal.
+    std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+    redeal.insert(redeal.end(), shard.inbox.begin(), shard.inbox.end());
+    shard.inbox.clear();
+  }
+  if (shard.wake_read_fd >= 0) ::close(shard.wake_read_fd);
+  if (shard.wake_write_fd >= 0) ::close(shard.wake_write_fd);
+  shard.wake_read_fd = -1;
+  shard.wake_write_fd = -1;
+
+  if (util::Status status = build_shard_stack(shard); !status.is_ok()) {
+    util::log_warn_ctx({.component = "net"}, "shard ", index,
+                       " rebuild failed: ", status.to_string());
+    supervisor_->record_rebuild_failure();
+    supervisor_->table().set_health(index, super::ShardHealth::kCondemned);
+    // The salvaged fds cannot wait on a condemned shard; refuse them.
+    for (int fd : redeal) refuse_in_flight(fd);
+    return;
+  }
+  // Bring the fresh stack to the serving calibration: re-run each
+  // StateManager's apply hook with its current state. The hook fans out
+  // to every shard; re-applying is idempotent on the healthy ones.
+  for (auto& [tenant, manager] : state_managers_) {
+    if (util::Status status = manager->reapply(); !status.is_ok()) {
+      util::log_warn_ctx({.component = "net"},
+                         "calibration reapply failed for tenant ", tenant,
+                         " during shard ", index, " rebuild: ",
+                         status.to_string());
+    }
+  }
+
+  shard.crash_exit = false;
+  supervisor_->table().reset_for_rebuild(index, util::fault::now());
+  supervisor_->record_rebuild();
+  shard.thread = std::thread([this, raw = &shard] { shard_loop(*raw); });
+
+  // Re-deal the survivors round-robin across healthy shards (the
+  // rebuilt one included).
+  for (int fd : redeal) {
+    const std::size_t start =
+        next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+    bool placed = false;
+    for (std::size_t probe = 0; probe < shards_.size(); ++probe) {
+      const std::size_t candidate = (start + probe) % shards_.size();
+      if (supervisor_->table().health(candidate) !=
+          super::ShardHealth::kHealthy) {
+        continue;
+      }
+      Shard& target = *shards_[candidate];
+      {
+        std::lock_guard<std::mutex> lock(target.inbox_mutex);
+        target.inbox.push_back(fd);
+      }
+      wake(target);
+      connections_redealt_.fetch_add(1, std::memory_order_relaxed);
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      ::close(fd);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  util::log_info_ctx({.component = "net"}, "shard ", index,
+                     " rebuilt (generation ",
+                     supervisor_->table().generation(index), "), ",
+                     redeal.size(), " connection(s) re-dealt");
 }
 
 void MelServer::shard_close(Shard& shard, int fd, bool dropped) {

@@ -111,6 +111,16 @@ class StateManager : public std::enable_shared_from_this<StateManager> {
   void handle_drift(const core::CharFrequencyTable& observed,
                     std::uint64_t window_chars);
 
+  /// Re-runs the apply-calibration hook with the CURRENT calibration,
+  /// under the state mutex. The shard-rebuild path uses this to bring a
+  /// freshly built scan stack up to the serving calibration without
+  /// racing a concurrent recalibration: a drift callback either fully
+  /// precedes or fully follows the reapply (both orders converge,
+  /// because the hook fans out to every shard). No epoch bump and no
+  /// snapshot — the durable state is unchanged. OK and a no-op when no
+  /// hook is set.
+  [[nodiscard]] util::Status reapply();
+
   [[nodiscard]] std::uint64_t calibration_epoch() const noexcept {
     return epoch_.load(std::memory_order_acquire);
   }

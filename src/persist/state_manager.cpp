@@ -163,6 +163,12 @@ void StateManager::handle_drift(const core::CharFrequencyTable& observed,
   (void)save();  // Best-effort; failures are counted and logged above.
 }
 
+util::Status StateManager::reapply() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (!apply_) return util::Status::ok();
+  return apply_(state_.detector, state_.tau);
+}
+
 void StateManager::bind_metrics(obs::MetricsRegistry& registry) {
   recal_counter_ = registry.counter("mel_state_recalibrations_total",
                                     "Drift recalibrations installed.");

@@ -155,12 +155,25 @@ struct ScanRequest {
   /// (trigger, sequence) — bit-identical at any worker count or
   /// interleaving. Unset: triggers draw from the legacy global streams.
   std::optional<std::uint64_t> fault_sequence = std::nullopt;
+  /// Precomputed content fingerprint of `payload` — the un-salted
+  /// 128-bit VerdictCache key from persist::fingerprint_payload. The
+  /// network front-end hashes every payload once for its supervision
+  /// and quarantine bookkeeping and passes the result down here so the
+  /// cache path does not hash the same bytes a second time. Null: the
+  /// service computes one when the cache needs it. When set it MUST
+  /// equal fingerprint_payload(payload).
+  const persist::Fingerprint* content_fingerprint = nullptr;
 };
 
 struct ScanReport {
   core::Verdict verdict;
   std::uint64_t scan_id = 0;
   std::chrono::nanoseconds elapsed{0};
+  /// Content fingerprint of the scanned bytes (the un-salted cache
+  /// key), exported for supervision/quarantine bookkeeping. Filled when
+  /// the request supplied one or the cache path computed one; all-zero
+  /// otherwise.
+  persist::Fingerprint content_fingerprint{};
   /// Human-readable cause when verdict.degraded is set; empty otherwise.
   std::string degrade_reason;
   /// Per-stage spans; filled only when ScanRequest::collect_trace.

@@ -345,8 +345,14 @@ util::StatusOr<ScanReport> ScanService::scan_admitted(
       cache != nullptr && !truncated_input && !request.budget.has_value();
   persist::Fingerprint fingerprint;
   bool cache_hit = false;
+  if (request.content_fingerprint != nullptr) {
+    report.content_fingerprint = *request.content_fingerprint;
+  }
   if (cache_eligible) {
-    fingerprint = persist::fingerprint_payload(view);
+    fingerprint = request.content_fingerprint != nullptr
+                      ? *request.content_fingerprint
+                      : persist::fingerprint_payload(view);
+    report.content_fingerprint = fingerprint;
     if (request.tenant != kDefaultTenant) {
       // Partition the cache address space by tenant: a tenant's
       // override detector must never serve (or be served) another

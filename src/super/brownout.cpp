@@ -1,0 +1,160 @@
+#include "mel/super/brownout.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace mel::super {
+
+namespace {
+using TimePoint = std::chrono::steady_clock::time_point;
+}  // namespace
+
+const char* brownout_level_name(BrownoutLevel level) noexcept {
+  switch (level) {
+    case BrownoutLevel::kFull:
+      return "full";
+    case BrownoutLevel::kReducedBudget:
+      return "reduced_budget";
+    case BrownoutLevel::kScreenOnly:
+      return "screen_only";
+  }
+  return "unknown";
+}
+
+util::Status BrownoutConfig::validate() const {
+  if (engage_pressure == 0) {
+    return util::Status::invalid_config(
+        "BrownoutConfig::engage_pressure must be >= 1");
+  }
+  if (pressure_window.count() < 1) {
+    return util::Status::invalid_config(
+        "BrownoutConfig::pressure_window must be >= 1ms");
+  }
+  if (recover_after.count() < 1) {
+    return util::Status::invalid_config(
+        "BrownoutConfig::recover_after must be >= 1ms");
+  }
+  if (reduced_budget.decode_budget == 0 &&
+      reduced_budget.deadline.count() == 0) {
+    return util::Status::invalid_config(
+        "BrownoutConfig::reduced_budget must bound the scan (set a "
+        "decode budget or a deadline)");
+  }
+  if (screen.entropy_threshold < 0.0 || screen.entropy_threshold > 8.0) {
+    return util::Status::invalid_config(
+        "ScreenConfig::entropy_threshold must be in [0, 8] bits/byte");
+  }
+  return util::Status::ok();
+}
+
+double byte_entropy(util::ByteView payload) noexcept {
+  if (payload.empty()) return 0.0;
+  std::array<std::uint64_t, 256> histogram{};
+  for (const std::uint8_t byte : payload) ++histogram[byte];
+  const double n = static_cast<double>(payload.size());
+  double entropy = 0.0;
+  for (const std::uint64_t count : histogram) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+core::Verdict screen_verdict(util::ByteView payload,
+                             const ScreenConfig& config) {
+  core::Verdict verdict;
+  verdict.degraded = true;
+  verdict.mel = 0;
+  verdict.threshold = config.entropy_threshold;
+  verdict.alpha = 0.0;
+  verdict.is_text =
+      !payload.empty() &&
+      std::all_of(payload.begin(), payload.end(), [](std::uint8_t byte) {
+        return byte >= 0x20 && byte <= 0x7E;
+      });
+  bool signature_hit = false;
+  for (const util::ByteBuffer& signature : config.signatures) {
+    if (signature.empty() || signature.size() > payload.size()) continue;
+    if (std::search(payload.begin(), payload.end(), signature.begin(),
+                    signature.end()) != payload.end()) {
+      signature_hit = true;
+      break;
+    }
+  }
+  verdict.malicious =
+      signature_hit || (!payload.empty() &&
+                        byte_entropy(payload) >= config.entropy_threshold);
+  return verdict;
+}
+
+BrownoutLadder::BrownoutLadder(BrownoutConfig config)
+    : config_(std::move(config)) {}
+
+void BrownoutLadder::record_pressure(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (window_start_ != TimePoint{} &&
+      now - window_start_ > config_.pressure_window) {
+    // The old window expired before any update() noticed; events from
+    // it must not count toward this one.
+    window_events_ = 0;
+    window_start_ = TimePoint{};
+  }
+  ++window_events_;
+  if (window_start_ == TimePoint{}) window_start_ = now;
+  last_pressure_ = std::max(last_pressure_, now);
+}
+
+BrownoutLevel BrownoutLadder::update(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint8_t level = level_.load(std::memory_order_relaxed);
+  if (window_start_ != TimePoint{} &&
+      now - window_start_ > config_.pressure_window &&
+      window_events_ < config_.engage_pressure) {
+    // The window elapsed below the engage threshold; start fresh.
+    window_events_ = 0;
+    window_start_ = TimePoint{};
+  }
+  if (window_events_ >= config_.engage_pressure) {
+    if (level < static_cast<std::uint8_t>(BrownoutLevel::kScreenOnly)) {
+      ++level;
+      escalations_.fetch_add(1, std::memory_order_relaxed);
+      escalation_counter_.inc();
+    }
+    window_events_ = 0;
+    window_start_ = TimePoint{};
+    last_pressure_ = std::max(last_pressure_, now);
+  } else if (level > 0 && last_pressure_ != TimePoint{} &&
+             now - last_pressure_ >= config_.recover_after) {
+    // One level per quiet period, so a recovering fleet eases back to
+    // full fidelity gradually instead of slamming open.
+    --level;
+    recoveries_.fetch_add(1, std::memory_order_relaxed);
+    recovery_counter_.inc();
+    last_pressure_ = now;
+  }
+  level_.store(level, std::memory_order_release);
+  level_gauge_.set(level);
+  return static_cast<BrownoutLevel>(level);
+}
+
+void BrownoutLadder::bind_metrics(obs::MetricsRegistry& registry) {
+  level_gauge_ = registry.gauge(
+      "mel_super_brownout_level",
+      "Current brownout level (0 full, 1 reduced budget, 2 screen only).");
+  escalation_counter_ =
+      registry.counter("mel_super_brownout_escalations_total",
+                       "Brownout ladder steps up under pressure.");
+  recovery_counter_ =
+      registry.counter("mel_super_brownout_recoveries_total",
+                       "Brownout ladder steps back toward full fidelity.");
+  reduced_counter_ = registry.counter(
+      "mel_super_brownout_reduced_scans_total",
+      "Scans served under the reduced decode budget (level 1).");
+  screened_counter_ = registry.counter(
+      "mel_super_brownout_screen_verdicts_total",
+      "Verdicts served by the signature/entropy screen (level 2).");
+}
+
+}  // namespace mel::super

@@ -1,0 +1,144 @@
+#pragma once
+// Brownout degradation ladder: trade scan fidelity for survival.
+//
+// Under sustained supervision pressure (shards stalling or dying faster
+// than they rebuild), refusing work outright — what admission control
+// does — throws away cheap signal. "Detecting Malware with Information
+// Complexity" shows entropy/compression screens are cheap and
+// orthogonal to MEL, so the ladder degrades in two steps before the
+// admission layer starts shedding:
+//
+//   kFull          — normal MEL scan, full budget. The paper's verdict
+//                    (MEL >= tau => executable content) is authoritative.
+//   kReducedBudget — MEL scan under BrownoutConfig::reduced_budget. The
+//                    server flags every verdict served at this level
+//                    degraded on the wire (the budget may not trip, but
+//                    the fidelity contract already has).
+//   kScreenOnly    — no MEL at all: screen_verdict() answers from byte
+//                    entropy + signature hits. Always degraded.
+//
+// Degraded-verdict discipline carries over from the service layer: a
+// reduced-budget scan carries a per-request budget override, which the
+// VerdictCache already excludes, and screen verdicts never reach the
+// service — so brownout can never pollute the cache with low-fidelity
+// verdicts.
+//
+// Ladder mechanics (all on the caller's clock, normally fault::now()):
+// record_pressure() marks an event; update() — called once per
+// supervisor tick — escalates one level when `engage_pressure` events
+// landed within `pressure_window`, and eases one level after
+// `recover_after` of quiet. level() is a lock-free read for the shard
+// hot path.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "mel/core/detector.hpp"
+#include "mel/obs/metrics.hpp"
+#include "mel/util/bytes.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::super {
+
+enum class BrownoutLevel : std::uint8_t {
+  kFull = 0,
+  kReducedBudget = 1,
+  kScreenOnly = 2,
+};
+
+[[nodiscard]] const char* brownout_level_name(BrownoutLevel level) noexcept;
+
+/// The kScreenOnly detector: byte-entropy threshold plus optional
+/// signature substrings.
+struct ScreenConfig {
+  /// Shannon entropy (bits/byte) at or above which the payload is
+  /// flagged malicious: high-entropy content (packed/encrypted code)
+  /// in a text channel is what MEL exists to catch, and plain text
+  /// sits far below (~4.2 bits/byte for English).
+  double entropy_threshold = 6.0;
+  /// Byte patterns whose presence flags the payload malicious
+  /// regardless of entropy (a minimal signature channel; the server
+  /// owner seeds it, e.g. from a shellcode corpus).
+  std::vector<util::ByteBuffer> signatures;
+};
+
+struct BrownoutConfig {
+  /// Pressure events within `pressure_window` that escalate one level.
+  std::uint32_t engage_pressure = 2;
+  std::chrono::milliseconds pressure_window{1'000};
+  /// Quiet time (no pressure) after which the ladder eases one level.
+  std::chrono::milliseconds recover_after{2'000};
+  /// The kReducedBudget scan budget (must be a real bound).
+  core::ScanBudget reduced_budget{
+      .decode_budget = 4'096,
+      .deadline = std::chrono::milliseconds(50),
+  };
+  ScreenConfig screen;
+
+  [[nodiscard]] util::Status validate() const;
+};
+
+/// The screen verdict for `payload`: malicious iff its byte entropy
+/// reaches config.entropy_threshold or any signature matches. Always
+/// flagged degraded — it carries no MEL (mel = 0) and `threshold`
+/// holds the entropy threshold, not a tau.
+[[nodiscard]] core::Verdict screen_verdict(util::ByteView payload,
+                                           const ScreenConfig& config);
+
+/// Shannon entropy of `payload` in bits per byte (0 for empty input).
+[[nodiscard]] double byte_entropy(util::ByteView payload) noexcept;
+
+class BrownoutLadder {
+ public:
+  explicit BrownoutLadder(BrownoutConfig config);
+
+  /// Marks one pressure event (a stall or death condemnation).
+  /// Thread-safe.
+  void record_pressure(std::chrono::steady_clock::time_point now);
+  /// Advances the ladder state machine; call once per supervisor tick.
+  BrownoutLevel update(std::chrono::steady_clock::time_point now);
+  /// Lock-free read for the scan hot path.
+  [[nodiscard]] BrownoutLevel level() const noexcept {
+    return static_cast<BrownoutLevel>(
+        level_.load(std::memory_order_acquire));
+  }
+
+  [[nodiscard]] std::uint64_t escalations() const noexcept {
+    return escalations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t recoveries() const noexcept {
+    return recoveries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const BrownoutConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Registers the mel_super_brownout_* series on `registry`. The
+  /// served-at-level counters are the owner's to increment (it knows
+  /// which path a verdict actually took).
+  void bind_metrics(obs::MetricsRegistry& registry);
+  void record_reduced_scan() noexcept { reduced_counter_.inc(); }
+  void record_screened_scan() noexcept { screened_counter_.inc(); }
+
+ private:
+  BrownoutConfig config_;
+  std::atomic<std::uint8_t> level_{0};
+  std::atomic<std::uint64_t> escalations_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+
+  std::mutex mutex_;  ///< Guards the window accounting below.
+  std::uint32_t window_events_ = 0;
+  std::chrono::steady_clock::time_point window_start_{};
+  std::chrono::steady_clock::time_point last_pressure_{};
+
+  obs::Gauge level_gauge_;
+  obs::Counter escalation_counter_;
+  obs::Counter recovery_counter_;
+  obs::Counter reduced_counter_;
+  obs::Counter screened_counter_;
+};
+
+}  // namespace mel::super

@@ -1,0 +1,101 @@
+#pragma once
+// Poison-payload quarantine: a bounded offender list keyed by the
+// 128-bit content fingerprint (the VerdictCache key, un-salted).
+//
+// A payload that wedges a shard once might have been unlucky timing; a
+// payload that wedges shards repeatedly is poison, and re-scanning it
+// on every retry turns one bad client into a rolling shard outage. The
+// supervisor charges the wedging scan's fingerprint one offense per
+// stall condemnation; at `quarantine_after` offenses the fingerprint is
+// quarantined and the server refuses it with a typed kInvalidArgument
+// verdict-of-record — a terminal, non-retryable answer — instead of
+// scanning it again.
+//
+// The list is bounded (`capacity` tracked fingerprints, FIFO eviction)
+// so an attacker cycling payloads degrades quarantine recall, never
+// memory. Quarantine is keyed on content alone, not tenant: the shard a
+// payload wedges serves every tenant.
+//
+// Thread-safety: all methods are safe from any thread (one mutex; the
+// scan-path lookup is a single hash probe under it).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "mel/obs/metrics.hpp"
+#include "mel/persist/verdict_cache.hpp"
+
+namespace mel::super {
+
+struct QuarantineConfig {
+  /// Offenses at which a fingerprint becomes quarantined.
+  std::uint32_t quarantine_after = 2;
+  /// Bound on tracked fingerprints (offenders and quarantined alike).
+  std::size_t capacity = 1024;
+};
+
+class Quarantine {
+ public:
+  explicit Quarantine(QuarantineConfig config);
+
+  /// Charges one offense to `fingerprint`; returns its updated offense
+  /// count. Crossing the threshold quarantines it (and an already-full
+  /// list evicts its oldest entry first).
+  std::uint32_t record_offense(const persist::Fingerprint& fingerprint);
+  [[nodiscard]] bool is_quarantined(
+      const persist::Fingerprint& fingerprint) const;
+  /// Accounting for a refusal served from the quarantine.
+  void record_refusal() noexcept;
+
+  /// Currently quarantined fingerprints.
+  [[nodiscard]] std::size_t size() const;
+  /// All tracked fingerprints (including sub-threshold offenders).
+  [[nodiscard]] std::size_t tracked() const;
+  [[nodiscard]] std::uint64_t offenses() const noexcept {
+    return offenses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t refusals() const noexcept {
+    return refusals_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const QuarantineConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Registers the mel_quarantine_* series on `registry`.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
+ private:
+  struct FingerprintHash {
+    [[nodiscard]] std::size_t operator()(
+        const persist::Fingerprint& key) const noexcept {
+      return static_cast<std::size_t>(
+          key.lo ^ (key.hi >> 1) ^ (key.length * 0x9E3779B97F4A7C15ull));
+    }
+  };
+
+  QuarantineConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<persist::Fingerprint, std::uint32_t, FingerprintHash>
+      offenders_;
+  std::deque<persist::Fingerprint> order_;  ///< FIFO eviction order.
+  std::size_t quarantined_ = 0;
+
+  std::atomic<std::uint64_t> offenses_{0};
+  std::atomic<std::uint64_t> refusals_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+
+  obs::Gauge entries_gauge_;
+  obs::Gauge tracked_gauge_;
+  obs::Counter offense_counter_;
+  obs::Counter refusal_counter_;
+  obs::Counter eviction_counter_;
+};
+
+}  // namespace mel::super

@@ -1,0 +1,260 @@
+#pragma once
+// Shard supervision: the watchdog layer over the server's shard threads.
+//
+// Each shard thread publishes a heartbeat and its current scan (the
+// payload's 128-bit content fingerprint, scan start, and deadline) into
+// a SupervisionTable slot; one supervisor thread (the server's acceptor
+// loop, riding its existing poller tick and the fault::now() clock)
+// reads the table each tick and decides per shard:
+//
+//   stalled  — a scan has overrun its deadline (or the configured
+//              stall_timeout when it has none) past the grace factor.
+//              The wedging payload's fingerprint is charged an offense
+//              in the Quarantine; repeat offenders are refused outright.
+//   dead     — the shard missed `missed_heartbeats` consecutive beat
+//              intervals, or its thread exited without being condemned
+//              (crash model).
+//
+// Either finding condemns the shard. Recovery is crash-only and owned
+// by the caller (the server): a condemned shard abandons its state and
+// exits; the supervisor joins the thread, re-deals salvageable
+// connections, and rebuilds the shard's private scan stack from the
+// persist layer. The table only carries the verdicts and the shard
+// state machine:
+//
+//   kHealthy --(stall/death detected)--> kCondemned
+//   kCondemned --(thread exited, rebuild begins)--> kRebuilding
+//   kRebuilding --(rebuild ok: reset_for_rebuild)--> kHealthy
+//   kRebuilding --(rebuild failed: back off)--> kCondemned
+//
+// Memory layout: one cache-line-aligned slot per shard, so a shard's
+// per-scan stores never contend with its neighbours' lines. Shard-side
+// calls are wait-free (plain atomic stores); the supervisor reads the
+// in-flight scan through a seqlock (an odd sequence marks a scan in
+// progress; fields are written only while the sequence is even, so an
+// unchanged odd sequence across the read brackets a consistent
+// observation).
+//
+// Sustained pressure (repeated condemnations) feeds the BrownoutLadder
+// (brownout.hpp), which degrades scan fidelity before admission control
+// starts shedding.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mel/obs/metrics.hpp"
+#include "mel/persist/verdict_cache.hpp"
+#include "mel/super/brownout.hpp"
+#include "mel/super/quarantine.hpp"
+#include "mel/util/status.hpp"
+
+namespace mel::super {
+
+enum class ShardHealth : std::uint8_t {
+  kHealthy = 0,
+  kCondemned = 1,
+  kRebuilding = 2,
+};
+
+[[nodiscard]] const char* shard_health_name(ShardHealth health) noexcept;
+
+/// The shared shard/supervisor scoreboard. Shard-side methods are
+/// wait-free and safe against one concurrent supervisor; supervisor-side
+/// methods are meant for a single supervising thread (plus any number of
+/// read-only observers, e.g. stats scrapes).
+class SupervisionTable {
+ public:
+  explicit SupervisionTable(std::size_t shards);
+  SupervisionTable(const SupervisionTable&) = delete;
+  SupervisionTable& operator=(const SupervisionTable&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  // --- Shard-side ---------------------------------------------------------
+  /// One beat per event-loop iteration.
+  void heartbeat(std::size_t shard,
+                 std::chrono::steady_clock::time_point now) noexcept;
+  /// Publishes the scan about to run. `deadline` 0 means "no per-scan
+  /// deadline" — the supervisor falls back to its stall_timeout.
+  void begin_scan(std::size_t shard, const persist::Fingerprint& fingerprint,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::nanoseconds deadline) noexcept;
+  void end_scan(std::size_t shard) noexcept;
+  /// Polled by the shard loop each iteration: a condemned shard must
+  /// crash-only exit (abandon its state, mark_exited, return).
+  [[nodiscard]] bool condemned(std::size_t shard) const noexcept;
+  /// The shard thread is about to return (cooperative crash).
+  void mark_exited(std::size_t shard) noexcept;
+
+  // --- Supervisor-side ----------------------------------------------------
+  struct ScanObservation {
+    persist::Fingerprint fingerprint;
+    std::chrono::steady_clock::time_point start{};
+    std::chrono::nanoseconds deadline{0};
+  };
+  /// The scan currently in flight on `shard`, read through the seqlock.
+  /// nullopt when the shard is idle OR the read raced a begin/end
+  /// transition (the next tick observes a stable state either way).
+  [[nodiscard]] std::optional<ScanObservation> observe_scan(
+      std::size_t shard) const noexcept;
+
+  [[nodiscard]] std::uint64_t heartbeats(std::size_t shard) const noexcept;
+  [[nodiscard]] std::chrono::steady_clock::time_point last_heartbeat(
+      std::size_t shard) const noexcept;
+  [[nodiscard]] ShardHealth health(std::size_t shard) const noexcept;
+  void set_health(std::size_t shard, ShardHealth health) noexcept;
+  [[nodiscard]] bool exited(std::size_t shard) const noexcept;
+  /// Rebuild complete: back to kHealthy, exited cleared, heartbeat
+  /// re-seeded at `now`, generation bumped.
+  void reset_for_rebuild(std::size_t shard,
+                         std::chrono::steady_clock::time_point now) noexcept;
+  /// How many times this slot's shard has been rebuilt.
+  [[nodiscard]] std::uint64_t generation(std::size_t shard) const noexcept;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> beats{0};
+    std::atomic<std::int64_t> last_beat_ns{0};  ///< 0 = no beat yet.
+    /// Seqlock over the scan fields: odd = scan in flight.
+    std::atomic<std::uint64_t> scan_seq{0};
+    std::atomic<std::uint64_t> fp_lo{0};
+    std::atomic<std::uint64_t> fp_hi{0};
+    std::atomic<std::uint64_t> fp_length{0};
+    std::atomic<std::int64_t> scan_start_ns{0};
+    std::atomic<std::int64_t> scan_deadline_ns{0};
+    std::atomic<std::uint8_t> health{
+        static_cast<std::uint8_t>(ShardHealth::kHealthy)};
+    std::atomic<bool> exited{false};
+    std::atomic<std::uint64_t> generation{0};
+  };
+  static_assert(sizeof(Slot) % 64 == 0, "slots must not share cache lines");
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t size_;
+};
+
+struct SupervisorConfig {
+  /// Expected heartbeat cadence — the server's event-loop tick (a shard
+  /// beats once per loop iteration, and the poller wait is bounded by
+  /// the loop tick).
+  std::chrono::milliseconds heartbeat_interval{100};
+  /// A healthy shard that delivers no beat for this many intervals is
+  /// declared dead and condemned.
+  std::uint32_t missed_heartbeats = 10;
+  /// A scan is stalled when now > start + grace * deadline. Grace >= 1
+  /// keeps the service-layer deadline (which the scan itself enforces)
+  /// authoritative: the watchdog only fires on scans that overran it
+  /// and never came back.
+  double stall_grace = 2.0;
+  /// Deadline substitute for scans published with none.
+  std::chrono::milliseconds stall_timeout{1'000};
+  /// Quarantine: fingerprints that wedge a shard this many times are
+  /// refused without scanning (kInvalidArgument verdict-of-record).
+  std::uint32_t quarantine_after = 2;
+  /// Bound on tracked offender fingerprints (FIFO eviction).
+  std::size_t quarantine_capacity = 1024;
+  /// Rebuild backoff: a condemned shard whose thread has not exited
+  /// within this budget is re-woken and re-checked every tick (it
+  /// cannot be force-killed in-process; the wedge fault points always
+  /// poll condemnation, so in practice exit happens within a tick).
+  std::chrono::milliseconds rebuild_deadline{2'000};
+  BrownoutConfig brownout;
+
+  [[nodiscard]] util::Status validate() const;
+};
+
+/// The detection half of supervision: reads the table each tick,
+/// condemns stalled/dead shards, charges quarantine offenses, and feeds
+/// the brownout ladder. Recovery (join + re-deal + rebuild) stays with
+/// the caller, which owns the threads. tick() must be called from one
+/// thread at a time; everything else is thread-safe.
+class Supervisor {
+ public:
+  Supervisor(SupervisorConfig config, std::size_t shards);
+
+  enum class Finding : std::uint8_t { kHealthy, kStalled, kDead };
+  struct ShardFinding {
+    Finding finding = Finding::kHealthy;
+    /// The wedging payload (stalls only) and whether this offense
+    /// crossed the quarantine threshold.
+    persist::Fingerprint offender{};
+    bool offender_quarantined = false;
+  };
+  struct TickReport {
+    std::vector<ShardFinding> shards;
+    BrownoutLevel brownout = BrownoutLevel::kFull;
+  };
+
+  /// One supervision pass over every shard at time `now`.
+  TickReport tick(std::chrono::steady_clock::time_point now);
+
+  [[nodiscard]] SupervisionTable& table() noexcept { return table_; }
+  [[nodiscard]] const SupervisionTable& table() const noexcept {
+    return table_;
+  }
+  [[nodiscard]] Quarantine& quarantine() noexcept { return quarantine_; }
+  [[nodiscard]] const Quarantine& quarantine() const noexcept {
+    return quarantine_;
+  }
+  [[nodiscard]] BrownoutLadder& brownout() noexcept { return brownout_; }
+  [[nodiscard]] const BrownoutLadder& brownout() const noexcept {
+    return brownout_;
+  }
+  [[nodiscard]] const SupervisorConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] std::uint64_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stalls_detected() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t deaths_detected() const noexcept {
+    return deaths_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shards_rebuilt() const noexcept {
+    return rebuilds_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rebuild_failures() const noexcept {
+    return rebuild_failures_.load(std::memory_order_relaxed);
+  }
+  /// Recovery bookkeeping, called by the owner when it completes (or
+  /// fails) a condemned shard's rebuild.
+  void record_rebuild() noexcept;
+  void record_rebuild_failure() noexcept;
+
+  /// Registers the mel_super_* series on `registry`; call before
+  /// traffic. Quarantine and brownout series ride along.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
+ private:
+  SupervisorConfig config_;
+  SupervisionTable table_;
+  Quarantine quarantine_;
+  BrownoutLadder brownout_;
+
+  /// First-tick timestamp, the death baseline for shards that have
+  /// never beaten (0 until the first tick).
+  std::chrono::steady_clock::time_point first_tick_{};
+
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> deaths_{0};
+  std::atomic<std::uint64_t> rebuilds_{0};
+  std::atomic<std::uint64_t> rebuild_failures_{0};
+
+  obs::Counter tick_counter_;
+  obs::Counter stall_counter_;
+  obs::Counter death_counter_;
+  obs::Counter condemned_counter_;
+  obs::Counter rebuild_counter_;
+  obs::Counter rebuild_failure_counter_;
+};
+
+}  // namespace mel::super

@@ -1,0 +1,77 @@
+#include "mel/super/quarantine.hpp"
+
+namespace mel::super {
+
+Quarantine::Quarantine(QuarantineConfig config) : config_(config) {}
+
+std::uint32_t Quarantine::record_offense(
+    const persist::Fingerprint& fingerprint) {
+  std::uint32_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = offenders_.find(fingerprint);
+    if (it == offenders_.end()) {
+      if (offenders_.size() >= config_.capacity && !order_.empty()) {
+        const persist::Fingerprint oldest = order_.front();
+        order_.pop_front();
+        const auto evicted = offenders_.find(oldest);
+        if (evicted != offenders_.end()) {
+          if (evicted->second >= config_.quarantine_after) --quarantined_;
+          offenders_.erase(evicted);
+        }
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        eviction_counter_.inc();
+      }
+      it = offenders_.emplace(fingerprint, 0u).first;
+      order_.push_back(fingerprint);
+    }
+    count = ++it->second;
+    if (count == config_.quarantine_after) ++quarantined_;
+    entries_gauge_.set(static_cast<std::int64_t>(quarantined_));
+    tracked_gauge_.set(static_cast<std::int64_t>(offenders_.size()));
+  }
+  offenses_.fetch_add(1, std::memory_order_relaxed);
+  offense_counter_.inc();
+  return count;
+}
+
+bool Quarantine::is_quarantined(const persist::Fingerprint& fingerprint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = offenders_.find(fingerprint);
+  return it != offenders_.end() && it->second >= config_.quarantine_after;
+}
+
+void Quarantine::record_refusal() noexcept {
+  refusals_.fetch_add(1, std::memory_order_relaxed);
+  refusal_counter_.inc();
+}
+
+std::size_t Quarantine::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantined_;
+}
+
+std::size_t Quarantine::tracked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return offenders_.size();
+}
+
+void Quarantine::bind_metrics(obs::MetricsRegistry& registry) {
+  entries_gauge_ = registry.gauge("mel_quarantine_entries",
+                                  "Fingerprints currently quarantined.");
+  tracked_gauge_ =
+      registry.gauge("mel_quarantine_tracked",
+                     "Fingerprints tracked (including sub-threshold "
+                     "offenders).");
+  offense_counter_ = registry.counter(
+      "mel_quarantine_offenses_total",
+      "Shard-wedge offenses charged to payload fingerprints.");
+  refusal_counter_ = registry.counter(
+      "mel_quarantine_refusals_total",
+      "Scan requests refused because their payload is quarantined.");
+  eviction_counter_ = registry.counter(
+      "mel_quarantine_evictions_total",
+      "Tracked fingerprints evicted at capacity (FIFO).");
+}
+
+}  // namespace mel::super

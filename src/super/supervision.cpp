@@ -1,0 +1,283 @@
+#include "mel/super/supervision.hpp"
+
+#include <string>
+
+namespace mel::super {
+
+namespace {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+std::int64_t to_ns(TimePoint tp) noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+TimePoint from_ns(std::int64_t ns) noexcept {
+  return TimePoint(std::chrono::duration_cast<TimePoint::duration>(
+      std::chrono::nanoseconds(ns)));
+}
+
+}  // namespace
+
+const char* shard_health_name(ShardHealth health) noexcept {
+  switch (health) {
+    case ShardHealth::kHealthy:
+      return "healthy";
+    case ShardHealth::kCondemned:
+      return "condemned";
+    case ShardHealth::kRebuilding:
+      return "rebuilding";
+  }
+  return "unknown";
+}
+
+// --- SupervisionTable -------------------------------------------------------
+
+SupervisionTable::SupervisionTable(std::size_t shards)
+    : slots_(new Slot[shards]), size_(shards) {}
+
+void SupervisionTable::heartbeat(std::size_t shard, TimePoint now) noexcept {
+  Slot& slot = slots_[shard];
+  slot.beats.fetch_add(1, std::memory_order_relaxed);
+  slot.last_beat_ns.store(to_ns(now), std::memory_order_release);
+}
+
+void SupervisionTable::begin_scan(std::size_t shard,
+                                  const persist::Fingerprint& fingerprint,
+                                  TimePoint start,
+                                  std::chrono::nanoseconds deadline) noexcept {
+  Slot& slot = slots_[shard];
+  // Seqlock write: the fields only change while the sequence is even
+  // (no scan in flight), so a reader holding one odd sequence across
+  // its whole read saw a consistent record.
+  slot.fp_lo.store(fingerprint.lo, std::memory_order_relaxed);
+  slot.fp_hi.store(fingerprint.hi, std::memory_order_relaxed);
+  slot.fp_length.store(fingerprint.length, std::memory_order_relaxed);
+  slot.scan_start_ns.store(to_ns(start), std::memory_order_relaxed);
+  slot.scan_deadline_ns.store(deadline.count(), std::memory_order_relaxed);
+  slot.scan_seq.fetch_add(1, std::memory_order_release);  // Now odd.
+}
+
+void SupervisionTable::end_scan(std::size_t shard) noexcept {
+  slots_[shard].scan_seq.fetch_add(1, std::memory_order_release);  // Even.
+}
+
+bool SupervisionTable::condemned(std::size_t shard) const noexcept {
+  return health(shard) == ShardHealth::kCondemned;
+}
+
+void SupervisionTable::mark_exited(std::size_t shard) noexcept {
+  slots_[shard].exited.store(true, std::memory_order_release);
+}
+
+std::optional<SupervisionTable::ScanObservation>
+SupervisionTable::observe_scan(std::size_t shard) const noexcept {
+  const Slot& slot = slots_[shard];
+  const std::uint64_t before = slot.scan_seq.load(std::memory_order_acquire);
+  if ((before & 1) == 0) return std::nullopt;  // Idle.
+  ScanObservation observation;
+  observation.fingerprint.lo = slot.fp_lo.load(std::memory_order_relaxed);
+  observation.fingerprint.hi = slot.fp_hi.load(std::memory_order_relaxed);
+  observation.fingerprint.length =
+      slot.fp_length.load(std::memory_order_relaxed);
+  observation.start =
+      from_ns(slot.scan_start_ns.load(std::memory_order_relaxed));
+  observation.deadline = std::chrono::nanoseconds(
+      slot.scan_deadline_ns.load(std::memory_order_relaxed));
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const std::uint64_t after = slot.scan_seq.load(std::memory_order_acquire);
+  if (after != before) return std::nullopt;  // Torn; next tick settles.
+  return observation;
+}
+
+std::uint64_t SupervisionTable::heartbeats(std::size_t shard) const noexcept {
+  return slots_[shard].beats.load(std::memory_order_relaxed);
+}
+
+TimePoint SupervisionTable::last_heartbeat(std::size_t shard) const noexcept {
+  return from_ns(slots_[shard].last_beat_ns.load(std::memory_order_acquire));
+}
+
+ShardHealth SupervisionTable::health(std::size_t shard) const noexcept {
+  return static_cast<ShardHealth>(
+      slots_[shard].health.load(std::memory_order_acquire));
+}
+
+void SupervisionTable::set_health(std::size_t shard,
+                                  ShardHealth health) noexcept {
+  slots_[shard].health.store(static_cast<std::uint8_t>(health),
+                             std::memory_order_release);
+}
+
+bool SupervisionTable::exited(std::size_t shard) const noexcept {
+  return slots_[shard].exited.load(std::memory_order_acquire);
+}
+
+void SupervisionTable::reset_for_rebuild(std::size_t shard,
+                                         TimePoint now) noexcept {
+  Slot& slot = slots_[shard];
+  // A wedged scan never ran end_scan; settle the seqlock back to even
+  // (the old thread is joined, so no writer races this).
+  if ((slot.scan_seq.load(std::memory_order_acquire) & 1) != 0) {
+    slot.scan_seq.fetch_add(1, std::memory_order_release);
+  }
+  slot.last_beat_ns.store(to_ns(now), std::memory_order_release);
+  slot.exited.store(false, std::memory_order_release);
+  slot.generation.fetch_add(1, std::memory_order_release);
+  slot.health.store(static_cast<std::uint8_t>(ShardHealth::kHealthy),
+                    std::memory_order_release);
+}
+
+std::uint64_t SupervisionTable::generation(std::size_t shard) const noexcept {
+  return slots_[shard].generation.load(std::memory_order_acquire);
+}
+
+// --- SupervisorConfig -------------------------------------------------------
+
+util::Status SupervisorConfig::validate() const {
+  if (heartbeat_interval.count() < 1) {
+    return util::Status::invalid_config(
+        "SupervisorConfig::heartbeat_interval must be >= 1ms");
+  }
+  if (missed_heartbeats == 0) {
+    return util::Status::invalid_config(
+        "SupervisorConfig::missed_heartbeats must be >= 1");
+  }
+  if (stall_grace < 1.0) {
+    return util::Status::invalid_config(
+        "SupervisorConfig::stall_grace must be >= 1.0 (the scan's own "
+        "deadline stays authoritative)");
+  }
+  if (stall_timeout.count() < 1) {
+    return util::Status::invalid_config(
+        "SupervisorConfig::stall_timeout must be >= 1ms");
+  }
+  if (quarantine_after == 0) {
+    return util::Status::invalid_config(
+        "SupervisorConfig::quarantine_after must be >= 1");
+  }
+  if (quarantine_capacity == 0) {
+    return util::Status::invalid_config(
+        "SupervisorConfig::quarantine_capacity must be >= 1");
+  }
+  if (rebuild_deadline.count() < 1) {
+    return util::Status::invalid_config(
+        "SupervisorConfig::rebuild_deadline must be >= 1ms");
+  }
+  return brownout.validate();
+}
+
+// --- Supervisor -------------------------------------------------------------
+
+Supervisor::Supervisor(SupervisorConfig config, std::size_t shards)
+    : config_(std::move(config)),
+      table_(shards),
+      quarantine_(QuarantineConfig{
+          .quarantine_after = config_.quarantine_after,
+          .capacity = config_.quarantine_capacity,
+      }),
+      brownout_(config_.brownout) {}
+
+Supervisor::TickReport Supervisor::tick(
+    std::chrono::steady_clock::time_point now) {
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  tick_counter_.inc();
+  if (first_tick_ == TimePoint{}) first_tick_ = now;
+
+  TickReport report;
+  report.shards.resize(table_.size());
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    ShardFinding& finding = report.shards[i];
+    if (table_.health(i) != ShardHealth::kHealthy) continue;
+
+    // Crash model: the thread returned without being condemned.
+    if (table_.exited(i)) {
+      finding.finding = Finding::kDead;
+      deaths_.fetch_add(1, std::memory_order_relaxed);
+      death_counter_.inc();
+      condemned_counter_.inc();
+      table_.set_health(i, ShardHealth::kCondemned);
+      brownout_.record_pressure(now);
+      continue;
+    }
+
+    // A scan in flight suspends the missed-beat check: a legitimate
+    // long scan blocks the event loop (and its beats) by design. Only
+    // a deadline overrun past the grace factor is a stall.
+    if (const auto observation = table_.observe_scan(i)) {
+      const std::chrono::nanoseconds deadline =
+          observation->deadline.count() > 0
+              ? observation->deadline
+              : std::chrono::nanoseconds(config_.stall_timeout);
+      const auto budget = std::chrono::nanoseconds(static_cast<std::int64_t>(
+          config_.stall_grace * static_cast<double>(deadline.count())));
+      if (now - observation->start > budget) {
+        finding.finding = Finding::kStalled;
+        finding.offender = observation->fingerprint;
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        stall_counter_.inc();
+        condemned_counter_.inc();
+        table_.set_health(i, ShardHealth::kCondemned);
+        const std::uint32_t offense_count =
+            quarantine_.record_offense(observation->fingerprint);
+        finding.offender_quarantined =
+            offense_count >= config_.quarantine_after;
+        brownout_.record_pressure(now);
+      }
+      continue;
+    }
+
+    // Idle shard: it must keep beating.
+    const auto last = table_.last_heartbeat(i);
+    const auto baseline = last == TimePoint{} ? first_tick_ : last;
+    const auto allowance = std::chrono::nanoseconds(
+        config_.heartbeat_interval * config_.missed_heartbeats);
+    if (now - baseline > allowance) {
+      finding.finding = Finding::kDead;
+      deaths_.fetch_add(1, std::memory_order_relaxed);
+      death_counter_.inc();
+      condemned_counter_.inc();
+      table_.set_health(i, ShardHealth::kCondemned);
+      brownout_.record_pressure(now);
+    }
+  }
+  report.brownout = brownout_.update(now);
+  return report;
+}
+
+void Supervisor::record_rebuild() noexcept {
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  rebuild_counter_.inc();
+}
+
+void Supervisor::record_rebuild_failure() noexcept {
+  rebuild_failures_.fetch_add(1, std::memory_order_relaxed);
+  rebuild_failure_counter_.inc();
+}
+
+void Supervisor::bind_metrics(obs::MetricsRegistry& registry) {
+  tick_counter_ =
+      registry.counter("mel_super_ticks_total", "Supervisor passes over the "
+                                                "shard table.");
+  stall_counter_ = registry.counter(
+      "mel_super_stalls_detected_total",
+      "Wedged scans detected (deadline overrun past the grace factor).");
+  death_counter_ = registry.counter(
+      "mel_super_deaths_detected_total",
+      "Shards declared dead (missed heartbeats or thread exit).");
+  condemned_counter_ = registry.counter(
+      "mel_super_shards_condemned_total",
+      "Shards condemned for crash-only teardown and rebuild.");
+  rebuild_counter_ = registry.counter(
+      "mel_super_shards_rebuilt_total",
+      "Condemned shards rebuilt from the persisted calibration.");
+  rebuild_failure_counter_ = registry.counter(
+      "mel_super_rebuild_failures_total",
+      "Shard rebuild attempts that failed (retried on a later tick).");
+  quarantine_.bind_metrics(registry);
+  brownout_.bind_metrics(registry);
+}
+
+}  // namespace mel::super

@@ -52,6 +52,19 @@
 //   kSockAcceptFailure - accept() reports EMFILE (fd exhaustion); the
 //                      acceptor must keep serving existing connections
 //                      and retry later.
+//   kShardStall      - a server shard wedges inside a scan (the handler
+//                      parks until the supervisor condemns the shard),
+//                      modeling a pathological payload that never
+//                      returns. The supervisor must detect the deadline
+//                      overrun, condemn the shard, and rebuild it.
+//   kShardHeartbeatLoss - a server shard thread dies at the top of its
+//                      event loop without cleanup (crash model); its
+//                      heartbeats stop. The supervisor must detect the
+//                      missed beats and rebuild the shard.
+//   kShardRebuildFailure - a condemned shard's rebuild fails before the
+//                      replacement stack is constructed; the supervisor
+//                      must count the failure and retry on a later tick,
+//                      never serve through a half-built shard.
 //
 // The kSock* points fire inside the util::fault socket wrappers
 // (fault_socket.hpp) that src/net routes every connection-socket
@@ -102,8 +115,11 @@ enum class Point : std::uint8_t {
   kSockWriteEAgain,
   kSockWriteReset,
   kSockAcceptFailure,
+  kShardStall,
+  kShardHeartbeatLoss,
+  kShardRebuildFailure,
 };
-inline constexpr int kPointCount = 15;
+inline constexpr int kPointCount = 18;
 
 /// Firing rule for one injection point. With probability == 0 the rule is
 /// a pure counter: skip the first `start_after` evaluations, then fire
@@ -142,7 +158,7 @@ class ScanScope {
 
  private:
   std::uint64_t saved_sequence_;
-  std::uint64_t saved_evals_[16];  ///< >= kPointCount; kept POD for noexcept.
+  std::uint64_t saved_evals_[24];  ///< >= kPointCount; kept POD for noexcept.
   bool saved_active_;
 };
 

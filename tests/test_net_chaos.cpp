@@ -242,5 +242,130 @@ TEST_F(NetChaosTest, FaultMatrixSoakAtOneAndThreeShards) {
   }
 }
 
+// --- Shard supervision soak (ISSUE 10) --------------------------------------
+// The shard-wedge and shard-crash scenarios: a scan wedges its shard (or
+// the shard thread dies outright) mid-soak; the supervisor must condemn
+// and rebuild it while the soak continues. Invariants are the same as
+// the socket matrix — zero lost verdicts, bit-identical completions,
+// typed failures only — plus the recovery bookkeeping itself.
+
+ServerConfig supervised_chaos_config(std::size_t shards) {
+  ServerConfig config = chaos_server_config(shards);
+  super::SupervisorConfig supervision;
+  supervision.heartbeat_interval = std::chrono::milliseconds(5);
+  // Death detection rides the instant thread-exited path; the beat
+  // allowance is lenient so sanitizer slowdowns cannot false-positive.
+  supervision.missed_heartbeats = 400;
+  supervision.stall_grace = 1.5;
+  supervision.stall_timeout = std::chrono::milliseconds(200);
+  supervision.quarantine_after = 2;
+  // Park the brownout ladder: two injected wedges must not degrade
+  // verdict fidelity, or the bit-identity oracle below would break.
+  supervision.brownout.engage_pressure = 100;
+  config.supervision = supervision;
+  return config;
+}
+
+TEST_F(NetChaosTest, ShardSupervisionSoakAtOneAndThreeShards) {
+  const std::vector<ByteBuffer> corpus = chaos_corpus();
+  auto oracle_or = service::ScanService::create(chaos_server_config(1).service);
+  ASSERT_TRUE(oracle_or.is_ok()) << oracle_or.status().to_string();
+  service::ScanService oracle = std::move(oracle_or).take();
+  std::vector<service::ScanReport> expected;
+  expected.reserve(corpus.size());
+  for (const ByteBuffer& payload : corpus) {
+    auto report = oracle.scan(service::ScanRequest{.payload = payload});
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    expected.push_back(std::move(report).take());
+  }
+
+  // Counter triggers, so each run wedges/crashes exactly twice at
+  // deterministic evaluations. fire_every spaces the two firings far
+  // enough apart that the first recovery completes in between.
+  const std::vector<Scenario> scenarios = {
+      {"shard-wedge",
+       {{Point::kShardStall,
+         Trigger{.start_after = 5, .fire_every = 40, .max_fires = 2}}}},
+      {"shard-crash",
+       {{Point::kShardHeartbeatLoss,
+         Trigger{.start_after = 10, .fire_every = 2'000, .max_fires = 2}}}},
+  };
+
+  for (const Scenario& scenario : scenarios) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+      const std::string where = std::string(scenario.name) + " @ " +
+                                std::to_string(shards) + " shard(s)";
+      auto server = MelServer::start(supervised_chaos_config(shards));
+      ASSERT_TRUE(server.is_ok()) << where << ": "
+                                  << server.status().to_string();
+
+      for (const auto& [point, trigger] : scenario.arms) {
+        fault::arm(point, trigger);
+      }
+
+      auto client =
+          ScanClient::connect(chaos_client_config(server.value()->port()));
+      ASSERT_TRUE(client.is_ok()) << where << ": "
+                                  << client.status().to_string();
+
+      const auto soak_start = std::chrono::steady_clock::now();
+      std::size_t ok = 0;
+      std::size_t failed = 0;
+      for (std::size_t i = 0; i < corpus.size(); ++i) {
+        const std::string context = where + ", payload " + std::to_string(i);
+        const auto wire = client.value().scan(corpus[i]);
+        if (wire.is_ok()) {
+          ++ok;
+          expect_bit_identical(wire.value(), expected[i], context);
+        } else {
+          ++failed;
+          EXPECT_TRUE(is_typed_chaos_failure(wire.status().code()))
+              << context << ": untyped failure " << wire.status().to_string();
+        }
+      }
+      // Zero lost verdicts: every call returned, and the soak was not
+      // hollow — the overwhelming majority completed.
+      EXPECT_EQ(ok + failed, corpus.size()) << where;
+      EXPECT_GT(ok, corpus.size() / 2) << where;
+
+      // The injected faults actually landed, and recovery happened.
+      std::uint64_t fired = 0;
+      for (const auto& [point, trigger] : scenario.arms) {
+        fired += fault::fire_count(point);
+      }
+      EXPECT_GE(fired, 1u) << where << ": the fault never fired";
+      net::MelServer& running = *server.value();
+      ASSERT_NE(running.supervisor(), nullptr) << where;
+      const ServerStats stats = running.stats();
+      EXPECT_GE(stats.shards_condemned, 1u) << where;
+      EXPECT_GE(stats.shards_rebuilt, 1u) << where;
+      EXPECT_EQ(stats.shards_condemned,
+                stats.shards_rebuilt + stats.shard_rebuild_failures)
+          << where << ": every condemnation must resolve into a rebuild";
+      EXPECT_LT(std::chrono::steady_clock::now() - soak_start,
+                std::chrono::seconds(30))
+          << where;
+
+      // Post-recovery: a fresh client on a clean fault table gets
+      // bit-identical verdicts from the rebuilt shards immediately.
+      fault::reset();
+      auto fresh =
+          ScanClient::connect(chaos_client_config(running.port()));
+      ASSERT_TRUE(fresh.is_ok()) << where << ": "
+                                 << fresh.status().to_string();
+      for (std::size_t i = 0; i < 5 && i < corpus.size(); ++i) {
+        const auto healed = fresh.value().scan(corpus[i]);
+        ASSERT_TRUE(healed.is_ok())
+            << where << " post-recovery payload " << i << ": "
+            << healed.status().to_string();
+        expect_bit_identical(healed.value(), expected[i],
+                             where + " post-recovery");
+      }
+      EXPECT_EQ(running.state(), service::ServiceState::kServing) << where;
+      running.drain();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mel::net

@@ -14,7 +14,9 @@
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mel/obs/export.hpp"
@@ -331,6 +333,95 @@ TEST_F(PersistStateTest, SkewedTrafficHotSwapsTheServingDetector) {
   auto verdict = service.scan(service::ScanRequest{.payload = worm});
   ASSERT_TRUE(verdict.is_ok());
   EXPECT_TRUE(verdict.value().verdict.malicious);
+}
+
+TEST_F(PersistStateTest, ReapplyRacesConcurrentDriftAndReadersSafely) {
+  // The shard-rebuild path: the supervisor calls reapply() to bring a
+  // freshly built scan stack up to the serving calibration WHILE scan
+  // threads keep closing drift windows (handle_drift) and observers
+  // snapshot state (current()/save()). The contract (state_manager.hpp):
+  // both apply paths run under the state mutex, so every hook invocation
+  // carries a calibration that was canonical at that instant, and the
+  // last invocation to land leaves the "serving fleet" exactly at
+  // current(). Run under TSan in CI, this is also the data-race gate
+  // for the rebuild path.
+  const TempSnapshotPath temp("state_reapply_race");
+  StateManagerConfig config;
+  config.snapshot_path = temp.path();
+  auto manager =
+      StateManager::create(config, calibrated_cold_start(), nullptr, nullptr)
+          .take();
+
+  // The stand-in for the shard fleet: the hook records what it was last
+  // told to serve. A mutex, not an atomic — TSan must see the ordering
+  // come from the StateManager, not from this test's bookkeeping.
+  std::mutex serving_mutex;
+  double serving_tau = 0.0;
+  std::uint64_t applies = 0;
+  manager->set_apply_calibration(
+      [&](const core::DetectorConfig&, double tau) {
+        std::lock_guard<std::mutex> lock(serving_mutex);
+        serving_tau = tau;
+        ++applies;
+        return util::Status::ok();
+      });
+  ASSERT_TRUE(manager->reapply().is_ok());  // Seed the fleet.
+
+  constexpr int kDriftRounds = 48;
+  constexpr int kReapplyRounds = 96;
+  constexpr int kReaderRounds = 96;
+  std::thread drifter([&] {
+    core::CharFrequencyTable degenerate{};
+    degenerate['e'] = 1.0;
+    for (int i = 0; i < kDriftRounds; ++i) {
+      // Alternate a clean recalibration with a degenerate estimate, so
+      // the race covers both the install path and the keep-previous
+      // failure path.
+      manager->handle_drift(i % 4 == 3 ? degenerate : uniform_text_table(),
+                            1 << 15);
+    }
+  });
+  std::thread rebuilder([&] {
+    for (int i = 0; i < kReapplyRounds; ++i) {
+      EXPECT_TRUE(manager->reapply().is_ok());
+    }
+  });
+  std::thread reader([&] {
+    for (int i = 0; i < kReaderRounds; ++i) {
+      const PersistentState observed = manager->current();
+      EXPECT_GT(observed.tau, 0.0);
+      EXPECT_GE(manager->calibration_epoch(), 3u);
+      if (i % 16 == 0) {
+        EXPECT_TRUE(manager->save().is_ok());
+      }
+    }
+  });
+  drifter.join();
+  rebuilder.join();
+  reader.join();
+
+  // Quiesced: the fleet serves exactly the canonical calibration, and
+  // every drift window resolved one way or the other.
+  EXPECT_EQ(manager->recalibrations() + manager->recalibration_failures(),
+            static_cast<std::uint64_t>(kDriftRounds));
+  EXPECT_GT(manager->recalibrations(), 0u);
+  EXPECT_GT(manager->recalibration_failures(), 0u);
+  {
+    std::lock_guard<std::mutex> lock(serving_mutex);
+    EXPECT_EQ(serving_tau, manager->current().tau);
+    // Every successful recalibration and every reapply reached the
+    // fleet exactly once (+1 for the seeding reapply above).
+    EXPECT_EQ(applies, manager->recalibrations() + kReapplyRounds + 1);
+  }
+  EXPECT_EQ(manager->save_failures(), 0u);
+
+  // And the state survives a restore: the snapshot written mid-race is
+  // a coherent generation, not a torn one.
+  ASSERT_TRUE(manager->save().is_ok());
+  const RestoreResult restored = restore_snapshot(temp.path(), {});
+  EXPECT_EQ(restored.source, RestoreSource::kPrimary);
+  EXPECT_EQ(restored.state.tau, manager->current().tau);
+  EXPECT_EQ(restored.state.calibration_epoch, manager->calibration_epoch());
 }
 
 }  // namespace
