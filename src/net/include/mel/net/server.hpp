@@ -278,6 +278,12 @@ class MelServer {
     std::size_t loris_window_bytes = 0;
     /// Scan responses buffered since the out buffer last drained.
     std::size_t inflight = 0;
+    /// True across the synchronous service scan for this connection's
+    /// current frame. Only the owning shard thread writes it, but it
+    /// survives a crash-only exit: recovery reads it (after joining the
+    /// thread) to tell a request genuinely in flight on the wedged scan
+    /// from a merely torn partial frame the client was still writing.
+    bool scanning = false;
   };
 
   struct Shard {
@@ -294,7 +300,22 @@ class MelServer {
     /// demands a crash-only exit mid-iteration (only the shard thread
     /// touches it).
     bool crash_exit = false;
+    /// When the supervisor first observed this shard condemned without
+    /// its thread having exited (max() = not in that state). Acceptor
+    /// thread only. Past SupervisorConfig::rebuild_deadline the shard
+    /// is treated as uncooperatively wedged and its accepted-but-
+    /// unadopted inbox fds are refused instead of stranded.
+    std::chrono::steady_clock::time_point condemned_at =
+        std::chrono::steady_clock::time_point::max();
 
+    /// Serializes REPLACEMENT of the scan stack (build_shard_stack on
+    /// the recovery path destroys and reconstructs `service`/`cache`)
+    /// against the cross-thread readers: the calibration fan-out
+    /// (apply_calibration, reachable from any shard's drift loop) and
+    /// health scrapes (state()). The shard's own hot path never takes
+    /// it — the shard thread only runs while its stack is stable (it is
+    /// joined before a rebuild and restarted after).
+    mutable std::mutex service_mutex;
     /// The shard-private scan stack.
     std::optional<service::ScanService> service;
     std::shared_ptr<persist::VerdictCache> cache;
@@ -332,6 +353,12 @@ class MelServer {
   /// calibrations, and restarts its thread. On failure the shard stays
   /// condemned and the next tick retries.
   void recover_shard(std::size_t index);
+  /// A condemned shard whose thread has not exited within
+  /// rebuild_deadline cannot be recovered in-process (threads are not
+  /// force-killable); its accepted-but-never-adopted inbox fds would
+  /// otherwise be stranded forever. Refuse them with a typed
+  /// kUnavailable + retry-after and close. Acceptor thread only.
+  void refuse_stranded_inbox(Shard& shard);
 
   // Shard-loop helpers (all run on the shard's own thread).
   void shard_adopt_inbox(Shard& shard);

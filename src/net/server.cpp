@@ -360,6 +360,7 @@ const service::ScanService& MelServer::shard_service(std::size_t shard) const {
 service::ServiceState MelServer::state() const noexcept {
   service::ServiceState worst = service::ServiceState::kServing;
   for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->service_mutex);
     const service::ServiceState state = shard->service->state();
     if (static_cast<int>(state) > static_cast<int>(worst)) worst = state;
   }
@@ -404,6 +405,14 @@ util::Status MelServer::apply_calibration(service::TenantId tenant,
                                           double tau) {
   util::Status first_error;
   for (auto& shard : shards_) {
+    // The per-shard lock serializes this fan-out against the recovery
+    // path's service teardown/reconstruction (recover_shard holds it
+    // across build_shard_stack): a drift-triggered recalibration on a
+    // healthy shard thread must never touch a service object mid-
+    // rebuild. Blocking here is bounded by one stack construction; the
+    // post-rebuild StateManager::reapply converges any calibration the
+    // rebuilt shard missed.
+    std::lock_guard<std::mutex> lock(shard->service_mutex);
     util::Status status =
         shard->service->apply_calibration(tenant, config, tau);
     if (!status.is_ok() && first_error.is_ok()) {
@@ -777,8 +786,22 @@ void MelServer::shard_handle_frame(Shard& shard, Connection& conn,
         brownout_level = supervisor_->brownout().level();
         if (brownout_level == super::BrownoutLevel::kScreenOnly) {
           // Ladder floor: the entropy/signature screen answers without
-          // touching the service. Always flagged degraded; scan_id 0
-          // says no service scan ran.
+          // a MEL scan — but never without the service's tenant and
+          // admission gates. Brownout engages exactly under the
+          // overload/attack conditions where tenant isolation and
+          // quotas matter most; an unknown or over-quota tenant gets
+          // the same typed refusal a scan would have returned.
+          if (util::Status admitted =
+                  shard.service->admit_screened(frame.header.tenant);
+              !admitted.is_ok()) {
+            shard.scans_rejected.fetch_add(1, std::memory_order_relaxed);
+            const util::ByteBuffer refusal = encode_error(
+                frame.header.tenant, frame.header.request_id, admitted);
+            conn.out.insert(conn.out.end(), refusal.begin(), refusal.end());
+            return;
+          }
+          // Always flagged degraded; scan_id 0 says no service scan
+          // ran.
           const core::Verdict verdict = super::screen_verdict(
               frame.payload, config_.supervision->brownout.screen);
           supervisor_->brownout().record_screened_scan();
@@ -804,6 +827,7 @@ void MelServer::shard_handle_frame(Shard& shard, Connection& conn,
           // watchdog can attribute the stall to this fingerprint, park
           // until condemned (or server drain), then crash-only exit —
           // exactly what a supervisor of a wedged worker process sees.
+          conn.scanning = true;
           supervisor_->table().begin_scan(shard.index, fingerprint,
                                           util::fault::now(),
                                           config_.service.budget.deadline);
@@ -835,7 +859,9 @@ void MelServer::shard_handle_frame(Shard& shard, Connection& conn,
             request.budget.has_value() ? request.budget->deadline
                                        : config_.service.budget.deadline);
       }
+      conn.scanning = true;
       const auto report = shard.service->scan(request);
+      conn.scanning = false;
       if (supervisor_ != nullptr) supervisor_->table().end_scan(shard.index);
       util::ByteBuffer response;
       if (report.is_ok()) {
@@ -1021,17 +1047,56 @@ void MelServer::supervise_tick() {
     }
   }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
     if (supervisor_->table().health(i) != super::ShardHealth::kCondemned) {
+      shard.condemned_at = kNoDeadline;
       continue;
     }
     if (supervisor_->table().exited(i)) {
+      shard.condemned_at = kNoDeadline;
       recover_shard(i);
     } else {
       // The shard polls condemnation once per loop iteration; wake it
       // in case it is parked in poller.wait with no traffic.
-      wake(*shards_[i]);
+      if (shard.condemned_at == kNoDeadline) shard.condemned_at = now;
+      wake(shard);
+      // Recovery is cooperative: a thread can only be rebuilt after it
+      // exits, and a genuinely wedged one (hard loop that never polls
+      // condemnation) never will. Past the rebuild deadline, stop
+      // waiting for the fds parked on its inbox — they were accepted
+      // but never adopted, so no scan ran; refuse them typed and
+      // retryable instead of stranding them forever. (Connections the
+      // shard already adopted stay stranded until drain; see
+      // docs/resilience.md, "Recovery limits".)
+      if (now - shard.condemned_at >= config_.supervision->rebuild_deadline) {
+        refuse_stranded_inbox(shard);
+      }
     }
   }
+}
+
+void MelServer::refuse_stranded_inbox(Shard& shard) {
+  std::vector<int> stranded;
+  {
+    std::lock_guard<std::mutex> lock(shard.inbox_mutex);
+    stranded.swap(shard.inbox);
+  }
+  if (stranded.empty()) return;
+  const util::ByteBuffer refusal = encode_error(
+      service::kDefaultTenant, 0,
+      util::Status::unavailable(
+          "shard wedged past its rebuild deadline; connection was never "
+          "adopted (no request was scanned) — retry on a new connection")
+          .with_retry_after(config_.supervision->rebuild_deadline));
+  for (int fd : stranded) {
+    (void)!util::fault::sock_write(fd, refusal.data(), refusal.size());
+    ::close(fd);
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    shard.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  util::log_warn_ctx({.component = "net"}, "shard ", shard.index,
+                     " wedged past rebuild_deadline; refused ",
+                     stranded.size(), " stranded inbox connection(s)");
 }
 
 void MelServer::recover_shard(std::size_t index) {
@@ -1039,18 +1104,20 @@ void MelServer::recover_shard(std::size_t index) {
   supervisor_->table().set_health(index, super::ShardHealth::kRebuilding);
   if (shard.thread.joinable()) shard.thread.join();
 
-  const auto refuse_in_flight = [&](int fd) {
-    // Typed verdict for work caught on the wedged shard: retryable
+  const auto refuse_dirty = [&](int fd, const char* why) {
+    // Typed verdict for work caught on the condemned shard: retryable
     // kUnavailable with a retry-after spanning the rebuild.
     const util::ByteBuffer refusal = encode_error(
         service::kDefaultTenant, 0,
-        util::Status::unavailable(
-            "shard recovering: request was in flight on a wedged scan")
-            .with_retry_after(2 * config_.loop_tick));
+        util::Status::unavailable(why).with_retry_after(
+            2 * config_.loop_tick));
     (void)!util::fault::sock_write(fd, refusal.data(), refusal.size());
     ::close(fd);
     active_connections_.fetch_sub(1, std::memory_order_relaxed);
     shard.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+  };
+  const auto refuse_in_flight = [&](int fd) {
+    refuse_dirty(fd, "shard recovering: connection cannot be re-dealt");
   };
 
   if (util::fault::should_fire(util::fault::Point::kShardRebuildFailure)) {
@@ -1063,8 +1130,12 @@ void MelServer::recover_shard(std::size_t index) {
 
   // Salvage: a clean connection (no torn frame buffered, nothing left
   // to write) migrates whole to a healthy shard — its requests were all
-  // answered, so no verdict is lost. Anything mid-request was in flight
-  // on the wedged scan: typed refusal, then the close.
+  // answered, so no verdict is lost. Dirty connections are closed with
+  // a refusal that says what was actually lost: a request in flight on
+  // the wedged scan, responses computed but undelivered, or — the
+  // harmless case — a partial frame the client was still writing (no
+  // request was submitted; the close is only because the torn decoder
+  // state cannot migrate).
   std::vector<int> redeal;
   for (auto& [fd, conn] : shard.connections) {
     const bool clean = conn.decoder.buffered_bytes() == 0 &&
@@ -1072,8 +1143,18 @@ void MelServer::recover_shard(std::size_t index) {
                        !conn.close_after_flush;
     if (clean) {
       redeal.push_back(fd);
+    } else if (conn.scanning) {
+      refuse_dirty(fd,
+                   "shard recovering: request was in flight on a wedged "
+                   "scan");
+    } else if (conn.out_pos < conn.out.size() || conn.close_after_flush) {
+      refuse_dirty(fd,
+                   "shard recovering: responses were pending delivery on "
+                   "the condemned shard");
     } else {
-      refuse_in_flight(fd);
+      refuse_dirty(fd,
+                   "shard recovering: a partial frame was buffered; no "
+                   "request was lost");
     }
   }
   shard.connections.clear();
@@ -1088,9 +1169,19 @@ void MelServer::recover_shard(std::size_t index) {
   shard.wake_read_fd = -1;
   shard.wake_write_fd = -1;
 
-  if (util::Status status = build_shard_stack(shard); !status.is_ok()) {
+  util::Status rebuild_status;
+  {
+    // The stack replacement destroys and reconstructs shard.service;
+    // holding the shard's service lock blocks the calibration fan-out
+    // (and state() scrapes) for exactly that window. Released before
+    // reapply() below — the fan-out it triggers takes the same lock
+    // per shard.
+    std::lock_guard<std::mutex> lock(shard.service_mutex);
+    rebuild_status = build_shard_stack(shard);
+  }
+  if (!rebuild_status.is_ok()) {
     util::log_warn_ctx({.component = "net"}, "shard ", index,
-                       " rebuild failed: ", status.to_string());
+                       " rebuild failed: ", rebuild_status.to_string());
     supervisor_->record_rebuild_failure();
     supervisor_->table().set_health(index, super::ShardHealth::kCondemned);
     // The salvaged fds cannot wait on a condemned shard; refuse them.

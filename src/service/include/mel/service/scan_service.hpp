@@ -56,6 +56,7 @@
 #include "mel/persist/verdict_cache.hpp"
 #include "mel/service/resilience.hpp"
 #include "mel/service/tenant.hpp"
+#include "mel/util/hot_swap.hpp"
 #include "mel/util/status.hpp"
 
 namespace mel::service {
@@ -236,7 +237,7 @@ class ScanService {
   /// Moving while scans are in flight is outside the contract.
   ScanService(ScanService&& other) noexcept
       : config_(std::move(other.config_)),
-        detector_(other.detector_.load(std::memory_order_acquire)),
+        detector_(other.detector_.load()),
         stream_(std::move(other.stream_)),
         stats_(other.stats_),
         next_scan_id_(other.next_scan_id_.load(std::memory_order_relaxed)),
@@ -254,6 +255,18 @@ class ScanService {
   /// threads may scan through one service.
   [[nodiscard]] util::StatusOr<ScanReport> scan(
       const ScanRequest& request) const;
+
+  /// Admission gate for degraded answers produced OUTSIDE the scan path
+  /// (the network front-end's brownout screen floor): resolves `tenant`
+  /// and runs the same pre-scan gates scan() would — unknown-tenant
+  /// refusal (identical typed error), service-wide admission, lifecycle,
+  /// per-tenant quota — so an overload-triggered screen verdict can
+  /// never bypass tenant isolation or the shed ladder. kOk means the
+  /// request would have been admitted; concurrency permits are released
+  /// on return (a screen answers immediately) but rate/quota tokens
+  /// stay spent. The circuit breaker is NOT consulted: it measures
+  /// scan-path health, which a screen answer does not ride.
+  [[nodiscard]] util::Status admit_screened(TenantId tenant) const;
 
   /// Streaming session: feed bytes with backpressure. Alerts from
   /// budget-cut windows carry verdict.degraded.
@@ -330,9 +343,8 @@ class ScanService {
 
   /// The detector currently serving scans (construction config until the
   /// first apply_calibration).
-  [[nodiscard]] std::shared_ptr<const core::MelDetector> detector()
-      const noexcept {
-    return detector_.load(std::memory_order_acquire);
+  [[nodiscard]] std::shared_ptr<const core::MelDetector> detector() const {
+    return detector_.load();
   }
 
  private:
@@ -371,9 +383,9 @@ class ScanService {
       const TenantEntry* tenant) const;
 
   ServiceConfig config_;
-  /// Atomically swappable so apply_calibration() can replace the serving
+  /// Hot-swappable so apply_calibration() can replace the serving
   /// detector under live traffic (scans load once and keep their copy).
-  std::atomic<std::shared_ptr<const core::MelDetector>> detector_;
+  util::HotSwapPtr<const core::MelDetector> detector_;
   core::StreamDetector stream_;
   /// Mutable + atomic: scan() is logically const (pure verdicts) but
   /// accounts for itself; see the thread-safety contract above.

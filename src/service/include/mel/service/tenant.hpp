@@ -43,6 +43,7 @@
 #include "mel/core/detector.hpp"
 #include "mel/obs/metrics.hpp"
 #include "mel/service/resilience.hpp"
+#include "mel/util/hot_swap.hpp"
 #include "mel/util/status.hpp"
 
 namespace mel::service {
@@ -100,9 +101,8 @@ class TenantEntry {
   }
   /// The tenant's serving detector; null means "use the service
   /// default". Swapped atomically by apply_calibration.
-  [[nodiscard]] std::shared_ptr<const core::MelDetector> detector()
-      const noexcept {
-    return detector_.load(std::memory_order_acquire);
+  [[nodiscard]] std::shared_ptr<const core::MelDetector> detector() const {
+    return detector_.load();
   }
   [[nodiscard]] AdmissionController& admission() const noexcept {
     return admission_;
@@ -156,7 +156,7 @@ class TenantEntry {
   TenantConfig config_;
   /// Null when the tenant has no detector override AND no calibration
   /// has been applied; the scan path then uses the service detector.
-  std::atomic<std::shared_ptr<const core::MelDetector>> detector_{nullptr};
+  util::HotSwapPtr<const core::MelDetector> detector_;
   mutable AdmissionController admission_;
 
   mutable std::atomic<std::uint64_t> scans_{0};

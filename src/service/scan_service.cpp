@@ -265,6 +265,47 @@ util::StatusOr<ScanReport> ScanService::scan(const ScanRequest& request) const {
   return result;
 }
 
+util::Status ScanService::admit_screened(TenantId tenant_id) const {
+  // Mirrors scan()'s gate order exactly (tenant resolution -> service
+  // admission -> lifecycle -> tenant quota) so a screened refusal is
+  // byte-identical in type and message to what a scan would have
+  // returned; failures route through reject() for the same retry-after
+  // hints and per-code accounting.
+  const std::uint64_t scan_id =
+      next_scan_id_.fetch_add(1, std::memory_order_relaxed);
+  const TenantEntry* tenant = nullptr;
+  if (tenant_id != kDefaultTenant) {
+    tenant = tenants_->find(tenant_id);
+    if (tenant == nullptr) {
+      return reject(scan_id,
+                    util::Status::invalid_argument(
+                        "unknown tenant id " + std::to_string(tenant_id)));
+    }
+    tenant->record_scan();
+  }
+  util::StatusOr<AdmissionController::Permit> permit = admission_.try_admit();
+  if (!permit.is_ok()) {
+    return reject(scan_id, permit.status(), tenant);
+  }
+  const ServiceState lifecycle = lifecycle_.load(std::memory_order_acquire);
+  if (lifecycle != ServiceState::kServing) {
+    return reject(scan_id,
+                  util::Status::unavailable(
+                      "service " + std::string(service_state_name(lifecycle)) +
+                      ", not accepting scans"),
+                  tenant);
+  }
+  if (tenant != nullptr) {
+    util::StatusOr<AdmissionController::Permit> quota =
+        tenant->admission().try_admit();
+    if (!quota.is_ok()) {
+      tenant->record_shed();
+      return reject(scan_id, quota.status(), tenant);
+    }
+  }
+  return util::Status::ok();
+}
+
 util::StatusOr<ScanReport> ScanService::scan_admitted(
     const ScanRequest& request, std::uint64_t scan_id,
     std::chrono::steady_clock::time_point start,
@@ -376,8 +417,7 @@ util::StatusOr<ScanReport> ScanService::scan_admitted(
   // recalibration swaps the serving detector mid-scan. Tenant override
   // first, service default otherwise.
   const std::shared_ptr<const core::MelDetector> detector =
-      tenant_detector != nullptr ? tenant_detector
-                                 : detector_.load(std::memory_order_acquire);
+      tenant_detector != nullptr ? tenant_detector : detector_.load();
   if (!cache_hit) {
     exec::MelScratch local_scratch;
     exec::MelScratch& scratch =
@@ -483,8 +523,7 @@ util::Status ScanService::apply_calibration(const core::DetectorConfig& config,
     return detector.status();
   }
   detector_.store(std::make_shared<const core::MelDetector>(
-                      std::move(detector).take()),
-                  std::memory_order_release);
+      std::move(detector).take()));
   util::log_info_ctx({.component = "service"},
                      "calibration applied: alpha=", config.alpha,
                      " tau(anchor)=", tau);

@@ -71,8 +71,7 @@ util::StatusOr<std::shared_ptr<TenantRegistry>> TenantRegistry::create(
         return detector.status();
       }
       entry->detector_.store(std::make_shared<const core::MelDetector>(
-                                 std::move(detector).take()),
-                             std::memory_order_release);
+          std::move(detector).take()));
     }
     TenantEntry* raw = entry.get();
     registry->entries_.emplace(raw->config().id, std::move(entry));
@@ -126,8 +125,7 @@ util::Status TenantRegistry::apply_calibration(
     return detector.status();
   }
   it->second->detector_.store(std::make_shared<const core::MelDetector>(
-                                  std::move(detector).take()),
-                              std::memory_order_release);
+      std::move(detector).take()));
   util::log_info_ctx({.component = "service"},
                      "tenant calibration applied: tenant=",
                      it->second->config().name, " alpha=", config.alpha,

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace mel::util {
+
+/// Mutex-guarded publication slot for hot-swappable immutable state
+/// (serving detectors, calibrated configs): writers `store` a fresh
+/// shared_ptr, readers `load` a snapshot and keep their copy for the
+/// whole operation, so a swap never invalidates work in flight.
+///
+/// Deliberately NOT std::atomic<std::shared_ptr>: libstdc++ implements
+/// that with an embedded spinlock whose load path unlocks relaxed, so
+/// the formal memory model (and therefore TSan) cannot order a reader's
+/// access against the next writer's. A plain mutex gives real
+/// happens-before edges at negligible cost next to the work each
+/// snapshot feeds.
+template <typename T>
+class HotSwapPtr {
+ public:
+  HotSwapPtr() = default;
+  explicit HotSwapPtr(std::shared_ptr<T> initial)
+      : ptr_(std::move(initial)) {}
+
+  HotSwapPtr(const HotSwapPtr&) = delete;
+  HotSwapPtr& operator=(const HotSwapPtr&) = delete;
+
+  /// Snapshot the current value; the copy stays valid across any
+  /// concurrent store.
+  [[nodiscard]] std::shared_ptr<T> load() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ptr_;
+  }
+
+  /// Publish a replacement; in-flight readers keep their snapshots.
+  /// The displaced value is released outside the lock so a possibly
+  /// expensive destructor never runs under the slot mutex.
+  void store(std::shared_ptr<T> next) {
+    std::shared_ptr<T> displaced;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      displaced = std::exchange(ptr_, std::move(next));
+    }
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<T> ptr_;
+};
+
+}  // namespace mel::util

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -703,6 +704,106 @@ TEST_F(SuperServerTest, BrownoutLadderDegradesVerdictsOnTheWire) {
   EXPECT_EQ(wire.value().scan_id, 0u) << "no service scan ran";
   EXPECT_EQ(wire.value().mel, 0u);
   EXPECT_GE(running.stats().scans_screened, 1u);
+}
+
+TEST_F(SuperServerTest, ScreenOnlyBrownoutStillEnforcesTenantGates) {
+  // The ladder floor answers from the entropy/signature screen, but it
+  // must not bypass tenant resolution: an unknown tenant id gets the
+  // same typed kInvalidArgument the service would return, never a
+  // verdict — brownout engages exactly when quota bypass hurts most.
+  net::ServerConfig config = supervised_config(1);
+  config.supervision->brownout.engage_pressure = 1;
+  config.supervision->brownout.pressure_window = milliseconds(500);
+  config.supervision->brownout.recover_after = std::chrono::seconds(60);
+  auto server = net::MelServer::start(std::move(config));
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+  net::MelServer& running = *server.value();
+  ASSERT_NE(running.supervisor(), nullptr);
+
+  // Two pressure events push the ladder to the screen-only floor.
+  running.supervisor()->brownout().record_pressure(fault::now());
+  auto until = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (running.supervisor()->brownout().level() == BrownoutLevel::kFull &&
+         std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  running.supervisor()->brownout().record_pressure(fault::now());
+  until = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (running.supervisor()->brownout().level() !=
+             BrownoutLevel::kScreenOnly &&
+         std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  ASSERT_EQ(running.supervisor()->brownout().level(),
+            BrownoutLevel::kScreenOnly);
+
+  // An unknown tenant is refused, not screened.
+  net::ClientConfig unknown_tenant = supervised_client_config(running.port());
+  unknown_tenant.tenant = 4242;
+  auto intruder = net::ScanClient::connect(unknown_tenant);
+  ASSERT_TRUE(intruder.is_ok()) << intruder.status().to_string();
+  const ByteBuffer payload = small_corpus()[0];
+  const auto refused = intruder.value().scan(payload);
+  ASSERT_FALSE(refused.is_ok())
+      << "screen floor must not serve an unknown tenant";
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(refused.status().message().find("unknown tenant"),
+            std::string::npos)
+      << refused.status().to_string();
+  EXPECT_EQ(running.stats().scans_screened, 0u)
+      << "the refusal must not count as a screened scan";
+
+  // The default tenant still rides the screen: degraded, scan_id 0.
+  auto client = net::ScanClient::connect(
+      supervised_client_config(running.port()));
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+  const auto wire = client.value().scan(payload);
+  ASSERT_TRUE(wire.is_ok()) << wire.status().to_string();
+  EXPECT_TRUE(wire.value().degraded);
+  EXPECT_EQ(wire.value().scan_id, 0u);
+  EXPECT_GE(running.stats().scans_screened, 1u);
+}
+
+TEST_F(SuperServerTest, CalibrationFanOutIsSafeDuringShardRecovery) {
+  // Regression: the calibration fan-out iterates every shard, and a
+  // drift-triggered recalibration used to race recover_shard's
+  // destroy-and-reconstruct of the condemned shard's ScanService
+  // (use-after-free under TSan). Hammer apply_calibration from another
+  // thread across the full wedge -> condemn -> rebuild window; the
+  // per-shard service lock must serialize the two.
+  net::ServerConfig config = supervised_config(3);
+  // Keep quarantine out of the way: the same payload wedges twice and
+  // must still scan cleanly on the third attempt.
+  config.supervision->quarantine_after = 100;
+  auto server = net::MelServer::start(std::move(config));
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+  net::MelServer& running = *server.value();
+
+  std::atomic<bool> stop{false};
+  std::thread hammer([&running, &stop] {
+    const core::DetectorConfig detector =
+        running.config().service.detector;
+    const double tau = running.config().service.degraded_threshold;
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)running.apply_calibration(service::kDefaultTenant, detector,
+                                      tau);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  fault::arm(Point::kShardStall, Trigger{.max_fires = 2});
+  auto client = net::ScanClient::connect(
+      supervised_client_config(running.port()));
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+  const auto verdict = client.value().scan(small_corpus()[0]);
+  stop.store(true, std::memory_order_release);
+  hammer.join();
+
+  // Two wedges, two rebuilds, then the retry scans for real — all while
+  // calibrations fanned out.
+  ASSERT_TRUE(verdict.is_ok()) << verdict.status().to_string();
+  EXPECT_GE(running.stats().shards_rebuilt, 2u);
+  EXPECT_EQ(running.stats().scans_quarantined, 0u);
 }
 
 }  // namespace
